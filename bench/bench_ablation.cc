@@ -1,0 +1,154 @@
+// Ablations for the design choices DESIGN.md calls out.
+//
+// A1 — weighted rendezvous hashing (chosen) vs modulo hashing (the naive
+//      alternative): modulo cannot express processor-cost weights, and
+//      adding one folder server remaps nearly every key, while rendezvous
+//      moves only ~1/(n+1) of them. Both matter for Sec. 5's policy and
+//      for re-registering an application with a grown FOLDERS section.
+//
+// A2 — the directory's single mutex: throughput of put/get pairs as client
+//      thread count grows, on one folder vs spread folders. Documents where
+//      the simple-lock choice stops scaling (and that folder spreading, the
+//      deployment the paper prescribes, recovers it).
+//
+// A3 — unordered (swap-random) extraction vs what FIFO would cost:
+//      extraction strategy is not the bottleneck; the semantics are free.
+#include <thread>
+
+#include "bench_common.h"
+#include "folder/directory.h"
+#include "routing/routing.h"
+
+namespace dmemo::bench {
+namespace {
+
+AppDescription EqualHostsAdf(int servers) {
+  std::string text = "APP ab\nHOSTS\n";
+  for (int i = 0; i < servers; ++i) {
+    text += "h" + std::to_string(i) + " 1 t 1\n";
+  }
+  text += "FOLDERS\n";
+  for (int i = 0; i < servers; ++i) {
+    text += std::to_string(i) + " h" + std::to_string(i) + "\n";
+  }
+  text += "PPC\n";
+  for (int i = 1; i < servers; ++i) {
+    text += "h0 <-> h" + std::to_string(i) + " 1\n";
+  }
+  return AdfOrDie(text);
+}
+
+// A1a: keys remapped when the server count grows n -> n+1.
+void RemapOnGrowth(benchmark::State& state) {
+  const bool rendezvous = state.range(0) != 0;
+  const int n = static_cast<int>(state.range(1));
+  auto before = RoutingTable::Build(EqualHostsAdf(n));
+  auto after = RoutingTable::Build(EqualHostsAdf(n + 1));
+  if (!before.ok() || !after.ok()) throw std::runtime_error("routing");
+  constexpr int kKeys = 50'000;
+  int moved = 0;
+  for (auto _ : state) {
+    moved = 0;
+    for (std::uint32_t i = 0; i < kKeys; ++i) {
+      QualifiedKey qk{"ab", Key::Named("k", {i})};
+      int owner_before, owner_after;
+      if (rendezvous) {
+        owner_before = before->ServerForKey(qk.ToBytes())->id;
+        owner_after = after->ServerForKey(qk.ToBytes())->id;
+      } else {
+        const std::uint64_t h = Fnv1a64(qk.ToBytes());
+        owner_before = static_cast<int>(h % n);
+        owner_after = static_cast<int>(h % (n + 1));
+      }
+      if (owner_before != owner_after) ++moved;
+    }
+    benchmark::DoNotOptimize(moved);
+  }
+  state.counters["remapped_fraction"] =
+      static_cast<double>(moved) / kKeys;
+  state.counters["ideal_fraction"] = 1.0 / (n + 1);
+  state.SetItemsProcessed(state.iterations() * kKeys);
+  state.SetLabel(std::string(rendezvous ? "rendezvous" : "modulo") + ", " +
+                 std::to_string(n) + "->" + std::to_string(n + 1) +
+                 " servers");
+}
+BENCHMARK(RemapOnGrowth)->ArgsProduct({{0, 1}, {4, 8}});
+
+// A1b: selection cost per key (rendezvous is O(servers); modulo O(1)) —
+// the price paid for weighting and minimal disruption.
+void SelectionCost(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto table = RoutingTable::Build(EqualHostsAdf(n));
+  if (!table.ok()) throw std::runtime_error("routing");
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    QualifiedKey qk{"ab", Key::Named("k", {i++})};
+    benchmark::DoNotOptimize(table->ServerForKey(qk.ToBytes()));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("rendezvous over " + std::to_string(n) + " servers");
+}
+BENCHMARK(SelectionCost)->Arg(2)->Arg(8)->Arg(32);
+
+// A2: directory throughput under contention.
+void DirectoryContention(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const bool spread = state.range(1) != 0;
+  for (auto _ : state) {
+    FolderDirectory<Bytes> dir;
+    constexpr int kOpsPerThread = 2000;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&dir, t, spread] {
+        const QualifiedKey qk{
+            "ab", Key::Named("f", {spread ? static_cast<std::uint32_t>(t)
+                                          : 0u})};
+        for (int i = 0; i < kOpsPerThread; ++i) {
+          (void)dir.Put(qk, Bytes{1});
+          (void)dir.GetSkip(qk);
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+  }
+  state.SetItemsProcessed(state.iterations() * threads * 4000);
+  state.SetLabel(std::to_string(threads) + " threads, " +
+                 (spread ? "spread folders" : "one folder"));
+}
+BENCHMARK(DirectoryContention)
+    ->ArgsProduct({{1, 2, 4}, {0, 1}})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// A3: extraction-order strategies. The directory's pseudorandom
+// swap-removal vs the FIFO a std::deque would give, measured standalone.
+void ExtractionSwapRandom(benchmark::State& state) {
+  FolderDirectory<Bytes> dir;
+  const QualifiedKey qk{"ab", Key::Named("f")};
+  for (int i = 0; i < 1024; ++i) (void)dir.Put(qk, Bytes{1});
+  for (auto _ : state) {
+    (void)dir.Put(qk, Bytes{1});
+    benchmark::DoNotOptimize(dir.GetSkip(qk));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("swap-random over 1024 resident");
+}
+BENCHMARK(ExtractionSwapRandom);
+
+void ExtractionFifoBaseline(benchmark::State& state) {
+  std::deque<Bytes> fifo(1024, Bytes{1});
+  for (auto _ : state) {
+    fifo.push_back(Bytes{1});
+    Bytes front = std::move(fifo.front());
+    fifo.pop_front();
+    benchmark::DoNotOptimize(front);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("raw FIFO deque over 1024 resident");
+}
+BENCHMARK(ExtractionFifoBaseline);
+
+}  // namespace
+}  // namespace dmemo::bench
+
+BENCHMARK_MAIN();

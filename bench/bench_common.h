@@ -1,0 +1,58 @@
+// Shared helpers for the experiment benches (see DESIGN.md Sec. 4 for the
+// experiment index E1..E14).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "runtime/cluster.h"
+#include "transferable/composite.h"
+#include "transferable/scalars.h"
+
+namespace dmemo::bench {
+
+inline AppDescription AdfOrDie(const std::string& text) {
+  auto parsed = ParseAdf(text);
+  if (!parsed.ok()) {
+    throw std::runtime_error("bad bench ADF: " + parsed.status().ToString());
+  }
+  return parsed->description;
+}
+
+// A two-machine ADF with one folder server each and a unit link.
+inline AppDescription TwoHostAdf(const std::string& app) {
+  return AdfOrDie("APP " + app +
+                  "\nHOSTS\nhostA 1 t 1\nhostB 1 t 1\n"
+                  "FOLDERS\n0 hostA\n1 hostB\nPPC\nhostA <-> hostB 1\n");
+}
+
+// A single-machine ADF (all folders local).
+inline AppDescription OneHostAdf(const std::string& app) {
+  return AdfOrDie("APP " + app +
+                  "\nHOSTS\nhostA 1 t 1\nFOLDERS\n0 hostA\n");
+}
+
+inline std::unique_ptr<Cluster> ClusterOrDie(const AppDescription& adf) {
+  auto cluster = Cluster::Start(adf);
+  if (!cluster.ok()) {
+    throw std::runtime_error("cluster: " + cluster.status().ToString());
+  }
+  return std::move(*cluster);
+}
+
+inline Memo ClientOrDie(Cluster& cluster, const std::string& host) {
+  auto memo = cluster.Client(host, MachineProfile::Universal());
+  if (!memo.ok()) {
+    throw std::runtime_error("client: " + memo.status().ToString());
+  }
+  return std::move(*memo);
+}
+
+// A payload of `bytes` for put/get traffic.
+inline TransferablePtr Payload(std::size_t bytes) {
+  return MakeBytes(Bytes(bytes, 0x5a));
+}
+
+}  // namespace dmemo::bench

@@ -1,0 +1,167 @@
+// E14 — Section 6.3.3: dataflow on the memo space.
+//
+// Measures (a) the cost of one put_delayed trigger cycle against its eager
+// equivalent (two puts + a get), (b) dataflow-graph evaluation throughput
+// for pipelines and for wide fan-out graphs, and (c) that independent
+// stages overlap across workers.
+//
+// Shape expected: the trigger costs roughly one extra folder operation;
+// wide graphs gain from more workers while a serial chain does not.
+#include "bench_common.h"
+#include "lang/dataflow.h"
+#include "lang/lucid.h"
+
+namespace dmemo::bench {
+namespace {
+
+double NumOf(const TransferablePtr& v) {
+  return std::static_pointer_cast<TFloat64>(v)->value();
+}
+
+DataflowOp AddAll() {
+  return [](std::span<const TransferablePtr> args) -> Result<TransferablePtr> {
+    double sum = 0;
+    for (const auto& a : args) sum += NumOf(a);
+    return MakeFloat64(sum);
+  };
+}
+
+// Some real per-node work so parallelism has something to chew on.
+DataflowOp AddAllWithWork(int units) {
+  return [units](std::span<const TransferablePtr> args)
+             -> Result<TransferablePtr> {
+    double sum = 0;
+    for (const auto& a : args) sum += NumOf(a);
+    double x = 1.0001;
+    for (int i = 0; i < units * 20'000; ++i) x = x * 1.0000001 + 1e-9;
+    return MakeFloat64(sum + x * 1e-12);
+  };
+}
+
+// (a) trigger cycle vs eager hand-off.
+void TriggerCycle(benchmark::State& state) {
+  auto space = std::make_shared<LocalSpace>("df");
+  Memo memo = Memo::Local(space);
+  Key operand = Key::Named("operand");
+  Key jar = Key::Named("jar");
+  for (auto _ : state) {
+    (void)memo.put_delayed(operand, jar, MakeInt32(1));
+    (void)memo.put(operand, MakeInt32(0));
+    benchmark::DoNotOptimize(memo.get(jar));
+    benchmark::DoNotOptimize(memo.get(operand));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("put_delayed trigger cycle");
+}
+BENCHMARK(TriggerCycle);
+
+void EagerEquivalent(benchmark::State& state) {
+  auto space = std::make_shared<LocalSpace>("df2");
+  Memo memo = Memo::Local(space);
+  Key operand = Key::Named("operand");
+  Key jar = Key::Named("jar");
+  for (auto _ : state) {
+    (void)memo.put(operand, MakeInt32(0));
+    (void)memo.put(jar, MakeInt32(1));
+    benchmark::DoNotOptimize(memo.get(jar));
+    benchmark::DoNotOptimize(memo.get(operand));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("eager equivalent (no trigger)");
+}
+BENCHMARK(EagerEquivalent);
+
+// (b) serial pipeline: depth-D chain; workers cannot help.
+void Pipeline(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  const int workers = static_cast<int>(state.range(1));
+  auto space = std::make_shared<LocalSpace>("dfp");
+  Memo memo = Memo::Local(space);
+  for (auto _ : state) {
+    DataflowGraph graph(memo);
+    NodeId prev = graph.AddInput();
+    NodeId input = prev;
+    for (int i = 0; i < depth; ++i) {
+      prev = graph.AddNode(AddAll(), {prev});
+    }
+    if (!graph.Start(workers).ok()) break;
+    (void)graph.Feed(input, MakeFloat64(1.0));
+    benchmark::DoNotOptimize(graph.Await(prev));
+    graph.Stop();
+  }
+  state.SetItemsProcessed(state.iterations() * depth);
+  state.SetLabel("chain depth " + std::to_string(depth) + ", " +
+                 std::to_string(workers) + " workers");
+}
+BENCHMARK(Pipeline)->Args({64, 1})->Args({64, 4})
+    ->Unit(benchmark::kMicrosecond);
+
+// (c) wide fan-out with real per-node work: workers overlap stages.
+void WideFanOut(benchmark::State& state) {
+  const int width = 32;
+  const int workers = static_cast<int>(state.range(0));
+  auto space = std::make_shared<LocalSpace>("dfw");
+  Memo memo = Memo::Local(space);
+  for (auto _ : state) {
+    DataflowGraph graph(memo);
+    NodeId in = graph.AddInput();
+    std::vector<NodeId> mids;
+    for (int i = 0; i < width; ++i) {
+      mids.push_back(graph.AddNode(AddAllWithWork(8), {in}));
+    }
+    NodeId total = graph.AddNode(AddAll(), mids);
+    if (!graph.Start(workers).ok()) break;
+    (void)graph.Feed(in, MakeFloat64(1.0));
+    benchmark::DoNotOptimize(graph.Await(total));
+    graph.Stop();
+  }
+  state.SetItemsProcessed(state.iterations() * width);
+  state.SetLabel(std::to_string(width) + "-wide graph, " +
+                 std::to_string(workers) + " workers");
+}
+BENCHMARK(WideFanOut)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// Lucid streams: cold evaluation (every cell computed once, on demand) and
+// warm re-reads (fully memoized in the memo space).
+void LucidNatCold(benchmark::State& state) {
+  const std::uint32_t n = static_cast<std::uint32_t>(state.range(0));
+  auto space = std::make_shared<LocalSpace>("lucid-bench");
+  Memo memo = Memo::Local(space);
+  for (auto _ : state) {
+    LucidProgram p(memo);
+    StreamId nat = p.Forward();
+    StreamId one = p.Constant(MakeInt64(1));
+    (void)p.Bind(nat, p.Fby(p.Constant(MakeInt64(0)),
+                            p.Map(AddFn(), {nat, one})));
+    auto vs = p.Take(nat, n);
+    benchmark::DoNotOptimize(vs);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel("nat cold, " + std::to_string(n) + " elements");
+}
+BENCHMARK(LucidNatCold)->Arg(64)->Arg(512);
+
+void LucidNatWarm(benchmark::State& state) {
+  const std::uint32_t n = static_cast<std::uint32_t>(state.range(0));
+  auto space = std::make_shared<LocalSpace>("lucid-bench-warm");
+  Memo memo = Memo::Local(space);
+  LucidProgram p(memo);
+  StreamId nat = p.Forward();
+  StreamId one = p.Constant(MakeInt64(1));
+  (void)p.Bind(nat, p.Fby(p.Constant(MakeInt64(0)),
+                          p.Map(AddFn(), {nat, one})));
+  (void)p.Take(nat, n);  // populate the memo cells
+  for (auto _ : state) {
+    auto vs = p.Take(nat, n);  // pure memoized reads
+    benchmark::DoNotOptimize(vs);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel("nat warm (memoized), " + std::to_string(n) + " elements");
+}
+BENCHMARK(LucidNatWarm)->Arg(64)->Arg(512);
+
+}  // namespace
+}  // namespace dmemo::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,145 @@
+// E4 + E5 — Section 5: memo distribution over the network.
+//
+// E4: "By classifying each host with a ratio percentage of processing
+// power, the system can control the distribution of memos... by giving a
+// higher percentage of proportional probability of hashing memos to a given
+// host." We hash large key populations and report each server's share next
+// to its power share.
+//
+// E5: link weights steer the hashing ("hashing a memo to a folder server
+// considers communication link and processor overhead"), and "no
+// broadcasting is done by the system" — message cost is independent of the
+// server count.
+//
+// Shape expected: empirical shares track power shares within noise (E4);
+// servers behind expensive links receive less (E5a); bytes sent per put do
+// not grow with the number of folder servers (E5b).
+#include "bench_common.h"
+
+namespace dmemo::bench {
+namespace {
+
+// Share of keys landing on each server for a given ADF, reported as
+// counters "share_<id>" alongside the model's predicted "weight_<id>".
+void HashingShare(benchmark::State& state, const std::string& adf_text) {
+  auto adf = AdfOrDie(adf_text);
+  auto routing = RoutingTable::Build(adf);
+  if (!routing.ok()) throw std::runtime_error(routing.status().ToString());
+  constexpr int kKeys = 100'000;
+  std::map<int, int> hits;
+  for (auto _ : state) {
+    hits.clear();
+    for (std::uint32_t i = 0; i < kKeys; ++i) {
+      QualifiedKey qk{adf.app_name, Key::Named("folder", {i})};
+      auto owner = routing->ServerForKey(qk.ToBytes());
+      ++hits[owner->id];
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  for (std::size_t s = 0; s < routing->servers().size(); ++s) {
+    const int id = routing->servers()[s].id;
+    state.counters["share_" + std::to_string(id)] =
+        static_cast<double>(hits[id]) / kKeys;
+    state.counters["weight_" + std::to_string(id)] =
+        routing->server_weights()[s];
+  }
+  state.SetItemsProcessed(state.iterations() * kKeys);
+}
+
+// E4a: equal hosts -> even distribution (the paper's stated default).
+void EvenDistribution(benchmark::State& state) {
+  HashingShare(state,
+               "APP even\nHOSTS\na 1 t 1\nb 1 t 1\nc 1 t 1\n"
+               "FOLDERS\n0 a\n1 b\n2 c\n"
+               "PPC\na <-> b 1\nb <-> c 1\nc <-> a 1\n");
+}
+BENCHMARK(EvenDistribution);
+
+// E4b: 2:1:1 processor power.
+void PowerWeightedDistribution(benchmark::State& state) {
+  HashingShare(state,
+               "APP power\nHOSTS\na 2 t 1\nb 1 t 1\nc 1 t 1\n"
+               "FOLDERS\n0 a\n1 b\n2 c\n"
+               "PPC\na <-> b 1\nb <-> c 1\nc <-> a 1\n");
+}
+BENCHMARK(PowerWeightedDistribution);
+
+// E4c: the paper's own invert configuration (sparc vs half-cost SP-1).
+void PaperInvertDistribution(benchmark::State& state) {
+  HashingShare(state,
+               "APP invert\nHOSTS\n"
+               "glen 1 sun4 1\naurora 1 sun4 1\njoliet 1 sun4 1\n"
+               "bonnie 128 sp1 sun4*0.5\n"
+               "FOLDERS\n0 glen\n1 aurora\n2 joliet\n3-8 bonnie\n"
+               "PPC\nglen <-> aurora 1\nglen <-> joliet 1\n"
+               "glen <-> bonnie 2\n");
+}
+BENCHMARK(PaperInvertDistribution);
+
+// E5a: link-cost sweep — identical hosts, but c's only link gets costlier;
+// its share must fall monotonically.
+void LinkCostDiscount(benchmark::State& state) {
+  const int cost = static_cast<int>(state.range(0));
+  auto adf = AdfOrDie("APP link\nHOSTS\na 1 t 1\nb 1 t 1\nc 1 t 1\n"
+                      "FOLDERS\n0 b\n1 c\n"
+                      "PPC\na <-> b 1\na <-> c " +
+                      std::to_string(cost) + "\n");
+  auto routing = RoutingTable::Build(adf);
+  if (!routing.ok()) throw std::runtime_error(routing.status().ToString());
+  constexpr int kKeys = 100'000;
+  int to_c = 0;
+  for (auto _ : state) {
+    to_c = 0;
+    for (std::uint32_t i = 0; i < kKeys; ++i) {
+      QualifiedKey qk{adf.app_name, Key::Named("f", {i})};
+      if (routing->ServerForKey(qk.ToBytes())->id == 1) ++to_c;
+    }
+    benchmark::DoNotOptimize(to_c);
+  }
+  state.counters["share_c"] = static_cast<double>(to_c) / kKeys;
+  state.counters["link_cost"] = cost;
+  state.SetItemsProcessed(state.iterations() * kKeys);
+  state.SetLabel("c behind cost-" + std::to_string(cost) + " link");
+}
+BENCHMARK(LinkCostDiscount)->Arg(1)->Arg(2)->Arg(4)->Arg(9);
+
+// E5b: no broadcasting — bytes on the wire per put are flat in the number
+// of folder servers (a broadcast design would grow linearly).
+void UnicastCostVsServerCount(benchmark::State& state) {
+  const int hosts = static_cast<int>(state.range(0));
+  std::string adf = "APP uni\nHOSTS\n";
+  for (int i = 0; i < hosts; ++i) adf += "h" + std::to_string(i) + " 1 t 1\n";
+  adf += "FOLDERS\n";
+  for (int i = 0; i < hosts; ++i) {
+    adf += std::to_string(i) + " h" + std::to_string(i) + "\n";
+  }
+  adf += "PPC\n";
+  for (int i = 1; i < hosts; ++i) {
+    adf += "h0 <-> h" + std::to_string(i) + " 1\n";
+  }
+  auto cluster = ClusterOrDie(AdfOrDie(adf));
+  Memo memo = ClientOrDie(*cluster, "h0");
+  auto value = Payload(64);
+  constexpr int kPuts = 500;
+  for (auto _ : state) {
+    for (std::uint32_t i = 0; i < kPuts; ++i) {
+      (void)memo.put(Key::Named("spread", {i}), value);
+    }
+  }
+  double bytes = 0;
+  for (const auto& traffic : cluster->server("h0").peer_traffic()) {
+    bytes += static_cast<double>(traffic.bytes_sent);
+  }
+  state.counters["outbound_bytes_per_put"] =
+      bytes / (static_cast<double>(state.iterations()) * kPuts);
+  state.counters["servers"] = hosts;
+  state.SetItemsProcessed(state.iterations() * kPuts);
+  state.SetLabel(std::to_string(hosts) + " folder servers");
+}
+BENCHMARK(UnicastCostVsServerCount)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dmemo::bench
+
+BENCHMARK_MAIN();

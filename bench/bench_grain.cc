@@ -1,0 +1,81 @@
+// E12 — Section 4.2: grain size.
+//
+// "Applications that use a small grain size distribution of work will have
+// to consider the effects of overhead spent on communicating, versus
+// getting work done. If the grain size is too large, parallelism will have
+// been lost."
+//
+// A fixed total amount of compute is split into tasks of varying grain and
+// run through the full remote path (client -> memo server -> folder server)
+// with 4 workers. Shape expected: a hump — tiny grains drown in
+// communication, huge grains leave workers idle; the optimum is interior.
+#include <thread>
+
+#include "bench_common.h"
+#include "patterns/job_jar.h"
+
+namespace dmemo::bench {
+namespace {
+
+// ~40 us of compute per unit on a modern core.
+double ComputeUnits(long units) {
+  double x = 1.0001;
+  for (long i = 0; i < units * 20'000; ++i) x = x * 1.0000001 + 1e-9;
+  return x;
+}
+
+constexpr long kTotalUnits = 1024;  // total work, fixed across grains
+constexpr int kWorkers = 4;
+
+void GrainSweep(benchmark::State& state) {
+  const long grain = state.range(0);  // units per task
+  const long tasks = kTotalUnits / grain;
+  auto cluster = ClusterOrDie(OneHostAdf("grain"));
+  for (auto _ : state) {
+    Memo boss = ClientOrDie(*cluster, "hostA");
+    Key jar = Key::Named("jar");
+    Key done = Key::Named("done");
+    std::vector<std::thread> workers;
+    for (int w = 0; w < kWorkers; ++w) {
+      workers.emplace_back([&cluster, grain] {
+        Memo memo = ClientOrDie(*cluster, "hostA");
+        Key jar_key = Key::Named("jar");
+        Key done_key = Key::Named("done");
+        double sink = 0;
+        for (;;) {
+          auto task = memo.get(jar_key);
+          if (!task.ok() || *task == nullptr) break;
+          sink += ComputeUnits(grain);
+          (void)memo.put(done_key, MakeInt32(1));
+        }
+        benchmark::DoNotOptimize(sink);
+      });
+    }
+    for (long t = 0; t < tasks; ++t) (void)boss.put(jar, MakeInt32(1));
+    for (long t = 0; t < tasks; ++t) (void)boss.get(done);
+    for (int w = 0; w < kWorkers; ++w) (void)boss.put(jar, nullptr);
+    for (auto& t : workers) t.join();
+  }
+  state.counters["tasks"] = static_cast<double>(tasks);
+  state.counters["units_per_task"] = static_cast<double>(grain);
+  state.SetItemsProcessed(state.iterations() * kTotalUnits);
+  state.SetLabel("grain=" + std::to_string(grain) + " units x " +
+                 std::to_string(tasks) + " tasks");
+}
+// From 1 unit x 1024 tasks (communication-bound) to 512 units x 2 tasks
+// (parallelism lost: only 2 of 4 workers have anything to do).
+BENCHMARK(GrainSweep)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(512)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MinTime(0.2);
+
+}  // namespace
+}  // namespace dmemo::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// E2 — Figure 2: inter-machine server behaviour.
+//
+// A request from a process on host A to a folder on host B crosses
+// A's memo server, the A<->B link, and B's memo server before reaching B's
+// folder server. This bench measures that path against the local fast path
+// and shows the extra per-hop cost explicitly.
+//
+// Shape expected: remote access costs a small integer multiple of local;
+// the difference is the two extra memo-server traversals plus the link.
+#include "bench_common.h"
+
+namespace dmemo::bench {
+namespace {
+
+// Pin a key owned by the given host (probing the routing table).
+Key KeyOwnedBy(const Cluster& cluster, const std::string& host,
+               const std::string& stem) {
+  auto routing = RoutingTable::Build(cluster.adf());
+  if (!routing.ok()) throw std::runtime_error("routing");
+  for (std::uint32_t i = 0; i < 4096; ++i) {
+    Key key = Key::Named(stem, {i});
+    auto owner = routing->ServerForKey(
+        QualifiedKey{cluster.adf().app_name, key}.ToBytes());
+    if (owner.ok() && owner->host == host) return key;
+  }
+  throw std::runtime_error("no key hashed to " + host);
+}
+
+class InterMachine : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State&) override {
+    cluster_ = ClusterOrDie(TwoHostAdf("inter"));
+    client_.emplace(ClientOrDie(*cluster_, "hostA"));
+    local_key_ = KeyOwnedBy(*cluster_, "hostA", "k");
+    remote_key_ = KeyOwnedBy(*cluster_, "hostB", "k");
+  }
+  void TearDown(const benchmark::State&) override {
+    client_.reset();
+    cluster_.reset();
+  }
+
+ protected:
+  std::unique_ptr<Cluster> cluster_;
+  std::optional<Memo> client_;
+  Key local_key_;
+  Key remote_key_;
+};
+
+BENCHMARK_DEFINE_F(InterMachine, LocalFolder)(benchmark::State& state) {
+  const std::size_t payload = static_cast<std::size_t>(state.range(0));
+  auto value = Payload(payload);
+  for (auto _ : state) {
+    (void)client_->put(local_key_, value);
+    benchmark::DoNotOptimize(client_->get(local_key_));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("A->A, " + std::to_string(payload) + "B");
+}
+BENCHMARK_REGISTER_F(InterMachine, LocalFolder)->Arg(16)->Arg(4096);
+
+BENCHMARK_DEFINE_F(InterMachine, RemoteFolder)(benchmark::State& state) {
+  const std::size_t payload = static_cast<std::size_t>(state.range(0));
+  auto value = Payload(payload);
+  for (auto _ : state) {
+    (void)client_->put(remote_key_, value);
+    benchmark::DoNotOptimize(client_->get(remote_key_));
+  }
+  state.SetItemsProcessed(state.iterations());
+  // The forwarded fraction verifies the path really crossed machines.
+  state.counters["forwards"] = static_cast<double>(
+      cluster_->server("hostA").stats().forwarded);
+  state.SetLabel("A->B, " + std::to_string(payload) + "B");
+}
+BENCHMARK_REGISTER_F(InterMachine, RemoteFolder)->Arg(16)->Arg(4096);
+
+// Producer on A, consumer on B: the Figure-2 hand-off including a parked
+// blocking get at B's folder server.
+BENCHMARK_DEFINE_F(InterMachine, CrossMachineHandoff)
+(benchmark::State& state) {
+  Memo consumer = ClientOrDie(*cluster_, "hostB");
+  auto value = Payload(64);
+  for (auto _ : state) {
+    (void)client_->put(remote_key_, value);
+    benchmark::DoNotOptimize(consumer.get(remote_key_));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_REGISTER_F(InterMachine, CrossMachineHandoff);
+
+}  // namespace
+}  // namespace dmemo::bench
+
+BENCHMARK_MAIN();

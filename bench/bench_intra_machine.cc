@@ -1,0 +1,136 @@
+// E1 — Figure 1: intra-machine server behaviour.
+//
+// put/get latency and throughput through the folder + memo servers on one
+// machine, across transports (in-process simnet, true shared-memory rings,
+// Unix-domain sockets, TCP loopback), payload sizes, and folder-server
+// counts.
+//
+// Shape expected: shared-memory paths (simnet in-process; shm rings
+// cross-process) beat Unix sockets, which beat TCP loopback; throughput
+// grows with folder count because independent folders do not contend.
+#include <atomic>
+#include <thread>
+
+#include "bench_common.h"
+#include "transport/shm_transport.h"
+#include "transport/socket_transport.h"
+
+namespace dmemo::bench {
+namespace {
+
+enum class Net { kSim, kUnix, kTcp, kShm };
+
+std::unique_ptr<Cluster> StartOn(Net net, const AppDescription& adf) {
+  switch (net) {
+    case Net::kSim:
+      return ClusterOrDie(adf);
+    case Net::kUnix: {
+      static std::atomic<int> counter{0};
+      const int run = counter.fetch_add(1);
+      auto cluster = Cluster::Start(
+          adf, MakeUnixTransport(), [run](const std::string& host) {
+            return "unix:///tmp/dmemo-bench-" + std::to_string(::getpid()) +
+                   "-" + std::to_string(run) + "-" + host + ".sock";
+          });
+      if (!cluster.ok()) throw std::runtime_error(cluster.status().ToString());
+      return std::move(*cluster);
+    }
+    case Net::kShm: {
+      static std::atomic<int> counter{0};
+      const int run = counter.fetch_add(1);
+      auto cluster = Cluster::Start(
+          adf, MakeShmTransport(), [run](const std::string& host) {
+            return "shm:///tmp/dmemo-bench-shm-" + std::to_string(::getpid()) +
+                   "-" + std::to_string(run) + "-" + host + ".sock";
+          });
+      if (!cluster.ok()) throw std::runtime_error(cluster.status().ToString());
+      return std::move(*cluster);
+    }
+    case Net::kTcp: {
+      // Sequential fixed ports would collide across runs; pick from the
+      // ephemeral-ish range based on pid.
+      static std::atomic<int> port{20000 + (::getpid() % 10000)};
+      std::map<std::string, int> assigned;
+      auto cluster = Cluster::Start(
+          adf, MakeTcpTransport(), [&assigned](const std::string& host) {
+            auto [it, fresh] = assigned.emplace(host, 0);
+            if (fresh) it->second = port.fetch_add(1);
+            return "tcp://127.0.0.1:" + std::to_string(it->second);
+          });
+      if (!cluster.ok()) throw std::runtime_error(cluster.status().ToString());
+      return std::move(*cluster);
+    }
+  }
+  throw std::runtime_error("unknown net");
+}
+
+const char* NetName(Net net) {
+  switch (net) {
+    case Net::kSim: return "sim";
+    case Net::kUnix: return "unix";
+    case Net::kTcp: return "tcp";
+    case Net::kShm: return "shm";
+  }
+  return "?";
+}
+
+// Latency: one client, put+get round trip, payload sweep.
+void IntraRoundTrip(benchmark::State& state) {
+  const Net net = static_cast<Net>(state.range(0));
+  const std::size_t payload = static_cast<std::size_t>(state.range(1));
+  auto cluster = StartOn(net, OneHostAdf("intra"));
+  Memo memo = ClientOrDie(*cluster, "hostA");
+  Key key = Key::Named("f");
+  auto value = Payload(payload);
+  for (auto _ : state) {
+    (void)memo.put(key, value);
+    benchmark::DoNotOptimize(memo.get(key));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload) * 2);
+  state.SetLabel(std::string(NetName(net)) + "/" +
+                 std::to_string(payload) + "B");
+}
+BENCHMARK(IntraRoundTrip)
+    ->ArgsProduct({{0, 1, 2, 3}, {16, 1024, 65536}})
+    ->UseRealTime();
+
+// Throughput: several producer/consumer pairs on distinct folders; the
+// folder count controls available parallelism (Figure 1's threaded servers).
+void IntraThroughput(benchmark::State& state) {
+  const int pairs = static_cast<int>(state.range(0));
+  auto cluster = StartOn(Net::kSim, OneHostAdf("intra_tp"));
+  for (auto _ : state) {
+    std::atomic<long> moved{0};
+    constexpr int kPerPair = 200;
+    std::vector<std::thread> threads;
+    for (int p = 0; p < pairs; ++p) {
+      threads.emplace_back([&cluster, &moved, p] {
+        Memo producer = ClientOrDie(*cluster, "hostA");
+        Key key = Key::Named("tp", {static_cast<std::uint32_t>(p)});
+        for (int i = 0; i < kPerPair; ++i) {
+          (void)producer.put(key, MakeInt32(i));
+        }
+      });
+      threads.emplace_back([&cluster, &moved, p] {
+        Memo consumer = ClientOrDie(*cluster, "hostA");
+        Key key = Key::Named("tp", {static_cast<std::uint32_t>(p)});
+        for (int i = 0; i < kPerPair; ++i) {
+          if (consumer.get(key).ok()) moved.fetch_add(1);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    state.counters["memos"] = static_cast<double>(moved.load());
+  }
+  state.SetItemsProcessed(state.iterations() * pairs * 200);
+  state.SetLabel(std::to_string(pairs) + " folder pairs");
+}
+BENCHMARK(IntraThroughput)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dmemo::bench
+
+BENCHMARK_MAIN();

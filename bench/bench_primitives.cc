@@ -1,0 +1,172 @@
+// E11 — per-primitive cost of the Memo API (paper Sec. 6.1.2 / 6.3).
+//
+// Shape expected: get_copy ≈ get + a deep copy; get_alt grows mildly with
+// the number of alternatives; put_delayed ≈ the cost of two puts (one to
+// park, one released on trigger); semaphore and barrier cycles are small
+// multiples of put/get.
+#include "bench_common.h"
+#include "patterns/patterns.h"
+
+namespace dmemo::bench {
+namespace {
+
+// Local engine: the pure data-structure cost without wire overhead.
+class LocalPrimitives : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State&) override {
+    space_ = std::make_shared<LocalSpace>("bench");
+    memo_.emplace(Memo::Local(space_));
+  }
+  void TearDown(const benchmark::State&) override {
+    space_->Close();
+    memo_.reset();
+    space_.reset();
+  }
+
+ protected:
+  LocalSpacePtr space_;
+  std::optional<Memo> memo_;
+};
+
+BENCHMARK_F(LocalPrimitives, Put)(benchmark::State& state) {
+  Key key = Key::Named("f");
+  for (auto _ : state) {
+    (void)memo_->put(key, MakeInt32(1));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK_F(LocalPrimitives, PutThenGet)(benchmark::State& state) {
+  Key key = Key::Named("f");
+  for (auto _ : state) {
+    (void)memo_->put(key, MakeInt32(1));
+    benchmark::DoNotOptimize(memo_->get(key));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK_F(LocalPrimitives, GetCopy)(benchmark::State& state) {
+  Key key = Key::Named("f");
+  (void)memo_->put(key, MakeVecFloat64(std::vector<double>(64, 1.0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(memo_->get_copy(key));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK_F(LocalPrimitives, GetSkipEmpty)(benchmark::State& state) {
+  Key key = Key::Named("empty");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(memo_->get_skip(key));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK_F(LocalPrimitives, PutDelayedTriggerRelease)
+(benchmark::State& state) {
+  Key trigger = Key::Named("t");
+  Key jar = Key::Named("jar");
+  for (auto _ : state) {
+    (void)memo_->put_delayed(trigger, jar, MakeInt32(1));
+    (void)memo_->put(trigger, MakeInt32(0));  // releases the delayed memo
+    benchmark::DoNotOptimize(memo_->get(jar));
+    benchmark::DoNotOptimize(memo_->get(trigger));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+// get_alt cost as the alternative count grows (1..64 folders, value in the
+// last one — worst case for the scan).
+class LocalGetAlt : public LocalPrimitives {};
+
+BENCHMARK_DEFINE_F(LocalGetAlt, Alternatives)(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  std::vector<Key> keys;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    keys.push_back(Key::Named("alt", {i}));
+  }
+  for (auto _ : state) {
+    (void)memo_->put(keys.back(), MakeInt32(1));
+    benchmark::DoNotOptimize(memo_->get_alt(keys));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["alternatives"] = n;
+}
+BENCHMARK_REGISTER_F(LocalGetAlt, Alternatives)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+BENCHMARK_F(LocalPrimitives, SemaphorePV)(benchmark::State& state) {
+  MemoSemaphore sem(*memo_, Key::Named("sem"));
+  (void)sem.Initialize(1);
+  for (auto _ : state) {
+    (void)sem.Acquire();
+    (void)sem.Release();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK_F(LocalPrimitives, SharedRecordUpdate)(benchmark::State& state) {
+  SharedRecord record(*memo_, Key::Named("rec"));
+  (void)record.Initialize(MakeInt32(0));
+  for (auto _ : state) {
+    auto checkout = record.Acquire();
+    checkout->value() = MakeInt32(1);
+    (void)checkout->Commit();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK_F(LocalPrimitives, OrderedQueuePushPop)(benchmark::State& state) {
+  // FIFO built on counter records: each push/pop pair costs four folder
+  // operations (ticket get+put, element put/get) — the price of order.
+  OrderedQueue q(*memo_, memo_->create_symbol());
+  (void)q.Initialize();
+  for (auto _ : state) {
+    (void)q.Push(MakeInt32(1));
+    benchmark::DoNotOptimize(q.Pop());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+// Remote engine through a full memo-server round trip, for contrast.
+class RemotePrimitives : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State&) override {
+    cluster_ = ClusterOrDie(OneHostAdf("benchr"));
+    memo_.emplace(ClientOrDie(*cluster_, "hostA"));
+  }
+  void TearDown(const benchmark::State&) override {
+    memo_.reset();
+    cluster_.reset();
+  }
+
+ protected:
+  std::unique_ptr<Cluster> cluster_;
+  std::optional<Memo> memo_;
+};
+
+BENCHMARK_F(RemotePrimitives, PutThenGet)(benchmark::State& state) {
+  Key key = Key::Named("f");
+  for (auto _ : state) {
+    (void)memo_->put(key, MakeInt32(1));
+    benchmark::DoNotOptimize(memo_->get(key));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK_F(RemotePrimitives, PutDelayedTriggerRelease)
+(benchmark::State& state) {
+  Key trigger = Key::Named("t");
+  Key jar = Key::Named("jar");
+  for (auto _ : state) {
+    (void)memo_->put_delayed(trigger, jar, MakeInt32(1));
+    (void)memo_->put(trigger, MakeInt32(0));
+    benchmark::DoNotOptimize(memo_->get(jar));
+    benchmark::DoNotOptimize(memo_->get(trigger));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+}  // namespace
+}  // namespace dmemo::bench
+
+BENCHMARK_MAIN();

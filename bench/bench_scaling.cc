@@ -1,0 +1,71 @@
+// E13 — worker scaling (the Eq.-1 context: throwing more commodity
+// processors at the job).
+//
+// A fixed batch of medium-grain tasks drained from a job jar by 1..16
+// workers through the full remote path. Shape expected: near-linear speedup
+// until the host's core count, flat (or slightly degrading) after.
+#include <thread>
+
+#include "bench_common.h"
+#include "patterns/job_jar.h"
+
+namespace dmemo::bench {
+namespace {
+
+double ComputeUnits(long units) {
+  double x = 1.0001;
+  for (long i = 0; i < units * 20'000; ++i) x = x * 1.0000001 + 1e-9;
+  return x;
+}
+
+constexpr int kTasks = 128;
+constexpr long kUnitsPerTask = 16;  // ~0.6 ms each
+
+void WorkerScaling(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  auto cluster = ClusterOrDie(OneHostAdf("scaling"));
+  for (auto _ : state) {
+    Memo boss = ClientOrDie(*cluster, "hostA");
+    Key jar = Key::Named("jar");
+    Key done = Key::Named("done");
+    std::vector<std::thread> pool;
+    for (int w = 0; w < workers; ++w) {
+      pool.emplace_back([&cluster] {
+        Memo memo = ClientOrDie(*cluster, "hostA");
+        Key jar_key = Key::Named("jar");
+        Key done_key = Key::Named("done");
+        double sink = 0;
+        for (;;) {
+          auto task = memo.get(jar_key);
+          if (!task.ok() || *task == nullptr) break;
+          sink += ComputeUnits(kUnitsPerTask);
+          (void)memo.put(done_key, MakeInt32(1));
+        }
+        benchmark::DoNotOptimize(sink);
+      });
+    }
+    for (int t = 0; t < kTasks; ++t) (void)boss.put(jar, MakeInt32(1));
+    for (int t = 0; t < kTasks; ++t) (void)boss.get(done);
+    for (int w = 0; w < workers; ++w) (void)boss.put(jar, nullptr);
+    for (auto& t : pool) t.join();
+  }
+  state.counters["workers"] = workers;
+  state.counters["hw_threads"] =
+      static_cast<double>(std::thread::hardware_concurrency());
+  state.SetItemsProcessed(state.iterations() * kTasks);
+  state.SetLabel(std::to_string(workers) + " workers");
+}
+BENCHMARK(WorkerScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MinTime(0.2);
+
+}  // namespace
+}  // namespace dmemo::bench
+
+BENCHMARK_MAIN();

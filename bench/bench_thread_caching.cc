@@ -1,0 +1,138 @@
+// E6 — Section 4.1: thread caching.
+//
+// "The system uses the idea of thread caching to avoid the overhead of
+// creating processes un-necessarily. When a thread completes its
+// transactions, it will set a timer and wait for additional requests."
+//
+// Ablation: the same request stream against (a) cached threads, (b)
+// thread-per-request (ttl = 0), (c) serial execution. Shape expected:
+// caching beats spawn-per-request clearly; the gap is the thread-creation
+// cost the paper is avoiding.
+#include <atomic>
+
+#include "bench_common.h"
+#include "util/worker_pool.h"
+
+namespace dmemo::bench {
+namespace {
+
+using namespace std::chrono_literals;
+
+// Raw pool cost: submit a trivial request, wait for completion.
+void PoolRequest(benchmark::State& state) {
+  const auto ttl = std::chrono::milliseconds(state.range(0));
+  WorkerPool::Options opts;
+  opts.cache_ttl = ttl;
+  WorkerPool pool(opts);
+  for (auto _ : state) {
+    pool.Submit([] {});
+    pool.Drain();
+  }
+  auto stats = pool.GetStats();
+  state.counters["threads_spawned"] =
+      static_cast<double>(stats.threads_spawned);
+  state.counters["cache_hits"] = static_cast<double>(stats.cache_hits);
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(ttl.count() == 0 ? "thread-per-request"
+                                  : "cached (ttl=" +
+                                        std::to_string(ttl.count()) + "ms)");
+}
+BENCHMARK(PoolRequest)->Arg(0)->Arg(250)->UseRealTime();
+
+// Bursts: 64 requests at once, drain, repeat — the server arrival pattern.
+void PoolBurst(benchmark::State& state) {
+  const auto ttl = std::chrono::milliseconds(state.range(0));
+  WorkerPool::Options opts;
+  opts.cache_ttl = ttl;
+  WorkerPool pool(opts);
+  std::atomic<int> done{0};
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.Drain();
+  }
+  auto stats = pool.GetStats();
+  state.counters["threads_spawned"] =
+      static_cast<double>(stats.threads_spawned);
+  state.counters["hit_rate"] =
+      stats.tasks_executed > 0
+          ? static_cast<double>(stats.cache_hits) / stats.tasks_executed
+          : 0.0;
+  state.SetItemsProcessed(state.iterations() * 64);
+  state.SetLabel(ttl.count() == 0 ? "thread-per-request" : "cached");
+}
+BENCHMARK(PoolBurst)->Arg(0)->Arg(250)->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+// TTL sweep: how long should a thread linger? Bursts arrive every ~5 ms;
+// a ttl below the gap expires threads between bursts (re-spawn cost), a
+// ttl above it keeps them warm. The knee should sit near the arrival gap.
+void PoolTtlSweep(benchmark::State& state) {
+  const auto ttl = std::chrono::milliseconds(state.range(0));
+  WorkerPool::Options opts;
+  opts.cache_ttl = ttl;
+  WorkerPool pool(opts);
+  for (auto _ : state) {
+    for (int i = 0; i < 8; ++i) {
+      pool.Submit([] {});
+    }
+    pool.Drain();
+    // Inter-burst gap, untimed: models request trains with idle valleys.
+    state.PauseTiming();
+    std::this_thread::sleep_for(5ms);
+    state.ResumeTiming();
+  }
+  auto stats = pool.GetStats();
+  state.counters["threads_spawned"] =
+      static_cast<double>(stats.threads_spawned);
+  state.counters["threads_expired"] =
+      static_cast<double>(stats.threads_expired);
+  state.SetItemsProcessed(state.iterations() * 8);
+  state.SetLabel("ttl=" + std::to_string(ttl.count()) + "ms, bursts 5ms apart");
+}
+BENCHMARK(PoolTtlSweep)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->UseRealTime()
+    ->Unit(benchmark::kMicrosecond)->MinTime(0.1);
+
+// End to end: the same memo-server request stream with caching on/off.
+void ServerRequests(benchmark::State& state) {
+  const bool cached = state.range(0) != 0;
+  auto adf = OneHostAdf("cache");
+  auto network = std::make_shared<SimNetwork>();
+  auto transport = MakeSimTransport(network);
+  MemoServerOptions opts;
+  opts.host = "hostA";
+  opts.listen_url = "sim://hostA";
+  opts.peers = {{"hostA", "sim://hostA"}};
+  opts.pool.cache_ttl = cached ? 250ms : 0ms;
+  auto server = MemoServer::Start(transport, opts);
+  if (!server.ok()) throw std::runtime_error(server.status().ToString());
+  if (!(*server)->RegisterApp(adf).ok()) throw std::runtime_error("register");
+
+  RemoteEngineOptions client_opts;
+  client_opts.app = "cache";
+  client_opts.host = "hostA";
+  auto engine = MakeRemoteEngine(transport, "sim://hostA", client_opts);
+  if (!engine.ok()) throw std::runtime_error(engine.status().ToString());
+  Memo memo(std::move(*engine));
+
+  Key key = Key::Named("f");
+  for (auto _ : state) {
+    (void)memo.put(key, MakeInt32(1));
+    benchmark::DoNotOptimize(memo.get(key));
+  }
+  auto stats = (*server)->pool_stats();
+  state.counters["threads_spawned"] =
+      static_cast<double>(stats.threads_spawned);
+  state.counters["cache_hits"] = static_cast<double>(stats.cache_hits);
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(cached ? "server, cached threads"
+                        : "server, thread-per-request");
+  (*server)->Shutdown();
+}
+BENCHMARK(ServerRequests)->Arg(0)->Arg(1)->UseRealTime();
+
+}  // namespace
+}  // namespace dmemo::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,147 @@
+// E3 — Figure 3 + the PPC section: logical topologies.
+//
+// Star / Ring / Line / Mesh ADF topologies: measured hop counts of relayed
+// requests must match the graph-theoretic path lengths, and per-link
+// traffic must respect the topology (a star funnels everything through the
+// hub; a line makes the middle machine a relay).
+//
+// Shape expected: latency grows with hop count; the hub/middle node's
+// relayed counter carries the through-traffic.
+#include "bench_common.h"
+
+namespace dmemo::bench {
+namespace {
+
+Key KeyOwnedBy(const Cluster& cluster, const std::string& host,
+               const std::string& stem) {
+  auto routing = RoutingTable::Build(cluster.adf());
+  if (!routing.ok()) throw std::runtime_error("routing");
+  for (std::uint32_t i = 0; i < 8192; ++i) {
+    Key key = Key::Named(stem, {i});
+    auto owner = routing->ServerForKey(
+        QualifiedKey{cluster.adf().app_name, key}.ToBytes());
+    if (owner.ok() && owner->host == host) return key;
+  }
+  throw std::runtime_error("no key hashed to " + host);
+}
+
+// A line of n machines; all folders on the far end, so a request from m0
+// relays through every intermediate machine — hop count = n-1.
+void LineHops(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::string adf = "APP line\nHOSTS\n";
+  for (int i = 0; i < n; ++i) {
+    adf += "m" + std::to_string(i) + " 1 t 1\n";
+  }
+  adf += "FOLDERS\n0 m" + std::to_string(n - 1) + "\nPPC\n";
+  for (int i = 0; i + 1 < n; ++i) {
+    adf += "m" + std::to_string(i) + " <-> m" + std::to_string(i + 1) +
+           " 1\n";
+  }
+  auto cluster = ClusterOrDie(AdfOrDie(adf));
+  Memo memo = ClientOrDie(*cluster, "m0");
+  Key key = Key::Named("far");
+  auto value = Payload(64);
+  for (auto _ : state) {
+    (void)memo.put(key, value);
+    benchmark::DoNotOptimize(memo.get(key));
+  }
+  // Relay traffic went through every intermediate machine.
+  double relayed = 0;
+  for (int i = 1; i + 1 < n; ++i) {
+    relayed += static_cast<double>(
+        cluster->server("m" + std::to_string(i)).stats().relayed);
+  }
+  state.counters["hops"] = n - 1;
+  state.counters["relayed_mid"] = relayed;
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::to_string(n) + "-machine line");
+}
+BENCHMARK(LineHops)->Arg(2)->Arg(3)->Arg(4)->Arg(6);
+
+// Star: leaves talk through the hub; the hub relays leaf-to-leaf traffic.
+void StarThroughHub(benchmark::State& state) {
+  const int leaves = static_cast<int>(state.range(0));
+  std::string adf = "APP star\nHOSTS\nhub 1 t 1\n";
+  for (int i = 0; i < leaves; ++i) {
+    adf += "leaf" + std::to_string(i) + " 1 t 1\n";
+  }
+  // All folders on leaf0 so traffic from leaf1 must cross the hub.
+  adf += "FOLDERS\n0 leaf0\nPPC\n";
+  for (int i = 0; i < leaves; ++i) {
+    adf += "hub <-> leaf" + std::to_string(i) + " 1\n";
+  }
+  auto cluster = ClusterOrDie(AdfOrDie(adf));
+  Memo memo = ClientOrDie(*cluster, "leaf1");
+  Key key = Key::Named("x");
+  auto value = Payload(64);
+  for (auto _ : state) {
+    (void)memo.put(key, value);
+    benchmark::DoNotOptimize(memo.get(key));
+  }
+  state.counters["hub_relayed"] =
+      static_cast<double>(cluster->server("hub").stats().relayed);
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("leaf->hub->leaf, " + std::to_string(leaves) + " leaves");
+}
+BENCHMARK(StarThroughHub)->Arg(3)->Arg(6);
+
+// Ring of 6: opposite nodes are 3 hops apart; neighbours 1. The latency
+// ratio should track the hop ratio.
+void RingDistance(benchmark::State& state) {
+  const int distance = static_cast<int>(state.range(0));
+  constexpr int kN = 6;
+  std::string adf = "APP ring\nHOSTS\n";
+  for (int i = 0; i < kN; ++i) adf += "r" + std::to_string(i) + " 1 t 1\n";
+  adf += "FOLDERS\n0 r" + std::to_string(distance) + "\nPPC\n";
+  for (int i = 0; i < kN; ++i) {
+    adf += "r" + std::to_string(i) + " <-> r" + std::to_string((i + 1) % kN) +
+           " 1\n";
+  }
+  auto cluster = ClusterOrDie(AdfOrDie(adf));
+  Memo memo = ClientOrDie(*cluster, "r0");
+  Key key = Key::Named("x");
+  auto value = Payload(64);
+  for (auto _ : state) {
+    (void)memo.put(key, value);
+    benchmark::DoNotOptimize(memo.get(key));
+  }
+  state.counters["hops"] = distance;
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("ring distance " + std::to_string(distance));
+}
+BENCHMARK(RingDistance)->Arg(1)->Arg(2)->Arg(3);
+
+// 2x3 mesh with folders spread everywhere: aggregate traffic respects the
+// mesh (every machine both serves and relays).
+void MeshMixedTraffic(benchmark::State& state) {
+  auto cluster = ClusterOrDie(AdfOrDie(
+      "APP mesh\nHOSTS\n"
+      "a0 1 t 1\na1 1 t 1\na2 1 t 1\nb0 1 t 1\nb1 1 t 1\nb2 1 t 1\n"
+      "FOLDERS\n0 a0\n1 a1\n2 a2\n3 b0\n4 b1\n5 b2\n"
+      "PPC\n"
+      "a0 <-> a1 1\na1 <-> a2 1\nb0 <-> b1 1\nb1 <-> b2 1\n"
+      "a0 <-> b0 1\na1 <-> b1 1\na2 <-> b2 1\n"));
+  Memo memo = ClientOrDie(*cluster, "a0");
+  auto value = Payload(64);
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    Key key = Key::Named("spread", {i++});
+    (void)memo.put(key, value);
+    benchmark::DoNotOptimize(memo.get(key));
+  }
+  double total_local = 0;
+  for (const auto& host : cluster->adf().hosts) {
+    total_local +=
+        static_cast<double>(cluster->server(host.name).stats().local_handled);
+  }
+  state.counters["locally_served_total"] = total_local;
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("2x3 mesh, folders everywhere");
+}
+BENCHMARK(MeshMixedTraffic);
+
+}  // namespace
+}  // namespace dmemo::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,149 @@
+// E8 — Section 3.1.3: transferable encoding.
+//
+// "A spanning tree can be constructed in polynomial time. Thus, it is
+// possible to encode (linearize) an arbitrary structure and to decode
+// (de-linearize) it in polynomial time."
+//
+// Shape expected: encode/decode scale near-linearly in node count, for
+// trees AND for shared/cyclic graphs (back-references are O(1)); scalar
+// vectors approach a modest constant factor over raw memcpy.
+#include <cstring>
+
+#include "bench_common.h"
+#include "transferable/codec.h"
+#include "transferable/composite.h"
+
+namespace dmemo::bench {
+namespace {
+
+TransferablePtr BuildTree(int fanout, int depth) {
+  if (depth == 0) return MakeInt32(7);
+  auto list = std::make_shared<TList>();
+  for (int i = 0; i < fanout; ++i) {
+    list->Add(BuildTree(fanout, depth - 1));
+  }
+  return list;
+}
+
+// A graph with heavy sharing: n records all pointing at one shared config
+// node and at their predecessor (a DAG with 2n edges).
+TransferablePtr BuildSharedGraph(int n) {
+  auto config = MakeString("shared configuration blob");
+  TransferablePtr prev;
+  auto root = std::make_shared<TList>();
+  for (int i = 0; i < n; ++i) {
+    auto rec = std::make_shared<TRecord>();
+    rec->Set("config", config);
+    if (prev) rec->Set("prev", prev);
+    rec->Set("i", MakeInt32(i));
+    prev = rec;
+    root->Add(prev);
+  }
+  return root;
+}
+
+void EncodeTree(benchmark::State& state) {
+  auto tree = BuildTree(4, static_cast<int>(state.range(0)));
+  const auto nodes = GraphNodeCount(tree);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EncodeGraphToBytes(tree));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(nodes));
+  state.counters["nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(EncodeTree)->Arg(3)->Arg(5)->Arg(7);  // 85 / 1365 / 21845 nodes
+
+void DecodeTree(benchmark::State& state) {
+  auto tree = BuildTree(4, static_cast<int>(state.range(0)));
+  const auto nodes = GraphNodeCount(tree);
+  Bytes encoded = EncodeGraphToBytes(tree);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DecodeGraphFromBytes(encoded));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(nodes));
+  state.counters["nodes"] = static_cast<double>(nodes);
+  state.counters["bytes"] = static_cast<double>(encoded.size());
+}
+BENCHMARK(DecodeTree)->Arg(3)->Arg(5)->Arg(7);
+
+void RoundTripSharedGraph(benchmark::State& state) {
+  auto graph = BuildSharedGraph(static_cast<int>(state.range(0)));
+  const auto nodes = GraphNodeCount(graph);
+  for (auto _ : state) {
+    Bytes encoded = EncodeGraphToBytes(graph);
+    auto decoded = DecodeGraphFromBytes(encoded);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(nodes));
+  state.counters["nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(RoundTripSharedGraph)->Arg(64)->Arg(512)->Arg(4096);
+
+void RoundTripCyclicRing(benchmark::State& state) {
+  // A ring of records: every node is on a cycle.
+  const int n = static_cast<int>(state.range(0));
+  std::vector<std::shared_ptr<TRecord>> ring;
+  for (int i = 0; i < n; ++i) {
+    auto rec = std::make_shared<TRecord>();
+    rec->Set("i", MakeInt32(i));
+    ring.push_back(rec);
+  }
+  for (int i = 0; i < n; ++i) ring[i]->Set("next", ring[(i + 1) % n]);
+  TransferablePtr root = ring[0];
+  for (auto _ : state) {
+    Bytes encoded = EncodeGraphToBytes(root);
+    auto decoded = DecodeGraphFromBytes(encoded);
+    if (decoded.ok()) ReleaseGraph(*decoded);
+    benchmark::DoNotOptimize(encoded);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+  state.counters["nodes"] = n;
+  for (auto& rec : ring) rec->ClearChildren();
+}
+BENCHMARK(RoundTripCyclicRing)->Arg(64)->Arg(512)->Arg(2048);
+
+void EncodeFloat64Vector(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  auto vec = MakeVecFloat64(std::vector<double>(n, 1.25));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EncodeGraphToBytes(vec));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * sizeof(double)));
+}
+BENCHMARK(EncodeFloat64Vector)->Arg(1024)->Arg(65536);
+
+// The memcpy floor the vector encoding should be compared against.
+void MemcpyBaseline(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> src(n, 1.25);
+  std::vector<std::uint8_t> dst(n * sizeof(double));
+  for (auto _ : state) {
+    std::memcpy(dst.data(), src.data(), dst.size());
+    benchmark::DoNotOptimize(dst);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dst.size()));
+}
+BENCHMARK(MemcpyBaseline)->Arg(1024)->Arg(65536);
+
+void DomainCheckCost(benchmark::State& state) {
+  // The receiving-side lossy-mapping walk (E8 corollary): proportional to
+  // graph size, skipped entirely on universal profiles.
+  auto graph = BuildSharedGraph(static_cast<int>(state.range(0)));
+  const auto profile = ProfileI486();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FindLossyMappings(*graph, profile));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(DomainCheckCost)->Arg(64)->Arg(1024);
+
+}  // namespace
+}  // namespace dmemo::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+// E9 — Section 7 vs Linda.
+//
+// "We believe that this tuple space is just 'a flat directory of unordered
+// queues'. Using this approach, we are able to provide better programming
+// abstractions then Linda."
+//
+// Mechanism comparison: D-Memo retrieves by hashing an exact folder key;
+// Linda retrieves by structurally matching an anti-tuple against stored
+// tuples. As the space fills with non-matching tuples, the naive Linda scan
+// degrades linearly; the indexed variant (classic first-field optimization)
+// survives only while the first field is an actual; D-Memo's key hash is
+// flat throughout.
+//
+// Shape expected: D-Memo <= indexed Linda << naive Linda as the space
+// grows; no crossover where Linda wins.
+#include "baselines/linda.h"
+#include "bench_common.h"
+
+namespace dmemo::bench {
+namespace {
+
+namespace li = dmemo::linda;
+
+// Retrieval with `distractors` unrelated items resident in the space.
+void DMemoRetrieval(benchmark::State& state) {
+  const std::uint32_t distractors =
+      static_cast<std::uint32_t>(state.range(0));
+  auto space = std::make_shared<LocalSpace>("vslinda");
+  Memo memo = Memo::Local(space);
+  for (std::uint32_t i = 0; i < distractors; ++i) {
+    (void)memo.put(Key::Named("other", {i}), MakeInt32(1));
+  }
+  Key target = Key::Named("needle");
+  for (auto _ : state) {
+    (void)memo.put(target, MakeInt32(42));
+    benchmark::DoNotOptimize(memo.get(target));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("dmemo, " + std::to_string(distractors) + " resident");
+}
+BENCHMARK(DMemoRetrieval)->Arg(0)->Arg(1000)->Arg(10000);
+
+void LindaRetrieval(benchmark::State& state) {
+  const bool indexed = state.range(0) != 0;
+  const std::int64_t distractors = state.range(1);
+  li::TupleSpace space(indexed);
+  for (std::int64_t i = 0; i < distractors; ++i) {
+    (void)space.Out({li::Value(std::string("other") + std::to_string(i)),
+                     li::Value(i)});
+  }
+  for (auto _ : state) {
+    (void)space.Out(
+        {li::Value(std::string("needle")), li::Value(std::int64_t{42})});
+    benchmark::DoNotOptimize(space.In({li::V("needle"), li::FInt()}));
+  }
+  state.counters["tuples_scanned_total"] =
+      static_cast<double>(space.tuples_scanned());
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::string(indexed ? "linda-indexed" : "linda-naive") +
+                 ", " + std::to_string(distractors) + " resident");
+}
+BENCHMARK(LindaRetrieval)
+    ->ArgsProduct({{0, 1}, {0, 1000, 10000}});
+
+// Formal-first-field retrieval defeats the index: this is where even
+// optimized Linda pays for associative matching and D-Memo's exact keys
+// (by construction) cannot express the query at all — the abstraction gap
+// the paper trades away as a "feature of dubious value".
+void LindaFormalFirstField(benchmark::State& state) {
+  const std::int64_t distractors = state.range(0);
+  li::TupleSpace space(/*indexed=*/true);
+  for (std::int64_t i = 0; i < distractors; ++i) {
+    (void)space.Out({li::Value(i), li::Value(std::string("payload"))});
+  }
+  for (auto _ : state) {
+    (void)space.Out({li::Value(std::int64_t{-1}),
+                     li::Value(std::string("needle-payload")),
+                     li::Value(std::int64_t{1})});
+    benchmark::DoNotOptimize(
+        space.In({li::FInt(), li::FString(), li::FInt()}));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("linda-indexed, formal 1st field, " +
+                 std::to_string(distractors) + " resident");
+}
+BENCHMARK(LindaFormalFirstField)->Arg(1000)->Arg(10000);
+
+// The job-jar workload expressed in both systems (the paper's claimed
+// better abstraction): producers drop tasks, consumers take them.
+void JobJarDMemo(benchmark::State& state) {
+  auto space = std::make_shared<LocalSpace>("jarsd");
+  Memo memo = Memo::Local(space);
+  Key jar = Key::Named("jar");
+  for (auto _ : state) {
+    for (int i = 0; i < 100; ++i) (void)memo.put(jar, MakeInt32(i));
+    for (int i = 0; i < 100; ++i) benchmark::DoNotOptimize(memo.get(jar));
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(JobJarDMemo);
+
+void JobJarLinda(benchmark::State& state) {
+  const bool indexed = state.range(0) != 0;
+  li::TupleSpace space(indexed);
+  for (auto _ : state) {
+    for (std::int64_t i = 0; i < 100; ++i) {
+      (void)space.Out({li::Value(std::string("task")), li::Value(i)});
+    }
+    for (int i = 0; i < 100; ++i) {
+      benchmark::DoNotOptimize(space.In({li::V("task"), li::FInt()}));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+  state.SetLabel(indexed ? "linda-indexed" : "linda-naive");
+}
+BENCHMARK(JobJarLinda)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace dmemo::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,165 @@
+// E10 — Section 7 vs PVM.
+//
+// PVM-style direct message passing has less machinery per message than a
+// folder deposit (no hashing, no server, no unordered queue), so raw
+// point-to-point latency favours PVM. But PVM's static work distribution
+// cannot re-balance: with heterogeneous worker speeds, pre-assigned shards
+// finish at the speed of the slowest machine, while the D-Memo job jar
+// keeps every worker busy until the jar is dry — the dynamic data
+// migration the paper says PVM lacks.
+//
+// Shape expected: PVM wins the raw ping-pong; D-Memo's job jar wins the
+// heterogeneous boss/worker makespan by roughly the speed imbalance.
+#include <thread>
+
+#include "baselines/pvm.h"
+#include "bench_common.h"
+#include "patterns/job_jar.h"
+
+namespace dmemo::bench {
+namespace {
+
+double ComputeUnits(int units) {
+  double x = 1.0001;
+  for (int i = 0; i < units * 20'000; ++i) x = x * 1.0000001 + 1e-9;
+  return x;
+}
+
+// Raw message round trip: PVM mailbox vs memo folder (both in-process).
+void PingPongPvm(benchmark::State& state) {
+  pvm::VirtualMachine vm;
+  pvm::TaskId a = vm.Enroll();
+  pvm::TaskId b = vm.Enroll();
+  std::thread echo([&] {
+    for (;;) {
+      auto msg = vm.Receive(b);
+      if (!msg.ok()) return;
+      if (msg->tag == 99) return;
+      (void)vm.Send(b, a, msg->tag, std::move(msg->body));
+    }
+  });
+  Bytes payload(64, 0x11);
+  for (auto _ : state) {
+    (void)vm.Send(a, b, 1, payload);
+    benchmark::DoNotOptimize(vm.Receive(a));
+  }
+  (void)vm.Send(a, b, 99, {});
+  echo.join();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(PingPongPvm);
+
+void PingPongDMemo(benchmark::State& state) {
+  auto space = std::make_shared<LocalSpace>("pp");
+  Memo a = Memo::Local(space);
+  Memo b = Memo::Local(space);
+  Key to_b = Key::Named("to_b");
+  Key to_a = Key::Named("to_a");
+  std::thread echo([&] {
+    for (;;) {
+      auto msg = b.get(to_b);
+      if (!msg.ok()) return;
+      if (*msg == nullptr) return;  // poison: a null payload
+      (void)b.put(to_a, std::move(*msg));
+    }
+  });
+  auto payload = Payload(64);
+  for (auto _ : state) {
+    (void)a.put(to_b, payload);
+    benchmark::DoNotOptimize(a.get(to_a));
+  }
+  (void)a.put(to_b, nullptr);
+  echo.join();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(PingPongDMemo);
+
+// Heterogeneous boss/worker makespan. Three workers with speed ratio
+// 4:2:1 process 60 equal tasks.
+//   PVM: the boss statically pre-assigns 20 tasks to each worker.
+//   D-Memo: tasks sit in a shared job jar; workers self-schedule.
+constexpr int kTasks = 60;
+constexpr int kUnitsPerTask = 2;
+// slowdown factors (inverse speeds)
+constexpr int kSlowdowns[3] = {1, 2, 4};
+
+void HeterogeneousPvmStatic(benchmark::State& state) {
+  for (auto _ : state) {
+    pvm::VirtualMachine vm;
+    pvm::TaskId boss = vm.Enroll();
+    std::vector<pvm::TaskId> ids;
+    std::vector<std::thread> workers;
+    for (int w = 0; w < 3; ++w) ids.push_back(vm.Enroll());
+    for (int w = 0; w < 3; ++w) {
+      workers.emplace_back([&vm, &ids, boss, w] {
+        double sink = 0;
+        for (;;) {
+          auto msg = vm.Receive(ids[static_cast<std::size_t>(w)]);
+          if (!msg.ok() || msg->tag == 99) break;
+          sink += ComputeUnits(kUnitsPerTask * kSlowdowns[w]);
+          (void)vm.Send(ids[static_cast<std::size_t>(w)], boss, 1, {});
+        }
+        benchmark::DoNotOptimize(sink);
+      });
+    }
+    // Static round-robin pre-assignment: 20 tasks each, no re-balancing.
+    for (int t = 0; t < kTasks; ++t) {
+      (void)vm.Send(boss, ids[static_cast<std::size_t>(t % 3)], 1, {});
+    }
+    for (int t = 0; t < kTasks; ++t) {
+      (void)vm.Receive(boss);
+    }
+    for (int w = 0; w < 3; ++w) {
+      (void)vm.Send(boss, ids[static_cast<std::size_t>(w)], 99, {});
+    }
+    for (auto& t : workers) t.join();
+  }
+  state.SetItemsProcessed(state.iterations() * kTasks);
+  state.SetLabel("pvm static assignment, workers 4:2:1");
+}
+BENCHMARK(HeterogeneousPvmStatic)->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void HeterogeneousDMemoJobJar(benchmark::State& state) {
+  for (auto _ : state) {
+    auto space = std::make_shared<LocalSpace>("hetero");
+    Memo boss = Memo::Local(space);
+    Key jar = Key::Named("jar");
+    Key done = Key::Named("done");
+    std::vector<std::thread> workers;
+    std::vector<int> tasks_done(3, 0);
+    for (int w = 0; w < 3; ++w) {
+      workers.emplace_back([&space, &tasks_done, w] {
+        Memo memo = Memo::Local(space);
+        Key jar_key = Key::Named("jar");
+        Key done_key = Key::Named("done");
+        double sink = 0;
+        for (;;) {
+          auto task = memo.get(jar_key);
+          if (!task.ok() || *task == nullptr) break;
+          sink += ComputeUnits(kUnitsPerTask * kSlowdowns[w]);
+          ++tasks_done[static_cast<std::size_t>(w)];
+          (void)memo.put(done_key, MakeInt32(1));
+        }
+        benchmark::DoNotOptimize(sink);
+      });
+    }
+    for (int t = 0; t < kTasks; ++t) (void)boss.put(jar, MakeInt32(t));
+    for (int t = 0; t < kTasks; ++t) (void)boss.get(done);
+    for (int w = 0; w < 3; ++w) (void)boss.put(jar, nullptr);
+    for (auto& t : workers) t.join();
+    state.counters["fast_worker_tasks"] =
+        static_cast<double>(tasks_done[0]);
+    state.counters["slow_worker_tasks"] =
+        static_cast<double>(tasks_done[2]);
+  }
+  state.SetItemsProcessed(state.iterations() * kTasks);
+  state.SetLabel("dmemo job jar, workers 4:2:1");
+}
+BENCHMARK(HeterogeneousDMemoJobJar)->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace dmemo::bench
+
+BENCHMARK_MAIN();

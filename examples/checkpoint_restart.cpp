@@ -1,0 +1,130 @@
+// checkpoint_restart: the persistent memo space surviving a "crash"
+// (Sec. 3.1.3: "support for persistent data structures is essential to
+// develop serious parallel software applications").
+//
+// Phase 1 starts a memo server with a persistence directory, loads a batch
+// of work into a job jar, processes only part of it, and shuts the server
+// down mid-job (the simulated crash — a snapshot is written).
+// Phase 2 starts a *fresh* server over the same directory: the remaining
+// tasks and all finished results are back, the workers drain what is left,
+// and the final tally proves nothing was lost or duplicated.
+//
+//   $ ./checkpoint_restart
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/memo.h"
+#include "core/remote_engine.h"
+#include "server/memo_server.h"
+#include "transferable/scalars.h"
+#include "transport/simnet.h"
+
+using namespace dmemo;
+
+namespace {
+
+constexpr int kTasks = 40;
+constexpr int kPhaseOneTasks = 15;
+
+AppDescription Adf() {
+  auto parsed = ParseAdf("APP ckpt\nHOSTS\nnode 1 t 1\nFOLDERS\n0 node\n");
+  return parsed->description;
+}
+
+std::unique_ptr<MemoServer> StartServer(SimNetworkPtr network,
+                                        const std::string& persist_dir) {
+  MemoServerOptions opts;
+  opts.host = "node";
+  opts.listen_url = "sim://node";
+  opts.peers = {{"node", "sim://node"}};
+  opts.persist_dir = persist_dir;
+  auto server = MemoServer::Start(MakeSimTransport(network), opts);
+  if (!server.ok()) {
+    std::fprintf(stderr, "server: %s\n", server.status().ToString().c_str());
+    std::exit(1);
+  }
+  (*server)->RegisterApp(Adf()).ok();
+  return std::move(*server);
+}
+
+Memo Client(SimNetworkPtr network) {
+  RemoteEngineOptions opts;
+  opts.app = "ckpt";
+  opts.host = "node";
+  auto engine =
+      MakeRemoteEngine(MakeSimTransport(network), "sim://node", opts);
+  return Memo(std::move(*engine));
+}
+
+int IntOf(const TransferablePtr& v) {
+  return std::static_pointer_cast<TInt32>(v)->value();
+}
+
+}  // namespace
+
+int main() {
+  const std::string persist_dir =
+      "/tmp/dmemo-ckpt-" + std::to_string(::getpid());
+  ::mkdir(persist_dir.c_str(), 0755);
+
+  // ---- phase 1: load the jar, process part of it, crash --------------------
+  {
+    auto network = std::make_shared<SimNetwork>();
+    auto server = StartServer(network, persist_dir);
+    Memo memo = Client(network);
+    for (int t = 0; t < kTasks; ++t) {
+      memo.put(Key::Named("jar"), MakeInt32(t)).ok();
+    }
+    for (int done = 0; done < kPhaseOneTasks; ++done) {
+      auto task = memo.get(Key::Named("jar"));
+      memo.put(Key::Named("results"), MakeInt32(IntOf(*task) * IntOf(*task)))
+          .ok();
+    }
+    std::printf("phase 1: %d of %d tasks done; jar holds %llu; "
+                "simulating a crash (snapshot on shutdown)\n",
+                kPhaseOneTasks, kTasks,
+                static_cast<unsigned long long>(*memo.count(Key::Named("jar"))));
+    server->Shutdown();  // snapshot written to persist_dir
+  }
+
+  // ---- phase 2: fresh server, same directory --------------------------------
+  {
+    auto network = std::make_shared<SimNetwork>();
+    auto server = StartServer(network, persist_dir);
+    Memo memo = Client(network);
+    std::printf("phase 2: restarted; jar holds %llu, results hold %llu\n",
+                static_cast<unsigned long long>(*memo.count(Key::Named("jar"))),
+                static_cast<unsigned long long>(
+                    *memo.count(Key::Named("results"))));
+    // Drain the remaining tasks.
+    for (;;) {
+      auto task = memo.get_skip(Key::Named("jar"));
+      if (!task->has_value()) break;
+      memo.put(Key::Named("results"),
+               MakeInt32(IntOf(**task) * IntOf(**task)))
+          .ok();
+    }
+    // Tally: every task squared exactly once.
+    long long sum = 0;
+    int n = 0;
+    for (;;) {
+      auto r = memo.get_skip(Key::Named("results"));
+      if (!r->has_value()) break;
+      sum += IntOf(**r);
+      ++n;
+    }
+    long long expected = 0;
+    for (int t = 0; t < kTasks; ++t) expected += 1LL * t * t;
+    std::printf("tally: %d results, sum %lld (expected %lld) — %s\n", n, sum,
+                expected,
+                (n == kTasks && sum == expected) ? "nothing lost, nothing"
+                                                   " duplicated"
+                                                 : "MISMATCH");
+    server->Shutdown();
+    (void)std::system(("rm -rf '" + persist_dir + "'").c_str());
+    return (n == kTasks && sum == expected) ? 0 : 1;
+  }
+}

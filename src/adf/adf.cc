@@ -1,0 +1,441 @@
+#include "adf/adf.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace dmemo {
+
+namespace {
+
+// ---- tokenizing helpers ----------------------------------------------------
+
+std::string StripComment(std::string line) {
+  auto pos = line.find('#');
+  if (pos != std::string::npos) line.erase(pos);
+  return line;
+}
+
+std::vector<std::string> SplitWhitespace(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string tok;
+  while (in >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+bool IsSectionKeyword(const std::string& tok) {
+  return tok == "APP" || tok == "HOSTS" || tok == "FOLDERS" ||
+         tok == "PROCESSES" || tok == "PPC";
+}
+
+// Parse "3" or "3-8" into [lo, hi]; INVALID_ARGUMENT otherwise.
+Result<std::pair<int, int>> ParseIdRange(const std::string& tok, int line_no) {
+  auto fail = [&] {
+    return InvalidArgumentError("line " + std::to_string(line_no) +
+                                ": bad numeric name '" + tok + "'");
+  };
+  auto dash = tok.find('-');
+  auto parse_int = [&](std::string_view s, int& out) {
+    if (s.empty()) return false;
+    out = 0;
+    for (char c : s) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+      out = out * 10 + (c - '0');
+      if (out > 1'000'000) return false;
+    }
+    return true;
+  };
+  int lo = 0, hi = 0;
+  if (dash == std::string::npos) {
+    if (!parse_int(tok, lo)) return fail();
+    return std::make_pair(lo, lo);
+  }
+  if (!parse_int(std::string_view(tok).substr(0, dash), lo) ||
+      !parse_int(std::string_view(tok).substr(dash + 1), hi) || hi < lo) {
+    return fail();
+  }
+  return std::make_pair(lo, hi);
+}
+
+Result<double> ParseNumber(const std::string& tok, int line_no) {
+  try {
+    std::size_t used = 0;
+    double v = std::stod(tok, &used);
+    if (used != tok.size()) throw std::invalid_argument(tok);
+    return v;
+  } catch (const std::exception&) {
+    return InvalidArgumentError("line " + std::to_string(line_no) +
+                                ": expected a number, got '" + tok + "'");
+  }
+}
+
+// ---- cost expressions -------------------------------------------------------
+//
+// Grammar:  expr := term (('*' | '/') term)*
+//           term := number | arch-identifier
+// An identifier denotes the resolved cost of the first HOSTS entry with that
+// architecture label.
+
+struct CostTerm {
+  bool is_number = false;
+  double number = 0;
+  std::string ident;
+};
+
+struct CostExpr {
+  std::vector<CostTerm> terms;
+  std::vector<char> ops;  // between terms: '*' or '/'
+};
+
+Result<CostExpr> ParseCostExpr(const std::string& text, int line_no) {
+  CostExpr expr;
+  std::string cur;
+  auto flush = [&]() -> Status {
+    if (cur.empty()) {
+      return InvalidArgumentError("line " + std::to_string(line_no) +
+                                  ": empty term in cost '" + text + "'");
+    }
+    CostTerm term;
+    if (std::isdigit(static_cast<unsigned char>(cur[0])) || cur[0] == '.') {
+      DMEMO_ASSIGN_OR_RETURN(term.number, ParseNumber(cur, line_no));
+      term.is_number = true;
+    } else {
+      term.ident = cur;
+    }
+    expr.terms.push_back(std::move(term));
+    cur.clear();
+    return Status::Ok();
+  };
+  for (char c : text) {
+    if (c == '*' || c == '/') {
+      DMEMO_RETURN_IF_ERROR(flush());
+      expr.ops.push_back(c);
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      cur.push_back(c);
+    }
+  }
+  DMEMO_RETURN_IF_ERROR(flush());
+  if (expr.ops.size() + 1 != expr.terms.size()) {
+    return InvalidArgumentError("line " + std::to_string(line_no) +
+                                ": malformed cost '" + text + "'");
+  }
+  return expr;
+}
+
+// Resolve all host costs. Pure-number costs resolve immediately; costs
+// referencing arch names resolve once that arch's cost is known. Iterate to
+// a fixed point; leftovers mean unknown arch or a reference cycle.
+Status ResolveHostCosts(std::vector<HostSpec>& hosts,
+                        const std::vector<CostExpr>& exprs) {
+  std::unordered_map<std::string, double> arch_cost;
+  std::vector<bool> resolved(hosts.size(), false);
+  bool progress = true;
+  std::size_t remaining = hosts.size();
+  while (progress && remaining > 0) {
+    progress = false;
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+      if (resolved[i]) continue;
+      const CostExpr& expr = exprs[i];
+      double value = 0;
+      bool known = true;
+      for (std::size_t t = 0; t < expr.terms.size() && known; ++t) {
+        double term_value;
+        if (expr.terms[t].is_number) {
+          term_value = expr.terms[t].number;
+        } else {
+          auto it = arch_cost.find(expr.terms[t].ident);
+          if (it == arch_cost.end()) {
+            known = false;
+            break;
+          }
+          term_value = it->second;
+        }
+        if (t == 0) {
+          value = term_value;
+        } else if (expr.ops[t - 1] == '*') {
+          value *= term_value;
+        } else {
+          if (term_value == 0) {
+            return InvalidArgumentError("host " + hosts[i].name +
+                                        ": division by zero in cost");
+          }
+          value /= term_value;
+        }
+      }
+      if (!known) continue;
+      hosts[i].cost = value;
+      resolved[i] = true;
+      --remaining;
+      progress = true;
+      // First host of an arch defines the arch variable.
+      arch_cost.emplace(hosts[i].arch, value);
+    }
+  }
+  if (remaining > 0) {
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+      if (!resolved[i]) {
+        return InvalidArgumentError(
+            "host " + hosts[i].name + ": cost '" + hosts[i].cost_expr +
+            "' references an unknown or cyclically-defined arch");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+// ---- AppDescription ---------------------------------------------------------
+
+const HostSpec* AppDescription::FindHost(std::string_view name) const {
+  for (const auto& h : hosts) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+std::vector<FolderServerSpec> AppDescription::FolderServersOn(
+    std::string_view host) const {
+  std::vector<FolderServerSpec> out;
+  for (const auto& fs : folder_servers) {
+    if (fs.host == host) out.push_back(fs);
+  }
+  return out;
+}
+
+Status AppDescription::Validate() const {
+  if (app_name.empty()) {
+    return InvalidArgumentError("ADF: application name missing");
+  }
+  if (hosts.empty()) return InvalidArgumentError("ADF: no hosts declared");
+  std::unordered_set<std::string> host_names;
+  for (const auto& h : hosts) {
+    if (!host_names.insert(h.name).second) {
+      return InvalidArgumentError("ADF: duplicate host " + h.name);
+    }
+    if (h.processors < 1) {
+      return InvalidArgumentError("ADF: host " + h.name +
+                                  " has no processors");
+    }
+    if (h.cost <= 0) {
+      return InvalidArgumentError("ADF: host " + h.name +
+                                  " has non-positive cost");
+    }
+  }
+  if (folder_servers.empty()) {
+    return InvalidArgumentError("ADF: at least one folder server required");
+  }
+  std::unordered_set<int> fs_ids;
+  for (const auto& fs : folder_servers) {
+    if (!fs_ids.insert(fs.id).second) {
+      return InvalidArgumentError("ADF: duplicate folder server id " +
+                                  std::to_string(fs.id));
+    }
+    if (!host_names.contains(fs.host)) {
+      return InvalidArgumentError("ADF: folder server " +
+                                  std::to_string(fs.id) +
+                                  " on undeclared host " + fs.host);
+    }
+  }
+  std::unordered_set<int> proc_ids;
+  for (const auto& p : processes) {
+    if (!proc_ids.insert(p.id).second) {
+      return InvalidArgumentError("ADF: duplicate process id " +
+                                  std::to_string(p.id));
+    }
+    if (!host_names.contains(p.host)) {
+      return InvalidArgumentError("ADF: process " + std::to_string(p.id) +
+                                  " on undeclared host " + p.host);
+    }
+  }
+  for (const auto& l : links) {
+    if (!host_names.contains(l.a) || !host_names.contains(l.b)) {
+      return InvalidArgumentError("ADF: link references undeclared host (" +
+                                  l.a + " / " + l.b + ")");
+    }
+    if (l.cost <= 0) {
+      return InvalidArgumentError("ADF: link " + l.a + " - " + l.b +
+                                  " has non-positive cost");
+    }
+  }
+  return Status::Ok();
+}
+
+// ---- parsing ----------------------------------------------------------------
+
+Result<ParsedAdf> ParseAdf(std::string_view text) {
+  ParsedAdf out;
+  AppDescription& adf = out.description;
+  std::vector<CostExpr> host_cost_exprs;
+
+  enum class Section { kNone, kApp, kHosts, kFolders, kProcesses, kPpc };
+  Section section = Section::kNone;
+
+  std::istringstream in{std::string(text)};
+  std::string raw_line;
+  int line_no = 0;
+  while (std::getline(in, raw_line)) {
+    ++line_no;
+    std::string line = StripComment(raw_line);
+    auto tokens = SplitWhitespace(line);
+    if (tokens.empty()) continue;
+
+    if (IsSectionKeyword(tokens[0])) {
+      const std::string& kw = tokens[0];
+      if (kw == "APP") {
+        if (tokens.size() != 2) {
+          return InvalidArgumentError("line " + std::to_string(line_no) +
+                                      ": APP takes exactly one name");
+        }
+        adf.app_name = tokens[1];
+        out.present.app = true;
+        section = Section::kApp;
+      } else if (kw == "HOSTS") {
+        out.present.hosts = true;
+        section = Section::kHosts;
+      } else if (kw == "FOLDERS") {
+        out.present.folders = true;
+        section = Section::kFolders;
+      } else if (kw == "PROCESSES") {
+        out.present.processes = true;
+        section = Section::kProcesses;
+      } else {
+        out.present.ppc = true;
+        section = Section::kPpc;
+      }
+      continue;
+    }
+
+    switch (section) {
+      case Section::kNone:
+        return InvalidArgumentError("line " + std::to_string(line_no) +
+                                    ": data before any section keyword");
+      case Section::kApp:
+        return InvalidArgumentError("line " + std::to_string(line_no) +
+                                    ": unexpected data in APP section");
+      case Section::kHosts: {
+        if (tokens.size() != 4) {
+          return InvalidArgumentError(
+              "line " + std::to_string(line_no) +
+              ": HOSTS entries are 'name #procs arch cost'");
+        }
+        HostSpec host;
+        host.name = tokens[0];
+        DMEMO_ASSIGN_OR_RETURN(double procs, ParseNumber(tokens[1], line_no));
+        if (procs < 1 || procs != static_cast<int>(procs)) {
+          return InvalidArgumentError("line " + std::to_string(line_no) +
+                                      ": #procs must be a positive integer");
+        }
+        host.processors = static_cast<int>(procs);
+        host.arch = tokens[2];
+        host.cost_expr = tokens[3];
+        DMEMO_ASSIGN_OR_RETURN(CostExpr expr,
+                               ParseCostExpr(tokens[3], line_no));
+        host_cost_exprs.push_back(std::move(expr));
+        adf.hosts.push_back(std::move(host));
+        break;
+      }
+      case Section::kFolders: {
+        if (tokens.size() != 2) {
+          return InvalidArgumentError("line " + std::to_string(line_no) +
+                                      ": FOLDERS entries are 'id host'");
+        }
+        DMEMO_ASSIGN_OR_RETURN(auto range, ParseIdRange(tokens[0], line_no));
+        for (int id = range.first; id <= range.second; ++id) {
+          adf.folder_servers.push_back(FolderServerSpec{id, tokens[1]});
+        }
+        break;
+      }
+      case Section::kProcesses: {
+        if (tokens.size() != 3) {
+          return InvalidArgumentError(
+              "line " + std::to_string(line_no) +
+              ": PROCESSES entries are 'id directory host'");
+        }
+        DMEMO_ASSIGN_OR_RETURN(auto range, ParseIdRange(tokens[0], line_no));
+        for (int id = range.first; id <= range.second; ++id) {
+          adf.processes.push_back(ProcessSpec{id, tokens[1], tokens[2]});
+        }
+        break;
+      }
+      case Section::kPpc: {
+        if (tokens.size() != 4 ||
+            (tokens[1] != "<->" && tokens[1] != "->")) {
+          return InvalidArgumentError(
+              "line " + std::to_string(line_no) +
+              ": PPC entries are 'host <->|-> host cost'");
+        }
+        LinkSpec link;
+        link.a = tokens[0];
+        link.duplex = tokens[1] == "<->";
+        link.b = tokens[2];
+        DMEMO_ASSIGN_OR_RETURN(link.cost, ParseNumber(tokens[3], line_no));
+        adf.links.push_back(std::move(link));
+        break;
+      }
+    }
+  }
+
+  DMEMO_RETURN_IF_ERROR(ResolveHostCosts(adf.hosts, host_cost_exprs));
+  return out;
+}
+
+Result<ParsedAdf> ParseAdfFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return NotFoundError("cannot open ADF file " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseAdf(buf.str());
+}
+
+AppDescription MergeWithDefault(const ParsedAdf& user,
+                                const AppDescription& system_default) {
+  AppDescription merged = user.description;
+  if (!user.present.app) merged.app_name = system_default.app_name;
+  if (!user.present.hosts) merged.hosts = system_default.hosts;
+  if (!user.present.folders) {
+    merged.folder_servers = system_default.folder_servers;
+  }
+  if (!user.present.processes) merged.processes = system_default.processes;
+  if (!user.present.ppc) merged.links = system_default.links;
+  return merged;
+}
+
+std::string FormatAdf(const AppDescription& adf) {
+  std::ostringstream out;
+  out << "# Application Name\nAPP " << adf.app_name << "\n\nHOSTS\n"
+      << "# Hosts\t#Procs\tArch\tCost\n";
+  for (const auto& h : adf.hosts) {
+    out << h.name << "\t" << h.processors << "\t" << h.arch << "\t"
+        << (h.cost_expr.empty() ? std::to_string(h.cost) : h.cost_expr)
+        << "\n";
+  }
+  out << "\nFOLDERS\n# Folder\tLocation at\n";
+  for (const auto& fs : adf.folder_servers) {
+    out << fs.id << "\t" << fs.host << "\n";
+  }
+  out << "\nPROCESSES\n# Proc\tDirectory\tLocated at\n";
+  for (const auto& p : adf.processes) {
+    out << p.id << "\t" << p.directory << "\t" << p.host << "\n";
+  }
+  out << "\nPPC\n# Point-to-Point Connection with cost\n";
+  for (const auto& l : adf.links) {
+    out << l.a << " " << (l.duplex ? "<->" : "->") << " " << l.b << " "
+        << l.cost << "\n";
+  }
+  return out.str();
+}
+
+AppDescription SystemDefaultAdf() {
+  AppDescription adf;
+  adf.app_name = "default";
+  adf.hosts.push_back(HostSpec{"localhost", 1, "local", 1.0, "1"});
+  adf.folder_servers.push_back(FolderServerSpec{0, "localhost"});
+  return adf;
+}
+
+}  // namespace dmemo

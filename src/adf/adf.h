@@ -1,0 +1,94 @@
+// Application Description File (paper Sec. 4.3).
+//
+// An ADF has five sections — APP, HOSTS, FOLDERS, PROCESSES, PPC — that name
+// the application, list host machines (with processor count, architecture
+// and cost), place folder servers, place boss/worker processes, and define
+// the logical point-to-point topology with link costs. '#' starts a comment.
+// Numeric names may be ranges ("3-8"). Host costs may be expressions in
+// architecture names ("sun4*0.5"). Any missing section is filled from the
+// system default ADF.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dmemo {
+
+struct HostSpec {
+  std::string name;        // internet address / hostname
+  int processors = 1;      // number of processors on the machine
+  std::string arch;        // architecture label, e.g. "sun4", "sp1"
+  double cost = 1.0;       // resolved per-processor cost
+  std::string cost_expr;   // original expression text, e.g. "sun4*0.5"
+};
+
+struct FolderServerSpec {
+  int id = 0;          // numeric folder-server name
+  std::string host;    // machine it resides on
+};
+
+struct ProcessSpec {
+  int id = 0;              // numeric process name
+  std::string directory;   // source directory (contains the Makefile)
+  std::string host;        // machine it executes on
+};
+
+struct LinkSpec {
+  std::string a;
+  std::string b;
+  bool duplex = true;   // "<->" duplex, "->" simplex (a to b only)
+  double cost = 1.0;    // link cost: distance + transmission speed
+};
+
+struct AppDescription {
+  std::string app_name;
+  std::vector<HostSpec> hosts;
+  std::vector<FolderServerSpec> folder_servers;
+  std::vector<ProcessSpec> processes;
+  std::vector<LinkSpec> links;
+
+  const HostSpec* FindHost(std::string_view name) const;
+  // Folder servers residing on `host`.
+  std::vector<FolderServerSpec> FolderServersOn(std::string_view host) const;
+
+  // Structural checks: known hosts everywhere, unique ids, >= 1 folder
+  // server, every link endpoint declared. ("Each software defined link must
+  // have a corresponding physical connection" is unenforceable on a
+  // simulated network and is not checked.)
+  Status Validate() const;
+};
+
+// Which sections a parse actually saw (missing ones default — Sec. 4.3).
+struct AdfSections {
+  bool app = false;
+  bool hosts = false;
+  bool folders = false;
+  bool processes = false;
+  bool ppc = false;
+};
+
+struct ParsedAdf {
+  AppDescription description;
+  AdfSections present;
+};
+
+// Parse ADF text. Host cost expressions are resolved against the HOSTS
+// section itself (an arch name denotes the resolved cost of the first host
+// of that arch).
+Result<ParsedAdf> ParseAdf(std::string_view text);
+Result<ParsedAdf> ParseAdfFile(const std::string& path);
+
+// Fill any section missing from `user` with the system default's section.
+AppDescription MergeWithDefault(const ParsedAdf& user,
+                                const AppDescription& system_default);
+
+// Render back to ADF syntax (parse(format(x)) == x up to comments).
+std::string FormatAdf(const AppDescription& adf);
+
+// The built-in system default: one host (localhost, arch "local", cost 1),
+// one folder server on it, no processes, no links.
+AppDescription SystemDefaultAdf();
+
+}  // namespace dmemo

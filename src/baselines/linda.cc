@@ -1,0 +1,157 @@
+#include "baselines/linda.h"
+
+#include "util/hash.h"
+
+namespace dmemo::linda {
+
+namespace {
+
+bool TypeMatches(Formal::Type type, const Value& value) {
+  switch (type) {
+    case Formal::Type::kInt:
+      return std::holds_alternative<std::int64_t>(value);
+    case Formal::Type::kFloat:
+      return std::holds_alternative<double>(value);
+    case Formal::Type::kString:
+      return std::holds_alternative<std::string>(value);
+  }
+  return false;
+}
+
+std::uint64_t HashValue(const Value& value) {
+  if (const auto* i = std::get_if<std::int64_t>(&value)) {
+    return Mix64(static_cast<std::uint64_t>(*i) ^ 0x1111);
+  }
+  if (const auto* d = std::get_if<double>(&value)) {
+    return Mix64(std::hash<double>{}(*d) ^ 0x2222);
+  }
+  return Fnv1a64(std::get<std::string>(value)) ^ 0x3333;
+}
+
+}  // namespace
+
+bool Matches(const Template& anti, const Tuple& tuple) {
+  if (anti.size() != tuple.size()) return false;
+  for (std::size_t i = 0; i < anti.size(); ++i) {
+    if (const auto* actual = std::get_if<Value>(&anti[i])) {
+      if (*actual != tuple[i]) return false;
+    } else {
+      if (!TypeMatches(std::get<Formal>(anti[i]).type, tuple[i])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+TupleSpace::TupleSpace(bool index_first_field)
+    : indexed_(index_first_field) {}
+
+std::uint64_t TupleSpace::BucketFor(const Tuple& tuple) const {
+  std::uint64_t h = Mix64(tuple.size());
+  if (!tuple.empty()) h = HashCombine(h, HashValue(tuple[0]));
+  return h;
+}
+
+std::optional<std::uint64_t> TupleSpace::BucketFor(
+    const Template& anti) const {
+  if (anti.empty()) return Mix64(0);
+  if (const auto* actual = std::get_if<Value>(&anti[0])) {
+    return HashCombine(Mix64(anti.size()), HashValue(*actual));
+  }
+  return std::nullopt;  // formal first field: index is useless
+}
+
+Status TupleSpace::Out(Tuple tuple) {
+  std::unique_lock lock(mu_);
+  if (closed_) return CancelledError("tuple space closed");
+  Stored stored{std::move(tuple), 0};
+  if (indexed_) {
+    stored.bucket = BucketFor(stored.tuple);
+    buckets_[stored.bucket].push_back(std::move(stored));
+  } else {
+    tuples_.push_back(std::move(stored));
+  }
+  ++count_;
+  cv_.notify_all();
+  return Status::Ok();
+}
+
+std::optional<Tuple> TupleSpace::FindLocked(const Template& anti,
+                                            bool take) {
+  auto scan = [&](std::list<Stored>& list) -> std::optional<Tuple> {
+    for (auto it = list.begin(); it != list.end(); ++it) {
+      ++scanned_;
+      if (Matches(anti, it->tuple)) {
+        Tuple found = it->tuple;
+        if (take) {
+          list.erase(it);
+          --count_;
+        }
+        return found;
+      }
+    }
+    return std::nullopt;
+  };
+
+  if (!indexed_) return scan(tuples_);
+
+  if (auto bucket = BucketFor(anti)) {
+    auto it = buckets_.find(*bucket);
+    if (it == buckets_.end()) return std::nullopt;
+    return scan(it->second);
+  }
+  // Formal first field: fall back to scanning every bucket.
+  for (auto& [key, list] : buckets_) {
+    if (auto found = scan(list)) return found;
+  }
+  return std::nullopt;
+}
+
+Result<Tuple> TupleSpace::In(const Template& anti) {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    if (closed_) return CancelledError("tuple space closed");
+    if (auto found = FindLocked(anti, /*take=*/true)) return *found;
+    cv_.wait(lock);
+  }
+}
+
+Result<std::optional<Tuple>> TupleSpace::Inp(const Template& anti) {
+  std::unique_lock lock(mu_);
+  if (closed_) return CancelledError("tuple space closed");
+  return FindLocked(anti, /*take=*/true);
+}
+
+Result<Tuple> TupleSpace::Rd(const Template& anti) {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    if (closed_) return CancelledError("tuple space closed");
+    if (auto found = FindLocked(anti, /*take=*/false)) return *found;
+    cv_.wait(lock);
+  }
+}
+
+Result<std::optional<Tuple>> TupleSpace::Rdp(const Template& anti) {
+  std::unique_lock lock(mu_);
+  if (closed_) return CancelledError("tuple space closed");
+  return FindLocked(anti, /*take=*/false);
+}
+
+std::size_t TupleSpace::size() const {
+  std::unique_lock lock(mu_);
+  return count_;
+}
+
+std::uint64_t TupleSpace::tuples_scanned() const {
+  std::unique_lock lock(mu_);
+  return scanned_;
+}
+
+void TupleSpace::Close() {
+  std::unique_lock lock(mu_);
+  closed_ = true;
+  cv_.notify_all();
+}
+
+}  // namespace dmemo::linda

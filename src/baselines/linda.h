@@ -1,0 +1,110 @@
+// Linda tuple space baseline (paper Sec. 7, [6] Gelernter 1985).
+//
+// "The Linda research was used to create the illusion of a virtual machine,
+// wherein an arbitrary number of processes communicated via a virtual shared
+// memory known as a tuple space. We believe that this tuple space is just 'a
+// flat directory of unordered queues'."
+//
+// This is the comparator for experiment E9: Linda retrieves by *structural
+// matching* against every tuple (anti-tuples with typed wildcards), whereas
+// D-Memo retrieves by hashing an exact folder key. We provide the honest
+// naive space and a first-field-indexed variant (the classic optimization
+// real Linda kernels used), so the comparison is not a strawman.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dmemo::linda {
+
+// Tuple field values: the scalar types classic Linda examples use.
+using Value = std::variant<std::int64_t, double, std::string>;
+using Tuple = std::vector<Value>;
+
+// Anti-tuple field: either an actual (exact match) or a formal (typed
+// wildcard that binds any value of that type).
+struct Formal {
+  enum class Type { kInt, kFloat, kString };
+  Type type;
+};
+using TemplateField = std::variant<Value, Formal>;
+using Template = std::vector<TemplateField>;
+
+// Helpers to build templates tersely: V(actual), F*() formals.
+inline TemplateField V(std::int64_t v) { return TemplateField(Value(v)); }
+inline TemplateField V(double v) { return TemplateField(Value(v)); }
+inline TemplateField V(std::string v) {
+  return TemplateField(Value(std::move(v)));
+}
+inline TemplateField V(const char* v) {
+  return TemplateField(Value(std::string(v)));
+}
+inline TemplateField FInt() { return Formal{Formal::Type::kInt}; }
+inline TemplateField FFloat() { return Formal{Formal::Type::kFloat}; }
+inline TemplateField FString() { return Formal{Formal::Type::kString}; }
+
+// Does `tuple` match `anti` (same arity, actuals equal, formals type-match)?
+bool Matches(const Template& anti, const Tuple& tuple);
+
+class TupleSpace {
+ public:
+  // index_first_field: maintain a hash index on arity + first-actual so
+  // retrieval scans only the matching bucket (set false for pure Linda).
+  explicit TupleSpace(bool index_first_field = false);
+
+  // out: deposit a tuple. Never blocks.
+  Status Out(Tuple tuple);
+
+  // in: blocking destructive retrieval of a matching tuple.
+  Result<Tuple> In(const Template& anti);
+
+  // inp: non-blocking in; nullopt when nothing matches.
+  Result<std::optional<Tuple>> Inp(const Template& anti);
+
+  // rd: blocking non-destructive read.
+  Result<Tuple> Rd(const Template& anti);
+
+  // rdp: non-blocking rd.
+  Result<std::optional<Tuple>> Rdp(const Template& anti);
+
+  std::size_t size() const;
+  // Tuples examined by matching scans (the E9 cost metric).
+  std::uint64_t tuples_scanned() const;
+
+  void Close();  // wake blocked in/rd with CANCELLED
+
+ private:
+  struct Stored {
+    Tuple tuple;
+    std::uint64_t bucket;  // index key when indexing is on
+  };
+
+  std::uint64_t BucketFor(const Tuple& tuple) const;
+  // Bucket of an anti-tuple, or nullopt when its first field is a formal
+  // (then every bucket must be scanned — the index cannot help).
+  std::optional<std::uint64_t> BucketFor(const Template& anti) const;
+
+  // Scan for a match; removes it when `take`. Caller holds the lock.
+  std::optional<Tuple> FindLocked(const Template& anti, bool take);
+
+  const bool indexed_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool closed_ = false;
+  // Unindexed storage: one list. Indexed: per-bucket lists.
+  std::list<Stored> tuples_;
+  std::unordered_map<std::uint64_t, std::list<Stored>> buckets_;
+  mutable std::uint64_t scanned_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace dmemo::linda

@@ -1,0 +1,87 @@
+#include "baselines/pvm.h"
+
+namespace dmemo::pvm {
+
+TaskId VirtualMachine::Enroll() {
+  std::unique_lock lock(mu_);
+  TaskId id = next_id_++;
+  mailboxes_.emplace(id, std::make_unique<Mailbox>());
+  return id;
+}
+
+Status VirtualMachine::Send(TaskId source, TaskId dest, std::int32_t tag,
+                            Bytes body) {
+  std::unique_lock lock(mu_);
+  if (closed_) return CancelledError("pvm closed");
+  auto it = mailboxes_.find(dest);
+  if (it == mailboxes_.end()) {
+    return NotFoundError("no task " + std::to_string(dest));
+  }
+  it->second->messages.push_back(Message{source, tag, std::move(body)});
+  ++sent_;
+  it->second->cv.notify_all();
+  return Status::Ok();
+}
+
+namespace {
+
+std::optional<Message> TakeMatching(std::deque<Message>& box,
+                                    std::int32_t tag) {
+  for (auto it = box.begin(); it != box.end(); ++it) {
+    if (tag == kAnyTag || it->tag == tag) {
+      Message msg = std::move(*it);
+      box.erase(it);
+      return msg;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+Result<Message> VirtualMachine::Receive(TaskId self, std::int32_t tag) {
+  std::unique_lock lock(mu_);
+  auto it = mailboxes_.find(self);
+  if (it == mailboxes_.end()) {
+    return NotFoundError("no task " + std::to_string(self));
+  }
+  Mailbox& box = *it->second;
+  for (;;) {
+    if (closed_) return CancelledError("pvm closed");
+    if (auto msg = TakeMatching(box.messages, tag)) return std::move(*msg);
+    box.cv.wait(lock);
+  }
+}
+
+Result<std::optional<Message>> VirtualMachine::TryReceive(TaskId self,
+                                                          std::int32_t tag) {
+  std::unique_lock lock(mu_);
+  if (closed_) return CancelledError("pvm closed");
+  auto it = mailboxes_.find(self);
+  if (it == mailboxes_.end()) {
+    return NotFoundError("no task " + std::to_string(self));
+  }
+  return TakeMatching(it->second->messages, tag);
+}
+
+Status VirtualMachine::Multicast(TaskId source,
+                                 const std::vector<TaskId>& dests,
+                                 std::int32_t tag, Bytes body) {
+  for (TaskId dest : dests) {
+    DMEMO_RETURN_IF_ERROR(Send(source, dest, tag, body));
+  }
+  return Status::Ok();
+}
+
+std::uint64_t VirtualMachine::messages_sent() const {
+  std::unique_lock lock(mu_);
+  return sent_;
+}
+
+void VirtualMachine::Close() {
+  std::unique_lock lock(mu_);
+  closed_ = true;
+  for (auto& [id, box] : mailboxes_) box->cv.notify_all();
+}
+
+}  // namespace dmemo::pvm

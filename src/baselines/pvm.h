@@ -1,0 +1,79 @@
+// PVM-style message passing baseline (paper Sec. 7, [11]).
+//
+// "Parallel Virtual Machine (PVM) is a low-level approach... The routines in
+// the subroutine library allow processes to communicate with one another
+// without knowing the details of communicating with the system service."
+//
+// The model: named tasks, direct typed sends, tag-filtered receives — no
+// shared structures, no decoupling in space or time. This is the comparator
+// for experiment E10: raw point-to-point messaging has less overhead per
+// message than folder traffic, but static work distribution cannot
+// re-balance when workers differ in speed, which is where the job jar wins.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace dmemo::pvm {
+
+using TaskId = std::uint32_t;
+inline constexpr std::int32_t kAnyTag = -1;
+
+struct Message {
+  TaskId source = 0;
+  std::int32_t tag = 0;
+  Bytes body;
+};
+
+// A virtual machine of tasks with mailboxes. Threads enroll to obtain a
+// TaskId; sends append to the destination mailbox; receives filter by tag.
+class VirtualMachine {
+ public:
+  VirtualMachine() = default;
+  VirtualMachine(const VirtualMachine&) = delete;
+  VirtualMachine& operator=(const VirtualMachine&) = delete;
+
+  // Register a task; ids are dense from 0 (like pvm_mytid conceptually).
+  TaskId Enroll();
+
+  // pvm_send: deliver to `dest`'s mailbox. Fails if dest unknown.
+  Status Send(TaskId source, TaskId dest, std::int32_t tag, Bytes body);
+
+  // pvm_recv: blocking receive of the first message whose tag matches
+  // (kAnyTag matches all).
+  Result<Message> Receive(TaskId self, std::int32_t tag = kAnyTag);
+
+  // pvm_nrecv: non-blocking variant.
+  Result<std::optional<Message>> TryReceive(TaskId self,
+                                            std::int32_t tag = kAnyTag);
+
+  // pvm_mcast: send to many destinations (still unicast per destination —
+  // no broadcast fabric, matching what 1990s PVM did over TCP).
+  Status Multicast(TaskId source, const std::vector<TaskId>& dests,
+                   std::int32_t tag, Bytes body);
+
+  std::uint64_t messages_sent() const;
+
+  void Close();  // wake all blocked receivers with CANCELLED
+
+ private:
+  struct Mailbox {
+    std::deque<Message> messages;
+    std::condition_variable cv;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<TaskId, std::unique_ptr<Mailbox>> mailboxes_;
+  TaskId next_id_ = 0;
+  std::uint64_t sent_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace dmemo::pvm

@@ -1,0 +1,48 @@
+// Engine interface behind the Memo API.
+//
+// The same application code runs against three deployments:
+//   * LocalEngine   — one address space, folders in a FolderDirectory of
+//     transferable pointers (the shared-memory MIMD abstraction);
+//   * RemoteEngine  — a connection to this machine's memo server; values
+//     cross the wire encoded and are domain-checked against the receiving
+//     machine's profile on delivery (Sec. 3.1.3);
+// both created by the helpers in memo.h. Patterns, examples, baselines and
+// benches all program against this interface.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <utility>
+
+#include "folder/key.h"
+#include "transferable/transferable.h"
+#include "util/status.h"
+
+namespace dmemo {
+
+class MemoEngine {
+ public:
+  virtual ~MemoEngine() = default;
+
+  virtual const std::string& app() const = 0;
+
+  virtual Status Put(const Key& key, TransferablePtr value) = 0;
+  virtual Status PutDelayed(const Key& key1, const Key& key2,
+                            TransferablePtr value) = 0;
+  virtual Result<TransferablePtr> Get(const Key& key) = 0;
+  virtual Result<TransferablePtr> GetCopy(const Key& key) = 0;
+  virtual Result<std::optional<TransferablePtr>> GetSkip(const Key& key) = 0;
+  virtual Result<std::pair<Key, TransferablePtr>> GetAlt(
+      std::span<const Key> keys) = 0;
+  virtual Result<std::optional<std::pair<Key, TransferablePtr>>> GetAltSkip(
+      std::span<const Key> keys) = 0;
+
+  // Extractable memos currently in `key` (diagnostics; not part of the
+  // paper's API surface).
+  virtual Result<std::uint64_t> Count(const Key& key) = 0;
+};
+
+using MemoEnginePtr = std::shared_ptr<MemoEngine>;
+
+}  // namespace dmemo

@@ -1,0 +1,76 @@
+#include "core/local_engine.h"
+
+namespace dmemo {
+
+namespace {
+
+class LocalEngine final : public MemoEngine {
+ public:
+  explicit LocalEngine(LocalSpacePtr space) : space_(std::move(space)) {}
+
+  const std::string& app() const override { return space_->app(); }
+
+  Status Put(const Key& key, TransferablePtr value) override {
+    return space_->directory().Put(Qualify(key), std::move(value));
+  }
+
+  Status PutDelayed(const Key& key1, const Key& key2,
+                    TransferablePtr value) override {
+    return space_->directory().PutDelayed(Qualify(key1), Qualify(key2),
+                                          std::move(value));
+  }
+
+  Result<TransferablePtr> Get(const Key& key) override {
+    return space_->directory().Get(Qualify(key));
+  }
+
+  Result<TransferablePtr> GetCopy(const Key& key) override {
+    return space_->directory().GetCopy(Qualify(key));
+  }
+
+  Result<std::optional<TransferablePtr>> GetSkip(const Key& key) override {
+    return space_->directory().GetSkip(Qualify(key));
+  }
+
+  Result<std::pair<Key, TransferablePtr>> GetAlt(
+      std::span<const Key> keys) override {
+    DMEMO_ASSIGN_OR_RETURN(auto hit,
+                           space_->directory().GetAlt(Qualify(keys)));
+    return std::make_pair(hit.first.key, std::move(hit.second));
+  }
+
+  Result<std::optional<std::pair<Key, TransferablePtr>>> GetAltSkip(
+      std::span<const Key> keys) override {
+    DMEMO_ASSIGN_OR_RETURN(auto hit,
+                           space_->directory().GetAltSkip(Qualify(keys)));
+    if (!hit.has_value()) return std::optional<std::pair<Key, TransferablePtr>>();
+    return std::optional<std::pair<Key, TransferablePtr>>(
+        std::make_pair(hit->first.key, std::move(hit->second)));
+  }
+
+  Result<std::uint64_t> Count(const Key& key) override {
+    return static_cast<std::uint64_t>(
+        space_->directory().Count(Qualify(key)));
+  }
+
+ private:
+  QualifiedKey Qualify(const Key& key) const {
+    return QualifiedKey{space_->app(), key};
+  }
+  std::vector<QualifiedKey> Qualify(std::span<const Key> keys) const {
+    std::vector<QualifiedKey> out;
+    out.reserve(keys.size());
+    for (const Key& k : keys) out.push_back(Qualify(k));
+    return out;
+  }
+
+  LocalSpacePtr space_;
+};
+
+}  // namespace
+
+MemoEnginePtr MakeLocalEngine(LocalSpacePtr space) {
+  return std::make_shared<LocalEngine>(std::move(space));
+}
+
+}  // namespace dmemo

@@ -1,0 +1,31 @@
+// In-process engine: the whole memo space lives in one FolderDirectory of
+// transferable pointers. Many Memo handles (one per simulated process /
+// thread) share one LocalSpace — the single shared-memory-machine deployment
+// of the abstraction.
+#pragma once
+
+#include "core/engine.h"
+#include "folder/directory.h"
+
+namespace dmemo {
+
+class LocalSpace {
+ public:
+  explicit LocalSpace(std::string app) : app_(std::move(app)) {}
+
+  const std::string& app() const { return app_; }
+  FolderDirectory<TransferablePtr>& directory() { return directory_; }
+
+  // Wake all blocked operations with CANCELLED.
+  void Close() { directory_.Close(); }
+
+ private:
+  std::string app_;
+  FolderDirectory<TransferablePtr> directory_;
+};
+
+using LocalSpacePtr = std::shared_ptr<LocalSpace>;
+
+MemoEnginePtr MakeLocalEngine(LocalSpacePtr space);
+
+}  // namespace dmemo

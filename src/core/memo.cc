@@ -1,0 +1,23 @@
+#include "core/memo.h"
+
+#include <unistd.h>
+
+#include <chrono>
+
+#include "util/hash.h"
+
+namespace dmemo {
+
+Symbol Memo::create_symbol() {
+  // Uniqueness across processes with no coordination: mix the pid and a
+  // startup timestamp into a per-process sequence. Collision probability is
+  // that of a 64-bit hash — negligible next to anything else in the system.
+  static const std::uint64_t kProcessSeed = HashCombine(
+      static_cast<std::uint64_t>(::getpid()),
+      static_cast<std::uint64_t>(
+          std::chrono::steady_clock::now().time_since_epoch().count()));
+  static std::atomic<std::uint64_t> counter{0};
+  return Mix64(kProcessSeed ^ counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+}  // namespace dmemo

@@ -1,0 +1,89 @@
+// class Memo — the D-Memo application programming interface (paper Sec. 6).
+//
+// A Memo is a lightweight handle a process uses to talk to the memo space:
+//
+//   Memo memo = Memo::Local(space);              // shared-memory deployment
+//   auto jar = memo.symbol("job_jar");
+//   memo.put(Key(jar), MakeInt32(42));           // deposit a memo
+//   auto v = memo.get(Key(jar));                 // blocking extraction
+//
+// The seven primitives mirror Sec. 6.1.2 exactly:
+//   put(key, value)                  deposit; returns immediately
+//   put_delayed(key1, key2, value)   dataflow trigger (Sec. 6.3.3)
+//   get(key)                         blocking extraction
+//   get_copy(key)                    blocking examine (memo stays)
+//   get_skip(key)                    non-blocking; NIL -> std::nullopt
+//   get_alt(keys)                    blocking extraction from any folder
+//   get_alt_skip(keys)               non-blocking variant
+//
+// plus create_symbol() (fresh unique symbol) and symbol(name) (stable named
+// symbol shared across processes). The handle is cheap to copy; all copies
+// share the engine.
+#pragma once
+
+#include <atomic>
+
+#include "core/engine.h"
+#include "core/local_engine.h"
+
+namespace dmemo {
+
+class Memo {
+ public:
+  explicit Memo(MemoEnginePtr engine) : engine_(std::move(engine)) {}
+
+  // Handle onto an in-process memo space.
+  static Memo Local(LocalSpacePtr space) {
+    return Memo(MakeLocalEngine(std::move(space)));
+  }
+
+  const std::string& app() const { return engine_->app(); }
+  const MemoEnginePtr& engine() const { return engine_; }
+
+  // ---- symbols (Sec. 6.1.1) ----
+
+  // A fresh symbol no other create_symbol call in any process returns.
+  Symbol create_symbol();
+
+  // Stable symbol for a well-known name; equal in every process.
+  Symbol symbol(std::string_view name) const { return SymbolFromName(name); }
+
+  // ---- basic functions (Sec. 6.1.2) ----
+
+  Status put(const Key& key, TransferablePtr value) {
+    return engine_->Put(key, std::move(value));
+  }
+
+  Status put_delayed(const Key& key1, const Key& key2,
+                     TransferablePtr value) {
+    return engine_->PutDelayed(key1, key2, std::move(value));
+  }
+
+  Result<TransferablePtr> get(const Key& key) { return engine_->Get(key); }
+
+  Result<TransferablePtr> get_copy(const Key& key) {
+    return engine_->GetCopy(key);
+  }
+
+  Result<std::optional<TransferablePtr>> get_skip(const Key& key) {
+    return engine_->GetSkip(key);
+  }
+
+  Result<std::pair<Key, TransferablePtr>> get_alt(
+      std::span<const Key> keys) {
+    return engine_->GetAlt(keys);
+  }
+
+  Result<std::optional<std::pair<Key, TransferablePtr>>> get_alt_skip(
+      std::span<const Key> keys) {
+    return engine_->GetAltSkip(keys);
+  }
+
+  // Diagnostics (not part of the paper's surface).
+  Result<std::uint64_t> count(const Key& key) { return engine_->Count(key); }
+
+ private:
+  MemoEnginePtr engine_;
+};
+
+}  // namespace dmemo

@@ -1,0 +1,155 @@
+#include "core/remote_engine.h"
+
+#include "transferable/codec.h"
+#include "util/log.h"
+
+namespace dmemo {
+
+namespace {
+
+class RemoteEngine final : public MemoEngine {
+ public:
+  RemoteEngine(RpcChannelPtr channel, RemoteEngineOptions options)
+      : channel_(std::move(channel)), options_(std::move(options)) {}
+
+  ~RemoteEngine() override { channel_->Close(); }
+
+  const std::string& app() const override { return options_.app; }
+
+  Status Put(const Key& key, TransferablePtr value) override {
+    Request req = Base(Op::kPut);
+    req.key = key;
+    req.value = EncodeGraphToBytes(value);
+    DMEMO_ASSIGN_OR_RETURN(Response resp, channel_->Call(req));
+    return resp.ToStatus();
+  }
+
+  Status PutDelayed(const Key& key1, const Key& key2,
+                    TransferablePtr value) override {
+    Request req = Base(Op::kPutDelayed);
+    req.key = key1;
+    req.key2 = key2;
+    req.value = EncodeGraphToBytes(value);
+    DMEMO_ASSIGN_OR_RETURN(Response resp, channel_->Call(req));
+    return resp.ToStatus();
+  }
+
+  Result<TransferablePtr> Get(const Key& key) override {
+    Request req = Base(Op::kGet);
+    req.key = key;
+    return CallForValue(req);
+  }
+
+  Result<TransferablePtr> GetCopy(const Key& key) override {
+    Request req = Base(Op::kGetCopy);
+    req.key = key;
+    return CallForValue(req);
+  }
+
+  Result<std::optional<TransferablePtr>> GetSkip(const Key& key) override {
+    Request req = Base(Op::kGetSkip);
+    req.key = key;
+    DMEMO_ASSIGN_OR_RETURN(Response resp, channel_->Call(req));
+    DMEMO_RETURN_IF_ERROR(resp.ToStatus());
+    if (!resp.has_value) return std::optional<TransferablePtr>();
+    DMEMO_ASSIGN_OR_RETURN(TransferablePtr value, Deliver(resp.value));
+    return std::optional<TransferablePtr>(std::move(value));
+  }
+
+  Result<std::pair<Key, TransferablePtr>> GetAlt(
+      std::span<const Key> keys) override {
+    Request req = Base(Op::kGetAlt);
+    req.alts.assign(keys.begin(), keys.end());
+    DMEMO_ASSIGN_OR_RETURN(Response resp, channel_->Call(req));
+    DMEMO_RETURN_IF_ERROR(resp.ToStatus());
+    if (!resp.has_value || !resp.has_key) {
+      return InternalError("get_alt response missing value or key");
+    }
+    DMEMO_ASSIGN_OR_RETURN(TransferablePtr value, Deliver(resp.value));
+    return std::make_pair(resp.key, std::move(value));
+  }
+
+  Result<std::optional<std::pair<Key, TransferablePtr>>> GetAltSkip(
+      std::span<const Key> keys) override {
+    Request req = Base(Op::kGetAltSkip);
+    req.alts.assign(keys.begin(), keys.end());
+    DMEMO_ASSIGN_OR_RETURN(Response resp, channel_->Call(req));
+    DMEMO_RETURN_IF_ERROR(resp.ToStatus());
+    if (!resp.has_value) {
+      return std::optional<std::pair<Key, TransferablePtr>>();
+    }
+    DMEMO_ASSIGN_OR_RETURN(TransferablePtr value, Deliver(resp.value));
+    return std::optional<std::pair<Key, TransferablePtr>>(
+        std::make_pair(resp.key, std::move(value)));
+  }
+
+  Result<std::uint64_t> Count(const Key& key) override {
+    Request req = Base(Op::kCount);
+    req.key = key;
+    DMEMO_ASSIGN_OR_RETURN(Response resp, channel_->Call(req));
+    DMEMO_RETURN_IF_ERROR(resp.ToStatus());
+    return resp.count;
+  }
+
+ private:
+  Request Base(Op op) const {
+    Request req;
+    req.op = op;
+    req.app = options_.app;
+    return req;
+  }
+
+  Result<TransferablePtr> CallForValue(const Request& req) {
+    DMEMO_ASSIGN_OR_RETURN(Response resp, channel_->Call(req));
+    DMEMO_RETURN_IF_ERROR(resp.ToStatus());
+    if (!resp.has_value) {
+      return InternalError("response missing value for " +
+                           std::string(OpName(req.op)));
+    }
+    return Deliver(resp.value);
+  }
+
+  // Decode + domain-check a delivered value against this machine's profile.
+  Result<TransferablePtr> Deliver(const Bytes& encoded) {
+    DMEMO_ASSIGN_OR_RETURN(TransferablePtr value,
+                           DecodeGraphFromBytes(encoded));
+    if (value != nullptr) {
+      Status domain = CheckRepresentable(*value, options_.profile);
+      if (!domain.ok()) {
+        if (options_.strict_domains) return domain;
+        DMEMO_LOG(kWarn) << "delivering lossy value to " << options_.host
+                         << ": " << domain.ToString();
+      }
+    }
+    return value;
+  }
+
+  RpcChannelPtr channel_;
+  RemoteEngineOptions options_;
+};
+
+}  // namespace
+
+Result<MemoEnginePtr> MakeRemoteEngine(TransportPtr transport,
+                                       const std::string& server_url,
+                                       RemoteEngineOptions options) {
+  DMEMO_ASSIGN_OR_RETURN(ConnectionPtr conn, transport->Dial(server_url));
+  // Pure client: no inbound requests, no worker pool needed.
+  auto channel = RpcChannel::Create(std::move(conn), nullptr, nullptr);
+  return MemoEnginePtr(
+      std::make_shared<RemoteEngine>(std::move(channel), std::move(options)));
+}
+
+Status RegisterAppWith(TransportPtr transport, const std::string& server_url,
+                       const std::string& adf_text) {
+  DMEMO_ASSIGN_OR_RETURN(ConnectionPtr conn, transport->Dial(server_url));
+  auto channel = RpcChannel::Create(std::move(conn), nullptr, nullptr);
+  Request req;
+  req.op = Op::kRegisterApp;
+  req.text = adf_text;
+  DMEMO_ASSIGN_OR_RETURN(Response resp, channel->Call(req));
+  channel->Close();
+  return resp.ToStatus();
+}
+
+}  // namespace dmemo

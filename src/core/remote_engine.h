@@ -1,0 +1,36 @@
+// Remote engine: the Memo API over a connection to this machine's memo
+// server. Values are encoded with the transferable codec for the wire, and
+// every delivered value is checked against the receiving machine's profile —
+// the lossless-domain-mapping contract of Sec. 3.1.3.
+#pragma once
+
+#include "core/engine.h"
+#include "server/rpc_channel.h"
+#include "transferable/machine_profile.h"
+#include "transport/transport.h"
+
+namespace dmemo {
+
+struct RemoteEngineOptions {
+  std::string app;
+  // The machine this process runs on (ADF host name). Used only for
+  // diagnostics; routing happens server-side.
+  std::string host;
+  // Receiving-machine profile for domain checks on delivered values.
+  MachineProfile profile = MachineProfile::Universal();
+  // When false, a lossy delivery is logged but the value is still returned
+  // (the "caveat emptor" mode); when true (default) it is a DATA_LOSS error.
+  bool strict_domains = true;
+};
+
+// Connects to the memo server at `server_url` via `transport`.
+Result<MemoEnginePtr> MakeRemoteEngine(TransportPtr transport,
+                                       const std::string& server_url,
+                                       RemoteEngineOptions options);
+
+// Register an application ADF with one memo server over the wire (the
+// launcher calls this for every server; tests use it directly).
+Status RegisterAppWith(TransportPtr transport, const std::string& server_url,
+                       const std::string& adf_text);
+
+}  // namespace dmemo

@@ -1,0 +1,432 @@
+// The directory of unordered queues (paper Sec. 2 / 6).
+//
+// A folder is an unordered queue of memos; the directory maps keys to
+// folders, creating folders on first use and letting them vanish when they
+// become empty with nothing pending (the paper's future semantics: "the
+// folder will vanish once the memo is removed").
+//
+// FolderDirectory is a template over the stored value type:
+//   * FolderDirectory<TransferablePtr> backs the in-process engine (values
+//     move by pointer, get_copy deep-copies via the codec);
+//   * FolderDirectory<Bytes> backs folder servers (values arrive encoded).
+// The synchronization, delayed-put and unordered-extraction semantics are
+// identical, which is the point of sharing the implementation.
+//
+// Unordered extraction is deterministic-pseudorandom (seeded per directory)
+// so "order must not be relied upon" is enforced while tests reproduce.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "folder/key.h"
+#include "transferable/codec.h"
+#include "transferable/transferable.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace dmemo {
+
+// Copy and serialization policy per stored value type (get_copy, and the
+// persistence snapshots of Sec. 3.1.3's "persistent data structures").
+template <typename T>
+struct MemoValueTraits;
+
+template <>
+struct MemoValueTraits<Bytes> {
+  static Result<Bytes> Copy(const Bytes& v) { return v; }
+  static void Encode(const Bytes& v, ByteWriter& out) { out.bytes(v); }
+  static Result<Bytes> Decode(ByteReader& in) { return in.bytes(); }
+};
+
+template <>
+struct MemoValueTraits<TransferablePtr> {
+  static Result<TransferablePtr> Copy(const TransferablePtr& v) {
+    if (v == nullptr) return TransferablePtr(nullptr);
+    return CloneTransferable(*v);
+  }
+  static void Encode(const TransferablePtr& v, ByteWriter& out) {
+    out.bytes(EncodeGraphToBytes(v));
+  }
+  static Result<TransferablePtr> Decode(ByteReader& in) {
+    DMEMO_ASSIGN_OR_RETURN(Bytes encoded, in.bytes());
+    return DecodeGraphFromBytes(encoded);
+  }
+};
+
+struct DirectoryStats {
+  std::uint64_t puts = 0;
+  std::uint64_t delayed_puts = 0;
+  std::uint64_t delayed_releases = 0;
+  std::uint64_t gets = 0;           // successful extractions
+  std::uint64_t copies = 0;         // get_copy successes
+  std::uint64_t blocked_waits = 0;  // times a get had to block
+  std::uint64_t folders_created = 0;
+  std::uint64_t folders_vanished = 0;
+};
+
+template <typename T>
+class FolderDirectory {
+ public:
+  explicit FolderDirectory(std::uint64_t seed = 0xd3ed0ULL) : rng_(seed) {}
+
+  FolderDirectory(const FolderDirectory&) = delete;
+  FolderDirectory& operator=(const FolderDirectory&) = delete;
+
+  // put: deposit and return immediately. Also releases any delayed memos
+  // parked on this folder (Sec. 6.1.2 put_delayed trigger), which may chain.
+  Status Put(const QualifiedKey& key, T value) {
+    std::unique_lock lock(mu_);
+    if (closed_) return CancelledError("directory closed");
+    PutLocked(key, std::move(value));
+    cv_.notify_all();
+    return Status::Ok();
+  }
+
+  // put_delayed: hide `value` in key1 until the next memo arrives there,
+  // then deposit it in key2. The hidden value is not extractable from key1.
+  Status PutDelayed(const QualifiedKey& key1, const QualifiedKey& key2,
+                    T value) {
+    std::unique_lock lock(mu_);
+    if (closed_) return CancelledError("directory closed");
+    Folder& f = FolderFor(key1);
+    f.delayed.emplace_back(key2, std::move(value));
+    ++stats_.delayed_puts;
+    return Status::Ok();
+  }
+
+  // get: blocking extraction.
+  Result<T> Get(const QualifiedKey& key) {
+    std::unique_lock lock(mu_);
+    bool counted = false;
+    for (;;) {
+      if (closed_) return CancelledError("directory closed");
+      if (auto v = TakeLocked(key)) return std::move(*v);
+      if (!counted) {
+        ++stats_.blocked_waits;
+        counted = true;
+      }
+      cv_.wait(lock);
+    }
+  }
+
+  // get with a deadline (used by servers to bound parked requests).
+  Result<std::optional<T>> GetFor(const QualifiedKey& key,
+                                  std::chrono::milliseconds timeout) {
+    std::unique_lock lock(mu_);
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    bool counted = false;
+    for (;;) {
+      if (closed_) return CancelledError("directory closed");
+      if (auto v = TakeLocked(key)) return std::optional<T>(std::move(*v));
+      if (!counted) {
+        ++stats_.blocked_waits;
+        counted = true;
+      }
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        if (auto v = TakeLocked(key)) return std::optional<T>(std::move(*v));
+        return std::optional<T>(std::nullopt);
+      }
+    }
+  }
+
+  // get_skip: non-blocking; nullopt when the folder has no memo.
+  Result<std::optional<T>> GetSkip(const QualifiedKey& key) {
+    std::unique_lock lock(mu_);
+    if (closed_) return CancelledError("directory closed");
+    if (auto v = TakeLocked(key)) return std::optional<T>(std::move(*v));
+    return std::optional<T>(std::nullopt);
+  }
+
+  // get_copy: blocking examine; the memo stays in the folder.
+  Result<T> GetCopy(const QualifiedKey& key) {
+    std::unique_lock lock(mu_);
+    bool counted = false;
+    for (;;) {
+      if (closed_) return CancelledError("directory closed");
+      if (auto v = PeekLocked(key)) {
+        DMEMO_ASSIGN_OR_RETURN(T copy, MemoValueTraits<T>::Copy(*v));
+        ++stats_.copies;
+        return copy;
+      }
+      if (!counted) {
+        ++stats_.blocked_waits;
+        counted = true;
+      }
+      cv_.wait(lock);
+    }
+  }
+
+  Result<std::optional<T>> GetCopyFor(const QualifiedKey& key,
+                                      std::chrono::milliseconds timeout) {
+    std::unique_lock lock(mu_);
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    for (;;) {
+      if (closed_) return CancelledError("directory closed");
+      if (auto v = PeekLocked(key)) {
+        DMEMO_ASSIGN_OR_RETURN(T copy, MemoValueTraits<T>::Copy(*v));
+        ++stats_.copies;
+        return std::optional<T>(std::move(copy));
+      }
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        return std::optional<T>(std::nullopt);
+      }
+    }
+  }
+
+  // get_alt: blocking extraction from any one of `keys`; when several are
+  // eligible the choice is nondeterministic (pseudorandom).
+  Result<std::pair<QualifiedKey, T>> GetAlt(
+      std::span<const QualifiedKey> keys) {
+    std::unique_lock lock(mu_);
+    bool counted = false;
+    for (;;) {
+      if (closed_) return CancelledError("directory closed");
+      if (auto v = TakeAltLocked(keys)) return std::move(*v);
+      if (!counted) {
+        ++stats_.blocked_waits;
+        counted = true;
+      }
+      cv_.wait(lock);
+    }
+  }
+
+  Result<std::optional<std::pair<QualifiedKey, T>>> GetAltFor(
+      std::span<const QualifiedKey> keys, std::chrono::milliseconds timeout) {
+    std::unique_lock lock(mu_);
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    for (;;) {
+      if (closed_) return CancelledError("directory closed");
+      if (auto v = TakeAltLocked(keys)) {
+        return std::optional<std::pair<QualifiedKey, T>>(std::move(*v));
+      }
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        if (auto v = TakeAltLocked(keys)) {
+          return std::optional<std::pair<QualifiedKey, T>>(std::move(*v));
+        }
+        return std::optional<std::pair<QualifiedKey, T>>(std::nullopt);
+      }
+    }
+  }
+
+  // get_alt_skip: non-blocking variant.
+  Result<std::optional<std::pair<QualifiedKey, T>>> GetAltSkip(
+      std::span<const QualifiedKey> keys) {
+    std::unique_lock lock(mu_);
+    if (closed_) return CancelledError("directory closed");
+    if (auto v = TakeAltLocked(keys)) {
+      return std::optional<std::pair<QualifiedKey, T>>(std::move(*v));
+    }
+    return std::optional<std::pair<QualifiedKey, T>>(std::nullopt);
+  }
+
+  // Number of extractable memos in the folder (0 when it vanished).
+  std::size_t Count(const QualifiedKey& key) const {
+    std::unique_lock lock(mu_);
+    auto it = folders_.find(key);
+    return it == folders_.end() ? 0 : it->second.visible.size();
+  }
+
+  // Folders currently materialized (extractable or with parked memos).
+  std::size_t FolderCount() const {
+    std::unique_lock lock(mu_);
+    return folders_.size();
+  }
+
+  // Keys of all materialized folders belonging to `app` (any app when
+  // empty). Used by the dynamic-data-migration path when an application's
+  // folder-server placement changes.
+  std::vector<QualifiedKey> Keys(const std::string& app = "") const {
+    std::unique_lock lock(mu_);
+    std::vector<QualifiedKey> out;
+    for (const auto& [key, folder] : folders_) {
+      if (app.empty() || key.app == app) out.push_back(key);
+    }
+    return out;
+  }
+
+  DirectoryStats GetStats() const {
+    std::unique_lock lock(mu_);
+    return stats_;
+  }
+
+  // ---- persistence (Sec. 3.1.3: "support for persistent data structures
+  // is essential") -----------------------------------------------------
+  //
+  // Snapshot the whole directory — visible memos AND parked delayed puts —
+  // into a byte stream; RestoreFrom rebuilds it (into an empty or
+  // populated directory; restored memos add to what is there).
+
+  void SnapshotTo(ByteWriter& out) const {
+    std::unique_lock lock(mu_);
+    out.u32(kSnapshotMagic);
+    out.u8(kSnapshotVersion);
+    out.varint(folders_.size());
+    for (const auto& [key, folder] : folders_) {
+      key.EncodeTo(out);
+      out.varint(folder.visible.size());
+      for (const T& v : folder.visible) MemoValueTraits<T>::Encode(v, out);
+      out.varint(folder.delayed.size());
+      for (const auto& [dest, v] : folder.delayed) {
+        dest.EncodeTo(out);
+        MemoValueTraits<T>::Encode(v, out);
+      }
+    }
+  }
+
+  Status RestoreFrom(ByteReader& in) {
+    DMEMO_ASSIGN_OR_RETURN(std::uint32_t magic, in.u32());
+    if (magic != kSnapshotMagic) {
+      return DataLossError("not a folder-directory snapshot");
+    }
+    DMEMO_ASSIGN_OR_RETURN(std::uint8_t version, in.u8());
+    if (version != kSnapshotVersion) {
+      return UnimplementedError("unsupported snapshot version " +
+                                std::to_string(version));
+    }
+    DMEMO_ASSIGN_OR_RETURN(std::uint64_t n_folders, in.varint());
+    std::unique_lock lock(mu_);
+    if (closed_) return CancelledError("directory closed");
+    for (std::uint64_t f = 0; f < n_folders; ++f) {
+      DMEMO_ASSIGN_OR_RETURN(QualifiedKey key, QualifiedKey::DecodeFrom(in));
+      Folder& folder = FolderFor(key);
+      DMEMO_ASSIGN_OR_RETURN(std::uint64_t n_visible, in.varint());
+      for (std::uint64_t i = 0; i < n_visible; ++i) {
+        DMEMO_ASSIGN_OR_RETURN(T v, MemoValueTraits<T>::Decode(in));
+        folder.visible.push_back(std::move(v));
+        ++stats_.puts;
+      }
+      DMEMO_ASSIGN_OR_RETURN(std::uint64_t n_delayed, in.varint());
+      for (std::uint64_t i = 0; i < n_delayed; ++i) {
+        DMEMO_ASSIGN_OR_RETURN(QualifiedKey dest,
+                               QualifiedKey::DecodeFrom(in));
+        DMEMO_ASSIGN_OR_RETURN(T v, MemoValueTraits<T>::Decode(in));
+        folder.delayed.emplace_back(std::move(dest), std::move(v));
+        ++stats_.delayed_puts;
+      }
+      // A snapshot never contains an empty folder (they vanish), but a
+      // merge target might end up one; keep the invariant.
+      if (folder.visible.empty() && folder.delayed.empty()) {
+        folders_.erase(folders_.find(key));
+      }
+    }
+    cv_.notify_all();  // restored memos may satisfy parked gets
+    return Status::Ok();
+  }
+
+  // Wake every blocked get with CANCELLED and refuse further operations.
+  void Close() {
+    std::unique_lock lock(mu_);
+    closed_ = true;
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::unique_lock lock(mu_);
+    return closed_;
+  }
+
+ private:
+  static constexpr std::uint32_t kSnapshotMagic = 0xd3ed0f01;
+  static constexpr std::uint8_t kSnapshotVersion = 1;
+
+  struct Folder {
+    std::vector<T> visible;
+    std::vector<std::pair<QualifiedKey, T>> delayed;
+  };
+
+  Folder& FolderFor(const QualifiedKey& key) {
+    auto [it, inserted] = folders_.try_emplace(key);
+    if (inserted) ++stats_.folders_created;
+    return it->second;
+  }
+
+  void PutLocked(const QualifiedKey& key, T value) {
+    // Iterative release: a deposit may release delayed memos whose arrival
+    // in key2 releases further delayed memos — a dataflow chain. A work
+    // list avoids recursion while the lock is held.
+    std::vector<std::pair<QualifiedKey, T>> work;
+    work.emplace_back(key, std::move(value));
+    while (!work.empty()) {
+      auto [k, v] = std::move(work.back());
+      work.pop_back();
+      Folder& f = FolderFor(k);
+      f.visible.push_back(std::move(v));
+      ++stats_.puts;
+      if (!f.delayed.empty()) {
+        stats_.delayed_releases += f.delayed.size();
+        // Arrival of a memo releases every memo parked on this folder.
+        auto released = std::move(f.delayed);
+        f.delayed.clear();
+        for (auto& entry : released) work.push_back(std::move(entry));
+      }
+    }
+  }
+
+  std::optional<T> TakeLocked(const QualifiedKey& key) {
+    auto it = folders_.find(key);
+    if (it == folders_.end() || it->second.visible.empty()) {
+      return std::nullopt;
+    }
+    auto& visible = it->second.visible;
+    // Unordered: extract a pseudorandom element (swap-with-last removal).
+    const std::size_t idx =
+        static_cast<std::size_t>(rng_.NextBelow(visible.size()));
+    std::swap(visible[idx], visible.back());
+    T value = std::move(visible.back());
+    visible.pop_back();
+    ++stats_.gets;
+    VanishIfEmpty(it);
+    return value;
+  }
+
+  const T* PeekLocked(const QualifiedKey& key) {
+    auto it = folders_.find(key);
+    if (it == folders_.end() || it->second.visible.empty()) return nullptr;
+    auto& visible = it->second.visible;
+    const std::size_t idx =
+        static_cast<std::size_t>(rng_.NextBelow(visible.size()));
+    return &visible[idx];
+  }
+
+  std::optional<std::pair<QualifiedKey, T>> TakeAltLocked(
+      std::span<const QualifiedKey> keys) {
+    // Collect eligible alternatives, then pick one pseudorandomly
+    // ("nondeterministically return a value from an eligible folder").
+    std::vector<std::size_t> eligible;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      auto it = folders_.find(keys[i]);
+      if (it != folders_.end() && !it->second.visible.empty()) {
+        eligible.push_back(i);
+      }
+    }
+    if (eligible.empty()) return std::nullopt;
+    const std::size_t pick =
+        eligible[static_cast<std::size_t>(rng_.NextBelow(eligible.size()))];
+    auto value = TakeLocked(keys[pick]);
+    return std::make_pair(keys[pick], std::move(*value));
+  }
+
+  void VanishIfEmpty(
+      typename std::unordered_map<QualifiedKey, Folder,
+                                  QualifiedKeyHash>::iterator it) {
+    if (it->second.visible.empty() && it->second.delayed.empty()) {
+      folders_.erase(it);
+      ++stats_.folders_vanished;
+    }
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<QualifiedKey, Folder, QualifiedKeyHash> folders_;
+  SplitMix64 rng_;
+  DirectoryStats stats_;
+  bool closed_ = false;
+};
+
+}  // namespace dmemo

@@ -1,0 +1,130 @@
+// Folder names (paper Sec. 6.1.1).
+//
+// "A key is defined to be symbol, S, followed by a vector of unsigned
+// integers, X." The departure from string keys is deliberate: the integer
+// vector makes array-like shared structures cheap (element a[i,j] lives in
+// folder {S=a, X=[i,j,0]}).
+//
+// A Symbol is a 64-bit value. create_symbol() mints process-unique fresh
+// symbols; SymbolFromName() derives a stable cross-process symbol from a
+// string, which is how cooperating processes agree on well-known folders.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/hash.h"
+#include "util/status.h"
+
+namespace dmemo {
+
+using Symbol = std::uint64_t;
+
+// Stable: every process hashing the same name gets the same symbol.
+inline Symbol SymbolFromName(std::string_view name) {
+  return Fnv1a64(name);
+}
+
+struct Key {
+  Symbol S = 0;
+  std::vector<std::uint32_t> X;
+
+  Key() = default;
+  explicit Key(Symbol s) : S(s) {}
+  Key(Symbol s, std::vector<std::uint32_t> x) : S(s), X(std::move(x)) {}
+
+  // Convenience: named folder, optionally with indices.
+  static Key Named(std::string_view name) {
+    return Key(SymbolFromName(name));
+  }
+  static Key Named(std::string_view name, std::vector<std::uint32_t> x) {
+    return Key(SymbolFromName(name), std::move(x));
+  }
+
+  friend bool operator==(const Key& a, const Key& b) {
+    return a.S == b.S && a.X == b.X;
+  }
+
+  std::uint64_t Hash() const {
+    std::uint64_t h = Mix64(S);
+    for (std::uint32_t x : X) h = HashCombine(h, x);
+    return h;
+  }
+
+  void EncodeTo(ByteWriter& out) const {
+    out.u64(S);
+    out.varint(X.size());
+    for (std::uint32_t x : X) out.varint(x);
+  }
+
+  static Result<Key> DecodeFrom(ByteReader& in) {
+    Key key;
+    DMEMO_ASSIGN_OR_RETURN(key.S, in.u64());
+    DMEMO_ASSIGN_OR_RETURN(std::uint64_t n, in.varint());
+    key.X.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(n, 64)));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      DMEMO_ASSIGN_OR_RETURN(std::uint64_t x, in.varint());
+      if (x > 0xffffffffULL) return DataLossError("key index exceeds u32");
+      key.X.push_back(static_cast<std::uint32_t>(x));
+    }
+    return key;
+  }
+
+  std::string DebugString() const {
+    std::string out = "key(" + std::to_string(S);
+    for (std::uint32_t x : X) out += "," + std::to_string(x);
+    return out + ")";
+  }
+};
+
+struct KeyHash {
+  std::size_t operator()(const Key& k) const {
+    return static_cast<std::size_t>(k.Hash());
+  }
+};
+
+// Application-qualified key: "the servers prepend the application's name
+// with each requested folder name" (Sec. 4.3), so one server farm hosts many
+// applications without collisions.
+struct QualifiedKey {
+  std::string app;
+  Key key;
+
+  friend bool operator==(const QualifiedKey& a, const QualifiedKey& b) {
+    return a.app == b.app && a.key == b.key;
+  }
+
+  std::uint64_t Hash() const { return HashCombine(Fnv1a64(app), key.Hash()); }
+
+  void EncodeTo(ByteWriter& out) const {
+    out.str(app);
+    key.EncodeTo(out);
+  }
+
+  static Result<QualifiedKey> DecodeFrom(ByteReader& in) {
+    QualifiedKey qk;
+    DMEMO_ASSIGN_OR_RETURN(qk.app, in.str());
+    DMEMO_ASSIGN_OR_RETURN(qk.key, Key::DecodeFrom(in));
+    return qk;
+  }
+
+  Bytes ToBytes() const {
+    ByteWriter out;
+    EncodeTo(out);
+    return out.take();
+  }
+
+  std::string DebugString() const {
+    return app + ":" + key.DebugString();
+  }
+};
+
+struct QualifiedKeyHash {
+  std::size_t operator()(const QualifiedKey& k) const {
+    return static_cast<std::size_t>(k.Hash());
+  }
+};
+
+}  // namespace dmemo

@@ -1,0 +1,150 @@
+#include "lang/actors.h"
+
+#include "util/log.h"
+
+namespace dmemo {
+
+bool PatternMatches(const MessagePattern& pattern, const std::string& type,
+                    const TransferablePtr& payload) {
+  if (pattern.type != type) return false;
+  if (pattern.fields.empty()) return true;
+  if (payload == nullptr || payload->type_id() != TRecord::kTypeId) {
+    return false;
+  }
+  const auto& record = static_cast<const TRecord&>(*payload);
+  for (const auto& match : pattern.fields) {
+    TransferablePtr value = record.Get(match.field);
+    if (value == nullptr || match.equals == nullptr) return false;
+    if (!TransferableEquals(*value, *match.equals)) return false;
+  }
+  return true;
+}
+
+TransferablePtr MakeActorMessage(const std::string& type,
+                                 TransferablePtr payload) {
+  auto msg = std::make_shared<TRecord>();
+  msg->Set("type", MakeString(type));
+  msg->Set("payload", std::move(payload));
+  return msg;
+}
+
+ActorSystem::ActorSystem(Memo memo, int dispatchers)
+    : memo_(std::move(memo)),
+      dispatchers_(dispatchers),
+      control_(Key(memo_.create_symbol())),
+      in_flight_(Key(memo_.create_symbol())) {}
+
+ActorSystem::~ActorSystem() { Shutdown(); }
+
+Status ActorSystem::Spawn(const std::string& name, Behavior behavior) {
+  if (started_.load()) {
+    return FailedPreconditionError("spawn after start");
+  }
+  auto [it, inserted] = actors_.emplace(name, std::move(behavior));
+  if (!inserted) return AlreadyExistsError("actor " + name + " exists");
+  mailboxes_.push_back(MailboxKey(name));
+  mailbox_owner_.push_back(name);
+  return Status::Ok();
+}
+
+Status ActorSystem::Start() {
+  if (started_.exchange(true)) {
+    return FailedPreconditionError("already started");
+  }
+  DMEMO_RETURN_IF_ERROR(memo_.put(in_flight_, MakeInt32(0)));
+  mailboxes_.push_back(control_);  // dispatchers also wait on control
+  for (int i = 0; i < dispatchers_; ++i) {
+    threads_.emplace_back([this] { DispatcherLoop(); });
+  }
+  return Status::Ok();
+}
+
+Status ActorSystem::Send(const std::string& actor, const std::string& type,
+                         TransferablePtr payload) {
+  // Bump the in-flight counter first so Drain can never observe zero while
+  // a message exists that no handler has finished.
+  DMEMO_ASSIGN_OR_RETURN(TransferablePtr count, memo_.get(in_flight_));
+  const int n = std::static_pointer_cast<TInt32>(count)->value();
+  DMEMO_RETURN_IF_ERROR(memo_.put(in_flight_, MakeInt32(n + 1)));
+  return memo_.put(MailboxKey(actor), MakeActorMessage(type, std::move(payload)));
+}
+
+void ActorSystem::DispatcherLoop() {
+  for (;;) {
+    auto hit = memo_.get_alt(mailboxes_);
+    if (!hit.ok()) return;  // space closed
+    if (hit->first == control_) return;  // shutdown token
+
+    // Which actor does this mailbox belong to?
+    std::string owner;
+    for (std::size_t i = 0; i < mailbox_owner_.size(); ++i) {
+      if (mailboxes_[i] == hit->first) {
+        owner = mailbox_owner_[i];
+        break;
+      }
+    }
+    auto record = std::static_pointer_cast<TRecord>(hit->second);
+    std::string type;
+    TransferablePtr payload;
+    if (record != nullptr && record->Get("type") != nullptr) {
+      type = std::static_pointer_cast<TString>(record->Get("type"))->value();
+      payload = record->Get("payload");
+    }
+
+    const Behavior& behavior = actors_.at(owner);
+    ActorContext ctx(this, owner);
+    bool handled = false;
+    for (const auto& [pattern, handler] : behavior.patterns) {
+      if (PatternMatches(pattern, type, payload)) {
+        handler(ctx, payload);
+        handled = true;
+        break;
+      }
+    }
+    if (!handled) {
+      auto handler_it = behavior.handlers.find(type);
+      if (handler_it != behavior.handlers.end()) {
+        handler_it->second(ctx, payload);
+      } else if (behavior.otherwise) {
+        behavior.otherwise(ctx, payload);
+      } else {
+        DMEMO_LOG(kWarn) << "actor " << owner
+                         << " dropped message of type '" << type << "'";
+      }
+    }
+    handled_.fetch_add(1, std::memory_order_relaxed);
+
+    // Message fully handled: decrement in-flight.
+    auto count = memo_.get(in_flight_);
+    if (!count.ok()) return;
+    const int n = std::static_pointer_cast<TInt32>(*count)->value();
+    (void)memo_.put(in_flight_, MakeInt32(n - 1));
+  }
+}
+
+Status ActorSystem::Drain() {
+  for (;;) {
+    DMEMO_ASSIGN_OR_RETURN(TransferablePtr count,
+                           memo_.get_copy(in_flight_));
+    if (std::static_pointer_cast<TInt32>(count)->value() == 0) {
+      return Status::Ok();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+void ActorSystem::Shutdown() {
+  if (!started_.load() || stopped_.exchange(true)) return;
+  for (int i = 0; i < dispatchers_; ++i) {
+    (void)memo_.put(control_, MakeInt32(0));
+  }
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+std::uint64_t ActorSystem::messages_handled() const {
+  return handled_.load(std::memory_order_relaxed);
+}
+
+}  // namespace dmemo

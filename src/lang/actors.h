@@ -1,0 +1,134 @@
+// Message-driven computing layer (paper Sec. 2: "Message Driven Computing
+// language, a pattern-driven language based on Actors" was implemented on
+// top of the API).
+//
+// Actors are named mailboxes (folders). A behaviour is a set of
+// pattern-handlers keyed by message type; messages are TRecords whose
+// "type" field selects the handler — the pattern-driven dispatch of MDC.
+// Dispatcher threads drain the mailboxes of the actors they own with
+// get_alt, so an idle system parks inside the memo space rather than
+// polling. Sends are ordinary puts: location-transparent, and cross-machine
+// for free when the Memo handle is remote.
+//
+// Folders are unordered queues, so message delivery to one actor is
+// unordered — true to the abstraction (Actors semantics require only
+// fairness, not order).
+#pragma once
+
+#include <functional>
+#include <thread>
+#include <unordered_map>
+
+#include "core/memo.h"
+#include "transferable/composite.h"
+#include "transferable/scalars.h"
+
+namespace dmemo {
+
+class ActorContext;
+
+// Handles one message; may send further messages through the context.
+using ActorHandler =
+    std::function<void(ActorContext&, const TransferablePtr& payload)>;
+
+// MDC-style message pattern: matches a message when the type agrees AND
+// every listed field of the (record) payload structurally equals the given
+// value. Patterns are tried in registration order before the per-type
+// handlers, so the most specific rule can be listed first — the
+// pattern-driven dispatch of Message Driven Computing.
+struct FieldMatch {
+  std::string field;
+  TransferablePtr equals;
+};
+
+struct MessagePattern {
+  std::string type;
+  std::vector<FieldMatch> fields;
+};
+
+// Does `pattern` match a message of `type` with `payload`?
+bool PatternMatches(const MessagePattern& pattern, const std::string& type,
+                    const TransferablePtr& payload);
+
+// A behaviour: guarded patterns (checked first, in order), then a handler
+// per message type, then an optional default.
+struct Behavior {
+  std::vector<std::pair<MessagePattern, ActorHandler>> patterns;
+  std::unordered_map<std::string, ActorHandler> handlers;
+  ActorHandler otherwise;  // null: unmatched messages are dropped (logged)
+};
+
+class ActorSystem {
+ public:
+  // `dispatchers` threads share the work of running all actors.
+  ActorSystem(Memo memo, int dispatchers);
+  ~ActorSystem();
+
+  ActorSystem(const ActorSystem&) = delete;
+  ActorSystem& operator=(const ActorSystem&) = delete;
+
+  // Create an actor. All Spawn calls must precede Start.
+  Status Spawn(const std::string& name, Behavior behavior);
+
+  Status Start();
+
+  // Send `payload` as a `type`-tagged message to the named actor. Any
+  // process holding a Memo on the same application can send — the actor's
+  // address is just a folder name.
+  Status Send(const std::string& actor, const std::string& type,
+              TransferablePtr payload);
+
+  // Block until every message sent so far has been handled.
+  Status Drain();
+
+  void Shutdown();
+
+  std::uint64_t messages_handled() const;
+
+  // The mailbox folder of an actor (stable across processes).
+  static Key MailboxKey(const std::string& actor) {
+    return Key::Named("actor-mailbox:" + actor);
+  }
+
+ private:
+  friend class ActorContext;
+
+  void DispatcherLoop();
+
+  Memo memo_;
+  int dispatchers_;
+  Key control_;   // shutdown tokens land here
+  Key in_flight_; // counter record for Drain
+
+  std::unordered_map<std::string, Behavior> actors_;
+  std::vector<Key> mailboxes_;  // all actor mailboxes + control
+  std::vector<std::string> mailbox_owner_;  // actor name per mailbox index
+  std::vector<std::thread> threads_;
+  std::atomic<std::uint64_t> handled_{0};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+};
+
+// Passed to handlers: identifies the receiving actor and allows sends.
+class ActorContext {
+ public:
+  ActorContext(ActorSystem* system, std::string self)
+      : system_(system), self_(std::move(self)) {}
+
+  const std::string& self() const { return self_; }
+
+  Status Send(const std::string& actor, const std::string& type,
+              TransferablePtr payload) {
+    return system_->Send(actor, type, std::move(payload));
+  }
+
+ private:
+  ActorSystem* system_;
+  std::string self_;
+};
+
+// Build a typed actor message (a TRecord with "type" and "payload").
+TransferablePtr MakeActorMessage(const std::string& type,
+                                 TransferablePtr payload);
+
+}  // namespace dmemo

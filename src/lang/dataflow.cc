@@ -1,0 +1,150 @@
+#include "lang/dataflow.h"
+
+#include "util/log.h"
+
+namespace dmemo {
+
+namespace {
+constexpr std::uint32_t kPoisonNode = 0xffffffffu;
+constexpr std::string_view kErrorField = "__dataflow_error";
+}  // namespace
+
+DataflowGraph::DataflowGraph(Memo memo)
+    : memo_(std::move(memo)),
+      cells_(memo_.create_symbol()),
+      counts_(memo_.create_symbol()),
+      jar_(memo_.create_symbol()) {}
+
+DataflowGraph::~DataflowGraph() { Stop(); }
+
+NodeId DataflowGraph::AddInput() {
+  nodes_.push_back(Node{nullptr, {}});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId DataflowGraph::AddNode(DataflowOp op, std::vector<NodeId> deps) {
+  nodes_.push_back(Node{std::move(op), std::move(deps)});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+Status DataflowGraph::Start(int workers) {
+  if (started_.exchange(true)) {
+    return FailedPreconditionError("dataflow graph already started");
+  }
+  // Arm every trigger before any token can possibly fire: operand cells are
+  // only written by Feed (caller, after Start returns) and by workers
+  // (started last), so no release can race with arming.
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const Node& node = nodes_[id];
+    if (node.op == nullptr) continue;  // input cell
+    if (!node.deps.empty()) {
+      // Arrival counter as a shared record (implicit lock).
+      DMEMO_RETURN_IF_ERROR(memo_.put(CountKey(id), MakeInt32(0)));
+      for (NodeId dep : node.deps) {
+        // Sec. 6.3.3 verbatim: one parked token per operand; the operand's
+        // arrival drops the token into the ready jar.
+        DMEMO_RETURN_IF_ERROR(memo_.put_delayed(
+            CellKey(dep), ReadyJar(),
+            std::make_shared<TUInt32>(id)));
+      }
+    }
+  }
+  // Constant nodes (no operands) are ready immediately.
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id].op != nullptr && nodes_[id].deps.empty()) {
+      DMEMO_RETURN_IF_ERROR(
+          memo_.put(ReadyJar(), std::make_shared<TUInt32>(id)));
+    }
+  }
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::Ok();
+}
+
+Status DataflowGraph::Feed(NodeId input, TransferablePtr value) {
+  if (input >= nodes_.size() || nodes_[input].op != nullptr) {
+    return InvalidArgumentError("node " + std::to_string(input) +
+                                " is not an input");
+  }
+  return memo_.put(CellKey(input), std::move(value));
+}
+
+Result<TransferablePtr> DataflowGraph::Await(NodeId node) {
+  if (node >= nodes_.size()) {
+    return OutOfRangeError("no node " + std::to_string(node));
+  }
+  DMEMO_ASSIGN_OR_RETURN(TransferablePtr value,
+                         memo_.get_copy(CellKey(node)));
+  if (value != nullptr && value->type_id() == TRecord::kTypeId) {
+    auto rec = std::static_pointer_cast<TRecord>(value);
+    if (auto err = rec->Get(kErrorField)) {
+      return InternalError(
+          "dataflow node failed: " +
+          std::static_pointer_cast<TString>(err)->value());
+    }
+  }
+  return value;
+}
+
+void DataflowGraph::WorkerLoop() {
+  for (;;) {
+    auto token = memo_.get(ReadyJar());
+    if (!token.ok()) return;  // space closed
+    const std::uint32_t id =
+        std::static_pointer_cast<TUInt32>(*token)->value();
+    if (id == kPoisonNode) return;
+    FireNode(id);
+  }
+}
+
+void DataflowGraph::FireNode(NodeId id) {
+  const Node& node = nodes_[id];
+  if (!node.deps.empty()) {
+    // Take the arrival counter (implicit lock), bump, decide.
+    auto count = memo_.get(CountKey(id));
+    if (!count.ok()) return;  // shutting down
+    const int arrived =
+        std::static_pointer_cast<TInt32>(*count)->value() + 1;
+    if (arrived < static_cast<int>(node.deps.size())) {
+      (void)memo_.put(CountKey(id), MakeInt32(arrived));
+      return;  // more operands still outstanding
+    }
+    // Last operand arrived; the counter is consumed and its folder
+    // vanishes. Fall through to execution.
+  }
+  std::vector<TransferablePtr> operands;
+  operands.reserve(node.deps.size());
+  for (NodeId dep : node.deps) {
+    auto value = memo_.get_copy(CellKey(dep));
+    if (!value.ok()) return;
+    operands.push_back(std::move(*value));
+  }
+  auto output = node.op(operands);
+  fired_.fetch_add(1, std::memory_order_relaxed);
+  if (output.ok()) {
+    (void)memo_.put(CellKey(id), std::move(*output));
+  } else {
+    // Surface the failure to Await-ers instead of hanging them.
+    auto err = std::make_shared<TRecord>();
+    err->Set(std::string(kErrorField),
+             MakeString(output.status().ToString()));
+    (void)memo_.put(CellKey(id), err);
+  }
+}
+
+void DataflowGraph::Stop() {
+  if (!started_.load() || stopped_.exchange(true)) return;
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    (void)memo_.put(ReadyJar(), std::make_shared<TUInt32>(kPoisonNode));
+  }
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+std::uint64_t DataflowGraph::nodes_fired() const {
+  return fired_.load(std::memory_order_relaxed);
+}
+
+}  // namespace dmemo

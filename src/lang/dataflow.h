@@ -1,0 +1,89 @@
+// Dataflow engine (paper Sec. 2: "Lucid, a dataflow programming language"
+// was implemented on top of the API; Sec. 6.3.3: "The system simplifies
+// dataflow programming by providing the put_delayed procedure").
+//
+// A DataflowGraph is a static network of operation nodes over assign-once
+// operand cells (futures). The engine is D-Memo-native: every piece of its
+// runtime state lives in the memo space —
+//   * operand and output cells are futures (folders written once),
+//   * readiness tokens travel through put_delayed triggers: arming a node
+//     parks one token per operand that releases into the ready jar when the
+//     operand's folder receives its value (Sec. 6.3.3, verbatim mechanism),
+//   * per-node arrival counts are shared records (implicitly locked),
+//   * workers are plain processes draining the ready jar with get.
+// Demand-driven (Lucid-style) evaluation falls out: nothing executes until
+// operands arrive, and pipelines overlap because independent nodes fire as
+// their own operands complete.
+#pragma once
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "core/memo.h"
+#include "transferable/composite.h"
+#include "transferable/scalars.h"
+
+namespace dmemo {
+
+using NodeId = std::uint32_t;
+
+// An operation: operand values in dependency order -> output value.
+using DataflowOp =
+    std::function<Result<TransferablePtr>(std::span<const TransferablePtr>)>;
+
+class DataflowGraph {
+ public:
+  explicit DataflowGraph(Memo memo);
+  ~DataflowGraph();
+
+  DataflowGraph(const DataflowGraph&) = delete;
+  DataflowGraph& operator=(const DataflowGraph&) = delete;
+
+  // An external input cell (fed by the host program).
+  NodeId AddInput();
+
+  // An operation node depending on earlier nodes. Must be called before
+  // Start(); the graph is static, like a Lucid network.
+  NodeId AddNode(DataflowOp op, std::vector<NodeId> deps);
+
+  // Launch `workers` evaluation threads and arm all triggers.
+  Status Start(int workers);
+
+  // Assign an input cell (once).
+  Status Feed(NodeId input, TransferablePtr value);
+
+  // Block until the node's output cell is written; non-destructive.
+  Result<TransferablePtr> Await(NodeId node);
+
+  // Stop workers (idempotent; called by the destructor).
+  void Stop();
+
+  // Nodes fired so far (diagnostics / benches).
+  std::uint64_t nodes_fired() const;
+
+ private:
+  struct Node {
+    DataflowOp op;           // null for inputs
+    std::vector<NodeId> deps;
+  };
+
+  Key CellKey(NodeId id) const { return Key(cells_, {id}); }
+  Key CountKey(NodeId id) const { return Key(counts_, {id}); }
+  Key ReadyJar() const { return Key(jar_); }
+
+  void WorkerLoop();
+  void FireNode(NodeId id);
+
+  Memo memo_;
+  Symbol cells_;   // output/input cells: one future per node
+  Symbol counts_;  // per-node arrival counters (shared records)
+  Symbol jar_;     // the ready jar
+  std::vector<Node> nodes_;
+  std::vector<std::thread> workers_;
+  std::atomic<std::uint64_t> fired_{0};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace dmemo

@@ -1,0 +1,212 @@
+#include "lang/lucid.h"
+
+namespace dmemo {
+
+namespace {
+// Demanding element i of a history-defined stream recurses to i-1; Take()
+// keeps that shallow, and this bound converts runaway direct demands into
+// an error instead of a stack overflow.
+constexpr int kMaxDemandDepth = 4096;
+// Whenever() scans its condition stream forward; a condition that is never
+// true again must terminate with an error, not spin forever.
+constexpr std::uint32_t kMaxWheneverScan = 1u << 16;
+}  // namespace
+
+LucidProgram::LucidProgram(Memo memo)
+    : memo_(std::move(memo)), cells_(memo_.create_symbol()) {}
+
+StreamId LucidProgram::Constant(TransferablePtr value) {
+  streams_.push_back(Stream{Kind::kConstant, std::move(value), nullptr, {},
+                            0, false});
+  return static_cast<StreamId>(streams_.size() - 1);
+}
+
+StreamId LucidProgram::Input() {
+  streams_.push_back(Stream{Kind::kInput, nullptr, nullptr, {}, 0, false});
+  return static_cast<StreamId>(streams_.size() - 1);
+}
+
+StreamId LucidProgram::Map(StreamFn fn, std::vector<StreamId> deps) {
+  streams_.push_back(
+      Stream{Kind::kMap, nullptr, std::move(fn), std::move(deps), 0, false});
+  return static_cast<StreamId>(streams_.size() - 1);
+}
+
+StreamId LucidProgram::Fby(StreamId head, StreamId tail) {
+  streams_.push_back(
+      Stream{Kind::kFby, nullptr, nullptr, {head, tail}, 0, false});
+  return static_cast<StreamId>(streams_.size() - 1);
+}
+
+StreamId LucidProgram::Next(StreamId s) {
+  streams_.push_back(Stream{Kind::kNext, nullptr, nullptr, {s}, 0, false});
+  return static_cast<StreamId>(streams_.size() - 1);
+}
+
+StreamId LucidProgram::First(StreamId s) {
+  streams_.push_back(Stream{Kind::kFirst, nullptr, nullptr, {s}, 0, false});
+  return static_cast<StreamId>(streams_.size() - 1);
+}
+
+StreamId LucidProgram::Whenever(StreamId s, StreamId cond) {
+  streams_.push_back(
+      Stream{Kind::kWhenever, nullptr, nullptr, {s, cond}, 0, false});
+  return static_cast<StreamId>(streams_.size() - 1);
+}
+
+StreamId LucidProgram::Forward() {
+  streams_.push_back(
+      Stream{Kind::kForward, nullptr, nullptr, {}, 0, false});
+  return static_cast<StreamId>(streams_.size() - 1);
+}
+
+Status LucidProgram::Bind(StreamId forward, StreamId definition) {
+  if (forward >= streams_.size() ||
+      streams_[forward].kind != Kind::kForward) {
+    return InvalidArgumentError("not a forward stream");
+  }
+  if (streams_[forward].is_bound) {
+    return FailedPreconditionError("forward stream already bound");
+  }
+  if (definition >= streams_.size()) {
+    return InvalidArgumentError("unknown definition stream");
+  }
+  streams_[forward].bound = definition;
+  streams_[forward].is_bound = true;
+  return Status::Ok();
+}
+
+Status LucidProgram::Feed(StreamId input, std::uint32_t i,
+                          TransferablePtr value) {
+  if (input >= streams_.size() || streams_[input].kind != Kind::kInput) {
+    return InvalidArgumentError("not an input stream");
+  }
+  return memo_.put(CellKey(input, i), std::move(value));
+}
+
+Result<TransferablePtr> LucidProgram::At(StreamId s, std::uint32_t i) {
+  return Demand(s, i, 0);
+}
+
+Result<std::vector<TransferablePtr>> LucidProgram::Take(StreamId s,
+                                                        std::uint32_t n) {
+  std::vector<TransferablePtr> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    DMEMO_ASSIGN_OR_RETURN(TransferablePtr v, Demand(s, i, 0));
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+Result<TransferablePtr> LucidProgram::Demand(StreamId s, std::uint32_t i,
+                                             int depth) {
+  if (s >= streams_.size()) {
+    return OutOfRangeError("unknown stream " + std::to_string(s));
+  }
+  if (depth > kMaxDemandDepth) {
+    return InternalError(
+        "demand recursion too deep — evaluate front to back with Take()");
+  }
+  const Stream& stream = streams_[s];
+  // Aliases and inputs have no memo cells of their own.
+  if (stream.kind == Kind::kForward) {
+    if (!stream.is_bound) {
+      return FailedPreconditionError("forward stream used before Bind");
+    }
+    return Demand(stream.bound, i, depth + 1);
+  }
+  if (stream.kind == Kind::kInput) {
+    // Blocks until the host feeds the element (assign-once cell).
+    return memo_.get_copy(CellKey(s, i));
+  }
+  DMEMO_ASSIGN_OR_RETURN(std::uint64_t present, memo_.count(CellKey(s, i)));
+  if (present > 0) {
+    return memo_.get_copy(CellKey(s, i));
+  }
+  DMEMO_ASSIGN_OR_RETURN(TransferablePtr value, Compute(s, i, depth));
+  ++computed_;
+  // Another demander may have raced us here; both computed the same
+  // deterministic value, so an extra equal memo is harmless (reads copy).
+  DMEMO_ASSIGN_OR_RETURN(std::uint64_t raced, memo_.count(CellKey(s, i)));
+  if (raced == 0) {
+    DMEMO_RETURN_IF_ERROR(memo_.put(CellKey(s, i), value));
+  }
+  return value;
+}
+
+Result<TransferablePtr> LucidProgram::Compute(StreamId s, std::uint32_t i,
+                                              int depth) {
+  const Stream& stream = streams_[s];
+  switch (stream.kind) {
+    case Kind::kConstant:
+      return stream.constant;
+    case Kind::kMap: {
+      std::vector<TransferablePtr> args;
+      args.reserve(stream.deps.size());
+      for (StreamId dep : stream.deps) {
+        DMEMO_ASSIGN_OR_RETURN(TransferablePtr v, Demand(dep, i, depth + 1));
+        args.push_back(std::move(v));
+      }
+      return stream.fn(args);
+    }
+    case Kind::kFby:
+      return i == 0 ? Demand(stream.deps[0], 0, depth + 1)
+                    : Demand(stream.deps[1], i - 1, depth + 1);
+    case Kind::kNext:
+      return Demand(stream.deps[0], i + 1, depth + 1);
+    case Kind::kFirst:
+      return Demand(stream.deps[0], 0, depth + 1);
+    case Kind::kWhenever: {
+      // Find the (i+1)-th tick where the condition holds.
+      std::uint32_t seen = 0;
+      for (std::uint32_t j = 0; j < kMaxWheneverScan; ++j) {
+        DMEMO_ASSIGN_OR_RETURN(TransferablePtr c,
+                               Demand(stream.deps[1], j, depth + 1));
+        if (c == nullptr || c->type_id() != TBool::kTypeId) {
+          return InvalidArgumentError(
+              "whenever condition must be a bool stream");
+        }
+        if (std::static_pointer_cast<TBool>(c)->value()) {
+          if (seen == i) return Demand(stream.deps[0], j, depth + 1);
+          ++seen;
+        }
+      }
+      return OutOfRangeError("whenever: condition true fewer than " +
+                             std::to_string(i + 1) + " times in scan range");
+    }
+    case Kind::kInput:
+    case Kind::kForward:
+      return InternalError("handled in Demand");
+  }
+  return InternalError("unknown stream kind");
+}
+
+StreamFn AddFn() {
+  return [](std::span<const TransferablePtr> args) -> Result<TransferablePtr> {
+    std::int64_t sum = 0;
+    for (const auto& a : args) {
+      sum += std::static_pointer_cast<TInt64>(a)->value();
+    }
+    return MakeInt64(sum);
+  };
+}
+
+StreamFn MulFn() {
+  return [](std::span<const TransferablePtr> args) -> Result<TransferablePtr> {
+    std::int64_t prod = 1;
+    for (const auto& a : args) {
+      prod *= std::static_pointer_cast<TInt64>(a)->value();
+    }
+    return MakeInt64(prod);
+  };
+}
+
+StreamFn IntPredicateFn(std::function<bool(std::int64_t)> pred) {
+  return [pred = std::move(pred)](std::span<const TransferablePtr> args)
+             -> Result<TransferablePtr> {
+    return MakeBool(pred(std::static_pointer_cast<TInt64>(args[0])->value()));
+  };
+}
+
+}  // namespace dmemo

@@ -1,0 +1,106 @@
+// Lucid-style streams over the memo space (paper Sec. 2: "Lucid, a dataflow
+// programming language" was implemented on top of the API; reference [5] is
+// the authors' own demand-driven Lucid translation).
+//
+// A Lucid variable is an infinite stream; programs are equations over
+// streams. This layer implements the classic operator set —
+//
+//   Constant(v)      v, v, v, ...
+//   Input()          fed element-by-element by the host
+//   Map(f, deps)     pointwise application
+//   Fby(h, t)        h(0), t(0), t(1), ...        ("followed by")
+//   Next(s)          s(1), s(2), ...
+//   First(s)         s(0), s(0), ...
+//   Whenever(s, c)   s filtered to ticks where c is true
+//
+// with *demand-driven* evaluation: At(stream, i) computes exactly the
+// elements the answer transitively needs, memoized in the memo space (each
+// stream is an I-structure: folder {S=stream_sym, X=[i]} holds element i —
+// Sec. 6.2.5's "I-structures were invented for dataflow" made literal).
+// Recursive definitions (nat = 0 fby nat+1) use Forward()/Bind().
+//
+// Cells are assign-once and values are deterministic; concurrent demand may
+// recompute a cell (both writers race) but every copy is equal, so reads
+// via get_copy are well-defined regardless.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/memo.h"
+#include "transferable/scalars.h"
+
+namespace dmemo {
+
+using StreamId = std::uint32_t;
+
+// Pointwise function: one value per dependency stream at the same tick.
+using StreamFn =
+    std::function<Result<TransferablePtr>(std::span<const TransferablePtr>)>;
+
+class LucidProgram {
+ public:
+  explicit LucidProgram(Memo memo);
+
+  LucidProgram(const LucidProgram&) = delete;
+  LucidProgram& operator=(const LucidProgram&) = delete;
+
+  StreamId Constant(TransferablePtr value);
+  StreamId Input();
+  StreamId Map(StreamFn fn, std::vector<StreamId> deps);
+  StreamId Fby(StreamId head, StreamId tail);
+  StreamId Next(StreamId s);
+  StreamId First(StreamId s);
+  // Elements of `s` at ticks where `cond` (a TBool stream) is true,
+  // compacted: Whenever(s,c)(i) = s(j) for the i-th j with c(j) true.
+  StreamId Whenever(StreamId s, StreamId cond);
+
+  // Recursive equations: declare, use, then bind the definition.
+  StreamId Forward();
+  Status Bind(StreamId forward, StreamId definition);
+
+  // Feed element i of an input stream (assign-once per element).
+  Status Feed(StreamId input, std::uint32_t i, TransferablePtr value);
+
+  // Demand element i (blocking only on unfed input elements).
+  Result<TransferablePtr> At(StreamId s, std::uint32_t i);
+
+  // First n elements, evaluated front to back (keeps recursion shallow for
+  // history-dependent streams like nat/fib).
+  Result<std::vector<TransferablePtr>> Take(StreamId s, std::uint32_t n);
+
+  // Elements actually computed (memoization metric for tests/benches).
+  std::uint64_t cells_computed() const { return computed_; }
+
+ private:
+  enum class Kind { kConstant, kInput, kMap, kFby, kNext, kFirst,
+                    kWhenever, kForward };
+
+  struct Stream {
+    Kind kind;
+    TransferablePtr constant;      // kConstant
+    StreamFn fn;                   // kMap
+    std::vector<StreamId> deps;    // kMap / kFby{head,tail} / kNext / ...
+    StreamId bound = 0;            // kForward after Bind
+    bool is_bound = false;
+  };
+
+  Key CellKey(StreamId s, std::uint32_t i) const {
+    return Key(cells_, {s, i});
+  }
+
+  Result<TransferablePtr> Demand(StreamId s, std::uint32_t i, int depth);
+  Result<TransferablePtr> Compute(StreamId s, std::uint32_t i, int depth);
+
+  Memo memo_;
+  Symbol cells_;
+  std::vector<Stream> streams_;
+  std::uint64_t computed_ = 0;
+};
+
+// Convenience numeric helpers for the common integer-stream programs.
+StreamFn AddFn();
+StreamFn MulFn();
+StreamFn IntPredicateFn(std::function<bool(std::int64_t)> pred);
+
+}  // namespace dmemo

@@ -1,0 +1,155 @@
+#include "locking/lock.h"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace dmemo {
+
+namespace {
+
+class SpinLock final : public Lock {
+ public:
+  void Acquire() override {
+    int spins = 0;
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+      // Exponential backoff: brief busy-wait, then yield to the scheduler so
+      // oversubscribed hosts (more workers than cores) make progress.
+      if (++spins < 64) {
+#if defined(__x86_64__)
+        __builtin_ia32_pause();
+#endif
+      } else {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+  }
+
+  void Release() override { flag_.clear(std::memory_order_release); }
+
+  bool TryAcquire() override {
+    return !flag_.test_and_set(std::memory_order_acquire);
+  }
+
+  std::string_view mechanism() const override { return "spin"; }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+class MutexLock final : public Lock {
+ public:
+  void Acquire() override { mu_.lock(); }
+  void Release() override { mu_.unlock(); }
+  bool TryAcquire() override { return mu_.try_lock(); }
+  std::string_view mechanism() const override { return "mutex"; }
+
+ private:
+  std::mutex mu_;
+};
+
+class SemaphoreLock final : public Lock {
+ public:
+  SemaphoreLock() : sem_(1) {}
+  void Acquire() override { sem_.Acquire(); }
+  void Release() override { sem_.Release(); }
+  bool TryAcquire() override { return sem_.TryAcquire(); }
+  std::string_view mechanism() const override { return "semaphore"; }
+
+ private:
+  CountingSemaphore sem_;
+};
+
+// flock-based lock: the only derivation that synchronizes *unrelated*
+// processes by name, which the launcher uses for registration critical
+// sections.
+class FileLock final : public Lock {
+ public:
+  explicit FileLock(int fd) : fd_(fd) {}
+  ~FileLock() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void Acquire() override { ::flock(fd_, LOCK_EX); }
+  void Release() override { ::flock(fd_, LOCK_UN); }
+  bool TryAcquire() override {
+    return ::flock(fd_, LOCK_EX | LOCK_NB) == 0;
+  }
+  std::string_view mechanism() const override { return "file"; }
+
+ private:
+  int fd_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Lock>> MakeLock(LockKind kind, std::string path) {
+  switch (kind) {
+    case LockKind::kSpin:
+      return std::unique_ptr<Lock>(std::make_unique<SpinLock>());
+    case LockKind::kMutex:
+      return std::unique_ptr<Lock>(std::make_unique<MutexLock>());
+    case LockKind::kSemaphore:
+      return std::unique_ptr<Lock>(std::make_unique<SemaphoreLock>());
+    case LockKind::kFile: {
+      if (path.empty()) {
+        return InvalidArgumentError("file lock requires a path");
+      }
+      int fd = ::open(path.c_str(), O_CREAT | O_RDWR, 0600);
+      if (fd < 0) {
+        return UnavailableError("cannot open lock file " + path);
+      }
+      return std::unique_ptr<Lock>(std::make_unique<FileLock>(fd));
+    }
+  }
+  return InvalidArgumentError("unknown lock kind");
+}
+
+struct CountingSemaphore::Impl {
+  std::mutex mu;
+  std::condition_variable cv;
+  int count;
+};
+
+CountingSemaphore::CountingSemaphore(int initial)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->count = initial;
+}
+
+CountingSemaphore::~CountingSemaphore() = default;
+
+void CountingSemaphore::Acquire() {
+  std::unique_lock lock(impl_->mu);
+  impl_->cv.wait(lock, [&] { return impl_->count > 0; });
+  --impl_->count;
+}
+
+bool CountingSemaphore::TryAcquire() {
+  std::unique_lock lock(impl_->mu);
+  if (impl_->count <= 0) return false;
+  --impl_->count;
+  return true;
+}
+
+void CountingSemaphore::Release(int n) {
+  std::unique_lock lock(impl_->mu);
+  impl_->count += n;
+  if (n == 1) {
+    impl_->cv.notify_one();
+  } else {
+    impl_->cv.notify_all();
+  }
+}
+
+int CountingSemaphore::value() const {
+  std::unique_lock lock(impl_->mu);
+  return impl_->count;
+}
+
+}  // namespace dmemo

@@ -1,0 +1,72 @@
+// Locking foundation (paper Sec. 3.1.4).
+//
+// "Mechanisms for low-level locking tend to vary between platforms... there
+// are times when it is a good idea not to use a semaphore and opt for a more
+// efficient locking mechanism." The abstract Lock is the commonality; the
+// derivations below are genuinely different mechanisms (CAS spin, futex-based
+// mutex, counting semaphore, kernel file lock), selected at run time through
+// the factory — the same class-derivation story the paper tells for shared
+// memory.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace dmemo {
+
+class Lock {
+ public:
+  virtual ~Lock() = default;
+
+  virtual void Acquire() = 0;
+  virtual void Release() = 0;
+  // Non-blocking attempt; true when the lock was taken.
+  virtual bool TryAcquire() = 0;
+
+  // Mechanism label, e.g. "spin", "mutex" (diagnostics, bench labels).
+  virtual std::string_view mechanism() const = 0;
+};
+
+enum class LockKind {
+  kSpin,       // userspace CAS loop with exponential backoff
+  kMutex,      // std::mutex (futex on Linux)
+  kSemaphore,  // binary counting-semaphore
+  kFile,       // flock() on a path: works across unrelated processes
+};
+
+// Create a lock of the given kind. kFile requires `path` (a lock file that
+// will be created if absent); other kinds ignore it.
+Result<std::unique_ptr<Lock>> MakeLock(LockKind kind, std::string path = "");
+
+// RAII guard over the abstract Lock.
+class ScopedLock {
+ public:
+  explicit ScopedLock(Lock& lock) : lock_(lock) { lock_.Acquire(); }
+  ~ScopedLock() { lock_.Release(); }
+  ScopedLock(const ScopedLock&) = delete;
+  ScopedLock& operator=(const ScopedLock&) = delete;
+
+ private:
+  Lock& lock_;
+};
+
+// Counting semaphore used by the patterns layer and the semaphore lock.
+class CountingSemaphore {
+ public:
+  explicit CountingSemaphore(int initial);
+  ~CountingSemaphore();  // out-of-line: Impl is incomplete here
+
+  void Acquire();
+  bool TryAcquire();
+  void Release(int n = 1);
+  int value() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace dmemo

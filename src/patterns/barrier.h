@@ -1,0 +1,51 @@
+// Barriers over folders (listed among the API's supported mechanisms in
+// Sec. 2). Construction: every participant deposits an arrival memo;
+// participant 0 acts as the collector — it extracts all N arrival memos
+// (blocking until everyone has arrived) and then deposits N-1 release
+// memos. The collector role is fixed by rank, so there is no election and
+// no race; reuse across rounds comes from the round index in the key.
+#pragma once
+
+#include "core/memo.h"
+#include "transferable/scalars.h"
+
+namespace dmemo {
+
+class MemoBarrier {
+ public:
+  // All participants must construct with the same symbol and count.
+  // `rank` in [0, participants); rank 0 is the collector.
+  MemoBarrier(Memo memo, Symbol name, std::uint32_t participants,
+              std::uint32_t rank)
+      : memo_(std::move(memo)),
+        name_(name),
+        participants_(participants),
+        rank_(rank) {}
+
+  // Block until all participants have arrived at `round`.
+  Status Arrive(std::uint32_t round) {
+    if (participants_ <= 1) return Status::Ok();
+    const Key arrivals(name_, {round, 0});
+    const Key releases(name_, {round, 1});
+    if (rank_ == 0) {
+      // Collector: wait for everyone else, then open the gate.
+      for (std::uint32_t i = 1; i < participants_; ++i) {
+        DMEMO_RETURN_IF_ERROR(memo_.get(arrivals).status());
+      }
+      for (std::uint32_t i = 1; i < participants_; ++i) {
+        DMEMO_RETURN_IF_ERROR(memo_.put(releases, MakeInt32(1)));
+      }
+      return Status::Ok();
+    }
+    DMEMO_RETURN_IF_ERROR(memo_.put(arrivals, MakeInt32(1)));
+    return memo_.get(releases).status();
+  }
+
+ private:
+  Memo memo_;
+  Symbol name_;
+  std::uint32_t participants_;
+  std::uint32_t rank_;
+};
+
+}  // namespace dmemo

@@ -1,0 +1,48 @@
+// Futures (Sec. 6.2.5): "A future is an assign-once variable used to
+// communicate between a producer and a consumer... In D-Memo, any folder
+// that will have only one memo ever placed into it may correspond to a
+// future. The folder will vanish once the memo is removed."
+#pragma once
+
+#include "core/memo.h"
+
+namespace dmemo {
+
+class Future {
+ public:
+  Future(Memo memo, Key key) : memo_(std::move(memo)), key_(key) {}
+
+  // Producer side: assign once. (A second Set violates the discipline; the
+  // paper leaves that a programming error and so do we.)
+  Status Set(TransferablePtr value) {
+    return memo_.put(key_, std::move(value));
+  }
+
+  // Consumer side, non-destructive: blocks until assigned, leaves the value
+  // so other consumers can also Wait.
+  Result<TransferablePtr> Wait() { return memo_.get_copy(key_); }
+
+  // Consumer side, destructive: take the value; the future's folder
+  // vanishes (single-consumer hand-off).
+  Result<TransferablePtr> Take() { return memo_.get(key_); }
+
+  Result<bool> IsSet() {
+    DMEMO_ASSIGN_OR_RETURN(std::uint64_t n, memo_.count(key_));
+    return n > 0;
+  }
+
+  // "Since it is usually better not to block an entire process, the
+  // consumer can delay a memo for a job jar in the future's folder that
+  // will trigger the desired computation when the data becomes available."
+  Status Trigger(const Key& job_jar, TransferablePtr operation) {
+    return memo_.put_delayed(key_, job_jar, std::move(operation));
+  }
+
+  const Key& key() const { return key_; }
+
+ private:
+  Memo memo_;
+  Key key_;
+};
+
+}  // namespace dmemo

@@ -1,0 +1,62 @@
+// I-structures (Sec. 6.2.5): "An I-structure (an 'incremental structure')
+// is a collection (e.g. an array) of futures. I-structures were invented
+// for dataflow." Each element is an assign-once cell; readers of an
+// unwritten cell block until its producer writes it.
+#pragma once
+
+#include "core/memo.h"
+#include "patterns/future.h"
+
+namespace dmemo {
+
+class IStructure {
+ public:
+  IStructure(Memo memo, Symbol name, std::uint32_t size)
+      : memo_(std::move(memo)), name_(name), size_(size) {}
+
+  std::uint32_t size() const { return size_; }
+
+  Key ElementKey(std::uint32_t i) const { return Key(name_, {i}); }
+
+  // Assign-once write of element i.
+  Status Write(std::uint32_t i, TransferablePtr value) {
+    DMEMO_RETURN_IF_ERROR(CheckBounds(i));
+    return memo_.put(ElementKey(i), std::move(value));
+  }
+
+  // Blocking, non-destructive read: the I-structure read rule.
+  Result<TransferablePtr> Read(std::uint32_t i) {
+    DMEMO_RETURN_IF_ERROR(CheckBounds(i));
+    return memo_.get_copy(ElementKey(i));
+  }
+
+  Result<bool> Written(std::uint32_t i) {
+    DMEMO_RETURN_IF_ERROR(CheckBounds(i));
+    DMEMO_ASSIGN_OR_RETURN(std::uint64_t n, memo_.count(ElementKey(i)));
+    return n > 0;
+  }
+
+  // Dataflow trigger on element i (put_delayed under the hood).
+  Status Trigger(std::uint32_t i, const Key& job_jar,
+                 TransferablePtr operation) {
+    DMEMO_RETURN_IF_ERROR(CheckBounds(i));
+    return memo_.put_delayed(ElementKey(i), job_jar, std::move(operation));
+  }
+
+  Future Element(std::uint32_t i) { return Future(memo_, ElementKey(i)); }
+
+ private:
+  Status CheckBounds(std::uint32_t i) const {
+    if (i >= size_) {
+      return OutOfRangeError("i-structure element " + std::to_string(i) +
+                             " outside size " + std::to_string(size_));
+    }
+    return Status::Ok();
+  }
+
+  Memo memo_;
+  Symbol name_;
+  std::uint32_t size_;
+};
+
+}  // namespace dmemo

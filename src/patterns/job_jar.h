@@ -1,0 +1,66 @@
+// Job jars (Sec. 6.2.4): "The memos in the job jar indicate tasks to
+// perform. When ever a process creates more work to do, it drops memos in
+// the job jar. It is often convenient to have one job jar for each process
+// and one common jar for all."
+#pragma once
+
+#include "core/memo.h"
+
+namespace dmemo {
+
+class JobJar {
+ public:
+  JobJar(Memo memo, Key jar) : memo_(std::move(memo)), jar_(jar) {}
+
+  // Conventional jar keys: the common jar is index 0, worker w's private
+  // jar is index w+1, under one well-known symbol.
+  static Key CommonJar(Symbol jars) { return Key(jars, {0}); }
+  static Key PrivateJar(Symbol jars, std::uint32_t worker) {
+    return Key(jars, {worker + 1});
+  }
+
+  Status Drop(TransferablePtr task) { return memo_.put(jar_, std::move(task)); }
+
+  // Blocking: wait for a task.
+  Result<TransferablePtr> TakeTask() { return memo_.get(jar_); }
+
+  // Non-blocking: nullopt when the jar is empty.
+  Result<std::optional<TransferablePtr>> TryTakeTask() {
+    return memo_.get_skip(jar_);
+  }
+
+  Result<std::uint64_t> Pending() { return memo_.count(jar_); }
+
+  const Key& key() const { return jar_; }
+
+ private:
+  Memo memo_;
+  Key jar_;
+};
+
+// A worker's view: its private jar plus the common jar, drained with
+// get_alt / get_alt_skip exactly as Sec. 6.2.4 prescribes.
+class WorkerJars {
+ public:
+  WorkerJars(Memo memo, Symbol jars, std::uint32_t worker)
+      : memo_(std::move(memo)),
+        keys_{JobJar::PrivateJar(jars, worker), JobJar::CommonJar(jars)} {}
+
+  // Blocking: a task from either jar.
+  Result<TransferablePtr> TakeTask() {
+    DMEMO_ASSIGN_OR_RETURN(auto hit, memo_.get_alt(keys_));
+    return std::move(hit.second);
+  }
+
+  Result<std::optional<TransferablePtr>> TryTakeTask() {
+    DMEMO_ASSIGN_OR_RETURN(auto hit, memo_.get_alt_skip(keys_));
+    if (!hit.has_value()) return std::optional<TransferablePtr>();
+    return std::optional<TransferablePtr>(std::move(hit->second));
+  }
+
+ private:
+  Memo memo_;
+  std::vector<Key> keys_;
+};
+
+}  // namespace dmemo

@@ -1,0 +1,47 @@
+// Named objects (Sec. 6.2.1): "A folder that holds at most one memo can
+// represent a dynamically allocated object on the heap. Instead of pointers
+// to objects, we use folder names."
+#pragma once
+
+#include "core/memo.h"
+
+namespace dmemo {
+
+class NamedObject {
+ public:
+  NamedObject(Memo memo, Key key) : memo_(std::move(memo)), key_(key) {}
+
+  // Create the object (folder must be empty; enforced by convention, as in
+  // the paper — a second Create adds a second memo and breaks the idiom).
+  Status Create(TransferablePtr initial) {
+    return memo_.put(key_, std::move(initial));
+  }
+
+  // Read without consuming (blocking until the object exists).
+  Result<TransferablePtr> Read() { return memo_.get_copy(key_); }
+
+  // Take exclusive ownership (the folder empties: others block).
+  Result<TransferablePtr> Take() { return memo_.get(key_); }
+
+  // Return ownership / overwrite.
+  Status Store(TransferablePtr value) {
+    return memo_.put(key_, std::move(value));
+  }
+
+  // Destroy: consume the memo; the folder vanishes.
+  Status Destroy() { return memo_.get(key_).status(); }
+
+  // Does the object currently exist? (non-blocking probe)
+  Result<bool> Exists() {
+    DMEMO_ASSIGN_OR_RETURN(std::uint64_t n, memo_.count(key_));
+    return n > 0;
+  }
+
+  const Key& key() const { return key_; }
+
+ private:
+  Memo memo_;
+  Key key_;
+};
+
+}  // namespace dmemo

@@ -1,0 +1,97 @@
+// Ordered queues (paper Sec. 2 lists "unordered and ordered queues" among
+// the API's primitives).
+//
+// Folders are deliberately unordered, so FIFO order is built *on top*: two
+// ticket counters (shared records, implicitly locked) assign each pushed
+// element a sequence number and each popper the next sequence to read;
+// element n lives in its own folder {S=name, X=[n]}. Multiple producers
+// and multiple consumers are safe; consumers block on the element folder
+// (a future) until the producer holding that ticket delivers.
+#pragma once
+
+#include "core/memo.h"
+#include "transferable/scalars.h"
+
+namespace dmemo {
+
+class OrderedQueue {
+ public:
+  OrderedQueue(Memo memo, Symbol name) : memo_(std::move(memo)), name_(name) {}
+
+  // Create the queue's counters. Call once, from one process.
+  Status Initialize() {
+    DMEMO_RETURN_IF_ERROR(memo_.put(TailKey(), MakeUInt64(0)));
+    return memo_.put(HeadKey(), MakeUInt64(0));
+  }
+
+  // Append: take a ticket, deposit at that sequence. FIFO per the ticket
+  // order (concurrent pushes serialize on the tail counter).
+  Status Push(TransferablePtr value) {
+    DMEMO_ASSIGN_OR_RETURN(std::uint64_t seq, NextTicket(TailKey()));
+    return memo_.put(ElementKey(seq), std::move(value));
+  }
+
+  // Remove the oldest element; blocks until it is available.
+  Result<TransferablePtr> Pop() {
+    DMEMO_ASSIGN_OR_RETURN(std::uint64_t seq, NextTicket(HeadKey()));
+    return memo_.get(ElementKey(seq));
+  }
+
+  // Non-blocking variant: nullopt when the queue is empty. Unlike Pop it
+  // must not claim a ticket it cannot redeem, so it peeks the counters
+  // under the head record's implicit lock.
+  Result<std::optional<TransferablePtr>> TryPop() {
+    DMEMO_ASSIGN_OR_RETURN(TransferablePtr head_rec, memo_.get(HeadKey()));
+    const std::uint64_t head =
+        std::static_pointer_cast<TUInt64>(head_rec)->value();
+    // Tail is read with a copy; it can only grow, so a stale value is safe
+    // (we may report empty spuriously, never pop a missing element).
+    DMEMO_ASSIGN_OR_RETURN(TransferablePtr tail_rec,
+                           memo_.get_copy(TailKey()));
+    const std::uint64_t tail =
+        std::static_pointer_cast<TUInt64>(tail_rec)->value();
+    if (head >= tail) {
+      DMEMO_RETURN_IF_ERROR(memo_.put(HeadKey(), MakeUInt64(head)));
+      return std::optional<TransferablePtr>();
+    }
+    DMEMO_RETURN_IF_ERROR(memo_.put(HeadKey(), MakeUInt64(head + 1)));
+    DMEMO_ASSIGN_OR_RETURN(TransferablePtr value,
+                           memo_.get(ElementKey(head)));
+    return std::optional<TransferablePtr>(std::move(value));
+  }
+
+  // Elements pushed but not yet popped (approximate under concurrency).
+  Result<std::uint64_t> Size() {
+    DMEMO_ASSIGN_OR_RETURN(TransferablePtr tail_rec,
+                           memo_.get_copy(TailKey()));
+    DMEMO_ASSIGN_OR_RETURN(TransferablePtr head_rec,
+                           memo_.get_copy(HeadKey()));
+    const std::uint64_t tail =
+        std::static_pointer_cast<TUInt64>(tail_rec)->value();
+    const std::uint64_t head =
+        std::static_pointer_cast<TUInt64>(head_rec)->value();
+    return tail > head ? tail - head : 0;
+  }
+
+ private:
+  Key ElementKey(std::uint64_t seq) const {
+    return Key(name_, {1, static_cast<std::uint32_t>(seq >> 32),
+                       static_cast<std::uint32_t>(seq)});
+  }
+  Key TailKey() const { return Key(name_, {2}); }
+  Key HeadKey() const { return Key(name_, {3}); }
+
+  // Atomically read-and-increment a counter record (implicit lock).
+  Result<std::uint64_t> NextTicket(const Key& counter) {
+    DMEMO_ASSIGN_OR_RETURN(TransferablePtr rec, memo_.get(counter));
+    const std::uint64_t seq =
+        std::static_pointer_cast<TUInt64>(rec)->value();
+    DMEMO_RETURN_IF_ERROR(memo_.put(counter, MakeUInt64(seq + 1)));
+    return seq;
+  }
+
+  Memo memo_;
+  Symbol name_;
+};
+
+}  // namespace dmemo

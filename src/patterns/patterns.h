@@ -1,0 +1,16 @@
+// Shared data structures and synchronization mechanisms (paper Sec. 6.2 and
+// 6.3) packaged as a library over the Memo API. Every class here is a thin
+// discipline over folders and memos — exactly the point the paper makes:
+// the directory of unordered queues is expressive enough that these are
+// idioms, not new machinery.
+#pragma once
+
+#include "patterns/barrier.h"
+#include "patterns/future.h"
+#include "patterns/istructure.h"
+#include "patterns/job_jar.h"
+#include "patterns/named_object.h"
+#include "patterns/ordered_queue.h"
+#include "patterns/semaphore.h"
+#include "patterns/shared_array.h"
+#include "patterns/shared_record.h"

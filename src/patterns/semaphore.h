@@ -1,0 +1,55 @@
+// Counting semaphores over folders (Sec. 6.3.2): "The simplest
+// implementation of a counting semaphore is identical to a lock, except
+// that the semaphore is initialized with as many memos as needed."
+#pragma once
+
+#include "core/memo.h"
+#include "transferable/scalars.h"
+
+namespace dmemo {
+
+class MemoSemaphore {
+ public:
+  MemoSemaphore(Memo memo, Key key) : memo_(std::move(memo)), key_(key) {}
+
+  // Deposit `count` tokens. Call once, from one process.
+  Status Initialize(int count) {
+    for (int i = 0; i < count; ++i) {
+      DMEMO_RETURN_IF_ERROR(memo_.put(key_, MakeInt32(1)));
+    }
+    return Status::Ok();
+  }
+
+  // P: blocks until a token is available.
+  Status Acquire() { return memo_.get(key_).status(); }
+
+  // Non-blocking P.
+  Result<bool> TryAcquire() {
+    DMEMO_ASSIGN_OR_RETURN(auto token, memo_.get_skip(key_));
+    return token.has_value();
+  }
+
+  // V.
+  Status Release() { return memo_.put(key_, MakeInt32(1)); }
+
+  Result<std::uint64_t> Value() { return memo_.count(key_); }
+
+ private:
+  Memo memo_;
+  Key key_;
+};
+
+// A mutex is a semaphore initialized with one memo ("identical to a lock").
+class MemoLock {
+ public:
+  MemoLock(Memo memo, Key key) : sem_(std::move(memo), key) {}
+
+  Status Initialize() { return sem_.Initialize(1); }
+  Status Acquire() { return sem_.Acquire(); }
+  Status Release() { return sem_.Release(); }
+
+ private:
+  MemoSemaphore sem_;
+};
+
+}  // namespace dmemo

@@ -1,0 +1,71 @@
+// Shared arrays (Sec. 6.2.2): element a[i,j] lives in the folder whose key
+// is {S = a, X = [i, j, 0]}. The class only builds keys; storage semantics
+// are the named-object idiom per element.
+#pragma once
+
+#include "core/memo.h"
+
+namespace dmemo {
+
+// A distributed 2-D array of transferables. Elements are independent
+// folders, so distinct elements never contend and reside on whichever
+// folder server their key hashes to — data distribution for free.
+class SharedArray2D {
+ public:
+  SharedArray2D(Memo memo, Symbol name, std::uint32_t rows,
+                std::uint32_t cols)
+      : memo_(std::move(memo)), name_(name), rows_(rows), cols_(cols) {}
+
+  std::uint32_t rows() const { return rows_; }
+  std::uint32_t cols() const { return cols_; }
+
+  // The paper's key construction, verbatim: X = [i, j, 0].
+  Key ElementKey(std::uint32_t i, std::uint32_t j) const {
+    Key key;
+    key.S = name_;
+    key.X = {i, j, 0};
+    return key;
+  }
+
+  Status Write(std::uint32_t i, std::uint32_t j, TransferablePtr value) {
+    DMEMO_RETURN_IF_ERROR(CheckBounds(i, j));
+    return memo_.put(ElementKey(i, j), std::move(value));
+  }
+
+  // Blocking read-without-consume: readers wait for writers.
+  Result<TransferablePtr> Read(std::uint32_t i, std::uint32_t j) {
+    DMEMO_RETURN_IF_ERROR(CheckBounds(i, j));
+    return memo_.get_copy(ElementKey(i, j));
+  }
+
+  // Exclusive checkout of one element (implicit lock, Sec. 6.3.1).
+  Result<TransferablePtr> Take(std::uint32_t i, std::uint32_t j) {
+    DMEMO_RETURN_IF_ERROR(CheckBounds(i, j));
+    return memo_.get(ElementKey(i, j));
+  }
+
+  // Non-blocking probe.
+  Result<bool> Present(std::uint32_t i, std::uint32_t j) {
+    DMEMO_RETURN_IF_ERROR(CheckBounds(i, j));
+    DMEMO_ASSIGN_OR_RETURN(std::uint64_t n, memo_.count(ElementKey(i, j)));
+    return n > 0;
+  }
+
+ private:
+  Status CheckBounds(std::uint32_t i, std::uint32_t j) const {
+    if (i >= rows_ || j >= cols_) {
+      return OutOfRangeError("array element (" + std::to_string(i) + "," +
+                             std::to_string(j) + ") outside " +
+                             std::to_string(rows_) + "x" +
+                             std::to_string(cols_));
+    }
+    return Status::Ok();
+  }
+
+  Memo memo_;
+  Symbol name_;
+  std::uint32_t rows_;
+  std::uint32_t cols_;
+};
+
+}  // namespace dmemo

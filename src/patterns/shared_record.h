@@ -1,0 +1,70 @@
+// Shared records with implicit locks (Sec. 6.3.1): "Shared records are
+// accessed by getting them from their folders, examining and updating them,
+// then putting them back. While the record is being updated, it's folder is
+// empty. If any other process try to access it, it will be blocked."
+#pragma once
+
+#include "core/memo.h"
+
+namespace dmemo {
+
+class SharedRecord {
+ public:
+  SharedRecord(Memo memo, Key key) : memo_(std::move(memo)), key_(key) {}
+
+  Status Initialize(TransferablePtr value) {
+    return memo_.put(key_, std::move(value));
+  }
+
+  // RAII checkout: holding a Checkout means holding the implicit lock.
+  class Checkout {
+   public:
+    Checkout(SharedRecord* record, TransferablePtr value)
+        : record_(record), value_(std::move(value)) {}
+
+    ~Checkout() {
+      // An un-committed checkout puts the (possibly modified) record back,
+      // so a thrown exception or early return cannot deadlock the folder.
+      if (record_ != nullptr && value_ != nullptr) {
+        (void)record_->memo_.put(record_->key_, std::move(value_));
+      }
+    }
+
+    Checkout(Checkout&& other) noexcept
+        : record_(other.record_), value_(std::move(other.value_)) {
+      other.record_ = nullptr;
+    }
+    Checkout& operator=(Checkout&&) = delete;
+    Checkout(const Checkout&) = delete;
+    Checkout& operator=(const Checkout&) = delete;
+
+    TransferablePtr& value() { return value_; }
+
+    // Put the record back explicitly, ending the critical section early.
+    Status Commit() {
+      Status status = record_->memo_.put(record_->key_, std::move(value_));
+      record_ = nullptr;
+      return status;
+    }
+
+   private:
+    SharedRecord* record_;
+    TransferablePtr value_;
+  };
+
+  // Blocking acquisition of the record (the implicit lock).
+  Result<Checkout> Acquire() {
+    DMEMO_ASSIGN_OR_RETURN(TransferablePtr value, memo_.get(key_));
+    return Checkout(this, std::move(value));
+  }
+
+  // Examine without locking.
+  Result<TransferablePtr> Peek() { return memo_.get_copy(key_); }
+
+ private:
+  friend class Checkout;
+  Memo memo_;
+  Key key_;
+};
+
+}  // namespace dmemo

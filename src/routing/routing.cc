@@ -1,0 +1,181 @@
+#include "routing/routing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "util/hash.h"
+
+namespace dmemo {
+
+namespace {
+constexpr std::size_t kNoHop = ~std::size_t{0};
+}
+
+Result<RoutingTable> RoutingTable::Build(const AppDescription& adf) {
+  DMEMO_RETURN_IF_ERROR(adf.Validate());
+  RoutingTable table;
+  table.adf_ = adf;
+
+  const std::size_t n = adf.hosts.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    table.host_names_.push_back(adf.hosts[i].name);
+    table.host_index_.emplace(adf.hosts[i].name, i);
+  }
+
+  // Adjacency: min cost per arc (parallel links keep the cheapest).
+  std::vector<std::vector<std::pair<std::size_t, double>>> adj(n);
+  auto add_arc = [&](std::size_t a, std::size_t b, double cost) {
+    for (auto& [to, c] : adj[a]) {
+      if (to == b) {
+        c = std::min(c, cost);
+        return;
+      }
+    }
+    adj[a].emplace_back(b, cost);
+  };
+  for (const auto& link : adf.links) {
+    const std::size_t a = table.host_index_.at(link.a);
+    const std::size_t b = table.host_index_.at(link.b);
+    add_arc(a, b, link.cost);
+    if (link.duplex) add_arc(b, a, link.cost);
+  }
+
+  // Dijkstra from every source (host counts are small; O(n * m log m)).
+  table.dist_.assign(n, std::vector<double>(n, kUnreachable));
+  table.next_.assign(n, std::vector<std::size_t>(n, kNoHop));
+  for (std::size_t src = 0; src < n; ++src) {
+    auto& dist = table.dist_[src];
+    auto& next = table.next_[src];
+    dist[src] = 0;
+    using Item = std::pair<double, std::size_t>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+    heap.emplace(0.0, src);
+    std::vector<bool> done(n, false);
+    while (!heap.empty()) {
+      auto [d, u] = heap.top();
+      heap.pop();
+      if (done[u]) continue;
+      done[u] = true;
+      for (const auto& [v, cost] : adj[u]) {
+        const double nd = d + cost;
+        if (nd < dist[v]) {
+          dist[v] = nd;
+          // First hop: inherit u's first hop, unless u is the source.
+          next[v] = (u == src) ? v : next[u];
+          heap.emplace(nd, v);
+        }
+      }
+    }
+  }
+
+  // Per-server rendezvous weights (see header for the formula).
+  table.servers_ = adf.folder_servers;
+  std::unordered_map<std::string, std::size_t> servers_per_host;
+  for (const auto& fs : table.servers_) ++servers_per_host[fs.host];
+
+  double total = 0;
+  for (const auto& fs : table.servers_) {
+    const HostSpec* host = adf.FindHost(fs.host);
+    const std::size_t hi = table.host_index_.at(fs.host);
+    // Mean path cost from every host (including itself at 0) to the
+    // server's host; unreachable sources simply do not contribute.
+    double sum_cost = 0;
+    std::size_t reachable = 0;
+    for (std::size_t src = 0; src < n; ++src) {
+      const double d = table.dist_[src][hi];
+      if (d != kUnreachable) {
+        sum_cost += d;
+        ++reachable;
+      }
+    }
+    const double mean_cost = reachable > 0 ? sum_cost / reachable : 0;
+    const double power = host->processors / host->cost;
+    const double weight =
+        power / static_cast<double>(servers_per_host[fs.host]) /
+        (1.0 + mean_cost);
+    table.weights_.push_back(weight);
+    total += weight;
+    table.seeds_.push_back(
+        HashCombine(Fnv1a64(fs.host),
+                    Mix64(static_cast<std::uint64_t>(fs.id) + 1)));
+  }
+  for (double& w : table.weights_) w /= total;
+  return table;
+}
+
+Result<std::size_t> RoutingTable::HostIndex(std::string_view host) const {
+  auto it = host_index_.find(std::string(host));
+  if (it == host_index_.end()) {
+    return NotFoundError("host '" + std::string(host) + "' not in ADF");
+  }
+  return it->second;
+}
+
+Result<double> RoutingTable::PathCost(std::string_view from,
+                                      std::string_view to) const {
+  DMEMO_ASSIGN_OR_RETURN(std::size_t a, HostIndex(from));
+  DMEMO_ASSIGN_OR_RETURN(std::size_t b, HostIndex(to));
+  return dist_[a][b];
+}
+
+Result<std::vector<std::string>> RoutingTable::Path(std::string_view from,
+                                                    std::string_view to) const {
+  DMEMO_ASSIGN_OR_RETURN(std::size_t a, HostIndex(from));
+  DMEMO_ASSIGN_OR_RETURN(std::size_t b, HostIndex(to));
+  if (dist_[a][b] == kUnreachable) {
+    return UnavailableError("no path from " + std::string(from) + " to " +
+                            std::string(to));
+  }
+  // Walk first-hop pointers from `a` toward `b`.
+  std::vector<std::string> path{host_names_[a]};
+  std::size_t cur = a;
+  while (cur != b) {
+    const std::size_t hop = next_[cur][b];
+    if (hop == kNoHop) {
+      return InternalError("broken next-hop chain");
+    }
+    path.push_back(host_names_[hop]);
+    cur = hop;
+  }
+  return path;
+}
+
+Result<std::string> RoutingTable::NextHop(std::string_view from,
+                                          std::string_view to) const {
+  DMEMO_ASSIGN_OR_RETURN(std::size_t a, HostIndex(from));
+  DMEMO_ASSIGN_OR_RETURN(std::size_t b, HostIndex(to));
+  if (a == b) return std::string(host_names_[a]);
+  const std::size_t hop = next_[a][b];
+  if (hop == kNoHop) {
+    return UnavailableError("no path from " + std::string(from) + " to " +
+                            std::string(to));
+  }
+  return std::string(host_names_[hop]);
+}
+
+Result<FolderServerSpec> RoutingTable::ServerForKey(
+    std::span<const std::uint8_t> key_bytes) const {
+  if (servers_.empty()) {
+    return FailedPreconditionError("routing table has no folder servers");
+  }
+  const std::uint64_t key_hash = Fnv1a64(key_bytes);
+  // Weighted rendezvous: score_i = -ln(u_i) / w_i with u_i uniform per
+  // (key, server); the minimum-score server wins with probability
+  // proportional to w_i. Deterministic: u_i depends only on hashes.
+  double best_score = std::numeric_limits<double>::infinity();
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    const double u = HashToUnit(Mix64(key_hash ^ seeds_[i]));
+    // Guard u == 0: log(0) = -inf would make this server win every key.
+    const double score =
+        -std::log(std::max(u, 1e-18)) / weights_[i];
+    if (score < best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  return servers_[best];
+}
+
+}  // namespace dmemo

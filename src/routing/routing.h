@@ -1,0 +1,84 @@
+// Routing (paper Sec. 3.1.1 collaborator + Sec. 5 performance policy).
+//
+// Built from an ADF: the PPC section gives a weighted directed graph over
+// hosts (duplex links add both arcs). The routing table answers
+//   * path cost / hop sequence between hosts (Dijkstra), used by memo
+//     servers to forward inter-machine traffic, and
+//   * which folder server owns a folder key.
+//
+// Folder-server selection implements Sec. 5 with weighted rendezvous
+// hashing. A server's weight combines processor power and network locality:
+//
+//     power(host)  = processors / processor_cost        (ADF HOSTS section)
+//     weight(s)    = power(host(s)) / servers_on_host
+//                    / (1 + mean path cost from all hosts to host(s))
+//
+// giving "a higher percentage of proportional probability of hashing memos"
+// to fast hosts and discounting servers behind expensive links. The mean
+// (rather than per-client) link term keeps the mapping identical on every
+// machine: all references to one folder must reach one server, and "no
+// broadcasting is done by the system" — consistency must come from the hash
+// alone.
+#pragma once
+
+#include <limits>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "adf/adf.h"
+#include "util/status.h"
+
+namespace dmemo {
+
+inline constexpr double kUnreachable =
+    std::numeric_limits<double>::infinity();
+
+class RoutingTable {
+ public:
+  // Validates the ADF and precomputes all-pairs paths and server weights.
+  static Result<RoutingTable> Build(const AppDescription& adf);
+
+  // Cheapest path cost from `from` to `to`; kUnreachable when disconnected;
+  // NOT_FOUND for undeclared hosts. Cost of a host to itself is 0.
+  Result<double> PathCost(std::string_view from, std::string_view to) const;
+
+  // Hop sequence including both endpoints (just {from} when from == to).
+  Result<std::vector<std::string>> Path(std::string_view from,
+                                        std::string_view to) const;
+
+  // Next host on the cheapest path (== to when directly adjacent).
+  Result<std::string> NextHop(std::string_view from,
+                              std::string_view to) const;
+
+  // The folder server owning `key_bytes` (the application-qualified encoded
+  // folder name). Deterministic across processes and machines.
+  Result<FolderServerSpec> ServerForKey(
+      std::span<const std::uint8_t> key_bytes) const;
+
+  // Normalized selection probability of each folder server (sums to 1);
+  // index-aligned with servers(). Exposed for the distribution experiments.
+  const std::vector<double>& server_weights() const { return weights_; }
+  const std::vector<FolderServerSpec>& servers() const { return servers_; }
+
+  const AppDescription& adf() const { return adf_; }
+
+ private:
+  RoutingTable() = default;
+
+  Result<std::size_t> HostIndex(std::string_view host) const;
+
+  AppDescription adf_;
+  std::vector<std::string> host_names_;
+  std::unordered_map<std::string, std::size_t> host_index_;
+  // dist_[i][j]: cheapest path cost; next_[i][j]: first hop index (or npos).
+  std::vector<std::vector<double>> dist_;
+  std::vector<std::vector<std::size_t>> next_;
+
+  std::vector<FolderServerSpec> servers_;
+  std::vector<double> weights_;       // normalized
+  std::vector<std::uint64_t> seeds_;  // per-server rendezvous seed
+};
+
+}  // namespace dmemo

@@ -1,0 +1,107 @@
+#include "runtime/cluster.h"
+
+#include "transport/socket_transport.h"
+
+namespace dmemo {
+
+Result<std::unique_ptr<Cluster>> Cluster::StartLoopbackTcp(
+    const AppDescription& adf) {
+  auto transport = MakeTcpTransport();
+  // Probe a free port per host: bind :0, record the resolved address,
+  // release. SO_REUSEADDR makes the immediate rebind safe; the window in
+  // which another process could steal the port is acceptable for tests.
+  std::map<std::string, std::string> urls;
+  for (const auto& host : adf.hosts) {
+    DMEMO_ASSIGN_OR_RETURN(ListenerPtr probe,
+                           transport->Listen("tcp://127.0.0.1:0"));
+    urls[host.name] = probe->address();
+    probe->Close();
+  }
+  return Start(adf, transport,
+               [urls](const std::string& host) { return urls.at(host); });
+}
+
+Result<std::unique_ptr<Cluster>> Cluster::Start(const AppDescription& adf) {
+  auto network = std::make_shared<SimNetwork>();
+  auto transport = MakeSimTransport(network);
+  DMEMO_ASSIGN_OR_RETURN(
+      auto cluster,
+      Start(adf, transport,
+            [](const std::string& host) { return "sim://" + host; }));
+  cluster->network_ = network;
+  return cluster;
+}
+
+Result<std::unique_ptr<Cluster>> Cluster::Start(
+    const AppDescription& adf, TransportPtr transport,
+    const std::function<std::string(const std::string&)>& url_for) {
+  DMEMO_RETURN_IF_ERROR(adf.Validate());
+  auto cluster = std::unique_ptr<Cluster>(new Cluster());
+  cluster->adf_ = adf;
+  cluster->transport_ = transport;
+
+  std::unordered_map<std::string, std::string> peers;
+  for (const auto& host : adf.hosts) {
+    peers[host.name] = url_for(host.name);
+  }
+  for (const auto& host : adf.hosts) {
+    MemoServerOptions opts;
+    opts.host = host.name;
+    opts.listen_url = peers[host.name];
+    opts.peers = peers;
+    DMEMO_ASSIGN_OR_RETURN(auto server,
+                           MemoServer::Start(transport, opts));
+    // The listener may have resolved an ephemeral port; the peer map given
+    // to later servers must use the resolved address. For sim:// and
+    // unix:// they are identical; for tcp://...:0 callers should pass
+    // concrete ports in url_for. Record the resolved address regardless.
+    cluster->urls_[host.name] = server->address();
+    cluster->servers_[host.name] = std::move(server);
+  }
+  DMEMO_RETURN_IF_ERROR(cluster->RegisterApp(adf));
+  return cluster;
+}
+
+Cluster::~Cluster() { Shutdown(); }
+
+Status Cluster::RegisterApp(const AppDescription& adf) {
+  // Two passes: re-registration triggers dynamic data migration, and a
+  // server migrating early may find its destination still holding the old
+  // routing table (the move bounces and the memo stays local). Once every
+  // server has the new table, the second pass re-runs migration and sweeps
+  // any bounced memos. Both passes are idempotent.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (auto& [name, server] : servers_) {
+      DMEMO_RETURN_IF_ERROR(server->RegisterApp(adf));
+    }
+  }
+  return Status::Ok();
+}
+
+Result<Memo> Cluster::Client(const std::string& host) {
+  const HostSpec* spec = adf_.FindHost(host);
+  if (spec == nullptr) return NotFoundError("host " + host + " not in ADF");
+  return Client(host, ProfileForArch(spec->arch));
+}
+
+Result<Memo> Cluster::Client(const std::string& host, MachineProfile profile,
+                             bool strict_domains) {
+  auto it = urls_.find(host);
+  if (it == urls_.end()) return NotFoundError("host " + host + " not in ADF");
+  RemoteEngineOptions opts;
+  opts.app = adf_.app_name;
+  opts.host = host;
+  opts.profile = std::move(profile);
+  opts.strict_domains = strict_domains;
+  DMEMO_ASSIGN_OR_RETURN(MemoEnginePtr engine,
+                         MakeRemoteEngine(transport_, it->second, opts));
+  return Memo(std::move(engine));
+}
+
+void Cluster::Shutdown() {
+  if (shutdown_) return;
+  shutdown_ = true;
+  for (auto& [name, server] : servers_) server->Shutdown();
+}
+
+}  // namespace dmemo

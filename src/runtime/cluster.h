@@ -1,0 +1,68 @@
+// In-process cluster: one memo server per ADF host, all inside this
+// process, connected over a simulated network (or any transport). This is
+// the deployment tests, examples and benchmarks use when they want the full
+// server/routing/wire path without forking: every byte still crosses the
+// Connection abstraction exactly as in the multi-process deployment.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "adf/adf.h"
+#include "core/memo.h"
+#include "core/remote_engine.h"
+#include "server/memo_server.h"
+#include "transport/simnet.h"
+
+namespace dmemo {
+
+class Cluster {
+ public:
+  // Starts a memo server for every host in `adf` on a fresh SimNetwork and
+  // registers the application everywhere.
+  static Result<std::unique_ptr<Cluster>> Start(const AppDescription& adf);
+
+  // As above but over the given transport; `url_for` names each host's
+  // listen address.
+  static Result<std::unique_ptr<Cluster>> Start(
+      const AppDescription& adf, TransportPtr transport,
+      const std::function<std::string(const std::string&)>& url_for);
+
+  // Real TCP on 127.0.0.1: probes a free port per host first (ephemeral
+  // ports cannot go into the peer map unresolved). Integration tests use
+  // this to exercise the genuine kernel socket path.
+  static Result<std::unique_ptr<Cluster>> StartLoopbackTcp(
+      const AppDescription& adf);
+
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // A Memo handle connected to `host`'s memo server, with the machine
+  // profile implied by the host's ADF arch (or an explicit one).
+  Result<Memo> Client(const std::string& host);
+  Result<Memo> Client(const std::string& host, MachineProfile profile,
+                      bool strict_domains = true);
+
+  MemoServer& server(const std::string& host) { return *servers_.at(host); }
+  const AppDescription& adf() const { return adf_; }
+  TransportPtr transport() { return transport_; }
+
+  // Register a further application on every server.
+  Status RegisterApp(const AppDescription& adf);
+
+  void Shutdown();
+
+ private:
+  Cluster() = default;
+
+  AppDescription adf_;
+  SimNetworkPtr network_;  // null when an external transport was supplied
+  TransportPtr transport_;
+  std::map<std::string, std::unique_ptr<MemoServer>> servers_;
+  std::map<std::string, std::string> urls_;
+  bool shutdown_ = false;
+};
+
+}  // namespace dmemo

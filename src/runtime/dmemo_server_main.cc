@@ -1,0 +1,90 @@
+// dmemo-server: one memo server for one (simulated) machine.
+//
+// The launcher starts one of these per ADF host when none is running (the
+// paper's inetd role). Applications register their ADFs over the wire
+// (Op::kRegisterApp), so the server needs no ADF at startup — only its host
+// identity, its listen URL and the host->URL peer map.
+//
+//   dmemo-server --host glen-ellyn.iit.edu
+//                --listen unix:///tmp/dmemo-server-glen-ellyn.iit.edu.sock
+//                --peer glen-ellyn.iit.edu=unix:///tmp/...
+//                --peer aurora.iit.edu=unix:///tmp/...
+//   (one command line; broken here for readability)
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "server/memo_server.h"
+#include "transport/transport.h"
+#include "util/log.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --host NAME --listen URL [--peer NAME=URL]...\n"
+               "       [--persist-dir DIR]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dmemo::MemoServerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--host") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.host = v;
+    } else if (arg == "--listen") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.listen_url = v;
+    } else if (arg == "--persist-dir") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.persist_dir = v;
+    } else if (arg == "--peer") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      const char* eq = std::strchr(v, '=');
+      if (eq == nullptr) return Usage(argv[0]);
+      options.peers.emplace(std::string(v, eq), std::string(eq + 1));
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (options.host.empty() || options.listen_url.empty()) {
+    return Usage(argv[0]);
+  }
+  // The server's own address must be in the peer map too (self-routing).
+  options.peers.emplace(options.host, options.listen_url);
+
+  auto transport = dmemo::TransportMux::CreateDefault();
+  auto server = dmemo::MemoServer::Start(transport, options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "dmemo-server: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  std::fprintf(stderr, "dmemo-server: %s listening at %s\n",
+               options.host.c_str(), (*server)->address().c_str());
+  while (g_stop == 0) {
+    struct timespec ts{0, 100'000'000};
+    ::nanosleep(&ts, nullptr);
+  }
+  (*server)->Shutdown();
+  return 0;
+}

@@ -1,0 +1,101 @@
+// dmemo-stat: print a memo server's statistics.
+//
+//   dmemo-stat unix:///tmp/dmemo-server-host.sock [more urls...]
+//
+// The Sec.-5 distribution policy is observable here: after running an
+// application, the per-folder-server request counts show how the
+// cost-weighted hashing spread the memo traffic.
+#include <cstdio>
+#include <string>
+
+#include "server/rpc_channel.h"
+#include "transferable/codec.h"
+#include "transferable/composite.h"
+#include "transferable/scalars.h"
+#include "transport/transport.h"
+
+namespace {
+
+std::uint64_t U64Field(const dmemo::TRecord& rec, const char* name) {
+  auto v = rec.Get(name);
+  return v == nullptr
+             ? 0
+             : std::static_pointer_cast<dmemo::TUInt64>(v)->value();
+}
+
+int PrintStats(const std::string& url) {
+  auto transport = dmemo::TransportMux::CreateDefault();
+  auto conn = transport->Dial(url);
+  if (!conn.ok()) {
+    std::fprintf(stderr, "dmemo-stat: %s: %s\n", url.c_str(),
+                 conn.status().ToString().c_str());
+    return 1;
+  }
+  auto channel = dmemo::RpcChannel::Create(std::move(*conn), nullptr, nullptr);
+  dmemo::Request req;
+  req.op = dmemo::Op::kStats;
+  auto resp = channel->Call(req);
+  channel->Close();
+  if (!resp.ok() || resp->code != dmemo::StatusCode::kOk ||
+      !resp->has_value) {
+    std::fprintf(stderr, "dmemo-stat: %s: stats request failed\n",
+                 url.c_str());
+    return 1;
+  }
+  auto decoded = dmemo::DecodeGraphFromBytes(resp->value);
+  if (!decoded.ok()) {
+    std::fprintf(stderr, "dmemo-stat: bad stats payload\n");
+    return 1;
+  }
+  auto root = std::static_pointer_cast<dmemo::TRecord>(*decoded);
+  std::printf("server %s (%s)\n",
+              std::static_pointer_cast<dmemo::TString>(root->Get("host"))
+                  ->value()
+                  .c_str(),
+              url.c_str());
+  std::printf("  requests=%llu local=%llu forwarded=%llu relayed=%llu "
+              "apps=%llu\n",
+              (unsigned long long)U64Field(*root, "requests"),
+              (unsigned long long)U64Field(*root, "local_handled"),
+              (unsigned long long)U64Field(*root, "forwarded"),
+              (unsigned long long)U64Field(*root, "relayed"),
+              (unsigned long long)U64Field(*root, "apps_registered"));
+  auto pool = std::static_pointer_cast<dmemo::TRecord>(root->Get("pool"));
+  std::printf("  threads: spawned=%llu expired=%llu tasks=%llu "
+              "cache_hits=%llu\n",
+              (unsigned long long)U64Field(*pool, "threads_spawned"),
+              (unsigned long long)U64Field(*pool, "threads_expired"),
+              (unsigned long long)U64Field(*pool, "tasks_executed"),
+              (unsigned long long)U64Field(*pool, "cache_hits"));
+  auto folders =
+      std::static_pointer_cast<dmemo::TList>(root->Get("folder_servers"));
+  for (const auto& item : folders->items()) {
+    auto rec = std::static_pointer_cast<dmemo::TRecord>(item);
+    std::printf("  folder-server %d: served=%llu puts=%llu gets=%llu "
+                "delayed=%llu blocked=%llu folders(+%llu/-%llu)\n",
+                std::static_pointer_cast<dmemo::TInt32>(rec->Get("id"))
+                    ->value(),
+                (unsigned long long)U64Field(*rec, "requests_served"),
+                (unsigned long long)U64Field(*rec, "puts"),
+                (unsigned long long)U64Field(*rec, "gets"),
+                (unsigned long long)U64Field(*rec, "delayed_puts"),
+                (unsigned long long)U64Field(*rec, "blocked_waits"),
+                (unsigned long long)U64Field(*rec, "folders_created"),
+                (unsigned long long)U64Field(*rec, "folders_vanished"));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s SERVER_URL...\n", argv[0]);
+    return 2;
+  }
+  int rc = 0;
+  for (int i = 1; i < argc; ++i) {
+    rc |= PrintStats(argv[i]);
+  }
+  return rc;
+}

@@ -1,0 +1,287 @@
+#include "runtime/launcher.h"
+
+#include <algorithm>
+#include <csignal>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <cstring>
+#include <thread>
+
+#include "core/remote_engine.h"
+#include "locking/lock.h"
+#include "server/rpc_channel.h"
+#include "transferable/machine_profile.h"
+#include "util/log.h"
+
+namespace dmemo {
+
+namespace {
+
+bool FileExists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+bool IsExecutable(const std::string& path) {
+  return ::access(path.c_str(), X_OK) == 0;
+}
+
+// Fork-exec with argv + extra environment; returns the child pid.
+Result<pid_t> Spawn(const std::string& executable,
+                    const std::vector<std::string>& args,
+                    const std::vector<std::string>& env_extra) {
+  pid_t pid = ::fork();
+  if (pid < 0) return UnavailableError("fork failed");
+  if (pid > 0) return pid;
+  // Child.
+  std::vector<std::string> argv_store;
+  argv_store.push_back(executable);
+  for (const auto& a : args) argv_store.push_back(a);
+  std::vector<char*> argv;
+  for (auto& a : argv_store) argv.push_back(a.data());
+  argv.push_back(nullptr);
+  for (const auto& kv : env_extra) {
+    // kv is "KEY=VALUE"; putenv requires storage that outlives exec — the
+    // child's copy of this string lives until execv replaces the image.
+    ::putenv(::strdup(kv.c_str()));
+  }
+  ::execv(executable.c_str(), argv.data());
+  std::perror("execv");
+  ::_exit(127);
+}
+
+Status PingServer(TransportPtr transport, const std::string& url,
+                  std::chrono::milliseconds timeout) {
+  auto conn = transport->Dial(url);
+  if (!conn.ok()) return conn.status();
+  auto channel = RpcChannel::Create(std::move(*conn), nullptr, nullptr);
+  Request ping;
+  ping.op = Op::kPing;
+  auto resp = channel->CallFor(ping, timeout);
+  channel->Close();
+  if (!resp.ok()) return resp.status();
+  if (!resp->has_value() && !(*resp).has_value()) {
+    return TimedOutError("server at " + url + " did not answer ping");
+  }
+  return Status::Ok();
+}
+
+// Copy `executable` into <pump_dir>/<host>/ (the per-machine local disk)
+// unless an up-to-date copy is already there. Returns the pumped path.
+Result<std::string> PumpExecutable(const std::string& executable,
+                                   const std::string& pump_dir,
+                                   const std::string& host) {
+  const std::string host_dir = pump_dir + "/" + host;
+  ::mkdir(pump_dir.c_str(), 0755);
+  if (::mkdir(host_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return UnavailableError("cannot create pump directory " + host_dir);
+  }
+  auto base = executable.find_last_of('/');
+  const std::string target =
+      host_dir + "/" +
+      (base == std::string::npos ? executable : executable.substr(base + 1));
+  struct stat src{}, dst{};
+  if (::stat(executable.c_str(), &src) != 0) {
+    return NotFoundError("pump source missing: " + executable);
+  }
+  // Skip the copy when the target is already current (same size & mtime).
+  if (::stat(target.c_str(), &dst) == 0 && dst.st_size == src.st_size &&
+      dst.st_mtime >= src.st_mtime) {
+    return target;
+  }
+  std::ifstream in(executable, std::ios::binary);
+  std::ofstream out(target, std::ios::binary | std::ios::trunc);
+  if (!in || !out) {
+    return UnavailableError("pump copy failed for " + executable);
+  }
+  out << in.rdbuf();
+  out.close();
+  if (::chmod(target.c_str(), 0755) != 0) {
+    return UnavailableError("pump chmod failed for " + target);
+  }
+  return target;
+}
+
+}  // namespace
+
+std::string ServerUrlFor(const std::string& socket_dir,
+                         const std::string& host) {
+  // Host names may contain dots; they are fine in socket paths.
+  return "unix://" + socket_dir + "/dmemo-server-" + host + ".sock";
+}
+
+Result<int> EnsureServerRunning(TransportPtr transport,
+                                const std::string& host,
+                                const std::string& url,
+                                const std::vector<std::string>& peer_args,
+                                const LaunchOptions& options) {
+  if (PingServer(transport, url, std::chrono::milliseconds(500)).ok()) {
+    return 0;
+  }
+  if (options.server_binary.empty()) {
+    return UnavailableError("no memo server at " + url +
+                            " and on-demand start disabled");
+  }
+  // inetd substitute: serialize concurrent starters with a file lock so two
+  // launchers racing on the same host start exactly one server.
+  DMEMO_ASSIGN_OR_RETURN(
+      auto lock,
+      MakeLock(LockKind::kFile,
+               options.socket_dir + "/dmemo-server-" + host + ".lock"));
+  ScopedLock guard(*lock);
+  if (PingServer(transport, url, std::chrono::milliseconds(500)).ok()) {
+    return 0;  // the race loser finds the server already up
+  }
+  std::vector<std::string> args{"--host", host, "--listen", url};
+  if (!options.server_persist_dir.empty()) {
+    args.push_back("--persist-dir");
+    args.push_back(options.server_persist_dir);
+  }
+  for (const auto& peer : peer_args) {
+    args.push_back("--peer");
+    args.push_back(peer);
+  }
+  DMEMO_ASSIGN_OR_RETURN(pid_t pid,
+                         Spawn(options.server_binary, args, {}));
+  DMEMO_LOG(kInfo) << "started dmemo-server for " << host << " (pid " << pid
+                   << ")";
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(options.server_start_timeout_s);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (PingServer(transport, url, std::chrono::milliseconds(250)).ok()) {
+      return static_cast<int>(pid);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return TimedOutError("spawned server for " + host +
+                       " never became reachable at " + url);
+}
+
+Result<LaunchReport> RunApplication(const AppDescription& adf,
+                                    const LaunchOptions& options) {
+  DMEMO_RETURN_IF_ERROR(adf.Validate());
+  auto transport = TransportMux::CreateDefault();
+
+  // 1. Rebuild out-of-date binaries ("each source code directory listed in
+  //    the ADF should contain a makefile").
+  if (options.run_make) {
+    std::vector<std::string> built;
+    for (const auto& proc : adf.processes) {
+      if (std::find(built.begin(), built.end(), proc.directory) !=
+          built.end()) {
+        continue;
+      }
+      built.push_back(proc.directory);
+      if (FileExists(proc.directory + "/Makefile")) {
+        const std::string cmd = "make -C '" + proc.directory + "' >/dev/null";
+        if (std::system(cmd.c_str()) != 0) {
+          return FailedPreconditionError("make failed in " + proc.directory);
+        }
+      }
+    }
+  }
+
+  // 2. Ensure a memo server per host (inetd substitute), then register the
+  //    application with all of them (Sec. 4.4: "it will register itself
+  //    with all the memo servers it will interact [with]").
+  std::vector<std::string> peer_args;
+  for (const auto& host : adf.hosts) {
+    peer_args.push_back(host.name + "=" +
+                        ServerUrlFor(options.socket_dir, host.name));
+  }
+  const std::string adf_text = FormatAdf(adf);
+  std::vector<pid_t> spawned_servers;
+  for (const auto& host : adf.hosts) {
+    const std::string url = ServerUrlFor(options.socket_dir, host.name);
+    DMEMO_ASSIGN_OR_RETURN(
+        int server_pid,
+        EnsureServerRunning(transport, host.name, url, peer_args, options));
+    if (server_pid > 0) spawned_servers.push_back(server_pid);
+    DMEMO_RETURN_IF_ERROR(RegisterAppWith(transport, url, adf_text));
+  }
+
+  // 3. Spawn the application processes with the environment contract.
+  struct Child {
+    pid_t pid;
+    ProcessResult result;
+  };
+  std::vector<Child> children;
+  for (const auto& proc : adf.processes) {
+    // Paper convention: standard executable names `boss` and `worker`; the
+    // boss is process 0 when its directory provides one.
+    std::string executable = proc.directory + "/worker";
+    if (proc.id == 0 && IsExecutable(proc.directory + "/boss")) {
+      executable = proc.directory + "/boss";
+    }
+    if (!IsExecutable(executable)) {
+      return NotFoundError("no executable for process " +
+                           std::to_string(proc.id) + " at " + executable);
+    }
+    if (!options.pump_dir.empty()) {
+      DMEMO_ASSIGN_OR_RETURN(
+          executable, PumpExecutable(executable, options.pump_dir, proc.host));
+    }
+    const HostSpec* host = adf.FindHost(proc.host);
+    std::vector<std::string> env{
+        std::string(kEnvApp) + "=" + adf.app_name,
+        std::string(kEnvHost) + "=" + proc.host,
+        std::string(kEnvServerUrl) + "=" +
+            ServerUrlFor(options.socket_dir, proc.host),
+        std::string(kEnvProcId) + "=" + std::to_string(proc.id),
+        std::string(kEnvArch) + "=" + host->arch,
+    };
+    DMEMO_ASSIGN_OR_RETURN(pid_t pid, Spawn(executable, {}, env));
+    children.push_back(
+        Child{pid, ProcessResult{proc.id, executable, -1}});
+  }
+
+  // 4. Wait for completion.
+  LaunchReport report;
+  for (auto& child : children) {
+    int status = 0;
+    ::waitpid(child.pid, &status, 0);
+    child.result.exit_code =
+        WIFEXITED(status) ? WEXITSTATUS(status) : 128 + WTERMSIG(status);
+    report.processes.push_back(child.result);
+  }
+  if (options.stop_spawned_servers) {
+    for (pid_t pid : spawned_servers) {
+      ::kill(pid, SIGTERM);
+      ::waitpid(pid, nullptr, 0);
+    }
+  }
+  return report;
+}
+
+Result<Memo> ConnectFromEnvironment() {
+  const char* app = std::getenv(kEnvApp);
+  const char* url = std::getenv(kEnvServerUrl);
+  const char* host = std::getenv(kEnvHost);
+  const char* arch = std::getenv(kEnvArch);
+  if (app == nullptr || url == nullptr) {
+    return FailedPreconditionError(
+        "DMEMO_APP / DMEMO_SERVER_URL not set: process was not started by "
+        "the memo launcher");
+  }
+  RemoteEngineOptions opts;
+  opts.app = app;
+  opts.host = host != nullptr ? host : "";
+  opts.profile =
+      arch != nullptr ? ProfileForArch(arch) : MachineProfile::Universal();
+  auto transport = TransportMux::CreateDefault();
+  DMEMO_ASSIGN_OR_RETURN(MemoEnginePtr engine,
+                         MakeRemoteEngine(transport, url, opts));
+  return Memo(std::move(engine));
+}
+
+int ProcessIdFromEnvironment() {
+  const char* id = std::getenv(kEnvProcId);
+  return id != nullptr ? std::atoi(id) : -1;
+}
+
+}  // namespace dmemo

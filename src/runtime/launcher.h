@@ -1,0 +1,110 @@
+// Application launch & registration (paper Sec. 4.4).
+//
+// "To start the registration process, the user enters 'memo adf' on the
+// command line... If the binaries are out of date, they will be recompiled.
+// The ADF tables will then be registered with each appropriate memo server.
+// Once the application has been registered with the system, the requested
+// number of application processes will be started on each of the host
+// machines. ... If one or more of the servers are not running, they will be
+// started up by the system inetd daemon."
+//
+// Substitutions on one Linux host (see DESIGN.md): every ADF "machine" is a
+// process; memo servers listen on per-host Unix-domain sockets; the inetd
+// role is played by EnsureServerRunning, which probes the socket and forks
+// a `dmemo-server` if nothing answers; `make` is invoked in each source
+// directory that has a Makefile.
+//
+// Worker/boss processes find their identity through environment variables
+// (set by the launcher, read by ConnectFromEnvironment):
+//   DMEMO_APP, DMEMO_HOST, DMEMO_SERVER_URL, DMEMO_PROC_ID, DMEMO_ARCH
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "adf/adf.h"
+#include "core/memo.h"
+#include "transport/transport.h"
+
+namespace dmemo {
+
+// Environment variable names (the worker-side contract).
+inline constexpr const char* kEnvApp = "DMEMO_APP";
+inline constexpr const char* kEnvHost = "DMEMO_HOST";
+inline constexpr const char* kEnvServerUrl = "DMEMO_SERVER_URL";
+inline constexpr const char* kEnvProcId = "DMEMO_PROC_ID";
+inline constexpr const char* kEnvArch = "DMEMO_ARCH";
+
+struct LaunchOptions {
+  // Directory where per-host server sockets live.
+  std::string socket_dir = "/tmp";
+  // Path to the dmemo-server binary for on-demand starts; empty disables
+  // the inetd substitute (servers must already run).
+  std::string server_binary;
+  // Run `make` in each process source directory before spawning.
+  bool run_make = false;
+  // Seconds to wait for a spawned server to answer pings.
+  int server_start_timeout_s = 5;
+  // Terminate the servers RunApplication itself spawned once the
+  // application exits. Off by default: servers are shared infrastructure
+  // that outlives one application (Sec. 4.4); tests turn this on.
+  bool stop_spawned_servers = false;
+  // Forwarded to each spawned dmemo-server as --persist-dir (folder-space
+  // snapshots on shutdown, restore on start). Empty = no persistence.
+  std::string server_persist_dir;
+  // Executable pumping (the paper's announced follow-up: "a pumping method
+  // to get them to the appropriate remote host if NFS is not available").
+  // When non-empty, each process's executable is copied ("pumped") into
+  // <pump_dir>/<host>/ and executed from there, modelling a per-machine
+  // local filesystem instead of a shared one.
+  std::string pump_dir;
+};
+
+// The Unix-socket URL the launcher assigns to `host`'s memo server.
+std::string ServerUrlFor(const std::string& socket_dir,
+                         const std::string& host);
+
+// Probe `url`; when nothing answers and `options.server_binary` is set,
+// fork-exec a dmemo-server for `host` and wait until it answers. A file
+// lock serializes concurrent starters (two launchers, one server).
+// Returns the spawned server's pid, or 0 when a server already answered.
+Result<int> EnsureServerRunning(TransportPtr transport,
+                                const std::string& host,
+                                const std::string& url,
+                                const std::vector<std::string>& peer_args,
+                                const LaunchOptions& options);
+
+// Result of one spawned application process.
+struct ProcessResult {
+  int proc_id = 0;
+  std::string executable;
+  int exit_code = -1;
+};
+
+struct LaunchReport {
+  std::vector<ProcessResult> processes;
+  bool AllSucceeded() const {
+    for (const auto& p : processes) {
+      if (p.exit_code != 0) return false;
+    }
+    return true;
+  }
+};
+
+// The full Sec. 4.4 sequence: (re)build binaries, ensure servers, register
+// the ADF with every memo server, spawn boss/worker processes with the
+// environment contract, wait for all to exit.
+//
+// Executable resolution follows the paper's convention: each PROCESSES
+// entry names a directory; process 0 runs `<dir>/boss` if present, else
+// `<dir>/worker`; others run `<dir>/worker`.
+Result<LaunchReport> RunApplication(const AppDescription& adf,
+                                    const LaunchOptions& options);
+
+// Worker-side helper: build a Memo from the DMEMO_* environment (the
+// machine profile comes from DMEMO_ARCH).
+Result<Memo> ConnectFromEnvironment();
+// The numeric process name assigned by the launcher (-1 if unset).
+int ProcessIdFromEnvironment();
+
+}  // namespace dmemo

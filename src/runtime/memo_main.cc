@@ -1,0 +1,63 @@
+// memo: the application launcher CLI (paper Sec. 4.4: "the user enters
+// 'memo adf' on the command line").
+//
+//   memo app.adf [--server-binary PATH] [--socket-dir DIR] [--make]
+//
+// Parses the ADF (missing sections default per Sec. 4.3), ensures a memo
+// server per host, registers the application with each, spawns the boss and
+// worker processes with the DMEMO_* environment, and waits for them.
+#include <cstdio>
+#include <string>
+
+#include "adf/adf.h"
+#include "runtime/launcher.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s ADF_FILE [--server-binary PATH] [--socket-dir DIR]\n"
+                 "       [--pump-dir DIR] [--persist-dir DIR] [--make] [--stop-servers]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string adf_path = argv[1];
+  dmemo::LaunchOptions options;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--server-binary" && i + 1 < argc) {
+      options.server_binary = argv[++i];
+    } else if (arg == "--socket-dir" && i + 1 < argc) {
+      options.socket_dir = argv[++i];
+    } else if (arg == "--make") {
+      options.run_make = true;
+    } else if (arg == "--pump-dir" && i + 1 < argc) {
+      options.pump_dir = argv[++i];
+    } else if (arg == "--persist-dir" && i + 1 < argc) {
+      options.server_persist_dir = argv[++i];
+    } else if (arg == "--stop-servers") {
+      options.stop_spawned_servers = true;
+    } else {
+      std::fprintf(stderr, "memo: unknown argument '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  auto parsed = dmemo::ParseAdfFile(adf_path);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "memo: %s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  dmemo::AppDescription adf =
+      dmemo::MergeWithDefault(*parsed, dmemo::SystemDefaultAdf());
+
+  auto report = dmemo::RunApplication(adf, options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "memo: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  for (const auto& proc : report->processes) {
+    std::fprintf(stderr, "memo: process %d (%s) exited %d\n", proc.proc_id,
+                 proc.executable.c_str(), proc.exit_code);
+  }
+  return report->AllSucceeded() ? 0 : 1;
+}

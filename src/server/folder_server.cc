@@ -1,0 +1,127 @@
+#include "server/folder_server.h"
+
+#include <cstdio>
+
+#include <fstream>
+
+namespace dmemo {
+
+FolderServer::FolderServer(int id, std::string host)
+    : id_(id),
+      host_(std::move(host)),
+      directory_(/*seed=*/Mix64(static_cast<std::uint64_t>(id) + 0x0f01de25)) {
+}
+
+Response FolderServer::Handle(const Request& request) {
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  const QualifiedKey qk{request.app, request.key};
+  switch (request.op) {
+    case Op::kPut: {
+      Status status = directory_.Put(qk, request.value);
+      return Response::FromStatus(status);
+    }
+    case Op::kPutDelayed: {
+      const QualifiedKey qk2{request.app, request.key2};
+      Status status = directory_.PutDelayed(qk, qk2, request.value);
+      return Response::FromStatus(status);
+    }
+    case Op::kGet: {
+      auto value = directory_.Get(qk);
+      if (!value.ok()) return Response::FromStatus(value.status());
+      Response resp;
+      resp.has_value = true;
+      resp.value = std::move(*value);
+      return resp;
+    }
+    case Op::kGetCopy: {
+      auto value = directory_.GetCopy(qk);
+      if (!value.ok()) return Response::FromStatus(value.status());
+      Response resp;
+      resp.has_value = true;
+      resp.value = std::move(*value);
+      return resp;
+    }
+    case Op::kGetSkip: {
+      auto value = directory_.GetSkip(qk);
+      if (!value.ok()) return Response::FromStatus(value.status());
+      Response resp;
+      if (value->has_value()) {
+        resp.has_value = true;
+        resp.value = std::move(**value);
+      }
+      return resp;
+    }
+    case Op::kGetAlt:
+    case Op::kGetAltSkip: {
+      std::vector<QualifiedKey> qkeys;
+      qkeys.reserve(request.alts.size());
+      for (const Key& k : request.alts) {
+        qkeys.push_back(QualifiedKey{request.app, k});
+      }
+      if (request.op == Op::kGetAlt) {
+        auto value = directory_.GetAlt(qkeys);
+        if (!value.ok()) return Response::FromStatus(value.status());
+        Response resp;
+        resp.has_value = true;
+        resp.value = std::move(value->second);
+        resp.has_key = true;
+        resp.key = value->first.key;
+        return resp;
+      }
+      auto value = directory_.GetAltSkip(qkeys);
+      if (!value.ok()) return Response::FromStatus(value.status());
+      Response resp;
+      if (value->has_value()) {
+        resp.has_value = true;
+        resp.value = std::move((*value)->second);
+        resp.has_key = true;
+        resp.key = (*value)->first.key;
+      }
+      return resp;
+    }
+    case Op::kCount: {
+      Response resp;
+      resp.count = directory_.Count(qk);
+      return resp;
+    }
+    case Op::kPing:
+      return Response{};
+    case Op::kRegisterApp:
+    case Op::kStats:
+      return Response::FromStatus(InvalidArgumentError(
+          std::string(OpName(request.op)) +
+          " must be sent to a memo server"));
+  }
+  return Response::FromStatus(
+      InternalError("unhandled opcode in folder server"));
+}
+
+void FolderServer::Shutdown() { directory_.Close(); }
+
+Status FolderServer::SaveTo(const std::string& path) const {
+  ByteWriter out;
+  directory_.SnapshotTo(out);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+    if (!file) return UnavailableError("cannot write snapshot " + tmp);
+    file.write(reinterpret_cast<const char*>(out.data().data()),
+               static_cast<std::streamsize>(out.size()));
+    if (!file) return UnavailableError("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return UnavailableError("cannot rename snapshot into place: " + path);
+  }
+  return Status::Ok();
+}
+
+Status FolderServer::LoadFrom(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::Ok();  // no snapshot: fresh server
+  Bytes data((std::istreambuf_iterator<char>(file)),
+             std::istreambuf_iterator<char>());
+  ByteReader in(data);
+  return directory_.RestoreFrom(in);
+}
+
+}  // namespace dmemo

@@ -1,0 +1,60 @@
+// Folder server (paper Sec. 4.1).
+//
+// "The folder servers maintain a directory of unordered queues on selected
+// hosts (each queue representing a folder). There can be 0, 1, or more
+// folder servers per machine, each having exclusive access to its folders."
+//
+// A FolderServer is pure request-handling logic over a FolderDirectory of
+// encoded memos; it has no network of its own. The memo server on its
+// machine invokes Handle() directly (the Figure-1 shared-memory path), on a
+// worker-pool thread, so blocking gets park that thread until a memo
+// arrives — the paper's thread-per-request model.
+#pragma once
+
+#include <atomic>
+
+#include "folder/directory.h"
+#include "server/protocol.h"
+
+namespace dmemo {
+
+class FolderServer {
+ public:
+  // `id` is the numeric folder-server name from the ADF FOLDERS section.
+  FolderServer(int id, std::string host);
+
+  FolderServer(const FolderServer&) = delete;
+  FolderServer& operator=(const FolderServer&) = delete;
+
+  int id() const { return id_; }
+  const std::string& host() const { return host_; }
+
+  // Serve one request (put/get family + count). May block (get, get_copy,
+  // get_alt) until a memo arrives or the server shuts down.
+  Response Handle(const Request& request);
+
+  // Wake all parked requests with CANCELLED and refuse further work.
+  void Shutdown();
+
+  // Persistence (Sec. 3.1.3): snapshot the folder directory to `path`
+  // (atomically, via a temp file) / merge a snapshot back in. A missing
+  // file on load is OK (fresh server).
+  Status SaveTo(const std::string& path) const;
+  Status LoadFrom(const std::string& path);
+
+  DirectoryStats directory_stats() const { return directory_.GetStats(); }
+  std::uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+  // Test/bench access to the underlying directory.
+  FolderDirectory<Bytes>& directory() { return directory_; }
+
+ private:
+  int id_;
+  std::string host_;
+  FolderDirectory<Bytes> directory_;
+  std::atomic<std::uint64_t> requests_served_{0};
+};
+
+}  // namespace dmemo

@@ -1,0 +1,466 @@
+#include "server/memo_server.h"
+
+#include <algorithm>
+
+#include "adf/adf.h"
+#include "transferable/composite.h"
+#include "transferable/scalars.h"
+#include "util/log.h"
+
+namespace dmemo {
+
+namespace {
+// Relay safety bound; no sane ADF topology approaches this diameter.
+constexpr std::uint8_t kMaxHops = 32;
+}  // namespace
+
+MemoServer::MemoServer(MemoServerOptions options)
+    : options_(std::move(options)) {
+  pool_ = std::make_unique<WorkerPool>(options_.pool);
+}
+
+Result<std::unique_ptr<MemoServer>> MemoServer::Start(
+    TransportPtr transport, MemoServerOptions options) {
+  auto server = std::unique_ptr<MemoServer>(new MemoServer(std::move(options)));
+  server->transport_ = std::move(transport);
+  DMEMO_ASSIGN_OR_RETURN(server->listener_,
+                         server->transport_->Listen(server->options_.listen_url));
+  server->address_ = server->listener_->address();
+  server->acceptor_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  return server;
+}
+
+MemoServer::~MemoServer() { Shutdown(); }
+
+void MemoServer::AcceptLoop() {
+  for (;;) {
+    auto conn = listener_->Accept();
+    if (!conn.ok()) return;  // listener closed
+    auto channel = RpcChannel::Create(
+        std::move(*conn), pool_.get(),
+        [this](const Request& req) { return Handle(req); });
+    std::lock_guard lock(mu_);
+    if (shutdown_) {
+      channel->Close();
+      return;
+    }
+    // Prune channels whose peer hung up so a long-lived server does not
+    // accumulate dead entries (one per application process ever seen).
+    std::erase_if(inbound_channels_,
+                  [](const RpcChannelPtr& ch) { return ch->closed(); });
+    inbound_channels_.push_back(std::move(channel));
+  }
+}
+
+Status MemoServer::RegisterApp(const AppDescription& adf) {
+  DMEMO_ASSIGN_OR_RETURN(RoutingTable routing, RoutingTable::Build(adf));
+  bool replaced = false;
+  {
+    std::lock_guard lock(mu_);
+    if (shutdown_) return CancelledError("memo server shut down");
+    // Re-registration replaces the table ("allows multiple memo
+    // applications to run concurrently, using the same servers").
+    auto [it, inserted] = apps_.emplace(
+        adf.app_name, std::make_shared<RoutingTable>(routing));
+    if (!inserted) {
+      it->second = std::make_shared<RoutingTable>(routing);
+      replaced = true;
+    }
+    for (const auto& fs : adf.folder_servers) {
+      if (fs.host == options_.host && !folder_servers_.contains(fs.id)) {
+        auto server = std::make_unique<FolderServer>(fs.id, fs.host);
+        if (!options_.persist_dir.empty()) {
+          Status loaded = server->LoadFrom(SnapshotPath(fs.id));
+          if (!loaded.ok()) {
+            DMEMO_LOG(kWarn) << "folder server " << fs.id
+                             << ": snapshot ignored: " << loaded.ToString();
+          }
+        }
+        folder_servers_.emplace(fs.id, std::move(server));
+      }
+    }
+    {
+      std::lock_guard slock(stats_mu_);
+      ++stats_.apps_registered;
+    }
+  }
+  // Dynamic data migration: a replaced routing table may hash existing
+  // folders to different owners; move their memos so they stay reachable.
+  if (replaced) MigrateApp(adf.app_name, routing);
+  return Status::Ok();
+}
+
+// Move every memo this machine holds for `app` whose folder now belongs to
+// a different (machine, folder server) under `routing`. Re-injection goes
+// through Handle(), so cross-machine moves follow the normal forwarding
+// path. Memos deposited concurrently with the migration may interleave;
+// they are hashed with the new table either way, so nothing is lost.
+void MemoServer::MigrateApp(const std::string& app,
+                            const RoutingTable& routing) {
+  std::vector<std::pair<int, FolderServer*>> locals;
+  {
+    std::lock_guard lock(mu_);
+    for (auto& [id, fs] : folder_servers_) locals.emplace_back(id, fs.get());
+  }
+  std::uint64_t moved = 0;
+  for (auto& [id, fs] : locals) {
+    for (const QualifiedKey& qk : fs->directory().Keys(app)) {
+      auto owner = routing.ServerForKey(qk.ToBytes());
+      if (!owner.ok()) continue;
+      if (owner->host == options_.host && owner->id == id) continue;
+      // Drain this folder's visible memos and re-inject under the new map.
+      for (;;) {
+        auto value = fs->directory().GetSkip(qk);
+        if (!value.ok() || !value->has_value()) break;
+        Request put;
+        put.op = Op::kPut;
+        put.app = app;
+        put.key = qk.key;
+        put.value = std::move(**value);
+        Response resp = Handle(put);
+        if (resp.code != StatusCode::kOk) {
+          // Destination unreachable: put the memo back where it was so it
+          // is not lost; it will migrate when the peer returns.
+          (void)fs->directory().Put(qk, std::move(put.value));
+          break;
+        }
+        ++moved;
+      }
+    }
+  }
+  if (moved > 0) {
+    DMEMO_LOG(kInfo) << options_.host << ": migrated " << moved
+                     << " memos for app '" << app << "'";
+  }
+}
+
+std::string MemoServer::SnapshotPath(int fs_id) const {
+  return options_.persist_dir + "/fs-" + std::to_string(fs_id) + ".dmemo";
+}
+
+Result<RpcChannelPtr> MemoServer::PeerChannel(const std::string& host) {
+  {
+    std::lock_guard lock(mu_);
+    if (shutdown_) return CancelledError("memo server shut down");
+    auto it = peer_channels_.find(host);
+    if (it != peer_channels_.end() && !it->second->closed()) {
+      return it->second;
+    }
+  }
+  auto addr_it = options_.peers.find(host);
+  if (addr_it == options_.peers.end()) {
+    return NotFoundError("no memo-server address known for machine " + host);
+  }
+  DMEMO_ASSIGN_OR_RETURN(ConnectionPtr conn,
+                         transport_->Dial(addr_it->second));
+  auto channel = RpcChannel::Create(
+      std::move(conn), pool_.get(),
+      [this](const Request& req) { return Handle(req); });
+  std::lock_guard lock(mu_);
+  if (shutdown_) {
+    channel->Close();
+    return CancelledError("memo server shut down");
+  }
+  peer_channels_[host] = channel;
+  return channel;
+}
+
+Result<FolderServer*> MemoServer::LocalFolderServer(
+    const RoutingTable& routing, const QualifiedKey& qk) {
+  DMEMO_ASSIGN_OR_RETURN(FolderServerSpec spec,
+                         routing.ServerForKey(qk.ToBytes()));
+  if (spec.host != options_.host) {
+    return InternalError("key " + qk.DebugString() + " owned by " +
+                         spec.host + ", not " + options_.host);
+  }
+  std::lock_guard lock(mu_);
+  auto it = folder_servers_.find(spec.id);
+  if (it == folder_servers_.end()) {
+    return InternalError("folder server " + std::to_string(spec.id) +
+                         " not materialized on " + options_.host);
+  }
+  return it->second.get();
+}
+
+Response MemoServer::Handle(const Request& request) {
+  {
+    std::lock_guard slock(stats_mu_);
+    ++stats_.requests;
+  }
+  if (request.op == Op::kPing) return Response{};
+  if (request.op == Op::kStats) return HandleStats();
+  if (request.op == Op::kRegisterApp) {
+    auto parsed = ParseAdf(request.text);
+    if (!parsed.ok()) return Response::FromStatus(parsed.status());
+    AppDescription adf =
+        MergeWithDefault(*parsed, SystemDefaultAdf());
+    return Response::FromStatus(RegisterApp(adf));
+  }
+
+  std::shared_ptr<RoutingTable> routing;
+  {
+    std::lock_guard lock(mu_);
+    auto it = apps_.find(request.app);
+    if (it == apps_.end()) {
+      return Response::FromStatus(UnavailableError(
+          "application '" + request.app + "' not registered with " +
+          options_.host));
+    }
+    routing = it->second;
+  }
+
+  if (request.hop_count > kMaxHops) {
+    return Response::FromStatus(
+        InternalError("routing loop: hop count exceeded"));
+  }
+
+  // A directed request (relay traffic) goes straight toward its target.
+  if (!request.target_host.empty() &&
+      request.target_host != options_.host) {
+    {
+      std::lock_guard slock(stats_mu_);
+      ++stats_.relayed;
+    }
+    return ForwardToward(request.target_host, request);
+  }
+  if (!request.target_host.empty()) {
+    // We are the destination machine.
+    return HandleDirected(request);
+  }
+
+  // Origin resolution: hash the folder name to its owning server (Sec. 5).
+  if (request.op == Op::kGetAlt || request.op == Op::kGetAltSkip) {
+    return HandleAlt(request, *routing);
+  }
+  const QualifiedKey qk{request.app, request.key};
+  auto spec = routing->ServerForKey(qk.ToBytes());
+  if (!spec.ok()) return Response::FromStatus(spec.status());
+  Request directed = request;
+  directed.target_host = spec->host;
+  if (spec->host == options_.host) {
+    return HandleDirected(directed);
+  }
+  {
+    std::lock_guard slock(stats_mu_);
+    ++stats_.forwarded;
+  }
+  return ForwardToward(spec->host, std::move(directed));
+}
+
+Response MemoServer::HandleDirected(const Request& request) {
+  std::shared_ptr<RoutingTable> routing;
+  {
+    std::lock_guard lock(mu_);
+    auto it = apps_.find(request.app);
+    if (it == apps_.end()) {
+      return Response::FromStatus(
+          UnavailableError("application not registered at destination"));
+    }
+    routing = it->second;
+  }
+  // Alts arriving here were grouped by the origin onto one folder server.
+  const Key& probe =
+      request.alts.empty() ? request.key : request.alts.front();
+  const QualifiedKey qk{request.app, probe};
+  auto fs = LocalFolderServer(*routing, qk);
+  if (!fs.ok()) return Response::FromStatus(fs.status());
+  {
+    std::lock_guard slock(stats_mu_);
+    ++stats_.local_handled;
+  }
+  Response resp = (*fs)->Handle(request);
+  resp.hop_count = request.hop_count;
+  return resp;
+}
+
+Response MemoServer::ForwardToward(const std::string& target_host,
+                                   Request request) {
+  std::shared_ptr<RoutingTable> routing;
+  {
+    std::lock_guard lock(mu_);
+    auto it = apps_.find(request.app);
+    if (it == apps_.end()) {
+      return Response::FromStatus(UnavailableError("app not registered"));
+    }
+    routing = it->second;
+  }
+  auto next = routing->NextHop(options_.host, target_host);
+  if (!next.ok()) return Response::FromStatus(next.status());
+  auto channel = PeerChannel(*next);
+  if (!channel.ok()) return Response::FromStatus(channel.status());
+  request.hop_count = static_cast<std::uint8_t>(request.hop_count + 1);
+  auto resp = (*channel)->Call(request);
+  if (!resp.ok()) return Response::FromStatus(resp.status());
+  return std::move(*resp);
+}
+
+Response MemoServer::HandleAlt(const Request& request,
+                               const RoutingTable& routing) {
+  // Group alternatives by owning (machine, folder server).
+  struct Group {
+    std::string host;
+    int fs_id;
+    std::vector<Key> keys;
+  };
+  std::vector<Group> groups;
+  for (const Key& k : request.alts) {
+    const QualifiedKey qk{request.app, k};
+    auto spec = routing.ServerForKey(qk.ToBytes());
+    if (!spec.ok()) return Response::FromStatus(spec.status());
+    auto it = std::find_if(groups.begin(), groups.end(), [&](const Group& g) {
+      return g.host == spec->host && g.fs_id == spec->id;
+    });
+    if (it == groups.end()) {
+      groups.push_back(Group{spec->host, spec->id, {k}});
+    } else {
+      it->keys.push_back(k);
+    }
+  }
+  if (groups.empty()) {
+    return Response::FromStatus(
+        InvalidArgumentError("get_alt requires at least one key"));
+  }
+
+  auto dispatch = [&](const Group& g, Op op) -> Response {
+    Request sub = request;
+    sub.op = op;
+    sub.alts = g.keys;
+    sub.target_host = g.host;
+    if (g.host == options_.host) return HandleDirected(sub);
+    {
+      std::lock_guard slock(stats_mu_);
+      ++stats_.forwarded;
+    }
+    return ForwardToward(g.host, std::move(sub));
+  };
+
+  // Fast path: one group — park the request at that folder server.
+  if (groups.size() == 1) {
+    return dispatch(groups.front(), request.op);
+  }
+
+  // Split path: rotate non-blocking probes across the owning servers.
+  for (;;) {
+    for (const Group& g : groups) {
+      Response resp = dispatch(g, Op::kGetAltSkip);
+      if (resp.code != StatusCode::kOk) return resp;
+      if (resp.has_value) return resp;
+    }
+    if (request.op == Op::kGetAltSkip) {
+      return Response{};  // no value anywhere, non-blocking: empty response
+    }
+    {
+      std::lock_guard slock(stats_mu_);
+      ++stats_.alt_rotations;
+    }
+    {
+      std::lock_guard lock(mu_);
+      if (shutdown_) {
+        return Response::FromStatus(CancelledError("server shut down"));
+      }
+    }
+    std::this_thread::sleep_for(options_.alt_rotation);
+  }
+}
+
+Response MemoServer::HandleStats() const {
+  // Stats travel as an encoded TRecord: the transferable codec doubles as
+  // the introspection wire format.
+  auto root = std::make_shared<TRecord>();
+  root->Set("host", MakeString(options_.host));
+  {
+    std::lock_guard slock(stats_mu_);
+    root->Set("requests", MakeUInt64(stats_.requests));
+    root->Set("local_handled", MakeUInt64(stats_.local_handled));
+    root->Set("forwarded", MakeUInt64(stats_.forwarded));
+    root->Set("relayed", MakeUInt64(stats_.relayed));
+    root->Set("apps_registered", MakeUInt64(stats_.apps_registered));
+  }
+  auto pool_stats = pool_->GetStats();
+  auto pool_rec = std::make_shared<TRecord>();
+  pool_rec->Set("threads_spawned", MakeUInt64(pool_stats.threads_spawned));
+  pool_rec->Set("threads_expired", MakeUInt64(pool_stats.threads_expired));
+  pool_rec->Set("tasks_executed", MakeUInt64(pool_stats.tasks_executed));
+  pool_rec->Set("cache_hits", MakeUInt64(pool_stats.cache_hits));
+  root->Set("pool", pool_rec);
+
+  auto folders = std::make_shared<TList>();
+  {
+    std::lock_guard lock(mu_);
+    for (const auto& [id, fs] : folder_servers_) {
+      auto rec = std::make_shared<TRecord>();
+      rec->Set("id", MakeInt32(id));
+      rec->Set("requests_served", MakeUInt64(fs->requests_served()));
+      const DirectoryStats dir = fs->directory_stats();
+      rec->Set("puts", MakeUInt64(dir.puts));
+      rec->Set("gets", MakeUInt64(dir.gets));
+      rec->Set("delayed_puts", MakeUInt64(dir.delayed_puts));
+      rec->Set("blocked_waits", MakeUInt64(dir.blocked_waits));
+      rec->Set("folders_created", MakeUInt64(dir.folders_created));
+      rec->Set("folders_vanished", MakeUInt64(dir.folders_vanished));
+      folders->Add(rec);
+    }
+  }
+  root->Set("folder_servers", folders);
+
+  Response resp;
+  resp.has_value = true;
+  resp.value = EncodeGraphToBytes(root);
+  return resp;
+}
+
+void MemoServer::Shutdown() {
+  std::vector<RpcChannelPtr> channels;
+  {
+    std::lock_guard lock(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+    for (auto& [host, ch] : peer_channels_) channels.push_back(ch);
+    for (auto& ch : inbound_channels_) channels.push_back(ch);
+    peer_channels_.clear();
+    inbound_channels_.clear();
+    for (auto& [id, fs] : folder_servers_) {
+      if (!options_.persist_dir.empty()) {
+        Status saved = fs->SaveTo(SnapshotPath(id));
+        if (!saved.ok()) {
+          DMEMO_LOG(kWarn) << "folder server " << id
+                           << ": snapshot failed: " << saved.ToString();
+        }
+      }
+      fs->Shutdown();
+    }
+  }
+  if (listener_) listener_->Close();
+  for (auto& ch : channels) ch->Close();
+  if (acceptor_.joinable()) acceptor_.join();
+  pool_->Shutdown();
+}
+
+MemoServerStats MemoServer::stats() const {
+  std::lock_guard lock(stats_mu_);
+  return stats_;
+}
+
+std::vector<PeerTraffic> MemoServer::peer_traffic() const {
+  std::lock_guard lock(mu_);
+  std::vector<PeerTraffic> out;
+  for (const auto& [host, ch] : peer_channels_) {
+    out.push_back(PeerTraffic{host, ch->bytes_sent(), ch->bytes_received()});
+  }
+  return out;
+}
+
+std::vector<int> MemoServer::folder_server_ids() const {
+  std::lock_guard lock(mu_);
+  std::vector<int> ids;
+  for (const auto& [id, fs] : folder_servers_) ids.push_back(id);
+  return ids;
+}
+
+const FolderServer* MemoServer::folder_server(int id) const {
+  std::lock_guard lock(mu_);
+  auto it = folder_servers_.find(id);
+  return it == folder_servers_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace dmemo

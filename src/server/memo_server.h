@@ -1,0 +1,134 @@
+// Memo server (paper Sec. 4.1, Figures 1 and 2).
+//
+// One memo server per machine. It listens for connections from applications
+// and from other memo servers; each request is handled on a cached thread
+// (Sec. 4.1). For every registered application it holds that application's
+// routing table (Sec. 4.4: "each memo server is loaded with unique routing
+// tables for each application") and the folder servers the ADF places on
+// this machine.
+//
+// Request flow: the folder key is hashed (cost-weighted, Sec. 5) to a folder
+// server. If it is local, the request is served through a direct call — the
+// Figure-1 intra-machine path. Otherwise the request is forwarded to the
+// next memo server along the ADF topology's cheapest path (Figure 2);
+// intermediate servers relay, incrementing hop_count, so logical topologies
+// with intermediate hops behave as drawn.
+//
+// get_alt whose alternatives hash to different folder servers cannot park on
+// a single directory; the origin server rotates bounded waits across the
+// owning servers instead (documented deviation: the paper does not specify
+// the cross-server case).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "routing/routing.h"
+#include "server/folder_server.h"
+#include "server/rpc_channel.h"
+#include "transport/transport.h"
+#include "util/worker_pool.h"
+
+namespace dmemo {
+
+struct MemoServerOptions {
+  std::string host;        // this machine's name in ADF terms
+  std::string listen_url;  // transport address to listen on
+  // Machine name -> dialable memo-server URL for every machine that may
+  // appear in a registered ADF (the system installation map).
+  std::unordered_map<std::string, std::string> peers;
+  WorkerPool::Options pool;
+  // How long one rotation waits per folder-server group in the split
+  // get_alt path.
+  std::chrono::milliseconds alt_rotation{2};
+  // Persistence (Sec. 3.1.3): when non-empty, each folder server loads
+  // <persist_dir>/fs-<id>.dmemo at materialization and snapshots back on
+  // shutdown, so the memo space survives server restarts.
+  std::string persist_dir;
+};
+
+struct MemoServerStats {
+  std::uint64_t requests = 0;        // requests entering Handle
+  std::uint64_t local_handled = 0;   // served by a folder server here
+  std::uint64_t forwarded = 0;       // sent toward the owning machine
+  std::uint64_t relayed = 0;         // pass-through hops (we were neither
+                                     // origin nor destination)
+  std::uint64_t alt_rotations = 0;   // bounded waits in split get_alt
+  std::uint64_t apps_registered = 0;
+};
+
+struct PeerTraffic {
+  std::string host;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+};
+
+class MemoServer {
+ public:
+  static Result<std::unique_ptr<MemoServer>> Start(TransportPtr transport,
+                                                   MemoServerOptions options);
+  ~MemoServer();
+
+  MemoServer(const MemoServer&) = delete;
+  MemoServer& operator=(const MemoServer&) = delete;
+
+  // Resolved listen address (ephemeral ports resolved).
+  const std::string& address() const { return address_; }
+  const std::string& host() const { return options_.host; }
+
+  // Local (in-process) registration — the launcher uses this on the machine
+  // it starts servers on; remote machines receive Op::kRegisterApp.
+  Status RegisterApp(const AppDescription& adf);
+
+  // Serve one request. Public so intra-process deployments (the local
+  // engine's machine fabric) can bypass the network exactly like the
+  // shared-memory path in Figure 1.
+  Response Handle(const Request& request);
+
+  void Shutdown();
+
+  MemoServerStats stats() const;
+  // Outbound links' traffic, one entry per peer this server dialed.
+  std::vector<PeerTraffic> peer_traffic() const;
+  WorkerPool::Stats pool_stats() const { return pool_->GetStats(); }
+  // Folder servers materialized on this machine (ids from ADFs).
+  std::vector<int> folder_server_ids() const;
+  const FolderServer* folder_server(int id) const;
+
+ private:
+  explicit MemoServer(MemoServerOptions options);
+
+  void AcceptLoop();
+  Result<RpcChannelPtr> PeerChannel(const std::string& host);
+
+  std::string SnapshotPath(int fs_id) const;
+  void MigrateApp(const std::string& app, const RoutingTable& routing);
+  Response HandleStats() const;
+  Response HandleDirected(const Request& request);
+  Response HandleAlt(const Request& request, const RoutingTable& routing);
+  Response ForwardToward(const std::string& target_host, Request request);
+  Result<FolderServer*> LocalFolderServer(const RoutingTable& routing,
+                                          const QualifiedKey& qk);
+
+  MemoServerOptions options_;
+  std::string address_;
+  TransportPtr transport_;
+  ListenerPtr listener_;
+  std::unique_ptr<WorkerPool> pool_;
+  std::thread acceptor_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<RoutingTable>> apps_;
+  std::map<int, std::unique_ptr<FolderServer>> folder_servers_;
+  std::unordered_map<std::string, RpcChannelPtr> peer_channels_;
+  std::vector<RpcChannelPtr> inbound_channels_;
+  bool shutdown_ = false;
+
+  mutable std::mutex stats_mu_;
+  MemoServerStats stats_;
+};
+
+}  // namespace dmemo

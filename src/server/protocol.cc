@@ -1,0 +1,100 @@
+#include "server/protocol.h"
+
+namespace dmemo {
+
+std::string_view OpName(Op op) {
+  switch (op) {
+    case Op::kPut: return "put";
+    case Op::kPutDelayed: return "put_delayed";
+    case Op::kGet: return "get";
+    case Op::kGetCopy: return "get_copy";
+    case Op::kGetSkip: return "get_skip";
+    case Op::kGetAlt: return "get_alt";
+    case Op::kGetAltSkip: return "get_alt_skip";
+    case Op::kCount: return "count";
+    case Op::kRegisterApp: return "register_app";
+    case Op::kPing: return "ping";
+    case Op::kStats: return "stats";
+  }
+  return "unknown";
+}
+
+void Request::EncodeTo(ByteWriter& out) const {
+  out.u8(static_cast<std::uint8_t>(op));
+  out.str(app);
+  out.str(target_host);
+  out.u8(hop_count);
+  key.EncodeTo(out);
+  key2.EncodeTo(out);
+  out.varint(alts.size());
+  for (const Key& k : alts) k.EncodeTo(out);
+  out.bytes(value);
+  out.str(text);
+}
+
+Result<Request> Request::DecodeFrom(ByteReader& in) {
+  Request req;
+  DMEMO_ASSIGN_OR_RETURN(std::uint8_t op, in.u8());
+  if (op < static_cast<std::uint8_t>(Op::kPut) ||
+      op > static_cast<std::uint8_t>(Op::kStats)) {
+    return DataLossError("unknown opcode " + std::to_string(op));
+  }
+  req.op = static_cast<Op>(op);
+  DMEMO_ASSIGN_OR_RETURN(req.app, in.str());
+  DMEMO_ASSIGN_OR_RETURN(req.target_host, in.str());
+  DMEMO_ASSIGN_OR_RETURN(req.hop_count, in.u8());
+  DMEMO_ASSIGN_OR_RETURN(req.key, Key::DecodeFrom(in));
+  DMEMO_ASSIGN_OR_RETURN(req.key2, Key::DecodeFrom(in));
+  DMEMO_ASSIGN_OR_RETURN(std::uint64_t n_alts, in.varint());
+  if (n_alts > 4096) return DataLossError("too many alternatives");
+  for (std::uint64_t i = 0; i < n_alts; ++i) {
+    DMEMO_ASSIGN_OR_RETURN(Key k, Key::DecodeFrom(in));
+    req.alts.push_back(std::move(k));
+  }
+  DMEMO_ASSIGN_OR_RETURN(req.value, in.bytes());
+  DMEMO_ASSIGN_OR_RETURN(req.text, in.str());
+  return req;
+}
+
+void Response::EncodeTo(ByteWriter& out) const {
+  out.u8(static_cast<std::uint8_t>(code));
+  out.str(message);
+  out.u8(has_value ? 1 : 0);
+  out.bytes(value);
+  out.u8(has_key ? 1 : 0);
+  key.EncodeTo(out);
+  out.varint(count);
+  out.u8(hop_count);
+}
+
+Result<Response> Response::DecodeFrom(ByteReader& in) {
+  Response resp;
+  DMEMO_ASSIGN_OR_RETURN(std::uint8_t code, in.u8());
+  if (code > static_cast<std::uint8_t>(StatusCode::kUnimplemented)) {
+    return DataLossError("unknown status code " + std::to_string(code));
+  }
+  resp.code = static_cast<StatusCode>(code);
+  DMEMO_ASSIGN_OR_RETURN(resp.message, in.str());
+  DMEMO_ASSIGN_OR_RETURN(std::uint8_t has_value, in.u8());
+  resp.has_value = has_value != 0;
+  DMEMO_ASSIGN_OR_RETURN(resp.value, in.bytes());
+  DMEMO_ASSIGN_OR_RETURN(std::uint8_t has_key, in.u8());
+  resp.has_key = has_key != 0;
+  DMEMO_ASSIGN_OR_RETURN(resp.key, Key::DecodeFrom(in));
+  DMEMO_ASSIGN_OR_RETURN(resp.count, in.varint());
+  DMEMO_ASSIGN_OR_RETURN(resp.hop_count, in.u8());
+  return resp;
+}
+
+Response Response::FromStatus(const Status& status) {
+  Response resp;
+  resp.code = status.code();
+  resp.message = status.message();
+  return resp;
+}
+
+Status Response::ToStatus() const {
+  return Status(code, message);
+}
+
+}  // namespace dmemo

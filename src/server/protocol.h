@@ -1,0 +1,72 @@
+// D-Memo wire protocol.
+//
+// Every peer link (application <-> memo server, memo server <-> memo server)
+// carries length-framed messages of two kinds: requests and responses,
+// correlated by a channel-local id so many requests — including parked
+// blocking gets — can be in flight on one connection at once.
+//
+// A request names the application, the operation, and (for relayed traffic)
+// the destination machine; intermediate memo servers increment hop_count as
+// they relay along the ADF topology, which is how the topology experiments
+// observe real hop counts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "folder/key.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace dmemo {
+
+enum class Op : std::uint8_t {
+  kPut = 1,
+  kPutDelayed,
+  kGet,
+  kGetCopy,
+  kGetSkip,
+  kGetAlt,
+  kGetAltSkip,
+  kCount,        // extractable memos in a folder (diagnostics)
+  kRegisterApp,  // store the app's ADF / routing table (Sec. 4.4)
+  kPing,         // liveness probe
+  kStats,        // server introspection: stats as an encoded TRecord
+};
+
+std::string_view OpName(Op op);
+
+struct Request {
+  Op op = Op::kPing;
+  std::string app;
+  std::string target_host;  // owning machine; "" = resolve at first server
+  std::uint8_t hop_count = 0;
+
+  Key key;                 // put/get/...; put_delayed's key1
+  Key key2;                // put_delayed's destination folder
+  std::vector<Key> alts;   // get_alt / get_alt_skip
+  Bytes value;             // encoded transferable graph (puts)
+  std::string text;        // ADF text (register_app)
+
+  void EncodeTo(ByteWriter& out) const;
+  static Result<Request> DecodeFrom(ByteReader& in);
+};
+
+struct Response {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  bool has_value = false;
+  Bytes value;
+  bool has_key = false;  // get_alt: which folder supplied the value
+  Key key;
+  std::uint64_t count = 0;     // kCount result
+  std::uint8_t hop_count = 0;  // hops the request travelled (diagnostics)
+
+  void EncodeTo(ByteWriter& out) const;
+  static Result<Response> DecodeFrom(ByteReader& in);
+
+  static Response FromStatus(const Status& status);
+  Status ToStatus() const;
+};
+
+}  // namespace dmemo

@@ -1,0 +1,194 @@
+#include "server/rpc_channel.h"
+
+#include "util/log.h"
+
+namespace dmemo {
+
+namespace {
+constexpr std::uint8_t kKindRequest = 1;
+constexpr std::uint8_t kKindResponse = 2;
+}  // namespace
+
+RpcChannelPtr RpcChannel::Create(ConnectionPtr conn, WorkerPool* pool,
+                                 RequestHandler handler) {
+  auto channel = RpcChannelPtr(
+      new RpcChannel(std::move(conn), pool, std::move(handler)));
+  channel->Start();
+  return channel;
+}
+
+RpcChannel::RpcChannel(ConnectionPtr conn, WorkerPool* pool,
+                       RequestHandler handler)
+    : conn_(std::move(conn)), pool_(pool), handler_(std::move(handler)) {}
+
+void RpcChannel::Start() {
+  reader_ = std::thread([self = shared_from_this()] { self->ReaderLoop(); });
+}
+
+RpcChannel::~RpcChannel() {
+  Close();
+  if (reader_.joinable()) {
+    // The destructor can only run once no handler holds shared_from_this,
+    // so the reader thread is past its self-reference and joinable here —
+    // unless *we are* the reader (channel dropped from a handler); then
+    // detach to avoid self-join.
+    if (reader_.get_id() == std::this_thread::get_id()) {
+      reader_.detach();
+    } else {
+      reader_.join();
+    }
+  }
+}
+
+Result<Response> RpcChannel::Call(const Request& request) {
+  DMEMO_ASSIGN_OR_RETURN(std::optional<Response> resp,
+                         CallFor(request, std::chrono::milliseconds::max()));
+  if (!resp.has_value()) {
+    return InternalError("unbounded call returned without response");
+  }
+  return std::move(*resp);
+}
+
+Result<std::optional<Response>> RpcChannel::CallFor(
+    const Request& request, std::chrono::milliseconds timeout) {
+  if (closed_.load()) return UnavailableError("rpc channel closed");
+  std::uint64_t id;
+  {
+    std::lock_guard lock(mu_);
+    id = next_id_++;
+    pending_.emplace(id, PendingCall{});
+  }
+  ByteWriter frame;
+  frame.u8(kKindRequest);
+  frame.u64(id);
+  request.EncodeTo(frame);
+  Status sent;
+  {
+    std::lock_guard lock(send_mu_);
+    sent = conn_->Send(frame.data());
+  }
+  if (!sent.ok()) {
+    std::lock_guard lock(mu_);
+    pending_.erase(id);
+    return sent;
+  }
+  bytes_sent_.fetch_add(frame.size(), std::memory_order_relaxed);
+
+  std::unique_lock lock(mu_);
+  const bool unbounded = timeout == std::chrono::milliseconds::max();
+  const auto deadline = unbounded
+                            ? std::chrono::steady_clock::time_point::max()
+                            : std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) {
+      return UnavailableError("rpc channel closed while waiting");
+    }
+    if (it->second.failed) {
+      pending_.erase(it);
+      return UnavailableError("rpc channel closed while waiting");
+    }
+    if (it->second.response.has_value()) {
+      Response resp = std::move(*it->second.response);
+      pending_.erase(it);
+      return std::optional<Response>(std::move(resp));
+    }
+    if (unbounded) {
+      cv_.wait(lock);
+    } else if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      // Drop the entry; a late response then finds no waiter and is
+      // discarded by the reader loop.
+      pending_.erase(id);
+      return std::optional<Response>(std::nullopt);
+    }
+  }
+}
+
+void RpcChannel::ReaderLoop() {
+  for (;;) {
+    auto frame = conn_->Receive();
+    if (!frame.ok()) break;
+    bytes_received_.fetch_add(frame->size(), std::memory_order_relaxed);
+    ByteReader in(*frame);
+    auto kind = in.u8();
+    auto id = in.u64();
+    if (!kind.ok() || !id.ok()) continue;  // malformed frame: drop
+    if (*kind == kKindResponse) {
+      auto resp = Response::DecodeFrom(in);
+      std::lock_guard lock(mu_);
+      auto it = pending_.find(*id);
+      if (it == pending_.end()) continue;  // timed-out caller; drop
+      if (resp.ok()) {
+        it->second.response = std::move(*resp);
+      } else {
+        it->second.failed = true;
+      }
+      cv_.notify_all();
+    } else if (*kind == kKindRequest) {
+      auto req = Request::DecodeFrom(in);
+      if (!req.ok()) {
+        DMEMO_LOG(kWarn) << "dropping malformed request on "
+                         << conn_->description() << ": "
+                         << req.status().ToString();
+        continue;
+      }
+      HandleRequest(*id, std::move(*req));
+    }
+  }
+  closed_.store(true);
+  std::lock_guard lock(mu_);
+  for (auto& [id, call] : pending_) call.failed = true;
+  cv_.notify_all();
+}
+
+void RpcChannel::HandleRequest(std::uint64_t id, Request request) {
+  // Each request gets a (cached) thread, per Sec. 4.1. The worker holds a
+  // shared_ptr so the channel outlives parked handlers.
+  auto self = shared_from_this();
+  auto work = [self, id, request = std::move(request)] {
+    Response response =
+        self->handler_
+            ? self->handler_(request)
+            : Response::FromStatus(FailedPreconditionError(
+                  "peer does not accept requests"));
+    self->requests_handled_.fetch_add(1, std::memory_order_relaxed);
+    ByteWriter frame;
+    frame.u8(kKindResponse);
+    frame.u64(id);
+    response.EncodeTo(frame);
+    std::lock_guard lock(self->send_mu_);
+    if (self->conn_->Send(frame.data()).ok()) {
+      self->bytes_sent_.fetch_add(frame.size(), std::memory_order_relaxed);
+    }
+  };
+  if (pool_ != nullptr) {
+    pool_->Submit(std::move(work));
+  } else {
+    work();
+  }
+}
+
+void RpcChannel::Close() {
+  if (closed_.exchange(true)) {
+    conn_->Close();
+    return;
+  }
+  conn_->Close();
+  std::lock_guard lock(mu_);
+  for (auto& [id, call] : pending_) call.failed = true;
+  cv_.notify_all();
+}
+
+bool RpcChannel::closed() const { return closed_.load(); }
+
+std::uint64_t RpcChannel::bytes_sent() const {
+  return bytes_sent_.load(std::memory_order_relaxed);
+}
+std::uint64_t RpcChannel::bytes_received() const {
+  return bytes_received_.load(std::memory_order_relaxed);
+}
+std::uint64_t RpcChannel::requests_handled() const {
+  return requests_handled_.load(std::memory_order_relaxed);
+}
+
+}  // namespace dmemo

@@ -1,0 +1,95 @@
+// Request/response multiplexing over one Connection.
+//
+// Blocking gets can park for arbitrarily long, so a single connection must
+// carry many outstanding requests: each message is tagged REQUEST or
+// RESPONSE plus a channel-local id. A reader thread dispatches responses to
+// their waiting callers and hands requests to the channel's handler (run on
+// the owner's worker pool — the paper's thread-per-request-with-caching
+// model).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+
+#include "server/protocol.h"
+#include "transport/transport.h"
+#include "util/worker_pool.h"
+
+namespace dmemo {
+
+class RpcChannel;
+using RpcChannelPtr = std::shared_ptr<RpcChannel>;
+
+// Serves an incoming request; runs on a worker-pool thread and may block
+// (e.g. a parked get). The returned response is sent to the requester.
+using RequestHandler = std::function<Response(const Request&)>;
+
+class RpcChannel : public std::enable_shared_from_this<RpcChannel> {
+ public:
+  // `pool` must outlive the channel. A null handler rejects inbound
+  // requests with FAILED_PRECONDITION (pure-client channels).
+  static RpcChannelPtr Create(ConnectionPtr conn, WorkerPool* pool,
+                              RequestHandler handler);
+
+  ~RpcChannel();
+
+  RpcChannel(const RpcChannel&) = delete;
+  RpcChannel& operator=(const RpcChannel&) = delete;
+
+  // Synchronous call: sends the request, blocks until its response arrives.
+  // UNAVAILABLE if the channel closes while waiting.
+  Result<Response> Call(const Request& request);
+
+  // Bounded variant; nullopt on timeout (the request stays outstanding and
+  // its eventual response is discarded).
+  Result<std::optional<Response>> CallFor(const Request& request,
+                                          std::chrono::milliseconds timeout);
+
+  // Closes the connection and fails all outstanding calls.
+  void Close();
+  bool closed() const;
+
+  // Traffic counters (bytes on the wire, both directions), for the
+  // link-traffic experiments.
+  std::uint64_t bytes_sent() const;
+  std::uint64_t bytes_received() const;
+  std::uint64_t requests_handled() const;
+
+  std::string description() const { return conn_->description(); }
+
+ private:
+  RpcChannel(ConnectionPtr conn, WorkerPool* pool, RequestHandler handler);
+  void Start();
+  void ReaderLoop();
+  void HandleRequest(std::uint64_t id, Request request);
+
+  struct PendingCall {
+    std::optional<Response> response;
+    bool failed = false;
+  };
+
+  ConnectionPtr conn_;
+  WorkerPool* pool_;
+  RequestHandler handler_;
+
+  std::thread reader_;
+  std::atomic<bool> closed_{false};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t next_id_ = 1;
+  std::unordered_map<std::uint64_t, PendingCall> pending_;
+
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> bytes_received_{0};
+  std::atomic<std::uint64_t> requests_handled_{0};
+  std::mutex send_mu_;
+};
+
+}  // namespace dmemo

@@ -1,0 +1,185 @@
+#include "sharedmem/region_allocator.h"
+
+#include <pthread.h>
+
+#include <cstring>
+#include <new>
+
+namespace dmemo {
+
+namespace {
+constexpr std::uint64_t kMagic = 0xd3ed0a110cULL;  // "dmemo alloc"
+constexpr std::size_t kAlign = 16;
+// Block header: the size word plus (for free blocks) the next-offset, padded
+// to one alignment unit so payloads stay 16-byte aligned.
+constexpr std::size_t kBlockHeader = 16;
+
+constexpr std::size_t AlignUp(std::size_t n) {
+  return (n + (kAlign - 1)) & ~(kAlign - 1);
+}
+}  // namespace
+
+struct RegionAllocator::Header {
+  std::uint64_t magic;
+  std::uint64_t capacity;   // total region bytes including this header
+  std::uint64_t used;       // payload bytes currently allocated
+  std::uint64_t free_head;  // offset of first free block, kNull if none
+  pthread_mutex_t mu;       // process-shared
+};
+
+// Every block starts with a 16-byte header holding the payload size and —
+// for free blocks — the next free offset; the second word is padding for
+// allocated blocks so payloads keep 16-byte alignment.
+struct RegionAllocator::FreeBlock {
+  std::uint64_t size;  // payload bytes
+  std::uint64_t next;  // offset of next free block (of its size word)
+};
+
+RegionAllocator::Header* RegionAllocator::header() const {
+  return reinterpret_cast<Header*>(base_);
+}
+
+Result<RegionAllocator> RegionAllocator::Create(void* base,
+                                                std::size_t bytes) {
+  const std::size_t header_size = AlignUp(sizeof(Header));
+  if (bytes < header_size + kAlign * 4) {
+    return InvalidArgumentError("region too small for allocator header");
+  }
+  RegionAllocator a(base);
+  Header* h = a.header();
+  h->magic = kMagic;
+  h->capacity = bytes;
+  h->used = 0;
+
+  pthread_mutexattr_t attr;
+  pthread_mutexattr_init(&attr);
+  pthread_mutexattr_setpshared(&attr, PTHREAD_PROCESS_SHARED);
+  pthread_mutex_init(&h->mu, &attr);
+  pthread_mutexattr_destroy(&attr);
+
+  // One big free block covering everything after the header.
+  const std::size_t first = header_size;
+  auto* blk = reinterpret_cast<FreeBlock*>(a.base_ + first);
+  blk->size = bytes - first - kBlockHeader;
+  blk->next = kNull;
+  h->free_head = first;
+  return a;
+}
+
+Result<RegionAllocator> RegionAllocator::Open(void* base, std::size_t bytes) {
+  RegionAllocator a(base);
+  Header* h = a.header();
+  if (h->magic != kMagic) {
+    return FailedPreconditionError("region is not an initialized dmemo heap");
+  }
+  if (h->capacity != bytes) {
+    return InvalidArgumentError("region size mismatch: header says " +
+                                std::to_string(h->capacity) + ", caller " +
+                                std::to_string(bytes));
+  }
+  return a;
+}
+
+Result<std::size_t> RegionAllocator::Allocate(std::size_t bytes) {
+  if (bytes == 0) bytes = 1;
+  const std::size_t need = AlignUp(bytes);
+  Header* h = header();
+  pthread_mutex_lock(&h->mu);
+
+  // First fit over the address-ordered free list.
+  std::uint64_t prev = kNull;
+  std::uint64_t cur = h->free_head;
+  while (cur != kNull) {
+    auto* blk = reinterpret_cast<FreeBlock*>(base_ + cur);
+    if (blk->size >= need) {
+      const std::uint64_t remainder = blk->size - need;
+      std::uint64_t successor = blk->next;
+      // Split when the tail can hold a block header plus one aligned unit.
+      if (remainder >= kBlockHeader + kAlign) {
+        const std::uint64_t tail_off = cur + kBlockHeader + need;
+        auto* tail = reinterpret_cast<FreeBlock*>(base_ + tail_off);
+        tail->size = remainder - kBlockHeader;
+        tail->next = blk->next;
+        blk->size = need;
+        successor = tail_off;
+      }
+      if (prev == kNull) {
+        h->free_head = successor;
+      } else {
+        reinterpret_cast<FreeBlock*>(base_ + prev)->next = successor;
+      }
+      h->used += blk->size;
+      pthread_mutex_unlock(&h->mu);
+      return static_cast<std::size_t>(cur + kBlockHeader);
+    }
+    prev = cur;
+    cur = blk->next;
+  }
+  pthread_mutex_unlock(&h->mu);
+  return ResourceExhaustedError("shared region exhausted: need " +
+                                std::to_string(need) + " bytes");
+}
+
+Status RegionAllocator::Free(std::size_t payload_offset) {
+  Header* h = header();
+  if (payload_offset < kBlockHeader ||
+      payload_offset >= h->capacity) {
+    return InvalidArgumentError("offset outside region");
+  }
+  const std::uint64_t off = payload_offset - kBlockHeader;
+  pthread_mutex_lock(&h->mu);
+  auto* blk = reinterpret_cast<FreeBlock*>(base_ + off);
+  h->used -= blk->size;
+
+  // Insert address-ordered, coalescing with neighbours.
+  std::uint64_t prev = kNull;
+  std::uint64_t cur = h->free_head;
+  while (cur != kNull && cur < off) {
+    prev = cur;
+    cur = reinterpret_cast<FreeBlock*>(base_ + cur)->next;
+  }
+  blk->next = cur;
+  if (prev == kNull) {
+    h->free_head = off;
+  } else {
+    reinterpret_cast<FreeBlock*>(base_ + prev)->next = off;
+  }
+  // Coalesce forward: freed block touches the next free block.
+  if (cur != kNull && off + kBlockHeader + blk->size == cur) {
+    auto* nxt = reinterpret_cast<FreeBlock*>(base_ + cur);
+    blk->size += kBlockHeader + nxt->size;
+    blk->next = nxt->next;
+  }
+  // Coalesce backward: previous free block touches the freed block.
+  if (prev != kNull) {
+    auto* p = reinterpret_cast<FreeBlock*>(base_ + prev);
+    if (prev + kBlockHeader + p->size == off) {
+      p->size += kBlockHeader + blk->size;
+      p->next = blk->next;
+    }
+  }
+  pthread_mutex_unlock(&h->mu);
+  return Status::Ok();
+}
+
+void* RegionAllocator::At(std::size_t offset) const {
+  return base_ + offset;
+}
+
+std::size_t RegionAllocator::capacity() const { return header()->capacity; }
+
+std::size_t RegionAllocator::used() const { return header()->used; }
+
+std::size_t RegionAllocator::FreeBlockCount() const {
+  Header* h = header();
+  pthread_mutex_lock(&h->mu);
+  std::size_t n = 0;
+  for (std::uint64_t cur = h->free_head; cur != kNull;
+       cur = reinterpret_cast<FreeBlock*>(base_ + cur)->next) {
+    ++n;
+  }
+  pthread_mutex_unlock(&h->mu);
+  return n;
+}
+
+}  // namespace dmemo

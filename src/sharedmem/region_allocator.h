@@ -1,0 +1,55 @@
+// Region-resident allocator shared by every SharedMemory derivation.
+//
+// All allocator state (header, free list) lives *inside* the managed region
+// and uses offsets instead of pointers, so two processes mapping the same
+// segment at different addresses see one coherent heap. Mutual exclusion is
+// a process-shared pthread mutex stored in the region header.
+//
+// Layout:   [Header][block][block]...
+// A block is an 8-byte size word followed by the payload; free blocks keep a
+// next-offset in their payload and are kept address-ordered so adjacent free
+// blocks coalesce on Free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace dmemo {
+
+class RegionAllocator {
+ public:
+  // Offset sentinel for "no block".
+  static constexpr std::uint64_t kNull = ~std::uint64_t{0};
+
+  // Initialize a fresh region of `bytes` starting at `base`. Writes the
+  // header; only ONE process must call this per segment.
+  static Result<RegionAllocator> Create(void* base, std::size_t bytes);
+
+  // Adopt an already-initialized region (other processes / re-attach).
+  static Result<RegionAllocator> Open(void* base, std::size_t bytes);
+
+  // Returns the offset of the payload, aligned to 16 bytes.
+  Result<std::size_t> Allocate(std::size_t bytes);
+  Status Free(std::size_t offset);
+
+  void* At(std::size_t offset) const;
+  std::size_t capacity() const;
+  std::size_t used() const;
+
+  // Number of blocks on the free list (white-box metric for tests).
+  std::size_t FreeBlockCount() const;
+
+ private:
+  struct Header;
+  struct FreeBlock;
+
+  explicit RegionAllocator(void* base) : base_(static_cast<char*>(base)) {}
+
+  Header* header() const;
+
+  char* base_;
+};
+
+}  // namespace dmemo

@@ -1,0 +1,268 @@
+#include "sharedmem/shared_memory.h"
+
+#include <fcntl.h>
+#include <sys/ipc.h>
+#include <sys/mman.h>
+#include <sys/shm.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <optional>
+#include <vector>
+
+#include "sharedmem/region_allocator.h"
+#include "util/hash.h"
+
+namespace dmemo {
+
+namespace {
+
+// Encore-style heap arena: the application declares its maximum up front,
+// the pool is reserved in one piece, and pieces are carved with the region
+// allocator. Single-process only.
+class InProcSharedMemory final : public SharedMemory {
+ public:
+  ~InProcSharedMemory() override { (void)Detach(); }
+
+  Status Attach(std::size_t max_bytes) override {
+    if (!region_.empty()) {
+      return FailedPreconditionError("already attached");
+    }
+    region_.resize(max_bytes);
+    DMEMO_ASSIGN_OR_RETURN(auto alloc,
+                           RegionAllocator::Create(region_.data(), max_bytes));
+    alloc_ = alloc;
+    return Status::Ok();
+  }
+
+  Status Detach() override {
+    region_.clear();
+    region_.shrink_to_fit();
+    alloc_.reset();
+    return Status::Ok();
+  }
+
+  Result<std::size_t> Allocate(std::size_t bytes) override {
+    DMEMO_RETURN_IF_ERROR(CheckAttached());
+    return alloc_->Allocate(bytes);
+  }
+
+  Status Free(std::size_t offset) override {
+    DMEMO_RETURN_IF_ERROR(CheckAttached());
+    return alloc_->Free(offset);
+  }
+
+  void* At(std::size_t offset) override {
+    return alloc_ ? alloc_->At(offset) : nullptr;
+  }
+
+  std::size_t capacity() const override {
+    return alloc_ ? alloc_->capacity() : 0;
+  }
+  std::size_t used() const override { return alloc_ ? alloc_->used() : 0; }
+  std::string_view mechanism() const override { return "inproc"; }
+
+ private:
+  Status CheckAttached() const {
+    if (!alloc_) return FailedPreconditionError("not attached");
+    return Status::Ok();
+  }
+
+  std::vector<char> region_;
+  std::optional<RegionAllocator> alloc_;
+};
+
+// POSIX shm_open/mmap derivation: a named segment shared by cooperating
+// processes. The creator initializes the heap; later attachers adopt it.
+class PosixSharedMemory final : public SharedMemory {
+ public:
+  explicit PosixSharedMemory(std::string name) : name_(std::move(name)) {}
+  ~PosixSharedMemory() override { (void)Detach(); }
+
+  Status Attach(std::size_t max_bytes) override {
+    if (base_ != nullptr) return FailedPreconditionError("already attached");
+    bool created = true;
+    int fd = ::shm_open(name_.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+    if (fd < 0) {
+      created = false;
+      fd = ::shm_open(name_.c_str(), O_RDWR, 0600);
+      if (fd < 0) {
+        return UnavailableError("shm_open failed for " + name_ + ": " +
+                                std::strerror(errno));
+      }
+    }
+    if (created && ::ftruncate(fd, static_cast<off_t>(max_bytes)) != 0) {
+      ::close(fd);
+      ::shm_unlink(name_.c_str());
+      return UnavailableError("ftruncate failed: " +
+                              std::string(std::strerror(errno)));
+    }
+    void* base = ::mmap(nullptr, max_bytes, PROT_READ | PROT_WRITE,
+                        MAP_SHARED, fd, 0);
+    ::close(fd);
+    if (base == MAP_FAILED) {
+      if (created) ::shm_unlink(name_.c_str());
+      return UnavailableError("mmap failed: " +
+                              std::string(std::strerror(errno)));
+    }
+    auto alloc = created ? RegionAllocator::Create(base, max_bytes)
+                         : RegionAllocator::Open(base, max_bytes);
+    if (!alloc.ok()) {
+      ::munmap(base, max_bytes);
+      if (created) ::shm_unlink(name_.c_str());
+      return alloc.status();
+    }
+    base_ = base;
+    size_ = max_bytes;
+    owner_ = created;
+    alloc_ = *alloc;
+    return Status::Ok();
+  }
+
+  Status Detach() override {
+    if (base_ == nullptr) return Status::Ok();
+    ::munmap(base_, size_);
+    if (owner_) ::shm_unlink(name_.c_str());
+    base_ = nullptr;
+    alloc_.reset();
+    return Status::Ok();
+  }
+
+  Result<std::size_t> Allocate(std::size_t bytes) override {
+    if (!alloc_) return FailedPreconditionError("not attached");
+    return alloc_->Allocate(bytes);
+  }
+
+  Status Free(std::size_t offset) override {
+    if (!alloc_) return FailedPreconditionError("not attached");
+    return alloc_->Free(offset);
+  }
+
+  void* At(std::size_t offset) override {
+    return alloc_ ? alloc_->At(offset) : nullptr;
+  }
+
+  std::size_t capacity() const override {
+    return alloc_ ? alloc_->capacity() : 0;
+  }
+  std::size_t used() const override { return alloc_ ? alloc_->used() : 0; }
+  std::string_view mechanism() const override { return "posix"; }
+
+ private:
+  std::string name_;
+  void* base_ = nullptr;
+  std::size_t size_ = 0;
+  bool owner_ = false;
+  std::optional<RegionAllocator> alloc_;
+};
+
+// System V shmget/shmat derivation — the API the paper contrasts with the
+// Encore's: subtly different calls, same abstract protocol.
+class SysVSharedMemory final : public SharedMemory {
+ public:
+  explicit SysVSharedMemory(std::string name) : name_(std::move(name)) {}
+  ~SysVSharedMemory() override { (void)Detach(); }
+
+  Status Attach(std::size_t max_bytes) override {
+    if (base_ != nullptr) return FailedPreconditionError("already attached");
+    // Derive a stable key from the name (ftok needs an existing file; a name
+    // hash avoids that dependency).
+    const key_t key =
+        static_cast<key_t>(Fnv1a64(name_) & 0x7fffffff) | 1;
+    bool created = true;
+    int id = ::shmget(key, max_bytes, IPC_CREAT | IPC_EXCL | 0600);
+    if (id < 0) {
+      created = false;
+      id = ::shmget(key, max_bytes, 0600);
+      if (id < 0) {
+        return UnavailableError("shmget failed: " +
+                                std::string(std::strerror(errno)));
+      }
+    }
+    void* base = ::shmat(id, nullptr, 0);
+    if (base == reinterpret_cast<void*>(-1)) {
+      if (created) ::shmctl(id, IPC_RMID, nullptr);
+      return UnavailableError("shmat failed: " +
+                              std::string(std::strerror(errno)));
+    }
+    auto alloc = created ? RegionAllocator::Create(base, max_bytes)
+                         : RegionAllocator::Open(base, max_bytes);
+    if (!alloc.ok()) {
+      ::shmdt(base);
+      if (created) ::shmctl(id, IPC_RMID, nullptr);
+      return alloc.status();
+    }
+    base_ = base;
+    shmid_ = id;
+    owner_ = created;
+    alloc_ = *alloc;
+    return Status::Ok();
+  }
+
+  Status Detach() override {
+    if (base_ == nullptr) return Status::Ok();
+    ::shmdt(base_);
+    if (owner_) ::shmctl(shmid_, IPC_RMID, nullptr);
+    base_ = nullptr;
+    alloc_.reset();
+    return Status::Ok();
+  }
+
+  Result<std::size_t> Allocate(std::size_t bytes) override {
+    if (!alloc_) return FailedPreconditionError("not attached");
+    return alloc_->Allocate(bytes);
+  }
+
+  Status Free(std::size_t offset) override {
+    if (!alloc_) return FailedPreconditionError("not attached");
+    return alloc_->Free(offset);
+  }
+
+  void* At(std::size_t offset) override {
+    return alloc_ ? alloc_->At(offset) : nullptr;
+  }
+
+  std::size_t capacity() const override {
+    return alloc_ ? alloc_->capacity() : 0;
+  }
+  std::size_t used() const override { return alloc_ ? alloc_->used() : 0; }
+  std::string_view mechanism() const override { return "sysv"; }
+
+ private:
+  std::string name_;
+  void* base_ = nullptr;
+  int shmid_ = -1;
+  bool owner_ = false;
+  std::optional<RegionAllocator> alloc_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<SharedMemory>> MakeSharedMemory(SharedMemoryKind kind,
+                                                       std::string name) {
+  switch (kind) {
+    case SharedMemoryKind::kInProc:
+      return std::unique_ptr<SharedMemory>(
+          std::make_unique<InProcSharedMemory>());
+    case SharedMemoryKind::kPosix: {
+      if (name.empty()) {
+        return InvalidArgumentError("posix shared memory requires a name");
+      }
+      if (name.front() != '/') name.insert(name.begin(), '/');
+      return std::unique_ptr<SharedMemory>(
+          std::make_unique<PosixSharedMemory>(std::move(name)));
+    }
+    case SharedMemoryKind::kSysV: {
+      if (name.empty()) {
+        return InvalidArgumentError("sysv shared memory requires a name");
+      }
+      return std::unique_ptr<SharedMemory>(
+          std::make_unique<SysVSharedMemory>(std::move(name)));
+    }
+  }
+  return InvalidArgumentError("unknown shared memory kind");
+}
+
+}  // namespace dmemo

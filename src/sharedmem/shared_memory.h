@@ -1,0 +1,65 @@
+// SharedMemory foundation (paper Sec. 3 / 3.1.2).
+//
+// The paper's running example of portability: "on the Encore Multimax, one
+// must specify the maximum amount of shared memory the application intends
+// to use, then allocate and free pieces of it using specially named
+// primitives... System V systems manage shared memory in a similar way,
+// although the functions... differ in a subtle manner. Abstract classes
+// allow shared memory and its conventional use to have a consistent
+// interface."
+//
+// Derivations provided:
+//   * InProcSharedMemory  — heap-backed arena; Encore-style "declare the
+//     maximum up front" protocol; used by the single-process engine & tests.
+//   * PosixSharedMemory   — shm_open/mmap named segment; shared between
+//     cooperating processes on one host.
+//   * SysVSharedMemory    — shmget/shmat; the genuinely different API the
+//     paper cites, kept to demonstrate that a third derivation needs no base
+//     class change.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace dmemo {
+
+class SharedMemory {
+ public:
+  virtual ~SharedMemory() = default;
+
+  // Reserve the segment. `max_bytes` is the application's declared maximum
+  // (the Encore-style contract); derivations that can grow lazily may treat
+  // it as a cap. Must be called before Allocate.
+  virtual Status Attach(std::size_t max_bytes) = 0;
+
+  // Release the whole pool ("on termination, it must release the pool").
+  // Idempotent.
+  virtual Status Detach() = 0;
+
+  // Allocate / free pieces of the pool. Offsets, not pointers: a segment
+  // may map at different addresses in different processes.
+  virtual Result<std::size_t> Allocate(std::size_t bytes) = 0;
+  virtual Status Free(std::size_t offset) = 0;
+
+  // Translate an offset to this process's mapping.
+  virtual void* At(std::size_t offset) = 0;
+
+  virtual std::size_t capacity() const = 0;
+  virtual std::size_t used() const = 0;
+
+  // Derivation label for diagnostics ("inproc", "posix", "sysv").
+  virtual std::string_view mechanism() const = 0;
+};
+
+enum class SharedMemoryKind { kInProc, kPosix, kSysV };
+
+// Create an unattached segment. `name` identifies the segment for the
+// cross-process derivations (ignored by kInProc).
+Result<std::unique_ptr<SharedMemory>> MakeSharedMemory(SharedMemoryKind kind,
+                                                       std::string name = "");
+
+}  // namespace dmemo

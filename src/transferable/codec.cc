@@ -1,0 +1,122 @@
+#include "transferable/codec.h"
+
+#include <unordered_set>
+
+namespace dmemo {
+
+namespace {
+constexpr std::uint8_t kTagNull = 0;
+constexpr std::uint8_t kTagInline = 1;
+constexpr std::uint8_t kTagBackRef = 2;
+}  // namespace
+
+void Encoder::Value(const TransferablePtr& child) {
+  if (child == nullptr) {
+    out_.u8(kTagNull);
+    return;
+  }
+  auto it = handles_.find(child.get());
+  if (it != handles_.end()) {
+    out_.u8(kTagBackRef);
+    out_.varint(it->second);
+    return;
+  }
+  handles_.emplace(child.get(), next_handle_++);
+  out_.u8(kTagInline);
+  out_.varint(child->type_id());
+  child->EncodePayload(*this);
+}
+
+Result<bool> Decoder::Bool() {
+  DMEMO_ASSIGN_OR_RETURN(std::uint8_t v, in_.u8());
+  if (v > 1) return DataLossError("bool byte out of range");
+  return v == 1;
+}
+
+Result<TransferablePtr> Decoder::Value() {
+  DMEMO_ASSIGN_OR_RETURN(std::uint8_t tag, in_.u8());
+  switch (tag) {
+    case kTagNull:
+      return TransferablePtr(nullptr);
+    case kTagBackRef: {
+      DMEMO_ASSIGN_OR_RETURN(std::uint64_t handle, in_.varint());
+      if (handle >= nodes_.size()) {
+        return DataLossError("back-reference to unknown handle " +
+                             std::to_string(handle));
+      }
+      return nodes_[static_cast<std::size_t>(handle)];
+    }
+    case kTagInline: {
+      DMEMO_ASSIGN_OR_RETURN(std::uint64_t type_id, in_.varint());
+      DMEMO_ASSIGN_OR_RETURN(TransferablePtr node,
+                             registry_.Create(static_cast<TypeId>(type_id)));
+      // Register before decoding the payload so self-references resolve.
+      nodes_.push_back(node);
+      DMEMO_RETURN_IF_ERROR(node->DecodePayload(*this));
+      return node;
+    }
+    default:
+      return DataLossError("unknown value tag " + std::to_string(tag));
+  }
+}
+
+void EncodeGraph(const TransferablePtr& root, ByteWriter& out) {
+  Encoder enc(out);
+  enc.Value(root);
+}
+
+Bytes EncodeGraphToBytes(const TransferablePtr& root) {
+  ByteWriter out;
+  EncodeGraph(root, out);
+  return out.take();
+}
+
+Result<TransferablePtr> DecodeGraph(ByteReader& in,
+                                    const TypeRegistry& registry) {
+  Decoder dec(in, registry);
+  return dec.Value();
+}
+
+Result<TransferablePtr> DecodeGraphFromBytes(
+    std::span<const std::uint8_t> data, const TypeRegistry& registry) {
+  ByteReader in(data);
+  return DecodeGraph(in, registry);
+}
+
+namespace {
+
+// Iterative breadth-first walk: decoded graphs can be arbitrarily deep
+// (linked lists), so recursion would risk stack overflow.
+void CollectReachable(const TransferablePtr& root,
+                      std::unordered_set<Transferable*>& seen,
+                      std::vector<TransferablePtr>& nodes) {
+  if (root == nullptr || !seen.insert(root.get()).second) return;
+  nodes.push_back(root);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    nodes[i]->ForEachChild([&](const TransferablePtr& child) {
+      if (child != nullptr && seen.insert(child.get()).second) {
+        nodes.push_back(child);
+      }
+    });
+  }
+}
+
+}  // namespace
+
+void ReleaseGraph(const TransferablePtr& root) {
+  std::unordered_set<Transferable*> seen;
+  std::vector<TransferablePtr> nodes;
+  CollectReachable(root, seen, nodes);
+  // Holding every node in `nodes` keeps them alive while links are cut, so
+  // no destructor runs mid-walk.
+  for (const auto& node : nodes) node->ClearChildren();
+}
+
+std::size_t GraphNodeCount(const TransferablePtr& root) {
+  std::unordered_set<Transferable*> seen;
+  std::vector<TransferablePtr> nodes;
+  CollectReachable(root, seen, nodes);
+  return nodes.size();
+}
+
+}  // namespace dmemo

@@ -1,0 +1,107 @@
+// Graph codec: linearize / de-linearize transferable object graphs.
+//
+// Wire grammar for one value slot:
+//   0x00                          null pointer
+//   0x01 <type:varint> <payload>  first occurrence; handle assigned in
+//                                 pre-order (implicit, sequential)
+//   0x02 <handle:varint>          back-reference to an earlier node
+//
+// Handles are implicit (the Nth inline node has handle N), so shared nodes
+// and cycles cost one varint. The decoder registers each node *before*
+// decoding its payload, which is what makes self-referential structures
+// decodable in a single pass.
+//
+// Depth: encode/decode recurse once per *nesting* level (graph size is
+// unbounded — back-references are flat — but straight-line nesting like a
+// cons chain should stay below ~10k levels, as with most serializers).
+// Traversal helpers (ReleaseGraph, GraphNodeCount) are fully iterative.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "transferable/registry.h"
+#include "transferable/transferable.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace dmemo {
+
+class Encoder {
+ public:
+  explicit Encoder(ByteWriter& out) : out_(out) {}
+
+  // Primitive payload writers (scalars call these from EncodePayload).
+  void Bool(bool v) { out_.u8(v ? 1 : 0); }
+  void I8(std::int8_t v) { out_.i8(v); }
+  void I16(std::int16_t v) { out_.i16(v); }
+  void I32(std::int32_t v) { out_.i32(v); }
+  void I64(std::int64_t v) { out_.i64(v); }
+  void U8(std::uint8_t v) { out_.u8(v); }
+  void U16(std::uint16_t v) { out_.u16(v); }
+  void U32(std::uint32_t v) { out_.u32(v); }
+  void U64(std::uint64_t v) { out_.u64(v); }
+  void F32(float v) { out_.f32(v); }
+  void F64(double v) { out_.f64(v); }
+  void Varint(std::uint64_t v) { out_.varint(v); }
+  void Str(std::string_view s) { out_.str(s); }
+  void Raw(std::span<const std::uint8_t> b) { out_.bytes(b); }
+
+  // Encode a child value slot (nullable). Composites call this for each
+  // child; the codec decides between inline encoding and a back-reference.
+  void Value(const TransferablePtr& child);
+
+ private:
+  ByteWriter& out_;
+  std::unordered_map<const Transferable*, std::uint64_t> handles_;
+  std::uint64_t next_handle_ = 0;
+};
+
+class Decoder {
+ public:
+  explicit Decoder(ByteReader& in,
+                   const TypeRegistry& registry = TypeRegistry::Global())
+      : in_(in), registry_(registry) {}
+
+  Result<bool> Bool();
+  Result<std::int8_t> I8() { return in_.i8(); }
+  Result<std::int16_t> I16() { return in_.i16(); }
+  Result<std::int32_t> I32() { return in_.i32(); }
+  Result<std::int64_t> I64() { return in_.i64(); }
+  Result<std::uint8_t> U8() { return in_.u8(); }
+  Result<std::uint16_t> U16() { return in_.u16(); }
+  Result<std::uint32_t> U32() { return in_.u32(); }
+  Result<std::uint64_t> U64() { return in_.u64(); }
+  Result<float> F32() { return in_.f32(); }
+  Result<double> F64() { return in_.f64(); }
+  Result<std::uint64_t> Varint() { return in_.varint(); }
+  Result<std::string> Str() { return in_.str(); }
+  Result<Bytes> Raw() { return in_.bytes(); }
+
+  // Decode a child value slot (may be null).
+  Result<TransferablePtr> Value();
+
+ private:
+  ByteReader& in_;
+  const TypeRegistry& registry_;
+  std::vector<TransferablePtr> nodes_;
+};
+
+// Top-level entry points used by memo payloads and CloneTransferable.
+void EncodeGraph(const TransferablePtr& root, ByteWriter& out);
+Bytes EncodeGraphToBytes(const TransferablePtr& root);
+Result<TransferablePtr> DecodeGraph(
+    ByteReader& in, const TypeRegistry& registry = TypeRegistry::Global());
+Result<TransferablePtr> DecodeGraphFromBytes(
+    std::span<const std::uint8_t> data,
+    const TypeRegistry& registry = TypeRegistry::Global());
+
+// Break shared_ptr cycles in a decoded/constructed graph so it can be freed.
+// Walks reachable nodes and calls ClearChildren on each. Safe on DAGs and
+// acyclic graphs too (then it is just an eager teardown).
+void ReleaseGraph(const TransferablePtr& root);
+
+// Count reachable nodes (diagnostics and property tests).
+std::size_t GraphNodeCount(const TransferablePtr& root);
+
+}  // namespace dmemo

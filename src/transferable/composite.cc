@@ -1,0 +1,129 @@
+#include "transferable/composite.h"
+
+#include "transferable/scalars.h"
+
+namespace dmemo {
+
+void TList::EncodePayload(Encoder& enc) const {
+  enc.Varint(items_.size());
+  for (const auto& item : items_) enc.Value(item);
+}
+
+Status TList::DecodePayload(Decoder& dec) {
+  DMEMO_ASSIGN_OR_RETURN(std::uint64_t n, dec.Varint());
+  items_.clear();
+  // Cap the speculative reserve: n comes off the wire and may be hostile.
+  items_.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(n, 1024)));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    DMEMO_ASSIGN_OR_RETURN(TransferablePtr item, dec.Value());
+    items_.push_back(std::move(item));
+  }
+  return Status::Ok();
+}
+
+void TList::ForEachChild(
+    const std::function<void(const TransferablePtr&)>& fn) const {
+  for (const auto& item : items_) {
+    if (item != nullptr) fn(item);
+  }
+}
+
+std::string TList::DebugString() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += items_[i] == nullptr ? "null" : items_[i]->DebugString();
+  }
+  return out + "]";
+}
+
+void TRecord::Set(std::string name, TransferablePtr value) {
+  for (auto& f : fields_) {
+    if (f.name == name) {
+      f.value = std::move(value);
+      return;
+    }
+  }
+  fields_.push_back(Field{std::move(name), std::move(value)});
+}
+
+TransferablePtr TRecord::Get(std::string_view name) const {
+  for (const auto& f : fields_) {
+    if (f.name == name) return f.value;
+  }
+  return nullptr;
+}
+
+bool TRecord::Has(std::string_view name) const {
+  for (const auto& f : fields_) {
+    if (f.name == name) return true;
+  }
+  return false;
+}
+
+void TRecord::EncodePayload(Encoder& enc) const {
+  enc.Varint(fields_.size());
+  for (const auto& f : fields_) {
+    enc.Str(f.name);
+    enc.Value(f.value);
+  }
+}
+
+Status TRecord::DecodePayload(Decoder& dec) {
+  DMEMO_ASSIGN_OR_RETURN(std::uint64_t n, dec.Varint());
+  fields_.clear();
+  fields_.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(n, 1024)));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Field f;
+    DMEMO_ASSIGN_OR_RETURN(f.name, dec.Str());
+    DMEMO_ASSIGN_OR_RETURN(f.value, dec.Value());
+    fields_.push_back(std::move(f));
+  }
+  return Status::Ok();
+}
+
+void TRecord::ForEachChild(
+    const std::function<void(const TransferablePtr&)>& fn) const {
+  for (const auto& f : fields_) {
+    if (f.value != nullptr) fn(f.value);
+  }
+}
+
+std::string TRecord::DebugString() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name + ": ";
+    out += fields_[i].value == nullptr ? "null"
+                                       : fields_[i].value->DebugString();
+  }
+  return out + "}";
+}
+
+void RegisterBuiltinTransferables(TypeRegistry& registry) {
+  auto reg = [&registry](TypeId id, TransferableFactory factory) {
+    // Ignore ALREADY_EXISTS so the call is idempotent.
+    (void)registry.Register(id, std::move(factory));
+  };
+  reg(TBool::kTypeId, [] { return std::make_shared<TBool>(); });
+  reg(TInt8::kTypeId, [] { return std::make_shared<TInt8>(); });
+  reg(TInt16::kTypeId, [] { return std::make_shared<TInt16>(); });
+  reg(TInt32::kTypeId, [] { return std::make_shared<TInt32>(); });
+  reg(TInt64::kTypeId, [] { return std::make_shared<TInt64>(); });
+  reg(TUInt8::kTypeId, [] { return std::make_shared<TUInt8>(); });
+  reg(TUInt16::kTypeId, [] { return std::make_shared<TUInt16>(); });
+  reg(TUInt32::kTypeId, [] { return std::make_shared<TUInt32>(); });
+  reg(TUInt64::kTypeId, [] { return std::make_shared<TUInt64>(); });
+  reg(TFloat32::kTypeId, [] { return std::make_shared<TFloat32>(); });
+  reg(TFloat64::kTypeId, [] { return std::make_shared<TFloat64>(); });
+  reg(TString::kTypeId, [] { return std::make_shared<TString>(); });
+  reg(TBytes::kTypeId, [] { return std::make_shared<TBytes>(); });
+  reg(TList::kTypeId, [] { return std::make_shared<TList>(); });
+  reg(TRecord::kTypeId, [] { return std::make_shared<TRecord>(); });
+  reg(TVecInt32::kTypeId, [] { return std::make_shared<TVecInt32>(); });
+  reg(TVecInt64::kTypeId, [] { return std::make_shared<TVecInt64>(); });
+  reg(TVecFloat32::kTypeId, [] { return std::make_shared<TVecFloat32>(); });
+  reg(TVecFloat64::kTypeId, [] { return std::make_shared<TVecFloat64>(); });
+}
+
+}  // namespace dmemo

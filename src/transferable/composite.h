@@ -1,0 +1,170 @@
+// Composite transferables: lists, records, and typed bulk vectors.
+//
+// TList / TRecord carry child transferable pointers, so they can express
+// arbitrary object graphs (shared children, cycles). The typed vectors
+// (TVecFloat64 etc.) store flat payloads for the numeric workloads the
+// examples and benchmarks use; they serialize element-wise in network order
+// so profiles with different host endianness interoperate.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "transferable/codec.h"
+#include "transferable/transferable.h"
+
+namespace dmemo {
+
+// Heterogeneous ordered list of child values (children may be null).
+class TList final : public Transferable {
+ public:
+  static constexpr TypeId kTypeId = 16;
+
+  TList() = default;
+  explicit TList(std::vector<TransferablePtr> items)
+      : items_(std::move(items)) {}
+
+  TypeId type_id() const override { return kTypeId; }
+  Domain domain() const override { return Domain::kComposite; }
+
+  std::vector<TransferablePtr>& items() { return items_; }
+  const std::vector<TransferablePtr>& items() const { return items_; }
+  void Add(TransferablePtr item) { items_.push_back(std::move(item)); }
+  std::size_t size() const { return items_.size(); }
+
+  void EncodePayload(Encoder& enc) const override;
+  Status DecodePayload(Decoder& dec) override;
+  void ForEachChild(
+      const std::function<void(const TransferablePtr&)>& fn) const override;
+  void ClearChildren() override { items_.clear(); }
+  std::string DebugString() const override;
+
+ private:
+  std::vector<TransferablePtr> items_;
+};
+
+// Named-field record; field order is part of the encoding.
+class TRecord final : public Transferable {
+ public:
+  static constexpr TypeId kTypeId = 17;
+
+  struct Field {
+    std::string name;
+    TransferablePtr value;
+  };
+
+  TRecord() = default;
+
+  TypeId type_id() const override { return kTypeId; }
+  Domain domain() const override { return Domain::kComposite; }
+
+  void Set(std::string name, TransferablePtr value);
+  // Null when the field is absent.
+  TransferablePtr Get(std::string_view name) const;
+  bool Has(std::string_view name) const;
+  const std::vector<Field>& fields() const { return fields_; }
+  std::size_t size() const { return fields_.size(); }
+
+  void EncodePayload(Encoder& enc) const override;
+  Status DecodePayload(Decoder& dec) override;
+  void ForEachChild(
+      const std::function<void(const TransferablePtr&)>& fn) const override;
+  void ClearChildren() override { fields_.clear(); }
+  std::string DebugString() const override;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+namespace internal {
+
+// Flat vector of a fixed scalar domain; Enc/Dec are Encoder/Decoder member
+// pointers selected per instantiation.
+template <typename V, Domain D, TypeId Id>
+class VecTransferable final : public Transferable {
+ public:
+  static constexpr TypeId kTypeId = Id;
+
+  VecTransferable() = default;
+  explicit VecTransferable(std::vector<V> values)
+      : values_(std::move(values)) {}
+
+  TypeId type_id() const override { return Id; }
+  Domain domain() const override { return Domain::kComposite; }
+
+  std::vector<V>& values() { return values_; }
+  const std::vector<V>& values() const { return values_; }
+  std::size_t size() const { return values_.size(); }
+
+  // The element domain, for representability checks against a profile.
+  Domain element_domain() const { return D; }
+
+  void EncodePayload(Encoder& enc) const override {
+    enc.Varint(values_.size());
+    for (const V& v : values_) {
+      if constexpr (std::is_same_v<V, std::int32_t>) enc.I32(v);
+      else if constexpr (std::is_same_v<V, std::int64_t>) enc.I64(v);
+      else if constexpr (std::is_same_v<V, float>) enc.F32(v);
+      else if constexpr (std::is_same_v<V, double>) enc.F64(v);
+      else static_assert(sizeof(V) == 0, "unsupported vector element");
+    }
+  }
+
+  Status DecodePayload(Decoder& dec) override {
+    DMEMO_ASSIGN_OR_RETURN(std::uint64_t n, dec.Varint());
+    values_.clear();
+    values_.reserve(
+        static_cast<std::size_t>(std::min<std::uint64_t>(n, 4096)));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if constexpr (std::is_same_v<V, std::int32_t>) {
+        DMEMO_ASSIGN_OR_RETURN(V v, dec.I32());
+        values_.push_back(v);
+      } else if constexpr (std::is_same_v<V, std::int64_t>) {
+        DMEMO_ASSIGN_OR_RETURN(V v, dec.I64());
+        values_.push_back(v);
+      } else if constexpr (std::is_same_v<V, float>) {
+        DMEMO_ASSIGN_OR_RETURN(V v, dec.F32());
+        values_.push_back(v);
+      } else if constexpr (std::is_same_v<V, double>) {
+        DMEMO_ASSIGN_OR_RETURN(V v, dec.F64());
+        values_.push_back(v);
+      }
+    }
+    return Status::Ok();
+  }
+
+  std::string DebugString() const override {
+    return std::string(DomainName(D)) + "vec[" +
+           std::to_string(values_.size()) + "]";
+  }
+
+ private:
+  std::vector<V> values_;
+};
+
+}  // namespace internal
+
+using TVecInt32 =
+    internal::VecTransferable<std::int32_t, Domain::kInt32, 18>;
+using TVecInt64 =
+    internal::VecTransferable<std::int64_t, Domain::kInt64, 19>;
+using TVecFloat32 = internal::VecTransferable<float, Domain::kFloat32, 20>;
+using TVecFloat64 = internal::VecTransferable<double, Domain::kFloat64, 21>;
+
+inline TransferablePtr MakeList(std::vector<TransferablePtr> items) {
+  return std::make_shared<TList>(std::move(items));
+}
+inline TransferablePtr MakeVecFloat64(std::vector<double> v) {
+  return std::make_shared<TVecFloat64>(std::move(v));
+}
+inline TransferablePtr MakeVecInt32(std::vector<std::int32_t> v) {
+  return std::make_shared<TVecInt32>(std::move(v));
+}
+
+// Registers every built-in transferable type with the global registry.
+// Idempotent; called automatically by TypeRegistry::Global().
+void RegisterBuiltinTransferables(TypeRegistry& registry);
+
+}  // namespace dmemo

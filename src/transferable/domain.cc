@@ -1,0 +1,58 @@
+#include "transferable/domain.h"
+
+namespace dmemo {
+
+std::string_view DomainName(Domain d) {
+  switch (d) {
+    case Domain::kNull: return "null";
+    case Domain::kBool: return "bool";
+    case Domain::kInt8: return "int8";
+    case Domain::kInt16: return "int16";
+    case Domain::kInt32: return "int32";
+    case Domain::kInt64: return "int64";
+    case Domain::kUInt8: return "uint8";
+    case Domain::kUInt16: return "uint16";
+    case Domain::kUInt32: return "uint32";
+    case Domain::kUInt64: return "uint64";
+    case Domain::kFloat32: return "float32";
+    case Domain::kFloat64: return "float64";
+    case Domain::kString: return "string";
+    case Domain::kBytes: return "bytes";
+    case Domain::kComposite: return "composite";
+  }
+  return "unknown";
+}
+
+int IntDomainBits(Domain d) {
+  switch (d) {
+    case Domain::kInt8:
+    case Domain::kUInt8: return 8;
+    case Domain::kInt16:
+    case Domain::kUInt16: return 16;
+    case Domain::kInt32:
+    case Domain::kUInt32: return 32;
+    case Domain::kInt64:
+    case Domain::kUInt64: return 64;
+    default: return 0;
+  }
+}
+
+bool IsSignedIntDomain(Domain d) {
+  return d == Domain::kInt8 || d == Domain::kInt16 || d == Domain::kInt32 ||
+         d == Domain::kInt64;
+}
+
+bool IsUnsignedIntDomain(Domain d) {
+  return d == Domain::kUInt8 || d == Domain::kUInt16 ||
+         d == Domain::kUInt32 || d == Domain::kUInt64;
+}
+
+bool IsIntDomain(Domain d) {
+  return IsSignedIntDomain(d) || IsUnsignedIntDomain(d);
+}
+
+bool IsFloatDomain(Domain d) {
+  return d == Domain::kFloat32 || d == Domain::kFloat64;
+}
+
+}  // namespace dmemo

@@ -1,0 +1,41 @@
+// Concrete data domains (paper Sec. 3.1.3).
+//
+// Heterogeneous machines disagree on word width, so D-Memo applications use
+// absolute domains (int16, uint32, float64, ...) instead of `int`/`float`.
+// Every transferable carries its domain tag on the wire; the receiving side
+// checks representability against its MachineProfile.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace dmemo {
+
+enum class Domain : std::uint8_t {
+  kNull = 0,
+  kBool,
+  kInt8,
+  kInt16,
+  kInt32,
+  kInt64,
+  kUInt8,
+  kUInt16,
+  kUInt32,
+  kUInt64,
+  kFloat32,
+  kFloat64,
+  kString,
+  kBytes,
+  kComposite,  // lists, records, typed vectors, user types
+};
+
+std::string_view DomainName(Domain d);
+
+// Bit width of an integer domain (0 for non-integer domains).
+int IntDomainBits(Domain d);
+bool IsSignedIntDomain(Domain d);
+bool IsUnsignedIntDomain(Domain d);
+bool IsIntDomain(Domain d);
+bool IsFloatDomain(Domain d);
+
+}  // namespace dmemo

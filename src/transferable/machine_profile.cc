@@ -1,0 +1,217 @@
+#include "transferable/machine_profile.h"
+
+#include <cmath>
+#include <cstdint>
+#include <unordered_set>
+
+#include "transferable/composite.h"
+#include "transferable/scalars.h"
+
+namespace dmemo {
+
+MachineProfile MachineProfile::Universal() {
+  return MachineProfile{"universal", 64, 64};
+}
+
+const MachineProfile& ProfileSun4() {
+  static const MachineProfile p{"sun4", 32, 64};
+  return p;
+}
+const MachineProfile& ProfileI486() {
+  static const MachineProfile p{"i486", 16, 32};
+  return p;
+}
+const MachineProfile& ProfileAlpha() {
+  static const MachineProfile p{"alpha", 64, 64};
+  return p;
+}
+const MachineProfile& ProfileSp1() {
+  static const MachineProfile p{"sp1", 32, 64};
+  return p;
+}
+const MachineProfile& ProfileEncore() {
+  static const MachineProfile p{"encore", 32, 64};
+  return p;
+}
+
+MachineProfile ProfileForArch(std::string_view arch) {
+  if (arch == "sun4") return ProfileSun4();
+  if (arch == "i486") return ProfileI486();
+  if (arch == "alpha") return ProfileAlpha();
+  if (arch == "sp1") return ProfileSp1();
+  if (arch == "encore") return ProfileEncore();
+  MachineProfile p = MachineProfile::Universal();
+  p.arch = std::string(arch);
+  return p;
+}
+
+namespace {
+
+// Signed value fits in `bits` (two's complement, sign included).
+bool SignedFits(std::int64_t v, int bits) {
+  if (bits >= 64) return true;
+  const std::int64_t lo = -(std::int64_t(1) << (bits - 1));
+  const std::int64_t hi = (std::int64_t(1) << (bits - 1)) - 1;
+  return v >= lo && v <= hi;
+}
+
+// Unsigned value fits in `bits - 1` usable magnitude bits when the receiver
+// is signed-limited; the paper speaks only of integer width, so we check
+// against the full unsigned range of `bits`.
+bool UnsignedFits(std::uint64_t v, int bits) {
+  if (bits >= 64) return true;
+  return v <= ((std::uint64_t(1) << bits) - 1);
+}
+
+bool Float64FitsIn32(double v) {
+  if (std::isnan(v) || std::isinf(v)) return true;  // mapped exactly
+  const float narrowed = static_cast<float>(v);
+  return static_cast<double>(narrowed) == v && std::isfinite(narrowed);
+}
+
+void CheckScalar(const Transferable& node, const MachineProfile& profile,
+                 std::vector<LossyMapping>& out) {
+  const Domain d = node.domain();
+  if (IsSignedIntDomain(d)) {
+    std::int64_t v = 0;
+    switch (d) {
+      case Domain::kInt8:
+        v = static_cast<const TInt8&>(node).value();
+        break;
+      case Domain::kInt16:
+        v = static_cast<const TInt16&>(node).value();
+        break;
+      case Domain::kInt32:
+        v = static_cast<const TInt32&>(node).value();
+        break;
+      case Domain::kInt64:
+        v = static_cast<const TInt64&>(node).value();
+        break;
+      default:
+        return;
+    }
+    if (!SignedFits(v, profile.int_bits)) {
+      out.push_back(LossyMapping{
+          d, std::to_string(v),
+          "value exceeds " + std::to_string(profile.int_bits) +
+              "-bit signed range of arch " + profile.arch});
+    }
+  } else if (IsUnsignedIntDomain(d)) {
+    std::uint64_t v = 0;
+    switch (d) {
+      case Domain::kUInt8:
+        v = static_cast<const TUInt8&>(node).value();
+        break;
+      case Domain::kUInt16:
+        v = static_cast<const TUInt16&>(node).value();
+        break;
+      case Domain::kUInt32:
+        v = static_cast<const TUInt32&>(node).value();
+        break;
+      case Domain::kUInt64:
+        v = static_cast<const TUInt64&>(node).value();
+        break;
+      default:
+        return;
+    }
+    if (!UnsignedFits(v, profile.int_bits)) {
+      out.push_back(LossyMapping{
+          d, std::to_string(v),
+          "value exceeds " + std::to_string(profile.int_bits) +
+              "-bit unsigned range of arch " + profile.arch});
+    }
+  } else if (d == Domain::kFloat64 && profile.float_bits < 64) {
+    const double v = static_cast<const TFloat64&>(node).value();
+    if (!Float64FitsIn32(v)) {
+      out.push_back(LossyMapping{
+          d, std::to_string(v),
+          "float64 value not exactly representable as float32 on arch " +
+              profile.arch});
+    }
+  }
+}
+
+// Typed bulk vectors carry their element domain but not per-element nodes,
+// so they are checked elementwise here.
+void CheckVector(const Transferable& node, const MachineProfile& profile,
+                 std::vector<LossyMapping>& out) {
+  switch (node.type_id()) {
+    case TVecInt32::kTypeId: {
+      for (std::int32_t v : static_cast<const TVecInt32&>(node).values()) {
+        if (!SignedFits(v, profile.int_bits)) {
+          out.push_back(LossyMapping{Domain::kInt32, std::to_string(v),
+                                     "int32vec element exceeds " +
+                                         std::to_string(profile.int_bits) +
+                                         "-bit range"});
+          return;  // one finding per vector keeps reports readable
+        }
+      }
+      return;
+    }
+    case TVecInt64::kTypeId: {
+      for (std::int64_t v : static_cast<const TVecInt64&>(node).values()) {
+        if (!SignedFits(v, profile.int_bits)) {
+          out.push_back(LossyMapping{Domain::kInt64, std::to_string(v),
+                                     "int64vec element exceeds " +
+                                         std::to_string(profile.int_bits) +
+                                         "-bit range"});
+          return;
+        }
+      }
+      return;
+    }
+    case TVecFloat64::kTypeId: {
+      if (profile.float_bits >= 64) return;
+      for (double v : static_cast<const TVecFloat64&>(node).values()) {
+        if (!Float64FitsIn32(v)) {
+          out.push_back(
+              LossyMapping{Domain::kFloat64, std::to_string(v),
+                           "float64vec element not representable as float32"});
+          return;
+        }
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace
+
+std::vector<LossyMapping> FindLossyMappings(const Transferable& value,
+                                            const MachineProfile& profile) {
+  std::vector<LossyMapping> out;
+  if (profile.int_bits >= 64 && profile.float_bits >= 64) return out;
+
+  // Iterative reachability walk over the graph (cycles possible).
+  std::unordered_set<const Transferable*> seen;
+  std::vector<const Transferable*> stack{&value};
+  seen.insert(&value);
+  while (!stack.empty()) {
+    const Transferable* node = stack.back();
+    stack.pop_back();
+    if (node->domain() == Domain::kComposite) {
+      CheckVector(*node, profile, out);
+      node->ForEachChild([&](const TransferablePtr& child) {
+        if (child != nullptr && seen.insert(child.get()).second) {
+          stack.push_back(child.get());
+        }
+      });
+    } else {
+      CheckScalar(*node, profile, out);
+    }
+  }
+  return out;
+}
+
+Status CheckRepresentable(const Transferable& value,
+                          const MachineProfile& profile) {
+  auto lossy = FindLossyMappings(value, profile);
+  if (lossy.empty()) return Status::Ok();
+  return DataLossError("lossy domain mapping: " + lossy.front().reason +
+                       " (value " + lossy.front().value + "; " +
+                       std::to_string(lossy.size()) + " finding(s) total)");
+}
+
+}  // namespace dmemo

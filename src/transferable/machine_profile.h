@@ -1,0 +1,61 @@
+// Machine profiles and lossy-domain-mapping detection (paper Sec. 3.1.3).
+//
+// "A lossy mapping occurs when an Alpha processor (64-bit) sends an integer
+// to an Intel 80486 (16-bit) and the value is greater than 16-bits. The
+// problem is not byte order, but precision."
+//
+// We cannot run on real 16-bit hardware, so heterogeneity is simulated: every
+// host declares a MachineProfile giving the widest integer and float it can
+// represent losslessly. When a memo is delivered to a client, the engine
+// checks the value graph against the receiving profile and reports DATA_LOSS
+// for any scalar whose *value* (not type) exceeds the profile — exactly the
+// paper's precision semantics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "transferable/transferable.h"
+#include "util/status.h"
+
+namespace dmemo {
+
+struct MachineProfile {
+  std::string arch;    // architecture label, e.g. "sun4", "i486", "alpha"
+  int int_bits = 64;   // widest losslessly representable integer (incl. sign)
+  int float_bits = 64; // widest float: 32 or 64
+
+  // Everything representable: the "no check needed" profile.
+  static MachineProfile Universal();
+};
+
+// The paper's machines, as synthetic profiles (Sec. 2 + Sec. 3.1.3 example).
+// i486 is 16-bit *by the paper's own example*, not by hardware reality.
+const MachineProfile& ProfileSun4();    // 32-bit int, 64-bit float
+const MachineProfile& ProfileI486();    // 16-bit int, 32-bit float
+const MachineProfile& ProfileAlpha();   // 64-bit int, 64-bit float
+const MachineProfile& ProfileSp1();     // 32-bit int, 64-bit float
+const MachineProfile& ProfileEncore();  // 32-bit int, 64-bit float
+
+// Look up one of the named profiles by arch label; falls back to Universal
+// for unknown labels (an unknown arch imposes no restrictions).
+MachineProfile ProfileForArch(std::string_view arch);
+
+// One offending scalar found by CheckRepresentable.
+struct LossyMapping {
+  Domain domain;        // wire domain of the offending scalar
+  std::string value;    // rendered value
+  std::string reason;   // what would be lost
+};
+
+// Walk the value graph and report every scalar whose value cannot be
+// represented on `profile` without loss. Empty result means lossless.
+std::vector<LossyMapping> FindLossyMappings(const Transferable& value,
+                                            const MachineProfile& profile);
+
+// Convenience wrapper: OK when lossless, DATA_LOSS (describing the first
+// offender) otherwise.
+Status CheckRepresentable(const Transferable& value,
+                          const MachineProfile& profile);
+
+}  // namespace dmemo

@@ -1,0 +1,43 @@
+#include "transferable/registry.h"
+
+#include "transferable/composite.h"
+
+namespace dmemo {
+
+TypeRegistry& TypeRegistry::Global() {
+  static TypeRegistry* registry = [] {
+    auto* r = new TypeRegistry();
+    RegisterBuiltinTransferables(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+TypeRegistry::TypeRegistry() = default;
+
+Status TypeRegistry::Register(TypeId id, TransferableFactory factory) {
+  std::lock_guard lock(mu_);
+  auto [it, inserted] = factories_.emplace(id, std::move(factory));
+  if (!inserted) {
+    return AlreadyExistsError("type id " + std::to_string(id) +
+                              " already registered");
+  }
+  return Status::Ok();
+}
+
+Result<TransferablePtr> TypeRegistry::Create(TypeId id) const {
+  std::lock_guard lock(mu_);
+  auto it = factories_.find(id);
+  if (it == factories_.end()) {
+    return NotFoundError("no transferable registered for type id " +
+                         std::to_string(id));
+  }
+  return it->second();
+}
+
+bool TypeRegistry::Contains(TypeId id) const {
+  std::lock_guard lock(mu_);
+  return factories_.contains(id);
+}
+
+}  // namespace dmemo

@@ -1,0 +1,42 @@
+// Type registry: maps wire TypeIds to factories.
+//
+// The decoder must construct a concrete Transferable from a TypeId read off
+// the wire before it can ask the object to decode its own payload. Built-in
+// types self-register; applications add theirs with RegisterTransferable.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+
+#include "transferable/transferable.h"
+#include "util/status.h"
+
+namespace dmemo {
+
+using TransferableFactory = std::function<TransferablePtr()>;
+
+class TypeRegistry {
+ public:
+  // Process-wide registry (thread-safe).
+  static TypeRegistry& Global();
+
+  Status Register(TypeId id, TransferableFactory factory);
+  Result<TransferablePtr> Create(TypeId id) const;
+  bool Contains(TypeId id) const;
+
+ private:
+  TypeRegistry();
+
+  mutable std::mutex mu_;
+  std::unordered_map<TypeId, TransferableFactory> factories_;
+};
+
+// Convenience: registers T (default-constructible) under its static kTypeId.
+template <typename T>
+Status RegisterTransferable() {
+  return TypeRegistry::Global().Register(
+      T::kTypeId, [] { return std::make_shared<T>(); });
+}
+
+}  // namespace dmemo

@@ -1,0 +1,181 @@
+// Built-in scalar transferables: the concrete domains of Sec. 3.1.3.
+//
+// Applications "must use absolute domains (e.g. int16, uint16, int64,
+// float32)" instead of built-in C types. Each scalar class pairs a fixed
+// wire domain with a host value; the template keeps the fifteen classes from
+// being fifteen copies of the same code.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "transferable/codec.h"
+#include "transferable/transferable.h"
+
+namespace dmemo {
+
+namespace internal {
+
+// One scalar transferable: value of host type V, wire domain D, wire id Id.
+// Encode/Decode dispatch on V at compile time.
+template <typename V, Domain D, TypeId Id>
+class ScalarTransferable final : public Transferable {
+ public:
+  static constexpr TypeId kTypeId = Id;
+  static constexpr Domain kDomain = D;
+
+  ScalarTransferable() = default;
+  explicit ScalarTransferable(V value) : value_(value) {}
+
+  TypeId type_id() const override { return Id; }
+  Domain domain() const override { return D; }
+
+  V value() const { return value_; }
+  void set_value(V v) { value_ = v; }
+
+  void EncodePayload(Encoder& enc) const override {
+    if constexpr (std::is_same_v<V, bool>) enc.Bool(value_);
+    else if constexpr (std::is_same_v<V, std::int8_t>) enc.I8(value_);
+    else if constexpr (std::is_same_v<V, std::int16_t>) enc.I16(value_);
+    else if constexpr (std::is_same_v<V, std::int32_t>) enc.I32(value_);
+    else if constexpr (std::is_same_v<V, std::int64_t>) enc.I64(value_);
+    else if constexpr (std::is_same_v<V, std::uint8_t>) enc.U8(value_);
+    else if constexpr (std::is_same_v<V, std::uint16_t>) enc.U16(value_);
+    else if constexpr (std::is_same_v<V, std::uint32_t>) enc.U32(value_);
+    else if constexpr (std::is_same_v<V, std::uint64_t>) enc.U64(value_);
+    else if constexpr (std::is_same_v<V, float>) enc.F32(value_);
+    else if constexpr (std::is_same_v<V, double>) enc.F64(value_);
+    else static_assert(sizeof(V) == 0, "unsupported scalar type");
+  }
+
+  Status DecodePayload(Decoder& dec) override {
+    if constexpr (std::is_same_v<V, bool>) {
+      DMEMO_ASSIGN_OR_RETURN(value_, dec.Bool());
+    } else if constexpr (std::is_same_v<V, std::int8_t>) {
+      DMEMO_ASSIGN_OR_RETURN(value_, dec.I8());
+    } else if constexpr (std::is_same_v<V, std::int16_t>) {
+      DMEMO_ASSIGN_OR_RETURN(value_, dec.I16());
+    } else if constexpr (std::is_same_v<V, std::int32_t>) {
+      DMEMO_ASSIGN_OR_RETURN(value_, dec.I32());
+    } else if constexpr (std::is_same_v<V, std::int64_t>) {
+      DMEMO_ASSIGN_OR_RETURN(value_, dec.I64());
+    } else if constexpr (std::is_same_v<V, std::uint8_t>) {
+      DMEMO_ASSIGN_OR_RETURN(value_, dec.U8());
+    } else if constexpr (std::is_same_v<V, std::uint16_t>) {
+      DMEMO_ASSIGN_OR_RETURN(value_, dec.U16());
+    } else if constexpr (std::is_same_v<V, std::uint32_t>) {
+      DMEMO_ASSIGN_OR_RETURN(value_, dec.U32());
+    } else if constexpr (std::is_same_v<V, std::uint64_t>) {
+      DMEMO_ASSIGN_OR_RETURN(value_, dec.U64());
+    } else if constexpr (std::is_same_v<V, float>) {
+      DMEMO_ASSIGN_OR_RETURN(value_, dec.F32());
+    } else if constexpr (std::is_same_v<V, double>) {
+      DMEMO_ASSIGN_OR_RETURN(value_, dec.F64());
+    }
+    return Status::Ok();
+  }
+
+  std::string DebugString() const override {
+    return std::string(DomainName(D)) + "(" + std::to_string(value_) + ")";
+  }
+
+ private:
+  V value_{};
+};
+
+}  // namespace internal
+
+using TBool = internal::ScalarTransferable<bool, Domain::kBool, 1>;
+using TInt8 = internal::ScalarTransferable<std::int8_t, Domain::kInt8, 2>;
+using TInt16 = internal::ScalarTransferable<std::int16_t, Domain::kInt16, 3>;
+using TInt32 = internal::ScalarTransferable<std::int32_t, Domain::kInt32, 4>;
+using TInt64 = internal::ScalarTransferable<std::int64_t, Domain::kInt64, 5>;
+using TUInt8 = internal::ScalarTransferable<std::uint8_t, Domain::kUInt8, 6>;
+using TUInt16 =
+    internal::ScalarTransferable<std::uint16_t, Domain::kUInt16, 7>;
+using TUInt32 =
+    internal::ScalarTransferable<std::uint32_t, Domain::kUInt32, 8>;
+using TUInt64 =
+    internal::ScalarTransferable<std::uint64_t, Domain::kUInt64, 9>;
+using TFloat32 = internal::ScalarTransferable<float, Domain::kFloat32, 10>;
+using TFloat64 = internal::ScalarTransferable<double, Domain::kFloat64, 11>;
+
+// Variable-length scalars get their own classes.
+class TString final : public Transferable {
+ public:
+  static constexpr TypeId kTypeId = 12;
+
+  TString() = default;
+  explicit TString(std::string value) : value_(std::move(value)) {}
+
+  TypeId type_id() const override { return kTypeId; }
+  Domain domain() const override { return Domain::kString; }
+
+  const std::string& value() const { return value_; }
+  void set_value(std::string v) { value_ = std::move(v); }
+
+  void EncodePayload(Encoder& enc) const override { enc.Str(value_); }
+  Status DecodePayload(Decoder& dec) override {
+    DMEMO_ASSIGN_OR_RETURN(value_, dec.Str());
+    return Status::Ok();
+  }
+  std::string DebugString() const override { return "\"" + value_ + "\""; }
+
+ private:
+  std::string value_;
+};
+
+class TBytes final : public Transferable {
+ public:
+  static constexpr TypeId kTypeId = 13;
+
+  TBytes() = default;
+  explicit TBytes(Bytes value) : value_(std::move(value)) {}
+
+  TypeId type_id() const override { return kTypeId; }
+  Domain domain() const override { return Domain::kBytes; }
+
+  const Bytes& value() const { return value_; }
+  Bytes& value() { return value_; }
+
+  void EncodePayload(Encoder& enc) const override { enc.Raw(value_); }
+  Status DecodePayload(Decoder& dec) override {
+    DMEMO_ASSIGN_OR_RETURN(value_, dec.Raw());
+    return Status::Ok();
+  }
+  std::string DebugString() const override {
+    return "bytes[" + std::to_string(value_.size()) + "]";
+  }
+
+ private:
+  Bytes value_;
+};
+
+// Factory helpers: memo.put(key, T(42)) reads better than make_shared soup.
+inline TransferablePtr MakeBool(bool v) { return std::make_shared<TBool>(v); }
+inline TransferablePtr MakeInt16(std::int16_t v) {
+  return std::make_shared<TInt16>(v);
+}
+inline TransferablePtr MakeInt32(std::int32_t v) {
+  return std::make_shared<TInt32>(v);
+}
+inline TransferablePtr MakeInt64(std::int64_t v) {
+  return std::make_shared<TInt64>(v);
+}
+inline TransferablePtr MakeUInt64(std::uint64_t v) {
+  return std::make_shared<TUInt64>(v);
+}
+inline TransferablePtr MakeFloat32(float v) {
+  return std::make_shared<TFloat32>(v);
+}
+inline TransferablePtr MakeFloat64(double v) {
+  return std::make_shared<TFloat64>(v);
+}
+inline TransferablePtr MakeString(std::string v) {
+  return std::make_shared<TString>(std::move(v));
+}
+inline TransferablePtr MakeBytes(Bytes v) {
+  return std::make_shared<TBytes>(std::move(v));
+}
+
+}  // namespace dmemo

@@ -1,0 +1,29 @@
+#include "transferable/transferable.h"
+
+#include "transferable/codec.h"
+
+namespace dmemo {
+
+std::string Transferable::DebugString() const {
+  return "<transferable type=" + std::to_string(type_id()) + ">";
+}
+
+Result<TransferablePtr> CloneTransferable(const Transferable& value) {
+  ByteWriter out;
+  Encoder enc(out);
+  // The encoder tracks identity by pointer, so a non-owning aliasing
+  // shared_ptr is enough for the root slot.
+  TransferablePtr alias(TransferablePtr(), const_cast<Transferable*>(&value));
+  enc.Value(alias);
+  ByteReader in(out.data());
+  return DecodeGraph(in);
+}
+
+bool TransferableEquals(const Transferable& a, const Transferable& b) {
+  if (a.type_id() != b.type_id()) return false;
+  TransferablePtr pa(TransferablePtr(), const_cast<Transferable*>(&a));
+  TransferablePtr pb(TransferablePtr(), const_cast<Transferable*>(&b));
+  return EncodeGraphToBytes(pa) == EncodeGraphToBytes(pb);
+}
+
+}  // namespace dmemo

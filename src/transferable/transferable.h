@@ -1,0 +1,77 @@
+// The Transferable foundation (paper Sec. 3.1.3).
+//
+// A transferable is an active object that can encode itself into a
+// language-independent byte stream and decode itself back, recursively, so
+// that "any data structure can be entered and extracted intact from the memo
+// space with no programming effort". Arbitrary graphs — including
+// self-referential structures — are supported: the codec linearizes along a
+// spanning tree and emits back-references for shared or cyclic edges
+// (polynomial, in fact linear, time in nodes + edges).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "transferable/domain.h"
+#include "util/status.h"
+
+namespace dmemo {
+
+class Encoder;
+class Decoder;
+
+// Wire type identifier. 1..63 reserved for built-ins; applications register
+// their own transferable classes at >= kFirstUserTypeId.
+using TypeId = std::uint32_t;
+inline constexpr TypeId kFirstUserTypeId = 64;
+
+class Transferable;
+using TransferablePtr = std::shared_ptr<Transferable>;
+
+class Transferable {
+ public:
+  virtual ~Transferable() = default;
+
+  // Identifies the concrete class on the wire (registry key).
+  virtual TypeId type_id() const = 0;
+
+  // Concrete data domain for scalars; kComposite for structured types.
+  virtual Domain domain() const = 0;
+
+  // Serialize this object's payload. Child transferables are written through
+  // Encoder::Value so the codec can handle sharing and cycles.
+  virtual void EncodePayload(Encoder& enc) const = 0;
+
+  // Inverse of EncodePayload. The object already exists (created by the
+  // registry factory) and is registered with the decoder, so self-references
+  // resolve even while the payload is still being read.
+  virtual Status DecodePayload(Decoder& dec) = 0;
+
+  // Enumerate direct child transferables (null children are skipped).
+  // Composites must override; scalars keep the default no-op. Used for graph
+  // traversal: node counting, representability checks, cycle teardown.
+  virtual void ForEachChild(
+      const std::function<void(const TransferablePtr&)>& fn) const {
+    (void)fn;
+  }
+
+  // Drop references to child transferables. ReleaseGraph calls this on every
+  // reachable node so cyclic shared_ptr graphs do not leak; scalar types
+  // keep the default no-op.
+  virtual void ClearChildren() {}
+
+  // Human-readable rendering for logs and test diagnostics.
+  virtual std::string DebugString() const;
+};
+
+// Deep copy via encode/decode round trip; preserves sharing and cycles.
+// This is exactly what crosses the wire, so a clone equals what a remote
+// process would observe.
+Result<TransferablePtr> CloneTransferable(const Transferable& value);
+
+// Structural deep equality via encoded-bytes comparison.
+bool TransferableEquals(const Transferable& a, const Transferable& b);
+
+}  // namespace dmemo

@@ -1,0 +1,273 @@
+#include "transport/channel.h"
+
+#include <atomic>
+#include <thread>
+#include <unordered_map>
+
+#include "util/blocking_queue.h"
+#include "util/bytes.h"
+
+namespace dmemo {
+
+namespace {
+
+void ChargeTransmission(const ChannelProfile& profile, std::size_t bytes) {
+  if (profile.bytes_per_ms == 0) return;
+  std::this_thread::sleep_for(
+      std::chrono::microseconds((bytes * 1000) / profile.bytes_per_ms));
+}
+
+class BlockingChannelConnection final : public Connection {
+ public:
+  BlockingChannelConnection(ConnectionPtr inner, ChannelProfile profile)
+      : inner_(std::move(inner)), profile_(profile) {}
+
+  Status Send(std::span<const std::uint8_t> frame) override {
+    // The whole long-winded communication happens on the caller's thread.
+    ChargeTransmission(profile_, frame.size());
+    return inner_->Send(frame);
+  }
+
+  Result<Bytes> Receive() override { return inner_->Receive(); }
+
+  Result<std::optional<Bytes>> ReceiveFor(
+      std::chrono::milliseconds timeout) override {
+    return inner_->ReceiveFor(timeout);
+  }
+
+  void Close() override { inner_->Close(); }
+
+  std::string description() const override {
+    return "chan+" + inner_->description();
+  }
+
+ private:
+  ConnectionPtr inner_;
+  ChannelProfile profile_;
+};
+
+// Packet header: vc id (u32), flags (u8: bit0 = last fragment of message).
+struct Packet {
+  std::uint32_t vc;
+  bool last;
+  Bytes payload;
+};
+
+Bytes EncodePacket(std::uint32_t vc, bool last,
+                   std::span<const std::uint8_t> payload) {
+  ByteWriter w;
+  w.u32(vc);
+  w.u8(last ? 1 : 0);
+  w.raw(payload);
+  return w.take();
+}
+
+Result<Packet> DecodePacket(const Bytes& frame) {
+  ByteReader r(frame);
+  Packet p;
+  DMEMO_ASSIGN_OR_RETURN(p.vc, r.u32());
+  DMEMO_ASSIGN_OR_RETURN(std::uint8_t flags, r.u8());
+  p.last = (flags & 1) != 0;
+  DMEMO_ASSIGN_OR_RETURN(p.payload, r.raw(r.remaining()));
+  return p;
+}
+
+}  // namespace
+
+struct FragmentingMux::Impl {
+  ConnectionPtr inner;
+  ChannelProfile profile;
+
+  // Outbound packets (round-robin across senders happens naturally: each
+  // Send enqueues its packets; the pump transmits in arrival order, so
+  // concurrent messages interleave at packet granularity).
+  BlockingQueue<Bytes> outbound;
+
+  // Inbound reassembly per virtual connection.
+  std::mutex mu;
+  std::unordered_map<std::uint32_t, std::shared_ptr<BlockingQueue<Bytes>>>
+      inbound;
+  std::unordered_map<std::uint32_t, Bytes> partial;
+
+  std::atomic<std::uint64_t> packets_sent{0};
+  std::thread pump_tx;
+  std::thread pump_rx;
+
+  std::shared_ptr<BlockingQueue<Bytes>> InboundFor(std::uint32_t vc) {
+    std::lock_guard lock(mu);
+    auto& q = inbound[vc];
+    if (q == nullptr) q = std::make_shared<BlockingQueue<Bytes>>();
+    return q;
+  }
+
+  void TxLoop() {
+    for (;;) {
+      auto frame = outbound.Pop();
+      if (!frame.has_value()) return;
+      // Transmission cost is paid here, on the pump thread, not by the
+      // sender — this is the whole point of the derived transport.
+      ChargeTransmission(profile, frame->size());
+      if (!inner->Send(*frame).ok()) return;
+      packets_sent.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void RxLoop() {
+    for (;;) {
+      auto frame = inner->Receive();
+      if (!frame.ok()) {
+        // Peer gone: close every stream so readers wake.
+        std::lock_guard lock(mu);
+        for (auto& [vc, q] : inbound) q->Close();
+        return;
+      }
+      auto packet = DecodePacket(*frame);
+      if (!packet.ok()) continue;  // malformed packet: drop, keep pumping
+      Bytes* partial_msg;
+      std::shared_ptr<BlockingQueue<Bytes>> queue;
+      {
+        std::lock_guard lock(mu);
+        partial_msg = &partial[packet->vc];
+        partial_msg->insert(partial_msg->end(), packet->payload.begin(),
+                            packet->payload.end());
+        if (!packet->last) continue;
+        auto& q = inbound[packet->vc];
+        if (q == nullptr) q = std::make_shared<BlockingQueue<Bytes>>();
+        queue = q;
+      }
+      Bytes complete;
+      {
+        std::lock_guard lock(mu);
+        complete = std::move(*partial_msg);
+        partial.erase(packet->vc);
+      }
+      queue->Push(std::move(complete));
+    }
+  }
+
+  void Shutdown() {
+    outbound.Close();
+    inner->Close();
+    if (pump_tx.joinable()) pump_tx.join();
+    if (pump_rx.joinable()) pump_rx.join();
+    std::lock_guard lock(mu);
+    for (auto& [vc, q] : inbound) q->Close();
+  }
+};
+
+namespace {
+
+class VirtualConnection final : public Connection {
+ public:
+  VirtualConnection(std::shared_ptr<FragmentingMux::Impl> mux,
+                    std::uint32_t vc)
+      : mux_(std::move(mux)), vc_(vc), rx_(mux_->InboundFor(vc)) {}
+
+  Status Send(std::span<const std::uint8_t> frame) override {
+    const std::size_t packet = mux_->profile.packet_bytes;
+    std::size_t offset = 0;
+    do {
+      const std::size_t n = std::min(packet, frame.size() - offset);
+      const bool last = offset + n == frame.size();
+      if (!mux_->outbound.Push(
+              EncodePacket(vc_, last, frame.subspan(offset, n)))) {
+        return UnavailableError("fragmenting mux closed");
+      }
+      offset += n;
+    } while (offset < frame.size());
+    return Status::Ok();
+  }
+
+  Result<Bytes> Receive() override {
+    auto frame = rx_->Pop();
+    if (!frame.has_value()) return UnavailableError("virtual connection closed");
+    return std::move(*frame);
+  }
+
+  Result<std::optional<Bytes>> ReceiveFor(
+      std::chrono::milliseconds timeout) override {
+    auto frame = rx_->PopFor(timeout);
+    if (!frame.has_value()) {
+      if (rx_->closed() && rx_->size() == 0) {
+        return UnavailableError("virtual connection closed");
+      }
+      return std::optional<Bytes>(std::nullopt);
+    }
+    return std::optional<Bytes>(std::move(*frame));
+  }
+
+  void Close() override { rx_->Close(); }
+
+  std::string description() const override {
+    return "frag+vc" + std::to_string(vc_);
+  }
+
+ private:
+  std::shared_ptr<FragmentingMux::Impl> mux_;
+  std::uint32_t vc_;
+  std::shared_ptr<BlockingQueue<Bytes>> rx_;
+};
+
+}  // namespace
+
+FragmentingMux::FragmentingMux(ConnectionPtr inner, ChannelProfile profile)
+    : impl_(std::make_shared<Impl>()) {
+  impl_->inner = std::move(inner);
+  impl_->profile = profile;
+  impl_->pump_tx = std::thread([impl = impl_] { impl->TxLoop(); });
+  impl_->pump_rx = std::thread([impl = impl_] { impl->RxLoop(); });
+}
+
+FragmentingMux::~FragmentingMux() { impl_->Shutdown(); }
+
+Result<ConnectionPtr> FragmentingMux::OpenVirtual(std::uint32_t vc) {
+  return ConnectionPtr(std::make_unique<VirtualConnection>(impl_, vc));
+}
+
+std::uint64_t FragmentingMux::packets_sent() const {
+  return impl_->packets_sent.load(std::memory_order_relaxed);
+}
+
+ConnectionPtr MakeBlockingChannel(ConnectionPtr inner,
+                                  ChannelProfile profile) {
+  return std::make_unique<BlockingChannelConnection>(std::move(inner),
+                                                     profile);
+}
+
+namespace {
+
+// Owns the mux so the single-virtual-connection helper has somebody to keep
+// the pump threads alive.
+class OwningFragmentingConnection final : public Connection {
+ public:
+  OwningFragmentingConnection(ConnectionPtr inner, ChannelProfile profile)
+      : mux_(std::make_unique<FragmentingMux>(std::move(inner), profile)) {
+    auto vc = mux_->OpenVirtual(0);
+    conn_ = std::move(vc).value();  // vc 0 on a fresh mux cannot fail
+  }
+
+  Status Send(std::span<const std::uint8_t> frame) override {
+    return conn_->Send(frame);
+  }
+  Result<Bytes> Receive() override { return conn_->Receive(); }
+  Result<std::optional<Bytes>> ReceiveFor(
+      std::chrono::milliseconds timeout) override {
+    return conn_->ReceiveFor(timeout);
+  }
+  void Close() override { conn_->Close(); }
+  std::string description() const override { return conn_->description(); }
+
+ private:
+  std::unique_ptr<FragmentingMux> mux_;
+  ConnectionPtr conn_;
+};
+
+}  // namespace
+
+ConnectionPtr MakeFragmentingChannel(ConnectionPtr inner,
+                                     ChannelProfile profile) {
+  return std::make_unique<OwningFragmentingConnection>(std::move(inner),
+                                                       profile);
+}
+
+}  // namespace dmemo

@@ -1,0 +1,70 @@
+// The Transputer story (paper Sec. 3.1.1), as two Connection decorators.
+//
+// "INMOS Transputers... When one wants to send a message, a channel is
+// opened and the message is sent into it. This, however, results in poor
+// performance. Compute-bound processes that are ready to use the CPU are
+// blocked until the long-winded communication is ended. A derived transport
+// layer that supports packet fragmentation and virtual connections would
+// allow the communication cost to be amortized over time and allow some
+// useful processing to be done in the process."
+//
+// BlockingChannelConnection models the raw channel: Send synchronously
+// transmits the whole message at the configured channel bandwidth — the
+// caller is blocked for the full transmission time.
+//
+// FragmentingConnection is the proposed derived transport: Send splits the
+// message into packets tagged with a virtual-connection id and sequence
+// number, queues them, and returns immediately; a background pump thread
+// transmits packet-by-packet, interleaving packets of concurrent logical
+// streams, while the caller computes. The receiving side reassembles per
+// virtual connection. bench_transport (experiment E7) compares the two.
+#pragma once
+
+#include <memory>
+
+#include "transport/transport.h"
+
+namespace dmemo {
+
+// Bandwidth model shared by both decorators, so the comparison is about
+// *structure* (blocking vs pipelined), not about one side cheating on cost.
+struct ChannelProfile {
+  std::uint64_t bytes_per_ms = 10'000;  // ~10 MB/s: a fast 1994 link
+  std::size_t packet_bytes = 4096;      // fragment size (fragmenting only)
+};
+
+// Wrap `inner`: Send blocks for size/bandwidth before forwarding the frame.
+ConnectionPtr MakeBlockingChannel(ConnectionPtr inner,
+                                  ChannelProfile profile);
+
+// Wrap `inner` with fragmentation + virtual connections. Send enqueues and
+// returns; Receive reassembles. Multiple FragmentingConnections can share
+// one inner connection via distinct vc ids — create them through
+// FragmentingMux when that is needed; this helper makes vc id 0.
+ConnectionPtr MakeFragmentingChannel(ConnectionPtr inner,
+                                     ChannelProfile profile);
+
+// Multiplexes several virtual connections over one physical connection.
+// Both endpoints construct a mux over their end and open matching vc ids.
+class FragmentingMux {
+ public:
+  FragmentingMux(ConnectionPtr inner, ChannelProfile profile);
+  ~FragmentingMux();
+
+  FragmentingMux(const FragmentingMux&) = delete;
+  FragmentingMux& operator=(const FragmentingMux&) = delete;
+
+  // Open virtual connection `vc`. Frames sent on it arrive at the peer's
+  // stream with the same id. A vc id may be opened once per side.
+  Result<ConnectionPtr> OpenVirtual(std::uint32_t vc);
+
+  // Packets actually transmitted (white-box metric for tests/benches).
+  std::uint64_t packets_sent() const;
+
+  struct Impl;
+
+ private:
+  std::shared_ptr<Impl> impl_;
+};
+
+}  // namespace dmemo

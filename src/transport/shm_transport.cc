@@ -1,0 +1,421 @@
+#include "transport/shm_transport.h"
+
+#include <pthread.h>
+#include <unistd.h>
+
+#include <array>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+#include "sharedmem/shared_memory.h"
+#include "transport/socket_transport.h"
+#include "util/hash.h"
+#include "util/log.h"
+
+namespace dmemo {
+
+namespace {
+
+// ---- the ring ----------------------------------------------------------------
+//
+// One direction of a connection. Lives at a fixed offset inside a shared
+// segment; all fields are offsets/sizes, never pointers. Chunk framing:
+// each chunk is a u32 header (bit 31 = more-chunks-follow, low 31 bits =
+// chunk length) followed by that many bytes, wrapping around the data
+// area. A writer holds the ring mutex across waits so chunks of one frame
+// are never interleaved with another writer's.
+
+struct RingHeader {
+  pthread_mutex_t mu;
+  pthread_cond_t not_empty;
+  pthread_cond_t not_full;
+  std::uint64_t capacity;  // data-area bytes
+  std::uint64_t head;      // reader position (absolute, monotonically grows)
+  std::uint64_t tail;      // writer position
+  std::uint32_t closed;    // either side closed
+};
+
+constexpr std::uint32_t kMoreChunks = 0x80000000u;
+
+class Ring {
+ public:
+  // Construct over raw memory; init=true builds mutexes (creator only).
+  static Ring Create(void* base, std::size_t total_bytes) {
+    Ring ring(base, total_bytes);
+    RingHeader* h = ring.header();
+    pthread_mutexattr_t mattr;
+    pthread_mutexattr_init(&mattr);
+    pthread_mutexattr_setpshared(&mattr, PTHREAD_PROCESS_SHARED);
+    pthread_mutex_init(&h->mu, &mattr);
+    pthread_mutexattr_destroy(&mattr);
+    pthread_condattr_t cattr;
+    pthread_condattr_init(&cattr);
+    pthread_condattr_setpshared(&cattr, PTHREAD_PROCESS_SHARED);
+    pthread_cond_init(&h->not_empty, &cattr);
+    pthread_cond_init(&h->not_full, &cattr);
+    pthread_condattr_destroy(&cattr);
+    h->capacity = total_bytes - sizeof(RingHeader);
+    h->head = 0;
+    h->tail = 0;
+    h->closed = 0;
+    return ring;
+  }
+
+  static Ring Open(void* base, std::size_t total_bytes) {
+    return Ring(base, total_bytes);
+  }
+
+  Status SendFrame(std::span<const std::uint8_t> frame) {
+    RingHeader* h = header();
+    pthread_mutex_lock(&h->mu);
+    std::size_t offset = 0;
+    bool first = true;
+    // Emit at least one chunk even for empty frames.
+    while (first || offset < frame.size()) {
+      first = false;
+      // Wait for room for the header plus at least one payload byte (or
+      // just the header when the frame is empty).
+      std::uint64_t free_bytes;
+      for (;;) {
+        if (h->closed != 0) {
+          pthread_mutex_unlock(&h->mu);
+          return UnavailableError("shm connection closed");
+        }
+        free_bytes = h->capacity - (h->tail - h->head);
+        const std::uint64_t need =
+            sizeof(std::uint32_t) + (frame.size() > offset ? 1 : 0);
+        if (free_bytes >= need) break;
+        pthread_cond_wait(&h->not_full, &h->mu);
+      }
+      const std::size_t remaining = frame.size() - offset;
+      const std::size_t chunk = std::min<std::size_t>(
+          remaining, free_bytes - sizeof(std::uint32_t));
+      const bool more = chunk < remaining;
+      WriteBytesLocked(EncodeHeader(static_cast<std::uint32_t>(chunk), more));
+      if (chunk > 0) {
+        WriteRawLocked(frame.data() + offset, chunk);
+        offset += chunk;
+      }
+      pthread_cond_signal(&h->not_empty);
+    }
+    pthread_mutex_unlock(&h->mu);
+    return Status::Ok();
+  }
+
+  Result<Bytes> ReceiveFrame() {
+    RingHeader* h = header();
+    pthread_mutex_lock(&h->mu);
+    Bytes frame;
+    for (;;) {
+      // Wait for a chunk header.
+      while (h->tail - h->head < sizeof(std::uint32_t)) {
+        if (h->closed != 0) {
+          pthread_mutex_unlock(&h->mu);
+          return UnavailableError("shm connection closed");
+        }
+        pthread_cond_wait(&h->not_empty, &h->mu);
+      }
+      std::uint8_t raw[4];
+      ReadRawLocked(raw, 4);
+      const std::uint32_t word = (std::uint32_t(raw[0]) << 24) |
+                                 (std::uint32_t(raw[1]) << 16) |
+                                 (std::uint32_t(raw[2]) << 8) |
+                                 std::uint32_t(raw[3]);
+      const bool more = (word & kMoreChunks) != 0;
+      std::uint32_t len = word & ~kMoreChunks;
+      // Drain the chunk (its bytes may still be being produced only if the
+      // writer published the header early — it does not: header+payload are
+      // written under one lock hold, so `len` bytes are present).
+      const std::size_t old = frame.size();
+      frame.resize(old + len);
+      ReadRawLocked(frame.data() + old, len);
+      pthread_cond_signal(&h->not_full);
+      if (!more) break;
+    }
+    pthread_mutex_unlock(&h->mu);
+    return frame;
+  }
+
+  // Like ReceiveFrame with a deadline; nullopt on timeout.
+  Result<std::optional<Bytes>> ReceiveFrameFor(
+      std::chrono::milliseconds timeout) {
+    RingHeader* h = header();
+    struct timespec abs{};
+    clock_gettime(CLOCK_REALTIME, &abs);
+    abs.tv_sec += timeout.count() / 1000;
+    abs.tv_nsec += (timeout.count() % 1000) * 1'000'000;
+    if (abs.tv_nsec >= 1'000'000'000) {
+      abs.tv_sec += 1;
+      abs.tv_nsec -= 1'000'000'000;
+    }
+    pthread_mutex_lock(&h->mu);
+    while (h->tail - h->head < sizeof(std::uint32_t)) {
+      if (h->closed != 0) {
+        pthread_mutex_unlock(&h->mu);
+        return UnavailableError("shm connection closed");
+      }
+      if (pthread_cond_timedwait(&h->not_empty, &h->mu, &abs) == ETIMEDOUT) {
+        pthread_mutex_unlock(&h->mu);
+        return std::optional<Bytes>(std::nullopt);
+      }
+    }
+    pthread_mutex_unlock(&h->mu);
+    DMEMO_ASSIGN_OR_RETURN(Bytes frame, ReceiveFrame());
+    return std::optional<Bytes>(std::move(frame));
+  }
+
+  void Close() {
+    RingHeader* h = header();
+    pthread_mutex_lock(&h->mu);
+    h->closed = 1;
+    pthread_cond_broadcast(&h->not_empty);
+    pthread_cond_broadcast(&h->not_full);
+    pthread_mutex_unlock(&h->mu);
+  }
+
+ private:
+  Ring(void* base, std::size_t total_bytes)
+      : base_(static_cast<std::uint8_t*>(base)), total_(total_bytes) {}
+
+  RingHeader* header() const { return reinterpret_cast<RingHeader*>(base_); }
+  std::uint8_t* data() const { return base_ + sizeof(RingHeader); }
+
+  static std::array<std::uint8_t, 4> EncodeHeader(std::uint32_t len,
+                                                  bool more) {
+    const std::uint32_t word = len | (more ? kMoreChunks : 0);
+    return {static_cast<std::uint8_t>(word >> 24),
+            static_cast<std::uint8_t>(word >> 16),
+            static_cast<std::uint8_t>(word >> 8),
+            static_cast<std::uint8_t>(word)};
+  }
+
+  void WriteBytesLocked(const std::array<std::uint8_t, 4>& bytes) {
+    WriteRawLocked(bytes.data(), bytes.size());
+  }
+
+  void WriteRawLocked(const std::uint8_t* src, std::size_t n) {
+    RingHeader* h = header();
+    const std::uint64_t cap = h->capacity;
+    std::uint64_t pos = h->tail % cap;
+    const std::uint64_t first = std::min<std::uint64_t>(n, cap - pos);
+    std::memcpy(data() + pos, src, first);
+    if (first < n) std::memcpy(data(), src + first, n - first);
+    h->tail += n;
+  }
+
+  void ReadRawLocked(std::uint8_t* dst, std::size_t n) {
+    RingHeader* h = header();
+    const std::uint64_t cap = h->capacity;
+    std::uint64_t pos = h->head % cap;
+    const std::uint64_t first = std::min<std::uint64_t>(n, cap - pos);
+    std::memcpy(dst, data() + pos, first);
+    if (first < n) std::memcpy(dst + first, data(), n - first);
+    h->head += n;
+  }
+
+  std::uint8_t* base_;
+  std::size_t total_;
+};
+
+// ---- connection over two rings ----------------------------------------------
+
+class ShmConnection final : public Connection {
+ public:
+  ShmConnection(std::unique_ptr<SharedMemory> tx_seg,
+                std::unique_ptr<SharedMemory> rx_seg, Ring tx, Ring rx,
+                std::string description)
+      : tx_seg_(std::move(tx_seg)),
+        rx_seg_(std::move(rx_seg)),
+        tx_(tx),
+        rx_(rx),
+        description_(std::move(description)) {}
+
+  ~ShmConnection() override { Close(); }
+
+  Status Send(std::span<const std::uint8_t> frame) override {
+    return tx_.SendFrame(frame);
+  }
+  Result<Bytes> Receive() override { return rx_.ReceiveFrame(); }
+  Result<std::optional<Bytes>> ReceiveFor(
+      std::chrono::milliseconds timeout) override {
+    return rx_.ReceiveFrameFor(timeout);
+  }
+
+  void Close() override {
+    if (closed_.exchange(true)) return;
+    tx_.Close();
+    rx_.Close();
+  }
+
+  std::string description() const override { return description_; }
+
+ private:
+  std::unique_ptr<SharedMemory> tx_seg_;
+  std::unique_ptr<SharedMemory> rx_seg_;
+  Ring tx_;
+  Ring rx_;
+  std::atomic<bool> closed_{false};
+  std::string description_;
+};
+
+// ---- handshake + transport ----------------------------------------------------
+
+// Handshake message (over the Unix socket): two segment names + ring size
+// + the ring offset inside each segment.
+struct Handshake {
+  std::string c2s_name;
+  std::string s2c_name;
+  std::uint64_t seg_bytes;
+  std::uint64_t ring_bytes;
+  std::uint64_t offset;
+};
+
+Bytes EncodeHandshake(const Handshake& hs) {
+  ByteWriter w;
+  w.str(hs.c2s_name);
+  w.str(hs.s2c_name);
+  w.u64(hs.seg_bytes);
+  w.u64(hs.ring_bytes);
+  w.u64(hs.offset);
+  return w.take();
+}
+
+Result<Handshake> DecodeHandshake(const Bytes& data) {
+  ByteReader r(data);
+  Handshake hs;
+  DMEMO_ASSIGN_OR_RETURN(hs.c2s_name, r.str());
+  DMEMO_ASSIGN_OR_RETURN(hs.s2c_name, r.str());
+  DMEMO_ASSIGN_OR_RETURN(hs.seg_bytes, r.u64());
+  DMEMO_ASSIGN_OR_RETURN(hs.ring_bytes, r.u64());
+  DMEMO_ASSIGN_OR_RETURN(hs.offset, r.u64());
+  return hs;
+}
+
+// Create + attach a segment holding one ring at a RegionAllocator offset.
+Result<std::pair<std::unique_ptr<SharedMemory>, std::size_t>> CreateRingSeg(
+    const std::string& name, std::size_t seg_bytes, std::size_t ring_bytes) {
+  DMEMO_ASSIGN_OR_RETURN(auto seg,
+                         MakeSharedMemory(SharedMemoryKind::kPosix, name));
+  DMEMO_RETURN_IF_ERROR(seg->Attach(seg_bytes));
+  DMEMO_ASSIGN_OR_RETURN(std::size_t offset, seg->Allocate(ring_bytes));
+  return std::make_pair(std::move(seg), offset);
+}
+
+class ShmTransport final : public Transport {
+ public:
+  explicit ShmTransport(ShmTransportOptions options)
+      : options_(options), unix_(MakeUnixTransport()) {}
+
+  Result<ConnectionPtr> Dial(std::string_view address) override {
+    const std::string path = StripScheme(address);
+    DMEMO_ASSIGN_OR_RETURN(ConnectionPtr control,
+                           unix_->Dial("unix://" + path));
+    // The dialer creates both segments and tells the acceptor their names.
+    Handshake hs;
+    static std::atomic<std::uint64_t> counter{0};
+    const std::uint64_t id =
+        HashCombine(static_cast<std::uint64_t>(::getpid()),
+                    counter.fetch_add(1));
+    hs.c2s_name = "dmemo-shm-" + std::to_string(id) + "-c2s";
+    hs.s2c_name = "dmemo-shm-" + std::to_string(id) + "-s2c";
+    hs.ring_bytes = options_.ring_bytes + sizeof(RingHeader);
+    hs.seg_bytes = hs.ring_bytes + (64 << 10);  // allocator headroom
+    DMEMO_ASSIGN_OR_RETURN(
+        auto c2s, CreateRingSeg(hs.c2s_name, hs.seg_bytes, hs.ring_bytes));
+    DMEMO_ASSIGN_OR_RETURN(
+        auto s2c, CreateRingSeg(hs.s2c_name, hs.seg_bytes, hs.ring_bytes));
+    if (c2s.second != s2c.second) {
+      return InternalError("ring offsets diverged");
+    }
+    hs.offset = c2s.second;
+    Ring tx = Ring::Create(c2s.first->At(c2s.second),
+                           static_cast<std::size_t>(hs.ring_bytes));
+    Ring rx = Ring::Create(s2c.first->At(s2c.second),
+                           static_cast<std::size_t>(hs.ring_bytes));
+    DMEMO_RETURN_IF_ERROR(control->Send(EncodeHandshake(hs)));
+    // Wait for the acceptor's ack so segments are adopted before the
+    // control socket goes away.
+    DMEMO_ASSIGN_OR_RETURN(Bytes ack, control->Receive());
+    if (ack != Bytes{1}) return UnavailableError("shm handshake rejected");
+    control->Close();
+    return ConnectionPtr(std::make_unique<ShmConnection>(
+        std::move(c2s.first), std::move(s2c.first), tx, rx,
+        "shm:dial:" + path));
+  }
+
+  Result<ListenerPtr> Listen(std::string_view address) override {
+    const std::string path = StripScheme(address);
+    DMEMO_ASSIGN_OR_RETURN(ListenerPtr control,
+                           unix_->Listen("unix://" + path));
+    class ShmListener final : public Listener {
+     public:
+      explicit ShmListener(ListenerPtr control)
+          : control_(std::move(control)) {}
+      Result<ConnectionPtr> Accept() override {
+        for (;;) {
+          DMEMO_ASSIGN_OR_RETURN(ConnectionPtr conn, control_->Accept());
+          auto frame = conn->Receive();
+          if (!frame.ok()) continue;  // dialer vanished mid-handshake
+          auto hs = DecodeHandshake(*frame);
+          if (!hs.ok()) continue;
+          // Adopt the dialer's segments (reverse directions).
+          auto open = [&](const std::string& name)
+              -> Result<std::unique_ptr<SharedMemory>> {
+            DMEMO_ASSIGN_OR_RETURN(
+                auto seg, MakeSharedMemory(SharedMemoryKind::kPosix, name));
+            DMEMO_RETURN_IF_ERROR(
+                seg->Attach(static_cast<std::size_t>(hs->seg_bytes)));
+            return seg;
+          };
+          auto c2s = open(hs->c2s_name);
+          auto s2c = open(hs->s2c_name);
+          if (!c2s.ok() || !s2c.ok()) {
+            (void)conn->Send(Bytes{0});
+            continue;
+          }
+          Ring rx = Ring::Open((*c2s)->At(static_cast<std::size_t>(hs->offset)),
+                               static_cast<std::size_t>(hs->ring_bytes));
+          Ring tx = Ring::Open((*s2c)->At(static_cast<std::size_t>(hs->offset)),
+                               static_cast<std::size_t>(hs->ring_bytes));
+          DMEMO_RETURN_IF_ERROR(conn->Send(Bytes{1}));
+          conn->Close();
+          return ConnectionPtr(std::make_unique<ShmConnection>(
+              std::move(*s2c), std::move(*c2s), tx, rx, "shm:accept"));
+        }
+      }
+      void Close() override { control_->Close(); }
+      std::string address() const override {
+        std::string addr = control_->address();
+        // unix://path -> shm://path
+        return "shm://" + addr.substr(std::string("unix://").size());
+      }
+
+     private:
+      ListenerPtr control_;
+    };
+    return ListenerPtr(std::make_unique<ShmListener>(std::move(control)));
+  }
+
+  std::string_view scheme() const override { return "shm"; }
+
+ private:
+  static std::string StripScheme(std::string_view address) {
+    constexpr std::string_view kPrefix = "shm://";
+    if (address.substr(0, kPrefix.size()) == kPrefix) {
+      address.remove_prefix(kPrefix.size());
+    }
+    return std::string(address);
+  }
+
+  ShmTransportOptions options_;
+  TransportPtr unix_;
+};
+
+}  // namespace
+
+TransportPtr MakeShmTransport(ShmTransportOptions options) {
+  return std::make_shared<ShmTransport>(options);
+}
+
+}  // namespace dmemo

@@ -1,0 +1,27 @@
+// Shared-memory transport: Figure 1's intra-machine path, for real.
+//
+// On one machine the paper connects application processes and servers
+// through shared memory rather than the network stack. This transport
+// implements that: each connection is a pair of ring buffers living in
+// POSIX shared-memory segments managed by the SharedMemory foundation
+// (Sec. 3.1.2) and synchronized with process-shared mutexes/condvars.
+// Only the connection *handshake* uses a Unix socket (to exchange segment
+// names); every data byte thereafter moves through memory.
+//
+// Addresses: shm://<path> — the handshake socket's filesystem path.
+// Frames of any size are supported (writers chunk across ring wraps).
+#pragma once
+
+#include "transport/transport.h"
+
+namespace dmemo {
+
+struct ShmTransportOptions {
+  // Per-direction ring capacity. Larger rings absorb bigger bursts; any
+  // frame size works regardless (chunked transfer).
+  std::size_t ring_bytes = 1 << 20;
+};
+
+TransportPtr MakeShmTransport(ShmTransportOptions options = {});
+
+}  // namespace dmemo

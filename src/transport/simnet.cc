@@ -1,0 +1,217 @@
+#include "transport/simnet.h"
+
+#include <thread>
+#include <unordered_map>
+
+namespace dmemo {
+
+namespace {
+
+// One direction of a simulated connection.
+struct Pipe {
+  BlockingQueue<Bytes> frames;
+  SimLinkProfile profile;
+};
+
+using PipePtr = std::shared_ptr<Pipe>;
+
+// Applies the link profile: transmission time proportional to frame size
+// plus fixed latency, charged to the sender (store-and-forward model).
+void ChargeLink(const SimLinkProfile& profile, std::size_t bytes) {
+  std::chrono::microseconds delay = profile.latency;
+  if (profile.bytes_per_ms > 0) {
+    delay += std::chrono::microseconds(
+        (bytes * 1000) / profile.bytes_per_ms);
+  }
+  if (delay.count() > 0) std::this_thread::sleep_for(delay);
+}
+
+class SimConnection final : public Connection {
+ public:
+  SimConnection(PipePtr tx, PipePtr rx, std::string description)
+      : tx_(std::move(tx)),
+        rx_(std::move(rx)),
+        description_(std::move(description)) {}
+
+  ~SimConnection() override { Close(); }
+
+  Status Send(std::span<const std::uint8_t> frame) override {
+    ChargeLink(tx_->profile, frame.size());
+    if (!tx_->frames.Push(Bytes(frame.begin(), frame.end()))) {
+      return UnavailableError("sim connection closed by peer");
+    }
+    return Status::Ok();
+  }
+
+  Result<Bytes> Receive() override {
+    auto frame = rx_->frames.Pop();
+    if (!frame.has_value()) {
+      return UnavailableError("sim connection closed");
+    }
+    return std::move(*frame);
+  }
+
+  Result<std::optional<Bytes>> ReceiveFor(
+      std::chrono::milliseconds timeout) override {
+    auto frame = rx_->frames.PopFor(timeout);
+    if (!frame.has_value()) {
+      if (rx_->frames.closed() && rx_->frames.size() == 0) {
+        return UnavailableError("sim connection closed");
+      }
+      return std::optional<Bytes>(std::nullopt);
+    }
+    return std::optional<Bytes>(std::move(*frame));
+  }
+
+  void Close() override {
+    tx_->frames.Close();
+    rx_->frames.Close();
+  }
+
+  std::string description() const override { return description_; }
+
+ private:
+  PipePtr tx_;
+  PipePtr rx_;
+  std::string description_;
+};
+
+}  // namespace
+
+struct SimNetwork::Impl {
+  std::mutex mu;
+  SimLinkProfile default_profile;
+  std::unordered_map<std::string, SimLinkProfile> endpoint_profiles;
+  // Pending dialed connections per listening endpoint name.
+  std::unordered_map<std::string,
+                     std::shared_ptr<BlockingQueue<ConnectionPtr>>>
+      listeners;
+
+  SimLinkProfile ProfileFor(const std::string& endpoint) {
+    std::lock_guard lock(mu);
+    auto it = endpoint_profiles.find(endpoint);
+    return it != endpoint_profiles.end() ? it->second : default_profile;
+  }
+};
+
+SimNetwork::SimNetwork() : impl_(std::make_unique<Impl>()) {}
+SimNetwork::~SimNetwork() = default;
+
+void SimNetwork::SetDefaultLinkProfile(SimLinkProfile profile) {
+  std::lock_guard lock(impl_->mu);
+  impl_->default_profile = profile;
+}
+
+void SimNetwork::SetEndpointLinkProfile(const std::string& endpoint,
+                                        SimLinkProfile profile) {
+  std::lock_guard lock(impl_->mu);
+  impl_->endpoint_profiles[endpoint] = profile;
+}
+
+namespace {
+
+class SimListener final : public Listener {
+ public:
+  SimListener(std::string name,
+              std::shared_ptr<BlockingQueue<ConnectionPtr>> backlog,
+              std::weak_ptr<SimNetwork> network)
+      : name_(std::move(name)),
+        backlog_(std::move(backlog)),
+        network_(std::move(network)) {}
+
+  ~SimListener() override { Close(); }
+
+  Result<ConnectionPtr> Accept() override {
+    auto conn = backlog_->Pop();
+    if (!conn.has_value()) {
+      return UnavailableError("sim listener " + name_ + " closed");
+    }
+    return std::move(*conn);
+  }
+
+  void Close() override {
+    backlog_->Close();
+    if (auto network = network_.lock()) {
+      std::lock_guard lock(network->impl().mu);
+      auto it = network->impl().listeners.find(name_);
+      if (it != network->impl().listeners.end() &&
+          it->second == backlog_) {
+        network->impl().listeners.erase(it);
+      }
+    }
+  }
+
+  std::string address() const override { return "sim://" + name_; }
+
+ private:
+  std::string name_;
+  std::shared_ptr<BlockingQueue<ConnectionPtr>> backlog_;
+  std::weak_ptr<SimNetwork> network_;
+};
+
+class SimTransport final : public Transport {
+ public:
+  explicit SimTransport(SimNetworkPtr network)
+      : network_(std::move(network)) {}
+
+  Result<ConnectionPtr> Dial(std::string_view address) override {
+    const std::string name = StripScheme(address);
+    std::shared_ptr<BlockingQueue<ConnectionPtr>> backlog;
+    SimLinkProfile profile = network_->impl().ProfileFor(name);
+    {
+      std::lock_guard lock(network_->impl().mu);
+      auto it = network_->impl().listeners.find(name);
+      if (it == network_->impl().listeners.end()) {
+        return UnavailableError("no sim listener at " + name);
+      }
+      backlog = it->second;
+    }
+    auto a_to_b = std::make_shared<Pipe>();
+    auto b_to_a = std::make_shared<Pipe>();
+    a_to_b->profile = profile;
+    b_to_a->profile = profile;
+    auto server_side = std::make_unique<SimConnection>(
+        b_to_a, a_to_b, "sim:accept:" + name);
+    if (!backlog->Push(std::move(server_side))) {
+      return UnavailableError("sim listener at " + name + " closed");
+    }
+    return ConnectionPtr(
+        std::make_unique<SimConnection>(a_to_b, b_to_a, "sim:dial:" + name));
+  }
+
+  Result<ListenerPtr> Listen(std::string_view address) override {
+    const std::string name = StripScheme(address);
+    auto backlog = std::make_shared<BlockingQueue<ConnectionPtr>>();
+    {
+      std::lock_guard lock(network_->impl().mu);
+      auto [it, inserted] =
+          network_->impl().listeners.emplace(name, backlog);
+      if (!inserted) {
+        return AlreadyExistsError("sim listener already at " + name);
+      }
+    }
+    return ListenerPtr(
+        std::make_unique<SimListener>(name, backlog, network_));
+  }
+
+  std::string_view scheme() const override { return "sim"; }
+
+ private:
+  static std::string StripScheme(std::string_view address) {
+    constexpr std::string_view kPrefix = "sim://";
+    if (address.substr(0, kPrefix.size()) == kPrefix) {
+      address.remove_prefix(kPrefix.size());
+    }
+    return std::string(address);
+  }
+
+  SimNetworkPtr network_;
+};
+
+}  // namespace
+
+TransportPtr MakeSimTransport(SimNetworkPtr network) {
+  return std::make_shared<SimTransport>(std::move(network));
+}
+
+}  // namespace dmemo

@@ -1,0 +1,52 @@
+// In-process simulated network.
+//
+// A SimNetwork is a registry of named listening endpoints inside one
+// process. Dialing creates a pair of frame queues (one per direction), so a
+// "connection" is two BlockingQueues — reliable, ordered, message-framed,
+// exactly the Connection contract, with zero kernel involvement.
+//
+// The simulated link can be given a bandwidth and a fixed latency, which the
+// topology and transport benches use to model slow 1994-era links without
+// real network hardware (per DESIGN.md's substitution table).
+#pragma once
+
+#include <memory>
+
+#include "transport/transport.h"
+#include "util/blocking_queue.h"
+
+namespace dmemo {
+
+struct SimLinkProfile {
+  // 0 = infinite bandwidth (no transmission delay).
+  std::uint64_t bytes_per_ms = 0;
+  std::chrono::microseconds latency{0};
+};
+
+class SimNetwork {
+ public:
+  SimNetwork();
+  ~SimNetwork();
+
+  // Default profile applied to every subsequently dialed connection.
+  void SetDefaultLinkProfile(SimLinkProfile profile);
+
+  // Hostname-pair-specific profile (applies to dials of `to` from anywhere;
+  // the simulated network has no notion of a caller address, so profiles
+  // are keyed by target endpoint name).
+  void SetEndpointLinkProfile(const std::string& endpoint,
+                              SimLinkProfile profile);
+
+  struct Impl;
+  Impl& impl() { return *impl_; }
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
+using SimNetworkPtr = std::shared_ptr<SimNetwork>;
+
+// Transport over a shared SimNetwork; addresses are "sim://name".
+TransportPtr MakeSimTransport(SimNetworkPtr network);
+
+}  // namespace dmemo

@@ -1,0 +1,299 @@
+#include "transport/socket_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+
+namespace dmemo {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return UnavailableError(what + ": " + std::strerror(errno));
+}
+
+// Retries on EINTR; UNAVAILABLE on EOF or error.
+Status FullRead(int fd, std::uint8_t* dst, std::size_t n) {
+  while (n > 0) {
+    ssize_t r = ::read(fd, dst, n);
+    if (r == 0) return UnavailableError("connection closed by peer");
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Errno("read");
+    }
+    dst += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return Status::Ok();
+}
+
+Status FullWrite(int fd, const std::uint8_t* src, std::size_t n) {
+  while (n > 0) {
+    ssize_t w = ::send(fd, src, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    src += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return Status::Ok();
+}
+
+class FdConnection final : public Connection {
+ public:
+  FdConnection(int fd, std::string description)
+      : fd_(fd), description_(std::move(description)) {}
+
+  ~FdConnection() override { Close(); }
+
+  Status Send(std::span<const std::uint8_t> frame) override {
+    std::lock_guard lock(send_mu_);
+    if (fd_ < 0) return UnavailableError("connection closed");
+    std::uint8_t header[4] = {
+        static_cast<std::uint8_t>(frame.size() >> 24),
+        static_cast<std::uint8_t>(frame.size() >> 16),
+        static_cast<std::uint8_t>(frame.size() >> 8),
+        static_cast<std::uint8_t>(frame.size()),
+    };
+    DMEMO_RETURN_IF_ERROR(FullWrite(fd_, header, sizeof(header)));
+    return FullWrite(fd_, frame.data(), frame.size());
+  }
+
+  Result<Bytes> Receive() override {
+    std::lock_guard lock(recv_mu_);
+    if (fd_ < 0) return UnavailableError("connection closed");
+    std::uint8_t header[4];
+    DMEMO_RETURN_IF_ERROR(FullRead(fd_, header, sizeof(header)));
+    const std::uint32_t len = (std::uint32_t(header[0]) << 24) |
+                              (std::uint32_t(header[1]) << 16) |
+                              (std::uint32_t(header[2]) << 8) |
+                              std::uint32_t(header[3]);
+    if (len > kMaxFrameBytes) {
+      return DataLossError("frame length " + std::to_string(len) +
+                           " exceeds limit");
+    }
+    Bytes payload(len);
+    DMEMO_RETURN_IF_ERROR(FullRead(fd_, payload.data(), len));
+    return payload;
+  }
+
+  Result<std::optional<Bytes>> ReceiveFor(
+      std::chrono::milliseconds timeout) override {
+    {
+      std::lock_guard lock(recv_mu_);
+      if (fd_ < 0) return UnavailableError("connection closed");
+      struct pollfd pfd{fd_, POLLIN, 0};
+      int r = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+      if (r < 0) return Errno("poll");
+      if (r == 0) return std::optional<Bytes>(std::nullopt);
+    }
+    DMEMO_ASSIGN_OR_RETURN(Bytes frame, Receive());
+    return std::optional<Bytes>(std::move(frame));
+  }
+
+  void Close() override {
+    // shutdown() wakes a peer blocked in read; close under both locks would
+    // deadlock against a blocked Receive, so shut down first and let the
+    // reader observe EOF.
+    int fd = fd_;
+    if (fd >= 0) {
+      ::shutdown(fd, SHUT_RDWR);
+      std::scoped_lock lock(send_mu_, recv_mu_);
+      if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+      }
+    }
+  }
+
+  std::string description() const override { return description_; }
+
+ private:
+  std::mutex send_mu_;
+  std::mutex recv_mu_;
+  int fd_;
+  std::string description_;
+};
+
+class FdListener final : public Listener {
+ public:
+  FdListener(int fd, std::string address)
+      : fd_(fd), address_(std::move(address)) {}
+
+  ~FdListener() override { Close(); }
+
+  Result<ConnectionPtr> Accept() override {
+    for (;;) {
+      int client = ::accept(fd_, nullptr, nullptr);
+      if (client >= 0) {
+        int one = 1;
+        ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        return ConnectionPtr(std::make_unique<FdConnection>(
+            client, "accept:" + address_));
+      }
+      if (errno == EINTR) continue;
+      return Errno("accept on " + address_);
+    }
+  }
+
+  void Close() override {
+    if (fd_ >= 0) {
+      ::shutdown(fd_, SHUT_RDWR);
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  std::string address() const override { return address_; }
+
+ private:
+  int fd_;
+  std::string address_;
+};
+
+Result<std::pair<std::string, std::uint16_t>> SplitHostPort(
+    std::string_view hostport) {
+  auto colon = hostport.find_last_of(':');
+  if (colon == std::string_view::npos) {
+    return InvalidArgumentError("tcp address needs host:port, got '" +
+                                std::string(hostport) + "'");
+  }
+  std::string host(hostport.substr(0, colon));
+  int port = 0;
+  for (char c : hostport.substr(colon + 1)) {
+    if (c < '0' || c > '9') {
+      return InvalidArgumentError("bad port in '" + std::string(hostport) +
+                                  "'");
+    }
+    port = port * 10 + (c - '0');
+    if (port > 65535) return InvalidArgumentError("port out of range");
+  }
+  return std::make_pair(std::move(host), static_cast<std::uint16_t>(port));
+}
+
+std::string StripScheme(std::string_view address, std::string_view scheme) {
+  std::string prefix = std::string(scheme) + "://";
+  if (address.substr(0, prefix.size()) == prefix) {
+    address.remove_prefix(prefix.size());
+  }
+  return std::string(address);
+}
+
+class TcpTransport final : public Transport {
+ public:
+  Result<ConnectionPtr> Dial(std::string_view address) override {
+    DMEMO_ASSIGN_OR_RETURN(auto hostport,
+                           SplitHostPort(StripScheme(address, "tcp")));
+    struct sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(hostport.second);
+    if (::inet_pton(AF_INET, hostport.first.c_str(), &addr.sin_addr) != 1) {
+      return InvalidArgumentError("tcp transport accepts IPv4 literals, got '" +
+                                  hostport.first + "'");
+    }
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return Errno("socket");
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd);
+      return Errno("connect to " + std::string(address));
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return ConnectionPtr(std::make_unique<FdConnection>(
+        fd, "tcp:" + std::string(address)));
+  }
+
+  Result<ListenerPtr> Listen(std::string_view address) override {
+    DMEMO_ASSIGN_OR_RETURN(auto hostport,
+                           SplitHostPort(StripScheme(address, "tcp")));
+    struct sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(hostport.second);
+    if (::inet_pton(AF_INET, hostport.first.c_str(), &addr.sin_addr) != 1) {
+      return InvalidArgumentError("tcp transport accepts IPv4 literals");
+    }
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return Errno("socket");
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd);
+      return Errno("bind " + std::string(address));
+    }
+    if (::listen(fd, 128) != 0) {
+      ::close(fd);
+      return Errno("listen");
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+    char ip[INET_ADDRSTRLEN];
+    ::inet_ntop(AF_INET, &addr.sin_addr, ip, sizeof(ip));
+    std::string bound = "tcp://" + std::string(ip) + ":" +
+                        std::to_string(ntohs(addr.sin_port));
+    return ListenerPtr(std::make_unique<FdListener>(fd, bound));
+  }
+
+  std::string_view scheme() const override { return "tcp"; }
+};
+
+class UnixTransport final : public Transport {
+ public:
+  Result<ConnectionPtr> Dial(std::string_view address) override {
+    const std::string path = StripScheme(address, "unix");
+    struct sockaddr_un addr{};
+    DMEMO_RETURN_IF_ERROR(FillPath(addr, path));
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return Errno("socket");
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd);
+      return Errno("connect to " + path);
+    }
+    return ConnectionPtr(std::make_unique<FdConnection>(fd, "unix:" + path));
+  }
+
+  Result<ListenerPtr> Listen(std::string_view address) override {
+    const std::string path = StripScheme(address, "unix");
+    struct sockaddr_un addr{};
+    DMEMO_RETURN_IF_ERROR(FillPath(addr, path));
+    ::unlink(path.c_str());  // stale socket from a previous run
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return Errno("socket");
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd);
+      return Errno("bind " + path);
+    }
+    if (::listen(fd, 128) != 0) {
+      ::close(fd);
+      return Errno("listen");
+    }
+    return ListenerPtr(std::make_unique<FdListener>(fd, "unix://" + path));
+  }
+
+  std::string_view scheme() const override { return "unix"; }
+
+ private:
+  static Status FillPath(struct sockaddr_un& addr, const std::string& path) {
+    if (path.size() >= sizeof(addr.sun_path)) {
+      return InvalidArgumentError("unix socket path too long: " + path);
+    }
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return Status::Ok();
+  }
+};
+
+}  // namespace
+
+TransportPtr MakeTcpTransport() { return std::make_shared<TcpTransport>(); }
+TransportPtr MakeUnixTransport() { return std::make_shared<UnixTransport>(); }
+
+}  // namespace dmemo

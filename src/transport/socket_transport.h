@@ -1,0 +1,20 @@
+// Socket transports: TCP (tcp://host:port) and Unix-domain (unix://path).
+//
+// Both share one framed-connection implementation over a file descriptor:
+// each frame is a 4-byte big-endian length followed by the payload. TCP with
+// port 0 binds an ephemeral port which Listener::address() reports, so tests
+// never collide.
+#pragma once
+
+#include "transport/transport.h"
+
+namespace dmemo {
+
+TransportPtr MakeTcpTransport();
+TransportPtr MakeUnixTransport();
+
+// Cap on a single frame; a larger announced length is treated as a protocol
+// violation (DATA_LOSS) rather than an allocation request.
+inline constexpr std::uint32_t kMaxFrameBytes = 256u << 20;  // 256 MiB
+
+}  // namespace dmemo

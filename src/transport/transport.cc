@@ -1,0 +1,64 @@
+#include "transport/transport.h"
+
+#include "transport/socket_transport.h"
+
+namespace dmemo {
+
+Result<ParsedAddress> ParseAddress(std::string_view url) {
+  auto pos = url.find("://");
+  if (pos == std::string_view::npos || pos == 0) {
+    return InvalidArgumentError("address must be scheme://rest, got '" +
+                                std::string(url) + "'");
+  }
+  return ParsedAddress{std::string(url.substr(0, pos)),
+                       std::string(url.substr(pos + 3))};
+}
+
+Status TransportMux::RegisterTransport(TransportPtr transport) {
+  std::lock_guard lock(mu_);
+  auto [it, inserted] =
+      by_scheme_.emplace(std::string(transport->scheme()), transport);
+  if (!inserted) {
+    return AlreadyExistsError("transport for scheme '" +
+                              std::string(transport->scheme()) +
+                              "' already registered");
+  }
+  return Status::Ok();
+}
+
+Result<ConnectionPtr> TransportMux::Dial(std::string_view url) {
+  DMEMO_ASSIGN_OR_RETURN(ParsedAddress parsed, ParseAddress(url));
+  TransportPtr transport;
+  {
+    std::lock_guard lock(mu_);
+    auto it = by_scheme_.find(parsed.scheme);
+    if (it == by_scheme_.end()) {
+      return NotFoundError("no transport for scheme '" + parsed.scheme + "'");
+    }
+    transport = it->second;
+  }
+  return transport->Dial(url);
+}
+
+Result<ListenerPtr> TransportMux::Listen(std::string_view url) {
+  DMEMO_ASSIGN_OR_RETURN(ParsedAddress parsed, ParseAddress(url));
+  TransportPtr transport;
+  {
+    std::lock_guard lock(mu_);
+    auto it = by_scheme_.find(parsed.scheme);
+    if (it == by_scheme_.end()) {
+      return NotFoundError("no transport for scheme '" + parsed.scheme + "'");
+    }
+    transport = it->second;
+  }
+  return transport->Listen(url);
+}
+
+std::shared_ptr<TransportMux> TransportMux::CreateDefault() {
+  auto mux = std::make_shared<TransportMux>();
+  (void)mux->RegisterTransport(MakeTcpTransport());
+  (void)mux->RegisterTransport(MakeUnixTransport());
+  return mux;
+}
+
+}  // namespace dmemo

@@ -1,0 +1,116 @@
+// Network communication foundation (paper Sec. 3.1.1).
+//
+// "It is fundamentally important to establish a connection between two
+// processes, located on any two machines or the same machine... The notion
+// of a Connection allows processes in the system to connect to other
+// processes by a logical network address."
+//
+// Connection is a reliable, bidirectional, *message-framed* channel: Send
+// delivers one frame, Receive yields one frame. A Transport derivation maps
+// logical addresses onto a concrete mechanism:
+//
+//   sim://name        in-process simulated network (tests, local engine)
+//   tcp://host:port   TCP sockets (inter-process / inter-machine)
+//   unix://path       Unix-domain sockets (inter-process, one host)
+//   chan+<url>        blocking rendezvous channel (Transputer model)
+//   frag+<url>        fragmenting virtual-connection overlay (Sec. 3.1.1's
+//                     proposed derived transport)
+//
+// "The class provides the ability to simultaneously interact with different
+// protocols in an application": TransportMux dispatches a dial by scheme.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace dmemo {
+
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  // Deliver one frame. Blocking until the frame is handed to the transport
+  // (which may mean fully transmitted, for rendezvous-style derivations).
+  virtual Status Send(std::span<const std::uint8_t> frame) = 0;
+
+  // Block until one frame arrives; UNAVAILABLE after the peer closes.
+  virtual Result<Bytes> Receive() = 0;
+
+  // Bounded wait: nullopt on timeout, frame otherwise.
+  virtual Result<std::optional<Bytes>> ReceiveFor(
+      std::chrono::milliseconds timeout) = 0;
+
+  // Half-close for sending; wakes the peer's Receive with UNAVAILABLE once
+  // in-flight frames drain. Idempotent.
+  virtual void Close() = 0;
+
+  // Diagnostics label, e.g. "tcp:127.0.0.1:4711".
+  virtual std::string description() const = 0;
+};
+
+using ConnectionPtr = std::unique_ptr<Connection>;
+
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  // Block for the next inbound connection; UNAVAILABLE after Close.
+  virtual Result<ConnectionPtr> Accept() = 0;
+
+  // Stop accepting; unblocks pending Accept calls.
+  virtual void Close() = 0;
+
+  // The concrete dialable address (e.g. with the ephemeral port resolved).
+  virtual std::string address() const = 0;
+};
+
+using ListenerPtr = std::unique_ptr<Listener>;
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual Result<ConnectionPtr> Dial(std::string_view address) = 0;
+  virtual Result<ListenerPtr> Listen(std::string_view address) = 0;
+
+  // Scheme this transport serves ("sim", "tcp", "unix", ...).
+  virtual std::string_view scheme() const = 0;
+};
+
+using TransportPtr = std::shared_ptr<Transport>;
+
+// Split "scheme://rest" -> {scheme, rest}; INVALID_ARGUMENT without "://".
+struct ParsedAddress {
+  std::string scheme;
+  std::string rest;
+};
+Result<ParsedAddress> ParseAddress(std::string_view url);
+
+// Scheme-dispatching facade: register transports, dial/listen full URLs.
+// One application can hold TCP, Unix and simulated links at once.
+class TransportMux final : public Transport {
+ public:
+  Status RegisterTransport(TransportPtr transport);
+
+  Result<ConnectionPtr> Dial(std::string_view url) override;
+  Result<ListenerPtr> Listen(std::string_view url) override;
+  std::string_view scheme() const override { return "mux"; }
+
+  // Mux with tcp:// and unix:// registered (sim:// needs an explicit
+  // SimNetwork, so callers add it themselves).
+  static std::shared_ptr<TransportMux> CreateDefault();
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<std::string, TransportPtr> by_scheme_;
+};
+
+}  // namespace dmemo

@@ -1,0 +1,89 @@
+// Bounded-optional blocking MPMC queue used by server event loops and the
+// worker pool. Close() wakes all waiters; subsequent pops drain remaining
+// items, then report closure.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace dmemo {
+
+template <typename T>
+class BlockingQueue {
+ public:
+  // capacity == 0 means unbounded.
+  explicit BlockingQueue(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  // Returns false if the queue is closed.
+  bool Push(T item) {
+    std::unique_lock lock(mu_);
+    not_full_.wait(lock, [&] {
+      return closed_ || capacity_ == 0 || items_.size() < capacity_;
+    });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks until an item is available or the queue is closed and drained.
+  std::optional<T> Pop() {
+    std::unique_lock lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    return PopLocked();
+  }
+
+  // Like Pop but gives up after `timeout`.
+  std::optional<T> PopFor(std::chrono::nanoseconds timeout) {
+    std::unique_lock lock(mu_);
+    if (!not_empty_.wait_for(lock, timeout,
+                             [&] { return closed_ || !items_.empty(); })) {
+      return std::nullopt;
+    }
+    return PopLocked();
+  }
+
+  std::optional<T> TryPop() {
+    std::unique_lock lock(mu_);
+    return PopLocked();
+  }
+
+  void Close() {
+    std::unique_lock lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::unique_lock lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::unique_lock lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  std::optional<T> PopLocked() {
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace dmemo

@@ -1,0 +1,174 @@
+#include "util/bytes.h"
+
+#include <bit>
+
+namespace dmemo {
+
+void ByteWriter::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 24));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v >> 32));
+  u32(static_cast<std::uint32_t>(v));
+}
+
+void ByteWriter::f32(float v) {
+  static_assert(sizeof(float) == 4);
+  u32(std::bit_cast<std::uint32_t>(v));
+}
+
+void ByteWriter::f64(double v) {
+  static_assert(sizeof(double) == 8);
+  u64(std::bit_cast<std::uint64_t>(v));
+}
+
+void ByteWriter::varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::bytes(std::span<const std::uint8_t> data) {
+  varint(data.size());
+  raw(data);
+}
+
+void ByteWriter::str(std::string_view s) {
+  varint(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void ByteWriter::raw(std::span<const std::uint8_t> data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void ByteWriter::patch_u32(std::size_t offset, std::uint32_t v) {
+  buf_[offset] = static_cast<std::uint8_t>(v >> 24);
+  buf_[offset + 1] = static_cast<std::uint8_t>(v >> 16);
+  buf_[offset + 2] = static_cast<std::uint8_t>(v >> 8);
+  buf_[offset + 3] = static_cast<std::uint8_t>(v);
+}
+
+Status ByteReader::Need(std::size_t n) const {
+  if (remaining() < n) {
+    return DataLossError("truncated buffer: need " + std::to_string(n) +
+                         " bytes, have " + std::to_string(remaining()));
+  }
+  return Status::Ok();
+}
+
+Result<std::uint8_t> ByteReader::u8() {
+  DMEMO_RETURN_IF_ERROR(Need(1));
+  return data_[pos_++];
+}
+
+Result<std::uint16_t> ByteReader::u16() {
+  DMEMO_RETURN_IF_ERROR(Need(2));
+  std::uint16_t v = static_cast<std::uint16_t>(
+      (static_cast<std::uint16_t>(data_[pos_]) << 8) | data_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+Result<std::uint32_t> ByteReader::u32() {
+  DMEMO_RETURN_IF_ERROR(Need(4));
+  std::uint32_t v = (static_cast<std::uint32_t>(data_[pos_]) << 24) |
+                    (static_cast<std::uint32_t>(data_[pos_ + 1]) << 16) |
+                    (static_cast<std::uint32_t>(data_[pos_ + 2]) << 8) |
+                    static_cast<std::uint32_t>(data_[pos_ + 3]);
+  pos_ += 4;
+  return v;
+}
+
+Result<std::uint64_t> ByteReader::u64() {
+  DMEMO_ASSIGN_OR_RETURN(std::uint32_t hi, u32());
+  DMEMO_ASSIGN_OR_RETURN(std::uint32_t lo, u32());
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+}
+
+Result<std::int8_t> ByteReader::i8() {
+  DMEMO_ASSIGN_OR_RETURN(std::uint8_t v, u8());
+  return static_cast<std::int8_t>(v);
+}
+Result<std::int16_t> ByteReader::i16() {
+  DMEMO_ASSIGN_OR_RETURN(std::uint16_t v, u16());
+  return static_cast<std::int16_t>(v);
+}
+Result<std::int32_t> ByteReader::i32() {
+  DMEMO_ASSIGN_OR_RETURN(std::uint32_t v, u32());
+  return static_cast<std::int32_t>(v);
+}
+Result<std::int64_t> ByteReader::i64() {
+  DMEMO_ASSIGN_OR_RETURN(std::uint64_t v, u64());
+  return static_cast<std::int64_t>(v);
+}
+
+Result<float> ByteReader::f32() {
+  DMEMO_ASSIGN_OR_RETURN(std::uint32_t v, u32());
+  return std::bit_cast<float>(v);
+}
+
+Result<double> ByteReader::f64() {
+  DMEMO_ASSIGN_OR_RETURN(std::uint64_t v, u64());
+  return std::bit_cast<double>(v);
+}
+
+Result<std::uint64_t> ByteReader::varint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    DMEMO_ASSIGN_OR_RETURN(std::uint8_t b, u8());
+    if (shift >= 64 || (shift == 63 && (b & 0x7f) > 1)) {
+      return DataLossError("varint overflows 64 bits");
+    }
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+Result<Bytes> ByteReader::bytes() {
+  DMEMO_ASSIGN_OR_RETURN(std::uint64_t n, varint());
+  return raw(static_cast<std::size_t>(n));
+}
+
+Result<std::string> ByteReader::str() {
+  DMEMO_ASSIGN_OR_RETURN(std::uint64_t n, varint());
+  DMEMO_RETURN_IF_ERROR(Need(static_cast<std::size_t>(n)));
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_),
+                static_cast<std::size_t>(n));
+  pos_ += static_cast<std::size_t>(n);
+  return s;
+}
+
+Result<Bytes> ByteReader::raw(std::size_t n) {
+  DMEMO_RETURN_IF_ERROR(Need(n));
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+std::string HexEncode(std::span<const std::uint8_t> data) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace dmemo

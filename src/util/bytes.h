@@ -1,0 +1,90 @@
+// Endian-safe byte buffers.
+//
+// All D-Memo wire traffic and all Transferable encodings use network byte
+// order (big-endian), independent of the host, so that heterogeneous machine
+// profiles interoperate. ByteWriter appends; ByteReader consumes with bounds
+// checking and reports truncation as DATA_LOSS.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dmemo {
+
+using Bytes = std::vector<std::uint8_t>;
+
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i8(std::int8_t v) { u8(static_cast<std::uint8_t>(v)); }
+  void i16(std::int16_t v) { u16(static_cast<std::uint16_t>(v)); }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f32(float v);
+  void f64(double v);
+  // Unsigned LEB128; compact for the small counts that dominate headers.
+  void varint(std::uint64_t v);
+  // Length-prefixed (varint) byte string.
+  void bytes(std::span<const std::uint8_t> data);
+  void str(std::string_view s);
+  // Raw append with no length prefix.
+  void raw(std::span<const std::uint8_t> data);
+
+  const Bytes& data() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+  // Patch a previously written u32 at `offset` (frame-length back-fill).
+  void patch_u32(std::size_t offset, std::uint32_t v);
+
+ private:
+  Bytes buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+  explicit ByteReader(const Bytes& data) : data_(data) {}
+
+  Result<std::uint8_t> u8();
+  Result<std::uint16_t> u16();
+  Result<std::uint32_t> u32();
+  Result<std::uint64_t> u64();
+  Result<std::int8_t> i8();
+  Result<std::int16_t> i16();
+  Result<std::int32_t> i32();
+  Result<std::int64_t> i64();
+  Result<float> f32();
+  Result<double> f64();
+  Result<std::uint64_t> varint();
+  Result<Bytes> bytes();
+  Result<std::string> str();
+  // Consume exactly n raw bytes.
+  Result<Bytes> raw(std::size_t n);
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool exhausted() const { return remaining() == 0; }
+  std::size_t position() const { return pos_; }
+
+ private:
+  Status Need(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+// Hex dump (lowercase, no separators) — used in logs and test diagnostics.
+std::string HexEncode(std::span<const std::uint8_t> data);
+
+}  // namespace dmemo

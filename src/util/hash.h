@@ -1,0 +1,55 @@
+// Deterministic hashing used by the folder-name -> folder-server mapping.
+//
+// Determinism across processes matters: every machine in an application must
+// hash the same folder key to the same folder server without communicating
+// (the paper's "no broadcasting is done by the system"). std::hash gives no
+// cross-process guarantee, so we use FNV-1a and splitmix64 explicitly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace dmemo {
+
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+constexpr std::uint64_t Fnv1a64(std::string_view s,
+                                std::uint64_t seed = kFnvOffset) {
+  std::uint64_t h = seed;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline std::uint64_t Fnv1a64(std::span<const std::uint8_t> data,
+                             std::uint64_t seed = kFnvOffset) {
+  std::uint64_t h = seed;
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+// splitmix64 finalizer: turns correlated inputs into well-mixed outputs.
+constexpr std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+constexpr std::uint64_t HashCombine(std::uint64_t a, std::uint64_t b) {
+  return Mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+// Map a 64-bit hash to a double in [0, 1), uniformly.
+constexpr double HashToUnit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace dmemo

@@ -1,0 +1,51 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+
+namespace dmemo {
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+std::string_view LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kError: return "E";
+  }
+  return "?";
+}
+
+std::string_view Basename(std::string_view path) {
+  auto pos = path.find_last_of('/');
+  return pos == std::string_view::npos ? path : path.substr(pos + 1);
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+namespace internal {
+
+LogLine::LogLine(LogLevel level, std::string_view file, int line)
+    : level_(level) {
+  stream_ << "[" << LevelTag(level) << " " << Basename(file) << ":" << line
+          << "] ";
+}
+
+LogLine::~LogLine() {
+  stream_ << '\n';
+  std::string s = stream_.str();
+  std::fwrite(s.data(), 1, s.size(), stderr);
+  if (level_ >= LogLevel::kError) std::fflush(stderr);
+}
+
+}  // namespace internal
+}  // namespace dmemo

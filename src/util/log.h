@@ -1,0 +1,46 @@
+// Minimal leveled logging.
+//
+// Servers are multi-threaded; each log line is assembled in a thread-local
+// stream and emitted with a single write so lines never interleave.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace dmemo {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Global threshold; messages below it are discarded (default kWarn so tests
+// and benchmarks stay quiet).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view file, int line);
+  ~LogLine();
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define DMEMO_LOG(level)                                              \
+  if (::dmemo::LogLevel::level < ::dmemo::GetLogLevel()) {            \
+  } else                                                              \
+    ::dmemo::internal::LogLine(::dmemo::LogLevel::level, __FILE__, __LINE__)
+
+}  // namespace dmemo

@@ -1,0 +1,36 @@
+// Small deterministic PRNG (splitmix64).
+//
+// Folders are *unordered* queues: extraction order is unspecified. We make
+// it deterministic-pseudorandom per folder so that semantics stay honest
+// ("don't rely on order") while tests and benchmarks remain reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "util/hash.h"
+
+namespace dmemo {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t Next() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    return Mix64(state_);
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t NextBelow(std::uint64_t bound) {
+    // Rejection-free multiply-shift; bias is negligible for bound << 2^64.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  double NextUnit() { return HashToUnit(Next()); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace dmemo

@@ -1,0 +1,123 @@
+// Status / Result error model for D-Memo.
+//
+// The library reports recoverable failures (bad ADF syntax, unreachable
+// peers, lossy domain mappings, protocol violations) through Status values
+// rather than exceptions, so that server event loops can handle them without
+// unwinding, and so that every fallible public API is explicit about it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace dmemo {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kNotFound,          // named entity (folder, host, symbol) does not exist
+  kAlreadyExists,     // duplicate registration
+  kFailedPrecondition,// object not in the required state
+  kOutOfRange,        // index / size out of bounds
+  kResourceExhausted, // pool / buffer / fd limits
+  kUnavailable,       // peer or server unreachable (possibly transient)
+  kDataLoss,          // lossy domain mapping or truncated frame
+  kInternal,          // invariant violated inside the library
+  kCancelled,         // operation aborted by shutdown
+  kTimedOut,          // deadline expired
+  kUnimplemented,     // feature not supported by this derivation
+};
+
+std::string_view StatusCodeName(StatusCode code);
+
+// A cheap value type: ok() Statuses carry no allocation.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Render "CODE: message" for logs and test failures.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status UnavailableError(std::string message);
+Status DataLossError(std::string message);
+Status InternalError(std::string message);
+Status CancelledError(std::string message);
+Status TimedOutError(std::string message);
+Status UnimplementedError(std::string message);
+
+// Result<T> = Status | T. Move-friendly; access value() only when ok().
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return status_.ok() && value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  T& operator*() & { return *value_; }
+  const T& operator*() const& { return *value_; }
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+
+  // Move the value out, or return `fallback` when this holds an error.
+  T value_or(T fallback) && {
+    return ok() ? *std::move(value_) : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagate errors up the call stack:  DMEMO_RETURN_IF_ERROR(DoThing());
+#define DMEMO_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::dmemo::Status dmemo_status_ = (expr);          \
+    if (!dmemo_status_.ok()) return dmemo_status_;   \
+  } while (false)
+
+// Unwrap a Result or propagate:  DMEMO_ASSIGN_OR_RETURN(auto v, MakeV());
+#define DMEMO_ASSIGN_OR_RETURN(decl, expr)                 \
+  DMEMO_ASSIGN_OR_RETURN_IMPL_(                            \
+      DMEMO_STATUS_CONCAT_(dmemo_result_, __LINE__), decl, expr)
+#define DMEMO_ASSIGN_OR_RETURN_IMPL_(tmp, decl, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  decl = std::move(tmp).value()
+#define DMEMO_STATUS_CONCAT_(a, b) DMEMO_STATUS_CONCAT_IMPL_(a, b)
+#define DMEMO_STATUS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace dmemo

@@ -1,0 +1,116 @@
+#include "util/worker_pool.h"
+
+#include <utility>
+
+namespace dmemo {
+
+WorkerPool::WorkerPool() : WorkerPool(Options{}) {}
+
+WorkerPool::WorkerPool(Options options) : options_(options) {}
+
+WorkerPool::~WorkerPool() { Shutdown(); }
+
+bool WorkerPool::Submit(std::function<void()> task) {
+  std::unique_lock lock(mu_);
+  if (shutdown_) return false;
+  tasks_.push_back(std::move(task));
+  if (idle_ >= tasks_.size()) {
+    // A lingering thread will pick this up: the paper's cache hit.
+    ++stat_cache_hits_;
+    work_cv_.notify_one();
+  } else if (options_.max_threads == 0 || live_ < options_.max_threads) {
+    SpawnLocked();
+  } else {
+    // All threads busy and at cap; task waits until one frees up.
+    work_cv_.notify_one();
+  }
+  return true;
+}
+
+void WorkerPool::SpawnLocked() {
+  ++live_;
+  ++stat_spawned_;
+  threads_.emplace_back([this] { WorkerLoop(); });
+}
+
+void WorkerPool::WorkerLoop() {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    if (tasks_.empty()) {
+      // Transaction done: set the timer and wait for additional requests.
+      ++idle_;
+      bool got_work;
+      if (options_.cache_ttl.count() == 0) {
+        got_work = false;  // caching disabled: terminate immediately
+      } else {
+        got_work = work_cv_.wait_for(lock, options_.cache_ttl, [&] {
+          return shutdown_ || !tasks_.empty();
+        });
+      }
+      --idle_;
+      if (!got_work || (shutdown_ && tasks_.empty())) {
+        if (!shutdown_) ++stat_expired_;
+        --live_;
+        drain_cv_.notify_all();
+        return;
+      }
+      if (tasks_.empty()) continue;  // another worker won the race
+    }
+    auto task = std::move(tasks_.front());
+    tasks_.pop_front();
+    ++running_;
+    lock.unlock();
+    task();
+    lock.lock();
+    --running_;
+    ++stat_tasks_;
+    if (tasks_.empty() && running_ == 0) drain_cv_.notify_all();
+  }
+}
+
+void WorkerPool::Drain() {
+  std::unique_lock lock(mu_);
+  drain_cv_.wait(lock, [&] {
+    // Queued work with zero live threads can only happen transiently while a
+    // spawn is in flight, so live_ > 0 covers it; running_ covers execution.
+    return tasks_.empty() && running_ == 0;
+  });
+}
+
+void WorkerPool::Shutdown() {
+  std::vector<std::thread> to_join;
+  {
+    std::unique_lock lock(mu_);
+    if (shutdown_ && threads_.empty()) return;
+    shutdown_ = true;
+    work_cv_.notify_all();
+    // Remaining queued tasks are still executed by live threads; if none are
+    // live, run them here so Shutdown never drops work.
+    while (live_ == 0 && !tasks_.empty()) {
+      auto task = std::move(tasks_.front());
+      tasks_.pop_front();
+      lock.unlock();
+      task();
+      lock.lock();
+      ++stat_tasks_;
+    }
+    to_join.swap(threads_);
+  }
+  for (auto& t : to_join) {
+    if (t.joinable()) t.join();
+  }
+}
+
+WorkerPool::Stats WorkerPool::GetStats() const {
+  std::unique_lock lock(mu_);
+  Stats s;
+  s.threads_spawned = stat_spawned_;
+  s.threads_expired = stat_expired_;
+  s.tasks_executed = stat_tasks_;
+  s.cache_hits = stat_cache_hits_;
+  s.live_threads = live_;
+  s.idle_threads = idle_;
+  return s;
+}
+
+}  // namespace dmemo

@@ -1,0 +1,218 @@
+// Tests for the Application Description File parser (Sec. 4.3), including
+// the paper's own `invert` example verbatim.
+#include <gtest/gtest.h>
+
+#include "adf/adf.h"
+
+namespace dmemo {
+namespace {
+
+// The ADF assembled from the fragments in Sec. 4.3 of the paper.
+constexpr const char* kInvertAdf = R"(# Application Name
+APP invert
+
+HOSTS
+# Hosts #Procs Arch  Cost
+glen-ellyn.iit.edu  1 sun4  1
+aurora.iit.edu  1 sun4  1
+joliet.iit.edu  1 sun4  1
+bonnie.mcs.anl.gov 128 sp1  sun4*0.5
+
+FOLDERS
+# Folder Location at
+0 glen-ellyn.iit.edu
+1 aurora.iit.edu
+2 joliet.iit.edu
+3-8 bonnie.mcs.anl.gov
+
+PROCESSES
+#Proc Directory Located at
+0 boss glen-ellyn.iit.edu
+1 worker1 aurora.iit.edu
+2 worker1 joliet.iit.edu
+3-22 worker2 bonnie.mcs.anl.gov
+
+PPC
+# Point-to-Point Connection with cost
+glen-ellyn.iit.edu <-> aurora.iit.edu 1
+glen-ellyn.iit.edu <-> joliet.iit.edu 1
+glen-ellyn.iit.edu <-> bonnie.mcs.anl.gov 2
+)";
+
+TEST(AdfTest, ParsesThePaperExample) {
+  auto parsed = ParseAdf(kInvertAdf);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const AppDescription& adf = parsed->description;
+
+  EXPECT_EQ(adf.app_name, "invert");
+  ASSERT_EQ(adf.hosts.size(), 4u);
+  EXPECT_EQ(adf.hosts[0].name, "glen-ellyn.iit.edu");
+  EXPECT_EQ(adf.hosts[0].processors, 1);
+  EXPECT_EQ(adf.hosts[0].arch, "sun4");
+  EXPECT_DOUBLE_EQ(adf.hosts[0].cost, 1.0);
+
+  // "Notice that each individual processor on the SP-1 is less expensive
+  // to use then a Sparc": sun4*0.5 resolves against sun4's cost of 1.
+  EXPECT_EQ(adf.hosts[3].arch, "sp1");
+  EXPECT_EQ(adf.hosts[3].processors, 128);
+  EXPECT_DOUBLE_EQ(adf.hosts[3].cost, 0.5);
+
+  // "3-8" expands to six folder servers; nine total.
+  ASSERT_EQ(adf.folder_servers.size(), 9u);
+  EXPECT_EQ(adf.folder_servers[3].id, 3);
+  EXPECT_EQ(adf.folder_servers[8].id, 8);
+  EXPECT_EQ(adf.folder_servers[8].host, "bonnie.mcs.anl.gov");
+
+  // "3-22" expands to twenty worker processes; 23 total.
+  ASSERT_EQ(adf.processes.size(), 23u);
+  EXPECT_EQ(adf.processes[0].directory, "boss");
+  EXPECT_EQ(adf.processes[22].directory, "worker2");
+
+  ASSERT_EQ(adf.links.size(), 3u);
+  EXPECT_TRUE(adf.links[0].duplex);
+  EXPECT_DOUBLE_EQ(adf.links[2].cost, 2.0);
+
+  EXPECT_TRUE(adf.Validate().ok());
+  EXPECT_TRUE(parsed->present.app);
+  EXPECT_TRUE(parsed->present.ppc);
+}
+
+TEST(AdfTest, CommentsAndBlankLinesIgnored) {
+  auto parsed = ParseAdf(
+      "# leading comment\n\nAPP x # trailing words are comments\n"
+      "HOSTS\nh 1 a 1  # inline comment\nFOLDERS\n0 h\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->description.app_name, "x");
+  ASSERT_EQ(parsed->description.hosts.size(), 1u);
+}
+
+TEST(AdfTest, SimplexLink) {
+  auto parsed = ParseAdf(
+      "APP x\nHOSTS\na 1 t 1\nb 1 t 1\nFOLDERS\n0 a\nPPC\na -> b 3\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->description.links.size(), 1u);
+  EXPECT_FALSE(parsed->description.links[0].duplex);
+  EXPECT_DOUBLE_EQ(parsed->description.links[0].cost, 3.0);
+}
+
+TEST(AdfTest, CostExpressionChain) {
+  // i486 refers to sun4 which refers to a literal; order of reference works
+  // backwards through the file because resolution iterates to fixpoint.
+  auto parsed = ParseAdf(
+      "APP x\nHOSTS\n"
+      "h1 1 sun4 2\n"
+      "h2 1 i486 sun4*4\n"
+      "h3 1 big i486*0.25\n"
+      "FOLDERS\n0 h1\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_DOUBLE_EQ(parsed->description.hosts[1].cost, 8.0);
+  EXPECT_DOUBLE_EQ(parsed->description.hosts[2].cost, 2.0);
+}
+
+TEST(AdfTest, CostDivision) {
+  auto parsed = ParseAdf(
+      "APP x\nHOSTS\nh1 1 sun4 2\nh2 1 y sun4/4\nFOLDERS\n0 h1\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_DOUBLE_EQ(parsed->description.hosts[1].cost, 0.5);
+}
+
+TEST(AdfTest, DivisionByZeroCostFails) {
+  auto parsed = ParseAdf(
+      "APP x\nHOSTS\nh1 1 zero 0\nh2 1 y zero/zero\nFOLDERS\n0 h1\n");
+  // h2's cost divides by h1's zero cost: resolution must fail cleanly.
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AdfTest, UnknownArchInCostFails) {
+  auto parsed =
+      ParseAdf("APP x\nHOSTS\nh1 1 a vax*2\nFOLDERS\n0 h1\n");
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AdfTest, MalformedLinesRejected) {
+  EXPECT_FALSE(ParseAdf("APP\n").ok());                    // APP needs a name
+  EXPECT_FALSE(ParseAdf("APP x\nHOSTS\nh 1 a\n").ok());    // missing cost
+  EXPECT_FALSE(ParseAdf("APP x\nHOSTS\nh 0 a 1\n").ok());  // 0 processors
+  EXPECT_FALSE(ParseAdf("stray data\n").ok());             // before sections
+  EXPECT_FALSE(
+      ParseAdf("APP x\nHOSTS\nh 1 a 1\nPPC\nh <> h 1\n").ok());  // bad arrow
+  EXPECT_FALSE(
+      ParseAdf("APP x\nFOLDERS\n8-3 h\n").ok());  // inverted range
+}
+
+TEST(AdfTest, ValidationCatchesDanglingReferences) {
+  auto no_host = ParseAdf("APP x\nHOSTS\nh 1 a 1\nFOLDERS\n0 ghost\n");
+  ASSERT_TRUE(no_host.ok());
+  EXPECT_FALSE(no_host->description.Validate().ok());
+
+  auto no_fs = ParseAdf("APP x\nHOSTS\nh 1 a 1\n");
+  ASSERT_TRUE(no_fs.ok());
+  EXPECT_FALSE(no_fs->description.Validate().ok());
+
+  auto dup_fs = ParseAdf("APP x\nHOSTS\nh 1 a 1\nFOLDERS\n0 h\n0 h\n");
+  ASSERT_TRUE(dup_fs.ok());
+  EXPECT_FALSE(dup_fs->description.Validate().ok());
+
+  auto ghost_link = ParseAdf(
+      "APP x\nHOSTS\nh 1 a 1\nFOLDERS\n0 h\nPPC\nh <-> ghost 1\n");
+  ASSERT_TRUE(ghost_link.ok());
+  EXPECT_FALSE(ghost_link->description.Validate().ok());
+}
+
+TEST(AdfTest, MissingSectionsDefault) {
+  // "Any section missing will default to the appropriate system ADF
+  // section."
+  auto parsed = ParseAdf("APP solo\n");
+  ASSERT_TRUE(parsed.ok());
+  AppDescription merged = MergeWithDefault(*parsed, SystemDefaultAdf());
+  EXPECT_EQ(merged.app_name, "solo");       // user section kept
+  ASSERT_EQ(merged.hosts.size(), 1u);       // defaulted
+  EXPECT_EQ(merged.hosts[0].name, "localhost");
+  EXPECT_EQ(merged.folder_servers.size(), 1u);
+  EXPECT_TRUE(merged.Validate().ok());
+}
+
+TEST(AdfTest, PresentSectionsNotOverridden) {
+  auto parsed = ParseAdf("APP y\nHOSTS\nmine 2 arch 1\nFOLDERS\n0 mine\n");
+  ASSERT_TRUE(parsed.ok());
+  AppDescription merged = MergeWithDefault(*parsed, SystemDefaultAdf());
+  ASSERT_EQ(merged.hosts.size(), 1u);
+  EXPECT_EQ(merged.hosts[0].name, "mine");
+}
+
+TEST(AdfTest, FormatParseRoundTrip) {
+  auto parsed = ParseAdf(kInvertAdf);
+  ASSERT_TRUE(parsed.ok());
+  std::string formatted = FormatAdf(parsed->description);
+  auto reparsed = ParseAdf(formatted);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status() << "\n" << formatted;
+  const auto& a = parsed->description;
+  const auto& b = reparsed->description;
+  EXPECT_EQ(a.app_name, b.app_name);
+  ASSERT_EQ(a.hosts.size(), b.hosts.size());
+  for (std::size_t i = 0; i < a.hosts.size(); ++i) {
+    EXPECT_EQ(a.hosts[i].name, b.hosts[i].name);
+    EXPECT_DOUBLE_EQ(a.hosts[i].cost, b.hosts[i].cost);
+  }
+  EXPECT_EQ(a.folder_servers.size(), b.folder_servers.size());
+  EXPECT_EQ(a.processes.size(), b.processes.size());
+  EXPECT_EQ(a.links.size(), b.links.size());
+}
+
+TEST(AdfTest, HelperLookups) {
+  auto parsed = ParseAdf(kInvertAdf);
+  ASSERT_TRUE(parsed.ok());
+  const auto& adf = parsed->description;
+  ASSERT_NE(adf.FindHost("joliet.iit.edu"), nullptr);
+  EXPECT_EQ(adf.FindHost("nowhere"), nullptr);
+  EXPECT_EQ(adf.FolderServersOn("bonnie.mcs.anl.gov").size(), 6u);
+  EXPECT_EQ(adf.FolderServersOn("aurora.iit.edu").size(), 1u);
+}
+
+TEST(AdfTest, FileNotFound) {
+  EXPECT_EQ(ParseAdfFile("/nonexistent/path.adf").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace dmemo

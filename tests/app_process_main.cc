@@ -1,0 +1,68 @@
+// Helper binary for the multi-process launcher test: behaves as boss or
+// worker depending on the numeric process name the launcher assigned.
+//
+// Boss (process 0): drops kTasks task memos in the job jar, collects
+// kTasks result memos, verifies the arithmetic, then drops one poison memo
+// per worker so everyone exits.
+// Worker: repeatedly takes a task, squares it, deposits the result;
+// terminates on poison.
+#include <cstdio>
+
+#include "patterns/job_jar.h"
+#include "runtime/launcher.h"
+#include "transferable/scalars.h"
+
+namespace {
+
+constexpr int kTasks = 12;
+constexpr int kWorkers = 2;
+constexpr int kPoison = -1;
+
+int IntOf(const dmemo::TransferablePtr& v) {
+  return std::static_pointer_cast<dmemo::TInt32>(v)->value();
+}
+
+int RunBoss(dmemo::Memo& memo) {
+  const dmemo::Key jar = dmemo::Key::Named("tasks");
+  const dmemo::Key results = dmemo::Key::Named("results");
+  for (int i = 0; i < kTasks; ++i) {
+    if (!memo.put(jar, dmemo::MakeInt32(i)).ok()) return 1;
+  }
+  long long sum = 0;
+  for (int i = 0; i < kTasks; ++i) {
+    auto v = memo.get(results);
+    if (!v.ok()) return 1;
+    sum += IntOf(*v);
+  }
+  long long expected = 0;
+  for (int i = 0; i < kTasks; ++i) expected += 1LL * i * i;
+  for (int w = 0; w < kWorkers; ++w) {
+    if (!memo.put(jar, dmemo::MakeInt32(kPoison)).ok()) return 1;
+  }
+  return sum == expected ? 0 : 3;
+}
+
+int RunWorker(dmemo::Memo& memo) {
+  const dmemo::Key jar = dmemo::Key::Named("tasks");
+  const dmemo::Key results = dmemo::Key::Named("results");
+  for (;;) {
+    auto task = memo.get(jar);
+    if (!task.ok()) return 1;
+    const int v = IntOf(*task);
+    if (v == kPoison) return 0;
+    if (!memo.put(results, dmemo::MakeInt32(v * v)).ok()) return 1;
+  }
+}
+
+}  // namespace
+
+int main() {
+  auto memo = dmemo::ConnectFromEnvironment();
+  if (!memo.ok()) {
+    std::fprintf(stderr, "app_process: %s\n",
+                 memo.status().ToString().c_str());
+    return 2;
+  }
+  const int id = dmemo::ProcessIdFromEnvironment();
+  return id == 0 ? RunBoss(*memo) : RunWorker(*memo);
+}

@@ -1,0 +1,247 @@
+// Tests for the two Sec.-7 comparators: the Linda tuple space (structural
+// matching, in/rd/out) and the PVM-style message-passing virtual machine.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "baselines/linda.h"
+#include "baselines/pvm.h"
+
+namespace dmemo {
+namespace {
+
+using namespace std::chrono_literals;
+namespace li = dmemo::linda;
+
+// ---- linda matching ----------------------------------------------------------
+
+TEST(LindaMatchTest, ActualsMustEqual) {
+  li::Tuple t{li::Value(std::int64_t{5}), li::Value(std::string("x"))};
+  EXPECT_TRUE(li::Matches({li::V(std::int64_t{5}), li::V("x")}, t));
+  EXPECT_FALSE(li::Matches({li::V(std::int64_t{6}), li::V("x")}, t));
+}
+
+TEST(LindaMatchTest, FormalsMatchByType) {
+  li::Tuple t{li::Value(std::string("task")), li::Value(std::int64_t{3}),
+              li::Value(2.5)};
+  EXPECT_TRUE(li::Matches({li::V("task"), li::FInt(), li::FFloat()}, t));
+  EXPECT_FALSE(li::Matches({li::V("task"), li::FFloat(), li::FFloat()}, t));
+  EXPECT_FALSE(li::Matches({li::V("task"), li::FString(), li::FFloat()}, t));
+}
+
+TEST(LindaMatchTest, ArityMustAgree) {
+  li::Tuple t{li::Value(std::int64_t{1})};
+  EXPECT_FALSE(li::Matches({li::V(std::int64_t{1}), li::FInt()}, t));
+  EXPECT_FALSE(li::Matches({}, t));
+}
+
+// Both space variants satisfy the same semantic contract.
+class TupleSpaceTest : public ::testing::TestWithParam<bool> {
+ protected:
+  li::TupleSpace space_{GetParam()};
+};
+
+TEST_P(TupleSpaceTest, OutInRoundTrip) {
+  ASSERT_TRUE(space_.Out({li::Value(std::string("job")),
+                          li::Value(std::int64_t{7})})
+                  .ok());
+  auto t = space_.In({li::V("job"), li::FInt()});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(std::get<std::int64_t>((*t)[1]), 7);
+  EXPECT_EQ(space_.size(), 0u);
+}
+
+TEST_P(TupleSpaceTest, RdDoesNotConsume) {
+  ASSERT_TRUE(space_.Out({li::Value(std::string("cfg"))}).ok());
+  ASSERT_TRUE(space_.Rd({li::V("cfg")}).ok());
+  ASSERT_TRUE(space_.Rd({li::V("cfg")}).ok());
+  EXPECT_EQ(space_.size(), 1u);
+}
+
+TEST_P(TupleSpaceTest, InpAndRdpNonBlocking) {
+  auto none = space_.Inp({li::V("missing")});
+  ASSERT_TRUE(none.ok());
+  EXPECT_FALSE(none->has_value());
+  ASSERT_TRUE(space_.Out({li::Value(std::string("x"))}).ok());
+  auto peek = space_.Rdp({li::V("x")});
+  ASSERT_TRUE(peek.ok());
+  EXPECT_TRUE(peek->has_value());
+  auto take = space_.Inp({li::V("x")});
+  ASSERT_TRUE(take.ok());
+  EXPECT_TRUE(take->has_value());
+  EXPECT_EQ(space_.size(), 0u);
+}
+
+TEST_P(TupleSpaceTest, InBlocksUntilMatchingOut) {
+  std::atomic<bool> got{false};
+  std::thread consumer([&] {
+    auto t = space_.In({li::V("await"), li::FInt()});
+    ASSERT_TRUE(t.ok());
+    EXPECT_EQ(std::get<std::int64_t>((*t)[1]), 42);
+    got = true;
+  });
+  std::this_thread::sleep_for(20ms);
+  // A non-matching tuple must not wake the right consumer successfully.
+  ASSERT_TRUE(space_.Out({li::Value(std::string("other"))}).ok());
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(got.load());
+  ASSERT_TRUE(space_.Out({li::Value(std::string("await")),
+                          li::Value(std::int64_t{42})})
+                  .ok());
+  consumer.join();
+}
+
+TEST_P(TupleSpaceTest, CloseCancelsBlockedIn) {
+  std::thread consumer([&] {
+    auto t = space_.In({li::V("never")});
+    EXPECT_EQ(t.status().code(), StatusCode::kCancelled);
+  });
+  std::this_thread::sleep_for(20ms);
+  space_.Close();
+  consumer.join();
+}
+
+TEST_P(TupleSpaceTest, ManyProducersConsumers) {
+  constexpr int kEach = 300;
+  std::vector<std::thread> threads;
+  std::atomic<std::int64_t> sum{0};
+  for (int p = 0; p < 3; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kEach; ++i) {
+        ASSERT_TRUE(space_
+                        .Out({li::Value(std::string("w")),
+                              li::Value(std::int64_t{p * kEach + i})})
+                        .ok());
+      }
+    });
+  }
+  for (int c = 0; c < 3; ++c) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kEach; ++i) {
+        auto t = space_.In({li::V("w"), li::FInt()});
+        ASSERT_TRUE(t.ok());
+        sum.fetch_add(std::get<std::int64_t>((*t)[1]));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const std::int64_t n = 3 * kEach;
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+  EXPECT_EQ(space_.size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(NaiveAndIndexed, TupleSpaceTest,
+                         ::testing::Values(false, true),
+                         [](const auto& info) {
+                           return info.param ? "indexed" : "naive";
+                         });
+
+TEST(TupleSpaceCostTest, IndexSkipsNonMatchingTuples) {
+  // The E9 mechanism in miniature: with 1000 distractor tuples, the naive
+  // space scans them; the indexed space jumps to the right bucket.
+  li::TupleSpace naive(false);
+  li::TupleSpace indexed(true);
+  for (std::int64_t i = 0; i < 1000; ++i) {
+    li::Tuple distractor{li::Value(std::string("other") + std::to_string(i)),
+                         li::Value(i)};
+    ASSERT_TRUE(naive.Out(distractor).ok());
+    ASSERT_TRUE(indexed.Out(distractor).ok());
+  }
+  li::Tuple needle{li::Value(std::string("needle")),
+                   li::Value(std::int64_t{1})};
+  ASSERT_TRUE(naive.Out(needle).ok());
+  ASSERT_TRUE(indexed.Out(needle).ok());
+  ASSERT_TRUE(naive.In({li::V("needle"), li::FInt()}).ok());
+  ASSERT_TRUE(indexed.In({li::V("needle"), li::FInt()}).ok());
+  EXPECT_GT(naive.tuples_scanned(), 1000u);
+  EXPECT_LT(indexed.tuples_scanned(), 10u);
+}
+
+// ---- pvm -----------------------------------------------------------------------
+
+TEST(PvmTest, SendReceive) {
+  pvm::VirtualMachine vm;
+  pvm::TaskId a = vm.Enroll();
+  pvm::TaskId b = vm.Enroll();
+  ASSERT_TRUE(vm.Send(a, b, 1, Bytes{9}).ok());
+  auto msg = vm.Receive(b);
+  ASSERT_TRUE(msg.ok());
+  EXPECT_EQ(msg->source, a);
+  EXPECT_EQ(msg->tag, 1);
+  EXPECT_EQ(msg->body, Bytes{9});
+}
+
+TEST(PvmTest, TagFilteringPreservesOtherMessages) {
+  pvm::VirtualMachine vm;
+  pvm::TaskId a = vm.Enroll();
+  pvm::TaskId b = vm.Enroll();
+  ASSERT_TRUE(vm.Send(a, b, 1, Bytes{1}).ok());
+  ASSERT_TRUE(vm.Send(a, b, 2, Bytes{2}).ok());
+  auto tagged = vm.Receive(b, 2);  // skip over the tag-1 message
+  ASSERT_TRUE(tagged.ok());
+  EXPECT_EQ(tagged->body, Bytes{2});
+  auto first = vm.Receive(b, pvm::kAnyTag);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->body, Bytes{1});
+}
+
+TEST(PvmTest, ReceiveBlocksUntilSend) {
+  pvm::VirtualMachine vm;
+  pvm::TaskId a = vm.Enroll();
+  pvm::TaskId b = vm.Enroll();
+  std::atomic<bool> got{false};
+  std::thread receiver([&] {
+    auto msg = vm.Receive(b);
+    ASSERT_TRUE(msg.ok());
+    got = true;
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(got.load());
+  ASSERT_TRUE(vm.Send(a, b, 0, {}).ok());
+  receiver.join();
+}
+
+TEST(PvmTest, TryReceiveNonBlocking) {
+  pvm::VirtualMachine vm;
+  pvm::TaskId a = vm.Enroll();
+  auto none = vm.TryReceive(a);
+  ASSERT_TRUE(none.ok());
+  EXPECT_FALSE(none->has_value());
+}
+
+TEST(PvmTest, UnknownDestinationRejected) {
+  pvm::VirtualMachine vm;
+  pvm::TaskId a = vm.Enroll();
+  EXPECT_EQ(vm.Send(a, 999, 0, {}).code(), StatusCode::kNotFound);
+  EXPECT_EQ(vm.Receive(999).status().code(), StatusCode::kNotFound);
+}
+
+TEST(PvmTest, MulticastIsUnicastPerDestination) {
+  pvm::VirtualMachine vm;
+  pvm::TaskId boss = vm.Enroll();
+  std::vector<pvm::TaskId> workers;
+  for (int i = 0; i < 5; ++i) workers.push_back(vm.Enroll());
+  ASSERT_TRUE(vm.Multicast(boss, workers, 7, Bytes{1}).ok());
+  EXPECT_EQ(vm.messages_sent(), 5u);
+  for (pvm::TaskId w : workers) {
+    auto msg = vm.Receive(w, 7);
+    ASSERT_TRUE(msg.ok());
+    EXPECT_EQ(msg->source, boss);
+  }
+}
+
+TEST(PvmTest, CloseCancelsBlockedReceivers) {
+  pvm::VirtualMachine vm;
+  pvm::TaskId a = vm.Enroll();
+  std::thread receiver([&] {
+    auto msg = vm.Receive(a);
+    EXPECT_EQ(msg.status().code(), StatusCode::kCancelled);
+  });
+  std::this_thread::sleep_for(20ms);
+  vm.Close();
+  receiver.join();
+}
+
+}  // namespace
+}  // namespace dmemo

@@ -1,0 +1,355 @@
+// Tests for the Memo API (Sec. 6): the seven primitives over both engines,
+// the Sec. 6.2 data-structure idioms spelled exactly as the paper writes
+// them, and domain checking on remote delivery.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "core/memo.h"
+#include "core/remote_engine.h"
+#include "server/memo_server.h"
+#include "transferable/composite.h"
+#include "transferable/scalars.h"
+#include "transport/simnet.h"
+
+namespace dmemo {
+namespace {
+
+using namespace std::chrono_literals;
+
+int IntOf(const TransferablePtr& v) {
+  return std::static_pointer_cast<TInt32>(v)->value();
+}
+
+// ---- local engine ---------------------------------------------------------
+
+class LocalMemoTest : public ::testing::Test {
+ protected:
+  LocalSpacePtr space_ = std::make_shared<LocalSpace>("test");
+  Memo memo_ = Memo::Local(space_);
+};
+
+TEST_F(LocalMemoTest, PutGetRoundTrip) {
+  Key key(memo_.create_symbol());
+  ASSERT_TRUE(memo_.put(key, MakeInt32(7)).ok());
+  auto v = memo_.get(key);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(IntOf(*v), 7);
+}
+
+TEST_F(LocalMemoTest, CreateSymbolIsUnique) {
+  std::set<Symbol> symbols;
+  for (int i = 0; i < 10'000; ++i) symbols.insert(memo_.create_symbol());
+  EXPECT_EQ(symbols.size(), 10'000u);
+}
+
+TEST_F(LocalMemoTest, NamedSymbolsAgree) {
+  Memo other = Memo::Local(space_);
+  EXPECT_EQ(memo_.symbol("jar"), other.symbol("jar"));
+  EXPECT_NE(memo_.symbol("jar"), memo_.symbol("jam"));
+}
+
+TEST_F(LocalMemoTest, TwoHandlesShareTheSpace) {
+  Memo producer = Memo::Local(space_);
+  Memo consumer = Memo::Local(space_);
+  Key key = Key::Named("shared");
+  ASSERT_TRUE(producer.put(key, MakeString("hi")).ok());
+  auto v = consumer.get(key);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(std::static_pointer_cast<TString>(*v)->value(), "hi");
+}
+
+TEST_F(LocalMemoTest, GetSkipPolling) {
+  Key key = Key::Named("poll");
+  auto nil = memo_.get_skip(key);
+  ASSERT_TRUE(nil.ok());
+  EXPECT_FALSE(nil->has_value());
+  ASSERT_TRUE(memo_.put(key, MakeInt32(1)).ok());
+  auto v = memo_.get_skip(key);
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->has_value());
+  EXPECT_EQ(IntOf(**v), 1);
+}
+
+// Sec. 6.2.2: "The element a[i,j] can be stored in a folder whose name is
+// constructed as key.S = a; key.X[0] = i; key.X[1] = j; key.X[2] = 0;"
+TEST_F(LocalMemoTest, ArrayIdiomFromThePaper) {
+  Symbol a = memo_.create_symbol();
+  auto element_key = [&](std::uint32_t i, std::uint32_t j) {
+    Key key;
+    key.S = a;
+    key.X = {i, j, 0};
+    return key;
+  };
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    for (std::uint32_t j = 0; j < 3; ++j) {
+      ASSERT_TRUE(memo_
+                      .put(element_key(i, j),
+                           MakeInt32(static_cast<int>(10 * i + j)))
+                      .ok());
+    }
+  }
+  auto v = memo_.get(element_key(2, 1));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(IntOf(*v), 21);
+}
+
+// Sec. 6.3.1: shared records are implicitly locked while extracted.
+TEST_F(LocalMemoTest, SharedRecordImplicitLock) {
+  Key obj = Key::Named("record");
+  ASSERT_TRUE(memo_.put(obj, MakeInt32(0)).ok());
+  constexpr int kThreads = 4, kIncrements = 250;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      Memo m = Memo::Local(space_);
+      for (int i = 0; i < kIncrements; ++i) {
+        auto v = m.get(obj);  // record locked: folder now empty
+        ASSERT_TRUE(v.ok());
+        ASSERT_TRUE(m.put(obj, MakeInt32(IntOf(*v) + 1)).ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  auto final = memo_.get(obj);
+  ASSERT_TRUE(final.ok());
+  EXPECT_EQ(IntOf(*final), kThreads * kIncrements);
+}
+
+// Sec. 6.3.2: a counting semaphore is a folder pre-loaded with N memos.
+TEST_F(LocalMemoTest, SemaphoreIdiom) {
+  Key sem = Key::Named("sem");
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(memo_.put(sem, MakeInt32(1)).ok());
+  }
+  std::atomic<int> inside{0};
+  std::atomic<int> peak{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&] {
+      Memo m = Memo::Local(space_);
+      auto token = m.get(sem);  // P
+      ASSERT_TRUE(token.ok());
+      int cur = inside.fetch_add(1) + 1;
+      int expect = peak.load();
+      while (cur > expect && !peak.compare_exchange_weak(expect, cur)) {
+      }
+      std::this_thread::sleep_for(5ms);
+      inside.fetch_sub(1);
+      ASSERT_TRUE(m.put(sem, std::move(*token)).ok());  // V
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_LE(peak.load(), 2);
+}
+
+// Sec. 6.2.5 + 6.3.3: futures and dataflow triggering with put_delayed.
+TEST_F(LocalMemoTest, FutureAndDataflowTrigger) {
+  Key future = Key::Named("future");
+  Key job_jar = Key::Named("job_jar");
+  // Park an operation: when the future is written, the operation drops
+  // into the job jar.
+  ASSERT_TRUE(
+      memo_.put_delayed(future, job_jar, MakeString("operation")).ok());
+  EXPECT_EQ(*memo_.count(job_jar), 0u);
+  // Producer assigns the future.
+  ASSERT_TRUE(memo_.put(future, MakeInt32(99)).ok());
+  // The operation is now in the jar, and the future value is readable.
+  auto op = memo_.get(job_jar);
+  ASSERT_TRUE(op.ok());
+  EXPECT_EQ(std::static_pointer_cast<TString>(*op)->value(), "operation");
+  auto value = memo_.get(future);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(IntOf(*value), 99);
+  // The future's folder vanished once the memo was removed.
+  EXPECT_EQ(*memo_.count(future), 0u);
+}
+
+TEST_F(LocalMemoTest, JobJarWithLocalAndCommonJars) {
+  // Sec. 6.2.4: get_alt over the private jar and the common jar.
+  Key my_jar = Key::Named("jar", {1});
+  Key common_jar = Key::Named("jar", {0});
+  ASSERT_TRUE(memo_.put(common_jar, MakeString("common-task")).ok());
+  std::vector<Key> jars{my_jar, common_jar};
+  auto task = memo_.get_alt(jars);
+  ASSERT_TRUE(task.ok());
+  EXPECT_EQ(task->first, common_jar);
+
+  auto empty = memo_.get_alt_skip(jars);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(empty->has_value());
+}
+
+TEST_F(LocalMemoTest, GetCopyDoesNotConsume) {
+  Key key = Key::Named("examined");
+  ASSERT_TRUE(memo_.put(key, MakeVecFloat64({1.0, 2.0})).ok());
+  auto c1 = memo_.get_copy(key);
+  auto c2 = memo_.get_copy(key);
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+  EXPECT_EQ(*memo_.count(key), 1u);
+}
+
+TEST_F(LocalMemoTest, CloseCancelsBlockedGet) {
+  std::thread blocked([&] {
+    Memo m = Memo::Local(space_);
+    auto v = m.get(Key::Named("never"));
+    EXPECT_EQ(v.status().code(), StatusCode::kCancelled);
+  });
+  std::this_thread::sleep_for(30ms);
+  space_->Close();
+  blocked.join();
+}
+
+// ---- remote engine over a simulated two-machine network ---------------------
+
+constexpr const char* kAdf =
+    "APP rt\nHOSTS\nhostA 1 t 1\nhostB 1 t 1\n"
+    "FOLDERS\n0 hostA\n1 hostB\nPPC\nhostA <-> hostB 1\n";
+
+class RemoteMemoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    network_ = std::make_shared<SimNetwork>();
+    transport_ = MakeSimTransport(network_);
+    auto parsed = ParseAdf(kAdf);
+    ASSERT_TRUE(parsed.ok());
+    adf_ = parsed->description;
+    std::unordered_map<std::string, std::string> peers{
+        {"hostA", "sim://hostA"}, {"hostB", "sim://hostB"}};
+    for (const auto& host : adf_.hosts) {
+      MemoServerOptions opts;
+      opts.host = host.name;
+      opts.listen_url = peers[host.name];
+      opts.peers = peers;
+      auto server = MemoServer::Start(transport_, opts);
+      ASSERT_TRUE(server.ok()) << server.status();
+      ASSERT_TRUE((*server)->RegisterApp(adf_).ok());
+      servers_.push_back(std::move(*server));
+    }
+  }
+
+  void TearDown() override {
+    for (auto& s : servers_) s->Shutdown();
+  }
+
+  Memo Client(const std::string& host,
+              MachineProfile profile = MachineProfile::Universal(),
+              bool strict = true) {
+    RemoteEngineOptions opts;
+    opts.app = "rt";
+    opts.host = host;
+    opts.profile = profile;
+    opts.strict_domains = strict;
+    auto engine = MakeRemoteEngine(transport_, "sim://" + host, opts);
+    EXPECT_TRUE(engine.ok()) << engine.status();
+    return Memo(std::move(*engine));
+  }
+
+  SimNetworkPtr network_;
+  TransportPtr transport_;
+  AppDescription adf_;
+  std::vector<std::unique_ptr<MemoServer>> servers_;
+};
+
+TEST_F(RemoteMemoTest, CrossMachinePutGet) {
+  Memo producer = Client("hostA");
+  Memo consumer = Client("hostB");
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(producer
+                    .put(Key::Named("data", {i}),
+                         MakeInt32(static_cast<int>(i)))
+                    .ok());
+  }
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    auto v = consumer.get(Key::Named("data", {i}));
+    ASSERT_TRUE(v.ok()) << v.status();
+    EXPECT_EQ(IntOf(*v), static_cast<int>(i));
+  }
+}
+
+TEST_F(RemoteMemoTest, BlockingGetAcrossClients) {
+  Memo producer = Client("hostA");
+  Memo consumer = Client("hostB");
+  Key key = Key::Named("handoff");
+  std::atomic<bool> got{false};
+  std::thread waiter([&] {
+    auto v = consumer.get(key);
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(IntOf(*v), 123);
+    got = true;
+  });
+  std::this_thread::sleep_for(50ms);
+  EXPECT_FALSE(got.load());
+  ASSERT_TRUE(producer.put(key, MakeInt32(123)).ok());
+  waiter.join();
+}
+
+TEST_F(RemoteMemoTest, StructuredGraphSurvivesTheWire) {
+  Memo producer = Client("hostA");
+  Memo consumer = Client("hostB");
+  auto rec = std::make_shared<TRecord>();
+  rec->Set("name", MakeString("task"));
+  rec->Set("self", rec);  // cycle crosses the wire intact
+  ASSERT_TRUE(producer.put(Key::Named("graph"), rec).ok());
+  auto v = consumer.get(Key::Named("graph"));
+  ASSERT_TRUE(v.ok());
+  auto got = std::static_pointer_cast<TRecord>(*v);
+  EXPECT_EQ(got->Get("self").get(), got.get());
+  ReleaseGraph(got);
+  ReleaseGraph(rec);
+}
+
+TEST_F(RemoteMemoTest, LossyDeliveryRejectedOnNarrowMachine) {
+  // The paper's Alpha -> 80486 example, end to end: a 64-bit value wider
+  // than 16 bits is deposited by one machine and must be refused delivery
+  // on a 16-bit-profile machine.
+  Memo alpha = Client("hostA", ProfileAlpha());
+  Memo i486 = Client("hostB", ProfileI486());
+  Key key = Key::Named("wide");
+  ASSERT_TRUE(alpha.put(key, MakeInt64(100'000)).ok());
+  auto v = i486.get(key);
+  EXPECT_EQ(v.status().code(), StatusCode::kDataLoss);
+
+  // A small value in the same domain is delivered fine.
+  ASSERT_TRUE(alpha.put(key, MakeInt64(999)).ok());
+  auto ok = i486.get(key);
+  EXPECT_TRUE(ok.ok()) << ok.status();
+}
+
+TEST_F(RemoteMemoTest, NonStrictModeDeliversLossyValues) {
+  Memo alpha = Client("hostA", ProfileAlpha());
+  Memo lenient = Client("hostB", ProfileI486(), /*strict=*/false);
+  Key key = Key::Named("wide2");
+  ASSERT_TRUE(alpha.put(key, MakeInt64(100'000)).ok());
+  auto v = lenient.get(key);
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_EQ(std::static_pointer_cast<TInt64>(*v)->value(), 100'000);
+}
+
+TEST_F(RemoteMemoTest, PutDelayedWorksRemotely) {
+  Memo memo = Client("hostA");
+  Key future = Key::Named("rfuture");
+  Key jar = Key::Named("rjar");
+  ASSERT_TRUE(memo.put_delayed(future, jar, MakeString("op")).ok());
+  EXPECT_EQ(*memo.count(jar), 0u);
+  ASSERT_TRUE(memo.put(future, MakeInt32(1)).ok());
+  auto op = memo.get(jar);
+  ASSERT_TRUE(op.ok()) << op.status();
+  EXPECT_EQ(std::static_pointer_cast<TString>(*op)->value(), "op");
+}
+
+TEST_F(RemoteMemoTest, GetAltRemoteAcrossFolders) {
+  Memo memo = Client("hostA");
+  std::vector<Key> keys{Key::Named("ra"), Key::Named("rb")};
+  ASSERT_TRUE(memo.put(keys[1], MakeInt32(5)).ok());
+  auto hit = memo.get_alt(keys);
+  ASSERT_TRUE(hit.ok()) << hit.status();
+  EXPECT_EQ(hit->first, keys[1]);
+  EXPECT_EQ(IntOf(hit->second), 5);
+}
+
+}  // namespace
+}  // namespace dmemo

@@ -1,0 +1,240 @@
+// Failure injection: servers dying under parked clients, malformed wire
+// traffic, poisoned payloads, unreachable peers, closed channels. The
+// system's contract is graceful errors — never hangs, never crashes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "runtime/cluster.h"
+#include "server/memo_server.h"
+#include "server/rpc_channel.h"
+#include "transferable/scalars.h"
+#include "transport/simnet.h"
+
+namespace dmemo {
+namespace {
+
+using namespace std::chrono_literals;
+
+AppDescription Adf(const std::string& text) {
+  auto parsed = ParseAdf(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status();
+  return parsed->description;
+}
+
+std::unique_ptr<Cluster> StartCluster(const AppDescription& adf) {
+  auto cluster = Cluster::Start(adf);
+  EXPECT_TRUE(cluster.ok()) << cluster.status();
+  return std::move(*cluster);
+}
+
+ConnectionPtr DialOrDie(Cluster& cluster, const std::string& url) {
+  auto conn = cluster.transport()->Dial(url);
+  EXPECT_TRUE(conn.ok()) << conn.status();
+  return std::move(*conn);
+}
+
+
+
+TEST(FailureTest, ServerShutdownWakesParkedClient) {
+  auto cluster = StartCluster(
+      Adf("APP f\nHOSTS\nhostA 1 t 1\nFOLDERS\n0 hostA\n"));
+  Memo memo = *cluster->Client("hostA", MachineProfile::Universal());
+  std::atomic<bool> returned{false};
+  std::thread parked([&] {
+    auto v = memo.get(Key::Named("never"));
+    EXPECT_FALSE(v.ok());  // CANCELLED (folder dir) or UNAVAILABLE (channel)
+    returned = true;
+  });
+  std::this_thread::sleep_for(50ms);
+  EXPECT_FALSE(returned.load());
+  cluster->Shutdown();
+  parked.join();
+  EXPECT_TRUE(returned.load());
+}
+
+TEST(FailureTest, OperationsAfterShutdownFailFast) {
+  auto cluster = StartCluster(
+      Adf("APP f2\nHOSTS\nhostA 1 t 1\nFOLDERS\n0 hostA\n"));
+  Memo memo = *cluster->Client("hostA", MachineProfile::Universal());
+  ASSERT_TRUE(memo.put(Key::Named("x"), MakeInt32(1)).ok());
+  cluster->Shutdown();
+  EXPECT_FALSE(memo.put(Key::Named("x"), MakeInt32(2)).ok());
+  EXPECT_FALSE(memo.get(Key::Named("x")).ok());
+}
+
+TEST(FailureTest, PeerMachineDownYieldsUnavailable) {
+  // Start only hostA of a two-host ADF: keys owned by hostB are
+  // unreachable and must error, not hang.
+  auto network = std::make_shared<SimNetwork>();
+  auto transport = MakeSimTransport(network);
+  AppDescription adf = Adf(
+      "APP down\nHOSTS\nhostA 1 t 1\nhostB 1 t 1\n"
+      "FOLDERS\n0 hostA\n1 hostB\nPPC\nhostA <-> hostB 1\n");
+  MemoServerOptions opts;
+  opts.host = "hostA";
+  opts.listen_url = "sim://hostA";
+  opts.peers = {{"hostA", "sim://hostA"}, {"hostB", "sim://hostB"}};
+  auto server_or = MemoServer::Start(transport, opts);
+  ASSERT_TRUE(server_or.ok()) << server_or.status();
+  auto server = std::move(*server_or);
+  ASSERT_TRUE(server->RegisterApp(adf).ok());
+
+  RemoteEngineOptions client_opts;
+  client_opts.app = "down";
+  client_opts.host = "hostA";
+  Memo memo(*MakeRemoteEngine(transport, "sim://hostA", client_opts));
+
+  // Find a key owned by the dead hostB.
+  auto routing = *RoutingTable::Build(adf);
+  Key remote_key;
+  for (std::uint32_t i = 0;; ++i) {
+    Key k = Key::Named("k", {i});
+    if (routing.ServerForKey(QualifiedKey{"down", k}.ToBytes())->host ==
+        "hostB") {
+      remote_key = k;
+      break;
+    }
+  }
+  auto status = memo.put(remote_key, MakeInt32(1));
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  server->Shutdown();
+}
+
+TEST(FailureTest, GarbageFramesDoNotKillTheServer) {
+  auto cluster = StartCluster(
+      Adf("APP g\nHOSTS\nhostA 1 t 1\nFOLDERS\n0 hostA\n"));
+  // Raw connection spewing garbage at the server.
+  auto conn = DialOrDie(*cluster, "sim://hostA");
+  ASSERT_TRUE(conn->Send(Bytes{0xde, 0xad, 0xbe, 0xef}).ok());
+  ASSERT_TRUE(conn->Send(Bytes{}).ok());                     // empty frame
+  ASSERT_TRUE(conn->Send(Bytes(100, 0xff)).ok());            // junk request id
+  ASSERT_TRUE(conn->Send(Bytes{1}).ok());                    // truncated header
+  conn->Close();
+
+  // A well-behaved client still gets service.
+  Memo memo = *cluster->Client("hostA", MachineProfile::Universal());
+  ASSERT_TRUE(memo.put(Key::Named("ok"), MakeInt32(5)).ok());
+  auto v = memo.get(Key::Named("ok"));
+  ASSERT_TRUE(v.ok());
+}
+
+TEST(FailureTest, MalformedRequestPayloadIsDropped) {
+  auto cluster = StartCluster(
+      Adf("APP g2\nHOSTS\nhostA 1 t 1\nFOLDERS\n0 hostA\n"));
+  auto conn = DialOrDie(*cluster, "sim://hostA");
+  // A frame with valid kind/id but a bogus opcode: the reader drops it and
+  // (by protocol) never answers, so the caller's timeout fires.
+  ByteWriter frame;
+  frame.u8(1);    // kind = request
+  frame.u64(7);   // id
+  frame.u8(200);  // invalid opcode
+  ASSERT_TRUE(conn->Send(frame.data()).ok());
+  conn->Close();
+
+  Memo memo = *cluster->Client("hostA", MachineProfile::Universal());
+  EXPECT_TRUE(memo.put(Key::Named("still-alive"), MakeInt32(1)).ok());
+}
+
+TEST(FailureTest, PoisonedStoredValueSurfacesAsDataLoss) {
+  // A rogue client stores bytes that do not decode as a transferable; the
+  // receiving client reports DATA_LOSS instead of crashing.
+  auto cluster = StartCluster(
+      Adf("APP p\nHOSTS\nhostA 1 t 1\nFOLDERS\n0 hostA\n"));
+  auto conn = DialOrDie(*cluster, "sim://hostA");
+  auto channel = RpcChannel::Create(std::move(conn), nullptr, nullptr);
+  Request req;
+  req.op = Op::kPut;
+  req.app = "p";
+  req.key = Key::Named("poison");
+  req.value = Bytes{0x01, 0xff, 0xff, 0xff};  // inline tag + junk type id
+  auto resp = channel->Call(req);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->code, StatusCode::kOk);  // servers store bytes blindly
+
+  Memo memo = *cluster->Client("hostA", MachineProfile::Universal());
+  auto v = memo.get(Key::Named("poison"));
+  EXPECT_FALSE(v.ok());
+  EXPECT_TRUE(v.status().code() == StatusCode::kDataLoss ||
+              v.status().code() == StatusCode::kNotFound)
+      << v.status();
+  channel->Close();
+}
+
+TEST(FailureTest, ClientDisconnectDoesNotWedgeTheServer) {
+  auto cluster = StartCluster(
+      Adf("APP d\nHOSTS\nhostA 1 t 1\nFOLDERS\n0 hostA\n"));
+  {
+    // A client parks a blocking get, then its connection is torn down.
+    auto conn = DialOrDie(*cluster, "sim://hostA");
+    auto channel = RpcChannel::Create(std::move(conn), nullptr, nullptr);
+    std::thread parked([channel] {
+      Request get;
+      get.op = Op::kGet;
+      get.app = "d";
+      get.key = Key::Named("never");
+      auto resp = channel->Call(get);
+      EXPECT_FALSE(resp.ok());  // channel closed under the call
+    });
+    std::this_thread::sleep_for(30ms);
+    channel->Close();
+    parked.join();
+  }
+  // The server keeps serving new clients.
+  Memo memo = *cluster->Client("hostA", MachineProfile::Universal());
+  ASSERT_TRUE(memo.put(Key::Named("alive"), MakeInt32(1)).ok());
+  EXPECT_TRUE(memo.get(Key::Named("alive")).ok());
+}
+
+TEST(FailureTest, ReRegistrationReplacesRoutingTable) {
+  auto cluster = StartCluster(
+      Adf("APP r\nHOSTS\nhostA 1 t 1\nFOLDERS\n0 hostA\n"));
+  // Re-register the same app with a different folder-server layout; the
+  // server must accept and keep working (last registration wins).
+  AppDescription v2 =
+      Adf("APP r\nHOSTS\nhostA 1 t 1\nFOLDERS\n0 hostA\n1 hostA\n");
+  ASSERT_TRUE(cluster->RegisterApp(v2).ok());
+  Memo memo = *cluster->Client("hostA", MachineProfile::Universal());
+  ASSERT_TRUE(memo.put(Key::Named("post-upgrade"), MakeInt32(1)).ok());
+  EXPECT_TRUE(memo.get(Key::Named("post-upgrade")).ok());
+}
+
+TEST(FailureTest, InvalidAdfRegistrationRejectedOverTheWire) {
+  auto cluster = StartCluster(
+      Adf("APP ok\nHOSTS\nhostA 1 t 1\nFOLDERS\n0 hostA\n"));
+  auto conn = DialOrDie(*cluster, "sim://hostA");
+  auto channel = RpcChannel::Create(std::move(conn), nullptr, nullptr);
+  Request reg;
+  reg.op = Op::kRegisterApp;
+  reg.text = "HOSTS\nghost 0 arch 1\n";  // 0 processors: invalid
+  auto resp = channel->Call(reg);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_NE(resp->code, StatusCode::kOk);
+  channel->Close();
+}
+
+TEST(FailureTest, DoubleShutdownAndCloseAreIdempotent) {
+  auto cluster = StartCluster(
+      Adf("APP i\nHOSTS\nhostA 1 t 1\nFOLDERS\n0 hostA\n"));
+  cluster->Shutdown();
+  cluster->Shutdown();  // second call is a no-op
+  SUCCEED();
+}
+
+TEST(FailureTest, TupleOfAllFoldersSurvivesChurn) {
+  // Stress: rapid connect/disconnect while traffic flows; the pruning in
+  // the accept loop must keep the server healthy.
+  auto cluster = StartCluster(
+      Adf("APP churn\nHOSTS\nhostA 1 t 1\nFOLDERS\n0 hostA\n"));
+  for (int round = 0; round < 30; ++round) {
+    Memo memo = *cluster->Client("hostA", MachineProfile::Universal());
+    ASSERT_TRUE(memo.put(Key::Named("c"), MakeInt32(round)).ok());
+    ASSERT_TRUE(memo.get(Key::Named("c")).ok());
+    // Memo handle drops here: channel closes.
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace dmemo

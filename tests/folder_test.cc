@@ -1,0 +1,412 @@
+// Tests for the directory of unordered queues (Sec. 2 / 6): blocking and
+// non-blocking extraction, copies, alternatives, delayed puts, folder
+// lifecycle and the unordered-extraction contract.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "folder/directory.h"
+#include "transferable/scalars.h"
+
+namespace dmemo {
+namespace {
+
+using namespace std::chrono_literals;
+
+QualifiedKey QK(const std::string& name, std::uint32_t i = 0) {
+  return QualifiedKey{"app", Key::Named(name, {i})};
+}
+
+Bytes B(std::uint8_t v) { return Bytes{v}; }
+
+// Most semantics are identical for both instantiations; exercise the
+// byte-valued one (the folder-server configuration) as the default.
+using Dir = FolderDirectory<Bytes>;
+
+TEST(KeyTest, EncodeDecodeRoundTrip) {
+  Key key(SymbolFromName("matrix"), {7, 0, 4294967295u});
+  ByteWriter w;
+  key.EncodeTo(w);
+  ByteReader r(w.data());
+  auto got = Key::DecodeFrom(r);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, key);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(KeyTest, OversizedIndexRejectedOnDecode) {
+  // A varint index wider than u32 on the wire is a protocol violation.
+  ByteWriter w;
+  w.u64(1);                    // symbol
+  w.varint(1);                 // one index
+  w.varint(0x1'0000'0000ULL);  // > u32
+  ByteReader r(w.data());
+  EXPECT_EQ(Key::DecodeFrom(r).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(KeyTest, HashDistinguishesIndexVectors) {
+  Key a(1, {1, 2});
+  Key b(1, {2, 1});
+  Key c(1, {1, 2, 0});
+  EXPECT_NE(a.Hash(), b.Hash());
+  EXPECT_NE(a.Hash(), c.Hash());
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(FolderTest, PutThenGet) {
+  Dir dir;
+  ASSERT_TRUE(dir.Put(QK("f"), B(1)).ok());
+  auto v = dir.Get(QK("f"));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, B(1));
+}
+
+TEST(FolderTest, FoldersAreIndependent) {
+  Dir dir;
+  ASSERT_TRUE(dir.Put(QK("f", 1), B(1)).ok());
+  ASSERT_TRUE(dir.Put(QK("f", 2), B(2)).ok());
+  EXPECT_EQ(*dir.Get(QK("f", 2)), B(2));
+  EXPECT_EQ(*dir.Get(QK("f", 1)), B(1));
+}
+
+TEST(FolderTest, AppNamespacesIsolate) {
+  // Same key, different applications: "applications will share data between
+  // only their own processes".
+  Dir dir;
+  QualifiedKey a{"app1", Key::Named("f")};
+  QualifiedKey b{"app2", Key::Named("f")};
+  ASSERT_TRUE(dir.Put(a, B(1)).ok());
+  EXPECT_EQ(dir.Count(b), 0u);
+  EXPECT_EQ(dir.Count(a), 1u);
+}
+
+TEST(FolderTest, GetBlocksUntilPut) {
+  Dir dir;
+  std::atomic<bool> got{false};
+  std::thread consumer([&] {
+    auto v = dir.Get(QK("f"));
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(*v, B(9));
+    got = true;
+  });
+  std::this_thread::sleep_for(30ms);
+  EXPECT_FALSE(got.load());
+  ASSERT_TRUE(dir.Put(QK("f"), B(9)).ok());
+  consumer.join();
+  EXPECT_TRUE(got.load());
+  EXPECT_GE(dir.GetStats().blocked_waits, 1u);
+}
+
+TEST(FolderTest, GetForTimesOut) {
+  Dir dir;
+  auto v = dir.GetFor(QK("f"), 30ms);
+  ASSERT_TRUE(v.ok());
+  EXPECT_FALSE(v->has_value());
+}
+
+TEST(FolderTest, GetSkipReturnsNilOnEmpty) {
+  Dir dir;
+  auto v = dir.GetSkip(QK("f"));
+  ASSERT_TRUE(v.ok());
+  EXPECT_FALSE(v->has_value());
+  ASSERT_TRUE(dir.Put(QK("f"), B(3)).ok());
+  auto v2 = dir.GetSkip(QK("f"));
+  ASSERT_TRUE(v2.ok());
+  ASSERT_TRUE(v2->has_value());
+  EXPECT_EQ(**v2, B(3));
+}
+
+TEST(FolderTest, GetCopyLeavesTheMemo) {
+  // "enabling another process (or the same process) to issue another get
+  // operation on the folder".
+  Dir dir;
+  ASSERT_TRUE(dir.Put(QK("f"), B(5)).ok());
+  EXPECT_EQ(*dir.GetCopy(QK("f")), B(5));
+  EXPECT_EQ(*dir.GetCopy(QK("f")), B(5));
+  EXPECT_EQ(dir.Count(QK("f")), 1u);
+  EXPECT_EQ(*dir.Get(QK("f")), B(5));
+  EXPECT_EQ(dir.Count(QK("f")), 0u);
+}
+
+TEST(FolderTest, TransferableCopyIsDeep) {
+  FolderDirectory<TransferablePtr> dir;
+  auto original = MakeInt32(7);
+  ASSERT_TRUE(dir.Put(QK("f"), original).ok());
+  auto copy = dir.GetCopy(QK("f"));
+  ASSERT_TRUE(copy.ok());
+  EXPECT_NE(copy->get(), original.get());  // distinct object
+  EXPECT_TRUE(TransferableEquals(**copy, *original));
+  // The original pointer itself comes back on extraction.
+  auto extracted = dir.Get(QK("f"));
+  ASSERT_TRUE(extracted.ok());
+  EXPECT_EQ(extracted->get(), original.get());
+}
+
+TEST(FolderTest, GetAltPicksAnEligibleFolder) {
+  Dir dir;
+  ASSERT_TRUE(dir.Put(QK("b"), B(2)).ok());
+  std::vector<QualifiedKey> keys{QK("a"), QK("b"), QK("c")};
+  auto hit = dir.GetAlt(keys);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit->first, QK("b"));
+  EXPECT_EQ(hit->second, B(2));
+}
+
+TEST(FolderTest, GetAltBlocksUntilAnyArrives) {
+  Dir dir;
+  std::vector<QualifiedKey> keys{QK("x"), QK("y")};
+  std::atomic<bool> got{false};
+  std::thread consumer([&] {
+    auto hit = dir.GetAlt(keys);
+    ASSERT_TRUE(hit.ok());
+    EXPECT_EQ(hit->first, QK("y"));
+    got = true;
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(got.load());
+  ASSERT_TRUE(dir.Put(QK("y"), B(1)).ok());
+  consumer.join();
+}
+
+TEST(FolderTest, GetAltSkipNonBlocking) {
+  Dir dir;
+  std::vector<QualifiedKey> keys{QK("x"), QK("y")};
+  auto none = dir.GetAltSkip(keys);
+  ASSERT_TRUE(none.ok());
+  EXPECT_FALSE(none->has_value());
+  ASSERT_TRUE(dir.Put(QK("x"), B(1)).ok());
+  auto hit = dir.GetAltSkip(keys);
+  ASSERT_TRUE(hit.ok());
+  ASSERT_TRUE(hit->has_value());
+  EXPECT_EQ((*hit)->first, QK("x"));
+}
+
+TEST(FolderTest, GetAltNondeterministicAcrossEligible) {
+  // When both folders hold values, both must be picked over many trials.
+  std::set<std::uint64_t> picked;
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    Dir dir(seed);
+    (void)dir.Put(QK("a"), B(1));
+    (void)dir.Put(QK("b"), B(2));
+    std::vector<QualifiedKey> keys{QK("a"), QK("b")};
+    auto hit = dir.GetAlt(keys);
+    ASSERT_TRUE(hit.ok());
+    picked.insert(hit->first.key.Hash());
+  }
+  EXPECT_EQ(picked.size(), 2u);
+}
+
+TEST(FolderTest, UnorderedExtractionVariesWithSeed) {
+  // Three memos in one folder: extraction order differs across seeds, so no
+  // caller can accidentally depend on FIFO.
+  std::set<std::string> orders;
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    Dir dir(seed);
+    for (std::uint8_t v = 1; v <= 3; ++v) (void)dir.Put(QK("f"), B(v));
+    std::string order;
+    for (int i = 0; i < 3; ++i) {
+      order += static_cast<char>('0' + (*dir.Get(QK("f")))[0]);
+    }
+    orders.insert(order);
+  }
+  EXPECT_GT(orders.size(), 1u);
+}
+
+TEST(FolderTest, PutDelayedHidesUntilTrigger) {
+  // Sec. 6.1.2: the delayed value is invisible in key1 and lands in key2
+  // when the next memo arrives in key1.
+  Dir dir;
+  ASSERT_TRUE(dir.PutDelayed(QK("future"), QK("jar"), B(42)).ok());
+  EXPECT_EQ(dir.Count(QK("future")), 0u);  // hidden, not extractable
+  EXPECT_EQ(dir.Count(QK("jar")), 0u);
+
+  ASSERT_TRUE(dir.Put(QK("future"), B(7)).ok());  // the trigger
+  EXPECT_EQ(dir.Count(QK("future")), 1u);  // trigger itself is extractable
+  EXPECT_EQ(dir.Count(QK("jar")), 1u);     // delayed value released
+  EXPECT_EQ(*dir.Get(QK("jar")), B(42));
+}
+
+TEST(FolderTest, PutDelayedChainsThroughFolders) {
+  // A released memo landing in key2 can itself trigger a delayed put parked
+  // on key2 — dataflow chains (Sec. 6.3.3).
+  Dir dir;
+  ASSERT_TRUE(dir.PutDelayed(QK("s1"), QK("s2"), B(1)).ok());
+  ASSERT_TRUE(dir.PutDelayed(QK("s2"), QK("s3"), B(2)).ok());
+  ASSERT_TRUE(dir.PutDelayed(QK("s3"), QK("s4"), B(3)).ok());
+  ASSERT_TRUE(dir.Put(QK("s1"), B(0)).ok());  // fires the whole chain
+  EXPECT_EQ(dir.Count(QK("s2")), 1u);
+  EXPECT_EQ(dir.Count(QK("s3")), 1u);
+  EXPECT_EQ(dir.Count(QK("s4")), 1u);
+}
+
+TEST(FolderTest, PutDelayedWakesBlockedConsumerOfDestination) {
+  Dir dir;
+  ASSERT_TRUE(dir.PutDelayed(QK("trigger"), QK("result"), B(11)).ok());
+  std::thread consumer([&] {
+    auto v = dir.Get(QK("result"));
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(*v, B(11));
+  });
+  std::this_thread::sleep_for(20ms);
+  ASSERT_TRUE(dir.Put(QK("trigger"), B(0)).ok());
+  consumer.join();
+}
+
+TEST(FolderTest, GetCopyForTimesOutAndThenDelivers) {
+  Dir dir;
+  auto none = dir.GetCopyFor(QK("slow"), 30ms);
+  ASSERT_TRUE(none.ok());
+  EXPECT_FALSE(none->has_value());
+
+  std::thread producer([&] {
+    std::this_thread::sleep_for(20ms);
+    ASSERT_TRUE(dir.Put(QK("slow"), B(6)).ok());
+  });
+  auto v = dir.GetCopyFor(QK("slow"), 2000ms);
+  producer.join();
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->has_value());
+  EXPECT_EQ(**v, B(6));
+  EXPECT_EQ(dir.Count(QK("slow")), 1u);  // copy, not extraction
+}
+
+TEST(FolderTest, GetAltForTimesOutAndThenDelivers) {
+  Dir dir;
+  std::vector<QualifiedKey> keys{QK("a1"), QK("a2")};
+  auto none = dir.GetAltFor(keys, 30ms);
+  ASSERT_TRUE(none.ok());
+  EXPECT_FALSE(none->has_value());
+
+  std::thread producer([&] {
+    std::this_thread::sleep_for(20ms);
+    ASSERT_TRUE(dir.Put(QK("a2"), B(9)).ok());
+  });
+  auto hit = dir.GetAltFor(keys, 2000ms);
+  producer.join();
+  ASSERT_TRUE(hit.ok());
+  ASSERT_TRUE(hit->has_value());
+  EXPECT_EQ((*hit)->first, QK("a2"));
+  EXPECT_EQ((*hit)->second, B(9));
+}
+
+TEST(FolderTest, GetForDeliversJustBeforeDeadline) {
+  Dir dir;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(20ms);
+    ASSERT_TRUE(dir.Put(QK("deadline"), B(2)).ok());
+  });
+  auto v = dir.GetFor(QK("deadline"), 2000ms);
+  producer.join();
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->has_value());
+  EXPECT_EQ(**v, B(2));
+  EXPECT_EQ(dir.Count(QK("deadline")), 0u);  // extraction
+}
+
+TEST(FolderTest, FolderVanishesWhenEmptied) {
+  // "The folder will vanish once the memo is removed."
+  Dir dir;
+  ASSERT_TRUE(dir.Put(QK("once"), B(1)).ok());
+  EXPECT_EQ(dir.FolderCount(), 1u);
+  ASSERT_TRUE(dir.Get(QK("once")).ok());
+  EXPECT_EQ(dir.FolderCount(), 0u);
+  EXPECT_EQ(dir.GetStats().folders_vanished, 1u);
+}
+
+TEST(FolderTest, FolderWithParkedDelayedDoesNotVanish) {
+  Dir dir;
+  ASSERT_TRUE(dir.PutDelayed(QK("f"), QK("g"), B(1)).ok());
+  EXPECT_EQ(dir.FolderCount(), 1u);  // parked delayed memo keeps it alive
+}
+
+TEST(FolderTest, CloseWakesAllBlockedGetters) {
+  Dir dir;
+  std::vector<std::thread> consumers;
+  std::atomic<int> cancelled{0};
+  for (int i = 0; i < 4; ++i) {
+    consumers.emplace_back([&dir, &cancelled, i] {
+      auto v = dir.Get(QK("never", i));
+      if (v.status().code() == StatusCode::kCancelled) {
+        cancelled.fetch_add(1);
+      }
+    });
+  }
+  std::this_thread::sleep_for(30ms);
+  dir.Close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(cancelled.load(), 4);
+  EXPECT_EQ(dir.Put(QK("f"), B(1)).code(), StatusCode::kCancelled);
+}
+
+TEST(FolderTest, StatsTrackOperations) {
+  Dir dir;
+  (void)dir.Put(QK("a"), B(1));
+  (void)dir.Put(QK("a"), B(2));
+  (void)dir.PutDelayed(QK("a"), QK("b"), B(3));
+  (void)dir.Get(QK("a"));
+  (void)dir.GetCopy(QK("a"));
+  auto stats = dir.GetStats();
+  EXPECT_EQ(stats.puts, 2u);
+  EXPECT_EQ(stats.delayed_puts, 1u);
+  EXPECT_EQ(stats.gets, 1u);
+  EXPECT_EQ(stats.copies, 1u);
+  EXPECT_EQ(stats.folders_created, 1u);
+}
+
+TEST(FolderTest, ManyProducersManyConsumers) {
+  Dir dir;
+  constexpr int kProducers = 4, kConsumers = 4, kPerProducer = 500;
+  std::atomic<int> consumed{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(dir.Put(QK("work"), B(1)).ok());
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        auto v = dir.Get(QK("work"));
+        ASSERT_TRUE(v.ok());
+        consumed.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(consumed.load(), kProducers * kPerProducer);
+  EXPECT_EQ(dir.Count(QK("work")), 0u);
+}
+
+// Property sweep: counts are conserved for any interleaving of puts/gets.
+class FolderConservationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FolderConservationTest, PutGetConservation) {
+  const int n = GetParam();
+  Dir dir(static_cast<std::uint64_t>(n) * 977);
+  std::set<std::uint8_t> put_values;
+  for (int i = 0; i < n; ++i) {
+    auto v = static_cast<std::uint8_t>(i);
+    put_values.insert(v);
+    ASSERT_TRUE(dir.Put(QK("f"), B(v)).ok());
+  }
+  EXPECT_EQ(dir.Count(QK("f")), static_cast<std::size_t>(n));
+  std::set<std::uint8_t> got_values;
+  for (int i = 0; i < n; ++i) {
+    auto v = dir.Get(QK("f"));
+    ASSERT_TRUE(v.ok());
+    got_values.insert((*v)[0]);
+  }
+  EXPECT_EQ(got_values, put_values);  // every memo exactly once
+  EXPECT_EQ(dir.FolderCount(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FolderConservationTest,
+                         ::testing::Values(1, 2, 3, 7, 16, 100, 255));
+
+}  // namespace
+}  // namespace dmemo

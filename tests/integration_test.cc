@@ -1,0 +1,343 @@
+// Cross-module integration: full applications over real kernel transports,
+// the pumped-executable launch mode, the dataflow engine over the remote
+// engine, and a miniature version of the paper's `invert` workload run as
+// an assertion-checked test.
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <thread>
+
+#include "lang/dataflow.h"
+#include "patterns/patterns.h"
+#include "runtime/cluster.h"
+#include "runtime/launcher.h"
+#include "transferable/composite.h"
+#include "transferable/scalars.h"
+
+#ifndef DMEMO_TEST_APP_BINARY
+#define DMEMO_TEST_APP_BINARY ""
+#endif
+#ifndef DMEMO_SERVER_BINARY
+#define DMEMO_SERVER_BINARY ""
+#endif
+
+namespace dmemo {
+namespace {
+
+int IntOf(const TransferablePtr& v) {
+  return std::static_pointer_cast<TInt32>(v)->value();
+}
+
+AppDescription Adf(const std::string& text) {
+  auto parsed = ParseAdf(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status();
+  return parsed->description;
+}
+
+TEST(TcpClusterTest, FullWorkloadOverRealSockets) {
+  auto cluster = Cluster::StartLoopbackTcp(Adf(
+      "APP tcp\nHOSTS\nnode1 1 t 1\nnode2 1 t 1\n"
+      "FOLDERS\n0 node1\n1 node2\nPPC\nnode1 <-> node2 1\n"));
+  ASSERT_TRUE(cluster.ok()) << cluster.status();
+  Memo producer = *(*cluster)->Client("node1", MachineProfile::Universal());
+  Memo consumer = *(*cluster)->Client("node2", MachineProfile::Universal());
+
+  // Traffic over genuine TCP: scalars, structures, blocking hand-offs.
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    ASSERT_TRUE(producer
+                    .put(Key::Named("d", {i}),
+                         MakeInt32(static_cast<int>(i * 3)))
+                    .ok());
+  }
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    auto v = consumer.get(Key::Named("d", {i}));
+    ASSERT_TRUE(v.ok()) << v.status();
+    EXPECT_EQ(IntOf(*v), static_cast<int>(i * 3));
+  }
+
+  std::atomic<bool> got{false};
+  std::thread waiter([&] {
+    auto v = consumer.get(Key::Named("handoff"));
+    ASSERT_TRUE(v.ok());
+    got = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(got.load());
+  ASSERT_TRUE(producer.put(Key::Named("handoff"), MakeInt32(1)).ok());
+  waiter.join();
+}
+
+TEST(TcpClusterTest, JobJarWorkersOverTcp) {
+  auto cluster = Cluster::StartLoopbackTcp(Adf(
+      "APP tcpjar\nHOSTS\nnode1 1 t 1\nnode2 1 t 1\n"
+      "FOLDERS\n0 node1\n1 node2\nPPC\nnode1 <-> node2 1\n"));
+  ASSERT_TRUE(cluster.ok()) << cluster.status();
+  Memo boss = *(*cluster)->Client("node1", MachineProfile::Universal());
+  constexpr int kTasks = 40;
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 3; ++w) {
+    Memo memo = *(*cluster)->Client(w % 2 == 0 ? "node1" : "node2",
+                                    MachineProfile::Universal());
+    workers.emplace_back([memo]() mutable {
+      for (;;) {
+        auto task = memo.get(Key::Named("jar"));
+        if (!task.ok() || *task == nullptr) return;
+        const int v = IntOf(*task);
+        if (!memo.put(Key::Named("out"), MakeInt32(v * v)).ok()) return;
+      }
+    });
+  }
+  for (int t = 0; t < kTasks; ++t) {
+    ASSERT_TRUE(boss.put(Key::Named("jar"), MakeInt32(t)).ok());
+  }
+  long long sum = 0;
+  for (int t = 0; t < kTasks; ++t) {
+    auto v = boss.get(Key::Named("out"));
+    ASSERT_TRUE(v.ok());
+    sum += IntOf(*v);
+  }
+  for (std::size_t w = 0; w < workers.size(); ++w) {
+    ASSERT_TRUE(boss.put(Key::Named("jar"), nullptr).ok());
+  }
+  for (auto& w : workers) w.join();
+  long long expected = 0;
+  for (int t = 0; t < kTasks; ++t) expected += 1LL * t * t;
+  EXPECT_EQ(sum, expected);
+}
+
+TEST(DataflowRemoteTest, GraphRunsOverTheWire) {
+  // The dataflow engine is engine-agnostic: run it against a remote Memo so
+  // every trigger and counter round-trips through the memo server.
+  auto cluster = Cluster::Start(
+      Adf("APP dfr\nHOSTS\nhostA 1 t 1\nFOLDERS\n0 hostA\n"));
+  ASSERT_TRUE(cluster.ok());
+  Memo memo = *(*cluster)->Client("hostA", MachineProfile::Universal());
+  DataflowGraph graph(memo);
+  NodeId a = graph.AddInput();
+  NodeId b = graph.AddInput();
+  NodeId sum = graph.AddNode(
+      [](std::span<const TransferablePtr> args) -> Result<TransferablePtr> {
+        return MakeInt32(IntOf(args[0]) + IntOf(args[1]));
+      },
+      {a, b});
+  NodeId twice = graph.AddNode(
+      [](std::span<const TransferablePtr> args) -> Result<TransferablePtr> {
+        return MakeInt32(2 * IntOf(args[0]));
+      },
+      {sum});
+  ASSERT_TRUE(graph.Start(2).ok());
+  ASSERT_TRUE(graph.Feed(a, MakeInt32(20)).ok());
+  ASSERT_TRUE(graph.Feed(b, MakeInt32(22)).ok());
+  auto v = graph.Await(twice);
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_EQ(IntOf(*v), 84);
+}
+
+// Mini-invert: the paper's flagship workload as a checked test over the
+// paper's own ADF (in-process cluster).
+TEST(InvertWorkloadTest, GaussJordanAcrossTheInvertTopology) {
+  auto cluster = Cluster::Start(Adf(
+      "APP invert\nHOSTS\n"
+      "glen 1 sun4 1\naurora 1 sun4 1\nbonnie 128 sp1 sun4*0.5\n"
+      "FOLDERS\n0 glen\n1 aurora\n2-4 bonnie\n"
+      "PPC\nglen <-> aurora 1\nglen <-> bonnie 2\n"));
+  ASSERT_TRUE(cluster.ok());
+  constexpr int n = 8;
+  Memo boss = *(*cluster)->Client("glen", MachineProfile::Universal());
+
+  auto row_of = [](const TransferablePtr& v) {
+    return std::static_pointer_cast<TVecFloat64>(v)->values();
+  };
+  Key rows = Key::Named("rows");
+  // [A | I] with a diagonally dominant A.
+  std::vector<std::vector<double>> a(n, std::vector<double>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) a[i][j] = i == j ? n + 2.0 : 1.0;
+  }
+  for (int i = 0; i < n; ++i) {
+    std::vector<double> row(2 * n, 0.0);
+    for (int j = 0; j < n; ++j) row[j] = a[i][j];
+    row[n + i] = 1.0;
+    ASSERT_TRUE(boss.put(Key(rows.S, {static_cast<std::uint32_t>(i)}),
+                         MakeVecFloat64(std::move(row)))
+                    .ok());
+  }
+
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 3; ++w) {
+    Memo memo = *(*cluster)->Client("bonnie", MachineProfile::Universal());
+    workers.emplace_back([memo, rows]() mutable {
+      for (;;) {
+        auto task = memo.get(Key::Named("tasks"));
+        if (!task.ok() || *task == nullptr) return;
+        auto rec = std::static_pointer_cast<TRecord>(*task);
+        const auto pivot = static_cast<std::uint32_t>(
+            IntOf(rec->Get("pivot")));
+        const auto row = static_cast<std::uint32_t>(IntOf(rec->Get("row")));
+        auto pv = std::static_pointer_cast<TVecFloat64>(
+                      *memo.get_copy(Key(rows.S, {pivot})))
+                      ->values();
+        auto tv = std::static_pointer_cast<TVecFloat64>(
+                      *memo.get(Key(rows.S, {row})))
+                      ->values();
+        const double factor = tv[pivot];
+        for (std::size_t j = 0; j < tv.size(); ++j) tv[j] -= factor * pv[j];
+        (void)memo.put(Key(rows.S, {row}), MakeVecFloat64(std::move(tv)));
+        (void)memo.put(Key::Named("done"), MakeInt32(1));
+      }
+    });
+  }
+
+  for (int pivot = 0; pivot < n; ++pivot) {
+    Key pk(rows.S, {static_cast<std::uint32_t>(pivot)});
+    auto row = row_of(*boss.get(pk));
+    const double d = row[static_cast<std::size_t>(pivot)];
+    for (double& x : row) x /= d;
+    ASSERT_TRUE(boss.put(pk, MakeVecFloat64(std::move(row))).ok());
+    int outstanding = 0;
+    for (int r = 0; r < n; ++r) {
+      if (r == pivot) continue;
+      auto task = std::make_shared<TRecord>();
+      task->Set("pivot", MakeInt32(pivot));
+      task->Set("row", MakeInt32(r));
+      ASSERT_TRUE(boss.put(Key::Named("tasks"), task).ok());
+      ++outstanding;
+    }
+    for (int i = 0; i < outstanding; ++i) {
+      ASSERT_TRUE(boss.get(Key::Named("done")).ok());
+    }
+  }
+  for (std::size_t w = 0; w < workers.size(); ++w) {
+    ASSERT_TRUE(boss.put(Key::Named("tasks"), nullptr).ok());
+  }
+  for (auto& t : workers) t.join();
+
+  // Check A * inv = I.
+  std::vector<std::vector<double>> inv(n, std::vector<double>(n));
+  for (int i = 0; i < n; ++i) {
+    auto row = row_of(*boss.get(Key(rows.S, {static_cast<std::uint32_t>(i)})));
+    for (int j = 0; j < n; ++j) inv[i][j] = row[n + j];
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double dot = 0;
+      for (int k = 0; k < n; ++k) dot += a[i][k] * inv[k][j];
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-9) << i << "," << j;
+    }
+  }
+}
+
+TEST(ConcurrentAppsTest, TwoApplicationsShareOneServerFarm) {
+  // Sec. 4.3: "the same memo and folder servers can be shared over the
+  // network... each memo server is loaded with unique routing tables for
+  // each application." Two applications with clashing folder names run
+  // concurrent workloads through one farm without crosstalk.
+  auto cluster = Cluster::Start(Adf(
+      "APP appA\nHOSTS\nhostA 1 t 1\nhostB 1 t 1\n"
+      "FOLDERS\n0 hostA\n1 hostB\nPPC\nhostA <-> hostB 1\n"));
+  ASSERT_TRUE(cluster.ok());
+  ASSERT_TRUE((*cluster)
+                  ->RegisterApp(Adf(
+                      "APP appB\nHOSTS\nhostA 1 t 1\nhostB 1 t 1\n"
+                      "FOLDERS\n0 hostA\n1 hostB\nPPC\nhostA <-> hostB 1\n"))
+                  .ok());
+  auto client_for = [&](const std::string& app) {
+    RemoteEngineOptions opts;
+    opts.app = app;
+    opts.host = "hostA";
+    auto engine =
+        MakeRemoteEngine((*cluster)->transport(), "sim://hostA", opts);
+    EXPECT_TRUE(engine.ok());
+    return Memo(std::move(*engine));
+  };
+
+  constexpr int kPerApp = 100;
+  std::thread worker_a([&] {
+    Memo memo = client_for("appA");
+    for (std::uint32_t i = 0; i < kPerApp; ++i) {
+      ASSERT_TRUE(memo.put(Key::Named("shared-name", {i}),
+                           MakeInt32(static_cast<int>(i)))
+                      .ok());
+    }
+  });
+  std::thread worker_b([&] {
+    Memo memo = client_for("appB");
+    for (std::uint32_t i = 0; i < kPerApp; ++i) {
+      ASSERT_TRUE(memo.put(Key::Named("shared-name", {i}),
+                           MakeInt32(static_cast<int>(1000 + i)))
+                      .ok());
+    }
+  });
+  worker_a.join();
+  worker_b.join();
+
+  Memo a = client_for("appA");
+  Memo b = client_for("appB");
+  for (std::uint32_t i = 0; i < kPerApp; ++i) {
+    auto va = a.get(Key::Named("shared-name", {i}));
+    auto vb = b.get(Key::Named("shared-name", {i}));
+    ASSERT_TRUE(va.ok());
+    ASSERT_TRUE(vb.ok());
+    EXPECT_EQ(IntOf(*va), static_cast<int>(i));
+    EXPECT_EQ(IntOf(*vb), static_cast<int>(1000 + i));
+  }
+}
+
+class PumpedLaunchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (std::string(DMEMO_TEST_APP_BINARY).empty() ||
+        std::string(DMEMO_SERVER_BINARY).empty()) {
+      GTEST_SKIP() << "helper binaries not configured";
+    }
+    dir_ = "/tmp/dmemo_pump_test_" + std::to_string(::getpid());
+    ::mkdir(dir_.c_str(), 0755);
+    ::mkdir((dir_ + "/app").c_str(), 0755);
+    ASSERT_EQ(
+        ::symlink(DMEMO_TEST_APP_BINARY, (dir_ + "/app/boss").c_str()), 0);
+    ASSERT_EQ(
+        ::symlink(DMEMO_TEST_APP_BINARY, (dir_ + "/app/worker").c_str()), 0);
+  }
+  void TearDown() override {
+    if (!dir_.empty()) {
+      (void)std::system(("rm -rf '" + dir_ + "'").c_str());
+    }
+  }
+  std::string dir_;
+};
+
+TEST_F(PumpedLaunchTest, ExecutablesArePumpedToPerHostDirs) {
+  // The paper's announced pumping mode: no shared filesystem assumed; the
+  // launcher copies binaries into each machine's local staging directory.
+  const std::string adf_text =
+      "APP pump\nHOSTS\nm0 1 sun4 1\nm1 1 sun4 1\n"
+      "FOLDERS\n0 m0\n1 m1\n"
+      "PROCESSES\n0 " + dir_ + "/app m0\n1 " + dir_ + "/app m1\n"
+      "2 " + dir_ + "/app m1\n"
+      "PPC\nm0 <-> m1 1\n";
+  auto parsed = ParseAdf(adf_text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+
+  LaunchOptions options;
+  options.socket_dir = dir_;
+  options.server_binary = DMEMO_SERVER_BINARY;
+  options.stop_spawned_servers = true;
+  options.pump_dir = dir_ + "/pumped";
+  auto report = RunApplication(parsed->description, options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->AllSucceeded());
+
+  // The pumped copies exist per host and were what actually ran.
+  struct stat st{};
+  EXPECT_EQ(::stat((options.pump_dir + "/m0/boss").c_str(), &st), 0);
+  EXPECT_EQ(::stat((options.pump_dir + "/m1/worker").c_str(), &st), 0);
+  for (const auto& proc : report->processes) {
+    EXPECT_EQ(proc.executable.find(options.pump_dir), 0u)
+        << proc.executable;
+  }
+}
+
+}  // namespace
+}  // namespace dmemo

@@ -1,0 +1,342 @@
+// Tests for the language layer the paper says was built on the API (Sec. 2):
+// the dataflow engine (Lucid-style networks over put_delayed triggers) and
+// the message-driven actor layer (MDC-style pattern dispatch).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "lang/actors.h"
+#include "lang/dataflow.h"
+#include "transferable/scalars.h"
+
+namespace dmemo {
+namespace {
+
+using namespace std::chrono_literals;
+
+int IntOf(const TransferablePtr& v) {
+  return std::static_pointer_cast<TInt32>(v)->value();
+}
+
+DataflowOp Add() {
+  return [](std::span<const TransferablePtr> args) -> Result<TransferablePtr> {
+    int sum = 0;
+    for (const auto& a : args) sum += IntOf(a);
+    return MakeInt32(sum);
+  };
+}
+
+DataflowOp Mul() {
+  return [](std::span<const TransferablePtr> args) -> Result<TransferablePtr> {
+    int prod = 1;
+    for (const auto& a : args) prod *= IntOf(a);
+    return MakeInt32(prod);
+  };
+}
+
+class DataflowTest : public ::testing::Test {
+ protected:
+  LocalSpacePtr space_ = std::make_shared<LocalSpace>("dataflow");
+  Memo memo_ = Memo::Local(space_);
+};
+
+TEST_F(DataflowTest, DiamondGraphEvaluates) {
+  //   a   b
+  //    \ / \
+  //  sum    prod     -> result = (a+b) * (b*b)
+  //      \  /
+  //     result
+  DataflowGraph graph(memo_);
+  NodeId a = graph.AddInput();
+  NodeId b = graph.AddInput();
+  NodeId sum = graph.AddNode(Add(), {a, b});
+  NodeId prod = graph.AddNode(Mul(), {b, b});
+  NodeId result = graph.AddNode(Mul(), {sum, prod});
+  ASSERT_TRUE(graph.Start(2).ok());
+  ASSERT_TRUE(graph.Feed(a, MakeInt32(3)).ok());
+  ASSERT_TRUE(graph.Feed(b, MakeInt32(4)).ok());
+  auto v = graph.Await(result);
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_EQ(IntOf(*v), (3 + 4) * (4 * 4));
+  EXPECT_EQ(graph.nodes_fired(), 3u);
+}
+
+TEST_F(DataflowTest, NothingFiresUntilOperandsArrive) {
+  DataflowGraph graph(memo_);
+  NodeId a = graph.AddInput();
+  NodeId b = graph.AddInput();
+  NodeId sum = graph.AddNode(Add(), {a, b});
+  (void)sum;
+  ASSERT_TRUE(graph.Start(2).ok());
+  ASSERT_TRUE(graph.Feed(a, MakeInt32(1)).ok());
+  std::this_thread::sleep_for(30ms);
+  EXPECT_EQ(graph.nodes_fired(), 0u);  // b still missing: demand unmet
+  ASSERT_TRUE(graph.Feed(b, MakeInt32(2)).ok());
+  ASSERT_TRUE(graph.Await(sum).ok());
+  EXPECT_EQ(graph.nodes_fired(), 1u);
+}
+
+TEST_F(DataflowTest, ConstantNodesFireImmediately) {
+  DataflowGraph graph(memo_);
+  NodeId c = graph.AddNode(
+      [](std::span<const TransferablePtr>) -> Result<TransferablePtr> {
+        return MakeInt32(99);
+      },
+      {});
+  ASSERT_TRUE(graph.Start(1).ok());
+  auto v = graph.Await(c);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(IntOf(*v), 99);
+}
+
+TEST_F(DataflowTest, DeepPipelineEvaluates) {
+  // in -> +1 -> +1 -> ... (32 stages): exercises chained triggering.
+  DataflowGraph graph(memo_);
+  NodeId prev = graph.AddInput();
+  for (int i = 0; i < 32; ++i) {
+    prev = graph.AddNode(
+        [](std::span<const TransferablePtr> args) -> Result<TransferablePtr> {
+          return MakeInt32(IntOf(args[0]) + 1);
+        },
+        {prev});
+  }
+  ASSERT_TRUE(graph.Start(4).ok());
+  ASSERT_TRUE(graph.Feed(0, MakeInt32(0)).ok());
+  auto v = graph.Await(prev);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(IntOf(*v), 32);
+}
+
+TEST_F(DataflowTest, WideFanOutEvaluatesInParallel) {
+  DataflowGraph graph(memo_);
+  NodeId in = graph.AddInput();
+  std::vector<NodeId> squares;
+  for (int i = 0; i < 16; ++i) {
+    squares.push_back(graph.AddNode(Mul(), {in, in}));
+  }
+  NodeId total = graph.AddNode(Add(), squares);
+  ASSERT_TRUE(graph.Start(4).ok());
+  ASSERT_TRUE(graph.Feed(in, MakeInt32(2)).ok());
+  auto v = graph.Await(total);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(IntOf(*v), 16 * 4);
+  EXPECT_EQ(graph.nodes_fired(), 17u);
+}
+
+TEST_F(DataflowTest, OperationFailureSurfacesAtAwait) {
+  DataflowGraph graph(memo_);
+  NodeId in = graph.AddInput();
+  NodeId bad = graph.AddNode(
+      [](std::span<const TransferablePtr>) -> Result<TransferablePtr> {
+        return InvalidArgumentError("division by cucumber");
+      },
+      {in});
+  ASSERT_TRUE(graph.Start(1).ok());
+  ASSERT_TRUE(graph.Feed(in, MakeInt32(1)).ok());
+  auto v = graph.Await(bad);
+  EXPECT_EQ(v.status().code(), StatusCode::kInternal);
+  EXPECT_NE(v.status().message().find("cucumber"), std::string::npos);
+}
+
+TEST_F(DataflowTest, FeedRejectsNonInputs) {
+  DataflowGraph graph(memo_);
+  NodeId in = graph.AddInput();
+  NodeId op = graph.AddNode(Add(), {in});
+  ASSERT_TRUE(graph.Start(1).ok());
+  EXPECT_EQ(graph.Feed(op, MakeInt32(1)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(DataflowTest, SharedOperandFeedsManyConsumers) {
+  // One cell read by three downstream nodes: copies, not consumption.
+  DataflowGraph graph(memo_);
+  NodeId in = graph.AddInput();
+  NodeId n1 = graph.AddNode(Add(), {in});
+  NodeId n2 = graph.AddNode(Mul(), {in, in});
+  NodeId n3 = graph.AddNode(Add(), {in, in, in});
+  ASSERT_TRUE(graph.Start(3).ok());
+  ASSERT_TRUE(graph.Feed(in, MakeInt32(5)).ok());
+  EXPECT_EQ(IntOf(*graph.Await(n1)), 5);
+  EXPECT_EQ(IntOf(*graph.Await(n2)), 25);
+  EXPECT_EQ(IntOf(*graph.Await(n3)), 15);
+}
+
+// ---- actors -----------------------------------------------------------------
+
+class ActorsTest : public ::testing::Test {
+ protected:
+  LocalSpacePtr space_ = std::make_shared<LocalSpace>("actors");
+  Memo memo_ = Memo::Local(space_);
+};
+
+TEST_F(ActorsTest, PatternDispatchByMessageType) {
+  ActorSystem system(memo_, 2);
+  std::atomic<int> pings{0}, pongs{0}, other{0};
+  Behavior behavior;
+  behavior.handlers["ping"] = [&](ActorContext&, const TransferablePtr&) {
+    pings.fetch_add(1);
+  };
+  behavior.handlers["pong"] = [&](ActorContext&, const TransferablePtr&) {
+    pongs.fetch_add(1);
+  };
+  behavior.otherwise = [&](ActorContext&, const TransferablePtr&) {
+    other.fetch_add(1);
+  };
+  ASSERT_TRUE(system.Spawn("echo", std::move(behavior)).ok());
+  ASSERT_TRUE(system.Start().ok());
+  ASSERT_TRUE(system.Send("echo", "ping", nullptr).ok());
+  ASSERT_TRUE(system.Send("echo", "ping", nullptr).ok());
+  ASSERT_TRUE(system.Send("echo", "pong", nullptr).ok());
+  ASSERT_TRUE(system.Send("echo", "mystery", nullptr).ok());
+  ASSERT_TRUE(system.Drain().ok());
+  EXPECT_EQ(pings.load(), 2);
+  EXPECT_EQ(pongs.load(), 1);
+  EXPECT_EQ(other.load(), 1);
+  system.Shutdown();
+}
+
+TEST_F(ActorsTest, ActorsSendToEachOther) {
+  // counter <- inc * 10 from a forwarding actor; then a probe reads it.
+  ActorSystem system(memo_, 2);
+  std::atomic<int> count{0};
+  Behavior counter;
+  counter.handlers["inc"] = [&](ActorContext&, const TransferablePtr&) {
+    count.fetch_add(1);
+  };
+  Behavior forwarder;
+  forwarder.handlers["fan"] = [&](ActorContext& ctx,
+                                  const TransferablePtr& payload) {
+    const int n = IntOf(payload);
+    for (int i = 0; i < n; ++i) {
+      ASSERT_TRUE(ctx.Send("counter", "inc", nullptr).ok());
+    }
+  };
+  ASSERT_TRUE(system.Spawn("counter", std::move(counter)).ok());
+  ASSERT_TRUE(system.Spawn("fanout", std::move(forwarder)).ok());
+  ASSERT_TRUE(system.Start().ok());
+  ASSERT_TRUE(system.Send("fanout", "fan", MakeInt32(10)).ok());
+  ASSERT_TRUE(system.Drain().ok());
+  EXPECT_EQ(count.load(), 10);
+  EXPECT_EQ(system.messages_handled(), 11u);
+  system.Shutdown();
+}
+
+TEST_F(ActorsTest, PingPongConversation) {
+  ActorSystem system(memo_, 2);
+  std::atomic<int> rallies{0};
+  Behavior ping;
+  ping.handlers["ball"] = [&](ActorContext& ctx,
+                              const TransferablePtr& payload) {
+    const int n = IntOf(payload);
+    if (n > 0) {
+      ASSERT_TRUE(ctx.Send("pong", "ball", MakeInt32(n - 1)).ok());
+    }
+  };
+  Behavior pong;
+  pong.handlers["ball"] = [&](ActorContext& ctx,
+                              const TransferablePtr& payload) {
+    rallies.fetch_add(1);
+    const int n = IntOf(payload);
+    if (n > 0) {
+      ASSERT_TRUE(ctx.Send("ping", "ball", MakeInt32(n - 1)).ok());
+    }
+  };
+  ASSERT_TRUE(system.Spawn("ping", std::move(ping)).ok());
+  ASSERT_TRUE(system.Spawn("pong", std::move(pong)).ok());
+  ASSERT_TRUE(system.Start().ok());
+  ASSERT_TRUE(system.Send("ping", "ball", MakeInt32(10)).ok());
+  ASSERT_TRUE(system.Drain().ok());
+  EXPECT_EQ(rallies.load(), 5);
+  system.Shutdown();
+}
+
+TEST_F(ActorsTest, SpawnAfterStartRejected) {
+  ActorSystem system(memo_, 1);
+  ASSERT_TRUE(system.Spawn("a", Behavior{}).ok());
+  ASSERT_TRUE(system.Start().ok());
+  EXPECT_EQ(system.Spawn("late", Behavior{}).code(),
+            StatusCode::kFailedPrecondition);
+  system.Shutdown();
+}
+
+TEST_F(ActorsTest, DuplicateActorRejected) {
+  ActorSystem system(memo_, 1);
+  ASSERT_TRUE(system.Spawn("a", Behavior{}).ok());
+  EXPECT_EQ(system.Spawn("a", Behavior{}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(ActorsTest, PatternGuardsDispatchBeforeTypeHandlers) {
+  // MDC pattern dispatch: a guarded rule for priority=1 orders fires before
+  // the generic "order" handler; non-matching payloads fall through.
+  ActorSystem system(memo_, 1);
+  std::atomic<int> urgent{0}, normal{0};
+  Behavior clerk;
+  MessagePattern urgent_order;
+  urgent_order.type = "order";
+  urgent_order.fields.push_back(FieldMatch{"priority", MakeInt32(1)});
+  clerk.patterns.emplace_back(
+      urgent_order,
+      [&](ActorContext&, const TransferablePtr&) { urgent.fetch_add(1); });
+  clerk.handlers["order"] = [&](ActorContext&, const TransferablePtr&) {
+    normal.fetch_add(1);
+  };
+  ASSERT_TRUE(system.Spawn("clerk", std::move(clerk)).ok());
+  ASSERT_TRUE(system.Start().ok());
+
+  auto order = [&](int priority) {
+    auto rec = std::make_shared<TRecord>();
+    rec->Set("priority", MakeInt32(priority));
+    rec->Set("sku", MakeString("widget"));
+    ASSERT_TRUE(system.Send("clerk", "order", rec).ok());
+  };
+  order(1);
+  order(2);
+  order(1);
+  order(3);
+  ASSERT_TRUE(system.Drain().ok());
+  EXPECT_EQ(urgent.load(), 2);
+  EXPECT_EQ(normal.load(), 2);
+  system.Shutdown();
+}
+
+TEST_F(ActorsTest, PatternRequiresRecordPayload) {
+  MessagePattern pattern;
+  pattern.type = "t";
+  pattern.fields.push_back(FieldMatch{"k", MakeInt32(1)});
+  EXPECT_FALSE(PatternMatches(pattern, "t", MakeInt32(1)));  // not a record
+  EXPECT_FALSE(PatternMatches(pattern, "t", nullptr));
+  EXPECT_FALSE(PatternMatches(pattern, "other", nullptr));
+
+  auto rec = std::make_shared<TRecord>();
+  rec->Set("k", MakeInt32(1));
+  EXPECT_TRUE(PatternMatches(pattern, "t", rec));
+  rec->Set("k", MakeInt32(2));
+  EXPECT_FALSE(PatternMatches(pattern, "t", rec));
+
+  MessagePattern type_only;
+  type_only.type = "t";
+  EXPECT_TRUE(PatternMatches(type_only, "t", nullptr));  // no field guards
+}
+
+TEST_F(ActorsTest, ManyMessagesAcrossDispatchers) {
+  ActorSystem system(memo_, 4);
+  std::atomic<int> handled{0};
+  Behavior b;
+  b.handlers["work"] = [&](ActorContext&, const TransferablePtr&) {
+    handled.fetch_add(1);
+  };
+  ASSERT_TRUE(system.Spawn("sink", std::move(b)).ok());
+  ASSERT_TRUE(system.Start().ok());
+  constexpr int kMessages = 500;
+  for (int i = 0; i < kMessages; ++i) {
+    ASSERT_TRUE(system.Send("sink", "work", MakeInt32(i)).ok());
+  }
+  ASSERT_TRUE(system.Drain().ok());
+  EXPECT_EQ(handled.load(), kMessages);
+  system.Shutdown();
+}
+
+}  // namespace
+}  // namespace dmemo

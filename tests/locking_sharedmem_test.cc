@@ -1,0 +1,319 @@
+// Tests for the locking foundation (Sec. 3.1.4) and the shared-memory
+// foundation (Sec. 3 / 3.1.2) with its region allocator.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "locking/lock.h"
+#include "sharedmem/region_allocator.h"
+#include "sharedmem/shared_memory.h"
+
+namespace dmemo {
+namespace {
+
+// ---- locks: one parameterized suite over every mechanism --------------------
+
+struct LockCase {
+  LockKind kind;
+  const char* label;
+};
+
+class LockTest : public ::testing::TestWithParam<LockCase> {
+ protected:
+  std::unique_ptr<Lock> Make() {
+    std::string path;
+    if (GetParam().kind == LockKind::kFile) {
+      path = "/tmp/dmemo_lock_test_" + std::to_string(::getpid());
+    }
+    auto lock = MakeLock(GetParam().kind, path);
+    EXPECT_TRUE(lock.ok()) << lock.status();
+    return std::move(*lock);
+  }
+};
+
+TEST_P(LockTest, AcquireRelease) {
+  auto lock = Make();
+  lock->Acquire();
+  lock->Release();
+  lock->Acquire();
+  lock->Release();
+}
+
+TEST_P(LockTest, TryAcquireSucceedsWhenFree) {
+  auto lock = Make();
+  EXPECT_TRUE(lock->TryAcquire());
+  lock->Release();
+}
+
+TEST_P(LockTest, MutualExclusionUnderContention) {
+  if (GetParam().kind == LockKind::kFile) {
+    // flock is per-open-file-description: within one process a second
+    // flock on the same fd succeeds, so intra-process contention does not
+    // apply. Its cross-process behaviour is what the launcher relies on.
+    GTEST_SKIP();
+  }
+  auto lock = Make();
+  int counter = 0;  // deliberately unsynchronized except via the lock
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 5000; ++i) {
+        ScopedLock guard(*lock);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, 20000);
+}
+
+TEST_P(LockTest, MechanismLabel) {
+  auto lock = Make();
+  EXPECT_EQ(lock->mechanism(), GetParam().label);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMechanisms, LockTest,
+    ::testing::Values(LockCase{LockKind::kSpin, "spin"},
+                      LockCase{LockKind::kMutex, "mutex"},
+                      LockCase{LockKind::kSemaphore, "semaphore"},
+                      LockCase{LockKind::kFile, "file"}),
+    [](const auto& info) { return info.param.label; });
+
+TEST(LockFactoryTest, FileLockRequiresPath) {
+  EXPECT_EQ(MakeLock(LockKind::kFile).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---- counting semaphore ------------------------------------------------------
+
+TEST(SemaphoreTest, CountsDownAndUp) {
+  CountingSemaphore sem(2);
+  EXPECT_TRUE(sem.TryAcquire());
+  EXPECT_TRUE(sem.TryAcquire());
+  EXPECT_FALSE(sem.TryAcquire());
+  sem.Release();
+  EXPECT_TRUE(sem.TryAcquire());
+  EXPECT_EQ(sem.value(), 0);
+}
+
+TEST(SemaphoreTest, AcquireBlocksUntilRelease) {
+  CountingSemaphore sem(0);
+  std::atomic<bool> acquired{false};
+  std::thread t([&] {
+    sem.Acquire();
+    acquired = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(acquired.load());
+  sem.Release();
+  t.join();
+  EXPECT_TRUE(acquired.load());
+}
+
+TEST(SemaphoreTest, BoundsConcurrency) {
+  CountingSemaphore sem(3);
+  std::atomic<int> inside{0};
+  std::atomic<int> peak{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 10; ++t) {
+    threads.emplace_back([&] {
+      sem.Acquire();
+      int cur = inside.fetch_add(1) + 1;
+      int expect = peak.load();
+      while (cur > expect && !peak.compare_exchange_weak(expect, cur)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      inside.fetch_sub(1);
+      sem.Release();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_LE(peak.load(), 3);
+}
+
+// ---- region allocator ----------------------------------------------------------
+
+class RegionAllocatorTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kSize = 64 * 1024;
+  void SetUp() override {
+    region_.resize(kSize);
+    auto alloc = RegionAllocator::Create(region_.data(), kSize);
+    ASSERT_TRUE(alloc.ok()) << alloc.status();
+    alloc_.emplace(*alloc);
+  }
+  std::vector<char> region_;
+  std::optional<RegionAllocator> alloc_;
+};
+
+TEST_F(RegionAllocatorTest, AllocateWriteFree) {
+  auto off = alloc_->Allocate(100);
+  ASSERT_TRUE(off.ok());
+  std::memset(alloc_->At(*off), 0xaa, 100);
+  EXPECT_GT(alloc_->used(), 0u);
+  ASSERT_TRUE(alloc_->Free(*off).ok());
+  EXPECT_EQ(alloc_->used(), 0u);
+}
+
+TEST_F(RegionAllocatorTest, DistinctNonOverlappingBlocks) {
+  auto a = alloc_->Allocate(64);
+  auto b = alloc_->Allocate(64);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(*a, *b);
+  // Write patterns; neither clobbers the other.
+  std::memset(alloc_->At(*a), 0x11, 64);
+  std::memset(alloc_->At(*b), 0x22, 64);
+  EXPECT_EQ(static_cast<unsigned char*>(alloc_->At(*a))[63], 0x11);
+  EXPECT_EQ(static_cast<unsigned char*>(alloc_->At(*b))[0], 0x22);
+}
+
+TEST_F(RegionAllocatorTest, AlignmentIs16) {
+  for (int i = 0; i < 8; ++i) {
+    auto off = alloc_->Allocate(3);
+    ASSERT_TRUE(off.ok());
+    EXPECT_EQ(*off % 16, 0u);
+  }
+}
+
+TEST_F(RegionAllocatorTest, ExhaustionIsResourceExhausted) {
+  auto off = alloc_->Allocate(kSize * 2);
+  EXPECT_EQ(off.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(RegionAllocatorTest, CoalescingAllowsBigReallocation) {
+  // Fill with many small blocks, free all, then allocate one huge block:
+  // only works if free neighbours coalesced back into one region.
+  std::vector<std::size_t> offsets;
+  for (;;) {
+    auto off = alloc_->Allocate(1000);
+    if (!off.ok()) break;
+    offsets.push_back(*off);
+  }
+  EXPECT_GT(offsets.size(), 30u);
+  for (std::size_t off : offsets) {
+    ASSERT_TRUE(alloc_->Free(off).ok());
+  }
+  EXPECT_EQ(alloc_->FreeBlockCount(), 1u);
+  auto big = alloc_->Allocate(kSize / 2);
+  EXPECT_TRUE(big.ok()) << big.status();
+}
+
+TEST_F(RegionAllocatorTest, FreeOutOfRangeRejected) {
+  EXPECT_EQ(alloc_->Free(kSize + 100).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(RegionAllocatorTest, OpenAdoptsExistingHeap) {
+  auto off = alloc_->Allocate(32);
+  ASSERT_TRUE(off.ok());
+  std::memcpy(alloc_->At(*off), "persisted", 10);
+  auto reopened = RegionAllocator::Open(region_.data(), kSize);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_STREQ(static_cast<char*>(reopened->At(*off)), "persisted");
+  EXPECT_EQ(reopened->used(), alloc_->used());
+}
+
+TEST_F(RegionAllocatorTest, OpenRejectsGarbage) {
+  std::vector<char> junk(kSize, 0x5a);
+  EXPECT_EQ(RegionAllocator::Open(junk.data(), kSize).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(RegionAllocatorLimits, TooSmallRegionRejected) {
+  char tiny[32];
+  EXPECT_EQ(RegionAllocator::Create(tiny, sizeof(tiny)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---- SharedMemory derivations: same contract, three mechanisms ------------------
+
+struct ShmCase {
+  SharedMemoryKind kind;
+  const char* label;
+};
+
+class SharedMemoryTest : public ::testing::TestWithParam<ShmCase> {
+ protected:
+  std::unique_ptr<SharedMemory> Make() {
+    auto shm = MakeSharedMemory(
+        GetParam().kind,
+        "dmemo_test_" + std::string(GetParam().label) + "_" +
+            std::to_string(::getpid()));
+    EXPECT_TRUE(shm.ok()) << shm.status();
+    return std::move(*shm);
+  }
+};
+
+TEST_P(SharedMemoryTest, AttachAllocateFreeDetach) {
+  auto shm = Make();
+  ASSERT_TRUE(shm->Attach(256 * 1024).ok());
+  EXPECT_EQ(shm->mechanism(), GetParam().label);
+  EXPECT_EQ(shm->capacity(), 256 * 1024u);
+
+  auto off = shm->Allocate(512);
+  ASSERT_TRUE(off.ok()) << off.status();
+  std::memset(shm->At(*off), 0x7e, 512);
+  EXPECT_GT(shm->used(), 0u);
+  ASSERT_TRUE(shm->Free(*off).ok());
+  EXPECT_EQ(shm->used(), 0u);
+  ASSERT_TRUE(shm->Detach().ok());
+  ASSERT_TRUE(shm->Detach().ok());  // idempotent
+}
+
+TEST_P(SharedMemoryTest, AllocateBeforeAttachFails) {
+  auto shm = Make();
+  EXPECT_EQ(shm->Allocate(16).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_P(SharedMemoryTest, DoubleAttachFails) {
+  auto shm = Make();
+  ASSERT_TRUE(shm->Attach(64 * 1024).ok());
+  EXPECT_EQ(shm->Attach(64 * 1024).code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(shm->Detach().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMechanisms, SharedMemoryTest,
+    ::testing::Values(ShmCase{SharedMemoryKind::kInProc, "inproc"},
+                      ShmCase{SharedMemoryKind::kPosix, "posix"},
+                      ShmCase{SharedMemoryKind::kSysV, "sysv"}),
+    [](const auto& info) { return info.param.label; });
+
+TEST(SharedMemoryCrossAttach, PosixSegmentsShareContent) {
+  const std::string name =
+      "dmemo_xattach_" + std::to_string(::getpid());
+  auto a = MakeSharedMemory(SharedMemoryKind::kPosix, name);
+  auto b = MakeSharedMemory(SharedMemoryKind::kPosix, name);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE((*a)->Attach(128 * 1024).ok());
+  ASSERT_TRUE((*b)->Attach(128 * 1024).ok());
+
+  // Allocate through `a`, observe bytes through `b`: one heap, two views —
+  // the Figure-1 shared-memory path between co-located servers.
+  auto off = (*a)->Allocate(64);
+  ASSERT_TRUE(off.ok());
+  std::memcpy((*a)->At(*off), "through-the-wall", 17);
+  EXPECT_STREQ(static_cast<char*>((*b)->At(*off)), "through-the-wall");
+  EXPECT_EQ((*b)->used(), (*a)->used());
+
+  ASSERT_TRUE((*b)->Detach().ok());
+  ASSERT_TRUE((*a)->Detach().ok());
+}
+
+TEST(SharedMemoryFactory, NamedKindsRequireName) {
+  EXPECT_EQ(MakeSharedMemory(SharedMemoryKind::kPosix).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MakeSharedMemory(SharedMemoryKind::kSysV).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace dmemo

@@ -1,0 +1,189 @@
+// Tests for the Lucid stream layer: the classic stream programs (nat, fib,
+// running sums, sieve-style filtering) evaluated demand-driven over the
+// memo space.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "lang/lucid.h"
+
+namespace dmemo {
+namespace {
+
+std::int64_t I64(const TransferablePtr& v) {
+  return std::static_pointer_cast<TInt64>(v)->value();
+}
+
+std::vector<std::int64_t> Ints(const std::vector<TransferablePtr>& vs) {
+  std::vector<std::int64_t> out;
+  for (const auto& v : vs) out.push_back(I64(v));
+  return out;
+}
+
+class LucidTest : public ::testing::Test {
+ protected:
+  LocalSpacePtr space_ = std::make_shared<LocalSpace>("lucid");
+  Memo memo_ = Memo::Local(space_);
+  LucidProgram p_{memo_};
+};
+
+TEST_F(LucidTest, ConstantStream) {
+  StreamId sevens = p_.Constant(MakeInt64(7));
+  auto vs = p_.Take(sevens, 5);
+  ASSERT_TRUE(vs.ok());
+  EXPECT_EQ(Ints(*vs), (std::vector<std::int64_t>{7, 7, 7, 7, 7}));
+}
+
+TEST_F(LucidTest, NatViaRecursiveFby) {
+  // nat = 0 fby (nat + 1)  — the canonical Lucid equation.
+  StreamId nat = p_.Forward();
+  StreamId one = p_.Constant(MakeInt64(1));
+  StreamId nat_plus_1 = p_.Map(AddFn(), {nat, one});
+  ASSERT_TRUE(p_.Bind(nat, p_.Fby(p_.Constant(MakeInt64(0)), nat_plus_1)).ok());
+  auto vs = p_.Take(nat, 8);
+  ASSERT_TRUE(vs.ok()) << vs.status();
+  EXPECT_EQ(Ints(*vs), (std::vector<std::int64_t>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST_F(LucidTest, FibonacciViaFbyAndNext) {
+  // fib = 0 fby (1 fby (fib + next fib))
+  StreamId fib = p_.Forward();
+  StreamId sum = p_.Map(AddFn(), {fib, p_.Next(fib)});
+  StreamId tail = p_.Fby(p_.Constant(MakeInt64(1)), sum);
+  ASSERT_TRUE(p_.Bind(fib, p_.Fby(p_.Constant(MakeInt64(0)), tail)).ok());
+  auto vs = p_.Take(fib, 10);
+  ASSERT_TRUE(vs.ok()) << vs.status();
+  EXPECT_EQ(Ints(*vs),
+            (std::vector<std::int64_t>{0, 1, 1, 2, 3, 5, 8, 13, 21, 34}));
+}
+
+TEST_F(LucidTest, RunningSumOfAnInput) {
+  // total = x fby (total + next x)
+  StreamId x = p_.Input();
+  StreamId total = p_.Forward();
+  StreamId step = p_.Map(AddFn(), {total, p_.Next(x)});
+  ASSERT_TRUE(p_.Bind(total, p_.Fby(x, step)).ok());
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(p_.Feed(x, i, MakeInt64(static_cast<std::int64_t>(i + 1)))
+                    .ok());
+  }
+  auto vs = p_.Take(total, 6);
+  ASSERT_TRUE(vs.ok()) << vs.status();
+  EXPECT_EQ(Ints(*vs), (std::vector<std::int64_t>{1, 3, 6, 10, 15, 21}));
+}
+
+TEST_F(LucidTest, FirstAndNext) {
+  StreamId x = p_.Input();
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(p_.Feed(x, i, MakeInt64(10 + i)).ok());
+  }
+  auto first = p_.Take(p_.First(x), 3);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(Ints(*first), (std::vector<std::int64_t>{10, 10, 10}));
+  auto next = p_.Take(p_.Next(x), 3);
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(Ints(*next), (std::vector<std::int64_t>{11, 12, 13}));
+}
+
+TEST_F(LucidTest, WheneverFiltersAndCompacts) {
+  // evens = nat whenever (nat mod 2 == 0)
+  StreamId nat = p_.Forward();
+  StreamId one = p_.Constant(MakeInt64(1));
+  ASSERT_TRUE(p_.Bind(nat, p_.Fby(p_.Constant(MakeInt64(0)),
+                                  p_.Map(AddFn(), {nat, one})))
+                  .ok());
+  StreamId is_even =
+      p_.Map(IntPredicateFn([](std::int64_t v) { return v % 2 == 0; }),
+             {nat});
+  StreamId evens = p_.Whenever(nat, is_even);
+  auto vs = p_.Take(evens, 5);
+  ASSERT_TRUE(vs.ok()) << vs.status();
+  EXPECT_EQ(Ints(*vs), (std::vector<std::int64_t>{0, 2, 4, 6, 8}));
+}
+
+TEST_F(LucidTest, MemoizationComputesEachCellOnce) {
+  StreamId nat = p_.Forward();
+  StreamId one = p_.Constant(MakeInt64(1));
+  ASSERT_TRUE(p_.Bind(nat, p_.Fby(p_.Constant(MakeInt64(0)),
+                                  p_.Map(AddFn(), {nat, one})))
+                  .ok());
+  ASSERT_TRUE(p_.Take(nat, 50).ok());
+  const std::uint64_t after_first = p_.cells_computed();
+  ASSERT_TRUE(p_.Take(nat, 50).ok());  // fully memoized: no recomputation
+  EXPECT_EQ(p_.cells_computed(), after_first);
+  // A further demand computes only the new cells.
+  ASSERT_TRUE(p_.At(nat, 50).ok());
+  EXPECT_GT(p_.cells_computed(), after_first);
+}
+
+TEST_F(LucidTest, DemandDrivenComputesOnlyWhatIsNeeded) {
+  // Demand a single late element of a map over an input; only the needed
+  // input element must be touched (blocking on the others would hang).
+  StreamId x = p_.Input();
+  StreamId doubled = p_.Map(MulFn(), {x, p_.Constant(MakeInt64(2))});
+  ASSERT_TRUE(p_.Feed(x, 7, MakeInt64(21)).ok());
+  auto v = p_.At(doubled, 7);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(I64(*v), 42);  // elements 0..6 were never demanded
+}
+
+TEST_F(LucidTest, InputElementBlocksUntilFed) {
+  StreamId x = p_.Input();
+  std::atomic<bool> got{false};
+  std::thread consumer([&] {
+    auto v = p_.At(x, 0);
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(I64(*v), 5);
+    got = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(got.load());
+  ASSERT_TRUE(p_.Feed(x, 0, MakeInt64(5)).ok());
+  consumer.join();
+}
+
+TEST_F(LucidTest, UnboundForwardErrors) {
+  StreamId dangling = p_.Forward();
+  EXPECT_EQ(p_.At(dangling, 0).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(LucidTest, DoubleBindRejected) {
+  StreamId fwd = p_.Forward();
+  StreamId c = p_.Constant(MakeInt64(1));
+  ASSERT_TRUE(p_.Bind(fwd, c).ok());
+  EXPECT_EQ(p_.Bind(fwd, c).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(p_.Bind(c, c).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(LucidTest, FeedRejectsNonInputs) {
+  StreamId c = p_.Constant(MakeInt64(1));
+  EXPECT_EQ(p_.Feed(c, 0, MakeInt64(2)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(LucidTest, WheneverNeverTrueErrorsInsteadOfSpinning) {
+  StreamId x = p_.Constant(MakeInt64(1));
+  StreamId never =
+      p_.Map(IntPredicateFn([](std::int64_t) { return false; }), {x});
+  auto v = p_.At(p_.Whenever(x, never), 0);
+  EXPECT_EQ(v.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(LucidTest, DeepDirectDemandGuarded) {
+  StreamId nat = p_.Forward();
+  StreamId one = p_.Constant(MakeInt64(1));
+  ASSERT_TRUE(p_.Bind(nat, p_.Fby(p_.Constant(MakeInt64(0)),
+                                  p_.Map(AddFn(), {nat, one})))
+                  .ok());
+  // Cold demand of a very late element recurses past the guard.
+  auto v = p_.At(nat, 100'000);
+  EXPECT_EQ(v.status().code(), StatusCode::kInternal);
+  // The supported route works: evaluate front to back.
+  auto taken = p_.Take(nat, 300);
+  ASSERT_TRUE(taken.ok());
+  EXPECT_EQ(I64(taken->back()), 299);
+}
+
+}  // namespace
+}  // namespace dmemo

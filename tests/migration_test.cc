@@ -1,0 +1,137 @@
+// Dynamic data migration (paper abstract: "Dynamic data migration across
+// HC machines"): when an application re-registers with a changed
+// folder-server placement, memos already in the space move to their new
+// owners and stay reachable.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "runtime/cluster.h"
+#include "transferable/scalars.h"
+
+namespace dmemo {
+namespace {
+
+int IntOf(const TransferablePtr& v) {
+  return std::static_pointer_cast<TInt32>(v)->value();
+}
+
+AppDescription Adf(const std::string& text) {
+  auto parsed = ParseAdf(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status();
+  return parsed->description;
+}
+
+TEST(MigrationTest, MemosFollowFolderServersAcrossMachines) {
+  // v1: all folders on hostA. v2: all folders on hostB. Every memo written
+  // under v1 must be retrievable after the v2 re-registration.
+  auto cluster = Cluster::Start(Adf(
+      "APP mig\nHOSTS\nhostA 1 t 1\nhostB 1 t 1\n"
+      "FOLDERS\n0 hostA\nPPC\nhostA <-> hostB 1\n"));
+  ASSERT_TRUE(cluster.ok()) << cluster.status();
+  Memo memo = *(*cluster)->Client("hostA", MachineProfile::Universal());
+  constexpr std::uint32_t kKeys = 24;
+  for (std::uint32_t i = 0; i < kKeys; ++i) {
+    ASSERT_TRUE(memo.put(Key::Named("data", {i}),
+                         MakeInt32(static_cast<int>(i)))
+                    .ok());
+  }
+
+  ASSERT_TRUE((*cluster)
+                  ->RegisterApp(Adf(
+                      "APP mig\nHOSTS\nhostA 1 t 1\nhostB 1 t 1\n"
+                      "FOLDERS\n0 hostB\nPPC\nhostA <-> hostB 1\n"))
+                  .ok());
+
+  // All folders now hash to hostB's server; the old memos moved with them.
+  std::uint64_t on_b = 0;
+  for (int id : (*cluster)->server("hostB").folder_server_ids()) {
+    on_b += (*cluster)->server("hostB").folder_server(id)
+                ->directory_stats().puts;
+  }
+  EXPECT_GE(on_b, kKeys);  // the migrated deposits landed on hostB
+
+  for (std::uint32_t i = 0; i < kKeys; ++i) {
+    auto v = memo.get(Key::Named("data", {i}));
+    ASSERT_TRUE(v.ok()) << "key " << i << ": " << v.status();
+    EXPECT_EQ(IntOf(*v), static_cast<int>(i));
+  }
+}
+
+TEST(MigrationTest, PlacementGrowthRebalancesExistingMemos) {
+  // Growing from one to four folder servers across two machines: the
+  // rendezvous hash moves ~their share of existing folders; every memo
+  // stays reachable wherever it landed.
+  auto cluster = Cluster::Start(Adf(
+      "APP grow\nHOSTS\nhostA 1 t 1\nhostB 3 t 1\n"
+      "FOLDERS\n0 hostA\nPPC\nhostA <-> hostB 1\n"));
+  ASSERT_TRUE(cluster.ok());
+  Memo memo = *(*cluster)->Client("hostA", MachineProfile::Universal());
+  constexpr std::uint32_t kKeys = 48;
+  for (std::uint32_t i = 0; i < kKeys; ++i) {
+    ASSERT_TRUE(memo.put(Key::Named("k", {i}),
+                         MakeInt32(static_cast<int>(100 + i)))
+                    .ok());
+  }
+  ASSERT_TRUE((*cluster)
+                  ->RegisterApp(Adf(
+                      "APP grow\nHOSTS\nhostA 1 t 1\nhostB 3 t 1\n"
+                      "FOLDERS\n0 hostA\n1 hostB\n2 hostB\n3 hostB\n"
+                      "PPC\nhostA <-> hostB 1\n"))
+                  .ok());
+  // hostB (3 processors, 3 servers) now owns most folders; it must hold a
+  // matching share of the migrated memos.
+  std::uint64_t served_on_b = 0;
+  for (int id : (*cluster)->server("hostB").folder_server_ids()) {
+    served_on_b += (*cluster)->server("hostB").folder_server(id)
+                       ->directory_stats().puts;
+  }
+  EXPECT_GT(served_on_b, kKeys / 2);
+  for (std::uint32_t i = 0; i < kKeys; ++i) {
+    auto v = memo.get(Key::Named("k", {i}));
+    ASSERT_TRUE(v.ok()) << "key " << i;
+    EXPECT_EQ(IntOf(*v), static_cast<int>(100 + i));
+  }
+}
+
+TEST(MigrationTest, IdempotentWhenNothingMoves) {
+  auto cluster = Cluster::Start(Adf(
+      "APP same\nHOSTS\nhostA 1 t 1\nFOLDERS\n0 hostA\n"));
+  ASSERT_TRUE(cluster.ok());
+  Memo memo = *(*cluster)->Client("hostA", MachineProfile::Universal());
+  ASSERT_TRUE(memo.put(Key::Named("stay"), MakeInt32(1)).ok());
+  // Re-registering the identical ADF must not duplicate or lose memos.
+  ASSERT_TRUE((*cluster)
+                  ->RegisterApp(Adf(
+                      "APP same\nHOSTS\nhostA 1 t 1\nFOLDERS\n0 hostA\n"))
+                  .ok());
+  EXPECT_EQ(*memo.count(Key::Named("stay")), 1u);
+  EXPECT_EQ(IntOf(*memo.get(Key::Named("stay"))), 1);
+}
+
+TEST(MigrationTest, MultipleMemosPerFolderAllMigrate) {
+  auto cluster = Cluster::Start(Adf(
+      "APP multi\nHOSTS\nhostA 1 t 1\nhostB 1 t 1\n"
+      "FOLDERS\n0 hostA\nPPC\nhostA <-> hostB 1\n"));
+  ASSERT_TRUE(cluster.ok());
+  Memo memo = *(*cluster)->Client("hostA", MachineProfile::Universal());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(memo.put(Key::Named("pile"), MakeInt32(i)).ok());
+  }
+  ASSERT_TRUE((*cluster)
+                  ->RegisterApp(Adf(
+                      "APP multi\nHOSTS\nhostA 1 t 1\nhostB 1 t 1\n"
+                      "FOLDERS\n0 hostB\nPPC\nhostA <-> hostB 1\n"))
+                  .ok());
+  EXPECT_EQ(*memo.count(Key::Named("pile")), 5u);
+  std::set<int> seen;
+  for (int i = 0; i < 5; ++i) {
+    auto v = memo.get(Key::Named("pile"));
+    ASSERT_TRUE(v.ok());
+    seen.insert(IntOf(*v));
+  }
+  EXPECT_EQ(seen.size(), 5u);  // no duplicates, no losses
+}
+
+}  // namespace
+}  // namespace dmemo

@@ -1,0 +1,384 @@
+// Tests for the Sec. 6.2 / 6.3 pattern library: named objects, shared
+// arrays, job jars, futures, I-structures, shared records, semaphores and
+// barriers — each exercised as the paper describes its idiom.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "patterns/patterns.h"
+#include "transferable/scalars.h"
+
+namespace dmemo {
+namespace {
+
+using namespace std::chrono_literals;
+
+int IntOf(const TransferablePtr& v) {
+  return std::static_pointer_cast<TInt32>(v)->value();
+}
+
+class PatternsTest : public ::testing::Test {
+ protected:
+  LocalSpacePtr space_ = std::make_shared<LocalSpace>("patterns");
+  Memo memo_ = Memo::Local(space_);
+};
+
+// ---- named objects ---------------------------------------------------------
+
+TEST_F(PatternsTest, NamedObjectLifecycle) {
+  NamedObject obj(memo_, Key::Named("config"));
+  EXPECT_FALSE(*obj.Exists());
+  ASSERT_TRUE(obj.Create(MakeInt32(10)).ok());
+  EXPECT_TRUE(*obj.Exists());
+  EXPECT_EQ(IntOf(*obj.Read()), 10);
+  EXPECT_TRUE(*obj.Exists());  // Read does not consume
+
+  auto taken = obj.Take();
+  ASSERT_TRUE(taken.ok());
+  EXPECT_FALSE(*obj.Exists());  // exclusive ownership
+  ASSERT_TRUE(obj.Store(MakeInt32(11)).ok());
+  EXPECT_EQ(IntOf(*obj.Read()), 11);
+  ASSERT_TRUE(obj.Destroy().ok());
+  EXPECT_FALSE(*obj.Exists());
+}
+
+// ---- shared array ------------------------------------------------------------
+
+TEST_F(PatternsTest, SharedArrayReadWrite) {
+  SharedArray2D array(memo_, memo_.create_symbol(), 4, 4);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    for (std::uint32_t j = 0; j < 4; ++j) {
+      ASSERT_TRUE(
+          array.Write(i, j, MakeInt32(static_cast<int>(i * 4 + j))).ok());
+    }
+  }
+  EXPECT_EQ(IntOf(*array.Read(3, 2)), 14);
+  EXPECT_TRUE(*array.Present(0, 0));
+}
+
+TEST_F(PatternsTest, SharedArrayBoundsChecked) {
+  SharedArray2D array(memo_, memo_.create_symbol(), 2, 2);
+  EXPECT_EQ(array.Write(2, 0, MakeInt32(0)).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(array.Read(0, 2).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(PatternsTest, SharedArrayReaderBlocksForWriter) {
+  SharedArray2D array(memo_, memo_.create_symbol(), 2, 2);
+  std::atomic<bool> read_done{false};
+  std::thread reader([&] {
+    auto v = array.Read(1, 1);
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(IntOf(*v), 5);
+    read_done = true;
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(read_done.load());
+  ASSERT_TRUE(array.Write(1, 1, MakeInt32(5)).ok());
+  reader.join();
+}
+
+TEST_F(PatternsTest, SharedArrayElementsAreIndependentFolders) {
+  SharedArray2D array(memo_, memo_.create_symbol(), 2, 2);
+  ASSERT_TRUE(array.Write(0, 0, MakeInt32(1)).ok());
+  EXPECT_TRUE(*array.Present(0, 0));
+  EXPECT_FALSE(*array.Present(0, 1));
+  EXPECT_NE(array.ElementKey(0, 0), array.ElementKey(0, 1));
+}
+
+// ---- job jars -----------------------------------------------------------------
+
+TEST_F(PatternsTest, JobJarDropAndTake) {
+  JobJar jar(memo_, Key::Named("jar"));
+  ASSERT_TRUE(jar.Drop(MakeInt32(1)).ok());
+  ASSERT_TRUE(jar.Drop(MakeInt32(2)).ok());
+  EXPECT_EQ(*jar.Pending(), 2u);
+  ASSERT_TRUE(jar.TakeTask().ok());
+  auto maybe = jar.TryTakeTask();
+  ASSERT_TRUE(maybe.ok());
+  EXPECT_TRUE(maybe->has_value());
+  auto empty = jar.TryTakeTask();
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(empty->has_value());
+}
+
+TEST_F(PatternsTest, WorkerPrefersEitherJarNeverStarves) {
+  // Sec. 6.2.4: a worker drains its private jar and the common jar with
+  // get_alt; tasks in both must all be processed.
+  Symbol jars = memo_.create_symbol();
+  JobJar common(memo_, JobJar::CommonJar(jars));
+  JobJar private0(memo_, JobJar::PrivateJar(jars, 0));
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(common.Drop(MakeInt32(i)).ok());
+    ASSERT_TRUE(private0.Drop(MakeInt32(100 + i)).ok());
+  }
+  WorkerJars worker(memo_, jars, 0);
+  int count = 0;
+  while (auto task = *worker.TryTakeTask()) {
+    ++count;
+    (void)task;
+  }
+  EXPECT_EQ(count, 10);
+}
+
+TEST_F(PatternsTest, PrivateJarTargetsOneWorker) {
+  Symbol jars = memo_.create_symbol();
+  JobJar private1(memo_, JobJar::PrivateJar(jars, 1));
+  ASSERT_TRUE(private1.Drop(MakeString("only-for-1")).ok());
+  WorkerJars worker0(memo_, jars, 0);
+  auto none = worker0.TryTakeTask();
+  ASSERT_TRUE(none.ok());
+  EXPECT_FALSE(none->has_value());  // worker 0 cannot see worker 1's jar
+  WorkerJars worker1(memo_, jars, 1);
+  auto task = worker1.TryTakeTask();
+  ASSERT_TRUE(task.ok());
+  EXPECT_TRUE(task->has_value());
+}
+
+// ---- futures -------------------------------------------------------------------
+
+TEST_F(PatternsTest, FutureSetWaitTake) {
+  Future fut(memo_, Key::Named("f"));
+  EXPECT_FALSE(*fut.IsSet());
+  std::atomic<bool> waited{false};
+  std::thread consumer([&] {
+    auto v = fut.Wait();
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(IntOf(*v), 9);
+    waited = true;
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(waited.load());
+  ASSERT_TRUE(fut.Set(MakeInt32(9)).ok());
+  consumer.join();
+  // Wait left the value; Take consumes it and the folder vanishes.
+  EXPECT_TRUE(*fut.IsSet());
+  ASSERT_TRUE(fut.Take().ok());
+  EXPECT_FALSE(*fut.IsSet());
+}
+
+TEST_F(PatternsTest, FutureTriggerFeedsJobJar) {
+  Future fut(memo_, Key::Named("f2"));
+  JobJar jar(memo_, Key::Named("jar2"));
+  ASSERT_TRUE(fut.Trigger(jar.key(), MakeString("wake-op")).ok());
+  EXPECT_EQ(*jar.Pending(), 0u);
+  ASSERT_TRUE(fut.Set(MakeInt32(1)).ok());
+  EXPECT_EQ(*jar.Pending(), 1u);
+}
+
+// ---- i-structures ---------------------------------------------------------------
+
+TEST_F(PatternsTest, IStructureElementsAreAssignOnceCells) {
+  IStructure is(memo_, memo_.create_symbol(), 8);
+  ASSERT_TRUE(is.Write(3, MakeInt32(33)).ok());
+  EXPECT_TRUE(*is.Written(3));
+  EXPECT_FALSE(*is.Written(4));
+  EXPECT_EQ(IntOf(*is.Read(3)), 33);
+  EXPECT_EQ(is.Write(8, MakeInt32(0)).code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(PatternsTest, IStructureReaderBlocksUntilProducerWrites) {
+  IStructure is(memo_, memo_.create_symbol(), 4);
+  std::atomic<int> sum{0};
+  std::vector<std::thread> readers;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    readers.emplace_back([&, i] {
+      auto v = is.Read(i);
+      ASSERT_TRUE(v.ok());
+      sum.fetch_add(IntOf(*v));
+    });
+  }
+  std::this_thread::sleep_for(20ms);
+  EXPECT_EQ(sum.load(), 0);  // everyone is parked
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(is.Write(i, MakeInt32(static_cast<int>(i + 1))).ok());
+  }
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(sum.load(), 10);
+}
+
+// ---- shared records --------------------------------------------------------------
+
+TEST_F(PatternsTest, SharedRecordCheckoutExcludes) {
+  SharedRecord record(memo_, Key::Named("rec"));
+  ASSERT_TRUE(record.Initialize(MakeInt32(0)).ok());
+  constexpr int kThreads = 4, kRounds = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kRounds; ++i) {
+        auto checkout = record.Acquire();
+        ASSERT_TRUE(checkout.ok());
+        int v = IntOf(checkout->value());
+        checkout->value() = MakeInt32(v + 1);
+        ASSERT_TRUE(checkout->Commit().ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(IntOf(*record.Peek()), kThreads * kRounds);
+}
+
+TEST_F(PatternsTest, SharedRecordCheckoutAutoCommitsOnScopeExit) {
+  SharedRecord record(memo_, Key::Named("rec2"));
+  ASSERT_TRUE(record.Initialize(MakeInt32(5)).ok());
+  {
+    auto checkout = record.Acquire();
+    ASSERT_TRUE(checkout.ok());
+    checkout->value() = MakeInt32(6);
+    // No explicit Commit: the destructor must put the record back.
+  }
+  EXPECT_EQ(IntOf(*record.Peek()), 6);
+}
+
+// ---- semaphores -------------------------------------------------------------------
+
+TEST_F(PatternsTest, MemoSemaphoreBoundsConcurrency) {
+  MemoSemaphore sem(memo_, Key::Named("sem"));
+  ASSERT_TRUE(sem.Initialize(2).ok());
+  EXPECT_EQ(*sem.Value(), 2u);
+  std::atomic<int> inside{0}, peak{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      Memo m = Memo::Local(space_);
+      MemoSemaphore worker_sem(m, Key::Named("sem"));
+      ASSERT_TRUE(worker_sem.Acquire().ok());
+      int cur = inside.fetch_add(1) + 1;
+      int expect = peak.load();
+      while (cur > expect && !peak.compare_exchange_weak(expect, cur)) {
+      }
+      std::this_thread::sleep_for(5ms);
+      inside.fetch_sub(1);
+      ASSERT_TRUE(worker_sem.Release().ok());
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_LE(peak.load(), 2);
+  EXPECT_EQ(*sem.Value(), 2u);
+}
+
+TEST_F(PatternsTest, TryAcquireDoesNotBlock) {
+  MemoSemaphore sem(memo_, Key::Named("sem3"));
+  ASSERT_TRUE(sem.Initialize(1).ok());
+  EXPECT_TRUE(*sem.TryAcquire());
+  EXPECT_FALSE(*sem.TryAcquire());
+  ASSERT_TRUE(sem.Release().ok());
+  EXPECT_TRUE(*sem.TryAcquire());
+}
+
+// ---- ordered queue -----------------------------------------------------------------
+
+TEST_F(PatternsTest, OrderedQueuePreservesFifo) {
+  // Folders are unordered; the OrderedQueue idiom restores FIFO.
+  OrderedQueue q(memo_, memo_.create_symbol());
+  ASSERT_TRUE(q.Initialize().ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(q.Push(MakeInt32(i)).ok());
+  }
+  EXPECT_EQ(*q.Size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    auto v = q.Pop();
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(IntOf(*v), i) << "FIFO violated at element " << i;
+  }
+  EXPECT_EQ(*q.Size(), 0u);
+}
+
+TEST_F(PatternsTest, OrderedQueuePopBlocksUntilPush) {
+  OrderedQueue q(memo_, memo_.create_symbol());
+  ASSERT_TRUE(q.Initialize().ok());
+  std::atomic<bool> got{false};
+  std::thread consumer([&] {
+    auto v = q.Pop();
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(IntOf(*v), 7);
+    got = true;
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(got.load());
+  ASSERT_TRUE(q.Push(MakeInt32(7)).ok());
+  consumer.join();
+}
+
+TEST_F(PatternsTest, OrderedQueueTryPopNonBlocking) {
+  OrderedQueue q(memo_, memo_.create_symbol());
+  ASSERT_TRUE(q.Initialize().ok());
+  auto none = q.TryPop();
+  ASSERT_TRUE(none.ok());
+  EXPECT_FALSE(none->has_value());
+  ASSERT_TRUE(q.Push(MakeInt32(1)).ok());
+  auto v = q.TryPop();
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->has_value());
+  EXPECT_EQ(IntOf(**v), 1);
+  auto empty_again = q.TryPop();
+  ASSERT_TRUE(empty_again.ok());
+  EXPECT_FALSE(empty_again->has_value());
+}
+
+TEST_F(PatternsTest, OrderedQueueManyProducersKeepElementsUnique) {
+  Symbol name = memo_.create_symbol();
+  OrderedQueue q(memo_, name);
+  ASSERT_TRUE(q.Initialize().ok());
+  constexpr int kProducers = 4, kEach = 100;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      Memo m = Memo::Local(space_);
+      OrderedQueue worker_q(m, name);
+      for (int i = 0; i < kEach; ++i) {
+        ASSERT_TRUE(worker_q.Push(MakeInt32(p * kEach + i)).ok());
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  std::set<int> seen;
+  for (int i = 0; i < kProducers * kEach; ++i) {
+    auto v = q.Pop();
+    ASSERT_TRUE(v.ok());
+    EXPECT_TRUE(seen.insert(IntOf(*v)).second) << "duplicate element";
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kProducers * kEach));
+}
+
+// ---- barrier ----------------------------------------------------------------------
+
+TEST_F(PatternsTest, BarrierSynchronizesRounds) {
+  constexpr std::uint32_t kParticipants = 4;
+  constexpr std::uint32_t kRounds = 5;
+  Symbol name = memo_.create_symbol();
+  std::atomic<int> phase_counter{0};
+  std::vector<int> observed(kRounds, 0);
+  std::mutex observed_mu;
+  std::vector<std::thread> threads;
+  for (std::uint32_t rank = 0; rank < kParticipants; ++rank) {
+    threads.emplace_back([&, rank] {
+      Memo m = Memo::Local(space_);
+      MemoBarrier barrier(m, name, kParticipants, rank);
+      for (std::uint32_t round = 0; round < kRounds; ++round) {
+        phase_counter.fetch_add(1);
+        ASSERT_TRUE(barrier.Arrive(round).ok());
+        // After the barrier, every participant of this round has arrived.
+        std::lock_guard lock(observed_mu);
+        observed[round] = phase_counter.load();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (std::uint32_t round = 0; round < kRounds; ++round) {
+    // By the time anyone exits round r, all (r+1)*N arrivals have happened.
+    EXPECT_GE(observed[round], static_cast<int>((round + 1) * kParticipants))
+        << "round " << round;
+  }
+}
+
+TEST_F(PatternsTest, SingleParticipantBarrierIsFree) {
+  MemoBarrier barrier(memo_, memo_.create_symbol(), 1, 0);
+  EXPECT_TRUE(barrier.Arrive(0).ok());
+  EXPECT_TRUE(barrier.Arrive(1).ok());
+}
+
+}  // namespace
+}  // namespace dmemo

@@ -1,0 +1,210 @@
+// Persistence tests (Sec. 3.1.3: "We believe the support for persistent
+// data structures is essential to develop serious parallel software
+// applications"): directory snapshots, folder-server files, and a full
+// memo-server restart cycle with the memo space surviving.
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <thread>
+
+#include "core/memo.h"
+#include "core/remote_engine.h"
+#include "folder/directory.h"
+#include "server/memo_server.h"
+#include "transferable/composite.h"
+#include "transferable/scalars.h"
+#include "transport/simnet.h"
+
+namespace dmemo {
+namespace {
+
+QualifiedKey QK(const std::string& name, std::uint32_t i = 0) {
+  return QualifiedKey{"app", Key::Named(name, {i})};
+}
+
+TEST(DirectorySnapshotTest, RoundTripPreservesVisibleAndDelayed) {
+  FolderDirectory<Bytes> dir;
+  ASSERT_TRUE(dir.Put(QK("a"), Bytes{1}).ok());
+  ASSERT_TRUE(dir.Put(QK("a"), Bytes{2}).ok());
+  ASSERT_TRUE(dir.Put(QK("b", 7), Bytes{3}).ok());
+  ASSERT_TRUE(dir.PutDelayed(QK("trigger"), QK("dest"), Bytes{4}).ok());
+
+  ByteWriter out;
+  dir.SnapshotTo(out);
+
+  FolderDirectory<Bytes> restored;
+  ByteReader in(out.data());
+  ASSERT_TRUE(restored.RestoreFrom(in).ok());
+
+  EXPECT_EQ(restored.Count(QK("a")), 2u);
+  EXPECT_EQ(restored.Count(QK("b", 7)), 1u);
+  EXPECT_EQ(restored.Count(QK("dest")), 0u);  // still parked
+  // The delayed put still fires on arrival.
+  ASSERT_TRUE(restored.Put(QK("trigger"), Bytes{9}).ok());
+  EXPECT_EQ(restored.Count(QK("dest")), 1u);
+  EXPECT_EQ(*restored.Get(QK("dest")), Bytes{4});
+}
+
+TEST(DirectorySnapshotTest, TransferableDirectoryPreservesGraphs) {
+  FolderDirectory<TransferablePtr> dir;
+  auto rec = std::make_shared<TRecord>();
+  rec->Set("name", MakeString("cyclic"));
+  rec->Set("self", rec);
+  ASSERT_TRUE(dir.Put(QK("g"), rec).ok());
+
+  ByteWriter out;
+  dir.SnapshotTo(out);
+  FolderDirectory<TransferablePtr> restored;
+  ByteReader in(out.data());
+  ASSERT_TRUE(restored.RestoreFrom(in).ok());
+
+  auto v = restored.Get(QK("g"));
+  ASSERT_TRUE(v.ok());
+  auto got = std::static_pointer_cast<TRecord>(*v);
+  EXPECT_EQ(got->Get("self").get(), got.get());  // cycle survived disk-form
+  ReleaseGraph(got);
+  ReleaseGraph(rec);
+}
+
+TEST(DirectorySnapshotTest, EmptyDirectorySnapshotIsValid) {
+  FolderDirectory<Bytes> dir;
+  ByteWriter out;
+  dir.SnapshotTo(out);
+  FolderDirectory<Bytes> restored;
+  ByteReader in(out.data());
+  ASSERT_TRUE(restored.RestoreFrom(in).ok());
+  EXPECT_EQ(restored.FolderCount(), 0u);
+}
+
+TEST(DirectorySnapshotTest, GarbageRejected) {
+  FolderDirectory<Bytes> dir;
+  Bytes junk{1, 2, 3, 4, 5, 6, 7, 8};
+  ByteReader in(junk);
+  EXPECT_EQ(dir.RestoreFrom(in).code(), StatusCode::kDataLoss);
+}
+
+TEST(DirectorySnapshotTest, RestoreWakesParkedGet) {
+  FolderDirectory<Bytes> source;
+  ASSERT_TRUE(source.Put(QK("wake"), Bytes{5}).ok());
+  ByteWriter out;
+  source.SnapshotTo(out);
+
+  FolderDirectory<Bytes> dir;
+  std::thread parked([&] {
+    auto v = dir.Get(QK("wake"));
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(*v, Bytes{5});
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  ByteReader in(out.data());
+  ASSERT_TRUE(dir.RestoreFrom(in).ok());
+  parked.join();
+}
+
+class ServerPersistenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = "/tmp/dmemo_persist_" + std::to_string(::getpid());
+    ::mkdir(dir_.c_str(), 0755);
+  }
+  void TearDown() override {
+    (void)std::system(("rm -rf '" + dir_ + "'").c_str());
+  }
+
+  AppDescription Adf() {
+    auto parsed = ParseAdf("APP pa\nHOSTS\nhostA 1 t 1\nFOLDERS\n0 hostA\n");
+    EXPECT_TRUE(parsed.ok());
+    return parsed->description;
+  }
+
+  std::unique_ptr<MemoServer> StartServer(SimNetworkPtr network) {
+    MemoServerOptions opts;
+    opts.host = "hostA";
+    opts.listen_url = "sim://hostA";
+    opts.peers = {{"hostA", "sim://hostA"}};
+    opts.persist_dir = dir_;
+    auto server = MemoServer::Start(MakeSimTransport(network), opts);
+    EXPECT_TRUE(server.ok()) << server.status();
+    EXPECT_TRUE((*server)->RegisterApp(Adf()).ok());
+    return std::move(*server);
+  }
+
+  Memo Client(SimNetworkPtr network) {
+    RemoteEngineOptions opts;
+    opts.app = "pa";
+    opts.host = "hostA";
+    auto engine =
+        MakeRemoteEngine(MakeSimTransport(network), "sim://hostA", opts);
+    EXPECT_TRUE(engine.ok()) << engine.status();
+    return Memo(std::move(*engine));
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ServerPersistenceTest, MemoSpaceSurvivesServerRestart) {
+  // First incarnation: deposit memos, shut down (snapshot written).
+  {
+    auto network = std::make_shared<SimNetwork>();
+    auto server = StartServer(network);
+    Memo memo = Client(network);
+    ASSERT_TRUE(memo.put(Key::Named("persisted"), MakeInt32(41)).ok());
+    ASSERT_TRUE(memo.put(Key::Named("persisted"), MakeInt32(42)).ok());
+    ASSERT_TRUE(memo.put_delayed(Key::Named("fut"), Key::Named("jar"),
+                                 MakeString("op"))
+                    .ok());
+    server->Shutdown();
+  }
+  struct stat st{};
+  ASSERT_EQ(::stat((dir_ + "/fs-0.dmemo").c_str(), &st), 0)
+      << "snapshot file missing";
+
+  // Second incarnation: the memo space is back, including the parked
+  // delayed put, which still fires.
+  {
+    auto network = std::make_shared<SimNetwork>();
+    auto server = StartServer(network);
+    Memo memo = Client(network);
+    EXPECT_EQ(*memo.count(Key::Named("persisted")), 2u);
+    EXPECT_EQ(*memo.count(Key::Named("jar")), 0u);
+    ASSERT_TRUE(memo.put(Key::Named("fut"), MakeInt32(0)).ok());
+    EXPECT_EQ(*memo.count(Key::Named("jar")), 1u);
+    auto op = memo.get(Key::Named("jar"));
+    ASSERT_TRUE(op.ok());
+    EXPECT_EQ(std::static_pointer_cast<TString>(*op)->value(), "op");
+    server->Shutdown();
+  }
+}
+
+TEST_F(ServerPersistenceTest, NoPersistDirMeansNoFiles) {
+  auto network = std::make_shared<SimNetwork>();
+  MemoServerOptions opts;
+  opts.host = "hostA";
+  opts.listen_url = "sim://hostA";
+  opts.peers = {{"hostA", "sim://hostA"}};
+  auto server = MemoServer::Start(MakeSimTransport(network), opts);
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE((*server)->RegisterApp(Adf()).ok());
+  (*server)->Shutdown();
+  struct stat st{};
+  EXPECT_NE(::stat((dir_ + "/fs-0.dmemo").c_str(), &st), 0);
+}
+
+TEST_F(ServerPersistenceTest, CorruptSnapshotIsIgnoredNotFatal) {
+  {
+    std::ofstream junk(dir_ + "/fs-0.dmemo", std::ios::binary);
+    junk << "this is not a snapshot";
+  }
+  auto network = std::make_shared<SimNetwork>();
+  auto server = StartServer(network);  // must come up despite the junk
+  Memo memo = Client(network);
+  ASSERT_TRUE(memo.put(Key::Named("fresh"), MakeInt32(1)).ok());
+  EXPECT_TRUE(memo.get(Key::Named("fresh")).ok());
+  server->Shutdown();
+}
+
+}  // namespace
+}  // namespace dmemo

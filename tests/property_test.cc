@@ -1,0 +1,388 @@
+// Property-based tests: randomized inputs, invariant checks, seeded TEST_P
+// sweeps.
+//
+//  * codec: random object graphs (sharing + cycles) survive a round trip
+//    with structure, node count, and byte-equality preserved;
+//  * folder directory: a reference model (multiset per folder) agrees with
+//    the real directory under random operation sequences;
+//  * routing: selection is a function of the key alone, shares follow
+//    weights for random cost vectors, and path costs obey the triangle
+//    inequality per Dijkstra;
+//  * ADF: format(parse(x)) is a fixpoint under comment/whitespace noise.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "adf/adf.h"
+#include "folder/directory.h"
+#include "routing/routing.h"
+#include "server/protocol.h"
+#include "transferable/composite.h"
+#include "transferable/scalars.h"
+#include "util/rng.h"
+
+namespace dmemo {
+namespace {
+
+// ---- random graph generator ---------------------------------------------------
+
+// Builds a random graph of ~`target` nodes. Later nodes may reference any
+// earlier node (sharing) and, with some probability, a *later* slot is
+// patched afterwards to point back (cycles).
+TransferablePtr RandomGraph(SplitMix64& rng, int target) {
+  std::vector<TransferablePtr> nodes;
+  std::vector<std::shared_ptr<TRecord>> records;
+  std::vector<std::shared_ptr<TList>> lists;
+  for (int i = 0; i < target; ++i) {
+    switch (rng.NextBelow(6)) {
+      case 0:
+        nodes.push_back(MakeInt32(static_cast<int>(rng.Next())));
+        break;
+      case 1:
+        nodes.push_back(MakeInt64(static_cast<std::int64_t>(rng.Next())));
+        break;
+      case 2:
+        nodes.push_back(
+            MakeString("s" + std::to_string(rng.NextBelow(1000))));
+        break;
+      case 3:
+        nodes.push_back(MakeFloat64(rng.NextUnit()));
+        break;
+      case 4: {
+        auto list = std::make_shared<TList>();
+        const std::size_t children = rng.NextBelow(4);
+        for (std::size_t c = 0; c < children && !nodes.empty(); ++c) {
+          list->Add(nodes[rng.NextBelow(nodes.size())]);
+        }
+        lists.push_back(list);
+        nodes.push_back(list);
+        break;
+      }
+      default: {
+        auto rec = std::make_shared<TRecord>();
+        const std::size_t fields = rng.NextBelow(3);
+        for (std::size_t f = 0; f < fields && !nodes.empty(); ++f) {
+          rec->Set("f" + std::to_string(f),
+                   nodes[rng.NextBelow(nodes.size())]);
+        }
+        records.push_back(rec);
+        nodes.push_back(rec);
+        break;
+      }
+    }
+  }
+  // Root: a list holding everything (so all nodes are reachable).
+  auto root = std::make_shared<TList>();
+  for (const auto& n : nodes) root->Add(n);
+  // Back-edges: make some records point at the root (guaranteed cycles).
+  for (const auto& rec : records) {
+    if (rng.NextBelow(3) == 0) rec->Set("back", root);
+  }
+  return root;
+}
+
+class CodecPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodecPropertyTest, RandomGraphRoundTripPreservesStructure) {
+  SplitMix64 rng(GetParam() * 0x9e37 + 1);
+  auto graph = RandomGraph(rng, 60);
+  const std::size_t nodes_before = GraphNodeCount(graph);
+  Bytes encoded = EncodeGraphToBytes(graph);
+
+  auto decoded = DecodeGraphFromBytes(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(GraphNodeCount(*decoded), nodes_before);
+
+  // Re-encoding the decoded graph must be byte-identical: the encoding is
+  // canonical given the traversal order, which decode preserves.
+  EXPECT_EQ(EncodeGraphToBytes(*decoded), encoded);
+
+  ReleaseGraph(*decoded);
+  ReleaseGraph(graph);
+}
+
+TEST_P(CodecPropertyTest, TruncationAnywhereNeverCrashes) {
+  SplitMix64 rng(GetParam() * 0x51ed + 7);
+  auto graph = RandomGraph(rng, 25);
+  Bytes encoded = EncodeGraphToBytes(graph);
+  // Cut at a handful of positions including 0 and near the end.
+  for (std::size_t cut = 0; cut < encoded.size();
+       cut += 1 + encoded.size() / 17) {
+    Bytes truncated(encoded.begin(),
+                    encoded.begin() + static_cast<std::ptrdiff_t>(cut));
+    auto decoded = DecodeGraphFromBytes(truncated);
+    if (decoded.ok()) {
+      // Only a cut exactly at a value boundary may decode; release it.
+      ReleaseGraph(*decoded);
+    }
+  }
+  ReleaseGraph(graph);
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 24));
+
+// ---- directory vs reference model ----------------------------------------------
+
+class DirectoryModelTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DirectoryModelTest, RandomOpsAgreeWithModel) {
+  SplitMix64 rng(GetParam() * 0xabcd + 3);
+  FolderDirectory<Bytes> dir(GetParam());
+  // Model: folder -> multiset of values; plus parked delayed puts.
+  std::map<std::uint32_t, std::multiset<std::uint8_t>> model;
+  std::map<std::uint32_t,
+           std::vector<std::pair<std::uint32_t, std::uint8_t>>>
+      delayed;
+  auto qk = [](std::uint32_t f) {
+    return QualifiedKey{"model", Key::Named("f", {f})};
+  };
+
+  for (int step = 0; step < 2000; ++step) {
+    const std::uint32_t folder = static_cast<std::uint32_t>(rng.NextBelow(8));
+    const auto v = static_cast<std::uint8_t>(rng.NextBelow(256));
+    switch (rng.NextBelow(5)) {
+      case 0:    // put (releases any delayed entries, chains)
+      case 1: {
+        ASSERT_TRUE(dir.Put(qk(folder), Bytes{v}).ok());
+        // Model the chain iteratively, exactly like the directory.
+        std::vector<std::pair<std::uint32_t, std::uint8_t>> work{
+            {folder, v}};
+        while (!work.empty()) {
+          auto [f, val] = work.back();
+          work.pop_back();
+          model[f].insert(val);
+          auto parked = std::move(delayed[f]);
+          delayed[f].clear();
+          for (auto& entry : parked) work.push_back(entry);
+        }
+        break;
+      }
+      case 2: {  // get_skip
+        auto got = dir.GetSkip(qk(folder));
+        ASSERT_TRUE(got.ok());
+        if (got->has_value()) {
+          const std::uint8_t got_v = (**got)[0];
+          auto it = model[folder].find(got_v);
+          ASSERT_NE(it, model[folder].end())
+              << "directory returned a value the model does not hold";
+          model[folder].erase(it);
+        } else {
+          EXPECT_TRUE(model[folder].empty());
+        }
+        break;
+      }
+      case 3: {  // put_delayed
+        const std::uint32_t dest =
+            static_cast<std::uint32_t>(rng.NextBelow(8));
+        ASSERT_TRUE(dir.PutDelayed(qk(folder), qk(dest), Bytes{v}).ok());
+        delayed[folder].emplace_back(dest, v);
+        break;
+      }
+      default: {  // count must match the model
+        EXPECT_EQ(dir.Count(qk(folder)), model[folder].size());
+        break;
+      }
+    }
+  }
+  // Final audit: every folder count matches; draining returns exactly the
+  // model's contents.
+  for (auto& [folder, values] : model) {
+    EXPECT_EQ(dir.Count(qk(folder)), values.size()) << "folder " << folder;
+    while (!values.empty()) {
+      auto got = dir.GetSkip(qk(folder));
+      ASSERT_TRUE(got.ok());
+      ASSERT_TRUE(got->has_value());
+      auto it = values.find((**got)[0]);
+      ASSERT_NE(it, values.end());
+      values.erase(it);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DirectoryModelTest,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+// ---- routing properties -----------------------------------------------------------
+
+class RoutingPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Random ADF: 3-6 hosts with random powers and random connected topology.
+AppDescription RandomAdf(SplitMix64& rng) {
+  const int n = 3 + static_cast<int>(rng.NextBelow(4));
+  std::string text = "APP rand\nHOSTS\n";
+  for (int i = 0; i < n; ++i) {
+    const int procs = 1 + static_cast<int>(rng.NextBelow(8));
+    const double cost = 0.25 * (1 + static_cast<double>(rng.NextBelow(8)));
+    text += "h" + std::to_string(i) + " " + std::to_string(procs) + " t " +
+            std::to_string(cost) + "\n";
+  }
+  text += "FOLDERS\n";
+  for (int i = 0; i < n; ++i) {
+    text += std::to_string(i) + " h" + std::to_string(i) + "\n";
+  }
+  text += "PPC\n";
+  // Random spanning tree keeps it connected; extra random edges.
+  for (int i = 1; i < n; ++i) {
+    const int parent = static_cast<int>(rng.NextBelow(
+        static_cast<std::uint64_t>(i)));
+    text += "h" + std::to_string(parent) + " <-> h" + std::to_string(i) +
+            " " + std::to_string(1 + rng.NextBelow(5)) + "\n";
+  }
+  auto parsed = ParseAdf(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status() << "\n" << text;
+  return parsed->description;
+}
+
+TEST_P(RoutingPropertyTest, SharesTrackWeights) {
+  SplitMix64 rng(GetParam() * 0x1357 + 11);
+  auto adf = RandomAdf(rng);
+  auto table = RoutingTable::Build(adf);
+  ASSERT_TRUE(table.ok()) << table.status();
+  constexpr int kKeys = 20'000;
+  std::map<int, int> hits;
+  for (std::uint32_t i = 0; i < kKeys; ++i) {
+    hits[table->ServerForKey(
+                 QualifiedKey{"rand", Key::Named("k", {i})}.ToBytes())
+             ->id]++;
+  }
+  for (std::size_t s = 0; s < table->servers().size(); ++s) {
+    const double share =
+        static_cast<double>(hits[table->servers()[s].id]) / kKeys;
+    EXPECT_NEAR(share, table->server_weights()[s], 0.015)
+        << "server " << table->servers()[s].id;
+  }
+}
+
+TEST_P(RoutingPropertyTest, PathCostsObeyTriangleInequality) {
+  SplitMix64 rng(GetParam() * 0x2468 + 5);
+  auto adf = RandomAdf(rng);
+  auto table = RoutingTable::Build(adf);
+  ASSERT_TRUE(table.ok());
+  for (const auto& a : adf.hosts) {
+    for (const auto& b : adf.hosts) {
+      for (const auto& c : adf.hosts) {
+        const double ab = *table->PathCost(a.name, b.name);
+        const double bc = *table->PathCost(b.name, c.name);
+        const double ac = *table->PathCost(a.name, c.name);
+        EXPECT_LE(ac, ab + bc + 1e-9)
+            << a.name << "->" << c.name << " via " << b.name;
+      }
+    }
+  }
+}
+
+TEST_P(RoutingPropertyTest, NextHopChainsReachTheTarget) {
+  SplitMix64 rng(GetParam() * 0x8642 + 9);
+  auto adf = RandomAdf(rng);
+  auto table = RoutingTable::Build(adf);
+  ASSERT_TRUE(table.ok());
+  for (const auto& from : adf.hosts) {
+    for (const auto& to : adf.hosts) {
+      std::string cur = from.name;
+      int hops = 0;
+      while (cur != to.name) {
+        auto next = table->NextHop(cur, to.name);
+        ASSERT_TRUE(next.ok());
+        ASSERT_NE(*next, cur) << "stuck at " << cur;
+        cur = *next;
+        ASSERT_LE(++hops, static_cast<int>(adf.hosts.size()))
+            << "next-hop chain longer than the host count";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoutingPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+// ---- wire protocol fuzz -----------------------------------------------------------
+
+class ProtocolFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProtocolFuzzTest, RandomBytesNeverCrashDecoders) {
+  SplitMix64 rng(GetParam() * 0xfeed + 17);
+  for (int round = 0; round < 200; ++round) {
+    Bytes junk(rng.NextBelow(200));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.NextBelow(256));
+    {
+      ByteReader r(junk);
+      auto req = Request::DecodeFrom(r);
+      (void)req;  // any Status is fine; crashing is not
+    }
+    {
+      ByteReader r(junk);
+      auto resp = Response::DecodeFrom(r);
+      (void)resp;
+    }
+    {
+      auto value = DecodeGraphFromBytes(junk);
+      if (value.ok() && *value != nullptr) ReleaseGraph(*value);
+    }
+    {
+      FolderDirectory<Bytes> dir;
+      ByteReader r(junk);
+      (void)dir.RestoreFrom(r);
+    }
+  }
+  SUCCEED();
+}
+
+TEST_P(ProtocolFuzzTest, BitFlippedRequestsNeverCrash) {
+  SplitMix64 rng(GetParam() * 0xfade + 23);
+  // Start from a valid request, then flip random bits.
+  Request req;
+  req.op = Op::kPutDelayed;
+  req.app = "fuzz";
+  req.key = Key::Named("k", {1, 2, 3});
+  req.key2 = Key::Named("k2");
+  req.alts = {Key::Named("a"), Key::Named("b")};
+  req.value = Bytes(32, 0x5a);
+  req.text = "APP x";
+  ByteWriter w;
+  req.EncodeTo(w);
+  for (int round = 0; round < 300; ++round) {
+    Bytes mutated = w.data();
+    const int flips = 1 + static_cast<int>(rng.NextBelow(4));
+    for (int f = 0; f < flips; ++f) {
+      mutated[rng.NextBelow(mutated.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.NextBelow(8));
+    }
+    ByteReader r(mutated);
+    auto decoded = Request::DecodeFrom(r);
+    (void)decoded;
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolFuzzTest,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+// ---- ADF formatting fixpoint ---------------------------------------------------
+
+class AdfPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AdfPropertyTest, FormatIsAFixpointUnderNoise) {
+  SplitMix64 rng(GetParam() * 0x7f7f + 13);
+  auto adf = RandomAdf(rng);
+  const std::string once = FormatAdf(adf);
+  // Inject comment and blank-line noise between every line.
+  std::string noisy;
+  for (char ch : once) {
+    noisy += ch;
+    if (ch == '\n' && rng.NextBelow(3) == 0) {
+      noisy += "# noise " + std::to_string(rng.Next()) + "\n\n";
+    }
+  }
+  auto reparsed = ParseAdf(noisy);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(FormatAdf(reparsed->description), once);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdfPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+}  // namespace
+}  // namespace dmemo

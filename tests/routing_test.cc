@@ -1,0 +1,260 @@
+// Tests for the routing table (Sec. 5): Dijkstra paths over ADF topologies
+// and the cost-weighted rendezvous hashing of folder names to servers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "folder/key.h"
+#include "routing/routing.h"
+
+namespace dmemo {
+namespace {
+
+AppDescription Adf(const std::string& text) {
+  auto parsed = ParseAdf(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status();
+  return parsed->description;
+}
+
+Bytes KeyBytes(const std::string& app, const std::string& name,
+               std::uint32_t index = 0) {
+  QualifiedKey qk{app, Key::Named(name, {index})};
+  return qk.ToBytes();
+}
+
+// ---- path computations -------------------------------------------------------
+
+TEST(RoutingPathTest, LineTopologyCostsAndHops) {
+  // a -- b -- c with unit links: classic relay chain.
+  auto adf = Adf(
+      "APP x\nHOSTS\na 1 t 1\nb 1 t 1\nc 1 t 1\n"
+      "FOLDERS\n0 a\nPPC\na <-> b 1\nb <-> c 1\n");
+  auto table = RoutingTable::Build(adf);
+  ASSERT_TRUE(table.ok()) << table.status();
+
+  EXPECT_DOUBLE_EQ(*table->PathCost("a", "c"), 2.0);
+  EXPECT_DOUBLE_EQ(*table->PathCost("a", "a"), 0.0);
+  EXPECT_EQ(*table->Path("a", "c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(*table->NextHop("a", "c"), "b");
+  EXPECT_EQ(*table->NextHop("b", "c"), "c");
+  EXPECT_EQ(*table->NextHop("a", "a"), "a");
+}
+
+TEST(RoutingPathTest, CheapDetourBeatsExpensiveDirectLink) {
+  auto adf = Adf(
+      "APP x\nHOSTS\na 1 t 1\nb 1 t 1\nc 1 t 1\n"
+      "FOLDERS\n0 a\nPPC\na <-> c 10\na <-> b 1\nb <-> c 1\n");
+  auto table = RoutingTable::Build(adf);
+  ASSERT_TRUE(table.ok());
+  EXPECT_DOUBLE_EQ(*table->PathCost("a", "c"), 2.0);
+  EXPECT_EQ(*table->NextHop("a", "c"), "b");
+}
+
+TEST(RoutingPathTest, SimplexLinkIsOneWay) {
+  auto adf = Adf(
+      "APP x\nHOSTS\na 1 t 1\nb 1 t 1\n"
+      "FOLDERS\n0 a\nPPC\na -> b 1\n");
+  auto table = RoutingTable::Build(adf);
+  ASSERT_TRUE(table.ok());
+  EXPECT_DOUBLE_EQ(*table->PathCost("a", "b"), 1.0);
+  EXPECT_EQ(*table->PathCost("b", "a"), kUnreachable);
+  EXPECT_EQ(table->NextHop("b", "a").status().code(),
+            StatusCode::kUnavailable);
+}
+
+TEST(RoutingPathTest, StarTopologyRoutesThroughHub) {
+  auto adf = Adf(
+      "APP x\nHOSTS\nhub 1 t 1\ns1 1 t 1\ns2 1 t 1\ns3 1 t 1\n"
+      "FOLDERS\n0 hub\n"
+      "PPC\nhub <-> s1 1\nhub <-> s2 1\nhub <-> s3 1\n");
+  auto table = RoutingTable::Build(adf);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(*table->Path("s1", "s3"),
+            (std::vector<std::string>{"s1", "hub", "s3"}));
+  EXPECT_DOUBLE_EQ(*table->PathCost("s1", "s2"), 2.0);
+}
+
+TEST(RoutingPathTest, RingTopologyTakesShortArc) {
+  // 4-node ring; opposite corners are 2 hops either way, neighbours 1.
+  auto adf = Adf(
+      "APP x\nHOSTS\nn0 1 t 1\nn1 1 t 1\nn2 1 t 1\nn3 1 t 1\n"
+      "FOLDERS\n0 n0\n"
+      "PPC\nn0 <-> n1 1\nn1 <-> n2 1\nn2 <-> n3 1\nn3 <-> n0 1\n");
+  auto table = RoutingTable::Build(adf);
+  ASSERT_TRUE(table.ok());
+  EXPECT_DOUBLE_EQ(*table->PathCost("n0", "n1"), 1.0);
+  EXPECT_DOUBLE_EQ(*table->PathCost("n0", "n2"), 2.0);
+  EXPECT_EQ(table->Path("n0", "n2")->size(), 3u);
+}
+
+TEST(RoutingPathTest, UnknownHostIsNotFound) {
+  auto adf = Adf("APP x\nHOSTS\na 1 t 1\nFOLDERS\n0 a\n");
+  auto table = RoutingTable::Build(adf);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->PathCost("a", "ghost").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(RoutingPathTest, ParallelLinksKeepCheapest) {
+  auto adf = Adf(
+      "APP x\nHOSTS\na 1 t 1\nb 1 t 1\n"
+      "FOLDERS\n0 a\nPPC\na <-> b 5\na <-> b 2\n");
+  auto table = RoutingTable::Build(adf);
+  ASSERT_TRUE(table.ok());
+  EXPECT_DOUBLE_EQ(*table->PathCost("a", "b"), 2.0);
+}
+
+TEST(RoutingBuildTest, InvalidAdfRejected) {
+  AppDescription empty;
+  EXPECT_FALSE(RoutingTable::Build(empty).ok());
+}
+
+// ---- folder-server selection ---------------------------------------------------
+
+TEST(RoutingHashTest, DeterministicAcrossTables) {
+  auto adf = Adf(
+      "APP x\nHOSTS\na 1 t 1\nb 1 t 1\nFOLDERS\n0 a\n1 b\n"
+      "PPC\na <-> b 1\n");
+  auto t1 = RoutingTable::Build(adf);
+  auto t2 = RoutingTable::Build(adf);
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  for (int i = 0; i < 200; ++i) {
+    auto s1 = t1->ServerForKey(KeyBytes("x", "f", i));
+    auto s2 = t2->ServerForKey(KeyBytes("x", "f", i));
+    ASSERT_TRUE(s1.ok() && s2.ok());
+    EXPECT_EQ(s1->id, s2->id) << i;
+  }
+}
+
+TEST(RoutingHashTest, AllServersUsed) {
+  auto adf = Adf(
+      "APP x\nHOSTS\na 1 t 1\nb 1 t 1\nFOLDERS\n0 a\n1 a\n2 b\n3 b\n"
+      "PPC\na <-> b 1\n");
+  auto table = RoutingTable::Build(adf);
+  ASSERT_TRUE(table.ok());
+  std::map<int, int> hits;
+  for (int i = 0; i < 2000; ++i) {
+    hits[table->ServerForKey(KeyBytes("x", "f", i))->id]++;
+  }
+  EXPECT_EQ(hits.size(), 4u);
+}
+
+TEST(RoutingHashTest, EqualWeightsGiveEvenDistribution) {
+  // "With out this control, an even distribution would be seen over the
+  // folder servers."
+  auto adf = Adf(
+      "APP x\nHOSTS\na 1 t 1\nb 1 t 1\nc 1 t 1\n"
+      "FOLDERS\n0 a\n1 b\n2 c\n"
+      "PPC\na <-> b 1\nb <-> c 1\nc <-> a 1\n");
+  auto table = RoutingTable::Build(adf);
+  ASSERT_TRUE(table.ok());
+  constexpr int kKeys = 30'000;
+  std::map<int, int> hits;
+  for (int i = 0; i < kKeys; ++i) {
+    hits[table->ServerForKey(KeyBytes("x", "f", i))->id]++;
+  }
+  for (const auto& [id, n] : hits) {
+    EXPECT_NEAR(n, kKeys / 3.0, kKeys * 0.02) << "server " << id;
+  }
+}
+
+TEST(RoutingHashTest, DistributionTracksProcessorPower) {
+  // Host b has 3 processors at the same cost: it should draw ~3x the memos.
+  auto adf = Adf(
+      "APP x\nHOSTS\na 1 t 1\nb 3 t 1\n"
+      "FOLDERS\n0 a\n1 b\nPPC\na <-> b 1\n");
+  auto table = RoutingTable::Build(adf);
+  ASSERT_TRUE(table.ok());
+  constexpr int kKeys = 40'000;
+  int to_b = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    if (table->ServerForKey(KeyBytes("x", "f", i))->id == 1) ++to_b;
+  }
+  EXPECT_NEAR(static_cast<double>(to_b) / kKeys, 0.75, 0.02);
+}
+
+TEST(RoutingHashTest, CheaperProcessorsDrawMoreMemos) {
+  // Same processor counts; b is half the cost per processor => double power.
+  auto adf = Adf(
+      "APP x\nHOSTS\na 1 t 1\nb 1 t 0.5\n"
+      "FOLDERS\n0 a\n1 b\nPPC\na <-> b 1\n");
+  auto table = RoutingTable::Build(adf);
+  ASSERT_TRUE(table.ok());
+  constexpr int kKeys = 40'000;
+  int to_b = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    if (table->ServerForKey(KeyBytes("x", "f", i))->id == 1) ++to_b;
+  }
+  EXPECT_NEAR(static_cast<double>(to_b) / kKeys, 2.0 / 3.0, 0.02);
+}
+
+TEST(RoutingHashTest, ExpensiveLinkDiscountsServer) {
+  // Identical hosts, but c sits behind a cost-9 link: it must receive
+  // measurably fewer memos than b behind a cost-1 link.
+  auto adf = Adf(
+      "APP x\nHOSTS\na 1 t 1\nb 1 t 1\nc 1 t 1\n"
+      "FOLDERS\n0 b\n1 c\n"
+      "PPC\na <-> b 1\na <-> c 9\n");
+  auto table = RoutingTable::Build(adf);
+  ASSERT_TRUE(table.ok());
+  constexpr int kKeys = 40'000;
+  int to_c = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    if (table->ServerForKey(KeyBytes("x", "f", i))->id == 1) ++to_c;
+  }
+  EXPECT_LT(static_cast<double>(to_c) / kKeys, 0.40);
+}
+
+TEST(RoutingHashTest, ServersOnOneHostSplitItsShare) {
+  // Host b holds two folder servers; together they should still draw only
+  // b's share (~1/2), not 2/3.
+  auto adf = Adf(
+      "APP x\nHOSTS\na 1 t 1\nb 1 t 1\n"
+      "FOLDERS\n0 a\n1 b\n2 b\nPPC\na <-> b 1\n");
+  auto table = RoutingTable::Build(adf);
+  ASSERT_TRUE(table.ok());
+  constexpr int kKeys = 40'000;
+  int to_b = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    int id = table->ServerForKey(KeyBytes("x", "f", i))->id;
+    if (id == 1 || id == 2) ++to_b;
+  }
+  EXPECT_NEAR(static_cast<double>(to_b) / kKeys, 0.5, 0.02);
+}
+
+TEST(RoutingHashTest, WeightsAreNormalized) {
+  auto adf = Adf(
+      "APP x\nHOSTS\na 2 t 1\nb 1 t 0.25\n"
+      "FOLDERS\n0 a\n1 b\n2 b\nPPC\na <-> b 2\n");
+  auto table = RoutingTable::Build(adf);
+  ASSERT_TRUE(table.ok());
+  double sum = 0;
+  for (double w : table->server_weights()) sum += w;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(RoutingHashTest, PaperInvertExampleFavoursTheSp1) {
+  // 128 processors at half cost vs three 1-processor sparcs: virtually all
+  // folder traffic should land on bonnie's six servers.
+  auto adf = Adf(
+      "APP invert\nHOSTS\n"
+      "glen 1 sun4 1\naurora 1 sun4 1\njoliet 1 sun4 1\n"
+      "bonnie 128 sp1 sun4*0.5\n"
+      "FOLDERS\n0 glen\n1 aurora\n2 joliet\n3-8 bonnie\n"
+      "PPC\nglen <-> aurora 1\nglen <-> joliet 1\nglen <-> bonnie 2\n");
+  auto table = RoutingTable::Build(adf);
+  ASSERT_TRUE(table.ok()) << table.status();
+  int to_bonnie = 0;
+  constexpr int kKeys = 20'000;
+  for (int i = 0; i < kKeys; ++i) {
+    if (table->ServerForKey(KeyBytes("invert", "work", i))->id >= 3) {
+      ++to_bonnie;
+    }
+  }
+  EXPECT_GT(static_cast<double>(to_bonnie) / kKeys, 0.9);
+}
+
+}  // namespace
+}  // namespace dmemo

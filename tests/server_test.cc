@@ -1,0 +1,613 @@
+// Tests for the server layer: protocol round trips, the RPC channel, the
+// folder server, and memo servers cooperating over a simulated network —
+// including the Figure-2 inter-machine path and relayed topologies.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "server/folder_server.h"
+#include "server/memo_server.h"
+#include "server/rpc_channel.h"
+#include "transferable/codec.h"
+#include "transferable/composite.h"
+#include "transferable/scalars.h"
+#include "transport/simnet.h"
+
+namespace dmemo {
+namespace {
+
+using namespace std::chrono_literals;
+
+Bytes Encoded(int v) { return EncodeGraphToBytes(MakeInt32(v)); }
+
+int Decoded(const Bytes& b) {
+  auto v = DecodeGraphFromBytes(b);
+  EXPECT_TRUE(v.ok());
+  return std::static_pointer_cast<TInt32>(*v)->value();
+}
+
+// ---- protocol ----------------------------------------------------------------
+
+TEST(ProtocolTest, RequestRoundTrip) {
+  Request req;
+  req.op = Op::kPutDelayed;
+  req.app = "invert";
+  req.target_host = "bonnie";
+  req.hop_count = 3;
+  req.key = Key::Named("future", {1, 2});
+  req.key2 = Key::Named("jar");
+  req.alts = {Key::Named("a"), Key::Named("b", {9})};
+  req.value = Bytes{1, 2, 3};
+  req.text = "APP x";
+
+  ByteWriter w;
+  req.EncodeTo(w);
+  ByteReader r(w.data());
+  auto got = Request::DecodeFrom(r);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got->op, Op::kPutDelayed);
+  EXPECT_EQ(got->app, "invert");
+  EXPECT_EQ(got->target_host, "bonnie");
+  EXPECT_EQ(got->hop_count, 3);
+  EXPECT_EQ(got->key, req.key);
+  EXPECT_EQ(got->key2, req.key2);
+  EXPECT_EQ(got->alts, req.alts);
+  EXPECT_EQ(got->value, req.value);
+  EXPECT_EQ(got->text, "APP x");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ProtocolTest, ResponseRoundTrip) {
+  Response resp;
+  resp.code = StatusCode::kNotFound;
+  resp.message = "gone";
+  resp.has_value = true;
+  resp.value = Bytes{9};
+  resp.has_key = true;
+  resp.key = Key::Named("winner");
+  resp.count = 17;
+  resp.hop_count = 2;
+
+  ByteWriter w;
+  resp.EncodeTo(w);
+  ByteReader r(w.data());
+  auto got = Response::DecodeFrom(r);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->code, StatusCode::kNotFound);
+  EXPECT_EQ(got->message, "gone");
+  EXPECT_EQ(got->value, Bytes{9});
+  EXPECT_EQ(got->key, resp.key);
+  EXPECT_EQ(got->count, 17u);
+  EXPECT_EQ(got->hop_count, 2);
+}
+
+TEST(ProtocolTest, MalformedOpcodeRejected) {
+  ByteWriter w;
+  w.u8(200);
+  ByteReader r(w.data());
+  EXPECT_EQ(Request::DecodeFrom(r).status().code(), StatusCode::kDataLoss);
+}
+
+// ---- rpc channel --------------------------------------------------------------
+
+struct ChannelPair {
+  RpcChannelPtr client;
+  RpcChannelPtr server;
+  std::unique_ptr<WorkerPool> pool = std::make_unique<WorkerPool>();
+};
+
+ChannelPair MakeChannelPair(RequestHandler handler) {
+  auto network = std::make_shared<SimNetwork>();
+  auto transport = MakeSimTransport(network);
+  auto listener = transport->Listen("sim://rpc");
+  EXPECT_TRUE(listener.ok());
+  ConnectionPtr server_conn;
+  std::thread accepter([&] {
+    auto s = (*listener)->Accept();
+    EXPECT_TRUE(s.ok());
+    server_conn = std::move(*s);
+  });
+  auto client_conn = transport->Dial("sim://rpc");
+  EXPECT_TRUE(client_conn.ok());
+  accepter.join();
+
+  ChannelPair pair;
+  pair.server = RpcChannel::Create(std::move(server_conn), pair.pool.get(),
+                                   std::move(handler));
+  pair.client =
+      RpcChannel::Create(std::move(*client_conn), nullptr, nullptr);
+  return pair;
+}
+
+TEST(RpcChannelTest, CallReturnsHandlerResponse) {
+  auto pair = MakeChannelPair([](const Request& req) {
+    Response resp;
+    resp.count = static_cast<std::uint64_t>(req.hop_count) + 1;
+    return resp;
+  });
+  Request req;
+  req.hop_count = 4;
+  auto resp = pair.client->Call(req);
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  EXPECT_EQ(resp->count, 5u);
+  pair.client->Close();
+  pair.server->Close();
+}
+
+TEST(RpcChannelTest, ConcurrentCallsMultiplex) {
+  auto pair = MakeChannelPair([](const Request& req) {
+    // Earlier requests sleep longer: responses arrive out of order.
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(40 - req.hop_count * 10));
+    Response resp;
+    resp.count = req.hop_count;
+    return resp;
+  });
+  std::vector<std::thread> callers;
+  std::atomic<int> correct{0};
+  for (std::uint8_t i = 1; i <= 4; ++i) {
+    callers.emplace_back([&pair, &correct, i] {
+      Request req;
+      req.hop_count = i;
+      auto resp = pair.client->Call(req);
+      if (resp.ok() && resp->count == i) correct.fetch_add(1);
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(correct.load(), 4);
+  pair.client->Close();
+  pair.server->Close();
+}
+
+TEST(RpcChannelTest, CallForTimesOutOnSlowHandler) {
+  auto pair = MakeChannelPair([](const Request&) {
+    std::this_thread::sleep_for(200ms);
+    return Response{};
+  });
+  Request req;
+  auto resp = pair.client->CallFor(req, 30ms);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_FALSE(resp->has_value());  // nullopt (we reused optional presence)
+  EXPECT_FALSE((*resp).has_value());
+  pair.client->Close();
+  pair.server->Close();
+}
+
+TEST(RpcChannelTest, CloseFailsOutstandingCalls) {
+  auto pair = MakeChannelPair([](const Request&) {
+    std::this_thread::sleep_for(1s);  // outlives the close below
+    return Response{};
+  });
+  std::thread closer([&] {
+    std::this_thread::sleep_for(30ms);
+    pair.client->Close();
+  });
+  Request req;
+  auto resp = pair.client->Call(req);
+  EXPECT_EQ(resp.status().code(), StatusCode::kUnavailable);
+  closer.join();
+  pair.server->Close();
+  pair.pool->Shutdown();
+}
+
+TEST(RpcChannelTest, NullHandlerRejectsInboundRequests) {
+  auto pair = MakeChannelPair([](const Request&) { return Response{}; });
+  // Send a request *from the server side*; the client has no handler.
+  Request req;
+  auto resp = pair.server->Call(req);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->code, StatusCode::kFailedPrecondition);
+  pair.client->Close();
+  pair.server->Close();
+}
+
+// ---- folder server -------------------------------------------------------------
+
+TEST(FolderServerTest, ServesPutAndGet) {
+  FolderServer fs(0, "hostA");
+  Request put;
+  put.op = Op::kPut;
+  put.app = "t";
+  put.key = Key::Named("f");
+  put.value = Encoded(5);
+  EXPECT_EQ(fs.Handle(put).code, StatusCode::kOk);
+
+  Request get;
+  get.op = Op::kGet;
+  get.app = "t";
+  get.key = Key::Named("f");
+  Response resp = fs.Handle(get);
+  EXPECT_EQ(resp.code, StatusCode::kOk);
+  ASSERT_TRUE(resp.has_value);
+  EXPECT_EQ(Decoded(resp.value), 5);
+  EXPECT_EQ(fs.requests_served(), 2u);
+}
+
+TEST(FolderServerTest, GetAltReportsWinningKey) {
+  FolderServer fs(0, "hostA");
+  Request put;
+  put.op = Op::kPut;
+  put.app = "t";
+  put.key = Key::Named("right");
+  put.value = Encoded(1);
+  fs.Handle(put);
+
+  Request alt;
+  alt.op = Op::kGetAlt;
+  alt.app = "t";
+  alt.alts = {Key::Named("left"), Key::Named("right")};
+  Response resp = fs.Handle(alt);
+  EXPECT_EQ(resp.code, StatusCode::kOk);
+  ASSERT_TRUE(resp.has_key);
+  EXPECT_EQ(resp.key, Key::Named("right"));
+}
+
+TEST(FolderServerTest, ShutdownCancelsParkedGet) {
+  FolderServer fs(0, "hostA");
+  std::thread parked([&] {
+    Request get;
+    get.op = Op::kGet;
+    get.app = "t";
+    get.key = Key::Named("never");
+    Response resp = fs.Handle(get);
+    EXPECT_EQ(resp.code, StatusCode::kCancelled);
+  });
+  std::this_thread::sleep_for(30ms);
+  fs.Shutdown();
+  parked.join();
+}
+
+TEST(FolderServerTest, RegisterAppIsAMemoServerOp) {
+  FolderServer fs(0, "hostA");
+  Request reg;
+  reg.op = Op::kRegisterApp;
+  EXPECT_EQ(fs.Handle(reg).code, StatusCode::kInvalidArgument);
+}
+
+// ---- memo servers over a simulated network -------------------------------------
+
+constexpr const char* kTwoHostAdf =
+    "APP t\nHOSTS\nhostA 1 t 1\nhostB 1 t 1\n"
+    "FOLDERS\n0 hostA\n1 hostB\nPPC\nhostA <-> hostB 1\n";
+
+// Line topology: traffic from A to C must relay through B (Figure 2 with an
+// intermediate machine).
+constexpr const char* kLineAdf =
+    "APP t\nHOSTS\nhostA 1 t 1\nhostB 1 t 1\nhostC 1 t 1\n"
+    "FOLDERS\n0 hostC\n"  // every folder lives on C
+    "PPC\nhostA <-> hostB 1\nhostB <-> hostC 1\n";
+
+class MemoServerFarm {
+ public:
+  explicit MemoServerFarm(const std::string& adf_text) {
+    network_ = std::make_shared<SimNetwork>();
+    transport_ = MakeSimTransport(network_);
+    auto parsed = ParseAdf(adf_text);
+    EXPECT_TRUE(parsed.ok()) << parsed.status();
+    adf_ = parsed->description;
+
+    std::unordered_map<std::string, std::string> peers;
+    for (const auto& host : adf_.hosts) {
+      peers[host.name] = "sim://" + host.name;
+    }
+    for (const auto& host : adf_.hosts) {
+      MemoServerOptions opts;
+      opts.host = host.name;
+      opts.listen_url = peers[host.name];
+      opts.peers = peers;
+      auto server = MemoServer::Start(transport_, opts);
+      EXPECT_TRUE(server.ok()) << server.status();
+      servers_[host.name] = std::move(*server);
+      EXPECT_TRUE(servers_[host.name]->RegisterApp(adf_).ok());
+    }
+  }
+
+  ~MemoServerFarm() {
+    for (auto& [name, server] : servers_) server->Shutdown();
+  }
+
+  MemoServer& at(const std::string& host) { return *servers_.at(host); }
+  TransportPtr transport() { return transport_; }
+  const AppDescription& adf() const { return adf_; }
+
+  // A client RPC channel to `host`'s memo server.
+  RpcChannelPtr Connect(const std::string& host) {
+    auto conn = transport_->Dial("sim://" + host);
+    EXPECT_TRUE(conn.ok()) << conn.status();
+    return RpcChannel::Create(std::move(*conn), nullptr, nullptr);
+  }
+
+ private:
+  SimNetworkPtr network_;
+  TransportPtr transport_;
+  AppDescription adf_;
+  std::map<std::string, std::unique_ptr<MemoServer>> servers_;
+};
+
+TEST(MemoServerTest, PutOnOneMachineGetFromAnother) {
+  MemoServerFarm farm(kTwoHostAdf);
+  auto a = farm.Connect("hostA");
+  auto b = farm.Connect("hostB");
+
+  // Spread puts over many folders so both machines own some.
+  for (int i = 0; i < 16; ++i) {
+    Request put;
+    put.op = Op::kPut;
+    put.app = "t";
+    put.key = Key::Named("f", {static_cast<std::uint32_t>(i)});
+    put.value = Encoded(i);
+    auto resp = a->Call(put);
+    ASSERT_TRUE(resp.ok()) << resp.status();
+    ASSERT_EQ(resp->code, StatusCode::kOk) << resp->message;
+  }
+  for (int i = 0; i < 16; ++i) {
+    Request get;
+    get.op = Op::kGet;
+    get.app = "t";
+    get.key = Key::Named("f", {static_cast<std::uint32_t>(i)});
+    auto resp = b->Call(get);
+    ASSERT_TRUE(resp.ok());
+    ASSERT_EQ(resp->code, StatusCode::kOk) << resp->message;
+    ASSERT_TRUE(resp->has_value);
+    EXPECT_EQ(Decoded(resp->value), i);
+  }
+  // Cross-machine traffic existed: at least one side forwarded.
+  EXPECT_GT(farm.at("hostA").stats().forwarded +
+                farm.at("hostB").stats().forwarded,
+            0u);
+  a->Close();
+  b->Close();
+}
+
+TEST(MemoServerTest, BlockingGetAcrossMachines) {
+  MemoServerFarm farm(kTwoHostAdf);
+  auto a = farm.Connect("hostA");
+  auto b = farm.Connect("hostB");
+
+  Key key = Key::Named("rendezvous");
+  std::atomic<bool> got{false};
+  std::thread consumer([&] {
+    Request get;
+    get.op = Op::kGet;
+    get.app = "t";
+    get.key = key;
+    auto resp = a->Call(get);
+    ASSERT_TRUE(resp.ok());
+    ASSERT_EQ(resp->code, StatusCode::kOk);
+    EXPECT_EQ(Decoded(resp->value), 77);
+    got = true;
+  });
+  std::this_thread::sleep_for(50ms);
+  EXPECT_FALSE(got.load());
+  Request put;
+  put.op = Op::kPut;
+  put.app = "t";
+  put.key = key;
+  put.value = Encoded(77);
+  ASSERT_EQ(b->Call(put)->code, StatusCode::kOk);
+  consumer.join();
+  EXPECT_TRUE(got.load());
+  a->Close();
+  b->Close();
+}
+
+TEST(MemoServerTest, LineTopologyRelaysThroughMiddle) {
+  MemoServerFarm farm(kLineAdf);
+  auto a = farm.Connect("hostA");
+
+  Request put;
+  put.op = Op::kPut;
+  put.app = "t";
+  put.key = Key::Named("far");
+  put.value = Encoded(3);
+  auto resp = a->Call(put);
+  ASSERT_TRUE(resp.ok());
+  ASSERT_EQ(resp->code, StatusCode::kOk) << resp->message;
+  // A -> B -> C: two hops recorded by the relay chain.
+  EXPECT_EQ(resp->hop_count, 2);
+  EXPECT_GE(farm.at("hostB").stats().relayed, 1u);
+  a->Close();
+}
+
+TEST(MemoServerTest, GetAltSpanningMachines) {
+  MemoServerFarm farm(kTwoHostAdf);
+  // Find two keys owned by different machines.
+  auto routing = RoutingTable::Build(farm.adf());
+  ASSERT_TRUE(routing.ok());
+  Key on_a, on_b;
+  bool have_a = false, have_b = false;
+  for (std::uint32_t i = 0; i < 64 && !(have_a && have_b); ++i) {
+    Key k = Key::Named("alt", {i});
+    auto owner = routing->ServerForKey(QualifiedKey{"t", k}.ToBytes());
+    ASSERT_TRUE(owner.ok());
+    if (owner->host == "hostA" && !have_a) {
+      on_a = k;
+      have_a = true;
+    } else if (owner->host == "hostB" && !have_b) {
+      on_b = k;
+      have_b = true;
+    }
+  }
+  ASSERT_TRUE(have_a && have_b);
+
+  auto client = farm.Connect("hostA");
+  std::atomic<bool> got{false};
+  std::thread consumer([&] {
+    Request alt;
+    alt.op = Op::kGetAlt;
+    alt.app = "t";
+    alt.alts = {on_a, on_b};
+    auto resp = client->Call(alt);
+    ASSERT_TRUE(resp.ok());
+    ASSERT_EQ(resp->code, StatusCode::kOk) << resp->message;
+    EXPECT_EQ(resp->key, on_b);
+    EXPECT_EQ(Decoded(resp->value), 42);
+    got = true;
+  });
+  std::this_thread::sleep_for(40ms);
+  EXPECT_FALSE(got.load());
+  Request put;
+  put.op = Op::kPut;
+  put.app = "t";
+  put.key = on_b;
+  put.value = Encoded(42);
+  ASSERT_EQ(client->Call(put)->code, StatusCode::kOk);
+  consumer.join();
+  client->Close();
+}
+
+TEST(MemoServerTest, UnregisteredAppRejected) {
+  MemoServerFarm farm(kTwoHostAdf);
+  auto client = farm.Connect("hostA");
+  Request get;
+  get.op = Op::kGet;
+  get.app = "ghost-app";
+  get.key = Key::Named("f");
+  auto resp = client->Call(get);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->code, StatusCode::kUnavailable);
+  client->Close();
+}
+
+TEST(MemoServerTest, RegisterAppOverTheWire) {
+  MemoServerFarm farm(kTwoHostAdf);
+  auto client = farm.Connect("hostA");
+  Request reg;
+  reg.op = Op::kRegisterApp;
+  reg.text =
+      "APP wire\nHOSTS\nhostA 1 t 1\nhostB 1 t 1\n"
+      "FOLDERS\n0 hostA\n1 hostB\nPPC\nhostA <-> hostB 1\n";
+  ASSERT_EQ(client->Call(reg)->code, StatusCode::kOk);
+
+  Request put;
+  put.op = Op::kPut;
+  put.app = "wire";
+  put.key = Key::Named("f");
+  put.value = Encoded(1);
+  // hostB has not seen the registration: if the key lands there this put
+  // fails; register there too, then it must succeed.
+  auto b = farm.Connect("hostB");
+  ASSERT_EQ(b->Call(reg)->code, StatusCode::kOk);
+  EXPECT_EQ(client->Call(put)->code, StatusCode::kOk);
+  client->Close();
+  b->Close();
+}
+
+TEST(MemoServerTest, CountReflectsFolderContents) {
+  MemoServerFarm farm(kTwoHostAdf);
+  auto client = farm.Connect("hostA");
+  Key key = Key::Named("counted");
+  for (int i = 0; i < 3; ++i) {
+    Request put;
+    put.op = Op::kPut;
+    put.app = "t";
+    put.key = key;
+    put.value = Encoded(i);
+    ASSERT_EQ(client->Call(put)->code, StatusCode::kOk);
+  }
+  Request count;
+  count.op = Op::kCount;
+  count.app = "t";
+  count.key = key;
+  auto resp = client->Call(count);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->count, 3u);
+  client->Close();
+}
+
+TEST(MemoServerTest, PingWorksWithoutRegistration) {
+  MemoServerFarm farm(kTwoHostAdf);
+  auto client = farm.Connect("hostB");
+  Request ping;
+  ping.op = Op::kPing;
+  EXPECT_EQ(client->Call(ping)->code, StatusCode::kOk);
+  client->Close();
+}
+
+TEST(MemoServerTest, MultipleFolderServersOnOneHostSplitTraffic) {
+  // "There can be 0, 1, or more folder servers per machine, each having
+  // exclusive access to its folders." Three servers on one machine: keys
+  // spread across all of them and every memo stays retrievable.
+  MemoServerFarm farm(
+      "APP t\nHOSTS\nhostA 1 t 1\nFOLDERS\n0 hostA\n1 hostA\n2 hostA\n");
+  auto client = farm.Connect("hostA");
+  constexpr std::uint32_t kKeys = 60;
+  for (std::uint32_t i = 0; i < kKeys; ++i) {
+    Request put;
+    put.op = Op::kPut;
+    put.app = "t";
+    put.key = Key::Named("spread", {i});
+    put.value = Encoded(static_cast<int>(i));
+    ASSERT_EQ(client->Call(put)->code, StatusCode::kOk);
+  }
+  // Each folder server saw a share of the deposits.
+  auto& server = farm.at("hostA");
+  int busy_servers = 0;
+  std::uint64_t total = 0;
+  for (int id : server.folder_server_ids()) {
+    const std::uint64_t puts =
+        server.folder_server(id)->directory_stats().puts;
+    total += puts;
+    if (puts > 0) ++busy_servers;
+  }
+  EXPECT_EQ(total, kKeys);
+  EXPECT_EQ(busy_servers, 3);
+  for (std::uint32_t i = 0; i < kKeys; ++i) {
+    Request get;
+    get.op = Op::kGet;
+    get.app = "t";
+    get.key = Key::Named("spread", {i});
+    auto resp = client->Call(get);
+    ASSERT_EQ(resp->code, StatusCode::kOk);
+    EXPECT_EQ(Decoded(resp->value), static_cast<int>(i));
+  }
+  client->Close();
+}
+
+TEST(MemoServerTest, StatsOpReturnsIntrospectionRecord) {
+  MemoServerFarm farm(kTwoHostAdf);
+  auto client = farm.Connect("hostA");
+  // Generate some traffic first.
+  for (int i = 0; i < 5; ++i) {
+    Request put;
+    put.op = Op::kPut;
+    put.app = "t";
+    put.key = Key::Named("s", {static_cast<std::uint32_t>(i)});
+    put.value = Encoded(i);
+    ASSERT_EQ(client->Call(put)->code, StatusCode::kOk);
+  }
+  Request stats;
+  stats.op = Op::kStats;
+  auto resp = client->Call(stats);
+  ASSERT_TRUE(resp.ok());
+  ASSERT_EQ(resp->code, StatusCode::kOk);
+  ASSERT_TRUE(resp->has_value);
+  auto decoded = DecodeGraphFromBytes(resp->value);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  auto rec = std::static_pointer_cast<TRecord>(*decoded);
+  EXPECT_EQ(std::static_pointer_cast<TString>(rec->Get("host"))->value(),
+            "hostA");
+  EXPECT_GE(
+      std::static_pointer_cast<TUInt64>(rec->Get("requests"))->value(), 5u);
+  ASSERT_NE(rec->Get("folder_servers"), nullptr);
+  ASSERT_NE(rec->Get("pool"), nullptr);
+  client->Close();
+}
+
+TEST(MemoServerTest, ThreadCachingObservableUnderLoad) {
+  MemoServerFarm farm(kTwoHostAdf);
+  auto client = farm.Connect("hostA");
+  for (int i = 0; i < 50; ++i) {
+    Request ping;
+    ping.op = Op::kPing;
+    ASSERT_EQ(client->Call(ping)->code, StatusCode::kOk);
+  }
+  auto stats = farm.at("hostA").pool_stats();
+  EXPECT_GT(stats.cache_hits, 0u);
+  EXPECT_LT(stats.threads_spawned, 50u);
+  client->Close();
+}
+
+}  // namespace
+}  // namespace dmemo

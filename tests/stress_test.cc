@@ -1,0 +1,196 @@
+// Bounded stress / soak tests: sustained mixed traffic across engines and
+// machines, with conservation checks at the end. Each test caps its own
+// work so the suite stays in CI territory (a few seconds), but the
+// interleavings are real: many clients, many folders, every primitive.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "patterns/patterns.h"
+#include "runtime/cluster.h"
+#include "transferable/scalars.h"
+#include "util/rng.h"
+
+namespace dmemo {
+namespace {
+
+int IntOf(const TransferablePtr& v) {
+  return std::static_pointer_cast<TInt32>(v)->value();
+}
+
+AppDescription Adf(const std::string& text) {
+  auto parsed = ParseAdf(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status();
+  return parsed->description;
+}
+
+TEST(StressTest, MixedPrimitivesLocalEngine) {
+  // 6 threads × 2000 random operations over 16 folders on the local
+  // engine; a final sweep checks the books balance.
+  auto space = std::make_shared<LocalSpace>("soak");
+  constexpr int kThreads = 6, kOps = 2000;
+  std::atomic<long> puts{0}, takes{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Memo memo = Memo::Local(space);
+      SplitMix64 rng(static_cast<std::uint64_t>(t) * 7919 + 13);
+      for (int i = 0; i < kOps; ++i) {
+        Key key = Key::Named("soak",
+                             {static_cast<std::uint32_t>(rng.NextBelow(16))});
+        switch (rng.NextBelow(4)) {
+          case 0:
+          case 1: {
+            ASSERT_TRUE(memo.put(key, MakeInt32(i)).ok());
+            puts.fetch_add(1);
+            break;
+          }
+          case 2: {
+            auto v = memo.get_skip(key);
+            ASSERT_TRUE(v.ok());
+            if (v->has_value()) takes.fetch_add(1);
+            break;
+          }
+          default: {
+            auto c = memo.count(key);
+            ASSERT_TRUE(c.ok());
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Conservation: remaining == puts - takes.
+  Memo memo = Memo::Local(space);
+  long remaining = 0;
+  for (std::uint32_t f = 0; f < 16; ++f) {
+    remaining += static_cast<long>(*memo.count(Key::Named("soak", {f})));
+  }
+  EXPECT_EQ(remaining, puts.load() - takes.load());
+}
+
+TEST(StressTest, CrossMachinePipelineSustainedLoad) {
+  // Three machines, a three-stage pipeline (source -> square -> sink) with
+  // every stage on its own client; 500 items flow end to end.
+  auto cluster = Cluster::Start(Adf(
+      "APP soak2\nHOSTS\nm0 1 t 1\nm1 1 t 1\nm2 1 t 1\n"
+      "FOLDERS\n0 m0\n1 m1\n2 m2\n"
+      "PPC\nm0 <-> m1 1\nm1 <-> m2 1\nm0 <-> m2 2\n"));
+  ASSERT_TRUE(cluster.ok()) << cluster.status();
+  constexpr int kItems = 500;
+
+  std::thread source([&] {
+    Memo memo = *cluster->get()->Client("m0", MachineProfile::Universal());
+    for (int i = 0; i < kItems; ++i) {
+      ASSERT_TRUE(memo.put(Key::Named("stage1"), MakeInt32(i)).ok());
+    }
+  });
+  std::thread squarer([&] {
+    Memo memo = *cluster->get()->Client("m1", MachineProfile::Universal());
+    for (int i = 0; i < kItems; ++i) {
+      auto v = memo.get(Key::Named("stage1"));
+      ASSERT_TRUE(v.ok());
+      const int x = IntOf(*v);
+      ASSERT_TRUE(memo.put(Key::Named("stage2"), MakeInt32(x * x)).ok());
+    }
+  });
+  long long sum = 0;
+  std::thread sink([&] {
+    Memo memo = *cluster->get()->Client("m2", MachineProfile::Universal());
+    for (int i = 0; i < kItems; ++i) {
+      auto v = memo.get(Key::Named("stage2"));
+      ASSERT_TRUE(v.ok());
+      sum += IntOf(*v);
+    }
+  });
+  source.join();
+  squarer.join();
+  sink.join();
+  long long expected = 0;
+  for (int i = 0; i < kItems; ++i) expected += 1LL * i * i;
+  EXPECT_EQ(sum, expected);
+}
+
+TEST(StressTest, JobJarChurnWithWorkerTurnover) {
+  // Workers come and go mid-job (simulating machine churn); the jar and a
+  // poison protocol still deliver every task exactly once.
+  auto space = std::make_shared<LocalSpace>("churn");
+  Memo boss = Memo::Local(space);
+  constexpr int kTasks = 600;
+  constexpr int kWaves = 3, kWorkersPerWave = 4;
+  std::atomic<int> done{0};
+
+  for (int t = 0; t < kTasks; ++t) {
+    ASSERT_TRUE(boss.put(Key::Named("jar"), MakeInt32(t)).ok());
+  }
+  for (int wave = 0; wave < kWaves; ++wave) {
+    std::vector<std::thread> workers;
+    for (int w = 0; w < kWorkersPerWave; ++w) {
+      workers.emplace_back([&] {
+        Memo memo = Memo::Local(space);
+        // Each worker handles a bounded batch then "leaves the machine".
+        for (int i = 0; i < kTasks / (kWaves * kWorkersPerWave); ++i) {
+          auto task = memo.get(Key::Named("jar"));
+          if (!task.ok()) return;
+          ASSERT_TRUE(memo.put(Key::Named("done"), MakeInt32(1)).ok());
+          done.fetch_add(1);
+        }
+      });
+    }
+    for (auto& t : workers) t.join();
+  }
+  EXPECT_EQ(done.load(), kTasks);
+  EXPECT_EQ(*boss.count(Key::Named("jar")), 0u);
+  EXPECT_EQ(*boss.count(Key::Named("done")),
+            static_cast<std::uint64_t>(kTasks));
+}
+
+TEST(StressTest, GetAltFairnessUnderContention) {
+  // 4 consumers waiting on alternatives over 8 folders while 2 producers
+  // feed them; every produced memo is consumed exactly once.
+  auto space = std::make_shared<LocalSpace>("alt-stress");
+  constexpr int kPerProducer = 400;
+  std::vector<Key> keys;
+  for (std::uint32_t i = 0; i < 8; ++i) keys.push_back(Key::Named("alt", {i}));
+  std::atomic<int> consumed{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 4; ++c) {
+    consumers.emplace_back([&] {
+      Memo memo = Memo::Local(space);
+      for (;;) {
+        auto hit = memo.get_alt(keys);
+        if (!hit.ok()) return;
+        if (hit->second == nullptr) return;  // poison
+        consumed.fetch_add(1);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 2; ++p) {
+    producers.emplace_back([&, p] {
+      Memo memo = Memo::Local(space);
+      SplitMix64 rng(static_cast<std::uint64_t>(p) + 99);
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(
+            memo.put(keys[rng.NextBelow(keys.size())], MakeInt32(i)).ok());
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  // Wait for drain, then poison the consumers.
+  Memo memo = Memo::Local(space);
+  while (consumed.load() < 2 * kPerProducer) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (int c = 0; c < 4; ++c) {
+    ASSERT_TRUE(memo.put(keys[0], nullptr).ok());
+  }
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(consumed.load(), 2 * kPerProducer);
+}
+
+}  // namespace
+}  // namespace dmemo

@@ -1,0 +1,381 @@
+// Tests for the Transferable foundation: scalar domains, composites, the
+// graph codec (sharing + cycles), the type registry, and machine-profile
+// lossy-mapping detection (paper Sec. 3.1.3).
+#include <gtest/gtest.h>
+
+#include "transferable/codec.h"
+#include "transferable/composite.h"
+#include "transferable/machine_profile.h"
+#include "transferable/scalars.h"
+
+namespace dmemo {
+namespace {
+
+TransferablePtr RoundTrip(const TransferablePtr& value) {
+  Bytes encoded = EncodeGraphToBytes(value);
+  auto decoded = DecodeGraphFromBytes(encoded);
+  EXPECT_TRUE(decoded.ok()) << decoded.status();
+  return decoded.ok() ? *decoded : nullptr;
+}
+
+// ---- scalars ---------------------------------------------------------------
+
+TEST(ScalarTest, Int16RoundTrip) {
+  auto v = RoundTrip(MakeInt16(-1234));
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->domain(), Domain::kInt16);
+  EXPECT_EQ(std::static_pointer_cast<TInt16>(v)->value(), -1234);
+}
+
+TEST(ScalarTest, AllIntDomainsRoundTripExtremes) {
+  EXPECT_EQ(std::static_pointer_cast<TInt8>(
+                RoundTrip(std::make_shared<TInt8>(-128)))->value(),
+            -128);
+  EXPECT_EQ(std::static_pointer_cast<TInt64>(
+                RoundTrip(MakeInt64(INT64_MIN)))->value(),
+            INT64_MIN);
+  EXPECT_EQ(std::static_pointer_cast<TUInt64>(
+                RoundTrip(MakeUInt64(~0ULL)))->value(),
+            ~0ULL);
+  EXPECT_EQ(std::static_pointer_cast<TUInt16>(
+                RoundTrip(std::make_shared<TUInt16>(65535)))->value(),
+            65535);
+}
+
+TEST(ScalarTest, FloatsRoundTripExactly) {
+  EXPECT_EQ(std::static_pointer_cast<TFloat32>(
+                RoundTrip(MakeFloat32(1.5f)))->value(),
+            1.5f);
+  EXPECT_EQ(std::static_pointer_cast<TFloat64>(
+                RoundTrip(MakeFloat64(-0.1)))->value(),
+            -0.1);
+}
+
+TEST(ScalarTest, BoolAndStringAndBytes) {
+  EXPECT_TRUE(std::static_pointer_cast<TBool>(RoundTrip(MakeBool(true)))
+                  ->value());
+  EXPECT_EQ(std::static_pointer_cast<TString>(
+                RoundTrip(MakeString("memo space")))->value(),
+            "memo space");
+  EXPECT_EQ(std::static_pointer_cast<TBytes>(
+                RoundTrip(MakeBytes(Bytes{9, 8, 7})))->value(),
+            (Bytes{9, 8, 7}));
+}
+
+TEST(ScalarTest, DomainMetadata) {
+  EXPECT_EQ(IntDomainBits(Domain::kInt16), 16);
+  EXPECT_EQ(IntDomainBits(Domain::kUInt64), 64);
+  EXPECT_EQ(IntDomainBits(Domain::kFloat32), 0);
+  EXPECT_TRUE(IsSignedIntDomain(Domain::kInt8));
+  EXPECT_TRUE(IsUnsignedIntDomain(Domain::kUInt32));
+  EXPECT_FALSE(IsIntDomain(Domain::kString));
+  EXPECT_TRUE(IsFloatDomain(Domain::kFloat64));
+  EXPECT_EQ(DomainName(Domain::kInt16), "int16");
+}
+
+// ---- composites ------------------------------------------------------------
+
+TEST(CompositeTest, NestedListRoundTrip) {
+  auto inner = std::make_shared<TList>();
+  inner->Add(MakeInt32(1));
+  inner->Add(MakeString("two"));
+  auto outer = std::make_shared<TList>();
+  outer->Add(inner);
+  outer->Add(nullptr);  // null child survives
+  outer->Add(MakeFloat64(3.0));
+
+  auto v = std::static_pointer_cast<TList>(RoundTrip(outer));
+  ASSERT_NE(v, nullptr);
+  ASSERT_EQ(v->size(), 3u);
+  auto in = std::static_pointer_cast<TList>(v->items()[0]);
+  EXPECT_EQ(std::static_pointer_cast<TInt32>(in->items()[0])->value(), 1);
+  EXPECT_EQ(std::static_pointer_cast<TString>(in->items()[1])->value(),
+            "two");
+  EXPECT_EQ(v->items()[1], nullptr);
+}
+
+TEST(CompositeTest, RecordFieldsPreserveOrderAndLookup) {
+  auto rec = std::make_shared<TRecord>();
+  rec->Set("task", MakeString("invert"));
+  rec->Set("row", MakeInt32(7));
+  rec->Set("task", MakeString("invert2"));  // overwrite, not duplicate
+
+  auto v = std::static_pointer_cast<TRecord>(RoundTrip(rec));
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->size(), 2u);
+  EXPECT_EQ(v->fields()[0].name, "task");
+  EXPECT_EQ(std::static_pointer_cast<TString>(v->Get("task"))->value(),
+            "invert2");
+  EXPECT_EQ(std::static_pointer_cast<TInt32>(v->Get("row"))->value(), 7);
+  EXPECT_EQ(v->Get("absent"), nullptr);
+  EXPECT_TRUE(v->Has("row"));
+  EXPECT_FALSE(v->Has("absent"));
+}
+
+TEST(CompositeTest, TypedVectorsRoundTrip) {
+  std::vector<double> data(1000);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = i * 0.5;
+  auto v = std::static_pointer_cast<TVecFloat64>(
+      RoundTrip(MakeVecFloat64(data)));
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->values(), data);
+
+  auto iv = std::static_pointer_cast<TVecInt32>(
+      RoundTrip(MakeVecInt32({-1, 0, 1 << 30})));
+  EXPECT_EQ(iv->values(), (std::vector<std::int32_t>{-1, 0, 1 << 30}));
+}
+
+// ---- graph codec: sharing and cycles ----------------------------------------
+
+TEST(CodecTest, SharedChildEncodedOnce) {
+  auto shared = MakeString("shared-node");
+  auto list = std::make_shared<TList>();
+  list->Add(shared);
+  list->Add(shared);
+
+  auto v = std::static_pointer_cast<TList>(RoundTrip(list));
+  ASSERT_EQ(v->size(), 2u);
+  // Identity, not just equality: the decoder rebuilt one node.
+  EXPECT_EQ(v->items()[0].get(), v->items()[1].get());
+
+  // And the encoding really is smaller than two copies.
+  auto two_copies = std::make_shared<TList>();
+  two_copies->Add(MakeString("shared-node"));
+  two_copies->Add(MakeString("shared-node"));
+  EXPECT_LT(EncodeGraphToBytes(list).size(),
+            EncodeGraphToBytes(two_copies).size());
+}
+
+TEST(CodecTest, SelfReferentialRecordRoundTrips) {
+  auto rec = std::make_shared<TRecord>();
+  rec->Set("name", MakeString("looper"));
+  rec->Set("self", rec);  // a cycle
+
+  auto v = std::static_pointer_cast<TRecord>(RoundTrip(rec));
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->Get("self").get(), v.get());
+  EXPECT_EQ(std::static_pointer_cast<TString>(v->Get("name"))->value(),
+            "looper");
+
+  ReleaseGraph(v);
+  ReleaseGraph(rec);
+}
+
+TEST(CodecTest, MutualCycleRoundTrips) {
+  auto a = std::make_shared<TRecord>();
+  auto b = std::make_shared<TRecord>();
+  a->Set("peer", b);
+  a->Set("tag", MakeInt32(1));
+  b->Set("peer", a);
+  b->Set("tag", MakeInt32(2));
+
+  auto va = std::static_pointer_cast<TRecord>(RoundTrip(a));
+  auto vb = std::static_pointer_cast<TRecord>(va->Get("peer"));
+  EXPECT_EQ(vb->Get("peer").get(), va.get());
+  EXPECT_EQ(std::static_pointer_cast<TInt32>(vb->Get("tag"))->value(), 2);
+
+  ReleaseGraph(va);
+  ReleaseGraph(a);
+}
+
+TEST(CodecTest, GraphNodeCountCountsSharedOnce) {
+  auto shared = MakeInt32(5);
+  auto list = std::make_shared<TList>();
+  list->Add(shared);
+  list->Add(shared);
+  list->Add(MakeInt32(6));
+  EXPECT_EQ(GraphNodeCount(list), 3u);  // list + shared + 6
+}
+
+TEST(CodecTest, DeepChainSurvives) {
+  // A deep list chain: graph traversal (GraphNodeCount, ReleaseGraph) is
+  // iterative and unbounded; the codec itself recurses per nesting level
+  // (as serializers do), so the chain stays within the documented depth.
+  constexpr int kDepth = 4000;
+  TransferablePtr head = MakeInt32(0);
+  for (int i = 0; i < kDepth; ++i) {
+    auto node = std::make_shared<TList>();
+    node->Add(std::move(head));
+    head = node;
+  }
+  auto v = RoundTrip(head);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(GraphNodeCount(v), kDepth + 1u);
+  ReleaseGraph(v);
+  ReleaseGraph(head);
+}
+
+TEST(CodecTest, NullRootRoundTrips) {
+  Bytes encoded = EncodeGraphToBytes(nullptr);
+  auto decoded = DecodeGraphFromBytes(encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, nullptr);
+}
+
+TEST(CodecTest, CloneIsDeepAndPreservesSharing) {
+  auto shared = MakeString("x");
+  auto list = std::make_shared<TList>();
+  list->Add(shared);
+  list->Add(shared);
+  auto clone = CloneTransferable(*list);
+  ASSERT_TRUE(clone.ok());
+  auto cl = std::static_pointer_cast<TList>(*clone);
+  EXPECT_NE(cl.get(), list.get());
+  EXPECT_NE(cl->items()[0].get(), shared.get());       // deep
+  EXPECT_EQ(cl->items()[0].get(), cl->items()[1].get());  // sharing kept
+}
+
+TEST(CodecTest, TransferableEquals) {
+  auto a = MakeVecInt32({1, 2, 3});
+  auto b = MakeVecInt32({1, 2, 3});
+  auto c = MakeVecInt32({1, 2, 4});
+  EXPECT_TRUE(TransferableEquals(*a, *b));
+  EXPECT_FALSE(TransferableEquals(*a, *c));
+  EXPECT_FALSE(TransferableEquals(*a, *MakeInt32(1)));
+}
+
+TEST(CodecTest, TruncatedPayloadIsDataLoss) {
+  Bytes encoded = EncodeGraphToBytes(MakeString("truncate me please"));
+  encoded.resize(encoded.size() / 2);
+  auto decoded = DecodeGraphFromBytes(encoded);
+  EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(CodecTest, UnknownTypeIdIsNotFound) {
+  ByteWriter w;
+  w.u8(1);          // inline tag
+  w.varint(99999);  // unregistered type id
+  auto decoded = DecodeGraphFromBytes(w.data());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CodecTest, BogusBackRefIsDataLoss) {
+  ByteWriter w;
+  w.u8(2);       // backref tag
+  w.varint(17);  // no node 17 exists
+  auto decoded = DecodeGraphFromBytes(w.data());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+}
+
+// ---- registry ---------------------------------------------------------------
+
+class UserPoint final : public Transferable {
+ public:
+  static constexpr TypeId kTypeId = kFirstUserTypeId + 7;
+  TypeId type_id() const override { return kTypeId; }
+  Domain domain() const override { return Domain::kComposite; }
+  void EncodePayload(Encoder& enc) const override {
+    enc.I32(x);
+    enc.I32(y);
+  }
+  Status DecodePayload(Decoder& dec) override {
+    DMEMO_ASSIGN_OR_RETURN(x, dec.I32());
+    DMEMO_ASSIGN_OR_RETURN(y, dec.I32());
+    return Status::Ok();
+  }
+  std::int32_t x = 0, y = 0;
+};
+
+TEST(RegistryTest, UserTypeRoundTripsAfterRegistration) {
+  static const Status reg = RegisterTransferable<UserPoint>();
+  ASSERT_TRUE(reg.ok()) << reg;
+  auto p = std::make_shared<UserPoint>();
+  p->x = 3;
+  p->y = -4;
+  auto v = std::static_pointer_cast<UserPoint>(RoundTrip(p));
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->x, 3);
+  EXPECT_EQ(v->y, -4);
+}
+
+TEST(RegistryTest, DuplicateRegistrationRejected) {
+  EXPECT_EQ(TypeRegistry::Global()
+                .Register(TInt32::kTypeId, [] { return MakeInt32(0); })
+                .code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(RegistryTest, ContainsBuiltins) {
+  EXPECT_TRUE(TypeRegistry::Global().Contains(TString::kTypeId));
+  EXPECT_FALSE(TypeRegistry::Global().Contains(60));  // reserved, unused
+}
+
+// ---- machine profiles: the paper's lossy-mapping example --------------------
+
+TEST(ProfileTest, PaperExampleAlphaToI486) {
+  // "A lossy mapping occurs when an Alpha processor (64-bit) sends an
+  // integer to an Intel 80486 (16-bit) and the value is greater than
+  // 16-bits."
+  auto big = MakeInt64(100'000);  // needs > 16 bits
+  EXPECT_EQ(CheckRepresentable(*big, ProfileI486()).code(),
+            StatusCode::kDataLoss);
+  // Same domain, small value: the problem is precision, not the type.
+  auto small = MakeInt64(1'000);
+  EXPECT_TRUE(CheckRepresentable(*small, ProfileI486()).ok());
+  // And the alpha itself takes anything.
+  EXPECT_TRUE(CheckRepresentable(*big, ProfileAlpha()).ok());
+}
+
+TEST(ProfileTest, SignedRangeEdges) {
+  EXPECT_TRUE(CheckRepresentable(*MakeInt64(32767), ProfileI486()).ok());
+  EXPECT_FALSE(CheckRepresentable(*MakeInt64(32768), ProfileI486()).ok());
+  EXPECT_TRUE(CheckRepresentable(*MakeInt64(-32768), ProfileI486()).ok());
+  EXPECT_FALSE(CheckRepresentable(*MakeInt64(-32769), ProfileI486()).ok());
+}
+
+TEST(ProfileTest, UnsignedRangeEdges) {
+  EXPECT_TRUE(CheckRepresentable(*MakeUInt64(65535), ProfileI486()).ok());
+  EXPECT_FALSE(CheckRepresentable(*MakeUInt64(65536), ProfileI486()).ok());
+}
+
+TEST(ProfileTest, Float64ToFloat32Precision) {
+  // 0.5 is exact in float32; 0.1 is not.
+  EXPECT_TRUE(CheckRepresentable(*MakeFloat64(0.5), ProfileI486()).ok());
+  EXPECT_EQ(CheckRepresentable(*MakeFloat64(0.1), ProfileI486()).code(),
+            StatusCode::kDataLoss);
+  EXPECT_TRUE(CheckRepresentable(*MakeFloat64(0.1), ProfileSun4()).ok());
+}
+
+TEST(ProfileTest, CompositeGraphIsWalked) {
+  auto rec = std::make_shared<TRecord>();
+  rec->Set("ok", MakeInt32(1));
+  auto nested = std::make_shared<TList>();
+  nested->Add(MakeInt64(1'000'000));  // offender buried two levels deep
+  rec->Set("nested", nested);
+  auto lossy = FindLossyMappings(*rec, ProfileI486());
+  ASSERT_EQ(lossy.size(), 1u);
+  EXPECT_EQ(lossy[0].domain, Domain::kInt64);
+}
+
+TEST(ProfileTest, CyclicGraphTerminates) {
+  auto rec = std::make_shared<TRecord>();
+  rec->Set("self", rec);
+  rec->Set("v", MakeInt64(1'000'000));
+  EXPECT_EQ(FindLossyMappings(*rec, ProfileI486()).size(), 1u);
+  ReleaseGraph(rec);
+}
+
+TEST(ProfileTest, TypedVectorsChecked) {
+  auto ok = MakeVecInt32({1, 2, 3});
+  auto bad = MakeVecInt32({1, 1 << 20, 3});
+  EXPECT_TRUE(CheckRepresentable(*ok, ProfileI486()).ok());
+  EXPECT_FALSE(CheckRepresentable(*bad, ProfileI486()).ok());
+}
+
+TEST(ProfileTest, UniversalProfileSkipsWork) {
+  auto big = MakeInt64(INT64_MAX);
+  EXPECT_TRUE(
+      CheckRepresentable(*big, MachineProfile::Universal()).ok());
+}
+
+TEST(ProfileTest, ProfileForArchLookup) {
+  EXPECT_EQ(ProfileForArch("i486").int_bits, 16);
+  EXPECT_EQ(ProfileForArch("sun4").int_bits, 32);
+  EXPECT_EQ(ProfileForArch("alpha").int_bits, 64);
+  // Unknown arch imposes no restrictions.
+  EXPECT_EQ(ProfileForArch("riscv").int_bits, 64);
+  EXPECT_EQ(ProfileForArch("riscv").arch, "riscv");
+}
+
+}  // namespace
+}  // namespace dmemo

@@ -1,0 +1,449 @@
+// Tests for the network-communication foundation (Sec. 3.1.1): address
+// parsing, the three point-to-point transports, the scheme mux, and the
+// Transputer-style channel decorators.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <thread>
+
+#include "transport/channel.h"
+#include "transport/shm_transport.h"
+#include "transport/simnet.h"
+#include "transport/socket_transport.h"
+#include "transport/transport.h"
+
+namespace dmemo {
+namespace {
+
+using namespace std::chrono_literals;
+
+Bytes Msg(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string Str(const Bytes& b) {
+  return std::string(b.begin(), b.end());
+}
+
+TEST(AddressTest, ParseSplitsSchemeAndRest) {
+  auto p = ParseAddress("tcp://127.0.0.1:80");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->scheme, "tcp");
+  EXPECT_EQ(p->rest, "127.0.0.1:80");
+  EXPECT_FALSE(ParseAddress("no-scheme").ok());
+  EXPECT_FALSE(ParseAddress("://empty").ok());
+}
+
+// One parameterized suite runs the Connection contract over every transport.
+struct TransportCase {
+  const char* label;
+  // Returns (transport, listen URL).
+  std::pair<TransportPtr, std::string> (*make)();
+};
+
+std::pair<TransportPtr, std::string> MakeSimCase() {
+  static SimNetworkPtr network = std::make_shared<SimNetwork>();
+  static std::atomic<int> counter{0};
+  return {MakeSimTransport(network),
+          "sim://endpoint" + std::to_string(counter.fetch_add(1))};
+}
+
+std::pair<TransportPtr, std::string> MakeTcpCase() {
+  return {MakeTcpTransport(), "tcp://127.0.0.1:0"};
+}
+
+std::pair<TransportPtr, std::string> MakeUnixCase() {
+  static std::atomic<int> counter{0};
+  return {MakeUnixTransport(),
+          "unix:///tmp/dmemo_tt_" + std::to_string(::getpid()) + "_" +
+              std::to_string(counter.fetch_add(1)) + ".sock"};
+}
+
+std::pair<TransportPtr, std::string> MakeShmCase() {
+  static std::atomic<int> counter{0};
+  return {MakeShmTransport(),
+          "shm:///tmp/dmemo_shm_" + std::to_string(::getpid()) + "_" +
+              std::to_string(counter.fetch_add(1)) + ".sock"};
+}
+
+class TransportContractTest : public ::testing::TestWithParam<TransportCase> {
+ protected:
+  void SetUp() override {
+    auto [transport, url] = GetParam().make();
+    transport_ = transport;
+    auto listener = transport_->Listen(url);
+    ASSERT_TRUE(listener.ok()) << listener.status();
+    listener_ = std::move(*listener);
+  }
+
+  // Dial + accept a connected pair.
+  void Connect(ConnectionPtr& client, ConnectionPtr& server) {
+    std::thread dialer([&] {
+      auto c = transport_->Dial(listener_->address());
+      ASSERT_TRUE(c.ok()) << c.status();
+      client = std::move(*c);
+    });
+    auto s = listener_->Accept();
+    ASSERT_TRUE(s.ok()) << s.status();
+    server = std::move(*s);
+    dialer.join();
+  }
+
+  TransportPtr transport_;
+  ListenerPtr listener_;
+};
+
+TEST_P(TransportContractTest, EchoRoundTrip) {
+  ConnectionPtr client, server;
+  Connect(client, server);
+  ASSERT_TRUE(client->Send(Msg("ping")).ok());
+  auto got = server->Receive();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(Str(*got), "ping");
+  ASSERT_TRUE(server->Send(Msg("pong")).ok());
+  auto back = client->Receive();
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(Str(*back), "pong");
+}
+
+TEST_P(TransportContractTest, FramesPreserveBoundaries) {
+  ConnectionPtr client, server;
+  Connect(client, server);
+  ASSERT_TRUE(client->Send(Msg("one")).ok());
+  ASSERT_TRUE(client->Send(Msg("two")).ok());
+  ASSERT_TRUE(client->Send(Msg("")).ok());  // empty frame is a valid frame
+  EXPECT_EQ(Str(*server->Receive()), "one");
+  EXPECT_EQ(Str(*server->Receive()), "two");
+  EXPECT_EQ(Str(*server->Receive()), "");
+}
+
+TEST_P(TransportContractTest, LargeFrame) {
+  ConnectionPtr client, server;
+  Connect(client, server);
+  Bytes big(1 << 20);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  // Send from another thread: a frame larger than the kernel socket buffer
+  // cannot complete until the peer drains it.
+  std::thread sender([&] { ASSERT_TRUE(client->Send(big).ok()); });
+  auto got = server->Receive();
+  sender.join();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, big);
+}
+
+TEST_P(TransportContractTest, ReceiveForTimesOutThenDelivers) {
+  ConnectionPtr client, server;
+  Connect(client, server);
+  auto none = server->ReceiveFor(30ms);
+  ASSERT_TRUE(none.ok());
+  EXPECT_FALSE(none->has_value());
+  ASSERT_TRUE(client->Send(Msg("late")).ok());
+  auto got = server->ReceiveFor(1000ms);
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(got->has_value());
+  EXPECT_EQ(Str(**got), "late");
+}
+
+TEST_P(TransportContractTest, CloseWakesPeerReceive) {
+  ConnectionPtr client, server;
+  Connect(client, server);
+  std::thread closer([&] {
+    std::this_thread::sleep_for(20ms);
+    client->Close();
+  });
+  auto got = server->Receive();
+  EXPECT_EQ(got.status().code(), StatusCode::kUnavailable);
+  closer.join();
+}
+
+TEST_P(TransportContractTest, DialUnknownEndpointFails) {
+  // An address nobody listens on.
+  auto [transport, url] = GetParam().make();
+  auto conn = transport->Dial(std::string(url) + "nobodyhome");
+  EXPECT_FALSE(conn.ok());
+}
+
+TEST_P(TransportContractTest, ConcurrentBidirectionalTraffic) {
+  ConnectionPtr client, server;
+  Connect(client, server);
+  constexpr int kN = 200;
+  std::thread c2s([&] {
+    for (int i = 0; i < kN; ++i) {
+      ASSERT_TRUE(client->Send(Msg("c" + std::to_string(i))).ok());
+    }
+  });
+  std::thread s2c([&] {
+    for (int i = 0; i < kN; ++i) {
+      ASSERT_TRUE(server->Send(Msg("s" + std::to_string(i))).ok());
+    }
+  });
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(Str(*server->Receive()), "c" + std::to_string(i));
+    EXPECT_EQ(Str(*client->Receive()), "s" + std::to_string(i));
+  }
+  c2s.join();
+  s2c.join();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTransports, TransportContractTest,
+    ::testing::Values(TransportCase{"sim", MakeSimCase},
+                      TransportCase{"tcp", MakeTcpCase},
+                      TransportCase{"unix", MakeUnixCase},
+                      TransportCase{"shm", MakeShmCase}),
+    [](const auto& info) { return std::string(info.param.label); });
+
+TEST(ShmTransportTest, CrossProcessRoundTrip) {
+  // The real Figure-1 claim: two *processes* exchanging frames through
+  // shared memory. The child dials, sends, and checks the echo; the parent
+  // accepts and echoes. Exit status carries the child's verdict.
+  auto transport = MakeShmTransport();
+  const std::string url =
+      "shm:///tmp/dmemo_shm_fork_" + std::to_string(::getpid()) + ".sock";
+  auto listener = transport->Listen(url);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+
+  pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child process: a fresh transport object (no shared state with the
+    // parent beyond the filesystem and the segments themselves).
+    auto child_transport = MakeShmTransport();
+    auto conn = child_transport->Dial(url);
+    if (!conn.ok()) ::_exit(10);
+    Bytes payload(100'000);
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+      payload[i] = static_cast<std::uint8_t>(i * 7);
+    }
+    for (int round = 0; round < 5; ++round) {
+      if (!(*conn)->Send(payload).ok()) ::_exit(11);
+      auto echo = (*conn)->Receive();
+      if (!echo.ok() || *echo != payload) ::_exit(12);
+    }
+    (*conn)->Close();
+    ::_exit(0);
+  }
+  // Parent: echo server.
+  auto server = (*listener)->Accept();
+  ASSERT_TRUE(server.ok()) << server.status();
+  for (int round = 0; round < 5; ++round) {
+    auto frame = (*server)->Receive();
+    ASSERT_TRUE(frame.ok()) << frame.status();
+    ASSERT_TRUE((*server)->Send(*frame).ok());
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+TEST(ShmTransportTest, FrameLargerThanRingIsChunked) {
+  // A 64 KiB ring carrying a 1 MiB frame: the writer must chunk across the
+  // ring while the reader drains — flow control, not failure.
+  ShmTransportOptions opts;
+  opts.ring_bytes = 64 << 10;
+  auto transport = MakeShmTransport(opts);
+  const std::string url =
+      "shm:///tmp/dmemo_shm_chunk_" + std::to_string(::getpid()) + ".sock";
+  auto listener = transport->Listen(url);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+  ConnectionPtr server;
+  std::thread accepter([&] {
+    auto s = (*listener)->Accept();
+    ASSERT_TRUE(s.ok());
+    server = std::move(*s);
+  });
+  auto client = transport->Dial(url);
+  ASSERT_TRUE(client.ok()) << client.status();
+  accepter.join();
+
+  Bytes big(1 << 20);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::uint8_t>(i * 131);
+  }
+  std::thread sender([&] { ASSERT_TRUE((*client)->Send(big).ok()); });
+  auto got = server->Receive();
+  sender.join();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, big);
+}
+
+TEST(ShmTransportTest, DataPathCarriesNoSocketTraffic) {
+  // After the handshake, frames move purely through shared memory: the
+  // connection keeps working even though its handshake socket is gone.
+  auto transport = MakeShmTransport();
+  const std::string url =
+      "shm:///tmp/dmemo_shm_pure_" + std::to_string(::getpid()) + ".sock";
+  auto listener = transport->Listen(url);
+  ASSERT_TRUE(listener.ok());
+  ConnectionPtr server;
+  std::thread accepter([&] {
+    auto s = (*listener)->Accept();
+    ASSERT_TRUE(s.ok());
+    server = std::move(*s);
+  });
+  auto client = transport->Dial(url);
+  ASSERT_TRUE(client.ok());
+  accepter.join();
+  (*listener)->Close();  // no socket endpoint remains
+
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE((*client)->Send(Msg("m" + std::to_string(i))).ok());
+    EXPECT_EQ(Str(*server->Receive()), "m" + std::to_string(i));
+  }
+}
+
+TEST(TcpTransportTest, EphemeralPortResolvedInAddress) {
+  auto transport = MakeTcpTransport();
+  auto listener = transport->Listen("tcp://127.0.0.1:0");
+  ASSERT_TRUE(listener.ok());
+  EXPECT_EQ((*listener)->address().find("tcp://127.0.0.1:"), 0u);
+  EXPECT_NE((*listener)->address(), "tcp://127.0.0.1:0");
+}
+
+TEST(SimTransportTest, DuplicateListenerRejected) {
+  auto network = std::make_shared<SimNetwork>();
+  auto transport = MakeSimTransport(network);
+  auto first = transport->Listen("sim://dup");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(transport->Listen("sim://dup").status().code(),
+            StatusCode::kAlreadyExists);
+  // After closing, the name is free again.
+  (*first)->Close();
+  EXPECT_TRUE(transport->Listen("sim://dup").ok());
+}
+
+TEST(SimTransportTest, LinkProfileDelaysDelivery) {
+  auto network = std::make_shared<SimNetwork>();
+  network->SetEndpointLinkProfile("slow", SimLinkProfile{0, 30'000us});
+  auto transport = MakeSimTransport(network);
+  auto listener = transport->Listen("sim://slow");
+  ASSERT_TRUE(listener.ok());
+  std::thread accepter([&] {
+    auto server = (*listener)->Accept();
+    ASSERT_TRUE(server.ok());
+    (void)(*server)->Receive();
+  });
+  auto client = transport->Dial("sim://slow");
+  ASSERT_TRUE(client.ok());
+  auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE((*client)->Send(Msg("x")).ok());
+  EXPECT_GE(std::chrono::steady_clock::now() - start, 25ms);
+  (*client)->Close();
+  accepter.join();
+}
+
+TEST(TransportMuxTest, DispatchesBySchemeAndRejectsUnknown) {
+  auto mux = TransportMux::CreateDefault();
+  auto network = std::make_shared<SimNetwork>();
+  ASSERT_TRUE(mux->RegisterTransport(MakeSimTransport(network)).ok());
+  EXPECT_EQ(mux->RegisterTransport(MakeSimTransport(network)).code(),
+            StatusCode::kAlreadyExists);
+
+  auto sim_listener = mux->Listen("sim://via-mux");
+  ASSERT_TRUE(sim_listener.ok());
+  auto tcp_listener = mux->Listen("tcp://127.0.0.1:0");
+  ASSERT_TRUE(tcp_listener.ok());
+  EXPECT_EQ(mux->Dial("ftp://x").status().code(), StatusCode::kNotFound);
+}
+
+// ---- channel decorators: the Transputer example -------------------------------
+
+// A connected sim pair to wrap.
+std::pair<ConnectionPtr, ConnectionPtr> SimPair() {
+  auto network = std::make_shared<SimNetwork>();
+  auto transport = MakeSimTransport(network);
+  auto listener = transport->Listen("sim://chan");
+  EXPECT_TRUE(listener.ok());
+  ConnectionPtr server;
+  std::thread accepter([&] {
+    auto s = (*listener)->Accept();
+    EXPECT_TRUE(s.ok());
+    server = std::move(*s);
+  });
+  auto client = transport->Dial("sim://chan");
+  EXPECT_TRUE(client.ok());
+  accepter.join();
+  return {std::move(*client), std::move(server)};
+}
+
+TEST(ChannelTest, BlockingChannelChargesSender) {
+  auto [client, server] = SimPair();
+  // 1 MB at 10 MB/s => ~100 ms spent inside Send.
+  auto chan = MakeBlockingChannel(std::move(client), ChannelProfile{10'000, 4096});
+  Bytes big(1'000'000, 0x55);
+  auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(chan->Send(big).ok());
+  EXPECT_GE(std::chrono::steady_clock::now() - start, 80ms);
+  EXPECT_EQ(server->Receive()->size(), big.size());
+}
+
+TEST(ChannelTest, FragmentingSendReturnsImmediately) {
+  auto [client, server] = SimPair();
+  auto tx = MakeFragmentingChannel(std::move(client),
+                                   ChannelProfile{10'000, 4096});
+  auto rx = MakeFragmentingChannel(std::move(server),
+                                   ChannelProfile{10'000, 4096});
+  Bytes big(1'000'000, 0x66);
+  auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(tx->Send(big).ok());
+  // The caller got control back long before the ~100 ms transmission ended.
+  EXPECT_LT(std::chrono::steady_clock::now() - start, 50ms);
+  auto got = rx->Receive();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, big);
+}
+
+TEST(ChannelTest, FragmentingReassemblesManyMessages) {
+  auto [client, server] = SimPair();
+  ChannelProfile fast{0, 1024};  // no throttle; focus on reassembly
+  auto tx = MakeFragmentingChannel(std::move(client), fast);
+  auto rx = MakeFragmentingChannel(std::move(server), fast);
+  for (int i = 0; i < 20; ++i) {
+    Bytes msg(static_cast<std::size_t>(i * 700 + 1),
+              static_cast<std::uint8_t>(i));
+    ASSERT_TRUE(tx->Send(msg).ok());
+    auto got = rx->Receive();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, msg) << "message " << i;
+  }
+}
+
+TEST(ChannelTest, VirtualConnectionsKeepStreamsSeparate) {
+  auto [client, server] = SimPair();
+  ChannelProfile fast{0, 512};
+  FragmentingMux mux_a(std::move(client), fast);
+  FragmentingMux mux_b(std::move(server), fast);
+  auto a1 = mux_a.OpenVirtual(1);
+  auto a2 = mux_a.OpenVirtual(2);
+  auto b1 = mux_b.OpenVirtual(1);
+  auto b2 = mux_b.OpenVirtual(2);
+  ASSERT_TRUE(a1.ok() && a2.ok() && b1.ok() && b2.ok());
+
+  Bytes on1(2000, 0x01), on2(3000, 0x02);
+  ASSERT_TRUE((*a1)->Send(on1).ok());
+  ASSERT_TRUE((*a2)->Send(on2).ok());
+  EXPECT_EQ(*(*b2)->Receive(), on2);  // stream 2 sees only stream-2 bytes
+  EXPECT_EQ(*(*b1)->Receive(), on1);
+}
+
+TEST(ChannelTest, PacketsSentCountsFragments) {
+  auto [client, server] = SimPair();
+  ChannelProfile profile{0, 1000};
+  FragmentingMux mux_a(std::move(client), profile);
+  FragmentingMux mux_b(std::move(server), profile);
+  auto a = mux_a.OpenVirtual(0);
+  auto b = mux_b.OpenVirtual(0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE((*a)->Send(Bytes(5500, 0x3c)).ok());  // 6 packets of <=1000
+  ASSERT_TRUE((*b)->Receive().ok());
+  EXPECT_EQ(mux_a.packets_sent(), 6u);
+}
+
+}  // namespace
+}  // namespace dmemo
