@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Lint gate: clang-format (dry run) + clang-tidy over src/.
+#
+# Usage: scripts/check_lint.sh [build-dir]
+# The build dir must contain compile_commands.json (configure with
+# -DCMAKE_EXPORT_COMPILE_COMMANDS=ON). Run from the repo root.
+set -euo pipefail
+
+build_dir="${1:-build}"
+
+if ! command -v clang-format >/dev/null; then
+  echo "check_lint: clang-format not found" >&2
+  exit 2
+fi
+if ! command -v clang-tidy >/dev/null; then
+  echo "check_lint: clang-tidy not found" >&2
+  exit 2
+fi
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  echo "check_lint: $build_dir/compile_commands.json missing;" \
+       "configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 2
+fi
+
+mapfile -t sources < <(find src tests bench examples \
+    \( -name '*.cc' -o -name '*.h' \) | sort)
+
+echo "check_lint: clang-format over ${#sources[@]} files"
+clang-format --dry-run -Werror "${sources[@]}"
+
+# clang-tidy only sees translation units (headers are checked through their
+# includers via HeaderFilterRegex in .clang-tidy).
+mapfile -t tus < <(find src -name '*.cc' | sort)
+echo "check_lint: clang-tidy over ${#tus[@]} translation units"
+clang-tidy -p "$build_dir" --quiet --warnings-as-errors='*' "${tus[@]}"
+
+echo "check_lint: OK"

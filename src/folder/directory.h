@@ -16,8 +16,6 @@
 // so "order must not be relied upon" is enforced while tests reproduce.
 #pragma once
 
-#include <condition_variable>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <unordered_map>
@@ -27,8 +25,10 @@
 #include "folder/key.h"
 #include "transferable/codec.h"
 #include "transferable/transferable.h"
+#include "util/mutex.h"
 #include "util/rng.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace dmemo {
 
@@ -81,10 +81,10 @@ class FolderDirectory {
   // put: deposit and return immediately. Also releases any delayed memos
   // parked on this folder (Sec. 6.1.2 put_delayed trigger), which may chain.
   Status Put(const QualifiedKey& key, T value) {
-    std::unique_lock lock(mu_);
+    MutexLock lock(mu_);
     if (closed_) return CancelledError("directory closed");
     PutLocked(key, std::move(value));
-    cv_.notify_all();
+    cv_.NotifyAll();
     return Status::Ok();
   }
 
@@ -92,7 +92,7 @@ class FolderDirectory {
   // then deposit it in key2. The hidden value is not extractable from key1.
   Status PutDelayed(const QualifiedKey& key1, const QualifiedKey& key2,
                     T value) {
-    std::unique_lock lock(mu_);
+    MutexLock lock(mu_);
     if (closed_) return CancelledError("directory closed");
     Folder& f = FolderFor(key1);
     f.delayed.emplace_back(key2, std::move(value));
@@ -102,7 +102,7 @@ class FolderDirectory {
 
   // get: blocking extraction.
   Result<T> Get(const QualifiedKey& key) {
-    std::unique_lock lock(mu_);
+    MutexLock lock(mu_);
     bool counted = false;
     for (;;) {
       if (closed_) return CancelledError("directory closed");
@@ -111,14 +111,14 @@ class FolderDirectory {
         ++stats_.blocked_waits;
         counted = true;
       }
-      cv_.wait(lock);
+      cv_.Wait(mu_);
     }
   }
 
   // get with a deadline (used by servers to bound parked requests).
   Result<std::optional<T>> GetFor(const QualifiedKey& key,
                                   std::chrono::milliseconds timeout) {
-    std::unique_lock lock(mu_);
+    MutexLock lock(mu_);
     const auto deadline = std::chrono::steady_clock::now() + timeout;
     bool counted = false;
     for (;;) {
@@ -128,7 +128,7 @@ class FolderDirectory {
         ++stats_.blocked_waits;
         counted = true;
       }
-      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      if (cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout) {
         if (auto v = TakeLocked(key)) return std::optional<T>(std::move(*v));
         return std::optional<T>(std::nullopt);
       }
@@ -137,7 +137,7 @@ class FolderDirectory {
 
   // get_skip: non-blocking; nullopt when the folder has no memo.
   Result<std::optional<T>> GetSkip(const QualifiedKey& key) {
-    std::unique_lock lock(mu_);
+    MutexLock lock(mu_);
     if (closed_) return CancelledError("directory closed");
     if (auto v = TakeLocked(key)) return std::optional<T>(std::move(*v));
     return std::optional<T>(std::nullopt);
@@ -145,7 +145,7 @@ class FolderDirectory {
 
   // get_copy: blocking examine; the memo stays in the folder.
   Result<T> GetCopy(const QualifiedKey& key) {
-    std::unique_lock lock(mu_);
+    MutexLock lock(mu_);
     bool counted = false;
     for (;;) {
       if (closed_) return CancelledError("directory closed");
@@ -158,13 +158,13 @@ class FolderDirectory {
         ++stats_.blocked_waits;
         counted = true;
       }
-      cv_.wait(lock);
+      cv_.Wait(mu_);
     }
   }
 
   Result<std::optional<T>> GetCopyFor(const QualifiedKey& key,
                                       std::chrono::milliseconds timeout) {
-    std::unique_lock lock(mu_);
+    MutexLock lock(mu_);
     const auto deadline = std::chrono::steady_clock::now() + timeout;
     for (;;) {
       if (closed_) return CancelledError("directory closed");
@@ -173,7 +173,7 @@ class FolderDirectory {
         ++stats_.copies;
         return std::optional<T>(std::move(copy));
       }
-      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      if (cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout) {
         return std::optional<T>(std::nullopt);
       }
     }
@@ -183,7 +183,7 @@ class FolderDirectory {
   // eligible the choice is nondeterministic (pseudorandom).
   Result<std::pair<QualifiedKey, T>> GetAlt(
       std::span<const QualifiedKey> keys) {
-    std::unique_lock lock(mu_);
+    MutexLock lock(mu_);
     bool counted = false;
     for (;;) {
       if (closed_) return CancelledError("directory closed");
@@ -192,20 +192,20 @@ class FolderDirectory {
         ++stats_.blocked_waits;
         counted = true;
       }
-      cv_.wait(lock);
+      cv_.Wait(mu_);
     }
   }
 
   Result<std::optional<std::pair<QualifiedKey, T>>> GetAltFor(
       std::span<const QualifiedKey> keys, std::chrono::milliseconds timeout) {
-    std::unique_lock lock(mu_);
+    MutexLock lock(mu_);
     const auto deadline = std::chrono::steady_clock::now() + timeout;
     for (;;) {
       if (closed_) return CancelledError("directory closed");
       if (auto v = TakeAltLocked(keys)) {
         return std::optional<std::pair<QualifiedKey, T>>(std::move(*v));
       }
-      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      if (cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout) {
         if (auto v = TakeAltLocked(keys)) {
           return std::optional<std::pair<QualifiedKey, T>>(std::move(*v));
         }
@@ -217,7 +217,7 @@ class FolderDirectory {
   // get_alt_skip: non-blocking variant.
   Result<std::optional<std::pair<QualifiedKey, T>>> GetAltSkip(
       std::span<const QualifiedKey> keys) {
-    std::unique_lock lock(mu_);
+    MutexLock lock(mu_);
     if (closed_) return CancelledError("directory closed");
     if (auto v = TakeAltLocked(keys)) {
       return std::optional<std::pair<QualifiedKey, T>>(std::move(*v));
@@ -227,14 +227,14 @@ class FolderDirectory {
 
   // Number of extractable memos in the folder (0 when it vanished).
   std::size_t Count(const QualifiedKey& key) const {
-    std::unique_lock lock(mu_);
+    MutexLock lock(mu_);
     auto it = folders_.find(key);
     return it == folders_.end() ? 0 : it->second.visible.size();
   }
 
   // Folders currently materialized (extractable or with parked memos).
   std::size_t FolderCount() const {
-    std::unique_lock lock(mu_);
+    MutexLock lock(mu_);
     return folders_.size();
   }
 
@@ -242,7 +242,7 @@ class FolderDirectory {
   // empty). Used by the dynamic-data-migration path when an application's
   // folder-server placement changes.
   std::vector<QualifiedKey> Keys(const std::string& app = "") const {
-    std::unique_lock lock(mu_);
+    MutexLock lock(mu_);
     std::vector<QualifiedKey> out;
     for (const auto& [key, folder] : folders_) {
       if (app.empty() || key.app == app) out.push_back(key);
@@ -251,7 +251,7 @@ class FolderDirectory {
   }
 
   DirectoryStats GetStats() const {
-    std::unique_lock lock(mu_);
+    MutexLock lock(mu_);
     return stats_;
   }
 
@@ -263,7 +263,7 @@ class FolderDirectory {
   // populated directory; restored memos add to what is there).
 
   void SnapshotTo(ByteWriter& out) const {
-    std::unique_lock lock(mu_);
+    MutexLock lock(mu_);
     out.u32(kSnapshotMagic);
     out.u8(kSnapshotVersion);
     out.varint(folders_.size());
@@ -290,7 +290,7 @@ class FolderDirectory {
                                 std::to_string(version));
     }
     DMEMO_ASSIGN_OR_RETURN(std::uint64_t n_folders, in.varint());
-    std::unique_lock lock(mu_);
+    MutexLock lock(mu_);
     if (closed_) return CancelledError("directory closed");
     for (std::uint64_t f = 0; f < n_folders; ++f) {
       DMEMO_ASSIGN_OR_RETURN(QualifiedKey key, QualifiedKey::DecodeFrom(in));
@@ -315,19 +315,19 @@ class FolderDirectory {
         folders_.erase(folders_.find(key));
       }
     }
-    cv_.notify_all();  // restored memos may satisfy parked gets
+    cv_.NotifyAll();  // restored memos may satisfy parked gets
     return Status::Ok();
   }
 
   // Wake every blocked get with CANCELLED and refuse further operations.
   void Close() {
-    std::unique_lock lock(mu_);
+    MutexLock lock(mu_);
     closed_ = true;
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
   bool closed() const {
-    std::unique_lock lock(mu_);
+    MutexLock lock(mu_);
     return closed_;
   }
 
@@ -340,13 +340,13 @@ class FolderDirectory {
     std::vector<std::pair<QualifiedKey, T>> delayed;
   };
 
-  Folder& FolderFor(const QualifiedKey& key) {
+  Folder& FolderFor(const QualifiedKey& key) DMEMO_REQUIRES(mu_) {
     auto [it, inserted] = folders_.try_emplace(key);
     if (inserted) ++stats_.folders_created;
     return it->second;
   }
 
-  void PutLocked(const QualifiedKey& key, T value) {
+  void PutLocked(const QualifiedKey& key, T value) DMEMO_REQUIRES(mu_) {
     // Iterative release: a deposit may release delayed memos whose arrival
     // in key2 releases further delayed memos — a dataflow chain. A work
     // list avoids recursion while the lock is held.
@@ -368,7 +368,8 @@ class FolderDirectory {
     }
   }
 
-  std::optional<T> TakeLocked(const QualifiedKey& key) {
+  std::optional<T> TakeLocked(const QualifiedKey& key)
+      DMEMO_REQUIRES(mu_) {
     auto it = folders_.find(key);
     if (it == folders_.end() || it->second.visible.empty()) {
       return std::nullopt;
@@ -385,7 +386,7 @@ class FolderDirectory {
     return value;
   }
 
-  const T* PeekLocked(const QualifiedKey& key) {
+  const T* PeekLocked(const QualifiedKey& key) DMEMO_REQUIRES(mu_) {
     auto it = folders_.find(key);
     if (it == folders_.end() || it->second.visible.empty()) return nullptr;
     auto& visible = it->second.visible;
@@ -395,7 +396,7 @@ class FolderDirectory {
   }
 
   std::optional<std::pair<QualifiedKey, T>> TakeAltLocked(
-      std::span<const QualifiedKey> keys) {
+      std::span<const QualifiedKey> keys) DMEMO_REQUIRES(mu_) {
     // Collect eligible alternatives, then pick one pseudorandomly
     // ("nondeterministically return a value from an eligible folder").
     std::vector<std::size_t> eligible;
@@ -414,19 +415,21 @@ class FolderDirectory {
 
   void VanishIfEmpty(
       typename std::unordered_map<QualifiedKey, Folder,
-                                  QualifiedKeyHash>::iterator it) {
+                                  QualifiedKeyHash>::iterator it)
+      DMEMO_REQUIRES(mu_) {
     if (it->second.visible.empty() && it->second.delayed.empty()) {
       folders_.erase(it);
       ++stats_.folders_vanished;
     }
   }
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::unordered_map<QualifiedKey, Folder, QualifiedKeyHash> folders_;
-  SplitMix64 rng_;
-  DirectoryStats stats_;
-  bool closed_ = false;
+  mutable Mutex mu_{"FolderDirectory::mu"};
+  CondVar cv_;
+  std::unordered_map<QualifiedKey, Folder, QualifiedKeyHash> folders_
+      DMEMO_GUARDED_BY(mu_);
+  SplitMix64 rng_ DMEMO_GUARDED_BY(mu_);
+  DirectoryStats stats_ DMEMO_GUARDED_BY(mu_);
+  bool closed_ DMEMO_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace dmemo

@@ -15,7 +15,10 @@ namespace {
 
 class SpinLock final : public Lock {
  public:
-  void Acquire() override {
+  std::string_view mechanism() const override { return "spin"; }
+
+ protected:
+  void AcquireImpl() override {
     int spins = 0;
     while (flag_.test_and_set(std::memory_order_acquire)) {
       // Exponential backoff: brief busy-wait, then yield to the scheduler so
@@ -31,24 +34,24 @@ class SpinLock final : public Lock {
     }
   }
 
-  void Release() override { flag_.clear(std::memory_order_release); }
+  void ReleaseImpl() override { flag_.clear(std::memory_order_release); }
 
-  bool TryAcquire() override {
+  bool TryAcquireImpl() override {
     return !flag_.test_and_set(std::memory_order_acquire);
   }
-
-  std::string_view mechanism() const override { return "spin"; }
 
  private:
   std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
 };
 
-class MutexLock final : public Lock {
+class StdMutexLock final : public Lock {
  public:
-  void Acquire() override { mu_.lock(); }
-  void Release() override { mu_.unlock(); }
-  bool TryAcquire() override { return mu_.try_lock(); }
   std::string_view mechanism() const override { return "mutex"; }
+
+ protected:
+  void AcquireImpl() override { mu_.lock(); }
+  void ReleaseImpl() override { mu_.unlock(); }
+  bool TryAcquireImpl() override { return mu_.try_lock(); }
 
  private:
   std::mutex mu_;
@@ -57,10 +60,12 @@ class MutexLock final : public Lock {
 class SemaphoreLock final : public Lock {
  public:
   SemaphoreLock() : sem_(1) {}
-  void Acquire() override { sem_.Acquire(); }
-  void Release() override { sem_.Release(); }
-  bool TryAcquire() override { return sem_.TryAcquire(); }
   std::string_view mechanism() const override { return "semaphore"; }
+
+ protected:
+  void AcquireImpl() override { sem_.Acquire(); }
+  void ReleaseImpl() override { sem_.Release(); }
+  bool TryAcquireImpl() override { return sem_.TryAcquire(); }
 
  private:
   CountingSemaphore sem_;
@@ -76,12 +81,14 @@ class FileLock final : public Lock {
     if (fd_ >= 0) ::close(fd_);
   }
 
-  void Acquire() override { ::flock(fd_, LOCK_EX); }
-  void Release() override { ::flock(fd_, LOCK_UN); }
-  bool TryAcquire() override {
+  std::string_view mechanism() const override { return "file"; }
+
+ protected:
+  void AcquireImpl() override { ::flock(fd_, LOCK_EX); }
+  void ReleaseImpl() override { ::flock(fd_, LOCK_UN); }
+  bool TryAcquireImpl() override {
     return ::flock(fd_, LOCK_EX | LOCK_NB) == 0;
   }
-  std::string_view mechanism() const override { return "file"; }
 
  private:
   int fd_;
@@ -94,7 +101,7 @@ Result<std::unique_ptr<Lock>> MakeLock(LockKind kind, std::string path) {
     case LockKind::kSpin:
       return std::unique_ptr<Lock>(std::make_unique<SpinLock>());
     case LockKind::kMutex:
-      return std::unique_ptr<Lock>(std::make_unique<MutexLock>());
+      return std::unique_ptr<Lock>(std::make_unique<StdMutexLock>());
     case LockKind::kSemaphore:
       return std::unique_ptr<Lock>(std::make_unique<SemaphoreLock>());
     case LockKind::kFile: {

@@ -7,27 +7,73 @@
 // mutex, counting semaphore, kernel file lock), selected at run time through
 // the factory — the same class-derivation story the paper tells for shared
 // memory.
+//
+// Lock is a Clang thread-safety capability and a hook point for the runtime
+// lock-order detector: the public Acquire/Release/TryAcquire are non-virtual
+// and instrument every acquisition in debug builds before dispatching to the
+// mechanism-specific *Impl virtuals.
 #pragma once
 
 #include <memory>
+#include <mutex>  // std::adopt_lock_t
 #include <string>
 #include <string_view>
 
+#include "locking/lock_order.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace dmemo {
 
-class Lock {
+class DMEMO_CAPABILITY("lock") Lock {
  public:
-  virtual ~Lock() = default;
+  virtual ~Lock() {
+#ifdef DMEMO_LOCK_ORDER_CHECKS
+    lock_order::OnDestroy(this);
+#endif
+  }
 
-  virtual void Acquire() = 0;
-  virtual void Release() = 0;
+  void Acquire() DMEMO_ACQUIRE() DMEMO_NO_THREAD_SAFETY_ANALYSIS {
+#ifdef DMEMO_LOCK_ORDER_CHECKS
+    lock_order::OnAcquire(this, debug_name_.empty() ? nullptr
+                                                    : debug_name_.c_str());
+#endif
+    AcquireImpl();
+  }
+
+  void Release() DMEMO_RELEASE() DMEMO_NO_THREAD_SAFETY_ANALYSIS {
+#ifdef DMEMO_LOCK_ORDER_CHECKS
+    lock_order::OnRelease(this);
+#endif
+    ReleaseImpl();
+  }
+
   // Non-blocking attempt; true when the lock was taken.
-  virtual bool TryAcquire() = 0;
+  bool TryAcquire() DMEMO_TRY_ACQUIRE(true) DMEMO_NO_THREAD_SAFETY_ANALYSIS {
+    const bool taken = TryAcquireImpl();
+#ifdef DMEMO_LOCK_ORDER_CHECKS
+    if (taken) {
+      lock_order::OnTryAcquired(
+          this, debug_name_.empty() ? nullptr : debug_name_.c_str());
+    }
+#endif
+    return taken;
+  }
 
   // Mechanism label, e.g. "spin", "mutex" (diagnostics, bench labels).
   virtual std::string_view mechanism() const = 0;
+
+  // Optional label used by lock-order inversion reports.
+  void set_debug_name(std::string name) { debug_name_ = std::move(name); }
+  const std::string& debug_name() const { return debug_name_; }
+
+ protected:
+  virtual void AcquireImpl() = 0;
+  virtual void ReleaseImpl() = 0;
+  virtual bool TryAcquireImpl() = 0;
+
+ private:
+  std::string debug_name_;
 };
 
 enum class LockKind {
@@ -42,15 +88,42 @@ enum class LockKind {
 Result<std::unique_ptr<Lock>> MakeLock(LockKind kind, std::string path = "");
 
 // RAII guard over the abstract Lock.
-class ScopedLock {
+class DMEMO_SCOPED_CAPABILITY ScopedLock {
  public:
-  explicit ScopedLock(Lock& lock) : lock_(lock) { lock_.Acquire(); }
-  ~ScopedLock() { lock_.Release(); }
+  explicit ScopedLock(Lock& lock) DMEMO_ACQUIRE(lock) : lock_(lock) {
+    lock_.Acquire();
+  }
+  // Adopts a lock the caller already holds (e.g. after a successful
+  // TryAcquire) so the release path is RAII instead of hand-rolled.
+  ScopedLock(Lock& lock, std::adopt_lock_t) DMEMO_REQUIRES(lock)
+      : lock_(lock) {}
+  ~ScopedLock() DMEMO_RELEASE() { lock_.Release(); }
   ScopedLock(const ScopedLock&) = delete;
   ScopedLock& operator=(const ScopedLock&) = delete;
 
  private:
   Lock& lock_;
+};
+
+// RAII try-acquire: holds the lock for the scope only if the attempt
+// succeeded. Replaces hand-rolled `if (TryAcquire()) { ... Release(); }`
+// release paths at try-lock call sites.
+class DMEMO_SCOPED_CAPABILITY TryScopedLock {
+ public:
+  explicit TryScopedLock(Lock& lock) DMEMO_TRY_ACQUIRE(true, lock)
+      : lock_(lock), held_(lock.TryAcquire()) {}
+  ~TryScopedLock() DMEMO_RELEASE() {
+    if (held_) lock_.Release();
+  }
+  TryScopedLock(const TryScopedLock&) = delete;
+  TryScopedLock& operator=(const TryScopedLock&) = delete;
+
+  bool held() const { return held_; }
+  explicit operator bool() const { return held_; }
+
+ private:
+  Lock& lock_;
+  bool held_;
 };
 
 // Counting semaphore used by the patterns layer and the semaphore lock.

@@ -1,0 +1,193 @@
+#include "locking/lock_order.h"
+
+#ifdef DMEMO_LOCK_ORDER_CHECKS
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace dmemo {
+namespace lock_order {
+
+namespace {
+
+struct Node {
+  std::string name;
+  std::unordered_set<const void*> succ;  // acquired after this lock
+  std::unordered_set<const void*> pred;  // acquired before this lock
+};
+
+struct Graph {
+  // A plain std::mutex on purpose: the instrumented dmemo::Mutex would
+  // re-enter the detector.
+  std::mutex mu;
+  std::unordered_map<const void*, Node> nodes;
+  std::uint64_t acquisitions = 0;
+  std::uint64_t edges = 0;
+};
+
+Graph& GlobalGraph() {
+  static Graph* graph = new Graph();  // leaked: outlives static destructors
+  return *graph;
+}
+
+struct Held {
+  const void* lock;
+  const char* name;
+};
+
+thread_local std::vector<Held> t_held;
+
+std::string Describe(const void* lock, const char* name) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%p", lock);
+  std::string out(buf);
+  if (name != nullptr && name[0] != '\0') {
+    out += " (";
+    out += name;
+    out += ")";
+  }
+  return out;
+}
+
+[[noreturn]] void AbortWithReport(Graph& graph, const void* acquiring,
+                                  const char* acquiring_name,
+                                  const std::vector<const void*>& cycle_path,
+                                  const char* reason) {
+  std::fprintf(stderr, "\n=== dmemo lock-order inversion detected ===\n");
+  std::fprintf(stderr, "%s while acquiring lock %s\n", reason,
+               Describe(acquiring, acquiring_name).c_str());
+  std::fprintf(stderr, "held by this thread (oldest first):\n");
+  for (const Held& h : t_held) {
+    std::fprintf(stderr, "  - %s\n", Describe(h.lock, h.name).c_str());
+  }
+  if (!cycle_path.empty()) {
+    std::fprintf(stderr,
+                 "previously recorded acquisition order (lock-order cycle):\n");
+    for (const void* node : cycle_path) {
+      auto it = graph.nodes.find(node);
+      const char* name =
+          it != graph.nodes.end() && !it->second.name.empty()
+              ? it->second.name.c_str()
+              : nullptr;
+      std::fprintf(stderr, "  -> %s\n", Describe(node, name).c_str());
+    }
+  }
+  std::fprintf(stderr, "===========================================\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+// Depth-first search over recorded order edges: is `target` reachable from
+// `from`? Fills `path` (from -> ... -> target) when found. Caller holds
+// graph.mu.
+bool Reaches(Graph& graph, const void* from, const void* target,
+             std::unordered_set<const void*>& visited,
+             std::vector<const void*>& path) {
+  if (from == target) {
+    path.push_back(from);
+    return true;
+  }
+  if (!visited.insert(from).second) return false;
+  auto it = graph.nodes.find(from);
+  if (it == graph.nodes.end()) return false;
+  for (const void* next : it->second.succ) {
+    if (Reaches(graph, next, target, visited, path)) {
+      path.insert(path.begin(), from);
+      return true;
+    }
+  }
+  return false;
+}
+
+Node& NodeFor(Graph& graph, const void* lock, const char* name) {
+  Node& node = graph.nodes[lock];
+  if (node.name.empty() && name != nullptr) node.name = name;
+  return node;
+}
+
+}  // namespace
+
+void OnAcquire(const void* lock, const char* name) {
+  for (const Held& h : t_held) {
+    if (h.lock == lock) {
+      Graph& graph = GlobalGraph();
+      std::lock_guard guard(graph.mu);
+      AbortWithReport(graph, lock, name, {},
+                      "re-acquisition of a lock this thread already holds");
+    }
+  }
+  {
+    Graph& graph = GlobalGraph();
+    std::lock_guard guard(graph.mu);
+    ++graph.acquisitions;
+    NodeFor(graph, lock, name);
+    // Inversion check: if any held lock is reachable *from* the new lock,
+    // some earlier thread acquired them in the opposite order.
+    for (const Held& h : t_held) {
+      std::unordered_set<const void*> visited;
+      std::vector<const void*> path;
+      if (Reaches(graph, lock, h.lock, visited, path)) {
+        AbortWithReport(graph, lock, name, path,
+                        "inconsistent acquisition order");
+      }
+    }
+    // Record held -> new edges.
+    for (const Held& h : t_held) {
+      Node& from = NodeFor(graph, h.lock, h.name);
+      if (from.succ.insert(lock).second) {
+        NodeFor(graph, lock, name).pred.insert(h.lock);
+        ++graph.edges;
+      }
+    }
+  }
+  t_held.push_back(Held{lock, name});
+}
+
+void OnTryAcquired(const void* lock, const char* name) {
+  t_held.push_back(Held{lock, name});
+}
+
+void OnRelease(const void* lock) {
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->lock == lock) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+void OnDestroy(const void* lock) {
+  Graph& graph = GlobalGraph();
+  std::lock_guard guard(graph.mu);
+  auto it = graph.nodes.find(lock);
+  if (it == graph.nodes.end()) return;
+  for (const void* s : it->second.succ) {
+    auto sit = graph.nodes.find(s);
+    if (sit != graph.nodes.end()) sit->second.pred.erase(lock);
+  }
+  for (const void* p : it->second.pred) {
+    auto pit = graph.nodes.find(p);
+    if (pit != graph.nodes.end()) pit->second.succ.erase(lock);
+  }
+  graph.nodes.erase(it);
+}
+
+Stats GetStats() {
+  Graph& graph = GlobalGraph();
+  std::lock_guard guard(graph.mu);
+  Stats s;
+  s.acquisitions = graph.acquisitions;
+  s.edges = graph.edges;
+  s.locks_tracked = graph.nodes.size();
+  return s;
+}
+
+}  // namespace lock_order
+}  // namespace dmemo
+
+#endif  // DMEMO_LOCK_ORDER_CHECKS

@@ -1,0 +1,66 @@
+// Runtime lock-order / deadlock detector (debug builds only).
+//
+// The dynamic leg of the concurrency-correctness layer: every annotated lock
+// in the system (dmemo::Mutex, dmemo::Lock) reports acquisitions and
+// releases here. The detector maintains
+//
+//   * a per-thread stack of currently held locks, and
+//   * a global acquisition-order graph: an edge A -> B is recorded the first
+//     time some thread acquires B while holding A.
+//
+// Before a blocking acquisition of lock N while holding {H...}, the detector
+// walks the graph from N; if any held lock is reachable, the program has
+// taken the same pair of locks in both orders — a latent deadlock — and the
+// process aborts immediately with both participants' names, the would-be
+// cycle, and the acquiring thread's held-lock stack. Re-acquiring a lock the
+// thread already holds (self-deadlock on these non-reentrant locks) aborts
+// the same way.
+//
+// TryLock-style acquisitions cannot block, so they are recorded on the held
+// stack (later blocking acquisitions still order against them) but do not
+// themselves insert edges or trigger the cycle check.
+//
+// Everything here is compiled out unless DMEMO_LOCK_ORDER_CHECKS is defined
+// (CMake option of the same name, default ON in Debug builds): the hook call
+// sites in util/mutex.h and locking/lock.h disappear, and this translation
+// unit contributes no symbols — release builds pay exactly nothing.
+#pragma once
+
+#ifdef DMEMO_LOCK_ORDER_CHECKS
+
+#include <cstdint>
+
+namespace dmemo {
+namespace lock_order {
+
+struct Stats {
+  std::uint64_t acquisitions = 0;  // blocking acquisitions checked
+  std::uint64_t edges = 0;         // distinct order edges recorded
+  std::uint64_t locks_tracked = 0; // live locks known to the graph
+};
+
+// Pre-acquisition hook for a blocking acquire: records order edges from
+// every lock this thread holds to `lock`, aborts on an inversion or a
+// re-acquisition, then pushes `lock` onto the thread's held stack. `name`
+// may be null (reported as the lock's address only) and must outlive the
+// lock when provided.
+void OnAcquire(const void* lock, const char* name);
+
+// Post-acquisition hook for a successful try-acquire: pushes onto the held
+// stack without edge insertion or cycle checking (a try can't block).
+void OnTryAcquired(const void* lock, const char* name);
+
+// Removes `lock` from the calling thread's held stack (any position: guard
+// objects may release out of LIFO order).
+void OnRelease(const void* lock);
+
+// Forgets a destroyed lock so a recycled address cannot inherit stale
+// edges and report a phantom inversion.
+void OnDestroy(const void* lock);
+
+Stats GetStats();
+
+}  // namespace lock_order
+}  // namespace dmemo
+
+#endif  // DMEMO_LOCK_ORDER_CHECKS

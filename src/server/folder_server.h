@@ -9,6 +9,11 @@
 // machine invokes Handle() directly (the Figure-1 shared-memory path), on a
 // worker-pool thread, so blocking gets park that thread until a memo
 // arrives — the paper's thread-per-request model.
+//
+// Thread safety: FolderServer itself holds no lock. All synchronization
+// lives in the underlying FolderDirectory (whose mutex ranks at the
+// "directory" level of the canonical lock order, see DESIGN.md) plus one
+// atomic request counter; Handle() is safe from any number of threads.
 #pragma once
 
 #include <atomic>

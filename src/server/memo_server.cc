@@ -39,7 +39,7 @@ void MemoServer::AcceptLoop() {
     auto channel = RpcChannel::Create(
         std::move(*conn), pool_.get(),
         [this](const Request& req) { return Handle(req); });
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_) {
       channel->Close();
       return;
@@ -56,7 +56,7 @@ Status MemoServer::RegisterApp(const AppDescription& adf) {
   DMEMO_ASSIGN_OR_RETURN(RoutingTable routing, RoutingTable::Build(adf));
   bool replaced = false;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_) return CancelledError("memo server shut down");
     // Re-registration replaces the table ("allows multiple memo
     // applications to run concurrently, using the same servers").
@@ -80,7 +80,7 @@ Status MemoServer::RegisterApp(const AppDescription& adf) {
       }
     }
     {
-      std::lock_guard slock(stats_mu_);
+      MutexLock slock(stats_mu_);
       ++stats_.apps_registered;
     }
   }
@@ -99,7 +99,7 @@ void MemoServer::MigrateApp(const std::string& app,
                             const RoutingTable& routing) {
   std::vector<std::pair<int, FolderServer*>> locals;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     for (auto& [id, fs] : folder_servers_) locals.emplace_back(id, fs.get());
   }
   std::uint64_t moved = 0;
@@ -140,7 +140,7 @@ std::string MemoServer::SnapshotPath(int fs_id) const {
 
 Result<RpcChannelPtr> MemoServer::PeerChannel(const std::string& host) {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_) return CancelledError("memo server shut down");
     auto it = peer_channels_.find(host);
     if (it != peer_channels_.end() && !it->second->closed()) {
@@ -156,7 +156,7 @@ Result<RpcChannelPtr> MemoServer::PeerChannel(const std::string& host) {
   auto channel = RpcChannel::Create(
       std::move(conn), pool_.get(),
       [this](const Request& req) { return Handle(req); });
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (shutdown_) {
     channel->Close();
     return CancelledError("memo server shut down");
@@ -173,7 +173,7 @@ Result<FolderServer*> MemoServer::LocalFolderServer(
     return InternalError("key " + qk.DebugString() + " owned by " +
                          spec.host + ", not " + options_.host);
   }
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = folder_servers_.find(spec.id);
   if (it == folder_servers_.end()) {
     return InternalError("folder server " + std::to_string(spec.id) +
@@ -184,7 +184,7 @@ Result<FolderServer*> MemoServer::LocalFolderServer(
 
 Response MemoServer::Handle(const Request& request) {
   {
-    std::lock_guard slock(stats_mu_);
+    MutexLock slock(stats_mu_);
     ++stats_.requests;
   }
   if (request.op == Op::kPing) return Response{};
@@ -199,7 +199,7 @@ Response MemoServer::Handle(const Request& request) {
 
   std::shared_ptr<RoutingTable> routing;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     auto it = apps_.find(request.app);
     if (it == apps_.end()) {
       return Response::FromStatus(UnavailableError(
@@ -218,7 +218,7 @@ Response MemoServer::Handle(const Request& request) {
   if (!request.target_host.empty() &&
       request.target_host != options_.host) {
     {
-      std::lock_guard slock(stats_mu_);
+      MutexLock slock(stats_mu_);
       ++stats_.relayed;
     }
     return ForwardToward(request.target_host, request);
@@ -241,7 +241,7 @@ Response MemoServer::Handle(const Request& request) {
     return HandleDirected(directed);
   }
   {
-    std::lock_guard slock(stats_mu_);
+    MutexLock slock(stats_mu_);
     ++stats_.forwarded;
   }
   return ForwardToward(spec->host, std::move(directed));
@@ -250,7 +250,7 @@ Response MemoServer::Handle(const Request& request) {
 Response MemoServer::HandleDirected(const Request& request) {
   std::shared_ptr<RoutingTable> routing;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     auto it = apps_.find(request.app);
     if (it == apps_.end()) {
       return Response::FromStatus(
@@ -265,7 +265,7 @@ Response MemoServer::HandleDirected(const Request& request) {
   auto fs = LocalFolderServer(*routing, qk);
   if (!fs.ok()) return Response::FromStatus(fs.status());
   {
-    std::lock_guard slock(stats_mu_);
+    MutexLock slock(stats_mu_);
     ++stats_.local_handled;
   }
   Response resp = (*fs)->Handle(request);
@@ -277,7 +277,7 @@ Response MemoServer::ForwardToward(const std::string& target_host,
                                    Request request) {
   std::shared_ptr<RoutingTable> routing;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     auto it = apps_.find(request.app);
     if (it == apps_.end()) {
       return Response::FromStatus(UnavailableError("app not registered"));
@@ -328,7 +328,7 @@ Response MemoServer::HandleAlt(const Request& request,
     sub.target_host = g.host;
     if (g.host == options_.host) return HandleDirected(sub);
     {
-      std::lock_guard slock(stats_mu_);
+      MutexLock slock(stats_mu_);
       ++stats_.forwarded;
     }
     return ForwardToward(g.host, std::move(sub));
@@ -350,11 +350,11 @@ Response MemoServer::HandleAlt(const Request& request,
       return Response{};  // no value anywhere, non-blocking: empty response
     }
     {
-      std::lock_guard slock(stats_mu_);
+      MutexLock slock(stats_mu_);
       ++stats_.alt_rotations;
     }
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       if (shutdown_) {
         return Response::FromStatus(CancelledError("server shut down"));
       }
@@ -369,7 +369,7 @@ Response MemoServer::HandleStats() const {
   auto root = std::make_shared<TRecord>();
   root->Set("host", MakeString(options_.host));
   {
-    std::lock_guard slock(stats_mu_);
+    MutexLock slock(stats_mu_);
     root->Set("requests", MakeUInt64(stats_.requests));
     root->Set("local_handled", MakeUInt64(stats_.local_handled));
     root->Set("forwarded", MakeUInt64(stats_.forwarded));
@@ -386,7 +386,7 @@ Response MemoServer::HandleStats() const {
 
   auto folders = std::make_shared<TList>();
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     for (const auto& [id, fs] : folder_servers_) {
       auto rec = std::make_shared<TRecord>();
       rec->Set("id", MakeInt32(id));
@@ -412,7 +412,7 @@ Response MemoServer::HandleStats() const {
 void MemoServer::Shutdown() {
   std::vector<RpcChannelPtr> channels;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_) return;
     shutdown_ = true;
     for (auto& [host, ch] : peer_channels_) channels.push_back(ch);
@@ -437,12 +437,12 @@ void MemoServer::Shutdown() {
 }
 
 MemoServerStats MemoServer::stats() const {
-  std::lock_guard lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   return stats_;
 }
 
 std::vector<PeerTraffic> MemoServer::peer_traffic() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<PeerTraffic> out;
   for (const auto& [host, ch] : peer_channels_) {
     out.push_back(PeerTraffic{host, ch->bytes_sent(), ch->bytes_received()});
@@ -451,14 +451,14 @@ std::vector<PeerTraffic> MemoServer::peer_traffic() const {
 }
 
 std::vector<int> MemoServer::folder_server_ids() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<int> ids;
   for (const auto& [id, fs] : folder_servers_) ids.push_back(id);
   return ids;
 }
 
 const FolderServer* MemoServer::folder_server(int id) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = folder_servers_.find(id);
   return it == folder_servers_.end() ? nullptr : it->second.get();
 }

@@ -30,6 +30,8 @@
 #include "server/folder_server.h"
 #include "server/rpc_channel.h"
 #include "transport/transport.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/worker_pool.h"
 
 namespace dmemo {
@@ -120,15 +122,21 @@ class MemoServer {
   std::unique_ptr<WorkerPool> pool_;
   std::thread acceptor_;
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::shared_ptr<RoutingTable>> apps_;
-  std::map<int, std::unique_ptr<FolderServer>> folder_servers_;
-  std::unordered_map<std::string, RpcChannelPtr> peer_channels_;
-  std::vector<RpcChannelPtr> inbound_channels_;
-  bool shutdown_ = false;
+  // Canonical order (see DESIGN.md "Concurrency invariants"): mu_ may be
+  // held while taking stats_mu_ or a directory lock, never the reverse.
+  mutable Mutex mu_{"MemoServer::mu"};
+  std::unordered_map<std::string, std::shared_ptr<RoutingTable>> apps_
+      DMEMO_GUARDED_BY(mu_);
+  std::map<int, std::unique_ptr<FolderServer>> folder_servers_
+      DMEMO_GUARDED_BY(mu_);
+  std::unordered_map<std::string, RpcChannelPtr> peer_channels_
+      DMEMO_GUARDED_BY(mu_);
+  std::vector<RpcChannelPtr> inbound_channels_ DMEMO_GUARDED_BY(mu_);
+  bool shutdown_ DMEMO_GUARDED_BY(mu_) = false;
 
-  mutable std::mutex stats_mu_;
-  MemoServerStats stats_;
+  // Leaf lock for the hot stats counters; safe under mu_.
+  mutable Mutex stats_mu_{"MemoServer::stats_mu"};
+  MemoServerStats stats_ DMEMO_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace dmemo

@@ -54,7 +54,7 @@ Result<std::optional<Response>> RpcChannel::CallFor(
   if (closed_.load()) return UnavailableError("rpc channel closed");
   std::uint64_t id;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     id = next_id_++;
     pending_.emplace(id, PendingCall{});
   }
@@ -64,17 +64,17 @@ Result<std::optional<Response>> RpcChannel::CallFor(
   request.EncodeTo(frame);
   Status sent;
   {
-    std::lock_guard lock(send_mu_);
+    MutexLock lock(send_mu_);
     sent = conn_->Send(frame.data());
   }
   if (!sent.ok()) {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     pending_.erase(id);
     return sent;
   }
   bytes_sent_.fetch_add(frame.size(), std::memory_order_relaxed);
 
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   const bool unbounded = timeout == std::chrono::milliseconds::max();
   const auto deadline = unbounded
                             ? std::chrono::steady_clock::time_point::max()
@@ -94,8 +94,8 @@ Result<std::optional<Response>> RpcChannel::CallFor(
       return std::optional<Response>(std::move(resp));
     }
     if (unbounded) {
-      cv_.wait(lock);
-    } else if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      cv_.Wait(mu_);
+    } else if (cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout) {
       // Drop the entry; a late response then finds no waiter and is
       // discarded by the reader loop.
       pending_.erase(id);
@@ -115,7 +115,7 @@ void RpcChannel::ReaderLoop() {
     if (!kind.ok() || !id.ok()) continue;  // malformed frame: drop
     if (*kind == kKindResponse) {
       auto resp = Response::DecodeFrom(in);
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       auto it = pending_.find(*id);
       if (it == pending_.end()) continue;  // timed-out caller; drop
       if (resp.ok()) {
@@ -123,7 +123,7 @@ void RpcChannel::ReaderLoop() {
       } else {
         it->second.failed = true;
       }
-      cv_.notify_all();
+      cv_.NotifyAll();
     } else if (*kind == kKindRequest) {
       auto req = Request::DecodeFrom(in);
       if (!req.ok()) {
@@ -136,9 +136,9 @@ void RpcChannel::ReaderLoop() {
     }
   }
   closed_.store(true);
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [id, call] : pending_) call.failed = true;
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void RpcChannel::HandleRequest(std::uint64_t id, Request request) {
@@ -156,7 +156,7 @@ void RpcChannel::HandleRequest(std::uint64_t id, Request request) {
     frame.u8(kKindResponse);
     frame.u64(id);
     response.EncodeTo(frame);
-    std::lock_guard lock(self->send_mu_);
+    MutexLock lock(self->send_mu_);
     if (self->conn_->Send(frame.data()).ok()) {
       self->bytes_sent_.fetch_add(frame.size(), std::memory_order_relaxed);
     }
@@ -174,9 +174,9 @@ void RpcChannel::Close() {
     return;
   }
   conn_->Close();
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [id, call] : pending_) call.failed = true;
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 bool RpcChannel::closed() const { return closed_.load(); }

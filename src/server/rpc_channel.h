@@ -9,16 +9,16 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <unordered_map>
 
 #include "server/protocol.h"
 #include "transport/transport.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/worker_pool.h"
 
 namespace dmemo {
@@ -81,15 +81,18 @@ class RpcChannel : public std::enable_shared_from_this<RpcChannel> {
   std::thread reader_;
   std::atomic<bool> closed_{false};
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::uint64_t next_id_ = 1;
-  std::unordered_map<std::uint64_t, PendingCall> pending_;
+  Mutex mu_{"RpcChannel::mu"};
+  CondVar cv_;
+  std::uint64_t next_id_ DMEMO_GUARDED_BY(mu_) = 1;
+  std::unordered_map<std::uint64_t, PendingCall> pending_
+      DMEMO_GUARDED_BY(mu_);
 
   std::atomic<std::uint64_t> bytes_sent_{0};
   std::atomic<std::uint64_t> bytes_received_{0};
   std::atomic<std::uint64_t> requests_handled_{0};
-  std::mutex send_mu_;
+  // Serializes whole-frame writes to conn_. Leaf lock: never acquire mu_
+  // while holding it.
+  Mutex send_mu_{"RpcChannel::send_mu"};
 };
 
 }  // namespace dmemo

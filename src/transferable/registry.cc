@@ -16,7 +16,7 @@ TypeRegistry& TypeRegistry::Global() {
 TypeRegistry::TypeRegistry() = default;
 
 Status TypeRegistry::Register(TypeId id, TransferableFactory factory) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto [it, inserted] = factories_.emplace(id, std::move(factory));
   if (!inserted) {
     return AlreadyExistsError("type id " + std::to_string(id) +
@@ -26,7 +26,7 @@ Status TypeRegistry::Register(TypeId id, TransferableFactory factory) {
 }
 
 Result<TransferablePtr> TypeRegistry::Create(TypeId id) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = factories_.find(id);
   if (it == factories_.end()) {
     return NotFoundError("no transferable registered for type id " +
@@ -36,7 +36,7 @@ Result<TransferablePtr> TypeRegistry::Create(TypeId id) const {
 }
 
 bool TypeRegistry::Contains(TypeId id) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return factories_.contains(id);
 }
 

@@ -6,11 +6,12 @@
 #pragma once
 
 #include <functional>
-#include <mutex>
 #include <unordered_map>
 
 #include "transferable/transferable.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace dmemo {
 
@@ -28,8 +29,9 @@ class TypeRegistry {
  private:
   TypeRegistry();
 
-  mutable std::mutex mu_;
-  std::unordered_map<TypeId, TransferableFactory> factories_;
+  mutable Mutex mu_{"TypeRegistry::mu"};
+  std::unordered_map<TypeId, TransferableFactory> factories_
+      DMEMO_GUARDED_BY(mu_);
 };
 
 // Convenience: registers T (default-constructible) under its static kTypeId.

@@ -1,5 +1,8 @@
 #include "transport/channel.h"
 
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
 #include <atomic>
 #include <thread>
 #include <unordered_map>
@@ -84,17 +87,17 @@ struct FragmentingMux::Impl {
   BlockingQueue<Bytes> outbound;
 
   // Inbound reassembly per virtual connection.
-  std::mutex mu;
+  Mutex mu{"FragmentingMux::mu"};
   std::unordered_map<std::uint32_t, std::shared_ptr<BlockingQueue<Bytes>>>
-      inbound;
-  std::unordered_map<std::uint32_t, Bytes> partial;
+      inbound DMEMO_GUARDED_BY(mu);
+  std::unordered_map<std::uint32_t, Bytes> partial DMEMO_GUARDED_BY(mu);
 
   std::atomic<std::uint64_t> packets_sent{0};
   std::thread pump_tx;
   std::thread pump_rx;
 
   std::shared_ptr<BlockingQueue<Bytes>> InboundFor(std::uint32_t vc) {
-    std::lock_guard lock(mu);
+    MutexLock lock(mu);
     auto& q = inbound[vc];
     if (q == nullptr) q = std::make_shared<BlockingQueue<Bytes>>();
     return q;
@@ -117,28 +120,24 @@ struct FragmentingMux::Impl {
       auto frame = inner->Receive();
       if (!frame.ok()) {
         // Peer gone: close every stream so readers wake.
-        std::lock_guard lock(mu);
+        MutexLock lock(mu);
         for (auto& [vc, q] : inbound) q->Close();
         return;
       }
       auto packet = DecodePacket(*frame);
       if (!packet.ok()) continue;  // malformed packet: drop, keep pumping
-      Bytes* partial_msg;
+      Bytes complete;
       std::shared_ptr<BlockingQueue<Bytes>> queue;
       {
-        std::lock_guard lock(mu);
-        partial_msg = &partial[packet->vc];
-        partial_msg->insert(partial_msg->end(), packet->payload.begin(),
-                            packet->payload.end());
+        MutexLock lock(mu);
+        Bytes& partial_msg = partial[packet->vc];
+        partial_msg.insert(partial_msg.end(), packet->payload.begin(),
+                           packet->payload.end());
         if (!packet->last) continue;
         auto& q = inbound[packet->vc];
         if (q == nullptr) q = std::make_shared<BlockingQueue<Bytes>>();
         queue = q;
-      }
-      Bytes complete;
-      {
-        std::lock_guard lock(mu);
-        complete = std::move(*partial_msg);
+        complete = std::move(partial_msg);
         partial.erase(packet->vc);
       }
       queue->Push(std::move(complete));
@@ -150,7 +149,7 @@ struct FragmentingMux::Impl {
     inner->Close();
     if (pump_tx.joinable()) pump_tx.join();
     if (pump_rx.joinable()) pump_rx.join();
-    std::lock_guard lock(mu);
+    MutexLock lock(mu);
     for (auto& [vc, q] : inbound) q->Close();
   }
 };

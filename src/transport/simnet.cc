@@ -3,6 +3,9 @@
 #include <thread>
 #include <unordered_map>
 
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
 namespace dmemo {
 
 namespace {
@@ -79,16 +82,17 @@ class SimConnection final : public Connection {
 }  // namespace
 
 struct SimNetwork::Impl {
-  std::mutex mu;
-  SimLinkProfile default_profile;
-  std::unordered_map<std::string, SimLinkProfile> endpoint_profiles;
+  Mutex mu{"SimNetwork::mu"};
+  SimLinkProfile default_profile DMEMO_GUARDED_BY(mu);
+  std::unordered_map<std::string, SimLinkProfile> endpoint_profiles
+      DMEMO_GUARDED_BY(mu);
   // Pending dialed connections per listening endpoint name.
   std::unordered_map<std::string,
                      std::shared_ptr<BlockingQueue<ConnectionPtr>>>
-      listeners;
+      listeners DMEMO_GUARDED_BY(mu);
 
   SimLinkProfile ProfileFor(const std::string& endpoint) {
-    std::lock_guard lock(mu);
+    MutexLock lock(mu);
     auto it = endpoint_profiles.find(endpoint);
     return it != endpoint_profiles.end() ? it->second : default_profile;
   }
@@ -98,13 +102,13 @@ SimNetwork::SimNetwork() : impl_(std::make_unique<Impl>()) {}
 SimNetwork::~SimNetwork() = default;
 
 void SimNetwork::SetDefaultLinkProfile(SimLinkProfile profile) {
-  std::lock_guard lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   impl_->default_profile = profile;
 }
 
 void SimNetwork::SetEndpointLinkProfile(const std::string& endpoint,
                                         SimLinkProfile profile) {
-  std::lock_guard lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   impl_->endpoint_profiles[endpoint] = profile;
 }
 
@@ -132,7 +136,7 @@ class SimListener final : public Listener {
   void Close() override {
     backlog_->Close();
     if (auto network = network_.lock()) {
-      std::lock_guard lock(network->impl().mu);
+      MutexLock lock(network->impl().mu);
       auto it = network->impl().listeners.find(name_);
       if (it != network->impl().listeners.end() &&
           it->second == backlog_) {
@@ -159,7 +163,7 @@ class SimTransport final : public Transport {
     std::shared_ptr<BlockingQueue<ConnectionPtr>> backlog;
     SimLinkProfile profile = network_->impl().ProfileFor(name);
     {
-      std::lock_guard lock(network_->impl().mu);
+      MutexLock lock(network_->impl().mu);
       auto it = network_->impl().listeners.find(name);
       if (it == network_->impl().listeners.end()) {
         return UnavailableError("no sim listener at " + name);
@@ -183,7 +187,7 @@ class SimTransport final : public Transport {
     const std::string name = StripScheme(address);
     auto backlog = std::make_shared<BlockingQueue<ConnectionPtr>>();
     {
-      std::lock_guard lock(network_->impl().mu);
+      MutexLock lock(network_->impl().mu);
       auto [it, inserted] =
           network_->impl().listeners.emplace(name, backlog);
       if (!inserted) {

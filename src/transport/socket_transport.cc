@@ -1,5 +1,8 @@
 #include "transport/socket_transport.h"
 
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -10,7 +13,6 @@
 
 #include <cerrno>
 #include <cstring>
-#include <mutex>
 
 namespace dmemo {
 
@@ -56,7 +58,7 @@ class FdConnection final : public Connection {
   ~FdConnection() override { Close(); }
 
   Status Send(std::span<const std::uint8_t> frame) override {
-    std::lock_guard lock(send_mu_);
+    MutexLock lock(send_mu_);
     if (fd_ < 0) return UnavailableError("connection closed");
     std::uint8_t header[4] = {
         static_cast<std::uint8_t>(frame.size() >> 24),
@@ -69,7 +71,7 @@ class FdConnection final : public Connection {
   }
 
   Result<Bytes> Receive() override {
-    std::lock_guard lock(recv_mu_);
+    MutexLock lock(recv_mu_);
     if (fd_ < 0) return UnavailableError("connection closed");
     std::uint8_t header[4];
     DMEMO_RETURN_IF_ERROR(FullRead(fd_, header, sizeof(header)));
@@ -89,7 +91,7 @@ class FdConnection final : public Connection {
   Result<std::optional<Bytes>> ReceiveFor(
       std::chrono::milliseconds timeout) override {
     {
-      std::lock_guard lock(recv_mu_);
+      MutexLock lock(recv_mu_);
       if (fd_ < 0) return UnavailableError("connection closed");
       struct pollfd pfd{fd_, POLLIN, 0};
       int r = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
@@ -107,7 +109,8 @@ class FdConnection final : public Connection {
     int fd = fd_;
     if (fd >= 0) {
       ::shutdown(fd, SHUT_RDWR);
-      std::scoped_lock lock(send_mu_, recv_mu_);
+      MutexLock send_lock(send_mu_);  // canonical order: send before recv
+      MutexLock recv_lock(recv_mu_);
       if (fd_ >= 0) {
         ::close(fd_);
         fd_ = -1;
@@ -118,8 +121,11 @@ class FdConnection final : public Connection {
   std::string description() const override { return description_; }
 
  private:
-  std::mutex send_mu_;
-  std::mutex recv_mu_;
+  // Acquired send_mu_ before recv_mu_ when both are needed (Close only).
+  Mutex send_mu_{"FdConnection::send_mu"};
+  Mutex recv_mu_{"FdConnection::recv_mu"};
+  // Guarded by *either* mutex: Send checks it under send_mu_, Receive under
+  // recv_mu_, and Close clears it under both — so no single GUARDED_BY fits.
   int fd_;
   std::string description_;
 };

@@ -15,7 +15,7 @@ Result<ParsedAddress> ParseAddress(std::string_view url) {
 }
 
 Status TransportMux::RegisterTransport(TransportPtr transport) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto [it, inserted] =
       by_scheme_.emplace(std::string(transport->scheme()), transport);
   if (!inserted) {
@@ -30,7 +30,7 @@ Result<ConnectionPtr> TransportMux::Dial(std::string_view url) {
   DMEMO_ASSIGN_OR_RETURN(ParsedAddress parsed, ParseAddress(url));
   TransportPtr transport;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     auto it = by_scheme_.find(parsed.scheme);
     if (it == by_scheme_.end()) {
       return NotFoundError("no transport for scheme '" + parsed.scheme + "'");
@@ -44,7 +44,7 @@ Result<ListenerPtr> TransportMux::Listen(std::string_view url) {
   DMEMO_ASSIGN_OR_RETURN(ParsedAddress parsed, ParseAddress(url));
   TransportPtr transport;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     auto it = by_scheme_.find(parsed.scheme);
     if (it == by_scheme_.end()) {
       return NotFoundError("no transport for scheme '" + parsed.scheme + "'");

@@ -22,14 +22,15 @@
 
 #include <chrono>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 
 #include "util/bytes.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace dmemo {
 
@@ -109,8 +110,9 @@ class TransportMux final : public Transport {
   static std::shared_ptr<TransportMux> CreateDefault();
 
  private:
-  std::mutex mu_;
-  std::unordered_map<std::string, TransportPtr> by_scheme_;
+  mutable Mutex mu_{"TransportMux::mu"};
+  std::unordered_map<std::string, TransportPtr> by_scheme_
+      DMEMO_GUARDED_BY(mu_);
 };
 
 }  // namespace dmemo

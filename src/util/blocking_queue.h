@@ -1,14 +1,20 @@
 // Bounded-optional blocking MPMC queue used by server event loops and the
 // worker pool. Close() wakes all waiters; subsequent pops drain remaining
 // items, then report closure.
+//
+// Thread-safe; all state is guarded by mu_ and annotated for Clang's
+// -Wthread-safety. Lock-order rank (see DESIGN.md "Concurrency
+// invariants"): queue — acquired after directory/server locks, before
+// transport locks.
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace dmemo {
 
@@ -16,74 +22,87 @@ template <typename T>
 class BlockingQueue {
  public:
   // capacity == 0 means unbounded.
-  explicit BlockingQueue(std::size_t capacity = 0) : capacity_(capacity) {}
+  explicit BlockingQueue(std::size_t capacity = 0)
+      : mu_("BlockingQueue::mu"), capacity_(capacity) {}
 
   // Returns false if the queue is closed.
   bool Push(T item) {
-    std::unique_lock lock(mu_);
-    not_full_.wait(lock, [&] {
-      return closed_ || capacity_ == 0 || items_.size() < capacity_;
-    });
-    if (closed_) return false;
+    MutexLock lock(mu_);
+    while (!closed_ && capacity_ != 0 && items_.size() >= capacity_) {
+      not_full_.Wait(mu_);
+    }
+    if (closed_) {
+      // A push that loses the race against Close() adds nothing, but the
+      // Close()-time notify_all may already have been consumed by waiters
+      // that went back to sleep (e.g. a popper that re-checked between
+      // closed_ = true and the broadcast). Re-notify so every not_empty_
+      // waiter re-examines closed_ and drains out.
+      not_empty_.NotifyAll();
+      return false;
+    }
     items_.push_back(std::move(item));
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   // Blocks until an item is available or the queue is closed and drained.
   std::optional<T> Pop() {
-    std::unique_lock lock(mu_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    MutexLock lock(mu_);
+    while (!closed_ && items_.empty()) {
+      not_empty_.Wait(mu_);
+    }
     return PopLocked();
   }
 
   // Like Pop but gives up after `timeout`.
   std::optional<T> PopFor(std::chrono::nanoseconds timeout) {
-    std::unique_lock lock(mu_);
-    if (!not_empty_.wait_for(lock, timeout,
-                             [&] { return closed_ || !items_.empty(); })) {
-      return std::nullopt;
+    MutexLock lock(mu_);
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (!closed_ && items_.empty()) {
+      if (not_empty_.WaitUntil(mu_, deadline) == std::cv_status::timeout) {
+        return PopLocked();
+      }
     }
     return PopLocked();
   }
 
   std::optional<T> TryPop() {
-    std::unique_lock lock(mu_);
+    MutexLock lock(mu_);
     return PopLocked();
   }
 
   void Close() {
-    std::unique_lock lock(mu_);
+    MutexLock lock(mu_);
     closed_ = true;
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    not_empty_.NotifyAll();
+    not_full_.NotifyAll();
   }
 
   bool closed() const {
-    std::unique_lock lock(mu_);
+    MutexLock lock(mu_);
     return closed_;
   }
 
   std::size_t size() const {
-    std::unique_lock lock(mu_);
+    MutexLock lock(mu_);
     return items_.size();
   }
 
  private:
-  std::optional<T> PopLocked() {
+  std::optional<T> PopLocked() DMEMO_REQUIRES(mu_) {
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return item;
   }
 
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  std::size_t capacity_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<T> items_ DMEMO_GUARDED_BY(mu_);
+  const std::size_t capacity_;
+  bool closed_ DMEMO_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace dmemo

@@ -1,0 +1,161 @@
+// Annotated mutex / condition-variable wrappers.
+//
+// std::mutex and std::condition_variable carry no Clang capability
+// attributes, so code using them is invisible to `-Wthread-safety` — and to
+// the runtime lock-order detector. These thin wrappers fix both at once:
+//
+//   * Mutex is a DMEMO_CAPABILITY, so members can be DMEMO_GUARDED_BY it
+//     and internal helpers DMEMO_REQUIRES it;
+//   * MutexLock is the scoped guard (with explicit Unlock/Lock for the
+//     drop-the-lock-around-work pattern the worker pool uses);
+//   * CondVar waits on a held Mutex without giving up the annotations;
+//   * in debug builds (DMEMO_LOCK_ORDER_CHECKS) every acquisition and
+//     release is reported to the lock-order detector, which aborts on an
+//     inverted acquisition order instead of deadlocking in production.
+//
+// In release builds the wrappers compile down to the std primitives: no
+// name storage, no hooks, no extra state.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "locking/lock_order.h"
+#include "util/thread_annotations.h"
+
+namespace dmemo {
+
+class DMEMO_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  // `name` must be a string literal (or otherwise outlive the mutex); it
+  // appears in lock-order inversion reports.
+  explicit Mutex(const char* name) {
+#ifdef DMEMO_LOCK_ORDER_CHECKS
+    name_ = name;
+#else
+    (void)name;
+#endif
+  }
+
+#ifdef DMEMO_LOCK_ORDER_CHECKS
+  ~Mutex() { lock_order::OnDestroy(this); }
+#endif
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() DMEMO_ACQUIRE() DMEMO_NO_THREAD_SAFETY_ANALYSIS {
+#ifdef DMEMO_LOCK_ORDER_CHECKS
+    lock_order::OnAcquire(this, name_);
+#endif
+    mu_.lock();
+  }
+
+  void Unlock() DMEMO_RELEASE() DMEMO_NO_THREAD_SAFETY_ANALYSIS {
+#ifdef DMEMO_LOCK_ORDER_CHECKS
+    lock_order::OnRelease(this);
+#endif
+    mu_.unlock();
+  }
+
+  bool TryLock() DMEMO_TRY_ACQUIRE(true) DMEMO_NO_THREAD_SAFETY_ANALYSIS {
+    const bool taken = mu_.try_lock();
+#ifdef DMEMO_LOCK_ORDER_CHECKS
+    if (taken) lock_order::OnTryAcquired(this, name_);
+#endif
+    return taken;
+  }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+#ifdef DMEMO_LOCK_ORDER_CHECKS
+  const char* name_ = nullptr;
+#endif
+};
+
+// RAII critical section over a Mutex. Unlock()/Lock() allow temporarily
+// dropping the mutex mid-scope (the destructor releases only if held).
+class DMEMO_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) DMEMO_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.Lock();
+  }
+
+  ~MutexLock() DMEMO_RELEASE() {
+    if (held_) mu_.Unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void Unlock() DMEMO_RELEASE() {
+    held_ = false;
+    mu_.Unlock();
+  }
+
+  void Lock() DMEMO_ACQUIRE() {
+    mu_.Lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_;
+};
+
+// Condition variable bound to a Mutex at each wait. Predicate loops are
+// written at the call site (`while (!pred()) cv.Wait(mu);`) so the analysis
+// sees the guarded reads under the held mutex instead of inside an opaque
+// lambda.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Atomically releases `mu`, waits, and reacquires `mu` before returning.
+  // The caller must hold `mu` (typically via a MutexLock in scope).
+  void Wait(Mutex& mu) DMEMO_REQUIRES(mu) DMEMO_NO_THREAD_SAFETY_ANALYSIS {
+#ifdef DMEMO_LOCK_ORDER_CHECKS
+    lock_order::OnRelease(&mu);
+#endif
+    std::unique_lock<std::mutex> inner(mu.mu_, std::adopt_lock);
+    cv_.wait(inner);
+    inner.release();  // ownership stays with the caller's guard
+#ifdef DMEMO_LOCK_ORDER_CHECKS
+    lock_order::OnAcquire(&mu, mu.name_);
+#endif
+  }
+
+  // Bounded wait; returns std::cv_status::timeout once `deadline` passes.
+  std::cv_status WaitUntil(Mutex& mu,
+                           std::chrono::steady_clock::time_point deadline)
+      DMEMO_REQUIRES(mu) DMEMO_NO_THREAD_SAFETY_ANALYSIS {
+#ifdef DMEMO_LOCK_ORDER_CHECKS
+    lock_order::OnRelease(&mu);
+#endif
+    std::unique_lock<std::mutex> inner(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(inner, deadline);
+    inner.release();
+#ifdef DMEMO_LOCK_ORDER_CHECKS
+    lock_order::OnAcquire(&mu, mu.name_);
+#endif
+    return status;
+  }
+
+  std::cv_status WaitFor(Mutex& mu, std::chrono::nanoseconds timeout)
+      DMEMO_REQUIRES(mu) {
+    return WaitUntil(mu, std::chrono::steady_clock::now() + timeout);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace dmemo

@@ -1,0 +1,71 @@
+// Clang thread-safety (capability) annotation macros.
+//
+// The concurrency-correctness layer rests on three legs; this header is the
+// static one. Under Clang, the macros expand to capability attributes that
+// `-Wthread-safety` checks at compile time: a member annotated
+// DMEMO_GUARDED_BY(mu_) may only be touched while mu_ is held, a method
+// annotated DMEMO_REQUIRES(mu_) may only be called with mu_ held, and so on.
+// Under GCC (which has no such analysis) everything expands to nothing, so
+// the annotations are free documentation.
+//
+// std::mutex carries no capability attribute, so annotated code must use the
+// dmemo::Mutex / dmemo::MutexLock / dmemo::CondVar wrappers (util/mutex.h)
+// or the abstract dmemo::Lock (locking/lock.h) — both are declared
+// capabilities here and double as hook points for the runtime lock-order
+// detector (locking/lock_order.h), the dynamic leg of the layer.
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define DMEMO_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define DMEMO_THREAD_ANNOTATION(x)  // no-op: GCC, MSVC, SWIG
+#endif
+
+// Class is a capability (a lock). The string names the capability kind in
+// diagnostics, e.g. "mutex".
+#define DMEMO_CAPABILITY(x) DMEMO_THREAD_ANNOTATION(capability(x))
+
+// RAII class whose lifetime equals a critical section.
+#define DMEMO_SCOPED_CAPABILITY DMEMO_THREAD_ANNOTATION(scoped_lockable)
+
+// Data member may only be accessed while holding the given capability.
+#define DMEMO_GUARDED_BY(x) DMEMO_THREAD_ANNOTATION(guarded_by(x))
+
+// Pointer member: the pointed-to data is protected by the capability.
+#define DMEMO_PT_GUARDED_BY(x) DMEMO_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Function requires the capability (or capabilities) to be held on entry,
+// and does not release them.
+#define DMEMO_REQUIRES(...) \
+  DMEMO_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+// Function acquires the capability; caller must not already hold it.
+#define DMEMO_ACQUIRE(...) \
+  DMEMO_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+// Function releases the capability; caller must hold it.
+#define DMEMO_RELEASE(...) \
+  DMEMO_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+// Function attempts to acquire; first argument is the return value that
+// signals success.
+#define DMEMO_TRY_ACQUIRE(...) \
+  DMEMO_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+// Function must NOT be called while holding the capability (deadlock guard
+// for non-reentrant locks).
+#define DMEMO_EXCLUDES(...) DMEMO_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Declare a static acquisition order between two capabilities.
+#define DMEMO_ACQUIRED_BEFORE(...) \
+  DMEMO_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define DMEMO_ACQUIRED_AFTER(...) \
+  DMEMO_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+// Function returns a reference to the given capability.
+#define DMEMO_RETURN_CAPABILITY(x) DMEMO_THREAD_ANNOTATION(lock_returned(x))
+
+// Escape hatch for functions that manage capabilities in ways the analysis
+// cannot follow (the lock wrappers' own bodies, adopt/handoff paths).
+#define DMEMO_NO_THREAD_SAFETY_ANALYSIS \
+  DMEMO_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -11,18 +11,18 @@ WorkerPool::WorkerPool(Options options) : options_(options) {}
 WorkerPool::~WorkerPool() { Shutdown(); }
 
 bool WorkerPool::Submit(std::function<void()> task) {
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   if (shutdown_) return false;
   tasks_.push_back(std::move(task));
   if (idle_ >= tasks_.size()) {
     // A lingering thread will pick this up: the paper's cache hit.
     ++stat_cache_hits_;
-    work_cv_.notify_one();
+    work_cv_.NotifyOne();
   } else if (options_.max_threads == 0 || live_ < options_.max_threads) {
     SpawnLocked();
   } else {
     // All threads busy and at cap; task waits until one frees up.
-    work_cv_.notify_one();
+    work_cv_.NotifyOne();
   }
   return true;
 }
@@ -34,24 +34,32 @@ void WorkerPool::SpawnLocked() {
 }
 
 void WorkerPool::WorkerLoop() {
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   for (;;) {
     if (tasks_.empty()) {
       // Transaction done: set the timer and wait for additional requests.
       ++idle_;
-      bool got_work;
-      if (options_.cache_ttl.count() == 0) {
-        got_work = false;  // caching disabled: terminate immediately
-      } else {
-        got_work = work_cv_.wait_for(lock, options_.cache_ttl, [&] {
-          return shutdown_ || !tasks_.empty();
-        });
+      bool got_work = false;
+      if (options_.cache_ttl.count() > 0) {
+        const auto deadline =
+            std::chrono::steady_clock::now() + options_.cache_ttl;
+        for (;;) {
+          if (shutdown_ || !tasks_.empty()) {
+            got_work = true;
+            break;
+          }
+          if (work_cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout) {
+            got_work = shutdown_ || !tasks_.empty();
+            break;
+          }
+        }
       }
+      // cache_ttl == 0: caching disabled, terminate immediately.
       --idle_;
       if (!got_work || (shutdown_ && tasks_.empty())) {
         if (!shutdown_) ++stat_expired_;
         --live_;
-        drain_cv_.notify_all();
+        drain_cv_.NotifyAll();
         return;
       }
       if (tasks_.empty()) continue;  // another worker won the race
@@ -59,39 +67,39 @@ void WorkerPool::WorkerLoop() {
     auto task = std::move(tasks_.front());
     tasks_.pop_front();
     ++running_;
-    lock.unlock();
+    lock.Unlock();
     task();
-    lock.lock();
+    lock.Lock();
     --running_;
     ++stat_tasks_;
-    if (tasks_.empty() && running_ == 0) drain_cv_.notify_all();
+    if (tasks_.empty() && running_ == 0) drain_cv_.NotifyAll();
   }
 }
 
 void WorkerPool::Drain() {
-  std::unique_lock lock(mu_);
-  drain_cv_.wait(lock, [&] {
+  MutexLock lock(mu_);
+  while (!(tasks_.empty() && running_ == 0)) {
     // Queued work with zero live threads can only happen transiently while a
     // spawn is in flight, so live_ > 0 covers it; running_ covers execution.
-    return tasks_.empty() && running_ == 0;
-  });
+    drain_cv_.Wait(mu_);
+  }
 }
 
 void WorkerPool::Shutdown() {
   std::vector<std::thread> to_join;
   {
-    std::unique_lock lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_ && threads_.empty()) return;
     shutdown_ = true;
-    work_cv_.notify_all();
+    work_cv_.NotifyAll();
     // Remaining queued tasks are still executed by live threads; if none are
     // live, run them here so Shutdown never drops work.
     while (live_ == 0 && !tasks_.empty()) {
       auto task = std::move(tasks_.front());
       tasks_.pop_front();
-      lock.unlock();
+      lock.Unlock();
       task();
-      lock.lock();
+      lock.Lock();
       ++stat_tasks_;
     }
     to_join.swap(threads_);
@@ -102,7 +110,7 @@ void WorkerPool::Shutdown() {
 }
 
 WorkerPool::Stats WorkerPool::GetStats() const {
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   Stats s;
   s.threads_spawned = stat_spawned_;
   s.threads_expired = stat_expired_;

@@ -17,13 +17,14 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace dmemo {
 
@@ -66,26 +67,28 @@ class WorkerPool {
 
  private:
   void WorkerLoop();
-  void SpawnLocked();
+  void SpawnLocked() DMEMO_REQUIRES(mu_);
 
   Options options_;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;   // workers wait here for tasks
-  std::condition_variable drain_cv_;  // Drain() waits here
-  std::deque<std::function<void()>> tasks_;
-  std::vector<std::thread> threads_;  // every thread ever spawned (joined at
-                                      // shutdown; exited ones join instantly)
-  std::size_t idle_ = 0;
-  std::size_t live_ = 0;
-  std::size_t running_ = 0;  // tasks currently executing
-  bool shutdown_ = false;
+  mutable Mutex mu_{"WorkerPool::mu"};
+  CondVar work_cv_;   // workers wait here for tasks
+  CondVar drain_cv_;  // Drain() waits here
+  std::deque<std::function<void()>> tasks_ DMEMO_GUARDED_BY(mu_);
+  // Every thread ever spawned (joined at shutdown; exited ones join
+  // instantly).
+  std::vector<std::thread> threads_ DMEMO_GUARDED_BY(mu_);
+  std::size_t idle_ DMEMO_GUARDED_BY(mu_) = 0;
+  std::size_t live_ DMEMO_GUARDED_BY(mu_) = 0;
+  // Tasks currently executing.
+  std::size_t running_ DMEMO_GUARDED_BY(mu_) = 0;
+  bool shutdown_ DMEMO_GUARDED_BY(mu_) = false;
 
-  // Stats counters (guarded by mu_).
-  std::size_t stat_spawned_ = 0;
-  std::size_t stat_expired_ = 0;
-  std::size_t stat_tasks_ = 0;
-  std::size_t stat_cache_hits_ = 0;
+  // Stats counters.
+  std::size_t stat_spawned_ DMEMO_GUARDED_BY(mu_) = 0;
+  std::size_t stat_expired_ DMEMO_GUARDED_BY(mu_) = 0;
+  std::size_t stat_tasks_ DMEMO_GUARDED_BY(mu_) = 0;
+  std::size_t stat_cache_hits_ DMEMO_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace dmemo

@@ -10,8 +10,10 @@
 #include <vector>
 
 #include "locking/lock.h"
+#include "locking/lock_order.h"
 #include "sharedmem/region_allocator.h"
 #include "sharedmem/shared_memory.h"
+#include "util/mutex.h"
 
 namespace dmemo {
 namespace {
@@ -85,10 +87,126 @@ INSTANTIATE_TEST_SUITE_P(
                       LockCase{LockKind::kFile, "file"}),
     [](const auto& info) { return info.param.label; });
 
+TEST_P(LockTest, AdoptedScopedLockReleasesOnExit) {
+  auto lock = Make();
+  ASSERT_TRUE(lock->TryAcquire());
+  {
+    ScopedLock guard(*lock, std::adopt_lock);  // takes over the held lock
+  }
+  // The adopting guard released it; a fresh TryAcquire must succeed.
+  ASSERT_TRUE(lock->TryAcquire());
+  lock->Release();
+}
+
+TEST_P(LockTest, TryScopedLockHoldsOnlyOnSuccess) {
+  if (GetParam().kind == LockKind::kFile) {
+    GTEST_SKIP();  // flock: no intra-process contention (see above)
+  }
+  auto lock = Make();
+  {
+    TryScopedLock guard(*lock);
+    ASSERT_TRUE(guard.held());
+    EXPECT_TRUE(static_cast<bool>(guard));
+    // Contended attempt from another thread fails and must NOT release the
+    // lock it never got.
+    std::thread([&] {
+      TryScopedLock inner(*lock);
+      EXPECT_FALSE(inner.held());
+    }).join();
+    // Still held by the outer guard.
+    std::thread([&] { EXPECT_FALSE(lock->TryAcquire()); }).join();
+  }
+  // Outer guard released at scope exit.
+  EXPECT_TRUE(lock->TryAcquire());
+  lock->Release();
+}
+
 TEST(LockFactoryTest, FileLockRequiresPath) {
   EXPECT_EQ(MakeLock(LockKind::kFile).status().code(),
             StatusCode::kInvalidArgument);
 }
+
+// ---- lock-order detector (debug builds) -------------------------------------
+
+#ifdef DMEMO_LOCK_ORDER_CHECKS
+
+using LockOrderDeathTest = ::testing::Test;
+
+// Acquiring A→B and then B→A must abort with an inversion report naming
+// the cycle. Both orders run inside the death statement: EXPECT_DEATH forks,
+// and the child must build the A→B edge itself rather than inherit one
+// recorded by the parent.
+TEST(LockOrderDeathTest, AbortsOnTwoLockInversion) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex a("order_test::a");
+        Mutex b("order_test::b");
+        {
+          MutexLock la(a);
+          MutexLock lb(b);
+        }
+        {
+          MutexLock lb(b);
+          MutexLock la(a);  // inverts the recorded a→b order
+        }
+      },
+      "lock-order inversion");
+}
+
+// Same inversion through the abstract Lock hierarchy: the NVI choke point
+// must instrument every mechanism, not just dmemo::Mutex.
+TEST(LockOrderDeathTest, AbortsOnAbstractLockInversion) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        auto a = MakeLock(LockKind::kSpin);
+        auto b = MakeLock(LockKind::kMutex);
+        (*a)->set_debug_name("spin_a");
+        (*b)->set_debug_name("mutex_b");
+        {
+          ScopedLock la(**a);
+          ScopedLock lb(**b);
+        }
+        {
+          ScopedLock lb(**b);
+          ScopedLock la(**a);
+        }
+      },
+      "lock-order inversion");
+}
+
+// Recursive acquisition of a non-recursive lock is a self-deadlock; the
+// detector reports it instead of hanging.
+TEST(LockOrderDeathTest, AbortsOnRecursiveAcquire) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex m("order_test::recursive");
+        m.Lock();
+        m.Lock();
+      },
+      "");
+}
+
+// Consistent ordering in both scopes must stay silent.
+TEST(LockOrderTest, ConsistentOrderIsSilent) {
+  Mutex a("order_ok::a");
+  Mutex b("order_ok::b");
+  for (int i = 0; i < 3; ++i) {
+    MutexLock la(a);
+    MutexLock lb(b);
+  }
+  EXPECT_GT(lock_order::GetStats().acquisitions, 0u);
+}
+
+#else
+
+TEST(LockOrderTest, DetectorCompiledOut) {
+  GTEST_SKIP() << "DMEMO_LOCK_ORDER_CHECKS off in this build";
+}
+
+#endif  // DMEMO_LOCK_ORDER_CHECKS
 
 // ---- counting semaphore ------------------------------------------------------
 

@@ -251,6 +251,41 @@ TEST(BlockingQueueTest, CloseDrainsRemainingItems) {
   EXPECT_FALSE(q.Pop().has_value());
 }
 
+// A Push blocked on a full bounded queue must fail cleanly when Close()
+// arrives, and its closed-path notify must let concurrent poppers observe
+// closure (regression test for Push losing the race against Close and
+// leaving not_empty_ waiters asleep).
+TEST(BlockingQueueTest, PushBlockedAtCloseFailsAndWakesPoppers) {
+  BlockingQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1));
+
+  std::atomic<bool> push_returned{false};
+  std::atomic<bool> push_result{true};
+  std::thread pusher([&] {
+    push_result = q.Push(2);  // blocks: queue is at capacity
+    push_returned = true;
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(push_returned.load());
+
+  std::optional<int> popped;
+  std::thread popper([&] {
+    popped = q.Pop();              // drains the remaining item
+    while (q.Pop().has_value()) {  // then observes closure, not a hang
+    }
+  });
+
+  q.Close();
+  pusher.join();
+  popper.join();
+  EXPECT_TRUE(push_returned.load());
+  EXPECT_FALSE(push_result.load());  // the blocked push must report closure
+  ASSERT_TRUE(popped.has_value());
+  EXPECT_EQ(*popped, 1);
+  EXPECT_TRUE(q.closed());
+  EXPECT_EQ(q.size(), 0u);
+}
+
 TEST(BlockingQueueTest, BoundedBlocksProducer) {
   BlockingQueue<int> q(1);
   q.Push(1);
