@@ -2,6 +2,7 @@
 
 #include "transferable/codec.h"
 #include "util/log.h"
+#include "util/trace.h"
 
 namespace dmemo {
 
@@ -96,6 +97,9 @@ class RemoteEngine final : public MemoEngine {
     Request req;
     req.op = op;
     req.app = options_.app;
+    // The originating client mints the trace id, so a deposit can be
+    // followed across every server it touches (util/trace.h).
+    req.trace_id = NextTraceId();
     return req;
   }
 

@@ -1,20 +1,49 @@
-// dmemo-stat: print a memo server's statistics.
+// dmemo-stat: print a memo server's statistics and metrics.
 //
-//   dmemo-stat unix:///tmp/dmemo-server-host.sock [more urls...]
+//   dmemo-stat [--metrics] [--spans] [--text] [--watch SECONDS] URL...
+//
+// Default mode prints the classic Op::kStats summary. --metrics switches to
+// Op::kMetrics and renders the full metrics tree (counters, gauges, per-op
+// latency histograms); --spans additionally dumps the server's trace-span
+// ring; --text prints the server's raw Prometheus exposition. --watch N
+// re-polls every N seconds and annotates counters and histogram counts with
+// the delta since the previous round.
+//
+// When several URLs are given, a failing server does not stop the run: the
+// remaining URLs are still queried and a per-URL summary is printed at exit
+// (exit status 1 if any URL failed).
 //
 // The Sec.-5 distribution policy is observable here: after running an
 // application, the per-folder-server request counts show how the
 // cost-weighted hashing spread the memo traffic.
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <map>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "server/rpc_channel.h"
 #include "transferable/codec.h"
 #include "transferable/composite.h"
 #include "transferable/scalars.h"
 #include "transport/transport.h"
+#include "util/metrics.h"
 
 namespace {
+
+struct Options {
+  bool metrics = false;
+  bool spans = false;
+  bool text = false;
+  int watch_seconds = 0;  // 0 = single shot
+  std::vector<std::string> urls;
+};
+
+// Previous-round counter/histogram-count values, keyed by
+// url + '\x01' + name + '\x01' + labels; drives the --watch deltas.
+std::map<std::string, std::uint64_t> g_prev;
 
 std::uint64_t U64Field(const dmemo::TRecord& rec, const char* name) {
   auto v = rec.Get(name);
@@ -23,35 +52,149 @@ std::uint64_t U64Field(const dmemo::TRecord& rec, const char* name) {
              : std::static_pointer_cast<dmemo::TUInt64>(v)->value();
 }
 
-int PrintStats(const std::string& url) {
+std::int64_t I64Field(const dmemo::TRecord& rec, const char* name) {
+  auto v = rec.Get(name);
+  return v == nullptr
+             ? 0
+             : std::static_pointer_cast<dmemo::TInt64>(v)->value();
+}
+
+std::string StrField(const dmemo::TRecord& rec, const char* name) {
+  auto v = rec.Get(name);
+  return v == nullptr
+             ? std::string()
+             : std::static_pointer_cast<dmemo::TString>(v)->value();
+}
+
+// One round trip; any failure comes back as a status message.
+dmemo::Result<std::shared_ptr<dmemo::TRecord>> Fetch(const std::string& url,
+                                                     dmemo::Op op) {
   auto transport = dmemo::TransportMux::CreateDefault();
-  auto conn = transport->Dial(url);
-  if (!conn.ok()) {
-    std::fprintf(stderr, "dmemo-stat: %s: %s\n", url.c_str(),
-                 conn.status().ToString().c_str());
-    return 1;
-  }
-  auto channel = dmemo::RpcChannel::Create(std::move(*conn), nullptr, nullptr);
+  DMEMO_ASSIGN_OR_RETURN(auto conn, transport->Dial(url));
+  auto channel = dmemo::RpcChannel::Create(std::move(conn), nullptr, nullptr);
   dmemo::Request req;
-  req.op = dmemo::Op::kStats;
+  req.op = op;
   auto resp = channel->Call(req);
   channel->Close();
-  if (!resp.ok() || resp->code != dmemo::StatusCode::kOk ||
-      !resp->has_value) {
-    std::fprintf(stderr, "dmemo-stat: %s: stats request failed\n",
-                 url.c_str());
-    return 1;
+  DMEMO_RETURN_IF_ERROR(resp.status());
+  DMEMO_RETURN_IF_ERROR(resp->ToStatus());
+  if (!resp->has_value) {
+    return dmemo::InternalError("response carried no payload");
   }
-  auto decoded = dmemo::DecodeGraphFromBytes(resp->value);
-  if (!decoded.ok()) {
-    std::fprintf(stderr, "dmemo-stat: bad stats payload\n");
-    return 1;
+  DMEMO_ASSIGN_OR_RETURN(auto decoded,
+                         dmemo::DecodeGraphFromBytes(resp->value));
+  return std::static_pointer_cast<dmemo::TRecord>(decoded);
+}
+
+// --watch: returns " (+N)" vs. the previous round for monotone series.
+std::string Delta(const std::string& url, const std::string& series,
+                  std::uint64_t now, bool watching) {
+  if (!watching) return "";
+  const std::string key = url + '\x01' + series;
+  auto it = g_prev.find(key);
+  const bool first = it == g_prev.end();
+  const std::uint64_t prev = first ? 0 : it->second;
+  g_prev[key] = now;
+  if (first) return "";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), " (+%llu)",
+                (unsigned long long)(now - prev));
+  return buf;
+}
+
+void PrintHistogram(const dmemo::TRecord& rec) {
+  const std::uint64_t count = U64Field(rec, "count");
+  const std::uint64_t sum = U64Field(rec, "sum");
+  std::printf("count=%llu sum_us=%llu", (unsigned long long)count,
+              (unsigned long long)sum);
+  if (count > 0) {
+    std::printf(" mean_us=%.1f", double(sum) / double(count));
   }
-  auto root = std::static_pointer_cast<dmemo::TRecord>(*decoded);
-  std::printf("server %s (%s)\n",
-              std::static_pointer_cast<dmemo::TString>(root->Get("host"))
-                  ->value()
-                  .c_str(),
+  auto buckets = std::static_pointer_cast<dmemo::TList>(rec.Get("buckets"));
+  if (buckets == nullptr || count == 0) return;
+  const auto& bounds = dmemo::Histogram::BucketBounds();
+  std::printf("\n      ");
+  bool any = false;
+  for (std::size_t i = 0; i < buckets->items().size(); ++i) {
+    const std::uint64_t n =
+        std::static_pointer_cast<dmemo::TUInt64>(buckets->items()[i])
+            ->value();
+    if (n == 0) continue;
+    if (any) std::printf(" ");
+    if (i < bounds.size()) {
+      std::printf("le%llu:%llu", (unsigned long long)bounds[i],
+                  (unsigned long long)n);
+    } else {
+      std::printf("overflow:%llu", (unsigned long long)n);
+    }
+    any = true;
+  }
+}
+
+dmemo::Status PrintMetrics(const std::string& url, const Options& opts) {
+  DMEMO_ASSIGN_OR_RETURN(auto root, Fetch(url, dmemo::Op::kMetrics));
+  std::printf("server %s (%s)\n", StrField(*root, "host").c_str(),
+              url.c_str());
+  if (opts.text) {
+    std::printf("%s", StrField(*root, "text").c_str());
+    return dmemo::Status::Ok();
+  }
+  const bool watching = opts.watch_seconds > 0;
+  auto metrics = std::static_pointer_cast<dmemo::TList>(root->Get("metrics"));
+  std::string last_name;
+  for (const auto& item : metrics->items()) {
+    auto rec = std::static_pointer_cast<dmemo::TRecord>(item);
+    const std::string name = StrField(*rec, "name");
+    const std::string labels = StrField(*rec, "labels");
+    const std::string kind = StrField(*rec, "kind");
+    if (name != last_name) {
+      std::printf("  %s\n", name.c_str());
+      last_name = name;
+    }
+    std::printf("    %s: ", labels.empty() ? "(no labels)" : labels.c_str());
+    if (kind == "histogram") {
+      PrintHistogram(*rec);
+      std::printf("%s\n",
+                  Delta(url, name + '\x01' + labels, U64Field(*rec, "count"),
+                        watching)
+                      .c_str());
+    } else {
+      const std::int64_t value = I64Field(*rec, "value");
+      std::printf("%lld", (long long)value);
+      if (kind == "counter" && value >= 0) {
+        std::printf("%s", Delta(url, name + '\x01' + labels,
+                                static_cast<std::uint64_t>(value), watching)
+                              .c_str());
+      }
+      std::printf("\n");
+    }
+  }
+  if (opts.spans) {
+    auto spans = std::static_pointer_cast<dmemo::TList>(root->Get("spans"));
+    std::printf("  spans (%llu recorded, %zu retained)\n",
+                (unsigned long long)U64Field(*root, "spans_total"),
+                spans->items().size());
+    for (const auto& item : spans->items()) {
+      auto rec = std::static_pointer_cast<dmemo::TRecord>(item);
+      auto ok = rec->Get("ok");
+      const bool span_ok =
+          ok != nullptr && std::static_pointer_cast<dmemo::TBool>(ok)->value();
+      std::printf("    trace=%016llx hop=%d %-18s %-12s %8llu us %s\n",
+                  (unsigned long long)U64Field(*rec, "trace_id"),
+                  std::static_pointer_cast<dmemo::TInt32>(rec->Get("hop"))
+                      ->value(),
+                  StrField(*rec, "component").c_str(),
+                  StrField(*rec, "op").c_str(),
+                  (unsigned long long)U64Field(*rec, "duration_us"),
+                  span_ok ? "ok" : "ERR");
+    }
+  }
+  return dmemo::Status::Ok();
+}
+
+dmemo::Status PrintStats(const std::string& url) {
+  DMEMO_ASSIGN_OR_RETURN(auto root, Fetch(url, dmemo::Op::kStats));
+  std::printf("server %s (%s)\n", StrField(*root, "host").c_str(),
               url.c_str());
   std::printf("  requests=%llu local=%llu forwarded=%llu relayed=%llu "
               "apps=%llu\n",
@@ -83,19 +226,87 @@ int PrintStats(const std::string& url) {
                 (unsigned long long)U64Field(*rec, "folders_created"),
                 (unsigned long long)U64Field(*rec, "folders_vanished"));
   }
-  return 0;
+  return dmemo::Status::Ok();
+}
+
+// One pass over every URL; failures are reported but never stop the pass.
+// Returns the number of URLs that failed.
+int RunRound(const Options& opts,
+             std::map<std::string, std::string>* last_error) {
+  int failed = 0;
+  for (const std::string& url : opts.urls) {
+    dmemo::Status status =
+        opts.metrics ? PrintMetrics(url, opts) : PrintStats(url);
+    if (!status.ok()) {
+      std::fprintf(stderr, "dmemo-stat: %s: %s\n", url.c_str(),
+                   status.ToString().c_str());
+      (*last_error)[url] = status.ToString();
+      ++failed;
+    } else {
+      last_error->erase(url);
+    }
+  }
+  return failed;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--metrics] [--spans] [--text] [--watch SECONDS] "
+               "SERVER_URL...\n",
+               argv0);
+  return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: %s SERVER_URL...\n", argv[0]);
-    return 2;
-  }
-  int rc = 0;
+  Options opts;
   for (int i = 1; i < argc; ++i) {
-    rc |= PrintStats(argv[i]);
+    const std::string arg = argv[i];
+    if (arg == "--metrics") {
+      opts.metrics = true;
+    } else if (arg == "--spans") {
+      opts.metrics = true;
+      opts.spans = true;
+    } else if (arg == "--text") {
+      opts.metrics = true;
+      opts.text = true;
+    } else if (arg == "--watch") {
+      if (i + 1 >= argc) return Usage(argv[0]);
+      opts.watch_seconds = std::atoi(argv[++i]);
+      if (opts.watch_seconds <= 0) return Usage(argv[0]);
+      opts.metrics = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage(argv[0]);
+    } else {
+      opts.urls.push_back(arg);
+    }
   }
-  return rc;
+  if (opts.urls.empty()) return Usage(argv[0]);
+
+  std::map<std::string, std::string> last_error;
+  int failed = RunRound(opts, &last_error);
+  while (opts.watch_seconds > 0) {
+    std::this_thread::sleep_for(std::chrono::seconds(opts.watch_seconds));
+    std::printf("---\n");
+    failed = RunRound(opts, &last_error);
+  }
+
+  // Per-URL exit summary: one line per URL so a partially-degraded farm is
+  // obvious at a glance.
+  if (opts.urls.size() > 1 || failed > 0) {
+    std::fprintf(stderr, "dmemo-stat: %zu/%zu servers answered\n",
+                 opts.urls.size() - static_cast<std::size_t>(failed),
+                 opts.urls.size());
+    for (const std::string& url : opts.urls) {
+      auto it = last_error.find(url);
+      if (it == last_error.end()) {
+        std::fprintf(stderr, "  ok   %s\n", url.c_str());
+      } else {
+        std::fprintf(stderr, "  FAIL %s: %s\n", url.c_str(),
+                     it->second.c_str());
+      }
+    }
+  }
+  return failed > 0 ? 1 : 0;
 }

@@ -4,16 +4,75 @@
 
 #include <fstream>
 
+#include "util/log.h"
+#include "util/trace.h"
+
 namespace dmemo {
 
 FolderServer::FolderServer(int id, std::string host)
     : id_(id),
       host_(std::move(host)),
       directory_(/*seed=*/Mix64(static_cast<std::uint64_t>(id) + 0x0f01de25)) {
+  const std::string fs_label =
+      "fs=\"" + std::to_string(id_) + "@" + host_ + "\"";
+  auto& registry = MetricsRegistry::Global();
+  for (std::uint8_t v = static_cast<std::uint8_t>(Op::kPut);
+       v <= static_cast<std::uint8_t>(Op::kMetrics); ++v) {
+    const Op op = static_cast<Op>(v);
+    op_latency_[v] = registry.GetHistogram(
+        "dmemo_folder_op_latency_us",
+        fs_label + ",op=\"" + std::string(OpName(op)) + "\"");
+  }
+  deposits_ = registry.GetCounter("dmemo_folder_deposits_total", fs_label);
+  extracts_ = registry.GetCounter("dmemo_folder_extracts_total", fs_label);
+  slow_ops_ = registry.GetCounter("dmemo_folder_slow_ops_total", fs_label);
 }
 
 Response FolderServer::Handle(const Request& request) {
   requests_served_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t start_us = MonotonicMicros();
+  Response resp = HandleOp(request);
+  resp.trace_id = request.trace_id;
+  const std::uint64_t elapsed_us = MonotonicMicros() - start_us;
+
+  const auto op_index = static_cast<std::size_t>(request.op);
+  if (op_index < op_latency_.size() && op_latency_[op_index] != nullptr) {
+    op_latency_[op_index]->Observe(elapsed_us);
+  }
+  const bool ok = resp.code == StatusCode::kOk;
+  if (ok) {
+    if (request.op == Op::kPut || request.op == Op::kPutDelayed) {
+      deposits_->Increment();
+    } else if (resp.has_value) {
+      extracts_->Increment();
+    }
+  }
+
+  SpanRecord span;
+  span.trace_id = request.trace_id;
+  span.component = "fs:" + std::to_string(id_) + "@" + host_;
+  span.op = std::string(OpName(request.op));
+  span.hop = request.hop_count;
+  span.ok = ok;
+  span.start_us = start_us;
+  span.duration_us = elapsed_us;
+  TraceRing::Global().Record(std::move(span));
+
+  const auto threshold_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(SlowOpThreshold())
+          .count());
+  if (elapsed_us >= threshold_us) {
+    slow_ops_->Increment();
+    DMEMO_LOG(kWarn) << "slow op: " << OpName(request.op) << " on folder "
+                     << request.key.DebugString() << " took " << elapsed_us
+                     << "us (threshold " << threshold_us
+                     << "us), fs=" << id_ << "@" << host_
+                     << " trace=" << request.trace_id;
+  }
+  return resp;
+}
+
+Response FolderServer::HandleOp(const Request& request) {
   const QualifiedKey qk{request.app, request.key};
   switch (request.op) {
     case Op::kPut: {
@@ -88,6 +147,7 @@ Response FolderServer::Handle(const Request& request) {
       return Response{};
     case Op::kRegisterApp:
     case Op::kStats:
+    case Op::kMetrics:
       return Response::FromStatus(InvalidArgumentError(
           std::string(OpName(request.op)) +
           " must be sent to a memo server"));

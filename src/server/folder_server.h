@@ -13,13 +13,17 @@
 // Thread safety: FolderServer itself holds no lock. All synchronization
 // lives in the underlying FolderDirectory (whose mutex ranks at the
 // "directory" level of the canonical lock order, see DESIGN.md) plus one
-// atomic request counter; Handle() is safe from any number of threads.
+// atomic request counter; Handle() is safe from any number of threads. The
+// metric handles are resolved once in the constructor and written with
+// relaxed atomics on the request path (DESIGN.md "Observability").
 #pragma once
 
+#include <array>
 #include <atomic>
 
 #include "folder/directory.h"
 #include "server/protocol.h"
+#include "util/metrics.h"
 
 namespace dmemo {
 
@@ -56,10 +60,19 @@ class FolderServer {
   FolderDirectory<Bytes>& directory() { return directory_; }
 
  private:
+  Response HandleOp(const Request& request);
+
   int id_;
   std::string host_;
   FolderDirectory<Bytes> directory_;
   std::atomic<std::uint64_t> requests_served_{0};
+
+  // Observability handles, resolved once at construction. op_latency_ is
+  // indexed by the numeric Op value (kPut..kMetrics).
+  std::array<Histogram*, 16> op_latency_{};
+  Counter* deposits_ = nullptr;
+  Counter* extracts_ = nullptr;
+  Counter* slow_ops_ = nullptr;
 };
 
 }  // namespace dmemo

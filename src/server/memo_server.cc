@@ -6,6 +6,7 @@
 #include "transferable/composite.h"
 #include "transferable/scalars.h"
 #include "util/log.h"
+#include "util/trace.h"
 
 namespace dmemo {
 
@@ -17,6 +18,15 @@ constexpr std::uint8_t kMaxHops = 32;
 MemoServer::MemoServer(MemoServerOptions options)
     : options_(std::move(options)) {
   pool_ = std::make_unique<WorkerPool>(options_.pool);
+  const std::string host_label = "host=\"" + options_.host + "\"";
+  auto& registry = MetricsRegistry::Global();
+  for (std::uint8_t v = static_cast<std::uint8_t>(Op::kPut);
+       v <= static_cast<std::uint8_t>(Op::kMetrics); ++v) {
+    const Op op = static_cast<Op>(v);
+    op_latency_[v] = registry.GetHistogram(
+        "dmemo_server_op_latency_us",
+        host_label + ",op=\"" + std::string(OpName(op)) + "\"");
+  }
 }
 
 Result<std::unique_ptr<MemoServer>> MemoServer::Start(
@@ -183,12 +193,42 @@ Result<FolderServer*> MemoServer::LocalFolderServer(
 }
 
 Response MemoServer::Handle(const Request& request) {
+  // Untraced request (a client predating trace context, or a raw probe):
+  // this server is the first to see it, so it mints the trace id. The copy
+  // is confined to this rare path; traced requests pass through untouched.
+  if (request.trace_id == 0) {
+    Request traced = request;
+    traced.trace_id = NextTraceId();
+    return Handle(traced);
+  }
   {
     MutexLock slock(stats_mu_);
     ++stats_.requests;
   }
+  const std::uint64_t start_us = MonotonicMicros();
+  Response resp = HandleTraced(request);
+  resp.trace_id = request.trace_id;
+  const std::uint64_t elapsed_us = MonotonicMicros() - start_us;
+  const auto op_index = static_cast<std::size_t>(request.op);
+  if (op_index < op_latency_.size() && op_latency_[op_index] != nullptr) {
+    op_latency_[op_index]->Observe(elapsed_us);
+  }
+  SpanRecord span;
+  span.trace_id = request.trace_id;
+  span.component = "memo:" + options_.host;
+  span.op = std::string(OpName(request.op));
+  span.hop = request.hop_count;
+  span.ok = resp.code == StatusCode::kOk;
+  span.start_us = start_us;
+  span.duration_us = elapsed_us;
+  TraceRing::Global().Record(std::move(span));
+  return resp;
+}
+
+Response MemoServer::HandleTraced(const Request& request) {
   if (request.op == Op::kPing) return Response{};
   if (request.op == Op::kStats) return HandleStats();
+  if (request.op == Op::kMetrics) return HandleMetrics();
   if (request.op == Op::kRegisterApp) {
     auto parsed = ParseAdf(request.text);
     if (!parsed.ok()) return Response::FromStatus(parsed.status());
@@ -402,6 +442,67 @@ Response MemoServer::HandleStats() const {
     }
   }
   root->Set("folder_servers", folders);
+
+  Response resp;
+  resp.has_value = true;
+  resp.value = EncodeGraphToBytes(root);
+  return resp;
+}
+
+Response MemoServer::HandleMetrics() const {
+  // Refresh the point-in-time gauges that nothing updates incrementally:
+  // folder depth (distinct folders resident) per folder server.
+  auto& registry = MetricsRegistry::Global();
+  {
+    MutexLock lock(mu_);
+    for (const auto& [id, fs] : folder_servers_) {
+      Gauge* depth = registry.GetGauge(
+          "dmemo_folder_depth",
+          "fs=\"" + std::to_string(id) + "@" + options_.host + "\"");
+      depth->Set(static_cast<std::int64_t>(fs->directory().FolderCount()));
+    }
+  }
+
+  auto root = std::make_shared<TRecord>();
+  root->Set("host", MakeString(options_.host));
+
+  std::string text;
+  registry.WriteText(text);
+  root->Set("text", MakeString(text));
+
+  auto metrics = std::make_shared<TList>();
+  for (const MetricSample& sample : registry.Snapshot()) {
+    auto rec = std::make_shared<TRecord>();
+    rec->Set("name", MakeString(sample.name));
+    rec->Set("labels", MakeString(sample.labels));
+    rec->Set("kind", MakeString(std::string(MetricKindName(sample.kind))));
+    if (sample.kind == MetricKind::kHistogram) {
+      rec->Set("count", MakeUInt64(sample.count));
+      rec->Set("sum", MakeUInt64(sample.sum));
+      auto buckets = std::make_shared<TList>();
+      for (std::uint64_t b : sample.buckets) buckets->Add(MakeUInt64(b));
+      rec->Set("buckets", buckets);
+    } else {
+      rec->Set("value", MakeInt64(sample.value));
+    }
+    metrics->Add(rec);
+  }
+  root->Set("metrics", metrics);
+
+  auto spans = std::make_shared<TList>();
+  for (const SpanRecord& span : TraceRing::Global().Snapshot()) {
+    auto rec = std::make_shared<TRecord>();
+    rec->Set("trace_id", MakeUInt64(span.trace_id));
+    rec->Set("component", MakeString(span.component));
+    rec->Set("op", MakeString(span.op));
+    rec->Set("hop", MakeInt32(span.hop));
+    rec->Set("ok", MakeBool(span.ok));
+    rec->Set("start_us", MakeUInt64(span.start_us));
+    rec->Set("duration_us", MakeUInt64(span.duration_us));
+    spans->Add(rec);
+  }
+  root->Set("spans", spans);
+  root->Set("spans_total", MakeUInt64(TraceRing::Global().TotalRecorded()));
 
   Response resp;
   resp.has_value = true;

@@ -20,6 +20,7 @@
 // the cross-server case).
 #pragma once
 
+#include <array>
 #include <map>
 #include <memory>
 #include <thread>
@@ -108,7 +109,11 @@ class MemoServer {
 
   std::string SnapshotPath(int fs_id) const;
   void MigrateApp(const std::string& app, const RoutingTable& routing);
+  // Handle() after trace-id assignment and around-the-request metrics; this
+  // is the pre-observability dispatch body.
+  Response HandleTraced(const Request& request);
   Response HandleStats() const;
+  Response HandleMetrics() const;
   Response HandleDirected(const Request& request);
   Response HandleAlt(const Request& request, const RoutingTable& routing);
   Response ForwardToward(const std::string& target_host, Request request);
@@ -117,6 +122,10 @@ class MemoServer {
 
   MemoServerOptions options_;
   std::string address_;
+  // Per-op request latency histograms, indexed by numeric Op value and
+  // labelled host="<host>",op="<name>"; resolved once at construction so the
+  // request path never touches the registry map (DESIGN.md "Observability").
+  std::array<Histogram*, 16> op_latency_{};
   TransportPtr transport_;
   ListenerPtr listener_;
   std::unique_ptr<WorkerPool> pool_;

@@ -15,6 +15,7 @@ std::string_view OpName(Op op) {
     case Op::kRegisterApp: return "register_app";
     case Op::kPing: return "ping";
     case Op::kStats: return "stats";
+    case Op::kMetrics: return "metrics";
   }
   return "unknown";
 }
@@ -24,6 +25,7 @@ void Request::EncodeTo(ByteWriter& out) const {
   out.str(app);
   out.str(target_host);
   out.u8(hop_count);
+  out.u64(trace_id);
   key.EncodeTo(out);
   key2.EncodeTo(out);
   out.varint(alts.size());
@@ -36,13 +38,14 @@ Result<Request> Request::DecodeFrom(ByteReader& in) {
   Request req;
   DMEMO_ASSIGN_OR_RETURN(std::uint8_t op, in.u8());
   if (op < static_cast<std::uint8_t>(Op::kPut) ||
-      op > static_cast<std::uint8_t>(Op::kStats)) {
+      op > static_cast<std::uint8_t>(Op::kMetrics)) {
     return DataLossError("unknown opcode " + std::to_string(op));
   }
   req.op = static_cast<Op>(op);
   DMEMO_ASSIGN_OR_RETURN(req.app, in.str());
   DMEMO_ASSIGN_OR_RETURN(req.target_host, in.str());
   DMEMO_ASSIGN_OR_RETURN(req.hop_count, in.u8());
+  DMEMO_ASSIGN_OR_RETURN(req.trace_id, in.u64());
   DMEMO_ASSIGN_OR_RETURN(req.key, Key::DecodeFrom(in));
   DMEMO_ASSIGN_OR_RETURN(req.key2, Key::DecodeFrom(in));
   DMEMO_ASSIGN_OR_RETURN(std::uint64_t n_alts, in.varint());
@@ -65,6 +68,7 @@ void Response::EncodeTo(ByteWriter& out) const {
   key.EncodeTo(out);
   out.varint(count);
   out.u8(hop_count);
+  out.u64(trace_id);
 }
 
 Result<Response> Response::DecodeFrom(ByteReader& in) {
@@ -83,6 +87,7 @@ Result<Response> Response::DecodeFrom(ByteReader& in) {
   DMEMO_ASSIGN_OR_RETURN(resp.key, Key::DecodeFrom(in));
   DMEMO_ASSIGN_OR_RETURN(resp.count, in.varint());
   DMEMO_ASSIGN_OR_RETURN(resp.hop_count, in.u8());
+  DMEMO_ASSIGN_OR_RETURN(resp.trace_id, in.u64());
   return resp;
 }
 

@@ -9,6 +9,12 @@
 // the destination machine; intermediate memo servers increment hop_count as
 // they relay along the ADF topology, which is how the topology experiments
 // observe real hop counts.
+//
+// Trace context (util/trace.h): every request carries a 64-bit trace id,
+// minted by the originating client (or by the first memo server to see an
+// untraced request) and preserved across relays; each component records a
+// span keyed by it, and the response echoes it back so callers can confirm
+// which trace served them.
 #pragma once
 
 #include <string>
@@ -32,6 +38,7 @@ enum class Op : std::uint8_t {
   kRegisterApp,  // store the app's ADF / routing table (Sec. 4.4)
   kPing,         // liveness probe
   kStats,        // server introspection: stats as an encoded TRecord
+  kMetrics,      // structured metrics + trace spans as an encoded TRecord
 };
 
 std::string_view OpName(Op op);
@@ -41,6 +48,7 @@ struct Request {
   std::string app;
   std::string target_host;  // owning machine; "" = resolve at first server
   std::uint8_t hop_count = 0;
+  std::uint64_t trace_id = 0;  // 0 = untraced; first server assigns one
 
   Key key;                 // put/get/...; put_delayed's key1
   Key key2;                // put_delayed's destination folder
@@ -61,6 +69,7 @@ struct Response {
   Key key;
   std::uint64_t count = 0;     // kCount result
   std::uint8_t hop_count = 0;  // hops the request travelled (diagnostics)
+  std::uint64_t trace_id = 0;  // echo of the request's trace id
 
   void EncodeTo(ByteWriter& out) const;
   static Result<Response> DecodeFrom(ByteReader& in);

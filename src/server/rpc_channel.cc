@@ -1,12 +1,44 @@
 #include "server/rpc_channel.h"
 
 #include "util/log.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace dmemo {
 
 namespace {
 constexpr std::uint8_t kKindRequest = 1;
 constexpr std::uint8_t kKindResponse = 2;
+
+// Process-wide RPC-layer metrics, summed over every channel. Handles are
+// function-local statics so the per-frame cost is one relaxed add.
+Counter* FramesSent() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("dmemo_rpc_frames_sent_total");
+  return c;
+}
+Counter* FramesReceived() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("dmemo_rpc_frames_received_total");
+  return c;
+}
+Counter* RpcBytesSent() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("dmemo_rpc_bytes_sent_total");
+  return c;
+}
+Counter* RpcBytesReceived() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("dmemo_rpc_bytes_received_total");
+  return c;
+}
+// Client-observed round-trip latency of RpcChannel::Call/CallFor, including
+// queueing and parked-get wait time at the far end.
+Histogram* CallLatency() {
+  static Histogram* h =
+      MetricsRegistry::Global().GetHistogram("dmemo_rpc_call_latency_us");
+  return h;
+}
 }  // namespace
 
 RpcChannelPtr RpcChannel::Create(ConnectionPtr conn, WorkerPool* pool,
@@ -52,6 +84,7 @@ Result<Response> RpcChannel::Call(const Request& request) {
 Result<std::optional<Response>> RpcChannel::CallFor(
     const Request& request, std::chrono::milliseconds timeout) {
   if (closed_.load()) return UnavailableError("rpc channel closed");
+  const std::uint64_t start_us = MonotonicMicros();
   std::uint64_t id;
   {
     MutexLock lock(mu_);
@@ -73,6 +106,8 @@ Result<std::optional<Response>> RpcChannel::CallFor(
     return sent;
   }
   bytes_sent_.fetch_add(frame.size(), std::memory_order_relaxed);
+  FramesSent()->Increment();
+  RpcBytesSent()->Add(frame.size());
 
   MutexLock lock(mu_);
   const bool unbounded = timeout == std::chrono::milliseconds::max();
@@ -91,6 +126,7 @@ Result<std::optional<Response>> RpcChannel::CallFor(
     if (it->second.response.has_value()) {
       Response resp = std::move(*it->second.response);
       pending_.erase(it);
+      CallLatency()->Observe(MonotonicMicros() - start_us);
       return std::optional<Response>(std::move(resp));
     }
     if (unbounded) {
@@ -109,6 +145,8 @@ void RpcChannel::ReaderLoop() {
     auto frame = conn_->Receive();
     if (!frame.ok()) break;
     bytes_received_.fetch_add(frame->size(), std::memory_order_relaxed);
+    FramesReceived()->Increment();
+    RpcBytesReceived()->Add(frame->size());
     ByteReader in(*frame);
     auto kind = in.u8();
     auto id = in.u64();
@@ -159,6 +197,8 @@ void RpcChannel::HandleRequest(std::uint64_t id, Request request) {
     MutexLock lock(self->send_mu_);
     if (self->conn_->Send(frame.data()).ok()) {
       self->bytes_sent_.fetch_add(frame.size(), std::memory_order_relaxed);
+      FramesSent()->Increment();
+      RpcBytesSent()->Add(frame.size());
     }
   };
   if (pool_ != nullptr) {

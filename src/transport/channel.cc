@@ -9,10 +9,29 @@
 
 #include "util/blocking_queue.h"
 #include "util/bytes.h"
+#include "util/metrics.h"
 
 namespace dmemo {
 
 namespace {
+
+// Fragmentation stats across every mux in the process: packets pumped out,
+// messages fully reassembled, and messages that needed more than one packet.
+Counter* FragPacketsSent() {
+  static Counter* c = MetricsRegistry::Global().GetCounter(
+      "dmemo_channel_packets_sent_total");
+  return c;
+}
+Counter* FragMessagesReassembled() {
+  static Counter* c = MetricsRegistry::Global().GetCounter(
+      "dmemo_channel_messages_reassembled_total");
+  return c;
+}
+Counter* FragMessagesFragmented() {
+  static Counter* c = MetricsRegistry::Global().GetCounter(
+      "dmemo_channel_messages_fragmented_total");
+  return c;
+}
 
 void ChargeTransmission(const ChannelProfile& profile, std::size_t bytes) {
   if (profile.bytes_per_ms == 0) return;
@@ -112,6 +131,7 @@ struct FragmentingMux::Impl {
       ChargeTransmission(profile, frame->size());
       if (!inner->Send(*frame).ok()) return;
       packets_sent.fetch_add(1, std::memory_order_relaxed);
+      FragPacketsSent()->Increment();
     }
   }
 
@@ -140,6 +160,7 @@ struct FragmentingMux::Impl {
         complete = std::move(partial_msg);
         partial.erase(packet->vc);
       }
+      FragMessagesReassembled()->Increment();
       queue->Push(std::move(complete));
     }
   }
@@ -164,6 +185,7 @@ class VirtualConnection final : public Connection {
 
   Status Send(std::span<const std::uint8_t> frame) override {
     const std::size_t packet = mux_->profile.packet_bytes;
+    if (frame.size() > packet) FragMessagesFragmented()->Increment();
     std::size_t offset = 0;
     do {
       const std::size_t n = std::min(packet, frame.size() - offset);

@@ -10,6 +10,7 @@
 
 #include "sharedmem/shared_memory.h"
 #include "transport/socket_transport.h"
+#include "transport/transport_metrics.h"
 #include "util/hash.h"
 #include "util/log.h"
 
@@ -220,6 +221,11 @@ class Ring {
 
 // ---- connection over two rings ----------------------------------------------
 
+const TransportMetrics* ShmMetrics() {
+  static const TransportMetrics* m = GetTransportMetrics("shm");
+  return m;
+}
+
 class ShmConnection final : public Connection {
  public:
   ShmConnection(std::unique_ptr<SharedMemory> tx_seg,
@@ -234,12 +240,26 @@ class ShmConnection final : public Connection {
   ~ShmConnection() override { Close(); }
 
   Status Send(std::span<const std::uint8_t> frame) override {
-    return tx_.SendFrame(frame);
+    DMEMO_RETURN_IF_ERROR(tx_.SendFrame(frame));
+    metrics_->frames_sent->Increment();
+    metrics_->bytes_sent->Add(frame.size());
+    return Status::Ok();
   }
-  Result<Bytes> Receive() override { return rx_.ReceiveFrame(); }
+  Result<Bytes> Receive() override {
+    DMEMO_ASSIGN_OR_RETURN(Bytes frame, rx_.ReceiveFrame());
+    metrics_->frames_received->Increment();
+    metrics_->bytes_received->Add(frame.size());
+    return frame;
+  }
   Result<std::optional<Bytes>> ReceiveFor(
       std::chrono::milliseconds timeout) override {
-    return rx_.ReceiveFrameFor(timeout);
+    DMEMO_ASSIGN_OR_RETURN(std::optional<Bytes> frame,
+                           rx_.ReceiveFrameFor(timeout));
+    if (frame.has_value()) {
+      metrics_->frames_received->Increment();
+      metrics_->bytes_received->Add(frame->size());
+    }
+    return frame;
   }
 
   void Close() override {
@@ -257,6 +277,7 @@ class ShmConnection final : public Connection {
   Ring rx_;
   std::atomic<bool> closed_{false};
   std::string description_;
+  const TransportMetrics* metrics_ = ShmMetrics();
 };
 
 // ---- handshake + transport ----------------------------------------------------
@@ -339,6 +360,7 @@ class ShmTransport final : public Transport {
     DMEMO_ASSIGN_OR_RETURN(Bytes ack, control->Receive());
     if (ack != Bytes{1}) return UnavailableError("shm handshake rejected");
     control->Close();
+    ShmMetrics()->dials->Increment();
     return ConnectionPtr(std::make_unique<ShmConnection>(
         std::move(c2s.first), std::move(s2c.first), tx, rx,
         "shm:dial:" + path));
@@ -380,6 +402,7 @@ class ShmTransport final : public Transport {
                                static_cast<std::size_t>(hs->ring_bytes));
           DMEMO_RETURN_IF_ERROR(conn->Send(Bytes{1}));
           conn->Close();
+          ShmMetrics()->accepts->Increment();
           return ConnectionPtr(std::make_unique<ShmConnection>(
               std::move(*s2c), std::move(*c2s), tx, rx, "shm:accept"));
         }

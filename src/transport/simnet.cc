@@ -3,12 +3,18 @@
 #include <thread>
 #include <unordered_map>
 
+#include "transport/transport_metrics.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
 namespace dmemo {
 
 namespace {
+
+const TransportMetrics* SimMetrics() {
+  static const TransportMetrics* m = GetTransportMetrics("sim");
+  return m;
+}
 
 // One direction of a simulated connection.
 struct Pipe {
@@ -43,6 +49,8 @@ class SimConnection final : public Connection {
     if (!tx_->frames.Push(Bytes(frame.begin(), frame.end()))) {
       return UnavailableError("sim connection closed by peer");
     }
+    SimMetrics()->frames_sent->Increment();
+    SimMetrics()->bytes_sent->Add(frame.size());
     return Status::Ok();
   }
 
@@ -51,6 +59,8 @@ class SimConnection final : public Connection {
     if (!frame.has_value()) {
       return UnavailableError("sim connection closed");
     }
+    SimMetrics()->frames_received->Increment();
+    SimMetrics()->bytes_received->Add(frame->size());
     return std::move(*frame);
   }
 
@@ -63,6 +73,8 @@ class SimConnection final : public Connection {
       }
       return std::optional<Bytes>(std::nullopt);
     }
+    SimMetrics()->frames_received->Increment();
+    SimMetrics()->bytes_received->Add(frame->size());
     return std::optional<Bytes>(std::move(*frame));
   }
 
@@ -130,6 +142,7 @@ class SimListener final : public Listener {
     if (!conn.has_value()) {
       return UnavailableError("sim listener " + name_ + " closed");
     }
+    SimMetrics()->accepts->Increment();
     return std::move(*conn);
   }
 
@@ -179,6 +192,7 @@ class SimTransport final : public Transport {
     if (!backlog->Push(std::move(server_side))) {
       return UnavailableError("sim listener at " + name + " closed");
     }
+    SimMetrics()->dials->Increment();
     return ConnectionPtr(
         std::make_unique<SimConnection>(a_to_b, b_to_a, "sim:dial:" + name));
   }

@@ -1,5 +1,6 @@
 #include "transport/socket_transport.h"
 
+#include "transport/transport_metrics.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -52,8 +53,9 @@ Status FullWrite(int fd, const std::uint8_t* src, std::size_t n) {
 
 class FdConnection final : public Connection {
  public:
-  FdConnection(int fd, std::string description)
-      : fd_(fd), description_(std::move(description)) {}
+  FdConnection(int fd, std::string description,
+               const TransportMetrics* metrics)
+      : fd_(fd), description_(std::move(description)), metrics_(metrics) {}
 
   ~FdConnection() override { Close(); }
 
@@ -67,7 +69,10 @@ class FdConnection final : public Connection {
         static_cast<std::uint8_t>(frame.size()),
     };
     DMEMO_RETURN_IF_ERROR(FullWrite(fd_, header, sizeof(header)));
-    return FullWrite(fd_, frame.data(), frame.size());
+    DMEMO_RETURN_IF_ERROR(FullWrite(fd_, frame.data(), frame.size()));
+    metrics_->frames_sent->Increment();
+    metrics_->bytes_sent->Add(frame.size() + sizeof(header));
+    return Status::Ok();
   }
 
   Result<Bytes> Receive() override {
@@ -85,6 +90,8 @@ class FdConnection final : public Connection {
     }
     Bytes payload(len);
     DMEMO_RETURN_IF_ERROR(FullRead(fd_, payload.data(), len));
+    metrics_->frames_received->Increment();
+    metrics_->bytes_received->Add(len + sizeof(header));
     return payload;
   }
 
@@ -128,12 +135,13 @@ class FdConnection final : public Connection {
   // recv_mu_, and Close clears it under both — so no single GUARDED_BY fits.
   int fd_;
   std::string description_;
+  const TransportMetrics* metrics_;
 };
 
 class FdListener final : public Listener {
  public:
-  FdListener(int fd, std::string address)
-      : fd_(fd), address_(std::move(address)) {}
+  FdListener(int fd, std::string address, const TransportMetrics* metrics)
+      : fd_(fd), address_(std::move(address)), metrics_(metrics) {}
 
   ~FdListener() override { Close(); }
 
@@ -143,8 +151,9 @@ class FdListener final : public Listener {
       if (client >= 0) {
         int one = 1;
         ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        metrics_->accepts->Increment();
         return ConnectionPtr(std::make_unique<FdConnection>(
-            client, "accept:" + address_));
+            client, "accept:" + address_, metrics_));
       }
       if (errno == EINTR) continue;
       return Errno("accept on " + address_);
@@ -164,6 +173,7 @@ class FdListener final : public Listener {
  private:
   int fd_;
   std::string address_;
+  const TransportMetrics* metrics_;
 };
 
 Result<std::pair<std::string, std::uint16_t>> SplitHostPort(
@@ -214,8 +224,9 @@ class TcpTransport final : public Transport {
     }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    metrics_->dials->Increment();
     return ConnectionPtr(std::make_unique<FdConnection>(
-        fd, "tcp:" + std::string(address)));
+        fd, "tcp:" + std::string(address), metrics_));
   }
 
   Result<ListenerPtr> Listen(std::string_view address) override {
@@ -245,10 +256,13 @@ class TcpTransport final : public Transport {
     ::inet_ntop(AF_INET, &addr.sin_addr, ip, sizeof(ip));
     std::string bound = "tcp://" + std::string(ip) + ":" +
                         std::to_string(ntohs(addr.sin_port));
-    return ListenerPtr(std::make_unique<FdListener>(fd, bound));
+    return ListenerPtr(std::make_unique<FdListener>(fd, bound, metrics_));
   }
 
   std::string_view scheme() const override { return "tcp"; }
+
+ private:
+  const TransportMetrics* metrics_ = GetTransportMetrics("tcp");
 };
 
 class UnixTransport final : public Transport {
@@ -263,7 +277,9 @@ class UnixTransport final : public Transport {
       ::close(fd);
       return Errno("connect to " + path);
     }
-    return ConnectionPtr(std::make_unique<FdConnection>(fd, "unix:" + path));
+    metrics_->dials->Increment();
+    return ConnectionPtr(
+        std::make_unique<FdConnection>(fd, "unix:" + path, metrics_));
   }
 
   Result<ListenerPtr> Listen(std::string_view address) override {
@@ -281,12 +297,15 @@ class UnixTransport final : public Transport {
       ::close(fd);
       return Errno("listen");
     }
-    return ListenerPtr(std::make_unique<FdListener>(fd, "unix://" + path));
+    return ListenerPtr(
+        std::make_unique<FdListener>(fd, "unix://" + path, metrics_));
   }
 
   std::string_view scheme() const override { return "unix"; }
 
  private:
+  const TransportMetrics* metrics_ = GetTransportMetrics("unix");
+
   static Status FillPath(struct sockaddr_un& addr, const std::string& path) {
     if (path.size() >= sizeof(addr.sun_path)) {
       return InvalidArgumentError("unix socket path too long: " + path);

@@ -1,0 +1,41 @@
+// Per-scheme transport metrics (DESIGN.md "Observability").
+//
+// Every Transport implementation counts the same five things — bytes and
+// frames in each direction plus dial/accept attempts — labelled by its
+// scheme (`transport="tcp"`). Call sites resolve the handle bundle once
+// (function-local static or constructor member) and pay one relaxed atomic
+// add per frame on the data path.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/metrics.h"
+
+namespace dmemo {
+
+struct TransportMetrics {
+  Counter* bytes_sent;
+  Counter* bytes_received;
+  Counter* frames_sent;
+  Counter* frames_received;
+  Counter* dials;
+  Counter* accepts;
+};
+
+// Handles live as long as the process (registry-owned); the bundle itself is
+// leaked intentionally, one per (scheme, call site).
+inline const TransportMetrics* GetTransportMetrics(std::string_view scheme) {
+  auto& registry = MetricsRegistry::Global();
+  const std::string label = "transport=\"" + std::string(scheme) + "\"";
+  return new TransportMetrics{
+      registry.GetCounter("dmemo_transport_bytes_sent_total", label),
+      registry.GetCounter("dmemo_transport_bytes_received_total", label),
+      registry.GetCounter("dmemo_transport_frames_sent_total", label),
+      registry.GetCounter("dmemo_transport_frames_received_total", label),
+      registry.GetCounter("dmemo_transport_dials_total", label),
+      registry.GetCounter("dmemo_transport_accepts_total", label),
+  };
+}
+
+}  // namespace dmemo

@@ -2,11 +2,22 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
 #include <string>
 
 namespace dmemo {
 namespace {
-std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+int InitialLevel() {
+  const char* env = std::getenv("DMEMO_LOG_LEVEL");
+  if (env != nullptr) {
+    if (auto level = ParseLogLevel(env)) return static_cast<int>(*level);
+  }
+  return static_cast<int>(LogLevel::kWarn);
+}
+
+std::atomic<int> g_level{InitialLevel()};
 
 std::string_view LevelTag(LogLevel level) {
   switch (level) {
@@ -22,7 +33,36 @@ std::string_view Basename(std::string_view path) {
   auto pos = path.find_last_of('/');
   return pos == std::string_view::npos ? path : path.substr(pos + 1);
 }
+
+// Small sequential thread id (1, 2, ...) in assignment order — far more
+// readable in merged logs than pthread handles.
+int ThreadLogId() {
+  static std::atomic<int> next{1};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const char ca = a[i] >= 'A' && a[i] <= 'Z' ? a[i] + 32 : a[i];
+    if (ca != b[i]) return false;
+  }
+  return true;
+}
+
 }  // namespace
+
+std::optional<LogLevel> ParseLogLevel(std::string_view text) {
+  if (EqualsIgnoreCase(text, "debug") || text == "0") return LogLevel::kDebug;
+  if (EqualsIgnoreCase(text, "info") || text == "1") return LogLevel::kInfo;
+  if (EqualsIgnoreCase(text, "warn") || EqualsIgnoreCase(text, "warning") ||
+      text == "2") {
+    return LogLevel::kWarn;
+  }
+  if (EqualsIgnoreCase(text, "error") || text == "3") return LogLevel::kError;
+  return std::nullopt;
+}
 
 void SetLogLevel(LogLevel level) {
   g_level.store(static_cast<int>(level), std::memory_order_relaxed);
@@ -36,8 +76,16 @@ namespace internal {
 
 LogLine::LogLine(LogLevel level, std::string_view file, int line)
     : level_(level) {
-  stream_ << "[" << LevelTag(level) << " " << Basename(file) << ":" << line
-          << "] ";
+  struct timespec ts{};
+  ::clock_gettime(CLOCK_REALTIME, &ts);
+  struct tm tm{};
+  ::localtime_r(&ts.tv_sec, &tm);
+  char stamp[64];
+  std::snprintf(stamp, sizeof(stamp), "%02d%02d %02d:%02d:%02d.%03ld",
+                tm.tm_mon + 1, tm.tm_mday, tm.tm_hour, tm.tm_min, tm.tm_sec,
+                ts.tv_nsec / 1'000'000);
+  stream_ << "[" << LevelTag(level) << " " << stamp << " t" << ThreadLogId()
+          << " " << Basename(file) << ":" << line << "] ";
 }
 
 LogLine::~LogLine() {

@@ -1,9 +1,12 @@
 // Minimal leveled logging.
 //
 // Servers are multi-threaded; each log line is assembled in a thread-local
-// stream and emitted with a single write so lines never interleave.
+// stream and emitted with a single write so lines never interleave. Every
+// line carries a wall-clock timestamp and a short per-thread id so logs
+// from multi-process runs can be merged and read.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string_view>
 
@@ -12,9 +15,14 @@ namespace dmemo {
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
 // Global threshold; messages below it are discarded (default kWarn so tests
-// and benchmarks stay quiet).
+// and benchmarks stay quiet). The DMEMO_LOG_LEVEL environment variable
+// ("debug" | "info" | "warn" | "error", or 0-3) sets the initial threshold
+// at process start, so server verbosity changes without recompiling.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+// "debug"/"info"/"warn"/"error" (any case) or "0".."3"; nullopt otherwise.
+std::optional<LogLevel> ParseLogLevel(std::string_view text);
 
 namespace internal {
 

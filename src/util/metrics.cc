@@ -1,0 +1,227 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dmemo {
+
+namespace metrics_internal {
+
+std::size_t ShardIndex() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t index =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return index;
+}
+
+}  // namespace metrics_internal
+
+const std::array<std::uint64_t, Histogram::kBounds>&
+Histogram::BucketBounds() {
+  // 1-2.5-5 ladder from 1 µs to 10 s. A folder hit lands in the first few
+  // buckets, a socket round trip mid-ladder, a parked get near the top.
+  static const std::array<std::uint64_t, kBounds> kBoundsArray = {
+      1,       2,       5,        10,       25,       50,        100,
+      250,     500,     1'000,    2'500,    5'000,    10'000,    25'000,
+      50'000,  100'000, 250'000,  500'000,  1'000'000, 2'500'000, 5'000'000,
+      10'000'000};
+  return kBoundsArray;
+}
+
+void Histogram::Observe(std::uint64_t value_us) noexcept {
+  const auto& bounds = BucketBounds();
+  const auto it = std::lower_bound(bounds.begin(), bounds.end(), value_us);
+  const std::size_t idx = static_cast<std::size_t>(it - bounds.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value_us, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::Count() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::string_view MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+struct MetricsRegistry::Entry {
+  std::string name;
+  std::string labels;
+  MetricKind kind;
+  // Exactly one is used, per kind; separate members keep the hot-path
+  // objects trivially reachable without a variant dispatch.
+  Counter counter;
+  Gauge gauge;
+  Histogram histogram;
+};
+
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = [] {
+    auto* r = new MetricsRegistry();  // never destroyed: handles outlive exit
+    InitMetricsExportFromEnv();
+    return r;
+  }();
+  return *registry;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(
+    std::string_view name, std::string_view labels, MetricKind kind) {
+  std::string key;
+  key.reserve(name.size() + labels.size() + 1);
+  key.append(name);
+  key.push_back('\x01');
+  key.append(labels);
+  MutexLock lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    auto entry = std::make_unique<Entry>();
+    entry->name = std::string(name);
+    entry->labels = std::string(labels);
+    entry->kind = kind;
+    it = entries_.emplace(std::move(key), std::move(entry)).first;
+  }
+  return it->second.get();
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view labels) {
+  return &FindOrCreate(name, labels, MetricKind::kCounter)->counter;
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name,
+                                 std::string_view labels) {
+  return &FindOrCreate(name, labels, MetricKind::kGauge)->gauge;
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::string_view labels) {
+  return &FindOrCreate(name, labels, MetricKind::kHistogram)->histogram;
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  MutexLock lock(mu_);
+  std::vector<MetricSample> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    MetricSample sample;
+    sample.name = entry->name;
+    sample.labels = entry->labels;
+    sample.kind = entry->kind;
+    switch (entry->kind) {
+      case MetricKind::kCounter:
+        sample.value = static_cast<std::int64_t>(entry->counter.Value());
+        break;
+      case MetricKind::kGauge:
+        sample.value = entry->gauge.Value();
+        break;
+      case MetricKind::kHistogram: {
+        sample.buckets.resize(Histogram::kBuckets);
+        std::uint64_t count = 0;
+        for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+          sample.buckets[i] = entry->histogram.BucketCount(i);
+          count += sample.buckets[i];
+        }
+        // Count derived from the buckets, so count == Σ buckets holds in
+        // every snapshot even while writers race.
+        sample.count = count;
+        sample.sum = entry->histogram.Sum();
+        break;
+      }
+    }
+    out.push_back(std::move(sample));
+  }
+  return out;
+}
+
+namespace {
+
+std::string Series(const std::string& name, const std::string& labels,
+                   std::string_view extra = "") {
+  std::string s = name;
+  if (!labels.empty() || !extra.empty()) {
+    s.push_back('{');
+    s.append(labels);
+    if (!labels.empty() && !extra.empty()) s.push_back(',');
+    s.append(extra);
+    s.push_back('}');
+  }
+  return s;
+}
+
+}  // namespace
+
+void MetricsRegistry::WriteText(std::string& out) const {
+  std::string last_typed;
+  for (const MetricSample& m : Snapshot()) {
+    if (m.name != last_typed) {
+      out.append("# TYPE ").append(m.name).append(" ");
+      out.append(MetricKindName(m.kind)).append("\n");
+      last_typed = m.name;
+    }
+    switch (m.kind) {
+      case MetricKind::kCounter:
+      case MetricKind::kGauge:
+        out.append(Series(m.name, m.labels))
+            .append(" ")
+            .append(std::to_string(m.value))
+            .append("\n");
+        break;
+      case MetricKind::kHistogram: {
+        const auto& bounds = Histogram::BucketBounds();
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < m.buckets.size(); ++i) {
+          cumulative += m.buckets[i];
+          const std::string le = i < bounds.size()
+                                     ? std::to_string(bounds[i])
+                                     : std::string("+Inf");
+          out.append(Series(m.name + "_bucket", m.labels,
+                            "le=\"" + le + "\""))
+              .append(" ")
+              .append(std::to_string(cumulative))
+              .append("\n");
+        }
+        out.append(Series(m.name + "_sum", m.labels))
+            .append(" ")
+            .append(std::to_string(m.sum))
+            .append("\n");
+        out.append(Series(m.name + "_count", m.labels))
+            .append(" ")
+            .append(std::to_string(m.count))
+            .append("\n");
+        break;
+      }
+    }
+  }
+}
+
+void InitMetricsExportFromEnv() {
+  static const bool registered = [] {
+    const char* path = std::getenv("DMEMO_METRICS_EXPORT");
+    if (path == nullptr || *path == '\0') return false;
+    static std::string export_path;  // atexit callback needs static storage
+    export_path = path;
+    std::atexit([] {
+      std::string text;
+      MetricsRegistry::Global().WriteText(text);
+      std::FILE* f = std::fopen(export_path.c_str(), "w");
+      if (f == nullptr) return;
+      std::fwrite(text.data(), 1, text.size(), f);
+      std::fclose(f);
+    });
+    return true;
+  }();
+  (void)registered;
+}
+
+}  // namespace dmemo

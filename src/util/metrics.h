@@ -1,0 +1,185 @@
+// Process-wide metrics registry: counters, gauges and fixed-bucket latency
+// histograms for every layer of the system (transports, RPC channels, memo
+// and folder servers, worker pools).
+//
+// Design constraints, in order:
+//   1. The hot path (a counter Add or histogram Observe inside a request)
+//      must be a handful of relaxed atomic operations — no locks, no
+//      allocation, no map lookups. Counters shard their cells across cache
+//      lines so concurrent request threads do not bounce one line.
+//   2. Handles are resolved once (registry mutex + string key) and stay
+//      valid for the life of the process, so call sites hoist the lookup
+//      into a constructor or a function-local static.
+//   3. Snapshots and the Prometheus-style text exposition never stop
+//      writers; they read the same relaxed atomics, so a snapshot is
+//      per-cell consistent, monotone across snapshots, but not a global
+//      atomic cut (documented in DESIGN.md "Observability").
+//
+// Naming scheme (see DESIGN.md): dmemo_<component>_<what>_<unit-or-total>,
+// with Prometheus-style labels preformatted by the call site, e.g.
+// GetHistogram("dmemo_server_op_latency_us", "host=\"a\",op=\"put\"").
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace dmemo {
+
+// Counter cells per counter. Threads pick a cell by a cheap thread-local
+// index, so up to this many threads increment without sharing a cache line.
+inline constexpr std::size_t kMetricShards = 8;
+
+namespace metrics_internal {
+// Stable per-thread shard index in [0, kMetricShards).
+std::size_t ShardIndex();
+}  // namespace metrics_internal
+
+// Monotonically increasing sum. Add is wait-free; Value sums the shards
+// (each relaxed, so concurrent adds may or may not be visible — never
+// double-counted, never lost).
+class Counter {
+ public:
+  void Add(std::uint64_t n) noexcept {
+    shards_[metrics_internal::ShardIndex()].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  void Increment() noexcept { Add(1); }
+
+  std::uint64_t Value() const noexcept {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Shard, kMetricShards> shards_;
+};
+
+// Point-in-time signed value (queue depth, folder count).
+class Gauge {
+ public:
+  void Set(std::int64_t v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+  }
+  void Add(std::int64_t d) noexcept {
+    v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  std::int64_t Value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+// Fixed-bucket latency histogram. Values are microseconds; the bounds span
+// 1 µs .. 10 s (exponential 1-2.5-5 ladder) plus an overflow bucket, which
+// covers everything from an in-process folder hit to a parked blocking get.
+class Histogram {
+ public:
+  static constexpr std::size_t kBounds = 22;   // finite upper bounds
+  static constexpr std::size_t kBuckets = kBounds + 1;  // + overflow
+
+  // Inclusive upper bounds (Prometheus `le`), in microseconds.
+  static const std::array<std::uint64_t, kBounds>& BucketBounds();
+
+  void Observe(std::uint64_t value_us) noexcept;
+
+  std::uint64_t Count() const noexcept;          // total observations
+  std::uint64_t Sum() const noexcept {           // sum of observed values
+    return sum_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t BucketCount(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+std::string_view MetricKindName(MetricKind kind);
+
+// One metric's state at snapshot time.
+struct MetricSample {
+  std::string name;
+  std::string labels;  // preformatted `k="v",k2="v2"`, may be empty
+  MetricKind kind = MetricKind::kCounter;
+  std::int64_t value = 0;                // counter / gauge
+  std::uint64_t count = 0;               // histogram observations
+  std::uint64_t sum = 0;                 // histogram sum (µs)
+  std::vector<std::uint64_t> buckets;    // per-bucket (non-cumulative)
+};
+
+// Registry of named metrics. Global() is the process-wide instance every
+// subsystem registers into; separate instances exist only for tests.
+class MetricsRegistry {
+ public:
+  // Both out of line: Entry is incomplete here, and the entries_ map's
+  // destructor (reachable from either) needs it complete.
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& Global();
+
+  // Find-or-create; the returned pointer lives as long as the registry.
+  // The same (name, labels) pair always yields the same handle.
+  Counter* GetCounter(std::string_view name, std::string_view labels = "");
+  Gauge* GetGauge(std::string_view name, std::string_view labels = "");
+  Histogram* GetHistogram(std::string_view name,
+                          std::string_view labels = "");
+
+  // All metrics, sorted by (name, labels).
+  std::vector<MetricSample> Snapshot() const;
+
+  // Prometheus text exposition (# TYPE lines, cumulative `le` buckets,
+  // _sum/_count series), appended to `out`.
+  void WriteText(std::string& out) const;
+
+ private:
+  struct Entry;
+  Entry* FindOrCreate(std::string_view name, std::string_view labels,
+                      MetricKind kind);
+
+  mutable Mutex mu_{"MetricsRegistry::mu"};
+  // Key: name + '\x01' + labels. std::map so snapshots come out sorted.
+  std::map<std::string, std::unique_ptr<Entry>, std::less<>> entries_
+      DMEMO_GUARDED_BY(mu_);
+};
+
+// If DMEMO_METRICS_EXPORT names a file, arrange for the global registry's
+// text exposition to be written there at clean process exit (atexit). Called
+// lazily by MetricsRegistry::Global(); safe to call repeatedly.
+void InitMetricsExportFromEnv();
+
+}  // namespace dmemo

@@ -1,0 +1,104 @@
+#include "util/trace.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+#include "util/rng.h"
+
+namespace dmemo {
+
+TraceRing::TraceRing(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+TraceRing& TraceRing::Global() {
+  static TraceRing* ring = new TraceRing();  // never destroyed
+  return *ring;
+}
+
+void TraceRing::Record(SpanRecord span) {
+  MutexLock lock(mu_);
+  if (slots_.size() < capacity_) {
+    slots_.push_back(std::move(span));
+  } else {
+    slots_[next_] = std::move(span);
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++total_;
+}
+
+std::vector<SpanRecord> TraceRing::Snapshot() const {
+  MutexLock lock(mu_);
+  std::vector<SpanRecord> out;
+  out.reserve(slots_.size());
+  if (slots_.size() < capacity_) {
+    out = slots_;
+  } else {
+    // next_ is the oldest slot once the ring has wrapped.
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      out.push_back(slots_[(next_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+std::uint64_t TraceRing::TotalRecorded() const {
+  MutexLock lock(mu_);
+  return total_;
+}
+
+std::uint64_t NextTraceId() {
+  // Seed mixes a process-wide counter, the thread id and the clock so ids
+  // from different processes on one machine do not collide in practice.
+  static std::atomic<std::uint64_t> process_salt{
+      static_cast<std::uint64_t>(
+          std::chrono::steady_clock::now().time_since_epoch().count())};
+  thread_local SplitMix64 rng(
+      process_salt.fetch_add(0x9e3779b97f4a7c15ULL,
+                             std::memory_order_relaxed) ^
+      (std::hash<std::thread::id>{}(std::this_thread::get_id()) << 1));
+  std::uint64_t id;
+  do {
+    id = rng.Next();
+  } while (id == 0);  // 0 means "untraced" on the wire
+  return id;
+}
+
+std::uint64_t MonotonicMicros() {
+  static const std::chrono::steady_clock::time_point process_start =
+      std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - process_start)
+          .count());
+}
+
+namespace {
+
+std::int64_t InitialSlowOpMs() {
+  const char* env = std::getenv("DMEMO_SLOW_OP_MS");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 0) return v;
+  }
+  return 100;
+}
+
+std::atomic<std::int64_t>& SlowOpMs() {
+  static std::atomic<std::int64_t> ms{InitialSlowOpMs()};
+  return ms;
+}
+
+}  // namespace
+
+std::chrono::milliseconds SlowOpThreshold() {
+  return std::chrono::milliseconds(
+      SlowOpMs().load(std::memory_order_relaxed));
+}
+
+void SetSlowOpThreshold(std::chrono::milliseconds threshold) {
+  SlowOpMs().store(threshold.count(), std::memory_order_relaxed);
+}
+
+}  // namespace dmemo

@@ -1,0 +1,74 @@
+// Cross-process request tracing.
+//
+// Every Request carries a 64-bit trace id (minted by the originating client,
+// or by the first memo server to see an untraced request). Each component a
+// request passes through — memo server, relay, folder server — records a
+// SpanRecord into its process's global TraceRing, so after the fact one
+// deposit can be followed client → memo server → folder server → extractor
+// across processes: the id is the join key, `hop` orders the relay chain,
+// and Op::kMetrics dumps each process's ring (rendered by dmemo-stat).
+//
+// The ring is bounded and overwrites oldest-first; tracing is a diagnostic
+// window, not an audit log. Recording takes a mutex: one short critical
+// section per *request* (not per byte) is noise next to the request itself.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace dmemo {
+
+struct SpanRecord {
+  std::uint64_t trace_id = 0;
+  std::string component;  // "memo:<host>", "fs:<id>@<host>", "client"
+  std::string op;         // OpName of the request
+  std::uint8_t hop = 0;   // request hop count when the span was recorded
+  bool ok = true;         // response carried OK
+  std::uint64_t start_us = 0;     // MonotonicMicros at entry
+  std::uint64_t duration_us = 0;
+};
+
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity = 4096);
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  // Process-wide ring every server component records into.
+  static TraceRing& Global();
+
+  void Record(SpanRecord span);
+
+  // Retained spans, oldest first.
+  std::vector<SpanRecord> Snapshot() const;
+
+  // Spans ever recorded (≥ retained count once the ring has wrapped).
+  std::uint64_t TotalRecorded() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable Mutex mu_{"TraceRing::mu"};
+  std::vector<SpanRecord> slots_ DMEMO_GUARDED_BY(mu_);
+  std::size_t next_ DMEMO_GUARDED_BY(mu_) = 0;
+  std::uint64_t total_ DMEMO_GUARDED_BY(mu_) = 0;
+};
+
+// Fresh nonzero trace id; thread-local generator, no coordination.
+std::uint64_t NextTraceId();
+
+// Microseconds on the steady clock since process start (span timestamps).
+std::uint64_t MonotonicMicros();
+
+// Folder-server requests slower than this are logged at kWarn (satellite:
+// slow-op warning). Default 100 ms; override with DMEMO_SLOW_OP_MS or
+// programmatically (tests).
+std::chrono::milliseconds SlowOpThreshold();
+void SetSlowOpThreshold(std::chrono::milliseconds threshold);
+
+}  // namespace dmemo

@@ -2,7 +2,27 @@
 
 #include <utility>
 
+#include "util/metrics.h"
+
 namespace dmemo {
+
+namespace {
+
+// Queued-but-not-yet-running tasks, summed over every pool in the process —
+// the backlog signal the ISSUE's scaling PRs watch.
+Gauge* QueueDepthGauge() {
+  static Gauge* gauge =
+      MetricsRegistry::Global().GetGauge("dmemo_worker_queue_depth");
+  return gauge;
+}
+
+Counter* TasksSubmittedCounter() {
+  static Counter* counter =
+      MetricsRegistry::Global().GetCounter("dmemo_worker_tasks_total");
+  return counter;
+}
+
+}  // namespace
 
 WorkerPool::WorkerPool() : WorkerPool(Options{}) {}
 
@@ -14,6 +34,8 @@ bool WorkerPool::Submit(std::function<void()> task) {
   MutexLock lock(mu_);
   if (shutdown_) return false;
   tasks_.push_back(std::move(task));
+  QueueDepthGauge()->Add(1);
+  TasksSubmittedCounter()->Increment();
   if (idle_ >= tasks_.size()) {
     // A lingering thread will pick this up: the paper's cache hit.
     ++stat_cache_hits_;
@@ -66,6 +88,7 @@ void WorkerPool::WorkerLoop() {
     }
     auto task = std::move(tasks_.front());
     tasks_.pop_front();
+    QueueDepthGauge()->Add(-1);
     ++running_;
     lock.Unlock();
     task();
@@ -97,6 +120,7 @@ void WorkerPool::Shutdown() {
     while (live_ == 0 && !tasks_.empty()) {
       auto task = std::move(tasks_.front());
       tasks_.pop_front();
+      QueueDepthGauge()->Add(-1);
       lock.Unlock();
       task();
       lock.Lock();

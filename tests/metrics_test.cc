@@ -1,0 +1,247 @@
+// Tests for the observability layer: the metrics registry (counters, gauges,
+// histograms, snapshots, text exposition), the trace ring, trace-id
+// generation, and the log-level / slow-op configuration knobs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/log.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace dmemo {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---- counters -----------------------------------------------------------------
+
+TEST(MetricsTest, CounterConcurrentIncrements) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test_concurrent_total");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (int i = 0; i < kPerThread; ++i) counter->Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter->Value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsTest, SameNameAndLabelsYieldSameHandle) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("dup_total", "k=\"v\"");
+  Counter* b = registry.GetCounter("dup_total", "k=\"v\"");
+  Counter* c = registry.GetCounter("dup_total", "k=\"w\"");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  a->Add(2);
+  EXPECT_EQ(b->Value(), 2u);
+  EXPECT_EQ(c->Value(), 0u);
+}
+
+TEST(MetricsTest, GaugeSetAndAdd) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("test_depth");
+  g->Set(10);
+  g->Add(-3);
+  EXPECT_EQ(g->Value(), 7);
+}
+
+// ---- histograms ---------------------------------------------------------------
+
+TEST(MetricsTest, HistogramBucketBoundaries) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("test_latency_us");
+  const auto& bounds = Histogram::BucketBounds();
+  ASSERT_EQ(bounds.size(), Histogram::kBounds);
+  ASSERT_TRUE(std::is_sorted(bounds.begin(), bounds.end()));
+
+  // `le` bounds are inclusive: a value equal to a bound lands in that bucket.
+  h->Observe(0);          // <= 1 -> bucket 0
+  h->Observe(1);          // == bounds[0] -> bucket 0
+  h->Observe(2);          // == bounds[1] -> bucket 1
+  h->Observe(3);          // <= 5 -> bucket 2
+  h->Observe(bounds.back());      // last finite bucket
+  h->Observe(bounds.back() + 1);  // overflow bucket
+
+  EXPECT_EQ(h->BucketCount(0), 2u);
+  EXPECT_EQ(h->BucketCount(1), 1u);
+  EXPECT_EQ(h->BucketCount(2), 1u);
+  EXPECT_EQ(h->BucketCount(Histogram::kBounds - 1), 1u);
+  EXPECT_EQ(h->BucketCount(Histogram::kBounds), 1u);  // overflow
+  EXPECT_EQ(h->Count(), 6u);
+  EXPECT_EQ(h->Sum(), 0u + 1 + 2 + 3 + bounds.back() + bounds.back() + 1);
+}
+
+TEST(MetricsTest, HistogramConcurrentObserve) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("test_conc_latency_us");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([h] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h->Observe(static_cast<std::uint64_t>(i % 2000));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h->Count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+// ---- snapshots & exposition ---------------------------------------------------
+
+TEST(MetricsTest, SnapshotIsSortedAndConsistent) {
+  MetricsRegistry registry;
+  registry.GetCounter("b_total")->Add(5);
+  registry.GetGauge("a_depth")->Set(-4);
+  Histogram* h = registry.GetHistogram("c_latency_us", "op=\"put\"");
+  h->Observe(3);
+  h->Observe(7);
+
+  auto samples = registry.Snapshot();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].name, "a_depth");
+  EXPECT_EQ(samples[1].name, "b_total");
+  EXPECT_EQ(samples[2].name, "c_latency_us");
+
+  EXPECT_EQ(samples[0].kind, MetricKind::kGauge);
+  EXPECT_EQ(samples[0].value, -4);
+  EXPECT_EQ(samples[1].kind, MetricKind::kCounter);
+  EXPECT_EQ(samples[1].value, 5);
+
+  const MetricSample& hist = samples[2];
+  EXPECT_EQ(hist.kind, MetricKind::kHistogram);
+  EXPECT_EQ(hist.labels, "op=\"put\"");
+  ASSERT_EQ(hist.buckets.size(), Histogram::kBuckets);
+  // Per-snapshot consistency: the reported count is derived from the same
+  // bucket reads it ships, so they always agree.
+  std::uint64_t bucket_sum = 0;
+  for (std::uint64_t b : hist.buckets) bucket_sum += b;
+  EXPECT_EQ(hist.count, bucket_sum);
+  EXPECT_EQ(hist.count, 2u);
+  EXPECT_EQ(hist.sum, 10u);
+}
+
+TEST(MetricsTest, TextExposition) {
+  MetricsRegistry registry;
+  registry.GetCounter("req_total", "host=\"a\"")->Add(3);
+  registry.GetGauge("depth")->Set(2);
+  Histogram* h = registry.GetHistogram("lat_us");
+  h->Observe(1);
+  h->Observe(100);
+
+  std::string text;
+  registry.WriteText(text);
+  EXPECT_NE(text.find("# TYPE req_total counter"), std::string::npos);
+  EXPECT_NE(text.find("req_total{host=\"a\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("depth 2"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE lat_us histogram"), std::string::npos);
+  // Cumulative buckets: le="1" holds 1 observation, le="100" both.
+  EXPECT_NE(text.find("lat_us_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_bucket{le=\"100\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_bucket{le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_sum 101"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_count 2"), std::string::npos);
+}
+
+TEST(MetricsTest, SnapshotWhileWritersRun) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("racy_total");
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load()) counter->Increment();
+  });
+  for (int i = 0; i < 100; ++i) {
+    auto samples = registry.Snapshot();
+    ASSERT_EQ(samples.size(), 1u);
+    EXPECT_GE(samples[0].value, 0);
+  }
+  stop.store(true);
+  writer.join();
+  // Monotone across snapshots: the final value covers everything written.
+  EXPECT_EQ(static_cast<std::uint64_t>(registry.Snapshot()[0].value),
+            counter->Value());
+}
+
+// ---- trace ring ---------------------------------------------------------------
+
+SpanRecord Span(std::uint64_t id) {
+  SpanRecord s;
+  s.trace_id = id;
+  s.component = "test";
+  s.op = "put";
+  return s;
+}
+
+TEST(TraceRingTest, WrapsOldestFirst) {
+  TraceRing ring(4);
+  for (std::uint64_t i = 1; i <= 6; ++i) ring.Record(Span(i));
+  EXPECT_EQ(ring.TotalRecorded(), 6u);
+  auto spans = ring.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans.front().trace_id, 3u);  // 1 and 2 were overwritten
+  EXPECT_EQ(spans.back().trace_id, 6u);
+}
+
+TEST(TraceRingTest, SnapshotBeforeWrap) {
+  TraceRing ring(8);
+  ring.Record(Span(11));
+  ring.Record(Span(12));
+  auto spans = ring.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].trace_id, 11u);
+  EXPECT_EQ(spans[1].trace_id, 12u);
+}
+
+TEST(TraceTest, NextTraceIdIsNonZeroAndDistinct) {
+  std::set<std::uint64_t> ids;
+  for (int i = 0; i < 1000; ++i) {
+    std::uint64_t id = NextTraceId();
+    EXPECT_NE(id, 0u);
+    ids.insert(id);
+  }
+  EXPECT_EQ(ids.size(), 1000u);
+
+  // Distinct across threads too (different thread-local generators).
+  std::uint64_t other = 0;
+  std::thread t([&] { other = NextTraceId(); });
+  t.join();
+  EXPECT_NE(other, 0u);
+  EXPECT_FALSE(ids.contains(other));
+}
+
+// ---- configuration knobs ------------------------------------------------------
+
+TEST(LogTest, ParseLogLevel) {
+  EXPECT_EQ(ParseLogLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("Warn"), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("warning"), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("error"), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("0"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("3"), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("verbose"), std::nullopt);
+  EXPECT_EQ(ParseLogLevel(""), std::nullopt);
+}
+
+TEST(TraceTest, SlowOpThresholdOverride) {
+  const auto original = SlowOpThreshold();
+  SetSlowOpThreshold(5ms);
+  EXPECT_EQ(SlowOpThreshold(), 5ms);
+  SetSlowOpThreshold(original);
+  EXPECT_EQ(SlowOpThreshold(), original);
+}
+
+}  // namespace
+}  // namespace dmemo

@@ -35,6 +35,7 @@ TEST(ProtocolTest, RequestRoundTrip) {
   req.app = "invert";
   req.target_host = "bonnie";
   req.hop_count = 3;
+  req.trace_id = 0xdeadbeefcafef00dULL;
   req.key = Key::Named("future", {1, 2});
   req.key2 = Key::Named("jar");
   req.alts = {Key::Named("a"), Key::Named("b", {9})};
@@ -50,6 +51,7 @@ TEST(ProtocolTest, RequestRoundTrip) {
   EXPECT_EQ(got->app, "invert");
   EXPECT_EQ(got->target_host, "bonnie");
   EXPECT_EQ(got->hop_count, 3);
+  EXPECT_EQ(got->trace_id, 0xdeadbeefcafef00dULL);
   EXPECT_EQ(got->key, req.key);
   EXPECT_EQ(got->key2, req.key2);
   EXPECT_EQ(got->alts, req.alts);
@@ -68,6 +70,7 @@ TEST(ProtocolTest, ResponseRoundTrip) {
   resp.key = Key::Named("winner");
   resp.count = 17;
   resp.hop_count = 2;
+  resp.trace_id = 99;
 
   ByteWriter w;
   resp.EncodeTo(w);
@@ -80,6 +83,7 @@ TEST(ProtocolTest, ResponseRoundTrip) {
   EXPECT_EQ(got->key, resp.key);
   EXPECT_EQ(got->count, 17u);
   EXPECT_EQ(got->hop_count, 2);
+  EXPECT_EQ(got->trace_id, 99u);
 }
 
 TEST(ProtocolTest, MalformedOpcodeRejected) {

@@ -1,0 +1,259 @@
+// End-to-end trace propagation: a request's 64-bit trace id travels
+// client -> memo server -> (relay) -> folder server and back, every
+// component records a span into the process TraceRing, and Op::kMetrics
+// exposes the whole tree (metrics + spans) as a TRecord.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <thread>
+#include <unordered_map>
+
+#include "adf/adf.h"
+#include "server/folder_server.h"
+#include "server/memo_server.h"
+#include "server/rpc_channel.h"
+#include "transferable/codec.h"
+#include "transferable/composite.h"
+#include "transferable/scalars.h"
+#include "transport/simnet.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace dmemo {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr const char* kTwoHostAdf =
+    "APP t\nHOSTS\nhostA 1 t 1\nhostB 1 t 1\n"
+    "FOLDERS\n0 hostA\n1 hostB\nPPC\nhostA <-> hostB 1\n";
+
+class MemoServerFarm {
+ public:
+  explicit MemoServerFarm(const std::string& adf_text) {
+    network_ = std::make_shared<SimNetwork>();
+    transport_ = MakeSimTransport(network_);
+    auto parsed = ParseAdf(adf_text);
+    EXPECT_TRUE(parsed.ok()) << parsed.status();
+    adf_ = parsed->description;
+
+    std::unordered_map<std::string, std::string> peers;
+    for (const auto& host : adf_.hosts) {
+      peers[host.name] = "sim://trace-" + host.name;
+    }
+    for (const auto& host : adf_.hosts) {
+      MemoServerOptions opts;
+      opts.host = host.name;
+      opts.listen_url = peers[host.name];
+      opts.peers = peers;
+      auto server = MemoServer::Start(transport_, opts);
+      EXPECT_TRUE(server.ok()) << server.status();
+      servers_[host.name] = std::move(*server);
+      EXPECT_TRUE(servers_[host.name]->RegisterApp(adf_).ok());
+    }
+  }
+
+  ~MemoServerFarm() {
+    for (auto& [name, server] : servers_) server->Shutdown();
+  }
+
+  MemoServer& at(const std::string& host) { return *servers_.at(host); }
+
+  RpcChannelPtr Connect(const std::string& host) {
+    auto conn = transport_->Dial("sim://trace-" + host);
+    EXPECT_TRUE(conn.ok()) << conn.status();
+    return RpcChannel::Create(std::move(*conn), nullptr, nullptr);
+  }
+
+ private:
+  SimNetworkPtr network_;
+  TransportPtr transport_;
+  AppDescription adf_;
+  std::map<std::string, std::unique_ptr<MemoServer>> servers_;
+};
+
+// Spans recorded for one trace id, in recording order.
+std::vector<SpanRecord> SpansFor(std::uint64_t trace_id) {
+  std::vector<SpanRecord> out;
+  for (const SpanRecord& span : TraceRing::Global().Snapshot()) {
+    if (span.trace_id == trace_id) out.push_back(span);
+  }
+  return out;
+}
+
+TEST(TracingTest, TraceIdPropagatesAcrossServers) {
+  MemoServerFarm farm(kTwoHostAdf);
+  auto client = farm.Connect("hostA");
+
+  // Put enough distinct folders through hostA that both machines own some;
+  // each request carries its own explicit trace id.
+  std::map<std::uint64_t, Key> traces;
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    Request put;
+    put.op = Op::kPut;
+    put.app = "t";
+    put.key = Key::Named("trace-f", {i});
+    put.value = EncodeGraphToBytes(MakeInt32(static_cast<int>(i)));
+    put.trace_id = NextTraceId();
+    auto resp = client->Call(put);
+    ASSERT_TRUE(resp.ok()) << resp.status();
+    ASSERT_EQ(resp->code, StatusCode::kOk) << resp->message;
+    // The response always echoes the request's trace id.
+    EXPECT_EQ(resp->trace_id, put.trace_id);
+    traces[put.trace_id] = put.key;
+  }
+
+  // Every trace went through the entry memo server and a folder server.
+  bool saw_cross_machine = false;
+  for (const auto& [trace_id, key] : traces) {
+    auto spans = SpansFor(trace_id);
+    ASSERT_FALSE(spans.empty()) << "no spans for trace";
+    std::set<std::string> components;
+    for (const SpanRecord& span : spans) {
+      components.insert(span.component);
+      EXPECT_EQ(span.op, "put");
+      EXPECT_TRUE(span.ok);
+    }
+    EXPECT_TRUE(components.contains("memo:hostA"));
+    bool fs_span = false;
+    for (const std::string& c : components) {
+      if (c.rfind("fs:", 0) == 0) fs_span = true;
+    }
+    EXPECT_TRUE(fs_span) << "trace never reached a folder server";
+    // Keys owned by hostB show the full forwarded chain: both memo servers
+    // plus hostB's folder server, joined by one trace id.
+    if (components.contains("memo:hostB")) {
+      saw_cross_machine = true;
+      bool fs_on_b = false;
+      for (const std::string& c : components) {
+        if (c.rfind("fs:", 0) == 0 && c.find("@hostB") != std::string::npos) {
+          fs_on_b = true;
+        }
+      }
+      EXPECT_TRUE(fs_on_b);
+    }
+  }
+  EXPECT_TRUE(saw_cross_machine)
+      << "16 folders never hashed to the remote machine";
+  client->Close();
+}
+
+TEST(TracingTest, UntracedRequestGetsAnAssignedId) {
+  MemoServerFarm farm(kTwoHostAdf);
+  auto client = farm.Connect("hostA");
+  Request ping;
+  ping.op = Op::kPing;
+  ping.app = "t";
+  ASSERT_EQ(ping.trace_id, 0u);
+  auto resp = client->Call(ping);
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  ASSERT_EQ(resp->code, StatusCode::kOk);
+  // The first server mints an id for untraced requests and echoes it.
+  EXPECT_NE(resp->trace_id, 0u);
+  client->Close();
+}
+
+TEST(TracingTest, MetricsOpReturnsTreeAndSpans) {
+  MemoServerFarm farm(kTwoHostAdf);
+  auto client = farm.Connect("hostA");
+
+  Request put;
+  put.op = Op::kPut;
+  put.app = "t";
+  put.key = Key::Named("metrics-probe");
+  put.value = EncodeGraphToBytes(MakeInt32(7));
+  put.trace_id = NextTraceId();
+  auto put_resp = client->Call(put);
+  ASSERT_TRUE(put_resp.ok());
+  ASSERT_EQ(put_resp->code, StatusCode::kOk) << put_resp->message;
+
+  Request metrics;
+  metrics.op = Op::kMetrics;
+  metrics.app = "t";
+  auto resp = client->Call(metrics);
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  ASSERT_EQ(resp->code, StatusCode::kOk) << resp->message;
+  ASSERT_TRUE(resp->has_value);
+
+  auto decoded = DecodeGraphFromBytes(resp->value);
+  ASSERT_TRUE(decoded.ok());
+  auto root = std::static_pointer_cast<TRecord>(*decoded);
+  EXPECT_EQ(std::static_pointer_cast<TString>(root->Get("host"))->value(),
+            "hostA");
+
+  // The Prometheus exposition covers the server's own histograms.
+  const std::string text =
+      std::static_pointer_cast<TString>(root->Get("text"))->value();
+  EXPECT_NE(text.find("dmemo_server_op_latency_us"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE"), std::string::npos);
+
+  auto metric_list = std::static_pointer_cast<TList>(root->Get("metrics"));
+  ASSERT_NE(metric_list, nullptr);
+  EXPECT_GT(metric_list->items().size(), 0u);
+  bool found_put_histogram = false;
+  for (const auto& item : metric_list->items()) {
+    auto rec = std::static_pointer_cast<TRecord>(item);
+    auto name = std::static_pointer_cast<TString>(rec->Get("name"))->value();
+    auto labels =
+        std::static_pointer_cast<TString>(rec->Get("labels"))->value();
+    if (name == "dmemo_server_op_latency_us" &&
+        labels.find("op=\"put\"") != std::string::npos &&
+        labels.find("host=\"hostA\"") != std::string::npos) {
+      found_put_histogram = true;
+      auto count =
+          std::static_pointer_cast<TUInt64>(rec->Get("count"))->value();
+      EXPECT_GT(count, 0u);
+    }
+  }
+  EXPECT_TRUE(found_put_histogram);
+
+  // The span dump contains the probe's trace.
+  auto spans = std::static_pointer_cast<TList>(root->Get("spans"));
+  ASSERT_NE(spans, nullptr);
+  bool found_probe_span = false;
+  for (const auto& item : spans->items()) {
+    auto rec = std::static_pointer_cast<TRecord>(item);
+    auto id = std::static_pointer_cast<TUInt64>(rec->Get("trace_id"))->value();
+    if (id == put.trace_id) found_probe_span = true;
+  }
+  EXPECT_TRUE(found_probe_span);
+  client->Close();
+}
+
+TEST(TracingTest, FolderServerRejectsMetricsOp) {
+  FolderServer fs(0, "hostX");
+  Request req;
+  req.op = Op::kMetrics;
+  EXPECT_EQ(fs.Handle(req).code, StatusCode::kInvalidArgument);
+}
+
+TEST(TracingTest, SlowOpWarningCounter) {
+  // Threshold 0: every request is "slow", so the counter must move.
+  const auto original = SlowOpThreshold();
+  SetSlowOpThreshold(0ms);
+  FolderServer fs(7, "slowhost");
+  Counter* slow = MetricsRegistry::Global().GetCounter(
+      "dmemo_folder_slow_ops_total", "fs=\"7@slowhost\"");
+  const std::uint64_t before = slow->Value();
+  Request put;
+  put.op = Op::kPut;
+  put.app = "t";
+  put.key = Key::Named("slow-folder");
+  put.value = Bytes{1};
+  put.trace_id = NextTraceId();
+  EXPECT_EQ(fs.Handle(put).code, StatusCode::kOk);
+  EXPECT_GT(slow->Value(), before);
+  SetSlowOpThreshold(original);
+
+  // Above-threshold requests do not trip the counter.
+  SetSlowOpThreshold(10'000ms);
+  const std::uint64_t after = slow->Value();
+  put.key = Key::Named("fast-folder");
+  EXPECT_EQ(fs.Handle(put).code, StatusCode::kOk);
+  EXPECT_EQ(slow->Value(), after);
+  SetSlowOpThreshold(original);
+}
+
+}  // namespace
+}  // namespace dmemo
