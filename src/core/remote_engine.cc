@@ -10,7 +10,7 @@ namespace {
 
 class RemoteEngine final : public MemoEngine {
  public:
-  RemoteEngine(RpcChannelPtr channel, RemoteEngineOptions options)
+  RemoteEngine(ResilientChannelPtr channel, RemoteEngineOptions options)
       : channel_(std::move(channel)), options_(std::move(options)) {}
 
   ~RemoteEngine() override { channel_->Close(); }
@@ -128,7 +128,7 @@ class RemoteEngine final : public MemoEngine {
     return value;
   }
 
-  RpcChannelPtr channel_;
+  ResilientChannelPtr channel_;
   RemoteEngineOptions options_;
 };
 
@@ -137,9 +137,16 @@ class RemoteEngine final : public MemoEngine {
 Result<MemoEnginePtr> MakeRemoteEngine(TransportPtr transport,
                                        const std::string& server_url,
                                        RemoteEngineOptions options) {
-  DMEMO_ASSIGN_OR_RETURN(ConnectionPtr conn, transport->Dial(server_url));
-  // Pure client: no inbound requests, no worker pool needed.
-  auto channel = RpcChannel::Create(std::move(conn), nullptr, nullptr);
+  // Pure client: no inbound requests, no worker pool needed. The eager
+  // Connect keeps the historical contract that a bad URL fails here, not
+  // on the first Put; after that the channel re-dials on its own.
+  ResilientChannel::Options copts;
+  copts.retry = options.retry;
+  copts.call_timeout = options.call_timeout;
+  DMEMO_ASSIGN_OR_RETURN(
+      ResilientChannelPtr channel,
+      ResilientChannel::Connect(std::move(transport), server_url,
+                                std::move(copts)));
   return MemoEnginePtr(
       std::make_shared<RemoteEngine>(std::move(channel), std::move(options)));
 }

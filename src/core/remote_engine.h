@@ -5,9 +5,10 @@
 #pragma once
 
 #include "core/engine.h"
-#include "server/rpc_channel.h"
+#include "server/resilient_channel.h"
 #include "transferable/machine_profile.h"
 #include "transport/transport.h"
+#include "util/retry.h"
 
 namespace dmemo {
 
@@ -21,6 +22,15 @@ struct RemoteEngineOptions {
   // When false, a lossy delivery is logged but the value is still returned
   // (the "caveat emptor" mode); when true (default) it is a DATA_LOSS error.
   bool strict_domains = true;
+  // Whole-call deadline for every engine operation, forwarding hops
+  // included. Zero (the default unless DMEMO_RPC_TIMEOUT_MS is set) keeps
+  // the paper's unbounded blocking-get semantics; nonzero makes a dead or
+  // partitioned server surface as TIMED_OUT instead of a hang.
+  std::chrono::milliseconds call_timeout = CallTimeoutFromEnv();
+  // Reconnect/retry policy for the server link (DESIGN.md "Fault
+  // tolerance"). Retries are at-most-once safe: the engine's channel mints
+  // a request id per call and servers dedupe on it.
+  RetryPolicy retry = RetryPolicy::FromEnv();
 };
 
 // Connects to the memo server at `server_url` via `transport`.

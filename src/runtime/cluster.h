@@ -48,6 +48,9 @@ class Cluster {
   MemoServer& server(const std::string& host) { return *servers_.at(host); }
   const AppDescription& adf() const { return adf_; }
   TransportPtr transport() { return transport_; }
+  // The simulated network backing the default Start (null when an external
+  // transport was supplied). Fault-injection tests partition and heal it.
+  SimNetworkPtr network() { return network_; }
 
   // Register a further application on every server.
   Status RegisterApp(const AppDescription& adf);

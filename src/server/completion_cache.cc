@@ -1,0 +1,88 @@
+#include "server/completion_cache.h"
+
+#include "util/retry.h"
+#include "util/status.h"
+
+namespace dmemo {
+
+std::size_t CompletionCache::CapacityFromEnv() {
+  return static_cast<std::size_t>(
+      EnvInt("DMEMO_COMPLETION_CACHE_SIZE", 1024));
+}
+
+CompletionCache::CompletionCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      dedup_hits_(MetricsRegistry::Global().GetCounter(
+          "dmemo_server_dedup_hits_total")) {}
+
+CompletionCache::BeginResult CompletionCache::Begin(
+    std::uint64_t request_id) {
+  MutexLock lock(mu_);
+  for (;;) {
+    if (shutdown_) {
+      return BeginResult{
+          false,
+          Response::FromStatus(CancelledError("server shut down"))};
+    }
+    auto it = entries_.find(request_id);
+    if (it == entries_.end()) {
+      entries_.emplace(request_id, Entry{});
+      return BeginResult{true, std::nullopt};
+    }
+    if (it->second.completed) {
+      dedup_hits_->Increment();
+      ++dedup_hits_local_;
+      return BeginResult{false, it->second.response};
+    }
+    // In flight on another thread: this transmit is a duplicate. Park until
+    // the owner completes or abandons (then re-examine from the top).
+    cv_.Wait(mu_);
+  }
+}
+
+void CompletionCache::Complete(std::uint64_t request_id,
+                               const Response& response) {
+  MutexLock lock(mu_);
+  auto it = entries_.find(request_id);
+  if (it == entries_.end()) return;  // evicted under us; nothing to publish
+  if (response.code == StatusCode::kOk) {
+    it->second.completed = true;
+    it->second.response = response;
+    completed_fifo_.push_back(request_id);
+    EvictLocked();
+  } else {
+    // The execution mutated nothing; let a future retry run it again.
+    entries_.erase(it);
+  }
+  cv_.NotifyAll();
+}
+
+void CompletionCache::Abandon(std::uint64_t request_id) {
+  MutexLock lock(mu_);
+  auto it = entries_.find(request_id);
+  if (it != entries_.end() && !it->second.completed) {
+    entries_.erase(it);
+    cv_.NotifyAll();
+  }
+}
+
+void CompletionCache::Shutdown() {
+  MutexLock lock(mu_);
+  shutdown_ = true;
+  cv_.NotifyAll();
+}
+
+std::uint64_t CompletionCache::dedup_hits() const {
+  MutexLock lock(mu_);
+  return dedup_hits_local_;
+}
+
+void CompletionCache::EvictLocked() {
+  while (completed_fifo_.size() > capacity_) {
+    auto it = entries_.find(completed_fifo_.front());
+    completed_fifo_.pop_front();
+    if (it != entries_.end() && it->second.completed) entries_.erase(it);
+  }
+}
+
+}  // namespace dmemo

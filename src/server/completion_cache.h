@@ -1,0 +1,115 @@
+// At-most-once completion cache (the server half of the retry contract).
+//
+// A client that retransmits a request after a timeout or a reconnect cannot
+// know whether the original execution happened. Without dedupe, a retried
+// kPut deposits a second memo and a retried kGet extracts a second one —
+// and a kGet whose response was lost on the wire *destroys* the memo the
+// folder server already removed. The cache closes both holes:
+//
+//   * first arrival of a request id claims an in-flight entry and executes;
+//   * concurrent duplicates park until the owner finishes, then receive the
+//     owner's response (one execution, every transmit answered);
+//   * later duplicates of a *completed* request are answered from the cache
+//     — the extracted memo is re-delivered instead of re-extracted.
+//
+// Only OK responses are retained: a failed execution mutated nothing, so a
+// retry is allowed to execute afresh. Completed entries are evicted FIFO
+// once the cache exceeds its capacity (DMEMO_COMPLETION_CACHE_SIZE, default
+// 1024) — the at-most-once window is bounded, which is the standard trade
+// (a retry older than the window re-executes; clients give up long before).
+//
+// Lock ranking: mu_ is taken with no other lock held and is never held
+// across request execution (owners execute outside, waiters sleep on the
+// condvar which releases it), so it stands outside the canonical chain.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+#include "server/protocol.h"
+#include "util/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace dmemo {
+
+class CompletionCache {
+ public:
+  explicit CompletionCache(std::size_t capacity = CapacityFromEnv());
+
+  CompletionCache(const CompletionCache&) = delete;
+  CompletionCache& operator=(const CompletionCache&) = delete;
+
+  struct BeginResult {
+    // The caller owns execution and must call Complete() or Abandon().
+    bool owner = false;
+    // Set when a previous execution already produced the answer (dedup
+    // hit) or the cache shut down (CANCELLED response).
+    std::optional<Response> response;
+  };
+
+  // Claim `request_id` for execution, join an in-flight execution (blocks
+  // until the owner finishes), or return the cached response.
+  BeginResult Begin(std::uint64_t request_id);
+
+  // Owner finished: publish `response` to every waiter. OK responses stay
+  // cached for late retransmits; failures are forgotten so a retry may
+  // re-execute.
+  void Complete(std::uint64_t request_id, const Response& response);
+
+  // Owner could not execute (e.g. shutdown race): drop the in-flight entry;
+  // one parked waiter (if any) becomes the new owner.
+  void Abandon(std::uint64_t request_id);
+
+  // Wake every parked waiter with CANCELLED and refuse further work.
+  void Shutdown();
+
+  std::uint64_t dedup_hits() const;
+
+  static std::size_t CapacityFromEnv();
+
+ private:
+  struct Entry {
+    bool completed = false;
+    Response response;  // valid when completed
+  };
+
+  void EvictLocked() DMEMO_REQUIRES(mu_);
+
+  const std::size_t capacity_;
+  Counter* dedup_hits_;  // dmemo_server_dedup_hits_total
+  mutable Mutex mu_{"CompletionCache::mu"};
+  CondVar cv_;
+  bool shutdown_ DMEMO_GUARDED_BY(mu_) = false;
+  std::unordered_map<std::uint64_t, Entry> entries_ DMEMO_GUARDED_BY(mu_);
+  // Completed ids in completion order; the eviction queue.
+  std::deque<std::uint64_t> completed_fifo_ DMEMO_GUARDED_BY(mu_);
+  std::uint64_t dedup_hits_local_ DMEMO_GUARDED_BY(mu_) = 0;
+};
+
+// RAII wrapper: Abandon()s on destruction unless Complete()d, so an early
+// return in a handler never strands parked duplicate waiters.
+class CompletionGuard {
+ public:
+  CompletionGuard(CompletionCache* cache, std::uint64_t request_id)
+      : cache_(cache), request_id_(request_id) {}
+  ~CompletionGuard() {
+    if (cache_ != nullptr) cache_->Abandon(request_id_);
+  }
+
+  CompletionGuard(const CompletionGuard&) = delete;
+  CompletionGuard& operator=(const CompletionGuard&) = delete;
+
+  void Complete(const Response& response) {
+    if (cache_ != nullptr) cache_->Complete(request_id_, response);
+    cache_ = nullptr;
+  }
+
+ private:
+  CompletionCache* cache_;
+  std::uint64_t request_id_;
+};
+
+}  // namespace dmemo

@@ -148,30 +148,27 @@ std::string MemoServer::SnapshotPath(int fs_id) const {
   return options_.persist_dir + "/fs-" + std::to_string(fs_id) + ".dmemo";
 }
 
-Result<RpcChannelPtr> MemoServer::PeerChannel(const std::string& host) {
-  {
-    MutexLock lock(mu_);
-    if (shutdown_) return CancelledError("memo server shut down");
-    auto it = peer_channels_.find(host);
-    if (it != peer_channels_.end() && !it->second->closed()) {
-      return it->second;
-    }
-  }
+Result<ResilientChannelPtr> MemoServer::PeerChannel(const std::string& host) {
+  // Find-or-create entirely under mu_. The old code dropped the lock to
+  // dial; two forwarding threads could both dial, and the loser's channel
+  // was overwritten without Close(), stranding its reader thread forever.
+  // ResilientChannel dials lazily, so creation here is a cheap allocation
+  // and the race has nothing left to lose.
+  MutexLock lock(mu_);
+  if (shutdown_) return CancelledError("memo server shut down");
+  auto it = peer_channels_.find(host);
+  if (it != peer_channels_.end()) return it->second;
   auto addr_it = options_.peers.find(host);
   if (addr_it == options_.peers.end()) {
     return NotFoundError("no memo-server address known for machine " + host);
   }
-  DMEMO_ASSIGN_OR_RETURN(ConnectionPtr conn,
-                         transport_->Dial(addr_it->second));
-  auto channel = RpcChannel::Create(
-      std::move(conn), pool_.get(),
-      [this](const Request& req) { return Handle(req); });
-  MutexLock lock(mu_);
-  if (shutdown_) {
-    channel->Close();
-    return CancelledError("memo server shut down");
-  }
-  peer_channels_[host] = channel;
+  ResilientChannel::Options copts;
+  copts.retry = options_.forward_retry;
+  copts.pool = pool_.get();
+  copts.handler = [this](const Request& req) { return Handle(req); };
+  auto channel = std::make_shared<ResilientChannel>(
+      transport_, addr_it->second, std::move(copts));
+  peer_channels_.emplace(host, channel);
   return channel;
 }
 
@@ -226,6 +223,27 @@ Response MemoServer::Handle(const Request& request) {
 }
 
 Response MemoServer::HandleTraced(const Request& request) {
+  // At-most-once: a retransmitted request (same client-minted request_id)
+  // must not execute twice — a duplicated kPut deposits a second memo and a
+  // duplicated kGet of an already-extracted value would hang or destroy it.
+  // Dedupe runs only where the request *executes*: at the origin (no target
+  // yet) or at the destination. Pure relays pass through untouched so a
+  // routing loop still trips kMaxHops instead of parking forever on its own
+  // in-flight cache entry.
+  const bool is_relay = !request.target_host.empty() &&
+                        request.target_host != options_.host;
+  if (!is_relay && request.request_id != 0 && OpNeedsAtMostOnce(request.op)) {
+    auto begin = completions_.Begin(request.request_id);
+    if (begin.response.has_value()) return *std::move(begin.response);
+    CompletionGuard guard(&completions_, request.request_id);
+    Response resp = DispatchTraced(request);
+    guard.Complete(resp);
+    return resp;
+  }
+  return DispatchTraced(request);
+}
+
+Response MemoServer::DispatchTraced(const Request& request) {
   if (request.op == Op::kPing) return Response{};
   if (request.op == Op::kStats) return HandleStats();
   if (request.op == Op::kMetrics) return HandleMetrics();
@@ -329,7 +347,13 @@ Response MemoServer::ForwardToward(const std::string& target_host,
   auto channel = PeerChannel(*next);
   if (!channel.ok()) return Response::FromStatus(channel.status());
   request.hop_count = static_cast<std::uint8_t>(request.hop_count + 1);
-  auto resp = (*channel)->Call(request);
+  // Propagate the caller's remaining budget: a deadline stamped by the
+  // client bounds every hop of the forward, so a dead next-hop surfaces as
+  // an error at the origin instead of an unbounded hang.
+  const auto budget = request.deadline_ms > 0
+                          ? std::chrono::milliseconds(request.deadline_ms)
+                          : std::chrono::milliseconds(0);
+  auto resp = (*channel)->Call(request, budget);
   if (!resp.ok()) return Response::FromStatus(resp.status());
   return std::move(*resp);
 }
@@ -361,11 +385,15 @@ Response MemoServer::HandleAlt(const Request& request,
         InvalidArgumentError("get_alt requires at least one key"));
   }
 
-  auto dispatch = [&](const Group& g, Op op) -> Response {
+  auto dispatch = [&](const Group& g, Op op, bool probe) -> Response {
     Request sub = request;
     sub.op = op;
     sub.alts = g.keys;
     sub.target_host = g.host;
+    // Rotation probes must not share the caller's at-most-once identity:
+    // the first (empty) probe would be cached and every later rotation
+    // would be answered from it, so the rotation could never see a value.
+    if (probe) sub.request_id = 0;
     if (g.host == options_.host) return HandleDirected(sub);
     {
       MutexLock slock(stats_mu_);
@@ -376,13 +404,13 @@ Response MemoServer::HandleAlt(const Request& request,
 
   // Fast path: one group — park the request at that folder server.
   if (groups.size() == 1) {
-    return dispatch(groups.front(), request.op);
+    return dispatch(groups.front(), request.op, /*probe=*/false);
   }
 
   // Split path: rotate non-blocking probes across the owning servers.
   for (;;) {
     for (const Group& g : groups) {
-      Response resp = dispatch(g, Op::kGetAltSkip);
+      Response resp = dispatch(g, Op::kGetAltSkip, /*probe=*/true);
       if (resp.code != StatusCode::kOk) return resp;
       if (resp.has_value) return resp;
     }
@@ -416,6 +444,7 @@ Response MemoServer::HandleStats() const {
     root->Set("relayed", MakeUInt64(stats_.relayed));
     root->Set("apps_registered", MakeUInt64(stats_.apps_registered));
   }
+  root->Set("dedup_hits", MakeUInt64(completions_.dedup_hits()));
   auto pool_stats = pool_->GetStats();
   auto pool_rec = std::make_shared<TRecord>();
   pool_rec->Set("threads_spawned", MakeUInt64(pool_stats.threads_spawned));
@@ -511,12 +540,13 @@ Response MemoServer::HandleMetrics() const {
 }
 
 void MemoServer::Shutdown() {
+  std::vector<ResilientChannelPtr> peers;
   std::vector<RpcChannelPtr> channels;
   {
     MutexLock lock(mu_);
     if (shutdown_) return;
     shutdown_ = true;
-    for (auto& [host, ch] : peer_channels_) channels.push_back(ch);
+    for (auto& [host, ch] : peer_channels_) peers.push_back(ch);
     for (auto& ch : inbound_channels_) channels.push_back(ch);
     peer_channels_.clear();
     inbound_channels_.clear();
@@ -531,15 +561,25 @@ void MemoServer::Shutdown() {
       fs->Shutdown();
     }
   }
+  // Wake parked duplicate waiters before closing channels: a waiter parked
+  // in the completion cache is a pool thread a peer channel may be waiting
+  // on for its own drain.
+  completions_.Shutdown();
   if (listener_) listener_->Close();
+  for (auto& ch : peers) ch->Close();
   for (auto& ch : channels) ch->Close();
   if (acceptor_.joinable()) acceptor_.join();
   pool_->Shutdown();
 }
 
 MemoServerStats MemoServer::stats() const {
-  MutexLock lock(stats_mu_);
-  return stats_;
+  MemoServerStats out;
+  {
+    MutexLock lock(stats_mu_);
+    out = stats_;
+  }
+  out.dedup_hits = completions_.dedup_hits();
+  return out;
 }
 
 std::vector<PeerTraffic> MemoServer::peer_traffic() const {

@@ -28,10 +28,13 @@
 #include <vector>
 
 #include "routing/routing.h"
+#include "server/completion_cache.h"
 #include "server/folder_server.h"
+#include "server/resilient_channel.h"
 #include "server/rpc_channel.h"
 #include "transport/transport.h"
 #include "util/mutex.h"
+#include "util/retry.h"
 #include "util/thread_annotations.h"
 #include "util/worker_pool.h"
 
@@ -51,6 +54,9 @@ struct MemoServerOptions {
   // <persist_dir>/fs-<id>.dmemo at materialization and snapshots back on
   // shutdown, so the memo space survives server restarts.
   std::string persist_dir;
+  // Reconnect/retry policy for the peer links this server dials when
+  // forwarding (DESIGN.md "Fault tolerance"). Env-tunable by default.
+  RetryPolicy forward_retry = RetryPolicy::FromEnv();
 };
 
 struct MemoServerStats {
@@ -61,6 +67,8 @@ struct MemoServerStats {
                                      // origin nor destination)
   std::uint64_t alt_rotations = 0;   // bounded waits in split get_alt
   std::uint64_t apps_registered = 0;
+  std::uint64_t dedup_hits = 0;      // retransmits answered from the
+                                     // completion cache (at-most-once)
 };
 
 struct PeerTraffic {
@@ -105,13 +113,17 @@ class MemoServer {
   explicit MemoServer(MemoServerOptions options);
 
   void AcceptLoop();
-  Result<RpcChannelPtr> PeerChannel(const std::string& host);
+  Result<ResilientChannelPtr> PeerChannel(const std::string& host);
 
   std::string SnapshotPath(int fs_id) const;
   void MigrateApp(const std::string& app, const RoutingTable& routing);
-  // Handle() after trace-id assignment and around-the-request metrics; this
-  // is the pre-observability dispatch body.
+  // Handle() after trace-id assignment and around-the-request metrics:
+  // runs the at-most-once completion cache (when this server is origin or
+  // destination — never as a pure relay, so routing-loop detection keeps
+  // working) around DispatchTraced.
   Response HandleTraced(const Request& request);
+  // The pre-fault-tolerance dispatch body.
+  Response DispatchTraced(const Request& request);
   Response HandleStats() const;
   Response HandleMetrics() const;
   Response HandleDirected(const Request& request);
@@ -138,10 +150,18 @@ class MemoServer {
       DMEMO_GUARDED_BY(mu_);
   std::map<int, std::unique_ptr<FolderServer>> folder_servers_
       DMEMO_GUARDED_BY(mu_);
-  std::unordered_map<std::string, RpcChannelPtr> peer_channels_
+  // One self-healing channel per peer host, created under mu_ (creation is
+  // a cheap allocation — the dial is lazy inside ResilientChannel — so two
+  // threads can no longer race to dial and strand the loser's reader
+  // thread, the pre-fault-tolerance leak).
+  std::unordered_map<std::string, ResilientChannelPtr> peer_channels_
       DMEMO_GUARDED_BY(mu_);
   std::vector<RpcChannelPtr> inbound_channels_ DMEMO_GUARDED_BY(mu_);
   bool shutdown_ DMEMO_GUARDED_BY(mu_) = false;
+
+  // At-most-once dedupe for retransmitted requests. Own synchronization;
+  // never held across request execution (see completion_cache.h).
+  CompletionCache completions_;
 
   // Leaf lock for the hot stats counters; safe under mu_.
   mutable Mutex stats_mu_{"MemoServer::stats_mu"};

@@ -1,5 +1,11 @@
 #include "server/protocol.h"
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "util/rng.h"
+
 namespace dmemo {
 
 std::string_view OpName(Op op) {
@@ -20,12 +26,45 @@ std::string_view OpName(Op op) {
   return "unknown";
 }
 
+bool OpNeedsAtMostOnce(Op op) {
+  switch (op) {
+    case Op::kPut:
+    case Op::kPutDelayed:
+    case Op::kGet:
+    case Op::kGetCopy:
+    case Op::kGetSkip:
+    case Op::kGetAlt:
+    case Op::kGetAltSkip:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::uint64_t NextRequestId() {
+  static std::atomic<std::uint64_t> process_salt{
+      static_cast<std::uint64_t>(
+          std::chrono::steady_clock::now().time_since_epoch().count()) ^
+      0x5bf0'3635'dc1e'8937ULL};
+  thread_local SplitMix64 rng(
+      process_salt.fetch_add(0x9e3779b97f4a7c15ULL,
+                             std::memory_order_relaxed) ^
+      (std::hash<std::thread::id>{}(std::this_thread::get_id()) << 1));
+  std::uint64_t id;
+  do {
+    id = rng.Next();
+  } while (id == 0);  // 0 means "no at-most-once tracking" on the wire
+  return id;
+}
+
 void Request::EncodeTo(ByteWriter& out) const {
   out.u8(static_cast<std::uint8_t>(op));
   out.str(app);
   out.str(target_host);
   out.u8(hop_count);
   out.u64(trace_id);
+  out.u64(request_id);
+  out.varint(deadline_ms);
   key.EncodeTo(out);
   key2.EncodeTo(out);
   out.varint(alts.size());
@@ -46,6 +85,12 @@ Result<Request> Request::DecodeFrom(ByteReader& in) {
   DMEMO_ASSIGN_OR_RETURN(req.target_host, in.str());
   DMEMO_ASSIGN_OR_RETURN(req.hop_count, in.u8());
   DMEMO_ASSIGN_OR_RETURN(req.trace_id, in.u64());
+  DMEMO_ASSIGN_OR_RETURN(req.request_id, in.u64());
+  DMEMO_ASSIGN_OR_RETURN(std::uint64_t deadline_ms, in.varint());
+  if (deadline_ms > 0xffffffffULL) {
+    return DataLossError("deadline_ms out of range");
+  }
+  req.deadline_ms = static_cast<std::uint32_t>(deadline_ms);
   DMEMO_ASSIGN_OR_RETURN(req.key, Key::DecodeFrom(in));
   DMEMO_ASSIGN_OR_RETURN(req.key2, Key::DecodeFrom(in));
   DMEMO_ASSIGN_OR_RETURN(std::uint64_t n_alts, in.varint());

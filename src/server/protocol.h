@@ -43,12 +43,31 @@ enum class Op : std::uint8_t {
 
 std::string_view OpName(Op op);
 
+// Ops that deposit or extract memos. Exactly these are unsafe to blindly
+// re-execute on a retransmit, so clients mint a request id for them and
+// servers run them through the at-most-once completion cache
+// (server/completion_cache.h). kGetCopy does not mutate but can park, so a
+// retry must join the in-flight call instead of parking a second handler.
+bool OpNeedsAtMostOnce(Op op);
+
+// Fresh nonzero request id (client-side mint; thread-local generator, no
+// coordination — same construction as NextTraceId).
+std::uint64_t NextRequestId();
+
 struct Request {
   Op op = Op::kPing;
   std::string app;
   std::string target_host;  // owning machine; "" = resolve at first server
   std::uint8_t hop_count = 0;
   std::uint64_t trace_id = 0;  // 0 = untraced; first server assigns one
+  // At-most-once identity, minted by the originating client and preserved
+  // verbatim across retransmits and relays. 0 = fire-and-forget (no dedupe:
+  // idempotent ops, legacy clients).
+  std::uint64_t request_id = 0;
+  // Remaining whole-call budget in milliseconds, refreshed by the client on
+  // every (re)transmit; servers use it to bound forwarding waits. 0 = no
+  // deadline.
+  std::uint32_t deadline_ms = 0;
 
   Key key;                 // put/get/...; put_delayed's key1
   Key key2;                // put_delayed's destination folder

@@ -1,0 +1,197 @@
+#include "server/resilient_channel.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/log.h"
+#include "util/metrics.h"
+
+namespace dmemo {
+
+namespace {
+
+Counter* RetriesTotal() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("dmemo_rpc_retries_total");
+  return c;
+}
+Counter* ReconnectsTotal() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("dmemo_rpc_reconnects_total");
+  return c;
+}
+Counter* DeadlineExceededTotal() {
+  static Counter* c = MetricsRegistry::Global().GetCounter(
+      "dmemo_rpc_deadline_exceeded_total");
+  return c;
+}
+
+}  // namespace
+
+ResilientChannel::ResilientChannel(TransportPtr transport, std::string url,
+                                   Options options)
+    : transport_(std::move(transport)),
+      url_(std::move(url)),
+      options_(std::move(options)) {}
+
+Result<ResilientChannelPtr> ResilientChannel::Connect(TransportPtr transport,
+                                                      std::string url,
+                                                      Options options) {
+  auto channel = std::make_shared<ResilientChannel>(
+      std::move(transport), std::move(url), std::move(options));
+  DMEMO_ASSIGN_OR_RETURN(RpcChannelPtr live, channel->EnsureChannel());
+  (void)live;
+  return channel;
+}
+
+ResilientChannel::~ResilientChannel() { Close(); }
+
+Result<RpcChannelPtr> ResilientChannel::EnsureChannel() {
+  {
+    MutexLock lock(mu_);
+    if (closed_) return CancelledError("resilient channel closed");
+    if (channel_ != nullptr && !channel_->closed()) return channel_;
+  }
+  // Dial outside mu_ (kernel-socket dials block). Concurrent callers may
+  // race to here; the first install wins and extras close their duplicate,
+  // so no channel — and no reader thread — is ever silently stranded.
+  DMEMO_ASSIGN_OR_RETURN(ConnectionPtr conn, transport_->Dial(url_));
+  auto fresh =
+      RpcChannel::Create(std::move(conn), options_.pool, options_.handler);
+  RpcChannelPtr loser;
+  {
+    MutexLock lock(mu_);
+    if (closed_) {
+      loser = std::move(fresh);
+    } else if (channel_ != nullptr && !channel_->closed()) {
+      loser = std::move(fresh);
+      fresh = channel_;  // reuse the race winner
+    } else {
+      if (channel_ != nullptr) {
+        retired_bytes_sent_ += channel_->bytes_sent();
+        retired_bytes_received_ += channel_->bytes_received();
+      }
+      channel_ = fresh;
+      if (ever_connected_) {
+        ++reconnects_;
+        ReconnectsTotal()->Increment();
+      }
+      ever_connected_ = true;
+    }
+  }
+  if (loser != nullptr) {
+    loser->Close();
+    MutexLock lock(mu_);
+    if (closed_) return CancelledError("resilient channel closed");
+  }
+  return fresh;
+}
+
+Result<Response> ResilientChannel::Call(Request request,
+                                        std::chrono::milliseconds timeout) {
+  using clock = std::chrono::steady_clock;
+  if (timeout.count() == 0) timeout = options_.call_timeout;
+  const bool bounded = timeout.count() > 0;
+  const clock::time_point deadline =
+      bounded ? clock::now() + timeout : clock::time_point::max();
+  if (request.request_id == 0 && OpNeedsAtMostOnce(request.op)) {
+    request.request_id = NextRequestId();
+  }
+  thread_local SplitMix64 backoff_rng(NextRequestId());
+
+  // Single exit: a call that ran out its budget counts once, whether the
+  // budget died waiting for a response or sleeping between attempts.
+  auto fail = [](Status status) -> Result<Response> {
+    if (status.code() == StatusCode::kTimedOut) {
+      DeadlineExceededTotal()->Increment();
+    }
+    return status;
+  };
+
+  Status last_error = UnavailableError("call never attempted");
+  for (int attempt = 1;; ++attempt) {
+    if (attempt > 1) RetriesTotal()->Increment();
+    auto channel = EnsureChannel();
+    if (!channel.ok()) {
+      last_error = channel.status();
+      if (!IsRetryableStatus(last_error)) return fail(last_error);
+    } else {
+      auto attempt_budget = std::chrono::milliseconds::max();
+      if (bounded) {
+        const auto remaining =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - clock::now());
+        if (remaining.count() <= 0) {
+          return fail(TimedOutError("rpc deadline exceeded calling " + url_));
+        }
+        attempt_budget = remaining;
+        request.deadline_ms = static_cast<std::uint32_t>(std::min<
+            std::int64_t>(remaining.count(), 0xffffffffLL));
+      }
+      if (options_.retry.attempt_timeout.count() > 0) {
+        attempt_budget =
+            std::min(attempt_budget, options_.retry.attempt_timeout);
+      }
+      auto result = (*channel)->CallFor(request, attempt_budget);
+      if (result.ok()) {
+        if (result->has_value()) return std::move(**result);
+        // Attempt timed out. Retrying is safe (at-most-once request id);
+        // whether it is *useful* depends on the remaining budget.
+        last_error = TimedOutError("rpc timed out calling " + url_);
+      } else {
+        last_error = result.status();
+        if (!IsRetryableStatus(last_error)) return fail(last_error);
+      }
+    }
+    if (attempt >= options_.retry.max_attempts) return fail(last_error);
+    const auto backoff = options_.retry.BackoffFor(attempt, backoff_rng);
+    if (bounded && clock::now() + backoff >= deadline) {
+      return fail(last_error);
+    }
+    std::this_thread::sleep_for(backoff);
+  }
+}
+
+void ResilientChannel::Close() {
+  RpcChannelPtr channel;
+  {
+    MutexLock lock(mu_);
+    if (closed_) return;
+    closed_ = true;
+    if (channel_ != nullptr) {
+      retired_bytes_sent_ += channel_->bytes_sent();
+      retired_bytes_received_ += channel_->bytes_received();
+    }
+    channel = std::move(channel_);
+  }
+  if (channel != nullptr) channel->Close();
+}
+
+bool ResilientChannel::closed() const {
+  MutexLock lock(mu_);
+  return closed_;
+}
+
+std::string ResilientChannel::description() const {
+  MutexLock lock(mu_);
+  return channel_ != nullptr ? channel_->description() : url_;
+}
+
+std::uint64_t ResilientChannel::bytes_sent() const {
+  MutexLock lock(mu_);
+  return retired_bytes_sent_ +
+         (channel_ != nullptr ? channel_->bytes_sent() : 0);
+}
+
+std::uint64_t ResilientChannel::bytes_received() const {
+  MutexLock lock(mu_);
+  return retired_bytes_received_ +
+         (channel_ != nullptr ? channel_->bytes_received() : 0);
+}
+
+std::uint64_t ResilientChannel::reconnects() const {
+  MutexLock lock(mu_);
+  return reconnects_;
+}
+
+}  // namespace dmemo

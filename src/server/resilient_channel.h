@@ -1,0 +1,109 @@
+// Self-healing client channel: RpcChannel plus reconnect and retry.
+//
+// A raw RpcChannel dies with its Connection: one dropped link permanently
+// fails every subsequent call. ResilientChannel owns the dial recipe
+// (Transport + URL) instead of the socket, so when the underlying channel
+// dies it re-dials with exponential backoff and re-issues the interrupted
+// call. Retries are safe because every at-most-once op (put/get family)
+// carries a client-minted request id that the server's completion cache
+// dedupes: a retried kPut never deposits twice and a retried kGet receives
+// the already-extracted memo instead of losing it.
+//
+// Deadlines: a call with a nonzero timeout (per-call argument, or the
+// channel-wide default) fails with TIMED_OUT once the budget is spent — it
+// never hangs. The remaining budget rides the Request's deadline_ms field
+// on every (re)transmit so forwarding servers can bound their own waits.
+// With no deadline (the default, matching blocking-get semantics) a call
+// waits indefinitely for a response but still survives channel death, up to
+// RetryPolicy::max_attempts dials.
+//
+// Metrics: dmemo_rpc_retries_total, dmemo_rpc_reconnects_total,
+// dmemo_rpc_deadline_exceeded_total.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "server/rpc_channel.h"
+#include "transport/transport.h"
+#include "util/mutex.h"
+#include "util/retry.h"
+#include "util/thread_annotations.h"
+
+namespace dmemo {
+
+class ResilientChannel;
+using ResilientChannelPtr = std::shared_ptr<ResilientChannel>;
+
+class ResilientChannel {
+ public:
+  struct Options {
+    RetryPolicy retry = RetryPolicy::FromEnv();
+    // Default whole-call deadline; 0 = unbounded. Overridable per call.
+    std::chrono::milliseconds call_timeout{0};
+    // Worker pool / handler for requests the peer sends us over this
+    // channel (memo-server peer links are bidirectional). Pure clients
+    // leave both null.
+    WorkerPool* pool = nullptr;
+    RequestHandler handler;
+  };
+
+  // Lazy: no dial happens until the first call (the memo server creates
+  // peer channels under its own lock; dialing there would serialize and
+  // could deadlock into the transport). Connect() dials eagerly instead.
+  ResilientChannel(TransportPtr transport, std::string url, Options options);
+
+  // Eager variant for clients that want dial errors surfaced at setup.
+  static Result<ResilientChannelPtr> Connect(TransportPtr transport,
+                                             std::string url,
+                                             Options options);
+
+  ~ResilientChannel();
+
+  ResilientChannel(const ResilientChannel&) = delete;
+  ResilientChannel& operator=(const ResilientChannel&) = delete;
+
+  // Send `request`, wait for its response, transparently re-dialing and
+  // retrying on channel death (and on attempt timeout, when the policy
+  // bounds attempts). Mints request.request_id for at-most-once ops so all
+  // transmits of this call share one server-side execution. `timeout`
+  // overrides the channel default; 0 = use default, negative = unbounded.
+  Result<Response> Call(Request request,
+                        std::chrono::milliseconds timeout =
+                            std::chrono::milliseconds(0));
+
+  // Fails in-flight calls and refuses new ones. Idempotent.
+  void Close();
+  bool closed() const;
+
+  const std::string& url() const { return url_; }
+  std::string description() const;
+
+  // Cumulative wire traffic across every channel generation (the memo
+  // server's per-peer traffic accounting reads these).
+  std::uint64_t bytes_sent() const;
+  std::uint64_t bytes_received() const;
+  // Successful re-dials after the first connect (this channel's share of
+  // dmemo_rpc_reconnects_total).
+  std::uint64_t reconnects() const;
+
+ private:
+  // Returns a live channel, dialing if none exists or the last one died.
+  Result<RpcChannelPtr> EnsureChannel();
+
+  TransportPtr transport_;
+  const std::string url_;
+  Options options_;
+
+  mutable Mutex mu_{"ResilientChannel::mu"};
+  RpcChannelPtr channel_ DMEMO_GUARDED_BY(mu_);
+  bool closed_ DMEMO_GUARDED_BY(mu_) = false;
+  bool ever_connected_ DMEMO_GUARDED_BY(mu_) = false;
+  std::uint64_t reconnects_ DMEMO_GUARDED_BY(mu_) = 0;
+  // Traffic of channels already torn down; live channel counts are added
+  // on top when reading.
+  std::uint64_t retired_bytes_sent_ DMEMO_GUARDED_BY(mu_) = 0;
+  std::uint64_t retired_bytes_received_ DMEMO_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace dmemo

@@ -129,6 +129,15 @@ Result<std::optional<Response>> RpcChannel::CallFor(
       CallLatency()->Observe(MonotonicMicros() - start_us);
       return std::optional<Response>(std::move(resp));
     }
+    if (closed_.load()) {
+      // ReaderLoop may have exited and failed all pending *between* the
+      // closed_ check at entry and our insert — our entry was never marked
+      // failed and nobody will ever wake us. Checked here, under mu_ and
+      // after the response check, so a response that raced in first still
+      // wins.
+      pending_.erase(it);
+      return UnavailableError("rpc channel closed");
+    }
     if (unbounded) {
       cv_.Wait(mu_);
     } else if (cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout) {

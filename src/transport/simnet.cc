@@ -2,9 +2,11 @@
 
 #include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "transport/transport_metrics.h"
 #include "util/mutex.h"
+#include "util/rng.h"
 #include "util/thread_annotations.h"
 
 namespace dmemo {
@@ -16,13 +18,46 @@ const TransportMetrics* SimMetrics() {
   return m;
 }
 
+Counter* SimFramesDropped() {
+  static Counter* c = MetricsRegistry::Global().GetCounter(
+      "dmemo_transport_frames_dropped_total", "transport=\"sim\"");
+  return c;
+}
+
 // One direction of a simulated connection.
 struct Pipe {
   BlockingQueue<Bytes> frames;
-  SimLinkProfile profile;
 };
 
 using PipePtr = std::shared_ptr<Pipe>;
+
+// Shared fault/profile state of one endpoint name. Every connection dialed
+// to the endpoint holds a reference, so profile changes and partitions
+// reach traffic on connections that already exist.
+struct LinkState {
+  explicit LinkState(SimLinkProfile initial, std::uint64_t seed)
+      : profile(initial), rng(seed) {}
+
+  Mutex mu{"SimNetwork::LinkState::mu"};
+  SimLinkProfile profile DMEMO_GUARDED_BY(mu);
+  bool has_override DMEMO_GUARDED_BY(mu) = false;
+  bool partitioned DMEMO_GUARDED_BY(mu) = false;
+  SplitMix64 rng DMEMO_GUARDED_BY(mu);
+  // Both directions of every live connection to this endpoint; severed on
+  // Partition, pruned lazily on dial.
+  std::vector<std::weak_ptr<Pipe>> pipes DMEMO_GUARDED_BY(mu);
+
+  // Decide one frame's fate: the profile to charge and whether the lossy
+  // link eats it.
+  std::pair<SimLinkProfile, bool> Admit() {
+    MutexLock lock(mu);
+    bool dropped = profile.drop_probability > 0.0 &&
+                   rng.NextUnit() < profile.drop_probability;
+    return {profile, dropped};
+  }
+};
+
+using LinkStatePtr = std::shared_ptr<LinkState>;
 
 // Applies the link profile: transmission time proportional to frame size
 // plus fixed latency, charged to the sender (store-and-forward model).
@@ -37,15 +72,24 @@ void ChargeLink(const SimLinkProfile& profile, std::size_t bytes) {
 
 class SimConnection final : public Connection {
  public:
-  SimConnection(PipePtr tx, PipePtr rx, std::string description)
+  SimConnection(PipePtr tx, PipePtr rx, LinkStatePtr link,
+                std::string description)
       : tx_(std::move(tx)),
         rx_(std::move(rx)),
+        link_(std::move(link)),
         description_(std::move(description)) {}
 
   ~SimConnection() override { Close(); }
 
   Status Send(std::span<const std::uint8_t> frame) override {
-    ChargeLink(tx_->profile, frame.size());
+    auto [profile, dropped] = link_->Admit();
+    ChargeLink(profile, frame.size());
+    if (dropped) {
+      // The lossy link ate the frame: the send itself "succeeded" exactly
+      // as a kernel write into a doomed packet would.
+      SimFramesDropped()->Increment();
+      return Status::Ok();
+    }
     if (!tx_->frames.Push(Bytes(frame.begin(), frame.end()))) {
       return UnavailableError("sim connection closed by peer");
     }
@@ -88,6 +132,7 @@ class SimConnection final : public Connection {
  private:
   PipePtr tx_;
   PipePtr rx_;
+  LinkStatePtr link_;
   std::string description_;
 };
 
@@ -96,17 +141,21 @@ class SimConnection final : public Connection {
 struct SimNetwork::Impl {
   Mutex mu{"SimNetwork::mu"};
   SimLinkProfile default_profile DMEMO_GUARDED_BY(mu);
-  std::unordered_map<std::string, SimLinkProfile> endpoint_profiles
-      DMEMO_GUARDED_BY(mu);
+  std::uint64_t fault_seed DMEMO_GUARDED_BY(mu) = 0x51'6d'4e'65'74ULL;
+  std::unordered_map<std::string, LinkStatePtr> links DMEMO_GUARDED_BY(mu);
   // Pending dialed connections per listening endpoint name.
   std::unordered_map<std::string,
                      std::shared_ptr<BlockingQueue<ConnectionPtr>>>
       listeners DMEMO_GUARDED_BY(mu);
 
-  SimLinkProfile ProfileFor(const std::string& endpoint) {
+  LinkStatePtr StateFor(const std::string& endpoint) {
     MutexLock lock(mu);
-    auto it = endpoint_profiles.find(endpoint);
-    return it != endpoint_profiles.end() ? it->second : default_profile;
+    auto it = links.find(endpoint);
+    if (it != links.end()) return it->second;
+    auto state = std::make_shared<LinkState>(
+        default_profile, fault_seed ^ Fnv1a64(endpoint));
+    links.emplace(endpoint, state);
+    return state;
   }
 };
 
@@ -116,12 +165,49 @@ SimNetwork::~SimNetwork() = default;
 void SimNetwork::SetDefaultLinkProfile(SimLinkProfile profile) {
   MutexLock lock(impl_->mu);
   impl_->default_profile = profile;
+  for (auto& [name, state] : impl_->links) {
+    MutexLock slock(state->mu);
+    if (!state->has_override) state->profile = profile;
+  }
 }
 
 void SimNetwork::SetEndpointLinkProfile(const std::string& endpoint,
                                         SimLinkProfile profile) {
+  auto state = impl_->StateFor(endpoint);
+  MutexLock lock(state->mu);
+  state->profile = profile;
+  state->has_override = true;
+}
+
+void SimNetwork::Partition(const std::string& endpoint) {
+  auto state = impl_->StateFor(endpoint);
+  std::vector<PipePtr> live;
+  {
+    MutexLock lock(state->mu);
+    state->partitioned = true;
+    for (auto& weak : state->pipes) {
+      if (auto pipe = weak.lock()) live.push_back(std::move(pipe));
+    }
+    state->pipes.clear();
+  }
+  // Close outside the state lock: queue Close takes the queue mutex and
+  // wakes blocked readers, which may immediately re-enter the transport.
+  for (auto& pipe : live) pipe->frames.Close();
+}
+
+void SimNetwork::Heal(const std::string& endpoint) {
+  auto state = impl_->StateFor(endpoint);
+  MutexLock lock(state->mu);
+  state->partitioned = false;
+}
+
+void SimNetwork::SeedFaults(std::uint64_t seed) {
   MutexLock lock(impl_->mu);
-  impl_->endpoint_profiles[endpoint] = profile;
+  impl_->fault_seed = seed;
+  for (auto& [name, state] : impl_->links) {
+    MutexLock slock(state->mu);
+    state->rng = SplitMix64(seed ^ Fnv1a64(name));
+  }
 }
 
 namespace {
@@ -173,8 +259,8 @@ class SimTransport final : public Transport {
 
   Result<ConnectionPtr> Dial(std::string_view address) override {
     const std::string name = StripScheme(address);
+    LinkStatePtr link = network_->impl().StateFor(name);
     std::shared_ptr<BlockingQueue<ConnectionPtr>> backlog;
-    SimLinkProfile profile = network_->impl().ProfileFor(name);
     {
       MutexLock lock(network_->impl().mu);
       auto it = network_->impl().listeners.find(name);
@@ -185,16 +271,24 @@ class SimTransport final : public Transport {
     }
     auto a_to_b = std::make_shared<Pipe>();
     auto b_to_a = std::make_shared<Pipe>();
-    a_to_b->profile = profile;
-    b_to_a->profile = profile;
+    {
+      MutexLock lock(link->mu);
+      if (link->partitioned) {
+        return UnavailableError("sim endpoint " + name + " partitioned");
+      }
+      std::erase_if(link->pipes,
+                    [](const std::weak_ptr<Pipe>& w) { return w.expired(); });
+      link->pipes.push_back(a_to_b);
+      link->pipes.push_back(b_to_a);
+    }
     auto server_side = std::make_unique<SimConnection>(
-        b_to_a, a_to_b, "sim:accept:" + name);
+        b_to_a, a_to_b, link, "sim:accept:" + name);
     if (!backlog->Push(std::move(server_side))) {
       return UnavailableError("sim listener at " + name + " closed");
     }
     SimMetrics()->dials->Increment();
-    return ConnectionPtr(
-        std::make_unique<SimConnection>(a_to_b, b_to_a, "sim:dial:" + name));
+    return ConnectionPtr(std::make_unique<SimConnection>(
+        a_to_b, b_to_a, link, "sim:dial:" + name));
   }
 
   Result<ListenerPtr> Listen(std::string_view address) override {

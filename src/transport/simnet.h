@@ -8,6 +8,15 @@
 // The simulated link can be given a bandwidth and a fixed latency, which the
 // topology and transport benches use to model slow 1994-era links without
 // real network hardware (per DESIGN.md's substitution table).
+//
+// Fault injection (DESIGN.md "Fault tolerance"): link profiles are *live* —
+// changing an endpoint's profile affects frames already-open connections
+// send next, so tests inject delay or loss mid-call. A profile may drop
+// each frame with a (deterministic, seeded) probability, modeling a lossy
+// link under a reliable-looking API. Partition(endpoint) severs every open
+// connection to that endpoint and makes new dials fail until Heal(endpoint)
+// — the in-process stand-in for yanking a machine's cable, which is what
+// the reconnect/retry tests drive.
 #pragma once
 
 #include <memory>
@@ -21,6 +30,10 @@ struct SimLinkProfile {
   // 0 = infinite bandwidth (no transmission delay).
   std::uint64_t bytes_per_ms = 0;
   std::chrono::microseconds latency{0};
+  // Probability in [0, 1] that any single frame (either direction) is
+  // silently lost. Draws come from a per-endpoint seeded PRNG, so a test
+  // run is reproducible.
+  double drop_probability = 0.0;
 };
 
 class SimNetwork {
@@ -28,14 +41,27 @@ class SimNetwork {
   SimNetwork();
   ~SimNetwork();
 
-  // Default profile applied to every subsequently dialed connection.
+  // Default profile applied to every endpoint without an explicit profile.
+  // Live: also updates such endpoints' existing connections.
   void SetDefaultLinkProfile(SimLinkProfile profile);
 
-  // Hostname-pair-specific profile (applies to dials of `to` from anywhere;
-  // the simulated network has no notion of a caller address, so profiles
-  // are keyed by target endpoint name).
+  // Endpoint-specific profile (applies to dials of `endpoint` from
+  // anywhere; the simulated network has no notion of a caller address, so
+  // profiles are keyed by target endpoint name). Live: existing
+  // connections to the endpoint switch to the new profile immediately.
   void SetEndpointLinkProfile(const std::string& endpoint,
                               SimLinkProfile profile);
+
+  // Kill the link: every open connection to `endpoint` is severed (both
+  // directions close; blocked Receives fail with UNAVAILABLE) and dials to
+  // it fail until Heal. Severed connections stay dead after healing —
+  // clients are expected to re-dial, exactly like after a real partition.
+  void Partition(const std::string& endpoint);
+  void Heal(const std::string& endpoint);
+
+  // Seed for the per-endpoint drop PRNGs (set before traffic for
+  // reproducible loss patterns).
+  void SeedFaults(std::uint64_t seed);
 
   struct Impl;
   Impl& impl() { return *impl_; }

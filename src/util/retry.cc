@@ -1,0 +1,52 @@
+#include "util/retry.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace dmemo {
+
+std::int64_t EnvInt(const char* name, std::int64_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(env, &end, 10);
+  if (end == env || *end != '\0' || v < 0) return fallback;
+  return static_cast<std::int64_t>(v);
+}
+
+RetryPolicy RetryPolicy::FromEnv() {
+  RetryPolicy policy;
+  policy.max_attempts = static_cast<int>(std::max<std::int64_t>(
+      1, EnvInt("DMEMO_RPC_RETRIES", policy.max_attempts)));
+  policy.initial_backoff = std::chrono::milliseconds(
+      EnvInt("DMEMO_RPC_BACKOFF_MS", policy.initial_backoff.count()));
+  policy.max_backoff = std::chrono::milliseconds(
+      EnvInt("DMEMO_RPC_BACKOFF_MAX_MS", policy.max_backoff.count()));
+  policy.attempt_timeout = std::chrono::milliseconds(
+      EnvInt("DMEMO_RPC_ATTEMPT_TIMEOUT_MS", policy.attempt_timeout.count()));
+  return policy;
+}
+
+std::chrono::milliseconds RetryPolicy::BackoffFor(int attempt,
+                                                  SplitMix64& rng) const {
+  if (attempt < 1) attempt = 1;
+  double backoff = static_cast<double>(initial_backoff.count());
+  for (int i = 1; i < attempt; ++i) backoff *= multiplier;
+  backoff = std::min(backoff, static_cast<double>(max_backoff.count()));
+  if (jitter > 0.0) {
+    const double j = std::clamp(jitter, 0.0, 1.0);
+    backoff *= (1.0 - j) + j * rng.NextUnit();
+  }
+  return std::chrono::milliseconds(
+      static_cast<std::int64_t>(std::max(backoff, 0.0)));
+}
+
+std::chrono::milliseconds CallTimeoutFromEnv() {
+  return std::chrono::milliseconds(EnvInt("DMEMO_RPC_TIMEOUT_MS", 0));
+}
+
+bool IsRetryableStatus(const Status& status) {
+  return status.code() == StatusCode::kUnavailable;
+}
+
+}  // namespace dmemo

@@ -1,0 +1,62 @@
+// Retry policy: exponential backoff with decorrelated jitter.
+//
+// Every client-side link in the system (application -> memo server, memo
+// server -> peer memo server) re-dials dead connections and re-issues
+// calls through one policy object, so operators tune a single set of env
+// knobs instead of per-subsystem magic numbers:
+//
+//   DMEMO_RPC_RETRIES             max attempts per call     (default 4)
+//   DMEMO_RPC_BACKOFF_MS          first backoff             (default 5)
+//   DMEMO_RPC_BACKOFF_MAX_MS      backoff ceiling           (default 200)
+//   DMEMO_RPC_ATTEMPT_TIMEOUT_MS  per-attempt bound; 0 = unbounded
+//   DMEMO_RPC_TIMEOUT_MS          whole-call deadline; 0 = unbounded
+//
+// Retrying a non-idempotent operation is only safe together with the
+// at-most-once request ids of the RPC layer (server/completion_cache.h);
+// ResilientChannel ties the two halves together.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace dmemo {
+
+struct RetryPolicy {
+  // Total attempts, including the first one. 1 = never retry.
+  int max_attempts = 4;
+  std::chrono::milliseconds initial_backoff{5};
+  std::chrono::milliseconds max_backoff{200};
+  double multiplier = 2.0;
+  // Fraction of the computed backoff replaced by a uniform random draw in
+  // [1 - jitter, 1], so synchronized clients do not reconnect in lockstep.
+  double jitter = 0.5;
+  // Bound on a single attempt's wait for a response. Zero = wait until the
+  // response arrives or the channel dies. A timed-out attempt is retried
+  // (safe: the request id dedupes re-execution server-side).
+  std::chrono::milliseconds attempt_timeout{0};
+
+  // Policy with every field overridable from the environment (above).
+  static RetryPolicy FromEnv();
+
+  // Backoff to sleep after attempt `attempt` (1-based) failed, jittered
+  // with `rng`. attempt <= 0 is treated as 1.
+  std::chrono::milliseconds BackoffFor(int attempt, SplitMix64& rng) const;
+};
+
+// Whole-call deadline from DMEMO_RPC_TIMEOUT_MS; zero means unbounded
+// (the default — blocking gets may legitimately park for a long time).
+std::chrono::milliseconds CallTimeoutFromEnv();
+
+// Transient failures worth re-dialing for: UNAVAILABLE (peer or channel
+// died, possibly mid-call) only. Server-reported application errors
+// (NOT_FOUND, INVALID_ARGUMENT, ...) travel inside an OK transport result
+// and never reach this predicate.
+bool IsRetryableStatus(const Status& status);
+
+// Parse a non-negative integer env var; `fallback` when unset/garbage.
+std::int64_t EnvInt(const char* name, std::int64_t fallback);
+
+}  // namespace dmemo

@@ -4,18 +4,26 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <set>
 #include <thread>
 
 #include "runtime/cluster.h"
 #include "server/memo_server.h"
+#include "server/resilient_channel.h"
 #include "server/rpc_channel.h"
+#include "transferable/codec.h"
 #include "transferable/scalars.h"
 #include "transport/simnet.h"
+#include "util/metrics.h"
 
 namespace dmemo {
 namespace {
 
 using namespace std::chrono_literals;
+
+std::int32_t Int(const TransferablePtr& v) {
+  return std::static_pointer_cast<TInt32>(v)->value();
+}
 
 AppDescription Adf(const std::string& text) {
   auto parsed = ParseAdf(text);
@@ -234,6 +242,330 @@ TEST(FailureTest, TupleOfAllFoldersSurvivesChurn) {
     // Memo handle drops here: channel closes.
   }
   SUCCEED();
+}
+
+// ---------------------------------------------------------------------------
+// Fault-tolerance layer: deadlines, reconnect, at-most-once retries
+// (DESIGN.md "Fault tolerance"). These tests drive the simnet fault
+// injection: live latency, seeded frame loss, partition/heal.
+// ---------------------------------------------------------------------------
+
+// Builds a one- or two-host deployment by hand so the test owns the
+// SimNetwork, server options and client retry policy.
+struct FaultCluster {
+  SimNetworkPtr network = std::make_shared<SimNetwork>();
+  TransportPtr transport = MakeSimTransport(network);
+  std::vector<std::unique_ptr<MemoServer>> servers;
+
+  MemoServer& StartServer(const std::string& host,
+                          const std::vector<std::string>& all_hosts,
+                          RetryPolicy forward_retry = RetryPolicy()) {
+    MemoServerOptions opts;
+    opts.host = host;
+    opts.listen_url = "sim://" + host;
+    for (const auto& h : all_hosts) opts.peers[h] = "sim://" + h;
+    opts.forward_retry = forward_retry;
+    auto server = MemoServer::Start(transport, opts);
+    EXPECT_TRUE(server.ok()) << server.status();
+    servers.push_back(std::move(*server));
+    return *servers.back();
+  }
+
+  ~FaultCluster() {
+    for (auto& s : servers) s->Shutdown();
+  }
+};
+
+// A key of app `app` owned by `host` under `routing` (brute-force probe).
+Key KeyOwnedBy(const RoutingTable& routing, const std::string& app,
+               const std::string& host, std::uint32_t salt = 0) {
+  for (std::uint32_t i = 0;; ++i) {
+    Key k = Key::Named("owned", {salt, i});
+    if (routing.ServerForKey(QualifiedKey{app, k}.ToBytes())->host == host) {
+      return k;
+    }
+  }
+}
+
+TEST(FaultToleranceTest, TimedOutGetIsRedeliveredOnRetry) {
+  // The lost-memo regression. Sequence before the fix:
+  //   1. client kGet; folder server extracts the memo;
+  //   2. the slow link delays the response past the attempt timeout;
+  //   3. CallFor erases its pending entry, ReaderLoop drops the late
+  //      response — the extracted memo is gone forever.
+  // With at-most-once ids the retry is answered from the server's
+  // completion cache: same memo, delivered once.
+  FaultCluster fc;
+  AppDescription adf =
+      Adf("APP redeliver\nHOSTS\nhostA 1 t 1\nFOLDERS\n0 hostA\n");
+  auto& server = fc.StartServer("hostA", {"hostA"});
+  ASSERT_TRUE(server.RegisterApp(adf).ok());
+
+  RemoteEngineOptions copts;
+  copts.app = "redeliver";
+  copts.host = "hostA";
+  copts.retry.max_attempts = 8;
+  copts.retry.attempt_timeout = 50ms;
+  copts.retry.initial_backoff = 2ms;
+  copts.retry.max_backoff = 10ms;
+  Memo memo(*MakeRemoteEngine(fc.transport, "sim://hostA", copts));
+  ASSERT_TRUE(memo.put(Key::Named("precious"), MakeInt32(77)).ok());
+
+  // Slow the link so the first attempt's response arrives after the
+  // attempt timeout; heal it mid-retry from the side.
+  SimLinkProfile slow;
+  slow.latency = 100ms;
+  fc.network->SetEndpointLinkProfile("hostA", slow);
+  std::thread healer([&] {
+    std::this_thread::sleep_for(120ms);
+    fc.network->SetEndpointLinkProfile("hostA", SimLinkProfile{});
+  });
+
+  auto v = memo.get(Key::Named("precious"));
+  healer.join();
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_EQ(Int(*v), 77);
+  // The redelivery came from the completion cache, not a re-extraction.
+  EXPECT_GE(server.stats().dedup_hits, 1u);
+  // And the memo was consumed exactly once: nothing left behind.
+  auto leftover = memo.get_skip(Key::Named("precious"));
+  ASSERT_TRUE(leftover.ok());
+  EXPECT_FALSE(leftover->has_value());
+}
+
+TEST(FaultToleranceTest, PartitionMidWorkloadLosesAndDuplicatesNothing) {
+  // Tentpole acceptance: kill the hostA->hostB link mid-workload, heal it,
+  // and require every memo to arrive exactly once, with the forwarding
+  // channel reconnecting on its own.
+  Counter* reconnects =
+      MetricsRegistry::Global().GetCounter("dmemo_rpc_reconnects_total");
+  const std::uint64_t reconnects_before = reconnects->Value();
+
+  FaultCluster fc;
+  AppDescription adf = Adf(
+      "APP part\nHOSTS\nhostA 1 t 1\nhostB 1 t 1\n"
+      "FOLDERS\n0 hostA\n1 hostB\nPPC\nhostA <-> hostB 1\n");
+  RetryPolicy patient;
+  patient.max_attempts = 200;
+  patient.initial_backoff = 2ms;
+  patient.max_backoff = 20ms;
+  auto& server_a = fc.StartServer("hostA", {"hostA", "hostB"}, patient);
+  auto& server_b = fc.StartServer("hostB", {"hostA", "hostB"}, patient);
+  ASSERT_TRUE(server_a.RegisterApp(adf).ok());
+  ASSERT_TRUE(server_b.RegisterApp(adf).ok());
+
+  RemoteEngineOptions copts;
+  copts.app = "part";
+  copts.host = "hostA";
+  copts.retry = patient;
+  Memo memo(*MakeRemoteEngine(fc.transport, "sim://hostA", copts));
+
+  auto routing = *RoutingTable::Build(adf);
+  const Key remote = KeyOwnedBy(routing, "part", "hostB");
+
+  std::thread chaos([&] {
+    std::this_thread::sleep_for(15ms);
+    fc.network->Partition("hostB");
+    std::this_thread::sleep_for(80ms);
+    fc.network->Heal("hostB");
+  });
+
+  constexpr int kMemos = 40;
+  for (int i = 0; i < kMemos; ++i) {
+    ASSERT_TRUE(memo.put(remote, MakeInt32(i)).ok()) << "put " << i;
+    std::this_thread::sleep_for(2ms);
+  }
+  chaos.join();
+
+  // Exactly kMemos memos on hostB's folder: none lost, none duplicated.
+  auto count = memo.count(remote);
+  ASSERT_TRUE(count.ok()) << count.status();
+  EXPECT_EQ(*count, static_cast<std::uint64_t>(kMemos));
+  std::multiset<std::int32_t> seen;
+  for (int i = 0; i < kMemos; ++i) {
+    auto v = memo.get(remote);
+    ASSERT_TRUE(v.ok()) << v.status();
+    seen.insert(Int(*v));
+  }
+  for (int i = 0; i < kMemos; ++i) EXPECT_EQ(seen.count(i), 1u) << i;
+  // The partition actually severed a live link and the peer channel
+  // re-dialed through it.
+  EXPECT_GT(reconnects->Value(), reconnects_before);
+}
+
+TEST(FaultToleranceTest, DeadlineExceededSurfacesAsErrorNotHang) {
+  Counter* deadline_exceeded = MetricsRegistry::Global().GetCounter(
+      "dmemo_rpc_deadline_exceeded_total");
+  const std::uint64_t exceeded_before = deadline_exceeded->Value();
+
+  FaultCluster fc;
+  AppDescription adf =
+      Adf("APP dl\nHOSTS\nhostA 1 t 1\nFOLDERS\n0 hostA\n");
+  auto& server = fc.StartServer("hostA", {"hostA"});
+  ASSERT_TRUE(server.RegisterApp(adf).ok());
+
+  RemoteEngineOptions copts;
+  copts.app = "dl";
+  copts.host = "hostA";
+  copts.call_timeout = 100ms;  // bounded engine: no call may hang
+  Memo memo(*MakeRemoteEngine(fc.transport, "sim://hostA", copts));
+
+  const auto start = std::chrono::steady_clock::now();
+  auto v = memo.get(Key::Named("never-put"));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kTimedOut) << v.status();
+  EXPECT_LT(elapsed, 5s);  // bounded, with generous CI slack
+  EXPECT_GT(deadline_exceeded->Value(), exceeded_before);
+
+  // The engine survives the timeout: later calls still work.
+  ASSERT_TRUE(memo.put(Key::Named("after"), MakeInt32(1)).ok());
+  EXPECT_TRUE(memo.get(Key::Named("after")).ok());
+}
+
+TEST(FaultToleranceTest, RetransmittedPutExecutesOnce) {
+  // A retransmit is byte-identical to the original — same request_id. The
+  // server must deposit one memo, not two, and answer both transmits.
+  auto cluster = StartCluster(
+      Adf("APP dedup\nHOSTS\nhostA 1 t 1\nFOLDERS\n0 hostA\n"));
+  MemoServer& server = cluster->server("hostA");
+
+  Request put;
+  put.op = Op::kPut;
+  put.app = "dedup";
+  put.key = Key::Named("once");
+  put.value = EncodeGraphToBytes(MakeInt32(9));
+  put.request_id = NextRequestId();
+  Response first = server.Handle(put);
+  Response retried = server.Handle(put);
+  EXPECT_EQ(first.code, StatusCode::kOk);
+  EXPECT_EQ(retried.code, StatusCode::kOk);
+  EXPECT_GE(server.stats().dedup_hits, 1u);
+
+  Memo memo = *cluster->Client("hostA", MachineProfile::Universal());
+  auto count = memo.count(Key::Named("once"));
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 1u);
+}
+
+TEST(FaultToleranceTest, RetransmittedGetRedeliversSameValue) {
+  // The destructive half: the first kGet extracted the memo; the
+  // retransmit must re-deliver it from the cache instead of parking on an
+  // empty folder.
+  auto cluster = StartCluster(
+      Adf("APP dedupg\nHOSTS\nhostA 1 t 1\nFOLDERS\n0 hostA\n"));
+  MemoServer& server = cluster->server("hostA");
+  Memo memo = *cluster->Client("hostA", MachineProfile::Universal());
+  ASSERT_TRUE(memo.put(Key::Named("one-shot"), MakeInt32(31)).ok());
+
+  Request get;
+  get.op = Op::kGet;
+  get.app = "dedupg";
+  get.key = Key::Named("one-shot");
+  get.request_id = NextRequestId();
+  Response first = server.Handle(get);
+  Response retried = server.Handle(get);
+  ASSERT_EQ(first.code, StatusCode::kOk);
+  ASSERT_EQ(retried.code, StatusCode::kOk);
+  ASSERT_TRUE(first.has_value);
+  ASSERT_TRUE(retried.has_value);
+  EXPECT_EQ(first.value, retried.value);
+}
+
+TEST(FaultToleranceTest, LossyLinkWorkloadCompletesExactlyOnce) {
+  // 15% of frames vanish (seeded, so the run is reproducible). Attempt
+  // timeouts turn each loss into a retransmit; request ids keep the
+  // retransmits at-most-once. The workload must finish with every value
+  // delivered exactly once.
+  FaultCluster fc;
+  fc.network->SeedFaults(0xdecaf);
+  AppDescription adf =
+      Adf("APP lossy\nHOSTS\nhostA 1 t 1\nFOLDERS\n0 hostA\n");
+  auto& server = fc.StartServer("hostA", {"hostA"});
+  ASSERT_TRUE(server.RegisterApp(adf).ok());
+
+  RemoteEngineOptions copts;
+  copts.app = "lossy";
+  copts.host = "hostA";
+  copts.retry.max_attempts = 30;
+  copts.retry.attempt_timeout = 40ms;
+  copts.retry.initial_backoff = 1ms;
+  copts.retry.max_backoff = 5ms;
+  Memo memo(*MakeRemoteEngine(fc.transport, "sim://hostA", copts));
+
+  SimLinkProfile lossy;
+  lossy.drop_probability = 0.15;
+  fc.network->SetEndpointLinkProfile("hostA", lossy);
+
+  constexpr int kMemos = 25;
+  const Key key = Key::Named("lossy-k");
+  for (int i = 0; i < kMemos; ++i) {
+    ASSERT_TRUE(memo.put(key, MakeInt32(i)).ok()) << "put " << i;
+  }
+  std::multiset<std::int32_t> seen;
+  for (int i = 0; i < kMemos; ++i) {
+    auto v = memo.get(key);
+    ASSERT_TRUE(v.ok()) << v.status();
+    seen.insert(Int(*v));
+  }
+  for (int i = 0; i < kMemos; ++i) EXPECT_EQ(seen.count(i), 1u) << i;
+  auto leftover = memo.get_skip(key);
+  ASSERT_TRUE(leftover.ok());
+  EXPECT_FALSE(leftover->has_value());
+}
+
+TEST(FaultToleranceTest, ResilientChannelFailsFastWhenClosedOrUnreachable) {
+  auto network = std::make_shared<SimNetwork>();
+  auto transport = MakeSimTransport(network);
+  ResilientChannel::Options opts;
+  opts.retry.max_attempts = 2;
+  opts.retry.initial_backoff = 1ms;
+  auto channel = std::make_shared<ResilientChannel>(
+      transport, "sim://nowhere", opts);
+  Request ping;
+  ping.op = Op::kPing;
+  auto resp = channel->Call(ping);
+  ASSERT_FALSE(resp.ok());
+  EXPECT_EQ(resp.status().code(), StatusCode::kUnavailable) << resp.status();
+  channel->Close();
+  auto after_close = channel->Call(ping);
+  ASSERT_FALSE(after_close.ok());
+  EXPECT_EQ(after_close.status().code(), StatusCode::kCancelled);
+}
+
+TEST(FaultToleranceTest, ConcurrentFirstTouchSharesOnePeerChannel) {
+  // The channel-leak regression: two threads racing to create the first
+  // channel to a peer used to both dial, and the loser's reader thread was
+  // stranded forever. Creation is now find-or-create under the server
+  // lock; hammering the first touch from many threads must yield exactly
+  // one outbound link.
+  FaultCluster fc;
+  AppDescription adf = Adf(
+      "APP race\nHOSTS\nhostA 1 t 1\nhostB 1 t 1\n"
+      "FOLDERS\n0 hostA\n1 hostB\nPPC\nhostA <-> hostB 1\n");
+  auto& server_a = fc.StartServer("hostA", {"hostA", "hostB"});
+  auto& server_b = fc.StartServer("hostB", {"hostA", "hostB"});
+  ASSERT_TRUE(server_a.RegisterApp(adf).ok());
+  ASSERT_TRUE(server_b.RegisterApp(adf).ok());
+
+  auto routing = *RoutingTable::Build(adf);
+  const Key remote = KeyOwnedBy(routing, "race", "hostB");
+  constexpr int kThreads = 8;
+  std::vector<std::thread> writers;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      Request put;
+      put.op = Op::kPut;
+      put.app = "race";
+      put.key = remote;
+      put.value = EncodeGraphToBytes(MakeInt32(t));
+      if (server_a.Handle(put).code != StatusCode::kOk) ++failures;
+    });
+  }
+  for (auto& w : writers) w.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server_a.peer_traffic().size(), 1u);
 }
 
 }  // namespace
