@@ -8,6 +8,19 @@ set -euo pipefail
 
 build_dir="${1:-build}"
 
+# Zero-copy gate: request/response payloads are IoBufs whose slices share
+# the received buffer (DESIGN.md §11). A `Bytes x = req.value...`-style
+# assignment or a Flatten() of a payload on the server/transport hot path
+# reintroduces a deep copy per message — flag it before clang even runs.
+echo "check_lint: zero-copy payload gate over src/server src/transport"
+if grep -rnE \
+    'Bytes [A-Za-z_]+ *= *[A-Za-z_]+(\.|->)value|value\.Flatten\(\)' \
+    src/server src/transport; then
+  echo "check_lint: payload copied into Bytes on the hot path;" \
+       "keep it an IoBuf (or justify with a counted IoBuf copy point)" >&2
+  exit 1
+fi
+
 if ! command -v clang-format >/dev/null; then
   echo "check_lint: clang-format not found" >&2
   exit 2

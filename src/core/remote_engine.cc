@@ -20,7 +20,7 @@ class RemoteEngine final : public MemoEngine {
   Status Put(const Key& key, TransferablePtr value) override {
     Request req = Base(Op::kPut);
     req.key = key;
-    req.value = EncodeGraphToBytes(value);
+    req.value = EncodeGraphToIoBuf(value);
     DMEMO_ASSIGN_OR_RETURN(Response resp, channel_->Call(req));
     return resp.ToStatus();
   }
@@ -30,7 +30,7 @@ class RemoteEngine final : public MemoEngine {
     Request req = Base(Op::kPutDelayed);
     req.key = key1;
     req.key2 = key2;
-    req.value = EncodeGraphToBytes(value);
+    req.value = EncodeGraphToIoBuf(value);
     DMEMO_ASSIGN_OR_RETURN(Response resp, channel_->Call(req));
     return resp.ToStatus();
   }
@@ -114,7 +114,8 @@ class RemoteEngine final : public MemoEngine {
   }
 
   // Decode + domain-check a delivered value against this machine's profile.
-  Result<TransferablePtr> Deliver(const Bytes& encoded) {
+  // The payload is read in place from its (typically single-slice) IoBuf.
+  Result<TransferablePtr> Deliver(const IoBuf& encoded) {
     DMEMO_ASSIGN_OR_RETURN(TransferablePtr value,
                            DecodeGraphFromBytes(encoded));
     if (value != nullptr) {

@@ -44,6 +44,23 @@ struct MemoValueTraits<Bytes> {
   static Result<Bytes> Decode(ByteReader& in) { return in.bytes(); }
 };
 
+// Folder servers store memos as IoBuf refs: the stored value shares the
+// receive buffer's slices, a get_copy shares them again (slices are
+// immutable, so "copy" is a descriptor copy), and only the persistence
+// snapshot writes the bytes out.
+template <>
+struct MemoValueTraits<IoBuf> {
+  static Result<IoBuf> Copy(const IoBuf& v) { return v; }
+  static void Encode(const IoBuf& v, ByteWriter& out) {
+    out.varint(v.size());
+    v.CopyTo(out);
+  }
+  static Result<IoBuf> Decode(ByteReader& in) {
+    DMEMO_ASSIGN_OR_RETURN(Bytes b, in.bytes());
+    return IoBuf::FromBytes(std::move(b));
+  }
+};
+
 template <>
 struct MemoValueTraits<TransferablePtr> {
   static Result<TransferablePtr> Copy(const TransferablePtr& v) {

@@ -73,7 +73,11 @@ class CompletionCache {
  private:
   struct Entry {
     bool completed = false;
-    Response response;  // valid when completed
+    // Valid when completed. Retaining a Response is cheap since the
+    // zero-copy pipeline: its value is an IoBuf whose slices share the
+    // payload block with the response already sent, so the cache holds a
+    // reference, not a deep copy of the memo bytes.
+    Response response;
   };
 
   void EvictLocked() DMEMO_REQUIRES(mu_);

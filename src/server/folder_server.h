@@ -57,14 +57,14 @@ class FolderServer {
   }
 
   // Test/bench access to the underlying directory.
-  FolderDirectory<Bytes>& directory() { return directory_; }
+  FolderDirectory<IoBuf>& directory() { return directory_; }
 
  private:
   Response HandleOp(const Request& request);
 
   int id_;
   std::string host_;
-  FolderDirectory<Bytes> directory_;
+  FolderDirectory<IoBuf> directory_;
   std::atomic<std::uint64_t> requests_served_{0};
 
   // Observability handles, resolved once at construction. op_latency_ is

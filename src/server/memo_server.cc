@@ -346,7 +346,11 @@ Response MemoServer::ForwardToward(const std::string& target_host,
   if (!next.ok()) return Response::FromStatus(next.status());
   auto channel = PeerChannel(*next);
   if (!channel.ok()) return Response::FromStatus(channel.status());
-  request.hop_count = static_cast<std::uint8_t>(request.hop_count + 1);
+  // Relay fast path: only the routing fields change; the payload slices in
+  // request.value still alias the bytes received from the upstream peer.
+  PatchHeaderInPlace(request, request.target_host,
+                     static_cast<std::uint8_t>(request.hop_count + 1),
+                     request.deadline_ms);
   // Propagate the caller's remaining budget: a deadline stamped by the
   // client bounds every hop of the forward, so a dead next-hop surfaces as
   // an error at the origin instead of an unbounded hang.
@@ -474,7 +478,7 @@ Response MemoServer::HandleStats() const {
 
   Response resp;
   resp.has_value = true;
-  resp.value = EncodeGraphToBytes(root);
+  resp.value = EncodeGraphToIoBuf(root);
   return resp;
 }
 
@@ -535,7 +539,7 @@ Response MemoServer::HandleMetrics() const {
 
   Response resp;
   resp.has_value = true;
-  resp.value = EncodeGraphToBytes(root);
+  resp.value = EncodeGraphToIoBuf(root);
   return resp;
 }
 

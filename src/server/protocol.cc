@@ -57,23 +57,39 @@ std::uint64_t NextRequestId() {
   return id;
 }
 
-void Request::EncodeTo(ByteWriter& out) const {
-  out.u8(static_cast<std::uint8_t>(op));
-  out.str(app);
-  out.str(target_host);
-  out.u8(hop_count);
-  out.u64(trace_id);
-  out.u64(request_id);
-  out.varint(deadline_ms);
-  key.EncodeTo(out);
-  key2.EncodeTo(out);
-  out.varint(alts.size());
-  for (const Key& k : alts) k.EncodeTo(out);
-  out.bytes(value);
-  out.str(text);
+namespace {
+
+// Everything of a Request up to and including the payload length prefix.
+// Shared by the legacy encode (payload copied right after) and the
+// zero-copy encode (payload slices chained right after).
+void EncodeRequestHead(const Request& req, ByteWriter& out) {
+  out.u8(static_cast<std::uint8_t>(req.op));
+  out.str(req.app);
+  out.str(req.target_host);
+  out.u8(req.hop_count);
+  out.u64(req.trace_id);
+  out.u64(req.request_id);
+  out.varint(req.deadline_ms);
+  req.key.EncodeTo(out);
+  req.key2.EncodeTo(out);
+  out.varint(req.alts.size());
+  for (const Key& k : req.alts) k.EncodeTo(out);
+  out.varint(req.value.size());
 }
 
-Result<Request> Request::DecodeFrom(ByteReader& in) {
+void EncodeResponseHead(const Response& resp, ByteWriter& out) {
+  out.u8(static_cast<std::uint8_t>(resp.code));
+  out.str(resp.message);
+  out.u8(resp.has_value ? 1 : 0);
+  out.varint(resp.value.size());
+}
+
+// Shared decode body: `read_value` consumes the payload's length-prefixed
+// bytes from `in` into an IoBuf — by copy for the legacy ByteReader path,
+// by aliasing for the IoBufReader path. Wire format is identical either
+// way.
+template <typename ReadValueFn>
+Result<Request> DecodeRequestBody(ByteReader& in, ReadValueFn&& read_value) {
   Request req;
   DMEMO_ASSIGN_OR_RETURN(std::uint8_t op, in.u8());
   if (op < static_cast<std::uint8_t>(Op::kPut) ||
@@ -99,24 +115,14 @@ Result<Request> Request::DecodeFrom(ByteReader& in) {
     DMEMO_ASSIGN_OR_RETURN(Key k, Key::DecodeFrom(in));
     req.alts.push_back(std::move(k));
   }
-  DMEMO_ASSIGN_OR_RETURN(req.value, in.bytes());
+  DMEMO_ASSIGN_OR_RETURN(req.value, read_value());
   DMEMO_ASSIGN_OR_RETURN(req.text, in.str());
   return req;
 }
 
-void Response::EncodeTo(ByteWriter& out) const {
-  out.u8(static_cast<std::uint8_t>(code));
-  out.str(message);
-  out.u8(has_value ? 1 : 0);
-  out.bytes(value);
-  out.u8(has_key ? 1 : 0);
-  key.EncodeTo(out);
-  out.varint(count);
-  out.u8(hop_count);
-  out.u64(trace_id);
-}
-
-Result<Response> Response::DecodeFrom(ByteReader& in) {
+template <typename ReadValueFn>
+Result<Response> DecodeResponseBody(ByteReader& in,
+                                    ReadValueFn&& read_value) {
   Response resp;
   DMEMO_ASSIGN_OR_RETURN(std::uint8_t code, in.u8());
   if (code > static_cast<std::uint8_t>(StatusCode::kUnimplemented)) {
@@ -126,7 +132,7 @@ Result<Response> Response::DecodeFrom(ByteReader& in) {
   DMEMO_ASSIGN_OR_RETURN(resp.message, in.str());
   DMEMO_ASSIGN_OR_RETURN(std::uint8_t has_value, in.u8());
   resp.has_value = has_value != 0;
-  DMEMO_ASSIGN_OR_RETURN(resp.value, in.bytes());
+  DMEMO_ASSIGN_OR_RETURN(resp.value, read_value());
   DMEMO_ASSIGN_OR_RETURN(std::uint8_t has_key, in.u8());
   resp.has_key = has_key != 0;
   DMEMO_ASSIGN_OR_RETURN(resp.key, Key::DecodeFrom(in));
@@ -134,6 +140,80 @@ Result<Response> Response::DecodeFrom(ByteReader& in) {
   DMEMO_ASSIGN_OR_RETURN(resp.hop_count, in.u8());
   DMEMO_ASSIGN_OR_RETURN(resp.trace_id, in.u64());
   return resp;
+}
+
+// Legacy payload read: copy out of the read buffer (counted).
+Result<IoBuf> ReadValueByCopy(ByteReader& in) {
+  DMEMO_ASSIGN_OR_RETURN(Bytes b, in.bytes());
+  CountPayloadCopyBytes(b.size());
+  return IoBuf::FromBytes(std::move(b));
+}
+
+}  // namespace
+
+void Request::EncodeTo(ByteWriter& out) const {
+  EncodeRequestHead(*this, out);
+  value.CopyTo(out);  // counted: the legacy path copies the payload
+  out.str(text);
+}
+
+IoBuf Request::EncodeToIoBuf() const {
+  ByteWriter head;
+  EncodeRequestHead(*this, head);
+  IoBuf out = IoBuf::FromBytes(head.take());
+  out.Append(value);  // shares the payload slices, no copy
+  ByteWriter tail;
+  tail.str(text);
+  out.Append(IoBuf::FromBytes(tail.take()));
+  return out;
+}
+
+Result<Request> Request::DecodeFrom(ByteReader& in) {
+  return DecodeRequestBody(in, [&in] { return ReadValueByCopy(in); });
+}
+
+Result<Request> Request::DecodeFrom(IoBufReader& in) {
+  return DecodeRequestBody(in.base(), [&in] { return in.bytes_shared(); });
+}
+
+void PatchHeaderInPlace(Request& request, std::string_view target_host,
+                        std::uint8_t hop_count, std::uint32_t deadline_ms) {
+  request.target_host = std::string(target_host);
+  request.hop_count = hop_count;
+  request.deadline_ms = deadline_ms;
+}
+
+void Response::EncodeTo(ByteWriter& out) const {
+  EncodeResponseHead(*this, out);
+  value.CopyTo(out);
+  out.u8(has_key ? 1 : 0);
+  key.EncodeTo(out);
+  out.varint(count);
+  out.u8(hop_count);
+  out.u64(trace_id);
+}
+
+IoBuf Response::EncodeToIoBuf() const {
+  ByteWriter head;
+  EncodeResponseHead(*this, head);
+  IoBuf out = IoBuf::FromBytes(head.take());
+  out.Append(value);
+  ByteWriter tail;
+  tail.u8(has_key ? 1 : 0);
+  key.EncodeTo(tail);
+  tail.varint(count);
+  tail.u8(hop_count);
+  tail.u64(trace_id);
+  out.Append(IoBuf::FromBytes(tail.take()));
+  return out;
+}
+
+Result<Response> Response::DecodeFrom(ByteReader& in) {
+  return DecodeResponseBody(in, [&in] { return ReadValueByCopy(in); });
+}
+
+Result<Response> Response::DecodeFrom(IoBufReader& in) {
+  return DecodeResponseBody(in.base(), [&in] { return in.bytes_shared(); });
 }
 
 Response Response::FromStatus(const Status& status) {

@@ -22,6 +22,7 @@
 
 #include "folder/key.h"
 #include "util/bytes.h"
+#include "util/iobuf.h"
 #include "util/status.h"
 
 namespace dmemo {
@@ -72,18 +73,37 @@ struct Request {
   Key key;                 // put/get/...; put_delayed's key1
   Key key2;                // put_delayed's destination folder
   std::vector<Key> alts;   // get_alt / get_alt_skip
-  Bytes value;             // encoded transferable graph (puts)
+  IoBuf value;             // encoded transferable graph (puts); shared slices
   std::string text;        // ADF text (register_app)
 
+  // Legacy single-buffer encode: appends the whole message (payload copy
+  // included) to `out`. Wire format identical to EncodeToIoBuf.
   void EncodeTo(ByteWriter& out) const;
+  // Zero-copy encode: a small header buffer chained to the shared payload
+  // slices (plus a tail buffer for the fields after `value`). The payload
+  // bytes are referenced, not copied.
+  IoBuf EncodeToIoBuf() const;
   static Result<Request> DecodeFrom(ByteReader& in);
+  // Zero-copy decode: `value` aliases the reader's backing block.
+  static Result<Request> DecodeFrom(IoBufReader& in);
 };
+
+// Relay fast path (MemoServer::ForwardToward): restamp the routing fields a
+// hop rewrites — target_host, hop_count, deadline_ms — without touching the
+// payload. `request.value`'s slices still alias the bytes received from the
+// upstream peer afterwards (asserted pointer-identical in property_test),
+// so relaying re-encodes a few header bytes and gather-sends the original
+// payload block. Byte-level in-place patching of an encoded frame is not
+// possible in this wire format: deadline_ms is a varint (restamped on every
+// transmit, so its length changes) and target_host is length-prefixed.
+void PatchHeaderInPlace(Request& request, std::string_view target_host,
+                        std::uint8_t hop_count, std::uint32_t deadline_ms);
 
 struct Response {
   StatusCode code = StatusCode::kOk;
   std::string message;
   bool has_value = false;
-  Bytes value;
+  IoBuf value;
   bool has_key = false;  // get_alt: which folder supplied the value
   Key key;
   std::uint64_t count = 0;     // kCount result
@@ -91,7 +111,9 @@ struct Response {
   std::uint64_t trace_id = 0;  // echo of the request's trace id
 
   void EncodeTo(ByteWriter& out) const;
+  IoBuf EncodeToIoBuf() const;
   static Result<Response> DecodeFrom(ByteReader& in);
+  static Result<Response> DecodeFrom(IoBufReader& in);
 
   static Response FromStatus(const Status& status);
   Status ToStatus() const;

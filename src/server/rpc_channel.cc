@@ -91,23 +91,12 @@ Result<std::optional<Response>> RpcChannel::CallFor(
     id = next_id_++;
     pending_.emplace(id, PendingCall{});
   }
-  ByteWriter frame;
-  frame.u8(kKindRequest);
-  frame.u64(id);
-  request.EncodeTo(frame);
-  Status sent;
-  {
-    MutexLock lock(send_mu_);
-    sent = conn_->Send(frame.data());
-  }
+  Status sent = SendFrame(kKindRequest, id, request.EncodeToIoBuf());
   if (!sent.ok()) {
     MutexLock lock(mu_);
     pending_.erase(id);
     return sent;
   }
-  bytes_sent_.fetch_add(frame.size(), std::memory_order_relaxed);
-  FramesSent()->Increment();
-  RpcBytesSent()->Add(frame.size());
 
   MutexLock lock(mu_);
   const bool unbounded = timeout == std::chrono::milliseconds::max();
@@ -149,6 +138,27 @@ Result<std::optional<Response>> RpcChannel::CallFor(
   }
 }
 
+Status RpcChannel::SendFrame(std::uint8_t kind, std::uint64_t id,
+                             const IoBuf& body) {
+  ByteWriter prefix;
+  prefix.u8(kind);
+  prefix.u64(id);
+  IoBuf frame = IoBuf::FromBytes(prefix.take());
+  frame.Append(body);
+  const std::size_t total = frame.size();
+  Status sent;
+  {
+    MutexLock lock(send_mu_);
+    sent = conn_->SendBuf(frame);
+  }
+  if (sent.ok()) {
+    bytes_sent_.fetch_add(total, std::memory_order_relaxed);
+    FramesSent()->Increment();
+    RpcBytesSent()->Add(total);
+  }
+  return sent;
+}
+
 void RpcChannel::ReaderLoop() {
   for (;;) {
     auto frame = conn_->Receive();
@@ -156,12 +166,13 @@ void RpcChannel::ReaderLoop() {
     bytes_received_.fetch_add(frame->size(), std::memory_order_relaxed);
     FramesReceived()->Increment();
     RpcBytesReceived()->Add(frame->size());
-    ByteReader in(*frame);
+    IoBufReader reader(*frame);
+    ByteReader& in = reader.base();
     auto kind = in.u8();
     auto id = in.u64();
     if (!kind.ok() || !id.ok()) continue;  // malformed frame: drop
     if (*kind == kKindResponse) {
-      auto resp = Response::DecodeFrom(in);
+      auto resp = Response::DecodeFrom(reader);
       MutexLock lock(mu_);
       auto it = pending_.find(*id);
       if (it == pending_.end()) continue;  // timed-out caller; drop
@@ -172,7 +183,7 @@ void RpcChannel::ReaderLoop() {
       }
       cv_.NotifyAll();
     } else if (*kind == kKindRequest) {
-      auto req = Request::DecodeFrom(in);
+      auto req = Request::DecodeFrom(reader);
       if (!req.ok()) {
         DMEMO_LOG(kWarn) << "dropping malformed request on "
                          << conn_->description() << ": "
@@ -199,16 +210,7 @@ void RpcChannel::HandleRequest(std::uint64_t id, Request request) {
             : Response::FromStatus(FailedPreconditionError(
                   "peer does not accept requests"));
     self->requests_handled_.fetch_add(1, std::memory_order_relaxed);
-    ByteWriter frame;
-    frame.u8(kKindResponse);
-    frame.u64(id);
-    response.EncodeTo(frame);
-    MutexLock lock(self->send_mu_);
-    if (self->conn_->Send(frame.data()).ok()) {
-      self->bytes_sent_.fetch_add(frame.size(), std::memory_order_relaxed);
-      FramesSent()->Increment();
-      RpcBytesSent()->Add(frame.size());
-    }
+    (void)self->SendFrame(kKindResponse, id, response.EncodeToIoBuf());
   };
   if (pool_ != nullptr) {
     pool_->Submit(std::move(work));

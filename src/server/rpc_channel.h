@@ -69,6 +69,11 @@ class RpcChannel : public std::enable_shared_from_this<RpcChannel> {
   void ReaderLoop();
   void HandleRequest(std::uint64_t id, Request request);
 
+  // The single framed-write path for both directions: gather-sends the
+  // kind/id prefix chained to `body` and maintains every send-side counter,
+  // so the request and response paths cannot drift apart on metrics.
+  Status SendFrame(std::uint8_t kind, std::uint64_t id, const IoBuf& body);
+
   struct PendingCall {
     std::optional<Response> response;
     bool failed = false;

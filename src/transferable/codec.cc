@@ -71,6 +71,13 @@ Bytes EncodeGraphToBytes(const TransferablePtr& root) {
   return out.take();
 }
 
+IoBuf EncodeGraphToIoBuf(const TransferablePtr& root,
+                         std::size_t chunk_bytes) {
+  ByteWriter out(chunk_bytes);
+  EncodeGraph(root, out);
+  return IoBuf::FromChunks(out.TakeChunks());
+}
+
 Result<TransferablePtr> DecodeGraph(ByteReader& in,
                                     const TypeRegistry& registry) {
   Decoder dec(in, registry);
@@ -81,6 +88,12 @@ Result<TransferablePtr> DecodeGraphFromBytes(
     std::span<const std::uint8_t> data, const TypeRegistry& registry) {
   ByteReader in(data);
   return DecodeGraph(in, registry);
+}
+
+Result<TransferablePtr> DecodeGraphFromBytes(const IoBuf& data,
+                                             const TypeRegistry& registry) {
+  Bytes scratch;  // only filled for multi-slice payloads (counted flatten)
+  return DecodeGraphFromBytes(data.ContiguousView(scratch), registry);
 }
 
 namespace {

@@ -23,6 +23,7 @@
 #include "transferable/registry.h"
 #include "transferable/transferable.h"
 #include "util/bytes.h"
+#include "util/iobuf.h"
 #include "util/status.h"
 
 namespace dmemo {
@@ -90,11 +91,27 @@ class Decoder {
 // Top-level entry points used by memo payloads and CloneTransferable.
 void EncodeGraph(const TransferablePtr& root, ByteWriter& out);
 Bytes EncodeGraphToBytes(const TransferablePtr& root);
+// Chunk-emitting encode for the zero-copy pipeline: the graph is written
+// through a chunked ByteWriter and the chunks are adopted as IoBuf slices,
+// so a large payload never lives in (or is copied into) one monolithic
+// vector. This IoBuf is what Request/Response::value carries end to end.
+IoBuf EncodeGraphToIoBuf(const TransferablePtr& root,
+                         std::size_t chunk_bytes = 4096);
 Result<TransferablePtr> DecodeGraph(
     ByteReader& in, const TypeRegistry& registry = TypeRegistry::Global());
 Result<TransferablePtr> DecodeGraphFromBytes(
     std::span<const std::uint8_t> data,
     const TypeRegistry& registry = TypeRegistry::Global());
+// Decode straight out of an IoBuf payload (e.g. resp->value). Single-slice
+// buffers — the common receive path — are read in place.
+Result<TransferablePtr> DecodeGraphFromBytes(
+    const IoBuf& data, const TypeRegistry& registry = TypeRegistry::Global());
+// Exact-match overload for Bytes arguments — without it a Bytes call would
+// be ambiguous between the span conversion and the implicit IoBuf ctor.
+inline Result<TransferablePtr> DecodeGraphFromBytes(
+    const Bytes& data, const TypeRegistry& registry = TypeRegistry::Global()) {
+  return DecodeGraphFromBytes(std::span<const std::uint8_t>(data), registry);
+}
 
 // Break shared_ptr cycles in a decoded/constructed graph so it can be freed.
 // Walks reachable nodes and calls ClearChildren on each. Safe on DAGs and

@@ -33,6 +33,12 @@ Counter* FragMessagesFragmented() {
   return c;
 }
 
+Counter* FragWritevs() {
+  static Counter* c = MetricsRegistry::Global().GetCounter(
+      "dmemo_transport_writev_total", "transport=\"frag\"");
+  return c;
+}
+
 void ChargeTransmission(const ChannelProfile& profile, std::size_t bytes) {
   if (profile.bytes_per_ms == 0) return;
   std::this_thread::sleep_for(
@@ -50,9 +56,16 @@ class BlockingChannelConnection final : public Connection {
     return inner_->Send(frame);
   }
 
-  Result<Bytes> Receive() override { return inner_->Receive(); }
+  Status Send(std::span<const std::span<const std::uint8_t>> slices) override {
+    std::size_t total = 0;
+    for (const auto& s : slices) total += s.size();
+    ChargeTransmission(profile_, total);
+    return inner_->Send(slices);  // inner's gather path (or its fallback)
+  }
 
-  Result<std::optional<Bytes>> ReceiveFor(
+  Result<IoBuf> Receive() override { return inner_->Receive(); }
+
+  Result<std::optional<IoBuf>> ReceiveFor(
       std::chrono::milliseconds timeout) override {
     return inner_->ReceiveFor(timeout);
   }
@@ -75,16 +88,7 @@ struct Packet {
   Bytes payload;
 };
 
-Bytes EncodePacket(std::uint32_t vc, bool last,
-                   std::span<const std::uint8_t> payload) {
-  ByteWriter w;
-  w.u32(vc);
-  w.u8(last ? 1 : 0);
-  w.raw(payload);
-  return w.take();
-}
-
-Result<Packet> DecodePacket(const Bytes& frame) {
+Result<Packet> DecodePacket(std::span<const std::uint8_t> frame) {
   ByteReader r(frame);
   Packet p;
   DMEMO_ASSIGN_OR_RETURN(p.vc, r.u32());
@@ -144,7 +148,8 @@ struct FragmentingMux::Impl {
         for (auto& [vc, q] : inbound) q->Close();
         return;
       }
-      auto packet = DecodePacket(*frame);
+      Bytes scratch;
+      auto packet = DecodePacket(frame->ContiguousView(scratch));
       if (!packet.ok()) continue;  // malformed packet: drop, keep pumping
       Bytes complete;
       std::shared_ptr<BlockingQueue<Bytes>> queue;
@@ -184,37 +189,65 @@ class VirtualConnection final : public Connection {
       : mux_(std::move(mux)), vc_(vc), rx_(mux_->InboundFor(vc)) {}
 
   Status Send(std::span<const std::uint8_t> frame) override {
+    const std::span<const std::uint8_t> one[] = {frame};
+    return Send(std::span<const std::span<const std::uint8_t>>(one));
+  }
+
+  // Gather fragmentation: packets are cut across slice boundaries, so a
+  // header slice chained to a payload slice fragments exactly like the
+  // flattened frame would — no coalescing buffer. The per-packet framing
+  // copy (into the packet buffer) is the channel's transmission cost and is
+  // identical for both entry points.
+  Status Send(std::span<const std::span<const std::uint8_t>> slices) override {
+    std::size_t total = 0;
+    for (const auto& s : slices) total += s.size();
     const std::size_t packet = mux_->profile.packet_bytes;
-    if (frame.size() > packet) FragMessagesFragmented()->Increment();
-    std::size_t offset = 0;
+    if (total > packet) FragMessagesFragmented()->Increment();
+    if (slices.size() > 1) FragWritevs()->Increment();
+    std::size_t offset = 0;  // bytes of the logical frame consumed
+    std::size_t si = 0;      // current slice
+    std::size_t so = 0;      // offset within current slice
     do {
-      const std::size_t n = std::min(packet, frame.size() - offset);
-      const bool last = offset + n == frame.size();
-      if (!mux_->outbound.Push(
-              EncodePacket(vc_, last, frame.subspan(offset, n)))) {
+      const std::size_t n = std::min(packet, total - offset);
+      const bool last = offset + n == total;
+      ByteWriter w;
+      w.u32(vc_);
+      w.u8(last ? 1 : 0);
+      std::size_t left = n;
+      while (left > 0) {
+        while (so == slices[si].size()) {
+          ++si;
+          so = 0;
+        }
+        const std::size_t piece = std::min(left, slices[si].size() - so);
+        w.raw(slices[si].subspan(so, piece));
+        so += piece;
+        left -= piece;
+      }
+      if (!mux_->outbound.Push(w.take())) {
         return UnavailableError("fragmenting mux closed");
       }
       offset += n;
-    } while (offset < frame.size());
+    } while (offset < total);
     return Status::Ok();
   }
 
-  Result<Bytes> Receive() override {
+  Result<IoBuf> Receive() override {
     auto frame = rx_->Pop();
     if (!frame.has_value()) return UnavailableError("virtual connection closed");
-    return std::move(*frame);
+    return IoBuf::FromBytes(std::move(*frame));
   }
 
-  Result<std::optional<Bytes>> ReceiveFor(
+  Result<std::optional<IoBuf>> ReceiveFor(
       std::chrono::milliseconds timeout) override {
     auto frame = rx_->PopFor(timeout);
     if (!frame.has_value()) {
       if (rx_->closed() && rx_->size() == 0) {
         return UnavailableError("virtual connection closed");
       }
-      return std::optional<Bytes>(std::nullopt);
+      return std::optional<IoBuf>(std::nullopt);
     }
-    return std::optional<Bytes>(std::move(*frame));
+    return std::optional<IoBuf>(IoBuf::FromBytes(std::move(*frame)));
   }
 
   void Close() override { rx_->Close(); }
@@ -270,8 +303,11 @@ class OwningFragmentingConnection final : public Connection {
   Status Send(std::span<const std::uint8_t> frame) override {
     return conn_->Send(frame);
   }
-  Result<Bytes> Receive() override { return conn_->Receive(); }
-  Result<std::optional<Bytes>> ReceiveFor(
+  Status Send(std::span<const std::span<const std::uint8_t>> slices) override {
+    return conn_->Send(slices);
+  }
+  Result<IoBuf> Receive() override { return conn_->Receive(); }
+  Result<std::optional<IoBuf>> ReceiveFor(
       std::chrono::milliseconds timeout) override {
     return conn_->ReceiveFor(timeout);
   }

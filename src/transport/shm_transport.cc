@@ -68,12 +68,26 @@ class Ring {
   }
 
   Status SendFrame(std::span<const std::uint8_t> frame) {
+    const std::span<const std::uint8_t> one[] = {frame};
+    return SendFrameV(one);
+  }
+
+  // Gather form: the frame is the concatenation of `slices`, copied into
+  // the ring chunk-by-chunk straight from each slice — no coalescing
+  // buffer. The ring memcpy itself is the shared-memory "wire", so it is
+  // not charged to the payload-copy meter (the bytes land in the peer's
+  // address space, like a kernel socket copy).
+  Status SendFrameV(std::span<const std::span<const std::uint8_t>> slices) {
+    std::size_t total = 0;
+    for (const auto& s : slices) total += s.size();
     RingHeader* h = header();
     pthread_mutex_lock(&h->mu);
-    std::size_t offset = 0;
+    std::size_t offset = 0;  // bytes of the logical frame already written
+    std::size_t si = 0;      // current slice
+    std::size_t so = 0;      // offset within current slice
     bool first = true;
     // Emit at least one chunk even for empty frames.
-    while (first || offset < frame.size()) {
+    while (first || offset < total) {
       first = false;
       // Wait for room for the header plus at least one payload byte (or
       // just the header when the frame is empty).
@@ -85,19 +99,27 @@ class Ring {
         }
         free_bytes = h->capacity - (h->tail - h->head);
         const std::uint64_t need =
-            sizeof(std::uint32_t) + (frame.size() > offset ? 1 : 0);
+            sizeof(std::uint32_t) + (total > offset ? 1 : 0);
         if (free_bytes >= need) break;
         pthread_cond_wait(&h->not_full, &h->mu);
       }
-      const std::size_t remaining = frame.size() - offset;
+      const std::size_t remaining = total - offset;
       const std::size_t chunk = std::min<std::size_t>(
           remaining, free_bytes - sizeof(std::uint32_t));
       const bool more = chunk < remaining;
       WriteBytesLocked(EncodeHeader(static_cast<std::uint32_t>(chunk), more));
-      if (chunk > 0) {
-        WriteRawLocked(frame.data() + offset, chunk);
-        offset += chunk;
+      std::size_t left = chunk;
+      while (left > 0) {
+        while (so == slices[si].size()) {
+          ++si;
+          so = 0;
+        }
+        const std::size_t piece = std::min(left, slices[si].size() - so);
+        WriteRawLocked(slices[si].data() + so, piece);
+        so += piece;
+        left -= piece;
       }
+      offset += chunk;
       pthread_cond_signal(&h->not_empty);
     }
     pthread_mutex_unlock(&h->mu);
@@ -245,21 +267,29 @@ class ShmConnection final : public Connection {
     metrics_->bytes_sent->Add(frame.size());
     return Status::Ok();
   }
-  Result<Bytes> Receive() override {
+  Status Send(std::span<const std::span<const std::uint8_t>> slices) override {
+    DMEMO_RETURN_IF_ERROR(tx_.SendFrameV(slices));
+    std::size_t total = 0;
+    for (const auto& s : slices) total += s.size();
+    metrics_->writevs->Increment();
+    metrics_->frames_sent->Increment();
+    metrics_->bytes_sent->Add(total);
+    return Status::Ok();
+  }
+  Result<IoBuf> Receive() override {
     DMEMO_ASSIGN_OR_RETURN(Bytes frame, rx_.ReceiveFrame());
     metrics_->frames_received->Increment();
     metrics_->bytes_received->Add(frame.size());
-    return frame;
+    return IoBuf::FromBytes(std::move(frame));
   }
-  Result<std::optional<Bytes>> ReceiveFor(
+  Result<std::optional<IoBuf>> ReceiveFor(
       std::chrono::milliseconds timeout) override {
     DMEMO_ASSIGN_OR_RETURN(std::optional<Bytes> frame,
                            rx_.ReceiveFrameFor(timeout));
-    if (frame.has_value()) {
-      metrics_->frames_received->Increment();
-      metrics_->bytes_received->Add(frame->size());
-    }
-    return frame;
+    if (!frame.has_value()) return std::optional<IoBuf>(std::nullopt);
+    metrics_->frames_received->Increment();
+    metrics_->bytes_received->Add(frame->size());
+    return std::optional<IoBuf>(IoBuf::FromBytes(std::move(*frame)));
   }
 
   void Close() override {
@@ -302,7 +332,7 @@ Bytes EncodeHandshake(const Handshake& hs) {
   return w.take();
 }
 
-Result<Handshake> DecodeHandshake(const Bytes& data) {
+Result<Handshake> DecodeHandshake(std::span<const std::uint8_t> data) {
   ByteReader r(data);
   Handshake hs;
   DMEMO_ASSIGN_OR_RETURN(hs.c2s_name, r.str());
@@ -357,8 +387,8 @@ class ShmTransport final : public Transport {
     DMEMO_RETURN_IF_ERROR(control->Send(EncodeHandshake(hs)));
     // Wait for the acceptor's ack so segments are adopted before the
     // control socket goes away.
-    DMEMO_ASSIGN_OR_RETURN(Bytes ack, control->Receive());
-    if (ack != Bytes{1}) return UnavailableError("shm handshake rejected");
+    DMEMO_ASSIGN_OR_RETURN(IoBuf ack, control->Receive());
+    if (!(ack == Bytes{1})) return UnavailableError("shm handshake rejected");
     control->Close();
     ShmMetrics()->dials->Increment();
     return ConnectionPtr(std::make_unique<ShmConnection>(
@@ -379,7 +409,8 @@ class ShmTransport final : public Transport {
           DMEMO_ASSIGN_OR_RETURN(ConnectionPtr conn, control_->Accept());
           auto frame = conn->Receive();
           if (!frame.ok()) continue;  // dialer vanished mid-handshake
-          auto hs = DecodeHandshake(*frame);
+          Bytes hs_scratch;
+          auto hs = DecodeHandshake(frame->ContiguousView(hs_scratch));
           if (!hs.ok()) continue;
           // Adopt the dialer's segments (reverse directions).
           auto open = [&](const std::string& name)

@@ -82,6 +82,10 @@ class SimConnection final : public Connection {
   ~SimConnection() override { Close(); }
 
   Status Send(std::span<const std::uint8_t> frame) override {
+    // The queue hand-off is the simulated wire: one inherent copy per frame
+    // (the analogue of the kernel's copy into the socket buffer), charged
+    // to the payload-copy meter.
+    CountPayloadCopyBytes(frame.size());
     auto [profile, dropped] = link_->Admit();
     ChargeLink(profile, frame.size());
     if (dropped) {
@@ -98,28 +102,52 @@ class SimConnection final : public Connection {
     return Status::Ok();
   }
 
-  Result<Bytes> Receive() override {
+  // Gather send: the slices feed the single queue copy directly, so the
+  // header/payload split costs no extra flatten pass.
+  Status Send(std::span<const std::span<const std::uint8_t>> slices) override {
+    std::size_t total = 0;
+    for (const auto& s : slices) total += s.size();
+    CountPayloadCopyBytes(total);
+    auto [profile, dropped] = link_->Admit();
+    ChargeLink(profile, total);
+    if (dropped) {
+      SimFramesDropped()->Increment();
+      return Status::Ok();
+    }
+    Bytes frame;
+    frame.reserve(total);
+    for (const auto& s : slices) frame.insert(frame.end(), s.begin(), s.end());
+    if (!tx_->frames.Push(std::move(frame))) {
+      return UnavailableError("sim connection closed by peer");
+    }
+    SimMetrics()->writevs->Increment();
+    SimMetrics()->frames_sent->Increment();
+    SimMetrics()->bytes_sent->Add(total);
+    return Status::Ok();
+  }
+
+  Result<IoBuf> Receive() override {
     auto frame = rx_->frames.Pop();
     if (!frame.has_value()) {
       return UnavailableError("sim connection closed");
     }
     SimMetrics()->frames_received->Increment();
     SimMetrics()->bytes_received->Add(frame->size());
-    return std::move(*frame);
+    return IoBuf::FromBytes(std::move(*frame));
   }
 
-  Result<std::optional<Bytes>> ReceiveFor(
+  Result<std::optional<IoBuf>> ReceiveFor(
       std::chrono::milliseconds timeout) override {
     auto frame = rx_->frames.PopFor(timeout);
     if (!frame.has_value()) {
       if (rx_->frames.closed() && rx_->frames.size() == 0) {
         return UnavailableError("sim connection closed");
       }
-      return std::optional<Bytes>(std::nullopt);
+      return std::optional<IoBuf>(std::nullopt);
     }
     SimMetrics()->frames_received->Increment();
     SimMetrics()->bytes_received->Add(frame->size());
-    return std::optional<Bytes>(std::move(*frame));
+    return std::optional<IoBuf>(IoBuf::FromBytes(std::move(*frame)));
   }
 
   void Close() override {

@@ -5,15 +5,18 @@
 #include "util/thread_annotations.h"
 
 #include <arpa/inet.h>
+#include <limits.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
+#include <vector>
 
 namespace dmemo {
 
@@ -51,6 +54,38 @@ Status FullWrite(int fd, const std::uint8_t* src, std::size_t n) {
   return Status::Ok();
 }
 
+// Gather-write the whole iovec array, advancing past partial writes.
+// sendmsg rather than writev so MSG_NOSIGNAL keeps a closed peer an error
+// instead of SIGPIPE, matching FullWrite.
+Status FullWritev(int fd, struct iovec* iov, std::size_t n) {
+  while (n > 0) {
+    const std::size_t batch =
+        n < static_cast<std::size_t>(IOV_MAX) ? n
+                                              : static_cast<std::size_t>(
+                                                    IOV_MAX);
+    struct msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = batch;
+    ssize_t w = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Errno("sendmsg");
+    }
+    // Consume fully written entries (including zero-length ones), then trim
+    // the partially written head.
+    while (n > 0 && static_cast<std::size_t>(w) >= iov->iov_len) {
+      w -= static_cast<ssize_t>(iov->iov_len);
+      ++iov;
+      --n;
+    }
+    if (n > 0 && w > 0) {
+      iov->iov_base = static_cast<std::uint8_t*>(iov->iov_base) + w;
+      iov->iov_len -= static_cast<std::size_t>(w);
+    }
+  }
+  return Status::Ok();
+}
+
 class FdConnection final : public Connection {
  public:
   FdConnection(int fd, std::string description,
@@ -75,7 +110,34 @@ class FdConnection final : public Connection {
     return Status::Ok();
   }
 
-  Result<Bytes> Receive() override {
+  // Native scatter-gather: length header + every slice go out through one
+  // writev-style call without coalescing into a contiguous buffer.
+  Status Send(std::span<const std::span<const std::uint8_t>> slices) override {
+    std::size_t total = 0;
+    for (const auto& s : slices) total += s.size();
+    MutexLock lock(send_mu_);
+    if (fd_ < 0) return UnavailableError("connection closed");
+    std::uint8_t header[4] = {
+        static_cast<std::uint8_t>(total >> 24),
+        static_cast<std::uint8_t>(total >> 16),
+        static_cast<std::uint8_t>(total >> 8),
+        static_cast<std::uint8_t>(total),
+    };
+    std::vector<struct iovec> iov;
+    iov.reserve(slices.size() + 1);
+    iov.push_back({header, sizeof(header)});
+    for (const auto& s : slices) {
+      if (s.empty()) continue;
+      iov.push_back({const_cast<std::uint8_t*>(s.data()), s.size()});
+    }
+    DMEMO_RETURN_IF_ERROR(FullWritev(fd_, iov.data(), iov.size()));
+    metrics_->writevs->Increment();
+    metrics_->frames_sent->Increment();
+    metrics_->bytes_sent->Add(total + sizeof(header));
+    return Status::Ok();
+  }
+
+  Result<IoBuf> Receive() override {
     MutexLock lock(recv_mu_);
     if (fd_ < 0) return UnavailableError("connection closed");
     std::uint8_t header[4];
@@ -92,10 +154,11 @@ class FdConnection final : public Connection {
     DMEMO_RETURN_IF_ERROR(FullRead(fd_, payload.data(), len));
     metrics_->frames_received->Increment();
     metrics_->bytes_received->Add(len + sizeof(header));
-    return payload;
+    // Adopt the read buffer; downstream decoding aliases it slice-wise.
+    return IoBuf::FromBytes(std::move(payload));
   }
 
-  Result<std::optional<Bytes>> ReceiveFor(
+  Result<std::optional<IoBuf>> ReceiveFor(
       std::chrono::milliseconds timeout) override {
     {
       MutexLock lock(recv_mu_);
@@ -103,10 +166,10 @@ class FdConnection final : public Connection {
       struct pollfd pfd{fd_, POLLIN, 0};
       int r = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
       if (r < 0) return Errno("poll");
-      if (r == 0) return std::optional<Bytes>(std::nullopt);
+      if (r == 0) return std::optional<IoBuf>(std::nullopt);
     }
-    DMEMO_ASSIGN_OR_RETURN(Bytes frame, Receive());
-    return std::optional<Bytes>(std::move(frame));
+    DMEMO_ASSIGN_OR_RETURN(IoBuf frame, Receive());
+    return std::optional<IoBuf>(std::move(frame));
   }
 
   void Close() override {

@@ -1,8 +1,35 @@
 #include "transport/transport.h"
 
 #include "transport/socket_transport.h"
+#include "util/iobuf.h"
 
 namespace dmemo {
+
+Status Connection::Send(std::span<const std::span<const std::uint8_t>> slices) {
+  // Fallback for transports without a native gather path: coalesce into one
+  // contiguous frame. The memcpy is charged to the payload-copy meter so
+  // benches see exactly which paths still flatten.
+  if (slices.size() == 1) return Send(slices[0]);
+  std::size_t total = 0;
+  for (const auto& s : slices) total += s.size();
+  Bytes flat;
+  flat.reserve(total);
+  for (const auto& s : slices) flat.insert(flat.end(), s.begin(), s.end());
+  CountPayloadCopyBytes(flat.size());
+  return Send(std::span<const std::uint8_t>(flat));
+}
+
+Status Connection::SendBuf(const IoBuf& frame) {
+  std::vector<std::span<const std::uint8_t>> slices;
+  slices.reserve(frame.slice_count());
+  for (std::size_t i = 0; i < frame.slice_count(); ++i) {
+    slices.push_back(frame.slice_span(i));
+  }
+  if (slices.empty()) {
+    return Send(std::span<const std::uint8_t>{});
+  }
+  return Send(std::span<const std::span<const std::uint8_t>>(slices));
+}
 
 Result<ParsedAddress> ParseAddress(std::string_view url) {
   auto pos = url.find("://");

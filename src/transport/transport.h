@@ -28,6 +28,7 @@
 #include <unordered_map>
 
 #include "util/bytes.h"
+#include "util/iobuf.h"
 #include "util/mutex.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
@@ -42,11 +43,27 @@ class Connection {
   // (which may mean fully transmitted, for rendezvous-style derivations).
   virtual Status Send(std::span<const std::uint8_t> frame) = 0;
 
-  // Block until one frame arrives; UNAVAILABLE after the peer closes.
-  virtual Result<Bytes> Receive() = 0;
+  // Scatter-gather Send: deliver ONE frame whose bytes are the
+  // concatenation of `slices`, in order. The base implementation flattens
+  // into a contiguous buffer (a counted payload copy) and delegates to the
+  // single-span Send; native transports override it (writev on sockets,
+  // per-slice chunking on shm, gather fragmentation on frag+) so the
+  // header/payload split of the zero-copy pipeline reaches the wire
+  // without a coalescing memcpy.
+  virtual Status Send(std::span<const std::span<const std::uint8_t>> slices);
+
+  // Convenience: gather-send an IoBuf chain as one frame. (Named SendBuf —
+  // a Send overload would be ambiguous with Send(span) for Bytes
+  // arguments, since IoBuf converts implicitly from Bytes.)
+  Status SendBuf(const IoBuf& frame);
+
+  // Block until one frame arrives; UNAVAILABLE after the peer closes. The
+  // frame's slices alias the transport's read buffer — the IoBuf shares
+  // ownership, so it stays valid independent of later receives.
+  virtual Result<IoBuf> Receive() = 0;
 
   // Bounded wait: nullopt on timeout, frame otherwise.
-  virtual Result<std::optional<Bytes>> ReceiveFor(
+  virtual Result<std::optional<IoBuf>> ReceiveFor(
       std::chrono::milliseconds timeout) = 0;
 
   // Half-close for sending; wakes the peer's Receive with UNAVAILABLE once

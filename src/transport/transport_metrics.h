@@ -1,8 +1,8 @@
 // Per-scheme transport metrics (DESIGN.md "Observability").
 //
-// Every Transport implementation counts the same five things — bytes and
-// frames in each direction plus dial/accept attempts — labelled by its
-// scheme (`transport="tcp"`). Call sites resolve the handle bundle once
+// Every Transport implementation counts the same things — bytes and
+// frames in each direction, dial/accept attempts, and scatter-gather
+// sends — labelled by its scheme (`transport="tcp"`). Call sites resolve the handle bundle once
 // (function-local static or constructor member) and pay one relaxed atomic
 // add per frame on the data path.
 #pragma once
@@ -21,6 +21,10 @@ struct TransportMetrics {
   Counter* frames_received;
   Counter* dials;
   Counter* accepts;
+  // Frames sent through a native scatter-gather path (writev on sockets,
+  // per-slice chunking on shm, gather fragmentation on frag+) rather than
+  // a flatten-and-send fallback.
+  Counter* writevs;
 };
 
 // Handles live as long as the process (registry-owned); the bundle itself is
@@ -35,6 +39,7 @@ inline const TransportMetrics* GetTransportMetrics(std::string_view scheme) {
       registry.GetCounter("dmemo_transport_frames_received_total", label),
       registry.GetCounter("dmemo_transport_dials_total", label),
       registry.GetCounter("dmemo_transport_accepts_total", label),
+      registry.GetCounter("dmemo_transport_writev_total", label),
   };
 }
 

@@ -1,12 +1,14 @@
 #include "util/bytes.h"
 
 #include <bit>
+#include <cassert>
 
 namespace dmemo {
 
 void ByteWriter::u16(std::uint16_t v) {
   buf_.push_back(static_cast<std::uint8_t>(v >> 8));
   buf_.push_back(static_cast<std::uint8_t>(v));
+  MaybeSeal();
 }
 
 void ByteWriter::u32(std::uint32_t v) {
@@ -14,6 +16,7 @@ void ByteWriter::u32(std::uint32_t v) {
   buf_.push_back(static_cast<std::uint8_t>(v >> 16));
   buf_.push_back(static_cast<std::uint8_t>(v >> 8));
   buf_.push_back(static_cast<std::uint8_t>(v));
+  MaybeSeal();
 }
 
 void ByteWriter::u64(std::uint64_t v) {
@@ -37,6 +40,7 @@ void ByteWriter::varint(std::uint64_t v) {
     v >>= 7;
   }
   buf_.push_back(static_cast<std::uint8_t>(v));
+  MaybeSeal();
 }
 
 void ByteWriter::bytes(std::span<const std::uint8_t> data) {
@@ -47,17 +51,51 @@ void ByteWriter::bytes(std::span<const std::uint8_t> data) {
 void ByteWriter::str(std::string_view s) {
   varint(s.size());
   buf_.insert(buf_.end(), s.begin(), s.end());
+  MaybeSeal();
 }
 
 void ByteWriter::raw(std::span<const std::uint8_t> data) {
   buf_.insert(buf_.end(), data.begin(), data.end());
+  MaybeSeal();
+}
+
+void ByteWriter::Seal() {
+  sealed_bytes_ += buf_.size();
+  chunks_.push_back(std::move(buf_));
+  buf_ = Bytes();
+}
+
+std::vector<Bytes> ByteWriter::TakeChunks() {
+  if (!buf_.empty()) Seal();
+  sealed_bytes_ = 0;
+  return std::move(chunks_);
 }
 
 void ByteWriter::patch_u32(std::size_t offset, std::uint32_t v) {
-  buf_[offset] = static_cast<std::uint8_t>(v >> 24);
-  buf_[offset + 1] = static_cast<std::uint8_t>(v >> 16);
-  buf_[offset + 2] = static_cast<std::uint8_t>(v >> 8);
-  buf_[offset + 3] = static_cast<std::uint8_t>(v);
+  if (offset + 4 > size()) {
+    assert(false && "ByteWriter::patch_u32 offset out of range");
+    return;  // release builds: clamp to a no-op rather than scribble
+  }
+  std::uint8_t be[4] = {static_cast<std::uint8_t>(v >> 24),
+                        static_cast<std::uint8_t>(v >> 16),
+                        static_cast<std::uint8_t>(v >> 8),
+                        static_cast<std::uint8_t>(v)};
+  std::size_t written = 0;
+  std::size_t base = 0;
+  auto patch_in = [&](Bytes& block, std::size_t block_base) {
+    while (written < 4) {
+      const std::size_t global = offset + written;
+      if (global < block_base || global >= block_base + block.size()) return;
+      block[global - block_base] = be[written];
+      ++written;
+    }
+  };
+  for (Bytes& chunk : chunks_) {
+    patch_in(chunk, base);
+    base += chunk.size();
+    if (written == 4) return;
+  }
+  patch_in(buf_, base);
 }
 
 Status ByteReader::Need(std::size_t n) const {
@@ -158,6 +196,12 @@ Result<Bytes> ByteReader::raw(std::size_t n) {
             data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
   pos_ += n;
   return out;
+}
+
+Status ByteReader::skip(std::size_t n) {
+  DMEMO_RETURN_IF_ERROR(Need(n));
+  pos_ += n;
+  return Status::Ok();
 }
 
 std::string HexEncode(std::span<const std::uint8_t> data) {

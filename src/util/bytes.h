@@ -23,7 +23,18 @@ class ByteWriter {
  public:
   ByteWriter() = default;
 
-  void u8(std::uint8_t v) { buf_.push_back(v); }
+  // Chunk-emitting mode: the writer seals its buffer into an owned chunk
+  // whenever it reaches `chunk_bytes`, so a long encode (a big transferable
+  // graph) never reallocates-and-copies a monolithic vector. Drain with
+  // TakeChunks() — typically via IoBuf::FromChunks, which adopts each chunk
+  // as a slice without copying. data()/take() see only the unsealed tail in
+  // this mode.
+  explicit ByteWriter(std::size_t chunk_bytes) : chunk_bytes_(chunk_bytes) {}
+
+  void u8(std::uint8_t v) {
+    buf_.push_back(v);
+    MaybeSeal();
+  }
   void u16(std::uint16_t v);
   void u32(std::uint32_t v);
   void u64(std::uint64_t v);
@@ -43,13 +54,29 @@ class ByteWriter {
 
   const Bytes& data() const { return buf_; }
   Bytes take() { return std::move(buf_); }
-  std::size_t size() const { return buf_.size(); }
+  std::size_t size() const { return sealed_bytes_ + buf_.size(); }
+
+  // Drain every sealed chunk plus the tail, in write order. Resets the
+  // writer. Meaningful for chunked and plain writers alike (a plain writer
+  // yields one chunk).
+  std::vector<Bytes> TakeChunks();
 
   // Patch a previously written u32 at `offset` (frame-length back-fill).
+  // Offsets are global across sealed chunks. An out-of-range offset is a
+  // caller bug: asserts in debug builds, and is clamped to a no-op in
+  // release builds instead of scribbling past the buffer.
   void patch_u32(std::size_t offset, std::uint32_t v);
 
  private:
+  void MaybeSeal() {
+    if (chunk_bytes_ > 0 && buf_.size() >= chunk_bytes_) Seal();
+  }
+  void Seal();
+
   Bytes buf_;
+  std::vector<Bytes> chunks_;        // sealed, in write order
+  std::size_t sealed_bytes_ = 0;     // total bytes across chunks_
+  std::size_t chunk_bytes_ = 0;      // 0 = plain single-buffer mode
 };
 
 class ByteReader {
@@ -72,6 +99,8 @@ class ByteReader {
   Result<std::string> str();
   // Consume exactly n raw bytes.
   Result<Bytes> raw(std::size_t n);
+  // Advance past n bytes without copying them (zero-copy slicing).
+  Status skip(std::size_t n);
 
   std::size_t remaining() const { return data_.size() - pos_; }
   bool exhausted() const { return remaining() == 0; }

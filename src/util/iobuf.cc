@@ -1,0 +1,173 @@
+#include "util/iobuf.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "util/metrics.h"
+
+namespace dmemo {
+
+namespace {
+
+// Every user-space memcpy of message payload bytes performed by the
+// pipeline funnels through here, so the counter is an upper bound a bench
+// can diff across an operation.
+Counter* PayloadCopies() {
+  static Counter* c = MetricsRegistry::Global().GetCounter(
+      "dmemo_pipeline_payload_copies_total");
+  return c;
+}
+
+}  // namespace
+
+void CountPayloadCopyBytes(std::size_t bytes) {
+  if (bytes > 0) PayloadCopies()->Add(bytes);
+}
+
+std::uint64_t PayloadCopyBytesTotal() { return PayloadCopies()->Value(); }
+
+IoBuf IoBuf::FromBytes(Bytes bytes) {
+  IoBuf out;
+  if (bytes.empty()) return out;
+  auto owner = std::make_shared<const Bytes>(std::move(bytes));
+  const std::uint8_t* data = owner->data();
+  const std::size_t len = owner->size();
+  out.slices_.push_back(Slice{std::move(owner), data, len});
+  out.size_ = len;
+  return out;
+}
+
+IoBuf IoBuf::FromChunks(std::vector<Bytes> chunks) {
+  IoBuf out;
+  for (Bytes& chunk : chunks) {
+    if (chunk.empty()) continue;
+    auto owner = std::make_shared<const Bytes>(std::move(chunk));
+    const std::uint8_t* data = owner->data();
+    const std::size_t len = owner->size();
+    out.size_ += len;
+    out.slices_.push_back(Slice{std::move(owner), data, len});
+  }
+  return out;
+}
+
+IoBuf IoBuf::CopyOf(std::span<const std::uint8_t> data) {
+  CountPayloadCopyBytes(data.size());
+  return FromBytes(Bytes(data.begin(), data.end()));
+}
+
+IoBuf IoBuf::Wrap(std::shared_ptr<const Bytes> owner,
+                  const std::uint8_t* data, std::size_t len) {
+  IoBuf out;
+  if (len == 0) return out;
+  out.slices_.push_back(Slice{std::move(owner), data, len});
+  out.size_ = len;
+  return out;
+}
+
+void IoBuf::Append(IoBuf other) {
+  size_ += other.size_;
+  slices_.insert(slices_.end(),
+                 std::make_move_iterator(other.slices_.begin()),
+                 std::make_move_iterator(other.slices_.end()));
+  other.slices_.clear();
+  other.size_ = 0;
+}
+
+IoBuf IoBuf::Share(std::size_t offset, std::size_t len) const {
+  assert(offset + len <= size_ && "IoBuf::Share range out of bounds");
+  IoBuf out;
+  if (len == 0) return out;
+  std::size_t skipped = 0;
+  for (const Slice& s : slices_) {
+    if (offset >= skipped + s.len) {
+      skipped += s.len;
+      continue;
+    }
+    const std::size_t start = offset - skipped;
+    const std::size_t take = std::min(len - out.size_, s.len - start);
+    out.slices_.push_back(Slice{s.owner, s.data + start, take});
+    out.size_ += take;
+    if (out.size_ == len) break;
+    // Subsequent slices continue from their first byte.
+    offset = skipped + s.len;
+    skipped += s.len;
+  }
+  return out;
+}
+
+Bytes IoBuf::Flatten() const {
+  CountPayloadCopyBytes(size_);
+  Bytes out;
+  out.reserve(size_);
+  for (const Slice& s : slices_) out.insert(out.end(), s.data, s.data + s.len);
+  return out;
+}
+
+std::span<const std::uint8_t> IoBuf::ContiguousView(Bytes& scratch) const {
+  if (slices_.size() == 1) return slice_span(0);
+  if (slices_.empty()) return {};
+  scratch = Flatten();
+  return scratch;
+}
+
+void IoBuf::CopyTo(ByteWriter& out) const {
+  CountPayloadCopyBytes(size_);
+  for (const Slice& s : slices_) out.raw({s.data, s.len});
+}
+
+bool IoBuf::operator==(const IoBuf& other) const {
+  if (size_ != other.size_) return false;
+  // Walk both chains byte-wise without flattening (and without charging the
+  // copy meter — comparison moves no payload).
+  std::size_t i = 0, j = 0, ioff = 0, joff = 0;
+  while (i < slices_.size() && j < other.slices_.size()) {
+    const std::size_t n = std::min(slices_[i].len - ioff,
+                                   other.slices_[j].len - joff);
+    if (std::memcmp(slices_[i].data + ioff, other.slices_[j].data + joff,
+                    n) != 0) {
+      return false;
+    }
+    ioff += n;
+    joff += n;
+    if (ioff == slices_[i].len) {
+      ++i;
+      ioff = 0;
+    }
+    if (joff == other.slices_[j].len) {
+      ++j;
+      joff = 0;
+    }
+  }
+  return true;
+}
+
+bool IoBuf::operator==(std::span<const std::uint8_t> other) const {
+  if (size_ != other.size()) return false;
+  std::size_t off = 0;
+  for (const Slice& s : slices_) {
+    if (std::memcmp(s.data, other.data() + off, s.len) != 0) return false;
+    off += s.len;
+  }
+  return true;
+}
+
+IoBufReader::IoBufReader(const IoBuf& buf) : reader_(data_) {
+  if (buf.slice_count() == 1) {
+    owner_ = buf.slice(0).owner;
+    data_ = buf.slice_span(0);
+  } else if (buf.slice_count() > 1) {
+    owner_ = std::make_shared<const Bytes>(buf.Flatten());  // counted
+    data_ = {owner_->data(), owner_->size()};
+  }
+  reader_ = ByteReader(data_);
+}
+
+Result<IoBuf> IoBufReader::bytes_shared() {
+  DMEMO_ASSIGN_OR_RETURN(std::uint64_t n, reader_.varint());
+  const auto len = static_cast<std::size_t>(n);
+  const std::size_t pos = reader_.position();
+  DMEMO_RETURN_IF_ERROR(reader_.skip(len));
+  return IoBuf::Wrap(owner_, data_.data() + pos, len);
+}
+
+}  // namespace dmemo

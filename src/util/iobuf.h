@@ -1,0 +1,134 @@
+// Reference-counted chunked buffers for the zero-copy message pipeline.
+//
+// An IoBuf is an ordered chain of slices, each aliasing an immutable,
+// shared-ownership byte block. Appending, sharing a subrange, and copying
+// an IoBuf move slice descriptors, never payload bytes — so a memo payload
+// is encoded once and then threaded through protocol encode, transport
+// send, relay, completion cache and directory storage without another
+// memcpy. The explicit copy points (Flatten, CopyOf, CopyTo, and a
+// multi-slice ContiguousView) each feed the process-wide
+// dmemo_pipeline_payload_copies_total counter, which is how the zero-copy
+// claim is *measured* rather than asserted (bench/bench_zero_copy.cc).
+//
+// Ownership / lifetime rule: a slice keeps a shared_ptr to the block it
+// aliases, so an IoBuf sliced out of a transport receive buffer stays
+// valid after the receive buffer's IoBuf is destroyed. Blocks are
+// immutable once inside an IoBuf; "copying" a value therefore never needs
+// a deep copy (DESIGN.md "Message pipeline").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace dmemo {
+
+// Count `bytes` payload bytes memcpy'd by the message pipeline
+// (dmemo_pipeline_payload_copies_total). Exposed so transports can charge
+// their inherent copies (simnet queue hand-off, gather-flatten fallback)
+// to the same meter the IoBuf copy points use.
+void CountPayloadCopyBytes(std::size_t bytes);
+
+// Process-total of the counter above, for benches and tests that measure
+// copies across an operation without scraping the registry text.
+std::uint64_t PayloadCopyBytesTotal();
+
+class IoBuf {
+ public:
+  struct Slice {
+    std::shared_ptr<const Bytes> owner;  // keeps `data` alive
+    const std::uint8_t* data = nullptr;
+    std::size_t len = 0;
+  };
+
+  IoBuf() = default;
+
+  // Implicit on purpose: `request.value = EncodeGraphToBytes(...)` adopts
+  // the vector as a single slice without copying (rvalues) or with one
+  // deliberate, counted copy (lvalues forced through the by-value param).
+  IoBuf(Bytes bytes) { *this = FromBytes(std::move(bytes)); }  // NOLINT
+
+  // Adopt an owned buffer as one slice. Zero-copy.
+  static IoBuf FromBytes(Bytes bytes);
+
+  // One slice per chunk, adopting each without copying (the tail of a
+  // chunk-emitting ByteWriter, see ByteWriter::TakeChunks).
+  static IoBuf FromChunks(std::vector<Bytes> chunks);
+
+  // Counted copy of `data` into a fresh owned slice.
+  static IoBuf CopyOf(std::span<const std::uint8_t> data);
+
+  // Alias `len` bytes at `data` inside `owner`. Zero-copy.
+  static IoBuf Wrap(std::shared_ptr<const Bytes> owner,
+                    const std::uint8_t* data, std::size_t len);
+
+  // Splice `other`'s slices onto the end. Zero-copy.
+  void Append(IoBuf other);
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t slice_count() const { return slices_.size(); }
+  const Slice& slice(std::size_t i) const { return slices_[i]; }
+  std::span<const std::uint8_t> slice_span(std::size_t i) const {
+    return {slices_[i].data, slices_[i].len};
+  }
+
+  // Zero-copy alias of the byte range [offset, offset + len); the result
+  // shares ownership of the underlying blocks. offset + len must be within
+  // size().
+  IoBuf Share(std::size_t offset, std::size_t len) const;
+
+  // Contiguous copy of the whole chain (counted).
+  Bytes Flatten() const;
+
+  // Contiguous view: a single-slice buffer is returned as-is (zero-copy);
+  // a multi-slice chain is flattened into `scratch` (counted). The span is
+  // valid while both *this and `scratch` are alive and unmodified.
+  std::span<const std::uint8_t> ContiguousView(Bytes& scratch) const;
+
+  // Raw-append every slice to `out` (counted) — the legacy single-buffer
+  // encode path.
+  void CopyTo(ByteWriter& out) const;
+
+  // Content equality (byte-wise, ignoring the slice structure).
+  bool operator==(const IoBuf& other) const;
+  bool operator==(std::span<const std::uint8_t> other) const;
+  bool operator==(const Bytes& other) const {
+    return *this == std::span<const std::uint8_t>(other);
+  }
+
+ private:
+  std::vector<Slice> slices_;
+  std::size_t size_ = 0;
+};
+
+// Bounds-checked sequential reader over an IoBuf. The dominant receive
+// path hands over a single-slice buffer, which is read in place; a
+// multi-slice chain is flattened once on construction (counted). The
+// reader holds shared ownership of the bytes it reads, so values sliced
+// out via bytes_shared() — and the reader itself — stay valid after the
+// source IoBuf is destroyed.
+class IoBufReader {
+ public:
+  explicit IoBufReader(const IoBuf& buf);
+
+  // The full ByteReader primitive set, reading from the (possibly
+  // flattened) contiguous view.
+  ByteReader& base() { return reader_; }
+
+  // Length-prefixed (varint) byte string as a zero-copy alias of the
+  // backing block — the zero-copy counterpart of ByteReader::bytes().
+  Result<IoBuf> bytes_shared();
+
+  std::size_t remaining() const { return reader_.remaining(); }
+
+ private:
+  std::shared_ptr<const Bytes> owner_;
+  std::span<const std::uint8_t> data_;
+  ByteReader reader_;
+};
+
+}  // namespace dmemo

@@ -1,0 +1,240 @@
+// Unit tests for the zero-copy buffer chain (util/iobuf.h): slice
+// bookkeeping, zero-copy adoption/sharing, the counted copy points, and
+// reader lifetime guarantees the message pipeline relies on.
+#include "util/iobuf.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "util/bytes.h"
+
+namespace dmemo {
+namespace {
+
+Bytes Blob(std::string_view s) { return Bytes(s.begin(), s.end()); }
+
+std::string AsString(const IoBuf& b) {
+  Bytes flat = b.Flatten();
+  return std::string(flat.begin(), flat.end());
+}
+
+TEST(IoBufTest, DefaultIsEmpty) {
+  IoBuf b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.slice_count(), 0u);
+  EXPECT_TRUE(b.Flatten().empty());
+}
+
+TEST(IoBufTest, FromBytesAdoptsWithoutCopying) {
+  Bytes payload = Blob("hello world");
+  const std::uint8_t* raw = payload.data();
+  std::uint64_t before = PayloadCopyBytesTotal();
+  IoBuf b = IoBuf::FromBytes(std::move(payload));
+  EXPECT_EQ(PayloadCopyBytesTotal(), before);  // adoption, not a copy
+  ASSERT_EQ(b.slice_count(), 1u);
+  EXPECT_EQ(b.slice(0).data, raw);  // same block, pointer-identical
+  EXPECT_EQ(b.size(), 11u);
+  EXPECT_EQ(AsString(b), "hello world");
+}
+
+TEST(IoBufTest, FromChunksAdoptsEachChunkAsOneSlice) {
+  std::vector<Bytes> chunks;
+  chunks.push_back(Blob("abc"));
+  chunks.push_back(Blob(""));  // empty chunks are dropped
+  chunks.push_back(Blob("defg"));
+  const std::uint8_t* raw0 = chunks[0].data();
+  const std::uint8_t* raw2 = chunks[2].data();
+  std::uint64_t before = PayloadCopyBytesTotal();
+  IoBuf b = IoBuf::FromChunks(std::move(chunks));
+  EXPECT_EQ(PayloadCopyBytesTotal(), before);
+  ASSERT_EQ(b.slice_count(), 2u);
+  EXPECT_EQ(b.slice(0).data, raw0);
+  EXPECT_EQ(b.slice(1).data, raw2);
+  EXPECT_EQ(b.size(), 7u);
+  EXPECT_EQ(AsString(b), "abcdefg");
+}
+
+TEST(IoBufTest, CopyOfIsCountedAndIndependent) {
+  Bytes src = Blob("payload");
+  std::uint64_t before = PayloadCopyBytesTotal();
+  IoBuf b = IoBuf::CopyOf(src);
+  EXPECT_EQ(PayloadCopyBytesTotal(), before + src.size());
+  src[0] = 'X';  // mutating the source must not show through
+  EXPECT_EQ(AsString(b), "payload");
+}
+
+TEST(IoBufTest, AppendSplicesSlicesWithoutCopying) {
+  IoBuf a = IoBuf::FromBytes(Blob("head"));
+  IoBuf tail = IoBuf::FromBytes(Blob("-tail"));
+  const std::uint8_t* tail_raw = tail.slice(0).data;
+  std::uint64_t before = PayloadCopyBytesTotal();
+  a.Append(std::move(tail));
+  EXPECT_EQ(PayloadCopyBytesTotal(), before);
+  ASSERT_EQ(a.slice_count(), 2u);
+  EXPECT_EQ(a.slice(1).data, tail_raw);
+  EXPECT_EQ(AsString(a), "head-tail");
+}
+
+TEST(IoBufTest, CopyingAnIoBufSharesTheSameBlocks) {
+  IoBuf a = IoBuf::FromBytes(Blob("shared-block"));
+  std::uint64_t before = PayloadCopyBytesTotal();
+  IoBuf b = a;  // copies slice descriptors, not payload bytes
+  EXPECT_EQ(PayloadCopyBytesTotal(), before);
+  ASSERT_EQ(b.slice_count(), 1u);
+  EXPECT_EQ(b.slice(0).data, a.slice(0).data);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(IoBufTest, ShareAliasesSubrangeAcrossSliceBoundary) {
+  std::vector<Bytes> chunks;
+  chunks.push_back(Blob("abcd"));
+  chunks.push_back(Blob("efgh"));
+  IoBuf b = IoBuf::FromChunks(std::move(chunks));
+  std::uint64_t before = PayloadCopyBytesTotal();
+  IoBuf mid = b.Share(2, 4);  // "cdef": spans both slices
+  EXPECT_EQ(PayloadCopyBytesTotal(), before);
+  EXPECT_EQ(mid.size(), 4u);
+  ASSERT_EQ(mid.slice_count(), 2u);
+  EXPECT_EQ(AsString(mid), "cdef");
+  // The shared range aliases the original blocks.
+  EXPECT_EQ(mid.slice(0).data, b.slice(0).data + 2);
+  EXPECT_EQ(mid.slice(1).data, b.slice(1).data);
+}
+
+TEST(IoBufTest, ShareKeepsBytesAliveAfterSourceDies) {
+  IoBuf shared;
+  {
+    IoBuf source = IoBuf::FromBytes(Blob("long-lived payload bytes"));
+    shared = source.Share(5, 5);  // "lived"
+  }  // source destroyed; the block must survive via shared ownership
+  EXPECT_EQ(AsString(shared), "lived");
+}
+
+TEST(IoBufTest, FlattenAndContiguousViewCountOnlyWhenCopying) {
+  IoBuf single = IoBuf::FromBytes(Blob("single"));
+  Bytes scratch;
+  std::uint64_t before = PayloadCopyBytesTotal();
+  auto view = single.ContiguousView(scratch);
+  EXPECT_EQ(PayloadCopyBytesTotal(), before);  // single slice: in place
+  EXPECT_EQ(view.data(), single.slice(0).data);
+
+  std::vector<Bytes> chunks;
+  chunks.push_back(Blob("two"));
+  chunks.push_back(Blob("-slices"));
+  IoBuf multi = IoBuf::FromChunks(std::move(chunks));
+  before = PayloadCopyBytesTotal();
+  Bytes scratch2;
+  auto view2 = multi.ContiguousView(scratch2);
+  EXPECT_EQ(PayloadCopyBytesTotal(), before + multi.size());  // flattened
+  EXPECT_EQ(std::string(view2.begin(), view2.end()), "two-slices");
+}
+
+TEST(IoBufTest, CopyToAppendsAllSlicesToWriter) {
+  std::vector<Bytes> chunks;
+  chunks.push_back(Blob("ab"));
+  chunks.push_back(Blob("cd"));
+  IoBuf b = IoBuf::FromChunks(std::move(chunks));
+  ByteWriter out;
+  std::uint64_t before = PayloadCopyBytesTotal();
+  b.CopyTo(out);
+  EXPECT_EQ(PayloadCopyBytesTotal(), before + b.size());
+  EXPECT_EQ(std::string(out.data().begin(), out.data().end()), "abcd");
+}
+
+TEST(IoBufTest, EqualityIgnoresSliceStructure) {
+  std::vector<Bytes> chunks;
+  chunks.push_back(Blob("sp"));
+  chunks.push_back(Blob("lit"));
+  IoBuf split = IoBuf::FromChunks(std::move(chunks));
+  IoBuf whole = IoBuf::FromBytes(Blob("split"));
+  EXPECT_TRUE(split == whole);
+  EXPECT_TRUE(split == Blob("split"));
+  EXPECT_FALSE(split == Blob("splat"));
+  EXPECT_FALSE(split == Blob("spli"));
+}
+
+TEST(IoBufReaderTest, ReadsSingleSliceInPlace) {
+  ByteWriter w;
+  w.u8(7);
+  w.str("alpha");
+  w.varint(3);
+  w.bytes(Blob("xyz"));
+  IoBuf frame = IoBuf::FromBytes(w.take());
+
+  std::uint64_t before = PayloadCopyBytesTotal();
+  IoBufReader reader(frame);
+  EXPECT_EQ(PayloadCopyBytesTotal(), before);  // single slice: no flatten
+  ByteReader& in = reader.base();
+  auto tag = in.u8();
+  ASSERT_TRUE(tag.ok());
+  EXPECT_EQ(*tag, 7);
+  auto s = in.str();
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(*s, "alpha");
+  auto len = in.varint();
+  ASSERT_TRUE(len.ok());
+  EXPECT_EQ(*len, 3u);
+}
+
+TEST(IoBufReaderTest, BytesSharedAliasesTheBackingBlock) {
+  ByteWriter w;
+  w.bytes(Blob("value"));  // varint length prefix + 5 payload bytes
+  IoBuf frame = IoBuf::FromBytes(w.take());
+  const std::uint8_t* base = frame.slice(0).data;
+
+  IoBufReader reader(frame);
+  std::uint64_t before = PayloadCopyBytesTotal();
+  auto value = reader.bytes_shared();
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(PayloadCopyBytesTotal(), before);  // alias, not a copy
+  ASSERT_EQ(value->slice_count(), 1u);
+  // Points into the original frame, one varint byte in.
+  EXPECT_EQ(value->slice(0).data, base + 1);
+  EXPECT_EQ(AsString(*value), "value");
+}
+
+TEST(IoBufReaderTest, SharedValueOutlivesReaderAndFrame) {
+  IoBuf value;
+  {
+    ByteWriter w;
+    w.bytes(Blob("survivor"));
+    IoBuf frame = IoBuf::FromBytes(w.take());
+    IoBufReader reader(frame);
+    auto got = reader.bytes_shared();
+    ASSERT_TRUE(got.ok());
+    value = std::move(*got);
+  }  // frame and reader destroyed
+  EXPECT_EQ(AsString(value), "survivor");
+}
+
+TEST(IoBufReaderTest, BytesSharedRejectsTruncatedLength) {
+  ByteWriter w;
+  w.varint(100);  // claims 100 bytes, provides 2
+  w.raw(Blob("ab"));
+  IoBuf frame = IoBuf::FromBytes(w.take());
+  IoBufReader reader(frame);
+  EXPECT_FALSE(reader.bytes_shared().ok());
+}
+
+TEST(IoBufReaderTest, MultiSliceChainFlattensOnceUpFront) {
+  std::vector<Bytes> chunks;
+  ByteWriter w;
+  w.varint(4);
+  chunks.push_back(w.take());
+  chunks.push_back(Blob("data"));
+  IoBuf frame = IoBuf::FromChunks(std::move(chunks));
+
+  std::uint64_t before = PayloadCopyBytesTotal();
+  IoBufReader reader(frame);
+  EXPECT_EQ(PayloadCopyBytesTotal(), before + frame.size());  // one flatten
+  auto value = reader.bytes_shared();
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(AsString(*value), "data");
+}
+
+}  // namespace
+}  // namespace dmemo

@@ -360,6 +360,171 @@ TEST_P(ProtocolFuzzTest, BitFlippedRequestsNeverCrash) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolFuzzTest,
                          ::testing::Range<std::uint64_t>(0, 8));
 
+// ---- zero-copy pipeline wire identity ------------------------------------------
+
+// The IoBuf encode path (header buffer chained to shared payload slices)
+// must be byte-identical to the legacy single-buffer encode: zero-copy is
+// an implementation property, never a wire-format change.
+
+Key RandomKey(SplitMix64& rng) {
+  std::vector<std::uint32_t> subscripts;
+  const std::size_t n = rng.NextBelow(4);
+  for (std::size_t i = 0; i < n; ++i) {
+    subscripts.push_back(static_cast<std::uint32_t>(rng.NextBelow(1000)));
+  }
+  return Key::Named("k" + std::to_string(rng.NextBelow(50)),
+                    std::move(subscripts));
+}
+
+// Random payload, randomly single-slice or chunked (multi-slice), so the
+// identity holds regardless of how the payload was produced.
+IoBuf RandomValue(SplitMix64& rng) {
+  const std::size_t len = rng.NextBelow(2000);
+  Bytes raw(len);
+  for (auto& b : raw) b = static_cast<std::uint8_t>(rng.Next());
+  if (rng.NextBelow(2) == 0) return IoBuf::FromBytes(std::move(raw));
+  ByteWriter chunked(64);
+  chunked.raw(raw);
+  return IoBuf::FromChunks(chunked.TakeChunks());
+}
+
+Request RandomRequest(SplitMix64& rng) {
+  Request req;
+  req.op = static_cast<Op>(1 + rng.NextBelow(12));
+  req.app = "app" + std::to_string(rng.NextBelow(10));
+  req.target_host = rng.NextBelow(2) ? "host" + std::to_string(rng.Next() % 8)
+                                     : std::string();
+  req.hop_count = static_cast<std::uint8_t>(rng.NextBelow(16));
+  req.trace_id = rng.Next();
+  req.request_id = rng.Next();
+  req.deadline_ms = static_cast<std::uint32_t>(rng.Next());
+  req.key = RandomKey(rng);
+  req.key2 = RandomKey(rng);
+  const std::size_t alts = rng.NextBelow(4);
+  for (std::size_t i = 0; i < alts; ++i) req.alts.push_back(RandomKey(rng));
+  req.value = RandomValue(rng);
+  if (rng.NextBelow(2)) req.text = "ADF " + std::to_string(rng.Next());
+  return req;
+}
+
+Response RandomResponse(SplitMix64& rng) {
+  Response resp;
+  resp.code = rng.NextBelow(2) ? StatusCode::kOk : StatusCode::kNotFound;
+  if (rng.NextBelow(2)) resp.message = "m" + std::to_string(rng.Next());
+  resp.has_value = rng.NextBelow(2) != 0;
+  if (resp.has_value) resp.value = RandomValue(rng);
+  resp.has_key = rng.NextBelow(2) != 0;
+  if (resp.has_key) resp.key = RandomKey(rng);
+  resp.count = rng.Next();
+  resp.hop_count = static_cast<std::uint8_t>(rng.NextBelow(16));
+  resp.trace_id = rng.Next();
+  return resp;
+}
+
+class ZeroCopyPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ZeroCopyPropertyTest, RequestIoBufEncodingIsByteIdentical) {
+  SplitMix64 rng(GetParam() * 0xabcd + 7);
+  for (int round = 0; round < 50; ++round) {
+    Request req = RandomRequest(rng);
+    ByteWriter legacy;
+    req.EncodeTo(legacy);
+    IoBuf zero_copy = req.EncodeToIoBuf();
+    ASSERT_TRUE(zero_copy == legacy.data())
+        << "round " << round << ": IoBuf encode diverged from legacy";
+
+    // Both decode paths agree with the original.
+    IoBufReader reader(zero_copy);
+    auto decoded = Request::DecodeFrom(reader);
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    EXPECT_EQ(decoded->op, req.op);
+    EXPECT_EQ(decoded->app, req.app);
+    EXPECT_EQ(decoded->target_host, req.target_host);
+    EXPECT_EQ(decoded->hop_count, req.hop_count);
+    EXPECT_EQ(decoded->trace_id, req.trace_id);
+    EXPECT_EQ(decoded->request_id, req.request_id);
+    EXPECT_EQ(decoded->deadline_ms, req.deadline_ms);
+    EXPECT_EQ(decoded->key, req.key);
+    EXPECT_EQ(decoded->key2, req.key2);
+    EXPECT_EQ(decoded->alts, req.alts);
+    EXPECT_TRUE(decoded->value == req.value);
+    EXPECT_EQ(decoded->text, req.text);
+  }
+}
+
+TEST_P(ZeroCopyPropertyTest, ResponseIoBufEncodingIsByteIdentical) {
+  SplitMix64 rng(GetParam() * 0x9999 + 3);
+  for (int round = 0; round < 50; ++round) {
+    Response resp = RandomResponse(rng);
+    ByteWriter legacy;
+    resp.EncodeTo(legacy);
+    IoBuf zero_copy = resp.EncodeToIoBuf();
+    ASSERT_TRUE(zero_copy == legacy.data())
+        << "round " << round << ": IoBuf encode diverged from legacy";
+
+    IoBufReader reader(zero_copy);
+    auto decoded = Response::DecodeFrom(reader);
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    EXPECT_EQ(decoded->code, resp.code);
+    EXPECT_EQ(decoded->message, resp.message);
+    EXPECT_EQ(decoded->has_value, resp.has_value);
+    EXPECT_TRUE(decoded->value == resp.value);
+    EXPECT_EQ(decoded->has_key, resp.has_key);
+    if (resp.has_key) EXPECT_EQ(decoded->key, resp.key);
+    EXPECT_EQ(decoded->count, resp.count);
+    EXPECT_EQ(decoded->hop_count, resp.hop_count);
+    EXPECT_EQ(decoded->trace_id, resp.trace_id);
+  }
+}
+
+TEST_P(ZeroCopyPropertyTest, PatchHeaderLeavesPayloadPointerIdentical) {
+  // The relay fast path: decode a received frame, restamp the routing
+  // fields, re-encode. The payload slices must still alias the received
+  // frame's bytes — pointer-identical, not merely equal — proving the relay
+  // never copies the memo payload.
+  SplitMix64 rng(GetParam() * 0x5150 + 1);
+  for (int round = 0; round < 20; ++round) {
+    Request original = RandomRequest(rng);
+    if (original.value.empty()) original.value = IoBuf::FromBytes({1, 2, 3});
+    IoBuf frame = original.EncodeToIoBuf();
+    // Model the receive side: one contiguous buffer, as transports deliver.
+    IoBuf received = IoBuf::FromBytes(frame.Flatten());
+    const std::uint8_t* frame_base = received.slice(0).data;
+    const std::size_t frame_len = received.slice(0).len;
+
+    IoBufReader reader(received);
+    auto relayed = Request::DecodeFrom(reader);
+    ASSERT_TRUE(relayed.ok()) << relayed.status();
+    ASSERT_EQ(relayed->value.slice_count(), 1u);
+    const std::uint8_t* payload_before = relayed->value.slice(0).data;
+    // The decoded value aliases the received frame.
+    ASSERT_GE(payload_before, frame_base);
+    ASSERT_LE(payload_before + relayed->value.size(), frame_base + frame_len);
+
+    PatchHeaderInPlace(*relayed, "next-hop",
+                       static_cast<std::uint8_t>(relayed->hop_count + 1),
+                       relayed->deadline_ms / 2);
+    // Pointer-identical: the patch touched routing fields only.
+    EXPECT_EQ(relayed->value.slice(0).data, payload_before);
+    EXPECT_EQ(relayed->hop_count, original.hop_count + 1);
+    EXPECT_EQ(relayed->target_host, "next-hop");
+
+    // Re-encoding for the next hop still references those same bytes.
+    IoBuf next_hop_frame = relayed->EncodeToIoBuf();
+    bool payload_shared = false;
+    for (std::size_t i = 0; i < next_hop_frame.slice_count(); ++i) {
+      if (next_hop_frame.slice(i).data == payload_before) {
+        payload_shared = true;
+      }
+    }
+    EXPECT_TRUE(payload_shared)
+        << "re-encoded frame does not reference the received payload block";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ZeroCopyPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
 // ---- ADF formatting fixpoint ---------------------------------------------------
 
 class AdfPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};

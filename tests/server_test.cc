@@ -21,7 +21,7 @@ using namespace std::chrono_literals;
 
 Bytes Encoded(int v) { return EncodeGraphToBytes(MakeInt32(v)); }
 
-int Decoded(const Bytes& b) {
+int Decoded(const IoBuf& b) {
   auto v = DecodeGraphFromBytes(b);
   EXPECT_TRUE(v.ok());
   return std::static_pointer_cast<TInt32>(*v)->value();

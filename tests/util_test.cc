@@ -161,6 +161,101 @@ TEST(BytesTest, PatchU32) {
   EXPECT_EQ(*r.u32(), w.size());
 }
 
+TEST(BytesTest, PatchU32OutOfRangeIsRejected) {
+  // Regression: patch_u32 used to trust the offset and write past the end
+  // of the buffer. An offset whose 4 bytes don't fit must die in debug
+  // builds and leave the buffer untouched in release builds.
+  ByteWriter w;
+  w.u32(0xdeadbeef);
+  EXPECT_DEBUG_DEATH(w.patch_u32(1, 7), "");   // 1 + 4 > 4
+  EXPECT_DEBUG_DEATH(w.patch_u32(100, 7), "");  // far past the end
+#ifdef NDEBUG
+  // Release build: the calls above were clamped to no-ops.
+  ByteReader r(w.data());
+  EXPECT_EQ(*r.u32(), 0xdeadbeefu);
+#endif
+}
+
+TEST(BytesTest, PatchU32AtExactEndBoundary) {
+  ByteWriter w;
+  w.u32(0);
+  w.u32(0);
+  w.patch_u32(4, 42);  // offset + 4 == size(): legal
+  ByteReader r(w.data());
+  EXPECT_EQ(*r.u32(), 0u);
+  EXPECT_EQ(*r.u32(), 42u);
+}
+
+TEST(BytesTest, ChunkedWriterSealsAndDrains) {
+  ByteWriter w(8);  // seal every 8 bytes
+  for (int i = 0; i < 5; ++i) w.u64(static_cast<std::uint64_t>(i));
+  EXPECT_EQ(w.size(), 40u);
+  std::vector<Bytes> chunks = w.TakeChunks();
+  ASSERT_EQ(chunks.size(), 5u);
+  Bytes flat;
+  for (const Bytes& c : chunks) {
+    EXPECT_EQ(c.size(), 8u);
+    flat.insert(flat.end(), c.begin(), c.end());
+  }
+  ByteReader r(flat);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(*r.u64(), static_cast<std::uint64_t>(i));
+  // The writer is reset after draining.
+  EXPECT_EQ(w.size(), 0u);
+  w.u8(9);
+  auto again = w.TakeChunks();
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_EQ(again[0], Bytes{9});
+}
+
+TEST(BytesTest, ChunkedWriterMatchesPlainEncoding) {
+  // Byte stream is identical regardless of chunk size — the wire format
+  // cannot depend on the writer's internal chunking.
+  auto encode = [](ByteWriter& w) {
+    w.u8(3);
+    w.str("some moderately long string to cross chunk boundaries");
+    w.varint(1u << 20);
+    w.u64(0x0102030405060708ull);
+    Bytes blob(300, 0xab);
+    w.bytes(blob);
+  };
+  ByteWriter plain;
+  encode(plain);
+  for (std::size_t chunk : {1u, 7u, 64u, 4096u}) {
+    ByteWriter chunked(chunk);
+    encode(chunked);
+    Bytes flat;
+    for (const Bytes& c : chunked.TakeChunks()) {
+      flat.insert(flat.end(), c.begin(), c.end());
+    }
+    EXPECT_EQ(flat, plain.data()) << "chunk_bytes=" << chunk;
+  }
+}
+
+TEST(BytesTest, ChunkedWriterPatchU32CrossesChunks) {
+  ByteWriter w(2);  // tiny chunks: the patched u32 spans chunk boundaries
+  w.u32(0);
+  w.str("payload");
+  w.patch_u32(0, static_cast<std::uint32_t>(w.size()));
+  Bytes flat;
+  for (const Bytes& c : w.TakeChunks()) {
+    flat.insert(flat.end(), c.begin(), c.end());
+  }
+  ByteReader r(flat);
+  EXPECT_EQ(*r.u32(), flat.size());
+  EXPECT_EQ(*r.str(), "payload");
+}
+
+TEST(BytesTest, ReaderSkipAdvancesWithBoundsCheck) {
+  ByteWriter w;
+  w.u8(1);
+  w.u8(2);
+  w.u8(3);
+  ByteReader r(w.data());
+  EXPECT_TRUE(r.skip(2).ok());
+  EXPECT_EQ(*r.u8(), 3);
+  EXPECT_EQ(r.skip(1).code(), StatusCode::kDataLoss);
+}
+
 TEST(BytesTest, HexEncode) {
   EXPECT_EQ(HexEncode(Bytes{0x00, 0xff, 0x1a}), "00ff1a");
 }
