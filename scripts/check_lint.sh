@@ -21,6 +21,21 @@ if grep -rnE \
   exit 1
 fi
 
+# WAL gate: every directory mutation in the folder server must go through
+# the write-ahead log (DESIGN.md "Durability & liveness") — an unlogged
+# Put/Get is a memo that silently vanishes or doubles after a crash. Each
+# legitimate apply site carries a `wal:applied` marker on the same line;
+# GetCopy/Count/Keys are non-mutating and exempt.
+echo "check_lint: WAL mutation gate over src/server/folder_server.cc"
+if grep -nE \
+    'directory_\.(Put|PutDelayed|Get|GetFor|GetSkip|GetAlt|GetAltFor|GetAltSkip|TakeEqual)\(' \
+    src/server/folder_server.cc | grep -v 'wal:applied'; then
+  echo "check_lint: unlogged directory mutation in folder_server.cc;" \
+       "route it through LoggedPut/LogExtraction (or mark the apply site" \
+       "with // wal:applied)" >&2
+  exit 1
+fi
+
 if ! command -v clang-format >/dev/null; then
   echo "check_lint: clang-format not found" >&2
   exit 2

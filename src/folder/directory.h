@@ -16,6 +16,7 @@
 // so "order must not be relied upon" is enforced while tests reproduce.
 #pragma once
 
+#include <algorithm>
 #include <optional>
 #include <span>
 #include <unordered_map>
@@ -42,6 +43,7 @@ struct MemoValueTraits<Bytes> {
   static Result<Bytes> Copy(const Bytes& v) { return v; }
   static void Encode(const Bytes& v, ByteWriter& out) { out.bytes(v); }
   static Result<Bytes> Decode(ByteReader& in) { return in.bytes(); }
+  static bool Equal(const Bytes& a, const Bytes& b) { return a == b; }
 };
 
 // Folder servers store memos as IoBuf refs: the stored value shares the
@@ -59,6 +61,7 @@ struct MemoValueTraits<IoBuf> {
     DMEMO_ASSIGN_OR_RETURN(Bytes b, in.bytes());
     return IoBuf::FromBytes(std::move(b));
   }
+  static bool Equal(const IoBuf& a, const IoBuf& b) { return a == b; }
 };
 
 template <>
@@ -73,6 +76,12 @@ struct MemoValueTraits<TransferablePtr> {
   static Result<TransferablePtr> Decode(ByteReader& in) {
     DMEMO_ASSIGN_OR_RETURN(Bytes encoded, in.bytes());
     return DecodeGraphFromBytes(encoded);
+  }
+  // Structural equality via the codec: the same graph encodes to the same
+  // bytes, which is the identity WAL replay removes extractions by.
+  static bool Equal(const TransferablePtr& a, const TransferablePtr& b) {
+    if (a == nullptr || b == nullptr) return a == b;
+    return EncodeGraphToBytes(a) == EncodeGraphToBytes(b);
   }
 };
 
@@ -242,6 +251,28 @@ class FolderDirectory {
     return std::optional<std::pair<QualifiedKey, T>>(std::nullopt);
   }
 
+  // Remove one memo content-equal to `value` from `key`; false when no
+  // match is present. WAL replay uses this to redo a logged extraction:
+  // which element the pseudorandom take picked is recorded by value, not
+  // by index, so replay removes the same *content* regardless of rng
+  // state. Folders are multisets, so removing any equal element is the
+  // same state.
+  bool TakeEqual(const QualifiedKey& key, const T& value) {
+    MutexLock lock(mu_);
+    auto it = folders_.find(key);
+    if (it == folders_.end()) return false;
+    auto& visible = it->second.visible;
+    for (std::size_t i = 0; i < visible.size(); ++i) {
+      if (!MemoValueTraits<T>::Equal(visible[i], value)) continue;
+      std::swap(visible[i], visible.back());
+      visible.pop_back();
+      ++stats_.gets;
+      VanishIfEmpty(it);
+      return true;
+    }
+    return false;
+  }
+
   // Number of extractable memos in the folder (0 when it vanished).
   std::size_t Count(const QualifiedKey& key) const {
     MutexLock lock(mu_);
@@ -279,20 +310,51 @@ class FolderDirectory {
   // into a byte stream; RestoreFrom rebuilds it (into an empty or
   // populated directory; restored memos add to what is there).
 
+  // The snapshot is *canonical*: folders are ordered by encoded key and
+  // each folder's contents by encoded bytes, so two directories holding
+  // the same memo multisets snapshot to identical bytes even though
+  // unordered_map iteration and swap-with-last extraction scramble the
+  // in-memory order. Crash-recovery tests rely on this to compare a
+  // recovered directory byte-for-byte against the pre-crash one; it costs
+  // nothing semantically because folders are unordered and RestoreFrom is
+  // order-agnostic.
   void SnapshotTo(ByteWriter& out) const {
     MutexLock lock(mu_);
     out.u32(kSnapshotMagic);
     out.u8(kSnapshotVersion);
     out.varint(folders_.size());
+    std::vector<std::pair<Bytes, const Folder*>> ordered;
+    ordered.reserve(folders_.size());
     for (const auto& [key, folder] : folders_) {
-      key.EncodeTo(out);
-      out.varint(folder.visible.size());
-      for (const T& v : folder.visible) MemoValueTraits<T>::Encode(v, out);
-      out.varint(folder.delayed.size());
-      for (const auto& [dest, v] : folder.delayed) {
-        dest.EncodeTo(out);
-        MemoValueTraits<T>::Encode(v, out);
+      ByteWriter k;
+      key.EncodeTo(k);
+      ordered.emplace_back(k.take(), &folder);
+    }
+    std::sort(ordered.begin(), ordered.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [key_bytes, folder] : ordered) {
+      out.raw(key_bytes);
+      std::vector<Bytes> visible;
+      visible.reserve(folder->visible.size());
+      for (const T& v : folder->visible) {
+        ByteWriter w;
+        MemoValueTraits<T>::Encode(v, w);
+        visible.push_back(w.take());
       }
+      std::sort(visible.begin(), visible.end());
+      out.varint(visible.size());
+      for (const Bytes& v : visible) out.raw(v);
+      std::vector<Bytes> delayed;
+      delayed.reserve(folder->delayed.size());
+      for (const auto& [dest, v] : folder->delayed) {
+        ByteWriter w;
+        dest.EncodeTo(w);
+        MemoValueTraits<T>::Encode(v, w);
+        delayed.push_back(w.take());
+      }
+      std::sort(delayed.begin(), delayed.end());
+      out.varint(delayed.size());
+      for (const Bytes& d : delayed) out.raw(d);
     }
   }
 

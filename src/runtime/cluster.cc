@@ -1,6 +1,18 @@
 #include "runtime/cluster.h"
 
+#include <csignal>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+#include "server/rpc_channel.h"
 #include "transport/socket_transport.h"
+#include "util/log.h"
 
 namespace dmemo {
 
@@ -102,6 +114,199 @@ void Cluster::Shutdown() {
   if (shutdown_) return;
   shutdown_ = true;
   for (auto& [name, server] : servers_) server->Shutdown();
+}
+
+// --- ProcessCluster -------------------------------------------------------
+
+namespace {
+
+// launcher.cc keeps its Spawn/PingServer helpers file-static; these are the
+// cluster-local equivalents (child stderr goes to a per-host log file so
+// chaos-test output stays readable).
+Result<pid_t> SpawnWithLog(const std::string& executable,
+                           const std::vector<std::string>& args,
+                           const std::string& log_path) {
+  pid_t pid = ::fork();
+  if (pid < 0) return UnavailableError("fork failed");
+  if (pid > 0) return pid;
+  // Child.
+  int log_fd = ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (log_fd >= 0) {
+    ::dup2(log_fd, 1);
+    ::dup2(log_fd, 2);
+    if (log_fd > 2) ::close(log_fd);
+  }
+  std::vector<std::string> argv_store;
+  argv_store.push_back(executable);
+  for (const auto& a : args) argv_store.push_back(a);
+  std::vector<char*> argv;
+  for (auto& a : argv_store) argv.push_back(a.data());
+  argv.push_back(nullptr);
+  ::execv(executable.c_str(), argv.data());
+  std::perror("execv");
+  ::_exit(127);
+}
+
+Status PingUrl(const TransportPtr& transport, const std::string& url,
+               std::chrono::milliseconds timeout) {
+  auto conn = transport->Dial(url);
+  if (!conn.ok()) return conn.status();
+  auto channel = RpcChannel::Create(std::move(*conn), nullptr, nullptr);
+  Request ping;
+  ping.op = Op::kPing;
+  auto resp = channel->CallFor(ping, timeout);
+  channel->Close();
+  return resp.status();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ProcessCluster>> ProcessCluster::Start(
+    const AppDescription& adf, ProcessClusterOptions options) {
+  DMEMO_RETURN_IF_ERROR(adf.Validate());
+  if (options.server_binary.empty() ||
+      ::access(options.server_binary.c_str(), X_OK) != 0) {
+    return NotFoundError("dmemo-server binary not executable: " +
+                         options.server_binary);
+  }
+  if (::mkdir(options.work_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return UnavailableError("cannot create work dir " + options.work_dir);
+  }
+  auto cluster = std::unique_ptr<ProcessCluster>(new ProcessCluster());
+  cluster->options_ = std::move(options);
+  cluster->adf_ = adf;
+  cluster->transport_ = TransportMux::CreateDefault();
+  for (const auto& host : adf.hosts) {
+    cluster->urls_[host.name] = "unix://" + cluster->options_.work_dir +
+                                "/dmemo-server-" + host.name + ".sock";
+  }
+  for (const auto& host : adf.hosts) {
+    DMEMO_RETURN_IF_ERROR(cluster->SpawnHost(host.name));
+  }
+  for (const auto& host : adf.hosts) {
+    DMEMO_RETURN_IF_ERROR(cluster->WaitReachable(host.name));
+  }
+  cluster->adf_texts_.push_back(FormatAdf(adf));
+  DMEMO_RETURN_IF_ERROR(cluster->RegisterApp(adf));
+  return cluster;
+}
+
+ProcessCluster::~ProcessCluster() { Shutdown(); }
+
+Status ProcessCluster::SpawnHost(const std::string& host) {
+  auto url_it = urls_.find(host);
+  if (url_it == urls_.end()) {
+    return NotFoundError("host " + host + " not in ADF");
+  }
+  const std::string persist_dir = options_.work_dir + "/persist-" + host;
+  if (::mkdir(persist_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return UnavailableError("cannot create persist dir " + persist_dir);
+  }
+  std::vector<std::string> args{"--host", host, "--listen", url_it->second,
+                                "--persist-dir", persist_dir};
+  for (const auto& [peer, url] : urls_) {
+    args.push_back("--peer");
+    args.push_back(peer + "=" + url);
+  }
+  DMEMO_ASSIGN_OR_RETURN(
+      pid_t pid,
+      SpawnWithLog(options_.server_binary, args,
+                   options_.work_dir + "/server-" + host + ".log"));
+  pids_[host] = pid;
+  return Status::Ok();
+}
+
+Status ProcessCluster::WaitReachable(const std::string& host) {
+  const std::string& url = urls_.at(host);
+  const auto deadline =
+      std::chrono::steady_clock::now() + options_.start_timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (PingUrl(transport_, url, std::chrono::milliseconds(250)).ok()) {
+      return Status::Ok();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return TimedOutError("server for " + host + " never became reachable at " +
+                       url);
+}
+
+Result<Memo> ProcessCluster::Client(const std::string& host) {
+  const HostSpec* spec = adf_.FindHost(host);
+  if (spec == nullptr) return NotFoundError("host " + host + " not in ADF");
+  RemoteEngineOptions opts;
+  opts.app = adf_.app_name;
+  opts.host = host;
+  opts.profile = ProfileForArch(spec->arch);
+  DMEMO_ASSIGN_OR_RETURN(
+      MemoEnginePtr engine,
+      MakeRemoteEngine(transport_, urls_.at(host), opts));
+  return Memo(std::move(engine));
+}
+
+std::string ProcessCluster::url(const std::string& host) const {
+  auto it = urls_.find(host);
+  return it == urls_.end() ? std::string() : it->second;
+}
+
+pid_t ProcessCluster::pid(const std::string& host) const {
+  auto it = pids_.find(host);
+  return it == pids_.end() ? -1 : it->second;
+}
+
+Status ProcessCluster::KillServer(const std::string& host) {
+  auto it = pids_.find(host);
+  if (it == pids_.end() || it->second < 0) {
+    return FailedPreconditionError("no live server for " + host);
+  }
+  ::kill(it->second, SIGKILL);
+  ::waitpid(it->second, nullptr, 0);
+  it->second = -1;
+  DMEMO_LOG(kInfo) << "chaos: SIGKILLed server for " << host;
+  return Status::Ok();
+}
+
+Status ProcessCluster::RestartServer(const std::string& host) {
+  auto it = pids_.find(host);
+  if (it != pids_.end() && it->second >= 0) {
+    return FailedPreconditionError("server for " + host + " still running");
+  }
+  DMEMO_RETURN_IF_ERROR(SpawnHost(host));
+  DMEMO_RETURN_IF_ERROR(WaitReachable(host));
+  // A respawned server has empty routing tables; replay every known app.
+  for (const std::string& text : adf_texts_) {
+    DMEMO_RETURN_IF_ERROR(
+        RegisterAppWith(transport_, urls_.at(host), text));
+  }
+  DMEMO_LOG(kInfo) << "chaos: restarted server for " << host;
+  return Status::Ok();
+}
+
+Status ProcessCluster::RegisterApp(const AppDescription& adf) {
+  const std::string text = FormatAdf(adf);
+  if (std::find(adf_texts_.begin(), adf_texts_.end(), text) ==
+      adf_texts_.end()) {
+    adf_texts_.push_back(text);
+  }
+  // Two passes, same reason as Cluster::RegisterApp: migration triggered by
+  // a re-registration may bounce until every server holds the new table.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const auto& [host, url] : urls_) {
+      if (pids_.count(host) != 0 && pids_.at(host) < 0) continue;  // down
+      DMEMO_RETURN_IF_ERROR(RegisterAppWith(transport_, url, text));
+    }
+  }
+  return Status::Ok();
+}
+
+void ProcessCluster::Shutdown() {
+  if (shutdown_) return;
+  shutdown_ = true;
+  for (auto& [host, pid] : pids_) {
+    if (pid < 0) continue;
+    ::kill(pid, SIGTERM);
+    ::waitpid(pid, nullptr, 0);
+    pid = -1;
+  }
 }
 
 }  // namespace dmemo

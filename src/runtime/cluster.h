@@ -3,10 +3,22 @@
 // the deployment tests, examples and benchmarks use when they want the full
 // server/routing/wire path without forking: every byte still crosses the
 // Connection abstraction exactly as in the multi-process deployment.
+//
+// ProcessCluster is the out-of-process variant: one dmemo-server child per
+// ADF host over unix:// sockets, each with its own persist dir. It exists
+// for the crash-durability chaos harness (DESIGN.md "Durability &
+// liveness"): KillServer delivers SIGKILL — no destructors, no flush, the
+// genuine article — and RestartServer respawns the host so recovery
+// (snapshot + WAL replay under a bumped epoch) runs for real.
 #pragma once
 
+#include <sys/types.h>
+
+#include <chrono>
 #include <map>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "adf/adf.h"
 #include "core/memo.h"
@@ -65,6 +77,65 @@ class Cluster {
   TransportPtr transport_;
   std::map<std::string, std::unique_ptr<MemoServer>> servers_;
   std::map<std::string, std::string> urls_;
+  bool shutdown_ = false;
+};
+
+struct ProcessClusterOptions {
+  // Path to the dmemo-server binary (tests get it from the build system
+  // via the DMEMO_SERVER_BINARY compile definition).
+  std::string server_binary;
+  // Sockets, per-host persist dirs and server logs all live under here.
+  std::string work_dir;
+  std::chrono::seconds start_timeout{10};
+};
+
+class ProcessCluster {
+ public:
+  // Spawns one dmemo-server child per ADF host, waits until every one
+  // answers a ping, then registers the application with all of them.
+  static Result<std::unique_ptr<ProcessCluster>> Start(
+      const AppDescription& adf, ProcessClusterOptions options);
+
+  ~ProcessCluster();
+
+  ProcessCluster(const ProcessCluster&) = delete;
+  ProcessCluster& operator=(const ProcessCluster&) = delete;
+
+  // A Memo handle dialing `host`'s server over its unix socket.
+  Result<Memo> Client(const std::string& host);
+
+  TransportPtr transport() { return transport_; }
+  // Dialable URL of `host`'s server (empty if unknown).
+  std::string url(const std::string& host) const;
+  // The child's pid, or -1 when the host is currently down.
+  pid_t pid(const std::string& host) const;
+
+  // Chaos harness. KillServer is SIGKILL: the child gets no chance to
+  // flush, snapshot or even run a destructor. RestartServer respawns it on
+  // the same socket and persist dir and re-registers every known app, so
+  // the recovery path (snapshot + WAL replay, epoch bump) runs end to end.
+  Status KillServer(const std::string& host);
+  Status RestartServer(const std::string& host);
+
+  // Register a further application with every live server.
+  Status RegisterApp(const AppDescription& adf);
+
+  // Graceful stop: SIGTERM + wait (the servers checkpoint their WALs).
+  void Shutdown();
+
+ private:
+  ProcessCluster() = default;
+
+  Status SpawnHost(const std::string& host);
+  Status WaitReachable(const std::string& host);
+
+  ProcessClusterOptions options_;
+  AppDescription adf_;
+  TransportPtr transport_;
+  std::map<std::string, std::string> urls_;
+  std::map<std::string, pid_t> pids_;  // -1 while a host is down
+  // ADF texts to replay into a respawned server.
+  std::vector<std::string> adf_texts_;
   bool shutdown_ = false;
 };
 

@@ -1,11 +1,14 @@
 // dmemo-stat: print a memo server's statistics and metrics.
 //
-//   dmemo-stat [--metrics] [--spans] [--text] [--watch SECONDS] URL...
+//   dmemo-stat [--metrics] [--spans] [--text] [--health] [--watch SECONDS]
+//              URL...
 //
 // Default mode prints the classic Op::kStats summary. --metrics switches to
 // Op::kMetrics and renders the full metrics tree (counters, gauges, per-op
 // latency histograms); --spans additionally dumps the server's trace-span
-// ring; --text prints the server's raw Prometheus exposition. --watch N
+// ring; --text prints the server's raw Prometheus exposition. --health
+// prints the durability/liveness view: each folder server's fencing epoch
+// and WAL lag plus the failure detector's per-peer verdict. --watch N
 // re-polls every N seconds and annotates counters and histogram counts with
 // the delta since the previous round.
 //
@@ -37,6 +40,7 @@ struct Options {
   bool metrics = false;
   bool spans = false;
   bool text = false;
+  bool health = false;
   int watch_seconds = 0;  // 0 = single shot
   std::vector<std::string> urls;
 };
@@ -229,14 +233,64 @@ dmemo::Status PrintStats(const std::string& url) {
   return dmemo::Status::Ok();
 }
 
+dmemo::Status PrintHealth(const std::string& url) {
+  DMEMO_ASSIGN_OR_RETURN(auto root, Fetch(url, dmemo::Op::kStats));
+  std::printf("server %s (%s)\n", StrField(*root, "host").c_str(),
+              url.c_str());
+  auto folders =
+      std::static_pointer_cast<dmemo::TList>(root->Get("folder_servers"));
+  if (folders != nullptr) {
+    for (const auto& item : folders->items()) {
+      auto rec = std::static_pointer_cast<dmemo::TRecord>(item);
+      std::printf("  folder-server %d: epoch=%llu wal_lag_bytes=%llu\n",
+                  std::static_pointer_cast<dmemo::TInt32>(rec->Get("id"))
+                      ->value(),
+                  (unsigned long long)U64Field(*rec, "epoch"),
+                  (unsigned long long)U64Field(*rec, "wal_lag"));
+    }
+  }
+  auto health = std::static_pointer_cast<dmemo::TList>(root->Get("health"));
+  if (health == nullptr || health->items().empty()) {
+    std::printf("  peers: (no heartbeat data)\n");
+    return dmemo::Status::Ok();
+  }
+  for (const auto& item : health->items()) {
+    auto rec = std::static_pointer_cast<dmemo::TRecord>(item);
+    auto alive = rec->Get("alive");
+    const bool is_alive =
+        alive != nullptr &&
+        std::static_pointer_cast<dmemo::TBool>(alive)->value();
+    std::printf("  peer %-20s %s misses=%d last_seen_us=%llu",
+                StrField(*rec, "host").c_str(),
+                is_alive ? "ALIVE" : "DEAD ",
+                std::static_pointer_cast<dmemo::TInt32>(rec->Get("misses"))
+                    ->value(),
+                (unsigned long long)U64Field(*rec, "last_seen_us"));
+    auto epochs =
+        std::static_pointer_cast<dmemo::TList>(rec->Get("folder_servers"));
+    if (epochs != nullptr) {
+      for (const auto& eitem : epochs->items()) {
+        auto erec = std::static_pointer_cast<dmemo::TRecord>(eitem);
+        std::printf(" fs%d@e%llu",
+                    std::static_pointer_cast<dmemo::TInt32>(erec->Get("id"))
+                        ->value(),
+                    (unsigned long long)U64Field(*erec, "epoch"));
+      }
+    }
+    std::printf("\n");
+  }
+  return dmemo::Status::Ok();
+}
+
 // One pass over every URL; failures are reported but never stop the pass.
 // Returns the number of URLs that failed.
 int RunRound(const Options& opts,
              std::map<std::string, std::string>* last_error) {
   int failed = 0;
   for (const std::string& url : opts.urls) {
-    dmemo::Status status =
-        opts.metrics ? PrintMetrics(url, opts) : PrintStats(url);
+    dmemo::Status status = opts.health  ? PrintHealth(url)
+                           : opts.metrics ? PrintMetrics(url, opts)
+                                          : PrintStats(url);
     if (!status.ok()) {
       std::fprintf(stderr, "dmemo-stat: %s: %s\n", url.c_str(),
                    status.ToString().c_str());
@@ -251,8 +305,8 @@ int RunRound(const Options& opts,
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--metrics] [--spans] [--text] [--watch SECONDS] "
-               "SERVER_URL...\n",
+               "usage: %s [--metrics] [--spans] [--text] [--health] "
+               "[--watch SECONDS] SERVER_URL...\n",
                argv0);
   return 2;
 }
@@ -271,6 +325,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--text") {
       opts.metrics = true;
       opts.text = true;
+    } else if (arg == "--health") {
+      opts.health = true;
     } else if (arg == "--watch") {
       if (i + 1 >= argc) return Usage(argv[0]);
       opts.watch_seconds = std::atoi(argv[++i]);

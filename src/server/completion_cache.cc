@@ -66,6 +66,19 @@ void CompletionCache::Abandon(std::uint64_t request_id) {
   }
 }
 
+void CompletionCache::Seed(std::uint64_t request_id,
+                           const Response& response) {
+  if (request_id == 0) return;
+  MutexLock lock(mu_);
+  if (shutdown_) return;
+  auto [it, inserted] = entries_.try_emplace(request_id);
+  if (!inserted) return;  // a live execution got here first
+  it->second.completed = true;
+  it->second.response = response;
+  completed_fifo_.push_back(request_id);
+  EvictLocked();
+}
+
 void CompletionCache::Shutdown() {
   MutexLock lock(mu_);
   shutdown_ = true;

@@ -63,6 +63,14 @@ class CompletionCache {
   // one parked waiter (if any) becomes the new owner.
   void Abandon(std::uint64_t request_id);
 
+  // Recovery path: install a completed entry as if an execution had
+  // produced `response`. WAL replay re-seeds the at-most-once window with
+  // the request ids of every mutation that survived the crash, so a client
+  // retransmitting across a server restart is answered from the cache
+  // instead of double-applying (DESIGN.md "Durability & liveness"). An
+  // existing entry wins — live executions outrank replayed history.
+  void Seed(std::uint64_t request_id, const Response& response);
+
   // Wake every parked waiter with CANCELLED and refuse further work.
   void Shutdown();
 

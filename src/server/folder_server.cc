@@ -1,13 +1,60 @@
 #include "server/folder_server.h"
 
 #include <cstdio>
+#include <fcntl.h>
+#include <unistd.h>
 
-#include <fstream>
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <utility>
 
 #include "util/log.h"
+#include "util/retry.h"
 #include "util/trace.h"
 
 namespace dmemo {
+namespace {
+
+Result<Bytes> ReadSnapshotFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    // ENOENT is the one benign outcome — a fresh server. Every other
+    // errno (permissions, I/O error, EISDIR...) is a real failure that
+    // must not be mistaken for "no data yet".
+    if (errno == ENOENT) return NotFoundError("no snapshot at " + path);
+    return UnavailableError("cannot read snapshot " + path + ": " +
+                            std::strerror(errno));
+  }
+  Bytes data;
+  std::array<std::uint8_t, 64 * 1024> buf;
+  for (;;) {
+    const ssize_t n = ::read(fd, buf.data(), buf.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status err = UnavailableError("cannot read snapshot " + path +
+                                          ": " + std::strerror(errno));
+      ::close(fd);
+      return err;
+    }
+    if (n == 0) break;
+    data.insert(data.end(), buf.data(), buf.data() + n);
+  }
+  ::close(fd);
+  return data;
+}
+
+Result<QualifiedKey> DecodeKeyBytes(const Bytes& encoded) {
+  ByteReader in(encoded);
+  return QualifiedKey::DecodeFrom(in);
+}
+
+}  // namespace
+
+std::uint64_t FolderServerDurability::CompactBytesFromEnv() {
+  return static_cast<std::uint64_t>(
+      EnvInt("DMEMO_WAL_COMPACT_BYTES", 4 * 1024 * 1024));
+}
 
 FolderServer::FolderServer(int id, std::string host)
     : id_(id),
@@ -17,7 +64,7 @@ FolderServer::FolderServer(int id, std::string host)
       "fs=\"" + std::to_string(id_) + "@" + host_ + "\"";
   auto& registry = MetricsRegistry::Global();
   for (std::uint8_t v = static_cast<std::uint8_t>(Op::kPut);
-       v <= static_cast<std::uint8_t>(Op::kMetrics); ++v) {
+       v <= static_cast<std::uint8_t>(Op::kHeartbeat); ++v) {
     const Op op = static_cast<Op>(v);
     op_latency_[v] = registry.GetHistogram(
         "dmemo_folder_op_latency_us",
@@ -26,6 +73,10 @@ FolderServer::FolderServer(int id, std::string host)
   deposits_ = registry.GetCounter("dmemo_folder_deposits_total", fs_label);
   extracts_ = registry.GetCounter("dmemo_folder_extracts_total", fs_label);
   slow_ops_ = registry.GetCounter("dmemo_folder_slow_ops_total", fs_label);
+  fenced_ = registry.GetCounter("dmemo_fenced_requests_total", fs_label);
+  wal_replayed_ =
+      registry.GetCounter("dmemo_wal_replayed_records_total", fs_label);
+  failovers_ = registry.GetCounter("dmemo_failover_total", fs_label);
 }
 
 Response FolderServer::Handle(const Request& request) {
@@ -73,26 +124,47 @@ Response FolderServer::Handle(const Request& request) {
 }
 
 Response FolderServer::HandleOp(const Request& request) {
+  // Epoch fencing: a request stamped with an epoch (nonzero) must name
+  // *this* incarnation. A zombie owner — or a client that pinned the
+  // pre-failover epoch — gets FAILED_PRECONDITION, the distinct "you are
+  // fenced" status, and mutates nothing. Unstamped requests (epoch 0,
+  // all normal client traffic) always pass.
+  const std::uint64_t current_epoch = epoch();
+  if (request.epoch != 0 && current_epoch != 0 &&
+      request.epoch != current_epoch) {
+    fenced_->Increment();
+    return Response::FromStatus(FailedPreconditionError(
+        "stale epoch " + std::to_string(request.epoch) + " fenced (fs " +
+        std::to_string(id_) + "@" + host_ + " serves epoch " +
+        std::to_string(current_epoch) + ")"));
+  }
+
   const QualifiedKey qk{request.app, request.key};
   switch (request.op) {
     case Op::kPut: {
-      Status status = directory_.Put(qk, request.value);
+      Status status = LoggedPut(Op::kPut, qk, QualifiedKey{}, request.value,
+                                request.request_id);
       return Response::FromStatus(status);
     }
     case Op::kPutDelayed: {
       const QualifiedKey qk2{request.app, request.key2};
-      Status status = directory_.PutDelayed(qk, qk2, request.value);
+      Status status = LoggedPut(Op::kPutDelayed, qk, qk2, request.value,
+                                request.request_id);
       return Response::FromStatus(status);
     }
     case Op::kGet: {
-      auto value = directory_.Get(qk);
+      auto value = directory_.Get(qk);  // wal:applied (logged below)
       if (!value.ok()) return Response::FromStatus(value.status());
+      Status logged =
+          LogExtraction(Op::kGet, qk, *value, request.request_id);
+      if (!logged.ok()) return Response::FromStatus(logged);
       Response resp;
       resp.has_value = true;
       resp.value = std::move(*value);
       return resp;
     }
     case Op::kGetCopy: {
+      // Non-mutating (the memo stays), so nothing to log.
       auto value = directory_.GetCopy(qk);
       if (!value.ok()) return Response::FromStatus(value.status());
       Response resp;
@@ -101,10 +173,13 @@ Response FolderServer::HandleOp(const Request& request) {
       return resp;
     }
     case Op::kGetSkip: {
-      auto value = directory_.GetSkip(qk);
+      auto value = directory_.GetSkip(qk);  // wal:applied (logged below)
       if (!value.ok()) return Response::FromStatus(value.status());
       Response resp;
       if (value->has_value()) {
+        Status logged =
+            LogExtraction(Op::kGetSkip, qk, **value, request.request_id);
+        if (!logged.ok()) return Response::FromStatus(logged);
         resp.has_value = true;
         resp.value = std::move(**value);
       }
@@ -118,8 +193,11 @@ Response FolderServer::HandleOp(const Request& request) {
         qkeys.push_back(QualifiedKey{request.app, k});
       }
       if (request.op == Op::kGetAlt) {
-        auto value = directory_.GetAlt(qkeys);
+        auto value = directory_.GetAlt(qkeys);  // wal:applied (logged below)
         if (!value.ok()) return Response::FromStatus(value.status());
+        Status logged = LogExtraction(Op::kGetAlt, value->first,
+                                      value->second, request.request_id);
+        if (!logged.ok()) return Response::FromStatus(logged);
         Response resp;
         resp.has_value = true;
         resp.value = std::move(value->second);
@@ -127,10 +205,13 @@ Response FolderServer::HandleOp(const Request& request) {
         resp.key = value->first.key;
         return resp;
       }
-      auto value = directory_.GetAltSkip(qkeys);
+      auto value = directory_.GetAltSkip(qkeys);  // wal:applied (logged below)
       if (!value.ok()) return Response::FromStatus(value.status());
       Response resp;
       if (value->has_value()) {
+        Status logged = LogExtraction(Op::kGetAltSkip, (*value)->first,
+                                      (*value)->second, request.request_id);
+        if (!logged.ok()) return Response::FromStatus(logged);
         resp.has_value = true;
         resp.value = std::move((*value)->second);
         resp.has_key = true;
@@ -148,6 +229,7 @@ Response FolderServer::HandleOp(const Request& request) {
     case Op::kRegisterApp:
     case Op::kStats:
     case Op::kMetrics:
+    case Op::kHeartbeat:
       return Response::FromStatus(InvalidArgumentError(
           std::string(OpName(request.op)) +
           " must be sent to a memo server"));
@@ -156,32 +238,288 @@ Response FolderServer::HandleOp(const Request& request) {
       InternalError("unhandled opcode in folder server"));
 }
 
+Status FolderServer::LoggedPut(Op op, const QualifiedKey& qk,
+                               const QualifiedKey& qk2, const IoBuf& value,
+                               std::uint64_t request_id) {
+  if (wal_ == nullptr) {
+    if (op == Op::kPutDelayed) {
+      return directory_.PutDelayed(qk, qk2, value);  // wal:applied (off)
+    }
+    return directory_.Put(qk, value);  // wal:applied (off)
+  }
+  std::uint64_t end = 0;
+  {
+    // Append-then-apply under wal_mu_, so the log's record order is the
+    // directory's apply order (a put and a put_delayed on the same folder
+    // do not commute). The fsync happens after the lock drops, so
+    // concurrent mutations group-commit on one sync.
+    MutexLock lock(wal_mu_);
+    WalRecord rec;
+    rec.op = static_cast<std::uint8_t>(op);
+    rec.request_id = request_id;
+    rec.key = qk.ToBytes();
+    if (op == Op::kPutDelayed) rec.key2 = qk2.ToBytes();
+    rec.payload = value;
+    DMEMO_ASSIGN_OR_RETURN(end, wal_->Append(rec));
+    Status applied =
+        op == Op::kPutDelayed
+            ? directory_.PutDelayed(qk, qk2, value)  // wal:applied
+            : directory_.Put(qk, value);             // wal:applied
+    if (!applied.ok()) return applied;
+  }
+  DMEMO_RETURN_IF_ERROR(wal_->Commit(end));
+  return MaybeCompact();
+}
+
+Status FolderServer::LogExtraction(Op op, const QualifiedKey& qk,
+                                   const IoBuf& value,
+                                   std::uint64_t request_id) {
+  if (wal_ == nullptr) return Status::Ok();
+  // The extraction already happened (a blocking Get cannot hold wal_mu_
+  // while parked); log it now, before the value leaves the server. Replay
+  // removes by content, and the record that deposited this value is
+  // necessarily earlier in the log, so the late append is consistent even
+  // if other mutations interleaved between take and append.
+  std::uint64_t end = 0;
+  Status logged = Status::Ok();
+  {
+    MutexLock lock(wal_mu_);
+    WalRecord rec;
+    rec.op = static_cast<std::uint8_t>(op);
+    rec.request_id = request_id;
+    rec.key = qk.ToBytes();
+    rec.payload = value;
+    auto appended = wal_->Append(rec);
+    if (appended.ok()) {
+      end = std::move(appended).value();
+    } else {
+      logged = appended.status();
+    }
+  }
+  if (logged.ok()) logged = wal_->Commit(end);
+  if (!logged.ok()) {
+    // The extraction never became durable: put the memo back and fail the
+    // call, so the client's retry can extract it again — an unlogged
+    // extraction acked to the client would be re-delivered after a crash
+    // (a duplicate).
+    (void)directory_.Put(qk, value);  // wal:applied (undo of unlogged take)
+    return logged;
+  }
+  return MaybeCompact();
+}
+
+Status FolderServer::ApplyReplay(const WalRecord& record,
+                                 std::unordered_set<std::uint64_t>& seen,
+                                 const SeedCompletionFn& seed) {
+  if (record.request_id != 0 && !seen.insert(record.request_id).second) {
+    return Status::Ok();  // duplicate record; first application stands
+  }
+  DMEMO_ASSIGN_OR_RETURN(QualifiedKey qk, DecodeKeyBytes(record.key));
+  const Op op = static_cast<Op>(record.op);
+  Response resp;
+  switch (op) {
+    case Op::kPut:
+      DMEMO_RETURN_IF_ERROR(
+          directory_.Put(qk, record.payload));  // wal:applied (replay)
+      break;
+    case Op::kPutDelayed: {
+      DMEMO_ASSIGN_OR_RETURN(QualifiedKey qk2, DecodeKeyBytes(record.key2));
+      DMEMO_RETURN_IF_ERROR(
+          directory_.PutDelayed(qk, qk2, record.payload));  // wal:applied
+
+      break;
+    }
+    case Op::kGet:
+    case Op::kGetSkip:
+    case Op::kGetAlt:
+    case Op::kGetAltSkip: {
+      if (!directory_.TakeEqual(qk, record.payload)) {  // wal:applied (replay)
+        // Tolerated, loudly: the extraction's memo is already gone —
+        // possible only for logs written before this fs's first
+        // checkpoint of it, which Checkpoint() makes unreachable.
+        DMEMO_LOG(kWarn) << "fs " << id_ << "@" << host_
+                         << ": WAL replay found no memo for a logged "
+                         << OpName(op) << " on " << qk.key.DebugString();
+      }
+      resp.has_value = true;
+      resp.value = record.payload;
+      if (op == Op::kGetAlt || op == Op::kGetAltSkip) {
+        resp.has_key = true;
+        resp.key = qk.key;
+      }
+      break;
+    }
+    default:
+      return DataLossError("unknown op " + std::to_string(record.op) +
+                           " in WAL record");
+  }
+  wal_replayed_->Increment();
+  if (seed != nullptr && record.request_id != 0) {
+    seed(record.request_id, resp);
+  }
+  return Status::Ok();
+}
+
+Status FolderServer::EnableDurability(FolderServerDurability opts,
+                                      SeedCompletionFn seed) {
+  durability_ = std::move(opts);
+  if (durability_.wal.metric_labels.empty()) {
+    durability_.wal.metric_labels =
+        "fs=\"" + std::to_string(id_) + "@" + host_ + "\"";
+  }
+  // Recovery keeps going past individual failures and returns the first
+  // one: a folder server holding the recoverable subset of its partition
+  // beats one that refuses to start (callers log the degradation).
+  Status result = Status::Ok();
+
+  Status loaded = LoadFrom(durability_.snapshot_path);
+  if (!loaded.ok()) {
+    DMEMO_LOG(kError) << "fs " << id_ << "@" << host_
+                      << ": snapshot load failed: " << loaded.ToString();
+    result = loaded;
+  }
+
+  std::uint64_t prev_epoch = 0;
+  WalReplayStats replay_stats;
+  auto stored_epoch = WriteAheadLog::ReadEpoch(durability_.wal_path);
+  if (stored_epoch.ok()) {
+    prev_epoch = stored_epoch.value();
+    std::unordered_set<std::uint64_t> seen;
+    Status replayed = WriteAheadLog::Replay(
+        durability_.wal_path,
+        [&](const WalRecord& rec) { return ApplyReplay(rec, seen, seed); },
+        &replay_stats);
+    if (!replayed.ok()) {
+      // Corruption inside the record stream (a torn tail is NOT an error).
+      // Keep what replayed, preserve the file for forensics, serve on.
+      DMEMO_LOG(kError) << "fs " << id_ << "@" << host_
+                        << ": WAL replay stopped after "
+                        << replay_stats.records
+                        << " records: " << replayed.ToString();
+      (void)std::rename(durability_.wal_path.c_str(),
+                        (durability_.wal_path + ".corrupt").c_str());
+      if (result.ok()) result = replayed;
+    }
+  } else if (stored_epoch.status().code() != StatusCode::kNotFound) {
+    DMEMO_LOG(kError) << "fs " << id_ << "@" << host_
+                      << ": WAL header unreadable: "
+                      << stored_epoch.status().ToString();
+    (void)std::rename(durability_.wal_path.c_str(),
+                      (durability_.wal_path + ".corrupt").c_str());
+    if (result.ok()) result = stored_epoch.status();
+  }
+
+  // Every recovery bumps the epoch, so anything still stamped with the
+  // previous incarnation's epoch is fenceable from the first request.
+  epoch_.store(prev_epoch + 1, std::memory_order_relaxed);
+
+  // Fold the recovered state into a fresh snapshot generation *before*
+  // opening (truncating) the WAL — the replayed records must never be the
+  // only copy once the log is gone.
+  Status saved = SaveTo(durability_.snapshot_path);
+  if (!saved.ok()) {
+    DMEMO_LOG(kError) << "fs " << id_ << "@" << host_
+                      << ": post-recovery checkpoint failed: "
+                      << saved.ToString() << "; durability stays OFF";
+    return result.ok() ? saved : result;
+  }
+  auto wal = WriteAheadLog::Open(durability_.wal_path, epoch(),
+                                 durability_.wal);
+  if (!wal.ok()) {
+    DMEMO_LOG(kError) << "fs " << id_ << "@" << host_
+                      << ": cannot open WAL: " << wal.status().ToString()
+                      << "; durability stays OFF";
+    return result.ok() ? wal.status() : result;
+  }
+  wal_ = std::move(wal).value();
+
+  if (replay_stats.records > 0) {
+    failovers_->Increment();
+    DMEMO_LOG(kWarn) << "fs " << id_ << "@" << host_ << ": recovered "
+                     << replay_stats.records << " WAL records"
+                     << (replay_stats.truncated_tail ? " (torn tail)" : "")
+                     << ", now serving epoch " << epoch();
+  }
+  return result;
+}
+
+Status FolderServer::Checkpoint() {
+  if (wal_ == nullptr) {
+    return FailedPreconditionError("durability not enabled on fs " +
+                                   std::to_string(id_));
+  }
+  // Holding wal_mu_ pins the log/directory relationship: no mutation can
+  // be appended between the snapshot and the truncation, so the fresh log
+  // is empty exactly when the snapshot is complete.
+  MutexLock lock(wal_mu_);
+  DMEMO_RETURN_IF_ERROR(SaveTo(durability_.snapshot_path));
+  return wal_->Reset(epoch());
+}
+
+Status FolderServer::MaybeCompact() {
+  if (wal_ == nullptr || durability_.compact_bytes == 0) {
+    return Status::Ok();
+  }
+  // Racy read on purpose: Checkpoint re-serializes under wal_mu_, and a
+  // compaction that runs a record late is still a compaction.
+  if (wal_->size_bytes() < durability_.compact_bytes) return Status::Ok();
+  return Checkpoint();
+}
+
 void FolderServer::Shutdown() { directory_.Close(); }
 
 Status FolderServer::SaveTo(const std::string& path) const {
   ByteWriter out;
   directory_.SnapshotTo(out);
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
-    if (!file) return UnavailableError("cannot write snapshot " + tmp);
-    file.write(reinterpret_cast<const char*>(out.data().data()),
-               static_cast<std::streamsize>(out.size()));
-    if (!file) return UnavailableError("short write to " + tmp);
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    return UnavailableError("cannot rename snapshot into place: " + path);
-  }
-  return Status::Ok();
+  return AtomicWriteFileDurably(path, out.data());
 }
 
 Status FolderServer::LoadFrom(const std::string& path) {
-  std::ifstream file(path, std::ios::binary);
-  if (!file) return Status::Ok();  // no snapshot: fresh server
-  Bytes data((std::istreambuf_iterator<char>(file)),
-             std::istreambuf_iterator<char>());
-  ByteReader in(data);
-  return directory_.RestoreFrom(in);
+  auto restore = [this](const Bytes& data) -> Status {
+    // Decode into a scratch directory first: RestoreFrom merges, and a
+    // snapshot that decodes halfway must not leave partial garbage in the
+    // live one.
+    FolderDirectory<IoBuf> probe;
+    ByteReader check(data);
+    DMEMO_RETURN_IF_ERROR(probe.RestoreFrom(check));
+    ByteReader in(data);
+    return directory_.RestoreFrom(in);
+  };
+
+  Status primary = Status::Ok();
+  auto data = ReadSnapshotFile(path);
+  if (data.ok()) {
+    primary = restore(data.value());
+    if (primary.ok()) return Status::Ok();
+    DMEMO_LOG(kError) << "fs " << id_ << "@" << host_ << ": snapshot "
+                      << path << " corrupt: " << primary.ToString();
+  } else if (data.status().code() == StatusCode::kNotFound) {
+    // Fresh server — unless a previous generation exists, which means a
+    // crash hit between the two publish renames; fall through to .prev.
+    primary = Status::Ok();
+  } else {
+    primary = data.status();
+    DMEMO_LOG(kError) << "fs " << id_ << "@" << host_ << ": "
+                      << primary.ToString();
+  }
+
+  const std::string prev_path = path + ".prev";
+  auto prev = ReadSnapshotFile(prev_path);
+  if (prev.ok()) {
+    Status restored = restore(prev.value());
+    if (restored.ok()) {
+      if (!primary.ok()) {
+        DMEMO_LOG(kWarn) << "fs " << id_ << "@" << host_
+                         << ": restored previous snapshot generation "
+                         << prev_path;
+      }
+      // Surface the primary's failure even though the fall-back worked —
+      // silent degradation is how the old code lost data.
+      return primary;
+    }
+    if (primary.ok()) return restored;
+  }
+  return primary;
 }
 
 }  // namespace dmemo

@@ -10,22 +10,49 @@
 // worker-pool thread, so blocking gets park that thread until a memo
 // arrives — the paper's thread-per-request model.
 //
-// Thread safety: FolderServer itself holds no lock. All synchronization
-// lives in the underlying FolderDirectory (whose mutex ranks at the
-// "directory" level of the canonical lock order, see DESIGN.md) plus one
-// atomic request counter; Handle() is safe from any number of threads. The
-// metric handles are resolved once in the constructor and written with
-// relaxed atomics on the request path (DESIGN.md "Observability").
+// Durability (DESIGN.md "Durability & liveness"): with EnableDurability a
+// write-ahead log records every mutation before it is acknowledged, and
+// recovery = snapshot + WAL replay under a bumped fencing epoch. Requests
+// stamped with a stale epoch are rejected with FAILED_PRECONDITION so a
+// zombie owner can never double-apply after a failover.
+//
+// Thread safety: synchronization lives in the underlying FolderDirectory
+// plus wal_mu_, which serializes append-to-log with apply-to-directory so
+// log order equals apply order. Lock rank: wal_mu_ before the directory
+// mutex; the WAL's internal locks are leaves below wal_mu_. The metric
+// handles are resolved once in the constructor and written with relaxed
+// atomics on the request path (DESIGN.md "Observability").
 #pragma once
 
 #include <array>
 #include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_set>
 
 #include "folder/directory.h"
 #include "server/protocol.h"
 #include "util/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+#include "util/wal.h"
 
 namespace dmemo {
+
+// Where a durable folder server keeps its state. The snapshot rotates
+// through `snapshot_path` / `.prev` generations (util/wal.h
+// AtomicWriteFileDurably); the WAL lives beside it.
+struct FolderServerDurability {
+  std::string snapshot_path;
+  std::string wal_path;
+  WalOptions wal = WalOptions::FromEnv();
+  // Compact (snapshot + truncate the log) once the WAL exceeds this many
+  // bytes; 0 disables compaction. DMEMO_WAL_COMPACT_BYTES.
+  std::uint64_t compact_bytes = CompactBytesFromEnv();
+
+  static std::uint64_t CompactBytesFromEnv();
+};
 
 class FolderServer {
  public:
@@ -45,9 +72,41 @@ class FolderServer {
   // Wake all parked requests with CANCELLED and refuse further work.
   void Shutdown();
 
+  // Receives (request_id, response) for every mutation WAL replay redid,
+  // so the memo server can re-seed its at-most-once completion cache.
+  using SeedCompletionFn =
+      std::function<void(std::uint64_t, const Response&)>;
+
+  // Recover and go durable: load the snapshot (falling back to the
+  // previous generation if the primary is corrupt), replay the WAL
+  // (tolerating a torn tail; idempotent via request ids), bump the fencing
+  // epoch, checkpoint the recovered state, and append every further
+  // mutation to a fresh log before acknowledging it. Returns the first
+  // recovery error encountered — the server still comes up serving
+  // whatever state was recoverable (a degraded replica beats an outage;
+  // callers log the status loudly).
+  Status EnableDurability(FolderServerDurability opts,
+                          SeedCompletionFn seed = nullptr);
+
+  // Fold the log into the snapshot and truncate it (also the compaction
+  // body once the WAL passes compact_bytes, and the clean-shutdown path).
+  Status Checkpoint();
+
+  bool durable() const { return wal_ != nullptr; }
+  // Current fencing epoch; 0 until EnableDurability.
+  std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_relaxed);
+  }
+  // Logged-but-not-compacted bytes a restart would replay.
+  std::uint64_t wal_lag_bytes() const {
+    return wal_ == nullptr ? 0 : wal_->size_bytes();
+  }
+
   // Persistence (Sec. 3.1.3): snapshot the folder directory to `path`
-  // (atomically, via a temp file) / merge a snapshot back in. A missing
-  // file on load is OK (fresh server).
+  // (atomically + durably, keeping the outgoing file as `path`.prev) /
+  // merge a snapshot back in. A missing file on load is OK (fresh server);
+  // an unreadable or corrupt one is an error, after attempting the
+  // previous generation.
   Status SaveTo(const std::string& path) const;
   Status LoadFrom(const std::string& path);
 
@@ -62,17 +121,43 @@ class FolderServer {
  private:
   Response HandleOp(const Request& request);
 
+  // WAL-mediated mutation paths (scripts/check_lint.sh gates that every
+  // directory mutation in folder_server.cc goes through these).
+  Status LoggedPut(Op op, const QualifiedKey& qk, const QualifiedKey& qk2,
+                   const IoBuf& value, std::uint64_t request_id);
+  Status LogExtraction(Op op, const QualifiedKey& qk, const IoBuf& value,
+                       std::uint64_t request_id);
+  Status ApplyReplay(const WalRecord& record,
+                     std::unordered_set<std::uint64_t>& seen,
+                     const SeedCompletionFn& seed);
+  Status MaybeCompact();
+
   int id_;
   std::string host_;
   FolderDirectory<IoBuf> directory_;
   std::atomic<std::uint64_t> requests_served_{0};
+  std::atomic<std::uint64_t> epoch_{0};
+
+  FolderServerDurability durability_;
+  // Serializes WAL append with directory apply so log order == apply
+  // order (put vs put_delayed on one folder does not commute). Ranked
+  // above the directory mutex; never held across an fsync — Commit runs
+  // after release so concurrent mutations share one group-commit sync.
+  Mutex wal_mu_{"FolderServer::wal_mu"};
+  // Set once in EnableDurability (before the server takes traffic), then
+  // immutable; the WAL has its own internal locking, so the pointer needs
+  // no guard.
+  std::unique_ptr<WriteAheadLog> wal_;
 
   // Observability handles, resolved once at construction. op_latency_ is
-  // indexed by the numeric Op value (kPut..kMetrics).
+  // indexed by the numeric Op value (kPut..kHeartbeat).
   std::array<Histogram*, 16> op_latency_{};
   Counter* deposits_ = nullptr;
   Counter* extracts_ = nullptr;
   Counter* slow_ops_ = nullptr;
+  Counter* fenced_ = nullptr;        // dmemo_fenced_requests_total
+  Counter* wal_replayed_ = nullptr;  // dmemo_wal_replayed_records_total
+  Counter* failovers_ = nullptr;     // dmemo_failover_total
 };
 
 }  // namespace dmemo

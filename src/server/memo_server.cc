@@ -15,18 +15,29 @@ namespace {
 constexpr std::uint8_t kMaxHops = 32;
 }  // namespace
 
+std::chrono::milliseconds HeartbeatIntervalFromEnv() {
+  return std::chrono::milliseconds(
+      EnvInt("DMEMO_HEARTBEAT_INTERVAL_MS", 1000));
+}
+
+int HeartbeatMissesFromEnv() {
+  return static_cast<int>(EnvInt("DMEMO_HEARTBEAT_MISSES", 3));
+}
+
 MemoServer::MemoServer(MemoServerOptions options)
     : options_(std::move(options)) {
   pool_ = std::make_unique<WorkerPool>(options_.pool);
   const std::string host_label = "host=\"" + options_.host + "\"";
   auto& registry = MetricsRegistry::Global();
   for (std::uint8_t v = static_cast<std::uint8_t>(Op::kPut);
-       v <= static_cast<std::uint8_t>(Op::kMetrics); ++v) {
+       v <= static_cast<std::uint8_t>(Op::kHeartbeat); ++v) {
     const Op op = static_cast<Op>(v);
     op_latency_[v] = registry.GetHistogram(
         "dmemo_server_op_latency_us",
         host_label + ",op=\"" + std::string(OpName(op)) + "\"");
   }
+  heartbeat_misses_total_ = registry.GetCounter(
+      "dmemo_heartbeat_misses_total", host_label);
 }
 
 Result<std::unique_ptr<MemoServer>> MemoServer::Start(
@@ -37,6 +48,10 @@ Result<std::unique_ptr<MemoServer>> MemoServer::Start(
                          server->transport_->Listen(server->options_.listen_url));
   server->address_ = server->listener_->address();
   server->acceptor_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  if (server->options_.heartbeat_interval.count() > 0 &&
+      !server->options_.peers.empty()) {
+    server->heartbeat_ = std::thread([s = server.get()] { s->HeartbeatLoop(); });
+  }
   return server;
 }
 
@@ -80,10 +95,21 @@ Status MemoServer::RegisterApp(const AppDescription& adf) {
       if (fs.host == options_.host && !folder_servers_.contains(fs.id)) {
         auto server = std::make_unique<FolderServer>(fs.id, fs.host);
         if (!options_.persist_dir.empty()) {
-          Status loaded = server->LoadFrom(SnapshotPath(fs.id));
-          if (!loaded.ok()) {
+          // Recovery: snapshot + WAL replay under a bumped fencing epoch,
+          // re-seeding the at-most-once cache so client retries spanning
+          // the restart dedupe instead of double-applying.
+          FolderServerDurability dur;
+          dur.snapshot_path = SnapshotPath(fs.id);
+          dur.wal_path = WalPath(fs.id);
+          Status recovered = server->EnableDurability(
+              std::move(dur),
+              [this](std::uint64_t request_id, const Response& resp) {
+                completions_.Seed(request_id, resp);
+              });
+          if (!recovered.ok()) {
             DMEMO_LOG(kWarn) << "folder server " << fs.id
-                             << ": snapshot ignored: " << loaded.ToString();
+                             << ": degraded recovery: "
+                             << recovered.ToString();
           }
         }
         folder_servers_.emplace(fs.id, std::move(server));
@@ -146,6 +172,10 @@ void MemoServer::MigrateApp(const std::string& app,
 
 std::string MemoServer::SnapshotPath(int fs_id) const {
   return options_.persist_dir + "/fs-" + std::to_string(fs_id) + ".dmemo";
+}
+
+std::string MemoServer::WalPath(int fs_id) const {
+  return options_.persist_dir + "/fs-" + std::to_string(fs_id) + ".wal";
 }
 
 Result<ResilientChannelPtr> MemoServer::PeerChannel(const std::string& host) {
@@ -247,6 +277,7 @@ Response MemoServer::DispatchTraced(const Request& request) {
   if (request.op == Op::kPing) return Response{};
   if (request.op == Op::kStats) return HandleStats();
   if (request.op == Op::kMetrics) return HandleMetrics();
+  if (request.op == Op::kHeartbeat) return HandleHeartbeat(request);
   if (request.op == Op::kRegisterApp) {
     auto parsed = ParseAdf(request.text);
     if (!parsed.ok()) return Response::FromStatus(parsed.status());
@@ -464,6 +495,8 @@ Response MemoServer::HandleStats() const {
       auto rec = std::make_shared<TRecord>();
       rec->Set("id", MakeInt32(id));
       rec->Set("requests_served", MakeUInt64(fs->requests_served()));
+      rec->Set("epoch", MakeUInt64(fs->epoch()));
+      rec->Set("wal_lag", MakeUInt64(fs->wal_lag_bytes()));
       const DirectoryStats dir = fs->directory_stats();
       rec->Set("puts", MakeUInt64(dir.puts));
       rec->Set("gets", MakeUInt64(dir.gets));
@@ -475,6 +508,28 @@ Response MemoServer::HandleStats() const {
     }
   }
   root->Set("folder_servers", folders);
+
+  // Failure-detector view (DESIGN.md "Durability & liveness"); empty until
+  // the first beat runs.
+  auto health = std::make_shared<TList>();
+  for (const PeerHealthView& view : peer_health()) {
+    auto rec = std::make_shared<TRecord>();
+    rec->Set("host", MakeString(view.host));
+    rec->Set("alive", MakeBool(view.alive));
+    rec->Set("misses", MakeInt32(view.misses));
+    rec->Set("last_seen_us", MakeUInt64(
+        static_cast<std::uint64_t>(view.last_seen_micros)));
+    auto epochs = std::make_shared<TList>();
+    for (const auto& [fs_id, epoch] : view.epochs) {
+      auto erec = std::make_shared<TRecord>();
+      erec->Set("id", MakeInt32(fs_id));
+      erec->Set("epoch", MakeUInt64(epoch));
+      epochs->Add(erec);
+    }
+    rec->Set("folder_servers", epochs);
+    health->Add(rec);
+  }
+  root->Set("health", health);
 
   Response resp;
   resp.has_value = true;
@@ -543,9 +598,151 @@ Response MemoServer::HandleMetrics() const {
   return resp;
 }
 
+IoBuf MemoServer::EncodeHealthPayload() const {
+  auto root = std::make_shared<TRecord>();
+  root->Set("host", MakeString(options_.host));
+  auto folders = std::make_shared<TList>();
+  {
+    MutexLock lock(mu_);
+    for (const auto& [id, fs] : folder_servers_) {
+      auto rec = std::make_shared<TRecord>();
+      rec->Set("id", MakeInt32(id));
+      rec->Set("epoch", MakeUInt64(fs->epoch()));
+      rec->Set("wal_lag", MakeUInt64(fs->wal_lag_bytes()));
+      folders->Add(rec);
+    }
+  }
+  root->Set("folder_servers", folders);
+  return EncodeGraphToIoBuf(root);
+}
+
+namespace {
+// Best-effort parse of a heartbeat payload into (host, fs id -> epoch).
+bool ParseHealthPayload(const IoBuf& value, std::string* host,
+                        std::unordered_map<int, std::uint64_t>* epochs) {
+  if (value.size() == 0) return false;
+  auto decoded = DecodeGraphFromBytes(value);
+  if (!decoded.ok()) return false;
+  auto rec = std::dynamic_pointer_cast<TRecord>(*decoded);
+  if (rec == nullptr) return false;
+  if (auto h = std::dynamic_pointer_cast<TString>(rec->Get("host"))) {
+    *host = h->value();
+  }
+  if (auto fl = std::dynamic_pointer_cast<TList>(rec->Get("folder_servers"))) {
+    for (const auto& item : fl->items()) {
+      auto fs = std::dynamic_pointer_cast<TRecord>(item);
+      if (fs == nullptr) continue;
+      auto id = std::dynamic_pointer_cast<TInt32>(fs->Get("id"));
+      auto epoch = std::dynamic_pointer_cast<TUInt64>(fs->Get("epoch"));
+      if (id != nullptr && epoch != nullptr) {
+        (*epochs)[id->value()] = epoch->value();
+      }
+    }
+  }
+  return !host->empty();
+}
+}  // namespace
+
+Response MemoServer::HandleHeartbeat(const Request& request) {
+  // An inbound beat is itself evidence of life: refresh the sender's entry
+  // so the view converges even before our own prober reaches it. Miss
+  // counting stays with the active prober in HeartbeatLoop.
+  std::string sender;
+  std::unordered_map<int, std::uint64_t> epochs;
+  if (ParseHealthPayload(request.value, &sender, &epochs) &&
+      sender != options_.host) {
+    MutexLock lock(health_mu_);
+    PeerHealthView& view = peer_health_[sender];
+    view.host = sender;
+    view.alive = true;
+    view.misses = 0;
+    view.last_seen_micros = static_cast<std::int64_t>(MonotonicMicros());
+    view.epochs = std::move(epochs);
+  }
+  Response resp;
+  resp.has_value = true;
+  resp.value = EncodeHealthPayload();
+  return resp;
+}
+
+void MemoServer::HeartbeatLoop() {
+  const auto interval = options_.heartbeat_interval;
+  for (;;) {
+    {
+      MutexLock lock(health_mu_);
+      if (!hb_stop_) hb_cv_.WaitFor(health_mu_, interval);
+      if (hb_stop_) return;
+    }
+    std::vector<std::string> hosts;
+    {
+      MutexLock lock(mu_);
+      if (shutdown_) return;
+      for (const auto& [host, url] : options_.peers) {
+        if (host != options_.host) hosts.push_back(host);
+      }
+    }
+    for (const std::string& host : hosts) {
+      Request beat;
+      beat.op = Op::kHeartbeat;
+      beat.trace_id = NextTraceId();
+      beat.value = EncodeHealthPayload();
+      bool ok = false;
+      std::unordered_map<int, std::uint64_t> epochs;
+      std::string reported;
+      auto channel = PeerChannel(host);
+      if (channel.ok()) {
+        // Budget = one interval so a dead peer costs exactly one beat; the
+        // resilient channel's own retries must not stack beats behind it.
+        auto resp = (*channel)->Call(std::move(beat), interval);
+        if (resp.ok() && resp->code == StatusCode::kOk) {
+          ok = true;
+          (void)ParseHealthPayload(resp->value, &reported, &epochs);
+        }
+      }
+      MutexLock lock(health_mu_);
+      if (hb_stop_) return;
+      PeerHealthView& view = peer_health_[host];
+      view.host = host;
+      if (ok) {
+        if (!view.alive) {
+          DMEMO_LOG(kInfo) << options_.host << ": peer " << host
+                           << " is back";
+        }
+        view.alive = true;
+        view.misses = 0;
+        view.last_seen_micros = static_cast<std::int64_t>(MonotonicMicros());
+        if (!epochs.empty()) view.epochs = std::move(epochs);
+      } else {
+        ++view.misses;
+        heartbeat_misses_total_->Increment();
+        if (view.alive && view.misses >= options_.heartbeat_misses) {
+          view.alive = false;
+          DMEMO_LOG(kWarn)
+              << options_.host << ": peer " << host << " presumed dead ("
+              << view.misses << " heartbeats missed); its folder servers "
+              << "must recover under a higher epoch before serving again";
+        }
+      }
+    }
+  }
+}
+
+std::vector<PeerHealthView> MemoServer::peer_health() const {
+  MutexLock lock(health_mu_);
+  std::vector<PeerHealthView> out;
+  out.reserve(peer_health_.size());
+  for (const auto& [host, view] : peer_health_) out.push_back(view);
+  return out;
+}
+
 void MemoServer::Shutdown() {
   std::vector<ResilientChannelPtr> peers;
   std::vector<RpcChannelPtr> channels;
+  {
+    MutexLock lock(health_mu_);
+    hb_stop_ = true;
+    hb_cv_.NotifyAll();
+  }
   {
     MutexLock lock(mu_);
     if (shutdown_) return;
@@ -555,7 +752,16 @@ void MemoServer::Shutdown() {
     peer_channels_.clear();
     inbound_channels_.clear();
     for (auto& [id, fs] : folder_servers_) {
-      if (!options_.persist_dir.empty()) {
+      if (fs->durable()) {
+        // Clean shutdown folds the WAL into the snapshot; the restart
+        // replays zero records and no failover is counted.
+        Status saved = fs->Checkpoint();
+        if (!saved.ok()) {
+          DMEMO_LOG(kWarn) << "folder server " << id
+                           << ": final checkpoint failed: "
+                           << saved.ToString();
+        }
+      } else if (!options_.persist_dir.empty()) {
         Status saved = fs->SaveTo(SnapshotPath(id));
         if (!saved.ok()) {
           DMEMO_LOG(kWarn) << "folder server " << id
@@ -572,6 +778,9 @@ void MemoServer::Shutdown() {
   if (listener_) listener_->Close();
   for (auto& ch : peers) ch->Close();
   for (auto& ch : channels) ch->Close();
+  // Join the heartbeat thread after the peer channels close: a beat blocked
+  // in Call() unblocks when its channel dies.
+  if (heartbeat_.joinable()) heartbeat_.join();
   if (acceptor_.joinable()) acceptor_.join();
   pool_->Shutdown();
 }

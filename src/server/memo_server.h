@@ -21,8 +21,11 @@
 #pragma once
 
 #include <array>
+#include <chrono>
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -39,6 +42,11 @@
 #include "util/worker_pool.h"
 
 namespace dmemo {
+
+// DMEMO_HEARTBEAT_INTERVAL_MS (default 1000; 0 disables the detector) and
+// DMEMO_HEARTBEAT_MISSES (default 3).
+std::chrono::milliseconds HeartbeatIntervalFromEnv();
+int HeartbeatMissesFromEnv();
 
 struct MemoServerOptions {
   std::string host;        // this machine's name in ADF terms
@@ -57,6 +65,23 @@ struct MemoServerOptions {
   // Reconnect/retry policy for the peer links this server dials when
   // forwarding (DESIGN.md "Fault tolerance"). Env-tunable by default.
   RetryPolicy forward_retry = RetryPolicy::FromEnv();
+  // Failure detector (DESIGN.md "Durability & liveness"): every interval
+  // this server sends Op::kHeartbeat to each peer, carrying its folder
+  // servers' fencing epochs. After `heartbeat_misses` consecutive failed
+  // beats the peer is presumed dead. Interval 0 disables the detector.
+  std::chrono::milliseconds heartbeat_interval = HeartbeatIntervalFromEnv();
+  int heartbeat_misses = HeartbeatMissesFromEnv();
+};
+
+// What the failure detector knows about one peer memo server.
+struct PeerHealthView {
+  std::string host;
+  bool alive = true;        // false once misses >= heartbeat_misses
+  int misses = 0;           // consecutive failed beats
+  std::int64_t last_seen_micros = 0;  // MonotonicMicros of last good beat
+  // Folder-server id -> fencing epoch the peer reported in its last good
+  // heartbeat response.
+  std::unordered_map<int, std::uint64_t> epochs;
 };
 
 struct MemoServerStats {
@@ -104,6 +129,9 @@ class MemoServer {
   MemoServerStats stats() const;
   // Outbound links' traffic, one entry per peer this server dialed.
   std::vector<PeerTraffic> peer_traffic() const;
+  // Failure-detector view of every peer (empty when heartbeats are off or
+  // no beat has run yet).
+  std::vector<PeerHealthView> peer_health() const;
   WorkerPool::Stats pool_stats() const { return pool_->GetStats(); }
   // Folder servers materialized on this machine (ids from ADFs).
   std::vector<int> folder_server_ids() const;
@@ -116,6 +144,7 @@ class MemoServer {
   Result<ResilientChannelPtr> PeerChannel(const std::string& host);
 
   std::string SnapshotPath(int fs_id) const;
+  std::string WalPath(int fs_id) const;
   void MigrateApp(const std::string& app, const RoutingTable& routing);
   // Handle() after trace-id assignment and around-the-request metrics:
   // runs the at-most-once completion cache (when this server is origin or
@@ -126,6 +155,13 @@ class MemoServer {
   Response DispatchTraced(const Request& request);
   Response HandleStats() const;
   Response HandleMetrics() const;
+  Response HandleHeartbeat(const Request& request);
+  // Failure-detector thread body: beat every peer each interval, record
+  // epochs from responses, count misses, declare death loudly.
+  void HeartbeatLoop();
+  // Encoded TRecord carrying this server's folder-server epochs (the
+  // kHeartbeat request/response payload).
+  IoBuf EncodeHealthPayload() const;
   Response HandleDirected(const Request& request);
   Response HandleAlt(const Request& request, const RoutingTable& routing);
   Response ForwardToward(const std::string& target_host, Request request);
@@ -166,6 +202,17 @@ class MemoServer {
   // Leaf lock for the hot stats counters; safe under mu_.
   mutable Mutex stats_mu_{"MemoServer::stats_mu"};
   MemoServerStats stats_ DMEMO_GUARDED_BY(stats_mu_);
+
+  // Failure detector. health_mu_ is a leaf like stats_mu_: the heartbeat
+  // thread takes mu_ only to snapshot the peer list, never while holding
+  // health_mu_.
+  std::thread heartbeat_;
+  mutable Mutex health_mu_{"MemoServer::health_mu"};
+  CondVar hb_cv_;
+  bool hb_stop_ DMEMO_GUARDED_BY(health_mu_) = false;
+  std::unordered_map<std::string, PeerHealthView> peer_health_
+      DMEMO_GUARDED_BY(health_mu_);
+  Counter* heartbeat_misses_total_ = nullptr;  // dmemo_heartbeat_misses_total
 };
 
 }  // namespace dmemo

@@ -22,6 +22,7 @@ std::string_view OpName(Op op) {
     case Op::kPing: return "ping";
     case Op::kStats: return "stats";
     case Op::kMetrics: return "metrics";
+    case Op::kHeartbeat: return "heartbeat";
   }
   return "unknown";
 }
@@ -70,6 +71,7 @@ void EncodeRequestHead(const Request& req, ByteWriter& out) {
   out.u64(req.trace_id);
   out.u64(req.request_id);
   out.varint(req.deadline_ms);
+  out.varint(req.epoch);
   req.key.EncodeTo(out);
   req.key2.EncodeTo(out);
   out.varint(req.alts.size());
@@ -93,7 +95,7 @@ Result<Request> DecodeRequestBody(ByteReader& in, ReadValueFn&& read_value) {
   Request req;
   DMEMO_ASSIGN_OR_RETURN(std::uint8_t op, in.u8());
   if (op < static_cast<std::uint8_t>(Op::kPut) ||
-      op > static_cast<std::uint8_t>(Op::kMetrics)) {
+      op > static_cast<std::uint8_t>(Op::kHeartbeat)) {
     return DataLossError("unknown opcode " + std::to_string(op));
   }
   req.op = static_cast<Op>(op);
@@ -107,6 +109,7 @@ Result<Request> DecodeRequestBody(ByteReader& in, ReadValueFn&& read_value) {
     return DataLossError("deadline_ms out of range");
   }
   req.deadline_ms = static_cast<std::uint32_t>(deadline_ms);
+  DMEMO_ASSIGN_OR_RETURN(req.epoch, in.varint());
   DMEMO_ASSIGN_OR_RETURN(req.key, Key::DecodeFrom(in));
   DMEMO_ASSIGN_OR_RETURN(req.key2, Key::DecodeFrom(in));
   DMEMO_ASSIGN_OR_RETURN(std::uint64_t n_alts, in.varint());

@@ -40,6 +40,10 @@ enum class Op : std::uint8_t {
   kPing,         // liveness probe
   kStats,        // server introspection: stats as an encoded TRecord
   kMetrics,      // structured metrics + trace spans as an encoded TRecord
+  kHeartbeat,    // liveness + epoch gossip between memo servers; request
+                 // and response value are an encoded TRecord of the
+                 // sender's folder-server epochs (DESIGN.md "Durability &
+                 // liveness")
 };
 
 std::string_view OpName(Op op);
@@ -69,6 +73,12 @@ struct Request {
   // every (re)transmit; servers use it to bound forwarding waits. 0 = no
   // deadline.
   std::uint32_t deadline_ms = 0;
+  // Fencing epoch the sender believes the target folder server is serving
+  // under. 0 = unfenced (normal client traffic; always accepted). A nonzero
+  // epoch that does not match the folder server's current epoch is rejected
+  // with FAILED_PRECONDITION, so a zombie process holding a pre-failover
+  // epoch can never double-apply a mutation. Relays preserve it verbatim.
+  std::uint64_t epoch = 0;
 
   Key key;                 // put/get/...; put_delayed's key1
   Key key2;                // put_delayed's destination folder

@@ -1,0 +1,432 @@
+#include "util/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "util/retry.h"
+
+namespace dmemo {
+namespace {
+
+constexpr std::uint32_t kWalMagic = 0xd3ed1109;
+constexpr std::uint8_t kWalVersion = 1;
+constexpr std::size_t kWalHeaderBytes = 4 + 1 + 8;
+constexpr std::size_t kFrameBytes = 4 + 4;  // body_len + crc32
+
+Status Errno(const std::string& what, const std::string& path) {
+  return UnavailableError(what + " " + path + ": " + std::strerror(errno));
+}
+
+// Full-write loop over an iovec array, resuming after short writes and
+// EINTR. The iovecs are consumed destructively.
+Status WritevFull(int fd, std::vector<::iovec>& iov, const std::string& path) {
+  std::size_t idx = 0;
+  while (idx < iov.size()) {
+    const int cnt = static_cast<int>(std::min<std::size_t>(
+        iov.size() - idx, 64));  // well under every IOV_MAX
+    const ssize_t n = ::writev(fd, iov.data() + idx, cnt);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("wal write failed:", path);
+    }
+    std::size_t left = static_cast<std::size_t>(n);
+    while (idx < iov.size() && left >= iov[idx].iov_len) {
+      left -= iov[idx].iov_len;
+      ++idx;
+    }
+    if (idx < iov.size() && left > 0) {
+      iov[idx].iov_base = static_cast<char*>(iov[idx].iov_base) + left;
+      iov[idx].iov_len -= left;
+    }
+  }
+  return Status::Ok();
+}
+
+Status WriteFull(int fd, std::span<const std::uint8_t> data,
+                 const std::string& path) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + done, data.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write failed:", path);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Result<Bytes> ReadWholeFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return NotFoundError("no file at " + path);
+    return Errno("cannot open", path);
+  }
+  Bytes data;
+  std::array<std::uint8_t, 64 * 1024> buf;
+  for (;;) {
+    const ssize_t n = ::read(fd, buf.data(), buf.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status err = Errno("cannot read", path);
+      ::close(fd);
+      return err;
+    }
+    if (n == 0) break;
+    data.insert(data.end(), buf.data(), buf.data() + n);
+  }
+  ::close(fd);
+  return data;
+}
+
+Bytes EncodeWalHeader(std::uint64_t epoch) {
+  ByteWriter out;
+  out.u32(kWalMagic);
+  out.u8(kWalVersion);
+  out.u64(epoch);
+  return out.take();
+}
+
+}  // namespace
+
+std::uint32_t Crc32Update(std::uint32_t crc,
+                          std::span<const std::uint8_t> d) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) != 0 ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  crc ^= 0xffffffffu;
+  for (const std::uint8_t b : d) {
+    crc = table[(crc ^ b) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+WalOptions WalOptions::FromEnv() {
+  WalOptions opts;
+  if (const char* mode = std::getenv("DMEMO_WAL_SYNC_MODE")) {
+    if (std::strcmp(mode, "grouped") == 0) {
+      opts.sync_mode = WalSyncMode::kGrouped;
+    } else if (std::strcmp(mode, "never") == 0) {
+      opts.sync_mode = WalSyncMode::kNever;
+    } else {
+      opts.sync_mode = WalSyncMode::kAlways;
+    }
+  }
+  opts.sync_bytes = static_cast<std::uint64_t>(
+      EnvInt("DMEMO_WAL_SYNC_BYTES",
+             static_cast<std::int64_t>(opts.sync_bytes)));
+  opts.sync_interval = std::chrono::milliseconds(
+      EnvInt("DMEMO_WAL_SYNC_INTERVAL_MS", opts.sync_interval.count()));
+  return opts;
+}
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
+    const std::string& path, std::uint64_t epoch, WalOptions options) {
+  const int fd = ::open(path.c_str(),
+                        O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return Errno("cannot open WAL", path);
+  const Bytes header = EncodeWalHeader(epoch);
+  Status written = WriteFull(fd, header, path);
+  if (written.ok() && ::fsync(fd) != 0) written = Errno("wal fsync", path);
+  if (!written.ok()) {
+    ::close(fd);
+    return written;
+  }
+  return std::unique_ptr<WriteAheadLog>(
+      new WriteAheadLog(path, fd, epoch, std::move(options)));
+}
+
+WriteAheadLog::WriteAheadLog(std::string path, int fd, std::uint64_t epoch,
+                             WalOptions options)
+    : path_(std::move(path)),
+      options_(std::move(options)),
+      epoch_(epoch),
+      last_sync_(std::chrono::steady_clock::now()) {
+  auto& registry = MetricsRegistry::Global();
+  appends_ =
+      registry.GetCounter("dmemo_wal_appends_total", options_.metric_labels);
+  fsyncs_ =
+      registry.GetCounter("dmemo_wal_fsyncs_total", options_.metric_labels);
+  compactions_ = registry.GetCounter("dmemo_wal_compactions_total",
+                                     options_.metric_labels);
+  lag_ = registry.GetGauge("dmemo_wal_lag_bytes", options_.metric_labels);
+  fd_ = fd;
+  offset_ = kWalHeaderBytes;
+  durable_offset_ = kWalHeaderBytes;
+  lag_->Set(0);
+}
+
+WriteAheadLog::~WriteAheadLog() {
+  MutexLock lock(mu_);
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+Result<std::uint64_t> WriteAheadLog::Append(const WalRecord& record) {
+  // Body bytes before the payload; the payload's slices are gathered into
+  // the same writev so the zero-copy pipeline's buffers are never
+  // flattened on the way to disk.
+  ByteWriter body;
+  body.u8(record.op);
+  body.u64(record.request_id);
+  body.bytes(record.key);
+  body.bytes(record.key2);
+  body.varint(record.payload.size());
+  const Bytes& pre = body.data();
+  const std::size_t body_len = pre.size() + record.payload.size();
+
+  std::uint32_t crc = Crc32Update(0, pre);
+  for (std::size_t i = 0; i < record.payload.slice_count(); ++i) {
+    crc = Crc32Update(crc, record.payload.slice_span(i));
+  }
+  ByteWriter frame;
+  frame.u32(static_cast<std::uint32_t>(body_len));
+  frame.u32(crc);
+  const Bytes& head = frame.data();
+
+  std::vector<::iovec> iov;
+  iov.reserve(2 + record.payload.slice_count());
+  iov.push_back({const_cast<std::uint8_t*>(head.data()), head.size()});
+  iov.push_back({const_cast<std::uint8_t*>(pre.data()), pre.size()});
+  for (std::size_t i = 0; i < record.payload.slice_count(); ++i) {
+    const auto span = record.payload.slice_span(i);
+    iov.push_back({const_cast<std::uint8_t*>(span.data()), span.size()});
+  }
+
+  MutexLock lock(mu_);
+  if (fd_ < 0) return FailedPreconditionError("WAL closed: " + path_);
+  if (poisoned_) {
+    return DataLossError("WAL poisoned by an earlier failed write: " + path_);
+  }
+  Status written = WritevFull(fd_, iov, path_);
+  if (!written.ok()) {
+    // A torn record may be on disk; appending after it would misalign the
+    // record stream, so refuse everything from here on.
+    poisoned_ = true;
+    return written;
+  }
+  offset_ += kFrameBytes + body_len;
+  appends_->Increment();
+  lag_->Set(static_cast<std::int64_t>(offset_ - kWalHeaderBytes));
+  return offset_;
+}
+
+Status WriteAheadLog::Commit(std::uint64_t offset) {
+  switch (options_.sync_mode) {
+    case WalSyncMode::kNever:
+      return Status::Ok();
+    case WalSyncMode::kAlways:
+      return SyncTo(offset);
+    case WalSyncMode::kGrouped: {
+      MutexLock lock(sync_mu_);
+      if (durable_offset_ >= offset) return Status::Ok();
+      std::uint64_t appended;
+      {
+        MutexLock inner(mu_);
+        appended = offset_;
+      }
+      const auto now = std::chrono::steady_clock::now();
+      if (appended - durable_offset_ < options_.sync_bytes &&
+          now - last_sync_ < options_.sync_interval) {
+        // Group window still open: the ack goes out with the record only
+        // buffered — the documented trade of kGrouped.
+        return Status::Ok();
+      }
+      lock.Unlock();
+      return SyncTo(offset);
+    }
+  }
+  return Status::Ok();
+}
+
+Status WriteAheadLog::Sync() {
+  std::uint64_t appended;
+  {
+    MutexLock lock(mu_);
+    appended = offset_;
+  }
+  return SyncTo(appended);
+}
+
+Status WriteAheadLog::SyncTo(std::uint64_t offset) {
+  MutexLock lock(sync_mu_);
+  if (durable_offset_ >= offset) return Status::Ok();  // free ride
+  std::uint64_t appended;
+  int fd;
+  {
+    MutexLock inner(mu_);
+    if (fd_ < 0) return FailedPreconditionError("WAL closed: " + path_);
+    appended = offset_;
+    fd = fd_;
+  }
+  if (::fsync(fd) != 0) return Errno("wal fsync", path_);
+  fsyncs_->Increment();
+  durable_offset_ = appended;
+  last_sync_ = std::chrono::steady_clock::now();
+  return Status::Ok();
+}
+
+Status WriteAheadLog::Reset(std::uint64_t new_epoch) {
+  MutexLock sync_lock(sync_mu_);
+  MutexLock lock(mu_);
+  if (fd_ < 0) return FailedPreconditionError("WAL closed: " + path_);
+  if (::ftruncate(fd_, 0) != 0) return Errno("wal truncate", path_);
+  if (::lseek(fd_, 0, SEEK_SET) < 0) return Errno("wal seek", path_);
+  const Bytes header = EncodeWalHeader(new_epoch);
+  DMEMO_RETURN_IF_ERROR(WriteFull(fd_, header, path_));
+  if (::fsync(fd_) != 0) return Errno("wal fsync", path_);
+  epoch_.store(new_epoch, std::memory_order_relaxed);
+  offset_ = kWalHeaderBytes;
+  durable_offset_ = kWalHeaderBytes;
+  poisoned_ = false;
+  last_sync_ = std::chrono::steady_clock::now();
+  compactions_->Increment();
+  fsyncs_->Increment();
+  lag_->Set(0);
+  return Status::Ok();
+}
+
+std::uint64_t WriteAheadLog::size_bytes() const {
+  MutexLock lock(mu_);
+  return offset_ - kWalHeaderBytes;
+}
+
+Status WriteAheadLog::Replay(
+    const std::string& path,
+    const std::function<Status(const WalRecord&)>& apply,
+    WalReplayStats* stats) {
+  DMEMO_ASSIGN_OR_RETURN(Bytes data, ReadWholeFile(path));
+  ByteReader in(data);
+  DMEMO_ASSIGN_OR_RETURN(std::uint32_t magic, in.u32());
+  if (magic != kWalMagic) return DataLossError("not a WAL file: " + path);
+  DMEMO_ASSIGN_OR_RETURN(std::uint8_t version, in.u8());
+  if (version != kWalVersion) {
+    return DataLossError("unsupported WAL version " +
+                         std::to_string(version) + ": " + path);
+  }
+  DMEMO_ASSIGN_OR_RETURN(std::uint64_t epoch, in.u64());
+  if (stats != nullptr) stats->epoch = epoch;
+
+  while (!in.exhausted()) {
+    if (in.remaining() < kFrameBytes) {
+      if (stats != nullptr) stats->truncated_tail = true;
+      break;
+    }
+    const std::size_t record_start = in.position();
+    DMEMO_ASSIGN_OR_RETURN(std::uint32_t body_len, in.u32());
+    DMEMO_ASSIGN_OR_RETURN(std::uint32_t crc, in.u32());
+    if (body_len > in.remaining()) {
+      // The record's frame header landed but (some of) its body did not:
+      // the torn final write of a crash, not corruption.
+      if (stats != nullptr) stats->truncated_tail = true;
+      break;
+    }
+    const std::span<const std::uint8_t> body(data.data() + in.position(),
+                                             body_len);
+    if (Crc32(body) != crc) {
+      return DataLossError("WAL CRC mismatch at offset " +
+                           std::to_string(record_start) + ": " + path);
+    }
+    ByteReader rec(body);
+    WalRecord record;
+    DMEMO_ASSIGN_OR_RETURN(record.op, rec.u8());
+    DMEMO_ASSIGN_OR_RETURN(record.request_id, rec.u64());
+    DMEMO_ASSIGN_OR_RETURN(record.key, rec.bytes());
+    DMEMO_ASSIGN_OR_RETURN(record.key2, rec.bytes());
+    DMEMO_ASSIGN_OR_RETURN(Bytes payload, rec.bytes());
+    record.payload = IoBuf::FromBytes(std::move(payload));
+    DMEMO_RETURN_IF_ERROR(in.skip(body_len));
+    DMEMO_RETURN_IF_ERROR(apply(record));
+    if (stats != nullptr) {
+      ++stats->records;
+      stats->bytes = in.position();
+    }
+  }
+  return Status::Ok();
+}
+
+Result<std::uint64_t> WriteAheadLog::ReadEpoch(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return NotFoundError("no WAL at " + path);
+    return Errno("cannot open WAL", path);
+  }
+  std::array<std::uint8_t, kWalHeaderBytes> header;
+  std::size_t done = 0;
+  while (done < header.size()) {
+    const ssize_t n = ::read(fd, header.data() + done, header.size() - done);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    done += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  if (done < header.size()) {
+    return DataLossError("WAL header truncated: " + path);
+  }
+  ByteReader in{std::span<const std::uint8_t>(header)};
+  DMEMO_ASSIGN_OR_RETURN(std::uint32_t magic, in.u32());
+  if (magic != kWalMagic) return DataLossError("not a WAL file: " + path);
+  DMEMO_ASSIGN_OR_RETURN(std::uint8_t version, in.u8());
+  if (version != kWalVersion) {
+    return DataLossError("unsupported WAL version " +
+                         std::to_string(version) + ": " + path);
+  }
+  return in.u64();
+}
+
+Status AtomicWriteFileDurably(const std::string& path,
+                              std::span<const std::uint8_t> data) {
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return Errno("cannot open", tmp);
+  Status written = WriteFull(fd, data, tmp);
+  // The temp file must be durable before the rename publishes it, or a
+  // crash after the rename can expose a torn or empty snapshot.
+  if (written.ok() && ::fsync(fd) != 0) written = Errno("fsync", tmp);
+  if (::close(fd) != 0 && written.ok()) written = Errno("close", tmp);
+  if (!written.ok()) return written;
+
+  // Keep the outgoing generation as `.prev` — the corrupt-primary
+  // fall-back. ENOENT just means there was no previous generation.
+  if (std::rename(path.c_str(), (path + ".prev").c_str()) != 0 &&
+      errno != ENOENT) {
+    return Errno("cannot rotate previous generation of", path);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Errno("cannot publish", path);
+  }
+
+  // The renames live in the directory; fsync it so they survive power
+  // loss too.
+  std::string dir = path;
+  const std::size_t slash = dir.find_last_of('/');
+  dir = slash == std::string::npos ? "." : dir.substr(0, slash);
+  const int dirfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dirfd < 0) return Errno("cannot open directory", dir);
+  const int rc = ::fsync(dirfd);
+  ::close(dirfd);
+  if (rc != 0) return Errno("fsync directory", dir);
+  return Status::Ok();
+}
+
+}  // namespace dmemo

@@ -1,0 +1,176 @@
+// Write-ahead log for folder-server durability.
+//
+// A WriteAheadLog is a per-folder-server append-only file of mutation
+// records. Every directory mutation is appended (and made durable per the
+// sync mode) *before* it is acknowledged to the client; after a crash the
+// log is replayed on top of the last snapshot, so an acknowledged memo is
+// never lost and — because records carry the PR-3 request_ids — a client
+// retransmit that crosses the crash is still answered at-most-once
+// (DESIGN.md "Durability & liveness").
+//
+// On-disk format (all integers big-endian, matching the wire protocol):
+//
+//   header   u32 magic  u8 version  u64 epoch
+//   record   u32 body_len  u32 crc32(body)  body
+//   body     u8 op  u64 request_id  bytes key  bytes key2  bytes payload
+//
+// The epoch in the header is the fencing epoch the log was opened under;
+// recovery reads it with ReadEpoch, replays, and re-opens the log at
+// epoch + 1 so a zombie process still writing under the old epoch can be
+// rejected. A torn tail (partial final record, the normal result of
+// kill -9 mid-append) is not an error: Replay stops cleanly at the last
+// complete record. A CRC mismatch *inside* the record stream is real
+// corruption and fails replay loudly with DATA_LOSS.
+//
+// Concurrency: Append serializes on an internal mutex and does not sync;
+// Commit(offset) makes everything up to `offset` durable and group-commits
+// naturally — a committer that finds its offset already durable (a
+// concurrent committer's fsync covered it) returns without syncing.
+// Lock ranks: sync_mu_ before mu_; neither is ever held while calling out.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "util/bytes.h"
+#include "util/iobuf.h"
+#include "util/metrics.h"
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace dmemo {
+
+// CRC32 (IEEE 802.3, reflected — the zlib polynomial). Chainable:
+// Crc32Update(Crc32Update(0, a), b) == Crc32(a ++ b), which is how a
+// record split across header bytes and payload slices is summed without
+// first flattening it.
+std::uint32_t Crc32Update(std::uint32_t crc, std::span<const std::uint8_t> d);
+inline std::uint32_t Crc32(std::span<const std::uint8_t> d) {
+  return Crc32Update(0, d);
+}
+
+// One logged mutation. The key bytes are opaque to the log (the folder
+// server stores encoded QualifiedKeys), and the payload is an IoBuf so the
+// zero-copy pipeline's slices are written with one gathered writev, never
+// flattened.
+struct WalRecord {
+  std::uint8_t op = 0;           // Op the folder server applied
+  std::uint64_t request_id = 0;  // at-most-once identity; 0 = untracked
+  Bytes key;                     // encoded folder key
+  Bytes key2;                    // put_delayed destination; empty otherwise
+  IoBuf payload;                 // memo value bytes
+};
+
+enum class WalSyncMode : std::uint8_t {
+  kAlways,   // fsync before every ack — the zero-acked-loss guarantee
+  kGrouped,  // fsync when >= sync_bytes accumulate or sync_interval passes
+  kNever,    // never fsync (tests / expendable data)
+};
+
+struct WalOptions {
+  WalSyncMode sync_mode = WalSyncMode::kAlways;
+  std::uint64_t sync_bytes = 256 * 1024;          // kGrouped threshold
+  std::chrono::milliseconds sync_interval{5};     // kGrouped threshold
+  std::string metric_labels;                      // e.g. fs="0@hostA"
+
+  // DMEMO_WAL_SYNC_MODE=always|grouped|never, DMEMO_WAL_SYNC_BYTES,
+  // DMEMO_WAL_SYNC_INTERVAL_MS.
+  static WalOptions FromEnv();
+};
+
+struct WalReplayStats {
+  std::uint64_t records = 0;      // complete records delivered to apply
+  std::uint64_t bytes = 0;        // bytes consumed (header + records)
+  std::uint64_t epoch = 0;        // epoch stored in the header
+  bool truncated_tail = false;    // log ended mid-record (torn final write)
+};
+
+class WriteAheadLog {
+ public:
+  // Creates (or truncates) the log and writes a durable header stamped
+  // with `epoch`. Truncation is deliberate: the one caller recovers by
+  // snapshotting *first*, so the old records are already folded in.
+  static Result<std::unique_ptr<WriteAheadLog>> Open(const std::string& path,
+                                                     std::uint64_t epoch,
+                                                     WalOptions options);
+
+  ~WriteAheadLog();
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  // Append one record without forcing durability; returns the log offset
+  // past the record, which Commit() takes. A failed write poisons the log
+  // (a torn record may be on disk), so every later append fails too.
+  Result<std::uint64_t> Append(const WalRecord& record);
+
+  // Make everything up to `offset` durable per the sync mode. Under
+  // kAlways this is where the group commit happens: concurrent committers
+  // whose records were covered by another thread's fsync return free.
+  Status Commit(std::uint64_t offset);
+
+  // Unconditional fsync of everything appended so far.
+  Status Sync();
+
+  // Compaction: truncate to a fresh durable header at `new_epoch`. The
+  // caller must have snapshotted the state the old records produced.
+  Status Reset(std::uint64_t new_epoch);
+
+  // Stream the log at `path` through `apply` in append order. Stops
+  // cleanly (OK, stats->truncated_tail) at a torn tail; fails with
+  // DATA_LOSS on a bad magic/version or a CRC mismatch, with every record
+  // before the corruption already applied. NOT_FOUND if no log exists.
+  static Status Replay(const std::string& path,
+                       const std::function<Status(const WalRecord&)>& apply,
+                       WalReplayStats* stats);
+
+  // Epoch stored in the header of the log at `path`; NOT_FOUND if absent.
+  static Result<std::uint64_t> ReadEpoch(const std::string& path);
+
+  std::uint64_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
+  const std::string& path() const { return path_; }
+
+  // Bytes of logged-but-not-compacted records — the "WAL lag" a restart
+  // would have to replay (also exported as dmemo_wal_lag_bytes).
+  std::uint64_t size_bytes() const;
+
+ private:
+  WriteAheadLog(std::string path, int fd, std::uint64_t epoch,
+                WalOptions options);
+
+  Status SyncTo(std::uint64_t offset);
+
+  const std::string path_;
+  const WalOptions options_;
+  std::atomic<std::uint64_t> epoch_;
+
+  Counter* appends_;
+  Counter* fsyncs_;
+  Counter* compactions_;
+  Gauge* lag_;
+
+  // Group-commit leader lock; ranked before mu_.
+  Mutex sync_mu_{"WriteAheadLog::sync_mu"};
+  std::uint64_t durable_offset_ DMEMO_GUARDED_BY(sync_mu_) = 0;
+  std::chrono::steady_clock::time_point last_sync_ DMEMO_GUARDED_BY(sync_mu_);
+
+  // Serializes appends and guards the file offset.
+  mutable Mutex mu_{"WriteAheadLog::mu"};
+  int fd_ DMEMO_GUARDED_BY(mu_) = -1;
+  std::uint64_t offset_ DMEMO_GUARDED_BY(mu_) = 0;
+  bool poisoned_ DMEMO_GUARDED_BY(mu_) = false;
+};
+
+// Durable atomic file publish, shared by the snapshot writer: write
+// `path`.tmp, fsync it, keep any existing `path` as `path`.prev (the
+// fall-back generation LoadFrom uses when the primary is corrupt), rename
+// tmp over `path`, and fsync the directory so the rename itself survives
+// power loss.
+Status AtomicWriteFileDurably(const std::string& path,
+                              std::span<const std::uint8_t> data);
+
+}  // namespace dmemo

@@ -390,7 +390,7 @@ IoBuf RandomValue(SplitMix64& rng) {
 
 Request RandomRequest(SplitMix64& rng) {
   Request req;
-  req.op = static_cast<Op>(1 + rng.NextBelow(12));
+  req.op = static_cast<Op>(1 + rng.NextBelow(13));  // kPut..kHeartbeat
   req.app = "app" + std::to_string(rng.NextBelow(10));
   req.target_host = rng.NextBelow(2) ? "host" + std::to_string(rng.Next() % 8)
                                      : std::string();
@@ -398,6 +398,7 @@ Request RandomRequest(SplitMix64& rng) {
   req.trace_id = rng.Next();
   req.request_id = rng.Next();
   req.deadline_ms = static_cast<std::uint32_t>(rng.Next());
+  req.epoch = rng.Next();
   req.key = RandomKey(rng);
   req.key2 = RandomKey(rng);
   const std::size_t alts = rng.NextBelow(4);
@@ -444,6 +445,7 @@ TEST_P(ZeroCopyPropertyTest, RequestIoBufEncodingIsByteIdentical) {
     EXPECT_EQ(decoded->trace_id, req.trace_id);
     EXPECT_EQ(decoded->request_id, req.request_id);
     EXPECT_EQ(decoded->deadline_ms, req.deadline_ms);
+    EXPECT_EQ(decoded->epoch, req.epoch);
     EXPECT_EQ(decoded->key, req.key);
     EXPECT_EQ(decoded->key2, req.key2);
     EXPECT_EQ(decoded->alts, req.alts);
