@@ -25,7 +25,8 @@ void PoolRequest(benchmark::State& state) {
   opts.cache_ttl = ttl;
   WorkerPool pool(opts);
   for (auto _ : state) {
-    pool.Submit([] {});
+    // The pool is live for the whole loop, so Submit cannot fail here.
+    (void)pool.Submit([] {});
     pool.Drain();
   }
   auto stats = pool.GetStats();
@@ -48,7 +49,8 @@ void PoolBurst(benchmark::State& state) {
   std::atomic<int> done{0};
   for (auto _ : state) {
     for (int i = 0; i < 64; ++i) {
-      pool.Submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+      (void)pool.Submit(
+          [&done] { done.fetch_add(1, std::memory_order_relaxed); });
     }
     pool.Drain();
   }
@@ -75,7 +77,7 @@ void PoolTtlSweep(benchmark::State& state) {
   WorkerPool pool(opts);
   for (auto _ : state) {
     for (int i = 0; i < 8; ++i) {
-      pool.Submit([] {});
+      (void)pool.Submit([] {});
     }
     pool.Drain();
     // Inter-burst gap, untimed: models request trains with idle valleys.

@@ -8,33 +8,15 @@ set -euo pipefail
 
 build_dir="${1:-build}"
 
-# Zero-copy gate: request/response payloads are IoBufs whose slices share
-# the received buffer (DESIGN.md §11). A `Bytes x = req.value...`-style
-# assignment or a Flatten() of a payload on the server/transport hot path
-# reintroduces a deep copy per message — flag it before clang even runs.
-echo "check_lint: zero-copy payload gate over src/server src/transport"
-if grep -rnE \
-    'Bytes [A-Za-z_]+ *= *[A-Za-z_]+(\.|->)value|value\.Flatten\(\)' \
-    src/server src/transport; then
-  echo "check_lint: payload copied into Bytes on the hot path;" \
-       "keep it an IoBuf (or justify with a counted IoBuf copy point)" >&2
-  exit 1
+# Project-specific invariants (lock ranks, blocking-under-lock, protocol
+# and registry drift, plus the zero-copy and WAL gates that used to be
+# inline greps here) are checked by dmemo-analyze (tools/analyze). Build it
+# if the build dir doesn't have it yet, then run it over the repo.
+echo "check_lint: dmemo-analyze over src/ and the docs"
+if [[ ! -x "$build_dir/tools/analyze/dmemo-analyze" ]]; then
+  cmake --build "$build_dir" --target dmemo-analyze
 fi
-
-# WAL gate: every directory mutation in the folder server must go through
-# the write-ahead log (DESIGN.md "Durability & liveness") — an unlogged
-# Put/Get is a memo that silently vanishes or doubles after a crash. Each
-# legitimate apply site carries a `wal:applied` marker on the same line;
-# GetCopy/Count/Keys are non-mutating and exempt.
-echo "check_lint: WAL mutation gate over src/server/folder_server.cc"
-if grep -nE \
-    'directory_\.(Put|PutDelayed|Get|GetFor|GetSkip|GetAlt|GetAltFor|GetAltSkip|TakeEqual)\(' \
-    src/server/folder_server.cc | grep -v 'wal:applied'; then
-  echo "check_lint: unlogged directory mutation in folder_server.cc;" \
-       "route it through LoggedPut/LogExtraction (or mark the apply site" \
-       "with // wal:applied)" >&2
-  exit 1
-fi
+"$build_dir/tools/analyze/dmemo-analyze" --repo .
 
 if ! command -v clang-format >/dev/null; then
   echo "check_lint: clang-format not found" >&2

@@ -49,7 +49,7 @@ class DMEMO_CAPABILITY("lock") Lock {
   }
 
   // Non-blocking attempt; true when the lock was taken.
-  bool TryAcquire() DMEMO_TRY_ACQUIRE(true) DMEMO_NO_THREAD_SAFETY_ANALYSIS {
+  [[nodiscard]] bool TryAcquire() DMEMO_TRY_ACQUIRE(true) DMEMO_NO_THREAD_SAFETY_ANALYSIS {
     const bool taken = TryAcquireImpl();
 #ifdef DMEMO_LOCK_ORDER_CHECKS
     if (taken) {

@@ -329,8 +329,11 @@ int main(int argc, char** argv) {
       opts.health = true;
     } else if (arg == "--watch") {
       if (i + 1 >= argc) return Usage(argv[0]);
-      opts.watch_seconds = std::atoi(argv[++i]);
-      if (opts.watch_seconds <= 0) return Usage(argv[0]);
+      char* end = nullptr;
+      opts.watch_seconds = static_cast<int>(std::strtol(argv[++i], &end, 10));
+      if (end == nullptr || *end != '\0' || opts.watch_seconds <= 0) {
+        return Usage(argv[0]);
+      }
       opts.metrics = true;
     } else if (!arg.empty() && arg[0] == '-') {
       return Usage(argv[0]);

@@ -74,7 +74,7 @@ class ResilientChannel {
 
   // Fails in-flight calls and refuses new ones. Idempotent.
   void Close();
-  bool closed() const;
+  [[nodiscard]] bool closed() const;
 
   const std::string& url() const { return url_; }
   std::string description() const;

@@ -149,6 +149,8 @@ Status RpcChannel::SendFrame(std::uint8_t kind, std::uint64_t id,
   Status sent;
   {
     MutexLock lock(send_mu_);
+    // send_mu_ exists to serialize whole frames onto the wire; the send
+    // analyze:allow(blocking-under-lock) blocking under it is its purpose
     sent = conn_->SendBuf(frame);
   }
   if (sent.ok()) {
@@ -212,9 +214,9 @@ void RpcChannel::HandleRequest(std::uint64_t id, Request request) {
     self->requests_handled_.fetch_add(1, std::memory_order_relaxed);
     (void)self->SendFrame(kKindResponse, id, response.EncodeToIoBuf());
   };
-  if (pool_ != nullptr) {
-    pool_->Submit(std::move(work));
-  } else {
+  if (pool_ == nullptr || !pool_->Submit(work)) {
+    // No pool, or the pool already shut down: run inline so the peer still
+    // gets a response instead of timing out on a silently dropped request.
     work();
   }
 }

@@ -53,7 +53,7 @@ class RpcChannel : public std::enable_shared_from_this<RpcChannel> {
 
   // Closes the connection and fails all outstanding calls.
   void Close();
-  bool closed() const;
+  [[nodiscard]] bool closed() const;
 
   // Traffic counters (bytes on the wire, both directions), for the
   // link-traffic experiments.

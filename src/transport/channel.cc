@@ -166,7 +166,9 @@ struct FragmentingMux::Impl {
         partial.erase(packet->vc);
       }
       FragMessagesReassembled()->Increment();
-      queue->Push(std::move(complete));
+      // A false Push means the VC's queue closed mid-reassembly (shutdown);
+      // dropping the message is correct — nobody will receive on it again.
+      (void)queue->Push(std::move(complete));
     }
   }
 

@@ -191,10 +191,10 @@ SimNetwork::SimNetwork() : impl_(std::make_unique<Impl>()) {}
 SimNetwork::~SimNetwork() = default;
 
 void SimNetwork::SetDefaultLinkProfile(SimLinkProfile profile) {
-  MutexLock lock(impl_->mu);
+  MutexLock lock(impl_->mu);  // analyze:lock(SimNetwork::mu)
   impl_->default_profile = profile;
   for (auto& [name, state] : impl_->links) {
-    MutexLock slock(state->mu);
+    MutexLock slock(state->mu);  // analyze:lock(SimNetwork::LinkState::mu)
     if (!state->has_override) state->profile = profile;
   }
 }
@@ -202,7 +202,7 @@ void SimNetwork::SetDefaultLinkProfile(SimLinkProfile profile) {
 void SimNetwork::SetEndpointLinkProfile(const std::string& endpoint,
                                         SimLinkProfile profile) {
   auto state = impl_->StateFor(endpoint);
-  MutexLock lock(state->mu);
+  MutexLock lock(state->mu);  // analyze:lock(SimNetwork::LinkState::mu)
   state->profile = profile;
   state->has_override = true;
 }
@@ -211,7 +211,7 @@ void SimNetwork::Partition(const std::string& endpoint) {
   auto state = impl_->StateFor(endpoint);
   std::vector<PipePtr> live;
   {
-    MutexLock lock(state->mu);
+    MutexLock lock(state->mu);  // analyze:lock(SimNetwork::LinkState::mu)
     state->partitioned = true;
     for (auto& weak : state->pipes) {
       if (auto pipe = weak.lock()) live.push_back(std::move(pipe));
@@ -225,15 +225,15 @@ void SimNetwork::Partition(const std::string& endpoint) {
 
 void SimNetwork::Heal(const std::string& endpoint) {
   auto state = impl_->StateFor(endpoint);
-  MutexLock lock(state->mu);
+  MutexLock lock(state->mu);  // analyze:lock(SimNetwork::LinkState::mu)
   state->partitioned = false;
 }
 
 void SimNetwork::SeedFaults(std::uint64_t seed) {
-  MutexLock lock(impl_->mu);
+  MutexLock lock(impl_->mu);  // analyze:lock(SimNetwork::mu)
   impl_->fault_seed = seed;
   for (auto& [name, state] : impl_->links) {
-    MutexLock slock(state->mu);
+    MutexLock slock(state->mu);  // analyze:lock(SimNetwork::LinkState::mu)
     state->rng = SplitMix64(seed ^ Fnv1a64(name));
   }
 }
@@ -263,7 +263,7 @@ class SimListener final : public Listener {
   void Close() override {
     backlog_->Close();
     if (auto network = network_.lock()) {
-      MutexLock lock(network->impl().mu);
+      MutexLock lock(network->impl().mu);  // analyze:lock(SimNetwork::mu)
       auto it = network->impl().listeners.find(name_);
       if (it != network->impl().listeners.end() &&
           it->second == backlog_) {
@@ -290,7 +290,7 @@ class SimTransport final : public Transport {
     LinkStatePtr link = network_->impl().StateFor(name);
     std::shared_ptr<BlockingQueue<ConnectionPtr>> backlog;
     {
-      MutexLock lock(network_->impl().mu);
+      MutexLock lock(network_->impl().mu);  // analyze:lock(SimNetwork::mu)
       auto it = network_->impl().listeners.find(name);
       if (it == network_->impl().listeners.end()) {
         return UnavailableError("no sim listener at " + name);
@@ -300,7 +300,7 @@ class SimTransport final : public Transport {
     auto a_to_b = std::make_shared<Pipe>();
     auto b_to_a = std::make_shared<Pipe>();
     {
-      MutexLock lock(link->mu);
+      MutexLock lock(link->mu);  // analyze:lock(SimNetwork::LinkState::mu)
       if (link->partitioned) {
         return UnavailableError("sim endpoint " + name + " partitioned");
       }
@@ -323,7 +323,7 @@ class SimTransport final : public Transport {
     const std::string name = StripScheme(address);
     auto backlog = std::make_shared<BlockingQueue<ConnectionPtr>>();
     {
-      MutexLock lock(network_->impl().mu);
+      MutexLock lock(network_->impl().mu);  // analyze:lock(SimNetwork::mu)
       auto [it, inserted] =
           network_->impl().listeners.emplace(name, backlog);
       if (!inserted) {

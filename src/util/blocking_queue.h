@@ -26,7 +26,7 @@ class BlockingQueue {
       : mu_("BlockingQueue::mu"), capacity_(capacity) {}
 
   // Returns false if the queue is closed.
-  bool Push(T item) {
+  [[nodiscard]] bool Push(T item) {
     MutexLock lock(mu_);
     while (!closed_ && capacity_ != 0 && items_.size() >= capacity_) {
       not_full_.Wait(mu_);
@@ -46,7 +46,7 @@ class BlockingQueue {
   }
 
   // Blocks until an item is available or the queue is closed and drained.
-  std::optional<T> Pop() {
+  [[nodiscard]] std::optional<T> Pop() {
     MutexLock lock(mu_);
     while (!closed_ && items_.empty()) {
       not_empty_.Wait(mu_);
@@ -55,7 +55,7 @@ class BlockingQueue {
   }
 
   // Like Pop but gives up after `timeout`.
-  std::optional<T> PopFor(std::chrono::nanoseconds timeout) {
+  [[nodiscard]] std::optional<T> PopFor(std::chrono::nanoseconds timeout) {
     MutexLock lock(mu_);
     const auto deadline = std::chrono::steady_clock::now() + timeout;
     while (!closed_ && items_.empty()) {
@@ -66,7 +66,7 @@ class BlockingQueue {
     return PopLocked();
   }
 
-  std::optional<T> TryPop() {
+  [[nodiscard]] std::optional<T> TryPop() {
     MutexLock lock(mu_);
     return PopLocked();
   }
@@ -78,12 +78,12 @@ class BlockingQueue {
     not_full_.NotifyAll();
   }
 
-  bool closed() const {
+  [[nodiscard]] bool closed() const {
     MutexLock lock(mu_);
     return closed_;
   }
 
-  std::size_t size() const {
+  [[nodiscard]] std::size_t size() const {
     MutexLock lock(mu_);
     return items_.size();
   }

@@ -60,7 +60,7 @@ class DMEMO_CAPABILITY("mutex") Mutex {
     mu_.unlock();
   }
 
-  bool TryLock() DMEMO_TRY_ACQUIRE(true) DMEMO_NO_THREAD_SAFETY_ANALYSIS {
+  [[nodiscard]] bool TryLock() DMEMO_TRY_ACQUIRE(true) DMEMO_NO_THREAD_SAFETY_ANALYSIS {
     const bool taken = mu_.try_lock();
 #ifdef DMEMO_LOCK_ORDER_CHECKS
     if (taken) lock_order::OnTryAcquired(this, name_);

@@ -278,6 +278,8 @@ Status WriteAheadLog::SyncTo(std::uint64_t offset) {
     appended = offset_;
     fd = fd_;
   }
+  // Group-commit leader: fsync runs under sync_mu_ only (mu_ released above)
+  // analyze:allow(blocking-under-lock) so appenders keep making progress
   if (::fsync(fd) != 0) return Errno("wal fsync", path_);
   fsyncs_->Increment();
   durable_offset_ = appended;
@@ -293,6 +295,8 @@ Status WriteAheadLog::Reset(std::uint64_t new_epoch) {
   if (::lseek(fd_, 0, SEEK_SET) < 0) return Errno("wal seek", path_);
   const Bytes header = EncodeWalHeader(new_epoch);
   DMEMO_RETURN_IF_ERROR(WriteFull(fd_, header, path_));
+  // Epoch reset is a full stop-the-WAL barrier; everything must wait
+  // analyze:allow(blocking-under-lock) for the truncate+header+fsync
   if (::fsync(fd_) != 0) return Errno("wal fsync", path_);
   epoch_.store(new_epoch, std::memory_order_relaxed);
   offset_ = kWalHeaderBytes;

@@ -55,7 +55,7 @@ class WorkerPool {
   WorkerPool& operator=(const WorkerPool&) = delete;
 
   // Enqueue a task. Returns false after Shutdown().
-  bool Submit(std::function<void()> task);
+  [[nodiscard]] bool Submit(std::function<void()> task);
 
   // Block until all queued and running tasks have finished.
   void Drain();

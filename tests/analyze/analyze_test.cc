@@ -1,0 +1,305 @@
+// Golden-file self-tests for dmemo-analyze (tools/analyze). Each rule
+// family gets a violation fixture, a clean fixture, and an allowlisted
+// fixture; multi-file rule inputs (protocol, registry) live in sectioned
+// fixtures split on "//== <path>" lines.
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analyzer.h"
+
+namespace dmemo::analyze {
+namespace {
+
+std::string ReadFixture(const std::string& name) {
+  const std::string path = std::string(DMEMO_ANALYZE_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// Splits a sectioned fixture into SourceFiles. A line "//== some/path"
+// starts a new section whose path is the rest of the line.
+std::vector<SourceFile> SplitSections(const std::string& content) {
+  std::vector<SourceFile> files;
+  std::istringstream in(content);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("//== ", 0) == 0) {
+      files.push_back({line.substr(5), ""});
+      continue;
+    }
+    if (files.empty()) {
+      ADD_FAILURE() << "fixture content before first section";
+      continue;
+    }
+    files.back().content += line;
+    files.back().content += '\n';
+  }
+  return files;
+}
+
+RankTable FixtureRanks() {
+  RankTable table;
+  std::string error;
+  EXPECT_TRUE(ParseRankTable(ReadFixture("ranks.def"), &table, &error))
+      << error;
+  return table;
+}
+
+AnalyzeInput LockInput(const std::string& fixture) {
+  AnalyzeInput input;
+  input.sources.push_back({"src/fixture/" + fixture, ReadFixture(fixture)});
+  input.ranks = FixtureRanks();
+  input.blocking = ParseWordList("Send\nReceive\nfsync\nPop\n");
+  return input;
+}
+
+int CountMessage(const std::vector<Finding>& findings,
+                 const std::string& substring) {
+  int n = 0;
+  for (const Finding& f : findings) {
+    if (f.message.find(substring) != std::string::npos) ++n;
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Lexer + config parsing
+// ---------------------------------------------------------------------------
+
+TEST(Lexer, TokensCommentsAndLiterals) {
+  const std::string src =
+      "#include <x>\n"
+      "// a comment\n"
+      "int n = 0x5bf0'3635;  // trailing\n"
+      "auto s = R\"x(raw \" text)x\";\n";
+  Lexed lx = Lex(src);
+  ASSERT_GE(lx.tokens.size(), 6u);
+  EXPECT_EQ(lx.tokens[0].text, "int");  // preprocessor line skipped
+  EXPECT_EQ(lx.tokens[1].text, "n");
+  EXPECT_EQ(lx.tokens[3].text, "0x5bf0'3635");
+  EXPECT_EQ(lx.tokens[3].kind, Token::kNumber);
+  bool found_raw = false;
+  for (const Token& t : lx.tokens) {
+    if (t.kind == Token::kString && t.text == "raw \" text") found_raw = true;
+  }
+  EXPECT_TRUE(found_raw);
+  EXPECT_NE(lx.comments.count(2), 0u);
+  EXPECT_NE(lx.comments.count(3), 0u);
+  EXPECT_EQ(lx.comments.count(4), 0u);
+}
+
+TEST(RankTable, ParsesRanksAndLeaves) {
+  RankTable table = FixtureRanks();
+  EXPECT_EQ(table.rank.at("Widget::mu"), 10);
+  EXPECT_EQ(table.rank.at("Pool::mu"), 20);
+  EXPECT_NE(table.leaf.count("Widget::stats_mu"), 0u);
+  EXPECT_TRUE(table.Known("Widget::stats_mu"));
+  EXPECT_FALSE(table.Known("Nope::mu"));
+}
+
+TEST(RankTable, RejectsMalformedLines) {
+  RankTable table;
+  std::string error;
+  EXPECT_FALSE(ParseRankTable("rank x Widget::mu\n", &table, &error));
+  EXPECT_FALSE(ParseRankTable("frobnicate Widget::mu\n", &table, &error));
+}
+
+TEST(MutexIndexTest, CanonicalNamesFromLiteralsAndClass) {
+  std::vector<SourceFile> sources = {
+      {"src/fixture/widget.h",
+       "class Widget {\n"
+       "  Mutex mu_{\"Widget::mu\"};\n"
+       "  Mutex plain_mu_;\n"
+       "};\n"}};
+  MutexIndex index = BuildMutexIndex(sources);
+  EXPECT_EQ(index.by_class.at({"Widget", "mu_"}), "Widget::mu");
+  EXPECT_EQ(index.by_class.at({"Widget", "plain_mu_"}), "Widget::plain_mu");
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: lock-rank
+// ---------------------------------------------------------------------------
+
+TEST(LockRank, DetectsReversedPair) {
+  std::vector<Finding> findings =
+      CheckLockRank(LockInput("lock_rank_violation.cxx"));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "lock-rank");
+  EXPECT_FALSE(findings[0].allowlisted);
+  EXPECT_NE(findings[0].message.find("ranks must strictly increase"),
+            std::string::npos)
+      << findings[0].message;
+}
+
+TEST(LockRank, CleanNestingPasses) {
+  EXPECT_TRUE(CheckLockRank(LockInput("lock_rank_clean.cxx")).empty());
+}
+
+TEST(LockRank, AllowMarkerNeedsJustification) {
+  std::vector<Finding> findings =
+      CheckLockRank(LockInput("lock_rank_allowlisted.cxx"));
+  ASSERT_EQ(findings.size(), 2u);
+  int allowlisted = 0;
+  int bare_marker = 0;
+  for (const Finding& f : findings) {
+    if (f.allowlisted) {
+      ++allowlisted;
+      EXPECT_NE(f.justification.find("startup path"), std::string::npos);
+    } else {
+      ++bare_marker;
+      EXPECT_NE(f.message.find("missing justification"), std::string::npos)
+          << f.message;
+    }
+  }
+  EXPECT_EQ(allowlisted, 1);
+  EXPECT_EQ(bare_marker, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: blocking-under-lock
+// ---------------------------------------------------------------------------
+
+TEST(Blocking, DetectsSendUnderLock) {
+  std::vector<Finding> findings =
+      CheckBlockingUnderLock(LockInput("blocking_violation.cxx"));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "blocking-under-lock");
+  EXPECT_EQ(findings[0].line, 6);
+  EXPECT_NE(findings[0].message.find("'Send'"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("Widget::mu"), std::string::npos);
+}
+
+TEST(Blocking, ScopeExitAndLambdasAreClean) {
+  EXPECT_TRUE(
+      CheckBlockingUnderLock(LockInput("blocking_clean.cxx")).empty());
+}
+
+TEST(Blocking, AllowMarkerSuppresses) {
+  std::vector<Finding> findings =
+      CheckBlockingUnderLock(LockInput("blocking_allowlisted.cxx"));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(findings[0].allowlisted);
+  EXPECT_NE(findings[0].justification.find("serializing whole frames"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: protocol drift
+// ---------------------------------------------------------------------------
+
+AnalyzeInput ProtocolInput(const std::string& fixture) {
+  AnalyzeInput input;
+  std::vector<SourceFile> sections = SplitSections(ReadFixture(fixture));
+  for (SourceFile& s : sections) {
+    if (s.path.find(".md") != std::string::npos) {
+      input.docs.push_back(std::move(s));
+    } else {
+      input.sources.push_back(std::move(s));
+    }
+  }
+  return input;
+}
+
+TEST(Protocol, CleanSetPasses) {
+  std::vector<Finding> findings =
+      CheckProtocolDrift(ProtocolInput("protocol_clean.txt"));
+  EXPECT_TRUE(findings.empty())
+      << (findings.empty() ? "" : findings[0].message);
+}
+
+TEST(Protocol, DetectsEveryDriftKind) {
+  std::vector<Finding> findings =
+      CheckProtocolDrift(ProtocolInput("protocol_drift.txt"));
+  for (const Finding& f : findings) EXPECT_EQ(f.rule, "protocol-drift");
+  // Undocumented op (the seeded acceptance case).
+  EXPECT_EQ(CountMessage(findings,
+                         "op 'ping' (kPing) is missing from the PROTOCOL.md"),
+            1);
+  // Doc row with the wrong code.
+  EXPECT_EQ(CountMessage(findings, "documented as code 5 but the enum says 2"),
+            1);
+  // Doc row for an op that does not exist.
+  EXPECT_EQ(
+      CountMessage(findings, "documents op 'stat' which does not exist"), 1);
+  // Op never dispatched.
+  EXPECT_EQ(CountMessage(findings, "'kPing' is never dispatched"), 1);
+  // Decode field-order drift.
+  EXPECT_EQ(CountMessage(findings, "wire field order drift"), 1);
+  // Encoder that misses a field.
+  EXPECT_EQ(CountMessage(findings, "never encodes field 'value'"), 1);
+  EXPECT_EQ(findings.size(), 6u);
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4: registry drift
+// ---------------------------------------------------------------------------
+
+TEST(Registry, DetectsEveryDriftKind) {
+  AnalyzeInput input = ProtocolInput("registry_drift.txt");
+  std::vector<Finding> findings = CheckRegistryDrift(input);
+  for (const Finding& f : findings) EXPECT_EQ(f.rule, "registry-drift");
+  EXPECT_EQ(CountMessage(findings,
+                         "env var 'DMEMO_FIXTURE_MODE' is read here but not "
+                         "documented — did you mean 'DMEMO_FIXTURE_MODES'?"),
+            1);
+  EXPECT_EQ(CountMessage(findings,
+                         "docs mention env var 'DMEMO_FIXTURE_MODES'"),
+            1);
+  EXPECT_EQ(CountMessage(findings,
+                         "metric 'dmemo_fix_ops_total' is registered here"),
+            1);
+  EXPECT_EQ(CountMessage(findings,
+                         "docs mention metric 'dmemo_fix_gone_total' but no "
+                         "code registers it — did you mean "
+                         "'dmemo_fix_good_total'?"),
+            1);
+  EXPECT_EQ(CountMessage(findings,
+                         "metric 'dmemo_fix_dup_total' is registered as "
+                         "multiple types (GetCounter, GetGauge)"),
+            1);
+  EXPECT_EQ(findings.size(), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Rules 5+6: the absorbed lint greps
+// ---------------------------------------------------------------------------
+
+TEST(ZeroCopy, FlagsFlattenOnMessagePathOnly) {
+  const std::string content = ReadFixture("zero_copy_violation.cxx");
+  AnalyzeInput on_path;
+  on_path.sources.push_back({"src/server/zc_fixture.cc", content});
+  std::vector<Finding> findings = CheckZeroCopy(on_path);
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, "zero-copy");
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_EQ(findings[1].line, 4);
+
+  AnalyzeInput off_path;
+  off_path.sources.push_back({"src/folder/zc_fixture.cc", content});
+  EXPECT_TRUE(CheckZeroCopy(off_path).empty());
+}
+
+TEST(WalMutation, FlagsUnmarkedMutationsInFolderServerOnly) {
+  const std::string content = ReadFixture("wal_mutation.cxx");
+  AnalyzeInput in_server;
+  in_server.sources.push_back({"src/server/folder_server.cc", content});
+  std::vector<Finding> findings = CheckWalMutation(in_server);
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, "wal-mutation");
+  EXPECT_EQ(findings[0].line, 4);
+  EXPECT_EQ(findings[1].line, 7);
+
+  AnalyzeInput elsewhere;
+  elsewhere.sources.push_back({"src/server/other_server.cc", content});
+  EXPECT_TRUE(CheckWalMutation(elsewhere).empty());
+}
+
+}  // namespace
+}  // namespace dmemo::analyze

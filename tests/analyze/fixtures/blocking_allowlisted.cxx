@@ -1,0 +1,13 @@
+// Fixture: a deliberate send-under-lock with a justified allow marker.
+class Widget {
+ public:
+  void Flush() {
+    MutexLock lock(mu_);
+    // analyze:allow(blocking-under-lock) fixture: serializing whole frames
+    conn_->Send(buf_);
+  }
+
+  Connection* conn_ = nullptr;
+  Bytes buf_;
+  Mutex mu_{"Widget::mu"};
+};

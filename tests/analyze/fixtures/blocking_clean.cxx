@@ -1,0 +1,24 @@
+// Fixture: no blocking call ever happens under the lock. The send after
+// the scope closes is fine, and the send captured in a lambda runs later,
+// not under the guard that was live at capture time.
+class Widget {
+ public:
+  void Flush() {
+    {
+      MutexLock lock(mu_);
+      staged_ = buf_;
+    }
+    conn_->Send(staged_);
+  }
+
+  void Defer() {
+    MutexLock lock(mu_);
+    cb_ = [this] { conn_->Send(staged_); };
+  }
+
+  Connection* conn_ = nullptr;
+  Bytes buf_;
+  Bytes staged_;
+  std::function<void()> cb_;
+  Mutex mu_{"Widget::mu"};
+};

@@ -1,0 +1,12 @@
+// Fixture: a network send while holding a lock.
+class Widget {
+ public:
+  void Flush() {
+    MutexLock lock(mu_);
+    conn_->Send(buf_);
+  }
+
+  Connection* conn_ = nullptr;
+  Bytes buf_;
+  Mutex mu_{"Widget::mu"};
+};

@@ -1,0 +1,27 @@
+// Fixture: the same reversed pair as lock_rank_violation.cxx, with an
+// allow marker carrying a justification — and a second violation whose
+// marker has no justification (must stay a finding).
+class Widget {
+ public:
+  Mutex mu_{"Widget::mu"};
+};
+
+class Pool {
+ public:
+  void Drain();
+  void Flush();
+  Widget* widget_ = nullptr;
+  Mutex mu_{"Pool::mu"};
+};
+
+void Pool::Drain() {
+  MutexLock lock(mu_);
+  // analyze:allow(lock-rank) fixture: startup path, widget not yet shared
+  MutexLock inner(widget_->mu_);  // analyze:lock(Widget::mu)
+}
+
+void Pool::Flush() {
+  MutexLock lock(mu_);
+  // analyze:allow(lock-rank)
+  MutexLock inner(widget_->mu_);  // analyze:lock(Widget::mu)
+}

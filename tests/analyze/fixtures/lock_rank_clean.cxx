@@ -1,0 +1,22 @@
+// Fixture: correct nesting. Widget::mu (10) -> Pool::mu (20) increases
+// inward, and the leaf Widget::stats_mu is innermost.
+class Pool {
+ public:
+  Mutex mu_{"Pool::mu"};
+};
+
+class Widget {
+ public:
+  void Refresh();
+  Pool* pool_ = nullptr;
+  Mutex mu_{"Widget::mu"};
+  Mutex stats_mu_{"Widget::stats_mu"};
+};
+
+void Widget::Refresh() {
+  MutexLock lock(mu_);
+  {
+    MutexLock plock(pool_->mu_);  // analyze:lock(Pool::mu)
+    MutexLock slock(stats_mu_);
+  }
+}

@@ -1,0 +1,18 @@
+// Fixture: reversed lock pair. Pool::mu (rank 20) is held when
+// Widget::mu (rank 10) is acquired — ranks must strictly increase inward.
+class Widget {
+ public:
+  Mutex mu_{"Widget::mu"};
+};
+
+class Pool {
+ public:
+  void Drain();
+  Widget* widget_ = nullptr;
+  Mutex mu_{"Pool::mu"};
+};
+
+void Pool::Drain() {
+  MutexLock lock(mu_);
+  MutexLock inner(widget_->mu_);  // analyze:lock(Widget::mu)
+}

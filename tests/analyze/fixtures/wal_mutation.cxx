@@ -1,0 +1,8 @@
+// Fixture: directory mutations in a folder server; two lack the
+// wal:applied marker.
+void FolderServer::Apply(const Request& r) {
+  directory_.Put(r.key, r.value);
+  directory_.PutDelayed(r.key, r.key2, r.value);  // wal:applied
+  directory_.TakeEqual(r.key, r.value);  // wal:applied
+  auto got = directory_.GetFor(r.key, deadline_);
+}

@@ -1,0 +1,6 @@
+// Fixture: payload flattening on the message path.
+void Handle(const Response& resp, IoBuf& out) {
+  Bytes copy = resp.value;
+  auto flat = resp.value.Flatten();
+  out.Append(resp.value_buf);
+}

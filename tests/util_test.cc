@@ -314,8 +314,8 @@ TEST(RngTest, NextBelowCoversAllResidues) {
 
 TEST(BlockingQueueTest, FifoWithinQueue) {
   BlockingQueue<int> q;
-  q.Push(1);
-  q.Push(2);
+  ASSERT_TRUE(q.Push(1));
+  ASSERT_TRUE(q.Push(2));
   EXPECT_EQ(*q.Pop(), 1);
   EXPECT_EQ(*q.Pop(), 2);
 }
@@ -339,7 +339,7 @@ TEST(BlockingQueueTest, CloseWakesBlockedPop) {
 
 TEST(BlockingQueueTest, CloseDrainsRemainingItems) {
   BlockingQueue<int> q;
-  q.Push(9);
+  ASSERT_TRUE(q.Push(9));
   q.Close();
   EXPECT_FALSE(q.Push(10));
   EXPECT_EQ(*q.Pop(), 9);
@@ -383,10 +383,10 @@ TEST(BlockingQueueTest, PushBlockedAtCloseFailsAndWakesPoppers) {
 
 TEST(BlockingQueueTest, BoundedBlocksProducer) {
   BlockingQueue<int> q(1);
-  q.Push(1);
+  ASSERT_TRUE(q.Push(1));
   std::atomic<bool> second_pushed{false};
   std::thread t([&] {
-    q.Push(2);
+    EXPECT_TRUE(q.Push(2));
     second_pushed = true;
   });
   std::this_thread::sleep_for(20ms);
@@ -402,7 +402,7 @@ TEST(WorkerPoolTest, ExecutesSubmittedTasks) {
   WorkerPool pool;
   std::atomic<int> n{0};
   for (int i = 0; i < 100; ++i) {
-    pool.Submit([&] { n.fetch_add(1); });
+    ASSERT_TRUE(pool.Submit([&] { n.fetch_add(1); }));
   }
   pool.Drain();
   EXPECT_EQ(n.load(), 100);
@@ -414,7 +414,7 @@ TEST(WorkerPoolTest, ThreadCachingReusesThreads) {
   WorkerPool pool(opts);
   // Sequential tasks: after the first, a cached thread should pick up.
   for (int i = 0; i < 20; ++i) {
-    pool.Submit([] {});
+    ASSERT_TRUE(pool.Submit([] {}));
     pool.Drain();
   }
   auto stats = pool.GetStats();
@@ -428,7 +428,7 @@ TEST(WorkerPoolTest, CachingDisabledSpawnsPerRequest) {
   opts.cache_ttl = 0ms;  // the paper's non-cached baseline
   WorkerPool pool(opts);
   for (int i = 0; i < 10; ++i) {
-    pool.Submit([] {});
+    ASSERT_TRUE(pool.Submit([] {}));
     pool.Drain();
     // Let the finished thread exit before the next submit.
     std::this_thread::sleep_for(1ms);
@@ -443,7 +443,7 @@ TEST(WorkerPoolTest, IdleThreadsExpireAfterTtl) {
   WorkerPool::Options opts;
   opts.cache_ttl = 20ms;
   WorkerPool pool(opts);
-  pool.Submit([] {});
+  ASSERT_TRUE(pool.Submit([] {}));
   pool.Drain();
   std::this_thread::sleep_for(150ms);
   auto stats = pool.GetStats();
@@ -459,7 +459,7 @@ TEST(WorkerPoolTest, MaxThreadsQueuesExcess) {
   std::atomic<int> peak{0};
   std::atomic<int> done{0};
   for (int i = 0; i < 8; ++i) {
-    pool.Submit([&] {
+    ASSERT_TRUE(pool.Submit([&] {
       int cur = running.fetch_add(1) + 1;
       int expect = peak.load();
       while (cur > expect && !peak.compare_exchange_weak(expect, cur)) {
@@ -467,7 +467,7 @@ TEST(WorkerPoolTest, MaxThreadsQueuesExcess) {
       std::this_thread::sleep_for(10ms);
       running.fetch_sub(1);
       done.fetch_add(1);
-    });
+    }));
   }
   pool.Drain();
   EXPECT_EQ(done.load(), 8);
@@ -486,10 +486,10 @@ TEST(WorkerPoolTest, ShutdownRunsQueuedWork) {
   WorkerPool pool(opts);
   std::atomic<int> n{0};
   for (int i = 0; i < 5; ++i) {
-    pool.Submit([&] {
+    ASSERT_TRUE(pool.Submit([&] {
       std::this_thread::sleep_for(5ms);
       n.fetch_add(1);
-    });
+    }));
   }
   pool.Shutdown();
   EXPECT_EQ(n.load(), 5);
@@ -502,7 +502,7 @@ TEST(WorkerPoolTest, ConcurrentSubmitters) {
   for (int p = 0; p < 4; ++p) {
     producers.emplace_back([&] {
       for (int i = 0; i < 250; ++i) {
-        pool.Submit([&] { n.fetch_add(1); });
+        EXPECT_TRUE(pool.Submit([&] { n.fetch_add(1); }));
       }
     });
   }

@@ -1,0 +1,671 @@
+#include "analyzer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace dmemo::analyze {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// True when `pos` is preceded only by spaces/tabs on its line.
+bool AtLineStart(const std::string& s, std::size_t pos) {
+  while (pos > 0) {
+    char c = s[pos - 1];
+    if (c == '\n') return true;
+    if (c != ' ' && c != '\t') return false;
+    --pos;
+  }
+  return true;
+}
+
+}  // namespace
+
+int Lexed::LineOf(std::size_t offset) const {
+  auto it = std::upper_bound(line_start.begin(), line_start.end(), offset);
+  return static_cast<int>(it - line_start.begin());
+}
+
+Lexed Lex(const std::string& s) {
+  Lexed lx;
+  lx.line_start.push_back(0);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\n') lx.line_start.push_back(i + 1);
+  }
+
+  auto add_comment = [&lx](std::size_t offset, const std::string& text) {
+    std::string& slot = lx.comments[lx.LineOf(offset)];
+    if (!slot.empty()) slot += ' ';
+    slot += text;
+  };
+
+  const std::size_t n = s.size();
+  std::size_t i = 0;
+  while (i < n) {
+    char c = s[i];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && s[i + 1] == '/') {
+      std::size_t j = i + 2;
+      while (j < n && s[j] != '\n') ++j;
+      add_comment(i, s.substr(i + 2, j - i - 2));
+      i = j;
+      continue;
+    }
+    // Block comment (recorded on its first line).
+    if (c == '/' && i + 1 < n && s[i + 1] == '*') {
+      std::size_t j = i + 2;
+      while (j + 1 < n && !(s[j] == '*' && s[j + 1] == '/')) ++j;
+      add_comment(i, s.substr(i + 2, (j + 1 < n ? j : n) - (i + 2)));
+      i = (j + 1 < n) ? j + 2 : n;
+      continue;
+    }
+    // Preprocessor directive: skip the whole logical line (backslash
+    // continuations included) so #include paths and macro bodies don't
+    // pollute the token stream.
+    if (c == '#' && AtLineStart(s, i)) {
+      std::size_t j = i;
+      while (j < n) {
+        if (s[j] == '\n') {
+          std::size_t k = j;
+          while (k > i && (s[k - 1] == ' ' || s[k - 1] == '\t' ||
+                           s[k - 1] == '\r')) {
+            --k;
+          }
+          if (k > i && s[k - 1] == '\\') {
+            ++j;
+            continue;
+          }
+          break;
+        }
+        ++j;
+      }
+      i = j;
+      continue;
+    }
+    // Raw string literal R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && s[i + 1] == '"') {
+      std::size_t d = i + 2;
+      while (d < n && s[d] != '(') ++d;
+      std::string delim = s.substr(i + 2, d - i - 2);
+      std::string closer = ")" + delim + "\"";
+      std::size_t end = s.find(closer, d + 1);
+      std::size_t body_end = (end == std::string::npos) ? n : end;
+      lx.tokens.push_back(
+          {Token::kString, s.substr(d + 1, body_end - d - 1), i});
+      i = (end == std::string::npos) ? n : end + closer.size();
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      std::size_t j = i + 1;
+      while (j < n && IsIdentChar(s[j])) ++j;
+      lx.tokens.push_back({Token::kIdent, s.substr(i, j - i), i});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(s[i + 1])) != 0)) {
+      std::size_t j = i + 1;
+      while (j < n) {
+        char d = s[j];
+        if (IsIdentChar(d) || d == '.' || d == '\'') {
+          ++j;
+        } else if ((d == '+' || d == '-') &&
+                   (s[j - 1] == 'e' || s[j - 1] == 'E' || s[j - 1] == 'p' ||
+                    s[j - 1] == 'P')) {
+          ++j;  // exponent sign
+        } else {
+          break;
+        }
+      }
+      lx.tokens.push_back({Token::kNumber, s.substr(i, j - i), i});
+      i = j;
+      continue;
+    }
+    if (c == '"') {
+      std::size_t j = i + 1;
+      std::string content;
+      while (j < n && s[j] != '"') {
+        if (s[j] == '\\' && j + 1 < n) {
+          content += s[j];
+          content += s[j + 1];
+          j += 2;
+        } else {
+          content += s[j];
+          ++j;
+        }
+      }
+      lx.tokens.push_back({Token::kString, content, i});
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+    if (c == '\'') {
+      std::size_t j = i + 1;
+      while (j < n && s[j] != '\'') {
+        if (s[j] == '\\' && j + 1 < n) {
+          j += 2;
+        } else {
+          ++j;
+        }
+      }
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+    // Punctuation; "::" and "->" kept whole (the scanners rely on them).
+    if (c == ':' && i + 1 < n && s[i + 1] == ':') {
+      lx.tokens.push_back({Token::kPunct, "::", i});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && s[i + 1] == '>') {
+      lx.tokens.push_back({Token::kPunct, "->", i});
+      i += 2;
+      continue;
+    }
+    lx.tokens.push_back({Token::kPunct, std::string(1, c), i});
+    ++i;
+  }
+  return lx;
+}
+
+// ---------------------------------------------------------------------------
+// Config parsing
+// ---------------------------------------------------------------------------
+
+bool ParseRankTable(const std::string& text, RankTable* table,
+                    std::string* error) {
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string kind;
+    if (!(ls >> kind)) continue;
+    if (kind == "rank") {
+      int rank = 0;
+      std::string name;
+      if (!(ls >> rank >> name)) {
+        if (error != nullptr) {
+          *error = "line " + std::to_string(lineno) +
+                   ": expected 'rank <n> <name>'";
+        }
+        return false;
+      }
+      table->rank[name] = rank;
+    } else if (kind == "leaf") {
+      std::string name;
+      if (!(ls >> name)) {
+        if (error != nullptr) {
+          *error =
+              "line " + std::to_string(lineno) + ": expected 'leaf <name>'";
+        }
+        return false;
+      }
+      table->leaf.insert(name);
+    } else {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(lineno) + ": unknown directive '" +
+                 kind + "'";
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+std::set<std::string> ParseWordList(const std::string& text) {
+  std::set<std::string> words;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string word;
+    if (ls >> word) words.insert(word);
+  }
+  return words;
+}
+
+// ---------------------------------------------------------------------------
+// Scope tracking
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Frame {
+  enum Kind { kGeneric, kClass, kLambda };
+  Kind kind;
+  // Class name for kClass frames; for kGeneric frames, the class qualifier
+  // of the enclosing out-of-class method definition ("" when none) so that
+  // `MutexLock lock(mu_)` inside `void MemoServer::Foo() { ... }` resolves
+  // against MemoServer's members.
+  std::string name;
+};
+
+// Tracks brace nesting, class bodies, and lambda bodies over a token
+// stream. Feed every token, in order, to Observe().
+class ScopeTracker {
+ public:
+  explicit ScopeTracker(const std::vector<Token>& toks) : toks_(toks) {}
+
+  void Observe(std::size_t i) {
+    const Token& t = toks_[i];
+    if (t.kind == Token::kIdent) {
+      if ((t.text == "class" || t.text == "struct") && !PrevIsEnum(i)) {
+        ScanClassHead(i);
+      }
+      return;
+    }
+    if (t.kind != Token::kPunct) return;
+    if (t.text == ";") {
+      pending_class_.clear();
+      return;
+    }
+    if (t.text == "{") {
+      Frame f{Frame::kGeneric, ""};
+      if (IsLambdaBrace(i)) {
+        f.kind = Frame::kLambda;
+        ++lambda_depth_;
+      } else if (!pending_class_.empty()) {
+        f.kind = Frame::kClass;
+        f.name = pending_class_;
+        pending_class_.clear();
+      } else {
+        f.name = OwnerClassOf(i);
+      }
+      frames_.push_back(f);
+      return;
+    }
+    if (t.text == "}") {
+      if (!frames_.empty()) {
+        if (frames_.back().kind == Frame::kLambda) --lambda_depth_;
+        frames_.pop_back();
+      }
+      return;
+    }
+  }
+
+  int depth() const { return static_cast<int>(frames_.size()); }
+  int lambda_depth() const { return lambda_depth_; }
+
+  // Enclosing class names (class bodies and out-of-class method owners),
+  // innermost first.
+  std::vector<std::string> class_stack() const {
+    std::vector<std::string> out;
+    for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
+      if (it->kind != Frame::kLambda && !it->name.empty()) {
+        out.push_back(it->name);
+      }
+    }
+    return out;
+  }
+
+ private:
+  bool PrevIsEnum(std::size_t i) const {
+    return i > 0 && toks_[i - 1].kind == Token::kIdent &&
+           toks_[i - 1].text == "enum";
+  }
+
+  // At a class/struct keyword: look ahead for the class name. A definition
+  // head ends at '{' or ':' (base list); anything else ( ';' forward decl,
+  // template parameter lists, ... ) leaves no pending class. Attribute-like
+  // macro idents before the name are skipped by keeping the LAST ident.
+  void ScanClassHead(std::size_t i) {
+    pending_class_.clear();
+    std::string last_ident;
+    for (std::size_t j = i + 1; j < toks_.size(); ++j) {
+      const Token& t = toks_[j];
+      if (t.kind == Token::kIdent) {
+        if (t.text == "final") continue;
+        if (t.text == "class" || t.text == "struct") return;
+        last_ident = t.text;
+        continue;
+      }
+      if (t.kind == Token::kPunct) {
+        if (t.text == "::") continue;  // qualified name: keep the last part
+        if (t.text == "{" || t.text == ":") {
+          if (!last_ident.empty()) pending_class_ = last_ident;
+          return;
+        }
+        return;  // ';', '<', '>', ',', '(' ... not a definition head
+      }
+      return;
+    }
+  }
+
+  // `{` opens a lambda body when, skipping `mutable`/`noexcept`, it follows
+  // `]` (capture list without params) or `)` whose matching `(` follows `]`.
+  bool IsLambdaBrace(std::size_t i) const {
+    if (i == 0) return false;
+    std::size_t j = i - 1;
+    while (j > 0 && toks_[j].kind == Token::kIdent &&
+           (toks_[j].text == "mutable" || toks_[j].text == "noexcept")) {
+      --j;
+    }
+    if (toks_[j].kind != Token::kPunct) return false;
+    if (toks_[j].text == "]") return true;
+    if (toks_[j].text != ")") return false;
+    int depth = 0;
+    while (true) {
+      const Token& t = toks_[j];
+      if (t.kind == Token::kPunct) {
+        if (t.text == ")") ++depth;
+        if (t.text == "(") {
+          --depth;
+          if (depth == 0) break;
+        }
+      }
+      if (j == 0) return false;
+      --j;
+    }
+    return j > 0 && toks_[j - 1].kind == Token::kPunct &&
+           toks_[j - 1].text == "]";
+  }
+
+  // For a non-class, non-lambda `{` at index i, returns the class qualifier
+  // when the brace opens an out-of-class method definition:
+  //   ReturnType Class::Method(args) [const] [noexcept] [override] {
+  //   Class::~Class() {
+  // Control-flow braces (`if (...) {`), plain functions, and constructor
+  // bodies behind init lists don't match and return "". Trailing
+  // DMEMO_*(...) annotation macros between the parameter list and the brace
+  // are skipped.
+  std::string OwnerClassOf(std::size_t i) const {
+    if (i == 0) return "";
+    std::size_t j = i - 1;
+    // Skip trailing qualifiers on the definition head.
+    while (j > 0 && toks_[j].kind == Token::kIdent &&
+           (toks_[j].text == "const" || toks_[j].text == "noexcept" ||
+            toks_[j].text == "override" || toks_[j].text == "final")) {
+      --j;
+    }
+    // Walk back over `(...)` groups: the parameter list, possibly preceded
+    // by DMEMO_* annotation macros of their own.
+    std::size_t name_idx = toks_.size();
+    while (true) {
+      if (toks_[j].kind != Token::kPunct || toks_[j].text != ")") return "";
+      int depth = 0;
+      while (true) {
+        const Token& t = toks_[j];
+        if (t.kind == Token::kPunct) {
+          if (t.text == ")") ++depth;
+          if (t.text == "(") {
+            --depth;
+            if (depth == 0) break;
+          }
+        }
+        if (j == 0) return "";
+        --j;
+      }
+      if (j == 0) return "";
+      const Token& before = toks_[j - 1];
+      if (before.kind != Token::kIdent) return "";
+      if (before.text.rfind("DMEMO_", 0) == 0) {
+        if (j < 2) return "";
+        j -= 2;  // step to the token before the macro ident, expect ')'
+        continue;
+      }
+      name_idx = j - 1;  // the method name
+      break;
+    }
+    std::size_t k = name_idx;
+    // Destructor: `~Name` — the qualifier check applies before the '~'.
+    if (k > 0 && toks_[k - 1].kind == Token::kPunct &&
+        toks_[k - 1].text == "~") {
+      if (k < 2) return "";
+      k -= 1;
+    }
+    if (k < 2) return "";
+    if (toks_[k - 1].kind != Token::kPunct || toks_[k - 1].text != "::") {
+      return "";
+    }
+    if (toks_[k - 2].kind != Token::kIdent) return "";
+    return toks_[k - 2].text;
+  }
+
+  const std::vector<Token>& toks_;
+  std::vector<Frame> frames_;
+  std::string pending_class_;
+  int lambda_depth_ = 0;
+};
+
+// Strips one trailing '_' from a member identifier: `send_mu_` -> `send_mu`.
+std::string StripTrailingUnderscore(const std::string& ident) {
+  if (!ident.empty() && ident.back() == '_') {
+    return ident.substr(0, ident.size() - 1);
+  }
+  return ident;
+}
+
+// Extracts `Name` from an "analyze:lock(Name)" marker, if present.
+bool LockHint(const std::string& comment, std::string* name) {
+  auto pos = comment.find("analyze:lock(");
+  if (pos == std::string::npos) return false;
+  pos += std::string("analyze:lock(").size();
+  auto close = comment.find(')', pos);
+  if (close == std::string::npos) return false;
+  *name = comment.substr(pos, close - pos);
+  return true;
+}
+
+}  // namespace
+
+MutexIndex BuildMutexIndex(const std::vector<SourceFile>& sources) {
+  MutexIndex index;
+  for (const SourceFile& file : sources) {
+    Lexed lx = Lex(file.content);
+    const std::vector<Token>& toks = lx.tokens;
+    ScopeTracker tracker(toks);
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      tracker.Observe(i);
+      const Token& t = toks[i];
+      if (t.kind != Token::kIdent || t.text != "Mutex") continue;
+      if (i > 0 && toks[i - 1].kind == Token::kPunct &&
+          toks[i - 1].text == "::") {
+        continue;
+      }
+      if (i + 2 >= toks.size()) continue;
+      const Token& name_tok = toks[i + 1];
+      const Token& next = toks[i + 2];
+      if (name_tok.kind != Token::kIdent) continue;  // `Mutex&` param etc.
+      if (next.kind != Token::kPunct ||
+          (next.text != ";" && next.text != "{" && next.text != "=")) {
+        continue;
+      }
+      std::vector<std::string> classes = tracker.class_stack();
+      if (classes.empty()) continue;  // only member mutexes are ranked
+      std::string canonical;
+      if (next.text == "{" && i + 3 < toks.size() &&
+          toks[i + 3].kind == Token::kString) {
+        canonical = toks[i + 3].text;  // Mutex mu_{"Class::mu"};
+      } else {
+        canonical =
+            classes.front() + "::" + StripTrailingUnderscore(name_tok.text);
+      }
+      index.by_class[{classes.front(), name_tok.text}] = canonical;
+      index.by_member[name_tok.text].insert(canonical);
+    }
+  }
+  return index;
+}
+
+void WalkGuards(
+    const Lexed& lexed, const MutexIndex& index,
+    const std::set<std::string>& blocking,
+    const std::function<void(const GuardInfo& acquired,
+                             const std::vector<GuardInfo>& held)>& on_acquire,
+    const std::function<void(const std::string& callee, int line,
+                             const std::vector<GuardInfo>& held)>& on_call) {
+  const std::vector<Token>& toks = lexed.tokens;
+  ScopeTracker tracker(toks);
+
+  struct ActiveGuard {
+    GuardInfo info;
+    int depth;         // frame depth the guard lives at
+    int lambda_depth;  // lambda nesting when acquired
+    bool active;       // false between lock.Unlock() and lock.Lock()
+  };
+  std::vector<ActiveGuard> guards;
+
+  auto live_guards = [&]() {
+    std::vector<GuardInfo> live;
+    for (const ActiveGuard& g : guards) {
+      if (g.active && g.lambda_depth == tracker.lambda_depth()) {
+        live.push_back(g.info);
+      }
+    }
+    return live;
+  };
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    tracker.Observe(i);
+    const Token& t = toks[i];
+    if (t.kind == Token::kPunct && t.text == "}") {
+      while (!guards.empty() && guards.back().depth > tracker.depth()) {
+        guards.pop_back();
+      }
+      continue;
+    }
+    if (t.kind != Token::kIdent) continue;
+
+    // Guard acquisition: MutexLock <var>(<expr>); / ScopedLock <var>(<expr>);
+    if ((t.text == "MutexLock" || t.text == "ScopedLock") &&
+        i + 2 < toks.size() && toks[i + 1].kind == Token::kIdent &&
+        toks[i + 2].kind == Token::kPunct && toks[i + 2].text == "(") {
+      // Collect the acquisition expression up to the matching ')'.
+      std::size_t j = i + 2;
+      int depth = 0;
+      std::string last_ident;
+      for (; j < toks.size(); ++j) {
+        const Token& e = toks[j];
+        if (e.kind == Token::kPunct) {
+          if (e.text == "(") ++depth;
+          if (e.text == ")") {
+            --depth;
+            if (depth == 0) break;
+          }
+        } else if (e.kind == Token::kIdent) {
+          last_ident = e.text;
+        }
+      }
+      GuardInfo info;
+      info.var = toks[i + 1].text;
+      info.line = lexed.LineOf(t.offset);
+      std::string hint;
+      auto comment = lexed.comments.find(info.line);
+      if (comment != lexed.comments.end() &&
+          LockHint(comment->second, &hint)) {
+        info.lock = hint;
+        info.resolved = true;
+      } else if (!last_ident.empty()) {
+        bool found = false;
+        for (const std::string& cls : tracker.class_stack()) {
+          auto it = index.by_class.find({cls, last_ident});
+          if (it != index.by_class.end()) {
+            info.lock = it->second;
+            info.resolved = found = true;
+            break;
+          }
+        }
+        if (!found) {
+          auto it = index.by_member.find(last_ident);
+          if (it != index.by_member.end() && it->second.size() == 1) {
+            info.lock = *it->second.begin();
+            info.resolved = true;
+          } else {
+            info.lock = last_ident;
+          }
+        }
+      }
+      if (on_acquire) on_acquire(info, live_guards());
+      guards.push_back(
+          {info, tracker.depth(), tracker.lambda_depth(), true});
+      i = j;  // skip past the acquisition expression
+      continue;
+    }
+
+    // Mid-scope guard drop / re-take: <var>.Unlock() / <var>.Lock().
+    if (i + 3 < toks.size() && toks[i + 1].kind == Token::kPunct &&
+        toks[i + 1].text == "." && toks[i + 2].kind == Token::kIdent &&
+        (toks[i + 2].text == "Unlock" || toks[i + 2].text == "Lock") &&
+        toks[i + 3].kind == Token::kPunct && toks[i + 3].text == "(") {
+      for (auto it = guards.rbegin(); it != guards.rend(); ++it) {
+        if (it->info.var == t.text) {
+          it->active = (toks[i + 2].text == "Lock");
+          break;
+        }
+      }
+      // fall through: Unlock/Lock are not blocking calls
+    }
+
+    // Call to a configured blocking name while guards are live.
+    if (blocking.count(t.text) != 0 && i + 1 < toks.size() &&
+        toks[i + 1].kind == Token::kPunct && toks[i + 1].text == "(") {
+      std::vector<GuardInfo> live = live_guards();
+      if (!live.empty() && on_call) {
+        on_call(t.text, lexed.LineOf(t.offset), live);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Allowlist
+// ---------------------------------------------------------------------------
+
+void ApplyAllowlist(const std::vector<SourceFile>& sources,
+                    std::vector<Finding>* findings) {
+  // Lex lazily: only files that actually have findings.
+  std::map<std::string, Lexed> lexed;
+  auto comments_for = [&](const std::string& path) -> const Lexed* {
+    auto it = lexed.find(path);
+    if (it != lexed.end()) return &it->second;
+    for (const SourceFile& f : sources) {
+      if (f.path == path) {
+        return &lexed.emplace(path, Lex(f.content)).first->second;
+      }
+    }
+    return nullptr;
+  };
+
+  for (Finding& finding : *findings) {
+    if (finding.allowlisted) continue;
+    const Lexed* lx = comments_for(finding.file);
+    if (lx == nullptr) continue;
+    const std::string marker = "analyze:allow(" + finding.rule + ")";
+    for (int line : {finding.line, finding.line - 1}) {
+      auto it = lx->comments.find(line);
+      if (it == lx->comments.end()) continue;
+      auto pos = it->second.find(marker);
+      if (pos == std::string::npos) continue;
+      std::string just = it->second.substr(pos + marker.size());
+      while (!just.empty() && (just.front() == ' ' || just.front() == ':')) {
+        just.erase(just.begin());
+      }
+      if (just.empty()) {
+        finding.message += " (allow marker present but missing justification)";
+        break;
+      }
+      finding.allowlisted = true;
+      finding.justification = just;
+      break;
+    }
+  }
+}
+
+}  // namespace dmemo::analyze

@@ -1,0 +1,166 @@
+// dmemo-analyze: project-specific static analysis for D-Memo.
+//
+// A deliberately small token/scope-level analyzer — no libclang, no
+// compile database — so it builds in seconds and runs in every CI job.
+// It understands just enough C++ to track brace scopes, class bodies,
+// lambda bodies, and MutexLock/ScopedLock guard lifetimes, which is all
+// the project's invariants need:
+//
+//   lock-rank            nested guard acquisitions must follow the ranks
+//                        declared in src/locking/lock_ranks.def
+//   blocking-under-lock  no call from blocking_calls.def while a guard
+//                        is live in the enclosing scope
+//   protocol-drift       Op enum <-> OpName <-> PROTOCOL.md op table <->
+//                        server dispatch stay in sync; Encode*/Decode*
+//                        touch the same fields in declaration order
+//   registry-drift       every DMEMO_* env var read and dmemo_* metric
+//                        registered appears in the docs (and vice versa)
+//   zero-copy            no payload flattening in src/server, src/transport
+//                        (absorbed from the old check_lint.sh grep)
+//   wal-mutation         folder_server.cc directory mutations carry the
+//                        "wal:applied" marker (absorbed grep)
+//
+// Findings can be suppressed per line with a justification:
+//   // analyze:allow(<rule>) <why this site is safe>
+// on the offending line or the line directly above. A marker without a
+// justification does not suppress.
+//
+// Ambiguous guard expressions (e.g. `MutexLock lock(state->mu)`) can be
+// pinned to a canonical lock name with:
+//   // analyze:lock(<Canonical::name>)
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <utility>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace dmemo::analyze {
+
+// ---------------------------------------------------------------------------
+// Inputs and outputs
+// ---------------------------------------------------------------------------
+
+struct SourceFile {
+  std::string path;     // repo-relative, e.g. "src/server/rpc_channel.cc"
+  std::string content;  // full file text
+};
+
+struct Finding {
+  std::string rule;
+  std::string file;
+  int line = 0;
+  std::string message;
+  bool allowlisted = false;
+  std::string justification;  // text after the analyze:allow marker
+};
+
+// Lock ranks parsed from lock_ranks.def.
+struct RankTable {
+  std::map<std::string, int> rank;  // canonical name -> rank
+  std::set<std::string> leaf;       // terminal locks
+
+  bool Known(const std::string& name) const {
+    return rank.count(name) != 0 || leaf.count(name) != 0;
+  }
+};
+
+// Parses "rank <n> <name>" / "leaf <name>" lines ('#' comments). Returns
+// false and fills *error on malformed input.
+bool ParseRankTable(const std::string& text, RankTable* table,
+                    std::string* error);
+
+// One bare word per line, '#' comments (blocking_calls.def,
+// registry_ignore.def).
+std::set<std::string> ParseWordList(const std::string& text);
+
+struct AnalyzeInput {
+  std::vector<SourceFile> sources;  // src/**/*.{cc,h}
+  std::vector<SourceFile> docs;     // DESIGN.md, README.md, docs/*.md
+  RankTable ranks;
+  std::set<std::string> blocking;  // blocking call names
+  std::set<std::string> ignore;    // registry-drift ignore names
+};
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+struct Token {
+  enum Kind { kIdent, kNumber, kString, kPunct };
+  Kind kind;
+  std::string text;    // string tokens hold the literal's content, unquoted
+  std::size_t offset;  // byte offset into the file
+};
+
+struct Lexed {
+  std::vector<Token> tokens;
+  std::vector<std::size_t> line_start;  // line_start[i] = offset of line i+1
+  std::map<int, std::string> comments;  // 1-based line -> comment text
+
+  int LineOf(std::size_t offset) const;
+};
+
+// Tokenizes C++ source: skips comments (recording them per line for the
+// allow/lock markers), strings, char literals, raw strings, and whole
+// preprocessor directives. Two-char puncts "::" and "->" are single tokens.
+Lexed Lex(const std::string& content);
+
+// ---------------------------------------------------------------------------
+// Rules. Each returns its findings with the allowlist already applied.
+// ---------------------------------------------------------------------------
+
+std::vector<Finding> CheckLockRank(const AnalyzeInput& input);
+std::vector<Finding> CheckBlockingUnderLock(const AnalyzeInput& input);
+std::vector<Finding> CheckProtocolDrift(const AnalyzeInput& input);
+std::vector<Finding> CheckRegistryDrift(const AnalyzeInput& input);
+std::vector<Finding> CheckZeroCopy(const AnalyzeInput& input);
+std::vector<Finding> CheckWalMutation(const AnalyzeInput& input);
+
+std::vector<Finding> RunAllRules(const AnalyzeInput& input);
+
+// Marks findings whose line (or the one above) carries a justified
+// "analyze:allow(<rule>)" marker. Called by the rules themselves; exposed
+// for tests.
+void ApplyAllowlist(const std::vector<SourceFile>& sources,
+                    std::vector<Finding>* findings);
+
+// ---------------------------------------------------------------------------
+// Scope machinery shared by the lock rules (exposed for tests)
+// ---------------------------------------------------------------------------
+
+// Canonical names for every Mutex member declared in the corpus.
+struct MutexIndex {
+  // (enclosing class, member ident) -> canonical name
+  std::map<std::pair<std::string, std::string>, std::string> by_class;
+  // member ident -> every canonical name it maps to anywhere
+  std::map<std::string, std::set<std::string>> by_member;
+};
+
+MutexIndex BuildMutexIndex(const std::vector<SourceFile>& sources);
+
+struct GuardInfo {
+  std::string var;   // guard variable name
+  std::string lock;  // canonical lock name (raw ident when unresolved)
+  int line = 0;      // acquisition line
+  bool resolved = false;
+};
+
+// Walks one file's scopes. on_acquire fires at each guard acquisition with
+// the guards already live; on_call fires for each call to a name in
+// `blocking` made while at least one guard is live. Guards die at the end
+// of their brace scope, go dormant across lock.Unlock()/lock.Lock(), and
+// are invisible inside lambda bodies defined in their scope (the lambda
+// may run after the guard is gone).
+void WalkGuards(
+    const Lexed& lexed, const MutexIndex& index,
+    const std::set<std::string>& blocking,
+    const std::function<void(const GuardInfo& acquired,
+                             const std::vector<GuardInfo>& held)>& on_acquire,
+    const std::function<void(const std::string& callee, int line,
+                             const std::vector<GuardInfo>& held)>& on_call);
+
+}  // namespace dmemo::analyze

@@ -1,0 +1,165 @@
+// dmemo-analyze CLI. Loads src/**/*.{cc,h}, the docs, and the config
+// files, runs every rule, and prints findings plus a per-rule summary.
+//
+//   dmemo-analyze [--repo DIR] [--verbose]
+//
+// Exit codes: 0 clean (allowlisted findings are fine), 1 unallowlisted
+// findings, 2 configuration problem (missing config file, unreadable
+// repo, malformed rank table).
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyzer.h"
+
+namespace fs = std::filesystem;
+using dmemo::analyze::AnalyzeInput;
+using dmemo::analyze::Finding;
+using dmemo::analyze::SourceFile;
+
+namespace {
+
+bool ReadFile(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+// Loads `path` into `files` with a repo-relative name; returns false when
+// the file is unreadable.
+bool Load(const fs::path& repo, const fs::path& path,
+          std::vector<SourceFile>* files) {
+  std::string content;
+  if (!ReadFile(path, &content)) return false;
+  files->push_back({fs::relative(path, repo).generic_string(),
+                    std::move(content)});
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path repo = ".";
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--repo" && i + 1 < argc) {
+      repo = argv[++i];
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--help") {
+      std::cout << "usage: dmemo-analyze [--repo DIR] [--verbose]\n";
+      return 0;
+    } else {
+      std::cerr << "dmemo-analyze: unknown argument '" << arg << "'\n";
+      return 2;
+    }
+  }
+
+  AnalyzeInput input;
+
+  std::error_code ec;
+  std::vector<fs::path> src_paths;
+  for (fs::recursive_directory_iterator it(repo / "src", ec), end;
+       it != end; it.increment(ec)) {
+    if (!it->is_regular_file()) continue;
+    const std::string ext = it->path().extension().string();
+    if (ext == ".cc" || ext == ".h") src_paths.push_back(it->path());
+  }
+  if (ec || src_paths.empty()) {
+    std::cerr << "dmemo-analyze: no sources under " << (repo / "src")
+              << "\n";
+    return 2;
+  }
+  std::sort(src_paths.begin(), src_paths.end());
+  for (const fs::path& p : src_paths) {
+    if (!Load(repo, p, &input.sources)) {
+      std::cerr << "dmemo-analyze: cannot read " << p << "\n";
+      return 2;
+    }
+  }
+
+  for (const fs::path& p :
+       {repo / "DESIGN.md", repo / "README.md", repo / "ROADMAP.md"}) {
+    if (fs::exists(p)) Load(repo, p, &input.docs);
+  }
+  if (fs::exists(repo / "docs")) {
+    std::vector<fs::path> doc_paths;
+    for (const auto& entry : fs::directory_iterator(repo / "docs")) {
+      if (entry.is_regular_file() &&
+          entry.path().extension() == ".md") {
+        doc_paths.push_back(entry.path());
+      }
+    }
+    std::sort(doc_paths.begin(), doc_paths.end());
+    for (const fs::path& p : doc_paths) Load(repo, p, &input.docs);
+  }
+
+  std::string ranks_text;
+  if (!ReadFile(repo / "src/locking/lock_ranks.def", &ranks_text)) {
+    std::cerr << "dmemo-analyze: missing src/locking/lock_ranks.def\n";
+    return 2;
+  }
+  std::string error;
+  if (!dmemo::analyze::ParseRankTable(ranks_text, &input.ranks, &error)) {
+    std::cerr << "dmemo-analyze: bad lock_ranks.def: " << error << "\n";
+    return 2;
+  }
+
+  std::string blocking_text;
+  if (!ReadFile(repo / "tools/analyze/blocking_calls.def", &blocking_text)) {
+    std::cerr << "dmemo-analyze: missing tools/analyze/blocking_calls.def\n";
+    return 2;
+  }
+  input.blocking = dmemo::analyze::ParseWordList(blocking_text);
+
+  std::string ignore_text;
+  if (ReadFile(repo / "tools/analyze/registry_ignore.def", &ignore_text)) {
+    input.ignore = dmemo::analyze::ParseWordList(ignore_text);
+  }
+
+  std::vector<Finding> findings = dmemo::analyze::RunAllRules(input);
+
+  int unallowlisted = 0;
+  std::map<std::string, std::pair<int, int>> per_rule;  // open, allowlisted
+  for (const Finding& f : findings) {
+    if (f.allowlisted) {
+      ++per_rule[f.rule].second;
+      if (verbose) {
+        std::cout << f.file << ":" << f.line << ": [" << f.rule
+                  << "] allowlisted: " << f.message << " (" << f.justification
+                  << ")\n";
+      }
+      continue;
+    }
+    ++per_rule[f.rule].first;
+    ++unallowlisted;
+    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+  }
+
+  std::cout << "dmemo-analyze: scanned " << input.sources.size()
+            << " sources, " << input.docs.size() << " docs\n";
+  for (const char* rule :
+       {"lock-rank", "blocking-under-lock", "protocol-drift",
+        "registry-drift", "zero-copy", "wal-mutation"}) {
+    const auto& counts = per_rule[rule];
+    std::cout << "  " << rule << ": " << counts.first << " finding(s), "
+              << counts.second << " allowlisted\n";
+  }
+  if (unallowlisted != 0) {
+    std::cout << "dmemo-analyze: FAILED with " << unallowlisted
+              << " finding(s)\n";
+    return 1;
+  }
+  std::cout << "dmemo-analyze: OK\n";
+  return 0;
+}

@@ -1,0 +1,867 @@
+// Rule implementations for dmemo-analyze. See analyzer.h for the contract.
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyzer.h"
+
+namespace dmemo::analyze {
+
+namespace {
+
+constexpr char kLockRank[] = "lock-rank";
+constexpr char kBlocking[] = "blocking-under-lock";
+constexpr char kProtocol[] = "protocol-drift";
+constexpr char kRegistry[] = "registry-drift";
+constexpr char kZeroCopy[] = "zero-copy";
+constexpr char kWal[] = "wal-mutation";
+
+const SourceFile* FindBySuffix(const std::vector<SourceFile>& files,
+                               const std::string& suffix) {
+  for (const SourceFile& f : files) {
+    if (f.path.size() >= suffix.size() &&
+        f.path.compare(f.path.size() - suffix.size(), suffix.size(),
+                       suffix) == 0) {
+      return &f;
+    }
+  }
+  return nullptr;
+}
+
+int Levenshtein(const std::string& a, const std::string& b) {
+  std::vector<int> prev(b.size() + 1);
+  std::vector<int> cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = static_cast<int>(j);
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = static_cast<int>(i);
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      int sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+// "did you mean 'X'?" when a near-miss (edit distance <= 2) exists.
+std::string NearMissHint(const std::string& name,
+                         const std::set<std::string>& candidates) {
+  for (const std::string& c : candidates) {
+    if (c == name) continue;
+    if (Levenshtein(name, c) <= 2) return " — did you mean '" + c + "'?";
+  }
+  return "";
+}
+
+std::string JoinLocks(const std::vector<GuardInfo>& held) {
+  std::string out;
+  for (const GuardInfo& g : held) {
+    if (!out.empty()) out += ", ";
+    out += "'" + g.lock + "'";
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Rule 1: lock-rank conformance
+// ---------------------------------------------------------------------------
+
+std::vector<Finding> CheckLockRank(const AnalyzeInput& input) {
+  std::vector<Finding> out;
+  MutexIndex index = BuildMutexIndex(input.sources);
+  const std::set<std::string> no_blocking;
+  for (const SourceFile& file : input.sources) {
+    Lexed lx = Lex(file.content);
+    WalkGuards(
+        lx, index, no_blocking,
+        [&](const GuardInfo& acq, const std::vector<GuardInfo>& held) {
+          if (!acq.resolved) {
+            out.push_back({kLockRank, file.path, acq.line,
+                           "cannot resolve the lock guarded by '" + acq.var +
+                               "' (expression names '" + acq.lock +
+                               "'); pin it with // analyze:lock(<name>)",
+                           false,
+                           ""});
+            return;
+          }
+          if (!input.ranks.Known(acq.lock)) {
+            out.push_back({kLockRank, file.path, acq.line,
+                           "lock '" + acq.lock +
+                               "' is not in src/locking/lock_ranks.def",
+                           false,
+                           ""});
+            return;
+          }
+          const bool acq_leaf = input.ranks.leaf.count(acq.lock) != 0;
+          for (const GuardInfo& h : held) {
+            if (!h.resolved || !input.ranks.Known(h.lock)) continue;
+            if (h.lock == acq.lock) {
+              out.push_back({kLockRank, file.path, acq.line,
+                             "re-acquires '" + acq.lock +
+                                 "' already held since line " +
+                                 std::to_string(h.line),
+                             false,
+                             ""});
+              continue;
+            }
+            if (input.ranks.leaf.count(h.lock) != 0) {
+              out.push_back({kLockRank, file.path, acq.line,
+                             "acquires '" + acq.lock +
+                                 "' while holding leaf lock '" + h.lock +
+                                 "' (leaves must be innermost)",
+                             false,
+                             ""});
+              continue;
+            }
+            if (acq_leaf) continue;  // leaves may nest under anything
+            const int acq_rank = input.ranks.rank.at(acq.lock);
+            const int held_rank = input.ranks.rank.at(h.lock);
+            if (acq_rank <= held_rank) {
+              out.push_back(
+                  {kLockRank, file.path, acq.line,
+                   "acquires '" + acq.lock + "' (rank " +
+                       std::to_string(acq_rank) + ") while holding '" +
+                       h.lock + "' (rank " + std::to_string(held_rank) +
+                       "); ranks must strictly increase inward",
+                   false,
+                   ""});
+            }
+          }
+        },
+        nullptr);
+  }
+  ApplyAllowlist(input.sources, &out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: blocking-under-lock
+// ---------------------------------------------------------------------------
+
+std::vector<Finding> CheckBlockingUnderLock(const AnalyzeInput& input) {
+  std::vector<Finding> out;
+  MutexIndex index = BuildMutexIndex(input.sources);
+  for (const SourceFile& file : input.sources) {
+    Lexed lx = Lex(file.content);
+    WalkGuards(lx, index, input.blocking, nullptr,
+               [&](const std::string& callee, int line,
+                   const std::vector<GuardInfo>& held) {
+                 out.push_back({kBlocking, file.path, line,
+                                "blocking call '" + callee +
+                                    "' while holding " + JoinLocks(held),
+                                false,
+                                ""});
+               });
+  }
+  ApplyAllowlist(input.sources, &out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: protocol drift
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct EnumEntry {
+  std::string name;  // kPut
+  int value;
+  int line;
+};
+
+std::vector<EnumEntry> ParseOpEnum(const Lexed& lx) {
+  std::vector<EnumEntry> entries;
+  const std::vector<Token>& toks = lx.tokens;
+  std::size_t i = 0;
+  for (; i + 2 < toks.size(); ++i) {
+    if (toks[i].kind == Token::kIdent && toks[i].text == "enum" &&
+        toks[i + 1].kind == Token::kIdent && toks[i + 1].text == "class" &&
+        toks[i + 2].kind == Token::kIdent && toks[i + 2].text == "Op") {
+      break;
+    }
+  }
+  if (i + 2 >= toks.size()) return entries;
+  while (i < toks.size() &&
+         !(toks[i].kind == Token::kPunct && toks[i].text == "{")) {
+    ++i;
+  }
+  int next_value = 0;
+  for (++i; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == Token::kPunct && t.text == "}") break;
+    if (t.kind != Token::kIdent) continue;
+    EnumEntry e;
+    e.name = t.text;
+    e.line = lx.LineOf(t.offset);
+    if (i + 2 < toks.size() && toks[i + 1].kind == Token::kPunct &&
+        toks[i + 1].text == "=" && toks[i + 2].kind == Token::kNumber) {
+      e.value = std::stoi(toks[i + 2].text);
+      i += 2;
+    } else {
+      e.value = next_value;
+    }
+    next_value = e.value + 1;
+    entries.push_back(e);
+  }
+  return entries;
+}
+
+// Token range [begin, end) of the body of `qualified` ("Name" or "A::B").
+bool FindFunctionBody(const std::vector<Token>& toks,
+                      const std::string& qualified, std::size_t* begin,
+                      std::size_t* end) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    auto sep = qualified.find("::", start);
+    if (sep == std::string::npos) {
+      parts.push_back(qualified.substr(start));
+      break;
+    }
+    parts.push_back(qualified.substr(start, sep - start));
+    start = sep + 2;
+  }
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    std::size_t j = i;
+    bool matched = true;
+    for (std::size_t p = 0; p < parts.size(); ++p) {
+      if (p > 0) {
+        if (j >= toks.size() || toks[j].kind != Token::kPunct ||
+            toks[j].text != "::") {
+          matched = false;
+          break;
+        }
+        ++j;
+      }
+      if (j >= toks.size() || toks[j].kind != Token::kIdent ||
+          toks[j].text != parts[p]) {
+        matched = false;
+        break;
+      }
+      ++j;
+    }
+    if (!matched) continue;
+    if (j >= toks.size() || toks[j].kind != Token::kPunct ||
+        toks[j].text != "(") {
+      continue;
+    }
+    int depth = 0;
+    for (; j < toks.size(); ++j) {
+      if (toks[j].kind != Token::kPunct) continue;
+      if (toks[j].text == "(") ++depth;
+      if (toks[j].text == ")") {
+        --depth;
+        if (depth == 0) break;
+      }
+    }
+    ++j;
+    while (j < toks.size() && toks[j].kind == Token::kIdent &&
+           (toks[j].text == "const" || toks[j].text == "noexcept" ||
+            toks[j].text == "override")) {
+      ++j;
+    }
+    if (j >= toks.size() || toks[j].kind != Token::kPunct ||
+        toks[j].text != "{") {
+      continue;  // declaration or call, not a definition
+    }
+    *begin = j + 1;
+    int brace = 1;
+    for (++j; j < toks.size(); ++j) {
+      if (toks[j].kind != Token::kPunct) continue;
+      if (toks[j].text == "{") ++brace;
+      if (toks[j].text == "}") {
+        --brace;
+        if (brace == 0) break;
+      }
+    }
+    *end = j;
+    return true;
+  }
+  return false;
+}
+
+// Field names of `struct <name> { ... }` in declaration order. Statements
+// containing parens or braces (methods, ctors) are skipped; a member is the
+// identifier before '=' (defaulted) or the last identifier (plain decl).
+std::vector<std::string> StructMembers(const Lexed& lx,
+                                       const std::string& name) {
+  std::vector<std::string> members;
+  const std::vector<Token>& toks = lx.tokens;
+  std::size_t i = 0;
+  for (; i + 2 < toks.size(); ++i) {
+    if (toks[i].kind == Token::kIdent &&
+        (toks[i].text == "struct" || toks[i].text == "class") &&
+        toks[i + 1].kind == Token::kIdent && toks[i + 1].text == name &&
+        toks[i + 2].kind == Token::kPunct && toks[i + 2].text == "{") {
+      break;
+    }
+  }
+  if (i + 2 >= toks.size()) return members;
+  i += 3;
+  int depth = 1;
+  std::vector<const Token*> stmt;
+  bool has_call = false;
+  for (; i < toks.size() && depth > 0; ++i) {
+    const Token& t = toks[i];
+    if (t.kind == Token::kPunct) {
+      if (t.text == "{") {
+        ++depth;
+        has_call = true;
+        continue;
+      }
+      if (t.text == "}") {
+        --depth;
+        continue;
+      }
+      if (depth != 1) continue;
+      if (t.text == "(") has_call = true;
+      if (t.text == ";") {
+        if (!has_call && !stmt.empty()) {
+          const Token* member = nullptr;
+          for (std::size_t k = 0; k < stmt.size(); ++k) {
+            if (stmt[k]->kind == Token::kPunct && stmt[k]->text == "=") {
+              if (k > 0 && stmt[k - 1]->kind == Token::kIdent) {
+                member = stmt[k - 1];
+              }
+              break;
+            }
+            if (stmt[k]->kind == Token::kIdent) member = stmt[k];
+          }
+          if (member != nullptr && !stmt.empty() &&
+              stmt.front()->text != "using" && stmt.front()->text != "friend" &&
+              stmt.front()->text != "static") {
+            members.push_back(member->text);
+          }
+        }
+        stmt.clear();
+        has_call = false;
+        continue;
+      }
+    }
+    if (depth == 1) stmt.push_back(&t);
+  }
+  return members;
+}
+
+// First occurrence, in body order, of each member name used in the range.
+std::vector<std::string> MemberSequence(const std::vector<Token>& toks,
+                                        std::size_t begin, std::size_t end,
+                                        const std::set<std::string>& members,
+                                        std::vector<int>* lines,
+                                        const Lexed& lx) {
+  std::vector<std::string> seq;
+  std::set<std::string> seen;
+  for (std::size_t i = begin; i < end && i < toks.size(); ++i) {
+    if (toks[i].kind != Token::kIdent) continue;
+    if (members.count(toks[i].text) == 0) continue;
+    if (!seen.insert(toks[i].text).second) continue;
+    seq.push_back(toks[i].text);
+    if (lines != nullptr) lines->push_back(lx.LineOf(toks[i].offset));
+  }
+  return seq;
+}
+
+struct FieldGroup {
+  std::string struct_name;              // declared in protocol.h
+  std::string head_fn;                  // shared head encoder
+  std::vector<std::string> encode_fns;  // each appends to the head
+  std::string decode_fn;                // must cover every field
+};
+
+}  // namespace
+
+std::vector<Finding> CheckProtocolDrift(const AnalyzeInput& input) {
+  std::vector<Finding> out;
+  const SourceFile* header = FindBySuffix(input.sources, "server/protocol.h");
+  const SourceFile* impl = FindBySuffix(input.sources, "server/protocol.cc");
+  const SourceFile* doc = FindBySuffix(input.docs, "PROTOCOL.md");
+  if (header == nullptr || impl == nullptr) return out;
+
+  Lexed hdr = Lex(header->content);
+  Lexed cc = Lex(impl->content);
+
+  // --- Op enum <-> OpName <-> doc table <-> dispatch --------------------
+  std::vector<EnumEntry> ops = ParseOpEnum(hdr);
+  if (ops.empty()) {
+    out.push_back({kProtocol, header->path, 1,
+                   "could not locate 'enum class Op'", false, ""});
+  }
+
+  // OpName(): case Op::kX: return "x";
+  std::map<std::string, std::string> op_names;  // kPut -> "put"
+  {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    if (FindFunctionBody(cc.tokens, "OpName", &begin, &end)) {
+      const std::vector<Token>& toks = cc.tokens;
+      for (std::size_t i = begin; i + 6 < end; ++i) {
+        if (toks[i].kind == Token::kIdent && toks[i].text == "case" &&
+            toks[i + 1].text == "Op" && toks[i + 2].text == "::" &&
+            toks[i + 3].kind == Token::kIdent && toks[i + 4].text == ":" &&
+            toks[i + 5].text == "return" &&
+            toks[i + 6].kind == Token::kString) {
+          op_names[toks[i + 3].text] = toks[i + 6].text;
+        }
+      }
+    } else {
+      out.push_back({kProtocol, impl->path, 1,
+                     "could not locate OpName() definition", false, ""});
+    }
+  }
+
+  // PROTOCOL.md rows: | name | code | ...
+  std::map<std::string, std::pair<int, int>> doc_ops;  // name -> (code, line)
+  if (doc != nullptr) {
+    std::istringstream in(doc->content);
+    std::string line;
+    int lineno = 0;
+    static const std::regex row_re(
+        R"(^\s*\|\s*([a-z][a-z0-9_]*)\s*\|\s*([0-9]+)\s*\|)");
+    while (std::getline(in, line)) {
+      ++lineno;
+      std::smatch m;
+      if (std::regex_search(line, m, row_re)) {
+        doc_ops[m[1].str()] = {std::stoi(m[2].str()), lineno};
+      }
+    }
+  }
+
+  // Dispatch sites: Op::kX mentioned anywhere in the server dispatchers.
+  std::set<std::string> dispatched;
+  for (const char* suffix : {"server/memo_server.cc", "server/folder_server.cc"}) {
+    const SourceFile* f = FindBySuffix(input.sources, suffix);
+    if (f == nullptr) continue;
+    Lexed lx = Lex(f->content);
+    const std::vector<Token>& toks = lx.tokens;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+      if (toks[i].kind == Token::kIdent && toks[i].text == "Op" &&
+          toks[i + 1].kind == Token::kPunct && toks[i + 1].text == "::" &&
+          toks[i + 2].kind == Token::kIdent) {
+        dispatched.insert(toks[i + 2].text);
+      }
+    }
+  }
+
+  std::set<std::string> op_name_strings;
+  for (const EnumEntry& op : ops) {
+    auto named = op_names.find(op.name);
+    if (named == op_names.end()) {
+      if (!op_names.empty()) {
+        out.push_back({kProtocol, impl->path, 1,
+                       "op '" + op.name + "' has no OpName() case", false,
+                       ""});
+      }
+      continue;
+    }
+    op_name_strings.insert(named->second);
+    if (doc != nullptr) {
+      auto row = doc_ops.find(named->second);
+      if (row == doc_ops.end()) {
+        out.push_back({kProtocol, doc->path, 1,
+                       "op '" + named->second + "' (" + op.name +
+                           ") is missing from the PROTOCOL.md op table",
+                       false,
+                       ""});
+      } else if (row->second.first != op.value) {
+        out.push_back({kProtocol, doc->path, row->second.second,
+                       "op '" + named->second + "' documented as code " +
+                           std::to_string(row->second.first) +
+                           " but the enum says " + std::to_string(op.value),
+                       false,
+                       ""});
+      }
+    }
+    if (dispatched.count(op.name) == 0 && !dispatched.empty()) {
+      out.push_back({kProtocol, header->path, op.line,
+                     "op '" + op.name +
+                         "' is never dispatched in memo_server.cc or "
+                         "folder_server.cc",
+                     false,
+                     ""});
+    }
+  }
+  if (doc != nullptr) {
+    for (const auto& [name, row] : doc_ops) {
+      if (op_name_strings.count(name) == 0 && !op_name_strings.empty()) {
+        out.push_back({kProtocol, doc->path, row.second,
+                       "PROTOCOL.md documents op '" + name +
+                           "' which does not exist in the Op enum",
+                       false,
+                       ""});
+      }
+    }
+  }
+
+  // --- Encode/decode field order ---------------------------------------
+  const FieldGroup groups[] = {
+      {"Request",
+       "EncodeRequestHead",
+       {"Request::EncodeTo", "Request::EncodeToIoBuf"},
+       "DecodeRequestBody"},
+      {"Response",
+       "EncodeResponseHead",
+       {"Response::EncodeTo", "Response::EncodeToIoBuf"},
+       "DecodeResponseBody"},
+  };
+  for (const FieldGroup& group : groups) {
+    std::vector<std::string> members = StructMembers(hdr, group.struct_name);
+    if (members.empty()) {
+      out.push_back({kProtocol, header->path, 1,
+                     "could not parse struct " + group.struct_name, false,
+                     ""});
+      continue;
+    }
+    std::map<std::string, int> decl_index;
+    for (std::size_t k = 0; k < members.size(); ++k) {
+      decl_index[members[k]] = static_cast<int>(k);
+    }
+    std::set<std::string> member_set(members.begin(), members.end());
+
+    auto sequence_of = [&](const std::string& fn, std::vector<int>* lines)
+        -> std::optional<std::vector<std::string>> {
+      std::size_t begin = 0;
+      std::size_t end = 0;
+      if (!FindFunctionBody(cc.tokens, fn, &begin, &end)) {
+        out.push_back({kProtocol, impl->path, 1,
+                       "could not locate " + fn + "() definition", false,
+                       ""});
+        return std::nullopt;
+      }
+      return MemberSequence(cc.tokens, begin, end, member_set, lines, cc);
+    };
+
+    auto check_order = [&](const std::string& fn,
+                           const std::vector<std::string>& seq,
+                           const std::vector<int>& lines) {
+      for (std::size_t k = 1; k < seq.size(); ++k) {
+        if (decl_index[seq[k]] < decl_index[seq[k - 1]]) {
+          out.push_back({kProtocol, impl->path, lines[k],
+                         fn + " touches '" + seq[k] + "' after '" +
+                             seq[k - 1] + "', but " + group.struct_name +
+                             " declares it earlier — wire field order drift",
+                         false,
+                         ""});
+        }
+      }
+    };
+
+    std::vector<int> head_lines;
+    auto head = sequence_of(group.head_fn, &head_lines);
+    if (!head) continue;
+    check_order(group.head_fn, *head, head_lines);
+    std::set<std::string> head_set(head->begin(), head->end());
+
+    for (const std::string& fn : group.encode_fns) {
+      std::vector<int> lines;
+      auto seq = sequence_of(fn, &lines);
+      if (!seq) continue;
+      check_order(fn, *seq, lines);
+      std::set<std::string> covered = head_set;
+      covered.insert(seq->begin(), seq->end());
+      for (const std::string& m : members) {
+        if (covered.count(m) == 0) {
+          out.push_back({kProtocol, impl->path, 1,
+                         fn + " (with " + group.head_fn +
+                             ") never encodes field '" + m + "' of " +
+                             group.struct_name,
+                         false,
+                         ""});
+        }
+      }
+    }
+
+    std::vector<int> dec_lines;
+    auto dec = sequence_of(group.decode_fn, &dec_lines);
+    if (dec) {
+      check_order(group.decode_fn, *dec, dec_lines);
+      std::set<std::string> covered(dec->begin(), dec->end());
+      for (const std::string& m : members) {
+        if (covered.count(m) == 0) {
+          out.push_back({kProtocol, impl->path, 1,
+                         group.decode_fn + " never decodes field '" + m +
+                             "' of " + group.struct_name,
+                         false,
+                         ""});
+        }
+      }
+    }
+  }
+
+  ApplyAllowlist(input.sources, &out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4: registry drift (env vars + metric names vs docs)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool IsEnvName(const std::string& s) {
+  if (s.rfind("DMEMO_", 0) != 0 || s.size() == 6) return false;
+  for (char c : s.substr(6)) {
+    if ((c < 'A' || c > 'Z') && (c < '0' || c > '9') && c != '_') return false;
+  }
+  return true;
+}
+
+bool MetricShaped(const std::string& s) {
+  static const char* kSuffixes[] = {"_total", "_bytes", "_us",
+                                    "_ms",    "_depth", "_seconds"};
+  for (const char* suffix : kSuffixes) {
+    std::string suf(suffix);
+    if (s.size() > suf.size() &&
+        s.compare(s.size() - suf.size(), suf.size(), suf) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Expands doc tokens like dmemo_rpc_{frames,bytes}_{sent,received}_total
+// (every brace group, recursively); strips label selectors like
+// dmemo_transport_dials_total{transport="tcp"}.
+void ExpandDocMetric(const std::string& token,
+                     std::set<std::string>* names) {
+  auto open = token.find('{');
+  if (open == std::string::npos) {
+    names->insert(token);
+    return;
+  }
+  auto close = token.find('}', open);
+  std::string prefix = token.substr(0, open);
+  if (close == std::string::npos) {
+    names->insert(prefix);
+    return;
+  }
+  std::string inner = token.substr(open + 1, close - open - 1);
+  std::string rest = token.substr(close + 1);
+  if (inner.find('=') != std::string::npos ||
+      inner.find('"') != std::string::npos) {
+    names->insert(prefix);  // label selector, not an expansion
+    return;
+  }
+  std::istringstream alts(inner);
+  std::string alt;
+  while (std::getline(alts, alt, ',')) {
+    ExpandDocMetric(prefix + alt + rest, names);
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> CheckRegistryDrift(const AnalyzeInput& input) {
+  std::vector<Finding> out;
+
+  struct Site {
+    std::string file;
+    int line;
+  };
+  std::map<std::string, Site> env_reads;           // env name -> first site
+  std::map<std::string, Site> metric_regs;         // metric -> first site
+  std::map<std::string, std::set<std::string>> metric_types;
+  std::set<std::string> src_idents;  // for CMake-option / macro names
+
+  for (const SourceFile& file : input.sources) {
+    Lexed lx = Lex(file.content);
+    const std::vector<Token>& toks = lx.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind == Token::kIdent) {
+        if (t.text.rfind("DMEMO_", 0) == 0) src_idents.insert(t.text);
+        if ((t.text == "GetCounter" || t.text == "GetGauge" ||
+             t.text == "GetHistogram") &&
+            i + 2 < toks.size() && toks[i + 1].kind == Token::kPunct &&
+            toks[i + 1].text == "(" && toks[i + 2].kind == Token::kString) {
+          const std::string& name = toks[i + 2].text;
+          metric_regs.emplace(name,
+                              Site{file.path, lx.LineOf(toks[i + 2].offset)});
+          metric_types[name].insert(t.text);
+        }
+      } else if (t.kind == Token::kString && IsEnvName(t.text)) {
+        env_reads.emplace(t.text, Site{file.path, lx.LineOf(t.offset)});
+      }
+    }
+  }
+
+  std::map<std::string, Site> doc_envs;     // documented env -> first site
+  std::map<std::string, Site> doc_metrics;  // documented metric -> first site
+  static const std::regex env_re(R"(DMEMO_[A-Z0-9_]+)");
+  static const std::regex metric_re(
+      R"(dmemo_[a-z0-9_]+(\{[^}\s]*\}[a-z0-9_]*)*)");
+  for (const SourceFile& doc : input.docs) {
+    std::istringstream in(doc.content);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      for (auto it = std::sregex_iterator(line.begin(), line.end(), env_re);
+           it != std::sregex_iterator(); ++it) {
+        doc_envs.emplace(it->str(), Site{doc.path, lineno});
+      }
+      for (auto it =
+               std::sregex_iterator(line.begin(), line.end(), metric_re);
+           it != std::sregex_iterator(); ++it) {
+        std::set<std::string> expanded;
+        ExpandDocMetric(it->str(), &expanded);
+        for (const std::string& name : expanded) {
+          doc_metrics.emplace(name, Site{doc.path, lineno});
+        }
+      }
+    }
+  }
+
+  std::set<std::string> doc_env_names;
+  for (const auto& [name, site] : doc_envs) doc_env_names.insert(name);
+  std::set<std::string> doc_metric_names;
+  for (const auto& [name, site] : doc_metrics) doc_metric_names.insert(name);
+  std::set<std::string> code_metric_names;
+  for (const auto& [name, site] : metric_regs) code_metric_names.insert(name);
+
+  for (const auto& [name, site] : env_reads) {
+    if (doc_env_names.count(name) != 0 || input.ignore.count(name) != 0) {
+      continue;
+    }
+    out.push_back({kRegistry, site.file, site.line,
+                   "env var '" + name + "' is read here but not documented" +
+                       NearMissHint(name, doc_env_names),
+                   false,
+                   ""});
+  }
+  for (const auto& [name, site] : doc_envs) {
+    if (env_reads.count(name) != 0 || src_idents.count(name) != 0 ||
+        input.ignore.count(name) != 0) {
+      continue;
+    }
+    std::set<std::string> code_env_names;
+    for (const auto& [n, s] : env_reads) code_env_names.insert(n);
+    out.push_back({kRegistry, site.file, site.line,
+                   "docs mention env var '" + name +
+                       "' but nothing in src reads or defines it" +
+                       NearMissHint(name, code_env_names),
+                   false,
+                   ""});
+  }
+  for (const auto& [name, site] : metric_regs) {
+    if (doc_metric_names.count(name) != 0 || input.ignore.count(name) != 0) {
+      continue;
+    }
+    out.push_back({kRegistry, site.file, site.line,
+                   "metric '" + name + "' is registered here but not "
+                       "documented" +
+                       NearMissHint(name, doc_metric_names),
+                   false,
+                   ""});
+  }
+  for (const auto& [name, site] : doc_metrics) {
+    if (!MetricShaped(name)) continue;
+    if (code_metric_names.count(name) != 0 || input.ignore.count(name) != 0) {
+      continue;
+    }
+    out.push_back({kRegistry, site.file, site.line,
+                   "docs mention metric '" + name +
+                       "' but no code registers it" +
+                       NearMissHint(name, code_metric_names),
+                   false,
+                   ""});
+  }
+  for (const auto& [name, types] : metric_types) {
+    if (types.size() > 1) {
+      std::string list;
+      for (const std::string& t : types) {
+        if (!list.empty()) list += ", ";
+        list += t;
+      }
+      const Site& site = metric_regs.at(name);
+      out.push_back({kRegistry, site.file, site.line,
+                     "metric '" + name + "' is registered as multiple types (" +
+                         list + ")",
+                     false,
+                     ""});
+    }
+  }
+
+  ApplyAllowlist(input.sources, &out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Rules 5+6: the absorbed check_lint.sh grep gates
+// ---------------------------------------------------------------------------
+
+std::vector<Finding> CheckZeroCopy(const AnalyzeInput& input) {
+  std::vector<Finding> out;
+  static const std::regex flatten_re(
+      R"(Bytes\s+[A-Za-z_][A-Za-z0-9_]*\s*=\s*[A-Za-z_][A-Za-z0-9_]*(\.|->)value\b|value\.Flatten\(\))");
+  for (const SourceFile& file : input.sources) {
+    if (file.path.find("server/") == std::string::npos &&
+        file.path.find("transport/") == std::string::npos) {
+      continue;
+    }
+    std::istringstream in(file.content);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (std::regex_search(line, flatten_re)) {
+        out.push_back({kZeroCopy, file.path, lineno,
+                       "payload flattened on the message path; use IoBuf "
+                       "slices (DESIGN.md §11)",
+                       false,
+                       ""});
+      }
+    }
+  }
+  ApplyAllowlist(input.sources, &out);
+  return out;
+}
+
+std::vector<Finding> CheckWalMutation(const AnalyzeInput& input) {
+  std::vector<Finding> out;
+  static const std::regex mutate_re(
+      R"(directory_(\.|->)(PutDelayed|Put|GetAltSkip|GetAltFor|GetAlt|GetFor|GetSkip|Get|TakeEqual)\()");
+  for (const SourceFile& file : input.sources) {
+    if (file.path.size() < 16 ||
+        file.path.compare(file.path.size() - 16, 16, "folder_server.cc") !=
+            0) {
+      continue;
+    }
+    std::istringstream in(file.content);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (std::regex_search(line, mutate_re) &&
+          line.find("wal:applied") == std::string::npos) {
+        out.push_back({kWal, file.path, lineno,
+                       "directory mutation without a 'wal:applied' marker; "
+                       "every mutation must be logged before it is applied",
+                       false,
+                       ""});
+      }
+    }
+  }
+  ApplyAllowlist(input.sources, &out);
+  return out;
+}
+
+std::vector<Finding> RunAllRules(const AnalyzeInput& input) {
+  std::vector<Finding> out;
+  for (auto* rule :
+       {CheckLockRank, CheckBlockingUnderLock, CheckProtocolDrift,
+        CheckRegistryDrift, CheckZeroCopy, CheckWalMutation}) {
+    std::vector<Finding> findings = rule(input);
+    out.insert(out.end(), findings.begin(), findings.end());
+  }
+  return out;
+}
+
+}  // namespace dmemo::analyze
