@@ -4,9 +4,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "loadgen/report.h"
 #include "runtime/cluster.h"
 #include "transferable/composite.h"
 #include "transferable/scalars.h"
@@ -54,5 +57,75 @@ inline Memo ClientOrDie(Cluster& cluster, const std::string& host) {
 inline TransferablePtr Payload(std::size_t bytes) {
   return MakeBytes(Bytes(bytes, 0x5a));
 }
+
+// Console reporter that additionally accumulates every iteration run as a
+// BenchPhaseResult, so closed-loop google-benchmark binaries feed the same
+// BENCH_*.json trajectory as the open-loop harness (bench/loadgen/report.h).
+// Closed-loop runs have no arrival schedule to be late against, so the
+// intended-start latency fields stay zero; per-iteration time and user
+// counters (items_per_second etc.) land in `extra`.
+class TrajectoryReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration) continue;
+      BenchPhaseResult phase;
+      phase.name = run.benchmark_name();
+      phase.workload = phase.name;
+      phase.ops = static_cast<std::uint64_t>(run.iterations);
+      phase.errors = run.error_occurred ? 1 : 0;
+      phase.duration_s = run.real_accumulated_time;
+      phase.achieved_rate =
+          run.real_accumulated_time > 0
+              ? static_cast<double>(run.iterations) /
+                    run.real_accumulated_time
+              : 0;
+      phase.extra["real_time_per_iter_us"] =
+          run.iterations > 0
+              ? run.real_accumulated_time * 1e6 /
+                    static_cast<double>(run.iterations)
+              : 0;
+      for (const auto& [counter_name, counter] : run.counters) {
+        phase.extra[counter_name] = counter.value;
+      }
+      phases.push_back(std::move(phase));
+    }
+  }
+
+  std::vector<BenchPhaseResult> phases;
+};
+
+// Drop-in replacement for BENCHMARK_MAIN(): same behaviour, plus when
+// DMEMO_BENCH_JSON names a file the run is also written there as a
+// schema-v1 closed-loop report.
+inline int RunBenchMain(const char* bench_name, int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  TrajectoryReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  const char* out = std::getenv("DMEMO_BENCH_JSON");
+  if (out != nullptr && *out != '\0') {
+    BenchRunReport report;
+    report.bench = bench_name;
+    report.mode = "closed-loop";
+    report.git_sha = DiscoverGitSha();
+    report.phases = std::move(reporter.phases);
+    auto written = WriteReport(out, report);
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s: %s\n", bench_name,
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "%s: wrote %s\n", bench_name, out);
+  }
+  return 0;
+}
+
+#define DMEMO_BENCH_MAIN(bench_name)                                   \
+  int main(int argc, char** argv) {                                    \
+    return dmemo::bench::RunBenchMain(bench_name, argc, argv);         \
+  }
 
 }  // namespace dmemo::bench

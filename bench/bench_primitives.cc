@@ -169,4 +169,4 @@ BENCHMARK_F(RemotePrimitives, PutDelayedTriggerRelease)
 }  // namespace
 }  // namespace dmemo::bench
 
-BENCHMARK_MAIN();
+DMEMO_BENCH_MAIN("bench_primitives")

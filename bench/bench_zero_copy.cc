@@ -157,4 +157,4 @@ BENCHMARK(PayloadCopies)
 }  // namespace
 }  // namespace dmemo::bench
 
-BENCHMARK_MAIN();
+DMEMO_BENCH_MAIN("bench_zero_copy")

@@ -1,0 +1,236 @@
+#include "loadgen/loadgen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <thread>
+
+#include "transferable/scalars.h"
+#include "util/metrics.h"
+
+namespace dmemo::bench {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Per-thread recording; combined after the join so the hot loop touches no
+// shared state. Histograms give the shared bucket math its input; the max
+// is tracked exactly because a bucket can only floor it.
+struct ThreadStats {
+  Histogram intended;
+  Histogram service;
+  std::uint64_t ops = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t max_us = 0;
+  std::uint64_t service_max_us = 0;
+};
+
+std::uint64_t ElapsedMicros(Clock::time_point from, Clock::time_point to) {
+  if (to <= from) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+          .count());
+}
+
+}  // namespace
+
+OpenLoopResult RunOpenLoop(const OpenLoopOptions& options, const LoadOp& op) {
+  const std::size_t threads = std::max<std::size_t>(1, options.threads);
+  const std::size_t clients = std::max(threads, options.clients);
+  const double rate = options.rate > 0 ? options.rate : 1.0;
+
+  std::vector<std::unique_ptr<ThreadStats>> stats;
+  for (std::size_t t = 0; t < threads; ++t) {
+    stats.push_back(std::make_unique<ThreadStats>());
+  }
+
+  const Clock::time_point start = Clock::now();
+  const Clock::time_point deadline = start + options.duration;
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      ThreadStats& local = *stats[t];
+      SplitMix64 rng(Mix64(options.seed + 0x9e3779b9 * (t + 1)));
+      const double thread_rate = rate / static_cast<double>(threads);
+      // Arrival index within this thread's stream; the logical client
+      // identity walks the thread's slice of [0, clients) so each client
+      // is a persistent entity, not a fresh name per request.
+      std::uint64_t arrival = 0;
+      double poisson_offset_s = 0;
+      for (;;) {
+        Clock::time_point intended;
+        if (options.arrival == Arrival::kFixedRate) {
+          // Global fixed-rate grid, interleaved across threads.
+          const double at_s =
+              static_cast<double>(arrival * threads + t) / rate;
+          intended = start + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double>(at_s));
+        } else {
+          // Independent per-thread Poisson stream at rate/threads; the
+          // superposition of the thread streams is Poisson(rate).
+          const double u = std::max(1e-12, 1.0 - rng.NextUnit());
+          poisson_offset_s += -std::log(u) / thread_rate;
+          intended = start + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double>(
+                                     poisson_offset_s));
+        }
+        if (intended >= deadline) break;
+        // The schedule does not wait for the system: if the previous op
+        // overran, `intended` is already in the past and sleep_until
+        // returns immediately — the backlog is charged to latency below.
+        std::this_thread::sleep_until(intended);
+        const Clock::time_point actual = Clock::now();
+        const std::size_t client =
+            (t + static_cast<std::size_t>(arrival) * threads) % clients;
+        const bool ok = op(t, client, rng);
+        const Clock::time_point done = Clock::now();
+        const std::uint64_t intended_us = ElapsedMicros(intended, done);
+        const std::uint64_t service_us = ElapsedMicros(actual, done);
+        local.intended.Observe(intended_us);
+        local.service.Observe(service_us);
+        local.max_us = std::max(local.max_us, intended_us);
+        local.service_max_us = std::max(local.service_max_us, service_us);
+        ++local.ops;
+        if (!ok) ++local.errors;
+        ++arrival;
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const double wall_s =
+      static_cast<double>(ElapsedMicros(start, Clock::now())) / 1e6;
+
+  OpenLoopResult result;
+  std::vector<std::uint64_t> intended_buckets(Histogram::kBuckets, 0);
+  std::vector<std::uint64_t> service_buckets(Histogram::kBuckets, 0);
+  std::uint64_t intended_sum = 0;
+  for (const auto& local : stats) {
+    result.ops += local->ops;
+    result.errors += local->errors;
+    result.max_us = std::max(result.max_us, local->max_us);
+    result.service_max_us =
+        std::max(result.service_max_us, local->service_max_us);
+    intended_sum += local->intended.Sum();
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      intended_buckets[i] += local->intended.BucketCount(i);
+      service_buckets[i] += local->service.BucketCount(i);
+    }
+  }
+  result.duration_s = wall_s;
+  result.offered_rate = rate;
+  result.achieved_rate =
+      wall_s > 0 ? static_cast<double>(result.ops) / wall_s : 0;
+  result.mean_us =
+      result.ops > 0
+          ? static_cast<double>(intended_sum) /
+                static_cast<double>(result.ops)
+          : 0;
+  result.p50_us = HistogramPercentile(intended_buckets, 0.50);
+  result.p90_us = HistogramPercentile(intended_buckets, 0.90);
+  result.p99_us = HistogramPercentile(intended_buckets, 0.99);
+  result.p999_us = HistogramPercentile(intended_buckets, 0.999);
+  result.service_p50_us = HistogramPercentile(service_buckets, 0.50);
+  result.service_p99_us = HistogramPercentile(service_buckets, 0.99);
+  return result;
+}
+
+namespace {
+
+TransferablePtr MakePayload(std::size_t bytes) {
+  return MakeBytes(Bytes(bytes, 0x5a));
+}
+
+Memo& HandleFor(std::vector<Memo>& handles, std::size_t thread) {
+  return handles[thread % handles.size()];
+}
+
+}  // namespace
+
+LoadOp MakePutGetOp(std::vector<Memo>& handles, const WorkloadOptions& wl) {
+  return [&handles, wl](std::size_t thread, std::size_t client,
+                        SplitMix64& rng) {
+    Memo& memo = HandleFor(handles, thread);
+    // Spread each client over a few home folders so the key space is wide
+    // but per-client locality exists (a client re-reads what it wrote).
+    const auto folder = static_cast<std::uint32_t>(
+        (client + rng.NextBelow(4)) % wl.folders);
+    const Key key = Key::Named("lg", {folder});
+    if (rng.NextUnit() < wl.put_ratio) {
+      return memo.put(key, MakePayload(wl.payload_bytes)).ok();
+    }
+    return memo.get_skip(key).ok();
+  };
+}
+
+Status PreloadFanOut(Memo& memo, const WorkloadOptions& wl) {
+  for (std::uint32_t topic = 0; topic < wl.topics; ++topic) {
+    DMEMO_RETURN_IF_ERROR(memo.put(Key::Named("topic", {topic}),
+                                   MakePayload(wl.payload_bytes)));
+  }
+  return Status::Ok();
+}
+
+LoadOp MakeFanOutOp(std::vector<Memo>& handles, const WorkloadOptions& wl) {
+  // One publish per `fanout` reads in expectation; get_copy examines
+  // without extracting, so every subscriber sees the latest publish and
+  // topics never empty out (after PreloadFanOut).
+  const double publish_ratio =
+      1.0 / static_cast<double>(std::max(1, wl.fanout) + 1);
+  return [&handles, wl, publish_ratio](std::size_t thread,
+                                       std::size_t client, SplitMix64& rng) {
+    (void)client;
+    Memo& memo = HandleFor(handles, thread);
+    const auto topic =
+        static_cast<std::uint32_t>(rng.NextBelow(wl.topics));
+    const Key key = Key::Named("topic", {topic});
+    if (rng.NextUnit() < publish_ratio) {
+      return memo.put(key, MakePayload(wl.payload_bytes)).ok();
+    }
+    return memo.get_copy(key).ok();
+  };
+}
+
+LoadOp MakeJobJarOp(std::vector<Memo>& handles, const WorkloadOptions& wl) {
+  return [&handles, wl](std::size_t thread, std::size_t client,
+                        SplitMix64& rng) {
+    Memo& memo = HandleFor(handles, thread);
+    const Key jar = Key::Named("jar");
+    if (rng.NextUnit() < wl.put_ratio) {
+      return memo.put(jar, MakePayload(wl.payload_bytes)).ok();
+    }
+    // Worker: take a job if one is there, deposit a result keyed by the
+    // worker's identity (a later phase or a supervisor could collect it).
+    auto job = memo.get_skip(jar);
+    if (!job.ok()) return false;
+    if (!job->has_value()) return true;  // empty jar is a valid outcome
+    const auto slot = static_cast<std::uint32_t>(client % 64);
+    return memo.put(Key::Named("done", {slot}), std::move(**job)).ok();
+  };
+}
+
+BenchPhaseResult PhaseFromResult(const std::string& name,
+                                 const std::string& workload,
+                                 const OpenLoopResult& result) {
+  BenchPhaseResult phase;
+  phase.name = name;
+  phase.workload = workload;
+  phase.ops = result.ops;
+  phase.errors = result.errors;
+  phase.duration_s = result.duration_s;
+  phase.offered_rate = result.offered_rate;
+  phase.achieved_rate = result.achieved_rate;
+  phase.mean_us = result.mean_us;
+  phase.p50_us = result.p50_us;
+  phase.p90_us = result.p90_us;
+  phase.p99_us = result.p99_us;
+  phase.p999_us = result.p999_us;
+  phase.max_us = result.max_us;
+  phase.service_p99_us = result.service_p99_us;
+  phase.service_max_us = result.service_max_us;
+  return phase;
+}
+
+}  // namespace dmemo::bench

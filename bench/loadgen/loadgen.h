@@ -1,0 +1,106 @@
+// Open-loop, coordinated-omission-safe load generator.
+//
+// A closed-loop bench (issue request, wait, issue next) measures *service
+// time*: when the system stalls, the bench politely stops offering load, so
+// the stall is charged to one unlucky request and the tail looks clean —
+// the coordinated-omission trap. This harness is open-loop: an arrival
+// schedule (fixed-rate or Poisson) decides when each logical client's
+// request *should* start, independent of how the system is doing, and every
+// latency is measured from that intended start time. A 200 ms server stall
+// at 1000 arrivals/s therefore shows up as ~200 queued arrivals whose
+// latencies decay from 200 ms to 0 — the exact experience of open traffic —
+// instead of a single slow sample.
+//
+// Many logical clients are multiplexed over few OS threads/connections
+// (thread t runs arrival indices i ≡ t mod threads on one Memo handle), so
+// a 4-thread run models thousands of independent clients without thousands
+// of sockets — the multiplexing the ROADMAP's async-client item will widen.
+//
+// Results carry both views: p50/p90/p99/p999/max from intended start, plus
+// the service-time p99/max a closed-loop bench would have reported. The gap
+// is the omission. Percentiles come from the shared metrics-histogram
+// bucket math (util/metrics.h HistogramPercentile); max is exact.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/memo.h"
+#include "loadgen/report.h"
+#include "util/rng.h"
+
+namespace dmemo::bench {
+
+enum class Arrival { kFixedRate, kPoisson };
+
+struct OpenLoopOptions {
+  double rate = 1000.0;  // offered arrivals/sec across all threads
+  Arrival arrival = Arrival::kPoisson;
+  std::size_t clients = 256;  // logical clients (key-space identities)
+  std::size_t threads = 4;    // OS threads multiplexing them
+  std::chrono::milliseconds duration{1000};
+  std::uint64_t seed = 1;
+};
+
+struct OpenLoopResult {
+  std::uint64_t ops = 0;
+  std::uint64_t errors = 0;
+  double duration_s = 0;
+  double offered_rate = 0;
+  double achieved_rate = 0;
+  // Latency from intended start, µs.
+  double mean_us = 0;
+  std::uint64_t p50_us = 0;
+  std::uint64_t p90_us = 0;
+  std::uint64_t p99_us = 0;
+  std::uint64_t p999_us = 0;
+  std::uint64_t max_us = 0;
+  // Service time (actual start → completion) of the same ops.
+  std::uint64_t service_p50_us = 0;
+  std::uint64_t service_p99_us = 0;
+  std::uint64_t service_max_us = 0;
+};
+
+// One request: `thread` is the OS-thread slot (pick your Memo handle),
+// `client` the logical client identity, `rng` a per-thread deterministic
+// stream. Returns false to count the op as an error.
+using LoadOp =
+    std::function<bool(std::size_t thread, std::size_t client,
+                       SplitMix64& rng)>;
+
+// Runs `op` under the open-loop schedule. Blocks until the run drains
+// (every scheduled arrival executes, even if the run overshoots its
+// duration — dropping the backlog would be omission by another name).
+OpenLoopResult RunOpenLoop(const OpenLoopOptions& options, const LoadOp& op);
+
+// ---- workloads over the Memo API ----
+
+struct WorkloadOptions {
+  double put_ratio = 0.5;        // put_get: deposit fraction; job_jar:
+                                 // producer fraction
+  std::size_t payload_bytes = 64;
+  std::size_t folders = 128;     // put_get key-space width
+  int fanout = 4;                // fanout: reads per publish (expected)
+  std::size_t topics = 16;       // fanout: topic folder count
+};
+
+// Mixed deposit/extract traffic over a wide folder key space.
+LoadOp MakePutGetOp(std::vector<Memo>& handles, const WorkloadOptions& wl);
+// Pub/sub fan-out: occasional publishes into few topic folders, many
+// concurrent get_copy readers per publish. Call PreloadFanOut first so no
+// reader parks on an empty topic.
+LoadOp MakeFanOutOp(std::vector<Memo>& handles, const WorkloadOptions& wl);
+Status PreloadFanOut(Memo& memo, const WorkloadOptions& wl);
+// Job-jar: producers deposit jobs into one contended jar folder, workers
+// take one (get_skip) and deposit a result.
+LoadOp MakeJobJarOp(std::vector<Memo>& handles, const WorkloadOptions& wl);
+
+// Converts a runner result into a report phase.
+BenchPhaseResult PhaseFromResult(const std::string& name,
+                                 const std::string& workload,
+                                 const OpenLoopResult& result);
+
+}  // namespace dmemo::bench

@@ -1,0 +1,292 @@
+// dmemo-loadgen: open-loop load harness for the BENCH_*.json trajectory.
+//
+//   dmemo-loadgen [--workload put_get|fanout|job_jar|all]
+//                 [--rate ARRIVALS_PER_SEC] [--duration-s SECONDS]
+//                 [--arrival poisson|fixed] [--clients N] [--threads N]
+//                 [--payload BYTES] [--folders N] [--put-ratio X]
+//                 [--hosts N | --url URL --host NAME]
+//                 [--seed N] [--git-sha SHA] [--out FILE]
+//
+// Default target is an in-process simulated cluster (--hosts N memo
+// servers over simnet: the full server/routing/wire path, no kernel
+// sockets), which is what CI's loadgen-smoke job drives. --url points the
+// harness at a running dmemo-server instead (--host must name that
+// server's ADF host identity); that is the mode used to soak a real
+// deployment and then read it with dmemo-stat/dmemo-top.
+//
+// Every phase runs the open-loop schedule of bench/loadgen/loadgen.h:
+// latency is accounted from each arrival's *intended* start, so the
+// reported p99/p999 include the queueing delay a closed-loop bench hides.
+// Results (plus a metrics-registry snapshot) are written as schema-v1 JSON
+// (bench/loadgen/report.h) to --out, default BENCH_loadgen.json.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "adf/adf.h"
+#include "core/remote_engine.h"
+#include "loadgen/loadgen.h"
+#include "loadgen/report.h"
+#include "runtime/cluster.h"
+#include "transport/transport.h"
+#include "util/trace.h"
+
+namespace {
+
+using dmemo::bench::Arrival;
+
+struct Options {
+  std::string workload = "all";
+  double rate = 2000;
+  double duration_s = 2.0;
+  Arrival arrival = Arrival::kPoisson;
+  std::size_t clients = 256;
+  std::size_t threads = 4;
+  std::size_t payload = 64;
+  std::size_t folders = 128;
+  double put_ratio = 0.5;
+  int hosts = 2;
+  std::string url;   // external server; empty = in-process sim cluster
+  std::string host;  // ADF host identity of --url's server
+  std::uint64_t seed = 1;
+  std::string git_sha;
+  std::string out = "BENCH_loadgen.json";
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--workload put_get|fanout|job_jar|all] [--rate R]\n"
+      "       [--duration-s S] [--arrival poisson|fixed] [--clients N]\n"
+      "       [--threads N] [--payload BYTES] [--folders N]\n"
+      "       [--put-ratio X] [--hosts N | --url URL --host NAME]\n"
+      "       [--seed N] [--git-sha SHA] [--out FILE]\n",
+      argv0);
+  return 2;
+}
+
+// ADF with n hosts, one folder server each, full unit mesh.
+std::string MeshAdf(int n) {
+  std::string adf = "APP loadgen\nHOSTS\n";
+  for (int i = 0; i < n; ++i) {
+    adf += "h" + std::to_string(i) + " 1 t 1\n";
+  }
+  adf += "FOLDERS\n";
+  for (int i = 0; i < n; ++i) {
+    adf += std::to_string(i) + " h" + std::to_string(i) + "\n";
+  }
+  if (n > 1) {
+    adf += "PPC\n";
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        adf += "h" + std::to_string(i) + " <-> h" + std::to_string(j) +
+               " 1\n";
+      }
+    }
+  }
+  return adf;
+}
+
+void PrintPhase(const dmemo::bench::BenchPhaseResult& p) {
+  std::printf(
+      "%-8s ops=%llu errors=%llu offered=%.0f/s achieved=%.0f/s\n"
+      "         intended-start: mean=%.0fus p50=%lluus p90=%lluus "
+      "p99=%lluus p999=%lluus max=%lluus\n"
+      "         service (closed-loop view): p99=%lluus max=%lluus\n",
+      p.workload.c_str(), (unsigned long long)p.ops,
+      (unsigned long long)p.errors, p.offered_rate, p.achieved_rate,
+      p.mean_us, (unsigned long long)p.p50_us, (unsigned long long)p.p90_us,
+      (unsigned long long)p.p99_us, (unsigned long long)p.p999_us,
+      (unsigned long long)p.max_us, (unsigned long long)p.service_p99_us,
+      (unsigned long long)p.service_max_us);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--workload" && (v = next())) {
+      opts.workload = v;
+    } else if (arg == "--rate" && (v = next())) {
+      opts.rate = std::strtod(v, nullptr);
+    } else if (arg == "--duration-s" && (v = next())) {
+      opts.duration_s = std::strtod(v, nullptr);
+    } else if (arg == "--arrival" && (v = next())) {
+      if (std::strcmp(v, "poisson") == 0) {
+        opts.arrival = Arrival::kPoisson;
+      } else if (std::strcmp(v, "fixed") == 0) {
+        opts.arrival = Arrival::kFixedRate;
+      } else {
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--clients" && (v = next())) {
+      opts.clients = static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--threads" && (v = next())) {
+      opts.threads = static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--payload" && (v = next())) {
+      opts.payload = static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--folders" && (v = next())) {
+      opts.folders = static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--put-ratio" && (v = next())) {
+      opts.put_ratio = std::strtod(v, nullptr);
+    } else if (arg == "--hosts" && (v = next())) {
+      opts.hosts = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (arg == "--url" && (v = next())) {
+      opts.url = v;
+    } else if (arg == "--host" && (v = next())) {
+      opts.host = v;
+    } else if (arg == "--seed" && (v = next())) {
+      opts.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--git-sha" && (v = next())) {
+      opts.git_sha = v;
+    } else if (arg == "--out" && (v = next())) {
+      opts.out = v;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (opts.rate <= 0 || opts.duration_s <= 0 || opts.hosts < 1 ||
+      (!opts.url.empty() && opts.host.empty())) {
+    return Usage(argv[0]);
+  }
+
+  // Build the target and one Memo handle per worker thread (many logical
+  // clients multiplexed over few connections).
+  std::unique_ptr<dmemo::Cluster> cluster;
+  std::vector<dmemo::Memo> handles;
+  if (opts.url.empty()) {
+    auto parsed = dmemo::ParseAdf(MeshAdf(opts.hosts));
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "dmemo-loadgen: bad ADF: %s\n",
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    auto started = dmemo::Cluster::Start(parsed->description);
+    if (!started.ok()) {
+      std::fprintf(stderr, "dmemo-loadgen: cluster: %s\n",
+                   started.status().ToString().c_str());
+      return 1;
+    }
+    cluster = std::move(*started);
+    for (std::size_t t = 0; t < std::max<std::size_t>(1, opts.threads);
+         ++t) {
+      const std::string host =
+          "h" + std::to_string(t % static_cast<std::size_t>(opts.hosts));
+      auto memo = cluster->Client(host);
+      if (!memo.ok()) {
+        std::fprintf(stderr, "dmemo-loadgen: client: %s\n",
+                     memo.status().ToString().c_str());
+        return 1;
+      }
+      handles.push_back(std::move(*memo));
+    }
+  } else {
+    auto transport = dmemo::TransportMux::CreateDefault();
+    const std::string adf =
+        "APP loadgen\nHOSTS\n" + opts.host + " 1 t 1\nFOLDERS\n0 " +
+        opts.host + "\n";
+    auto registered = dmemo::RegisterAppWith(transport, opts.url, adf);
+    if (!registered.ok()) {
+      std::fprintf(stderr, "dmemo-loadgen: register: %s\n",
+                   registered.ToString().c_str());
+      return 1;
+    }
+    for (std::size_t t = 0; t < std::max<std::size_t>(1, opts.threads);
+         ++t) {
+      dmemo::RemoteEngineOptions engine_opts;
+      engine_opts.app = "loadgen";
+      engine_opts.host = opts.host;
+      auto engine =
+          dmemo::MakeRemoteEngine(transport, opts.url, engine_opts);
+      if (!engine.ok()) {
+        std::fprintf(stderr, "dmemo-loadgen: dial %s: %s\n",
+                     opts.url.c_str(), engine.status().ToString().c_str());
+        return 1;
+      }
+      handles.emplace_back(std::move(*engine));
+    }
+  }
+
+  dmemo::bench::OpenLoopOptions run;
+  run.rate = opts.rate;
+  run.arrival = opts.arrival;
+  run.clients = opts.clients;
+  run.threads = opts.threads;
+  run.duration = std::chrono::milliseconds(
+      static_cast<std::int64_t>(opts.duration_s * 1000));
+  run.seed = opts.seed;
+
+  dmemo::bench::WorkloadOptions wl;
+  wl.put_ratio = opts.put_ratio;
+  wl.payload_bytes = opts.payload;
+  wl.folders = opts.folders;
+
+  dmemo::bench::BenchRunReport report;
+  report.bench = "loadgen";
+  report.mode = "open-loop";
+  report.git_sha =
+      opts.git_sha.empty() ? dmemo::bench::DiscoverGitSha() : opts.git_sha;
+  report.config = {
+      {"arrival",
+       opts.arrival == Arrival::kPoisson ? "poisson" : "fixed"},
+      {"rate", std::to_string(opts.rate)},
+      {"duration_s", std::to_string(opts.duration_s)},
+      {"clients", std::to_string(opts.clients)},
+      {"threads", std::to_string(opts.threads)},
+      {"payload_bytes", std::to_string(opts.payload)},
+      {"folders", std::to_string(opts.folders)},
+      {"put_ratio", std::to_string(opts.put_ratio)},
+      {"target", opts.url.empty()
+                     ? "sim-cluster/" + std::to_string(opts.hosts)
+                     : opts.url},
+      {"trace_sample_rate", std::to_string(dmemo::TraceSampleRate())},
+      {"latency_accounting", "intended-start"},
+  };
+
+  const bool all = opts.workload == "all";
+  if (all || opts.workload == "put_get") {
+    auto op = dmemo::bench::MakePutGetOp(handles, wl);
+    report.phases.push_back(dmemo::bench::PhaseFromResult(
+        "put_get", "put_get", dmemo::bench::RunOpenLoop(run, op)));
+    PrintPhase(report.phases.back());
+  }
+  if (all || opts.workload == "fanout") {
+    auto preloaded = dmemo::bench::PreloadFanOut(handles.front(), wl);
+    if (!preloaded.ok()) {
+      std::fprintf(stderr, "dmemo-loadgen: preload: %s\n",
+                   preloaded.ToString().c_str());
+      return 1;
+    }
+    auto op = dmemo::bench::MakeFanOutOp(handles, wl);
+    report.phases.push_back(dmemo::bench::PhaseFromResult(
+        "fanout", "fanout", dmemo::bench::RunOpenLoop(run, op)));
+    PrintPhase(report.phases.back());
+  }
+  if (all || opts.workload == "job_jar") {
+    auto op = dmemo::bench::MakeJobJarOp(handles, wl);
+    report.phases.push_back(dmemo::bench::PhaseFromResult(
+        "job_jar", "job_jar", dmemo::bench::RunOpenLoop(run, op)));
+    PrintPhase(report.phases.back());
+  }
+  if (report.phases.empty()) return Usage(argv[0]);
+
+  auto written = dmemo::bench::WriteReport(opts.out, report);
+  if (!written.ok()) {
+    std::fprintf(stderr, "dmemo-loadgen: %s\n", written.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "dmemo-loadgen: wrote %s (git %s)\n",
+               opts.out.c_str(), report.git_sha.c_str());
+
+  handles.clear();
+  if (cluster != nullptr) cluster->Shutdown();
+  return 0;
+}

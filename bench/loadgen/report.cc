@@ -1,0 +1,161 @@
+#include "loadgen/report.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/metrics.h"
+
+namespace dmemo::bench {
+
+namespace {
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\n': out->append("\\n"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendDouble(double v, std::string* out) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  out->append(buf);
+}
+
+void AppendU64(std::uint64_t v, std::string* out) {
+  out->append(std::to_string(v));
+}
+
+void AppendPhase(const BenchPhaseResult& p, std::string* out) {
+  out->append("    {\"name\": ");
+  AppendEscaped(p.name, out);
+  out->append(", \"workload\": ");
+  AppendEscaped(p.workload, out);
+  out->append(",\n     \"ops\": ");
+  AppendU64(p.ops, out);
+  out->append(", \"errors\": ");
+  AppendU64(p.errors, out);
+  out->append(", \"duration_s\": ");
+  AppendDouble(p.duration_s, out);
+  out->append(",\n     \"offered_rate\": ");
+  AppendDouble(p.offered_rate, out);
+  out->append(", \"achieved_rate\": ");
+  AppendDouble(p.achieved_rate, out);
+  out->append(",\n     \"mean_us\": ");
+  AppendDouble(p.mean_us, out);
+  out->append(", \"p50_us\": ");
+  AppendU64(p.p50_us, out);
+  out->append(", \"p90_us\": ");
+  AppendU64(p.p90_us, out);
+  out->append(", \"p99_us\": ");
+  AppendU64(p.p99_us, out);
+  out->append(", \"p999_us\": ");
+  AppendU64(p.p999_us, out);
+  out->append(", \"max_us\": ");
+  AppendU64(p.max_us, out);
+  out->append(",\n     \"service_p99_us\": ");
+  AppendU64(p.service_p99_us, out);
+  out->append(", \"service_max_us\": ");
+  AppendU64(p.service_max_us, out);
+  out->append(",\n     \"extra\": {");
+  bool first = true;
+  for (const auto& [key, value] : p.extra) {
+    if (!first) out->append(", ");
+    AppendEscaped(key, out);
+    out->append(": ");
+    AppendDouble(value, out);
+    first = false;
+  }
+  out->append("}}");
+}
+
+}  // namespace
+
+std::string ReportToJson(const BenchRunReport& report) {
+  std::string out;
+  out.append("{\n  \"schema_version\": 1,\n  \"bench\": ");
+  AppendEscaped(report.bench, &out);
+  out.append(",\n  \"mode\": ");
+  AppendEscaped(report.mode, &out);
+  out.append(",\n  \"git_sha\": ");
+  AppendEscaped(report.git_sha, &out);
+  out.append(",\n  \"config\": {");
+  bool first = true;
+  for (const auto& [key, value] : report.config) {
+    if (!first) out.append(", ");
+    AppendEscaped(key, &out);
+    out.append(": ");
+    AppendEscaped(value, &out);
+    first = false;
+  }
+  out.append("},\n  \"phases\": [\n");
+  for (std::size_t i = 0; i < report.phases.size(); ++i) {
+    AppendPhase(report.phases[i], &out);
+    if (i + 1 < report.phases.size()) out.append(",");
+    out.append("\n");
+  }
+  out.append("  ]");
+  if (report.include_metrics) {
+    out.append(",\n  \"metrics\": {");
+    first = true;
+    for (const MetricSample& m : MetricsRegistry::Global().Snapshot()) {
+      if (m.kind == MetricKind::kHistogram) continue;
+      if (!first) out.append(",");
+      out.append("\n    ");
+      std::string series = m.name;
+      if (!m.labels.empty()) series += "{" + m.labels + "}";
+      AppendEscaped(series, &out);
+      out.append(": ");
+      out.append(std::to_string(m.value));
+      first = false;
+    }
+    out.append("\n  }");
+  }
+  out.append("\n}\n");
+  return out;
+}
+
+Status WriteReport(const std::string& path, const BenchRunReport& report) {
+  const std::string json = ReportToJson(report);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return UnavailableError("cannot write report to " + path);
+  }
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int rc = std::fclose(f);
+  if (written != json.size() || rc != 0) {
+    return UnavailableError("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+std::string DiscoverGitSha() {
+  const char* env = std::getenv("DMEMO_GIT_SHA");
+  if (env != nullptr && *env != '\0') return env;
+  std::FILE* pipe = ::popen("git rev-parse HEAD 2>/dev/null", "r");
+  if (pipe == nullptr) return "unknown";
+  char buf[64] = {0};
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, pipe);
+  ::pclose(pipe);
+  std::string sha(buf, n);
+  while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+    sha.pop_back();
+  }
+  return sha.size() == 40 ? sha : "unknown";
+}
+
+}  // namespace dmemo::bench

@@ -1,0 +1,80 @@
+// Machine-readable bench run reports: the BENCH_*.json trajectory.
+//
+// Every harness that measures this system — the open-loop load generator
+// and the closed-loop microbenches routed through DMEMO_BENCH_MAIN — emits
+// the same schema-versioned JSON document, so the repo accumulates a
+// comparable performance trajectory across commits and
+// scripts/bench_compare.py can gate regressions mechanically.
+//
+// Schema (version 1, documented in docs/OBSERVABILITY.md):
+//   {
+//     "schema_version": 1,
+//     "bench": "loadgen",
+//     "mode": "open-loop" | "closed-loop",
+//     "git_sha": "<sha or 'unknown'>",
+//     "config": { "<key>": "<value>", ... },
+//     "phases": [ { "name", "workload", "ops", "errors", "duration_s",
+//                   "offered_rate", "achieved_rate", "mean_us",
+//                   "p50_us", "p90_us", "p99_us", "p999_us", "max_us",
+//                   "service_p99_us", "service_max_us",
+//                   "extra": { ... } }, ... ],
+//     "metrics": { "name{labels}": value, ... }   // counters + gauges
+//   }
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dmemo::bench {
+
+struct BenchPhaseResult {
+  std::string name;
+  std::string workload;  // put_get | fanout | job_jar | benchmark name
+  std::uint64_t ops = 0;
+  std::uint64_t errors = 0;
+  double duration_s = 0;
+  double offered_rate = 0;   // arrivals/s the schedule asked for (open-loop)
+  double achieved_rate = 0;  // ops completed / wall time
+  // Latency from *intended* start time, µs (open-loop phases; all zero for
+  // closed-loop phases, which have no arrival schedule to be late against).
+  double mean_us = 0;
+  std::uint64_t p50_us = 0;
+  std::uint64_t p90_us = 0;
+  std::uint64_t p99_us = 0;
+  std::uint64_t p999_us = 0;
+  std::uint64_t max_us = 0;
+  // Service time of the same ops (what a closed-loop bench would report);
+  // the gap against the intended-start numbers is coordinated omission.
+  std::uint64_t service_p99_us = 0;
+  std::uint64_t service_max_us = 0;
+  // Free-form numeric extras (closed-loop items/s, real time, counters).
+  std::map<std::string, double> extra;
+};
+
+struct BenchRunReport {
+  std::string bench;                // "loadgen", "bench_primitives", ...
+  std::string mode;                 // "open-loop" | "closed-loop"
+  std::string git_sha = "unknown";
+  std::map<std::string, std::string> config;
+  std::vector<BenchPhaseResult> phases;
+  // When true, ReportToJson appends every counter and gauge of the global
+  // metrics registry under "metrics" (histograms are the phases' job).
+  bool include_metrics = true;
+};
+
+// Serializes the report (schema version 1). Deterministic key order.
+std::string ReportToJson(const BenchRunReport& report);
+
+// Writes ReportToJson(report) to `path` atomically enough for CI (tmp +
+// rename is overkill here: the artifact is re-generated on failure).
+Status WriteReport(const std::string& path, const BenchRunReport& report);
+
+// Best-effort commit identity for the trajectory: DMEMO_GIT_SHA if set,
+// else `git rev-parse HEAD` in the current directory, else "unknown".
+std::string DiscoverGitSha();
+
+}  // namespace dmemo::bench

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json reports and gate on latency regressions.
+
+    bench_compare.py BASELINE CURRENT [--threshold 0.20] [--min-us 50]
+
+Phases are paired by name. For open-loop phases the gated number is the
+intended-start p99; for closed-loop phases (all intended-start fields zero)
+it is real_time_per_iter_us from `extra`. A phase regresses when the
+current value exceeds baseline * (1 + threshold); sub---min-us values are
+ignored outright (both sides under the floor), since at single-digit
+microseconds scheduler noise on a shared CI box swamps any real signal.
+
+Exit status: 0 = within threshold (improvements included), 1 = regression,
+2 = usage / malformed report. New phases (no baseline counterpart) and
+removed phases are reported but never fail the gate — the trajectory is
+append-friendly.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"bench_compare: cannot read {path}: {e}")
+    if doc.get("schema_version") != 1:
+        sys.exit(f"bench_compare: {path}: unsupported schema_version "
+                 f"{doc.get('schema_version')!r}")
+    return doc
+
+
+def gated_value(phase):
+    """(metric-name, value-in-us) for the number this phase is gated on."""
+    p99 = phase.get("p99_us", 0)
+    if p99 > 0:
+        return "p99_us", float(p99)
+    per_iter = phase.get("extra", {}).get("real_time_per_iter_us", 0.0)
+    return "real_time_per_iter_us", float(per_iter)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.20,
+                    help="allowed relative regression (default 0.20 = 20%%)")
+    ap.add_argument("--min-us", type=float, default=50.0,
+                    help="ignore phases where both values are below this")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    curr = load(args.current)
+    base_phases = {p["name"]: p for p in base.get("phases", [])}
+    curr_phases = {p["name"]: p for p in curr.get("phases", [])}
+
+    print(f"baseline {base.get('git_sha', '?')[:12]}  "
+          f"current {curr.get('git_sha', '?')[:12]}  "
+          f"threshold {args.threshold:.0%}")
+
+    failed = []
+    for name, curr_phase in curr_phases.items():
+        base_phase = base_phases.get(name)
+        if base_phase is None:
+            print(f"  NEW     {name}: no baseline, not gated")
+            continue
+        metric, base_v = gated_value(base_phase)
+        curr_metric, curr_v = gated_value(curr_phase)
+        if metric != curr_metric:
+            print(f"  SKIP    {name}: baseline gates {metric}, "
+                  f"current gates {curr_metric}")
+            continue
+        if base_v < args.min_us and curr_v < args.min_us:
+            print(f"  NOISE   {name}: {metric} {base_v:.1f} -> {curr_v:.1f} us"
+                  f" (both under {args.min_us:.0f} us floor)")
+            continue
+        if base_v <= 0:
+            print(f"  SKIP    {name}: baseline {metric} is 0")
+            continue
+        ratio = curr_v / base_v
+        verdict = "OK" if ratio <= 1 + args.threshold else "REGRESSED"
+        print(f"  {verdict:7} {name}: {metric} {base_v:.1f} -> {curr_v:.1f} us"
+              f"  ({ratio - 1:+.1%})")
+        if verdict == "REGRESSED":
+            failed.append(name)
+
+    for name in base_phases:
+        if name not in curr_phases:
+            print(f"  GONE    {name}: present in baseline only")
+
+    if failed:
+        print(f"bench_compare: FAILED — {len(failed)} phase(s) regressed "
+              f"beyond {args.threshold:.0%}: {', '.join(failed)}")
+        return 1
+    print("bench_compare: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,16 +1,29 @@
 // dmemo-stat: print a memo server's statistics and metrics.
 //
 //   dmemo-stat [--metrics] [--spans] [--text] [--health] [--watch SECONDS]
+//              [--trace-dump] [--trace-id HEX] [--trace-out FILE]
 //              URL...
 //
 // Default mode prints the classic Op::kStats summary. --metrics switches to
 // Op::kMetrics and renders the full metrics tree (counters, gauges, per-op
-// latency histograms); --spans additionally dumps the server's trace-span
-// ring; --text prints the server's raw Prometheus exposition. --health
-// prints the durability/liveness view: each folder server's fencing epoch
-// and WAL lag plus the failure detector's per-peer verdict. --watch N
-// re-polls every N seconds and annotates counters and histogram counts with
-// the delta since the previous round.
+// latency histograms with p50/p99 estimates and bucket exemplar trace ids);
+// --spans additionally dumps the server's trace-span ring; --text prints
+// the server's raw Prometheus exposition. --health prints the
+// durability/liveness view: each folder server's fencing epoch and WAL lag
+// plus the failure detector's per-peer verdict. --watch N re-polls every N
+// seconds and annotates counters and histogram counts with the delta since
+// the previous round; a counter that went *backwards* (server restarted
+// mid-watch) is clamped to +0 and tagged [restarted] instead of printing a
+// huge wrapped delta.
+//
+// --trace-dump collects every server's span ring and emits it as Chrome
+// trace_event JSON (load in chrome://tracing or https://ui.perfetto.dev):
+// one "process" lane per dmemo component, one complete X event per span.
+// --trace-id HEX (as printed by --spans or a histogram exemplar) restricts
+// the dump to one trace — the exemplar workflow in docs/OBSERVABILITY.md.
+// Span timestamps are each process's monotonic-since-start clock, so lanes
+// from different *processes* are mutually offset; hop order and durations
+// are exact.
 //
 // When several URLs are given, a failing server does not stop the run: the
 // remaining URLs are still queried and a per-URL summary is printed at exit
@@ -41,6 +54,9 @@ struct Options {
   bool spans = false;
   bool text = false;
   bool health = false;
+  bool trace_dump = false;
+  std::uint64_t trace_id = 0;   // 0 = all traces
+  std::string trace_out;        // empty = stdout
   int watch_seconds = 0;  // 0 = single shot
   std::vector<std::string> urls;
 };
@@ -90,7 +106,10 @@ dmemo::Result<std::shared_ptr<dmemo::TRecord>> Fetch(const std::string& url,
   return std::static_pointer_cast<dmemo::TRecord>(decoded);
 }
 
-// --watch: returns " (+N)" vs. the previous round for monotone series.
+// --watch: returns " (+N)" vs. the previous round for monotone series. A
+// value below the previous round means the counter restarted from zero
+// (server restart mid-watch): the delta is clamped to 0 and annotated, and
+// the new value becomes the baseline for the next round.
 std::string Delta(const std::string& url, const std::string& series,
                   std::uint64_t now, bool watching) {
   if (!watching) return "";
@@ -100,10 +119,24 @@ std::string Delta(const std::string& url, const std::string& series,
   const std::uint64_t prev = first ? 0 : it->second;
   g_prev[key] = now;
   if (first) return "";
+  if (now < prev) return " (+0) [restarted]";
   char buf[32];
   std::snprintf(buf, sizeof(buf), " (+%llu)",
                 (unsigned long long)(now - prev));
   return buf;
+}
+
+// Decodes a TList of TUInt64 into a vector (empty when absent).
+std::vector<std::uint64_t> U64List(const dmemo::TRecord& rec,
+                                   const char* name) {
+  std::vector<std::uint64_t> out;
+  auto list = std::static_pointer_cast<dmemo::TList>(rec.Get(name));
+  if (list == nullptr) return out;
+  out.reserve(list->items().size());
+  for (const auto& item : list->items()) {
+    out.push_back(std::static_pointer_cast<dmemo::TUInt64>(item)->value());
+  }
+  return out;
 }
 
 void PrintHistogram(const dmemo::TRecord& rec) {
@@ -114,15 +147,18 @@ void PrintHistogram(const dmemo::TRecord& rec) {
   if (count > 0) {
     std::printf(" mean_us=%.1f", double(sum) / double(count));
   }
-  auto buckets = std::static_pointer_cast<dmemo::TList>(rec.Get("buckets"));
-  if (buckets == nullptr || count == 0) return;
+  const std::vector<std::uint64_t> counts = U64List(rec, "buckets");
+  if (counts.empty() || count == 0) return;
+  std::printf(" p50=%llu p99=%llu p999=%llu",
+              (unsigned long long)dmemo::HistogramPercentile(counts, 0.50),
+              (unsigned long long)dmemo::HistogramPercentile(counts, 0.99),
+              (unsigned long long)dmemo::HistogramPercentile(counts, 0.999));
+  const std::vector<std::uint64_t> exemplars = U64List(rec, "exemplars");
   const auto& bounds = dmemo::Histogram::BucketBounds();
   std::printf("\n      ");
   bool any = false;
-  for (std::size_t i = 0; i < buckets->items().size(); ++i) {
-    const std::uint64_t n =
-        std::static_pointer_cast<dmemo::TUInt64>(buckets->items()[i])
-            ->value();
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::uint64_t n = counts[i];
     if (n == 0) continue;
     if (any) std::printf(" ");
     if (i < bounds.size()) {
@@ -130,6 +166,12 @@ void PrintHistogram(const dmemo::TRecord& rec) {
                   (unsigned long long)n);
     } else {
       std::printf("overflow:%llu", (unsigned long long)n);
+    }
+    // The bucket's most recent sampled trace id: feed it to
+    // `dmemo-stat --trace-dump --trace-id <id>` to see that request's
+    // hop-by-hop timeline.
+    if (i < exemplars.size() && exemplars[i] != 0) {
+      std::printf("[ex=%016llx]", (unsigned long long)exemplars[i]);
     }
     any = true;
   }
@@ -282,6 +324,142 @@ dmemo::Status PrintHealth(const std::string& url) {
   return dmemo::Status::Ok();
 }
 
+// ---- --trace-dump: Chrome trace_event JSON from the servers' span rings.
+
+struct DumpSpan {
+  std::uint64_t trace_id = 0;
+  std::string component;
+  std::string op;
+  int hop = 0;
+  bool ok = true;
+  std::uint64_t start_us = 0;
+  std::uint64_t duration_us = 0;
+};
+
+// Minimal JSON string escape (component/op names are plain identifiers,
+// but a hostile ADF host name must not break the dump).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+dmemo::Status CollectSpans(const std::string& url,
+                           std::vector<DumpSpan>* out) {
+  DMEMO_ASSIGN_OR_RETURN(auto root, Fetch(url, dmemo::Op::kMetrics));
+  auto spans = std::static_pointer_cast<dmemo::TList>(root->Get("spans"));
+  if (spans == nullptr) return dmemo::Status::Ok();
+  for (const auto& item : spans->items()) {
+    auto rec = std::static_pointer_cast<dmemo::TRecord>(item);
+    DumpSpan span;
+    span.trace_id = U64Field(*rec, "trace_id");
+    span.component = StrField(*rec, "component");
+    span.op = StrField(*rec, "op");
+    span.hop =
+        std::static_pointer_cast<dmemo::TInt32>(rec->Get("hop"))->value();
+    auto ok = rec->Get("ok");
+    span.ok = ok != nullptr &&
+              std::static_pointer_cast<dmemo::TBool>(ok)->value();
+    span.start_us = U64Field(*rec, "start_us");
+    span.duration_us = U64Field(*rec, "duration_us");
+    out->push_back(std::move(span));
+  }
+  return dmemo::Status::Ok();
+}
+
+// Renders the collected spans as Chrome trace_event JSON: one trace lane
+// ("process") per dmemo component, spans as complete (ph:"X") events with
+// the trace id in args. Timestamps are per-*OS-process* monotonic clocks;
+// components served by one server share a time base.
+void WriteChromeTrace(const std::vector<DumpSpan>& spans, std::FILE* out) {
+  std::map<std::string, int> pids;
+  for (const DumpSpan& span : spans) {
+    pids.emplace(span.component, static_cast<int>(pids.size()) + 1);
+  }
+  std::fprintf(out, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+  bool first = true;
+  for (const auto& [component, pid] : pids) {
+    std::fprintf(out,
+                 "%s\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+                 "\"tid\":0,\"args\":{\"name\":\"%s\"}}",
+                 first ? "" : ",", pid, JsonEscape(component).c_str());
+    first = false;
+  }
+  for (const DumpSpan& span : spans) {
+    char id[24];
+    std::snprintf(id, sizeof(id), "%016llx",
+                  (unsigned long long)span.trace_id);
+    std::fprintf(out,
+                 "%s\n{\"name\":\"%s\",\"cat\":\"dmemo\",\"ph\":\"X\","
+                 "\"ts\":%llu,\"dur\":%llu,\"pid\":%d,\"tid\":%d,"
+                 "\"args\":{\"trace_id\":\"%s\",\"hop\":%d,\"ok\":%s}}",
+                 first ? "" : ",", JsonEscape(span.op).c_str(),
+                 (unsigned long long)span.start_us,
+                 (unsigned long long)span.duration_us,
+                 pids.at(span.component), span.hop, id, span.hop,
+                 span.ok ? "true" : "false");
+    first = false;
+  }
+  std::fprintf(out, "\n]}\n");
+}
+
+int RunTraceDump(const Options& opts) {
+  std::vector<DumpSpan> spans;
+  int reachable = 0;
+  for (const std::string& url : opts.urls) {
+    dmemo::Status status = CollectSpans(url, &spans);
+    if (!status.ok()) {
+      std::fprintf(stderr, "dmemo-stat: %s: %s\n", url.c_str(),
+                   status.ToString().c_str());
+    } else {
+      ++reachable;
+    }
+  }
+  if (reachable == 0) return 1;
+  if (opts.trace_id != 0) {
+    std::erase_if(spans, [&](const DumpSpan& span) {
+      return span.trace_id != opts.trace_id;
+    });
+    if (spans.empty()) {
+      std::fprintf(stderr,
+                   "dmemo-stat: no spans for trace %016llx (ring may have "
+                   "wrapped, or the trace was not sampled)\n",
+                   (unsigned long long)opts.trace_id);
+      return 1;
+    }
+  }
+  std::FILE* out = stdout;
+  if (!opts.trace_out.empty()) {
+    out = std::fopen(opts.trace_out.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "dmemo-stat: cannot write %s\n",
+                   opts.trace_out.c_str());
+      return 1;
+    }
+  }
+  WriteChromeTrace(spans, out);
+  if (out != stdout) std::fclose(out);
+  std::fprintf(stderr, "dmemo-stat: dumped %zu spans from %d server%s\n",
+               spans.size(), reachable, reachable == 1 ? "" : "s");
+  return 0;
+}
+
 // One pass over every URL; failures are reported but never stop the pass.
 // Returns the number of URLs that failed.
 int RunRound(const Options& opts,
@@ -306,7 +484,9 @@ int RunRound(const Options& opts,
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--metrics] [--spans] [--text] [--health] "
-               "[--watch SECONDS] SERVER_URL...\n",
+               "[--watch SECONDS]\n"
+               "       [--trace-dump] [--trace-id HEX] [--trace-out FILE] "
+               "SERVER_URL...\n",
                argv0);
   return 2;
 }
@@ -327,6 +507,20 @@ int main(int argc, char** argv) {
       opts.text = true;
     } else if (arg == "--health") {
       opts.health = true;
+    } else if (arg == "--trace-dump") {
+      opts.trace_dump = true;
+    } else if (arg == "--trace-id") {
+      if (i + 1 >= argc) return Usage(argv[0]);
+      char* end = nullptr;
+      opts.trace_id = std::strtoull(argv[++i], &end, 16);
+      if (end == nullptr || *end != '\0' || opts.trace_id == 0) {
+        return Usage(argv[0]);
+      }
+      opts.trace_dump = true;
+    } else if (arg == "--trace-out") {
+      if (i + 1 >= argc) return Usage(argv[0]);
+      opts.trace_out = argv[++i];
+      opts.trace_dump = true;
     } else if (arg == "--watch") {
       if (i + 1 >= argc) return Usage(argv[0]);
       char* end = nullptr;
@@ -342,6 +536,7 @@ int main(int argc, char** argv) {
     }
   }
   if (opts.urls.empty()) return Usage(argv[0]);
+  if (opts.trace_dump) return RunTraceDump(opts);
 
   std::map<std::string, std::string> last_error;
   int failed = RunRound(opts, &last_error);

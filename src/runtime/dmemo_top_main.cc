@@ -1,0 +1,337 @@
+// dmemo-top: live terminal dashboard over Op::kMetrics.
+//
+//   dmemo-top [--interval SECONDS] [--once] [--no-clear] URL...
+//
+// Polls every server's metrics endpoint and renders a top(1)-style screen:
+// per-server ops/s, a per-op latency table (rate plus p50/p99 computed over
+// the *last interval's* bucket deltas, so a stall shows up immediately
+// instead of being averaged into process-lifetime numbers), worker queue
+// depths, WAL lag, and RPC retry/reconnect counters. All percentile math is
+// the shared util/metrics.h HistogramPercentile.
+//
+// A server restart mid-watch makes counters go backwards; like
+// `dmemo-stat --watch`, rates clamp to 0 for that round and the host line
+// is tagged [restarted]. An unreachable server stays on screen as DOWN and
+// rejoins when it answers again. --once prints a single frame and exits
+// (CI smoke uses it); --no-clear appends frames instead of redrawing.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/rpc_channel.h"
+#include "transferable/codec.h"
+#include "transferable/composite.h"
+#include "transferable/scalars.h"
+#include "transport/transport.h"
+#include "util/metrics.h"
+
+namespace {
+
+struct Options {
+  double interval_s = 2.0;
+  bool once = false;
+  bool no_clear = false;
+  std::vector<std::string> urls;
+};
+
+// One metric series as fetched this round.
+struct Series {
+  std::string kind;
+  std::int64_t value = 0;        // counter / gauge
+  std::uint64_t count = 0;       // histogram
+  std::uint64_t sum = 0;
+  std::vector<std::uint64_t> buckets;
+};
+
+struct ServerSnapshot {
+  bool up = false;
+  bool restarted = false;  // some monotone series went backwards
+  std::string host;
+  std::string error;
+  // name + '\x01' + labels -> series
+  std::map<std::string, Series> series;
+};
+
+std::uint64_t U64Field(const dmemo::TRecord& rec, const char* name) {
+  auto v = rec.Get(name);
+  return v == nullptr
+             ? 0
+             : std::static_pointer_cast<dmemo::TUInt64>(v)->value();
+}
+
+std::int64_t I64Field(const dmemo::TRecord& rec, const char* name) {
+  auto v = rec.Get(name);
+  return v == nullptr
+             ? 0
+             : std::static_pointer_cast<dmemo::TInt64>(v)->value();
+}
+
+std::string StrField(const dmemo::TRecord& rec, const char* name) {
+  auto v = rec.Get(name);
+  return v == nullptr
+             ? std::string()
+             : std::static_pointer_cast<dmemo::TString>(v)->value();
+}
+
+std::vector<std::uint64_t> U64List(const dmemo::TRecord& rec,
+                                   const char* name) {
+  std::vector<std::uint64_t> out;
+  auto list = std::static_pointer_cast<dmemo::TList>(rec.Get(name));
+  if (list == nullptr) return out;
+  out.reserve(list->items().size());
+  for (const auto& item : list->items()) {
+    out.push_back(std::static_pointer_cast<dmemo::TUInt64>(item)->value());
+  }
+  return out;
+}
+
+dmemo::Result<std::shared_ptr<dmemo::TRecord>> FetchMetrics(
+    const std::string& url) {
+  auto transport = dmemo::TransportMux::CreateDefault();
+  DMEMO_ASSIGN_OR_RETURN(auto conn, transport->Dial(url));
+  auto channel = dmemo::RpcChannel::Create(std::move(conn), nullptr, nullptr);
+  dmemo::Request req;
+  req.op = dmemo::Op::kMetrics;
+  auto resp = channel->Call(req);
+  channel->Close();
+  DMEMO_RETURN_IF_ERROR(resp.status());
+  DMEMO_RETURN_IF_ERROR(resp->ToStatus());
+  if (!resp->has_value) {
+    return dmemo::InternalError("response carried no payload");
+  }
+  DMEMO_ASSIGN_OR_RETURN(auto decoded,
+                         dmemo::DecodeGraphFromBytes(resp->value));
+  return std::static_pointer_cast<dmemo::TRecord>(decoded);
+}
+
+ServerSnapshot Snapshot(const std::string& url) {
+  ServerSnapshot snap;
+  auto root = FetchMetrics(url);
+  if (!root.ok()) {
+    snap.error = root.status().ToString();
+    return snap;
+  }
+  snap.up = true;
+  snap.host = StrField(**root, "host");
+  auto metrics =
+      std::static_pointer_cast<dmemo::TList>((*root)->Get("metrics"));
+  if (metrics == nullptr) return snap;
+  for (const auto& item : metrics->items()) {
+    auto rec = std::static_pointer_cast<dmemo::TRecord>(item);
+    Series s;
+    s.kind = StrField(*rec, "kind");
+    if (s.kind == "histogram") {
+      s.count = U64Field(*rec, "count");
+      s.sum = U64Field(*rec, "sum");
+      s.buckets = U64List(*rec, "buckets");
+    } else {
+      s.value = I64Field(*rec, "value");
+    }
+    snap.series.emplace(
+        StrField(*rec, "name") + '\x01' + StrField(*rec, "labels"),
+        std::move(s));
+  }
+  return snap;
+}
+
+// Monotone delta with restart clamping: a value below the previous round
+// means the server restarted; report 0 and flag it.
+std::uint64_t MonotoneDelta(std::uint64_t now, std::uint64_t prev,
+                            bool* restarted) {
+  if (now < prev) {
+    *restarted = true;
+    return 0;
+  }
+  return now - prev;
+}
+
+// `labels` is the preformatted `k="v",...` string; extract one value.
+std::string LabelValue(const std::string& labels, const std::string& key) {
+  const std::string needle = key + "=\"";
+  const std::size_t at = labels.find(needle);
+  if (at == std::string::npos) return "";
+  const std::size_t begin = at + needle.size();
+  const std::size_t end = labels.find('"', begin);
+  if (end == std::string::npos) return "";
+  return labels.substr(begin, end - begin);
+}
+
+std::string HumanBytes(std::int64_t v) {
+  char buf[32];
+  const double d = static_cast<double>(v);
+  if (v >= 10LL * 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1fMiB", d / (1024.0 * 1024.0));
+  } else if (v >= 10 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1fKiB", d / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldB", (long long)v);
+  }
+  return buf;
+}
+
+// Renders one server's panel from this round's and the previous round's
+// snapshots. `dt_s` is the wall time between them (0 on the first round:
+// rates are suppressed, cumulative percentiles shown instead).
+void RenderServer(const std::string& url, const ServerSnapshot& now,
+                  const ServerSnapshot& prev, double dt_s) {
+  if (!now.up) {
+    std::printf("%s  DOWN  %s\n\n", url.c_str(), now.error.c_str());
+    return;
+  }
+  bool restarted = false;
+
+  // Total ops/s: sum of per-op latency histogram count deltas.
+  std::uint64_t ops_delta = 0;
+  for (const auto& [key, s] : now.series) {
+    if (s.kind != "histogram" ||
+        key.compare(0, 26, "dmemo_server_op_latency_us") != 0) {
+      continue;
+    }
+    auto it = prev.series.find(key);
+    const std::uint64_t before =
+        it == prev.series.end() ? 0 : it->second.count;
+    ops_delta += MonotoneDelta(s.count, before, &restarted);
+  }
+  const double ops_rate = dt_s > 0 ? ops_delta / dt_s : 0;
+
+  std::printf("%s  (%s)  %.0f op/s%s\n", now.host.c_str(), url.c_str(),
+              ops_rate, restarted ? "  [restarted]" : "");
+
+  // Per-op latency over the last interval (delta buckets), skipping ops
+  // that saw no traffic.
+  std::printf("  %-12s %10s %9s %9s %9s\n", "op", "op/s", "p50(us)",
+              "p99(us)", "p99(cum)");
+  for (const auto& [key, s] : now.series) {
+    if (s.kind != "histogram" ||
+        key.compare(0, 26, "dmemo_server_op_latency_us") != 0) {
+      continue;
+    }
+    const std::string labels = key.substr(key.find('\x01') + 1);
+    const std::string op = LabelValue(labels, "op");
+    auto it = prev.series.find(key);
+    const Series* before = it == prev.series.end() ? nullptr : &it->second;
+    bool reset = before != nullptr && s.count < before->count;
+    std::vector<std::uint64_t> delta = s.buckets;
+    if (before != nullptr && !reset &&
+        before->buckets.size() == delta.size()) {
+      for (std::size_t i = 0; i < delta.size(); ++i) {
+        delta[i] -= std::min(before->buckets[i], delta[i]);
+      }
+    }
+    std::uint64_t count_delta = 0;
+    for (std::uint64_t b : delta) count_delta += b;
+    if (count_delta == 0 && dt_s > 0) continue;  // idle op this round
+    const double rate = dt_s > 0 ? count_delta / dt_s : 0;
+    std::printf("  %-12s %10.0f %9llu %9llu %9llu%s\n", op.c_str(), rate,
+                (unsigned long long)dmemo::HistogramPercentile(delta, 0.50),
+                (unsigned long long)dmemo::HistogramPercentile(delta, 0.99),
+                (unsigned long long)dmemo::HistogramPercentile(s.buckets,
+                                                               0.99),
+                reset ? " [restarted]" : "");
+  }
+
+  // Gauges: worker queue depth and WAL lag per labeled instance.
+  for (const auto& [key, s] : now.series) {
+    if (s.kind != "gauge") continue;
+    if (key.compare(0, 23, "dmemo_worker_queue_depth") == 0) {
+      std::printf("  queue  %-22s depth=%lld\n",
+                  key.substr(key.find('\x01') + 1).c_str(),
+                  (long long)s.value);
+    } else if (key.compare(0, 18, "dmemo_wal_lag_bytes") == 0) {
+      std::printf("  wal    %-22s lag=%s\n",
+                  key.substr(key.find('\x01') + 1).c_str(),
+                  HumanBytes(s.value).c_str());
+    }
+  }
+
+  // Link health counters, rate-form.
+  std::uint64_t retries = 0, reconnects = 0, fenced = 0;
+  for (const auto& [key, s] : now.series) {
+    if (s.kind != "counter") continue;
+    auto it = prev.series.find(key);
+    const std::uint64_t before =
+        it == prev.series.end()
+            ? 0
+            : static_cast<std::uint64_t>(it->second.value);
+    const std::uint64_t d = MonotoneDelta(
+        static_cast<std::uint64_t>(s.value), before, &restarted);
+    if (key.compare(0, 23, "dmemo_rpc_retries_total") == 0) retries += d;
+    if (key.compare(0, 26, "dmemo_rpc_reconnects_total") == 0) {
+      reconnects += d;
+    }
+    if (key.compare(0, 27, "dmemo_fenced_requests_total") == 0) fenced += d;
+  }
+  std::printf("  link   retries=+%llu reconnects=+%llu fenced=+%llu\n\n",
+              (unsigned long long)retries, (unsigned long long)reconnects,
+              (unsigned long long)fenced);
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--interval SECONDS] [--once] [--no-clear] "
+               "SERVER_URL...\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--interval") {
+      if (i + 1 >= argc) return Usage(argv[0]);
+      opts.interval_s = std::strtod(argv[++i], nullptr);
+      if (opts.interval_s <= 0) return Usage(argv[0]);
+    } else if (arg == "--once") {
+      opts.once = true;
+    } else if (arg == "--no-clear") {
+      opts.no_clear = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage(argv[0]);
+    } else {
+      opts.urls.push_back(arg);
+    }
+  }
+  if (opts.urls.empty()) return Usage(argv[0]);
+
+  using Clock = std::chrono::steady_clock;
+  std::map<std::string, ServerSnapshot> previous;
+  Clock::time_point prev_at = Clock::now();
+  bool first = true;
+  for (;;) {
+    std::map<std::string, ServerSnapshot> current;
+    for (const std::string& url : opts.urls) {
+      current.emplace(url, Snapshot(url));
+    }
+    const Clock::time_point at = Clock::now();
+    const double dt_s =
+        first ? 0
+              : std::chrono::duration<double>(at - prev_at).count();
+
+    if (!opts.no_clear && !opts.once) {
+      std::printf("\x1b[H\x1b[2J");  // cursor home + clear screen
+    }
+    int up = 0;
+    for (const auto& [url, snap] : current) up += snap.up ? 1 : 0;
+    std::printf("dmemo-top  %d/%zu servers up  interval=%.1fs%s\n\n", up,
+                current.size(), opts.interval_s,
+                first ? "  (first sample: cumulative)" : "");
+    for (const std::string& url : opts.urls) {
+      RenderServer(url, current.at(url), previous[url], dt_s);
+    }
+    std::fflush(stdout);
+
+    if (opts.once) return up == 0 ? 1 : 0;
+    previous = std::move(current);
+    prev_at = at;
+    first = false;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(opts.interval_s));
+  }
+}

@@ -86,9 +86,12 @@ Response FolderServer::Handle(const Request& request) {
   resp.trace_id = request.trace_id;
   const std::uint64_t elapsed_us = MonotonicMicros() - start_us;
 
+  // Span and exemplar share one sampling verdict (see memo_server.cc).
+  const bool sampled = TraceSampled(request.trace_id);
   const auto op_index = static_cast<std::size_t>(request.op);
   if (op_index < op_latency_.size() && op_latency_[op_index] != nullptr) {
-    op_latency_[op_index]->Observe(elapsed_us);
+    op_latency_[op_index]->Observe(elapsed_us,
+                                   sampled ? request.trace_id : 0);
   }
   const bool ok = resp.code == StatusCode::kOk;
   if (ok) {
@@ -99,15 +102,17 @@ Response FolderServer::Handle(const Request& request) {
     }
   }
 
-  SpanRecord span;
-  span.trace_id = request.trace_id;
-  span.component = "fs:" + std::to_string(id_) + "@" + host_;
-  span.op = std::string(OpName(request.op));
-  span.hop = request.hop_count;
-  span.ok = ok;
-  span.start_us = start_us;
-  span.duration_us = elapsed_us;
-  TraceRing::Global().Record(std::move(span));
+  if (sampled) {
+    SpanRecord span;
+    span.trace_id = request.trace_id;
+    span.component = "fs:" + std::to_string(id_) + "@" + host_;
+    span.op = std::string(OpName(request.op));
+    span.hop = request.hop_count;
+    span.ok = ok;
+    span.start_us = start_us;
+    span.duration_us = elapsed_us;
+    TraceRing::Global().Record(std::move(span));
+  }
 
   const auto threshold_us = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(SlowOpThreshold())

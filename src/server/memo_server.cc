@@ -236,19 +236,26 @@ Response MemoServer::Handle(const Request& request) {
   Response resp = HandleTraced(request);
   resp.trace_id = request.trace_id;
   const std::uint64_t elapsed_us = MonotonicMicros() - start_us;
+  // Sampling (DMEMO_TRACE_SAMPLE_RATE) gates both the span and the
+  // histogram exemplar together, so an exemplar never points at a trace
+  // the ring refused to retain.
+  const bool sampled = TraceSampled(request.trace_id);
   const auto op_index = static_cast<std::size_t>(request.op);
   if (op_index < op_latency_.size() && op_latency_[op_index] != nullptr) {
-    op_latency_[op_index]->Observe(elapsed_us);
+    op_latency_[op_index]->Observe(elapsed_us,
+                                   sampled ? request.trace_id : 0);
   }
-  SpanRecord span;
-  span.trace_id = request.trace_id;
-  span.component = "memo:" + options_.host;
-  span.op = std::string(OpName(request.op));
-  span.hop = request.hop_count;
-  span.ok = resp.code == StatusCode::kOk;
-  span.start_us = start_us;
-  span.duration_us = elapsed_us;
-  TraceRing::Global().Record(std::move(span));
+  if (sampled) {
+    SpanRecord span;
+    span.trace_id = request.trace_id;
+    span.component = "memo:" + options_.host;
+    span.op = std::string(OpName(request.op));
+    span.hop = request.hop_count;
+    span.ok = resp.code == StatusCode::kOk;
+    span.start_us = start_us;
+    span.duration_us = elapsed_us;
+    TraceRing::Global().Record(std::move(span));
+  }
   return resp;
 }
 
@@ -570,6 +577,11 @@ Response MemoServer::HandleMetrics() const {
       auto buckets = std::make_shared<TList>();
       for (std::uint64_t b : sample.buckets) buckets->Add(MakeUInt64(b));
       rec->Set("buckets", buckets);
+      // Per-bucket exemplar trace ids, parallel to `buckets` (0 = none);
+      // see docs/PROTOCOL.md kMetrics payload note.
+      auto exemplars = std::make_shared<TList>();
+      for (std::uint64_t e : sample.exemplars) exemplars->Add(MakeUInt64(e));
+      rec->Set("exemplars", exemplars);
     } else {
       rec->Set("value", MakeInt64(sample.value));
     }

@@ -29,12 +29,57 @@ Histogram::BucketBounds() {
   return kBoundsArray;
 }
 
-void Histogram::Observe(std::uint64_t value_us) noexcept {
+void Histogram::Observe(std::uint64_t value_us,
+                        std::uint64_t exemplar_trace_id) noexcept {
   const auto& bounds = BucketBounds();
   const auto it = std::lower_bound(bounds.begin(), bounds.end(), value_us);
   const std::size_t idx = static_cast<std::size_t>(it - bounds.begin());
   buckets_[idx].fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(value_us, std::memory_order_relaxed);
+  if (exemplar_trace_id != 0) {
+    exemplars_[idx].store(exemplar_trace_id, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t Histogram::Percentile(double q) const noexcept {
+  std::array<std::uint64_t, kBuckets> counts;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return HistogramPercentile(counts, q);
+}
+
+std::uint64_t HistogramPercentile(std::span<const std::uint64_t> buckets,
+                                  double q) noexcept {
+  const auto& bounds = Histogram::BucketBounds();
+  std::uint64_t total = 0;
+  for (std::uint64_t b : buckets) total += b;
+  if (total == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-quantile observation, 1-based; q=0 asks for the first.
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  const std::size_t n = std::min<std::size_t>(buckets.size(),
+                                              Histogram::kBuckets);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (buckets[i] == 0) continue;
+    const std::uint64_t before = cumulative;
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (i >= bounds.size()) {
+      // Overflow bucket: its upper edge is unknown; report the largest
+      // finite bound as a floor.
+      return bounds.back();
+    }
+    const std::uint64_t lower = i == 0 ? 0 : bounds[i - 1];
+    const std::uint64_t upper = bounds[i];
+    const double within =
+        (rank - static_cast<double>(before)) / static_cast<double>(buckets[i]);
+    return lower + static_cast<std::uint64_t>(
+                       static_cast<double>(upper - lower) * within + 0.5);
+  }
+  return bounds.back();
 }
 
 std::uint64_t Histogram::Count() const noexcept {
@@ -127,9 +172,11 @@ std::vector<MetricSample> MetricsRegistry::Snapshot() const {
         break;
       case MetricKind::kHistogram: {
         sample.buckets.resize(Histogram::kBuckets);
+        sample.exemplars.resize(Histogram::kBuckets);
         std::uint64_t count = 0;
         for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
           sample.buckets[i] = entry->histogram.BucketCount(i);
+          sample.exemplars[i] = entry->histogram.ExemplarTraceId(i);
           count += sample.buckets[i];
         }
         // Count derived from the buckets, so count == Σ buckets holds in

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -97,6 +98,14 @@ class Gauge {
 // Fixed-bucket latency histogram. Values are microseconds; the bounds span
 // 1 µs .. 10 s (exponential 1-2.5-5 ladder) plus an overflow bucket, which
 // covers everything from an in-process folder hit to a parked blocking get.
+//
+// Each bucket additionally holds one *exemplar*: the trace id of the most
+// recent sampled observation that landed there. That is the link from a
+// latency outlier to its hop-by-hop timeline — read the p999 bucket's
+// exemplar, then `dmemo-stat --trace-dump --trace-id <id>` renders the
+// trace (docs/OBSERVABILITY.md "Exemplar workflow"). Exemplar stores are
+// relaxed and last-writer-wins; a snapshot may pair a bucket count with an
+// exemplar from a racing later observation, which is fine for diagnostics.
 class Histogram {
  public:
   static constexpr std::size_t kBounds = 22;   // finite upper bounds
@@ -105,7 +114,11 @@ class Histogram {
   // Inclusive upper bounds (Prometheus `le`), in microseconds.
   static const std::array<std::uint64_t, kBounds>& BucketBounds();
 
-  void Observe(std::uint64_t value_us) noexcept;
+  // `exemplar_trace_id` nonzero attaches the observation's trace id to the
+  // landing bucket (callers pass it only for trace-sampled requests, so an
+  // exemplar always points at a trace retained in some TraceRing).
+  void Observe(std::uint64_t value_us,
+               std::uint64_t exemplar_trace_id = 0) noexcept;
 
   std::uint64_t Count() const noexcept;          // total observations
   std::uint64_t Sum() const noexcept {           // sum of observed values
@@ -114,6 +127,13 @@ class Histogram {
   std::uint64_t BucketCount(std::size_t i) const noexcept {
     return buckets_[i].load(std::memory_order_relaxed);
   }
+  // Most recent sampled trace id that landed in bucket i (0 = none yet).
+  std::uint64_t ExemplarTraceId(std::size_t i) const noexcept {
+    return exemplars_[i].load(std::memory_order_relaxed);
+  }
+
+  // Estimated q-quantile of the live buckets (see HistogramPercentile).
+  [[nodiscard]] std::uint64_t Percentile(double q) const noexcept;
 
   Histogram() = default;
   Histogram(const Histogram&) = delete;
@@ -121,8 +141,20 @@ class Histogram {
 
  private:
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::array<std::atomic<std::uint64_t>, kBuckets> exemplars_{};
   std::atomic<std::uint64_t> sum_{0};
 };
+
+// Estimated q-quantile (q in [0, 1]) in microseconds from *non-cumulative*
+// per-bucket counts laid out like Histogram's buckets (BucketBounds order
+// plus the trailing overflow bucket; shorter spans are treated as
+// zero-padded). Linearly interpolates within the winning bucket; the
+// overflow bucket reports the largest finite bound (a floor, since its true
+// extent is unknown). Returns 0 for an empty histogram. This is the one
+// shared bucket→percentile derivation: loadgen, dmemo-top and dmemo-stat
+// all call it instead of re-deriving bucket math.
+[[nodiscard]] std::uint64_t HistogramPercentile(
+    std::span<const std::uint64_t> buckets, double q) noexcept;
 
 enum class MetricKind { kCounter, kGauge, kHistogram };
 
@@ -137,6 +169,8 @@ struct MetricSample {
   std::uint64_t count = 0;               // histogram observations
   std::uint64_t sum = 0;                 // histogram sum (µs)
   std::vector<std::uint64_t> buckets;    // per-bucket (non-cumulative)
+  // Per-bucket exemplar trace ids (0 = none); parallel to `buckets`.
+  std::vector<std::uint64_t> exemplars;
 };
 
 // Registry of named metrics. Global() is the process-wide instance every

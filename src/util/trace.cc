@@ -101,4 +101,46 @@ void SetSlowOpThreshold(std::chrono::milliseconds threshold) {
   SlowOpMs().store(threshold.count(), std::memory_order_relaxed);
 }
 
+namespace {
+
+double ClampRate(double rate) {
+  if (!(rate >= 0.0)) return 0.0;  // NaN and negatives record nothing
+  return rate > 1.0 ? 1.0 : rate;
+}
+
+double InitialTraceSampleRate() {
+  const char* env = std::getenv("DMEMO_TRACE_SAMPLE_RATE");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const double v = std::strtod(env, &end);
+    if (end != env && *end == '\0') return ClampRate(v);
+  }
+  return 1.0;
+}
+
+std::atomic<double>& TraceRate() {
+  static std::atomic<double> rate{InitialTraceSampleRate()};
+  return rate;
+}
+
+}  // namespace
+
+double TraceSampleRate() {
+  return TraceRate().load(std::memory_order_relaxed);
+}
+
+void SetTraceSampleRate(double rate) {
+  TraceRate().store(ClampRate(rate), std::memory_order_relaxed);
+}
+
+bool TraceSampled(std::uint64_t trace_id) {
+  const double rate = TraceSampleRate();
+  if (rate >= 1.0) return true;
+  if (rate <= 0.0) return false;
+  // Deterministic per id: remix (ids are already SplitMix64 outputs, but a
+  // server-assigned id could be anything) and compare against the rate's
+  // share of the 64-bit space. Every process computes the same verdict.
+  return HashToUnit(Mix64(trace_id ^ 0x5ca1ab1e5ca1ab1eULL)) < rate;
+}
+
 }  // namespace dmemo

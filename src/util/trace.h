@@ -71,4 +71,23 @@ std::uint64_t MonotonicMicros();
 std::chrono::milliseconds SlowOpThreshold();
 void SetSlowOpThreshold(std::chrono::milliseconds threshold);
 
+// ---- trace sampling ----
+//
+// Under production load, recording every span would cycle the TraceRing in
+// milliseconds and the window would never contain an outlier's full story.
+// DMEMO_TRACE_SAMPLE_RATE in [0, 1] (default 1: record everything, the
+// diagnostic-friendly small-deployment default) selects the fraction of
+// traces recorded. The decision is a pure function of the trace id — every
+// hop of one trace, in every process, agrees without coordination — so a
+// sampled trace is always complete end to end, never a fragment.
+
+// Current sample rate, clamped to [0, 1].
+double TraceSampleRate();
+// Programmatic override (tests, dmemo-loadgen phases).
+void SetTraceSampleRate(double rate);
+
+// True iff spans for this trace id should be recorded at the current rate.
+// Rate 1 keeps every trace (including id 0, "untraced"); rate 0 keeps none.
+[[nodiscard]] bool TraceSampled(std::uint64_t trace_id);
+
 }  // namespace dmemo

@@ -1,0 +1,169 @@
+// Open-loop load-generator self-tests: the arrival schedule is honored
+// independently of op speed, intended-start accounting exposes a stall that
+// the service-time (closed-loop) view hides, and the JSON run reporter
+// round-trips through the schema-v1 document.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "bench_common.h"
+#include "loadgen/loadgen.h"
+#include "loadgen/report.h"
+
+namespace dmemo::bench {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(LoadgenTest, FixedRateScheduleIsExactAndDeterministic) {
+  // One thread, fixed rate: arrival i is scheduled at i/rate, and every
+  // arrival strictly before the deadline runs — 0.2 s at 1000/s is exactly
+  // 200 ops, regardless of how fast the op itself is.
+  OpenLoopOptions options;
+  options.rate = 1000;
+  options.arrival = Arrival::kFixedRate;
+  options.threads = 1;
+  options.clients = 8;
+  options.duration = 200ms;
+  std::atomic<std::uint64_t> calls{0};
+  auto result = RunOpenLoop(options, [&](std::size_t, std::size_t client,
+                                         SplitMix64&) {
+    calls.fetch_add(1);
+    EXPECT_LT(client, 8u);
+    return true;
+  });
+  EXPECT_EQ(result.ops, 200u);
+  EXPECT_EQ(calls.load(), 200u);
+  EXPECT_EQ(result.errors, 0u);
+  EXPECT_EQ(result.offered_rate, 1000.0);
+  EXPECT_NEAR(result.achieved_rate, 1000.0, 150.0);
+}
+
+TEST(LoadgenTest, PoissonScheduleApproximatesOfferedRate) {
+  OpenLoopOptions options;
+  options.rate = 2000;
+  options.arrival = Arrival::kPoisson;
+  options.threads = 2;
+  options.duration = 400ms;
+  options.seed = 42;
+  auto result =
+      RunOpenLoop(options, [](std::size_t, std::size_t, SplitMix64&) {
+        return true;
+      });
+  // ~800 expected arrivals; Poisson σ ≈ 28, allow 5σ plus scheduler slack.
+  EXPECT_GT(result.ops, 600u);
+  EXPECT_LT(result.ops, 1000u);
+}
+
+TEST(LoadgenTest, FailedOpsAreCountedAsErrors) {
+  OpenLoopOptions options;
+  options.rate = 1000;
+  options.arrival = Arrival::kFixedRate;
+  options.threads = 1;
+  options.duration = 100ms;
+  auto result =
+      RunOpenLoop(options, [](std::size_t, std::size_t client, SplitMix64&) {
+        return client % 2 == 0;  // every other logical client "fails"
+      });
+  EXPECT_EQ(result.ops, 100u);
+  EXPECT_EQ(result.errors, 50u);
+}
+
+TEST(LoadgenTest, IntendedStartAccountingRevealsAStallServiceTimeHides) {
+  // The coordinated-omission test: the op stalls once for 100 ms. A
+  // closed-loop bench charges that to a single sample (service p99 stays
+  // tiny); the open-loop schedule keeps generating arrivals during the
+  // stall, and each backlogged arrival's latency runs from its *intended*
+  // start — so the stall smears across ~200 samples and the intended p99
+  // surfaces it.
+  OpenLoopOptions options;
+  options.rate = 2000;
+  options.arrival = Arrival::kFixedRate;
+  options.threads = 1;
+  options.duration = 600ms;
+  std::atomic<std::uint64_t> calls{0};
+  auto result = RunOpenLoop(options, [&](std::size_t, std::size_t,
+                                         SplitMix64&) {
+    if (calls.fetch_add(1) == 100) {
+      std::this_thread::sleep_for(100ms);
+    }
+    return true;
+  });
+  EXPECT_EQ(result.ops, 1200u);
+  // Both views see the stalled request itself.
+  EXPECT_GE(result.max_us, 90'000u);
+  EXPECT_GE(result.service_max_us, 90'000u);
+  // Only the intended-start view sees the queueing it caused: ~200 of 1200
+  // samples carry backlog latency, far more than 1%, so the p99s diverge
+  // by an order of magnitude.
+  EXPECT_GT(result.p99_us, 20'000u);
+  EXPECT_LT(result.service_p99_us, result.p99_us / 4);
+}
+
+TEST(LoadgenTest, DrivesARealClusterWithoutErrors) {
+  auto cluster = ClusterOrDie(TwoHostAdf("lg"));
+  std::vector<Memo> handles;
+  handles.push_back(ClientOrDie(*cluster, "hostA"));
+  handles.push_back(ClientOrDie(*cluster, "hostB"));
+
+  WorkloadOptions wl;
+  wl.folders = 32;
+  OpenLoopOptions options;
+  options.rate = 400;
+  options.threads = 2;
+  options.clients = 64;
+  options.duration = 300ms;
+
+  auto put_get = RunOpenLoop(options, MakePutGetOp(handles, wl));
+  EXPECT_GT(put_get.ops, 0u);
+  EXPECT_EQ(put_get.errors, 0u);
+
+  ASSERT_TRUE(PreloadFanOut(handles.front(), wl).ok());
+  auto fanout = RunOpenLoop(options, MakeFanOutOp(handles, wl));
+  EXPECT_GT(fanout.ops, 0u);
+  EXPECT_EQ(fanout.errors, 0u);
+
+  auto jar = RunOpenLoop(options, MakeJobJarOp(handles, wl));
+  EXPECT_GT(jar.ops, 0u);
+  EXPECT_EQ(jar.errors, 0u);
+
+  handles.clear();
+  cluster->Shutdown();
+}
+
+TEST(LoadgenTest, ReportJsonCarriesSchemaAndPhases) {
+  BenchRunReport report;
+  report.bench = "loadgen";
+  report.mode = "open-loop";
+  report.git_sha = "0123456789abcdef0123456789abcdef01234567";
+  report.config = {{"rate", "1000"}, {"quote", "a\"b"}};
+  report.include_metrics = false;
+  OpenLoopResult result;
+  result.ops = 10;
+  result.p99_us = 1234;
+  report.phases.push_back(PhaseFromResult("put_get", "put_get", result));
+
+  const std::string json = ReportToJson(report);
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"mode\": \"open-loop\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99_us\": 1234"), std::string::npos);
+  EXPECT_NE(json.find("\"quote\": \"a\\\"b\""), std::string::npos);
+
+  const std::string path =
+      "/tmp/dmemo_loadgen_report_" + std::to_string(::getpid()) + ".json";
+  ASSERT_TRUE(WriteReport(path, report).ok());
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string read_back(json.size(), '\0');
+  const std::size_t n = std::fread(read_back.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(std::string(read_back.data(), n), json);
+}
+
+}  // namespace
+}  // namespace dmemo::bench

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <set>
 #include <thread>
 #include <vector>
@@ -202,6 +203,158 @@ TEST(TraceRingTest, SnapshotBeforeWrap) {
   ASSERT_EQ(spans.size(), 2u);
   EXPECT_EQ(spans[0].trace_id, 11u);
   EXPECT_EQ(spans[1].trace_id, 12u);
+}
+
+TEST(TraceRingTest, ConcurrentWritersWrapConsistently) {
+  // Many writers push through a small ring; whatever interleaving happens,
+  // the ring must end exactly full, count every record, and retain only
+  // genuine records (no torn or default-constructed slots).
+  constexpr std::size_t kCapacity = 64;
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 5000;
+  TraceRing ring(kCapacity);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ring, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        // Encode writer and sequence into the id: high byte = writer + 1.
+        ring.Record(Span((static_cast<std::uint64_t>(t + 1) << 56) | i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ring.TotalRecorded(), kThreads * kPerThread);
+  auto spans = ring.Snapshot();
+  ASSERT_EQ(spans.size(), kCapacity);
+  for (const SpanRecord& span : spans) {
+    const std::uint64_t writer = span.trace_id >> 56;
+    const std::uint64_t seq = span.trace_id & 0xffffffffffffffULL;
+    EXPECT_GE(writer, 1u);
+    EXPECT_LE(writer, static_cast<std::uint64_t>(kThreads));
+    EXPECT_LT(seq, kPerThread);
+    EXPECT_EQ(span.component, "test");
+  }
+  // Each writer's retained spans appear in its program order (the ring
+  // can interleave writers but never reorder one writer's records).
+  std::map<std::uint64_t, std::uint64_t> last_seq;
+  for (const SpanRecord& span : spans) {
+    const std::uint64_t writer = span.trace_id >> 56;
+    const std::uint64_t seq = span.trace_id & 0xffffffffffffffULL;
+    auto it = last_seq.find(writer);
+    if (it != last_seq.end()) EXPECT_GT(seq, it->second);
+    last_seq[writer] = seq;
+  }
+}
+
+// ---- histogram exemplars ------------------------------------------------------
+
+TEST(MetricsTest, HistogramExemplarsTrackSampledObservations) {
+  Histogram h;
+  // No observations: every bucket's exemplar is 0.
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    EXPECT_EQ(h.ExemplarTraceId(i), 0u);
+  }
+  // A sampled observation pins its trace id to the landing bucket.
+  h.Observe(1, 0xaaaa);  // bucket 0 (le 1)
+  EXPECT_EQ(h.ExemplarTraceId(0), 0xaaaau);
+  // An unsampled observation (exemplar id 0) counts but leaves the
+  // exemplar alone.
+  h.Observe(1);
+  EXPECT_EQ(h.BucketCount(0), 2u);
+  EXPECT_EQ(h.ExemplarTraceId(0), 0xaaaau);
+  // A later sampled observation in the same bucket wins.
+  h.Observe(1, 0xbbbb);
+  EXPECT_EQ(h.ExemplarTraceId(0), 0xbbbbu);
+  // Different buckets hold independent exemplars; the overflow bucket too.
+  h.Observe(3, 0xcccc);
+  h.Observe(99'999'999, 0xdddd);
+  EXPECT_EQ(h.ExemplarTraceId(0), 0xbbbbu);
+  EXPECT_NE(h.ExemplarTraceId(Histogram::kBuckets - 1), 0u);
+  EXPECT_EQ(h.ExemplarTraceId(Histogram::kBuckets - 1), 0xddddu);
+}
+
+// ---- shared percentile estimation --------------------------------------------
+
+TEST(MetricsTest, HistogramPercentileEmptyAndClamping) {
+  std::vector<std::uint64_t> empty(Histogram::kBuckets, 0);
+  EXPECT_EQ(HistogramPercentile(empty, 0.5), 0u);
+  std::vector<std::uint64_t> one(Histogram::kBuckets, 0);
+  one[3] = 10;  // all mass in the le-10 bucket (bounds 1,2,5,10,...)
+  // Out-of-range q clamps rather than misbehaving.
+  EXPECT_LE(HistogramPercentile(one, -0.5), 10u);
+  EXPECT_LE(HistogramPercentile(one, 1.5), 10u);
+  EXPECT_GT(HistogramPercentile(one, 1.5), 0u);
+  // A short span (fewer buckets than the histogram) is zero-padded.
+  std::vector<std::uint64_t> shorter{0, 4};
+  EXPECT_LE(HistogramPercentile(shorter, 0.5), 2u);
+}
+
+TEST(MetricsTest, HistogramPercentileInterpolatesAndFloorsOverflow) {
+  std::vector<std::uint64_t> buckets(Histogram::kBuckets, 0);
+  buckets[0] = 50;  // le 1
+  buckets[1] = 50;  // le 2
+  // p50 sits at the edge of the first bucket, p99 inside the second.
+  EXPECT_LE(HistogramPercentile(buckets, 0.50), 1u);
+  const std::uint64_t p99 = HistogramPercentile(buckets, 0.99);
+  EXPECT_GE(p99, 1u);
+  EXPECT_LE(p99, 2u);
+  // Mass in the overflow bucket floors at the largest finite bound.
+  std::vector<std::uint64_t> over(Histogram::kBuckets, 0);
+  over[Histogram::kBuckets - 1] = 10;
+  EXPECT_EQ(HistogramPercentile(over, 0.99),
+            Histogram::BucketBounds().back());
+}
+
+TEST(MetricsTest, HistogramPercentileMemberMatchesFreeFunction) {
+  Histogram h;
+  for (std::uint64_t v : {1u, 2u, 5u, 10u, 100u, 1000u}) h.Observe(v);
+  std::vector<std::uint64_t> buckets(Histogram::kBuckets, 0);
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    buckets[i] = h.BucketCount(i);
+  }
+  for (double q : {0.5, 0.9, 0.99}) {
+    EXPECT_EQ(h.Percentile(q), HistogramPercentile(buckets, q)) << q;
+  }
+}
+
+// ---- trace sampling -----------------------------------------------------------
+
+TEST(TraceTest, SampleRateBoundaries) {
+  const double original = TraceSampleRate();
+  // Rate 1 (the default): everything sampled, untraced id 0 included.
+  SetTraceSampleRate(1.0);
+  EXPECT_TRUE(TraceSampled(0));
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(TraceSampled(NextTraceId()));
+  // Rate 0: nothing sampled.
+  SetTraceSampleRate(0.0);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(TraceSampled(NextTraceId()));
+  // Out-of-range rates clamp.
+  SetTraceSampleRate(7.0);
+  EXPECT_EQ(TraceSampleRate(), 1.0);
+  SetTraceSampleRate(-3.0);
+  EXPECT_EQ(TraceSampleRate(), 0.0);
+  SetTraceSampleRate(original);
+}
+
+TEST(TraceTest, MidRateSamplingIsDeterministicAndProportional) {
+  const double original = TraceSampleRate();
+  SetTraceSampleRate(0.5);
+  int sampled = 0;
+  std::vector<std::uint64_t> kept;
+  for (int i = 0; i < 4000; ++i) {
+    const std::uint64_t id = NextTraceId();
+    if (TraceSampled(id)) {
+      ++sampled;
+      kept.push_back(id);
+    }
+  }
+  // The verdict is a pure function of the id: every hop in every process
+  // agrees, so re-asking must never flip (no per-call randomness).
+  for (std::uint64_t id : kept) EXPECT_TRUE(TraceSampled(id));
+  // Proportionality with generous slack (ids are hash-uniform).
+  EXPECT_GT(sampled, 4000 / 2 - 400);
+  EXPECT_LT(sampled, 4000 / 2 + 400);
+  SetTraceSampleRate(original);
 }
 
 TEST(TraceTest, NextTraceIdIsNonZeroAndDistinct) {

@@ -221,6 +221,79 @@ TEST(TracingTest, MetricsOpReturnsTreeAndSpans) {
   client->Close();
 }
 
+TEST(TracingTest, SamplingGatesSpansAndExemplars) {
+  // With the sample rate at 0 nothing about a request is retained: no
+  // spans, and the latency histogram counts it without attaching an
+  // exemplar. Back at rate 1 both reappear. This is the invariant that
+  // makes exemplars trustworthy: a bucket's exemplar always names a trace
+  // whose spans were actually recorded.
+  const double original = TraceSampleRate();
+  MemoServerFarm farm(kTwoHostAdf);
+  auto client = farm.Connect("hostA");
+  Histogram* put_hist = MetricsRegistry::Global().GetHistogram(
+      "dmemo_server_op_latency_us", "host=\"hostA\",op=\"put\"");
+
+  auto put_once = [&](std::uint64_t trace_id) {
+    Request put;
+    put.op = Op::kPut;
+    put.app = "t";
+    put.key = Key::Named("sampled-folder");
+    put.value = EncodeGraphToBytes(MakeInt32(1));
+    put.trace_id = trace_id;
+    auto resp = client->Call(put);
+    ASSERT_TRUE(resp.ok()) << resp.status();
+    ASSERT_EQ(resp->code, StatusCode::kOk) << resp->message;
+  };
+
+  SetTraceSampleRate(0.0);
+  const std::uint64_t unsampled = NextTraceId();
+  put_once(unsampled);
+  EXPECT_TRUE(SpansFor(unsampled).empty());
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    EXPECT_NE(put_hist->ExemplarTraceId(i), unsampled);
+  }
+
+  SetTraceSampleRate(1.0);
+  const std::uint64_t sampled = NextTraceId();
+  put_once(sampled);
+  EXPECT_FALSE(SpansFor(sampled).empty());
+  bool exemplar_found = false;
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    if (put_hist->ExemplarTraceId(i) == sampled) exemplar_found = true;
+  }
+  EXPECT_TRUE(exemplar_found)
+      << "sampled put left no exemplar on the op-latency histogram";
+
+  // The kMetrics payload carries the exemplar out to dmemo-stat/dmemo-top.
+  Request metrics;
+  metrics.op = Op::kMetrics;
+  metrics.app = "t";
+  auto resp = client->Call(metrics);
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  ASSERT_TRUE(resp->has_value);
+  auto decoded = DecodeGraphFromBytes(resp->value);
+  ASSERT_TRUE(decoded.ok());
+  auto root = std::static_pointer_cast<TRecord>(*decoded);
+  auto metric_list = std::static_pointer_cast<TList>(root->Get("metrics"));
+  ASSERT_NE(metric_list, nullptr);
+  bool wire_exemplar_found = false;
+  for (const auto& item : metric_list->items()) {
+    auto rec = std::static_pointer_cast<TRecord>(item);
+    auto exemplars = std::static_pointer_cast<TList>(rec->Get("exemplars"));
+    if (exemplars == nullptr) continue;
+    for (const auto& e : exemplars->items()) {
+      if (std::static_pointer_cast<TUInt64>(e)->value() == sampled) {
+        wire_exemplar_found = true;
+      }
+    }
+  }
+  EXPECT_TRUE(wire_exemplar_found)
+      << "exemplar did not survive the kMetrics encoding";
+
+  SetTraceSampleRate(original);
+  client->Close();
+}
+
 TEST(TracingTest, FolderServerRejectsMetricsOp) {
   FolderServer fs(0, "hostX");
   Request req;
