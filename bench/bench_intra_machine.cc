@@ -9,6 +9,8 @@
 // cross-process) beat Unix sockets, which beat TCP loopback; throughput
 // grows with folder count because independent folders do not contend.
 #include <atomic>
+#include <deque>
+#include <future>
 #include <thread>
 
 #include "bench_common.h"
@@ -129,6 +131,44 @@ void IntraThroughput(benchmark::State& state) {
 }
 BENCHMARK(IntraThroughput)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+
+// Pipelined small-op throughput across transports: a 256-deep window of
+// put_async calls per client, coalesced into packed frames by the
+// rpc-formation layer. Contrast with IntraRoundTrip's sync ops — the ratio
+// is the round-trip overhead the async client amortizes away.
+void IntraAsyncPipelined(benchmark::State& state) {
+  const Net net = static_cast<Net>(state.range(0));
+  constexpr std::size_t kWindow = 256;
+  auto cluster = StartOn(net, OneHostAdf("intra_async"));
+  Memo memo = ClientOrDie(*cluster, "hostA");
+  Key key = Key::Named("f");
+  std::deque<std::future<Status>> window;
+  std::uint64_t errors = 0;
+  for (auto _ : state) {
+    window.push_back(memo.put_async(key, MakeInt32(1)));
+    if (window.size() >= kWindow) {
+      // About to block: flush the partial batch instead of waiting out the
+      // formation delay timer (Memo::flush).
+      if (window.front().wait_for(std::chrono::seconds(0)) !=
+          std::future_status::ready) {
+        memo.flush();
+      }
+      if (!window.front().get().ok()) ++errors;
+      window.pop_front();
+    }
+  }
+  memo.flush();
+  while (!window.empty()) {
+    if (!window.front().get().ok()) ++errors;
+    window.pop_front();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["errors"] = static_cast<double>(errors);
+  state.SetLabel(std::string(NetName(net)) + "/async-pipelined");
+}
+BENCHMARK(IntraAsyncPipelined)
+    ->ArgsProduct({{0, 1, 2, 3}})
+    ->UseRealTime();
 
 }  // namespace
 }  // namespace dmemo::bench

@@ -4,6 +4,9 @@
 // the number of alternatives; put_delayed ≈ the cost of two puts (one to
 // park, one released on trigger); semaphore and barrier cycles are small
 // multiples of put/get.
+#include <deque>
+#include <future>
+
 #include "bench_common.h"
 #include "patterns/patterns.h"
 
@@ -164,6 +167,70 @@ BENCHMARK_F(RemotePrimitives, PutDelayedTriggerRelease)
     benchmark::DoNotOptimize(memo_->get(trigger));
   }
   state.SetItemsProcessed(state.iterations());
+}
+
+// The pipelined counterpart of PutThenGet: a window of in-flight put_async
+// calls rides one connection, coalescing into packed frames instead of
+// paying a full round trip per op. The throughput ratio against the sync
+// PutThenGet above is the headline number for the rpc-formation layer.
+BENCHMARK_F(RemotePrimitives, PutAsyncPipelined)(benchmark::State& state) {
+  constexpr std::size_t kWindow = 256;
+  Key key = Key::Named("f");
+  std::deque<std::future<Status>> window;
+  std::uint64_t errors = 0;
+  for (auto _ : state) {
+    window.push_back(memo_->put_async(key, MakeInt32(1)));
+    if (window.size() >= kWindow) {
+      // About to block: push the partial batch out now (Memo::flush)
+      // instead of letting it ride the formation delay timer.
+      if (window.front().wait_for(std::chrono::seconds(0)) !=
+          std::future_status::ready) {
+        memo_->flush();
+      }
+      if (!window.front().get().ok()) ++errors;
+      window.pop_front();
+    }
+  }
+  memo_->flush();
+  while (!window.empty()) {
+    if (!window.front().get().ok()) ++errors;
+    window.pop_front();
+  }
+  // Drain the folder so repeated runs don't accumulate memos.
+  for (std::int64_t i = 0; i < state.iterations(); ++i) {
+    (void)memo_->get_skip(key);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["errors"] = static_cast<double>(errors);
+}
+
+// Balanced pipelined traffic: every iteration issues one put_async and one
+// get_async (the get rides behind its put, so it never parks past the
+// drain). Measures the packed-frame path with both frame kinds in play.
+BENCHMARK_F(RemotePrimitives, PutGetAsyncPipelined)(benchmark::State& state) {
+  constexpr std::size_t kWindow = 128;  // pairs in flight
+  Key key = Key::Named("f");
+  std::deque<std::future<Result<TransferablePtr>>> window;
+  std::uint64_t errors = 0;
+  for (auto _ : state) {
+    (void)memo_->put_async(key, MakeInt32(1));
+    window.push_back(memo_->get_async(key));
+    if (window.size() >= kWindow) {
+      if (window.front().wait_for(std::chrono::seconds(0)) !=
+          std::future_status::ready) {
+        memo_->flush();
+      }
+      if (!window.front().get().ok()) ++errors;
+      window.pop_front();
+    }
+  }
+  memo_->flush();
+  while (!window.empty()) {
+    if (!window.front().get().ok()) ++errors;
+    window.pop_front();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["errors"] = static_cast<double>(errors);
 }
 
 }  // namespace

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 #include <memory>
 #include <thread>
+#include <utility>
 
 #include "transferable/scalars.h"
 #include "util/metrics.h"
@@ -33,76 +35,75 @@ std::uint64_t ElapsedMicros(Clock::time_point from, Clock::time_point to) {
           .count());
 }
 
-}  // namespace
+// One thread's slice of the arrival process. Next() hands out intended
+// start times until either the schedule horizon or the arrival budget is
+// exhausted. The budget — ceil(thread share of rate × duration) — is what
+// keeps achieved ≤ offered: a Poisson stream is free to draw arrivals a
+// little faster than its rate, and without the cap a lucky draw (or a
+// stalled run replaying its backlog as a burst) reports throughput that
+// was never offered. With it, total arrivals ≤ rate × duration + threads.
+struct ArrivalStream {
+  Arrival arrival;
+  std::size_t thread = 0;
+  std::size_t threads = 1;
+  double rate = 1.0;         // aggregate, arrivals/sec
+  double thread_rate = 1.0;  // this thread's share
+  Clock::time_point start;
+  Clock::time_point deadline;
+  std::uint64_t budget = 0;  // max arrivals for this thread
 
-OpenLoopResult RunOpenLoop(const OpenLoopOptions& options, const LoadOp& op) {
-  const std::size_t threads = std::max<std::size_t>(1, options.threads);
-  const std::size_t clients = std::max(threads, options.clients);
-  const double rate = options.rate > 0 ? options.rate : 1.0;
+  std::uint64_t index = 0;  // arrivals handed out so far
+  double poisson_offset_s = 0;
 
-  std::vector<std::unique_ptr<ThreadStats>> stats;
-  for (std::size_t t = 0; t < threads; ++t) {
-    stats.push_back(std::make_unique<ThreadStats>());
+  bool Next(SplitMix64& rng, Clock::time_point* intended) {
+    if (index >= budget) return false;
+    if (arrival == Arrival::kFixedRate) {
+      // Global fixed-rate grid, interleaved across threads.
+      const double at_s =
+          static_cast<double>(index * threads + thread) / rate;
+      *intended = start + std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double>(at_s));
+    } else {
+      // Independent per-thread Poisson stream at rate/threads; the
+      // superposition of the thread streams is Poisson(rate).
+      const double u = std::max(1e-12, 1.0 - rng.NextUnit());
+      poisson_offset_s += -std::log(u) / thread_rate;
+      *intended = start + std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double>(
+                                  poisson_offset_s));
+    }
+    if (*intended >= deadline) return false;
+    ++index;
+    return true;
   }
+};
 
-  const Clock::time_point start = Clock::now();
-  const Clock::time_point deadline = start + options.duration;
+ArrivalStream MakeStream(const OpenLoopOptions& options, std::size_t thread,
+                         std::size_t threads, double rate,
+                         Clock::time_point start) {
+  ArrivalStream s;
+  s.arrival = options.arrival;
+  s.thread = thread;
+  s.threads = threads;
+  s.rate = rate;
+  s.thread_rate = rate / static_cast<double>(threads);
+  s.start = start;
+  s.deadline = start + options.duration;
+  const double horizon_s =
+      std::chrono::duration<double>(options.duration).count();
+  s.budget = static_cast<std::uint64_t>(
+      std::ceil(s.thread_rate * horizon_s));
+  return s;
+}
 
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
-  for (std::size_t t = 0; t < threads; ++t) {
-    workers.emplace_back([&, t] {
-      ThreadStats& local = *stats[t];
-      SplitMix64 rng(Mix64(options.seed + 0x9e3779b9 * (t + 1)));
-      const double thread_rate = rate / static_cast<double>(threads);
-      // Arrival index within this thread's stream; the logical client
-      // identity walks the thread's slice of [0, clients) so each client
-      // is a persistent entity, not a fresh name per request.
-      std::uint64_t arrival = 0;
-      double poisson_offset_s = 0;
-      for (;;) {
-        Clock::time_point intended;
-        if (options.arrival == Arrival::kFixedRate) {
-          // Global fixed-rate grid, interleaved across threads.
-          const double at_s =
-              static_cast<double>(arrival * threads + t) / rate;
-          intended = start + std::chrono::duration_cast<Clock::duration>(
-                                 std::chrono::duration<double>(at_s));
-        } else {
-          // Independent per-thread Poisson stream at rate/threads; the
-          // superposition of the thread streams is Poisson(rate).
-          const double u = std::max(1e-12, 1.0 - rng.NextUnit());
-          poisson_offset_s += -std::log(u) / thread_rate;
-          intended = start + std::chrono::duration_cast<Clock::duration>(
-                                 std::chrono::duration<double>(
-                                     poisson_offset_s));
-        }
-        if (intended >= deadline) break;
-        // The schedule does not wait for the system: if the previous op
-        // overran, `intended` is already in the past and sleep_until
-        // returns immediately — the backlog is charged to latency below.
-        std::this_thread::sleep_until(intended);
-        const Clock::time_point actual = Clock::now();
-        const std::size_t client =
-            (t + static_cast<std::size_t>(arrival) * threads) % clients;
-        const bool ok = op(t, client, rng);
-        const Clock::time_point done = Clock::now();
-        const std::uint64_t intended_us = ElapsedMicros(intended, done);
-        const std::uint64_t service_us = ElapsedMicros(actual, done);
-        local.intended.Observe(intended_us);
-        local.service.Observe(service_us);
-        local.max_us = std::max(local.max_us, intended_us);
-        local.service_max_us = std::max(local.service_max_us, service_us);
-        ++local.ops;
-        if (!ok) ++local.errors;
-        ++arrival;
-      }
-    });
-  }
-  for (std::thread& w : workers) w.join();
-  const double wall_s =
-      static_cast<double>(ElapsedMicros(start, Clock::now())) / 1e6;
-
+// Folds per-thread stats into a result. achieved_rate divides by the
+// schedule horizon, not the measured wall clock: the wall clock includes
+// the drain of the final backlog, and a run that stalls then catches up
+// must not get credit for the catch-up burst (the other half of the
+// achieved ≤ offered fix; the arrival budget above is the first half).
+OpenLoopResult CombineStats(
+    const std::vector<std::unique_ptr<ThreadStats>>& stats, double rate,
+    double horizon_s, double wall_s) {
   OpenLoopResult result;
   std::vector<std::uint64_t> intended_buckets(Histogram::kBuckets, 0);
   std::vector<std::uint64_t> service_buckets(Histogram::kBuckets, 0);
@@ -121,8 +122,9 @@ OpenLoopResult RunOpenLoop(const OpenLoopOptions& options, const LoadOp& op) {
   }
   result.duration_s = wall_s;
   result.offered_rate = rate;
+  const double denom = std::max(wall_s, horizon_s);
   result.achieved_rate =
-      wall_s > 0 ? static_cast<double>(result.ops) / wall_s : 0;
+      denom > 0 ? static_cast<double>(result.ops) / denom : 0;
   result.mean_us =
       result.ops > 0
           ? static_cast<double>(intended_sum) /
@@ -137,6 +139,155 @@ OpenLoopResult RunOpenLoop(const OpenLoopOptions& options, const LoadOp& op) {
   return result;
 }
 
+void Record(ThreadStats& local, Clock::time_point intended,
+            Clock::time_point actual, Clock::time_point done, bool ok) {
+  const std::uint64_t intended_us = ElapsedMicros(intended, done);
+  const std::uint64_t service_us = ElapsedMicros(actual, done);
+  local.intended.Observe(intended_us);
+  local.service.Observe(service_us);
+  local.max_us = std::max(local.max_us, intended_us);
+  local.service_max_us = std::max(local.service_max_us, service_us);
+  ++local.ops;
+  if (!ok) ++local.errors;
+}
+
+}  // namespace
+
+OpenLoopResult RunOpenLoop(const OpenLoopOptions& options, const LoadOp& op) {
+  const std::size_t threads = std::max<std::size_t>(1, options.threads);
+  const std::size_t clients = std::max(threads, options.clients);
+  const double rate = options.rate > 0 ? options.rate : 1.0;
+
+  std::vector<std::unique_ptr<ThreadStats>> stats;
+  for (std::size_t t = 0; t < threads; ++t) {
+    stats.push_back(std::make_unique<ThreadStats>());
+  }
+
+  const Clock::time_point start = Clock::now();
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      ThreadStats& local = *stats[t];
+      SplitMix64 rng(Mix64(options.seed + 0x9e3779b9 * (t + 1)));
+      ArrivalStream stream = MakeStream(options, t, threads, rate, start);
+      Clock::time_point intended;
+      while (stream.Next(rng, &intended)) {
+        // The schedule does not wait for the system: if the previous op
+        // overran, `intended` is already in the past and sleep_until
+        // returns immediately — the backlog is charged to latency below.
+        std::this_thread::sleep_until(intended);
+        const Clock::time_point actual = Clock::now();
+        // The logical client identity walks the thread's slice of
+        // [0, clients) so each client is a persistent entity, not a fresh
+        // name per request.
+        const std::size_t client =
+            (t + static_cast<std::size_t>(stream.index - 1) * threads) %
+            clients;
+        const bool ok = op(t, client, rng);
+        Record(local, intended, actual, Clock::now(), ok);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const double wall_s =
+      static_cast<double>(ElapsedMicros(start, Clock::now())) / 1e6;
+  const double horizon_s =
+      std::chrono::duration<double>(options.duration).count();
+  return CombineStats(stats, rate, horizon_s, wall_s);
+}
+
+OpenLoopResult RunOpenLoopAsync(const OpenLoopOptions& options,
+                                const AsyncLoadOp& op,
+                                std::size_t max_inflight,
+                                const FlushHint& flush) {
+  const std::size_t threads = std::max<std::size_t>(1, options.threads);
+  const std::size_t clients = std::max(threads, options.clients);
+  const double rate = options.rate > 0 ? options.rate : 1.0;
+  const std::size_t window_cap = std::max<std::size_t>(1, max_inflight);
+
+  std::vector<std::unique_ptr<ThreadStats>> stats;
+  for (std::size_t t = 0; t < threads; ++t) {
+    stats.push_back(std::make_unique<ThreadStats>());
+  }
+
+  const Clock::time_point start = Clock::now();
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      ThreadStats& local = *stats[t];
+      SplitMix64 rng(Mix64(options.seed + 0x9e3779b9 * (t + 1)));
+      ArrivalStream stream = MakeStream(options, t, threads, rate, start);
+
+      struct Inflight {
+        Clock::time_point intended;
+        Clock::time_point actual;
+        PendingOp pending;
+      };
+      std::deque<Inflight> window;
+
+      // Completions may land out of order (an extraction can park behind a
+      // deposit still in flight), so harvest scans the whole window rather
+      // than only its head.
+      auto harvest_ready = [&] {
+        for (auto it = window.begin(); it != window.end();) {
+          if (!it->pending.poll()) {
+            ++it;
+            continue;
+          }
+          const bool ok = it->pending.take();
+          Record(local, it->intended, it->actual, Clock::now(), ok);
+          it = window.erase(it);
+        }
+      };
+      auto harvest_front_blocking = [&] {
+        Inflight front = std::move(window.front());
+        window.pop_front();
+        // About to block: push any partial batch out now rather than
+        // waiting out the formation delay timer.
+        if (flush != nullptr && !front.pending.poll()) flush(t);
+        const bool ok = front.pending.take();
+        Record(local, front.intended, front.actual, Clock::now(), ok);
+      };
+
+      Clock::time_point intended;
+      while (stream.Next(rng, &intended)) {
+        std::this_thread::sleep_until(intended);
+        const Clock::time_point actual = Clock::now();
+        const std::size_t client =
+            (t + static_cast<std::size_t>(stream.index - 1) * threads) %
+            clients;
+        window.push_back({intended, actual, op(t, client, rng)});
+        harvest_ready();
+        // A full window is backpressure: block the schedule on the oldest
+        // ops, and let the stall surface as intended-start latency on the
+        // arrivals queued behind it. Drain to half rather than one slot —
+        // a drain-one policy degenerates to issue-one/harvest-one at
+        // saturation, where every op is flushed as its own frame and the
+        // formation layer never gets a batch to form. With hysteresis the
+        // schedule resumes with half a window of (already overdue)
+        // arrivals to issue back to back.
+        if (window.size() >= window_cap) {
+          while (window.size() > window_cap / 2) {
+            harvest_front_blocking();
+            harvest_ready();
+          }
+        }
+      }
+      while (!window.empty()) harvest_front_blocking();
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const double wall_s =
+      static_cast<double>(ElapsedMicros(start, Clock::now())) / 1e6;
+  const double horizon_s =
+      std::chrono::duration<double>(options.duration).count();
+  return CombineStats(stats, rate, horizon_s, wall_s);
+}
+
 namespace {
 
 TransferablePtr MakePayload(std::size_t bytes) {
@@ -148,6 +299,29 @@ Memo& HandleFor(std::vector<Memo>& handles, std::size_t thread) {
 }
 
 }  // namespace
+
+PendingOp PendingFromStatus(std::future<Status> f) {
+  auto shared = std::make_shared<std::future<Status>>(std::move(f));
+  PendingOp op;
+  op.poll = [shared] {
+    return shared->wait_for(std::chrono::seconds(0)) ==
+           std::future_status::ready;
+  };
+  op.take = [shared] { return shared->get().ok(); };
+  return op;
+}
+
+PendingOp PendingFromValue(std::future<Result<TransferablePtr>> f) {
+  auto shared =
+      std::make_shared<std::future<Result<TransferablePtr>>>(std::move(f));
+  PendingOp op;
+  op.poll = [shared] {
+    return shared->wait_for(std::chrono::seconds(0)) ==
+           std::future_status::ready;
+  };
+  op.take = [shared] { return shared->get().ok(); };
+  return op;
+}
 
 LoadOp MakePutGetOp(std::vector<Memo>& handles, const WorkloadOptions& wl) {
   return [&handles, wl](std::size_t thread, std::size_t client,
@@ -162,6 +336,28 @@ LoadOp MakePutGetOp(std::vector<Memo>& handles, const WorkloadOptions& wl) {
       return memo.put(key, MakePayload(wl.payload_bytes)).ok();
     }
     return memo.get_skip(key).ok();
+  };
+}
+
+AsyncLoadOp MakePutGetAsyncOp(std::vector<Memo>& handles,
+                              const WorkloadOptions& wl) {
+  return [&handles, wl](std::size_t thread, std::size_t client,
+                        SplitMix64& rng) {
+    Memo& memo = HandleFor(handles, thread);
+    const auto folder = static_cast<std::uint32_t>(
+        (client + rng.NextBelow(4)) % wl.folders);
+    const Key key = Key::Named("lga", {folder});
+    if (rng.NextUnit() < wl.put_ratio) {
+      return PendingFromStatus(
+          memo.put_async(key, MakePayload(wl.payload_bytes)));
+    }
+    // Extraction, paired with its own deposit: values deposited to a
+    // folder always ≥ extractions issued against it, so no get parks past
+    // the drain — a parked get resolves once the deposits ahead of it
+    // land. (The paired put's future is dropped; its failure would surface
+    // as the get timing out, which the error count catches.)
+    (void)memo.put_async(key, MakePayload(wl.payload_bytes));
+    return PendingFromValue(memo.get_async(key));
   };
 }
 

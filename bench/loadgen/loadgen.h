@@ -25,6 +25,7 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <future>
 #include <string>
 #include <vector>
 
@@ -74,7 +75,52 @@ using LoadOp =
 // Runs `op` under the open-loop schedule. Blocks until the run drains
 // (every scheduled arrival executes, even if the run overshoots its
 // duration — dropping the backlog would be omission by another name).
+//
+// Rate accounting: each thread's arrival count is capped at its share of
+// rate × duration, and achieved_rate is computed against the schedule
+// horizon (not the measured wall clock), so achieved ≤ offered within
+// rounding. Without the cap, a stalled run that catches up by firing its
+// backlog as a burst — or a Poisson stream that drew a few extra arrivals —
+// reports more throughput than was ever offered.
 OpenLoopResult RunOpenLoop(const OpenLoopOptions& options, const LoadOp& op);
+
+// A pending async op. `poll` answers, without blocking, whether the op has
+// completed; `take` blocks until completion and returns its success. The
+// runner calls take exactly once per op — after poll says ready, or when
+// draining a full window / the end of the run.
+struct PendingOp {
+  std::function<bool()> poll;
+  std::function<bool()> take;
+};
+// Wraps the Memo async futures into a pollable PendingOp.
+PendingOp PendingFromStatus(std::future<Status> f);
+PendingOp PendingFromValue(std::future<Result<TransferablePtr>> f);
+
+// Async variant of LoadOp: issues the op and returns a handle the runner
+// polls. The runner neither waits for nor orders completions at issue time —
+// that is the point: the pipelined client keeps issuing while responses are
+// in flight.
+using AsyncLoadOp =
+    std::function<PendingOp(std::size_t thread, std::size_t client,
+                            SplitMix64& rng)>;
+
+// RunOpenLoop for the pipelined client: the same arrival schedule and rate
+// accounting, but each arrival issues `op` without waiting — up to
+// `max_inflight` per thread ride the connection at once (the window blocks
+// the schedule when full, which shows up as intended-start latency, exactly
+// like any other backpressure). Completions are harvested by polling at the
+// next arrival (or at window-full), so a completion is stamped up to one
+// inter-arrival gap late — fine for p99 gating at smoke rates, stated here
+// so nobody reads µs-exact service times out of the async phases.
+//
+// `flush` is the pipelining hint (Memo::flush): invoked with the thread
+// slot right before the runner blocks on a not-yet-ready completion, so a
+// partial batch is pushed out instead of riding the formation delay timer.
+using FlushHint = std::function<void(std::size_t thread)>;
+OpenLoopResult RunOpenLoopAsync(const OpenLoopOptions& options,
+                                const AsyncLoadOp& op,
+                                std::size_t max_inflight = 256,
+                                const FlushHint& flush = nullptr);
 
 // ---- workloads over the Memo API ----
 
@@ -89,6 +135,11 @@ struct WorkloadOptions {
 
 // Mixed deposit/extract traffic over a wide folder key space.
 LoadOp MakePutGetOp(std::vector<Memo>& handles, const WorkloadOptions& wl);
+// Pipelined put_get: deposits via put_async; the extract fraction pairs a
+// deposit with its get_async so every extraction has a value issued ahead
+// of it — a bare blocking get could park the pipeline past the drain.
+AsyncLoadOp MakePutGetAsyncOp(std::vector<Memo>& handles,
+                              const WorkloadOptions& wl);
 // Pub/sub fan-out: occasional publishes into few topic folders, many
 // concurrent get_copy readers per publish. Call PreloadFanOut first so no
 // reader parks on an empty topic.

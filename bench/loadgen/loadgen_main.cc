@@ -4,8 +4,14 @@
 //                 [--rate ARRIVALS_PER_SEC] [--duration-s SECONDS]
 //                 [--arrival poisson|fixed] [--clients N] [--threads N]
 //                 [--payload BYTES] [--folders N] [--put-ratio X]
+//                 [--async] [--pipeline N]
 //                 [--hosts N | --url URL --host NAME]
 //                 [--seed N] [--git-sha SHA] [--out FILE]
+//
+// --async switches the put_get workload to the pipelined client: arrivals
+// issue put_async/get_async and up to --pipeline (default 256) calls per
+// thread ride each connection at once, coalescing into packed batch frames
+// (PROTOCOL.md §2.4). fanout and job_jar stay synchronous.
 //
 // Default target is an in-process simulated cluster (--hosts N memo
 // servers over simnet: the full server/routing/wire path, no kernel
@@ -47,6 +53,8 @@ struct Options {
   std::size_t payload = 64;
   std::size_t folders = 128;
   double put_ratio = 0.5;
+  bool async = false;
+  std::size_t pipeline = 256;
   int hosts = 2;
   std::string url;   // external server; empty = in-process sim cluster
   std::string host;  // ADF host identity of --url's server
@@ -61,7 +69,8 @@ int Usage(const char* argv0) {
       "usage: %s [--workload put_get|fanout|job_jar|all] [--rate R]\n"
       "       [--duration-s S] [--arrival poisson|fixed] [--clients N]\n"
       "       [--threads N] [--payload BYTES] [--folders N]\n"
-      "       [--put-ratio X] [--hosts N | --url URL --host NAME]\n"
+      "       [--put-ratio X] [--async] [--pipeline N]\n"
+      "       [--hosts N | --url URL --host NAME]\n"
       "       [--seed N] [--git-sha SHA] [--out FILE]\n",
       argv0);
   return 2;
@@ -137,6 +146,10 @@ int main(int argc, char** argv) {
       opts.folders = static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
     } else if (arg == "--put-ratio" && (v = next())) {
       opts.put_ratio = std::strtod(v, nullptr);
+    } else if (arg == "--async") {
+      opts.async = true;
+    } else if (arg == "--pipeline" && (v = next())) {
+      opts.pipeline = static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
     } else if (arg == "--hosts" && (v = next())) {
       opts.hosts = static_cast<int>(std::strtol(v, nullptr, 10));
     } else if (arg == "--url" && (v = next())) {
@@ -249,13 +262,25 @@ int main(int argc, char** argv) {
                      : opts.url},
       {"trace_sample_rate", std::to_string(dmemo::TraceSampleRate())},
       {"latency_accounting", "intended-start"},
+      {"client", opts.async ? "async-pipelined" : "sync"},
+      {"pipeline", std::to_string(opts.async ? opts.pipeline : 1)},
   };
 
   const bool all = opts.workload == "all";
   if (all || opts.workload == "put_get") {
-    auto op = dmemo::bench::MakePutGetOp(handles, wl);
-    report.phases.push_back(dmemo::bench::PhaseFromResult(
-        "put_get", "put_get", dmemo::bench::RunOpenLoop(run, op)));
+    if (opts.async) {
+      auto op = dmemo::bench::MakePutGetAsyncOp(handles, wl);
+      auto flush = [&handles](std::size_t thread) {
+        handles[thread % handles.size()].flush();
+      };
+      report.phases.push_back(dmemo::bench::PhaseFromResult(
+          "put_get_async", "put_get",
+          dmemo::bench::RunOpenLoopAsync(run, op, opts.pipeline, flush)));
+    } else {
+      auto op = dmemo::bench::MakePutGetOp(handles, wl);
+      report.phases.push_back(dmemo::bench::PhaseFromResult(
+          "put_get", "put_get", dmemo::bench::RunOpenLoop(run, op)));
+    }
     PrintPhase(report.phases.back());
   }
   if (all || opts.workload == "fanout") {

@@ -10,6 +10,7 @@
 // benches all program against this interface.
 #pragma once
 
+#include <future>
 #include <memory>
 #include <optional>
 #include <span>
@@ -41,6 +42,40 @@ class MemoEngine {
   // Extractable memos currently in `key` (diagnostics; not part of the
   // paper's API surface).
   virtual Result<std::uint64_t> Count(const Key& key) = 0;
+
+  // ---- async pipeline (ROADMAP item 1) ----
+  //
+  // Fire-and-collect variants: the returned future resolves when the op
+  // completes. Async ops carry no mutual ordering guarantee — two
+  // PutAsyncs issued back to back may land in either order (they may ride
+  // one packed frame and dispatch concurrently server-side); callers that
+  // need order wait on the future before issuing the next op.
+  //
+  // Defaults make every engine usable asynchronously: PutAsync runs the
+  // (non-blocking) Put inline and returns a ready future; GetAsync runs
+  // the possibly-parking Get on its own thread. RemoteEngine overrides
+  // both with the pipelined wire path (many in-flight calls coalesced
+  // into packed frames on one connection) — that is the implementation
+  // the throughput numbers come from.
+  virtual std::future<Status> PutAsync(const Key& key,
+                                       TransferablePtr value) {
+    std::promise<Status> ready;
+    std::future<Status> future = ready.get_future();
+    ready.set_value(Put(key, std::move(value)));
+    return future;
+  }
+  virtual std::future<Result<TransferablePtr>> GetAsync(const Key& key) {
+    return std::async(std::launch::async,
+                      [this, key] { return Get(key); });
+  }
+
+  // Pipelining hint: "I am about to block waiting on futures". A remote
+  // engine pushes out whatever its formation queue has coalesced so far —
+  // the issuing burst is over, so holding a partial batch for the delay
+  // timer would stall the caller for nothing. The timer remains the
+  // backstop for callers that never hint. No-op for engines without a wire
+  // (local), and cheap when the queue is empty.
+  virtual void Flush() {}
 };
 
 using MemoEnginePtr = std::shared_ptr<MemoEngine>;

@@ -79,6 +79,28 @@ class Memo {
     return engine_->GetAltSkip(keys);
   }
 
+  // ---- async pipeline ----
+  //
+  // Futures resolve when the op completes; no ordering between in-flight
+  // async ops (see MemoEngine::PutAsync). Against a RemoteEngine these
+  // pipeline over one connection — hundreds of logical clients' worth of
+  // small ops coalesce into packed frames instead of paying a round trip
+  // each.
+
+  std::future<Status> put_async(const Key& key, TransferablePtr value) {
+    return engine_->PutAsync(key, std::move(value));
+  }
+
+  std::future<Result<TransferablePtr>> get_async(const Key& key) {
+    return engine_->GetAsync(key);
+  }
+
+  // Call before blocking on async futures: pushes out any partially
+  // coalesced packed frame immediately instead of waiting for the
+  // formation delay timer (MemoEngine::Flush). A pipelined client's loop
+  // is `put_async…; flush(); future.get()`.
+  void flush() { engine_->Flush(); }
+
   // Diagnostics (not part of the paper's surface).
   Result<std::uint64_t> count(const Key& key) { return engine_->Count(key); }
 

@@ -8,6 +8,25 @@ namespace dmemo {
 
 namespace {
 
+// Decode + domain-check a delivered value (Sec. 3.1.3). A free function so
+// async completion callbacks can capture the profile by value and run after
+// the engine may be gone.
+Result<TransferablePtr> DeliverValue(const IoBuf& encoded,
+                                     const MachineProfile& profile,
+                                     bool strict_domains,
+                                     const std::string& host) {
+  DMEMO_ASSIGN_OR_RETURN(TransferablePtr value, DecodeGraphFromBytes(encoded));
+  if (value != nullptr) {
+    Status domain = CheckRepresentable(*value, profile);
+    if (!domain.ok()) {
+      if (strict_domains) return domain;
+      DMEMO_LOG(kWarn) << "delivering lossy value to " << host << ": "
+                       << domain.ToString();
+    }
+  }
+  return value;
+}
+
 class RemoteEngine final : public MemoEngine {
  public:
   RemoteEngine(ResilientChannelPtr channel, RemoteEngineOptions options)
@@ -92,6 +111,54 @@ class RemoteEngine final : public MemoEngine {
     return resp.count;
   }
 
+  // Pipelined wire path: many in-flight calls multiplex over the resilient
+  // channel's async surface, coalescing into packed frames (PROTOCOL.md
+  // §2). Completion callbacks capture what they need by value — an engine
+  // may be destroyed while calls are in flight; the futures still resolve.
+  std::future<Status> PutAsync(const Key& key,
+                               TransferablePtr value) override {
+    Request req = Base(Op::kPut);
+    req.key = key;
+    req.value = EncodeGraphToIoBuf(value);
+    auto promise = std::make_shared<std::promise<Status>>();
+    std::future<Status> future = promise->get_future();
+    channel_->CallAsync(std::move(req), [promise](Result<Response> result) {
+      promise->set_value(result.ok() ? result->ToStatus() : result.status());
+    });
+    return future;
+  }
+
+  std::future<Result<TransferablePtr>> GetAsync(const Key& key) override {
+    Request req = Base(Op::kGet);
+    req.key = key;
+    auto promise = std::make_shared<std::promise<Result<TransferablePtr>>>();
+    std::future<Result<TransferablePtr>> future = promise->get_future();
+    channel_->CallAsync(
+        std::move(req),
+        [promise, profile = options_.profile, strict = options_.strict_domains,
+         host = options_.host](Result<Response> result) {
+          if (!result.ok()) {
+            promise->set_value(result.status());
+            return;
+          }
+          const Status status = result->ToStatus();
+          if (!status.ok()) {
+            promise->set_value(status);
+            return;
+          }
+          if (!result->has_value) {
+            promise->set_value(
+                InternalError("response missing value for get"));
+            return;
+          }
+          promise->set_value(
+              DeliverValue(result->value, profile, strict, host));
+        });
+    return future;
+  }
+
+  void Flush() override { channel_->Flush(); }
+
  private:
   Request Base(Op op) const {
     Request req;
@@ -116,17 +183,8 @@ class RemoteEngine final : public MemoEngine {
   // Decode + domain-check a delivered value against this machine's profile.
   // The payload is read in place from its (typically single-slice) IoBuf.
   Result<TransferablePtr> Deliver(const IoBuf& encoded) {
-    DMEMO_ASSIGN_OR_RETURN(TransferablePtr value,
-                           DecodeGraphFromBytes(encoded));
-    if (value != nullptr) {
-      Status domain = CheckRepresentable(*value, options_.profile);
-      if (!domain.ok()) {
-        if (options_.strict_domains) return domain;
-        DMEMO_LOG(kWarn) << "delivering lossy value to " << options_.host
-                         << ": " << domain.ToString();
-      }
-    }
-    return value;
+    return DeliverValue(encoded, options_.profile, options_.strict_domains,
+                        options_.host);
   }
 
   ResilientChannelPtr channel_;

@@ -63,7 +63,8 @@ void MemoServer::AcceptLoop() {
     if (!conn.ok()) return;  // listener closed
     auto channel = RpcChannel::Create(
         std::move(*conn), pool_.get(),
-        [this](const Request& req) { return Handle(req); });
+        [this](const Request& req) { return Handle(req); },
+        [this](const Request& req) { return MayBlockWorker(req); });
     MutexLock lock(mu_);
     if (shutdown_) {
       channel->Close();
@@ -196,6 +197,9 @@ Result<ResilientChannelPtr> MemoServer::PeerChannel(const std::string& host) {
   copts.retry = options_.forward_retry;
   copts.pool = pool_.get();
   copts.handler = [this](const Request& req) { return Handle(req); };
+  copts.classifier = [this](const Request& req) {
+    return MayBlockWorker(req);
+  };
   auto channel = std::make_shared<ResilientChannel>(
       transport_, addr_it->second, std::move(copts));
   peer_channels_.emplace(host, channel);
@@ -331,16 +335,79 @@ Response MemoServer::DispatchTraced(const Request& request) {
   const QualifiedKey qk{request.app, request.key};
   auto spec = routing->ServerForKey(qk.ToBytes());
   if (!spec.ok()) return Response::FromStatus(spec.status());
+  if (spec->host == options_.host) {
+    // Origin-local fast path: the folder server is already resolved, so
+    // skip HandleDirected's second app lookup and the full Request copy a
+    // directed stamp would cost — on the pipelined small-op path that copy
+    // (key strings + payload refcounts) is a measurable slice of the
+    // per-op budget. FolderServer::Handle never reads target_host.
+    FolderServer* fs = nullptr;
+    {
+      MutexLock lock(mu_);
+      auto it = folder_servers_.find(spec->id);
+      if (it != folder_servers_.end()) fs = it->second.get();
+    }
+    if (fs == nullptr) {
+      return Response::FromStatus(
+          InternalError("folder server " + std::to_string(spec->id) +
+                        " not materialized on " + options_.host));
+    }
+    {
+      MutexLock slock(stats_mu_);
+      ++stats_.local_handled;
+    }
+    Response resp = fs->Handle(request);
+    resp.hop_count = request.hop_count;
+    return resp;
+  }
   Request directed = request;
   directed.target_host = spec->host;
-  if (spec->host == options_.host) {
-    return HandleDirected(directed);
-  }
   {
     MutexLock slock(stats_mu_);
     ++stats_.forwarded;
   }
   return ForwardToward(spec->host, std::move(directed));
+}
+
+bool MemoServer::MayBlockWorker(const Request& request) const {
+  // Park-capable ops block on folder state regardless of locality.
+  if (OpMayPark(request.op)) return true;
+  switch (request.op) {
+    // Keyless admin ops are answered in-process.
+    case Op::kPing:
+    case Op::kStats:
+    case Op::kMetrics:
+    case Op::kHeartbeat:
+    case Op::kRegisterApp:
+      return false;
+    default:
+      break;
+  }
+  // A directed request for another machine is a relay leg: the handler
+  // calls the next hop synchronously and waits out a peer round trip.
+  if (!request.target_host.empty()) {
+    return request.target_host != options_.host;
+  }
+  std::shared_ptr<RoutingTable> routing;
+  {
+    MutexLock lock(mu_);
+    auto it = apps_.find(request.app);
+    // Unknown app: the handler answers UNAVAILABLE immediately — prompt.
+    if (it == apps_.end()) return false;
+    routing = it->second;
+  }
+  auto remote = [&](const Key& k) {
+    auto spec = routing->ServerForKey(QualifiedKey{request.app, k}.ToBytes());
+    return spec.ok() && spec->host != options_.host;
+  };
+  if (!request.alts.empty()) {
+    // Alt scans group per owner and may forward any non-local group.
+    for (const Key& k : request.alts) {
+      if (remote(k)) return true;
+    }
+    return false;
+  }
+  return remote(request.key);
 }
 
 Response MemoServer::HandleDirected(const Request& request) {

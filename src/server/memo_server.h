@@ -164,6 +164,11 @@ class MemoServer {
   IoBuf EncodeHealthPayload() const;
   Response HandleDirected(const Request& request);
   Response HandleAlt(const Request& request, const RoutingTable& routing);
+  // RequestClassifier for inbound channels: true when handling `request`
+  // can block its worker — a park-capable op, or any key owned by another
+  // machine (handling relays synchronously to the owner). Keeps relayed
+  // ops off the shared sequential batch task.
+  bool MayBlockWorker(const Request& request) const;
   Response ForwardToward(const std::string& target_host, Request request);
   Result<FolderServer*> LocalFolderServer(const RoutingTable& routing,
                                           const QualifiedKey& qk);

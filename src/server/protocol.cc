@@ -42,6 +42,17 @@ bool OpNeedsAtMostOnce(Op op) {
   }
 }
 
+bool OpMayPark(Op op) {
+  switch (op) {
+    case Op::kGet:
+    case Op::kGetCopy:
+    case Op::kGetAlt:
+      return true;
+    default:
+      return false;
+  }
+}
+
 std::uint64_t NextRequestId() {
   static std::atomic<std::uint64_t> process_salt{
       static_cast<std::uint64_t>(
@@ -228,6 +239,44 @@ Response Response::FromStatus(const Status& status) {
 
 Status Response::ToStatus() const {
   return Status(code, message);
+}
+
+IoBuf EncodeBatchFrame(std::span<const BatchEntry> entries) {
+  ByteWriter prefix;
+  prefix.u8(kFrameKindBatch);
+  prefix.u64(entries.size());
+  IoBuf frame = IoBuf::FromBytes(prefix.take());
+  for (const BatchEntry& entry : entries) {
+    ByteWriter head;
+    head.u8(entry.kind);
+    head.u64(entry.id);
+    head.varint(entry.body.size());
+    frame.Append(IoBuf::FromBytes(head.take()));
+    frame.Append(entry.body);  // shares the body slices, no copy
+  }
+  return frame;
+}
+
+Result<std::vector<BatchEntry>> DecodeBatchEntries(
+    IoBufReader& in, std::uint64_t declared_count) {
+  if (declared_count == 0 || declared_count > kMaxBatchEntriesWire) {
+    return DataLossError("batch frame declares " +
+                         std::to_string(declared_count) + " entries");
+  }
+  std::vector<BatchEntry> entries;
+  entries.reserve(declared_count);
+  for (std::uint64_t i = 0; i < declared_count; ++i) {
+    BatchEntry entry;
+    DMEMO_ASSIGN_OR_RETURN(entry.kind, in.base().u8());
+    if (entry.kind != kFrameKindRequest && entry.kind != kFrameKindResponse) {
+      return DataLossError("batch entry with unknown kind " +
+                           std::to_string(entry.kind));
+    }
+    DMEMO_ASSIGN_OR_RETURN(entry.id, in.base().u64());
+    DMEMO_ASSIGN_OR_RETURN(entry.body, in.bytes_shared());
+    entries.push_back(std::move(entry));
+  }
+  return entries;
 }
 
 }  // namespace dmemo

@@ -17,6 +17,7 @@
 // which trace served them.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,42 @@
 #include "util/status.h"
 
 namespace dmemo {
+
+// ---- RPC frame kinds (PROTOCOL.md §2) ----
+//
+// A frame is `u8 kind, u64 id, body`. Kinds 1/2 carry one Request/Response
+// correlated by `id`. Kind 3 is the packed multi-op frame produced by the
+// rpc-formation layer (server/rpc_formation.h): `id` holds the entry count
+// and the body is that many entries of `u8 kind (1|2), u64 id, varint len,
+// len body bytes` — each entry body byte-identical to the body of the
+// equivalent single-op frame, so packing never re-encodes a message.
+inline constexpr std::uint8_t kFrameKindRequest = 1;
+inline constexpr std::uint8_t kFrameKindResponse = 2;
+inline constexpr std::uint8_t kFrameKindBatch = 3;
+
+// Upper bound a decoder accepts for the declared entry count of one batch
+// frame; a malformed count past this is DATA_LOSS, not an allocation.
+inline constexpr std::uint64_t kMaxBatchEntriesWire = 65536;
+
+// One message riding a packed frame: the kind/id pair it would have carried
+// as a standalone frame, plus its encoded body (shared slices, not copied).
+struct BatchEntry {
+  std::uint8_t kind = kFrameKindRequest;
+  std::uint64_t id = 0;
+  IoBuf body;
+};
+
+// Packs `entries` into one kind-3 frame: a header buffer chained to each
+// entry's header bytes and shared body slices. Payload bytes are referenced,
+// never copied, so the gather send path emits them from their original
+// blocks. Requires at least one entry.
+IoBuf EncodeBatchFrame(std::span<const BatchEntry> entries);
+
+// Decodes the entries of a batch frame whose `u8 kind, u64 id` prefix was
+// already consumed (`declared_count` is that id). Entry bodies alias the
+// frame's backing block — zero-copy, same contract as Request::DecodeFrom.
+Result<std::vector<BatchEntry>> DecodeBatchEntries(
+    IoBufReader& in, std::uint64_t declared_count);
 
 enum class Op : std::uint8_t {
   kPut = 1,
@@ -54,6 +91,16 @@ std::string_view OpName(Op op);
 // (server/completion_cache.h). kGetCopy does not mutate but can park, so a
 // retry must join the in-flight call instead of parking a second handler.
 bool OpNeedsAtMostOnce(Op op);
+
+// Ops whose handler can park indefinitely on folder state (a blocking get
+// against an empty folder). Exactly these need a worker thread of their own
+// when a packed frame is dispatched; everything else returns promptly (a
+// relay hop at worst) and can share one sequential worker — on small
+// machines that keeps a 64-op frame from fanning out into 64 context
+// switches, and it makes the responses land in the formation queue
+// back-to-back so they coalesce by size instead of fragmenting across
+// deadline flushes.
+bool OpMayPark(Op op);
 
 // Fresh nonzero request id (client-side mint; thread-local generator, no
 // coordination — same construction as NextTraceId).

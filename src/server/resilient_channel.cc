@@ -56,8 +56,8 @@ Result<RpcChannelPtr> ResilientChannel::EnsureChannel() {
   // race to here; the first install wins and extras close their duplicate,
   // so no channel — and no reader thread — is ever silently stranded.
   DMEMO_ASSIGN_OR_RETURN(ConnectionPtr conn, transport_->Dial(url_));
-  auto fresh =
-      RpcChannel::Create(std::move(conn), options_.pool, options_.handler);
+  auto fresh = RpcChannel::Create(std::move(conn), options_.pool,
+                                  options_.handler, options_.classifier);
   RpcChannelPtr loser;
   {
     MutexLock lock(mu_);
@@ -118,15 +118,16 @@ Result<Response> ResilientChannel::Call(Request request,
     } else {
       auto attempt_budget = std::chrono::milliseconds::max();
       if (bounded) {
-        const auto remaining =
-            std::chrono::duration_cast<std::chrono::milliseconds>(
-                deadline - clock::now());
-        if (remaining.count() <= 0) {
+        // One clock sample decides both "expired?" and the stamped value
+        // (util/retry.h RemainingBudgetMs): checking against one read and
+        // casting a remainder from a later one can wrap a negative
+        // remainder into a ~49-day wire deadline.
+        const auto budget_ms = RemainingBudgetMs(clock::now(), deadline);
+        if (!budget_ms.has_value()) {
           return fail(TimedOutError("rpc deadline exceeded calling " + url_));
         }
-        attempt_budget = remaining;
-        request.deadline_ms = static_cast<std::uint32_t>(std::min<
-            std::int64_t>(remaining.count(), 0xffffffffLL));
+        attempt_budget = std::chrono::milliseconds(*budget_ms);
+        request.deadline_ms = *budget_ms;
       }
       if (options_.retry.attempt_timeout.count() > 0) {
         attempt_budget =
@@ -150,6 +151,151 @@ Result<Response> ResilientChannel::Call(Request request,
     }
     std::this_thread::sleep_for(backoff);
   }
+}
+
+// Retry state of one async call, shared by the attempt's completion
+// callback, the per-attempt timer, and the backoff timer. The channel is
+// referenced weakly from all of them: a channel destroyed mid-flight fails
+// the call instead of dangling.
+struct ResilientChannel::AsyncCall {
+  Request request;
+  AsyncCallback done;
+  int attempt = 1;
+  bool bounded = false;
+  std::chrono::steady_clock::time_point deadline;
+  SplitMix64 rng{NextRequestId()};
+};
+
+void ResilientChannel::CallAsync(Request request, AsyncCallback done,
+                                 std::chrono::milliseconds timeout) {
+  using clock = std::chrono::steady_clock;
+  if (timeout.count() == 0) timeout = options_.call_timeout;
+  auto call = std::make_shared<AsyncCall>();
+  call->request = std::move(request);
+  call->done = std::move(done);
+  call->bounded = timeout.count() > 0;
+  call->deadline =
+      call->bounded ? clock::now() + timeout : clock::time_point::max();
+  if (call->request.request_id == 0 && OpNeedsAtMostOnce(call->request.op)) {
+    call->request.request_id = NextRequestId();
+  }
+  StartAsyncAttempt(std::move(call));
+}
+
+std::future<Result<Response>> ResilientChannel::CallAsync(
+    Request request, std::chrono::milliseconds timeout) {
+  auto promise = std::make_shared<std::promise<Result<Response>>>();
+  std::future<Result<Response>> future = promise->get_future();
+  CallAsync(std::move(request),
+            [promise](Result<Response> result) {
+              promise->set_value(std::move(result));
+            },
+            timeout);
+  return future;
+}
+
+void ResilientChannel::StartAsyncAttempt(std::shared_ptr<AsyncCall> call) {
+  using clock = std::chrono::steady_clock;
+  auto channel = EnsureChannel();
+  if (!channel.ok()) {
+    FinishAsyncAttempt(std::move(call), channel.status());
+    return;
+  }
+  auto attempt_budget = std::chrono::milliseconds::max();
+  if (call->bounded) {
+    // Same single-sample check-and-stamp as the sync path.
+    const auto budget_ms = RemainingBudgetMs(clock::now(), call->deadline);
+    if (!budget_ms.has_value()) {
+      DeadlineExceededTotal()->Increment();
+      call->done(TimedOutError("rpc deadline exceeded calling " + url_));
+      return;
+    }
+    attempt_budget = std::chrono::milliseconds(*budget_ms);
+    call->request.deadline_ms = *budget_ms;
+  }
+  if (options_.retry.attempt_timeout.count() > 0) {
+    attempt_budget = std::min(attempt_budget, options_.retry.attempt_timeout);
+  }
+
+  std::weak_ptr<ResilientChannel> weak = weak_from_this();
+  const std::uint64_t id = (*channel)->CallAsync(
+      call->request, [weak, call](Result<Response> result) {
+        if (result.ok()) {
+          call->done(std::move(result));
+          return;
+        }
+        auto self = weak.lock();
+        if (self == nullptr) {
+          call->done(result.status());
+          return;
+        }
+        self->FinishAsyncAttempt(call, result.status());
+      });
+
+  if (id != 0 && attempt_budget != std::chrono::milliseconds::max()) {
+    // Per-attempt timer: after the budget, abandon this transmit (the
+    // underlying CancelAsync is exactly-once against a racing response) so
+    // the failure path can retransmit under the same request_id. The timer
+    // holds the RpcChannel weakly — it must not keep a retired channel
+    // generation alive for the full budget.
+    std::weak_ptr<RpcChannel> weak_channel = *channel;
+    std::thread([weak_channel, id, attempt_budget] {
+      std::this_thread::sleep_for(attempt_budget);
+      if (auto live = weak_channel.lock()) {
+        live->CancelAsync(id, TimedOutError("rpc attempt timed out"));
+      }
+    }).detach();
+  }
+}
+
+void ResilientChannel::FinishAsyncAttempt(std::shared_ptr<AsyncCall> call,
+                                          Status error) {
+  using clock = std::chrono::steady_clock;
+  auto fail = [&call](Status status) {
+    if (status.code() == StatusCode::kTimedOut) {
+      DeadlineExceededTotal()->Increment();
+    }
+    call->done(std::move(status));
+  };
+  // TIMED_OUT here is a per-attempt bound, retryable like the sync path's
+  // nullopt from CallFor — unless the whole-call deadline is spent.
+  const bool retryable = IsRetryableStatus(error) ||
+                         error.code() == StatusCode::kTimedOut;
+  if (!retryable || call->attempt >= options_.retry.max_attempts) {
+    fail(std::move(error));
+    return;
+  }
+  if (call->bounded && clock::now() >= call->deadline) {
+    fail(std::move(error));
+    return;
+  }
+  const auto backoff = options_.retry.BackoffFor(call->attempt, call->rng);
+  if (call->bounded && clock::now() + backoff >= call->deadline) {
+    fail(std::move(error));
+    return;
+  }
+  ++call->attempt;
+  RetriesTotal()->Increment();
+  // Backoff runs on its own thread: this path executes on the reader
+  // thread of the failed channel generation, which must stay free to drain
+  // other completions (and is about to exit).
+  std::thread([weak = weak_from_this(), call, backoff] {
+    std::this_thread::sleep_for(backoff);
+    if (auto self = weak.lock()) {
+      self->StartAsyncAttempt(std::move(call));
+    } else {
+      call->done(CancelledError("resilient channel destroyed"));
+    }
+  }).detach();
+}
+
+void ResilientChannel::Flush() {
+  RpcChannelPtr channel;
+  {
+    MutexLock lock(mu_);
+    channel = channel_;
+  }
+  if (channel != nullptr) channel->Flush();
 }
 
 void ResilientChannel::Close() {

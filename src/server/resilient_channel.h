@@ -21,6 +21,7 @@
 // dmemo_rpc_deadline_exceeded_total.
 #pragma once
 
+#include <future>
 #include <memory>
 #include <string>
 
@@ -35,7 +36,11 @@ namespace dmemo {
 class ResilientChannel;
 using ResilientChannelPtr = std::shared_ptr<ResilientChannel>;
 
-class ResilientChannel {
+// Always held by shared_ptr (Connect returns one; the async path's retry
+// timers take weak references through enable_shared_from_this, so a
+// channel destroyed mid-backoff fails the call instead of dangling).
+class ResilientChannel
+    : public std::enable_shared_from_this<ResilientChannel> {
  public:
   struct Options {
     RetryPolicy retry = RetryPolicy::FromEnv();
@@ -46,6 +51,10 @@ class ResilientChannel {
     // leave both null.
     WorkerPool* pool = nullptr;
     RequestHandler handler;
+    // Optional dispatch classifier for inbound packed frames (see
+    // RequestClassifier in rpc_channel.h); propagated to every channel
+    // generation this wrapper dials.
+    RequestClassifier classifier;
   };
 
   // Lazy: no dial happens until the first call (the memo server creates
@@ -72,6 +81,30 @@ class ResilientChannel {
                         std::chrono::milliseconds timeout =
                             std::chrono::milliseconds(0));
 
+  // Asynchronous Call: same semantics (request-id mint, re-dial, backoff,
+  // deadline restamp per transmit), but the caller's thread only pays for
+  // the transmit — the response completes `done` from the channel's reader
+  // thread, so hundreds of calls can be in flight on one connection. The
+  // first attempt's dial (lazy channels) runs on the caller; retry attempts
+  // run on a per-retry timer thread, never on the completion path. With a
+  // per-attempt timeout (or a bounded call), a timer abandons the attempt
+  // and retransmits under the same request_id — the server's completion
+  // cache dedupes, exactly as for the sync path.
+  void CallAsync(Request request, AsyncCallback done,
+                 std::chrono::milliseconds timeout =
+                     std::chrono::milliseconds(0));
+
+  // Future-returning convenience over the callback form.
+  std::future<Result<Response>> CallAsync(Request request,
+                                          std::chrono::milliseconds timeout =
+                                              std::chrono::milliseconds(0));
+
+  // Pipelining hint, forwarded to the live channel generation's formation
+  // queue: flush any partially coalesced packed frame now, the caller is
+  // about to block on its in-flight futures. No-op when disconnected or
+  // nothing is queued; never dials.
+  void Flush();
+
   // Fails in-flight calls and refuses new ones. Idempotent.
   void Close();
   [[nodiscard]] bool closed() const;
@@ -88,8 +121,16 @@ class ResilientChannel {
   std::uint64_t reconnects() const;
 
  private:
+  struct AsyncCall;
+
   // Returns a live channel, dialing if none exists or the last one died.
   Result<RpcChannelPtr> EnsureChannel();
+
+  // One transmit of an async call: stamps the remaining budget, issues the
+  // underlying CallAsync, and arms the per-attempt timer when bounded.
+  void StartAsyncAttempt(std::shared_ptr<AsyncCall> call);
+  // Failure path of one attempt: decides final-fail vs backoff-and-retry.
+  void FinishAsyncAttempt(std::shared_ptr<AsyncCall> call, Status error);
 
   TransportPtr transport_;
   const std::string url_;

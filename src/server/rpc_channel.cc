@@ -7,8 +7,10 @@
 namespace dmemo {
 
 namespace {
-constexpr std::uint8_t kKindRequest = 1;
-constexpr std::uint8_t kKindResponse = 2;
+// Frame kinds live in protocol.h (shared with the formation layer); local
+// aliases keep the call sites short.
+constexpr std::uint8_t kKindRequest = kFrameKindRequest;
+constexpr std::uint8_t kKindResponse = kFrameKindResponse;
 
 // Process-wide RPC-layer metrics, summed over every channel. Handles are
 // function-local statics so the per-frame cost is one relaxed add.
@@ -42,16 +44,24 @@ Histogram* CallLatency() {
 }  // namespace
 
 RpcChannelPtr RpcChannel::Create(ConnectionPtr conn, WorkerPool* pool,
-                                 RequestHandler handler) {
-  auto channel = RpcChannelPtr(
-      new RpcChannel(std::move(conn), pool, std::move(handler)));
+                                 RequestHandler handler,
+                                 RequestClassifier may_block) {
+  auto channel = RpcChannelPtr(new RpcChannel(
+      std::move(conn), pool, std::move(handler), std::move(may_block)));
   channel->Start();
   return channel;
 }
 
 RpcChannel::RpcChannel(ConnectionPtr conn, WorkerPool* pool,
-                       RequestHandler handler)
-    : conn_(std::move(conn)), pool_(pool), handler_(std::move(handler)) {}
+                       RequestHandler handler, RequestClassifier may_block)
+    : conn_(std::move(conn)),
+      pool_(pool),
+      handler_(std::move(handler)),
+      may_block_(std::move(may_block)) {
+  formation_ = std::make_unique<FormationQueue>(
+      FormationQueue::Options::FromEnv(),
+      [this](IoBuf frame) { (void)SendWireFrame(frame); });
+}
 
 void RpcChannel::Start() {
   reader_ = std::thread([self = shared_from_this()] { self->ReaderLoop(); });
@@ -138,6 +148,67 @@ Result<std::optional<Response>> RpcChannel::CallFor(
   }
 }
 
+std::uint64_t RpcChannel::CallAsync(const Request& request,
+                                    AsyncCallback done) {
+  if (closed_.load()) {
+    done(UnavailableError("rpc channel closed"));
+    return 0;
+  }
+  std::uint64_t id;
+  {
+    MutexLock lock(mu_);
+    id = next_id_++;
+    PendingCall call;
+    call.done = std::move(done);
+    call.start_us = MonotonicMicros();
+    pending_.emplace(id, std::move(call));
+  }
+  // A near-deadline call skips coalescing: waiting out the formation timer
+  // could eat a meaningful slice of its remaining budget.
+  const FormationQueue::Urgency urgency =
+      formation_->DeadlineUrgent(request.deadline_ms)
+          ? FormationQueue::Urgency::kUrgent
+          : FormationQueue::Urgency::kCoalesce;
+  formation_->Enqueue(kKindRequest, id, request.EncodeToIoBuf(), urgency);
+  if (closed_.load()) {
+    // Teardown may have swept pending_ before our insert (same race as
+    // CallFor's post-insert closed_ check); if our entry is still there,
+    // nobody else will ever complete it.
+    AsyncCallback cb;
+    {
+      MutexLock lock(mu_);
+      auto it = pending_.find(id);
+      if (it != pending_.end() && it->second.done) {
+        cb = std::move(it->second.done);
+        pending_.erase(it);
+      }
+    }
+    if (cb) cb(UnavailableError("rpc channel closed"));
+  }
+  return id;
+}
+
+std::future<Result<Response>> RpcChannel::CallAsync(const Request& request) {
+  auto promise = std::make_shared<std::promise<Result<Response>>>();
+  std::future<Result<Response>> future = promise->get_future();
+  (void)CallAsync(request, [promise](Result<Response> result) {
+    promise->set_value(std::move(result));
+  });
+  return future;
+}
+
+void RpcChannel::CancelAsync(std::uint64_t id, const Status& status) {
+  AsyncCallback cb;
+  {
+    MutexLock lock(mu_);
+    auto it = pending_.find(id);
+    if (it == pending_.end() || !it->second.done) return;
+    cb = std::move(it->second.done);
+    pending_.erase(it);
+  }
+  cb(status);
+}
+
 Status RpcChannel::SendFrame(std::uint8_t kind, std::uint64_t id,
                              const IoBuf& body) {
   ByteWriter prefix;
@@ -145,6 +216,10 @@ Status RpcChannel::SendFrame(std::uint8_t kind, std::uint64_t id,
   prefix.u64(id);
   IoBuf frame = IoBuf::FromBytes(prefix.take());
   frame.Append(body);
+  return SendWireFrame(frame);
+}
+
+Status RpcChannel::SendWireFrame(const IoBuf& frame) {
   const std::size_t total = frame.size();
   Status sent;
   {
@@ -175,15 +250,11 @@ void RpcChannel::ReaderLoop() {
     if (!kind.ok() || !id.ok()) continue;  // malformed frame: drop
     if (*kind == kKindResponse) {
       auto resp = Response::DecodeFrom(reader);
-      MutexLock lock(mu_);
-      auto it = pending_.find(*id);
-      if (it == pending_.end()) continue;  // timed-out caller; drop
       if (resp.ok()) {
-        it->second.response = std::move(*resp);
+        CompleteResponse(*id, std::move(*resp));
       } else {
-        it->second.failed = true;
+        CompleteResponse(*id, resp.status());
       }
-      cv_.NotifyAll();
     } else if (*kind == kKindRequest) {
       auto req = Request::DecodeFrom(reader);
       if (!req.ok()) {
@@ -192,27 +263,169 @@ void RpcChannel::ReaderLoop() {
                          << req.status().ToString();
         continue;
       }
-      HandleRequest(*id, std::move(*req));
+      HandleRequest(*id, std::move(*req), /*batched=*/false);
+    } else if (*kind == kFrameKindBatch) {
+      // Packed multi-op frame: `id` is the entry count; every entry body
+      // aliases the frame's block (no re-copy on the way to the handlers).
+      auto entries = DecodeBatchEntries(reader, *id);
+      if (!entries.ok()) {
+        DMEMO_LOG(kWarn) << "dropping malformed batch frame on "
+                         << conn_->description() << ": "
+                         << entries.status().ToString();
+        continue;
+      }
+      // Responses complete under one mu_ acquisition; prompt requests ride
+      // one sequential worker. Only may-block ops — parking gets, and
+      // relays when the owner installed a classifier — fan out.
+      std::vector<std::pair<std::uint64_t, Result<Response>>> responses;
+      std::vector<std::pair<std::uint64_t, Request>> prompt_requests;
+      for (BatchEntry& entry : *entries) {
+        IoBufReader entry_reader(entry.body);
+        if (entry.kind == kKindResponse) {
+          auto resp = Response::DecodeFrom(entry_reader);
+          responses.emplace_back(entry.id, resp.ok()
+                                               ? Result<Response>(std::move(*resp))
+                                               : Result<Response>(resp.status()));
+        } else {
+          auto req = Request::DecodeFrom(entry_reader);
+          if (!req.ok()) {
+            DMEMO_LOG(kWarn) << "dropping malformed batched request on "
+                             << conn_->description() << ": "
+                             << req.status().ToString();
+            continue;
+          }
+          const bool solo = may_block_ != nullptr ? may_block_(*req)
+                                                  : OpMayPark(req->op);
+          if (solo) {
+            HandleRequest(entry.id, std::move(*req), /*batched=*/true);
+          } else {
+            prompt_requests.emplace_back(entry.id, std::move(*req));
+          }
+        }
+      }
+      if (!responses.empty()) CompleteResponseBatch(std::move(responses));
+      if (!prompt_requests.empty()) {
+        HandleRequestBatch(std::move(prompt_requests));
+      }
     }
   }
   closed_.store(true);
-  MutexLock lock(mu_);
-  for (auto& [id, call] : pending_) call.failed = true;
-  cv_.NotifyAll();
+  FailAllPending();
 }
 
-void RpcChannel::HandleRequest(std::uint64_t id, Request request) {
+void RpcChannel::CompleteResponse(std::uint64_t id, Result<Response> result) {
+  AsyncCallback cb;
+  std::uint64_t start_us = 0;
+  {
+    MutexLock lock(mu_);
+    auto it = pending_.find(id);
+    if (it == pending_.end()) return;  // timed-out caller; drop
+    if (it->second.done) {
+      cb = std::move(it->second.done);
+      start_us = it->second.start_us;
+      pending_.erase(it);
+    } else if (result.ok()) {
+      it->second.response = std::move(*result);
+      cv_.NotifyAll();
+      return;
+    } else {
+      it->second.failed = true;
+      cv_.NotifyAll();
+      return;
+    }
+  }
+  // Async completion runs outside mu_: the callback may issue follow-up
+  // calls on this channel (which take mu_ again).
+  if (result.ok()) CallLatency()->Observe(MonotonicMicros() - start_us);
+  cb(std::move(result));
+}
+
+void RpcChannel::CompleteResponseBatch(
+    std::vector<std::pair<std::uint64_t, Result<Response>>> results) {
+  // One mu_ acquisition and one cv_ broadcast for the whole packed frame,
+  // instead of per entry — on the pipelined path this runs for every frame
+  // the peer coalesced, so the per-op locking cost is what the batch
+  // amortizes away.
+  const std::uint64_t now_us = MonotonicMicros();
+  std::vector<std::pair<AsyncCallback, Result<Response>>> callbacks;
+  callbacks.reserve(results.size());
+  bool woke_sync_waiter = false;
+  {
+    MutexLock lock(mu_);
+    for (auto& [id, result] : results) {
+      auto it = pending_.find(id);
+      if (it == pending_.end()) continue;  // timed-out caller; drop
+      if (it->second.done) {
+        if (result.ok()) {
+          CallLatency()->Observe(now_us - it->second.start_us);
+        }
+        callbacks.emplace_back(std::move(it->second.done), std::move(result));
+        pending_.erase(it);
+      } else if (result.ok()) {
+        it->second.response = std::move(*result);
+        woke_sync_waiter = true;
+      } else {
+        it->second.failed = true;
+        woke_sync_waiter = true;
+      }
+    }
+    if (woke_sync_waiter) cv_.NotifyAll();
+  }
+  // Async completions run outside mu_, in frame order (same contract as
+  // CompleteResponse).
+  for (auto& [cb, result] : callbacks) {
+    cb(std::move(result));
+  }
+}
+
+void RpcChannel::FailAllPending() {
+  std::vector<AsyncCallback> callbacks;
+  {
+    MutexLock lock(mu_);
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (it->second.done) {
+        callbacks.push_back(std::move(it->second.done));
+        it = pending_.erase(it);
+      } else {
+        it->second.failed = true;
+        ++it;
+      }
+    }
+    cv_.NotifyAll();
+  }
+  for (AsyncCallback& cb : callbacks) {
+    cb(UnavailableError("rpc channel closed"));
+  }
+}
+
+void RpcChannel::HandleRequest(std::uint64_t id, Request request,
+                               bool batched) {
   // Each request gets a (cached) thread, per Sec. 4.1. The worker holds a
   // shared_ptr so the channel outlives parked handlers.
   auto self = shared_from_this();
-  auto work = [self, id, request = std::move(request)] {
+  auto work = [self, id, batched, request = std::move(request)] {
     Response response =
         self->handler_
             ? self->handler_(request)
             : Response::FromStatus(FailedPreconditionError(
                   "peer does not accept requests"));
     self->requests_handled_.fetch_add(1, std::memory_order_relaxed);
-    (void)self->SendFrame(kKindResponse, id, response.EncodeToIoBuf());
+    if (batched) {
+      // Responses to batched requests coalesce on the way back, so a burst
+      // that arrived as one frame tends to answer as few frames — without
+      // waiting for stragglers of the same inbound batch (a parked get
+      // must not hold up its batchmates' responses).
+      const FormationQueue::Urgency urgency =
+          self->formation_->DeadlineUrgent(request.deadline_ms)
+              ? FormationQueue::Urgency::kUrgent
+              : FormationQueue::Urgency::kCoalesce;
+      self->formation_->Enqueue(kKindResponse, id, response.EncodeToIoBuf(),
+                                urgency);
+    } else {
+      // Single-op requests answer as single-op frames: a legacy peer never
+      // sees a packed frame unless it sent one.
+      (void)self->SendFrame(kKindResponse, id, response.EncodeToIoBuf());
+    }
   };
   if (pool_ == nullptr || !pool_->Submit(work)) {
     // No pool, or the pool already shut down: run inline so the peer still
@@ -221,15 +434,48 @@ void RpcChannel::HandleRequest(std::uint64_t id, Request request) {
   }
 }
 
-void RpcChannel::Close() {
-  if (closed_.exchange(true)) {
-    conn_->Close();
-    return;
+void RpcChannel::HandleRequestBatch(
+    std::vector<std::pair<std::uint64_t, Request>> batch) {
+  // All entries here are never-park ops (OpMayPark == false): each handler
+  // call returns promptly, so the whole inbound frame shares one worker and
+  // its responses hit the formation queue back-to-back — they leave as the
+  // size-triggered packed frame the sender's burst deserves. A relay hop
+  // inside an entry blocks only its batchmates, never this channel's reader
+  // (the relayed response arrives on the relay channel's own reader), so
+  // ordering within the batch is preserved and progress is guaranteed.
+  auto self = shared_from_this();
+  auto work = [self, batch = std::move(batch)]() mutable {
+    for (auto& [id, request] : batch) {
+      Response response =
+          self->handler_
+              ? self->handler_(request)
+              : Response::FromStatus(FailedPreconditionError(
+                    "peer does not accept requests"));
+      self->requests_handled_.fetch_add(1, std::memory_order_relaxed);
+      const FormationQueue::Urgency urgency =
+          self->formation_->DeadlineUrgent(request.deadline_ms)
+              ? FormationQueue::Urgency::kUrgent
+              : FormationQueue::Urgency::kCoalesce;
+      self->formation_->Enqueue(kKindResponse, id, response.EncodeToIoBuf(),
+                                urgency);
+    }
+    // Burst over: everything this frame produced leaves now instead of a
+    // partial batch riding out the delay timer (see FlushDrained).
+    self->formation_->FlushDrained();
+  };
+  if (pool_ == nullptr || !pool_->Submit(work)) {
+    work();
   }
+}
+
+void RpcChannel::Close() {
+  const bool already = closed_.exchange(true);
+  // Connection first: a flusher blocked in a send unblocks with an error,
+  // so the formation Close below (which joins it) cannot hang.
   conn_->Close();
-  MutexLock lock(mu_);
-  for (auto& [id, call] : pending_) call.failed = true;
-  cv_.NotifyAll();
+  formation_->Close();
+  if (already) return;
+  FailAllPending();
 }
 
 bool RpcChannel::closed() const { return closed_.load(); }

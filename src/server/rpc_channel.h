@@ -10,12 +10,14 @@
 
 #include <atomic>
 #include <functional>
+#include <future>
 #include <memory>
 #include <optional>
 #include <thread>
 #include <unordered_map>
 
 #include "server/protocol.h"
+#include "server/rpc_formation.h"
 #include "transport/transport.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
@@ -30,12 +32,28 @@ using RpcChannelPtr = std::shared_ptr<RpcChannel>;
 // (e.g. a parked get). The returned response is sent to the requester.
 using RequestHandler = std::function<Response(const Request&)>;
 
+// Completion of a CallAsync: the response, or the error that killed the
+// call (UNAVAILABLE on channel death). Invoked exactly once, usually on the
+// channel's reader thread — it must not block and must not call back into
+// the channel synchronously with work that could block.
+using AsyncCallback = std::function<void(Result<Response>)>;
+
+// Answers "may handling this request block its worker?" for the packed-
+// frame dispatch split: a may-block request (a parking get, a relay to
+// another machine) gets a worker task of its own, everything else shares
+// one sequential task per inbound frame. Null falls back to the opcode-only
+// OpMayPark — correct but pessimal for servers that relay, since a relayed
+// put blocks the shared task for a peer round trip. Runs on the reader
+// thread: must be fast and must not call back into the channel.
+using RequestClassifier = std::function<bool(const Request&)>;
+
 class RpcChannel : public std::enable_shared_from_this<RpcChannel> {
  public:
   // `pool` must outlive the channel. A null handler rejects inbound
   // requests with FAILED_PRECONDITION (pure-client channels).
   static RpcChannelPtr Create(ConnectionPtr conn, WorkerPool* pool,
-                              RequestHandler handler);
+                              RequestHandler handler,
+                              RequestClassifier may_block = nullptr);
 
   ~RpcChannel();
 
@@ -51,6 +69,29 @@ class RpcChannel : public std::enable_shared_from_this<RpcChannel> {
   Result<std::optional<Response>> CallFor(const Request& request,
                                           std::chrono::milliseconds timeout);
 
+  // Asynchronous call: the request rides the channel's formation queue
+  // (coalesced into a packed frame unless its deadline is near), and `done`
+  // fires when the response arrives or the channel dies. Any number of
+  // async calls may be in flight at once — this is the pipelined path that
+  // lets one connection sustain hundreds of logical clients. No ordering is
+  // promised between concurrent calls, matching §2 of PROTOCOL.md. Returns
+  // the call's correlation id, usable with CancelAsync.
+  std::uint64_t CallAsync(const Request& request, AsyncCallback done);
+
+  // Future-returning convenience over the callback form.
+  std::future<Result<Response>> CallAsync(const Request& request);
+
+  // Abandons an outstanding async call: its callback fires with `status`
+  // and a response arriving later is dropped like any timed-out caller's.
+  // Exactly-once with a racing completion — whichever extracts the
+  // callback first wins. No-op for unknown (already completed) ids.
+  void CancelAsync(std::uint64_t id, const Status& status);
+
+  // Pipelining hint: the caller is done issuing for now and is about to
+  // block on its in-flight calls — drain the formation queue immediately
+  // instead of letting a partial batch ride out the delay timer.
+  void Flush() { formation_->FlushDrained(); }
+
   // Closes the connection and fails all outstanding calls.
   void Close();
   [[nodiscard]] bool closed() const;
@@ -64,24 +105,50 @@ class RpcChannel : public std::enable_shared_from_this<RpcChannel> {
   std::string description() const { return conn_->description(); }
 
  private:
-  RpcChannel(ConnectionPtr conn, WorkerPool* pool, RequestHandler handler);
+  RpcChannel(ConnectionPtr conn, WorkerPool* pool, RequestHandler handler,
+             RequestClassifier may_block);
   void Start();
   void ReaderLoop();
-  void HandleRequest(std::uint64_t id, Request request);
+  void HandleRequest(std::uint64_t id, Request request, bool batched);
+  // Batched fast path: runs a packed frame's never-park requests on one
+  // sequential worker so their responses coalesce by size (see OpMayPark).
+  void HandleRequestBatch(std::vector<std::pair<std::uint64_t, Request>> batch);
 
   // The single framed-write path for both directions: gather-sends the
   // kind/id prefix chained to `body` and maintains every send-side counter,
   // so the request and response paths cannot drift apart on metrics.
   Status SendFrame(std::uint8_t kind, std::uint64_t id, const IoBuf& body);
+  // Emits one already-framed wire message (single-op or packed); the leaf
+  // of SendFrame and of every formation flush.
+  Status SendWireFrame(const IoBuf& frame);
+
+  // Routes one decoded response (or decode error) to its waiter: async
+  // callers get their callback invoked outside mu_, sync callers are woken
+  // through cv_. Unknown ids (timed-out callers) are dropped.
+  void CompleteResponse(std::uint64_t id, Result<Response> result);
+  // Batched counterpart: all of a packed frame's responses complete under
+  // one mu_ acquisition (async callbacks still run outside mu_, in frame
+  // order; sync waiters get one broadcast).
+  void CompleteResponseBatch(
+      std::vector<std::pair<std::uint64_t, Result<Response>>> results);
+  // Fails every outstanding call (channel death). Callbacks run after mu_
+  // is released.
+  void FailAllPending();
 
   struct PendingCall {
     std::optional<Response> response;
     bool failed = false;
+    // Non-null for CallAsync waiters; moved out (entry erased) before
+    // invocation so completion is exactly-once even when teardown races a
+    // response.
+    AsyncCallback done;
+    std::uint64_t start_us = 0;
   };
 
   ConnectionPtr conn_;
   WorkerPool* pool_;
   RequestHandler handler_;
+  RequestClassifier may_block_;
 
   std::thread reader_;
   std::atomic<bool> closed_{false};
@@ -98,6 +165,10 @@ class RpcChannel : public std::enable_shared_from_this<RpcChannel> {
   // Serializes whole-frame writes to conn_. Leaf lock: never acquire mu_
   // while holding it.
   Mutex send_mu_{"RpcChannel::send_mu"};
+  // Formation queue for the async path (requests from CallAsync, responses
+  // to batched requests). Declared after conn_: its destructor joins the
+  // flusher thread, which sends through conn_.
+  std::unique_ptr<FormationQueue> formation_;
 };
 
 }  // namespace dmemo

@@ -1,0 +1,232 @@
+#include "server/rpc_formation.h"
+
+#include <algorithm>
+
+#include "util/metrics.h"
+#include "util/retry.h"
+
+namespace dmemo {
+
+namespace {
+
+// Packed frames emitted (any trigger), and messages that rode them —
+// ops/frames is the realized batching factor.
+Counter* BatchFramesTotal() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("dmemo_rpc_batch_frames_total");
+  return c;
+}
+Counter* BatchOpsTotal() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("dmemo_rpc_batch_ops_total");
+  return c;
+}
+Counter* FlushSizeTotal() {
+  static Counter* c = MetricsRegistry::Global().GetCounter(
+      "dmemo_rpc_batch_flush_size_total");
+  return c;
+}
+Counter* FlushDeadlineTotal() {
+  static Counter* c = MetricsRegistry::Global().GetCounter(
+      "dmemo_rpc_batch_flush_deadline_total");
+  return c;
+}
+Counter* FlushUrgentTotal() {
+  static Counter* c = MetricsRegistry::Global().GetCounter(
+      "dmemo_rpc_batch_flush_urgent_total");
+  return c;
+}
+Counter* FlushDrainTotal() {
+  static Counter* c = MetricsRegistry::Global().GetCounter(
+      "dmemo_rpc_batch_flush_drain_total");
+  return c;
+}
+
+}  // namespace
+
+FormationQueue::Options FormationQueue::Options::FromEnv() {
+  Options options;
+  options.max_bytes = static_cast<std::size_t>(std::max<std::int64_t>(
+      1, EnvInt("DMEMO_RPC_BATCH_BYTES",
+                static_cast<std::int64_t>(options.max_bytes))));
+  options.max_ops = static_cast<std::size_t>(std::max<std::int64_t>(
+      1, EnvInt("DMEMO_RPC_BATCH_OPS",
+                static_cast<std::int64_t>(options.max_ops))));
+  options.max_delay = std::chrono::microseconds(
+      EnvInt("DMEMO_RPC_BATCH_DELAY_US", options.max_delay.count()));
+  return options;
+}
+
+FormationQueue::FormationQueue(Options options, SendFrameFn send)
+    : options_(std::move(options)), send_(std::move(send)) {}
+
+FormationQueue::~FormationQueue() { Close(); }
+
+bool FormationQueue::DeadlineUrgent(std::uint32_t deadline_ms) const {
+  if (deadline_ms == 0) return false;  // unbounded: coalesce freely
+  // Queueing costs up to max_delay; call it urgent once waiting could eat a
+  // meaningful slice of the remaining budget. The 5 ms floor keeps
+  // nearly-expired calls out of the queue even when max_delay is tiny.
+  const auto budget = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::milliseconds(deadline_ms));
+  return budget <= std::max(4 * options_.max_delay,
+                            std::chrono::microseconds(5000));
+}
+
+void FormationQueue::Enqueue(std::uint8_t kind, std::uint64_t id, IoBuf body,
+                             Urgency urgency) {
+  std::vector<BatchEntry> batch;
+  Trigger trigger = Trigger::kUrgent;
+  {
+    MutexLock lock(mu_);
+    if (closed_) return;
+    const bool was_empty = queue_.empty();
+    if (was_empty) oldest_enqueue_ = std::chrono::steady_clock::now();
+    queued_bytes_ += body.size();
+    queue_.push_back(BatchEntry{kind, id, std::move(body)});
+    const bool threshold =
+        queued_bytes_ >= options_.max_bytes || queue_.size() >= options_.max_ops;
+    if (urgency == Urgency::kUrgent || threshold) {
+      batch = TakeLocked();
+      trigger = urgency == Urgency::kUrgent ? Trigger::kUrgent : Trigger::kSize;
+    } else {
+      if (!flusher_started_) {
+        flusher_started_ = true;
+        flusher_ = std::thread([this] { FlusherLoop(); });
+      }
+      // The flush deadline depends only on the oldest entry, so the timer
+      // needs re-arming just on the empty→non-empty edge. Later entries of
+      // a burst skip the wake — one futex signal per batch, not per op.
+      if (was_empty) cv_.NotifyOne();
+      return;
+    }
+  }
+  SendBatch(std::move(batch), trigger);
+}
+
+void FormationQueue::FlushNow() {
+  std::vector<BatchEntry> batch;
+  {
+    MutexLock lock(mu_);
+    batch = TakeLocked();
+  }
+  if (!batch.empty()) SendBatch(std::move(batch), Trigger::kUrgent);
+}
+
+void FormationQueue::FlushDrained() {
+  std::vector<BatchEntry> batch;
+  {
+    MutexLock lock(mu_);
+    batch = TakeLocked();
+  }
+  if (!batch.empty()) SendBatch(std::move(batch), Trigger::kDrain);
+}
+
+void FormationQueue::Close() {
+  std::vector<BatchEntry> rest;
+  {
+    MutexLock lock(mu_);
+    if (closed_) return;
+    closed_ = true;
+    rest = TakeLocked();
+    cv_.NotifyAll();
+  }
+  if (flusher_.joinable()) flusher_.join();
+  // Best-effort final flush: the connection may already be dead, in which
+  // case the sender's error path (reader-loop teardown) owns the callers.
+  if (!rest.empty()) SendBatch(std::move(rest), Trigger::kUrgent);
+}
+
+std::vector<BatchEntry> FormationQueue::TakeLocked() {
+  std::vector<BatchEntry> batch = std::move(queue_);
+  queue_.clear();
+  queued_bytes_ = 0;
+  return batch;
+}
+
+void FormationQueue::FlusherLoop() {
+  MutexLock lock(mu_);
+  for (;;) {
+    if (closed_) return;
+    if (queue_.empty()) {
+      cv_.Wait(mu_);
+      continue;
+    }
+    const auto flush_at = oldest_enqueue_ + options_.max_delay;
+    if (std::chrono::steady_clock::now() < flush_at) {
+      (void)cv_.WaitUntil(mu_, flush_at);
+      continue;  // re-evaluate: a threshold flush may have drained us
+    }
+    std::vector<BatchEntry> batch = TakeLocked();
+    lock.Unlock();
+    SendBatch(std::move(batch), Trigger::kDeadline);
+    lock.Lock();
+  }
+}
+
+void FormationQueue::SendBatch(std::vector<BatchEntry> batch,
+                               Trigger trigger) {
+  if (batch.empty()) return;
+  IoBuf frame;
+  if (batch.size() == 1) {
+    // A batch of one goes out as a plain single-op frame, byte-identical
+    // to the unbatched encoding (legacy interop; asserted in
+    // formation_test and property_test).
+    ByteWriter prefix;
+    prefix.u8(batch.front().kind);
+    prefix.u64(batch.front().id);
+    frame = IoBuf::FromBytes(prefix.take());
+    frame.Append(std::move(batch.front().body));
+  } else {
+    frame = EncodeBatchFrame(batch);
+    BatchFramesTotal()->Increment();
+    BatchOpsTotal()->Add(batch.size());
+  }
+  switch (trigger) {
+    case Trigger::kSize:
+      FlushSizeTotal()->Increment();
+      break;
+    case Trigger::kDeadline:
+      FlushDeadlineTotal()->Increment();
+      break;
+    case Trigger::kUrgent:
+      FlushUrgentTotal()->Increment();
+      break;
+    case Trigger::kDrain:
+      FlushDrainTotal()->Increment();
+      break;
+  }
+  frames_flushed_.fetch_add(1, std::memory_order_relaxed);
+  ops_flushed_.fetch_add(batch.size(), std::memory_order_relaxed);
+  if (trigger == Trigger::kSize) {
+    flushes_size_.fetch_add(1, std::memory_order_relaxed);
+  } else if (trigger == Trigger::kDeadline) {
+    flushes_deadline_.fetch_add(1, std::memory_order_relaxed);
+  } else if (trigger == Trigger::kDrain) {
+    flushes_drain_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    flushes_urgent_.fetch_add(1, std::memory_order_relaxed);
+  }
+  send_(std::move(frame));
+}
+
+std::uint64_t FormationQueue::frames_flushed() const {
+  return frames_flushed_.load(std::memory_order_relaxed);
+}
+std::uint64_t FormationQueue::ops_flushed() const {
+  return ops_flushed_.load(std::memory_order_relaxed);
+}
+std::uint64_t FormationQueue::flushes_size() const {
+  return flushes_size_.load(std::memory_order_relaxed);
+}
+std::uint64_t FormationQueue::flushes_deadline() const {
+  return flushes_deadline_.load(std::memory_order_relaxed);
+}
+std::uint64_t FormationQueue::flushes_urgent() const {
+  return flushes_urgent_.load(std::memory_order_relaxed);
+}
+std::uint64_t FormationQueue::flushes_drain() const {
+  return flushes_drain_.load(std::memory_order_relaxed);
+}
+
+}  // namespace dmemo

@@ -1,0 +1,152 @@
+// RPC formation: per-channel coalescing of small messages into packed
+// multi-op frames (PROTOCOL.md §2, kind 3).
+//
+// The paper's memo operations are tiny — a key plus a small encoded graph —
+// so at production rates the per-op framing and syscall overhead dominates
+// the wire cost. The formation queue sits between a channel's callers and
+// its send path: already-encoded messages accumulate in a queue and are
+// packed into one frame, flushed when
+//
+//   * the queued bodies reach a size threshold (max_bytes),
+//   * the queue reaches an op-count threshold (max_ops),
+//   * the oldest queued message ages past max_delay (a lazily started
+//     flusher thread arms a timer for exactly that moment),
+//   * a caller declares urgency (an op whose deadline is near, a shutdown
+//     flush) — then the queue drains immediately, or
+//   * the producing burst ends (FlushDrained): a batch worker that just
+//     handled the last entry of an inbound packed frame flushes the
+//     responses it produced instead of letting a partial batch ride out the
+//     delay timer. Timed waits on small machines overshoot by tens of
+//     microseconds, so this event-driven trigger is what keeps a pipelined
+//     stream self-clocking: each inbound frame's worth of responses leaves
+//     as soon as it is complete, and the timer is only a backstop for
+//     stragglers (parked gets, lone urgent tails).
+//
+// Packing is zero-copy: entry bodies are IoBuf chains whose slices are
+// shared into the packed frame, so the gather send path emits payload bytes
+// from their original blocks (the same contract as single-op frames,
+// DESIGN.md §11). A flush holding exactly one message emits a plain kind-1/2
+// frame, byte-identical to the unbatched encoding — a formation-enabled
+// client talking to a legacy server (or vice versa) interoperates as long
+// as its batches never grow past one, and mixed fleets can force that with
+// DMEMO_RPC_BATCH_OPS=1.
+//
+// Messages of one flush keep their enqueue order inside the frame; across
+// flushes no order is promised (two threads can race past each other
+// between taking a batch and sending it), which matches the RPC layer's
+// contract that responses arrive in any order and the memo API's unordered
+// semantics.
+//
+// Env knobs (defaults in Options):
+//   DMEMO_RPC_BATCH_BYTES     flush threshold, queued body bytes
+//   DMEMO_RPC_BATCH_OPS       flush threshold, queued message count
+//   DMEMO_RPC_BATCH_DELAY_US  max age of the oldest queued message
+//
+// Metrics: dmemo_rpc_batch_frames_total, dmemo_rpc_batch_ops_total,
+// dmemo_rpc_batch_flush_{size,deadline,urgent,drain}_total.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "server/protocol.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace dmemo {
+
+class FormationQueue {
+ public:
+  struct Options {
+    std::size_t max_bytes = 16 * 1024;
+    std::size_t max_ops = 64;
+    std::chrono::microseconds max_delay{200};
+
+    // Defaults above, each overridable from the environment (header
+    // comment). DMEMO_RPC_BATCH_OPS=1 disables coalescing: every message
+    // flushes immediately as a legacy single-op frame.
+    static Options FromEnv();
+  };
+
+  enum class Urgency {
+    kCoalesce,  // wait for a threshold or the delay timer
+    kUrgent,    // flush the queue (this message included) right away
+  };
+
+  // Emits one fully framed wire message. Called with no formation lock
+  // held; the sender provides its own write serialization (RpcChannel's
+  // send_mu_). Send failures are the sender's to surface — a dead
+  // connection already fails every pending call through the reader loop.
+  using SendFrameFn = std::function<void(IoBuf frame)>;
+
+  FormationQueue(Options options, SendFrameFn send);
+  ~FormationQueue();
+
+  FormationQueue(const FormationQueue&) = delete;
+  FormationQueue& operator=(const FormationQueue&) = delete;
+
+  // Queues one already-encoded message (`body` slices are shared, not
+  // copied). May flush inline on the calling thread. After Close(), the
+  // message is dropped — the channel is dying and its pending-call cleanup
+  // owns failing the callers.
+  void Enqueue(std::uint8_t kind, std::uint64_t id, IoBuf body,
+               Urgency urgency = Urgency::kCoalesce);
+
+  // Drains whatever is queued as one frame, regardless of thresholds.
+  void FlushNow();
+
+  // Burst-end flush (header comment): same drain as FlushNow, but recorded
+  // under its own trigger so the metrics separate "a producer finished its
+  // batch" from genuine urgency. No-op on an empty queue.
+  void FlushDrained();
+
+  // Flushes the remainder, stops and joins the flusher thread. Idempotent;
+  // Enqueue afterwards is a no-op.
+  void Close();
+
+  // True when `deadline_ms` (a Request's remaining budget; 0 = unbounded)
+  // is close enough that queueing behind the delay timer could eat a
+  // meaningful slice of it — callers pass kUrgent for those.
+  bool DeadlineUrgent(std::uint32_t deadline_ms) const;
+
+  // Cumulative flush statistics (tests; metrics carry the same numbers
+  // process-wide).
+  std::uint64_t frames_flushed() const;
+  std::uint64_t ops_flushed() const;
+  std::uint64_t flushes_size() const;
+  std::uint64_t flushes_deadline() const;
+  std::uint64_t flushes_urgent() const;
+  std::uint64_t flushes_drain() const;
+
+ private:
+  enum class Trigger { kSize, kDeadline, kUrgent, kDrain };
+
+  void FlusherLoop();
+  std::vector<BatchEntry> TakeLocked() DMEMO_REQUIRES(mu_);
+  void SendBatch(std::vector<BatchEntry> batch, Trigger trigger);
+
+  const Options options_;
+  const SendFrameFn send_;
+
+  Mutex mu_{"FormationQueue::mu"};
+  CondVar cv_;
+  std::vector<BatchEntry> queue_ DMEMO_GUARDED_BY(mu_);
+  std::size_t queued_bytes_ DMEMO_GUARDED_BY(mu_) = 0;
+  std::chrono::steady_clock::time_point oldest_enqueue_ DMEMO_GUARDED_BY(mu_);
+  bool closed_ DMEMO_GUARDED_BY(mu_) = false;
+  bool flusher_started_ DMEMO_GUARDED_BY(mu_) = false;
+  std::thread flusher_;
+
+  std::atomic<std::uint64_t> frames_flushed_{0};
+  std::atomic<std::uint64_t> ops_flushed_{0};
+  std::atomic<std::uint64_t> flushes_size_{0};
+  std::atomic<std::uint64_t> flushes_deadline_{0};
+  std::atomic<std::uint64_t> flushes_urgent_{0};
+  std::atomic<std::uint64_t> flushes_drain_{0};
+};
+
+}  // namespace dmemo

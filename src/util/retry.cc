@@ -30,9 +30,16 @@ RetryPolicy RetryPolicy::FromEnv() {
 std::chrono::milliseconds RetryPolicy::BackoffFor(int attempt,
                                                   SplitMix64& rng) const {
   if (attempt < 1) attempt = 1;
+  const double cap = static_cast<double>(max_backoff.count());
   double backoff = static_cast<double>(initial_backoff.count());
-  for (int i = 1; i < attempt; ++i) backoff *= multiplier;
-  backoff = std::min(backoff, static_cast<double>(max_backoff.count()));
+  // Clamp inside the loop: growing first and clamping after overflows the
+  // double to inf at high attempt counts (and the cast below would be UB).
+  // Once the cap is reached no further doubling can matter, so short-
+  // circuit — BackoffFor(1000) costs the same as BackoffFor(10).
+  for (int i = 1; i < attempt && backoff < cap; ++i) {
+    backoff = std::min(backoff * multiplier, cap);
+  }
+  backoff = std::min(backoff, cap);
   if (jitter > 0.0) {
     const double j = std::clamp(jitter, 0.0, 1.0);
     backoff *= (1.0 - j) + j * rng.NextUnit();
@@ -43,6 +50,18 @@ std::chrono::milliseconds RetryPolicy::BackoffFor(int attempt,
 
 std::chrono::milliseconds CallTimeoutFromEnv() {
   return std::chrono::milliseconds(EnvInt("DMEMO_RPC_TIMEOUT_MS", 0));
+}
+
+std::optional<std::uint32_t> RemainingBudgetMs(
+    std::chrono::steady_clock::time_point now,
+    std::chrono::steady_clock::time_point deadline) {
+  if (deadline <= now) return std::nullopt;
+  const std::int64_t remaining_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+          .count();
+  if (remaining_ms <= 0) return std::nullopt;  // sub-ms remainder: expired
+  return static_cast<std::uint32_t>(
+      std::min<std::int64_t>(remaining_ms, 0xffffffffLL));
 }
 
 bool IsRetryableStatus(const Status& status) {

@@ -18,6 +18,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <optional>
 
 #include "util/rng.h"
 #include "util/status.h"
@@ -49,6 +50,18 @@ struct RetryPolicy {
 // Whole-call deadline from DMEMO_RPC_TIMEOUT_MS; zero means unbounded
 // (the default — blocking gets may legitimately park for a long time).
 std::chrono::milliseconds CallTimeoutFromEnv();
+
+// Remaining budget of a bounded call at `now`, in the wire encoding of
+// Request::deadline_ms (u32 whole milliseconds, saturated at the field's
+// max). nullopt = the deadline has passed (or under 1 ms remains): the
+// caller must fail with TIMED_OUT instead of transmitting. Check and stamp
+// share the one `now` sample on purpose — deciding "not expired" against
+// one clock read and casting a remainder computed from a later one lets a
+// negative remainder wrap into a ~49-day budget that never times out
+// downstream.
+std::optional<std::uint32_t> RemainingBudgetMs(
+    std::chrono::steady_clock::time_point now,
+    std::chrono::steady_clock::time_point deadline);
 
 // Transient failures worth re-dialing for: UNAVAILABLE (peer or channel
 // died, possibly mid-call) only. Server-reported application errors

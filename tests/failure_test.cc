@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <set>
 #include <thread>
 
@@ -512,6 +513,80 @@ TEST(FaultToleranceTest, LossyLinkWorkloadCompletesExactlyOnce) {
   auto leftover = memo.get_skip(key);
   ASSERT_TRUE(leftover.ok());
   EXPECT_FALSE(leftover->has_value());
+}
+
+TEST(FaultToleranceTest, BatchedRetransmitsStayExactlyOnceUnderFrameLoss) {
+  // The async/batched flavor of the lossy-link workload: pipelined
+  // put_async/get_async calls coalesce into packed frames, and a dropped
+  // frame now loses *several* calls at once. Each call's attempt timer
+  // must fire independently, the retransmits re-coalesce into fresh
+  // batches, and the per-call request ids must keep every retransmitted
+  // op at-most-once — zero lost, zero duplicated, exactly as the sync
+  // path promises.
+  // Cap the batch size so 25 pipelined puts span several packed frames —
+  // with the default 64-op cap they coalesce into one frame and the
+  // seeded 15% loss may never bite (the dedup_hits assertion below needs
+  // at least one dropped frame). Read at channel construction, so set it
+  // before any channel exists.
+  ::setenv("DMEMO_RPC_BATCH_OPS", "4", /*overwrite=*/1);
+  FaultCluster fc;
+  fc.network->SeedFaults(0xbadcafe);
+  AppDescription adf =
+      Adf("APP lossyb\nHOSTS\nhostA 1 t 1\nFOLDERS\n0 hostA\n");
+  auto& server = fc.StartServer("hostA", {"hostA"});
+  ASSERT_TRUE(server.RegisterApp(adf).ok());
+
+  RemoteEngineOptions copts;
+  copts.app = "lossyb";
+  copts.host = "hostA";
+  copts.retry.max_attempts = 30;
+  copts.retry.attempt_timeout = 40ms;
+  copts.retry.initial_backoff = 1ms;
+  copts.retry.max_backoff = 5ms;
+  Memo memo(*MakeRemoteEngine(fc.transport, "sim://hostA", copts));
+
+  SimLinkProfile lossy;
+  lossy.drop_probability = 0.15;
+  fc.network->SetEndpointLinkProfile("hostA", lossy);
+
+  constexpr int kMemos = 25;
+  const Key key = Key::Named("lossy-async");
+  std::vector<std::future<Status>> puts;
+  puts.reserve(kMemos);
+  for (int i = 0; i < kMemos; ++i) {
+    puts.push_back(memo.put_async(key, MakeInt32(i)));
+  }
+  for (int i = 0; i < kMemos; ++i) {
+    ASSERT_EQ(puts[i].wait_for(30s), std::future_status::ready)
+        << "put " << i << " hung under frame loss";
+    ASSERT_TRUE(puts[i].get().ok()) << "put " << i;
+  }
+  // Retransmitted puts deposited exactly one memo each.
+  auto count = memo.count(key);
+  ASSERT_TRUE(count.ok()) << count.status();
+  EXPECT_EQ(*count, static_cast<std::uint64_t>(kMemos));
+
+  std::vector<std::future<Result<TransferablePtr>>> gets;
+  gets.reserve(kMemos);
+  for (int i = 0; i < kMemos; ++i) {
+    gets.push_back(memo.get_async(key));
+  }
+  std::multiset<std::int32_t> seen;
+  for (int i = 0; i < kMemos; ++i) {
+    ASSERT_EQ(gets[i].wait_for(30s), std::future_status::ready)
+        << "get " << i << " hung under frame loss";
+    auto v = gets[i].get();
+    ASSERT_TRUE(v.ok()) << "get " << i << ": " << v.status();
+    seen.insert(Int(*v));
+  }
+  for (int i = 0; i < kMemos; ++i) EXPECT_EQ(seen.count(i), 1u) << i;
+  auto leftover = memo.get_skip(key);
+  ASSERT_TRUE(leftover.ok());
+  EXPECT_FALSE(leftover->has_value());
+  // The loss actually bit: at least one retransmit was answered from the
+  // completion cache instead of re-executing.
+  EXPECT_GE(server.stats().dedup_hits, 1u);
+  ::unsetenv("DMEMO_RPC_BATCH_OPS");
 }
 
 TEST(FaultToleranceTest, ResilientChannelFailsFastWhenClosedOrUnreachable) {

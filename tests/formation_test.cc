@@ -1,0 +1,318 @@
+// FormationQueue: flush triggers (size / op count / deadline timer /
+// urgency), legacy byte-compatibility of single-entry flushes, Close
+// draining, and the async call surface built on top of it (out-of-order
+// future completion over one channel).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <future>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "runtime/cluster.h"
+#include "server/protocol.h"
+#include "server/rpc_formation.h"
+#include "transferable/scalars.h"
+
+namespace dmemo {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::int32_t Int(const TransferablePtr& v) {
+  return std::static_pointer_cast<TInt32>(v)->value();
+}
+
+AppDescription Adf(const std::string& text) {
+  auto parsed = ParseAdf(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status();
+  return parsed->description;
+}
+
+std::unique_ptr<Cluster> StartCluster(const AppDescription& adf) {
+  auto cluster = Cluster::Start(adf);
+  EXPECT_TRUE(cluster.ok()) << cluster.status();
+  return std::move(*cluster);
+}
+
+// Captures every frame the queue emits, as flattened bytes.
+struct FrameLog {
+  std::mutex mu;
+  std::vector<Bytes> frames;
+
+  FormationQueue::SendFrameFn Sink() {
+    return [this](IoBuf frame) {
+      std::lock_guard<std::mutex> lock(mu);
+      frames.push_back(frame.Flatten());
+    };
+  }
+  std::size_t Count() {
+    std::lock_guard<std::mutex> lock(mu);
+    return frames.size();
+  }
+  Bytes Frame(std::size_t i) {
+    std::lock_guard<std::mutex> lock(mu);
+    return frames.at(i);
+  }
+  // Waits until at least `n` frames arrived (deadline-timer flushes land on
+  // the flusher thread).
+  bool WaitForFrames(std::size_t n,
+                     std::chrono::milliseconds timeout = 2000ms) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (Count() < n) {
+      if (std::chrono::steady_clock::now() > deadline) return false;
+      std::this_thread::sleep_for(1ms);
+    }
+    return true;
+  }
+};
+
+IoBuf Body(std::size_t len, std::uint8_t fill) {
+  return IoBuf::FromBytes(Bytes(len, fill));
+}
+
+// Parses a captured frame: returns kind and, for batch frames, the decoded
+// entries.
+struct ParsedFrame {
+  std::uint8_t kind = 0;
+  std::uint64_t id = 0;  // single frames: correlation id; batch: entry count
+  std::vector<BatchEntry> entries;
+};
+
+ParsedFrame Parse(const Bytes& wire) {
+  ParsedFrame out;
+  IoBuf buf = IoBuf::FromBytes(wire);
+  IoBufReader reader(buf);
+  auto kind = reader.base().u8();
+  auto id = reader.base().u64();
+  EXPECT_TRUE(kind.ok() && id.ok());
+  out.kind = *kind;
+  out.id = *id;
+  if (out.kind == kFrameKindBatch) {
+    auto entries = DecodeBatchEntries(reader, out.id);
+    EXPECT_TRUE(entries.ok()) << entries.status();
+    if (entries.ok()) out.entries = std::move(*entries);
+  }
+  return out;
+}
+
+FormationQueue::Options Patient() {
+  // Thresholds far away so only the trigger under test can fire.
+  FormationQueue::Options opts;
+  opts.max_bytes = 1 << 20;
+  opts.max_ops = 1 << 20;
+  opts.max_delay = 10min;
+  return opts;
+}
+
+TEST(FormationQueueTest, FlushesExactlyAtOpCountThreshold) {
+  FrameLog log;
+  FormationQueue::Options opts = Patient();
+  opts.max_ops = 4;
+  FormationQueue queue(opts, log.Sink());
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    queue.Enqueue(kFrameKindRequest, i, Body(8, 0x11));
+  }
+  EXPECT_EQ(log.Count(), 0u) << "flushed below the op-count boundary";
+  queue.Enqueue(kFrameKindRequest, 3, Body(8, 0x11));
+  ASSERT_EQ(log.Count(), 1u) << "op-count boundary did not flush";
+  ParsedFrame frame = Parse(log.Frame(0));
+  EXPECT_EQ(frame.kind, kFrameKindBatch);
+  ASSERT_EQ(frame.entries.size(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(frame.entries[i].id, i) << "enqueue order lost in the frame";
+  }
+  EXPECT_EQ(queue.flushes_size(), 1u);
+  EXPECT_EQ(queue.ops_flushed(), 4u);
+  queue.Close();
+}
+
+TEST(FormationQueueTest, FlushesExactlyAtByteThreshold) {
+  FrameLog log;
+  FormationQueue::Options opts = Patient();
+  opts.max_bytes = 100;
+  FormationQueue queue(opts, log.Sink());
+  queue.Enqueue(kFrameKindRequest, 1, Body(40, 0x22));
+  queue.Enqueue(kFrameKindRequest, 2, Body(40, 0x22));
+  EXPECT_EQ(log.Count(), 0u) << "flushed below the byte boundary (80 < 100)";
+  queue.Enqueue(kFrameKindRequest, 3, Body(40, 0x22));
+  ASSERT_EQ(log.Count(), 1u) << "byte boundary (120 >= 100) did not flush";
+  EXPECT_EQ(Parse(log.Frame(0)).entries.size(), 3u);
+  EXPECT_EQ(queue.flushes_size(), 1u);
+  queue.Close();
+}
+
+TEST(FormationQueueTest, DelayTimerFlushesAnUnfilledQueue) {
+  FrameLog log;
+  FormationQueue::Options opts = Patient();
+  opts.max_delay = 5ms;
+  FormationQueue queue(opts, log.Sink());
+  queue.Enqueue(kFrameKindRequest, 7, Body(8, 0x33));
+  queue.Enqueue(kFrameKindResponse, 8, Body(8, 0x44));
+  ASSERT_TRUE(log.WaitForFrames(1)) << "delay timer never fired";
+  ParsedFrame frame = Parse(log.Frame(0));
+  EXPECT_EQ(frame.kind, kFrameKindBatch);
+  ASSERT_EQ(frame.entries.size(), 2u);
+  EXPECT_EQ(frame.entries[0].kind, kFrameKindRequest);
+  EXPECT_EQ(frame.entries[1].kind, kFrameKindResponse);
+  EXPECT_EQ(queue.flushes_deadline(), 1u);
+  queue.Close();
+}
+
+TEST(FormationQueueTest, UrgentMessageFlushesImmediately) {
+  FrameLog log;
+  FormationQueue queue(Patient(), log.Sink());
+  queue.Enqueue(kFrameKindRequest, 1, Body(8, 0x55));
+  EXPECT_EQ(log.Count(), 0u);
+  queue.Enqueue(kFrameKindRequest, 2, Body(8, 0x66),
+                FormationQueue::Urgency::kUrgent);
+  ASSERT_EQ(log.Count(), 1u) << "urgent enqueue did not flush inline";
+  EXPECT_EQ(Parse(log.Frame(0)).entries.size(), 2u)
+      << "urgent flush must carry the coalesced backlog too";
+  EXPECT_EQ(queue.flushes_urgent(), 1u);
+  queue.Close();
+}
+
+TEST(FormationQueueTest, SingleEntryFlushIsByteIdenticalToLegacyFrame) {
+  // The interop contract: a flush holding one message emits the exact
+  // kind-1 frame an unbatched channel would have sent, so a legacy peer
+  // never sees a packed frame unless at least two ops coalesced.
+  FrameLog log;
+  FormationQueue queue(Patient(), log.Sink());
+  Request req;
+  req.op = Op::kPut;
+  req.app = "legacy";
+  req.key = Key::Named("k");
+  req.value = Bytes{1, 2, 3, 4};
+  const std::uint64_t id = 42;
+  queue.Enqueue(kFrameKindRequest, id, req.EncodeToIoBuf(),
+                FormationQueue::Urgency::kUrgent);
+  ASSERT_EQ(log.Count(), 1u);
+
+  ByteWriter legacy;
+  legacy.u8(kFrameKindRequest);
+  legacy.u64(id);
+  req.EncodeTo(legacy);
+  EXPECT_EQ(log.Frame(0), legacy.data())
+      << "single-entry flush diverged from the legacy wire frame";
+  queue.Close();
+}
+
+TEST(FormationQueueTest, CloseFlushesTheRemainder) {
+  FrameLog log;
+  FormationQueue queue(Patient(), log.Sink());
+  queue.Enqueue(kFrameKindRequest, 1, Body(8, 0x77));
+  queue.Enqueue(kFrameKindRequest, 2, Body(8, 0x88));
+  EXPECT_EQ(log.Count(), 0u);
+  queue.Close();
+  ASSERT_EQ(log.Count(), 1u) << "Close dropped the queued remainder";
+  EXPECT_EQ(Parse(log.Frame(0)).entries.size(), 2u);
+  // Idempotent, and post-Close enqueues are dropped (the dying channel's
+  // pending-call cleanup owns failing those callers).
+  queue.Close();
+  queue.Enqueue(kFrameKindRequest, 3, Body(8, 0x99));
+  EXPECT_EQ(log.Count(), 1u);
+}
+
+TEST(FormationQueueTest, DeadlineUrgencyBoundaries) {
+  FrameLog log;
+  FormationQueue queue(FormationQueue::Options(), log.Sink());
+  EXPECT_FALSE(queue.DeadlineUrgent(0)) << "0 means unbounded, never urgent";
+  EXPECT_TRUE(queue.DeadlineUrgent(1));
+  EXPECT_TRUE(queue.DeadlineUrgent(5));
+  EXPECT_FALSE(queue.DeadlineUrgent(100));
+  EXPECT_FALSE(queue.DeadlineUrgent(60'000));
+  queue.Close();
+}
+
+TEST(FormationQueueTest, EnvKnobsOverrideDefaults) {
+  ::setenv("DMEMO_RPC_BATCH_BYTES", "512", 1);
+  ::setenv("DMEMO_RPC_BATCH_OPS", "9", 1);
+  ::setenv("DMEMO_RPC_BATCH_DELAY_US", "750", 1);
+  FormationQueue::Options opts = FormationQueue::Options::FromEnv();
+  EXPECT_EQ(opts.max_bytes, 512u);
+  EXPECT_EQ(opts.max_ops, 9u);
+  EXPECT_EQ(opts.max_delay, 750us);
+  ::unsetenv("DMEMO_RPC_BATCH_BYTES");
+  ::unsetenv("DMEMO_RPC_BATCH_OPS");
+  ::unsetenv("DMEMO_RPC_BATCH_DELAY_US");
+}
+
+// ---- the async surface over a live cluster ---------------------------------
+
+TEST(AsyncPipelineTest, FuturesCompleteOutOfOrder) {
+  // A get_async parked on an empty folder must not stall ops issued after
+  // it: later futures resolve first, the parked one resolves when its value
+  // arrives. This is the whole point of multiplexing by correlation id.
+  auto cluster = StartCluster(
+      Adf("APP async\nHOSTS\nhostA 1 t 1\nFOLDERS\n0 hostA\n"));
+  Memo memo = *cluster->Client("hostA", MachineProfile::Universal());
+
+  auto parked = memo.get_async(Key::Named("empty"));
+  auto put_later = memo.put_async(Key::Named("other"), MakeInt32(5));
+  ASSERT_EQ(put_later.wait_for(5s), std::future_status::ready)
+      << "op issued after a parked get never completed";
+  EXPECT_TRUE(put_later.get().ok());
+  EXPECT_NE(parked.wait_for(0s), std::future_status::ready)
+      << "get on an empty folder resolved without a value";
+
+  ASSERT_TRUE(memo.put(Key::Named("empty"), MakeInt32(11)).ok());
+  ASSERT_EQ(parked.wait_for(5s), std::future_status::ready);
+  auto v = parked.get();
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_EQ(Int(*v), 11);
+  cluster->Shutdown();
+}
+
+TEST(AsyncPipelineTest, ManyInFlightCallsAllResolve) {
+  auto cluster = StartCluster(
+      Adf("APP asyncm\nHOSTS\nhostA 1 t 1\nFOLDERS\n0 hostA\n"));
+  Memo memo = *cluster->Client("hostA", MachineProfile::Universal());
+
+  constexpr int kOps = 400;
+  std::vector<std::future<Status>> puts;
+  puts.reserve(kOps);
+  for (int i = 0; i < kOps; ++i) {
+    puts.push_back(memo.put_async(Key::Named("flood", {0}), MakeInt32(i)));
+  }
+  for (int i = 0; i < kOps; ++i) {
+    ASSERT_EQ(puts[i].wait_for(10s), std::future_status::ready) << i;
+    EXPECT_TRUE(puts[i].get().ok()) << i;
+  }
+  std::vector<std::future<Result<TransferablePtr>>> gets;
+  gets.reserve(kOps);
+  for (int i = 0; i < kOps; ++i) {
+    gets.push_back(memo.get_async(Key::Named("flood", {0})));
+  }
+  std::multiset<std::int32_t> seen;
+  for (int i = 0; i < kOps; ++i) {
+    ASSERT_EQ(gets[i].wait_for(10s), std::future_status::ready) << i;
+    auto v = gets[i].get();
+    ASSERT_TRUE(v.ok()) << i << ": " << v.status();
+    seen.insert(Int(*v));
+  }
+  // Every deposited value extracted exactly once through the batched path.
+  for (int i = 0; i < kOps; ++i) EXPECT_EQ(seen.count(i), 1u) << i;
+  auto leftover = memo.get_skip(Key::Named("flood", {0}));
+  ASSERT_TRUE(leftover.ok());
+  EXPECT_FALSE(leftover->has_value());
+  cluster->Shutdown();
+}
+
+TEST(AsyncPipelineTest, ShutdownFailsInFlightFuturesInsteadOfHanging) {
+  auto cluster = StartCluster(
+      Adf("APP asyncd\nHOSTS\nhostA 1 t 1\nFOLDERS\n0 hostA\n"));
+  Memo memo = *cluster->Client("hostA", MachineProfile::Universal());
+  auto parked = memo.get_async(Key::Named("never"));
+  std::this_thread::sleep_for(20ms);
+  cluster->Shutdown();
+  ASSERT_EQ(parked.wait_for(5s), std::future_status::ready)
+      << "shutdown left an async future hanging";
+  EXPECT_FALSE(parked.get().ok());
+}
+
+}  // namespace
+}  // namespace dmemo

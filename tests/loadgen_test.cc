@@ -104,6 +104,111 @@ TEST(LoadgenTest, IntendedStartAccountingRevealsAStallServiceTimeHides) {
   EXPECT_LT(result.service_p99_us, result.p99_us / 4);
 }
 
+TEST(LoadgenTest, AchievedRateNeverExceedsOffered) {
+  // The rate-drift regression: a Poisson stream that drew extra arrivals —
+  // or a stalled run replaying its backlog as a burst — used to report
+  // achieved > offered (2034/s against a 2000/s schedule in a committed
+  // baseline). The arrival budget plus the schedule-horizon denominator
+  // bound achieved at offered + threads/duration, i.e. within rounding.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    OpenLoopOptions options;
+    options.rate = 2000;
+    options.arrival = Arrival::kPoisson;
+    options.threads = 2;
+    options.duration = 400ms;
+    options.seed = seed;
+    auto result =
+        RunOpenLoop(options, [](std::size_t, std::size_t, SplitMix64&) {
+          return true;
+        });
+    EXPECT_LE(result.achieved_rate, options.rate * 1.005) << "seed " << seed;
+  }
+}
+
+TEST(LoadgenTest, CatchUpBurstDoesNotInflateAchievedRate) {
+  // Stall the op once for 100 ms mid-run: the backlog fires as a burst
+  // when the stall clears. The burst is real traffic (it must count, and
+  // its latency must be charged) but it is replayed offered load, not
+  // extra throughput.
+  OpenLoopOptions options;
+  options.rate = 1000;
+  options.arrival = Arrival::kFixedRate;
+  options.threads = 1;
+  options.duration = 300ms;
+  std::atomic<std::uint64_t> calls{0};
+  auto result = RunOpenLoop(options, [&](std::size_t, std::size_t,
+                                         SplitMix64&) {
+    if (calls.fetch_add(1) == 50) std::this_thread::sleep_for(100ms);
+    return true;
+  });
+  EXPECT_EQ(result.ops, 300u);  // every arrival ran, burst included
+  EXPECT_LE(result.achieved_rate, options.rate * 1.005);
+}
+
+TEST(LoadgenTest, AsyncRunnerCompletesEveryArrivalPastServiceCapacity) {
+  // Each op "serves" for 5 ms: a closed-loop single thread would cap at
+  // 200/s, and the sync open-loop runner would drown in backlog. The
+  // pipelined runner keeps the 400/s schedule because in-flight ops overlap
+  // — the point of the async client. PendingOps here complete on a wall
+  // clock, no worker threads involved.
+  OpenLoopOptions options;
+  options.rate = 400;
+  options.arrival = Arrival::kFixedRate;
+  options.threads = 1;
+  options.duration = 300ms;
+  std::atomic<std::uint64_t> issued{0};
+  auto op = [&](std::size_t, std::size_t, SplitMix64&) {
+    issued.fetch_add(1);
+    const auto done_at = std::chrono::steady_clock::now() + 5ms;
+    PendingOp pending;
+    pending.poll = [done_at] {
+      return std::chrono::steady_clock::now() >= done_at;
+    };
+    pending.take = [done_at] {
+      std::this_thread::sleep_until(done_at);
+      return true;
+    };
+    return pending;
+  };
+  auto result = RunOpenLoopAsync(options, op, /*max_inflight=*/64);
+  EXPECT_EQ(result.ops, 120u);
+  EXPECT_EQ(issued.load(), 120u);
+  EXPECT_EQ(result.errors, 0u);
+  EXPECT_LE(result.achieved_rate, options.rate * 1.005);
+  // The schedule was not serialized behind the 5 ms service times: 120 ops
+  // of 5 ms each would take 600 ms closed-loop; the run finished near its
+  // 300 ms horizon.
+  EXPECT_LT(result.duration_s, 0.45);
+}
+
+TEST(LoadgenTest, AsyncRunnerWindowBoundsInflight) {
+  // With a window of 4 and ops that only complete on take(), the runner
+  // must block the schedule rather than exceed 4 in flight.
+  OpenLoopOptions options;
+  options.rate = 1000;
+  options.arrival = Arrival::kFixedRate;
+  options.threads = 1;
+  options.duration = 100ms;
+  std::atomic<int> inflight{0};
+  std::atomic<int> peak{0};
+  auto op = [&](std::size_t, std::size_t, SplitMix64&) {
+    const int now = inflight.fetch_add(1) + 1;
+    int seen = peak.load();
+    while (now > seen && !peak.compare_exchange_weak(seen, now)) {
+    }
+    PendingOp pending;
+    pending.poll = [] { return false; };  // never "ready": harvest via take
+    pending.take = [&inflight] {
+      inflight.fetch_sub(1);
+      return true;
+    };
+    return pending;
+  };
+  auto result = RunOpenLoopAsync(options, op, /*max_inflight=*/4);
+  EXPECT_EQ(result.ops, 100u);
+  EXPECT_LE(peak.load(), 4);
+}
+
 TEST(LoadgenTest, DrivesARealClusterWithoutErrors) {
   auto cluster = ClusterOrDie(TwoHostAdf("lg"));
   std::vector<Memo> handles;
@@ -130,6 +235,33 @@ TEST(LoadgenTest, DrivesARealClusterWithoutErrors) {
   auto jar = RunOpenLoop(options, MakeJobJarOp(handles, wl));
   EXPECT_GT(jar.ops, 0u);
   EXPECT_EQ(jar.errors, 0u);
+
+  handles.clear();
+  cluster->Shutdown();
+}
+
+TEST(LoadgenTest, DrivesAClusterThroughTheAsyncPipeline) {
+  // End-to-end async smoke: arrivals issue put_async/get_async, calls
+  // coalesce into packed frames on the wire, and every future resolves
+  // cleanly by the drain.
+  auto cluster = ClusterOrDie(TwoHostAdf("lga"));
+  std::vector<Memo> handles;
+  handles.push_back(ClientOrDie(*cluster, "hostA"));
+  handles.push_back(ClientOrDie(*cluster, "hostB"));
+
+  WorkloadOptions wl;
+  wl.folders = 32;
+  OpenLoopOptions options;
+  options.rate = 400;
+  options.threads = 2;
+  options.clients = 64;
+  options.duration = 300ms;
+
+  auto result = RunOpenLoopAsync(options, MakePutGetAsyncOp(handles, wl),
+                                 /*max_inflight=*/64);
+  EXPECT_GT(result.ops, 0u);
+  EXPECT_EQ(result.errors, 0u);
+  EXPECT_LE(result.achieved_rate, options.rate * 1.005);
 
   handles.clear();
   cluster->Shutdown();

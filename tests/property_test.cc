@@ -527,6 +527,107 @@ TEST_P(ZeroCopyPropertyTest, PatchHeaderLeavesPayloadPointerIdentical) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ZeroCopyPropertyTest,
                          ::testing::Range<std::uint64_t>(0, 8));
 
+// ---- packed batch frames -------------------------------------------------------
+
+// The rpc-formation wire format (PROTOCOL.md §2.4): a kind-3 frame whose id
+// field carries the entry count, each entry a (kind, id, len, body) tuple
+// with the body byte-identical to the single-op frame body it replaces.
+
+class BatchFramePropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(BatchFramePropertyTest, PackedFrameRoundTripsEveryEntry) {
+  SplitMix64 rng(GetParam() * 0x6b8b + 19);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t n = 2 + rng.NextBelow(30);
+    std::vector<BatchEntry> entries;
+    std::vector<Bytes> expected_bodies;
+    std::vector<Op> expected_ops;          // for request entries
+    std::vector<StatusCode> expected_codes;  // for response entries
+    for (std::size_t i = 0; i < n; ++i) {
+      BatchEntry entry;
+      entry.id = rng.Next();
+      if (rng.NextBelow(2) == 0) {
+        Request req = RandomRequest(rng);
+        entry.kind = kFrameKindRequest;
+        entry.body = req.EncodeToIoBuf();
+        expected_ops.push_back(req.op);
+        expected_codes.push_back(StatusCode::kOk);
+      } else {
+        Response resp = RandomResponse(rng);
+        entry.kind = kFrameKindResponse;
+        entry.body = resp.EncodeToIoBuf();
+        expected_ops.push_back(Op::kPing);
+        expected_codes.push_back(resp.code);
+      }
+      expected_bodies.push_back(entry.body.Flatten());
+      entries.push_back(std::move(entry));
+    }
+
+    IoBuf frame = EncodeBatchFrame(entries);
+    // Model the receive side: one contiguous buffer, as transports deliver.
+    IoBuf received = IoBuf::FromBytes(frame.Flatten());
+    IoBufReader reader(received);
+    auto kind = reader.base().u8();
+    auto count = reader.base().u64();
+    ASSERT_TRUE(kind.ok() && count.ok());
+    EXPECT_EQ(*kind, kFrameKindBatch);
+    ASSERT_EQ(*count, n);
+
+    auto decoded = DecodeBatchEntries(reader, *count);
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    ASSERT_EQ(decoded->size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ((*decoded)[i].kind, entries[i].kind) << "entry " << i;
+      EXPECT_EQ((*decoded)[i].id, entries[i].id) << "entry " << i;
+      ASSERT_TRUE((*decoded)[i].body == expected_bodies[i])
+          << "entry " << i << ": body bytes diverged through the pack";
+      // And each body still decodes as the op it was before packing.
+      IoBufReader body_reader((*decoded)[i].body);
+      if (entries[i].kind == kFrameKindRequest) {
+        auto req = Request::DecodeFrom(body_reader);
+        ASSERT_TRUE(req.ok()) << req.status();
+        EXPECT_EQ(req->op, expected_ops[i]);
+      } else {
+        auto resp = Response::DecodeFrom(body_reader);
+        ASSERT_TRUE(resp.ok()) << resp.status();
+        EXPECT_EQ(resp->code, expected_codes[i]);
+      }
+    }
+    EXPECT_EQ(reader.remaining(), 0u) << "trailing bytes after last entry";
+  }
+}
+
+TEST_P(BatchFramePropertyTest, TruncatedOrCorruptBatchNeverCrashes) {
+  SplitMix64 rng(GetParam() * 0x40cb + 29);
+  std::vector<BatchEntry> entries;
+  for (std::size_t i = 0; i < 6; ++i) {
+    Request req = RandomRequest(rng);
+    entries.push_back(
+        BatchEntry{kFrameKindRequest, rng.Next(), req.EncodeToIoBuf()});
+  }
+  const Bytes wire = EncodeBatchFrame(entries).Flatten();
+  for (std::size_t cut = 0; cut < wire.size(); cut += 1 + wire.size() / 23) {
+    Bytes truncated(wire.begin(),
+                    wire.begin() + static_cast<std::ptrdiff_t>(cut));
+    IoBuf received = IoBuf::FromBytes(std::move(truncated));
+    IoBufReader reader(received);
+    auto kind = reader.base().u8();
+    auto count = reader.base().u64();
+    if (!kind.ok() || !count.ok()) continue;
+    (void)DecodeBatchEntries(reader, *count);  // any Status; crashing is not
+  }
+  // A declared count far beyond the payload must fail cleanly, not allocate.
+  IoBuf received = IoBuf::FromBytes(Bytes(wire.begin() + 9, wire.end()));
+  IoBufReader reader(received);
+  auto huge = DecodeBatchEntries(reader, 1u << 20);
+  EXPECT_FALSE(huge.ok());
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchFramePropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
 // ---- ADF formatting fixpoint ---------------------------------------------------
 
 class AdfPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};

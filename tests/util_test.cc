@@ -10,6 +10,7 @@
 #include "util/bytes.h"
 #include "util/hash.h"
 #include "util/log.h"
+#include "util/retry.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/worker_pool.h"
@@ -493,6 +494,71 @@ TEST(WorkerPoolTest, ShutdownRunsQueuedWork) {
   }
   pool.Shutdown();
   EXPECT_EQ(n.load(), 5);
+}
+
+// ---- retry backoff and deadline budgets --------------------------------
+
+TEST(RetryTest, BackoffGrowsThenSaturatesAtMax) {
+  RetryPolicy policy;
+  policy.initial_backoff = 10ms;
+  policy.max_backoff = 80ms;
+  policy.multiplier = 2.0;
+  policy.jitter = 0.0;
+  SplitMix64 rng(1);
+  EXPECT_EQ(policy.BackoffFor(1, rng), 10ms);
+  EXPECT_EQ(policy.BackoffFor(2, rng), 20ms);
+  EXPECT_EQ(policy.BackoffFor(3, rng), 40ms);
+  EXPECT_EQ(policy.BackoffFor(4, rng), 80ms);
+  EXPECT_EQ(policy.BackoffFor(5, rng), 80ms);
+}
+
+TEST(RetryTest, ExtremeAttemptCountsStayFiniteAndClamped) {
+  // The overflow regression: growing the backoff for all N attempts and
+  // clamping once at the end overflows the double to inf around attempt
+  // ~1000 (2^1000 × 10ms), and casting inf to an integer count is UB —
+  // observed as a negative sleep. The clamp must run inside the loop.
+  RetryPolicy policy;
+  policy.initial_backoff = 10ms;
+  policy.max_backoff = 5000ms;
+  policy.multiplier = 2.0;
+  policy.jitter = 0.0;
+  SplitMix64 rng(7);
+  for (int attempt : {100, 1000, 10'000, 1'000'000}) {
+    const auto backoff = policy.BackoffFor(attempt, rng);
+    EXPECT_GE(backoff, 0ms) << "attempt " << attempt;
+    EXPECT_LE(backoff, policy.max_backoff) << "attempt " << attempt;
+  }
+  // With jitter the clamp must still hold on both sides.
+  policy.jitter = 0.5;
+  for (int i = 0; i < 100; ++i) {
+    const auto backoff = policy.BackoffFor(1000, rng);
+    EXPECT_GE(backoff, 0ms);
+    EXPECT_LE(backoff, policy.max_backoff);
+  }
+}
+
+TEST(RetryTest, RemainingBudgetExpiredYieldsNulloptNotWraparound) {
+  // The restamp regression: computing `deadline - now` after the deadline
+  // passed and casting the negative remainder to u32 wraps to ~49 days —
+  // the retry loop then stamps a nearly-infinite per-attempt budget on the
+  // wire. An expired deadline must read as "no budget", never a huge one.
+  using clock = std::chrono::steady_clock;
+  const auto now = clock::now();
+  EXPECT_FALSE(RemainingBudgetMs(now, now).has_value());
+  EXPECT_FALSE(RemainingBudgetMs(now, now - 1ms).has_value());
+  EXPECT_FALSE(RemainingBudgetMs(now, now - 1h).has_value());
+  // A sub-millisecond remainder truncates to 0 — also expired, not a
+  // zero-meaning-unbounded wire stamp.
+  EXPECT_FALSE(RemainingBudgetMs(now, now + std::chrono::microseconds(300))
+                   .has_value());
+  auto budget = RemainingBudgetMs(now, now + 250ms);
+  ASSERT_TRUE(budget.has_value());
+  EXPECT_EQ(*budget, 250u);
+  // Saturation: a deadline beyond u32 milliseconds clamps instead of
+  // wrapping.
+  auto huge = RemainingBudgetMs(now, now + std::chrono::hours(24 * 365));
+  ASSERT_TRUE(huge.has_value());
+  EXPECT_EQ(*huge, 0xffffffffu);
 }
 
 TEST(WorkerPoolTest, ConcurrentSubmitters) {
