@@ -5,6 +5,7 @@
 //                 [--arrival poisson|fixed] [--clients N] [--threads N]
 //                 [--payload BYTES] [--folders N] [--put-ratio X]
 //                 [--async] [--pipeline N]
+//                 [--connections N] [--server-core threads|reactor]
 //                 [--hosts N | --url URL --host NAME]
 //                 [--seed N] [--git-sha SHA] [--out FILE]
 //
@@ -12,6 +13,17 @@
 // issue put_async/get_async and up to --pipeline (default 256) calls per
 // thread ride each connection at once, coalescing into packed batch frames
 // (PROTOCOL.md §2.4). fanout and job_jar stay synchronous.
+//
+// --connections N is the high-connection sweep (DESIGN.md §14): before the
+// workload phases the harness dials N extra connections to the target,
+// round-trips one ping on each (the RTT distribution is reported as the
+// gated "conn_ramp" phase) and holds them all open while the workloads
+// run — so the reported workload latencies are measured *with* N mostly
+// idle sockets registered, which is exactly the load shape the reactor
+// core exists for. Requires a kernel-socket target: with --connections or
+// --server-core reactor the in-process cluster runs over loopback TCP
+// instead of simnet. --server-core sets DMEMO_SERVER_CORE for the
+// in-process servers.
 //
 // Default target is an in-process simulated cluster (--hosts N memo
 // servers over simnet: the full server/routing/wire path, no kernel
@@ -25,10 +37,16 @@
 // reported p99/p999 include the queueing delay a closed-loop bench hides.
 // Results (plus a metrics-registry snapshot) are written as schema-v1 JSON
 // (bench/loadgen/report.h) to --out, default BENCH_loadgen.json.
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "adf/adf.h"
@@ -36,7 +54,9 @@
 #include "loadgen/loadgen.h"
 #include "loadgen/report.h"
 #include "runtime/cluster.h"
+#include "server/protocol.h"
 #include "transport/transport.h"
+#include "util/bytes.h"
 #include "util/trace.h"
 
 namespace {
@@ -55,6 +75,8 @@ struct Options {
   double put_ratio = 0.5;
   bool async = false;
   std::size_t pipeline = 256;
+  std::size_t connections = 0;  // extra held-open connections (TCP sweep)
+  std::string server_core;      // ""=env default | threads | reactor
   int hosts = 2;
   std::string url;   // external server; empty = in-process sim cluster
   std::string host;  // ADF host identity of --url's server
@@ -70,6 +92,7 @@ int Usage(const char* argv0) {
       "       [--duration-s S] [--arrival poisson|fixed] [--clients N]\n"
       "       [--threads N] [--payload BYTES] [--folders N]\n"
       "       [--put-ratio X] [--async] [--pipeline N]\n"
+      "       [--connections N] [--server-core threads|reactor]\n"
       "       [--hosts N | --url URL --host NAME]\n"
       "       [--seed N] [--git-sha SHA] [--out FILE]\n",
       argv0);
@@ -96,6 +119,129 @@ std::string MeshAdf(int n) {
     }
   }
   return adf;
+}
+
+// Lift RLIMIT_NOFILE toward its hard cap, then clamp the sweep to what
+// the resulting budget can actually hold: both ends of every in-process
+// connection live in this process (2 fds each) plus headroom for the
+// cluster, handles and epoll plumbing. Exhausting the table mid-ramp is
+// worse than a smaller sweep — the server sheds accepts and the ramp
+// degenerates into timeout noise.
+std::size_t ClampConnectionsToNofile(std::size_t connections) {
+  constexpr rlim_t kHeadroom = 512;
+  struct rlimit rl{};
+  if (getrlimit(RLIMIT_NOFILE, &rl) != 0) return connections;
+  const rlim_t wanted = static_cast<rlim_t>(connections) * 2 + kHeadroom;
+  if (rl.rlim_cur < wanted) {
+    rl.rlim_cur = std::min(wanted, rl.rlim_max);
+    (void)setrlimit(RLIMIT_NOFILE, &rl);
+    if (getrlimit(RLIMIT_NOFILE, &rl) != 0) return connections;
+  }
+  const std::size_t usable =
+      rl.rlim_cur > kHeadroom
+          ? static_cast<std::size_t>((rl.rlim_cur - kHeadroom) / 2)
+          : 0;
+  if (usable < connections) {
+    std::fprintf(stderr,
+                 "dmemo-loadgen: RLIMIT_NOFILE %llu fits %zu connections; "
+                 "clamping the sweep from %zu\n",
+                 (unsigned long long)rl.rlim_cur, usable, connections);
+    return usable;
+  }
+  return connections;
+}
+
+// Dials `count` connections to `urls` (round-robin), round-trips one ping
+// on each and keeps every connection open in `held`. The RTT distribution
+// becomes the gated "conn_ramp" phase: it is per-connection accept + first
+// request latency while thousands of earlier sockets stay registered.
+dmemo::bench::BenchPhaseResult RampConnections(
+    dmemo::Transport& transport, const std::vector<std::string>& urls,
+    std::size_t count, std::vector<dmemo::ConnectionPtr>& held) {
+  const std::size_t ramp_threads = std::min<std::size_t>(16, count);
+  std::vector<std::vector<dmemo::ConnectionPtr>> conns(ramp_threads);
+  std::vector<std::vector<std::uint64_t>> rtts(ramp_threads);
+  std::vector<std::uint64_t> errors(ramp_threads, 0);
+
+  dmemo::Bytes ping_frame;
+  {
+    dmemo::ByteWriter w;
+    w.u8(dmemo::kFrameKindRequest);
+    w.u64(1);  // correlation id; one request in flight per connection
+    dmemo::Request ping;
+    ping.op = dmemo::Op::kPing;
+    ping.EncodeTo(w);
+    ping_frame = w.take();
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(ramp_threads);
+  for (std::size_t t = 0; t < ramp_threads; ++t) {
+    workers.emplace_back([&, t] {
+      for (std::size_t i = t; i < count; i += ramp_threads) {
+        const auto began = std::chrono::steady_clock::now();
+        auto conn = transport.Dial(urls[i % urls.size()]);
+        if (!conn.ok() || !(*conn)->Send(ping_frame).ok()) {
+          ++errors[t];
+          continue;
+        }
+        // Bounded wait: a server shedding accepts must show up as a
+        // counted error, not a ramp thread wedged forever.
+        auto pong = (*conn)->ReceiveFor(std::chrono::seconds(5));
+        if (!pong.ok() || !pong->has_value()) {
+          ++errors[t];
+          continue;
+        }
+        rtts[t].push_back(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - began)
+                .count()));
+        conns[t].push_back(std::move(*conn));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  std::vector<std::uint64_t> all;
+  all.reserve(count);
+  for (auto& v : rtts) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  auto pct = [&all](double q) -> std::uint64_t {
+    if (all.empty()) return 0;
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(all.size() - 1));
+    return all[idx];
+  };
+  double sum = 0;
+  for (std::uint64_t us : all) sum += static_cast<double>(us);
+
+  dmemo::bench::BenchPhaseResult phase;
+  phase.name = "conn_ramp";
+  phase.workload = "connections";
+  phase.ops = all.size();
+  for (std::uint64_t e : errors) phase.errors += e;
+  phase.duration_s = wall;
+  phase.offered_rate = static_cast<double>(count) / std::max(wall, 1e-9);
+  phase.achieved_rate =
+      static_cast<double>(all.size()) / std::max(wall, 1e-9);
+  phase.mean_us = all.empty() ? 0 : sum / static_cast<double>(all.size());
+  phase.p50_us = pct(0.50);
+  phase.p90_us = pct(0.90);
+  phase.p99_us = pct(0.99);
+  phase.p999_us = pct(0.999);
+  phase.max_us = all.empty() ? 0 : all.back();
+  phase.service_p99_us = phase.p99_us;  // dial+ping has no arrival schedule
+  phase.service_max_us = phase.max_us;
+  phase.extra["held_connections"] = static_cast<double>(all.size());
+
+  for (auto& v : conns) {
+    for (auto& c : v) held.push_back(std::move(c));
+  }
+  return phase;
 }
 
 void PrintPhase(const dmemo::bench::BenchPhaseResult& p) {
@@ -150,6 +296,14 @@ int main(int argc, char** argv) {
       opts.async = true;
     } else if (arg == "--pipeline" && (v = next())) {
       opts.pipeline = static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--connections" && (v = next())) {
+      opts.connections =
+          static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--server-core" && (v = next())) {
+      if (std::strcmp(v, "threads") != 0 && std::strcmp(v, "reactor") != 0) {
+        return Usage(argv[0]);
+      }
+      opts.server_core = v;
     } else if (arg == "--hosts" && (v = next())) {
       opts.hosts = static_cast<int>(std::strtol(v, nullptr, 10));
     } else if (arg == "--url" && (v = next())) {
@@ -171,10 +325,21 @@ int main(int argc, char** argv) {
     return Usage(argv[0]);
   }
 
+  if (!opts.server_core.empty()) {
+    ::setenv("DMEMO_SERVER_CORE", opts.server_core.c_str(), 1);
+  }
+  if (opts.connections > 0) {
+    opts.connections = ClampConnectionsToNofile(opts.connections);
+  }
+
   // Build the target and one Memo handle per worker thread (many logical
   // clients multiplexed over few connections).
   std::unique_ptr<dmemo::Cluster> cluster;
   std::vector<dmemo::Memo> handles;
+  // The connection sweep and the reactor core both need kernel sockets;
+  // simnet has no pollable descriptor.
+  const bool want_tcp =
+      opts.connections > 0 || opts.server_core == "reactor";
   if (opts.url.empty()) {
     auto parsed = dmemo::ParseAdf(MeshAdf(opts.hosts));
     if (!parsed.ok()) {
@@ -182,7 +347,9 @@ int main(int argc, char** argv) {
                    parsed.status().ToString().c_str());
       return 1;
     }
-    auto started = dmemo::Cluster::Start(parsed->description);
+    auto started = want_tcp
+                       ? dmemo::Cluster::StartLoopbackTcp(parsed->description)
+                       : dmemo::Cluster::Start(parsed->description);
     if (!started.ok()) {
       std::fprintf(stderr, "dmemo-loadgen: cluster: %s\n",
                    started.status().ToString().c_str());
@@ -264,7 +431,42 @@ int main(int argc, char** argv) {
       {"latency_accounting", "intended-start"},
       {"client", opts.async ? "async-pipelined" : "sync"},
       {"pipeline", std::to_string(opts.async ? opts.pipeline : 1)},
+      {"connections", std::to_string(opts.connections)},
+      {"server_core",
+       !opts.server_core.empty()
+           ? opts.server_core
+           : (std::getenv("DMEMO_SERVER_CORE") != nullptr
+                  ? std::getenv("DMEMO_SERVER_CORE")
+                  : "default")},
   };
+
+  // High-connection sweep: dial + ping-validate --connections sockets and
+  // hold them open across every workload phase below.
+  std::vector<dmemo::ConnectionPtr> held;
+  if (opts.connections > 0) {
+    std::vector<std::string> urls;
+    if (opts.url.empty()) {
+      for (int h = 0; h < opts.hosts; ++h) {
+        urls.push_back(cluster->server("h" + std::to_string(h)).address());
+      }
+    } else {
+      urls.push_back(opts.url);
+    }
+    dmemo::TransportPtr ramp_transport =
+        cluster != nullptr
+            ? cluster->transport()
+            : std::static_pointer_cast<dmemo::Transport>(
+                  dmemo::TransportMux::CreateDefault());
+    report.phases.push_back(RampConnections(*ramp_transport, urls,
+                                            opts.connections, held));
+    PrintPhase(report.phases.back());
+    if (report.phases.back().errors > 0) {
+      std::fprintf(stderr,
+                   "dmemo-loadgen: %llu of %zu connections failed to ramp\n",
+                   (unsigned long long)report.phases.back().errors,
+                   opts.connections);
+    }
+  }
 
   const bool all = opts.workload == "all";
   if (all || opts.workload == "put_get") {
@@ -311,6 +513,8 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "dmemo-loadgen: wrote %s (git %s)\n",
                opts.out.c_str(), report.git_sha.c_str());
 
+  for (auto& conn : held) conn->Close();
+  held.clear();
   handles.clear();
   if (cluster != nullptr) cluster->Shutdown();
   return 0;

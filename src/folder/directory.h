@@ -14,11 +14,33 @@
 //
 // Unordered extraction is deterministic-pseudorandom (seeded per directory)
 // so "order must not be relied upon" is enforced while tests reproduce.
+//
+// Sharding (DESIGN.md §14): the directory is internally split into
+// per-core shards by key hash. Each shard owns its own mutex, condvar,
+// folder map, rng and stats, so concurrent puts/gets on different keys
+// take no contended lock. A key always lives in exactly one shard; the
+// only cross-shard traffic is a delayed-put release whose destination
+// hashes elsewhere, which is re-dispatched as an ordinary put ("spill").
+// DMEMO_DIR_SHARDS overrides the shard count (default: min(cores, 8)).
+//
+// Waiter continuations: GetAsync parks a callback instead of a thread.
+// A later Put (or RestoreFrom) delivers the value straight to the parked
+// continuation — take-waiters consume it before it ever lands in the
+// folder, copy-waiters observe it — and Close cancels every waiter with
+// CANCELLED. Callbacks are invoked with no directory lock held, but
+// possibly from inside a mutation whose caller holds outer locks (the
+// folder server's WAL apply path runs Put under wal_mu_): a continuation
+// must therefore never acquire the WAL lock inline — defer that work to
+// an executor (the reactor does; see src/server/reactor.h).
 #pragma once
 
 #include <algorithm>
+#include <atomic>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <span>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -26,7 +48,9 @@
 #include "folder/key.h"
 #include "transferable/codec.h"
 #include "transferable/transferable.h"
+#include "util/metrics.h"
 #include "util/mutex.h"
+#include "util/retry.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
@@ -91,71 +115,142 @@ struct DirectoryStats {
   std::uint64_t delayed_releases = 0;
   std::uint64_t gets = 0;           // successful extractions
   std::uint64_t copies = 0;         // get_copy successes
-  std::uint64_t blocked_waits = 0;  // times a get had to block
+  std::uint64_t blocked_waits = 0;  // times a get had to block or park
   std::uint64_t folders_created = 0;
   std::uint64_t folders_vanished = 0;
 };
 
+namespace folder_internal {
+// Process-wide shard/waiter observability (OBSERVABILITY.md).
+inline Gauge* ShardCountGauge() {
+  static Gauge* g = MetricsRegistry::Global().GetGauge("dmemo_dir_shard_count");
+  return g;
+}
+inline Counter* WaitersParkedTotal() {
+  static Counter* c = MetricsRegistry::Global().GetCounter(
+      "dmemo_dir_shard_waiters_parked_total");
+  return c;
+}
+inline Counter* WaitersDeliveredTotal() {
+  static Counter* c = MetricsRegistry::Global().GetCounter(
+      "dmemo_dir_shard_waiters_delivered_total");
+  return c;
+}
+inline Counter* WaitersCancelledTotal() {
+  static Counter* c = MetricsRegistry::Global().GetCounter(
+      "dmemo_dir_shard_waiters_cancelled_total");
+  return c;
+}
+inline Counter* ShardSpillsTotal() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("dmemo_dir_shard_spills_total");
+  return c;
+}
+}  // namespace folder_internal
+
 template <typename T>
 class FolderDirectory {
  public:
-  explicit FolderDirectory(std::uint64_t seed = 0xd3ed0ULL) : rng_(seed) {}
+  // A parked get's continuation: OK + (key, value) on delivery, CANCELLED
+  // + nullopt when the directory closes before a value arrives, or a copy
+  // failure's status. Invoked with no directory lock held; see the header
+  // comment for the WAL re-entrance rule.
+  using WaiterCallback =
+      std::function<void(Status, std::optional<std::pair<QualifiedKey, T>>)>;
+
+  // `shard_count` 0 selects DMEMO_DIR_SHARDS, else min(cores, 8).
+  explicit FolderDirectory(std::uint64_t seed = 0xd3ed0ULL,
+                           std::size_t shard_count = 0)
+      : seed_(seed) {
+    const std::size_t n =
+        shard_count > 0 ? shard_count : DefaultShardCount();
+    shards_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      shards_.push_back(
+          std::make_unique<Shard>(seed + i * 0x9e3779b97f4a7c15ULL));
+    }
+    folder_internal::ShardCountGauge()->Set(
+        static_cast<std::int64_t>(n));
+  }
 
   FolderDirectory(const FolderDirectory&) = delete;
   FolderDirectory& operator=(const FolderDirectory&) = delete;
 
+  std::size_t shard_count() const { return shards_.size(); }
+
   // put: deposit and return immediately. Also releases any delayed memos
-  // parked on this folder (Sec. 6.1.2 put_delayed trigger), which may chain.
+  // parked on this folder (Sec. 6.1.2 put_delayed trigger), which may
+  // chain — across shards, each cross-shard release re-enters the loop as
+  // an ordinary put on its own shard.
   Status Put(const QualifiedKey& key, T value) {
-    MutexLock lock(mu_);
-    if (closed_) return CancelledError("directory closed");
-    PutLocked(key, std::move(value));
-    cv_.NotifyAll();
-    return Status::Ok();
+    std::vector<Delivery> deliveries;
+    std::vector<std::pair<QualifiedKey, T>> work;
+    work.emplace_back(key, std::move(value));
+    Status st = Status::Ok();
+    while (!work.empty()) {
+      auto [k, v] = std::move(work.back());
+      work.pop_back();
+      const std::size_t idx = ShardOf(k);
+      Shard& s = *shards_[idx];
+      MutexLock lock(s.mu);  // analyze:lock(FolderDirectory::Shard::mu)
+      if (s.closed) {
+        st = CancelledError("directory closed");
+        break;
+      }
+      PutChainLocked(s, idx, std::move(k), std::move(v), work, deliveries);
+      s.cv.NotifyAll();
+    }
+    FireDeliveries(deliveries);
+    return st;
   }
 
   // put_delayed: hide `value` in key1 until the next memo arrives there,
   // then deposit it in key2. The hidden value is not extractable from key1.
   Status PutDelayed(const QualifiedKey& key1, const QualifiedKey& key2,
                     T value) {
-    MutexLock lock(mu_);
-    if (closed_) return CancelledError("directory closed");
-    Folder& f = FolderFor(key1);
+    Shard& s = ShardFor(key1);
+    MutexLock lock(s.mu);  // analyze:lock(FolderDirectory::Shard::mu)
+    if (s.closed) return CancelledError("directory closed");
+    Folder& f = FolderFor(s, key1);
     f.delayed.emplace_back(key2, std::move(value));
-    ++stats_.delayed_puts;
+    ++s.stats.delayed_puts;
     return Status::Ok();
   }
 
   // get: blocking extraction.
   Result<T> Get(const QualifiedKey& key) {
-    MutexLock lock(mu_);
+    Shard& s = ShardFor(key);
+    MutexLock lock(s.mu);  // analyze:lock(FolderDirectory::Shard::mu)
     bool counted = false;
     for (;;) {
-      if (closed_) return CancelledError("directory closed");
-      if (auto v = TakeLocked(key)) return std::move(*v);
+      if (s.closed) return CancelledError("directory closed");
+      if (auto v = TakeLocked(s, key)) return std::move(*v);
       if (!counted) {
-        ++stats_.blocked_waits;
+        ++s.stats.blocked_waits;
         counted = true;
       }
-      cv_.Wait(mu_);
+      s.cv.Wait(s.mu);
     }
   }
 
   // get with a deadline (used by servers to bound parked requests).
   Result<std::optional<T>> GetFor(const QualifiedKey& key,
                                   std::chrono::milliseconds timeout) {
-    MutexLock lock(mu_);
+    Shard& s = ShardFor(key);
+    MutexLock lock(s.mu);  // analyze:lock(FolderDirectory::Shard::mu)
     const auto deadline = std::chrono::steady_clock::now() + timeout;
     bool counted = false;
     for (;;) {
-      if (closed_) return CancelledError("directory closed");
-      if (auto v = TakeLocked(key)) return std::optional<T>(std::move(*v));
+      if (s.closed) return CancelledError("directory closed");
+      if (auto v = TakeLocked(s, key)) return std::optional<T>(std::move(*v));
       if (!counted) {
-        ++stats_.blocked_waits;
+        ++s.stats.blocked_waits;
         counted = true;
       }
-      if (cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout) {
-        if (auto v = TakeLocked(key)) return std::optional<T>(std::move(*v));
+      if (s.cv.WaitUntil(s.mu, deadline) == std::cv_status::timeout) {
+        if (auto v = TakeLocked(s, key)) {
+          return std::optional<T>(std::move(*v));
+        }
         return std::optional<T>(std::nullopt);
       }
     }
@@ -163,92 +258,277 @@ class FolderDirectory {
 
   // get_skip: non-blocking; nullopt when the folder has no memo.
   Result<std::optional<T>> GetSkip(const QualifiedKey& key) {
-    MutexLock lock(mu_);
-    if (closed_) return CancelledError("directory closed");
-    if (auto v = TakeLocked(key)) return std::optional<T>(std::move(*v));
+    Shard& s = ShardFor(key);
+    MutexLock lock(s.mu);  // analyze:lock(FolderDirectory::Shard::mu)
+    if (s.closed) return CancelledError("directory closed");
+    if (auto v = TakeLocked(s, key)) return std::optional<T>(std::move(*v));
     return std::optional<T>(std::nullopt);
   }
 
   // get_copy: blocking examine; the memo stays in the folder.
   Result<T> GetCopy(const QualifiedKey& key) {
-    MutexLock lock(mu_);
+    Shard& s = ShardFor(key);
+    MutexLock lock(s.mu);  // analyze:lock(FolderDirectory::Shard::mu)
     bool counted = false;
     for (;;) {
-      if (closed_) return CancelledError("directory closed");
-      if (auto v = PeekLocked(key)) {
+      if (s.closed) return CancelledError("directory closed");
+      if (auto v = PeekLocked(s, key)) {
         DMEMO_ASSIGN_OR_RETURN(T copy, MemoValueTraits<T>::Copy(*v));
-        ++stats_.copies;
+        ++s.stats.copies;
         return copy;
       }
       if (!counted) {
-        ++stats_.blocked_waits;
+        ++s.stats.blocked_waits;
         counted = true;
       }
-      cv_.Wait(mu_);
+      s.cv.Wait(s.mu);
     }
   }
 
   Result<std::optional<T>> GetCopyFor(const QualifiedKey& key,
                                       std::chrono::milliseconds timeout) {
-    MutexLock lock(mu_);
+    Shard& s = ShardFor(key);
+    MutexLock lock(s.mu);  // analyze:lock(FolderDirectory::Shard::mu)
     const auto deadline = std::chrono::steady_clock::now() + timeout;
     for (;;) {
-      if (closed_) return CancelledError("directory closed");
-      if (auto v = PeekLocked(key)) {
+      if (s.closed) return CancelledError("directory closed");
+      if (auto v = PeekLocked(s, key)) {
         DMEMO_ASSIGN_OR_RETURN(T copy, MemoValueTraits<T>::Copy(*v));
-        ++stats_.copies;
+        ++s.stats.copies;
         return std::optional<T>(std::move(copy));
       }
-      if (cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout) {
+      if (s.cv.WaitUntil(s.mu, deadline) == std::cv_status::timeout) {
         return std::optional<T>(std::nullopt);
       }
     }
   }
 
   // get_alt: blocking extraction from any one of `keys`; when several are
-  // eligible the choice is nondeterministic (pseudorandom).
+  // eligible the choice is nondeterministic (pseudorandom). Keys in one
+  // shard wait on that shard's condvar; a cross-shard alternative set
+  // parks a waiter continuation and bridges it back to a blocking wait.
   Result<std::pair<QualifiedKey, T>> GetAlt(
       std::span<const QualifiedKey> keys) {
-    MutexLock lock(mu_);
-    bool counted = false;
-    for (;;) {
-      if (closed_) return CancelledError("directory closed");
-      if (auto v = TakeAltLocked(keys)) return std::move(*v);
-      if (!counted) {
-        ++stats_.blocked_waits;
-        counted = true;
+    if (SameShard(keys)) {
+      Shard& s = ShardFor(keys.front());
+      MutexLock lock(s.mu);  // analyze:lock(FolderDirectory::Shard::mu)
+      bool counted = false;
+      for (;;) {
+        if (s.closed) return CancelledError("directory closed");
+        if (auto v = TakeAltLocked(s, keys)) return std::move(*v);
+        if (!counted) {
+          ++s.stats.blocked_waits;
+          counted = true;
+        }
+        s.cv.Wait(s.mu);
       }
-      cv_.Wait(mu_);
     }
+    auto bridge = std::make_shared<Bridge>();
+    (void)GetAsync(keys, /*copy=*/false, BridgeCallback(bridge));
+    MutexLock lock(bridge->mu);  // analyze:lock(FolderDirectory::bridge_mu)
+    while (!bridge->fired) bridge->cv.Wait(bridge->mu);
+    if (!bridge->st.ok()) return bridge->st;
+    return std::move(*bridge->val);
   }
 
   Result<std::optional<std::pair<QualifiedKey, T>>> GetAltFor(
       std::span<const QualifiedKey> keys, std::chrono::milliseconds timeout) {
-    MutexLock lock(mu_);
-    const auto deadline = std::chrono::steady_clock::now() + timeout;
-    for (;;) {
-      if (closed_) return CancelledError("directory closed");
-      if (auto v = TakeAltLocked(keys)) {
-        return std::optional<std::pair<QualifiedKey, T>>(std::move(*v));
-      }
-      if (cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout) {
-        if (auto v = TakeAltLocked(keys)) {
+    if (SameShard(keys)) {
+      Shard& s = ShardFor(keys.front());
+      MutexLock lock(s.mu);  // analyze:lock(FolderDirectory::Shard::mu)
+      const auto deadline = std::chrono::steady_clock::now() + timeout;
+      for (;;) {
+        if (s.closed) return CancelledError("directory closed");
+        if (auto v = TakeAltLocked(s, keys)) {
           return std::optional<std::pair<QualifiedKey, T>>(std::move(*v));
         }
-        return std::optional<std::pair<QualifiedKey, T>>(std::nullopt);
+        if (s.cv.WaitUntil(s.mu, deadline) == std::cv_status::timeout) {
+          if (auto v = TakeAltLocked(s, keys)) {
+            return std::optional<std::pair<QualifiedKey, T>>(std::move(*v));
+          }
+          return std::optional<std::pair<QualifiedKey, T>>(std::nullopt);
+        }
       }
     }
+    auto bridge = std::make_shared<Bridge>();
+    const std::uint64_t id =
+        GetAsync(keys, /*copy=*/false, BridgeCallback(bridge));
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    MutexLock lock(bridge->mu);  // analyze:lock(FolderDirectory::bridge_mu)
+    while (!bridge->fired) {
+      if (bridge->cv.WaitUntil(bridge->mu, deadline) ==
+          std::cv_status::timeout) {
+        break;
+      }
+    }
+    if (!bridge->fired) {
+      lock.Unlock();
+      if (id != 0 && CancelWaiter(id)) {
+        return std::optional<std::pair<QualifiedKey, T>>(std::nullopt);
+      }
+      // Delivery raced the timeout: the value is ours, wait for it.
+      lock.Lock();
+      while (!bridge->fired) bridge->cv.Wait(bridge->mu);
+    }
+    if (!bridge->st.ok()) return bridge->st;
+    return std::optional<std::pair<QualifiedKey, T>>(std::move(*bridge->val));
   }
 
   // get_alt_skip: non-blocking variant.
   Result<std::optional<std::pair<QualifiedKey, T>>> GetAltSkip(
       std::span<const QualifiedKey> keys) {
-    MutexLock lock(mu_);
-    if (closed_) return CancelledError("directory closed");
-    if (auto v = TakeAltLocked(keys)) {
-      return std::optional<std::pair<QualifiedKey, T>>(std::move(*v));
+    if (SameShard(keys)) {
+      Shard& s = ShardFor(keys.front());
+      MutexLock lock(s.mu);  // analyze:lock(FolderDirectory::Shard::mu)
+      if (s.closed) return CancelledError("directory closed");
+      if (auto v = TakeAltLocked(s, keys)) {
+        return std::optional<std::pair<QualifiedKey, T>>(std::move(*v));
+      }
+      return std::optional<std::pair<QualifiedKey, T>>(std::nullopt);
+    }
+    // Probe shards in a pseudorandom rotation so an all-eligible set does
+    // not always yield the first key (the alt choice stays
+    // nondeterministic across shards).
+    const std::size_t start = AltRotation(keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      const QualifiedKey& key = keys[(start + i) % keys.size()];
+      Shard& s = ShardFor(key);
+      MutexLock lock(s.mu);  // analyze:lock(FolderDirectory::Shard::mu)
+      if (s.closed) return CancelledError("directory closed");
+      if (auto v = TakeLocked(s, key)) {
+        return std::optional<std::pair<QualifiedKey, T>>(
+            std::make_pair(key, std::move(*v)));
+      }
     }
     return std::optional<std::pair<QualifiedKey, T>>(std::nullopt);
+  }
+
+  // ---- waiter continuations (reactor core) ----------------------------
+
+  // Try a non-blocking extraction (copy=false) or copy (copy=true) from
+  // any of `keys`; when nothing is eligible, park `done` as a waiter
+  // continuation fired by a future Put/RestoreFrom delivery or by Close.
+  // Returns 0 when `done` already ran inline, else a waiter id for
+  // CancelWaiter. The callback runs exactly once (delivery, close, or
+  // never after a successful CancelWaiter).
+  std::uint64_t GetAsync(std::span<const QualifiedKey> keys, bool copy,
+                         WaiterCallback done) {
+    auto w = std::make_shared<Waiter>();
+    w->id = next_waiter_id_.fetch_add(1, std::memory_order_relaxed);
+    w->copy = copy;
+    w->done = std::move(done);
+    {
+      MutexLock lock(waiters_mu_);
+      registry_[w->id] = w;
+    }
+    // One pass: probe each key's shard; on a hit claim and deliver inline,
+    // otherwise register the waiter on that folder's list. A concurrent
+    // put may claim the waiter between registrations — the claimed flag
+    // makes delivery exactly-once, stale registrations are pruned lazily.
+    Status inline_status = Status::Ok();
+    std::optional<std::pair<QualifiedKey, T>> inline_value;
+    bool delivered_inline = false;
+    bool parked = false;
+    const std::size_t start = keys.size() > 1 ? AltRotation(keys.size()) : 0;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      const QualifiedKey& key = keys[(start + i) % keys.size()];
+      Shard& s = ShardFor(key);
+      const std::size_t idx = ShardOf(key);
+      MutexLock lock(s.mu);  // analyze:lock(FolderDirectory::Shard::mu)
+      if (s.closed) {
+        if (!w->claimed.exchange(true)) {
+          delivered_inline = true;
+          inline_status = CancelledError("directory closed");
+        }
+        break;
+      }
+      if (copy) {
+        if (auto* v = PeekLocked(s, key)) {
+          if (!w->claimed.exchange(true)) {
+            delivered_inline = true;
+            auto c = MemoValueTraits<T>::Copy(*v);
+            if (c.ok()) {
+              ++s.stats.copies;
+              inline_value.emplace(key, std::move(*c));
+            } else {
+              inline_status = c.status();
+            }
+          }
+          break;
+        }
+      } else if (auto v = TakeLocked(s, key)) {
+        if (!w->claimed.exchange(true)) {
+          delivered_inline = true;
+          inline_value.emplace(key, std::move(*v));
+        } else {
+          // Claimed by a racing cancel/close between registrations: the
+          // extraction must not be lost — put the value back.
+          PutChainBackLocked(s, idx, key, std::move(*v));
+        }
+        break;
+      }
+      auto& list = s.waiters[key];
+      PruneClaimedLocked(list);
+      list.push_back(w);
+      w->regs.emplace_back(idx, key);
+      if (!parked) {
+        parked = true;
+        ++s.stats.blocked_waits;
+      }
+    }
+    if (delivered_inline) {
+      {
+        MutexLock lock(waiters_mu_);
+        registry_.erase(w->id);
+      }
+      w->done(inline_status, std::move(inline_value));
+      return 0;
+    }
+    if (!parked) {
+      // Claimed concurrently before any registration stuck — the racing
+      // deliverer fires the callback; report as parked so the caller
+      // tracks the id (cancel will simply lose the race).
+      return w->id;
+    }
+    folder_internal::WaitersParkedTotal()->Increment();
+    return w->id;
+  }
+
+  // Prevent a parked continuation from firing. True when the cancel won
+  // (the callback will never run); false when delivery, close or a prior
+  // cancel got there first.
+  bool CancelWaiter(std::uint64_t id) {
+    WaiterPtr w;
+    {
+      MutexLock lock(waiters_mu_);
+      auto it = registry_.find(id);
+      if (it == registry_.end()) return false;
+      w = it->second;
+    }
+    if (w->claimed.exchange(true)) return false;
+    for (const auto& [idx, key] : w->regs) {
+      Shard& s = *shards_[idx];
+      MutexLock lock(s.mu);  // analyze:lock(FolderDirectory::Shard::mu)
+      auto it = s.waiters.find(key);
+      if (it == s.waiters.end()) continue;
+      auto& list = it->second;
+      list.erase(std::remove_if(list.begin(), list.end(),
+                                [&](const WaiterPtr& p) { return p == w; }),
+                 list.end());
+      if (list.empty()) s.waiters.erase(it);
+    }
+    {
+      MutexLock lock(waiters_mu_);
+      registry_.erase(id);
+    }
+    folder_internal::WaitersCancelledTotal()->Increment();
+    return true;
+  }
+
+  // Parked waiters right now (registry size; includes in-flight claims).
+  std::size_t PendingWaiters() const {
+    MutexLock lock(waiters_mu_);
+    return registry_.size();
   }
 
   // Remove one memo content-equal to `value` from `key`; false when no
@@ -258,16 +538,17 @@ class FolderDirectory {
   // state. Folders are multisets, so removing any equal element is the
   // same state.
   bool TakeEqual(const QualifiedKey& key, const T& value) {
-    MutexLock lock(mu_);
-    auto it = folders_.find(key);
-    if (it == folders_.end()) return false;
+    Shard& s = ShardFor(key);
+    MutexLock lock(s.mu);  // analyze:lock(FolderDirectory::Shard::mu)
+    auto it = s.folders.find(key);
+    if (it == s.folders.end()) return false;
     auto& visible = it->second.visible;
     for (std::size_t i = 0; i < visible.size(); ++i) {
       if (!MemoValueTraits<T>::Equal(visible[i], value)) continue;
       std::swap(visible[i], visible.back());
       visible.pop_back();
-      ++stats_.gets;
-      VanishIfEmpty(it);
+      ++s.stats.gets;
+      VanishIfEmpty(s, it);
       return true;
     }
     return false;
@@ -275,32 +556,50 @@ class FolderDirectory {
 
   // Number of extractable memos in the folder (0 when it vanished).
   std::size_t Count(const QualifiedKey& key) const {
-    MutexLock lock(mu_);
-    auto it = folders_.find(key);
-    return it == folders_.end() ? 0 : it->second.visible.size();
+    Shard& s = ShardFor(key);
+    MutexLock lock(s.mu);  // analyze:lock(FolderDirectory::Shard::mu)
+    auto it = s.folders.find(key);
+    return it == s.folders.end() ? 0 : it->second.visible.size();
   }
 
   // Folders currently materialized (extractable or with parked memos).
   std::size_t FolderCount() const {
-    MutexLock lock(mu_);
-    return folders_.size();
+    std::size_t n = 0;
+    for (const auto& s : shards_) {
+      MutexLock lock(s->mu);  // analyze:lock(FolderDirectory::Shard::mu)
+      n += s->folders.size();
+    }
+    return n;
   }
 
   // Keys of all materialized folders belonging to `app` (any app when
   // empty). Used by the dynamic-data-migration path when an application's
   // folder-server placement changes.
   std::vector<QualifiedKey> Keys(const std::string& app = "") const {
-    MutexLock lock(mu_);
     std::vector<QualifiedKey> out;
-    for (const auto& [key, folder] : folders_) {
-      if (app.empty() || key.app == app) out.push_back(key);
+    for (const auto& s : shards_) {
+      MutexLock lock(s->mu);  // analyze:lock(FolderDirectory::Shard::mu)
+      for (const auto& [key, folder] : s->folders) {
+        if (app.empty() || key.app == app) out.push_back(key);
+      }
     }
     return out;
   }
 
   DirectoryStats GetStats() const {
-    MutexLock lock(mu_);
-    return stats_;
+    DirectoryStats total;
+    for (const auto& s : shards_) {
+      MutexLock lock(s->mu);  // analyze:lock(FolderDirectory::Shard::mu)
+      total.puts += s->stats.puts;
+      total.delayed_puts += s->stats.delayed_puts;
+      total.delayed_releases += s->stats.delayed_releases;
+      total.gets += s->stats.gets;
+      total.copies += s->stats.copies;
+      total.blocked_waits += s->stats.blocked_waits;
+      total.folders_created += s->stats.folders_created;
+      total.folders_vanished += s->stats.folders_vanished;
+    }
+    return total;
   }
 
   // ---- persistence (Sec. 3.1.3: "support for persistent data structures
@@ -313,48 +612,52 @@ class FolderDirectory {
   // The snapshot is *canonical*: folders are ordered by encoded key and
   // each folder's contents by encoded bytes, so two directories holding
   // the same memo multisets snapshot to identical bytes even though
-  // unordered_map iteration and swap-with-last extraction scramble the
-  // in-memory order. Crash-recovery tests rely on this to compare a
-  // recovered directory byte-for-byte against the pre-crash one; it costs
-  // nothing semantically because folders are unordered and RestoreFrom is
-  // order-agnostic.
+  // hashing, shard count, map iteration and swap-with-last extraction
+  // scramble the in-memory order. Crash-recovery tests rely on this to
+  // compare a recovered directory byte-for-byte against the pre-crash
+  // one. Shards are visited one at a time, so the caller must quiesce
+  // mutations for a point-in-time image — the durable path does (the
+  // checkpoint holds the WAL lock that serializes every mutation).
   void SnapshotTo(ByteWriter& out) const {
-    MutexLock lock(mu_);
-    out.u32(kSnapshotMagic);
-    out.u8(kSnapshotVersion);
-    out.varint(folders_.size());
-    std::vector<std::pair<Bytes, const Folder*>> ordered;
-    ordered.reserve(folders_.size());
-    for (const auto& [key, folder] : folders_) {
-      ByteWriter k;
-      key.EncodeTo(k);
-      ordered.emplace_back(k.take(), &folder);
+    std::vector<std::pair<Bytes, Bytes>> ordered;  // (key bytes, folder body)
+    for (const auto& sp : shards_) {
+      MutexLock lock(sp->mu);  // analyze:lock(FolderDirectory::Shard::mu)
+      for (const auto& [key, folder] : sp->folders) {
+        ByteWriter k;
+        key.EncodeTo(k);
+        ByteWriter body;
+        std::vector<Bytes> visible;
+        visible.reserve(folder.visible.size());
+        for (const T& v : folder.visible) {
+          ByteWriter w;
+          MemoValueTraits<T>::Encode(v, w);
+          visible.push_back(w.take());
+        }
+        std::sort(visible.begin(), visible.end());
+        body.varint(visible.size());
+        for (const Bytes& v : visible) body.raw(v);
+        std::vector<Bytes> delayed;
+        delayed.reserve(folder.delayed.size());
+        for (const auto& [dest, v] : folder.delayed) {
+          ByteWriter w;
+          dest.EncodeTo(w);
+          MemoValueTraits<T>::Encode(v, w);
+          delayed.push_back(w.take());
+        }
+        std::sort(delayed.begin(), delayed.end());
+        body.varint(delayed.size());
+        for (const Bytes& d : delayed) body.raw(d);
+        ordered.emplace_back(k.take(), body.take());
+      }
     }
     std::sort(ordered.begin(), ordered.end(),
               [](const auto& a, const auto& b) { return a.first < b.first; });
-    for (const auto& [key_bytes, folder] : ordered) {
+    out.u32(kSnapshotMagic);
+    out.u8(kSnapshotVersion);
+    out.varint(ordered.size());
+    for (const auto& [key_bytes, body] : ordered) {
       out.raw(key_bytes);
-      std::vector<Bytes> visible;
-      visible.reserve(folder->visible.size());
-      for (const T& v : folder->visible) {
-        ByteWriter w;
-        MemoValueTraits<T>::Encode(v, w);
-        visible.push_back(w.take());
-      }
-      std::sort(visible.begin(), visible.end());
-      out.varint(visible.size());
-      for (const Bytes& v : visible) out.raw(v);
-      std::vector<Bytes> delayed;
-      delayed.reserve(folder->delayed.size());
-      for (const auto& [dest, v] : folder->delayed) {
-        ByteWriter w;
-        dest.EncodeTo(w);
-        MemoValueTraits<T>::Encode(v, w);
-        delayed.push_back(w.take());
-      }
-      std::sort(delayed.begin(), delayed.end());
-      out.varint(delayed.size());
-      for (const Bytes& d : delayed) out.raw(d);
+      out.raw(body);
     }
   }
 
@@ -369,45 +672,68 @@ class FolderDirectory {
                                 std::to_string(version));
     }
     DMEMO_ASSIGN_OR_RETURN(std::uint64_t n_folders, in.varint());
-    MutexLock lock(mu_);
-    if (closed_) return CancelledError("directory closed");
+    std::vector<Delivery> deliveries;
     for (std::uint64_t f = 0; f < n_folders; ++f) {
       DMEMO_ASSIGN_OR_RETURN(QualifiedKey key, QualifiedKey::DecodeFrom(in));
-      Folder& folder = FolderFor(key);
+      Shard& s = ShardFor(key);
+      MutexLock lock(s.mu);  // analyze:lock(FolderDirectory::Shard::mu)
+      if (s.closed) return CancelledError("directory closed");
       DMEMO_ASSIGN_OR_RETURN(std::uint64_t n_visible, in.varint());
       for (std::uint64_t i = 0; i < n_visible; ++i) {
         DMEMO_ASSIGN_OR_RETURN(T v, MemoValueTraits<T>::Decode(in));
-        folder.visible.push_back(std::move(v));
-        ++stats_.puts;
+        ++s.stats.puts;
+        // Restored memos may satisfy parked continuations directly.
+        if (!OfferToWaitersLocked(s, key, v, deliveries)) {
+          FolderFor(s, key).visible.push_back(std::move(v));
+        }
       }
       DMEMO_ASSIGN_OR_RETURN(std::uint64_t n_delayed, in.varint());
       for (std::uint64_t i = 0; i < n_delayed; ++i) {
         DMEMO_ASSIGN_OR_RETURN(QualifiedKey dest,
                                QualifiedKey::DecodeFrom(in));
         DMEMO_ASSIGN_OR_RETURN(T v, MemoValueTraits<T>::Decode(in));
-        folder.delayed.emplace_back(std::move(dest), std::move(v));
-        ++stats_.delayed_puts;
+        FolderFor(s, key).delayed.emplace_back(std::move(dest), std::move(v));
+        ++s.stats.delayed_puts;
       }
       // A snapshot never contains an empty folder (they vanish), but a
-      // merge target might end up one; keep the invariant.
-      if (folder.visible.empty() && folder.delayed.empty()) {
-        folders_.erase(folders_.find(key));
+      // merge target (or a fully waiter-consumed restore) might end up
+      // one; keep the invariant.
+      auto it = s.folders.find(key);
+      if (it != s.folders.end() && it->second.visible.empty() &&
+          it->second.delayed.empty()) {
+        s.folders.erase(it);
       }
+      s.cv.NotifyAll();  // restored memos may satisfy parked gets
     }
-    cv_.NotifyAll();  // restored memos may satisfy parked gets
+    FireDeliveries(deliveries);
     return Status::Ok();
   }
 
-  // Wake every blocked get with CANCELLED and refuse further operations.
+  // Wake every blocked get with CANCELLED, cancel every parked waiter
+  // continuation, and refuse further operations.
   void Close() {
-    MutexLock lock(mu_);
-    closed_ = true;
-    cv_.NotifyAll();
+    std::vector<Delivery> cancelled;
+    for (const auto& sp : shards_) {
+      MutexLock lock(sp->mu);  // analyze:lock(FolderDirectory::Shard::mu)
+      sp->closed = true;
+      for (auto& [key, list] : sp->waiters) {
+        for (WaiterPtr& w : list) {
+          if (!w->claimed.exchange(true)) {
+            cancelled.push_back(Delivery{
+                w, CancelledError("directory closed"), std::nullopt});
+          }
+        }
+      }
+      sp->waiters.clear();
+      sp->cv.NotifyAll();
+    }
+    FireDeliveries(cancelled);
   }
 
   bool closed() const {
-    MutexLock lock(mu_);
-    return closed_;
+    Shard& s = *shards_.front();
+    MutexLock lock(s.mu);  // analyze:lock(FolderDirectory::Shard::mu)
+    return s.closed;
   }
 
  private:
@@ -419,96 +745,269 @@ class FolderDirectory {
     std::vector<std::pair<QualifiedKey, T>> delayed;
   };
 
-  Folder& FolderFor(const QualifiedKey& key) DMEMO_REQUIRES(mu_) {
-    auto [it, inserted] = folders_.try_emplace(key);
-    if (inserted) ++stats_.folders_created;
+  struct Waiter {
+    std::uint64_t id = 0;
+    bool copy = false;
+    // Exactly-once delivery: whoever flips claimed owns the callback.
+    std::atomic<bool> claimed{false};
+    WaiterCallback done;
+    // Registration sites for targeted removal by CancelWaiter; written
+    // only by the registering thread before the id escapes GetAsync.
+    std::vector<std::pair<std::size_t, QualifiedKey>> regs;
+  };
+  using WaiterPtr = std::shared_ptr<Waiter>;
+
+  struct Delivery {
+    WaiterPtr w;
+    Status st;
+    std::optional<std::pair<QualifiedKey, T>> val;
+  };
+
+  struct Shard {
+    explicit Shard(std::uint64_t seed) : rng(seed) {}
+    mutable Mutex mu{"FolderDirectory::Shard::mu"};
+    CondVar cv;
+    std::unordered_map<QualifiedKey, Folder, QualifiedKeyHash> folders
+        DMEMO_GUARDED_BY(mu);
+    std::unordered_map<QualifiedKey, std::vector<WaiterPtr>, QualifiedKeyHash>
+        waiters DMEMO_GUARDED_BY(mu);
+    SplitMix64 rng DMEMO_GUARDED_BY(mu);
+    DirectoryStats stats DMEMO_GUARDED_BY(mu);
+    bool closed DMEMO_GUARDED_BY(mu) = false;
+  };
+
+  // Blocking bridge for cross-shard alt waits: a parked continuation
+  // signals a local condvar.
+  struct Bridge {
+    Mutex mu{"FolderDirectory::bridge_mu"};
+    CondVar cv;
+    bool fired DMEMO_GUARDED_BY(mu) = false;
+    Status st DMEMO_GUARDED_BY(mu) = Status::Ok();
+    std::optional<std::pair<QualifiedKey, T>> val DMEMO_GUARDED_BY(mu);
+  };
+
+  WaiterCallback BridgeCallback(std::shared_ptr<Bridge> bridge) {
+    return [bridge](Status st,
+                    std::optional<std::pair<QualifiedKey, T>> val) {
+      MutexLock lock(bridge->mu);  // analyze:lock(FolderDirectory::bridge_mu)
+      bridge->st = std::move(st);
+      bridge->val = std::move(val);
+      bridge->fired = true;
+      bridge->cv.NotifyAll();
+    };
+  }
+
+  static std::size_t DefaultShardCount() {
+    const std::int64_t env = EnvInt("DMEMO_DIR_SHARDS", 0);
+    if (env > 0) {
+      return static_cast<std::size_t>(std::min<std::int64_t>(env, 256));
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return std::max(1u, std::min(hw, 8u));
+  }
+
+  std::size_t ShardOf(const QualifiedKey& key) const {
+    return Mix64(QualifiedKeyHash{}(key)) % shards_.size();
+  }
+  Shard& ShardFor(const QualifiedKey& key) const {
+    return *shards_[ShardOf(key)];
+  }
+
+  bool SameShard(std::span<const QualifiedKey> keys) const {
+    if (keys.empty()) return true;
+    const std::size_t first = ShardOf(keys.front());
+    for (const QualifiedKey& k : keys) {
+      if (ShardOf(k) != first) return false;
+    }
+    return true;
+  }
+
+  // Pseudorandom rotation start for cross-shard alt probing; seeded so
+  // tests reproduce, advanced per call so the choice varies within a run.
+  std::size_t AltRotation(std::size_t n) {
+    const std::uint64_t seq =
+        alt_seq_.fetch_add(1, std::memory_order_relaxed);
+    return static_cast<std::size_t>(
+        Mix64(seed_ + seq * 0x9e3779b97f4a7c15ULL) % n);
+  }
+
+  Folder& FolderFor(Shard& s, const QualifiedKey& key)
+      DMEMO_REQUIRES(s.mu) {
+    auto [it, inserted] = s.folders.try_emplace(key);
+    if (inserted) ++s.stats.folders_created;
     return it->second;
   }
 
-  void PutLocked(const QualifiedKey& key, T value) DMEMO_REQUIRES(mu_) {
-    // Iterative release: a deposit may release delayed memos whose arrival
-    // in key2 releases further delayed memos — a dataflow chain. A work
-    // list avoids recursion while the lock is held.
+  static void PruneClaimedLocked(std::vector<WaiterPtr>& list) {
+    list.erase(std::remove_if(list.begin(), list.end(),
+                              [](const WaiterPtr& w) {
+                                return w->claimed.load(
+                                    std::memory_order_relaxed);
+                              }),
+               list.end());
+  }
+
+  // Offer a just-deposited value to parked waiters on `key`: every
+  // unclaimed copy-waiter observes it, the first unclaimed take-waiter
+  // consumes it (returns true — the value must not land in the folder).
+  // Deliveries are collected for invocation outside the lock.
+  bool OfferToWaitersLocked(Shard& s, const QualifiedKey& key, T& value,
+                            std::vector<Delivery>& out)
+      DMEMO_REQUIRES(s.mu) {
+    auto it = s.waiters.find(key);
+    if (it == s.waiters.end()) return false;
+    auto& list = it->second;
+    // Copy-waiters first, while the value is still intact.
+    for (WaiterPtr& w : list) {
+      if (!w->copy || w->claimed.load(std::memory_order_relaxed)) continue;
+      if (w->claimed.exchange(true)) continue;
+      auto copy = MemoValueTraits<T>::Copy(value);
+      if (copy.ok()) {
+        ++s.stats.copies;
+        out.push_back(Delivery{
+            w, Status::Ok(),
+            std::make_pair(key, std::move(*copy))});
+      } else {
+        out.push_back(Delivery{w, copy.status(), std::nullopt});
+      }
+    }
+    bool consumed = false;
+    for (WaiterPtr& w : list) {
+      if (w->copy || w->claimed.load(std::memory_order_relaxed)) continue;
+      if (w->claimed.exchange(true)) continue;
+      ++s.stats.gets;
+      out.push_back(Delivery{
+          w, Status::Ok(), std::make_pair(key, std::move(value))});
+      consumed = true;
+      break;
+    }
+    PruneClaimedLocked(list);
+    if (list.empty()) s.waiters.erase(it);
+    return consumed;
+  }
+
+  // Deposit (key, value) plus every same-shard delayed release it
+  // triggers; cross-shard releases go to `spill` for the caller's loop.
+  void PutChainLocked(Shard& s, std::size_t idx, QualifiedKey key, T value,
+                      std::vector<std::pair<QualifiedKey, T>>& spill,
+                      std::vector<Delivery>& deliveries)
+      DMEMO_REQUIRES(s.mu) {
     std::vector<std::pair<QualifiedKey, T>> work;
-    work.emplace_back(key, std::move(value));
+    work.emplace_back(std::move(key), std::move(value));
     while (!work.empty()) {
       auto [k, v] = std::move(work.back());
       work.pop_back();
-      Folder& f = FolderFor(k);
-      f.visible.push_back(std::move(v));
-      ++stats_.puts;
-      if (!f.delayed.empty()) {
-        stats_.delayed_releases += f.delayed.size();
+      ++s.stats.puts;
+      const bool consumed = OfferToWaitersLocked(s, k, v, deliveries);
+      if (!consumed) FolderFor(s, k).visible.push_back(std::move(v));
+      auto it = s.folders.find(k);
+      if (it != s.folders.end() && !it->second.delayed.empty()) {
         // Arrival of a memo releases every memo parked on this folder.
-        auto released = std::move(f.delayed);
-        f.delayed.clear();
-        for (auto& entry : released) work.push_back(std::move(entry));
+        s.stats.delayed_releases += it->second.delayed.size();
+        auto released = std::move(it->second.delayed);
+        it->second.delayed.clear();
+        for (auto& [dest, dv] : released) {
+          if (ShardOf(dest) == idx) {
+            work.emplace_back(std::move(dest), std::move(dv));
+          } else {
+            folder_internal::ShardSpillsTotal()->Increment();
+            spill.emplace_back(std::move(dest), std::move(dv));
+          }
+        }
       }
+      if (it != s.folders.end()) VanishIfEmpty(s, it);
     }
   }
 
-  std::optional<T> TakeLocked(const QualifiedKey& key)
-      DMEMO_REQUIRES(mu_) {
-    auto it = folders_.find(key);
-    if (it == folders_.end() || it->second.visible.empty()) {
+  // Re-deposit an extraction that lost its waiter to a racing claim; no
+  // waiter offers, no delayed release (the original deposit already ran
+  // them).
+  void PutChainBackLocked(Shard& s, std::size_t idx, const QualifiedKey& key,
+                          T value) DMEMO_REQUIRES(s.mu) {
+    (void)idx;
+    FolderFor(s, key).visible.push_back(std::move(value));
+  }
+
+  void FireDeliveries(std::vector<Delivery>& deliveries) {
+    if (deliveries.empty()) return;
+    {
+      MutexLock lock(waiters_mu_);
+      for (const Delivery& d : deliveries) registry_.erase(d.w->id);
+    }
+    for (Delivery& d : deliveries) {
+      if (d.st.ok()) {
+        folder_internal::WaitersDeliveredTotal()->Increment();
+      } else {
+        folder_internal::WaitersCancelledTotal()->Increment();
+      }
+      d.w->done(std::move(d.st), std::move(d.val));
+    }
+  }
+
+  std::optional<T> TakeLocked(Shard& s, const QualifiedKey& key)
+      DMEMO_REQUIRES(s.mu) {
+    auto it = s.folders.find(key);
+    if (it == s.folders.end() || it->second.visible.empty()) {
       return std::nullopt;
     }
     auto& visible = it->second.visible;
     // Unordered: extract a pseudorandom element (swap-with-last removal).
     const std::size_t idx =
-        static_cast<std::size_t>(rng_.NextBelow(visible.size()));
+        static_cast<std::size_t>(s.rng.NextBelow(visible.size()));
     std::swap(visible[idx], visible.back());
     T value = std::move(visible.back());
     visible.pop_back();
-    ++stats_.gets;
-    VanishIfEmpty(it);
+    ++s.stats.gets;
+    VanishIfEmpty(s, it);
     return value;
   }
 
-  const T* PeekLocked(const QualifiedKey& key) DMEMO_REQUIRES(mu_) {
-    auto it = folders_.find(key);
-    if (it == folders_.end() || it->second.visible.empty()) return nullptr;
+  const T* PeekLocked(Shard& s, const QualifiedKey& key)
+      DMEMO_REQUIRES(s.mu) {
+    auto it = s.folders.find(key);
+    if (it == s.folders.end() || it->second.visible.empty()) return nullptr;
     auto& visible = it->second.visible;
     const std::size_t idx =
-        static_cast<std::size_t>(rng_.NextBelow(visible.size()));
+        static_cast<std::size_t>(s.rng.NextBelow(visible.size()));
     return &visible[idx];
   }
 
   std::optional<std::pair<QualifiedKey, T>> TakeAltLocked(
-      std::span<const QualifiedKey> keys) DMEMO_REQUIRES(mu_) {
+      Shard& s, std::span<const QualifiedKey> keys) DMEMO_REQUIRES(s.mu) {
     // Collect eligible alternatives, then pick one pseudorandomly
     // ("nondeterministically return a value from an eligible folder").
     std::vector<std::size_t> eligible;
     for (std::size_t i = 0; i < keys.size(); ++i) {
-      auto it = folders_.find(keys[i]);
-      if (it != folders_.end() && !it->second.visible.empty()) {
+      auto it = s.folders.find(keys[i]);
+      if (it != s.folders.end() && !it->second.visible.empty()) {
         eligible.push_back(i);
       }
     }
     if (eligible.empty()) return std::nullopt;
     const std::size_t pick =
-        eligible[static_cast<std::size_t>(rng_.NextBelow(eligible.size()))];
-    auto value = TakeLocked(keys[pick]);
+        eligible[static_cast<std::size_t>(s.rng.NextBelow(eligible.size()))];
+    auto value = TakeLocked(s, keys[pick]);
     return std::make_pair(keys[pick], std::move(*value));
   }
 
   void VanishIfEmpty(
+      Shard& s,
       typename std::unordered_map<QualifiedKey, Folder,
                                   QualifiedKeyHash>::iterator it)
-      DMEMO_REQUIRES(mu_) {
+      DMEMO_REQUIRES(s.mu) {
     if (it->second.visible.empty() && it->second.delayed.empty()) {
-      folders_.erase(it);
-      ++stats_.folders_vanished;
+      s.folders.erase(it);
+      ++s.stats.folders_vanished;
     }
   }
 
-  mutable Mutex mu_{"FolderDirectory::mu"};
-  CondVar cv_;
-  std::unordered_map<QualifiedKey, Folder, QualifiedKeyHash> folders_
-      DMEMO_GUARDED_BY(mu_);
-  SplitMix64 rng_ DMEMO_GUARDED_BY(mu_);
-  DirectoryStats stats_ DMEMO_GUARDED_BY(mu_);
-  bool closed_ DMEMO_GUARDED_BY(mu_) = false;
+  const std::uint64_t seed_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> alt_seq_{0};
+  std::atomic<std::uint64_t> next_waiter_id_{1};
+  mutable Mutex waiters_mu_{"FolderDirectory::waiters_mu"};
+  std::unordered_map<std::uint64_t, WaiterPtr> registry_
+      DMEMO_GUARDED_BY(waiters_mu_);
 };
 
 }  // namespace dmemo

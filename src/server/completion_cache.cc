@@ -40,29 +40,68 @@ CompletionCache::BeginResult CompletionCache::Begin(
   }
 }
 
+CompletionCache::BeginResult CompletionCache::BeginAsync(
+    std::uint64_t request_id, std::function<void(const Response&)> on_done) {
+  MutexLock lock(mu_);
+  if (shutdown_) {
+    return BeginResult{
+        false, Response::FromStatus(CancelledError("server shut down"))};
+  }
+  auto it = entries_.find(request_id);
+  if (it == entries_.end()) {
+    entries_.emplace(request_id, Entry{});
+    return BeginResult{true, std::nullopt};
+  }
+  if (it->second.completed) {
+    dedup_hits_->Increment();
+    ++dedup_hits_local_;
+    return BeginResult{false, it->second.response};
+  }
+  // In flight: park the continuation on the owner instead of the thread.
+  it->second.async_waiters.push_back(std::move(on_done));
+  return BeginResult{false, std::nullopt};
+}
+
 void CompletionCache::Complete(std::uint64_t request_id,
                                const Response& response) {
-  MutexLock lock(mu_);
-  auto it = entries_.find(request_id);
-  if (it == entries_.end()) return;  // evicted under us; nothing to publish
-  if (response.code == StatusCode::kOk) {
-    it->second.completed = true;
-    it->second.response = response;
-    completed_fifo_.push_back(request_id);
-    EvictLocked();
-  } else {
-    // The execution mutated nothing; let a future retry run it again.
-    entries_.erase(it);
+  std::vector<std::function<void(const Response&)>> waiters;
+  {
+    MutexLock lock(mu_);
+    auto it = entries_.find(request_id);
+    if (it == entries_.end()) return;  // evicted under us; nothing to publish
+    waiters = std::move(it->second.async_waiters);
+    it->second.async_waiters.clear();
+    if (response.code == StatusCode::kOk) {
+      it->second.completed = true;
+      it->second.response = response;
+      completed_fifo_.push_back(request_id);
+      EvictLocked();
+    } else {
+      // The execution mutated nothing; let a future retry run it again.
+      entries_.erase(it);
+    }
+    cv_.NotifyAll();
   }
-  cv_.NotifyAll();
+  for (auto& done : waiters) done(response);
 }
 
 void CompletionCache::Abandon(std::uint64_t request_id) {
-  MutexLock lock(mu_);
-  auto it = entries_.find(request_id);
-  if (it != entries_.end() && !it->second.completed) {
-    entries_.erase(it);
-    cv_.NotifyAll();
+  std::vector<std::function<void(const Response&)>> waiters;
+  {
+    MutexLock lock(mu_);
+    auto it = entries_.find(request_id);
+    if (it != entries_.end() && !it->second.completed) {
+      waiters = std::move(it->second.async_waiters);
+      entries_.erase(it);
+      cv_.NotifyAll();
+    }
+  }
+  if (!waiters.empty()) {
+    // Async duplicates can't re-execute (no request context); tell the
+    // client to retry instead. The execution mutated nothing.
+    const Response retry = Response::FromStatus(
+        UnavailableError("execution abandoned; retry"));
+    for (auto& done : waiters) done(retry);
   }
 }
 
@@ -80,9 +119,21 @@ void CompletionCache::Seed(std::uint64_t request_id,
 }
 
 void CompletionCache::Shutdown() {
-  MutexLock lock(mu_);
-  shutdown_ = true;
-  cv_.NotifyAll();
+  std::vector<std::function<void(const Response&)>> waiters;
+  {
+    MutexLock lock(mu_);
+    shutdown_ = true;
+    for (auto& [id, entry] : entries_) {
+      for (auto& done : entry.async_waiters) waiters.push_back(std::move(done));
+      entry.async_waiters.clear();
+    }
+    cv_.NotifyAll();
+  }
+  if (!waiters.empty()) {
+    const Response cancelled =
+        Response::FromStatus(CancelledError("server shut down"));
+    for (auto& done : waiters) done(cancelled);
+  }
 }
 
 std::uint64_t CompletionCache::dedup_hits() const {

@@ -25,8 +25,10 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "server/protocol.h"
 #include "util/metrics.h"
@@ -53,6 +55,18 @@ class CompletionCache {
   // Claim `request_id` for execution, join an in-flight execution (blocks
   // until the owner finishes), or return the cached response.
   BeginResult Begin(std::uint64_t request_id);
+
+  // Non-blocking Begin for the reactor core. Same claim/dedup semantics,
+  // but a duplicate of an in-flight execution never parks a thread: its
+  // `on_done` continuation is registered on the entry and fired (outside
+  // the lock) when the owner Complete()s — or with a retryable UNAVAILABLE
+  // when the owner Abandon()s, since the duplicate carries no execution
+  // context of its own and cannot be promoted to owner the way a parked
+  // Begin() thread is. Result: owner=true means execute-and-Complete;
+  // owner=false with a response is a dedup hit answered inline; owner=false
+  // without a response means `on_done` will fire later.
+  BeginResult BeginAsync(std::uint64_t request_id,
+                         std::function<void(const Response&)> on_done);
 
   // Owner finished: publish `response` to every waiter. OK responses stay
   // cached for late retransmits; failures are forgotten so a retry may
@@ -86,6 +100,9 @@ class CompletionCache {
     // payload block with the response already sent, so the cache holds a
     // reference, not a deep copy of the memo bytes.
     Response response;
+    // Reactor-core duplicates parked on this in-flight execution; fired
+    // outside mu_ on Complete/Abandon/Shutdown.
+    std::vector<std::function<void(const Response&)>> async_waiters;
   };
 
   void EvictLocked() DMEMO_REQUIRES(mu_);

@@ -82,20 +82,25 @@ FolderServer::FolderServer(int id, std::string host)
 Response FolderServer::Handle(const Request& request) {
   requests_served_.fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t start_us = MonotonicMicros();
-  Response resp = HandleOp(request);
-  resp.trace_id = request.trace_id;
+  return Finish(request.op, request.trace_id, request.hop_count, request.key,
+                start_us, HandleOp(request));
+}
+
+Response FolderServer::Finish(Op op, std::uint64_t trace_id,
+                              std::uint8_t hop, const Key& key,
+                              std::uint64_t start_us, Response resp) {
+  resp.trace_id = trace_id;
   const std::uint64_t elapsed_us = MonotonicMicros() - start_us;
 
   // Span and exemplar share one sampling verdict (see memo_server.cc).
-  const bool sampled = TraceSampled(request.trace_id);
-  const auto op_index = static_cast<std::size_t>(request.op);
+  const bool sampled = TraceSampled(trace_id);
+  const auto op_index = static_cast<std::size_t>(op);
   if (op_index < op_latency_.size() && op_latency_[op_index] != nullptr) {
-    op_latency_[op_index]->Observe(elapsed_us,
-                                   sampled ? request.trace_id : 0);
+    op_latency_[op_index]->Observe(elapsed_us, sampled ? trace_id : 0);
   }
   const bool ok = resp.code == StatusCode::kOk;
   if (ok) {
-    if (request.op == Op::kPut || request.op == Op::kPutDelayed) {
+    if (op == Op::kPut || op == Op::kPutDelayed) {
       deposits_->Increment();
     } else if (resp.has_value) {
       extracts_->Increment();
@@ -104,10 +109,10 @@ Response FolderServer::Handle(const Request& request) {
 
   if (sampled) {
     SpanRecord span;
-    span.trace_id = request.trace_id;
+    span.trace_id = trace_id;
     span.component = "fs:" + std::to_string(id_) + "@" + host_;
-    span.op = std::string(OpName(request.op));
-    span.hop = request.hop_count;
+    span.op = std::string(OpName(op));
+    span.hop = hop;
     span.ok = ok;
     span.start_us = start_us;
     span.duration_us = elapsed_us;
@@ -119,13 +124,109 @@ Response FolderServer::Handle(const Request& request) {
           .count());
   if (elapsed_us >= threshold_us) {
     slow_ops_->Increment();
-    DMEMO_LOG(kWarn) << "slow op: " << OpName(request.op) << " on folder "
-                     << request.key.DebugString() << " took " << elapsed_us
+    DMEMO_LOG(kWarn) << "slow op: " << OpName(op) << " on folder "
+                     << key.DebugString() << " took " << elapsed_us
                      << "us (threshold " << threshold_us
                      << "us), fs=" << id_ << "@" << host_
-                     << " trace=" << request.trace_id;
+                     << " trace=" << trace_id;
   }
   return resp;
+}
+
+// analyze:reactor-context
+void FolderServer::HandleAsync(const Request& request, ResponseCallback done,
+                               std::function<bool()>* cancel) {
+  // Only non-durable parkable extractions take the continuation path; see
+  // the header for why durable servers stay inline.
+  const bool parkable =
+      wal_ == nullptr &&
+      (request.op == Op::kGet || request.op == Op::kGetCopy ||
+       request.op == Op::kGetAlt);
+  if (!parkable) {
+    done(Handle(request));
+    return;
+  }
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t start_us = MonotonicMicros();
+
+  // Same fencing head as HandleOp.
+  const std::uint64_t current_epoch = epoch();
+  if (request.epoch != 0 && current_epoch != 0 &&
+      request.epoch != current_epoch) {
+    fenced_->Increment();
+    done(Finish(request.op, request.trace_id, request.hop_count, request.key,
+                start_us,
+                Response::FromStatus(FailedPreconditionError(
+                    "stale epoch " + std::to_string(request.epoch) +
+                    " fenced (fs " + std::to_string(id_) + "@" + host_ +
+                    " serves epoch " + std::to_string(current_epoch) + ")"))));
+    return;
+  }
+
+  std::vector<QualifiedKey> qkeys;
+  if (request.op == Op::kGetAlt) {
+    qkeys.reserve(request.alts.size());
+    for (const Key& k : request.alts) {
+      qkeys.push_back(QualifiedKey{request.app, k});
+    }
+  } else {
+    qkeys.push_back(QualifiedKey{request.app, request.key});
+  }
+
+  const Op op = request.op;
+  const std::uint64_t req_epoch = request.epoch;
+  auto finish = [this, op, trace_id = request.trace_id,
+                 hop = request.hop_count, key = request.key, start_us,
+                 done = std::move(done)](Response resp) {
+    done(Finish(op, trace_id, hop, key, start_us, std::move(resp)));
+  };
+  const std::uint64_t waiter_id = directory_.GetAsync(
+      qkeys, /*copy=*/op == Op::kGetCopy,
+      [this, op, req_epoch, finish](
+          Status st, std::optional<std::pair<QualifiedKey, IoBuf>> kv) {
+        if (!st.ok()) {
+          finish(Response::FromStatus(st));
+          return;
+        }
+        // Delivery-time re-checks: the waiter may have parked across an
+        // epoch bump (failover) or an EnableDurability. This incarnation
+        // must not serve the memo — re-deposit it (copies never consumed
+        // one) and answer the way the sync path would.
+        const std::uint64_t now_epoch = epoch();
+        const bool stale =
+            req_epoch != 0 && now_epoch != 0 && req_epoch != now_epoch;
+        if (stale || wal_ != nullptr) {
+          if (op != Op::kGetCopy) {
+            // Un-deliver: the take raced a fence / durability flip.
+            (void)directory_.Put(kv->first, kv->second);  // wal:applied (undo)
+          }
+          if (stale) {
+            fenced_->Increment();
+            finish(Response::FromStatus(FailedPreconditionError(
+                "stale epoch " + std::to_string(req_epoch) + " fenced (fs " +
+                std::to_string(id_) + "@" + host_ + " serves epoch " +
+                std::to_string(now_epoch) + ")")));
+          } else {
+            finish(Response::FromStatus(UnavailableError(
+                "folder server became durable while the get was parked; "
+                "retry")));
+          }
+          return;
+        }
+        Response resp;
+        resp.has_value = true;
+        resp.value = std::move(kv->second);
+        if (op == Op::kGetAlt) {
+          resp.has_key = true;
+          resp.key = kv->first.key;
+        }
+        finish(std::move(resp));
+      });
+  if (waiter_id != 0 && cancel != nullptr) {
+    *cancel = [this, waiter_id] {
+      return directory_.CancelWaiter(waiter_id);
+    };
+  }
 }
 
 Response FolderServer::HandleOp(const Request& request) {

@@ -69,6 +69,20 @@ class FolderServer {
   // get_alt) until a memo arrives or the server shuts down.
   Response Handle(const Request& request);
 
+  // Reactor-core handler: same semantics as Handle(), but a parkable
+  // extraction (kGet / kGetCopy / kGetAlt on a non-durable server) becomes
+  // a waiter continuation on the directory instead of a blocked thread.
+  // `done` fires exactly once — inline when the memo is already present or
+  // the op doesn't park, later from the depositing thread otherwise — and
+  // must not block (directory WAL re-entrance rule). When the request
+  // parks and `cancel` is non-null, *cancel receives a revocation hook:
+  // calling it returns true when the revoke won and `done` will never run.
+  // Durable servers take the inline path unconditionally: a logged
+  // extraction must serialize with the WAL, which a continuation cannot do
+  // without re-entering wal_mu_ from a deposit.
+  void HandleAsync(const Request& request, ResponseCallback done,
+                   std::function<bool()>* cancel = nullptr);
+
   // Wake all parked requests with CANCELLED and refuse further work.
   void Shutdown();
 
@@ -120,6 +134,11 @@ class FolderServer {
 
  private:
   Response HandleOp(const Request& request);
+
+  // Shared request epilogue (latency observation, span, slow-op warning);
+  // Handle() calls it inline, HandleAsync() from the delivery continuation.
+  Response Finish(Op op, std::uint64_t trace_id, std::uint8_t hop,
+                  const Key& key, std::uint64_t start_us, Response resp);
 
   // WAL-mediated mutation paths (scripts/check_lint.sh gates that every
   // directory mutation in folder_server.cc goes through these).

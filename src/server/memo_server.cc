@@ -1,8 +1,10 @@
 #include "server/memo_server.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "adf/adf.h"
+#include "server/reactor.h"
 #include "transferable/composite.h"
 #include "transferable/scalars.h"
 #include "util/log.h"
@@ -13,6 +15,36 @@ namespace dmemo {
 namespace {
 // Relay safety bound; no sane ADF topology approaches this diameter.
 constexpr std::uint8_t kMaxHops = 32;
+
+// One (machine, folder server) bucket of a get_alt's alternatives.
+struct AltGroup {
+  std::string host;
+  int fs_id;
+  std::vector<Key> keys;
+};
+
+// Group `request.alts` by owning (machine, folder server) under `routing`.
+Result<std::vector<AltGroup>> GroupAlts(const Request& request,
+                                        const RoutingTable& routing) {
+  std::vector<AltGroup> groups;
+  for (const Key& k : request.alts) {
+    const QualifiedKey qk{request.app, k};
+    DMEMO_ASSIGN_OR_RETURN(FolderServerSpec spec,
+                           routing.ServerForKey(qk.ToBytes()));
+    auto it = std::find_if(groups.begin(), groups.end(), [&](const AltGroup& g) {
+      return g.host == spec.host && g.fs_id == spec.id;
+    });
+    if (it == groups.end()) {
+      groups.push_back(AltGroup{spec.host, spec.id, {k}});
+    } else {
+      it->keys.push_back(k);
+    }
+  }
+  if (groups.empty()) {
+    return InvalidArgumentError("get_alt requires at least one key");
+  }
+  return groups;
+}
 }  // namespace
 
 std::chrono::milliseconds HeartbeatIntervalFromEnv() {
@@ -22,6 +54,18 @@ std::chrono::milliseconds HeartbeatIntervalFromEnv() {
 
 int HeartbeatMissesFromEnv() {
   return static_cast<int>(EnvInt("DMEMO_HEARTBEAT_MISSES", 3));
+}
+
+ServerCore ServerCoreFromEnv() {
+  const char* v = std::getenv("DMEMO_SERVER_CORE");
+  if (v == nullptr || *v == '\0') return ServerCore::kThreads;
+  const std::string s(v);
+  if (s == "reactor") return ServerCore::kReactor;
+  if (s != "threads") {
+    DMEMO_LOG(kWarn) << "DMEMO_SERVER_CORE='" << s
+                     << "' not recognized (threads|reactor); using threads";
+  }
+  return ServerCore::kThreads;
 }
 
 MemoServer::MemoServer(MemoServerOptions options)
@@ -47,7 +91,21 @@ Result<std::unique_ptr<MemoServer>> MemoServer::Start(
   DMEMO_ASSIGN_OR_RETURN(server->listener_,
                          server->transport_->Listen(server->options_.listen_url));
   server->address_ = server->listener_->address();
-  server->acceptor_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  const bool want_reactor = server->options_.core == ServerCore::kReactor;
+  if (want_reactor && server->listener_->readiness_fd() >= 0) {
+    server->reactor_ =
+        std::make_unique<Reactor>(server.get(), server->listener_.get());
+    Status started = server->reactor_->Start();
+    if (!started.ok()) return started;
+  } else {
+    if (want_reactor) {
+      DMEMO_LOG(kInfo) << server->options_.host
+                       << ": reactor core requested but listener '"
+                       << server->address_
+                       << "' has no pollable descriptor; using threaded core";
+    }
+    server->acceptor_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  }
   if (server->options_.heartbeat_interval.count() > 0 &&
       !server->options_.peers.empty()) {
     server->heartbeat_ = std::thread([s = server.get()] { s->HeartbeatLoop(); });
@@ -369,6 +427,305 @@ Response MemoServer::DispatchTraced(const Request& request) {
   return ForwardToward(spec->host, std::move(directed));
 }
 
+// Runs on the reactor loop; nothing it reaches inline may block (pool work
+// goes through SubmitDispatch).
+// analyze:reactor-context
+void MemoServer::HandleAsync(const Request& request, ResponseCallback done,
+                             std::function<bool()>* cancel) {
+  if (request.trace_id == 0) {
+    Request traced = request;
+    traced.trace_id = NextTraceId();
+    HandleAsync(traced, std::move(done), cancel);
+    return;
+  }
+  {
+    MutexLock slock(stats_mu_);
+    ++stats_.requests;
+  }
+  const std::uint64_t start_us = MonotonicMicros();
+  // Same epilogue as Handle(), deferred to completion time.
+  auto finish = [this, op = request.op, trace_id = request.trace_id,
+                 hop = request.hop_count, start_us,
+                 done = std::move(done)](Response resp) {
+    resp.trace_id = trace_id;
+    const std::uint64_t elapsed_us = MonotonicMicros() - start_us;
+    const bool sampled = TraceSampled(trace_id);
+    const auto op_index = static_cast<std::size_t>(op);
+    if (op_index < op_latency_.size() && op_latency_[op_index] != nullptr) {
+      op_latency_[op_index]->Observe(elapsed_us, sampled ? trace_id : 0);
+    }
+    if (sampled) {
+      SpanRecord span;
+      span.trace_id = trace_id;
+      span.component = "memo:" + options_.host;
+      span.op = std::string(OpName(op));
+      span.hop = hop;
+      span.ok = resp.code == StatusCode::kOk;
+      span.start_us = start_us;
+      span.duration_us = elapsed_us;
+      TraceRing::Global().Record(std::move(span));
+    }
+    done(std::move(resp));
+  };
+
+  // At-most-once, mirroring HandleTraced: dedupe where the request
+  // executes, never on a pure relay leg.
+  const bool is_relay = !request.target_host.empty() &&
+                        request.target_host != options_.host;
+  if (!is_relay && request.request_id != 0 && OpNeedsAtMostOnce(request.op)) {
+    const std::uint64_t rid = request.request_id;
+    auto begin = completions_.BeginAsync(
+        rid, [finish](const Response& resp) { finish(resp); });
+    if (begin.response.has_value()) {
+      finish(*std::move(begin.response));
+      return;
+    }
+    if (!begin.owner) return;  // parked on the in-flight owner's completion
+    auto completing = [this, rid, finish](Response resp) {
+      completions_.Complete(rid, resp);
+      finish(std::move(resp));
+    };
+    if (cancel == nullptr) {
+      DispatchAsync(request, std::move(completing), nullptr);
+      return;
+    }
+    // A winning cancel must also abandon the in-flight cache claim, or the
+    // entry would absorb this id's retransmits forever.
+    std::function<bool()> inner;
+    DispatchAsync(request, std::move(completing), &inner);
+    if (inner) {
+      *cancel = [this, rid, inner] {
+        if (!inner()) return false;
+        completions_.Abandon(rid);
+        return true;
+      };
+    }
+    return;
+  }
+  DispatchAsync(request, std::move(finish), cancel);
+}
+
+void MemoServer::DispatchAsync(const Request& request, ResponseCallback done,
+                               std::function<bool()>* cancel) {
+  switch (request.op) {
+    case Op::kPing:
+      done(Response{});
+      return;
+    case Op::kStats:
+      done(HandleStats());
+      return;
+    case Op::kMetrics:
+      done(HandleMetrics());
+      return;
+    case Op::kHeartbeat:
+      done(HandleHeartbeat(request));
+      return;
+    case Op::kRegisterApp:
+      // ADF parsing plus data migration: migration re-injects through
+      // Handle() and may forward synchronously — pool work.
+      SubmitDispatch(request, std::move(done));
+      return;
+    default:
+      break;
+  }
+
+  std::shared_ptr<RoutingTable> routing;
+  {
+    MutexLock lock(mu_);
+    auto it = apps_.find(request.app);
+    if (it == apps_.end()) {
+      done(Response::FromStatus(UnavailableError(
+          "application '" + request.app + "' not registered with " +
+          options_.host)));
+      return;
+    }
+    routing = it->second;
+  }
+
+  if (request.hop_count > kMaxHops) {
+    done(Response::FromStatus(
+        InternalError("routing loop: hop count exceeded")));
+    return;
+  }
+
+  // Relay leg: complete through the peer's formation queue, no parked
+  // thread (the PR 8 caveat this refactor closes).
+  if (!request.target_host.empty() &&
+      request.target_host != options_.host) {
+    {
+      MutexLock slock(stats_mu_);
+      ++stats_.relayed;
+    }
+    ForwardTowardAsync(request.target_host, request, std::move(done));
+    return;
+  }
+
+  if (!request.target_host.empty()) {
+    // We are the destination machine.
+    const Key& probe =
+        request.alts.empty() ? request.key : request.alts.front();
+    const QualifiedKey qk{request.app, probe};
+    auto spec = routing->ServerForKey(qk.ToBytes());
+    if (!spec.ok()) {
+      done(Response::FromStatus(spec.status()));
+      return;
+    }
+    if (spec->host != options_.host) {
+      done(Response::FromStatus(
+          InternalError("key " + qk.DebugString() + " owned by " +
+                        spec->host + ", not " + options_.host)));
+      return;
+    }
+    DispatchLocalAsync(request, spec->id, std::move(done), cancel);
+    return;
+  }
+
+  // Origin resolution.
+  if (request.op == Op::kGetAlt || request.op == Op::kGetAltSkip) {
+    DispatchAltAsync(request, *routing, std::move(done), cancel);
+    return;
+  }
+  const QualifiedKey qk{request.app, request.key};
+  auto spec = routing->ServerForKey(qk.ToBytes());
+  if (!spec.ok()) {
+    done(Response::FromStatus(spec.status()));
+    return;
+  }
+  if (spec->host == options_.host) {
+    DispatchLocalAsync(request, spec->id, std::move(done), cancel);
+    return;
+  }
+  Request directed = request;
+  directed.target_host = spec->host;
+  {
+    MutexLock slock(stats_mu_);
+    ++stats_.forwarded;
+  }
+  ForwardTowardAsync(spec->host, std::move(directed), std::move(done));
+}
+
+void MemoServer::DispatchLocalAsync(const Request& request, int fs_id,
+                                    ResponseCallback done,
+                                    std::function<bool()>* cancel) {
+  FolderServer* fs = nullptr;
+  {
+    MutexLock lock(mu_);
+    auto it = folder_servers_.find(fs_id);
+    if (it != folder_servers_.end()) fs = it->second.get();
+  }
+  if (fs == nullptr) {
+    done(Response::FromStatus(
+        InternalError("folder server " + std::to_string(fs_id) +
+                      " not materialized on " + options_.host)));
+    return;
+  }
+  {
+    MutexLock slock(stats_mu_);
+    ++stats_.local_handled;
+  }
+  if (fs->durable()) {
+    // Every durable op serializes with the WAL (append + fsync on the
+    // mutation path, logged extraction on the get path) — blocking disk
+    // work that must not ride the reactor thread.
+    SubmitDispatch(request, std::move(done));
+    return;
+  }
+  const std::uint8_t hop = request.hop_count;
+  fs->HandleAsync(
+      request,
+      [hop, done = std::move(done)](Response resp) {
+        resp.hop_count = hop;
+        done(std::move(resp));
+      },
+      cancel);
+}
+
+void MemoServer::DispatchAltAsync(const Request& request,
+                                  const RoutingTable& routing,
+                                  ResponseCallback done,
+                                  std::function<bool()>* cancel) {
+  auto groups = GroupAlts(request, routing);
+  if (!groups.ok()) {
+    done(Response::FromStatus(groups.status()));
+    return;
+  }
+  if (groups->size() == 1) {
+    // One owner: the whole alt set can park there as a single waiter.
+    AltGroup& g = groups->front();
+    Request sub = request;
+    sub.alts = std::move(g.keys);
+    sub.target_host = g.host;
+    if (g.host == options_.host) {
+      DispatchLocalAsync(sub, g.fs_id, std::move(done), cancel);
+      return;
+    }
+    {
+      MutexLock slock(stats_mu_);
+      ++stats_.forwarded;
+    }
+    ForwardTowardAsync(g.host, std::move(sub), std::move(done));
+    return;
+  }
+  // Split path: the rotation loop probes each owner and sleeps between
+  // rounds — a genuinely blocking wait, run on the pool exactly like the
+  // threaded core runs it (documented deviation in the class comment).
+  SubmitDispatch(request, std::move(done));
+}
+
+void MemoServer::ForwardTowardAsync(const std::string& target_host,
+                                    Request request, ResponseCallback done) {
+  // The channel lookup is cheap, but the first use of a lazy channel dials
+  // on the caller, and a reconnect inside the resilient wrapper can back
+  // off — never on the reactor thread. The pool task only *issues* the
+  // call: nothing parks awaiting the response, which lands on the peer
+  // reader thread and completes `done` there.
+  auto task = [this, target_host, request = std::move(request),
+               done = std::move(done)]() mutable {
+    std::shared_ptr<RoutingTable> routing;
+    {
+      MutexLock lock(mu_);
+      auto it = apps_.find(request.app);
+      if (it == apps_.end()) {
+        done(Response::FromStatus(UnavailableError("app not registered")));
+        return;
+      }
+      routing = it->second;
+    }
+    auto next = routing->NextHop(options_.host, target_host);
+    if (!next.ok()) {
+      done(Response::FromStatus(next.status()));
+      return;
+    }
+    auto channel = PeerChannel(*next);
+    if (!channel.ok()) {
+      done(Response::FromStatus(channel.status()));
+      return;
+    }
+    PatchHeaderInPlace(request, request.target_host,
+                       static_cast<std::uint8_t>(request.hop_count + 1),
+                       request.deadline_ms);
+    const auto budget = request.deadline_ms > 0
+                            ? std::chrono::milliseconds(request.deadline_ms)
+                            : std::chrono::milliseconds(0);
+    (*channel)->CallAsync(
+        std::move(request),
+        [done](Result<Response> resp) {
+          done(resp.ok() ? *std::move(resp)
+                         : Response::FromStatus(resp.status()));
+        },
+        budget);
+  };
+  if (pool_ == nullptr || !pool_->Submit(task)) task();
+}
+
+void MemoServer::SubmitDispatch(Request request, ResponseCallback done) {
+  auto task = [this, request = std::move(request),
+               done = std::move(done)]() mutable {
+    done(DispatchTraced(request));
+  };
+  if (pool_ == nullptr || !pool_->Submit(task)) task();
+}
+
 bool MemoServer::MayBlockWorker(const Request& request) const {
   // Park-capable ops block on folder state regardless of locality.
   if (OpMayPark(request.op)) return true;
@@ -470,31 +827,11 @@ Response MemoServer::ForwardToward(const std::string& target_host,
 Response MemoServer::HandleAlt(const Request& request,
                                const RoutingTable& routing) {
   // Group alternatives by owning (machine, folder server).
-  struct Group {
-    std::string host;
-    int fs_id;
-    std::vector<Key> keys;
-  };
-  std::vector<Group> groups;
-  for (const Key& k : request.alts) {
-    const QualifiedKey qk{request.app, k};
-    auto spec = routing.ServerForKey(qk.ToBytes());
-    if (!spec.ok()) return Response::FromStatus(spec.status());
-    auto it = std::find_if(groups.begin(), groups.end(), [&](const Group& g) {
-      return g.host == spec->host && g.fs_id == spec->id;
-    });
-    if (it == groups.end()) {
-      groups.push_back(Group{spec->host, spec->id, {k}});
-    } else {
-      it->keys.push_back(k);
-    }
-  }
-  if (groups.empty()) {
-    return Response::FromStatus(
-        InvalidArgumentError("get_alt requires at least one key"));
-  }
+  auto grouped = GroupAlts(request, routing);
+  if (!grouped.ok()) return Response::FromStatus(grouped.status());
+  std::vector<AltGroup>& groups = *grouped;
 
-  auto dispatch = [&](const Group& g, Op op, bool probe) -> Response {
+  auto dispatch = [&](const AltGroup& g, Op op, bool probe) -> Response {
     Request sub = request;
     sub.op = op;
     sub.alts = g.keys;
@@ -518,7 +855,7 @@ Response MemoServer::HandleAlt(const Request& request,
 
   // Split path: rotate non-blocking probes across the owning servers.
   for (;;) {
-    for (const Group& g : groups) {
+    for (const AltGroup& g : groups) {
       Response resp = dispatch(g, Op::kGetAltSkip, /*probe=*/true);
       if (resp.code != StatusCode::kOk) return resp;
       if (resp.has_value) return resp;
@@ -855,6 +1192,9 @@ void MemoServer::Shutdown() {
   // on for its own drain.
   completions_.Shutdown();
   if (listener_) listener_->Close();
+  // The reactor joins its loop thread and closes every inbound connection
+  // it owns; completions that race in afterwards are queued and dropped.
+  if (reactor_) reactor_->Shutdown();
   for (auto& ch : peers) ch->Close();
   for (auto& ch : channels) ch->Close();
   // Join the heartbeat thread after the peer channels close: a beat blocked

@@ -48,6 +48,19 @@ namespace dmemo {
 std::chrono::milliseconds HeartbeatIntervalFromEnv();
 int HeartbeatMissesFromEnv();
 
+class Reactor;
+
+// Which I/O core drives inbound connections (DESIGN.md §14).
+//   kThreads  thread-per-connection AcceptLoop + RpcChannel reader threads
+//             (the paper's model; the legacy core during the transition)
+//   kReactor  one epoll event loop, non-blocking I/O, request state
+//             machines; parked gets become directory waiter continuations
+enum class ServerCore { kThreads, kReactor };
+
+// DMEMO_SERVER_CORE=threads|reactor (default threads). The reactor needs a
+// pollable listener (tcp:// / unix://); sim:// falls back to threads.
+ServerCore ServerCoreFromEnv();
+
 struct MemoServerOptions {
   std::string host;        // this machine's name in ADF terms
   std::string listen_url;  // transport address to listen on
@@ -71,6 +84,8 @@ struct MemoServerOptions {
   // beats the peer is presumed dead. Interval 0 disables the detector.
   std::chrono::milliseconds heartbeat_interval = HeartbeatIntervalFromEnv();
   int heartbeat_misses = HeartbeatMissesFromEnv();
+  // I/O core for inbound connections; see ServerCore.
+  ServerCore core = ServerCoreFromEnv();
 };
 
 // What the failure detector knows about one peer memo server.
@@ -124,6 +139,19 @@ class MemoServer {
   // shared-memory path in Figure 1.
   Response Handle(const Request& request);
 
+  // Reactor-core entry point: Handle() as a state machine. `done` fires
+  // exactly once — inline for prompt ops, from a directory-delivery thread
+  // for parked gets, from a peer reader thread for forwarded traffic — and
+  // must not block. Work that genuinely has to block (durable folder
+  // servers' WAL writes, the split get_alt rotation, ADF registration, a
+  // possibly-dialing forward) is pushed to the worker pool; the calling
+  // reactor thread never parks. When the request parks locally and
+  // `cancel` is non-null, *cancel receives a revocation hook (true = the
+  // revoke won, `done` will never run) used for deadlines and dead
+  // connections.
+  void HandleAsync(const Request& request, ResponseCallback done,
+                   std::function<bool()>* cancel = nullptr);
+
   void Shutdown();
 
   MemoServerStats stats() const;
@@ -173,6 +201,30 @@ class MemoServer {
   Result<FolderServer*> LocalFolderServer(const RoutingTable& routing,
                                           const QualifiedKey& qk);
 
+  // ---- reactor-core async dispatch (DESIGN.md §14) --------------------
+  // The body of HandleAsync after tracing and at-most-once wrapping.
+  void DispatchAsync(const Request& request, ResponseCallback done,
+                     std::function<bool()>* cancel);
+  // Local folder-server leg: continuation-based for parkable ops on
+  // non-durable servers, pool-run for durable ones (WAL fsync must not
+  // ride the reactor thread), inline otherwise.
+  void DispatchLocalAsync(const Request& request, int fs_id,
+                          ResponseCallback done,
+                          std::function<bool()>* cancel);
+  // Origin get_alt / get_alt_skip: single-group requests collapse into the
+  // directed path; the split rotation runs on the pool like the threaded
+  // core.
+  void DispatchAltAsync(const Request& request, const RoutingTable& routing,
+                        ResponseCallback done, std::function<bool()>* cancel);
+  // Forward via ResilientChannel::CallAsync so relay traffic rides the
+  // per-peer formation queue (packed kind-3 frames) with no thread parked
+  // per hop. Issued from a pool task: a lazy dial may block.
+  void ForwardTowardAsync(const std::string& target_host, Request request,
+                          ResponseCallback done);
+  // Run the synchronous dispatch body on the pool (inline if the pool is
+  // shutting down); the escape hatch for work that must block.
+  void SubmitDispatch(Request request, ResponseCallback done);
+
   MemoServerOptions options_;
   std::string address_;
   // Per-op request latency histograms, indexed by numeric Op value and
@@ -183,6 +235,8 @@ class MemoServer {
   ListenerPtr listener_;
   std::unique_ptr<WorkerPool> pool_;
   std::thread acceptor_;
+  // Event-loop core (ServerCore::kReactor); null under the threaded core.
+  std::unique_ptr<Reactor> reactor_;
 
   // Canonical order (see DESIGN.md "Concurrency invariants"): mu_ may be
   // held while taking stats_mu_ or a directory lock, never the reverse.

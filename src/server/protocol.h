@@ -17,6 +17,7 @@
 // which trace served them.
 #pragma once
 
+#include <functional>
 #include <span>
 #include <string>
 #include <vector>
@@ -175,5 +176,13 @@ struct Response {
   static Response FromStatus(const Status& status);
   Status ToStatus() const;
 };
+
+// Continuation used by the reactor core's asynchronous handler chain
+// (MemoServer::HandleAsync -> FolderServer::HandleAsync): invoked exactly
+// once with the response, possibly on a different thread than the caller's
+// (a directory-delivery thread, a peer reader thread, or inline). The
+// callback must not block — it typically just enqueues the response on the
+// reactor's completion queue.
+using ResponseCallback = std::function<void(Response)>;
 
 }  // namespace dmemo

@@ -1,0 +1,527 @@
+#include "server/reactor.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <chrono>
+#include <memory>
+#include <span>
+#include <utility>
+
+#include "server/memo_server.h"
+#include "util/bytes.h"
+#include "util/log.h"
+
+namespace dmemo {
+
+namespace {
+
+// epoll_event.data.u64 sentinels; real connections start at 2.
+constexpr std::uint64_t kListenerTag = 0;
+constexpr std::uint64_t kWakeTag = 1;
+
+constexpr int kMaxEpollEvents = 256;
+// Cap the wait so a missed wakeup can never park the loop forever.
+constexpr int kIdleTimeoutMs = 1000;
+// Accept-failure backoff: how long the listener stays unregistered after
+// TryAccept errors out (typically EMFILE under fd exhaustion).
+constexpr int kAcceptBackoffMs = 100;
+
+}  // namespace
+
+Reactor::Reactor(MemoServer* server, Listener* listener)
+    : server_(server), listener_(listener) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  connections_ = reg.GetGauge("dmemo_reactor_connections");
+  parked_waiters_ = reg.GetGauge("dmemo_reactor_parked_waiters");
+  accepts_total_ = reg.GetCounter("dmemo_reactor_accepts_total");
+  frames_total_ = reg.GetCounter("dmemo_reactor_frames_total");
+  requests_total_ = reg.GetCounter("dmemo_reactor_requests_total");
+  wakeups_total_ = reg.GetCounter("dmemo_reactor_wakeups_total");
+  deadline_expirations_total_ =
+      reg.GetCounter("dmemo_reactor_deadline_expirations_total");
+}
+
+Reactor::~Reactor() { Shutdown(); }
+
+Status Reactor::Start() {
+#ifdef DMEMO_IO_URING
+  // The io_uring backend is a build-time stub: the toolchain image carries
+  // no liburing, so the flag records intent and epoll serves identically.
+  DMEMO_LOG(kInfo) << "reactor: built with DMEMO_IO_URING; io_uring backend "
+                      "is stubbed, serving with epoll";
+#endif
+  if (listener_->readiness_fd() < 0) {
+    return FailedPreconditionError(
+        "reactor requires a pollable listener (readiness_fd() >= 0)");
+  }
+  DMEMO_RETURN_IF_ERROR(listener_->SetNonBlocking());
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) return InternalError("epoll_create1 failed");
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+    return InternalError("eventfd failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenerTag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listener_->readiness_fd(), &ev) !=
+      0) {
+    return InternalError("epoll_ctl(listener) failed");
+  }
+  ev.data.u64 = kWakeTag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    return InternalError("epoll_ctl(wake eventfd) failed");
+  }
+  started_ = true;
+  thread_ = std::thread([this] { Loop(); });
+  return Status::Ok();
+}
+
+void Reactor::Shutdown() {
+  if (!started_) return;
+  started_ = false;
+  stop_.store(true, std::memory_order_release);
+  {
+    MutexLock lock(mu_);
+    if (!wake_closed_) {
+      std::uint64_t one = 1;
+      (void)::write(wake_fd_, &one, sizeof(one));
+    }
+  }
+  if (thread_.joinable()) thread_.join();
+  // The loop is gone; tear down every connection on this thread. Revocation
+  // hooks run first so parked directory waiters / at-most-once claims are
+  // released rather than leaked.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(conns_.size());
+  for (const auto& [id, c] : conns_) ids.push_back(id);
+  for (std::uint64_t id : ids) CloseConn(id);
+  {
+    MutexLock lock(mu_);
+    wake_closed_ = true;
+    completions_.clear();
+  }
+  if (wake_fd_ >= 0) {
+    ::close(wake_fd_);
+    wake_fd_ = -1;
+  }
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+  }
+}
+
+void Reactor::Loop() {
+  loop_tid_.store(std::this_thread::get_id(), std::memory_order_release);
+  std::array<epoll_event, kMaxEpollEvents> events;
+  while (!stop_.load(std::memory_order_acquire)) {
+    DrainCompletions();
+    FlushDirty();
+    const int n = ::epoll_wait(epoll_fd_, events.data(), kMaxEpollEvents,
+                               NextTimeoutMs());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      DMEMO_LOG(kWarn) << "reactor: epoll_wait failed, stopping loop";
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t tag = events[i].data.u64;
+      if (tag == kListenerTag) {
+        OnAccept();
+        continue;
+      }
+      if (tag == kWakeTag) {
+        wakeups_total_->Increment();
+        std::uint64_t drained = 0;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      auto it = conns_.find(tag);
+      if (it == conns_.end()) continue;  // closed earlier this pass
+      Conn& c = *it->second;
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        CloseConn(tag);
+        continue;
+      }
+      if ((events[i].events & EPOLLOUT) != 0) {
+        OnWritable(c);
+        if (conns_.find(tag) == conns_.end()) continue;  // write error closed
+      }
+      if ((events[i].events & EPOLLIN) != 0) OnReadable(c);
+    }
+    FireDeadlines();
+  }
+  // Final drain so completions racing shutdown don't sit half-delivered.
+  DrainCompletions();
+  FlushDirty();
+}
+
+void Reactor::OnAccept() {
+  for (;;) {
+    auto accepted = listener_->TryAccept();
+    if (!accepted.ok()) {
+      // Closed listener (shutdown) or a hard failure like EMFILE. Either
+      // way the descriptor stays readable, so back off instead of letting
+      // the level-triggered loop spin on it.
+      if (!stop_.load(std::memory_order_acquire)) {
+        DMEMO_LOG(kWarn) << "reactor: accept failed ("
+                         << accepted.status().ToString()
+                         << "); pausing accepts for " << kAcceptBackoffMs
+                         << "ms";
+        DisarmListener();
+      }
+      return;
+    }
+    if (!accepted->has_value()) return;  // would block: drained the backlog
+    ConnectionPtr conn = std::move(**accepted);
+    Status nb = conn->SetNonBlocking();
+    const int fd = conn->readiness_fd();
+    if (!nb.ok() || fd < 0) {
+      DMEMO_LOG(kWarn) << "reactor: dropping connection without non-blocking "
+                          "support: "
+                       << conn->description();
+      conn->Close();
+      continue;
+    }
+    const std::uint64_t id = next_conn_id_++;
+    auto c = std::make_unique<Conn>();
+    c->id = id;
+    c->conn = std::move(conn);
+    c->fd = fd;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      DMEMO_LOG(kWarn) << "reactor: epoll_ctl(ADD) failed for "
+                       << c->conn->description();
+      c->conn->Close();
+      continue;
+    }
+    conns_.emplace(id, std::move(c));
+    accepts_total_->Increment();
+    connections_->Add(1);
+  }
+}
+
+void Reactor::OnReadable(Conn& c) {
+  const std::uint64_t id = c.id;
+  for (;;) {
+    auto frame = c.conn->TryReceive();
+    if (!frame.ok()) {
+      CloseConn(id);
+      return;
+    }
+    if (!frame->has_value()) return;  // would block: partial frame retained
+    frames_total_->Increment();
+    HandleFrame(c, **frame);
+    if (conns_.find(id) == conns_.end()) return;  // closed during dispatch
+  }
+}
+
+void Reactor::OnWritable(Conn& c) {
+  auto drained = c.conn->FlushPending();
+  if (!drained.ok()) {
+    CloseConn(c.id);
+    return;
+  }
+  if (*drained && c.want_write) {
+    c.want_write = false;
+    UpdateEvents(c);
+  }
+}
+
+void Reactor::HandleFrame(Conn& c, const IoBuf& frame) {
+  IoBufReader reader(frame);
+  ByteReader& in = reader.base();
+  auto kind = in.u8();
+  auto id = in.u64();
+  if (!kind.ok() || !id.ok()) return;  // malformed frame: drop
+  if (*kind == kFrameKindRequest) {
+    auto req = Request::DecodeFrom(reader);
+    if (!req.ok()) {
+      DMEMO_LOG(kWarn) << "reactor: dropping malformed request on "
+                       << c.conn->description() << ": "
+                       << req.status().ToString();
+      return;
+    }
+    Dispatch(c, *id, *req, /*batched=*/false);
+  } else if (*kind == kFrameKindBatch) {
+    auto entries = DecodeBatchEntries(reader, *id);
+    if (!entries.ok()) {
+      DMEMO_LOG(kWarn) << "reactor: dropping malformed batch frame on "
+                       << c.conn->description() << ": "
+                       << entries.status().ToString();
+      return;
+    }
+    const std::uint64_t conn_id = c.id;
+    for (BatchEntry& entry : *entries) {
+      if (entry.kind != kFrameKindRequest) {
+        DMEMO_LOG(kWarn) << "reactor: dropping batched response entry on "
+                         << c.conn->description()
+                         << " (servers only accept requests)";
+        continue;
+      }
+      IoBufReader entry_reader(entry.body);
+      auto req = Request::DecodeFrom(entry_reader);
+      if (!req.ok()) {
+        DMEMO_LOG(kWarn) << "reactor: dropping malformed batched request on "
+                         << c.conn->description() << ": "
+                         << req.status().ToString();
+        continue;
+      }
+      Dispatch(c, entry.id, *req, /*batched=*/true);
+      if (conns_.find(conn_id) == conns_.end()) return;
+    }
+  } else {
+    DMEMO_LOG(kWarn) << "reactor: dropping unexpected frame kind "
+                     << static_cast<int>(*kind) << " on "
+                     << c.conn->description();
+  }
+}
+
+void Reactor::Dispatch(Conn& c, std::uint64_t rpc_id, const Request& request,
+                       bool batched) {
+  requests_total_->Increment();
+  const std::uint64_t conn_id = c.id;
+  // `answered` closes the window between an inline completion and the
+  // revocation hook being stored: the loop-thread direct path in
+  // QueueResponse runs synchronously inside HandleAsync, so if it fired we
+  // must not park a hook for an already-answered request.
+  auto answered = std::make_shared<std::atomic<bool>>(false);
+  std::function<bool()> cancel;
+  server_->HandleAsync(
+      request,
+      [this, conn_id, rpc_id, batched, answered](Response resp) {
+        answered->store(true, std::memory_order_release);
+        QueueResponse(conn_id, rpc_id, batched, std::move(resp));
+      },
+      &cancel);
+  if (cancel && !answered->load(std::memory_order_acquire)) {
+    auto it = conns_.find(conn_id);
+    if (it == conns_.end()) {
+      // Connection died inside HandleAsync (shouldn't happen: dispatch
+      // doesn't touch the conn) — release the parked state immediately.
+      (void)cancel();
+      return;
+    }
+    it->second->parked.emplace(rpc_id, std::move(cancel));
+    parked_waiters_->Add(1);
+    if (request.deadline_ms > 0) {
+      deadlines_.emplace(std::chrono::steady_clock::now() +
+                             std::chrono::milliseconds(request.deadline_ms),
+                         conn_id, rpc_id);
+    }
+  }
+}
+
+void Reactor::QueueResponse(std::uint64_t conn_id, std::uint64_t rpc_id,
+                            bool batched, Response response) {
+  if (std::this_thread::get_id() ==
+      loop_tid_.load(std::memory_order_acquire)) {
+    PlaceResponse(conn_id, rpc_id, batched, std::move(response));
+    return;
+  }
+  MutexLock lock(mu_);
+  if (wake_closed_) return;  // shutdown already tore the connections down
+  completions_.push_back(
+      Completion{conn_id, rpc_id, batched, std::move(response)});
+  std::uint64_t one = 1;
+  (void)::write(wake_fd_, &one, sizeof(one));
+}
+
+void Reactor::DrainCompletions() {
+  std::vector<Completion> batch;
+  {
+    MutexLock lock(mu_);
+    batch.swap(completions_);
+  }
+  for (Completion& done : batch) {
+    PlaceResponse(done.conn_id, done.rpc_id, done.batched,
+                  std::move(done.response));
+  }
+}
+
+void Reactor::PlaceResponse(std::uint64_t conn_id, std::uint64_t rpc_id,
+                            bool batched, Response response) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;  // client hung up before the answer
+  Conn& c = *it->second;
+  if (c.parked.erase(rpc_id) > 0) parked_waiters_->Add(-1);
+  if (c.out.empty()) dirty_.push_back(conn_id);
+  c.out.push_back(PendingResponse{rpc_id, batched, std::move(response)});
+}
+
+void Reactor::FlushDirty() {
+  if (dirty_.empty()) return;
+  std::vector<std::uint64_t> dirty;
+  dirty.swap(dirty_);
+  for (std::uint64_t id : dirty) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) continue;
+    FlushConn(*it->second);
+  }
+}
+
+void Reactor::FlushConn(Conn& c) {
+  if (c.out.empty()) return;
+  std::vector<PendingResponse> out;
+  out.swap(c.out);
+  // Split the pass's responses by arrival framing: answers to requests that
+  // came packed leave packed (one kind-3 frame), single-op answers leave as
+  // individual kind-2 frames — a legacy peer never sees a packed frame
+  // unless it sent one (PROTOCOL.md §2).
+  std::vector<IoBuf> bodies;  // keeps batch entry bodies alive until encode
+  std::vector<BatchEntry> packed;
+  const std::uint64_t conn_id = c.id;
+  auto send = [&](IoBuf frame) {
+    auto sent = c.conn->TrySendBuf(std::move(frame));
+    if (!sent.ok()) {
+      CloseConn(conn_id);
+      return false;
+    }
+    if (!*sent && !c.want_write) {
+      c.want_write = true;
+      UpdateEvents(c);
+    }
+    return true;
+  };
+  for (PendingResponse& pending : out) {
+    if (pending.batched) {
+      bodies.push_back(pending.response.EncodeToIoBuf());
+      packed.push_back(
+          BatchEntry{kFrameKindResponse, pending.rpc_id, bodies.back()});
+      continue;
+    }
+    ByteWriter prefix;
+    prefix.u8(kFrameKindResponse);
+    prefix.u64(pending.rpc_id);
+    IoBuf frame = IoBuf::FromBytes(prefix.take());
+    frame.Append(pending.response.EncodeToIoBuf());
+    if (!send(std::move(frame))) return;
+  }
+  if (packed.empty()) return;
+  if (packed.size() == 1) {
+    // A lone batched answer still fits a single frame; the peer's reader
+    // accepts either framing for responses it solicited in a batch.
+    ByteWriter prefix;
+    prefix.u8(kFrameKindResponse);
+    prefix.u64(packed.front().id);
+    IoBuf frame = IoBuf::FromBytes(prefix.take());
+    frame.Append(packed.front().body);
+    (void)send(std::move(frame));
+    return;
+  }
+  // Chunk by the wire cap; in practice one pass never approaches it.
+  for (std::size_t begin = 0; begin < packed.size();
+       begin += kMaxBatchEntriesWire) {
+    const std::size_t count =
+        std::min<std::size_t>(kMaxBatchEntriesWire, packed.size() - begin);
+    if (!send(EncodeBatchFrame(
+            std::span<const BatchEntry>(packed.data() + begin, count)))) {
+      return;
+    }
+  }
+}
+
+void Reactor::UpdateEvents(Conn& c) {
+  epoll_event ev{};
+  ev.events = EPOLLIN | (c.want_write ? EPOLLOUT : 0);
+  ev.data.u64 = c.id;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c.fd, &ev) != 0) {
+    DMEMO_LOG(kWarn) << "reactor: epoll_ctl(MOD) failed for "
+                     << c.conn->description();
+  }
+}
+
+void Reactor::CloseConn(std::uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  Conn& c = *it->second;
+  // Revoke every parked request so directory waiters and at-most-once
+  // claims don't outlive the client. A hook returning false means a
+  // delivery is already in flight; its completion gets dropped harmlessly
+  // when PlaceResponse finds the connection gone.
+  for (auto& [rpc_id, cancel] : c.parked) (void)cancel();
+  if (!c.parked.empty()) {
+    parked_waiters_->Add(-static_cast<std::int64_t>(c.parked.size()));
+  }
+  if (epoll_fd_ >= 0 && c.fd >= 0) {
+    (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, c.fd, nullptr);
+  }
+  c.conn->Close();
+  conns_.erase(it);
+  connections_->Add(-1);
+}
+
+void Reactor::DisarmListener() {
+  if (!listener_armed_) return;
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listener_->readiness_fd(),
+                    nullptr);
+  listener_armed_ = false;
+  deadlines_.emplace(std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(kAcceptBackoffMs),
+                     kListenerTag, 0);
+}
+
+void Reactor::RearmListener() {
+  if (listener_armed_) return;
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenerTag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listener_->readiness_fd(), &ev) !=
+      0) {
+    // Still failing (listener closed mid-shutdown, or fds exhausted by the
+    // epoll set itself): try again after another backoff.
+    deadlines_.emplace(std::chrono::steady_clock::now() +
+                           std::chrono::milliseconds(kAcceptBackoffMs),
+                       kListenerTag, 0);
+    return;
+  }
+  listener_armed_ = true;
+}
+
+void Reactor::FireDeadlines() {
+  const auto now = std::chrono::steady_clock::now();
+  while (!deadlines_.empty() && std::get<0>(deadlines_.top()) <= now) {
+    const auto [expiry, conn_id, rpc_id] = deadlines_.top();
+    deadlines_.pop();
+    if (conn_id == kListenerTag) {
+      RearmListener();
+      continue;
+    }
+    auto it = conns_.find(conn_id);
+    if (it == conns_.end()) continue;
+    Conn& c = *it->second;
+    auto parked = c.parked.find(rpc_id);
+    if (parked == c.parked.end()) continue;  // answered before expiry
+    if (!parked->second()) continue;  // delivery won the race; answer coming
+    c.parked.erase(parked);
+    parked_waiters_->Add(-1);
+    deadline_expirations_total_->Increment();
+    PlaceResponse(conn_id, rpc_id, /*batched=*/false,
+                  Response::FromStatus(
+                      TimedOutError("deadline expired while parked")));
+  }
+}
+
+int Reactor::NextTimeoutMs() const {
+  if (deadlines_.empty()) return kIdleTimeoutMs;
+  const auto now = std::chrono::steady_clock::now();
+  const auto next = std::get<0>(deadlines_.top());
+  if (next <= now) return 0;
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(next - now)
+          .count() +
+      1;
+  return static_cast<int>(std::min<long long>(ms, kIdleTimeoutMs));
+}
+
+}  // namespace dmemo

@@ -1,0 +1,161 @@
+// Event-driven server core (DESIGN.md §14).
+//
+// One epoll thread drives every inbound connection: non-blocking accept,
+// non-blocking frame reads, asynchronous dispatch through
+// MemoServer::HandleAsync, and non-blocking gather writes with EPOLLOUT
+// resumption. Each in-flight request is a small state machine — decoded,
+// dispatched, parked (as a directory waiter continuation or a peer-channel
+// completion), answered — instead of a thread blocked per connection, so
+// the core sustains tens of thousands of idle-or-parked connections with a
+// single thread.
+//
+// Completions arrive from anywhere (inline on the loop, a depositing
+// thread's directory delivery, a peer reader thread, a pool worker); a
+// mutex-protected queue plus an eventfd marshals them back onto the loop,
+// which owns all connection state. Responses produced in one loop pass
+// coalesce per connection: replies to requests that arrived in a packed
+// kind-3 frame leave as a packed frame, single-op requests answer as
+// single frames (the same contract as the threaded RpcChannel).
+//
+// The io_uring backend is stubbed behind the DMEMO_IO_URING build flag:
+// the container toolchain has no liburing, so the flag only logs intent
+// and the epoll loop serves (see reactor.cc).
+//
+// Lock ranking: mu_ is a leaf — the loop and every producer take it only
+// around queue/flag flips, never while calling out.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <thread>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "server/protocol.h"
+#include "transport/transport.h"
+#include "util/metrics.h"
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace dmemo {
+
+class MemoServer;
+
+class Reactor {
+ public:
+  // `server` and `listener` must outlive the reactor; the listener must
+  // expose a pollable descriptor (readiness_fd() >= 0).
+  Reactor(MemoServer* server, Listener* listener);
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  // Set up epoll + the wake eventfd, switch the listener non-blocking, and
+  // start the loop thread.
+  Status Start();
+
+  // Stop the loop, join it, cancel every parked request, close every
+  // inbound connection. Idempotent.
+  void Shutdown();
+
+ private:
+  // One response waiting to leave with the current loop pass.
+  struct PendingResponse {
+    std::uint64_t rpc_id = 0;
+    bool batched = false;  // arrived inside a kind-3 frame
+    Response response;
+  };
+
+  // Per-connection request state. Owned and touched by the loop thread
+  // only (completions cross over via the queue).
+  struct Conn {
+    std::uint64_t id = 0;
+    ConnectionPtr conn;
+    int fd = -1;
+    bool want_write = false;  // EPOLLOUT armed (buffered partial send)
+    // rpc id -> revocation hook for requests parked in the server (a
+    // directory waiter or an at-most-once claim). Hook returns true when
+    // the revoke won and no response will ever arrive.
+    std::unordered_map<std::uint64_t, std::function<bool()>> parked;
+    // Responses accumulated this pass, flushed before the next wait.
+    std::vector<PendingResponse> out;
+  };
+
+  // A completed request crossing threads back onto the loop.
+  struct Completion {
+    std::uint64_t conn_id = 0;
+    std::uint64_t rpc_id = 0;
+    bool batched = false;
+    Response response;
+  };
+
+  void Loop();
+  void OnAccept();
+  void OnReadable(Conn& c);
+  void OnWritable(Conn& c);
+  // Decode one wire frame (kind 1 request, kind 3 packed) and dispatch.
+  void HandleFrame(Conn& c, const IoBuf& frame);
+  void Dispatch(Conn& c, std::uint64_t rpc_id, const Request& request,
+                bool batched);
+  // Thread-safe completion entry point (the `done` continuation).
+  void QueueResponse(std::uint64_t conn_id, std::uint64_t rpc_id,
+                     bool batched, Response response);
+  // Move queued completions into their connections' out lists.
+  void DrainCompletions();
+  // Append a response on the loop thread and mark the conn dirty.
+  void PlaceResponse(std::uint64_t conn_id, std::uint64_t rpc_id,
+                     bool batched, Response response);
+  // Encode and send everything in dirty conns' out lists.
+  void FlushDirty();
+  void FlushConn(Conn& c);
+  void UpdateEvents(Conn& c);
+  void CloseConn(std::uint64_t conn_id);
+  void FireDeadlines();
+  int NextTimeoutMs() const;
+  // Accept failed outright (fd exhaustion, not an empty backlog): a
+  // level-triggered listener would re-trigger every pass and spin the loop
+  // hot, so unregister it and schedule a re-arm via the deadline heap.
+  void DisarmListener();
+  void RearmListener();
+
+  MemoServer* server_;
+  Listener* listener_;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+  std::atomic<std::thread::id> loop_tid_{};
+
+  // Loop-thread state (no lock: single owner).
+  bool listener_armed_ = true;  // false while backing off a failed accept
+  std::uint64_t next_conn_id_ = 2;  // 0 = listener, 1 = wake eventfd
+  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;
+  std::vector<std::uint64_t> dirty_;  // conns with queued responses
+  // (expiry, conn id, rpc id) min-heap for request deadlines.
+  using Deadline = std::tuple<std::chrono::steady_clock::time_point,
+                              std::uint64_t, std::uint64_t>;
+  std::priority_queue<Deadline, std::vector<Deadline>, std::greater<Deadline>>
+      deadlines_;
+
+  // Cross-thread completion queue.
+  mutable Mutex mu_{"Reactor::mu"};
+  std::vector<Completion> completions_ DMEMO_GUARDED_BY(mu_);
+  bool wake_closed_ DMEMO_GUARDED_BY(mu_) = false;
+
+  // dmemo_reactor_* observability handles (docs/OBSERVABILITY.md).
+  Gauge* connections_ = nullptr;
+  Gauge* parked_waiters_ = nullptr;
+  Counter* accepts_total_ = nullptr;
+  Counter* frames_total_ = nullptr;
+  Counter* requests_total_ = nullptr;
+  Counter* wakeups_total_ = nullptr;
+  Counter* deadline_expirations_total_ = nullptr;
+};
+
+}  // namespace dmemo

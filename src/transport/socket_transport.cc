@@ -1,14 +1,18 @@
 #include "transport/socket_transport.h"
 
 #include "transport/transport_metrics.h"
+#include "util/log.h"
 #include "util/mutex.h"
+#include "util/retry.h"
 #include "util/thread_annotations.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <limits.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <sys/uio.h>
 #include <sys/un.h>
@@ -16,6 +20,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <deque>
 #include <vector>
 
 namespace dmemo {
@@ -24,6 +29,46 @@ namespace {
 
 Status Errno(const std::string& what) {
   return UnavailableError(what + ": " + std::strerror(errno));
+}
+
+Status SetNonBlockingFd(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(F_SETFL, O_NONBLOCK)");
+  }
+  return Status::Ok();
+}
+
+// Listen backlog: the kernel default cap unless DMEMO_LISTEN_BACKLOG
+// overrides it. The old hardcoded 128 silently dropped connection bursts
+// under high-connection loads before the accept path ever saw them.
+int ListenBacklog() {
+  return static_cast<int>(EnvInt("DMEMO_LISTEN_BACKLOG", SOMAXCONN));
+}
+
+// Warn (once per process) when the fd budget cannot cover the configured
+// connection target. DMEMO_CONNECTION_TARGET is set by deployments (and
+// the loadgen connection sweep) to the expected peak concurrent
+// connections of this process; 0 disables the check.
+void WarnIfNofileBelowTarget() {
+  static const bool once = [] {
+    const std::int64_t target = EnvInt("DMEMO_CONNECTION_TARGET", 0);
+    if (target <= 0) return false;
+    struct rlimit rl{};
+    if (::getrlimit(RLIMIT_NOFILE, &rl) != 0) return false;
+    // Listener, epoll, eventfd, stdio, WAL and snapshot files need
+    // headroom on top of one fd per connection.
+    const auto needed = static_cast<rlim_t>(target) + 64;
+    if (rl.rlim_cur != RLIM_INFINITY && rl.rlim_cur < needed) {
+      DMEMO_LOG(kWarn) << "RLIMIT_NOFILE soft limit " << rl.rlim_cur
+                       << " is below the configured connection target "
+                       << target << " (+64 fds of headroom); raise it with"
+                       << " `ulimit -n` or lower DMEMO_CONNECTION_TARGET";
+    }
+    return true;
+  }();
+  (void)once;
 }
 
 // Retries on EINTR; UNAVAILABLE on EOF or error.
@@ -190,15 +235,171 @@ class FdConnection final : public Connection {
 
   std::string description() const override { return description_; }
 
+  // ---- readiness API --------------------------------------------------
+  //
+  // Once SetNonBlocking succeeds the connection must be driven through
+  // TryReceive/TrySendBuf/FlushPending only; the blocking Send/Receive
+  // path would misread the resumption state.
+
+  int readiness_fd() const override {
+    MutexLock lock(recv_mu_);
+    return fd_;
+  }
+
+  Status SetNonBlocking() override {
+    MutexLock send_lock(send_mu_);  // canonical order: send before recv
+    MutexLock recv_lock(recv_mu_);
+    if (fd_ < 0) return UnavailableError("connection closed");
+    return SetNonBlockingFd(fd_);
+  }
+
+  Result<std::optional<IoBuf>> TryReceive() override {
+    MutexLock lock(recv_mu_);
+    if (fd_ < 0) return UnavailableError("connection closed");
+    // Resume (or start) the 4-byte length header.
+    while (recv_header_have_ < sizeof(recv_header_)) {
+      ssize_t r = ::read(fd_, recv_header_ + recv_header_have_,
+                         sizeof(recv_header_) - recv_header_have_);
+      if (r == 0) return UnavailableError("connection closed by peer");
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          return std::optional<IoBuf>(std::nullopt);
+        }
+        return Errno("read");
+      }
+      recv_header_have_ += static_cast<std::size_t>(r);
+    }
+    const std::uint32_t len = (std::uint32_t(recv_header_[0]) << 24) |
+                              (std::uint32_t(recv_header_[1]) << 16) |
+                              (std::uint32_t(recv_header_[2]) << 8) |
+                              std::uint32_t(recv_header_[3]);
+    if (len > kMaxFrameBytes) {
+      return DataLossError("frame length " + std::to_string(len) +
+                           " exceeds limit");
+    }
+    if (recv_body_.size() != len) recv_body_.resize(len);
+    // Resume the body; a partial read stays in recv_body_ for next time.
+    while (recv_body_have_ < len) {
+      ssize_t r = ::read(fd_, recv_body_.data() + recv_body_have_,
+                         len - recv_body_have_);
+      if (r == 0) return UnavailableError("connection closed by peer");
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          return std::optional<IoBuf>(std::nullopt);
+        }
+        return Errno("read");
+      }
+      recv_body_have_ += static_cast<std::size_t>(r);
+    }
+    metrics_->frames_received->Increment();
+    metrics_->bytes_received->Add(len + sizeof(recv_header_));
+    Bytes payload = std::move(recv_body_);
+    recv_body_ = Bytes();
+    recv_body_have_ = 0;
+    recv_header_have_ = 0;
+    return std::optional<IoBuf>(IoBuf::FromBytes(std::move(payload)));
+  }
+
+  Result<bool> TrySendBuf(IoBuf frame) override {
+    MutexLock lock(send_mu_);
+    if (fd_ < 0) return UnavailableError("connection closed");
+    const std::size_t total = frame.size();
+    PendingSend p;
+    p.header[0] = static_cast<std::uint8_t>(total >> 24);
+    p.header[1] = static_cast<std::uint8_t>(total >> 16);
+    p.header[2] = static_cast<std::uint8_t>(total >> 8);
+    p.header[3] = static_cast<std::uint8_t>(total);
+    p.frame = std::move(frame);
+    send_queue_.push_back(std::move(p));
+    metrics_->frames_sent->Increment();
+    metrics_->bytes_sent->Add(total + 4);
+    return FlushLocked();
+  }
+
+  Result<bool> FlushPending() override {
+    MutexLock lock(send_mu_);
+    if (fd_ < 0) return UnavailableError("connection closed");
+    return FlushLocked();
+  }
+
+  bool HasPendingSend() const override {
+    MutexLock lock(send_mu_);
+    return !send_queue_.empty();
+  }
+
  private:
+  // One queued outbound frame: the 4-byte length prefix plus the payload
+  // chain, with `offset` counting bytes of (header + payload) already
+  // handed to the kernel. The IoBuf keeps its slices alive, so a buffered
+  // partial write never copies payload bytes.
+  struct PendingSend {
+    std::uint8_t header[4];
+    IoBuf frame;
+    std::size_t offset = 0;
+  };
+
+  // Gather-write the queue until it drains (true) or the descriptor would
+  // block (false, caller waits for writable).
+  Result<bool> FlushLocked() DMEMO_REQUIRES(send_mu_) {
+    while (!send_queue_.empty()) {
+      PendingSend& p = send_queue_.front();
+      std::vector<struct iovec> iov;
+      iov.reserve(p.frame.slice_count() + 1);
+      std::size_t skip = p.offset;
+      if (skip < sizeof(p.header)) {
+        iov.push_back({p.header + skip, sizeof(p.header) - skip});
+        skip = 0;
+      } else {
+        skip -= sizeof(p.header);
+      }
+      for (std::size_t i = 0;
+           i < p.frame.slice_count() &&
+           iov.size() < static_cast<std::size_t>(IOV_MAX);
+           ++i) {
+        auto s = p.frame.slice_span(i);
+        if (skip >= s.size()) {
+          skip -= s.size();
+          continue;
+        }
+        iov.push_back(
+            {const_cast<std::uint8_t*>(s.data()) + skip, s.size() - skip});
+        skip = 0;
+      }
+      struct msghdr msg{};
+      msg.msg_iov = iov.data();
+      msg.msg_iovlen = iov.size();
+      ssize_t w = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return false;
+        return Errno("sendmsg");
+      }
+      p.offset += static_cast<std::size_t>(w);
+      if (p.offset >= sizeof(p.header) + p.frame.size()) {
+        metrics_->writevs->Increment();
+        send_queue_.pop_front();
+      }
+    }
+    return true;
+  }
+
   // Acquired send_mu_ before recv_mu_ when both are needed (Close only).
-  Mutex send_mu_{"FdConnection::send_mu"};
-  Mutex recv_mu_{"FdConnection::recv_mu"};
+  mutable Mutex send_mu_{"FdConnection::send_mu"};
+  mutable Mutex recv_mu_{"FdConnection::recv_mu"};
   // Guarded by *either* mutex: Send checks it under send_mu_, Receive under
   // recv_mu_, and Close clears it under both — so no single GUARDED_BY fits.
   int fd_;
   std::string description_;
   const TransportMetrics* metrics_;
+  // Non-blocking receive resumption state.
+  std::uint8_t recv_header_[4] DMEMO_GUARDED_BY(recv_mu_) = {0, 0, 0, 0};
+  std::size_t recv_header_have_ DMEMO_GUARDED_BY(recv_mu_) = 0;
+  Bytes recv_body_ DMEMO_GUARDED_BY(recv_mu_);
+  std::size_t recv_body_have_ DMEMO_GUARDED_BY(recv_mu_) = 0;
+  // Non-blocking send buffering.
+  std::deque<PendingSend> send_queue_ DMEMO_GUARDED_BY(send_mu_);
 };
 
 class FdListener final : public Listener {
@@ -232,6 +433,32 @@ class FdListener final : public Listener {
   }
 
   std::string address() const override { return address_; }
+
+  int readiness_fd() const override { return fd_; }
+
+  Status SetNonBlocking() override {
+    if (fd_ < 0) return UnavailableError("listener closed");
+    return SetNonBlockingFd(fd_);
+  }
+
+  Result<std::optional<ConnectionPtr>> TryAccept() override {
+    for (;;) {
+      if (fd_ < 0) return UnavailableError("listener closed");
+      int client = ::accept(fd_, nullptr, nullptr);
+      if (client >= 0) {
+        int one = 1;
+        ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        metrics_->accepts->Increment();
+        return std::optional<ConnectionPtr>(std::make_unique<FdConnection>(
+            client, "accept:" + address_, metrics_));
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return std::optional<ConnectionPtr>(std::nullopt);
+      }
+      return Errno("accept on " + address_);
+    }
+  }
 
  private:
   int fd_;
@@ -309,7 +536,8 @@ class TcpTransport final : public Transport {
       ::close(fd);
       return Errno("bind " + std::string(address));
     }
-    if (::listen(fd, 128) != 0) {
+    WarnIfNofileBelowTarget();
+    if (::listen(fd, ListenBacklog()) != 0) {
       ::close(fd);
       return Errno("listen");
     }
@@ -356,7 +584,8 @@ class UnixTransport final : public Transport {
       ::close(fd);
       return Errno("bind " + path);
     }
-    if (::listen(fd, 128) != 0) {
+    WarnIfNofileBelowTarget();
+    if (::listen(fd, ListenBacklog()) != 0) {
       ::close(fd);
       return Errno("listen");
     }

@@ -72,6 +72,48 @@ class Connection {
 
   // Diagnostics label, e.g. "tcp:127.0.0.1:4711".
   virtual std::string description() const = 0;
+
+  // ---- readiness API (reactor core) ----------------------------------
+  //
+  // Fd-backed transports expose a pollable descriptor plus non-blocking
+  // frame I/O so an event loop can drive thousands of connections without
+  // a thread each. The base implementations report "not supported"
+  // (readiness_fd() == -1), which makes the reactor fall back to the
+  // threaded core for sim://, shm and overlay transports.
+
+  // Descriptor to register with epoll/poll, or -1 when the connection has
+  // no kernel-pollable handle.
+  virtual int readiness_fd() const { return -1; }
+
+  // Switch the descriptor to non-blocking mode. Required before
+  // TryReceive/TrySendBuf are used.
+  virtual Status SetNonBlocking() {
+    return UnimplementedError("connection has no non-blocking mode");
+  }
+
+  // Non-blocking receive: one complete frame, nullopt when the descriptor
+  // would block (a partial header/body read is retained and resumed by the
+  // next call), UNAVAILABLE once the peer closes.
+  virtual Result<std::optional<IoBuf>> TryReceive() {
+    return UnimplementedError("connection has no non-blocking receive");
+  }
+
+  // Non-blocking gather-send. Returns true when the frame (and any
+  // previously buffered partial write) fully reached the kernel; false
+  // when a tail remains buffered — the caller must call FlushPending once
+  // the descriptor signals writable. Buffered tails share the IoBuf's
+  // slices (no payload copy).
+  virtual Result<bool> TrySendBuf(IoBuf frame) {
+    (void)frame;
+    return UnimplementedError("connection has no non-blocking send");
+  }
+
+  // Push buffered partial writes; true when the send queue drained.
+  virtual Result<bool> FlushPending() { return true; }
+
+  // Whether buffered partial writes are waiting for the descriptor to
+  // become writable (i.e. the reactor should watch EPOLLOUT).
+  virtual bool HasPendingSend() const { return false; }
 };
 
 using ConnectionPtr = std::unique_ptr<Connection>;
@@ -88,6 +130,23 @@ class Listener {
 
   // The concrete dialable address (e.g. with the ephemeral port resolved).
   virtual std::string address() const = 0;
+
+  // ---- readiness API (reactor core) ----------------------------------
+
+  // Descriptor to register with epoll/poll, or -1 when accepting has no
+  // kernel-pollable handle (sim://).
+  virtual int readiness_fd() const { return -1; }
+
+  // Switch the listening descriptor to non-blocking mode.
+  virtual Status SetNonBlocking() {
+    return UnimplementedError("listener has no non-blocking mode");
+  }
+
+  // Non-blocking accept: nullopt when no connection is pending,
+  // UNAVAILABLE after Close.
+  virtual Result<std::optional<ConnectionPtr>> TryAccept() {
+    return UnimplementedError("listener has no non-blocking accept");
+  }
 };
 
 using ListenerPtr = std::unique_ptr<Listener>;

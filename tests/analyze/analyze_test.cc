@@ -191,6 +191,42 @@ TEST(Blocking, AllowMarkerSuppresses) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule 7: blocking-in-reactor
+// ---------------------------------------------------------------------------
+
+TEST(ReactorRule, FlagsDirectTransitiveAndMarkedRoots) {
+  std::vector<Finding> findings =
+      CheckBlockingInReactor(LockInput("reactor_violation.cxx"));
+  ASSERT_EQ(findings.size(), 3u);
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.rule, "blocking-in-reactor");
+    EXPECT_FALSE(f.allowlisted);
+  }
+  // Direct call on a Reactor method.
+  EXPECT_EQ(CountMessage(findings, "'Pop'"), 1);
+  // Transitive: Loop -> Step -> Drain -> Send.
+  EXPECT_EQ(CountMessage(findings, "'Send'"), 1);
+  // analyze:reactor-context marker turns a free function into a root;
+  // Shutdown (lifecycle) and the unmarked Background stay exempt, so
+  // exactly one Receive is flagged.
+  EXPECT_EQ(CountMessage(findings, "'Receive'"), 1);
+}
+
+TEST(ReactorRule, LambdasTryVariantsAndLifecycleAreClean) {
+  EXPECT_TRUE(
+      CheckBlockingInReactor(LockInput("reactor_clean.cxx")).empty());
+}
+
+TEST(ReactorRule, AllowMarkerSuppresses) {
+  std::vector<Finding> findings =
+      CheckBlockingInReactor(LockInput("reactor_allowlisted.cxx"));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(findings[0].allowlisted);
+  EXPECT_NE(findings[0].justification.find("bounded one-shot drain"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
 // Rule 3: protocol drift
 // ---------------------------------------------------------------------------
 

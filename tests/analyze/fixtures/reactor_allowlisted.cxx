@@ -1,0 +1,5 @@
+// Fixture: a justified blocking call on the reactor path.
+void Reactor::Loop() {
+  // analyze:allow(blocking-in-reactor) fixture: bounded one-shot drain
+  queue_->Pop();
+}

@@ -1,0 +1,19 @@
+// Fixture: the reactor path stays clean when blocking work rides lambdas
+// (pool tasks / completion callbacks) or non-blocking Try* variants.
+void Reactor::Loop() {
+  for (;;) {
+    auto frame = conn_->TryReceive();  // Try* names don't match the list
+    Dispatch();
+  }
+}
+
+void Reactor::Dispatch() {
+  // The lambda body runs on a pool thread, not the loop.
+  pool_->Submit([this] { conn_->Send(buf_); });
+}
+
+// Lifecycle methods may block on the owner thread.
+void Reactor::Shutdown() {
+  queue_->Pop();
+  thread_.join();
+}

@@ -1,0 +1,22 @@
+// Fixture: blocking calls reachable from reactor-context roots. Roots are
+// out-of-line Reactor:: definitions plus analyze:reactor-context markers.
+void Reactor::Loop() {
+  for (;;) {
+    Step();
+    queue_->Pop();  // direct violation on a Reactor method
+  }
+}
+
+void Reactor::Step() { Drain(); }
+
+// Transitive: Loop -> Step -> Drain -> Send.
+void Reactor::Drain() { conn_->Send(buf_); }
+
+// Owner-thread lifecycle is exempt even when it blocks.
+void Reactor::Shutdown() { conn_->Receive(); }
+
+// analyze:reactor-context
+void PumpOnce(Connection* conn) { conn->Receive(); }
+
+// Unmarked free function: not a root, not reachable - clean.
+void Background(Connection* conn) { conn->Receive(); }

@@ -19,6 +19,10 @@
 //                        (absorbed from the old check_lint.sh grep)
 //   wal-mutation         folder_server.cc directory mutations carry the
 //                        "wal:applied" marker (absorbed grep)
+//   blocking-in-reactor  no blocking_calls.def call reachable (same-file
+//                        call graph, lambda bodies excluded) from Reactor
+//                        methods or functions marked
+//                        // analyze:reactor-context
 //
 // Findings can be suppressed per line with a justification:
 //   // analyze:allow(<rule>) <why this site is safe>
@@ -119,6 +123,7 @@ std::vector<Finding> CheckProtocolDrift(const AnalyzeInput& input);
 std::vector<Finding> CheckRegistryDrift(const AnalyzeInput& input);
 std::vector<Finding> CheckZeroCopy(const AnalyzeInput& input);
 std::vector<Finding> CheckWalMutation(const AnalyzeInput& input);
+std::vector<Finding> CheckBlockingInReactor(const AnalyzeInput& input);
 
 std::vector<Finding> RunAllRules(const AnalyzeInput& input);
 

@@ -150,7 +150,8 @@ int main(int argc, char** argv) {
             << " sources, " << input.docs.size() << " docs\n";
   for (const char* rule :
        {"lock-rank", "blocking-under-lock", "protocol-drift",
-        "registry-drift", "zero-copy", "wal-mutation"}) {
+        "registry-drift", "zero-copy", "wal-mutation",
+        "blocking-in-reactor"}) {
     const auto& counts = per_rule[rule];
     std::cout << "  " << rule << ": " << counts.first << " finding(s), "
               << counts.second << " allowlisted\n";

@@ -21,6 +21,7 @@ constexpr char kProtocol[] = "protocol-drift";
 constexpr char kRegistry[] = "registry-drift";
 constexpr char kZeroCopy[] = "zero-copy";
 constexpr char kWal[] = "wal-mutation";
+constexpr char kReactor[] = "blocking-in-reactor";
 
 const SourceFile* FindBySuffix(const std::vector<SourceFile>& files,
                                const std::string& suffix) {
@@ -853,11 +854,250 @@ std::vector<Finding> CheckWalMutation(const AnalyzeInput& input) {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Rule 7: blocking-in-reactor
+//
+// The reactor's loop thread multiplexes every connection; one blocking call
+// stalls all of them (DESIGN.md §14). Roots are out-of-line `Reactor::`
+// method definitions (minus owner-thread lifecycle: constructor/destructor,
+// Start, Shutdown — inline-in-class bodies are not tracked; mark those)
+// plus any function whose definition line carries an
+// `// analyze:reactor-context` marker. From each root the rule walks direct
+// calls to other functions defined in the SAME file (the analyzer has no
+// cross-TU view) and flags any call to a name from blocking_calls.def in
+// the reachable bodies. Lambda bodies are skipped — a lambda built on the
+// reactor path typically runs elsewhere (a pool task, a completion
+// callback), mirroring WalkGuards' lambda-invisible policy. Escape hatch:
+// `// analyze:allow(blocking-in-reactor) <why>`.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct FunctionDef {
+  std::string qualified;  // "Reactor::OnReadable", "Helper"
+  std::string simple;     // last :: component
+  std::size_t begin = 0;  // token range of the body, [begin, end)
+  std::size_t end = 0;
+  int line = 0;  // definition line (for the reactor-context marker)
+};
+
+bool IsControlKeyword(const std::string& s) {
+  static const std::set<std::string> kKeywords = {
+      "if",     "for",      "while",  "switch",   "catch",        "return",
+      "sizeof", "alignof",  "new",    "delete",   "throw",        "decltype",
+      "assert", "defined",  "typeid", "co_await", "co_return",    "co_yield",
+      "and",    "not",      "or",     "constexpr", "static_assert"};
+  return kKeywords.count(s) != 0;
+}
+
+// Advances past a balanced token pair starting at *i (toks[*i] must be
+// `open`); leaves *i one past the matching close. Returns false on EOF.
+bool SkipBalanced(const std::vector<Token>& toks, std::size_t* i,
+                  const std::string& open, const std::string& close) {
+  int depth = 0;
+  for (; *i < toks.size(); ++*i) {
+    if (toks[*i].kind != Token::kPunct) continue;
+    if (toks[*i].text == open) ++depth;
+    if (toks[*i].text == close) {
+      --depth;
+      if (depth == 0) {
+        ++*i;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+// Best-effort scan for function definitions: `[Qual::]name ( ... )
+// [const|noexcept|override|final]* [: init-list] { body }`. Misses
+// trailing-return-type definitions (none in this codebase) and lambdas
+// (deliberately: they are call sites' arguments, not reachable bodies).
+std::vector<FunctionDef> CollectFunctionDefs(const Lexed& lx) {
+  std::vector<FunctionDef> defs;
+  const std::vector<Token>& toks = lx.tokens;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != Token::kIdent || IsControlKeyword(toks[i].text)) {
+      continue;
+    }
+    if (toks[i + 1].kind != Token::kPunct || toks[i + 1].text != "(") {
+      continue;
+    }
+    // Walk backward over `ident ::` pairs to assemble the qualified name.
+    std::size_t first = i;
+    while (first >= 2 && toks[first - 1].kind == Token::kPunct &&
+           toks[first - 1].text == "::" &&
+           toks[first - 2].kind == Token::kIdent) {
+      first -= 2;
+    }
+    std::string qualified;
+    for (std::size_t p = first; p <= i; p += 2) {
+      if (!qualified.empty()) qualified += "::";
+      qualified += toks[p].text;
+    }
+    std::size_t j = i + 1;
+    if (!SkipBalanced(toks, &j, "(", ")")) break;
+    while (j < toks.size() && toks[j].kind == Token::kIdent &&
+           (toks[j].text == "const" || toks[j].text == "noexcept" ||
+            toks[j].text == "override" || toks[j].text == "final")) {
+      ++j;
+    }
+    // Constructor member-initializer list: `: member(..)|member{..}, ...`.
+    if (j < toks.size() && toks[j].kind == Token::kPunct &&
+        toks[j].text == ":") {
+      ++j;
+      bool ok = true;
+      while (ok) {
+        while (j < toks.size() &&
+               (toks[j].kind == Token::kIdent ||
+                (toks[j].kind == Token::kPunct && toks[j].text == "::"))) {
+          ++j;
+        }
+        if (j >= toks.size() || toks[j].kind != Token::kPunct) {
+          ok = false;
+          break;
+        }
+        if (toks[j].text == "(") {
+          if (!SkipBalanced(toks, &j, "(", ")")) ok = false;
+        } else if (toks[j].text == "{") {
+          if (!SkipBalanced(toks, &j, "{", "}")) ok = false;
+        } else {
+          ok = false;
+          break;
+        }
+        if (ok && j < toks.size() && toks[j].kind == Token::kPunct &&
+            toks[j].text == ",") {
+          ++j;
+          continue;
+        }
+        break;
+      }
+      if (!ok) continue;
+    }
+    if (j >= toks.size() || toks[j].kind != Token::kPunct ||
+        toks[j].text != "{") {
+      continue;  // a call or declaration, not a definition
+    }
+    FunctionDef def;
+    def.qualified = qualified;
+    def.simple = toks[i].text;
+    def.line = lx.LineOf(toks[i].offset);
+    def.begin = j + 1;
+    std::size_t close = j;
+    if (!SkipBalanced(toks, &close, "{", "}")) break;
+    def.end = close - 1;
+    defs.push_back(def);
+    i = j;  // resume inside the body: nested lambdas aren't defs we track
+  }
+  return defs;
+}
+
+// Calls `ident (` inside [begin, end), skipping lambda bodies (they run on
+// whatever thread invokes them, not necessarily the reactor's).
+void ForEachCall(
+    const Lexed& lx, std::size_t begin, std::size_t end,
+    const std::function<void(const std::string&, int)>& on_call) {
+  const std::vector<Token>& toks = lx.tokens;
+  for (std::size_t i = begin; i < end && i < toks.size(); ++i) {
+    if (toks[i].kind == Token::kPunct && toks[i].text == "[") {
+      // Lambda introducer? `[...]` followed by `(` or `{`.
+      std::size_t j = i;
+      if (!SkipBalanced(toks, &j, "[", "]")) return;
+      if (j < end && toks[j].kind == Token::kPunct && toks[j].text == "(") {
+        if (!SkipBalanced(toks, &j, "(", ")")) return;
+        while (j < end && toks[j].kind == Token::kIdent &&
+               (toks[j].text == "mutable" || toks[j].text == "noexcept")) {
+          ++j;
+        }
+      }
+      if (j < end && toks[j].kind == Token::kPunct && toks[j].text == "{") {
+        if (!SkipBalanced(toks, &j, "{", "}")) return;
+        i = j - 1;  // resume after the lambda body
+        continue;
+      }
+      i = j - 1;  // array subscript: nothing to skip
+      continue;
+    }
+    if (toks[i].kind != Token::kIdent || IsControlKeyword(toks[i].text)) {
+      continue;
+    }
+    if (i + 1 < toks.size() && toks[i + 1].kind == Token::kPunct &&
+        toks[i + 1].text == "(") {
+      on_call(toks[i].text, lx.LineOf(toks[i].offset));
+    }
+  }
+}
+
+bool HasReactorContextMarker(const Lexed& lx, int line) {
+  for (int l : {line, line - 1}) {
+    auto it = lx.comments.find(l);
+    if (it != lx.comments.end() &&
+        it->second.find("analyze:reactor-context") != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Finding> CheckBlockingInReactor(const AnalyzeInput& input) {
+  std::vector<Finding> out;
+  for (const SourceFile& file : input.sources) {
+    Lexed lx = Lex(file.content);
+    std::vector<FunctionDef> defs = CollectFunctionDefs(lx);
+    if (defs.empty()) continue;
+    std::map<std::string, std::vector<std::size_t>> by_simple;
+    std::vector<std::size_t> work;
+    for (std::size_t idx = 0; idx < defs.size(); ++idx) {
+      const FunctionDef& def = defs[idx];
+      by_simple[def.simple].push_back(idx);
+      bool root = false;
+      if (def.qualified.rfind("Reactor::", 0) == 0) {
+        // Owner-thread lifecycle is exempt: Start/Shutdown/ctor run (and
+        // may block) on the thread that owns the reactor, not its loop.
+        root = def.simple != "Reactor" && def.simple != "Start" &&
+               def.simple != "Shutdown";
+      }
+      if (!root) root = HasReactorContextMarker(lx, def.line);
+      if (root) work.push_back(idx);
+    }
+    std::set<std::size_t> visited;
+    while (!work.empty()) {
+      const std::size_t idx = work.back();
+      work.pop_back();
+      if (!visited.insert(idx).second) continue;
+      const FunctionDef& def = defs[idx];
+      ForEachCall(lx, def.begin, def.end,
+                  [&](const std::string& callee, int line) {
+                    if (input.blocking.count(callee) != 0) {
+                      out.push_back(
+                          {kReactor, file.path, line,
+                           "blocking call '" + callee +
+                               "' on the reactor path (reached via '" +
+                               def.qualified +
+                               "'); move it to a pool task or justify with "
+                               "analyze:allow",
+                           false,
+                           ""});
+                    }
+                    auto targets = by_simple.find(callee);
+                    if (targets != by_simple.end()) {
+                      for (std::size_t t : targets->second) work.push_back(t);
+                    }
+                  });
+    }
+  }
+  ApplyAllowlist(input.sources, &out);
+  return out;
+}
+
 std::vector<Finding> RunAllRules(const AnalyzeInput& input) {
   std::vector<Finding> out;
   for (auto* rule :
        {CheckLockRank, CheckBlockingUnderLock, CheckProtocolDrift,
-        CheckRegistryDrift, CheckZeroCopy, CheckWalMutation}) {
+        CheckRegistryDrift, CheckZeroCopy, CheckWalMutation,
+        CheckBlockingInReactor}) {
     std::vector<Finding> findings = rule(input);
     out.insert(out.end(), findings.begin(), findings.end());
   }
