@@ -275,7 +275,23 @@ dmemo::Status PrintStats(const std::string& url) {
   return dmemo::Status::Ok();
 }
 
-dmemo::Status PrintHealth(const std::string& url) {
+// Mid-watch epoch bookkeeping: an epoch that ADVANCED between rounds means
+// the partition failed over (or recovered) while we were looking — tag it
+// and let the round's counter deltas clamp via the [restarted] rule rather
+// than printing a garbage negative rate.
+std::string EpochTag(const std::string& url, int fs_id, std::uint64_t epoch,
+                     bool watching) {
+  if (!watching) return "";
+  const std::string key = url + "\x01" + "fs_epoch:" + std::to_string(fs_id);
+  auto it = g_prev.find(key);
+  const bool first = it == g_prev.end();
+  const std::uint64_t prev = first ? 0 : it->second;
+  g_prev[key] = epoch;
+  if (!first && epoch > prev) return " [failed-over]";
+  return "";
+}
+
+dmemo::Status PrintHealth(const std::string& url, bool watching) {
   DMEMO_ASSIGN_OR_RETURN(auto root, Fetch(url, dmemo::Op::kStats));
   std::printf("server %s (%s)\n", StrField(*root, "host").c_str(),
               url.c_str());
@@ -284,11 +300,26 @@ dmemo::Status PrintHealth(const std::string& url) {
   if (folders != nullptr) {
     for (const auto& item : folders->items()) {
       auto rec = std::static_pointer_cast<dmemo::TRecord>(item);
-      std::printf("  folder-server %d: epoch=%llu wal_lag_bytes=%llu\n",
+      const int id =
+          std::static_pointer_cast<dmemo::TInt32>(rec->Get("id"))->value();
+      const std::uint64_t epoch = U64Field(*rec, "epoch");
+      std::printf("  folder-server %d: epoch=%llu wal_lag_bytes=%llu%s\n",
+                  id, (unsigned long long)epoch,
+                  (unsigned long long)U64Field(*rec, "wal_lag"),
+                  EpochTag(url, id, epoch, watching).c_str());
+    }
+  }
+  auto standbys =
+      std::static_pointer_cast<dmemo::TList>(root->Get("standbys"));
+  if (standbys != nullptr) {
+    for (const auto& item : standbys->items()) {
+      auto rec = std::static_pointer_cast<dmemo::TRecord>(item);
+      std::printf("  standby fs%d: primary=%s epoch=%llu next_seq=%llu\n",
                   std::static_pointer_cast<dmemo::TInt32>(rec->Get("id"))
                       ->value(),
+                  StrField(*rec, "primary").c_str(),
                   (unsigned long long)U64Field(*rec, "epoch"),
-                  (unsigned long long)U64Field(*rec, "wal_lag"));
+                  (unsigned long long)U64Field(*rec, "next_seq"));
     }
   }
   auto health = std::static_pointer_cast<dmemo::TList>(root->Get("health"));
@@ -466,7 +497,8 @@ int RunRound(const Options& opts,
              std::map<std::string, std::string>* last_error) {
   int failed = 0;
   for (const std::string& url : opts.urls) {
-    dmemo::Status status = opts.health  ? PrintHealth(url)
+    dmemo::Status status = opts.health
+                               ? PrintHealth(url, opts.watch_seconds > 0)
                            : opts.metrics ? PrintMetrics(url, opts)
                                           : PrintStats(url);
     if (!status.ok()) {

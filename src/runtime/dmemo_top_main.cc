@@ -184,6 +184,21 @@ void RenderServer(const std::string& url, const ServerSnapshot& now,
   }
   bool restarted = false;
 
+  // Mid-watch failover: a dmemo_fs_epoch gauge that ADVANCED between
+  // rounds means a partition was promoted (or re-recovered) under us. Tag
+  // the panel; the delta clamping below already keeps the rates sane.
+  bool failed_over = false;
+  for (const auto& [key, s] : now.series) {
+    if (s.kind != "gauge" ||
+        key.compare(0, 14, "dmemo_fs_epoch") != 0) {
+      continue;
+    }
+    auto it = prev.series.find(key);
+    if (it != prev.series.end() && prev.up && s.value > it->second.value) {
+      failed_over = true;
+    }
+  }
+
   // Total ops/s: sum of per-op latency histogram count deltas.
   std::uint64_t ops_delta = 0;
   for (const auto& [key, s] : now.series) {
@@ -198,8 +213,9 @@ void RenderServer(const std::string& url, const ServerSnapshot& now,
   }
   const double ops_rate = dt_s > 0 ? ops_delta / dt_s : 0;
 
-  std::printf("%s  (%s)  %.0f op/s%s\n", now.host.c_str(), url.c_str(),
-              ops_rate, restarted ? "  [restarted]" : "");
+  std::printf("%s  (%s)  %.0f op/s%s%s\n", now.host.c_str(), url.c_str(),
+              ops_rate, restarted ? "  [restarted]" : "",
+              failed_over ? "  [failed-over]" : "");
 
   // Per-op latency over the last interval (delta buckets), skipping ops
   // that saw no traffic.
@@ -245,11 +261,18 @@ void RenderServer(const std::string& url, const ServerSnapshot& now,
       std::printf("  wal    %-22s lag=%s\n",
                   key.substr(key.find('\x01') + 1).c_str(),
                   HumanBytes(s.value).c_str());
+    } else if (key.compare(0, 14, "dmemo_fs_epoch") == 0) {
+      auto it = prev.series.find(key);
+      const bool advanced =
+          it != prev.series.end() && prev.up && s.value > it->second.value;
+      std::printf("  epoch  %-22s e=%lld%s\n",
+                  key.substr(key.find('\x01') + 1).c_str(),
+                  (long long)s.value, advanced ? " [failed-over]" : "");
     }
   }
 
   // Link health counters, rate-form.
-  std::uint64_t retries = 0, reconnects = 0, fenced = 0;
+  std::uint64_t retries = 0, reconnects = 0, fenced = 0, failovers = 0;
   for (const auto& [key, s] : now.series) {
     if (s.kind != "counter") continue;
     auto it = prev.series.find(key);
@@ -264,10 +287,13 @@ void RenderServer(const std::string& url, const ServerSnapshot& now,
       reconnects += d;
     }
     if (key.compare(0, 27, "dmemo_fenced_requests_total") == 0) fenced += d;
+    if (key.compare(0, 20, "dmemo_failover_total") == 0) failovers += d;
   }
-  std::printf("  link   retries=+%llu reconnects=+%llu fenced=+%llu\n\n",
-              (unsigned long long)retries, (unsigned long long)reconnects,
-              (unsigned long long)fenced);
+  std::printf(
+      "  link   retries=+%llu reconnects=+%llu fenced=+%llu "
+      "failovers=+%llu\n\n",
+      (unsigned long long)retries, (unsigned long long)reconnects,
+      (unsigned long long)fenced, (unsigned long long)failovers);
 }
 
 int Usage(const char* argv0) {

@@ -4,6 +4,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <cerrno>
 #include <cstring>
@@ -64,7 +65,7 @@ FolderServer::FolderServer(int id, std::string host)
       "fs=\"" + std::to_string(id_) + "@" + host_ + "\"";
   auto& registry = MetricsRegistry::Global();
   for (std::uint8_t v = static_cast<std::uint8_t>(Op::kPut);
-       v <= static_cast<std::uint8_t>(Op::kHeartbeat); ++v) {
+       v <= static_cast<std::uint8_t>(Op::kGossip); ++v) {
     const Op op = static_cast<Op>(v);
     op_latency_[v] = registry.GetHistogram(
         "dmemo_folder_op_latency_us",
@@ -77,6 +78,8 @@ FolderServer::FolderServer(int id, std::string host)
   wal_replayed_ =
       registry.GetCounter("dmemo_wal_replayed_records_total", fs_label);
   failovers_ = registry.GetCounter("dmemo_failover_total", fs_label);
+  epoch_gauge_ = registry.GetGauge("dmemo_fs_epoch", fs_label);
+  epoch_gauge_->Set(0);
 }
 
 Response FolderServer::Handle(const Request& request) {
@@ -336,6 +339,9 @@ Response FolderServer::HandleOp(const Request& request) {
     case Op::kStats:
     case Op::kMetrics:
     case Op::kHeartbeat:
+    case Op::kReplSnapshot:
+    case Op::kReplAppend:
+    case Op::kGossip:
       return Response::FromStatus(InvalidArgumentError(
           std::string(OpName(request.op)) +
           " must be sent to a memo server"));
@@ -354,6 +360,7 @@ Status FolderServer::LoggedPut(Op op, const QualifiedKey& qk,
     return directory_.Put(qk, value);  // wal:applied (off)
   }
   std::uint64_t end = 0;
+  std::uint64_t repl_seq = 0;
   {
     // Append-then-apply under wal_mu_, so the log's record order is the
     // directory's apply order (a put and a put_delayed on the same folder
@@ -372,8 +379,14 @@ Status FolderServer::LoggedPut(Op op, const QualifiedKey& qk,
             ? directory_.PutDelayed(qk, qk2, value)  // wal:applied
             : directory_.Put(qk, value);             // wal:applied
     if (!applied.ok()) return applied;
+    // Sequenced under wal_mu_ so the replication stream's order is the
+    // apply order.
+    if (repl_ != nullptr) repl_seq = repl_->Enqueue(rec);
   }
   DMEMO_RETURN_IF_ERROR(wal_->Commit(end));
+  // Semisync barrier (no-op in async mode): the ack waits until the
+  // record reached the backup or the bounded wait degrades.
+  if (repl_ != nullptr) repl_->WaitShipped(repl_seq);
   return MaybeCompact();
 }
 
@@ -387,6 +400,7 @@ Status FolderServer::LogExtraction(Op op, const QualifiedKey& qk,
   // necessarily earlier in the log, so the late append is consistent even
   // if other mutations interleaved between take and append.
   std::uint64_t end = 0;
+  std::uint64_t repl_seq = 0;
   Status logged = Status::Ok();
   {
     MutexLock lock(wal_mu_);
@@ -398,6 +412,7 @@ Status FolderServer::LogExtraction(Op op, const QualifiedKey& qk,
     auto appended = wal_->Append(rec);
     if (appended.ok()) {
       end = std::move(appended).value();
+      if (repl_ != nullptr) repl_seq = repl_->Enqueue(rec);
     } else {
       logged = appended.status();
     }
@@ -409,8 +424,19 @@ Status FolderServer::LogExtraction(Op op, const QualifiedKey& qk,
     // extraction acked to the client would be re-delivered after a crash
     // (a duplicate).
     (void)directory_.Put(qk, value);  // wal:applied (undo of unlogged take)
+    if (repl_ != nullptr && repl_seq != 0) {
+      // The take may already be on the wire: ship a compensating deposit
+      // (request_id 0 — untracked) so the backup converges on the undo.
+      MutexLock lock(wal_mu_);
+      WalRecord undo;
+      undo.op = static_cast<std::uint8_t>(Op::kPut);
+      undo.key = qk.ToBytes();
+      undo.payload = value;
+      (void)repl_->Enqueue(undo);
+    }
     return logged;
   }
+  if (repl_ != nullptr) repl_->WaitShipped(repl_seq);
   return MaybeCompact();
 }
 
@@ -516,8 +542,12 @@ Status FolderServer::EnableDurability(FolderServerDurability opts,
   }
 
   // Every recovery bumps the epoch, so anything still stamped with the
-  // previous incarnation's epoch is fenceable from the first request.
-  epoch_.store(prev_epoch + 1, std::memory_order_relaxed);
+  // previous incarnation's epoch is fenceable from the first request. The
+  // floor lets a promoted backup open strictly above the failed primary's
+  // next restart (DESIGN.md §15).
+  epoch_.store(std::max(prev_epoch, durability_.epoch_floor) + 1,
+               std::memory_order_relaxed);
+  epoch_gauge_->Set(static_cast<std::int64_t>(epoch()));
 
   // Fold the recovered state into a fresh snapshot generation *before*
   // opening (truncating) the WAL — the replayed records must never be the
@@ -547,6 +577,22 @@ Status FolderServer::EnableDurability(FolderServerDurability opts,
                      << ", now serving epoch " << epoch();
   }
   return result;
+}
+
+Result<ReplSnapshotPayload> FolderServer::ReplicationSnapshot() {
+  // wal_mu_ pins the snapshot/watermark relationship: the snapshot holds
+  // exactly the mutations with sequence numbers <= watermark, because both
+  // Enqueue and the directory apply happen under this lock.
+  MutexLock lock(wal_mu_);
+  ReplSnapshotPayload payload;
+  payload.fs_id = id_;
+  payload.primary_host = host_;
+  payload.epoch = epoch();
+  payload.watermark = repl_ == nullptr ? 0 : repl_->last_seq();
+  ByteWriter out;
+  directory_.SnapshotTo(out);
+  payload.snapshot = out.take();
+  return payload;
 }
 
 Status FolderServer::Checkpoint() {

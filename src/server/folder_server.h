@@ -33,6 +33,7 @@
 
 #include "folder/directory.h"
 #include "server/protocol.h"
+#include "server/replication.h"
 #include "util/metrics.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
@@ -50,6 +51,12 @@ struct FolderServerDurability {
   // Compact (snapshot + truncate the log) once the WAL exceeds this many
   // bytes; 0 disables compaction. DMEMO_WAL_COMPACT_BYTES.
   std::uint64_t compact_bytes = CompactBytesFromEnv();
+  // Fencing-epoch floor: recovery serves at max(stored epoch, floor) + 1.
+  // A promoted backup passes its standby's replicated epoch + 1 here so it
+  // opens at least two epochs above the failed primary — strictly above
+  // both the primary's last epoch and whatever a plain restart of that
+  // primary would come back with (its epoch + 1), keeping the loser fenced.
+  std::uint64_t epoch_floor = 0;
 
   static std::uint64_t CompactBytesFromEnv();
 };
@@ -105,6 +112,18 @@ class FolderServer {
   // Fold the log into the snapshot and truncate it (also the compaction
   // body once the WAL passes compact_bytes, and the clean-shutdown path).
   Status Checkpoint();
+
+  // Attach the replication sink (DESIGN.md §15). Must happen before the
+  // server takes traffic; the pointer is immutable afterwards and must
+  // outlive the server. Every WAL-logged mutation is handed to the sink
+  // under wal_mu_ (ship order == apply order), and acks wait on the sink's
+  // semisync barrier after the commit.
+  void SetReplication(ReplicationSink* sink) { repl_ = sink; }
+
+  // Consistent bootstrap payload for a cold backup: a directory snapshot
+  // plus the replication watermark it covers, taken under wal_mu_ so no
+  // mutation can slip between the two.
+  Result<ReplSnapshotPayload> ReplicationSnapshot();
 
   bool durable() const { return wal_ != nullptr; }
   // Current fencing epoch; 0 until EnableDurability.
@@ -167,16 +186,21 @@ class FolderServer {
   // immutable; the WAL has its own internal locking, so the pointer needs
   // no guard.
   std::unique_ptr<WriteAheadLog> wal_;
+  // Set once via SetReplication (before the server takes traffic), then
+  // immutable; the sink has its own internal locking (ranked below
+  // wal_mu_, since Enqueue runs under it).
+  ReplicationSink* repl_ = nullptr;
 
   // Observability handles, resolved once at construction. op_latency_ is
-  // indexed by the numeric Op value (kPut..kHeartbeat).
-  std::array<Histogram*, 16> op_latency_{};
+  // indexed by the numeric Op value (kPut..kGossip).
+  std::array<Histogram*, 17> op_latency_{};
   Counter* deposits_ = nullptr;
   Counter* extracts_ = nullptr;
   Counter* slow_ops_ = nullptr;
   Counter* fenced_ = nullptr;        // dmemo_fenced_requests_total
   Counter* wal_replayed_ = nullptr;  // dmemo_wal_replayed_records_total
   Counter* failovers_ = nullptr;     // dmemo_failover_total
+  Gauge* epoch_gauge_ = nullptr;     // dmemo_fs_epoch
 };
 
 }  // namespace dmemo

@@ -1,0 +1,368 @@
+#include "server/gossip.h"
+
+#include <algorithm>
+
+#include "transferable/codec.h"
+#include "transferable/composite.h"
+#include "transferable/scalars.h"
+#include "util/log.h"
+#include "util/retry.h"
+
+namespace dmemo {
+namespace {
+
+// How many outgoing messages carry one queued claim before it retires.
+// Constant (not N-dependent): at one ping per period a claim transits the
+// farm through relays, and every receiver re-queues it with a fresh
+// budget, so dissemination is epidemic rather than budget-bound.
+constexpr int kPiggybackSends = 12;
+
+std::uint64_t U64Field(const TRecord& rec, const char* name) {
+  auto v = std::dynamic_pointer_cast<TUInt64>(rec.Get(name));
+  return v == nullptr ? 0 : v->value();
+}
+
+int I32Field(const TRecord& rec, const char* name) {
+  auto v = std::dynamic_pointer_cast<TInt32>(rec.Get(name));
+  return v == nullptr ? 0 : v->value();
+}
+
+std::string StrField(const TRecord& rec, const char* name) {
+  auto v = std::dynamic_pointer_cast<TString>(rec.Get(name));
+  return v == nullptr ? std::string() : v->value();
+}
+
+}  // namespace
+
+int GossipIndirectFromEnv() {
+  return std::max<int>(0, static_cast<int>(EnvInt("DMEMO_GOSSIP_INDIRECT", 2)));
+}
+
+std::string_view MemberStateName(MemberState state) {
+  switch (state) {
+    case MemberState::kAlive: return "alive";
+    case MemberState::kSuspect: return "suspect";
+    case MemberState::kDead: return "dead";
+  }
+  return "unknown";
+}
+
+IoBuf EncodeGossipMessage(const GossipMessage& msg) {
+  auto root = std::make_shared<TRecord>();
+  root->Set("kind", MakeString(msg.kind));
+  root->Set("host", MakeString(msg.host));
+  if (!msg.subject.empty()) root->Set("subject", MakeString(msg.subject));
+  root->Set("incarnation", MakeUInt64(msg.incarnation));
+  root->Set("reached", MakeBool(msg.reached));
+  auto updates = std::make_shared<TList>();
+  for (const MemberUpdate& u : msg.updates) {
+    auto rec = std::make_shared<TRecord>();
+    rec->Set("host", MakeString(u.host));
+    rec->Set("incarnation", MakeUInt64(u.incarnation));
+    rec->Set("state", MakeInt32(static_cast<int>(u.state)));
+    updates->Add(rec);
+  }
+  root->Set("updates", updates);
+  auto folders = std::make_shared<TList>();
+  for (const GossipFolderInfo& fs : msg.folder_servers) {
+    auto rec = std::make_shared<TRecord>();
+    rec->Set("id", MakeInt32(fs.id));
+    rec->Set("epoch", MakeUInt64(fs.epoch));
+    rec->Set("wal_lag", MakeUInt64(fs.wal_lag));
+    folders->Add(rec);
+  }
+  root->Set("folder_servers", folders);
+  auto owners = std::make_shared<TList>();
+  for (const OwnershipClaim& claim : msg.owners) {
+    auto rec = std::make_shared<TRecord>();
+    rec->Set("id", MakeInt32(claim.fs_id));
+    rec->Set("host", MakeString(claim.host));
+    rec->Set("epoch", MakeUInt64(claim.epoch));
+    owners->Add(rec);
+  }
+  root->Set("owners", owners);
+  return EncodeGraphToIoBuf(root);
+}
+
+Result<GossipMessage> ParseGossipMessage(const IoBuf& value) {
+  if (value.size() == 0) {
+    return InvalidArgumentError("empty gossip payload");
+  }
+  DMEMO_ASSIGN_OR_RETURN(auto decoded, DecodeGraphFromBytes(value));
+  auto root = std::dynamic_pointer_cast<TRecord>(decoded);
+  if (root == nullptr) {
+    return DataLossError("gossip payload is not a record");
+  }
+  GossipMessage msg;
+  msg.kind = StrField(*root, "kind");
+  msg.host = StrField(*root, "host");
+  msg.subject = StrField(*root, "subject");
+  msg.incarnation = U64Field(*root, "incarnation");
+  if (auto r = std::dynamic_pointer_cast<TBool>(root->Get("reached"))) {
+    msg.reached = r->value();
+  }
+  if (msg.kind.empty() || msg.host.empty()) {
+    return DataLossError("gossip payload missing kind/host");
+  }
+  if (auto list = std::dynamic_pointer_cast<TList>(root->Get("updates"))) {
+    for (const auto& item : list->items()) {
+      auto rec = std::dynamic_pointer_cast<TRecord>(item);
+      if (rec == nullptr) continue;
+      MemberUpdate u;
+      u.host = StrField(*rec, "host");
+      u.incarnation = U64Field(*rec, "incarnation");
+      const int state = I32Field(*rec, "state");
+      if (u.host.empty() || state < 0 ||
+          state > static_cast<int>(MemberState::kDead)) {
+        continue;
+      }
+      u.state = static_cast<MemberState>(state);
+      msg.updates.push_back(std::move(u));
+    }
+  }
+  if (auto list =
+          std::dynamic_pointer_cast<TList>(root->Get("folder_servers"))) {
+    for (const auto& item : list->items()) {
+      auto rec = std::dynamic_pointer_cast<TRecord>(item);
+      if (rec == nullptr) continue;
+      msg.folder_servers.push_back(GossipFolderInfo{
+          I32Field(*rec, "id"), U64Field(*rec, "epoch"),
+          U64Field(*rec, "wal_lag")});
+    }
+  }
+  if (auto list = std::dynamic_pointer_cast<TList>(root->Get("owners"))) {
+    for (const auto& item : list->items()) {
+      auto rec = std::dynamic_pointer_cast<TRecord>(item);
+      if (rec == nullptr) continue;
+      OwnershipClaim claim;
+      claim.fs_id = I32Field(*rec, "id");
+      claim.host = StrField(*rec, "host");
+      claim.epoch = U64Field(*rec, "epoch");
+      if (claim.host.empty()) continue;
+      msg.owners.push_back(std::move(claim));
+    }
+  }
+  return msg;
+}
+
+GossipMembership::GossipMembership(std::string self_host, int suspect_misses)
+    : self_(std::move(self_host)),
+      suspect_misses_(std::max(1, suspect_misses)) {
+  const std::string host_label = "host=\"" + self_ + "\"";
+  auto& registry = MetricsRegistry::Global();
+  suspects_ = registry.GetCounter("dmemo_gossip_suspects_total", host_label);
+  deaths_ = registry.GetCounter("dmemo_gossip_deaths_total", host_label);
+  refutes_ = registry.GetCounter("dmemo_gossip_refutes_total", host_label);
+}
+
+void GossipMembership::AddPeer(const std::string& host) {
+  if (host == self_ || host.empty()) return;
+  MutexLock lock(mu_);
+  members_.try_emplace(host);
+}
+
+std::uint64_t GossipMembership::self_incarnation() const {
+  MutexLock lock(mu_);
+  return self_incarnation_;
+}
+
+std::string GossipMembership::NextProbeTarget(SplitMix64& rng) {
+  MutexLock lock(mu_);
+  if (order_pos_ >= order_.size()) {
+    order_.clear();
+    for (const auto& [host, m] : members_) {
+      if (m.state != MemberState::kDead) order_.push_back(host);
+    }
+    for (std::size_t i = order_.size(); i > 1; --i) {
+      std::swap(order_[i - 1], order_[rng.NextBelow(i)]);
+    }
+    order_pos_ = 0;
+  }
+  // Members may have died since the cycle was shuffled; skip them.
+  while (order_pos_ < order_.size()) {
+    const std::string& host = order_[order_pos_++];
+    auto it = members_.find(host);
+    if (it != members_.end() && it->second.state != MemberState::kDead) {
+      return host;
+    }
+  }
+  return std::string();
+}
+
+std::vector<std::string> GossipMembership::IndirectCandidates(
+    int k, const std::string& exclude, SplitMix64& rng) {
+  MutexLock lock(mu_);
+  std::vector<std::string> live;
+  for (const auto& [host, m] : members_) {
+    if (host != exclude && m.state != MemberState::kDead) {
+      live.push_back(host);
+    }
+  }
+  for (std::size_t i = live.size(); i > 1; --i) {
+    std::swap(live[i - 1], live[rng.NextBelow(i)]);
+  }
+  if (k >= 0 && live.size() > static_cast<std::size_t>(k)) {
+    live.resize(static_cast<std::size_t>(k));
+  }
+  return live;
+}
+
+bool GossipMembership::OnProbeSuccess(const std::string& host,
+                                      std::uint64_t incarnation) {
+  MutexLock lock(mu_);
+  auto it = members_.find(host);
+  if (it == members_.end()) return false;
+  Member& m = it->second;
+  // A direct ack is ground truth for liveness: it clears a suspicion even
+  // at an equal incarnation (the gossiped alive{i}-overrides-suspect{j}
+  // rule needs i > j only for *hearsay*).
+  if (incarnation < m.incarnation && m.state != MemberState::kAlive) {
+    return false;  // stale ack from before the suspected incarnation
+  }
+  const bool rejoined = m.state == MemberState::kDead;
+  m.state = MemberState::kAlive;
+  m.incarnation = std::max(m.incarnation, incarnation);
+  m.misses = 0;
+  m.suspect_ticks = 0;
+  QueueUpdateLocked(
+      MemberUpdate{host, m.incarnation, MemberState::kAlive});
+  return rejoined;
+}
+
+void GossipMembership::OnProbeMiss(const std::string& host) {
+  MutexLock lock(mu_);
+  auto it = members_.find(host);
+  if (it == members_.end()) return;
+  Member& m = it->second;
+  if (m.state == MemberState::kDead) return;
+  ++m.misses;
+  if (m.state == MemberState::kAlive) {
+    m.state = MemberState::kSuspect;
+    m.suspect_ticks = 0;
+    suspects_->Increment();
+    QueueUpdateLocked(
+        MemberUpdate{host, m.incarnation, MemberState::kSuspect});
+    DMEMO_LOG(kWarn) << self_ << ": gossip suspects " << host
+                     << " (incarnation " << m.incarnation << ")";
+  }
+}
+
+bool GossipMembership::MarkDeadLocked(const std::string& host, Member& m) {
+  if (m.state == MemberState::kDead) return false;
+  m.state = MemberState::kDead;
+  m.misses = std::max(m.misses, suspect_misses_);
+  deaths_->Increment();
+  QueueUpdateLocked(MemberUpdate{host, m.incarnation, MemberState::kDead});
+  return true;
+}
+
+std::vector<std::string> GossipMembership::Tick() {
+  MutexLock lock(mu_);
+  std::vector<std::string> dead;
+  for (auto& [host, m] : members_) {
+    if (m.state != MemberState::kSuspect) continue;
+    ++m.suspect_ticks;
+    // Dead on enough consecutive failed probes of our own, or when a
+    // (possibly gossiped) suspicion ages out unrefuted — the SWIM
+    // suspicion timeout that lets every member converge on a death it
+    // never probed directly.
+    if (m.misses >= suspect_misses_ ||
+        m.suspect_ticks >= 2 * suspect_misses_) {
+      if (MarkDeadLocked(host, m)) dead.push_back(host);
+    }
+  }
+  return dead;
+}
+
+std::vector<std::string> GossipMembership::ApplyUpdates(
+    const std::vector<MemberUpdate>& updates) {
+  MutexLock lock(mu_);
+  std::vector<std::string> dead;
+  for (const MemberUpdate& u : updates) {
+    if (u.host == self_) {
+      // Someone thinks we are suspect/dead: refute by outliving the claim
+      // — bump our incarnation past it and re-announce alive.
+      if (u.state != MemberState::kAlive &&
+          u.incarnation >= self_incarnation_) {
+        self_incarnation_ = u.incarnation + 1;
+        refutes_->Increment();
+        QueueUpdateLocked(
+            MemberUpdate{self_, self_incarnation_, MemberState::kAlive});
+      }
+      continue;
+    }
+    auto it = members_.find(u.host);
+    if (it == members_.end()) continue;  // not in the configured farm
+    Member& m = it->second;
+    bool applies = false;
+    switch (u.state) {
+      case MemberState::kAlive:
+        // alive{i} overrides suspect{j}/dead{j}/alive{j} for i > j.
+        applies = u.incarnation > m.incarnation ||
+                  (u.incarnation == m.incarnation &&
+                   m.state == MemberState::kAlive);
+        break;
+      case MemberState::kSuspect:
+        // suspect{i} overrides alive{j} for i >= j, suspect{j} for i > j.
+        applies = (m.state == MemberState::kAlive &&
+                   u.incarnation >= m.incarnation) ||
+                  (m.state == MemberState::kSuspect &&
+                   u.incarnation > m.incarnation);
+        break;
+      case MemberState::kDead:
+        applies = m.state != MemberState::kDead &&
+                  u.incarnation >= m.incarnation;
+        break;
+    }
+    if (!applies) continue;
+    m.incarnation = std::max(m.incarnation, u.incarnation);
+    if (u.state == MemberState::kDead) {
+      if (MarkDeadLocked(u.host, m)) dead.push_back(u.host);
+    } else if (u.state != m.state) {
+      if (u.state == MemberState::kSuspect) {
+        m.state = MemberState::kSuspect;
+        m.suspect_ticks = 0;
+        suspects_->Increment();
+      } else {
+        m.state = MemberState::kAlive;
+        m.misses = 0;
+        m.suspect_ticks = 0;
+      }
+      QueueUpdateLocked(MemberUpdate{u.host, m.incarnation, m.state});
+    }
+  }
+  return dead;
+}
+
+void GossipMembership::QueueUpdateLocked(const MemberUpdate& update) {
+  piggyback_[update.host] = Pending{update, kPiggybackSends};
+}
+
+std::vector<MemberUpdate> GossipMembership::PiggybackUpdates() {
+  MutexLock lock(mu_);
+  std::vector<MemberUpdate> out;
+  out.push_back(
+      MemberUpdate{self_, self_incarnation_, MemberState::kAlive});
+  for (auto it = piggyback_.begin(); it != piggyback_.end();) {
+    out.push_back(it->second.update);
+    if (--it->second.remaining <= 0) {
+      it = piggyback_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+std::vector<MemberView> GossipMembership::Snapshot() const {
+  MutexLock lock(mu_);
+  std::vector<MemberView> out;
+  out.reserve(members_.size());
+  for (const auto& [host, m] : members_) {
+    out.push_back(
+        MemberView{host, m.state, m.incarnation, m.misses, m.suspect_ticks});
+  }
+  return out;
+}
+
+}  // namespace dmemo

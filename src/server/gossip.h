@@ -1,0 +1,180 @@
+// SWIM-style gossip membership (DESIGN.md §15).
+//
+// PR 5's failure detector heartbeated every peer every interval — O(N²)
+// messages per period across the farm. This layer replaces it with the
+// SWIM shape: each protocol period a server pings ONE randomized
+// round-robin member; on a direct miss it asks k other members to probe
+// the target for it (ping-req indirection, so one congested link cannot
+// kill a healthy node); a member that still cannot be reached becomes
+// *suspect* and, after the suspicion times out unrefuted, *dead*.
+// Per-node message load is one ping plus at most k ping-reqs per period —
+// independent of N.
+//
+// Every state claim carries the subject's incarnation number. Only the
+// member itself may bump its incarnation, which is how a live suspect
+// refutes the rumor: it re-announces itself alive at a higher incarnation,
+// and the alive{i} claim overrides suspect{j} for i > j everywhere.
+// Updates piggyback on the ping/ack payloads with a bounded resend budget,
+// so dissemination costs no extra messages.
+//
+// GossipMembership is the pure state machine: no I/O, no clock of its own
+// (the caller's probe loop drives Tick once per protocol period). All
+// methods are thread-safe behind one internal mutex, which is a leaf: no
+// callback runs and no other lock is taken while it is held.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/iobuf.h"
+#include "util/metrics.h"
+#include "util/mutex.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace dmemo {
+
+// DMEMO_GOSSIP_INDIRECT: how many peers relay a ping-req when a direct
+// probe misses (default 2, clamped to >= 0).
+int GossipIndirectFromEnv();
+
+enum class MemberState : std::uint8_t { kAlive = 0, kSuspect = 1, kDead = 2 };
+
+std::string_view MemberStateName(MemberState state);
+
+// One piggybacked membership claim: "<host> is <state> at <incarnation>".
+struct MemberUpdate {
+  std::string host;
+  std::uint64_t incarnation = 0;
+  MemberState state = MemberState::kAlive;
+};
+
+// Introspection snapshot of one member.
+struct MemberView {
+  std::string host;
+  MemberState state = MemberState::kAlive;
+  std::uint64_t incarnation = 0;
+  int misses = 0;
+  int suspect_ticks = 0;
+};
+
+// Folder-server epoch/lag info riding a gossip payload (the PR 5
+// heartbeat's epoch exchange, now piggybacked on membership traffic).
+struct GossipFolderInfo {
+  int id = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t wal_lag = 0;
+};
+
+// Ownership claim for a failed-over folder partition: `host` serves folder
+// server `fs_id` under fencing `epoch`. Highest epoch wins everywhere.
+struct OwnershipClaim {
+  int fs_id = 0;
+  std::string host;
+  std::uint64_t epoch = 0;
+};
+
+// The kGossip request/response payload (an encoded TRecord; PROTOCOL.md).
+struct GossipMessage {
+  // "ping" (direct probe), "ping-req" (probe `subject` for me), or "ack".
+  std::string kind;
+  std::string host;         // sender
+  std::string subject;      // ping-req only: the member to probe
+  std::uint64_t incarnation = 0;  // sender's own incarnation
+  bool reached = false;     // ping-req ack: did the relay reach subject?
+  std::vector<MemberUpdate> updates;
+  std::vector<GossipFolderInfo> folder_servers;
+  std::vector<OwnershipClaim> owners;
+};
+
+IoBuf EncodeGossipMessage(const GossipMessage& msg);
+Result<GossipMessage> ParseGossipMessage(const IoBuf& value);
+
+class GossipMembership {
+ public:
+  // `suspect_misses` doubles as the SWIM suspicion bound: a member is dead
+  // after that many consecutive failed probes, or after a suspicion ages
+  // 2x that many protocol periods without a refutation.
+  GossipMembership(std::string self_host, int suspect_misses);
+
+  GossipMembership(const GossipMembership&) = delete;
+  GossipMembership& operator=(const GossipMembership&) = delete;
+
+  void AddPeer(const std::string& host);
+
+  std::uint64_t self_incarnation() const;
+
+  // Next probe target: randomized round-robin over the non-dead members
+  // (every member is probed once per cycle, in an order reshuffled each
+  // cycle — the SWIM property that bounds worst-case detection time).
+  // Empty when no live member exists.
+  std::string NextProbeTarget(SplitMix64& rng);
+
+  // Up to k live members other than `exclude` (and self), for ping-req
+  // indirection.
+  std::vector<std::string> IndirectCandidates(int k,
+                                              const std::string& exclude,
+                                              SplitMix64& rng);
+
+  // Direct or indirect probe outcome. `incarnation` is the incarnation the
+  // target itself reported in its ack (direct liveness evidence clears a
+  // suspicion even at an equal incarnation). Returns true when the member
+  // was dead and just rejoined.
+  bool OnProbeSuccess(const std::string& host, std::uint64_t incarnation);
+  void OnProbeMiss(const std::string& host);
+
+  // One protocol period: age suspicions, promote to dead. Returns the
+  // members that died this period (each reported exactly once).
+  std::vector<std::string> Tick();
+
+  // Merge piggybacked claims per the SWIM override rules; a claim about
+  // self that is not alive bumps our incarnation and queues a refutation.
+  // Returns members newly declared dead by these updates.
+  std::vector<std::string> ApplyUpdates(
+      const std::vector<MemberUpdate>& updates);
+
+  // Claims to piggyback on the next outgoing message: a self-alive claim
+  // plus every queued update with resend budget left (budget decremented).
+  std::vector<MemberUpdate> PiggybackUpdates();
+
+  std::vector<MemberView> Snapshot() const;
+
+ private:
+  struct Member {
+    MemberState state = MemberState::kAlive;
+    std::uint64_t incarnation = 0;
+    int misses = 0;
+    int suspect_ticks = 0;
+  };
+  struct Pending {
+    MemberUpdate update;
+    int remaining = 0;
+  };
+
+  // Queue (or refresh) a claim for piggybacked dissemination.
+  void QueueUpdateLocked(const MemberUpdate& update)
+      DMEMO_REQUIRES(mu_);
+  // Transition helper; returns true when the member just became dead.
+  bool MarkDeadLocked(const std::string& host, Member& m)
+      DMEMO_REQUIRES(mu_);
+
+  const std::string self_;
+  const int suspect_misses_;
+
+  Counter* suspects_ = nullptr;  // dmemo_gossip_suspects_total
+  Counter* deaths_ = nullptr;    // dmemo_gossip_deaths_total
+  Counter* refutes_ = nullptr;   // dmemo_gossip_refutes_total
+
+  mutable Mutex mu_{"GossipMembership::mu"};
+  std::uint64_t self_incarnation_ DMEMO_GUARDED_BY(mu_) = 1;
+  std::unordered_map<std::string, Member> members_ DMEMO_GUARDED_BY(mu_);
+  std::unordered_map<std::string, Pending> piggyback_ DMEMO_GUARDED_BY(mu_);
+  // Randomized round-robin probe order.
+  std::vector<std::string> order_ DMEMO_GUARDED_BY(mu_);
+  std::size_t order_pos_ DMEMO_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace dmemo

@@ -23,14 +23,19 @@ struct AltGroup {
   std::vector<Key> keys;
 };
 
-// Group `request.alts` by owning (machine, folder server) under `routing`.
+// Resolves encoded key bytes to the owning (machine, folder server) —
+// MemoServer::ResolveOwner bound over the app's routing table, so failover
+// ownership overrides apply everywhere keys are placed.
+using OwnerResolver =
+    std::function<Result<FolderServerSpec>(const Bytes&)>;
+
+// Group `request.alts` by owning (machine, folder server).
 Result<std::vector<AltGroup>> GroupAlts(const Request& request,
-                                        const RoutingTable& routing) {
+                                        const OwnerResolver& resolve) {
   std::vector<AltGroup> groups;
   for (const Key& k : request.alts) {
     const QualifiedKey qk{request.app, k};
-    DMEMO_ASSIGN_OR_RETURN(FolderServerSpec spec,
-                           routing.ServerForKey(qk.ToBytes()));
+    DMEMO_ASSIGN_OR_RETURN(FolderServerSpec spec, resolve(qk.ToBytes()));
     auto it = std::find_if(groups.begin(), groups.end(), [&](const AltGroup& g) {
       return g.host == spec.host && g.fs_id == spec.id;
     });
@@ -69,12 +74,13 @@ ServerCore ServerCoreFromEnv() {
 }
 
 MemoServer::MemoServer(MemoServerOptions options)
-    : options_(std::move(options)) {
+    : options_(std::move(options)),
+      gossip_(options_.host, options_.heartbeat_misses) {
   pool_ = std::make_unique<WorkerPool>(options_.pool);
   const std::string host_label = "host=\"" + options_.host + "\"";
   auto& registry = MetricsRegistry::Global();
   for (std::uint8_t v = static_cast<std::uint8_t>(Op::kPut);
-       v <= static_cast<std::uint8_t>(Op::kHeartbeat); ++v) {
+       v <= static_cast<std::uint8_t>(Op::kGossip); ++v) {
     const Op op = static_cast<Op>(v);
     op_latency_[v] = registry.GetHistogram(
         "dmemo_server_op_latency_us",
@@ -82,6 +88,18 @@ MemoServer::MemoServer(MemoServerOptions options)
   }
   heartbeat_misses_total_ = registry.GetCounter(
       "dmemo_heartbeat_misses_total", host_label);
+  repl_applied_ =
+      registry.GetCounter("dmemo_repl_applied_records_total", host_label);
+  repl_snapshots_received_ =
+      registry.GetCounter("dmemo_repl_snapshots_received_total", host_label);
+  repl_epoch_rejects_ =
+      registry.GetCounter("dmemo_repl_epoch_rejects_total", host_label);
+  repl_promotions_ =
+      registry.GetCounter("dmemo_repl_promotions_total", host_label);
+  gossip_pings_ =
+      registry.GetCounter("dmemo_gossip_pings_total", host_label);
+  gossip_ping_reqs_ =
+      registry.GetCounter("dmemo_gossip_ping_reqs_total", host_label);
 }
 
 Result<std::unique_ptr<MemoServer>> MemoServer::Start(
@@ -108,7 +126,7 @@ Result<std::unique_ptr<MemoServer>> MemoServer::Start(
   }
   if (server->options_.heartbeat_interval.count() > 0 &&
       !server->options_.peers.empty()) {
-    server->heartbeat_ = std::thread([s = server.get()] { s->HeartbeatLoop(); });
+    server->heartbeat_ = std::thread([s = server.get()] { s->GossipLoop(); });
   }
   return server;
 }
@@ -170,6 +188,7 @@ Status MemoServer::RegisterApp(const AppDescription& adf) {
                              << ": degraded recovery: "
                              << recovered.ToString();
           }
+          AttachShipper(fs.id, server.get());
         }
         folder_servers_.emplace(fs.id, std::move(server));
       }
@@ -200,7 +219,7 @@ void MemoServer::MigrateApp(const std::string& app,
   std::uint64_t moved = 0;
   for (auto& [id, fs] : locals) {
     for (const QualifiedKey& qk : fs->directory().Keys(app)) {
-      auto owner = routing.ServerForKey(qk.ToBytes());
+      auto owner = ResolveOwner(routing, qk.ToBytes());
       if (!owner.ok()) continue;
       if (owner->host == options_.host && owner->id == id) continue;
       // Drain this folder's visible memos and re-inject under the new map.
@@ -267,10 +286,14 @@ Result<ResilientChannelPtr> MemoServer::PeerChannel(const std::string& host) {
 Result<FolderServer*> MemoServer::LocalFolderServer(
     const RoutingTable& routing, const QualifiedKey& qk) {
   DMEMO_ASSIGN_OR_RETURN(FolderServerSpec spec,
-                         routing.ServerForKey(qk.ToBytes()));
+                         ResolveOwner(routing, qk.ToBytes()));
   if (spec.host != options_.host) {
-    return InternalError("key " + qk.DebugString() + " owned by " +
-                         spec.host + ", not " + options_.host);
+    // UNAVAILABLE (retryable), not INTERNAL: after a failover the origin
+    // may have stamped a stale destination; the client's retry re-resolves
+    // against the updated ownership map and reaches the promoted owner.
+    return UnavailableError("key " + qk.DebugString() + " owned by " +
+                            spec.host + ", not " + options_.host +
+                            "; re-resolve");
   }
   MutexLock lock(mu_);
   auto it = folder_servers_.find(spec.id);
@@ -347,6 +370,11 @@ Response MemoServer::DispatchTraced(const Request& request) {
   if (request.op == Op::kStats) return HandleStats();
   if (request.op == Op::kMetrics) return HandleMetrics();
   if (request.op == Op::kHeartbeat) return HandleHeartbeat(request);
+  // Replication/membership ops carry their routing in the payload, not in
+  // app/key — handle them before the app lookup.
+  if (request.op == Op::kReplSnapshot) return HandleReplSnapshot(request);
+  if (request.op == Op::kReplAppend) return HandleReplAppend(request);
+  if (request.op == Op::kGossip) return HandleGossip(request);
   if (request.op == Op::kRegisterApp) {
     auto parsed = ParseAdf(request.text);
     if (!parsed.ok()) return Response::FromStatus(parsed.status());
@@ -391,7 +419,7 @@ Response MemoServer::DispatchTraced(const Request& request) {
     return HandleAlt(request, *routing);
   }
   const QualifiedKey qk{request.app, request.key};
-  auto spec = routing->ServerForKey(qk.ToBytes());
+  auto spec = ResolveOwner(*routing, qk.ToBytes());
   if (!spec.ok()) return Response::FromStatus(spec.status());
   if (spec->host == options_.host) {
     // Origin-local fast path: the folder server is already resolved, so
@@ -525,6 +553,13 @@ void MemoServer::DispatchAsync(const Request& request, ResponseCallback done,
       // Handle() and may forward synchronously — pool work.
       SubmitDispatch(request, std::move(done));
       return;
+    case Op::kReplSnapshot:
+    case Op::kReplAppend:
+    case Op::kGossip:
+      // Snapshot restore / batch apply / a ping-req's synchronous relay
+      // probe — all may block, none may ride the reactor thread.
+      SubmitDispatch(request, std::move(done));
+      return;
     default:
       break;
   }
@@ -565,15 +600,18 @@ void MemoServer::DispatchAsync(const Request& request, ResponseCallback done,
     const Key& probe =
         request.alts.empty() ? request.key : request.alts.front();
     const QualifiedKey qk{request.app, probe};
-    auto spec = routing->ServerForKey(qk.ToBytes());
+    auto spec = ResolveOwner(*routing, qk.ToBytes());
     if (!spec.ok()) {
       done(Response::FromStatus(spec.status()));
       return;
     }
     if (spec->host != options_.host) {
+      // Retryable (see LocalFolderServer): a failover may have moved the
+      // partition while this request was in flight.
       done(Response::FromStatus(
-          InternalError("key " + qk.DebugString() + " owned by " +
-                        spec->host + ", not " + options_.host)));
+          UnavailableError("key " + qk.DebugString() + " owned by " +
+                           spec->host + ", not " + options_.host +
+                           "; re-resolve")));
       return;
     }
     DispatchLocalAsync(request, spec->id, std::move(done), cancel);
@@ -586,7 +624,7 @@ void MemoServer::DispatchAsync(const Request& request, ResponseCallback done,
     return;
   }
   const QualifiedKey qk{request.app, request.key};
-  auto spec = routing->ServerForKey(qk.ToBytes());
+  auto spec = ResolveOwner(*routing, qk.ToBytes());
   if (!spec.ok()) {
     done(Response::FromStatus(spec.status()));
     return;
@@ -644,7 +682,9 @@ void MemoServer::DispatchAltAsync(const Request& request,
                                   const RoutingTable& routing,
                                   ResponseCallback done,
                                   std::function<bool()>* cancel) {
-  auto groups = GroupAlts(request, routing);
+  auto groups = GroupAlts(request, [this, &routing](const Bytes& kb) {
+    return ResolveOwner(routing, kb);
+  });
   if (!groups.ok()) {
     done(Response::FromStatus(groups.status()));
     return;
@@ -735,8 +775,15 @@ bool MemoServer::MayBlockWorker(const Request& request) const {
     case Op::kStats:
     case Op::kMetrics:
     case Op::kHeartbeat:
+      return false;
     case Op::kRegisterApp:
       return false;
+    // Replication/membership ops block their worker: snapshot restore,
+    // WAL-batch apply, and a ping-req's synchronous relay probe.
+    case Op::kReplSnapshot:
+    case Op::kReplAppend:
+    case Op::kGossip:
+      return true;
     default:
       break;
   }
@@ -754,7 +801,7 @@ bool MemoServer::MayBlockWorker(const Request& request) const {
     routing = it->second;
   }
   auto remote = [&](const Key& k) {
-    auto spec = routing->ServerForKey(QualifiedKey{request.app, k}.ToBytes());
+    auto spec = ResolveOwner(*routing, QualifiedKey{request.app, k}.ToBytes());
     return spec.ok() && spec->host != options_.host;
   };
   if (!request.alts.empty()) {
@@ -827,7 +874,9 @@ Response MemoServer::ForwardToward(const std::string& target_host,
 Response MemoServer::HandleAlt(const Request& request,
                                const RoutingTable& routing) {
   // Group alternatives by owning (machine, folder server).
-  auto grouped = GroupAlts(request, routing);
+  auto grouped = GroupAlts(request, [this, &routing](const Bytes& kb) {
+    return ResolveOwner(routing, kb);
+  });
   if (!grouped.ok()) return Response::FromStatus(grouped.status());
   std::vector<AltGroup>& groups = *grouped;
 
@@ -941,6 +990,19 @@ Response MemoServer::HandleStats() const {
     health->Add(rec);
   }
   root->Set("health", health);
+
+  // Warm standbys this host follows (DESIGN.md §15); empty unless some
+  // primary replicates here.
+  auto standbys = std::make_shared<TList>();
+  for (const StandbyView& view : standby_views()) {
+    auto rec = std::make_shared<TRecord>();
+    rec->Set("id", MakeInt32(view.fs_id));
+    rec->Set("primary", MakeString(view.primary_host));
+    rec->Set("epoch", MakeUInt64(view.epoch));
+    rec->Set("next_seq", MakeUInt64(view.next_seq));
+    standbys->Add(rec);
+  }
+  root->Set("standbys", standbys);
 
   Response resp;
   resp.has_value = true;
@@ -1081,63 +1143,524 @@ Response MemoServer::HandleHeartbeat(const Request& request) {
   return resp;
 }
 
-void MemoServer::HeartbeatLoop() {
+// ---- replication & membership (DESIGN.md §15) -------------------------
+
+Result<FolderServerSpec> MemoServer::ResolveOwner(
+    const RoutingTable& routing, const Bytes& key_bytes) const {
+  DMEMO_ASSIGN_OR_RETURN(FolderServerSpec spec,
+                         routing.ServerForKey(key_bytes));
+  MutexLock lock(ownership_mu_);
+  auto it = ownership_.find(spec.id);
+  if (it != ownership_.end()) spec.host = it->second.host;
+  return spec;
+}
+
+void MemoServer::MergeOwners(const std::vector<OwnershipClaim>& owners) {
+  if (owners.empty()) return;
+  MutexLock lock(ownership_mu_);
+  for (const OwnershipClaim& claim : owners) {
+    auto [it, inserted] = ownership_.emplace(claim.fs_id, claim);
+    if (!inserted && claim.epoch > it->second.epoch) it->second = claim;
+  }
+}
+
+std::vector<OwnershipClaim> MemoServer::OwnershipClaims() const {
+  MutexLock lock(ownership_mu_);
+  std::vector<OwnershipClaim> out;
+  out.reserve(ownership_.size());
+  for (const auto& [id, claim] : ownership_) out.push_back(claim);
+  return out;
+}
+
+std::vector<GossipFolderInfo> MemoServer::LocalFolderInfos() const {
+  MutexLock lock(mu_);
+  std::vector<GossipFolderInfo> out;
+  out.reserve(folder_servers_.size());
+  for (const auto& [id, fs] : folder_servers_) {
+    out.push_back(GossipFolderInfo{id, fs->epoch(), fs->wal_lag_bytes()});
+  }
+  return out;
+}
+
+std::string MemoServer::BackupHost() const {
+  std::vector<std::string> hosts;
+  hosts.push_back(options_.host);
+  for (const auto& [host, url] : options_.peers) {
+    if (host != options_.host) hosts.push_back(host);
+  }
+  if (hosts.size() < 2) return std::string();
+  std::sort(hosts.begin(), hosts.end());
+  auto it = std::find(hosts.begin(), hosts.end(), options_.host);
+  ++it;
+  return it == hosts.end() ? hosts.front() : *it;
+}
+
+void MemoServer::AttachShipper(int fs_id, FolderServer* fs) {
+  if (options_.repl_mode == ReplMode::kOff || !fs->durable()) return;
+  const std::string backup = BackupHost();
+  if (backup.empty()) return;
+  if (shippers_.contains(fs_id)) {
+    // Re-registration of an already-shipping partition: keep the running
+    // shipper (its stream position is still valid for this WAL).
+    fs->SetReplication(shippers_[fs_id].get());
+    return;
+  }
+  ReplicationShipper::Options opts;
+  opts.fs_id = fs_id;
+  opts.primary_host = options_.host;
+  opts.backup_host = backup;
+  opts.mode = options_.repl_mode;
+  auto shipper = std::make_shared<ReplicationShipper>(
+      std::move(opts),
+      [this, backup](Request req) -> Result<Response> {
+        DMEMO_ASSIGN_OR_RETURN(auto channel, PeerChannel(backup));
+        // Bounded budget: a dead backup costs one timeout per attempt, and
+        // the shipper's own backoff paces the retries.
+        return channel->Call(std::move(req), ReplTimeoutFromEnv());
+      },
+      [fs] { return fs->ReplicationSnapshot(); },
+      [fs] { return fs->epoch(); });
+  fs->SetReplication(shipper.get());
+  shipper->Start();
+  DMEMO_LOG(kInfo) << options_.host << ": fs " << fs_id << " replicating ("
+                   << ReplModeName(options_.repl_mode) << ") to " << backup;
+  shippers_.emplace(fs_id, std::move(shipper));
+}
+
+Response MemoServer::HandleReplSnapshot(const Request& request) {
+  auto payload = DecodeReplSnapshot(request.value);
+  if (!payload.ok()) return Response::FromStatus(payload.status());
+  auto dir = std::make_unique<FolderDirectory<IoBuf>>();
+  {
+    ByteReader in(payload->snapshot);
+    Status restored = dir->RestoreFrom(in);
+    if (!restored.ok()) return Response::FromStatus(restored);
+  }
+  MutexLock lock(repl_mu_);
+  auto it = standbys_.find(payload->fs_id);
+  if (it != standbys_.end() && it->second.epoch > payload->epoch) {
+    // This backup already follows (or was promoted from) a higher epoch:
+    // the sender is a stale primary and must fence itself off.
+    return Response::FromStatus(FailedPreconditionError(
+        "standby for fs " + std::to_string(payload->fs_id) +
+        " follows epoch " + std::to_string(it->second.epoch) +
+        "; snapshot from " + payload->primary_host + " at epoch " +
+        std::to_string(payload->epoch) + " is stale"));
+  }
+  StandbyPartition standby;
+  standby.primary_host = payload->primary_host;
+  standby.epoch = payload->epoch;
+  standby.next_seq = payload->watermark + 1;
+  standby.directory = std::move(dir);
+  standbys_[payload->fs_id] = std::move(standby);
+  repl_snapshots_received_->Increment();
+  DMEMO_LOG(kInfo) << options_.host << ": standby for fs "
+                   << payload->fs_id << "@" << payload->primary_host
+                   << " bootstrapped at epoch " << payload->epoch
+                   << ", watermark " << payload->watermark;
+  return Response{};
+}
+
+Response MemoServer::HandleReplAppend(const Request& request) {
+  auto payload = DecodeReplAppend(request.value);
+  if (!payload.ok()) return Response::FromStatus(payload.status());
+  MutexLock lock(repl_mu_);
+  auto it = standbys_.find(payload->fs_id);
+  if (it == standbys_.end()) {
+    return Response::FromStatus(NotFoundError(
+        "no standby for fs " + std::to_string(payload->fs_id) + " on " +
+        options_.host + "; snapshot required"));
+  }
+  StandbyPartition& standby = it->second;
+  if (payload->epoch < standby.epoch) {
+    // Epoch regression: a zombie primary (pre-failover incarnation) is
+    // still shipping. Refuse so it fences itself off.
+    repl_epoch_rejects_->Increment();
+    return Response::FromStatus(FailedPreconditionError(
+        "append for fs " + std::to_string(payload->fs_id) + " at epoch " +
+        std::to_string(payload->epoch) + " behind standby epoch " +
+        std::to_string(standby.epoch)));
+  }
+  if (payload->epoch > standby.epoch) {
+    // The primary recovered into a new epoch; its stream restarted from
+    // sequence 1, so this standby needs a fresh bootstrap.
+    return Response::FromStatus(NotFoundError(
+        "primary for fs " + std::to_string(payload->fs_id) +
+        " advanced to epoch " + std::to_string(payload->epoch) +
+        "; snapshot required"));
+  }
+  for (const ReplRecord& r : payload->records) {
+    if (r.seq < standby.next_seq) continue;  // duplicate of applied prefix
+    if (r.seq > standby.next_seq) {
+      // A gap means part of the stream never arrived (e.g. a torn shipped
+      // tail around a primary stall); applying past it would diverge.
+      return Response::FromStatus(OutOfRangeError(
+          "sequence gap for fs " + std::to_string(payload->fs_id) +
+          ": got " + std::to_string(r.seq) + ", expected " +
+          std::to_string(standby.next_seq) + "; snapshot required"));
+    }
+    ++standby.next_seq;
+    const WalRecord& rec = r.record;
+    // Mirror of FolderServer::ApplyReplay, onto the standby directory.
+    if (rec.request_id != 0 &&
+        !standby.applied_ids.insert(rec.request_id).second) {
+      continue;  // duplicate record; first application stands
+    }
+    ByteReader kin(rec.key);
+    auto qk = QualifiedKey::DecodeFrom(kin);
+    if (!qk.ok()) return Response::FromStatus(qk.status());
+    const Op op = static_cast<Op>(rec.op);
+    Response replayed;
+    switch (op) {
+      case Op::kPut: {
+        Status put = standby.directory->Put(*qk, rec.payload);
+        if (!put.ok()) return Response::FromStatus(put);
+        break;
+      }
+      case Op::kPutDelayed: {
+        ByteReader k2in(rec.key2);
+        auto qk2 = QualifiedKey::DecodeFrom(k2in);
+        if (!qk2.ok()) return Response::FromStatus(qk2.status());
+        Status put = standby.directory->PutDelayed(*qk, *qk2, rec.payload);
+        if (!put.ok()) return Response::FromStatus(put);
+        break;
+      }
+      case Op::kGet:
+      case Op::kGetSkip:
+      case Op::kGetAlt:
+      case Op::kGetAltSkip: {
+        if (!standby.directory->TakeEqual(*qk, rec.payload)) {
+          // Tolerated, loudly (same contract as WAL replay): the deposit
+          // this extraction consumed predates the snapshot watermark.
+          DMEMO_LOG(kWarn)
+              << options_.host << ": standby fs " << payload->fs_id
+              << ": no memo for a shipped " << OpName(op) << " on "
+              << qk->key.DebugString();
+        }
+        replayed.has_value = true;
+        replayed.value = rec.payload;
+        if (op == Op::kGetAlt || op == Op::kGetAltSkip) {
+          replayed.has_key = true;
+          replayed.key = qk->key;
+        }
+        break;
+      }
+      default:
+        return Response::FromStatus(DataLossError(
+            "unknown op " + std::to_string(rec.op) + " in shipped record"));
+    }
+    repl_applied_->Increment();
+    // Seed at-most-once now, not at promotion: a client retry that lands
+    // here after failover must dedupe against the primary's execution.
+    if (rec.request_id != 0) completions_.Seed(rec.request_id, replayed);
+  }
+  return Response{};
+}
+
+void MemoServer::MergePeerEvidence(const GossipMessage& msg) {
+  if (msg.host != options_.host) {
+    MutexLock lock(health_mu_);
+    PeerHealthView& view = peer_health_[msg.host];
+    view.host = msg.host;
+    if (!view.alive) {
+      DMEMO_LOG(kInfo) << options_.host << ": peer " << msg.host
+                       << " is back";
+    }
+    view.alive = true;
+    view.misses = 0;
+    view.last_seen_micros = static_cast<std::int64_t>(MonotonicMicros());
+    for (const GossipFolderInfo& fs : msg.folder_servers) {
+      view.epochs[fs.id] = fs.epoch;
+    }
+  }
+  MergeOwners(msg.owners);
+}
+
+Response MemoServer::HandleGossip(const Request& request) {
+  auto parsed = ParseGossipMessage(request.value);
+  if (!parsed.ok()) return Response::FromStatus(parsed.status());
+  GossipMessage msg = *std::move(parsed);
+
+  GossipMessage ack;
+  ack.kind = "ack";
+  ack.host = options_.host;
+
+  if (msg.kind == "ping-req" && !msg.subject.empty() &&
+      msg.subject != options_.host) {
+    // Probe the subject on the requester's behalf: SWIM indirection, so
+    // one congested origin<->subject link cannot kill a healthy subject.
+    OnPeersDead(gossip_.ApplyUpdates(msg.updates));
+    MergePeerEvidence(msg);
+    ack.subject = msg.subject;
+    GossipMessage probe;
+    probe.kind = "ping";
+    probe.host = options_.host;
+    probe.incarnation = gossip_.self_incarnation();
+    probe.updates = gossip_.PiggybackUpdates();
+    Request relay;
+    relay.op = Op::kGossip;
+    relay.trace_id = request.trace_id;
+    relay.value = EncodeGossipMessage(probe);
+    auto channel = PeerChannel(msg.subject);
+    if (channel.ok()) {
+      gossip_pings_->Increment();
+      auto resp = (*channel)->Call(std::move(relay),
+                                   options_.heartbeat_interval);
+      if (resp.ok() && resp->code == StatusCode::kOk) {
+        auto sub = ParseGossipMessage(resp->value);
+        if (sub.ok()) {
+          ack.reached = true;
+          // Queues alive{subject} so our ack's piggyback carries the
+          // subject's incarnation back to the origin.
+          (void)gossip_.OnProbeSuccess(msg.subject, sub->incarnation);
+          OnPeersDead(gossip_.ApplyUpdates(sub->updates));
+          MergePeerEvidence(*sub);
+        }
+      }
+    }
+  } else {
+    // A direct ping (any stray kind is treated as one): the sender's own
+    // message is liveness evidence.
+    (void)gossip_.OnProbeSuccess(msg.host, msg.incarnation);
+    OnPeersDead(gossip_.ApplyUpdates(msg.updates));
+    MergePeerEvidence(msg);
+    ack.folder_servers = LocalFolderInfos();
+  }
+
+  ack.incarnation = gossip_.self_incarnation();
+  ack.updates = gossip_.PiggybackUpdates();
+  ack.owners = OwnershipClaims();
+  Response resp;
+  resp.has_value = true;
+  resp.value = EncodeGossipMessage(ack);
+  return resp;
+}
+
+void MemoServer::OnPeersDead(const std::vector<std::string>& hosts) {
+  if (hosts.empty()) return;
+  {
+    MutexLock lock(health_mu_);
+    for (const std::string& host : hosts) {
+      PeerHealthView& view = peer_health_[host];
+      view.host = host;
+      view.alive = false;
+      view.misses = std::max(view.misses, options_.heartbeat_misses);
+    }
+  }
+  for (const std::string& host : hosts) {
+    DMEMO_LOG(kWarn) << options_.host << ": peer " << host
+                     << " declared dead by gossip; its folder servers "
+                     << "must recover under a higher epoch before serving "
+                     << "again";
+    // Extract this primary's standbys under repl_mu_, release, then
+    // promote with no MemoServer lock held (promotion takes mu_).
+    std::vector<std::pair<int, StandbyPartition>> mine;
+    {
+      MutexLock lock(repl_mu_);
+      for (auto it = standbys_.begin(); it != standbys_.end();) {
+        if (it->second.primary_host == host) {
+          mine.emplace_back(it->first, std::move(it->second));
+          it = standbys_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    for (auto& [fs_id, standby] : mine) {
+      PromoteStandby(fs_id, std::move(standby));
+    }
+  }
+}
+
+void MemoServer::PromoteStandby(int fs_id, StandbyPartition standby) {
+  if (options_.persist_dir.empty()) {
+    DMEMO_LOG(kError) << options_.host << ": cannot promote standby fs "
+                      << fs_id << " without a persist dir; standby dropped";
+    return;
+  }
+  {
+    MutexLock lock(mu_);
+    if (shutdown_) return;
+    if (folder_servers_.contains(fs_id)) {
+      DMEMO_LOG(kWarn) << options_.host << ": fs " << fs_id
+                       << " already materialized here; standby dropped";
+      return;
+    }
+  }
+  // Persist the standby as the new snapshot generation and clear any stale
+  // local WAL from an ancient ownership of this partition, then recover
+  // under an epoch floor that outranks both the dead primary's last epoch
+  // and its next restart (floor + 1 = standby.epoch + 2).
+  ByteWriter out;
+  standby.directory->SnapshotTo(out);
+  Status saved = AtomicWriteFileDurably(SnapshotPath(fs_id), out.data());
+  if (!saved.ok()) {
+    DMEMO_LOG(kError) << options_.host << ": promotion of fs " << fs_id
+                      << " failed to persist standby state: "
+                      << saved.ToString();
+    return;
+  }
+  (void)std::remove(WalPath(fs_id).c_str());
+  auto server = std::make_unique<FolderServer>(fs_id, options_.host);
+  FolderServerDurability dur;
+  dur.snapshot_path = SnapshotPath(fs_id);
+  dur.wal_path = WalPath(fs_id);
+  dur.epoch_floor = standby.epoch + 1;
+  Status recovered = server->EnableDurability(
+      std::move(dur), [this](std::uint64_t request_id, const Response& r) {
+        completions_.Seed(request_id, r);
+      });
+  if (!recovered.ok()) {
+    DMEMO_LOG(kWarn) << options_.host << ": promoted fs " << fs_id
+                     << " with degraded recovery: " << recovered.ToString();
+  }
+  const std::uint64_t new_epoch = server->epoch();
+  {
+    MutexLock lock(mu_);
+    if (shutdown_) return;
+    AttachShipper(fs_id, server.get());
+    folder_servers_.emplace(fs_id, std::move(server));
+  }
+  {
+    MutexLock lock(ownership_mu_);
+    OwnershipClaim& claim = ownership_[fs_id];
+    if (new_epoch > claim.epoch) {
+      claim = OwnershipClaim{fs_id, options_.host, new_epoch};
+    }
+  }
+  // The generic failover counter (also bumped by crash recovery) plus the
+  // promotion-specific one; gossip spreads the ownership claim from the
+  // next outgoing message.
+  MetricsRegistry::Global()
+      .GetCounter("dmemo_failover_total",
+                  "fs=\"" + std::to_string(fs_id) + "@" + options_.host +
+                      "\"")
+      ->Increment();
+  repl_promotions_->Increment();
+  DMEMO_LOG(kWarn) << options_.host << ": promoted standby for fs " << fs_id
+                   << " (primary " << standby.primary_host
+                   << " dead), now serving epoch " << new_epoch;
+}
+
+std::vector<MemoServer::StandbyView> MemoServer::standby_views() const {
+  MutexLock lock(repl_mu_);
+  std::vector<StandbyView> out;
+  out.reserve(standbys_.size());
+  for (const auto& [id, standby] : standbys_) {
+    out.push_back(StandbyView{id, standby.primary_host, standby.epoch,
+                              standby.next_seq});
+  }
+  return out;
+}
+
+void MemoServer::GossipLoop() {
   const auto interval = options_.heartbeat_interval;
+  for (const auto& [host, url] : options_.peers) {
+    gossip_.AddPeer(host);  // ignores self
+  }
+  SplitMix64 rng(Mix64(std::hash<std::string>{}(options_.host) ^
+                       MonotonicMicros()));
+  const auto base =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(interval);
   for (;;) {
+    // ±25% jitter: a farm started in lockstep must not probe in phase, or
+    // every protocol period lands on the network at the same instant.
+    const auto wait = std::chrono::nanoseconds(static_cast<std::int64_t>(
+        static_cast<double>(base.count()) * (0.75 + 0.5 * rng.NextUnit())));
     {
       MutexLock lock(health_mu_);
-      if (!hb_stop_) hb_cv_.WaitFor(health_mu_, interval);
+      if (!hb_stop_) hb_cv_.WaitFor(health_mu_, wait);
       if (hb_stop_) return;
     }
-    std::vector<std::string> hosts;
     {
       MutexLock lock(mu_);
       if (shutdown_) return;
-      for (const auto& [host, url] : options_.peers) {
-        if (host != options_.host) hosts.push_back(host);
-      }
     }
-    for (const std::string& host : hosts) {
-      Request beat;
-      beat.op = Op::kHeartbeat;
-      beat.trace_id = NextTraceId();
-      beat.value = EncodeHealthPayload();
-      bool ok = false;
-      std::unordered_map<int, std::uint64_t> epochs;
-      std::string reported;
-      auto channel = PeerChannel(host);
-      if (channel.ok()) {
-        // Budget = one interval so a dead peer costs exactly one beat; the
-        // resilient channel's own retries must not stack beats behind it.
-        auto resp = (*channel)->Call(std::move(beat), interval);
-        if (resp.ok() && resp->code == StatusCode::kOk) {
-          ok = true;
-          (void)ParseHealthPayload(resp->value, &reported, &epochs);
+    // One SWIM protocol period: age suspicions, then probe ONE member.
+    OnPeersDead(gossip_.Tick());
+    const std::string target = gossip_.NextProbeTarget(rng);
+    if (target.empty()) continue;
+
+    // Budget = one period so a dead peer costs one probe; the resilient
+    // channel's retries must not stack periods behind it.
+    auto send = [&](const std::string& to,
+                    const GossipMessage& msg) -> Result<GossipMessage> {
+      Request req;
+      req.op = Op::kGossip;
+      req.trace_id = NextTraceId();
+      req.value = EncodeGossipMessage(msg);
+      DMEMO_ASSIGN_OR_RETURN(auto channel, PeerChannel(to));
+      DMEMO_ASSIGN_OR_RETURN(Response resp,
+                             channel->Call(std::move(req), interval));
+      if (resp.code != StatusCode::kOk) return resp.ToStatus();
+      return ParseGossipMessage(resp.value);
+    };
+
+    GossipMessage ping;
+    ping.kind = "ping";
+    ping.host = options_.host;
+    ping.incarnation = gossip_.self_incarnation();
+    ping.updates = gossip_.PiggybackUpdates();
+    ping.folder_servers = LocalFolderInfos();
+    ping.owners = OwnershipClaims();
+    gossip_pings_->Increment();
+    auto ack = send(target, ping);
+    bool reached = false;
+    if (ack.ok()) {
+      reached = true;
+      (void)gossip_.OnProbeSuccess(target, ack->incarnation);
+      OnPeersDead(gossip_.ApplyUpdates(ack->updates));
+      MergePeerEvidence(*ack);
+    } else {
+      // Direct miss: ask k live members to probe the target for us before
+      // raising a suspicion.
+      for (const std::string& relay : gossip_.IndirectCandidates(
+               options_.gossip_indirect, target, rng)) {
+        GossipMessage preq;
+        preq.kind = "ping-req";
+        preq.host = options_.host;
+        preq.subject = target;
+        preq.incarnation = gossip_.self_incarnation();
+        preq.updates = gossip_.PiggybackUpdates();
+        gossip_ping_reqs_->Increment();
+        auto rack = send(relay, preq);
+        if (!rack.ok()) continue;
+        OnPeersDead(gossip_.ApplyUpdates(rack->updates));
+        MergePeerEvidence(*rack);
+        if (!rack->reached) continue;
+        // The relay reached the target and its piggyback carries the
+        // target's alive claim — direct liveness evidence for us too.
+        std::uint64_t subject_inc = 0;
+        for (const MemberUpdate& u : rack->updates) {
+          if (u.host == target && u.state == MemberState::kAlive) {
+            subject_inc = std::max(subject_inc, u.incarnation);
+          }
         }
-      }
-      MutexLock lock(health_mu_);
-      if (hb_stop_) return;
-      PeerHealthView& view = peer_health_[host];
-      view.host = host;
-      if (ok) {
-        if (!view.alive) {
-          DMEMO_LOG(kInfo) << options_.host << ": peer " << host
-                           << " is back";
-        }
+        (void)gossip_.OnProbeSuccess(target, subject_inc);
+        MutexLock lock(health_mu_);
+        PeerHealthView& view = peer_health_[target];
+        view.host = target;
         view.alive = true;
         view.misses = 0;
         view.last_seen_micros = static_cast<std::int64_t>(MonotonicMicros());
-        if (!epochs.empty()) view.epochs = std::move(epochs);
-      } else {
-        ++view.misses;
-        heartbeat_misses_total_->Increment();
-        if (view.alive && view.misses >= options_.heartbeat_misses) {
-          view.alive = false;
-          DMEMO_LOG(kWarn)
-              << options_.host << ": peer " << host << " presumed dead ("
-              << view.misses << " heartbeats missed); its folder servers "
-              << "must recover under a higher epoch before serving again";
-        }
+        reached = true;
+        break;
+      }
+    }
+    if (!reached) {
+      gossip_.OnProbeMiss(target);
+      heartbeat_misses_total_->Increment();
+      MutexLock lock(health_mu_);
+      if (hb_stop_) return;
+      PeerHealthView& view = peer_health_[target];
+      view.host = target;
+      ++view.misses;
+      if (view.alive && view.misses >= options_.heartbeat_misses) {
+        view.alive = false;
+        DMEMO_LOG(kWarn)
+            << options_.host << ": peer " << target << " presumed dead ("
+            << view.misses << " probes missed); its folder servers "
+            << "must recover under a higher epoch before serving again";
       }
     }
   }
@@ -1154,6 +1677,7 @@ std::vector<PeerHealthView> MemoServer::peer_health() const {
 void MemoServer::Shutdown() {
   std::vector<ResilientChannelPtr> peers;
   std::vector<RpcChannelPtr> channels;
+  std::vector<std::shared_ptr<ReplicationShipper>> ships;
   {
     MutexLock lock(health_mu_);
     hb_stop_ = true;
@@ -1163,6 +1687,7 @@ void MemoServer::Shutdown() {
     MutexLock lock(mu_);
     if (shutdown_) return;
     shutdown_ = true;
+    for (auto& [id, sh] : shippers_) ships.push_back(sh);
     for (auto& [host, ch] : peer_channels_) peers.push_back(ch);
     for (auto& ch : inbound_channels_) channels.push_back(ch);
     peer_channels_.clear();
@@ -1197,6 +1722,10 @@ void MemoServer::Shutdown() {
   if (reactor_) reactor_->Shutdown();
   for (auto& ch : peers) ch->Close();
   for (auto& ch : channels) ch->Close();
+  // Stop shippers after the peer channels close (a transmit blocked in
+  // Call() unblocks when its channel dies) and with mu_ NOT held (Stop
+  // joins the shipper thread, which takes mu_ inside PeerChannel).
+  for (auto& sh : ships) sh->Stop();
   // Join the heartbeat thread after the peer channels close: a beat blocked
   // in Call() unblocks when its channel dies.
   if (heartbeat_.joinable()) heartbeat_.join();

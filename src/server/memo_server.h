@@ -28,11 +28,13 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "routing/routing.h"
 #include "server/completion_cache.h"
 #include "server/folder_server.h"
+#include "server/gossip.h"
 #include "server/resilient_channel.h"
 #include "server/rpc_channel.h"
 #include "transport/transport.h"
@@ -78,12 +80,22 @@ struct MemoServerOptions {
   // Reconnect/retry policy for the peer links this server dials when
   // forwarding (DESIGN.md "Fault tolerance"). Env-tunable by default.
   RetryPolicy forward_retry = RetryPolicy::FromEnv();
-  // Failure detector (DESIGN.md "Durability & liveness"): every interval
-  // this server sends Op::kHeartbeat to each peer, carrying its folder
-  // servers' fencing epochs. After `heartbeat_misses` consecutive failed
-  // beats the peer is presumed dead. Interval 0 disables the detector.
+  // Failure detector (DESIGN.md §15): `heartbeat_interval` is now the SWIM
+  // protocol period — each period this server probes ONE peer (Op::kGossip)
+  // with ping-req indirection on a miss, so per-node load is independent of
+  // the farm size. `heartbeat_misses` consecutive failed probes (or a
+  // suspicion aging 2x that many periods unrefuted) declare a peer dead.
+  // Interval 0 disables the detector. Op::kHeartbeat stays answered for
+  // old probes and dmemo-stat.
   std::chrono::milliseconds heartbeat_interval = HeartbeatIntervalFromEnv();
   int heartbeat_misses = HeartbeatMissesFromEnv();
+  // SWIM ping-req fanout on a direct probe miss. DMEMO_GOSSIP_INDIRECT.
+  int gossip_indirect = GossipIndirectFromEnv();
+  // Replication (DESIGN.md §15): when not kOff, every durable folder
+  // server materialized here ships its WAL stream to a backup peer (its
+  // ring successor among `peers`), and a peer death promotes whatever
+  // standbys this server holds for it. DMEMO_REPL_MODE.
+  ReplMode repl_mode = ReplModeFromEnv();
   // I/O core for inbound connections; see ServerCore.
   ServerCore core = ServerCoreFromEnv();
 };
@@ -160,6 +172,19 @@ class MemoServer {
   // Failure-detector view of every peer (empty when heartbeats are off or
   // no beat has run yet).
   std::vector<PeerHealthView> peer_health() const;
+  // SWIM membership view (introspection/tests).
+  std::vector<MemberView> gossip_members() const {
+    return gossip_.Snapshot();
+  }
+
+  // One warm standby partition this server keeps for a remote primary.
+  struct StandbyView {
+    int fs_id = 0;
+    std::string primary_host;
+    std::uint64_t epoch = 0;      // primary epoch the standby mirrors
+    std::uint64_t next_seq = 1;   // next replication sequence expected
+  };
+  std::vector<StandbyView> standby_views() const;
   WorkerPool::Stats pool_stats() const { return pool_->GetStats(); }
   // Folder servers materialized on this machine (ids from ADFs).
   std::vector<int> folder_server_ids() const;
@@ -184,9 +209,45 @@ class MemoServer {
   Response HandleStats() const;
   Response HandleMetrics() const;
   Response HandleHeartbeat(const Request& request);
-  // Failure-detector thread body: beat every peer each interval, record
-  // epochs from responses, count misses, declare death loudly.
-  void HeartbeatLoop();
+  // ---- replication & membership (DESIGN.md §15) -----------------------
+  // Backup side: install/refresh a warm standby from a primary's snapshot.
+  Response HandleReplSnapshot(const Request& request);
+  // Backup side: apply a shipped WAL batch to the matching standby.
+  Response HandleReplAppend(const Request& request);
+  // Answer a SWIM ping / relay a ping-req / merge piggybacked claims.
+  Response HandleGossip(const Request& request);
+  // Failure-detector thread body: one SWIM protocol period per (jittered)
+  // interval — probe one peer, indirect through k on a miss, age
+  // suspicions, promote standbys of the newly dead.
+  void GossipLoop();
+  // Fold a gossip sender's evidence into peer_health_ / ownership_.
+  void MergePeerEvidence(const GossipMessage& msg);
+  // Everything piggybacked on an outgoing gossip message.
+  std::vector<GossipFolderInfo> LocalFolderInfos() const;
+  std::vector<OwnershipClaim> OwnershipClaims() const;
+  void MergeOwners(const std::vector<OwnershipClaim>& owners);
+  // Routing with failover overrides: ServerForKey, then substitute the
+  // promoted owner for partitions that failed over (highest epoch wins).
+  Result<FolderServerSpec> ResolveOwner(const RoutingTable& routing,
+                                        const Bytes& key_bytes) const;
+  struct StandbyPartition {
+    std::string primary_host;
+    std::uint64_t epoch = 0;
+    std::uint64_t next_seq = 1;
+    std::unique_ptr<FolderDirectory<IoBuf>> directory;
+    // At-most-once dedupe across the shipped stream (mirror of replay).
+    std::unordered_set<std::uint64_t> applied_ids;
+  };
+  // Promote every standby whose primary is in `hosts` (called with no
+  // MemoServer lock held; extracts under repl_mu_, then promotes).
+  void OnPeersDead(const std::vector<std::string>& hosts);
+  void PromoteStandby(int fs_id, StandbyPartition standby);
+  // Ring successor of this host among options_.peers — where this server
+  // ships folder-partition replicas. Empty when no other peer exists.
+  std::string BackupHost() const;
+  // Create + start the WAL shipper for a durable folder server (no-op when
+  // replication is off or no backup exists). Caller holds mu_.
+  void AttachShipper(int fs_id, FolderServer* fs) DMEMO_REQUIRES(mu_);
   // Encoded TRecord carrying this server's folder-server epochs (the
   // kHeartbeat request/response payload).
   IoBuf EncodeHealthPayload() const;
@@ -230,7 +291,7 @@ class MemoServer {
   // Per-op request latency histograms, indexed by numeric Op value and
   // labelled host="<host>",op="<name>"; resolved once at construction so the
   // request path never touches the registry map (DESIGN.md "Observability").
-  std::array<Histogram*, 16> op_latency_{};
+  std::array<Histogram*, 17> op_latency_{};
   TransportPtr transport_;
   ListenerPtr listener_;
   std::unique_ptr<WorkerPool> pool_;
@@ -242,6 +303,12 @@ class MemoServer {
   // held while taking stats_mu_ or a directory lock, never the reverse.
   mutable Mutex mu_{"MemoServer::mu"};
   std::unordered_map<std::string, std::shared_ptr<RoutingTable>> apps_
+      DMEMO_GUARDED_BY(mu_);
+  // WAL shippers, keyed by folder-server id. Declared BEFORE
+  // folder_servers_ on purpose: members destroy in reverse order, so every
+  // FolderServer (which holds a raw ReplicationSink* into its shipper)
+  // dies before the shipper it points at.
+  std::map<int, std::shared_ptr<ReplicationShipper>> shippers_
       DMEMO_GUARDED_BY(mu_);
   std::map<int, std::unique_ptr<FolderServer>> folder_servers_
       DMEMO_GUARDED_BY(mu_);
@@ -272,6 +339,29 @@ class MemoServer {
   std::unordered_map<std::string, PeerHealthView> peer_health_
       DMEMO_GUARDED_BY(health_mu_);
   Counter* heartbeat_misses_total_ = nullptr;  // dmemo_heartbeat_misses_total
+
+  // SWIM membership state machine (its internal mutex is a leaf).
+  GossipMembership gossip_;
+
+  // Warm standby partitions for remote primaries. repl_mu_ is taken with
+  // no other MemoServer lock held; PromoteStandby extracts the standby
+  // under repl_mu_, releases, and only then installs under mu_ (see
+  // DESIGN.md §15 lock ranks).
+  mutable Mutex repl_mu_{"MemoServer::repl_mu"};
+  std::map<int, StandbyPartition> standbys_ DMEMO_GUARDED_BY(repl_mu_);
+
+  // Failed-over partition owners learned from gossip: fs id -> the claim
+  // with the highest epoch seen. Leaf lock (held only for map access).
+  mutable Mutex ownership_mu_{"MemoServer::ownership_mu"};
+  std::map<int, OwnershipClaim> ownership_ DMEMO_GUARDED_BY(ownership_mu_);
+
+  Counter* repl_applied_ = nullptr;  // dmemo_repl_applied_records_total
+  Counter* repl_snapshots_received_ =
+      nullptr;                          // dmemo_repl_snapshots_received_total
+  Counter* repl_epoch_rejects_ = nullptr;  // dmemo_repl_epoch_rejects_total
+  Counter* repl_promotions_ = nullptr;     // dmemo_repl_promotions_total
+  Counter* gossip_pings_ = nullptr;        // dmemo_gossip_pings_total
+  Counter* gossip_ping_reqs_ = nullptr;    // dmemo_gossip_ping_reqs_total
 };
 
 }  // namespace dmemo

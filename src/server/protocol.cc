@@ -23,6 +23,9 @@ std::string_view OpName(Op op) {
     case Op::kStats: return "stats";
     case Op::kMetrics: return "metrics";
     case Op::kHeartbeat: return "heartbeat";
+    case Op::kReplSnapshot: return "repl_snapshot";
+    case Op::kReplAppend: return "repl_append";
+    case Op::kGossip: return "gossip";
   }
   return "unknown";
 }
@@ -106,7 +109,7 @@ Result<Request> DecodeRequestBody(ByteReader& in, ReadValueFn&& read_value) {
   Request req;
   DMEMO_ASSIGN_OR_RETURN(std::uint8_t op, in.u8());
   if (op < static_cast<std::uint8_t>(Op::kPut) ||
-      op > static_cast<std::uint8_t>(Op::kHeartbeat)) {
+      op > static_cast<std::uint8_t>(Op::kGossip)) {
     return DataLossError("unknown opcode " + std::to_string(op));
   }
   req.op = static_cast<Op>(op);

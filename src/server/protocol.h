@@ -82,6 +82,15 @@ enum class Op : std::uint8_t {
                  // and response value are an encoded TRecord of the
                  // sender's folder-server epochs (DESIGN.md "Durability &
                  // liveness")
+  kReplSnapshot, // primary -> backup cold bootstrap: folder-server id,
+                 // epoch, replication watermark and a full directory
+                 // snapshot (server/replication.h framing, raw ByteWriter)
+  kReplAppend,   // primary -> backup WAL record batch: sequenced records
+                 // applied into the warm standby directory in log order
+  kGossip,       // SWIM membership exchange: direct ping or ping-req
+                 // indirection; value is an encoded TRecord carrying the
+                 // sender's incarnation plus piggybacked membership
+                 // updates and folder-server epochs (DESIGN.md §15)
 };
 
 std::string_view OpName(Op op);

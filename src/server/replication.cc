@@ -1,0 +1,402 @@
+#include "server/replication.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/hash.h"
+#include "util/log.h"
+#include "util/retry.h"
+#include "util/rng.h"
+#include "util/trace.h"
+
+namespace dmemo {
+namespace {
+
+constexpr std::uint8_t kReplPayloadVersion = 1;
+
+// Bound a decoder accepts for one append batch; a malformed count past
+// this is DATA_LOSS, not an allocation.
+constexpr std::uint64_t kMaxReplBatchWire = 65536;
+
+}  // namespace
+
+ReplMode ReplModeFromEnv() {
+  const char* v = std::getenv("DMEMO_REPL_MODE");
+  if (v == nullptr || *v == '\0') return ReplMode::kOff;
+  const std::string s(v);
+  if (s == "off") return ReplMode::kOff;
+  if (s == "async") return ReplMode::kAsync;
+  if (s == "semisync") return ReplMode::kSemiSync;
+  DMEMO_LOG(kWarn) << "DMEMO_REPL_MODE='" << s
+                   << "' not recognized (off|async|semisync); using off";
+  return ReplMode::kOff;
+}
+
+std::chrono::milliseconds ReplTimeoutFromEnv() {
+  return std::chrono::milliseconds(EnvInt("DMEMO_REPL_TIMEOUT_MS", 1000));
+}
+
+std::string_view ReplModeName(ReplMode mode) {
+  switch (mode) {
+    case ReplMode::kOff: return "off";
+    case ReplMode::kAsync: return "async";
+    case ReplMode::kSemiSync: return "semisync";
+  }
+  return "unknown";
+}
+
+IoBuf EncodeReplSnapshot(const ReplSnapshotPayload& payload) {
+  ByteWriter out;
+  out.u8(kReplPayloadVersion);
+  out.varint(static_cast<std::uint64_t>(payload.fs_id));
+  out.str(payload.primary_host);
+  out.u64(payload.epoch);
+  out.u64(payload.watermark);
+  out.bytes(payload.snapshot);
+  return IoBuf::FromBytes(out.take());
+}
+
+Result<ReplSnapshotPayload> DecodeReplSnapshot(const IoBuf& value) {
+  // analyze:allow(zero-copy) control path; decoded once, not relayed
+  const Bytes flat = value.Flatten();
+  ByteReader in(flat);
+  DMEMO_ASSIGN_OR_RETURN(std::uint8_t version, in.u8());
+  if (version != kReplPayloadVersion) {
+    return DataLossError("unknown repl_snapshot payload version " +
+                         std::to_string(version));
+  }
+  ReplSnapshotPayload payload;
+  DMEMO_ASSIGN_OR_RETURN(std::uint64_t fs_id, in.varint());
+  payload.fs_id = static_cast<int>(fs_id);
+  DMEMO_ASSIGN_OR_RETURN(payload.primary_host, in.str());
+  DMEMO_ASSIGN_OR_RETURN(payload.epoch, in.u64());
+  DMEMO_ASSIGN_OR_RETURN(payload.watermark, in.u64());
+  DMEMO_ASSIGN_OR_RETURN(payload.snapshot, in.bytes());
+  return payload;
+}
+
+IoBuf EncodeReplAppend(const ReplAppendPayload& payload) {
+  ByteWriter out;
+  out.u8(kReplPayloadVersion);
+  out.varint(static_cast<std::uint64_t>(payload.fs_id));
+  out.str(payload.primary_host);
+  out.u64(payload.epoch);
+  out.varint(payload.records.size());
+  for (const ReplRecord& r : payload.records) {
+    out.u64(r.seq);
+    out.u8(r.record.op);
+    out.u64(r.record.request_id);
+    out.bytes(r.record.key);
+    out.bytes(r.record.key2);
+    out.varint(r.record.payload.size());
+    r.record.payload.CopyTo(out);
+  }
+  return IoBuf::FromBytes(out.take());
+}
+
+Result<ReplAppendPayload> DecodeReplAppend(const IoBuf& value) {
+  // analyze:allow(zero-copy) control path; applied once onto the standby
+  const Bytes flat = value.Flatten();
+  ByteReader in(flat);
+  DMEMO_ASSIGN_OR_RETURN(std::uint8_t version, in.u8());
+  if (version != kReplPayloadVersion) {
+    return DataLossError("unknown repl_append payload version " +
+                         std::to_string(version));
+  }
+  ReplAppendPayload payload;
+  DMEMO_ASSIGN_OR_RETURN(std::uint64_t fs_id, in.varint());
+  payload.fs_id = static_cast<int>(fs_id);
+  DMEMO_ASSIGN_OR_RETURN(payload.primary_host, in.str());
+  DMEMO_ASSIGN_OR_RETURN(payload.epoch, in.u64());
+  DMEMO_ASSIGN_OR_RETURN(std::uint64_t count, in.varint());
+  if (count > kMaxReplBatchWire) {
+    return DataLossError("repl_append declares " + std::to_string(count) +
+                         " records");
+  }
+  payload.records.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    ReplRecord r;
+    DMEMO_ASSIGN_OR_RETURN(r.seq, in.u64());
+    DMEMO_ASSIGN_OR_RETURN(r.record.op, in.u8());
+    DMEMO_ASSIGN_OR_RETURN(r.record.request_id, in.u64());
+    DMEMO_ASSIGN_OR_RETURN(r.record.key, in.bytes());
+    DMEMO_ASSIGN_OR_RETURN(r.record.key2, in.bytes());
+    DMEMO_ASSIGN_OR_RETURN(Bytes body, in.bytes());
+    r.record.payload = IoBuf::FromBytes(std::move(body));
+    payload.records.push_back(std::move(r));
+  }
+  return payload;
+}
+
+ReplicationShipper::ReplicationShipper(Options options, TransmitFn transmit,
+                                       SnapshotFn snapshot, EpochFn epoch)
+    : options_(std::move(options)),
+      transmit_(std::move(transmit)),
+      snapshot_(std::move(snapshot)),
+      epoch_(std::move(epoch)) {
+  const std::string labels = "fs=\"" + std::to_string(options_.fs_id) + "@" +
+                             options_.primary_host + "\",peer=\"" +
+                             options_.backup_host + "\"";
+  auto& registry = MetricsRegistry::Global();
+  records_shipped_ =
+      registry.GetCounter("dmemo_repl_records_shipped_total", labels);
+  batches_ = registry.GetCounter("dmemo_repl_batches_total", labels);
+  snapshots_ =
+      registry.GetCounter("dmemo_repl_snapshots_shipped_total", labels);
+  semisync_waits_ =
+      registry.GetCounter("dmemo_repl_semisync_waits_total", labels);
+  degraded_ = registry.GetCounter("dmemo_repl_degraded_total", labels);
+  overflows_ =
+      registry.GetCounter("dmemo_repl_queue_overflows_total", labels);
+}
+
+ReplicationShipper::~ReplicationShipper() { Stop(); }
+
+void ReplicationShipper::Start() {
+  if (thread_.joinable()) return;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void ReplicationShipper::Stop() {
+  {
+    MutexLock lock(mu_);
+    stop_ = true;
+    work_cv_.NotifyAll();
+    shipped_cv_.NotifyAll();
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+std::uint64_t ReplicationShipper::Enqueue(const WalRecord& record) {
+  MutexLock lock(mu_);
+  const std::uint64_t seq = ++last_seq_;
+  if (stop_ || fenced_) return seq;
+  // While a snapshot bootstrap is pending, the record is already applied
+  // to the primary directory, so the snapshot's watermark will cover it —
+  // queueing it too would double-apply on the backup.
+  if (needs_snapshot_) return seq;
+  if (queue_.size() >= options_.max_queue) {
+    queue_.clear();
+    needs_snapshot_ = true;
+    overflows_->Increment();
+    DMEMO_LOG(kWarn) << "repl fs " << options_.fs_id << "@"
+                     << options_.primary_host << " -> "
+                     << options_.backup_host << ": queue overflowed at "
+                     << options_.max_queue
+                     << " records; re-bootstrapping from snapshot";
+    work_cv_.NotifyAll();
+    return seq;
+  }
+  ReplRecord r;
+  r.seq = seq;
+  r.record = record;  // keys copy; the IoBuf payload shares slices
+  queue_.push_back(std::move(r));
+  work_cv_.NotifyAll();
+  return seq;
+}
+
+void ReplicationShipper::WaitShipped(std::uint64_t seq) {
+  if (options_.mode != ReplMode::kSemiSync || seq == 0) return;
+  semisync_waits_->Increment();
+  const auto deadline =
+      std::chrono::steady_clock::now() + options_.semisync_timeout;
+  MutexLock lock(mu_);
+  while (!stop_ && !fenced_ && shipped_seq_ < seq) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      degraded_->Increment();
+      DMEMO_LOG(kWarn) << "repl fs " << options_.fs_id << "@"
+                       << options_.primary_host
+                       << ": semisync ack degraded to async (record " << seq
+                       << " not shipped to " << options_.backup_host
+                       << " within "
+                       << options_.semisync_timeout.count() << "ms)";
+      return;
+    }
+    shipped_cv_.WaitFor(mu_, now >= deadline
+                                 ? std::chrono::nanoseconds(0)
+                                 : std::chrono::duration_cast<
+                                       std::chrono::nanoseconds>(deadline -
+                                                                 now));
+  }
+}
+
+std::uint64_t ReplicationShipper::last_seq() const {
+  MutexLock lock(mu_);
+  return last_seq_;
+}
+
+std::uint64_t ReplicationShipper::shipped_seq() const {
+  MutexLock lock(mu_);
+  return shipped_seq_;
+}
+
+bool ReplicationShipper::fenced() const {
+  MutexLock lock(mu_);
+  return fenced_;
+}
+
+void ReplicationShipper::Loop() {
+  SplitMix64 rng(Mix64(static_cast<std::uint64_t>(options_.fs_id) ^
+                       std::hash<std::string>{}(options_.backup_host)));
+  for (;;) {
+    bool do_snapshot = false;
+    std::vector<ReplRecord> batch;
+    {
+      MutexLock lock(mu_);
+      while (!stop_ && !fenced_ && !needs_snapshot_ && queue_.empty()) {
+        work_cv_.Wait(mu_);
+      }
+      if (stop_ || fenced_) return;
+      do_snapshot = needs_snapshot_;
+      if (!do_snapshot) {
+        while (!queue_.empty() && batch.size() < options_.max_batch) {
+          batch.push_back(std::move(queue_.front()));
+          queue_.pop_front();
+        }
+      }
+    }
+    const bool ok =
+        do_snapshot ? ShipSnapshot() : ShipBatch(std::move(batch));
+    if (!ok) {
+      // Jittered backoff (±25%) so N shippers chasing one recovering
+      // backup do not re-dial in lockstep.
+      const auto base = std::chrono::duration_cast<std::chrono::nanoseconds>(
+          options_.retry_backoff);
+      const auto wait = std::chrono::nanoseconds(static_cast<std::int64_t>(
+          static_cast<double>(base.count()) * (0.75 + 0.5 * rng.NextUnit())));
+      MutexLock lock(mu_);
+      if (stop_ || fenced_) return;
+      work_cv_.WaitFor(mu_, wait);
+    }
+  }
+}
+
+ReplicationShipper::Answer ReplicationShipper::Classify(
+    const Result<Response>& resp) {
+  if (!resp.ok()) return Answer::kRetry;  // transport error / timeout
+  switch (resp->code) {
+    case StatusCode::kOk:
+      return Answer::kOk;
+    case StatusCode::kFailedPrecondition:
+      return Answer::kFenced;
+    case StatusCode::kNotFound:
+    case StatusCode::kOutOfRange:
+      return Answer::kRebootstrap;
+    default:
+      return Answer::kRetry;
+  }
+}
+
+void ReplicationShipper::Fence(const std::string& detail) {
+  {
+    MutexLock lock(mu_);
+    if (fenced_) return;
+    fenced_ = true;
+    queue_.clear();
+    work_cv_.NotifyAll();
+    shipped_cv_.NotifyAll();
+  }
+  DMEMO_LOG(kWarn) << "repl fs " << options_.fs_id << "@"
+                   << options_.primary_host << ": backup "
+                   << options_.backup_host
+                   << " fenced this primary off (it promoted under a higher "
+                      "epoch); shipping stops permanently: "
+                   << detail;
+}
+
+bool ReplicationShipper::ShipSnapshot() {
+  auto payload = snapshot_();
+  if (!payload.ok()) {
+    DMEMO_LOG(kWarn) << "repl fs " << options_.fs_id << "@"
+                     << options_.primary_host << ": snapshot for backup "
+                     << options_.backup_host
+                     << " failed: " << payload.status().ToString();
+    return false;
+  }
+  const std::uint64_t watermark = payload->watermark;
+  Request req;
+  req.op = Op::kReplSnapshot;
+  req.trace_id = NextTraceId();
+  req.value = EncodeReplSnapshot(*payload);
+  auto resp = transmit_(std::move(req));
+  switch (Classify(resp)) {
+    case Answer::kOk: {
+      {
+        MutexLock lock(mu_);
+        needs_snapshot_ = false;
+        while (!queue_.empty() && queue_.front().seq <= watermark) {
+          queue_.pop_front();
+        }
+        if (watermark > shipped_seq_) shipped_seq_ = watermark;
+        shipped_cv_.NotifyAll();
+      }
+      snapshots_->Increment();
+      DMEMO_LOG(kInfo) << "repl fs " << options_.fs_id << "@"
+                       << options_.primary_host << ": bootstrapped backup "
+                       << options_.backup_host << " at watermark "
+                       << watermark;
+      return true;
+    }
+    case Answer::kFenced:
+      Fence(resp.ok() ? resp->message : resp.status().ToString());
+      return true;
+    case Answer::kRebootstrap:
+    case Answer::kRetry:
+      return false;
+  }
+  return false;
+}
+
+bool ReplicationShipper::ShipBatch(std::vector<ReplRecord> batch) {
+  if (batch.empty()) return true;
+  ReplAppendPayload payload;
+  payload.fs_id = options_.fs_id;
+  payload.primary_host = options_.primary_host;
+  payload.epoch = epoch_();
+  const std::uint64_t high = batch.back().seq;
+  payload.records = std::move(batch);
+  Request req;
+  req.op = Op::kReplAppend;
+  req.trace_id = NextTraceId();
+  req.value = EncodeReplAppend(payload);
+  auto resp = transmit_(std::move(req));
+  switch (Classify(resp)) {
+    case Answer::kOk: {
+      {
+        MutexLock lock(mu_);
+        if (high > shipped_seq_) shipped_seq_ = high;
+        shipped_cv_.NotifyAll();
+      }
+      records_shipped_->Add(payload.records.size());
+      batches_->Increment();
+      return true;
+    }
+    case Answer::kFenced:
+      Fence(resp.ok() ? resp->message : resp.status().ToString());
+      return true;
+    case Answer::kRebootstrap: {
+      // The backup lost (or never had) the standby, or saw a sequence gap
+      // (a torn shipped tail): these records are already folded into the
+      // primary directory, so the fresh snapshot covers them — drop the
+      // batch and bootstrap.
+      MutexLock lock(mu_);
+      needs_snapshot_ = true;
+      return true;
+    }
+    case Answer::kRetry: {
+      // Transport trouble: put the batch back in order and back off.
+      MutexLock lock(mu_);
+      if (!stop_ && !fenced_ && !needs_snapshot_) {
+        for (auto it = payload.records.rbegin();
+             it != payload.records.rend(); ++it) {
+          queue_.push_front(std::move(*it));
+        }
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+}  // namespace dmemo

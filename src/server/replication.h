@@ -1,0 +1,193 @@
+// Primary/backup replication of folder partitions (DESIGN.md §15).
+//
+// The WAL is already a replication stream: every acknowledged mutation is
+// a WalRecord in log order. A ReplicationShipper rides that stream — the
+// folder server hands it each record under wal_mu_ (so shipping order is
+// exactly apply order), and a background thread batches the queue into
+// Op::kReplAppend requests to the configured backup over the existing
+// resilient peer channel. A cold backup (or one that fell behind past the
+// bounded queue) is (re)bootstrapped with Op::kReplSnapshot: a full
+// directory snapshot plus the sequence watermark it covers, after which
+// the append stream resumes from watermark + 1.
+//
+// Ack modes (DMEMO_REPL_MODE):
+//   off       no replication (the default; PR 5 behaviour)
+//   async     mutations ack as before; the stream trails best-effort
+//   semisync  a mutation's ack additionally waits until its record is
+//             shipped, or DMEMO_REPL_TIMEOUT_MS elapses — on timeout the
+//             ack proceeds and dmemo_repl_degraded_total counts the
+//             degradation (availability over replication, logged loudly)
+//
+// A backup that answers FAILED_PRECONDITION is *ahead* of this primary
+// (it promoted under a higher epoch): the shipper fences itself off
+// permanently — this incarnation must never overwrite the failed-over
+// state. NOT_FOUND / OUT_OF_RANGE answers mean "re-bootstrap me" (no
+// standby / sequence gap) and flip the shipper back into snapshot mode.
+//
+// Lock ranks: mu_ is a leaf (no callback runs and no other lock is taken
+// while it is held); the shipper thread calls transmit/snapshot functions
+// with no shipper lock held.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/protocol.h"
+#include "util/bytes.h"
+#include "util/metrics.h"
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+#include "util/wal.h"
+
+namespace dmemo {
+
+enum class ReplMode : std::uint8_t { kOff, kAsync, kSemiSync };
+
+// DMEMO_REPL_MODE=off|async|semisync (default off).
+ReplMode ReplModeFromEnv();
+// DMEMO_REPL_TIMEOUT_MS: semisync wait bound per mutation (default 1000).
+std::chrono::milliseconds ReplTimeoutFromEnv();
+
+std::string_view ReplModeName(ReplMode mode);
+
+// One WAL record with its replication sequence number (1-based, assigned
+// in log order by the primary's shipper).
+struct ReplRecord {
+  std::uint64_t seq = 0;
+  WalRecord record;
+};
+
+// Op::kReplSnapshot request payload (raw ByteWriter framing in
+// Request.value; PROTOCOL.md §"Replication payloads").
+struct ReplSnapshotPayload {
+  int fs_id = 0;
+  std::string primary_host;
+  std::uint64_t epoch = 0;      // primary's fencing epoch
+  std::uint64_t watermark = 0;  // highest seq folded into the snapshot
+  Bytes snapshot;               // FolderDirectory::SnapshotTo bytes
+};
+
+// Op::kReplAppend request payload: a batch of sequenced records.
+struct ReplAppendPayload {
+  int fs_id = 0;
+  std::string primary_host;
+  std::uint64_t epoch = 0;
+  std::vector<ReplRecord> records;
+};
+
+IoBuf EncodeReplSnapshot(const ReplSnapshotPayload& payload);
+Result<ReplSnapshotPayload> DecodeReplSnapshot(const IoBuf& value);
+IoBuf EncodeReplAppend(const ReplAppendPayload& payload);
+Result<ReplAppendPayload> DecodeReplAppend(const IoBuf& value);
+
+// What the folder server sees: sequence assignment under its wal_mu_ and
+// the semisync ack barrier. Virtual so tests can observe the stream.
+class ReplicationSink {
+ public:
+  virtual ~ReplicationSink() = default;
+
+  // Called under the folder server's wal_mu_, right after the WAL append:
+  // assigns and returns the record's sequence number. Must be cheap (no
+  // I/O, no blocking).
+  virtual std::uint64_t Enqueue(const WalRecord& record) = 0;
+
+  // Semisync barrier, called after the WAL commit with no lock held:
+  // blocks until `seq` is shipped, the timeout degrades the ack, or the
+  // sink stops. No-op in async mode.
+  virtual void WaitShipped(std::uint64_t seq) = 0;
+
+  // Highest sequence number assigned so far.
+  virtual std::uint64_t last_seq() const = 0;
+};
+
+class ReplicationShipper : public ReplicationSink {
+ public:
+  struct Options {
+    int fs_id = 0;
+    std::string primary_host;
+    std::string backup_host;
+    ReplMode mode = ReplMode::kAsync;
+    std::chrono::milliseconds semisync_timeout = ReplTimeoutFromEnv();
+    std::size_t max_batch = 64;
+    // Queue bound; overflowing flips back to snapshot mode instead of
+    // growing without limit while the backup is unreachable.
+    std::size_t max_queue = 4096;
+    std::chrono::milliseconds retry_backoff{50};
+  };
+
+  // Ships one encoded request to the backup (the memo server wraps its
+  // resilient peer channel); must be callable from the shipper thread.
+  using TransmitFn = std::function<Result<Response>(Request)>;
+  // Produces a consistent snapshot + watermark (FolderServer takes wal_mu_).
+  using SnapshotFn = std::function<Result<ReplSnapshotPayload>()>;
+  // The primary's current fencing epoch, stamped on every append batch.
+  using EpochFn = std::function<std::uint64_t()>;
+
+  ReplicationShipper(Options options, TransmitFn transmit,
+                     SnapshotFn snapshot, EpochFn epoch);
+  ~ReplicationShipper() override;
+
+  ReplicationShipper(const ReplicationShipper&) = delete;
+  ReplicationShipper& operator=(const ReplicationShipper&) = delete;
+
+  void Start();
+  // Signals and joins the shipper thread; wakes every semisync waiter.
+  // Safe to call more than once. Call after the peer channels close so a
+  // transmit blocked in a dial unblocks.
+  void Stop();
+
+  std::uint64_t Enqueue(const WalRecord& record) override;
+  void WaitShipped(std::uint64_t seq) override;
+  std::uint64_t last_seq() const override;
+
+  std::uint64_t shipped_seq() const;
+  // True once the backup rejected this primary as stale (it promoted).
+  bool fenced() const;
+  const std::string& backup_host() const { return options_.backup_host; }
+
+ private:
+  void Loop();
+  // One snapshot bootstrap attempt; returns false to back off and retry.
+  bool ShipSnapshot();
+  // One batch transmit; returns false to back off and retry (batch was
+  // re-queued in order).
+  bool ShipBatch(std::vector<ReplRecord> batch);
+  // Shared classification of a backup's answer.
+  enum class Answer { kOk, kRebootstrap, kFenced, kRetry };
+  static Answer Classify(const Result<Response>& resp);
+  // Permanently stop shipping: the backup promoted past this primary.
+  void Fence(const std::string& detail);
+
+  const Options options_;
+  const TransmitFn transmit_;
+  const SnapshotFn snapshot_;
+  const EpochFn epoch_;
+
+  Counter* records_shipped_ = nullptr;  // dmemo_repl_records_shipped_total
+  Counter* batches_ = nullptr;          // dmemo_repl_batches_total
+  Counter* snapshots_ = nullptr;     // dmemo_repl_snapshots_shipped_total
+  Counter* semisync_waits_ = nullptr;  // dmemo_repl_semisync_waits_total
+  Counter* degraded_ = nullptr;         // dmemo_repl_degraded_total
+  Counter* overflows_ = nullptr;   // dmemo_repl_queue_overflows_total
+
+  std::thread thread_;
+
+  mutable Mutex mu_{"ReplicationShipper::mu"};
+  CondVar work_cv_;     // shipper thread waits for queue/snapshot work
+  CondVar shipped_cv_;  // semisync waiters wait for shipped_seq_
+  bool stop_ DMEMO_GUARDED_BY(mu_) = false;
+  bool fenced_ DMEMO_GUARDED_BY(mu_) = false;
+  // A cold or fallen-behind backup needs a snapshot before appends.
+  bool needs_snapshot_ DMEMO_GUARDED_BY(mu_) = true;
+  std::uint64_t last_seq_ DMEMO_GUARDED_BY(mu_) = 0;
+  std::uint64_t shipped_seq_ DMEMO_GUARDED_BY(mu_) = 0;
+  std::deque<ReplRecord> queue_ DMEMO_GUARDED_BY(mu_);
+};
+
+}  // namespace dmemo

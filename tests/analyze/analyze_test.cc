@@ -270,7 +270,17 @@ TEST(Protocol, DetectsEveryDriftKind) {
   EXPECT_EQ(CountMessage(findings, "wire field order drift"), 1);
   // Encoder that misses a field.
   EXPECT_EQ(CountMessage(findings, "never encodes field 'value'"), 1);
-  EXPECT_EQ(findings.size(), 6u);
+  // The replication/membership ops drift too: an undocumented op...
+  EXPECT_EQ(CountMessage(findings,
+                         "op 'repl_snapshot' (kReplSnapshot) is missing from "
+                         "the PROTOCOL.md"),
+            1);
+  // ...a doc row whose code disagrees with the enum...
+  EXPECT_EQ(CountMessage(findings, "documented as code 16 but the enum says 6"),
+            1);
+  // ...and an op the server never dispatches.
+  EXPECT_EQ(CountMessage(findings, "'kReplAppend' is never dispatched"), 1);
+  EXPECT_EQ(findings.size(), 9u);
 }
 
 // ---------------------------------------------------------------------------

@@ -9,8 +9,10 @@
 #include <unistd.h>
 
 #include <cstdlib>
+#include <initializer_list>
 #include <map>
 #include <thread>
+#include <vector>
 
 #include "core/memo.h"
 #include "runtime/cluster.h"
@@ -304,6 +306,250 @@ TEST_F(CrashRecoveryTest, SigkillMidWorkloadLosesNothing) {
   const std::uint64_t epoch_after =
       FetchedEpoch((*cluster)->transport(), (*cluster)->url("hostB"));
   EXPECT_EQ(epoch_after, epoch_before + 2);
+
+  (*cluster)->Shutdown();
+}
+
+// ---- replicated failover (DESIGN.md §15) --------------------------------
+
+// The kStats record of `url`'s server, or nullptr.
+std::shared_ptr<TRecord> FetchedStats(const TransportPtr& transport,
+                                      const std::string& url) {
+  auto conn = transport->Dial(url);
+  if (!conn.ok()) return nullptr;
+  auto channel = RpcChannel::Create(std::move(*conn), nullptr, nullptr);
+  Request req;
+  req.op = Op::kStats;
+  auto resp = channel->Call(req);
+  channel->Close();
+  if (!resp.ok() || !resp->has_value) return nullptr;
+  auto decoded = DecodeGraphFromBytes(resp->value);
+  if (!decoded.ok()) return nullptr;
+  return std::dynamic_pointer_cast<TRecord>(*decoded);
+}
+
+// next_seq of `url`'s warm standby for folder server `fs_id`, or 0.
+std::uint64_t StandbyNextSeq(const TransportPtr& transport,
+                             const std::string& url, int fs_id) {
+  auto root = FetchedStats(transport, url);
+  if (root == nullptr) return 0;
+  auto standbys = std::dynamic_pointer_cast<TList>(root->Get("standbys"));
+  if (standbys == nullptr) return 0;
+  for (const auto& item : standbys->items()) {
+    auto rec = std::dynamic_pointer_cast<TRecord>(item);
+    if (rec == nullptr) continue;
+    auto id = std::dynamic_pointer_cast<TInt32>(rec->Get("id"));
+    if (id == nullptr || id->value() != fs_id) continue;
+    auto next = std::dynamic_pointer_cast<TUInt64>(rec->Get("next_seq"));
+    return next == nullptr ? 0 : next->value();
+  }
+  return 0;
+}
+
+// Does `url`'s server consider `peer` dead in its failure-detector view?
+bool SeesPeerDead(const TransportPtr& transport, const std::string& url,
+                  const std::string& peer) {
+  auto root = FetchedStats(transport, url);
+  if (root == nullptr) return false;
+  auto health = std::dynamic_pointer_cast<TList>(root->Get("health"));
+  if (health == nullptr) return false;
+  for (const auto& item : health->items()) {
+    auto rec = std::dynamic_pointer_cast<TRecord>(item);
+    if (rec == nullptr) continue;
+    auto host = std::dynamic_pointer_cast<TString>(rec->Get("host"));
+    auto alive = std::dynamic_pointer_cast<TBool>(rec->Get("alive"));
+    if (host != nullptr && alive != nullptr && host->value() == peer &&
+        !alive->value()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// The Prometheus-style metrics text of `url`'s server ("" on failure).
+std::string FetchedMetricsText(const TransportPtr& transport,
+                               const std::string& url) {
+  auto conn = transport->Dial(url);
+  if (!conn.ok()) return "";
+  auto channel = RpcChannel::Create(std::move(*conn), nullptr, nullptr);
+  Request req;
+  req.op = Op::kMetrics;
+  auto resp = channel->Call(req);
+  channel->Close();
+  if (!resp.ok() || !resp->has_value) return "";
+  auto decoded = DecodeGraphFromBytes(resp->value);
+  if (!decoded.ok()) return "";
+  auto root = std::dynamic_pointer_cast<TRecord>(*decoded);
+  if (root == nullptr) return "";
+  auto text = std::dynamic_pointer_cast<TString>(root->Get("text"));
+  return text == nullptr ? "" : text->value();
+}
+
+// Scoped env for the chaos children (ProcessCluster children inherit the
+// test's environment) and the in-test client channels.
+class ScopedEnv {
+ public:
+  ScopedEnv(std::initializer_list<std::pair<const char*, const char*>> vars) {
+    for (const auto& [name, value] : vars) {
+      names_.push_back(name);
+      ::setenv(name, value, 1);
+    }
+  }
+  ~ScopedEnv() {
+    for (const char* name : names_) ::unsetenv(name);
+  }
+
+ private:
+  std::vector<const char*> names_;
+};
+
+// ISSUE 10's headline acceptance: SIGKILL the primary mid-workload and the
+// backup auto-promotes — no restart, no operator — with every acked memo
+// readable exactly once, the failover metric bumped, and the pre-failover
+// epoch fenced.
+TEST_F(CrashRecoveryTest, SigkillPrimaryFailsOverToBackupWithoutRestart) {
+  const std::string binary = DMEMO_SERVER_BINARY;
+  if (binary.empty()) GTEST_SKIP() << "dmemo-server binary not provided";
+
+  ScopedEnv env({{"DMEMO_RPC_RETRIES", "200"},
+                 {"DMEMO_RPC_BACKOFF_MS", "10"},
+                 {"DMEMO_RPC_BACKOFF_MAX_MS", "100"},
+                 {"DMEMO_RPC_ATTEMPT_TIMEOUT_MS", "250"},
+                 {"DMEMO_REPL_MODE", "semisync"},
+                 {"DMEMO_REPL_TIMEOUT_MS", "2000"},
+                 {"DMEMO_HEARTBEAT_INTERVAL_MS", "50"},
+                 {"DMEMO_HEARTBEAT_MISSES", "2"}});
+
+  // Sorted ring: hostA's standby lives on its successor hostB.
+  auto parsed = ParseAdf(
+      "APP fo\nHOSTS\nhostA 1 t 1\nhostB 1 t 1\nhostC 1 t 1\n"
+      "FOLDERS\n0 hostA\n"
+      "PPC\nhostA <-> hostB 1\nhostB <-> hostC 1\nhostA <-> hostC 1\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+
+  ProcessClusterOptions opts;
+  opts.server_binary = binary;
+  opts.work_dir = dir_;
+  auto cluster = ProcessCluster::Start(parsed->description, opts);
+  ASSERT_TRUE(cluster.ok()) << cluster.status();
+  const TransportPtr transport = (*cluster)->transport();
+
+  auto client = (*cluster)->Client("hostC");
+  ASSERT_TRUE(client.ok()) << client.status();
+
+  // Phase 1: acked workload against the original primary.
+  constexpr int kPhase1 = 15;
+  constexpr int kPhase2 = 15;
+  for (int i = 0; i < kPhase1; ++i) {
+    ASSERT_TRUE(client
+                    ->put(Key::Named("k", {static_cast<std::uint32_t>(i)}),
+                          MakeInt32(i))
+                    .ok())
+        << "put " << i;
+  }
+  // Wait until the warm standby has applied the full acked prefix, so a
+  // kill cannot race a semisync ack that degraded to async during the
+  // cluster's startup transient.
+  const auto ship_deadline = std::chrono::steady_clock::now() + 10s;
+  while (StandbyNextSeq(transport, (*cluster)->url("hostB"), 0) <
+         kPhase1 + 1) {
+    ASSERT_LT(std::chrono::steady_clock::now(), ship_deadline)
+        << "standby never caught up to the acked workload";
+    std::this_thread::sleep_for(20ms);
+  }
+
+  // SIGKILL the primary. It is never restarted: the standby must take
+  // over on its own.
+  ASSERT_TRUE((*cluster)->KillServer("hostA").ok());
+
+  // Phase 2: the workload continues through the outage; client-side
+  // retransmits of the same request ids bridge the promotion window.
+  for (int i = kPhase1; i < kPhase1 + kPhase2; ++i) {
+    ASSERT_TRUE(client
+                    ->put(Key::Named("k", {static_cast<std::uint32_t>(i)}),
+                          MakeInt32(i))
+                    .ok())
+        << "put " << i;
+  }
+
+  // hostB now serves folder server 0 under an epoch strictly above both
+  // the dead primary's (1) and what its plain restart would open (2).
+  const std::uint64_t epoch =
+      FetchedEpoch(transport, (*cluster)->url("hostB"));
+  EXPECT_GE(epoch, 3u);
+
+  // Zero lost, zero duplicated across the failover.
+  for (int i = 0; i < kPhase1 + kPhase2; ++i) {
+    const Key key = Key::Named("k", {static_cast<std::uint32_t>(i)});
+    auto count = client->count(key);
+    ASSERT_TRUE(count.ok()) << count.status();
+    EXPECT_EQ(*count, 1u) << "key " << i << " lost or duplicated";
+    auto v = client->get_skip(key);
+    ASSERT_TRUE(v.ok()) << v.status();
+    ASSERT_TRUE(v->has_value()) << "key " << i;
+    EXPECT_EQ(std::static_pointer_cast<TInt32>(**v)->value(), i);
+  }
+
+  // The promotion is visible in the failover metric...
+  const std::string metrics =
+      FetchedMetricsText(transport, (*cluster)->url("hostB"));
+  EXPECT_NE(metrics.find("dmemo_failover_total{fs=\"0@hostB\"}"),
+            std::string::npos)
+      << metrics;
+
+  // ...and a zombie pinned to the pre-failover epoch is fenced.
+  auto conn = transport->Dial((*cluster)->url("hostB"));
+  ASSERT_TRUE(conn.ok()) << conn.status();
+  auto channel = RpcChannel::Create(std::move(*conn), nullptr, nullptr);
+  Request stale;
+  stale.op = Op::kPut;
+  stale.app = "fo";
+  stale.epoch = 1;
+  stale.key = Key::Named("zombie");
+  stale.value = Encoded(99);
+  auto fenced = channel->Call(stale);
+  channel->Close();
+  ASSERT_TRUE(fenced.ok()) << fenced.status();
+  EXPECT_EQ(fenced->code, StatusCode::kFailedPrecondition) << fenced->message;
+
+  (*cluster)->Shutdown();
+}
+
+// Gossip convergence across real processes: in a five-server farm every
+// survivor learns of a SIGKILLed peer within a bounded number of protocol
+// periods, mostly via piggybacked updates rather than direct probes.
+TEST_F(CrashRecoveryTest, GossipConvergesAcrossFiveProcesses) {
+  const std::string binary = DMEMO_SERVER_BINARY;
+  if (binary.empty()) GTEST_SKIP() << "dmemo-server binary not provided";
+
+  ScopedEnv env({{"DMEMO_HEARTBEAT_INTERVAL_MS", "50"},
+                 {"DMEMO_HEARTBEAT_MISSES", "2"}});
+
+  auto parsed = ParseAdf(
+      "APP go\nHOSTS\ng0 1 t 1\ng1 1 t 1\ng2 1 t 1\ng3 1 t 1\ng4 1 t 1\n"
+      "FOLDERS\n0 g0\n"
+      "PPC\ng0 <-> g1 1\ng1 <-> g2 1\ng2 <-> g3 1\ng3 <-> g4 1\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+
+  ProcessClusterOptions opts;
+  opts.server_binary = binary;
+  opts.work_dir = dir_;
+  auto cluster = ProcessCluster::Start(parsed->description, opts);
+  ASSERT_TRUE(cluster.ok()) << cluster.status();
+  const TransportPtr transport = (*cluster)->transport();
+
+  // Kill the folder-less g4 so pure membership (not failover) is measured.
+  ASSERT_TRUE((*cluster)->KillServer("g4").ok());
+
+  const std::vector<std::string> survivors = {"g0", "g1", "g2", "g3"};
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  for (const std::string& host : survivors) {
+    while (!SeesPeerDead(transport, (*cluster)->url(host), "g4")) {
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << host << " never saw g4 dead";
+      std::this_thread::sleep_for(20ms);
+    }
+  }
 
   (*cluster)->Shutdown();
 }

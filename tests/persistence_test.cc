@@ -275,6 +275,25 @@ TEST_F(WalPersistenceTest, TruncatedWalTailRecoversCleanly) {
   EXPECT_EQ(CountOf(recovered, "t"), 3u);
 }
 
+TEST_F(WalPersistenceTest, EpochFloorLiftsRecoveredEpoch) {
+  // A promoted backup opens with epoch_floor = standby epoch + 1 so it
+  // lands strictly above any plain restart of the failed primary
+  // (DESIGN.md §15). Recovery serves max(stored, floor) + 1.
+  {
+    FolderServer fs(0, "hostA");
+    auto d = Durability();
+    d.epoch_floor = 7;
+    ASSERT_TRUE(fs.EnableDurability(d).ok());
+    EXPECT_EQ(fs.epoch(), 8u);
+  }
+  // A floor below the stored epoch is a no-op: the stored value wins.
+  FolderServer again(0, "hostA");
+  auto d = Durability();
+  d.epoch_floor = 3;
+  ASSERT_TRUE(again.EnableDurability(d).ok());
+  EXPECT_EQ(again.epoch(), 9u);
+}
+
 TEST_F(WalPersistenceTest, CorruptCrcStopsReplayLoudly) {
   {
     FolderServer fs(0, "hostA");

@@ -390,7 +390,7 @@ IoBuf RandomValue(SplitMix64& rng) {
 
 Request RandomRequest(SplitMix64& rng) {
   Request req;
-  req.op = static_cast<Op>(1 + rng.NextBelow(13));  // kPut..kHeartbeat
+  req.op = static_cast<Op>(1 + rng.NextBelow(16));  // kPut..kGossip
   req.app = "app" + std::to_string(rng.NextBelow(10));
   req.target_host = rng.NextBelow(2) ? "host" + std::to_string(rng.Next() % 8)
                                      : std::string();
@@ -472,7 +472,9 @@ TEST_P(ZeroCopyPropertyTest, ResponseIoBufEncodingIsByteIdentical) {
     EXPECT_EQ(decoded->has_value, resp.has_value);
     EXPECT_TRUE(decoded->value == resp.value);
     EXPECT_EQ(decoded->has_key, resp.has_key);
-    if (resp.has_key) EXPECT_EQ(decoded->key, resp.key);
+    if (resp.has_key) {
+      EXPECT_EQ(decoded->key, resp.key);
+    }
     EXPECT_EQ(decoded->count, resp.count);
     EXPECT_EQ(decoded->hop_count, resp.hop_count);
     EXPECT_EQ(decoded->trace_id, resp.trace_id);

@@ -1,0 +1,656 @@
+// Tests for the replication + membership layer (DESIGN.md §15): the wire
+// codecs, the SWIM membership state machine, the standby apply protocol
+// (epoch fencing, duplicate suffixes, sequence gaps), semisync/async
+// shipping through real servers over a simulated network, automatic
+// standby promotion, and the SWIM per-node load bound.
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "adf/adf.h"
+#include "folder/directory.h"
+#include "folder/key.h"
+#include "server/gossip.h"
+#include "server/memo_server.h"
+#include "server/replication.h"
+#include "server/rpc_channel.h"
+#include "transferable/codec.h"
+#include "transferable/scalars.h"
+#include "transport/simnet.h"
+#include "util/metrics.h"
+#include "util/rng.h"
+
+namespace dmemo {
+namespace {
+
+using namespace std::chrono_literals;
+
+Bytes Encoded(int v) { return EncodeGraphToBytes(MakeInt32(v)); }
+
+int Decoded(const IoBuf& b) {
+  auto v = DecodeGraphFromBytes(b);
+  EXPECT_TRUE(v.ok());
+  return std::static_pointer_cast<TInt32>(*v)->value();
+}
+
+// ---- codecs -------------------------------------------------------------
+
+TEST(ReplCodecTest, SnapshotRoundTrip) {
+  ReplSnapshotPayload p;
+  p.fs_id = 3;
+  p.primary_host = "bonnie";
+  p.epoch = 7;
+  p.watermark = 41;
+  p.snapshot = Bytes{1, 2, 3, 4};
+  auto got = DecodeReplSnapshot(EncodeReplSnapshot(p));
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got->fs_id, 3);
+  EXPECT_EQ(got->primary_host, "bonnie");
+  EXPECT_EQ(got->epoch, 7u);
+  EXPECT_EQ(got->watermark, 41u);
+  EXPECT_EQ(got->snapshot, (Bytes{1, 2, 3, 4}));
+}
+
+TEST(ReplCodecTest, AppendRoundTrip) {
+  ReplAppendPayload p;
+  p.fs_id = 1;
+  p.primary_host = "clyde";
+  p.epoch = 2;
+  for (std::uint64_t seq = 5; seq < 8; ++seq) {
+    ReplRecord r;
+    r.seq = seq;
+    r.record.op = static_cast<std::uint8_t>(Op::kPut);
+    r.record.request_id = 100 + seq;
+    r.record.key = QualifiedKey{"app", Key::Named("k", {7})}.ToBytes();
+    r.record.payload = IoBuf(Encoded(static_cast<int>(seq)));
+    p.records.push_back(std::move(r));
+  }
+  auto got = DecodeReplAppend(EncodeReplAppend(p));
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got->fs_id, 1);
+  EXPECT_EQ(got->epoch, 2u);
+  ASSERT_EQ(got->records.size(), 3u);
+  EXPECT_EQ(got->records[0].seq, 5u);
+  EXPECT_EQ(got->records[2].record.request_id, 107u);
+  EXPECT_EQ(Decoded(got->records[1].record.payload), 6);
+}
+
+TEST(ReplCodecTest, CorruptPayloadRejected) {
+  // A truncated / garbage frame must fail decode, not crash or misparse.
+  EXPECT_FALSE(DecodeReplSnapshot(IoBuf(Bytes{0xff, 0x01})).ok());
+  EXPECT_FALSE(DecodeReplAppend(IoBuf(Bytes{0x42})).ok());
+  EXPECT_FALSE(DecodeReplAppend(IoBuf()).ok());
+}
+
+TEST(GossipCodecTest, MessageRoundTrip) {
+  GossipMessage msg;
+  msg.kind = "ping-req";
+  msg.host = "alpha";
+  msg.subject = "gamma";
+  msg.incarnation = 9;
+  msg.reached = true;
+  msg.updates.push_back(MemberUpdate{"beta", 4, MemberState::kSuspect});
+  msg.updates.push_back(MemberUpdate{"gamma", 2, MemberState::kDead});
+  msg.folder_servers.push_back(GossipFolderInfo{2, 5, 128});
+  msg.owners.push_back(OwnershipClaim{2, "alpha", 5});
+  auto got = ParseGossipMessage(EncodeGossipMessage(msg));
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got->kind, "ping-req");
+  EXPECT_EQ(got->host, "alpha");
+  EXPECT_EQ(got->subject, "gamma");
+  EXPECT_EQ(got->incarnation, 9u);
+  EXPECT_TRUE(got->reached);
+  ASSERT_EQ(got->updates.size(), 2u);
+  EXPECT_EQ(got->updates[0].host, "beta");
+  EXPECT_EQ(got->updates[0].state, MemberState::kSuspect);
+  EXPECT_EQ(got->updates[1].incarnation, 2u);
+  ASSERT_EQ(got->folder_servers.size(), 1u);
+  EXPECT_EQ(got->folder_servers[0].epoch, 5u);
+  ASSERT_EQ(got->owners.size(), 1u);
+  EXPECT_EQ(got->owners[0].host, "alpha");
+}
+
+// ---- SWIM membership state machine --------------------------------------
+
+MemberView ViewOf(GossipMembership& g, const std::string& host) {
+  for (const MemberView& v : g.Snapshot()) {
+    if (v.host == host) return v;
+  }
+  ADD_FAILURE() << "no member " << host;
+  return MemberView{};
+}
+
+TEST(GossipMembershipTest, MissesSuspectThenDead) {
+  GossipMembership g("self", /*suspect_misses=*/2);
+  g.AddPeer("peer");
+  g.OnProbeMiss("peer");
+  EXPECT_EQ(ViewOf(g, "peer").state, MemberState::kSuspect);
+  g.OnProbeMiss("peer");
+  auto dead = g.Tick();
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0], "peer");
+  EXPECT_EQ(ViewOf(g, "peer").state, MemberState::kDead);
+  // A death is reported exactly once.
+  EXPECT_TRUE(g.Tick().empty());
+}
+
+TEST(GossipMembershipTest, SuspicionAgesToDeathWithoutFurtherProbes) {
+  GossipMembership g("self", /*suspect_misses=*/2);
+  g.AddPeer("peer");
+  g.OnProbeMiss("peer");  // suspect at one miss
+  // Unrefuted suspicion dies after 2 x suspect_misses protocol periods
+  // even if the prober never reaches it again.
+  std::vector<std::string> dead;
+  for (int i = 0; i < 2 * 2 + 1 && dead.empty(); ++i) dead = g.Tick();
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0], "peer");
+}
+
+TEST(GossipMembershipTest, AckRefutesSuspicion) {
+  GossipMembership g("self", /*suspect_misses=*/3);
+  g.AddPeer("peer");
+  g.OnProbeMiss("peer");
+  EXPECT_EQ(ViewOf(g, "peer").state, MemberState::kSuspect);
+  // Direct liveness evidence at an equal incarnation clears the suspicion.
+  g.OnProbeSuccess("peer", ViewOf(g, "peer").incarnation);
+  EXPECT_EQ(ViewOf(g, "peer").state, MemberState::kAlive);
+  EXPECT_EQ(ViewOf(g, "peer").misses, 0);
+}
+
+TEST(GossipMembershipTest, SelfSuspectRumorBumpsIncarnation) {
+  GossipMembership g("self", 2);
+  g.AddPeer("peer");
+  const std::uint64_t inc = g.self_incarnation();
+  g.ApplyUpdates({MemberUpdate{"self", inc, MemberState::kSuspect}});
+  // Only the member itself may bump its incarnation — and it just did, to
+  // refute the rumor.
+  EXPECT_GT(g.self_incarnation(), inc);
+  auto piggyback = g.PiggybackUpdates();
+  ASSERT_FALSE(piggyback.empty());
+  EXPECT_EQ(piggyback[0].host, "self");
+  EXPECT_EQ(piggyback[0].state, MemberState::kAlive);
+  EXPECT_EQ(piggyback[0].incarnation, g.self_incarnation());
+}
+
+TEST(GossipMembershipTest, HigherIncarnationAliveOverridesSuspect) {
+  GossipMembership g("self", 2);
+  g.AddPeer("peer");
+  g.OnProbeMiss("peer");
+  EXPECT_EQ(ViewOf(g, "peer").state, MemberState::kSuspect);
+  const std::uint64_t inc = ViewOf(g, "peer").incarnation;
+  // alive{i} overrides suspect{j} only for i > j.
+  g.ApplyUpdates({MemberUpdate{"peer", inc + 1, MemberState::kAlive}});
+  EXPECT_EQ(ViewOf(g, "peer").state, MemberState::kAlive);
+  EXPECT_EQ(ViewOf(g, "peer").incarnation, inc + 1);
+}
+
+TEST(GossipMembershipTest, StaleAliveDoesNotClearSuspicion) {
+  GossipMembership g("self", 2);
+  g.AddPeer("peer");
+  g.OnProbeMiss("peer");
+  const std::uint64_t inc = ViewOf(g, "peer").incarnation;
+  // A piggybacked alive claim at the same incarnation is older news than
+  // the suspicion and must not override it (SWIM's override rule — only
+  // the member's own ack clears at an equal incarnation).
+  g.ApplyUpdates({MemberUpdate{"peer", inc, MemberState::kAlive}});
+  EXPECT_EQ(ViewOf(g, "peer").state, MemberState::kSuspect);
+}
+
+TEST(GossipMembershipTest, DeadUpdateReportsDeathOnce) {
+  GossipMembership g("self", 2);
+  g.AddPeer("peer");
+  auto dead = g.ApplyUpdates({MemberUpdate{"peer", 1, MemberState::kDead}});
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0], "peer");
+  EXPECT_TRUE(
+      g.ApplyUpdates({MemberUpdate{"peer", 1, MemberState::kDead}}).empty());
+}
+
+TEST(GossipMembershipTest, RoundRobinProbesEveryLiveMemberPerCycle) {
+  GossipMembership g("self", 2);
+  g.AddPeer("a");
+  g.AddPeer("b");
+  g.AddPeer("c");
+  g.ApplyUpdates({MemberUpdate{"c", 1, MemberState::kDead}});
+  SplitMix64 rng(42);
+  // Two full cycles over the live members: every live member exactly
+  // twice, the dead one never.
+  std::unordered_map<std::string, int> hits;
+  for (int i = 0; i < 4; ++i) ++hits[g.NextProbeTarget(rng)];
+  EXPECT_EQ(hits["a"], 2);
+  EXPECT_EQ(hits["b"], 2);
+  EXPECT_EQ(hits.count("c"), 0u);
+}
+
+TEST(GossipMembershipTest, IndirectCandidatesExcludeTargetAndDead) {
+  GossipMembership g("self", 2);
+  g.AddPeer("a");
+  g.AddPeer("b");
+  g.AddPeer("c");
+  g.ApplyUpdates({MemberUpdate{"b", 1, MemberState::kDead}});
+  SplitMix64 rng(7);
+  auto relays = g.IndirectCandidates(5, /*exclude=*/"a", rng);
+  ASSERT_EQ(relays.size(), 1u);
+  EXPECT_EQ(relays[0], "c");
+}
+
+// ---- standby apply protocol ---------------------------------------------
+
+// Drives the kReplSnapshot / kReplAppend handlers of a single backup
+// server with hand-crafted streams: the torn-tail, epoch-regression and
+// backup-ahead rejections from ISSUE 10's satellite checklist.
+class StandbyProtocolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    network_ = std::make_shared<SimNetwork>();
+    transport_ = MakeSimTransport(network_);
+    MemoServerOptions opts;
+    opts.host = "bak";
+    opts.listen_url = "sim://bak";
+    opts.peers = {{"bak", "sim://bak"}};
+    opts.heartbeat_interval = 0ms;  // failure detector off: protocol only
+    auto server = MemoServer::Start(transport_, opts);
+    ASSERT_TRUE(server.ok()) << server.status();
+    server_ = std::move(*server);
+    auto conn = transport_->Dial("sim://bak");
+    ASSERT_TRUE(conn.ok()) << conn.status();
+    channel_ = RpcChannel::Create(std::move(*conn), nullptr, nullptr);
+  }
+
+  void TearDown() override {
+    channel_->Close();
+    server_->Shutdown();
+  }
+
+  StatusCode Snapshot(int fs_id, std::uint64_t epoch,
+                      std::uint64_t watermark = 0) {
+    ReplSnapshotPayload p;
+    p.fs_id = fs_id;
+    p.primary_host = "pri";
+    p.epoch = epoch;
+    p.watermark = watermark;
+    FolderDirectory<IoBuf> empty;
+    ByteWriter w;
+    empty.SnapshotTo(w);
+    p.snapshot = w.take();
+    Request req;
+    req.op = Op::kReplSnapshot;
+    req.value = EncodeReplSnapshot(p);
+    auto resp = channel_->Call(req);
+    EXPECT_TRUE(resp.ok()) << resp.status();
+    return resp->code;
+  }
+
+  StatusCode Append(int fs_id, std::uint64_t epoch, std::uint64_t seq,
+                    std::uint64_t request_id = 0) {
+    ReplAppendPayload p;
+    p.fs_id = fs_id;
+    p.primary_host = "pri";
+    p.epoch = epoch;
+    ReplRecord r;
+    r.seq = seq;
+    r.record.op = static_cast<std::uint8_t>(Op::kPut);
+    r.record.request_id = request_id;
+    r.record.key =
+        QualifiedKey{"r", Key::Named("k", {static_cast<std::uint32_t>(seq)})}
+            .ToBytes();
+    r.record.payload = IoBuf(Encoded(static_cast<int>(seq)));
+    p.records.push_back(std::move(r));
+    Request req;
+    req.op = Op::kReplAppend;
+    req.value = EncodeReplAppend(p);
+    auto resp = channel_->Call(req);
+    EXPECT_TRUE(resp.ok()) << resp.status();
+    return resp->code;
+  }
+
+  MemoServer::StandbyView View(int fs_id) {
+    for (const auto& v : server_->standby_views()) {
+      if (v.fs_id == fs_id) return v;
+    }
+    ADD_FAILURE() << "no standby for fs " << fs_id;
+    return {};
+  }
+
+  SimNetworkPtr network_;
+  TransportPtr transport_;
+  std::unique_ptr<MemoServer> server_;
+  RpcChannelPtr channel_;
+};
+
+TEST_F(StandbyProtocolTest, BackupAheadRejectsStaleSnapshot) {
+  ASSERT_EQ(Snapshot(0, /*epoch=*/5), StatusCode::kOk);
+  // A stale primary (lower epoch) must be fenced off permanently...
+  EXPECT_EQ(Snapshot(0, /*epoch=*/3), StatusCode::kFailedPrecondition);
+  // ...but the same epoch may re-bootstrap (shipper restart), and a
+  // recovered primary at a higher epoch replaces the standby.
+  EXPECT_EQ(Snapshot(0, /*epoch=*/5), StatusCode::kOk);
+  EXPECT_EQ(Snapshot(0, /*epoch=*/6), StatusCode::kOk);
+  EXPECT_EQ(View(0).epoch, 6u);
+}
+
+TEST_F(StandbyProtocolTest, AppendEpochFencing) {
+  ASSERT_EQ(Snapshot(0, /*epoch=*/5), StatusCode::kOk);
+  // Zombie pre-failover primary: permanent fence.
+  EXPECT_EQ(Append(0, /*epoch=*/4, /*seq=*/1),
+            StatusCode::kFailedPrecondition);
+  // Recovered primary in a newer epoch: its stream restarted, so the
+  // standby asks for a fresh snapshot instead of applying blind.
+  EXPECT_EQ(Append(0, /*epoch=*/6, /*seq=*/1), StatusCode::kNotFound);
+  // Matching epoch applies.
+  EXPECT_EQ(Append(0, /*epoch=*/5, /*seq=*/1), StatusCode::kOk);
+  EXPECT_EQ(View(0).next_seq, 2u);
+}
+
+TEST_F(StandbyProtocolTest, AppendWithoutSnapshotRequiresBootstrap) {
+  EXPECT_EQ(Append(9, /*epoch=*/1, /*seq=*/1), StatusCode::kNotFound);
+}
+
+TEST_F(StandbyProtocolTest, DuplicateSuffixIsIdempotentAndGapsReject) {
+  ASSERT_EQ(Snapshot(0, /*epoch=*/2, /*watermark=*/3), StatusCode::kOk);
+  EXPECT_EQ(View(0).next_seq, 4u);
+  // Records at or below the watermark are duplicates of the applied
+  // prefix (retransmitted shipped tail): accepted, not re-applied.
+  EXPECT_EQ(Append(0, 2, /*seq=*/3), StatusCode::kOk);
+  EXPECT_EQ(View(0).next_seq, 4u);
+  EXPECT_EQ(Append(0, 2, /*seq=*/4), StatusCode::kOk);
+  EXPECT_EQ(Append(0, 2, /*seq=*/4), StatusCode::kOk);  // retransmit
+  EXPECT_EQ(View(0).next_seq, 5u);
+  // A torn shipped tail (gap in the stream) must force a re-bootstrap —
+  // applying past it would silently diverge from the primary.
+  EXPECT_EQ(Append(0, 2, /*seq=*/7), StatusCode::kOutOfRange);
+  EXPECT_EQ(View(0).next_seq, 5u);
+}
+
+// ---- shipping through real servers --------------------------------------
+
+// Two/three-server farm with per-host persistence directories and
+// replication enabled — the in-process version of the chaos failover run.
+class ReplFarmTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = "/tmp/dmemo_repl_" + std::to_string(::getpid()) + "_" +
+           info->name();
+    ::mkdir(dir_.c_str(), 0755);
+    network_ = std::make_shared<SimNetwork>();
+    transport_ = MakeSimTransport(network_);
+  }
+
+  void TearDown() override {
+    for (auto& [name, server] : servers_) server->Shutdown();
+    std::system(("rm -rf '" + dir_ + "'").c_str());
+  }
+
+  void StartFarm(const std::vector<std::string>& hosts, ReplMode mode,
+                 std::chrono::milliseconds gossip_interval,
+                 const std::string& adf_text) {
+    for (const auto& h : hosts) peers_[h] = "sim://" + h;
+    auto parsed = ParseAdf(adf_text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    adf_ = parsed->description;
+    for (const auto& h : hosts) {
+      MemoServerOptions opts;
+      opts.host = h;
+      opts.listen_url = peers_[h];
+      opts.peers = peers_;
+      opts.persist_dir = dir_ + "/" + h;
+      ::mkdir(opts.persist_dir.c_str(), 0755);
+      opts.heartbeat_interval = gossip_interval;
+      opts.heartbeat_misses = 2;
+      opts.repl_mode = mode;
+      auto server = MemoServer::Start(transport_, opts);
+      ASSERT_TRUE(server.ok()) << server.status();
+      servers_[h] = std::move(*server);
+      ASSERT_TRUE(servers_[h]->RegisterApp(adf_).ok());
+    }
+  }
+
+  RpcChannelPtr Connect(const std::string& host) {
+    auto conn = transport_->Dial("sim://" + host);
+    EXPECT_TRUE(conn.ok()) << conn.status();
+    return RpcChannel::Create(std::move(*conn), nullptr, nullptr);
+  }
+
+  // Acked put of key r/k{i} = i through `channel`.
+  void Put(const RpcChannelPtr& channel, int i, std::uint64_t request_id) {
+    Request req;
+    req.op = Op::kPut;
+    req.app = "r";
+    req.request_id = request_id;
+    req.key = Key::Named("k", {static_cast<std::uint32_t>(i)});
+    req.value = Encoded(i);
+    auto resp = channel->Call(req);
+    ASSERT_TRUE(resp.ok()) << resp.status();
+    ASSERT_EQ(resp->code, StatusCode::kOk) << resp->message;
+  }
+
+  std::string dir_;
+  SimNetworkPtr network_;
+  TransportPtr transport_;
+  std::unordered_map<std::string, std::string> peers_;
+  AppDescription adf_;
+  std::map<std::string, std::unique_ptr<MemoServer>> servers_;
+};
+
+constexpr const char* kPairAdf =
+    "APP r\nHOSTS\nrepA 1 t 1\nrepB 1 t 1\n"
+    "FOLDERS\n0 repA\nPPC\nrepA <-> repB 1\n";
+
+TEST_F(ReplFarmTest, SemisyncAckImpliesStandbyCaughtUp) {
+  StartFarm({"repA", "repB"}, ReplMode::kSemiSync, 0ms, kPairAdf);
+  auto a = Connect("repA");
+  const int kN = 10;
+  for (int i = 0; i < kN; ++i) Put(a, i, 9000 + i);
+  // Semisync: every acked mutation is already applied on the backup, so
+  // the standby watermark is exact the moment the last ack returns.
+  auto views = servers_.at("repB")->standby_views();
+  ASSERT_EQ(views.size(), 1u);
+  EXPECT_EQ(views[0].fs_id, 0);
+  EXPECT_EQ(views[0].primary_host, "repA");
+  EXPECT_EQ(views[0].epoch, servers_.at("repA")->folder_server(0)->epoch());
+  EXPECT_EQ(views[0].next_seq, static_cast<std::uint64_t>(kN) + 1);
+  a->Close();
+}
+
+TEST_F(ReplFarmTest, AsyncShipsEventually) {
+  StartFarm({"repA", "repB"}, ReplMode::kAsync, 0ms, kPairAdf);
+  auto a = Connect("repA");
+  const int kN = 10;
+  for (int i = 0; i < kN; ++i) Put(a, i, 9100 + i);
+  // Async acks don't wait for the backup; the stream catches up shortly.
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  bool caught_up = false;
+  while (!caught_up && std::chrono::steady_clock::now() < deadline) {
+    for (const auto& v : servers_.at("repB")->standby_views()) {
+      if (v.fs_id == 0 && v.next_seq == static_cast<std::uint64_t>(kN) + 1) {
+        caught_up = true;
+      }
+    }
+    if (!caught_up) std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_TRUE(caught_up);
+  a->Close();
+}
+
+constexpr const char* kTrioAdf =
+    "APP r\nHOSTS\npromA 1 t 1\npromB 1 t 1\npromC 1 t 1\n"
+    "FOLDERS\n0 promA\n"
+    "PPC\npromA <-> promB 1\npromB <-> promC 1\npromA <-> promC 1\n";
+
+TEST_F(ReplFarmTest, BackupPromotesServesAckedMemosAndFencesStaleEpoch) {
+  // Ring successor of promA (sorted hosts) is promB: the standby lives
+  // there and must take over when promA dies.
+  StartFarm({"promA", "promB", "promC"}, ReplMode::kSemiSync, 25ms, kTrioAdf);
+  auto a = Connect("promA");
+  const int kN = 8;
+  for (int i = 0; i < kN; ++i) Put(a, i, 9200 + i);
+  a->Close();
+  const std::uint64_t old_epoch =
+      servers_.at("promA")->folder_server(0)->epoch();
+
+  // Hard-stop the primary (in-process stand-in for SIGKILL; the
+  // process-level version lives in crash_recovery_test.cc).
+  servers_.at("promA")->Shutdown();
+
+  // The SWIM detector declares promA dead and promB promotes its warm
+  // standby — no operator, no restart.
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  bool promoted = false;
+  while (!promoted && std::chrono::steady_clock::now() < deadline) {
+    for (int id : servers_.at("promB")->folder_server_ids()) {
+      if (id == 0) promoted = true;
+    }
+    if (!promoted) std::this_thread::sleep_for(10ms);
+  }
+  ASSERT_TRUE(promoted) << "standby never promoted";
+
+  // Deterministic fencing: standby epoch + 2 lands strictly above both
+  // the dead primary and any plain restart of it.
+  const std::uint64_t new_epoch =
+      servers_.at("promB")->folder_server(0)->epoch();
+  EXPECT_GE(new_epoch, old_epoch + 2);
+
+  // A zombie client pinned to the pre-failover epoch is rejected.
+  auto b = Connect("promB");
+  Request stale;
+  stale.op = Op::kPut;
+  stale.app = "r";
+  stale.epoch = old_epoch;
+  stale.key = Key::Named("k", {99});
+  stale.value = Encoded(99);
+  auto fenced = b->Call(stale);
+  ASSERT_TRUE(fenced.ok()) << fenced.status();
+  EXPECT_EQ(fenced->code, StatusCode::kFailedPrecondition) << fenced->message;
+
+  // promC re-routes through the gossiped ownership claim: poll until its
+  // view of fs 0 points at promB, then read every acked memo back.
+  auto c = Connect("promC");
+  Request count;
+  count.op = Op::kCount;
+  count.app = "r";
+  count.key = Key::Named("k", {0});
+  bool routed = false;
+  while (!routed && std::chrono::steady_clock::now() < deadline) {
+    auto resp = c->Call(count);
+    ASSERT_TRUE(resp.ok()) << resp.status();
+    if (resp->code == StatusCode::kOk && resp->count == 1) routed = true;
+    if (!routed) std::this_thread::sleep_for(10ms);
+  }
+  ASSERT_TRUE(routed) << "promC never re-routed to the new owner";
+  for (int i = 0; i < kN; ++i) {
+    Request get;
+    get.op = Op::kGet;
+    get.app = "r";
+    get.key = Key::Named("k", {static_cast<std::uint32_t>(i)});
+    auto resp = c->Call(get);
+    ASSERT_TRUE(resp.ok()) << resp.status();
+    ASSERT_EQ(resp->code, StatusCode::kOk) << resp->message;
+    ASSERT_TRUE(resp->has_value);
+    EXPECT_EQ(Decoded(resp->value), i);
+  }
+  // The promotion showed up in the failover metric.
+  EXPECT_GE(MetricsRegistry::Global()
+                .GetCounter("dmemo_failover_total", "fs=\"0@promB\"")
+                ->Value(),
+            1u);
+  b->Close();
+  c->Close();
+}
+
+// ---- membership over a farm ---------------------------------------------
+
+// App-less gossip farm: membership only, no folders, no persistence.
+class GossipFarm {
+ public:
+  GossipFarm(const std::vector<std::string>& hosts,
+             std::chrono::milliseconds interval) {
+    network_ = std::make_shared<SimNetwork>();
+    transport_ = MakeSimTransport(network_);
+    std::unordered_map<std::string, std::string> peers;
+    for (const auto& h : hosts) peers[h] = "sim://" + h;
+    for (const auto& h : hosts) {
+      MemoServerOptions opts;
+      opts.host = h;
+      opts.listen_url = peers[h];
+      opts.peers = peers;
+      opts.heartbeat_interval = interval;
+      opts.heartbeat_misses = 2;
+      auto server = MemoServer::Start(transport_, opts);
+      EXPECT_TRUE(server.ok()) << server.status();
+      servers_[h] = std::move(*server);
+    }
+  }
+
+  ~GossipFarm() {
+    for (auto& [name, server] : servers_) server->Shutdown();
+  }
+
+  MemoServer& at(const std::string& host) { return *servers_.at(host); }
+
+  bool Sees(const std::string& host, const std::string& subject,
+            MemberState state) {
+    for (const MemberView& v : servers_.at(host)->gossip_members()) {
+      if (v.host == subject && v.state == state) return true;
+    }
+    return false;
+  }
+
+ private:
+  SimNetworkPtr network_;
+  TransportPtr transport_;
+  std::map<std::string, std::unique_ptr<MemoServer>> servers_;
+};
+
+TEST(GossipFarmTest, FiveServersConvergeOnDeathInBoundedPeriods) {
+  const std::vector<std::string> hosts = {"g0", "g1", "g2", "g3", "g4"};
+  GossipFarm farm(hosts, 25ms);
+  farm.at("g0").Shutdown();
+  // SWIM bound: suspicion + dissemination are both O(periods), so every
+  // survivor sees g0 dead well within this deadline.
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  for (std::size_t i = 1; i < hosts.size(); ++i) {
+    while (!farm.Sees(hosts[i], "g0", MemberState::kDead)) {
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << hosts[i] << " never saw g0 dead";
+      std::this_thread::sleep_for(10ms);
+    }
+  }
+}
+
+TEST(GossipFarmTest, PerNodeProbeLoadIndependentOfFarmSize) {
+  // One probe per protocol period regardless of N: the per-host ping
+  // count over a fixed wall time must not scale with the farm size.
+  // (PR 5's all-pairs heartbeat would make the N=7 farm ping ~3x more
+  // per node than the N=3 one.)
+  auto run = [&](const std::vector<std::string>& hosts) {
+    GossipFarm farm(hosts, 25ms);
+    std::this_thread::sleep_for(800ms);
+    double total = 0;
+    for (const auto& h : hosts) {
+      total += static_cast<double>(
+          MetricsRegistry::Global()
+              .GetCounter("dmemo_gossip_pings_total", "host=\"" + h + "\"")
+              ->Value());
+    }
+    return total / static_cast<double>(hosts.size());
+  };
+  const double mean3 = run({"s3a", "s3b", "s3c"});
+  const double mean7 = run({"s7a", "s7b", "s7c", "s7d", "s7e", "s7f", "s7g"});
+  EXPECT_GT(mean3, 0.0);
+  // Generous slack for scheduler jitter; the all-pairs detector would be
+  // at ratio ~3 even before jitter.
+  EXPECT_LE(mean7, mean3 * 2.0 + 4.0)
+      << "per-node gossip load scales with N (mean3=" << mean3
+      << ", mean7=" << mean7 << ")";
+}
+
+}  // namespace
+}  // namespace dmemo
